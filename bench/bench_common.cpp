@@ -1,0 +1,30 @@
+#include "bench_common.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace neuro::benchx {
+
+void save_csv(const util::TextTable& table, const std::string& name) {
+  const std::filesystem::path dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  const std::filesystem::path path = dir / (name + ".csv");
+  std::ofstream out(path);
+  if (!out) return;
+  out << table.to_csv();
+  std::printf("csv: %s\n", path.string().c_str());
+}
+
+util::CliParser standard_cli(const std::string& program, const std::string& description,
+                             int default_images) {
+  util::CliParser cli(program, description);
+  cli.add_int("images", default_images, "synthetic dataset size (paper: 1200)");
+  cli.add_int("seed", 42, "random seed");
+  cli.add_int("threads", 0, "worker threads (0 = all cores)");
+  cli.add_int("epochs", 20, "detector training epochs (paper: 20)");
+  return cli;
+}
+
+}  // namespace neuro::benchx

@@ -1,0 +1,29 @@
+#pragma once
+// Shared helpers for the bench harnesses: headings, paper-vs-measured
+// framing, and CSV dumps next to the binary.
+
+#include <cstdio>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace neuro::benchx {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+/// Dump a table as CSV beside the binary (best effort; prints the path).
+void save_csv(const util::TextTable& table, const std::string& name);
+
+/// Standard experiment flags shared by every bench binary.
+util::CliParser standard_cli(const std::string& program, const std::string& description,
+                             int default_images);
+
+}  // namespace neuro::benchx

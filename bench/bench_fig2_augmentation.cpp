@@ -1,0 +1,49 @@
+// Fig. 2 — data-augmentation ablation: baseline vs +rotations vs
+// +rotations+crops, per-class F1 on the same test split.
+
+#include "bench_common.hpp"
+#include "core/experiments.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli = benchx::standard_cli("bench_fig2_augmentation",
+                                             "Fig. 2: augmentation ablation", 200);
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ExperimentOptions options;
+  options.image_count = static_cast<std::size_t>(cli.get_int("images"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  options.detector_epochs = static_cast<int>(cli.get_int("epochs"));
+
+  benchx::heading("Fig. 2 - accuracy with augmentation",
+                  "paper Fig. 2 (augmentation does not help overall; SL/AP degrade "
+                  "because rotations break their directionality)");
+
+  const std::vector<core::AugmentationArm> arms = core::run_fig2_augmentation(options);
+
+  util::TextTable table({"Arm", "train imgs", "SL F1", "SW F1", "SR F1", "MR F1", "PL F1",
+                         "AP F1", "mean F1", "mAP50"});
+  for (const core::AugmentationArm& arm : arms) {
+    std::vector<std::string> row = {arm.name, std::to_string(arm.train_images)};
+    for (scene::Indicator ind : scene::all_indicators()) {
+      row.push_back(util::fmt_double(arm.eval.per_class[ind].f1, 3));
+    }
+    row.push_back(util::fmt_double(arm.eval.mean_f1, 3));
+    row.push_back(util::fmt_double(arm.eval.map50, 3));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double base_sl = arms[0].eval.per_class[scene::Indicator::kStreetlight].f1;
+  const double rot_sl = arms[1].eval.per_class[scene::Indicator::kStreetlight].f1;
+  const double base_ap = arms[0].eval.per_class[scene::Indicator::kApartment].f1;
+  const double rot_ap = arms[1].eval.per_class[scene::Indicator::kApartment].f1;
+  std::printf("\ndirectional classes under rotation: streetlight %.3f -> %.3f, "
+              "apartment %.3f -> %.3f\n", base_sl, rot_sl, base_ap, rot_ap);
+  benchx::note("shape target: augmented arms do not beat the baseline overall, and the "
+               "directional classes (streetlight, apartment) tend to get worse.");
+  benchx::save_csv(table, "fig2_augmentation");
+  return 0;
+}

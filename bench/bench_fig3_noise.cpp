@@ -1,0 +1,43 @@
+// Fig. 3 — robustness to additive white Gaussian noise at SNR 5..30 dB.
+
+#include "bench_common.hpp"
+#include "core/experiments.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli = benchx::standard_cli("bench_fig3_noise",
+                                             "Fig. 3: Gaussian-noise robustness sweep", 300);
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ExperimentOptions options;
+  options.image_count = static_cast<std::size_t>(cli.get_int("images"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  options.detector_epochs = static_cast<int>(cli.get_int("epochs"));
+
+  benchx::heading("Fig. 3 - impact of different SNR levels",
+                  "paper Fig. 3 (>90% at 25-30 dB, degrading to ~60% at low SNR)");
+
+  const std::vector<core::NoisePoint> points = core::run_fig3_noise(options);
+
+  util::TextTable table({"SNR (dB)", "mean F1", "mAP50", "SL F1", "SW F1", "SR F1", "MR F1",
+                         "PL F1", "AP F1"});
+  std::vector<std::pair<std::string, double>> chart;
+  for (const core::NoisePoint& point : points) {
+    const std::string label = point.snr_db >= 1e6 ? "clean" : util::fmt_double(point.snr_db, 0);
+    std::vector<std::string> row = {label, util::fmt_double(point.mean_f1, 3),
+                                    util::fmt_double(point.map50, 3)};
+    for (scene::Indicator ind : scene::all_indicators()) {
+      row.push_back(util::fmt_double(point.per_class_f1[ind], 3));
+    }
+    table.add_row(std::move(row));
+    chart.emplace_back(label, point.mean_f1);
+  }
+  std::printf("%s\nmean F1 vs noise:\n%s", table.render().c_str(),
+              util::bar_chart(chart, 1.0).c_str());
+  benchx::note("shape target: monotone degradation as SNR falls, mild at 25-30 dB and "
+               "severe below 20 dB.");
+  benchx::save_csv(table, "fig3_noise");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 4 — parallel vs sequential prompting recall for Gemini and ChatGPT.
+
+#include "bench_common.hpp"
+#include "core/experiments.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli = benchx::standard_cli("bench_fig4_prompting",
+                                             "Fig. 4: prompt strategy comparison", 1200);
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::ExperimentOptions options;
+  options.image_count = static_cast<std::size_t>(cli.get_int("images"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+  benchx::heading("Fig. 4 - accuracy of LLMs in parallel and sequential prompts",
+                  "paper Fig. 4 (parallel recall: Gemini 92 / ChatGPT 83; "
+                  "sequential: 80 / 79)");
+
+  const std::vector<core::PromptingCell> cells = core::run_fig4_prompting(options);
+
+  util::TextTable table({"Model", "Strategy", "mean recall", "SL", "SW", "SR", "MR", "PL", "AP"});
+  std::vector<std::pair<std::string, double>> chart;
+  for (const core::PromptingCell& cell : cells) {
+    std::vector<std::string> row = {cell.model_name, std::string(llm::strategy_name(cell.strategy)),
+                                    util::fmt_double(cell.mean_recall, 3)};
+    for (scene::Indicator ind : scene::all_indicators()) {
+      row.push_back(util::fmt_double(cell.per_class_recall[ind], 2));
+    }
+    table.add_row(std::move(row));
+    chart.emplace_back(cell.model_name + " / " + std::string(llm::strategy_name(cell.strategy)),
+                       cell.mean_recall);
+  }
+  std::printf("%s\n%s", table.render().c_str(), util::bar_chart(chart, 1.0).c_str());
+  benchx::note("shape target: parallel beats sequential for both models, with a larger gap "
+               "for Gemini; the penalty is driven by the measured syntactic complexity of "
+               "the sequential exchange.");
+  benchx::save_csv(table, "fig4_prompting");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark): throughput of the substrates —
+// scene rendering, feature extraction, detector inference, simulated LLM
+// queries, parsing and voting.
+
+#include <benchmark/benchmark.h>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+#include "detect/detector.hpp"
+#include "image/noise.hpp"
+#include "llm/ensemble.hpp"
+
+using namespace neuro;
+
+namespace {
+
+const data::Dataset& shared_dataset() {
+  static const data::Dataset dataset = [] {
+    data::BuildConfig config;
+    config.image_count = 64;
+    return data::build_synthetic_dataset(config, 42);
+  }();
+  return dataset;
+}
+
+scene::StreetScene make_scene() {
+  util::Rng rng(7);
+  scene::SceneSampler sampler;
+  return sampler.sample_at(0.6, 1, rng);
+}
+
+void BM_RenderScene(benchmark::State& state) {
+  const scene::StreetScene scene = make_scene();
+  const scene::Renderer renderer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderer.render(scene));
+  }
+}
+BENCHMARK(BM_RenderScene);
+
+void BM_SceneSample(benchmark::State& state) {
+  util::Rng rng(7);
+  scene::SceneSampler sampler;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_at(0.5, ++id, rng));
+  }
+}
+BENCHMARK(BM_SceneSample);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const data::LabeledImage& image = shared_dataset()[0];
+  const image::WindowFeatureExtractor extractor;
+  const auto prep = extractor.prepare(image.image);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.extract(prep, 20, 40, 80, 64));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_GaussianNoise(benchmark::State& state) {
+  util::Rng rng(3);
+  for (auto _ : state) {
+    image::Image img = shared_dataset()[0].image;
+    image::add_gaussian_noise_snr(img, 20.0, rng);
+    benchmark::DoNotOptimize(img);
+  }
+}
+BENCHMARK(BM_GaussianNoise);
+
+void BM_DetectorInference(benchmark::State& state) {
+  static const detect::NanoDetector detector = [] {
+    detect::DetectorConfig config;
+    config.epochs = 6;
+    config.mining_rounds = 1;
+    detect::NanoDetector d(config);
+    d.train(shared_dataset());
+    return d;
+  }();
+  const image::Image& img = shared_dataset()[1].image;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(img));
+  }
+}
+BENCHMARK(BM_DetectorInference);
+
+void BM_LlmQuery(benchmark::State& state) {
+  const llm::VisionLanguageModel model(llm::gemini_1_5_pro_profile(),
+                                       llm::CalibrationStats::paper_nominal());
+  const llm::VisualObservation obs = llm::observe(shared_dataset()[0]);
+  const llm::SamplingParams params;
+  util::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_presence(obs, llm::PromptStrategy::kParallel,
+                                                    llm::Language::kEnglish, params, rng));
+  }
+}
+BENCHMARK(BM_LlmQuery);
+
+void BM_MajorityVote(benchmark::State& state) {
+  std::vector<scene::PresenceVector> votes(3);
+  votes[0].set(scene::Indicator::kSidewalk, true);
+  votes[1].set(scene::Indicator::kSidewalk, true);
+  votes[2].set(scene::Indicator::kPowerline, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llm::majority_vote(votes));
+  }
+}
+BENCHMARK(BM_MajorityVote);
+
+}  // namespace
+
+BENCHMARK_MAIN();

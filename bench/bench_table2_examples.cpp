@@ -1,0 +1,50 @@
+// Table II — example prompt/response matrix: one image, six questions,
+// all four simulated models side by side.
+
+#include "bench_common.hpp"
+#include "core/neighborhood_decoder.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli = benchx::standard_cli("bench_table2_examples",
+                                             "Table II: example prompt responses", 8);
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::NeighborhoodDecoder::Options options;
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  core::NeighborhoodDecoder decoder(options);
+
+  benchx::heading("Table II - result examples of prompts",
+                  "paper Table II (per-question answers of the four models on one image)");
+
+  const data::Dataset dataset =
+      decoder.generate_survey(static_cast<std::size_t>(cli.get_int("images")));
+  // Pick the image with the most indicators present so the table is
+  // interesting, like the paper's example.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < dataset.size(); ++i) {
+    if (dataset[i].presence().count() > dataset[best].presence().count()) best = i;
+  }
+  const data::LabeledImage& image = dataset[best];
+  std::printf("image #%llu, ground truth: %s\n\n",
+              static_cast<unsigned long long>(image.id), image.presence().to_string().c_str());
+
+  const llm::CalibrationStats stats = llm::CalibrationStats::paper_nominal();
+  std::vector<core::Transcript> transcripts;
+  std::vector<std::string> headers = {"Question"};
+  for (const llm::ModelProfile& profile : llm::paper_model_profiles()) {
+    transcripts.push_back(decoder.interrogate(llm::VisionLanguageModel(profile, stats), image));
+    headers.push_back(profile.name);
+  }
+
+  util::TextTable table(headers);
+  for (std::size_t q = 0; q < transcripts[0].entries.size(); ++q) {
+    std::vector<std::string> row = {transcripts[0].entries[q].question};
+    for (const core::Transcript& transcript : transcripts) row.push_back(transcript.entries[q].answer);
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+  benchx::save_csv(table, "table2_examples");
+  return 0;
+}

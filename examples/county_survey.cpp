@@ -1,0 +1,79 @@
+// County-scale survey: decode a whole synthetic two-county survey with the
+// top-3 LLM ensemble (the paper's recommended configuration), aggregate
+// indicator prevalence per census tract, and print a health-association
+// style summary — the public-health use case that motivates the paper.
+//
+//   ./county_survey [--images N] [--seed N]
+
+#include <cstdio>
+
+#include "core/neighborhood_decoder.hpp"
+#include "eval/report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("county_survey", "ensemble survey with tract aggregation");
+  cli.add_int("images", 400, "captures across the two counties");
+  cli.add_int("seed", 42, "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::NeighborhoodDecoder::Options options;
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  core::NeighborhoodDecoder decoder(options);
+
+  const auto image_count = static_cast<std::size_t>(cli.get_int("images"));
+  std::printf("surveying %zu captures across two counties...\n", image_count);
+  data::Dataset dataset = decoder.generate_survey(image_count);
+
+  // Top-3 ensemble per the paper: Gemini + Claude + Grok 2.
+  const std::vector<llm::ModelProfile> members = {
+      llm::gemini_1_5_pro_profile(), llm::claude_3_7_profile(), llm::grok_2_profile()};
+  const std::vector<core::ModelSurveyResult> results =
+      decoder.decode_with_ensemble(dataset, members);
+
+  for (const core::ModelSurveyResult& result : results) {
+    std::printf("%-42s %s\n", result.model_name.c_str(),
+                eval::macro_summary(result.evaluator).c_str());
+  }
+
+  // Tract-level prevalence from the ensemble vote (last result).
+  const core::ModelSurveyResult& vote = results.back();
+  const std::vector<core::TractSummary> tracts =
+      core::NeighborhoodDecoder::aggregate_by_tract(dataset, vote.predictions);
+
+  util::TextTable table({"County", "Tract", "Images", "SL", "SW", "SR", "MR", "PL", "AP"});
+  for (const core::TractSummary& tract : tracts) {
+    if (tract.image_count < 5) continue;  // suppress tiny tracts
+    std::vector<std::string> row = {std::to_string(tract.county_index),
+                                    std::to_string(tract.tract_id),
+                                    std::to_string(tract.image_count)};
+    for (scene::Indicator ind : scene::all_indicators()) {
+      row.push_back(util::fmt_percent(tract.prevalence[ind], 0));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("\nTract-level indicator prevalence (majority vote):\n%s", table.render().c_str());
+
+  // The paper's motivation: visible powerlines associate with adverse
+  // health outcomes, sidewalks with better ones. Report the rural/urban
+  // contrast the ensemble recovers.
+  double rural_pl = 0.0, urban_pl = 0.0, rural_sw = 0.0, urban_sw = 0.0;
+  int rural_n = 0, urban_n = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const bool urban = dataset[i].urbanization >= 0.5;
+    (urban ? urban_n : rural_n)++;
+    if (vote.predictions[i][scene::Indicator::kPowerline]) (urban ? urban_pl : rural_pl) += 1;
+    if (vote.predictions[i][scene::Indicator::kSidewalk]) (urban ? urban_sw : rural_sw) += 1;
+  }
+  if (rural_n > 0 && urban_n > 0) {
+    std::printf("\nEnvironment contrast recovered by the ensemble:\n");
+    std::printf("  visible powerlines: rural %.0f%% vs urban %.0f%%\n",
+                100.0 * rural_pl / rural_n, 100.0 * urban_pl / urban_n);
+    std::printf("  sidewalks:          rural %.0f%% vs urban %.0f%%\n",
+                100.0 * rural_sw / rural_n, 100.0 * urban_sw / urban_n);
+  }
+  return 0;
+}

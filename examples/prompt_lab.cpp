@@ -1,0 +1,79 @@
+// Prompt laboratory: compare prompting strategies, languages and sampling
+// parameters side by side on the same survey — the paper's RQ2 workflow
+// condensed into one tool.
+//
+//   ./prompt_lab [--images N] [--seed N] [--model gemini|chatgpt|claude|grok]
+
+#include <cstdio>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("prompt_lab", "sweep prompt strategy / language / sampling");
+  cli.add_int("images", 300, "survey size");
+  cli.add_int("seed", 42, "random seed");
+  cli.add_string("model", "gemini", "chatgpt | gemini | claude | grok");
+  if (!cli.parse(argc, argv)) return 0;
+
+  llm::ModelProfile profile;
+  const std::string which = cli.get_string("model");
+  if (which == "chatgpt") profile = llm::chatgpt_4o_mini_profile();
+  else if (which == "claude") profile = llm::claude_3_7_profile();
+  else if (which == "grok") profile = llm::grok_2_profile();
+  else profile = llm::gemini_1_5_pro_profile();
+
+  data::BuildConfig build;
+  build.image_count = static_cast<std::size_t>(cli.get_int("images"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const data::Dataset dataset = data::build_synthetic_dataset(build, seed);
+  const core::SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model = runner.make_model(profile);
+
+  std::printf("== %s over %zu images ==\n\n", profile.name.c_str(), dataset.size());
+
+  // --- Strategy sweep --------------------------------------------------------
+  util::TextTable strategies({"Strategy", "Recall", "Precision", "F1", "Accuracy"});
+  for (llm::PromptStrategy strategy :
+       {llm::PromptStrategy::kParallel, llm::PromptStrategy::kSequential}) {
+    core::SurveyConfig config;
+    config.strategy = strategy;
+    config.seed = seed;
+    const eval::BinaryMetrics avg = runner.run_model(model, config).evaluator.macro_average();
+    strategies.add_row_numeric(std::string(llm::strategy_name(strategy)),
+                               {avg.recall, avg.precision, avg.f1, avg.accuracy}, 3);
+  }
+  std::printf("Prompt strategy:\n%s\n", strategies.render().c_str());
+
+  // --- Language sweep --------------------------------------------------------
+  util::TextTable languages({"Language", "Recall", "Precision", "F1", "Accuracy"});
+  for (llm::Language language : llm::all_languages()) {
+    core::SurveyConfig config;
+    config.language = language;
+    config.seed = seed;
+    const eval::BinaryMetrics avg = runner.run_model(model, config).evaluator.macro_average();
+    languages.add_row_numeric(std::string(llm::language_name(language)),
+                              {avg.recall, avg.precision, avg.f1, avg.accuracy}, 3);
+  }
+  std::printf("Prompt language:\n%s\n", languages.render().c_str());
+
+  // --- Sampling sweep --------------------------------------------------------
+  util::TextTable sampling({"Temperature", "Top-p", "F1", "Accuracy"});
+  for (double temperature : {0.1, 1.0, 1.5}) {
+    for (double top_p : {0.5, 0.95}) {
+      core::SurveyConfig config;
+      config.sampling.temperature = temperature;
+      config.sampling.top_p = top_p;
+      config.seed = seed;
+      const eval::BinaryMetrics avg = runner.run_model(model, config).evaluator.macro_average();
+      sampling.add_row({util::fmt_double(temperature, 1), util::fmt_double(top_p, 2),
+                        util::fmt_double(avg.f1, 3), util::fmt_double(avg.accuracy, 3)});
+    }
+  }
+  std::printf("Sampling parameters:\n%s", sampling.render().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: generate one synthetic street-view capture, interrogate a
+// simulated LLM with the paper's parallel prompt, and print the full
+// question/answer transcript next to the ground truth.
+//
+//   ./quickstart [--seed N] [--model chatgpt|gemini|claude|grok]
+
+#include <cstdio>
+
+#include "core/neighborhood_decoder.hpp"
+#include "image/ppm_io.hpp"
+#include "util/cli.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("quickstart", "one image, one model, six questions");
+  cli.add_int("seed", 42, "random seed");
+  cli.add_string("model", "gemini", "chatgpt | gemini | claude | grok");
+  cli.add_string("save-ppm", "", "optional path to dump the rendered scene");
+  if (!cli.parse(argc, argv)) return 0;
+
+  core::NeighborhoodDecoder::Options options;
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  core::NeighborhoodDecoder decoder(options);
+
+  // A tiny "survey" of one capture.
+  data::Dataset dataset = decoder.generate_survey(1);
+  const data::LabeledImage& image = dataset[0];
+  if (const std::string path = cli.get_string("save-ppm"); !path.empty()) {
+    image::save_ppm(image.image, path);
+    std::printf("scene written to %s\n", path.c_str());
+  }
+
+  // Pick the simulated commercial model.
+  llm::ModelProfile profile;
+  const std::string which = cli.get_string("model");
+  if (which == "chatgpt") profile = llm::chatgpt_4o_mini_profile();
+  else if (which == "claude") profile = llm::claude_3_7_profile();
+  else if (which == "grok") profile = llm::grok_2_profile();
+  else profile = llm::gemini_1_5_pro_profile();
+
+  // Calibrate the channel against the paper's nominal prevalences (a
+  // single image cannot estimate them).
+  const llm::VisionLanguageModel model(profile, llm::CalibrationStats::paper_nominal());
+
+  const core::Transcript transcript = decoder.interrogate(model, image);
+
+  std::printf("== %s on capture #%llu (urbanization %.2f, heading %s)\n",
+              transcript.model_name.c_str(), static_cast<unsigned long long>(image.id),
+              image.urbanization, std::string(scene::heading_name(image.heading)).c_str());
+  for (const core::QaEntry& entry : transcript.entries) {
+    std::printf("Q: %s\nA: %s  [parsed: %s]\n", entry.question.c_str(), entry.answer.c_str(),
+                entry.parsed_yes ? "yes" : "no");
+  }
+  std::printf("\nmodel prediction: %s\nground truth:     %s\n",
+              transcript.prediction.to_string().c_str(), image.presence().to_string().c_str());
+  return 0;
+}

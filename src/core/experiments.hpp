@@ -1,0 +1,97 @@
+#pragma once
+// Experiment drivers: one function per table/figure in the paper's
+// evaluation section. Bench binaries format these results; tests assert
+// the qualitative shapes (orderings, gaps, crossovers) the paper reports.
+
+#include <string>
+#include <vector>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+#include "detect/metrics.hpp"
+
+namespace neuro::core {
+
+struct ExperimentOptions {
+  std::size_t image_count = 1200;  // the paper's dataset size
+  int image_size = 160;            // synthetic stand-in for 640x640
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;
+  int detector_epochs = 20;        // paper: 20
+  double train_frac = 0.7;         // paper: 70/20/10
+  double val_frac = 0.2;
+};
+
+/// Build the shared synthetic dataset for an options set.
+data::Dataset build_dataset(const ExperimentOptions& options);
+
+// ---------------------------------------------------------------- Table I
+struct BaselineResult {
+  detect::DetectionEvalResult eval;     // on the 10% test split
+  data::DatasetStats dataset_stats;     // full-dataset label counts
+  detect::TrainReport train_report;
+  std::size_t train_images = 0;
+  std::size_t test_images = 0;
+};
+BaselineResult run_table1_baseline(const ExperimentOptions& options);
+
+// ----------------------------------------------------------------- Fig. 2
+struct AugmentationArm {
+  std::string name;                  // "baseline" / "+rotations" / "+rotations+crops"
+  detect::DetectionEvalResult eval;  // same test split for all arms
+  std::size_t train_images = 0;
+};
+std::vector<AugmentationArm> run_fig2_augmentation(const ExperimentOptions& options);
+
+// ----------------------------------------------------------------- Fig. 3
+struct NoisePoint {
+  double snr_db = 0.0;               // +inf encoded as snr_db >= 1e6 (clean)
+  double mean_f1 = 0.0;
+  double map50 = 0.0;
+  scene::IndicatorMap<double> per_class_f1;
+};
+std::vector<NoisePoint> run_fig3_noise(const ExperimentOptions& options);
+
+// ----------------------------------------------------------------- Fig. 4
+struct PromptingCell {
+  std::string model_name;
+  llm::PromptStrategy strategy = llm::PromptStrategy::kParallel;
+  double mean_recall = 0.0;
+  scene::IndicatorMap<double> per_class_recall;
+};
+std::vector<PromptingCell> run_fig4_prompting(const ExperimentOptions& options);
+
+// ------------------------------------------- Fig. 5 + Tables III-VI
+struct VotingResult {
+  std::vector<ModelSurveyResult> models;  // all four, paper order
+  ModelSurveyResult vote;                 // top-3: Gemini, Claude, Grok 2
+};
+VotingResult run_fig5_voting(const ExperimentOptions& options);
+
+// ----------------------------------------------------------------- Fig. 6
+struct LanguageResult {
+  llm::Language language = llm::Language::kEnglish;
+  eval::MultiLabelEvaluator evaluator;  // Gemini, parallel prompt
+};
+std::vector<LanguageResult> run_fig6_languages(const ExperimentOptions& options);
+
+// ---------------------------------------------------------------- §IV-C4
+struct TuningPoint {
+  std::string parameter;  // "temperature" or "top_p"
+  double value = 0.0;
+  double macro_f1 = 0.0;
+  double macro_accuracy = 0.0;
+};
+std::vector<TuningPoint> run_param_tuning(const ExperimentOptions& options);
+
+// -------------------------------------------------- cost / latency (§V)
+struct UsageComparison {
+  std::string model_name;
+  llm::PromptStrategy strategy = llm::PromptStrategy::kParallel;
+  llm::UsageMeter usage;
+};
+/// API usage of parallel vs sequential prompting per model (the majority-
+/// voting cost barrier the discussion section raises).
+std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& options);
+
+}  // namespace neuro::core

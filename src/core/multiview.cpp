@@ -1,0 +1,76 @@
+#include "core/multiview.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace neuro::core {
+
+std::string_view fusion_name(ViewFusion fusion) {
+  switch (fusion) {
+    case ViewFusion::kSingleFrame: return "single-frame";
+    case ViewFusion::kAnyView: return "any-view";
+    case ViewFusion::kMajorityOfViews: return "majority-of-views";
+  }
+  return "?";
+}
+
+scene::PresenceVector fuse_views(const std::vector<scene::PresenceVector>& views,
+                                 ViewFusion fusion) {
+  if (views.empty()) throw std::invalid_argument("fuse_views: no views");
+  scene::PresenceVector fused;
+  for (scene::Indicator ind : scene::all_indicators()) {
+    std::size_t ayes = 0;
+    for (const scene::PresenceVector& view : views) ayes += view[ind] ? 1 : 0;
+    switch (fusion) {
+      case ViewFusion::kSingleFrame: fused.set(ind, views.front()[ind]); break;
+      case ViewFusion::kAnyView: fused.set(ind, ayes >= 1); break;
+      case ViewFusion::kMajorityOfViews: fused.set(ind, ayes >= 2); break;
+    }
+  }
+  return fused;
+}
+
+MultiViewResult run_multiview_experiment(const std::vector<data::MultiViewLocation>& locations,
+                                         const llm::VisionLanguageModel& model,
+                                         const SurveyConfig& config) {
+  if (locations.empty()) throw std::invalid_argument("multiview: no locations");
+
+  MultiViewResult result;
+  result.model_name = model.profile().name;
+  result.location_count = locations.size();
+
+  // Per-location per-view predictions, computed once and fused three ways.
+  std::vector<std::vector<scene::PresenceVector>> view_predictions(locations.size());
+
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(locations.size(), [&](std::size_t loc) {
+    const data::MultiViewLocation& location = locations[loc];
+    view_predictions[loc].reserve(location.views.size());
+    for (std::size_t v = 0; v < location.views.size(); ++v) {
+      util::Rng rng(util::derive_seed(
+          config.seed,
+          util::format("%s/mv-%llu-%zu", model.profile().name.c_str(),
+                       static_cast<unsigned long long>(location.location_id), v)));
+      view_predictions[loc].push_back(
+          model.predict_presence(llm::observe(location.views[v]), config.strategy,
+                                 config.language, config.sampling, rng,
+                                 config.few_shot_examples));
+    }
+  });
+
+  for (ViewFusion fusion :
+       {ViewFusion::kSingleFrame, ViewFusion::kAnyView, ViewFusion::kMajorityOfViews}) {
+    MultiViewCell cell;
+    cell.fusion = fusion;
+    for (std::size_t loc = 0; loc < locations.size(); ++loc) {
+      cell.evaluator.add(locations[loc].location_truth(),
+                         fuse_views(view_predictions[loc], fusion));
+    }
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+}  // namespace neuro::core

@@ -1,0 +1,48 @@
+#pragma once
+// Multi-frame fusion experiment — the paper's stated future work (§V):
+// "we will incorporate multiple consecutive images in different directions
+// to improve performance, especially for indicators that may be partially
+// occluded in single frames."
+//
+// Each survey location is captured from all four compass headings. The
+// single-frame baseline answers from one heading only and is evaluated
+// against the *location-level* ground truth (an indicator present at the
+// location but facing another way is a miss). Fusion queries every heading
+// and combines the per-view answers.
+
+#include <vector>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+
+namespace neuro::core {
+
+enum class ViewFusion {
+  kSingleFrame,     // first heading only (the paper's current setup)
+  kAnyView,         // present if any heading says yes (union)
+  kMajorityOfViews, // present if >= 2 of 4 headings say yes
+};
+
+std::string_view fusion_name(ViewFusion fusion);
+
+struct MultiViewCell {
+  ViewFusion fusion = ViewFusion::kSingleFrame;
+  eval::MultiLabelEvaluator evaluator;  // vs location-level truth
+};
+
+struct MultiViewResult {
+  std::string model_name;
+  std::vector<MultiViewCell> cells;  // one per fusion mode, enum order
+  std::size_t location_count = 0;
+};
+
+/// Run the experiment for one model over `locations`.
+MultiViewResult run_multiview_experiment(const std::vector<data::MultiViewLocation>& locations,
+                                         const llm::VisionLanguageModel& model,
+                                         const SurveyConfig& config);
+
+/// Fuse per-view presence predictions for one location.
+scene::PresenceVector fuse_views(const std::vector<scene::PresenceVector>& views,
+                                 ViewFusion fusion);
+
+}  // namespace neuro::core

@@ -1,0 +1,112 @@
+#include "core/neighborhood_decoder.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace neuro::core {
+
+NeighborhoodDecoder::NeighborhoodDecoder(Options options) : options_(std::move(options)) {}
+
+data::Dataset NeighborhoodDecoder::generate_survey(std::size_t image_count) const {
+  data::BuildConfig config;
+  config.image_count = image_count;
+  config.generator.image_width = options_.image_size;
+  config.generator.image_height = options_.image_size;
+  return data::build_synthetic_dataset(config, options_.seed);
+}
+
+detect::NanoDetector NeighborhoodDecoder::train_baseline(const data::Dataset& train_set,
+                                                         int epochs) const {
+  detect::DetectorConfig config;
+  config.epochs = epochs;
+  config.seed = util::derive_seed(options_.seed, "baseline");
+  detect::NanoDetector detector(config);
+  detector.train(train_set);
+  return detector;
+}
+
+Transcript NeighborhoodDecoder::interrogate(const llm::VisionLanguageModel& model,
+                                            const data::LabeledImage& image) const {
+  const llm::VisualObservation observation = llm::observe(image);
+  llm::PromptBuilder builder;
+  const llm::PromptPlan plan = builder.build(options_.strategy, options_.language);
+
+  util::Rng rng(util::derive_seed(
+      options_.seed, util::format("%s/%llu", model.profile().name.c_str(),
+                                  static_cast<unsigned long long>(image.id))));
+  const std::vector<std::string> responses =
+      model.chat(plan, observation, options_.sampling, rng);
+
+  llm::ResponseParser parser;
+  Transcript transcript;
+  transcript.model_name = model.profile().name;
+  for (std::size_t m = 0; m < plan.messages.size(); ++m) {
+    const llm::PromptMessage& message = plan.messages[m];
+    const llm::ParsedAnswers parsed =
+        parser.parse(responses[m], message.asks.size(), options_.language);
+    const std::vector<std::string> fragments = util::split(responses[m], ',');
+    for (std::size_t q = 0; q < message.asks.size(); ++q) {
+      QaEntry entry;
+      entry.indicator = message.asks[q];
+      entry.question = builder.question_text(message.asks[q], options_.language);
+      entry.answer = q < fragments.size() ? std::string(util::trim(fragments[q])) : "";
+      entry.parsed_yes = parsed.answers[q].value_or(false);
+      if (entry.parsed_yes) transcript.prediction.set(message.asks[q], true);
+      transcript.entries.push_back(std::move(entry));
+    }
+  }
+  return transcript;
+}
+
+std::vector<ModelSurveyResult> NeighborhoodDecoder::decode_with_ensemble(
+    const data::Dataset& dataset, const std::vector<llm::ModelProfile>& profiles) const {
+  SurveyRunner runner(dataset);
+  SurveyConfig config;
+  config.strategy = options_.strategy;
+  config.language = options_.language;
+  config.sampling = options_.sampling;
+  config.threads = options_.threads;
+  config.seed = options_.seed;
+
+  std::vector<ModelSurveyResult> results;
+  results.reserve(profiles.size() + 1);
+  for (const llm::ModelProfile& profile : profiles) {
+    results.push_back(runner.run_model(runner.make_model(profile), config));
+  }
+  std::vector<const ModelSurveyResult*> members;
+  members.reserve(results.size());
+  for (const ModelSurveyResult& result : results) members.push_back(&result);
+  results.push_back(runner.vote(members));
+  return results;
+}
+
+std::vector<TractSummary> NeighborhoodDecoder::aggregate_by_tract(
+    const data::Dataset& dataset, const std::vector<scene::PresenceVector>& predictions) {
+  if (dataset.size() != predictions.size()) {
+    throw std::invalid_argument("aggregate_by_tract: size mismatch");
+  }
+  std::map<std::pair<int, int>, TractSummary> tracts;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const data::LabeledImage& image = dataset[i];
+    TractSummary& tract = tracts[{image.county_index, image.tract_id}];
+    tract.county_index = image.county_index;
+    tract.tract_id = image.tract_id;
+    ++tract.image_count;
+    for (scene::Indicator ind : scene::all_indicators()) {
+      if (predictions[i][ind]) tract.prevalence[ind] += 1.0;
+    }
+  }
+  std::vector<TractSummary> out;
+  out.reserve(tracts.size());
+  for (auto& [key, tract] : tracts) {
+    for (scene::Indicator ind : scene::all_indicators()) {
+      tract.prevalence[ind] /= std::max(1, tract.image_count);
+    }
+    out.push_back(tract);
+  }
+  return out;
+}
+
+}  // namespace neuro::core

@@ -1,0 +1,83 @@
+#pragma once
+// NeighborhoodDecoder: the library's high-level facade. Wraps dataset
+// generation, the supervised baseline, simulated-LLM interrogation and
+// majority voting behind a handful of calls — the workflow the paper's
+// Fig. 1 sketches.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+#include "detect/detector.hpp"
+#include "detect/metrics.hpp"
+
+namespace neuro::core {
+
+/// One question/answer pair from an interrogation transcript.
+struct QaEntry {
+  scene::Indicator indicator = scene::Indicator::kStreetlight;
+  std::string question;
+  std::string answer;
+  bool parsed_yes = false;
+};
+
+/// Full transcript of one model interrogating one image.
+struct Transcript {
+  std::string model_name;
+  std::vector<QaEntry> entries;
+  scene::PresenceVector prediction;
+};
+
+/// Tract-level aggregate of predicted indicators (the paper's motivating
+/// use case: neighborhood-level environment statistics).
+struct TractSummary {
+  int county_index = 0;
+  int tract_id = 0;
+  int image_count = 0;
+  scene::IndicatorMap<double> prevalence;  // fraction of images flagged
+};
+
+class NeighborhoodDecoder {
+ public:
+  struct Options {
+    int image_size = 160;
+    std::uint64_t seed = 42;
+    std::size_t threads = 0;
+    llm::PromptStrategy strategy = llm::PromptStrategy::kParallel;
+    llm::Language language = llm::Language::kEnglish;
+    llm::SamplingParams sampling;
+  };
+
+  NeighborhoodDecoder() : NeighborhoodDecoder(Options()) {}
+  explicit NeighborhoodDecoder(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// Generate a labeled synthetic survey (stand-in for downloading and
+  /// annotating GSV images).
+  data::Dataset generate_survey(std::size_t image_count) const;
+
+  /// Train the supervised baseline on a labeled dataset.
+  detect::NanoDetector train_baseline(const data::Dataset& train_set, int epochs = 20) const;
+
+  /// Interrogate one image with one simulated model; returns the full
+  /// question/answer transcript.
+  Transcript interrogate(const llm::VisionLanguageModel& model,
+                         const data::LabeledImage& image) const;
+
+  /// Decode a whole dataset with an ensemble of models; returns per-model
+  /// survey results followed by the majority vote (last element).
+  std::vector<ModelSurveyResult> decode_with_ensemble(
+      const data::Dataset& dataset, const std::vector<llm::ModelProfile>& profiles) const;
+
+  /// Aggregate per-image predictions into tract-level prevalence.
+  static std::vector<TractSummary> aggregate_by_tract(
+      const data::Dataset& dataset, const std::vector<scene::PresenceVector>& predictions);
+
+ private:
+  Options options_;
+};
+
+}  // namespace neuro::core

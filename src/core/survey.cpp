@@ -1,0 +1,87 @@
+#include "core/survey.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace neuro::core {
+
+SurveyRunner::SurveyRunner(const data::Dataset& dataset) {
+  if (dataset.empty()) throw std::invalid_argument("survey over empty dataset");
+  observations_.reserve(dataset.size());
+  truths_.reserve(dataset.size());
+  image_ids_.reserve(dataset.size());
+  for (const data::LabeledImage& image : dataset) {
+    observations_.push_back(llm::observe(image));
+    truths_.push_back(observations_.back().truth);
+    image_ids_.push_back(image.id);
+  }
+  calibration_ = llm::CalibrationStats::from_dataset(dataset);
+}
+
+llm::VisionLanguageModel SurveyRunner::make_model(const llm::ModelProfile& profile) const {
+  return llm::VisionLanguageModel(profile, calibration_);
+}
+
+ModelSurveyResult SurveyRunner::run_model(const llm::VisionLanguageModel& model,
+                                          const SurveyConfig& config) const {
+  ModelSurveyResult result;
+  result.model_name = model.profile().name;
+  result.predictions.resize(observations_.size());
+
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(observations_.size(), [&](std::size_t i) {
+    // Per-image stream: deterministic under any parallelism.
+    util::Rng rng(util::derive_seed(
+        config.seed, util::format("%s/%llu", model.profile().name.c_str(),
+                                  static_cast<unsigned long long>(image_ids_[i]))));
+    result.predictions[i] =
+        model.predict_presence(observations_[i], config.strategy, config.language,
+                               config.sampling, rng, config.few_shot_examples);
+  });
+
+  for (std::size_t i = 0; i < truths_.size(); ++i) {
+    result.evaluator.add(truths_[i], result.predictions[i]);
+  }
+  return result;
+}
+
+ModelSurveyResult SurveyRunner::vote(const std::vector<const ModelSurveyResult*>& members,
+                                     std::size_t quorum) const {
+  if (members.empty()) throw std::invalid_argument("vote: no members");
+  ModelSurveyResult result;
+  std::vector<std::string> names;
+  names.reserve(members.size());
+  for (const ModelSurveyResult* member : members) {
+    if (member->predictions.size() != truths_.size()) {
+      throw std::invalid_argument("vote: member prediction count mismatch");
+    }
+    names.push_back(member->model_name);
+  }
+  result.model_name = "vote(" + util::join(names, " + ") + ")";
+  result.predictions.resize(truths_.size());
+
+  for (std::size_t i = 0; i < truths_.size(); ++i) {
+    std::vector<scene::PresenceVector> votes;
+    votes.reserve(members.size());
+    for (const ModelSurveyResult* member : members) votes.push_back(member->predictions[i]);
+    result.predictions[i] = llm::majority_vote(votes, quorum);
+    result.evaluator.add(truths_[i], result.predictions[i]);
+  }
+  return result;
+}
+
+llm::UsageMeter SurveyRunner::measure_usage(const llm::VisionLanguageModel& model,
+                                            const SurveyConfig& config,
+                                            const llm::ClientConfig& client_config) const {
+  llm::LlmClient client(model, client_config, util::derive_seed(config.seed, "client"));
+  llm::PromptBuilder builder;
+  const llm::PromptPlan plan = builder.build(config.strategy, config.language);
+  for (const llm::VisualObservation& observation : observations_) {
+    client.run_plan(plan, observation, config.sampling);
+  }
+  return client.usage();
+}
+
+}  // namespace neuro::core

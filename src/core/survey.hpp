@@ -1,0 +1,70 @@
+#pragma once
+// Survey runner: interrogate every image in a dataset with one or more
+// simulated VLMs under a chosen prompt strategy / language / sampling
+// configuration, evaluate against ground truth, and vote ensembles.
+// Deterministic: the per-image RNG is derived from (seed, image id), so
+// results are identical regardless of thread count.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "llm/client.hpp"
+#include "llm/ensemble.hpp"
+#include "llm/vlm.hpp"
+
+namespace neuro::core {
+
+struct SurveyConfig {
+  llm::PromptStrategy strategy = llm::PromptStrategy::kParallel;
+  llm::Language language = llm::Language::kEnglish;
+  llm::SamplingParams sampling;
+  int few_shot_examples = 0;    // worked demonstrations per prompt (0..4)
+  std::size_t threads = 0;      // 0 = hardware concurrency
+  std::uint64_t seed = 42;
+};
+
+struct ModelSurveyResult {
+  std::string model_name;
+  std::vector<scene::PresenceVector> predictions;  // one per image, dataset order
+  eval::MultiLabelEvaluator evaluator;
+};
+
+class SurveyRunner {
+ public:
+  /// Precomputes observations, truths and channel calibration stats.
+  explicit SurveyRunner(const data::Dataset& dataset);
+
+  const llm::CalibrationStats& calibration() const { return calibration_; }
+  const std::vector<scene::PresenceVector>& truths() const { return truths_; }
+  std::size_t image_count() const { return observations_.size(); }
+
+  /// Build a calibrated model from a profile using this dataset's stats.
+  llm::VisionLanguageModel make_model(const llm::ModelProfile& profile) const;
+
+  /// Query one model over every image (parallel, deterministic).
+  ModelSurveyResult run_model(const llm::VisionLanguageModel& model,
+                              const SurveyConfig& config) const;
+
+  /// Evaluate a majority vote over previously collected model runs.
+  /// quorum = 0 selects simple majority.
+  ModelSurveyResult vote(const std::vector<const ModelSurveyResult*>& members,
+                         std::size_t quorum = 0) const;
+
+  /// Route every image through a simulated API client (single-threaded,
+  /// virtual-time) and report the accumulated usage. Predictions are
+  /// discarded; this measures cost/latency, the paper's §V concern.
+  llm::UsageMeter measure_usage(const llm::VisionLanguageModel& model,
+                                const SurveyConfig& config,
+                                const llm::ClientConfig& client_config) const;
+
+ private:
+  std::vector<llm::VisualObservation> observations_;
+  std::vector<scene::PresenceVector> truths_;
+  std::vector<std::uint64_t> image_ids_;
+  llm::CalibrationStats calibration_;
+};
+
+}  // namespace neuro::core

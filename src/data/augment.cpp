@@ -1,0 +1,127 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/transform.hpp"
+
+namespace neuro::data {
+
+namespace {
+
+/// Drop boxes that lost (almost) all of their area.
+void prune_degenerate(std::vector<Annotation>& annotations) {
+  annotations.erase(std::remove_if(annotations.begin(), annotations.end(),
+                                   [](const Annotation& a) {
+                                     return a.box.w < 2.0F || a.box.h < 2.0F;
+                                   }),
+                    annotations.end());
+}
+
+LabeledImage crop_around_object(const LabeledImage& input, util::Rng& rng) {
+  LabeledImage out = input;
+  if (input.annotations.empty() || input.image.empty()) return out;
+
+  const Annotation& target = input.annotations[rng.index(input.annotations.size())];
+  // Window covering the object plus ~30% extra area, jittered.
+  const float pad = std::sqrt(1.3F) - 1.0F;
+  const float pad_x = target.box.w * pad * 0.5F + static_cast<float>(rng.uniform(0.0, 4.0));
+  const float pad_y = target.box.h * pad * 0.5F + static_cast<float>(rng.uniform(0.0, 4.0));
+  int x = static_cast<int>(target.box.x - pad_x);
+  int y = static_cast<int>(target.box.y - pad_y);
+  int w = static_cast<int>(target.box.w + 2.0F * pad_x);
+  int h = static_cast<int>(target.box.h + 2.0F * pad_y);
+  // Clip to image and guard against degenerate windows.
+  x = std::clamp(x, 0, input.image.width() - 4);
+  y = std::clamp(y, 0, input.image.height() - 4);
+  w = std::clamp(w, 4, input.image.width() - x);
+  h = std::clamp(h, 4, input.image.height() - y);
+
+  image::Image cropped = image::crop(input.image, x, y, w, h);
+  // Training images keep a uniform size: resize the crop back up.
+  const float sx =
+      static_cast<float>(input.image.width()) / static_cast<float>(cropped.width());
+  const float sy =
+      static_cast<float>(input.image.height()) / static_cast<float>(cropped.height());
+  out.image = image::resize_bilinear(cropped, input.image.width(), input.image.height());
+
+  out.annotations.clear();
+  for (const Annotation& ann : input.annotations) {
+    const image::BoxF clipped = image::crop_box(ann.box, x, y, w, h);
+    if (clipped.w <= 0.0F || clipped.h <= 0.0F) continue;
+    Annotation moved = ann;
+    moved.box = image::scale_box(clipped, sx, sy);
+    out.annotations.push_back(moved);
+  }
+  prune_degenerate(out.annotations);
+  return out;
+}
+
+}  // namespace
+
+LabeledImage apply_augmentation(const LabeledImage& input, AugmentOp op, util::Rng& rng) {
+  LabeledImage out = input;
+  const int w = input.image.width();
+  const int h = input.image.height();
+
+  switch (op) {
+    case AugmentOp::kRotate90:
+      out.image = image::rotate90(input.image);
+      for (Annotation& a : out.annotations) a.box = image::rotate90_box(a.box, w, h);
+      break;
+    case AugmentOp::kRotate180:
+      out.image = image::rotate180(input.image);
+      for (Annotation& a : out.annotations) a.box = image::rotate180_box(a.box, w, h);
+      break;
+    case AugmentOp::kRotate270:
+      out.image = image::rotate270(input.image);
+      for (Annotation& a : out.annotations) a.box = image::rotate270_box(a.box, w, h);
+      break;
+    case AugmentOp::kFlipHorizontal:
+      out.image = image::flip_horizontal(input.image);
+      for (Annotation& a : out.annotations) a.box = image::flip_horizontal_box(a.box, w);
+      break;
+    case AugmentOp::kFlipVertical:
+      out.image = image::flip_vertical(input.image);
+      for (Annotation& a : out.annotations) a.box = image::flip_vertical_box(a.box, h);
+      break;
+    case AugmentOp::kRandomObjectCrop: return crop_around_object(input, rng);
+  }
+  prune_degenerate(out.annotations);
+  return out;
+}
+
+Dataset augment_dataset(const Dataset& input, const AugmentConfig& config, util::Rng& rng) {
+  Dataset out;
+  std::uint64_t max_id = 0;
+  for (const LabeledImage& image : input) max_id = std::max(max_id, image.id);
+
+  std::uint64_t next_id = max_id + 1;
+  for (const LabeledImage& image : input) out.add(image);
+
+  auto add_variant = [&](const LabeledImage& source, AugmentOp op) {
+    LabeledImage variant = apply_augmentation(source, op, rng);
+    variant.id = next_id++;
+    out.add(std::move(variant));
+  };
+
+  for (const LabeledImage& image : input) {
+    if (config.rotations) {
+      add_variant(image, AugmentOp::kRotate90);
+      add_variant(image, AugmentOp::kRotate180);
+      add_variant(image, AugmentOp::kRotate270);
+    }
+    if (config.flips) {
+      add_variant(image, AugmentOp::kFlipHorizontal);
+      add_variant(image, AugmentOp::kFlipVertical);
+    }
+    if (config.object_crops) {
+      for (int c = 0; c < config.crops_per_image; ++c) {
+        add_variant(image, AugmentOp::kRandomObjectCrop);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace neuro::data

@@ -1,0 +1,39 @@
+#pragma once
+// Data-augmentation pipeline for the Fig. 2 ablation: exact rotations
+// (90/180/270), flips, and random crops covering 30% of an object's area,
+// with annotation boxes transformed alongside the pixels.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::data {
+
+enum class AugmentOp {
+  kRotate90,
+  kRotate180,
+  kRotate270,
+  kFlipHorizontal,
+  kFlipVertical,
+  kRandomObjectCrop,  // crop a region around a random object (30% area pad)
+};
+
+/// Apply one op; boxes are transformed, degenerate boxes (cropped away)
+/// dropped. Random ops consume from rng; deterministic ops ignore it.
+LabeledImage apply_augmentation(const LabeledImage& input, AugmentOp op, util::Rng& rng);
+
+/// Augmentation plan: which ops to append to a training set.
+struct AugmentConfig {
+  bool rotations = true;      // 90, 180, 270 (the paper's first ablation arm)
+  bool flips = false;
+  bool object_crops = false;  // the paper's second arm adds 30%-area crops
+  /// Crops generated per image (when object_crops is set).
+  int crops_per_image = 1;
+};
+
+/// Returns a new dataset: the original images plus augmented copies.
+/// Augmented copies get fresh ids above the original id range.
+Dataset augment_dataset(const Dataset& input, const AugmentConfig& config, util::Rng& rng);
+
+}  // namespace neuro::data

@@ -1,0 +1,109 @@
+#include "data/builder.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::data {
+
+LabeledImage render_to_labeled(const scene::StreetScene& scene,
+                               const scene::Renderer& renderer) {
+  scene::RenderResult rendered = renderer.render(scene);
+  LabeledImage out;
+  out.id = scene.scene_id;
+  out.image = std::move(rendered.image);
+  out.urbanization = scene.urbanization;
+  out.county_index = scene.county_index;
+  out.tract_id = scene.tract_id;
+  out.heading = scene.heading;
+  out.annotations.reserve(rendered.boxes.size());
+  for (const scene::GroundTruthBox& gt : rendered.boxes) {
+    out.annotations.push_back(Annotation{gt.indicator, gt.box, gt.visibility});
+  }
+  return out;
+}
+
+scene::PresenceVector MultiViewLocation::location_truth() const {
+  scene::PresenceVector truth;
+  for (const LabeledImage& view : views) {
+    const scene::PresenceVector p = view.presence();
+    for (scene::Indicator ind : scene::all_indicators()) {
+      if (p[ind]) truth.set(ind, true);
+    }
+  }
+  return truth;
+}
+
+std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
+                                                      std::size_t location_count,
+                                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  const scene::SamplingFrame frame = scene::SamplingFrame::paper_default();
+  util::Rng point_rng = rng.fork("points");
+  const std::vector<scene::SamplePoint> points =
+      frame.sample_points(location_count, point_rng);
+  const std::vector<scene::Capture> captures =
+      scene::SamplingFrame::expand_captures(points, 4);
+
+  scene::SceneSampler sampler(config.generator);
+  scene::Renderer renderer;
+
+  std::vector<MultiViewLocation> locations;
+  locations.reserve(location_count);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    MultiViewLocation location;
+    location.location_id = static_cast<std::uint64_t>(p) + 1;
+    location.urbanization = points[p].urbanization;
+    location.county_index = points[p].county_index;
+    location.tract_id = points[p].tract_id;
+    for (std::size_t h = 0; h < 4; ++h) {
+      const scene::Capture& capture = captures[p * 4 + h];
+      util::Rng scene_rng =
+          rng.fork(util::format("mv-%zu-%zu", p, h));
+      location.views.push_back(
+          render_to_labeled(sampler.sample(capture, scene_rng), renderer));
+    }
+    locations.push_back(std::move(location));
+  }
+  return locations;
+}
+
+Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const scene::SamplingFrame frame = scene::SamplingFrame::paper_default();
+  const std::vector<scene::GeneratedCapture> captures =
+      scene::generate_survey(frame, config.image_count, config.generator, rng);
+
+  scene::Renderer renderer;
+  util::Rng noise_rng = rng.fork("label-noise");
+
+  Dataset dataset;
+  dataset.reserve(captures.size());
+  for (const scene::GeneratedCapture& generated : captures) {
+    LabeledImage labeled = render_to_labeled(generated.scene, renderer);
+
+    if (config.label_miss_rate > 0.0 || config.label_jitter_px > 0.0) {
+      std::vector<Annotation> noisy;
+      noisy.reserve(labeled.annotations.size());
+      for (Annotation ann : labeled.annotations) {
+        if (noise_rng.bernoulli(config.label_miss_rate)) continue;  // labeler missed it
+        if (config.label_jitter_px > 0.0) {
+          const auto jitter = [&] {
+            return static_cast<float>(noise_rng.normal(0.0, config.label_jitter_px));
+          };
+          ann.box.x += jitter();
+          ann.box.y += jitter();
+          ann.box.w = std::max(2.0F, ann.box.w + jitter());
+          ann.box.h = std::max(2.0F, ann.box.h + jitter());
+        }
+        noisy.push_back(ann);
+      }
+      labeled.annotations = std::move(noisy);
+    }
+    dataset.add(std::move(labeled));
+  }
+  return dataset;
+}
+
+}  // namespace neuro::data

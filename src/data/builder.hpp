@@ -1,0 +1,49 @@
+#pragma once
+// Bridges scene generation to the dataset container: renders sampled
+// scenes into labeled images, optionally injecting label noise to model
+// the paper's "human error in labeling" discussion.
+
+#include "data/dataset.hpp"
+#include "scene/generator.hpp"
+#include "scene/renderer.hpp"
+
+namespace neuro::data {
+
+struct BuildConfig {
+  std::size_t image_count = 1200;  // the paper's dataset size
+  scene::GeneratorConfig generator;
+  /// Probability that a true annotation is dropped (missed by the human
+  /// labeler); 0 reproduces perfect labels.
+  double label_miss_rate = 0.0;
+  /// Std-dev (pixels) of corner jitter on annotation boxes.
+  double label_jitter_px = 0.0;
+};
+
+/// Generate, render and label `image_count` synthetic street scenes over
+/// the paper's two-county sampling frame. Deterministic given seed.
+Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed);
+
+/// Render one scene into a LabeledImage (no label noise).
+LabeledImage render_to_labeled(const scene::StreetScene& scene, const scene::Renderer& renderer);
+
+/// A survey location captured from all four compass headings (the paper's
+/// future-work setup: fuse multiple frames per location to recover
+/// indicators occluded in single frames).
+struct MultiViewLocation {
+  std::uint64_t location_id = 0;
+  double urbanization = 0.5;
+  int county_index = 0;
+  int tract_id = 0;
+  std::vector<LabeledImage> views;  // one per heading, N/E/S/W order
+
+  /// Ground truth at location granularity: an indicator counts as present
+  /// when any heading shows it.
+  scene::PresenceVector location_truth() const;
+};
+
+/// Build `location_count` locations x 4 headings. Deterministic given seed.
+std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
+                                                      std::size_t location_count,
+                                                      std::uint64_t seed);
+
+}  // namespace neuro::data

@@ -1,0 +1,92 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace neuro::data {
+
+scene::PresenceVector LabeledImage::presence() const {
+  scene::PresenceVector p;
+  for (const Annotation& ann : annotations) {
+    if (ann.box.w > 0.0F && ann.box.h > 0.0F) p.set(ann.indicator, true);
+  }
+  return p;
+}
+
+double DatasetStats::prevalence(scene::Indicator indicator) const {
+  if (total_images == 0) return 0.0;
+  return static_cast<double>(image_counts[indicator]) / static_cast<double>(total_images);
+}
+
+DatasetStats Dataset::stats() const {
+  DatasetStats stats;
+  stats.total_images = static_cast<int>(images_.size());
+  for (const LabeledImage& img : images_) {
+    const scene::PresenceVector presence = img.presence();
+    for (scene::Indicator ind : scene::all_indicators()) {
+      if (presence[ind]) ++stats.image_counts[ind];
+    }
+    for (const Annotation& ann : img.annotations) {
+      if (ann.box.w > 0.0F && ann.box.h > 0.0F) {
+        ++stats.object_counts[ann.indicator];
+        ++stats.total_objects;
+      }
+    }
+  }
+  return stats;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i >= images_.size()) throw std::out_of_range("subset index out of range");
+    out.add(images_[i]);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  images_.insert(images_.end(), other.images_.begin(), other.images_.end());
+}
+
+Split stratified_split(const Dataset& dataset, double train_frac, double val_frac,
+                       util::Rng& rng) {
+  if (train_frac <= 0.0 || val_frac < 0.0 || train_frac + val_frac > 1.0) {
+    throw std::invalid_argument("invalid split fractions");
+  }
+
+  // Group images by presence bitmask so rare co-occurrence patterns spread
+  // across all three splits.
+  std::map<unsigned, std::vector<std::size_t>> strata;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const scene::PresenceVector presence = dataset[i].presence();
+    unsigned mask = 0;
+    for (scene::Indicator ind : scene::all_indicators()) {
+      if (presence[ind]) mask |= 1U << scene::indicator_index(ind);
+    }
+    strata[mask].push_back(i);
+  }
+
+  Split split;
+  for (auto& [mask, indices] : strata) {
+    rng.shuffle(indices);
+    const std::size_t n = indices.size();
+    const auto n_train = static_cast<std::size_t>(std::lround(train_frac * static_cast<double>(n)));
+    const auto n_val = static_cast<std::size_t>(std::lround(val_frac * static_cast<double>(n)));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < n_train) split.train.push_back(indices[i]);
+      else if (i < n_train + n_val) split.val.push_back(indices[i]);
+      else split.test.push_back(indices[i]);
+    }
+  }
+  // Deterministic order within each split.
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace neuro::data

@@ -1,0 +1,93 @@
+#pragma once
+// Labeled-image container: the synthetic equivalent of the paper's 1,200
+// manually annotated GSV images.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/transform.hpp"
+#include "scene/geo.hpp"
+#include "scene/indicators.hpp"
+
+namespace neuro::data {
+
+/// One labeled object (LabelMe rectangle equivalent).
+struct Annotation {
+  scene::Indicator indicator = scene::Indicator::kStreetlight;
+  image::BoxF box;
+  float visibility = 1.0F;
+};
+
+/// One image with its annotations and capture metadata.
+struct LabeledImage {
+  std::uint64_t id = 0;
+  image::Image image;
+  std::vector<Annotation> annotations;
+
+  // Capture metadata (carried through for county-level aggregation).
+  double urbanization = 0.5;
+  int county_index = 0;
+  int tract_id = 0;
+  scene::Heading heading = scene::Heading::kNorth;
+
+  /// Presence vector derived from annotations (an indicator is "present"
+  /// if at least one annotation of that class has positive area).
+  scene::PresenceVector presence() const;
+};
+
+/// Dataset statistics (Table "Data Collection" in the paper).
+struct DatasetStats {
+  scene::IndicatorMap<int> object_counts;        // labeled boxes per class
+  scene::IndicatorMap<int> image_counts;         // images containing class
+  int total_images = 0;
+  int total_objects = 0;
+
+  /// Fraction of images containing each indicator.
+  double prevalence(scene::Indicator indicator) const;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void add(LabeledImage image) { images_.push_back(std::move(image)); }
+  void reserve(std::size_t n) { images_.reserve(n); }
+
+  std::size_t size() const { return images_.size(); }
+  bool empty() const { return images_.empty(); }
+  const LabeledImage& operator[](std::size_t i) const { return images_[i]; }
+  LabeledImage& operator[](std::size_t i) { return images_[i]; }
+
+  auto begin() const { return images_.begin(); }
+  auto end() const { return images_.end(); }
+
+  DatasetStats stats() const;
+
+  /// Subset by index list (copies).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Concatenate another dataset's images (copies).
+  void append(const Dataset& other);
+
+ private:
+  std::vector<LabeledImage> images_;
+};
+
+/// Train/validation/test index partition.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> val;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified random split: images are grouped by their presence pattern
+/// so each split sees every indicator at roughly the dataset's prevalence
+/// (the paper: 70/20/10 with "samples for each indicator evenly
+/// distributed"). Fractions must be positive and sum to <= 1; the
+/// remainder after train+val goes to test.
+Split stratified_split(const Dataset& dataset, double train_frac, double val_frac,
+                       util::Rng& rng);
+
+}  // namespace neuro::data

@@ -1,0 +1,122 @@
+#include "data/labelme_io.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+
+#include "image/ppm_io.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::data {
+
+namespace fs = std::filesystem;
+
+util::Json to_labelme_json(const LabeledImage& image, const std::string& image_path) {
+  util::Json doc = util::Json::object();
+  doc["version"] = "5.4.1";
+  doc["flags"] = util::Json::object();
+  doc["imagePath"] = image_path;
+  doc["imageData"] = nullptr;
+  doc["imageWidth"] = image.image.empty() ? 0 : image.image.width();
+  doc["imageHeight"] = image.image.empty() ? 0 : image.image.height();
+
+  util::Json shapes = util::Json::array();
+  for (const Annotation& ann : image.annotations) {
+    util::Json shape = util::Json::object();
+    shape["label"] = std::string(scene::indicator_name(ann.indicator));
+    shape["shape_type"] = "rectangle";
+    shape["group_id"] = nullptr;
+    util::Json points = util::Json::array();
+    util::Json p0 = util::Json::array();
+    p0.push_back(static_cast<double>(ann.box.x));
+    p0.push_back(static_cast<double>(ann.box.y));
+    util::Json p1 = util::Json::array();
+    p1.push_back(static_cast<double>(ann.box.x + ann.box.w));
+    p1.push_back(static_cast<double>(ann.box.y + ann.box.h));
+    points.push_back(std::move(p0));
+    points.push_back(std::move(p1));
+    shape["points"] = std::move(points);
+    shapes.push_back(std::move(shape));
+  }
+  doc["shapes"] = std::move(shapes);
+  return doc;
+}
+
+LabeledImage from_labelme_json(const util::Json& doc) {
+  LabeledImage image;
+  const util::Json* shapes = doc.find("shapes");
+  if (shapes == nullptr || !shapes->is_array()) return image;
+
+  for (const util::Json& shape : shapes->as_array()) {
+    const std::string label = shape.get("label", std::string());
+    const auto indicator = scene::parse_indicator(label);
+    if (!indicator.has_value()) continue;  // unknown class: skip, like real exports
+
+    const util::Json* points = shape.find("points");
+    if (points == nullptr || !points->is_array() || points->size() < 2) continue;
+
+    float min_x = std::numeric_limits<float>::max();
+    float min_y = std::numeric_limits<float>::max();
+    float max_x = std::numeric_limits<float>::lowest();
+    float max_y = std::numeric_limits<float>::lowest();
+    for (const util::Json& point : points->as_array()) {
+      if (!point.is_array() || point.size() < 2) continue;
+      const auto x = static_cast<float>(point.as_array()[0].as_number());
+      const auto y = static_cast<float>(point.as_array()[1].as_number());
+      min_x = std::min(min_x, x);
+      min_y = std::min(min_y, y);
+      max_x = std::max(max_x, x);
+      max_y = std::max(max_y, y);
+    }
+    if (max_x <= min_x || max_y <= min_y) continue;
+    image.annotations.push_back(
+        Annotation{*indicator, image::BoxF{min_x, min_y, max_x - min_x, max_y - min_y}, 1.0F});
+  }
+  return image;
+}
+
+void export_labelme_dataset(const Dataset& dataset, const std::string& directory) {
+  fs::create_directories(directory);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const LabeledImage& image = dataset[i];
+    const std::string stem = util::format("img_%06llu", static_cast<unsigned long long>(image.id));
+    const std::string ppm_name = stem + ".ppm";
+    image::save_ppm(image.image, (fs::path(directory) / ppm_name).string());
+    util::save_json_file((fs::path(directory) / (stem + ".json")).string(),
+                         to_labelme_json(image, ppm_name));
+  }
+}
+
+Dataset import_labelme_dataset(const std::string& directory) {
+  Dataset dataset;
+  std::vector<fs::path> json_files;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.path().extension() == ".json") json_files.push_back(entry.path());
+  }
+  std::sort(json_files.begin(), json_files.end());
+
+  for (const fs::path& json_path : json_files) {
+    const util::Json doc = util::load_json_file(json_path.string());
+    LabeledImage image = from_labelme_json(doc);
+    const std::string image_rel = doc.get("imagePath", std::string());
+    if (!image_rel.empty()) {
+      const fs::path image_path = json_path.parent_path() / image_rel;
+      if (fs::exists(image_path)) image.image = image::load_ppm(image_path.string());
+    }
+    // Recover the numeric id from the filename when it matches our scheme.
+    const std::string stem = json_path.stem().string();
+    if (util::starts_with(stem, "img_")) {
+      try {
+        image.id = std::stoull(stem.substr(4));
+      } catch (const std::exception&) {
+        image.id = dataset.size();
+      }
+    } else {
+      image.id = dataset.size();
+    }
+    dataset.add(std::move(image));
+  }
+  return dataset;
+}
+
+}  // namespace neuro::data

@@ -1,0 +1,33 @@
+#pragma once
+// LabelMe-compatible annotation serialization. The paper's images were
+// annotated with the LabelMe tool; we read and write the same JSON shape
+// (version / shapes / label / points / imagePath / imageWidth / imageHeight)
+// so real LabelMe exports drop straight into this pipeline.
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "util/json.hpp"
+
+namespace neuro::data {
+
+/// Serialize one labeled image's annotations as a LabelMe document. The
+/// `image_path` field is recorded verbatim (pixels are not embedded).
+util::Json to_labelme_json(const LabeledImage& image, const std::string& image_path);
+
+/// Parse a LabelMe document into annotations. Shape types "rectangle"
+/// (two corner points) and "polygon" (bounding box of the points) are
+/// supported; labels must parse via scene::parse_indicator, unknown labels
+/// are skipped (LabelMe files often contain extra classes).
+/// The returned LabeledImage has no pixels (image stays empty).
+LabeledImage from_labelme_json(const util::Json& doc);
+
+/// Write a dataset directory: <dir>/img_<id>.ppm + <dir>/img_<id>.json.
+/// Creates the directory if needed.
+void export_labelme_dataset(const Dataset& dataset, const std::string& directory);
+
+/// Load annotations (and pixels, when the referenced .ppm exists) from a
+/// directory written by export_labelme_dataset.
+Dataset import_labelme_dataset(const std::string& directory);
+
+}  // namespace neuro::data

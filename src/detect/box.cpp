@@ -1,0 +1,49 @@
+#include "detect/box.hpp"
+
+#include <algorithm>
+
+namespace neuro::detect {
+
+float intersection_area(const image::BoxF& a, const image::BoxF& b) {
+  const float x0 = std::max(a.x, b.x);
+  const float y0 = std::max(a.y, b.y);
+  const float x1 = std::min(a.x + a.w, b.x + b.w);
+  const float y1 = std::min(a.y + a.h, b.y + b.h);
+  if (x1 <= x0 || y1 <= y0) return 0.0F;
+  return (x1 - x0) * (y1 - y0);
+}
+
+float iou(const image::BoxF& a, const image::BoxF& b) {
+  if (a.w <= 0.0F || a.h <= 0.0F || b.w <= 0.0F || b.h <= 0.0F) return 0.0F;
+  const float inter = intersection_area(a, b);
+  const float uni = a.w * a.h + b.w * b.h - inter;
+  return uni <= 0.0F ? 0.0F : inter / uni;
+}
+
+std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
+                                           float iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::vector<Detection> kept;
+  std::vector<bool> suppressed(detections.size(), false);
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(detections[i]);
+    for (std::size_t j = i + 1; j < detections.size(); ++j) {
+      if (suppressed[j]) continue;
+      if (detections[j].indicator != detections[i].indicator) continue;
+      if (iou(detections[i].box, detections[j].box) > iou_threshold) suppressed[j] = true;
+    }
+  }
+  return kept;
+}
+
+image::BoxF clip_box(const image::BoxF& box, int width, int height) {
+  const float x0 = std::clamp(box.x, 0.0F, static_cast<float>(width));
+  const float y0 = std::clamp(box.y, 0.0F, static_cast<float>(height));
+  const float x1 = std::clamp(box.x + box.w, 0.0F, static_cast<float>(width));
+  const float y1 = std::clamp(box.y + box.h, 0.0F, static_cast<float>(height));
+  return {x0, y0, std::max(0.0F, x1 - x0), std::max(0.0F, y1 - y0)};
+}
+
+}  // namespace neuro::detect

@@ -1,0 +1,32 @@
+#pragma once
+// Detection box utilities: IoU, matching, non-maximum suppression.
+
+#include <vector>
+
+#include "image/transform.hpp"
+#include "scene/indicators.hpp"
+
+namespace neuro::detect {
+
+/// One scored detection.
+struct Detection {
+  scene::Indicator indicator = scene::Indicator::kStreetlight;
+  image::BoxF box;
+  float score = 0.0F;
+};
+
+/// Intersection-over-union of two boxes; 0 when either is degenerate.
+float iou(const image::BoxF& a, const image::BoxF& b);
+
+/// Intersection area.
+float intersection_area(const image::BoxF& a, const image::BoxF& b);
+
+/// Greedy per-class non-maximum suppression: keeps the highest-scoring
+/// detection and removes others of the same class with IoU > threshold.
+std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
+                                           float iou_threshold);
+
+/// Clip a box to image bounds.
+image::BoxF clip_box(const image::BoxF& box, int width, int height);
+
+}  // namespace neuro::detect

@@ -1,0 +1,525 @@
+#include "detect/detector.hpp"
+
+#include "image/noise.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace neuro::detect {
+
+using scene::Indicator;
+
+struct NanoDetector::Heads {
+  std::vector<nn::Mlp> models;  // one binary head per indicator
+};
+
+NanoDetector::NanoDetector(DetectorConfig config)
+    : config_(std::move(config)), extractor_(config_.hog) {}
+
+NanoDetector::~NanoDetector() = default;
+NanoDetector::NanoDetector(NanoDetector&&) noexcept = default;
+NanoDetector& NanoDetector::operator=(NanoDetector&&) noexcept = default;
+
+namespace {
+
+/// Jitter a ground-truth box slightly (positive-sample augmentation).
+image::BoxF jitter_box(const image::BoxF& box, util::Rng& rng) {
+  const float dx = static_cast<float>(rng.normal(0.0, 0.06)) * box.w;
+  const float dy = static_cast<float>(rng.normal(0.0, 0.06)) * box.h;
+  const float dw = 1.0F + static_cast<float>(rng.normal(0.0, 0.08));
+  const float dh = 1.0F + static_cast<float>(rng.normal(0.0, 0.08));
+  return {box.x + dx, box.y + dy, std::max(3.0F, box.w * dw), std::max(3.0F, box.h * dh)};
+}
+
+float best_iou_for_class(const image::BoxF& window,
+                         const std::vector<data::Annotation>& annotations,
+                         Indicator indicator) {
+  float best = 0.0F;
+  for (const data::Annotation& ann : annotations) {
+    if (ann.indicator != indicator) continue;
+    best = std::max(best, iou(window, ann.box));
+  }
+  return best;
+}
+
+}  // namespace
+
+TrainReport NanoDetector::train(const data::Dataset& train_set) {
+  const auto start = std::chrono::steady_clock::now();
+  util::Rng rng(config_.seed);
+  TrainReport report;
+
+  // ---- Stage 1: build the shared feature table -----------------------------
+  // Rows: GT boxes (+ jitters) from every image, plus sampled negative
+  // proposal windows. Each row carries a per-class label: 1 positive,
+  // 0 negative, -1 ignore (IoU in the dead zone).
+  std::vector<std::vector<float>> features;
+  std::vector<std::array<int, scene::kIndicatorCount>> labels;
+
+  const std::vector<image::BoxF> proposal_cache =
+      train_set.empty() ? std::vector<image::BoxF>{}
+                        : generate_proposals(train_set[0].image.width(),
+                                             train_set[0].image.height(), config_.templates);
+
+  util::Rng noise_rng = rng.fork("train-noise");
+  auto noisy_copy = [&](const image::Image& img) {
+    image::Image copy = img;
+    // A third of the images stay clean so the pristine regime remains
+    // in-distribution; the rest get a random noise level.
+    if (config_.train_noise_max_sigma > 0.0F && !noise_rng.bernoulli(0.35)) {
+      image::add_gaussian_noise(
+          copy, noise_rng.uniform(0.0, static_cast<double>(config_.train_noise_max_sigma)),
+          noise_rng);
+    }
+    return copy;
+  };
+
+  for (const data::LabeledImage& labeled : train_set) {
+    const image::Image train_image = noisy_copy(labeled.image);
+    const auto prep = extractor_.prepare(train_image);
+
+    auto add_window = [&](const image::BoxF& raw) {
+      const image::BoxF box = clip_box(raw, labeled.image.width(), labeled.image.height());
+      if (box.w < 3.0F || box.h < 3.0F) return;
+      std::array<int, scene::kIndicatorCount> row_labels{};
+      for (Indicator ind : scene::all_indicators()) {
+        const float overlap = best_iou_for_class(box, labeled.annotations, ind);
+        int label = -1;
+        if (overlap >= config_.positive_iou) label = 1;
+        else if (overlap <= config_.negative_iou) label = 0;
+        row_labels[scene::indicator_index(ind)] = label;
+      }
+      features.push_back(extractor_.extract(prep, static_cast<int>(box.x),
+                                            static_cast<int>(box.y), static_cast<int>(box.w),
+                                            static_cast<int>(box.h)));
+      labels.push_back(row_labels);
+    };
+
+    // Positives: the GT boxes and a few jittered copies.
+    for (const data::Annotation& ann : labeled.annotations) {
+      add_window(ann.box);
+      for (int j = 0; j < config_.jittered_positives; ++j) {
+        add_window(jitter_box(ann.box, rng));
+      }
+    }
+    // Grid proposals that overlap a GT become positives too, so training
+    // sees the same window geometry inference scores.
+    for (const image::BoxF& proposal : proposal_cache) {
+      for (Indicator ind : scene::all_indicators()) {
+        if (best_iou_for_class(proposal, labeled.annotations, ind) >= config_.positive_iou) {
+          add_window(proposal);
+          break;
+        }
+      }
+    }
+    // Negatives / additional context: random proposal windows.
+    for (int n = 0; n < config_.negatives_per_image && !proposal_cache.empty(); ++n) {
+      add_window(proposal_cache[rng.index(proposal_cache.size())]);
+    }
+  }
+  if (features.empty()) throw std::invalid_argument("train: empty dataset");
+
+  // ---- Stage 2: standardize --------------------------------------------------
+  const std::size_t dim = features[0].size();
+  {
+    nn::Matrix initial(features.size(), dim);
+    for (std::size_t r = 0; r < features.size(); ++r) {
+      std::copy(features[r].begin(), features[r].end(), initial.row(r).begin());
+    }
+    scaler_.fit(initial);
+  }
+
+  // ---- Stage 3: (re)train heads on the current pool ---------------------------
+  nn::AdamConfig adam;
+  adam.learning_rate = config_.learning_rate;
+  adam.weight_decay = config_.weight_decay;
+
+  auto train_all_heads = [&](int round) {
+    nn::Matrix feature_matrix(features.size(), dim);
+    for (std::size_t r = 0; r < features.size(); ++r) {
+      std::copy(features[r].begin(), features[r].end(), feature_matrix.row(r).begin());
+    }
+    scaler_.transform(feature_matrix);
+
+    std::vector<std::vector<float>> per_epoch_losses(static_cast<std::size_t>(config_.epochs));
+    heads_ = std::make_unique<Heads>();
+    report.positive_samples = 0;
+    report.negative_samples = 0;
+
+    for (Indicator ind : scene::all_indicators()) {
+      const std::size_t class_idx = scene::indicator_index(ind);
+      std::vector<std::size_t> positives;
+      std::vector<std::size_t> negatives;
+      for (std::size_t r = 0; r < labels.size(); ++r) {
+        if (labels[r][class_idx] == 1) positives.push_back(r);
+        else if (labels[r][class_idx] == 0) negatives.push_back(r);
+      }
+      report.positive_samples += positives.size();
+      report.negative_samples += negatives.size();
+
+      nn::Mlp head({dim, static_cast<std::size_t>(config_.hidden_units), 1},
+                   nn::Activation::kReLU, nn::Activation::kSigmoid,
+                   util::derive_seed(config_.seed + static_cast<std::uint64_t>(round),
+                                     scene::indicator_name(ind)));
+
+      util::Rng epoch_rng = rng.fork(util::format("epochs-%d-%s", round,
+                                                  std::string(scene::indicator_abbrev(ind)).c_str()));
+      for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        // Rebalance: all positives + up to ratio * |pos| negatives.
+        std::vector<std::size_t> batch_pool = positives;
+        epoch_rng.shuffle(negatives);
+        const std::size_t neg_take = std::min(
+            negatives.size(),
+            static_cast<std::size_t>(
+                config_.negative_ratio *
+                static_cast<float>(std::max<std::size_t>(1, positives.size()))));
+        batch_pool.insert(batch_pool.end(), negatives.begin(),
+                          negatives.begin() + static_cast<std::ptrdiff_t>(neg_take));
+        epoch_rng.shuffle(batch_pool);
+
+        float epoch_loss = 0.0F;
+        std::size_t batches = 0;
+        for (std::size_t offset = 0; offset < batch_pool.size();
+             offset += static_cast<std::size_t>(config_.batch_size)) {
+          const std::size_t count = std::min(static_cast<std::size_t>(config_.batch_size),
+                                             batch_pool.size() - offset);
+          nn::Matrix x(count, dim);
+          nn::Matrix y(count, 1);
+          for (std::size_t b = 0; b < count; ++b) {
+            const std::size_t r = batch_pool[offset + b];
+            std::copy(feature_matrix.row(r).begin(), feature_matrix.row(r).end(),
+                      x.row(b).begin());
+            // Label smoothing keeps logits bounded so scores stay rankable.
+            y.at(b, 0) = labels[r][class_idx] == 1 ? 1.0F - config_.label_smoothing
+                                                   : config_.label_smoothing;
+          }
+          epoch_loss += head.train_batch_bce(x, y, adam);
+          ++batches;
+        }
+        per_epoch_losses[static_cast<std::size_t>(epoch)].push_back(
+            batches > 0 ? epoch_loss / static_cast<float>(batches) : 0.0F);
+      }
+      heads_->models.push_back(std::move(head));
+    }
+
+    report.epoch_mean_losses.clear();
+    for (const auto& losses : per_epoch_losses) {
+      float sum = 0.0F;
+      for (float l : losses) sum += l;
+      report.epoch_mean_losses.push_back(
+          losses.empty() ? 0.0F : sum / static_cast<float>(losses.size()));
+    }
+  };
+
+  train_all_heads(0);
+
+  // ---- Stage 4: hard-negative mining ------------------------------------------
+  // Random negatives cover a sliver of the proposal space; mining feeds the
+  // heads their own confident mistakes so overconfidence is unlearned.
+  util::Rng mining_rng = rng.fork("mining");
+  for (int round = 1; round <= config_.mining_rounds; ++round) {
+    std::vector<std::size_t> image_order(train_set.size());
+    for (std::size_t i = 0; i < image_order.size(); ++i) image_order[i] = i;
+    mining_rng.shuffle(image_order);
+    const std::size_t image_take =
+        std::min<std::size_t>(image_order.size(),
+                              static_cast<std::size_t>(config_.mining_max_images));
+
+    scene::IndicatorMap<int> added_per_class;
+    std::size_t added_total = 0;
+    for (std::size_t oi = 0; oi < image_take; ++oi) {
+      const data::LabeledImage& labeled = train_set[image_order[oi]];
+      const image::Image mining_image = noisy_copy(labeled.image);
+      const auto prep = extractor_.prepare(mining_image);
+
+      // Batch features for every proposal in this image.
+      nn::Matrix x(proposal_cache.size(), dim);
+      std::vector<std::vector<float>> raw(proposal_cache.size());
+      for (std::size_t p = 0; p < proposal_cache.size(); ++p) {
+        const image::BoxF& box = proposal_cache[p];
+        raw[p] = extractor_.extract(prep, static_cast<int>(box.x), static_cast<int>(box.y),
+                                    static_cast<int>(box.w), static_cast<int>(box.h));
+        std::vector<float> scaled = raw[p];
+        scaler_.transform(scaled);
+        std::copy(scaled.begin(), scaled.end(), x.row(p).begin());
+      }
+
+      for (Indicator ind : scene::all_indicators()) {
+        if (added_per_class[ind] >= config_.mining_max_per_class) continue;
+        const nn::Matrix scores = heads_->models[scene::indicator_index(ind)].predict(x);
+        for (std::size_t p = 0; p < proposal_cache.size(); ++p) {
+          if (scores.at(p, 0) < config_.mining_score) continue;
+          const float overlap =
+              best_iou_for_class(proposal_cache[p], labeled.annotations, ind);
+          if (overlap > config_.negative_iou) continue;  // not a clean negative
+          // Full label row so the window also trains the other heads.
+          std::array<int, scene::kIndicatorCount> row_labels{};
+          for (Indicator other : scene::all_indicators()) {
+            const float o = best_iou_for_class(proposal_cache[p], labeled.annotations, other);
+            row_labels[scene::indicator_index(other)] =
+                o >= config_.positive_iou ? 1 : (o <= config_.negative_iou ? 0 : -1);
+          }
+          features.push_back(raw[p]);
+          labels.push_back(row_labels);
+          ++added_per_class[ind];
+          ++added_total;
+          if (added_per_class[ind] >= config_.mining_max_per_class) break;
+        }
+      }
+    }
+    NEURO_LOG(kDebug) << "mining round " << round << " added " << added_total
+                      << " hard negatives";
+    if (added_total == 0) break;
+    train_all_heads(round);
+  }
+
+  trained_ = true;
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  NEURO_LOG(kDebug) << "NanoDetector trained on " << features.size() << " windows in "
+                    << report.train_seconds << "s";
+  return report;
+}
+
+float NanoDetector::score_window(const image::WindowFeatureExtractor::Prepared& prep,
+                                 Indicator indicator, const image::BoxF& box) const {
+  std::vector<float> feats =
+      extractor_.extract(prep, static_cast<int>(box.x), static_cast<int>(box.y),
+                         static_cast<int>(box.w), static_cast<int>(box.h));
+  scaler_.transform(feats);
+  nn::Matrix x(1, feats.size());
+  std::copy(feats.begin(), feats.end(), x.row(0).begin());
+  const nn::Matrix out = heads_->models[scene::indicator_index(indicator)].predict(x);
+  return out.at(0, 0);
+}
+
+image::BoxF NanoDetector::refine(const image::WindowFeatureExtractor::Prepared& prep,
+                                 Indicator indicator, const image::BoxF& seed,
+                                 float& score) const {
+  image::BoxF best = seed;
+  float best_score = score;
+  const int width = prep.rgb.width();
+  const int height = prep.rgb.height();
+
+  for (int iteration = 0; iteration < 2; ++iteration) {
+    const float step_x = std::max(2.0F, best.w * 0.12F);
+    const float step_y = std::max(2.0F, best.h * 0.12F);
+    const image::BoxF candidates[] = {
+        {best.x - step_x, best.y, best.w, best.h},
+        {best.x + step_x, best.y, best.w, best.h},
+        {best.x, best.y - step_y, best.w, best.h},
+        {best.x, best.y + step_y, best.w, best.h},
+        {best.x, best.y, best.w * 1.15F, best.h},
+        {best.x, best.y, best.w * 0.87F, best.h},
+        {best.x, best.y, best.w, best.h * 1.15F},
+        {best.x, best.y, best.w, best.h * 0.87F},
+    };
+    bool improved = false;
+    for (const image::BoxF& candidate : candidates) {
+      const image::BoxF clipped = clip_box(candidate, width, height);
+      if (clipped.w < 4.0F || clipped.h < 4.0F) continue;
+      const float s = score_window(prep, indicator, clipped);
+      if (s > best_score) {
+        best_score = s;
+        best = clipped;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  score = best_score;
+  return best;
+}
+
+std::vector<Detection> NanoDetector::detect_impl(const image::Image& img,
+                                                 float score_floor) const {
+  if (!trained_) throw std::logic_error("NanoDetector::detect before train");
+  const auto prep = extractor_.prepare(img);
+  const std::vector<image::BoxF> proposals =
+      generate_proposals(img.width(), img.height(), config_.templates);
+
+  // Extract features once, score all heads.
+  const std::size_t dim = extractor_.dimension();
+  nn::Matrix x(proposals.size(), dim);
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    const image::BoxF& p = proposals[i];
+    std::vector<float> feats =
+        extractor_.extract(prep, static_cast<int>(p.x), static_cast<int>(p.y),
+                           static_cast<int>(p.w), static_cast<int>(p.h));
+    scaler_.transform(feats);
+    std::copy(feats.begin(), feats.end(), x.row(i).begin());
+  }
+
+  std::vector<Detection> raw;
+  for (Indicator ind : scene::all_indicators()) {
+    const nn::Matrix scores = heads_->models[scene::indicator_index(ind)].predict(x);
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+      const float s = scores.at(i, 0);
+      if (s >= score_floor) raw.push_back(Detection{ind, proposals[i], s});
+    }
+  }
+
+  std::vector<Detection> kept = non_max_suppression(std::move(raw), config_.nms_iou);
+  if (config_.refine_boxes) {
+    for (Detection& det : kept) {
+      det.box = refine(prep, det.indicator, det.box, det.score);
+    }
+    kept = non_max_suppression(std::move(kept), config_.nms_iou);
+  }
+
+  // Frame-semantics caps: keep only the top-k detections per class.
+  std::sort(kept.begin(), kept.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  scene::IndicatorMap<int> taken;
+  std::vector<Detection> capped;
+  capped.reserve(kept.size());
+  for (const Detection& det : kept) {
+    const int cap = config_.max_per_image[scene::indicator_index(det.indicator)];
+    if (taken[det.indicator] >= cap) continue;
+    ++taken[det.indicator];
+    capped.push_back(det);
+  }
+  return capped;
+}
+
+std::vector<Detection> NanoDetector::detect(const image::Image& img) const {
+  float min_threshold = config_.score_threshold;
+  if (thresholds_calibrated_) {
+    for (Indicator ind : scene::all_indicators()) {
+      min_threshold = std::min(min_threshold, calibrated_thresholds_[ind]);
+    }
+  }
+  std::vector<Detection> all = detect_impl(img, min_threshold);
+  std::vector<Detection> kept;
+  kept.reserve(all.size());
+  for (const Detection& det : all) {
+    if (det.score >= threshold(det.indicator)) kept.push_back(det);
+  }
+  return kept;
+}
+
+std::vector<Detection> NanoDetector::detect_all(const image::Image& img, float floor) const {
+  return detect_impl(img, floor);
+}
+
+float NanoDetector::threshold(Indicator indicator) const {
+  return thresholds_calibrated_ ? calibrated_thresholds_[indicator] : config_.score_threshold;
+}
+
+void NanoDetector::calibrate_thresholds(const data::Dataset& val_set, std::size_t threads) {
+  if (!trained_) throw std::logic_error("calibrate_thresholds before train");
+  if (val_set.empty()) throw std::invalid_argument("calibrate_thresholds: empty val set");
+
+  // Collect (score, is_tp) per class over the validation set.
+  struct PerImage {
+    scene::IndicatorMap<std::vector<std::pair<float, bool>>> scored;
+    scene::IndicatorMap<int> gt;
+  };
+  std::vector<PerImage> outcomes(val_set.size());
+
+  util::ThreadPool pool(threads);
+  pool.parallel_for(val_set.size(), [&](std::size_t i) {
+    const data::LabeledImage& labeled = val_set[i];
+    std::vector<Detection> detections = detect_impl(labeled.image, 0.05F);
+    std::sort(detections.begin(), detections.end(),
+              [](const Detection& a, const Detection& b) { return a.score > b.score; });
+    for (Indicator ind : scene::all_indicators()) {
+      std::vector<const data::Annotation*> gts;
+      for (const data::Annotation& ann : labeled.annotations) {
+        if (ann.indicator == ind && ann.box.w > 0.0F && ann.box.h > 0.0F) gts.push_back(&ann);
+      }
+      outcomes[i].gt[ind] = static_cast<int>(gts.size());
+      std::vector<bool> matched(gts.size(), false);
+      for (const Detection& det : detections) {
+        if (det.indicator != ind) continue;
+        int best_gt = -1;
+        float best_iou = 0.5F;
+        for (std::size_t g = 0; g < gts.size(); ++g) {
+          if (matched[g]) continue;
+          const float overlap = iou(det.box, gts[g]->box);
+          if (overlap >= best_iou) {
+            best_iou = overlap;
+            best_gt = static_cast<int>(g);
+          }
+        }
+        if (best_gt >= 0) matched[static_cast<std::size_t>(best_gt)] = true;
+        outcomes[i].scored[ind].emplace_back(det.score, best_gt >= 0);
+      }
+    }
+  });
+
+  for (Indicator ind : scene::all_indicators()) {
+    std::vector<std::pair<float, bool>> scored;
+    int gt_total = 0;
+    for (const PerImage& outcome : outcomes) {
+      scored.insert(scored.end(), outcome.scored[ind].begin(), outcome.scored[ind].end());
+      gt_total += outcome.gt[ind];
+    }
+    if (gt_total == 0 || scored.empty()) {
+      calibrated_thresholds_[ind] = config_.score_threshold;
+      continue;
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    // Sweep the threshold down through the scores; F1 at cut k uses the
+    // top-k detections.
+    int tp = 0;
+    int fp = 0;
+    float best_f1 = -1.0F;
+    float best_threshold = config_.score_threshold;
+    for (std::size_t k = 0; k < scored.size(); ++k) {
+      if (scored[k].second) ++tp;
+      else ++fp;
+      const int fn = gt_total - tp;
+      const float f1 = 2.0F * static_cast<float>(tp) /
+                       static_cast<float>(2 * tp + fp + fn);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        // Cut halfway to the next score (or just below the last one).
+        const float next = (k + 1 < scored.size()) ? scored[k + 1].first : 0.0F;
+        best_threshold = 0.5F * (scored[k].first + next);
+      }
+    }
+    calibrated_thresholds_[ind] = best_threshold;
+  }
+  thresholds_calibrated_ = true;
+}
+
+scene::PresenceVector NanoDetector::classify_presence(const image::Image& img) const {
+  const std::vector<Detection> detections = detect(img);
+  scene::PresenceVector presence;
+  float best_single = 0.0F;
+  float best_multi = 0.0F;
+  for (const Detection& det : detections) {
+    if (det.indicator == Indicator::kSingleLaneRoad) {
+      best_single = std::max(best_single, det.score);
+    } else if (det.indicator == Indicator::kMultilaneRoad) {
+      best_multi = std::max(best_multi, det.score);
+    } else {
+      presence.set(det.indicator, true);
+    }
+  }
+  // A frame shows one roadway: resolve the road type to the stronger head.
+  if (best_single > 0.0F || best_multi > 0.0F) {
+    presence.set(best_single >= best_multi ? Indicator::kSingleLaneRoad
+                                           : Indicator::kMultilaneRoad,
+                 true);
+  }
+  return presence;
+}
+
+float NanoDetector::max_score(const image::Image& img, Indicator indicator) const {
+  float best = 0.0F;
+  for (const Detection& det : detect_impl(img, 0.01F)) {
+    if (det.indicator == indicator) best = std::max(best, det.score);
+  }
+  return best;
+}
+
+}  // namespace neuro::detect

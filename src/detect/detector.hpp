@@ -1,0 +1,132 @@
+#pragma once
+// "NanoDet": the from-scratch single-stage detector standing in for
+// YOLOv11 Nano. Shared HOG+patch features are extracted per proposal
+// window; six binary MLP heads (one per indicator) score every window;
+// per-class NMS plus optional local box refinement produce detections.
+//
+// Matches the paper's training protocol where it matters: 20 epochs,
+// batch size 16, 70/20/10 split handled by the caller.
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "detect/box.hpp"
+#include "detect/proposals.hpp"
+#include "image/features.hpp"
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+#include "util/thread_pool.hpp"
+
+namespace neuro::detect {
+
+struct DetectorConfig {
+  image::HogConfig hog{8, 4, 9};
+  std::vector<ProposalTemplate> templates = default_templates();
+
+  int epochs = 20;        // paper: 20
+  int batch_size = 16;    // paper: 16
+  float learning_rate = 2e-3F;
+  float weight_decay = 1e-4F;
+  int hidden_units = 48;
+
+  /// Train-time photometric augmentation: each training image receives
+  /// AWGN with sigma ~ U(0, max). Makes the learned features tolerant of
+  /// sensor noise (the Fig. 3 robustness sweep); 0 disables.
+  float train_noise_max_sigma = 0.08F;
+
+  float positive_iou = 0.50F;    // window labeled positive above this
+  float negative_iou = 0.25F;    // ... negative below this; in-between ignored
+  int negatives_per_image = 110; // sampled random negative windows
+  int jittered_positives = 3;    // extra jittered copies of each GT box
+  float label_smoothing = 0.02F; // keeps head scores off the 0/1 rails
+
+  // Hard-negative mining: after the first fit, score every proposal on a
+  // subsample of training images, add confident false positives to the
+  // negative pool, and retrain. Essential: random negatives alone leave
+  // most of the proposal space unseen and the heads overconfident.
+  int mining_rounds = 3;
+  float mining_score = 0.15F;       // proposals above this are "confident"
+  int mining_max_images = 250;      // subsample cap per round
+  int mining_max_per_class = 2500;  // negatives added per class per round
+
+  /// Per-class per-image detection caps encoding frame semantics: a
+  /// street-view frame shows at most one roadway / powerline corridor,
+  /// two sidewalks, a few poles. Order: SL, SW, SR, MR, PL, AP.
+  std::array<int, 6> max_per_image{3, 2, 1, 1, 1, 2};
+
+  float score_threshold = 0.5F;
+  float nms_iou = 0.45F;
+  bool refine_boxes = true;     // local hill-climb around detections
+
+  float negative_ratio = 6.0F;  // negatives per positive per epoch
+
+  std::uint64_t seed = 42;
+};
+
+struct TrainReport {
+  std::vector<float> epoch_mean_losses;  // averaged over heads
+  std::size_t positive_samples = 0;
+  std::size_t negative_samples = 0;
+  double train_seconds = 0.0;
+};
+
+class NanoDetector {
+ public:
+  explicit NanoDetector(DetectorConfig config = {});
+  ~NanoDetector();
+  NanoDetector(NanoDetector&&) noexcept;
+  NanoDetector& operator=(NanoDetector&&) noexcept;
+  NanoDetector(const NanoDetector&) = delete;
+  NanoDetector& operator=(const NanoDetector&) = delete;
+
+  const DetectorConfig& config() const { return config_; }
+  bool trained() const { return trained_; }
+
+  /// Train all six heads on the dataset. Deterministic given config.seed.
+  TrainReport train(const data::Dataset& train_set);
+
+  /// Pick per-class decision thresholds that maximize detection F1 on a
+  /// validation set (the role of the paper's 20% val split). Optional;
+  /// without it config.score_threshold applies to every class.
+  void calibrate_thresholds(const data::Dataset& val_set, std::size_t threads = 0);
+
+  /// Operating threshold for a class (calibrated or config default).
+  float threshold(scene::Indicator indicator) const;
+
+  /// Detect indicator objects in an image at the operating thresholds.
+  /// Requires trained().
+  std::vector<Detection> detect(const image::Image& img) const;
+
+  /// All NMS-surviving detections above `floor` regardless of the
+  /// operating thresholds (used for PR-curve / AP evaluation).
+  std::vector<Detection> detect_all(const image::Image& img, float floor = 0.05F) const;
+
+  /// Image-level presence (single- and multilane road are resolved to the
+  /// higher-scoring one, since a frame shows one roadway).
+  scene::PresenceVector classify_presence(const image::Image& img) const;
+
+  /// Score of the best window for an indicator (0 when none pass NMS);
+  /// exposed for threshold sweeps in the evaluation harness.
+  float max_score(const image::Image& img, scene::Indicator indicator) const;
+
+ private:
+  struct Heads;  // hides nn types from the public header
+
+  std::vector<Detection> detect_impl(const image::Image& img, float score_floor) const;
+  image::BoxF refine(const image::WindowFeatureExtractor::Prepared& prep,
+                     scene::Indicator indicator, const image::BoxF& seed, float& score) const;
+  float score_window(const image::WindowFeatureExtractor::Prepared& prep,
+                     scene::Indicator indicator, const image::BoxF& box) const;
+
+  DetectorConfig config_;
+  image::WindowFeatureExtractor extractor_;
+  nn::StandardScaler scaler_;
+  std::unique_ptr<Heads> heads_;
+  scene::IndicatorMap<float> calibrated_thresholds_;
+  bool thresholds_calibrated_ = false;
+  bool trained_ = false;
+};
+
+}  // namespace neuro::detect

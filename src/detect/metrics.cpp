@@ -1,0 +1,158 @@
+#include "detect/metrics.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace neuro::detect {
+
+using scene::Indicator;
+
+double average_precision(std::vector<std::pair<float, bool>> scored_hits, int gt_count) {
+  if (gt_count <= 0) return 0.0;
+  std::sort(scored_hits.begin(), scored_hits.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Precision-recall points, then area under the monotone envelope.
+  std::vector<double> precisions;
+  std::vector<double> recalls;
+  int tp = 0;
+  int fp = 0;
+  for (const auto& [score, is_tp] : scored_hits) {
+    if (is_tp) ++tp;
+    else ++fp;
+    precisions.push_back(static_cast<double>(tp) / static_cast<double>(tp + fp));
+    recalls.push_back(static_cast<double>(tp) / static_cast<double>(gt_count));
+  }
+  if (precisions.empty()) return 0.0;
+
+  // Make precision monotone non-increasing from the right.
+  for (std::size_t i = precisions.size() - 1; i-- > 0;) {
+    precisions[i] = std::max(precisions[i], precisions[i + 1]);
+  }
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < precisions.size(); ++i) {
+    ap += (recalls[i] - prev_recall) * precisions[i];
+    prev_recall = recalls[i];
+  }
+  return ap;
+}
+
+DetectionEvalResult evaluate_detector(const NanoDetector& detector, const data::Dataset& test_set,
+                                      float match_iou, std::size_t threads) {
+  // Per-image detections gathered in parallel; matching is per image so
+  // there is no cross-image state.
+  struct ImageOutcome {
+    // For AP: (score, is_tp) per detection per class at the low floor.
+    scene::IndicatorMap<std::vector<std::pair<float, bool>>> scored;
+    // At the operating threshold.
+    scene::IndicatorMap<int> tp;
+    scene::IndicatorMap<int> fp;
+    scene::IndicatorMap<int> fn;
+    scene::IndicatorMap<int> gt;
+  };
+  std::vector<ImageOutcome> outcomes(test_set.size());
+
+  auto evaluate_image = [&](std::size_t i) {
+    const data::LabeledImage& labeled = test_set[i];
+    ImageOutcome& outcome = outcomes[i];
+
+    // Low-floor detections feed the PR curve (AP); the operating-threshold
+    // subset feeds precision/recall/F1.
+    std::vector<Detection> detections = detector.detect_all(labeled.image, 0.05F);
+    std::sort(detections.begin(), detections.end(),
+              [](const Detection& a, const Detection& b) { return a.score > b.score; });
+
+    for (Indicator ind : scene::all_indicators()) {
+      // Ground truths of this class.
+      std::vector<const data::Annotation*> gts;
+      for (const data::Annotation& ann : labeled.annotations) {
+        if (ann.indicator == ind && ann.box.w > 0.0F && ann.box.h > 0.0F) gts.push_back(&ann);
+      }
+      outcome.gt[ind] = static_cast<int>(gts.size());
+
+      // One greedy matching pass over a detection subset.
+      auto match_pass = [&](float min_score, std::vector<std::pair<float, bool>>* scored,
+                            int* tp_out, int* fp_out) {
+        std::vector<bool> matched(gts.size(), false);
+        int tp = 0;
+        int fp = 0;
+        for (const Detection& det : detections) {
+          if (det.indicator != ind || det.score < min_score) continue;
+          int best_gt = -1;
+          float best_iou = match_iou;
+          for (std::size_t g = 0; g < gts.size(); ++g) {
+            if (matched[g]) continue;
+            const float overlap = iou(det.box, gts[g]->box);
+            if (overlap >= best_iou) {
+              best_iou = overlap;
+              best_gt = static_cast<int>(g);
+            }
+          }
+          const bool is_tp = best_gt >= 0;
+          if (is_tp) {
+            matched[static_cast<std::size_t>(best_gt)] = true;
+            ++tp;
+          } else {
+            ++fp;
+          }
+          if (scored != nullptr) scored->emplace_back(det.score, is_tp);
+        }
+        if (tp_out != nullptr) *tp_out = tp;
+        if (fp_out != nullptr) *fp_out = fp;
+      };
+
+      match_pass(0.0F, &outcome.scored[ind], nullptr, nullptr);  // AP pass
+      int tp = 0;
+      int fp = 0;
+      match_pass(detector.threshold(ind), nullptr, &tp, &fp);    // operating pass
+      outcome.tp[ind] = tp;
+      outcome.fp[ind] = fp;
+      outcome.fn[ind] = static_cast<int>(gts.size()) - tp;
+    }
+  };
+
+  util::ThreadPool pool(threads);
+  pool.parallel_for(test_set.size(), evaluate_image);
+
+  // Reduce.
+  DetectionEvalResult result;
+  int classes_with_gt = 0;
+  for (Indicator ind : scene::all_indicators()) {
+    ClassDetectionMetrics& m = result.per_class[ind];
+    std::vector<std::pair<float, bool>> all_scored;
+    for (const ImageOutcome& outcome : outcomes) {
+      m.tp += outcome.tp[ind];
+      m.fp += outcome.fp[ind];
+      m.fn += outcome.fn[ind];
+      m.gt_count += outcome.gt[ind];
+      all_scored.insert(all_scored.end(), outcome.scored[ind].begin(),
+                        outcome.scored[ind].end());
+    }
+    m.precision = (m.tp + m.fp) > 0 ? static_cast<double>(m.tp) / (m.tp + m.fp) : 0.0;
+    m.recall = m.gt_count > 0 ? static_cast<double>(m.tp) / m.gt_count : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    m.ap50 = average_precision(std::move(all_scored), m.gt_count);
+
+    if (m.gt_count > 0) {
+      ++classes_with_gt;
+      result.mean_precision += m.precision;
+      result.mean_recall += m.recall;
+      result.mean_f1 += m.f1;
+      result.map50 += m.ap50;
+    }
+  }
+  if (classes_with_gt > 0) {
+    result.mean_precision /= classes_with_gt;
+    result.mean_recall /= classes_with_gt;
+    result.mean_f1 /= classes_with_gt;
+    result.map50 /= classes_with_gt;
+  }
+  return result;
+}
+
+}  // namespace neuro::detect

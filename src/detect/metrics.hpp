@@ -1,0 +1,41 @@
+#pragma once
+// Object-detection evaluation: per-class precision / recall / F1 at the
+// operating threshold plus VOC-style AP at IoU 0.5 (mAP50) — the exact
+// metric set of the paper's Table I.
+
+#include "data/dataset.hpp"
+#include "detect/detector.hpp"
+
+namespace neuro::detect {
+
+struct ClassDetectionMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double ap50 = 0.0;
+  int gt_count = 0;
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+};
+
+struct DetectionEvalResult {
+  scene::IndicatorMap<ClassDetectionMetrics> per_class;
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  double map50 = 0.0;
+};
+
+/// Run the detector over every image and score detections against ground
+/// truth with IoU >= `match_iou`. Parallel over images (`threads` = 0 uses
+/// all cores). Classes absent from the ground truth report AP/recall 0 and
+/// are excluded from the macro averages.
+DetectionEvalResult evaluate_detector(const NanoDetector& detector, const data::Dataset& test_set,
+                                      float match_iou = 0.5F, std::size_t threads = 0);
+
+/// VOC-style average precision from a scored TP/FP list (sorted internally
+/// by descending score). `gt_count` is the number of ground-truth objects.
+double average_precision(std::vector<std::pair<float, bool>> scored_hits, int gt_count);
+
+}  // namespace neuro::detect

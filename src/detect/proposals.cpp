@@ -1,0 +1,69 @@
+#include "detect/proposals.hpp"
+
+#include <cmath>
+
+namespace neuro::detect {
+
+std::vector<ProposalTemplate> default_templates() {
+  return {
+      // Compact squares: small and medium objects (lamps, windows, cars).
+      {0.22F, 0.22F, 0.11F, 0.11F, 0.15F, 1.0F},
+      {0.40F, 0.40F, 0.20F, 0.20F, 0.10F, 1.0F},
+      // Tall thin: streetlight poles (upper body in the sky region).
+      // Streetlight boxes are narrow (pole + arm) and shrink fast with
+      // depth, so several widths/heights with fine x strides are needed
+      // for IoU-0.5 coverage.
+      {0.14F, 0.50F, 0.07F, 0.12F, 0.0F, 1.0F},
+      {0.22F, 0.65F, 0.10F, 0.15F, 0.0F, 1.0F},
+      {0.09F, 0.52F, 0.050F, 0.11F, 0.0F, 1.0F},
+      {0.08F, 0.38F, 0.045F, 0.10F, 0.05F, 1.0F},
+      {0.06F, 0.26F, 0.040F, 0.09F, 0.15F, 1.0F},
+      {0.05F, 0.18F, 0.040F, 0.08F, 0.25F, 0.95F},
+      // Near-horizon blocks: apartments and houses.
+      {0.32F, 0.34F, 0.10F, 0.10F, 0.05F, 0.75F},
+      // Full-width bands near the top: powerline wire bundles.
+      {1.00F, 0.10F, 1.00F, 0.025F, 0.02F, 0.60F},
+      {1.00F, 0.16F, 1.00F, 0.04F, 0.02F, 0.62F},
+      {1.00F, 0.26F, 1.00F, 0.06F, 0.02F, 0.70F},
+      // Bottom-anchored wide bands: the road surface.
+      {0.75F, 0.55F, 0.12F, 1.00F, 0.45F, 1.0F},
+      {1.00F, 0.58F, 1.00F, 1.00F, 0.42F, 1.0F},
+      {0.60F, 0.55F, 0.10F, 1.00F, 0.45F, 1.0F},
+      {0.45F, 0.52F, 0.09F, 1.00F, 0.48F, 1.0F},
+      // Side bands reaching the bottom edge: sidewalks.
+      {0.34F, 0.56F, 0.085F, 1.00F, 0.44F, 1.0F},
+      {0.22F, 0.56F, 0.075F, 1.00F, 0.44F, 1.0F},
+  };
+}
+
+std::vector<image::BoxF> generate_proposals(int width, int height,
+                                            const std::vector<ProposalTemplate>& templates) {
+  std::vector<image::BoxF> proposals;
+  const float fw = static_cast<float>(width);
+  const float fh = static_cast<float>(height);
+
+  for (const ProposalTemplate& tpl : templates) {
+    const float w = tpl.w_frac * fw;
+    const float h = tpl.h_frac * fh;
+    const float sx = std::max(1.0F, tpl.stride_x_frac * fw);
+    const float sy = std::max(1.0F, tpl.stride_y_frac * fh);
+    const float y_lo = tpl.y_min_frac * fh;
+    const float y_hi = tpl.y_max_frac * fh - h;
+
+    // Bottom-anchored templates (stride_y 1.0 with a tight range) may have
+    // y_hi < y_lo by a fraction; clamp to a single row in that case.
+    const float y_last = std::max(y_lo, y_hi);
+    for (float y = y_lo;; y += sy) {
+      const float yy = std::min(y, y_last);
+      for (float x = 0.0F;; x += sx) {
+        const float xx = std::min(x, fw - w);
+        proposals.push_back({xx, yy, w, h});
+        if (xx >= fw - w) break;
+      }
+      if (yy >= y_last) break;
+    }
+  }
+  return proposals;
+}
+
+}  // namespace neuro::detect

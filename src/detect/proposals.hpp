@@ -1,0 +1,31 @@
+#pragma once
+// Window proposal generation for the single-stage detector: a fixed
+// multi-template grid expressed in image fractions (so any resolution
+// works), covering compact objects, tall thin poles, wide bands (roads,
+// powerlines) and side bands (sidewalks).
+
+#include <vector>
+
+#include "image/transform.hpp"
+
+namespace neuro::detect {
+
+/// A proposal template: window shape as an image fraction plus placement
+/// strides and the vertical range it sweeps.
+struct ProposalTemplate {
+  float w_frac = 0.25F;
+  float h_frac = 0.25F;
+  float stride_x_frac = 0.125F;
+  float stride_y_frac = 0.125F;
+  float y_min_frac = 0.0F;  // top of sweep range
+  float y_max_frac = 1.0F;  // bottom of sweep range (window must fit above)
+};
+
+/// The default template set tuned for the six indicator geometries.
+std::vector<ProposalTemplate> default_templates();
+
+/// Generate all proposal windows for an image of the given size.
+std::vector<image::BoxF> generate_proposals(int width, int height,
+                                            const std::vector<ProposalTemplate>& templates);
+
+}  // namespace neuro::detect

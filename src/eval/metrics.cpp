@@ -1,0 +1,128 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuro::eval {
+
+void BinaryCounts::add(bool truth, bool predicted) {
+  if (truth && predicted) ++tp;
+  else if (!truth && predicted) ++fp;
+  else if (truth && !predicted) ++fn;
+  else ++tn;
+}
+
+BinaryCounts& BinaryCounts::operator+=(const BinaryCounts& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+  return *this;
+}
+
+BinaryMetrics BinaryMetrics::from(const BinaryCounts& c) {
+  BinaryMetrics m;
+  m.precision = (c.tp + c.fp) > 0 ? static_cast<double>(c.tp) / (c.tp + c.fp) : 0.0;
+  m.recall = (c.tp + c.fn) > 0 ? static_cast<double>(c.tp) / (c.tp + c.fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0 ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+                                        : 0.0;
+  m.accuracy = c.total() > 0 ? static_cast<double>(c.tp + c.tn) / c.total() : 0.0;
+  m.specificity = (c.tn + c.fp) > 0 ? static_cast<double>(c.tn) / (c.tn + c.fp) : 0.0;
+  return m;
+}
+
+void MultiLabelEvaluator::add(const scene::PresenceVector& truth,
+                              const scene::PresenceVector& predicted) {
+  for (scene::Indicator ind : scene::all_indicators()) {
+    counts_[ind].add(truth[ind], predicted[ind]);
+  }
+  ++samples_;
+}
+
+BinaryMetrics MultiLabelEvaluator::metrics(scene::Indicator indicator) const {
+  return BinaryMetrics::from(counts_[indicator]);
+}
+
+BinaryMetrics MultiLabelEvaluator::macro_average() const {
+  BinaryMetrics avg;
+  for (scene::Indicator ind : scene::all_indicators()) {
+    const BinaryMetrics m = metrics(ind);
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.f1 += m.f1;
+    avg.accuracy += m.accuracy;
+    avg.specificity += m.specificity;
+  }
+  avg.precision /= scene::kIndicatorCount;
+  avg.recall /= scene::kIndicatorCount;
+  avg.f1 /= scene::kIndicatorCount;
+  avg.accuracy /= scene::kIndicatorCount;
+  avg.specificity /= scene::kIndicatorCount;
+  return avg;
+}
+
+MultiLabelEvaluator& MultiLabelEvaluator::operator+=(const MultiLabelEvaluator& other) {
+  for (scene::Indicator ind : scene::all_indicators()) counts_[ind] += other.counts_[ind];
+  samples_ += other.samples_;
+  return *this;
+}
+
+namespace {
+double metric_value(const BinaryCounts& counts, MetricKind metric) {
+  const BinaryMetrics m = BinaryMetrics::from(counts);
+  switch (metric) {
+    case MetricKind::kPrecision: return m.precision;
+    case MetricKind::kRecall: return m.recall;
+    case MetricKind::kF1: return m.f1;
+    case MetricKind::kAccuracy: return m.accuracy;
+  }
+  return 0.0;
+}
+}  // namespace
+
+ConfidenceInterval bootstrap_ci(const std::vector<scene::PresenceVector>& truths,
+                                const std::vector<scene::PresenceVector>& predictions,
+                                scene::Indicator indicator, MetricKind metric,
+                                int resamples, double confidence, util::Rng& rng) {
+  if (truths.size() != predictions.size() || truths.empty()) {
+    throw std::invalid_argument("bootstrap_ci: size mismatch or empty");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_ci: confidence in (0,1)");
+  }
+
+  BinaryCounts point_counts;
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    point_counts.add(truths[i][indicator], predictions[i][indicator]);
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    BinaryCounts counts;
+    for (std::size_t i = 0; i < truths.size(); ++i) {
+      const std::size_t j = rng.index(truths.size());
+      counts.add(truths[j][indicator], predictions[j][indicator]);
+    }
+    samples.push_back(metric_value(counts, metric));
+  }
+  std::sort(samples.begin(), samples.end());
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto pick = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(samples.size() - 1, lo + 1);
+    const double frac = pos - std::floor(pos);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+
+  ConfidenceInterval ci;
+  ci.low = pick(alpha);
+  ci.high = pick(1.0 - alpha);
+  ci.point = metric_value(point_counts, metric);
+  return ci;
+}
+
+}  // namespace neuro::eval

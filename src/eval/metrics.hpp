@@ -1,0 +1,71 @@
+#pragma once
+// Presence-classification metrics (the LLM side of the paper): per-class
+// binary confusion counts, precision/recall/F1/accuracy, macro averages,
+// and bootstrap confidence intervals.
+
+#include <vector>
+
+#include "scene/indicators.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::eval {
+
+/// Binary confusion counts.
+struct BinaryCounts {
+  int tp = 0;
+  int fp = 0;
+  int tn = 0;
+  int fn = 0;
+
+  void add(bool truth, bool predicted);
+  int total() const { return tp + fp + tn + fn; }
+  BinaryCounts& operator+=(const BinaryCounts& other);
+};
+
+/// Derived rates. Conventions: empty denominators yield 0.
+struct BinaryMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+  double specificity = 0.0;
+
+  static BinaryMetrics from(const BinaryCounts& counts);
+};
+
+/// Accumulates per-indicator presence predictions against ground truth.
+class MultiLabelEvaluator {
+ public:
+  void add(const scene::PresenceVector& truth, const scene::PresenceVector& predicted);
+
+  int sample_count() const { return samples_; }
+  const BinaryCounts& counts(scene::Indicator indicator) const { return counts_[indicator]; }
+  BinaryMetrics metrics(scene::Indicator indicator) const;
+
+  /// Macro averages over the six indicators.
+  BinaryMetrics macro_average() const;
+
+  /// Merge another evaluator's counts (parallel reduction).
+  MultiLabelEvaluator& operator+=(const MultiLabelEvaluator& other);
+
+ private:
+  scene::IndicatorMap<BinaryCounts> counts_;
+  int samples_ = 0;
+};
+
+/// Percentile bootstrap confidence interval for a metric of paired
+/// (truth, prediction) presence vectors.
+struct ConfidenceInterval {
+  double low = 0.0;
+  double high = 0.0;
+  double point = 0.0;
+};
+
+enum class MetricKind { kPrecision, kRecall, kF1, kAccuracy };
+
+ConfidenceInterval bootstrap_ci(const std::vector<scene::PresenceVector>& truths,
+                                const std::vector<scene::PresenceVector>& predictions,
+                                scene::Indicator indicator, MetricKind metric,
+                                int resamples, double confidence, util::Rng& rng);
+
+}  // namespace neuro::eval

@@ -1,0 +1,26 @@
+#include "eval/report.hpp"
+
+#include "util/strings.hpp"
+
+namespace neuro::eval {
+
+util::TextTable per_class_table(const MultiLabelEvaluator& evaluator,
+                                const std::string& label_header) {
+  util::TextTable table({label_header, "Precision", "Recall", "F1", "Accuracy"});
+  for (scene::Indicator ind : scene::all_indicators()) {
+    const BinaryMetrics m = evaluator.metrics(ind);
+    table.add_row_numeric(std::string(scene::indicator_name(ind)),
+                          {m.precision, m.recall, m.f1, m.accuracy}, 2);
+  }
+  const BinaryMetrics avg = evaluator.macro_average();
+  table.add_row_numeric("Average", {avg.precision, avg.recall, avg.f1, avg.accuracy}, 2);
+  return table;
+}
+
+std::string macro_summary(const MultiLabelEvaluator& evaluator) {
+  const BinaryMetrics avg = evaluator.macro_average();
+  return util::format("P=%.2f R=%.2f F1=%.2f Acc=%.2f", avg.precision, avg.recall, avg.f1,
+                      avg.accuracy);
+}
+
+}  // namespace neuro::eval

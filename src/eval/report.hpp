@@ -1,0 +1,19 @@
+#pragma once
+// Rendering helpers that turn evaluators into the paper's table layouts.
+
+#include <string>
+
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+
+namespace neuro::eval {
+
+/// Per-class Precision / Recall / F1 / Accuracy table (layout of the
+/// paper's Tables III-VI) with a macro-average footer row.
+util::TextTable per_class_table(const MultiLabelEvaluator& evaluator,
+                                const std::string& label_header = "Label");
+
+/// One-line macro summary like "P=0.77 R=0.90 F1=0.81 Acc=0.88".
+std::string macro_summary(const MultiLabelEvaluator& evaluator);
+
+}  // namespace neuro::eval

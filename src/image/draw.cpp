@@ -1,0 +1,158 @@
+#include "image/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuro::image {
+
+void fill_rect(Image& img, int x0, int y0, int x1, int y1, const Color& color) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, img.width());
+  y1 = std::min(y1, img.height());
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) img.set_pixel(x, y, color);
+  }
+}
+
+void draw_rect_outline(Image& img, int x0, int y0, int x1, int y1, const Color& color) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  for (int x = x0; x < x1; ++x) {
+    img.set_pixel_safe(x, y0, color);
+    img.set_pixel_safe(x, y1 - 1, color);
+  }
+  for (int y = y0; y < y1; ++y) {
+    img.set_pixel_safe(x0, y, color);
+    img.set_pixel_safe(x1 - 1, y, color);
+  }
+}
+
+namespace {
+void plot_thick(Image& img, int x, int y, const Color& color, int thickness) {
+  if (thickness <= 1) {
+    img.set_pixel_safe(x, y, color);
+    return;
+  }
+  const int r = thickness / 2;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      if (dx * dx + dy * dy <= r * r + r) img.set_pixel_safe(x + dx, y + dy, color);
+    }
+  }
+}
+}  // namespace
+
+void draw_line(Image& img, float fx0, float fy0, float fx1, float fy1, const Color& color,
+               int thickness) {
+  int x0 = static_cast<int>(std::lround(fx0));
+  int y0 = static_cast<int>(std::lround(fy0));
+  const int x1 = static_cast<int>(std::lround(fx1));
+  const int y1 = static_cast<int>(std::lround(fy1));
+
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+
+  while (true) {
+    plot_thick(img, x0, y0, color, thickness);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void fill_polygon(Image& img, const std::vector<PointF>& points, const Color& color) {
+  if (points.size() < 3) return;
+  float min_y = points[0].y;
+  float max_y = points[0].y;
+  for (const PointF& p : points) {
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const int y_begin = std::max(0, static_cast<int>(std::floor(min_y)));
+  const int y_end = std::min(img.height() - 1, static_cast<int>(std::ceil(max_y)));
+
+  std::vector<float> crossings;
+  for (int y = y_begin; y <= y_end; ++y) {
+    crossings.clear();
+    const float scan = static_cast<float>(y) + 0.5F;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PointF& a = points[i];
+      const PointF& b = points[(i + 1) % points.size()];
+      if ((a.y <= scan && b.y > scan) || (b.y <= scan && a.y > scan)) {
+        const float t = (scan - a.y) / (b.y - a.y);
+        crossings.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (std::size_t i = 0; i + 1 < crossings.size(); i += 2) {
+      const int x_begin = std::max(0, static_cast<int>(std::ceil(crossings[i] - 0.5F)));
+      const int x_end = std::min(img.width() - 1, static_cast<int>(std::floor(crossings[i + 1] - 0.5F)));
+      for (int x = x_begin; x <= x_end; ++x) img.set_pixel(x, y, color);
+    }
+  }
+}
+
+void fill_circle(Image& img, float cx, float cy, float radius, const Color& color) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - radius)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(cx + radius)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - radius)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + radius)));
+  const float r2 = radius * radius;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float dx = static_cast<float>(x) + 0.5F - cx;
+      const float dy = static_cast<float>(y) + 0.5F - cy;
+      if (dx * dx + dy * dy <= r2) img.set_pixel(x, y, color);
+    }
+  }
+}
+
+void fill_vertical_gradient(Image& img, int y0, int y1, const Color& top, const Color& bottom) {
+  y0 = std::max(y0, 0);
+  y1 = std::min(y1, img.height());
+  if (y1 <= y0) return;
+  const float span = static_cast<float>(std::max(1, y1 - y0 - 1));
+  for (int y = y0; y < y1; ++y) {
+    const float t = static_cast<float>(y - y0) / span;
+    const Color c = top.mixed(bottom, t);
+    for (int x = 0; x < img.width(); ++x) img.set_pixel(x, y, c);
+  }
+}
+
+void fill_triangle(Image& img, PointF a, PointF b, PointF c, const Color& color) {
+  fill_polygon(img, {a, b, c}, color);
+}
+
+void speckle_rect(Image& img, int x0, int y0, int x1, int y1, const Color& color, float density,
+                  unsigned salt) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, img.width());
+  y1 = std::min(y1, img.height());
+  const unsigned threshold = static_cast<unsigned>(density * 4294967295.0F);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      // Cheap coordinate hash (Wang-style) for deterministic texture.
+      unsigned h = static_cast<unsigned>(x) * 374761393U + static_cast<unsigned>(y) * 668265263U +
+                   salt * 2246822519U;
+      h = (h ^ (h >> 13)) * 1274126177U;
+      h ^= h >> 16;
+      if (h < threshold) img.set_pixel(x, y, color);
+    }
+  }
+}
+
+}  // namespace neuro::image

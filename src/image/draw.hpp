@@ -1,0 +1,43 @@
+#pragma once
+// 2D drawing primitives for the street-scene rasterizer. All coordinates
+// are pixel-space; shapes are clipped to the image.
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace neuro::image {
+
+struct PointF {
+  float x = 0.0F;
+  float y = 0.0F;
+};
+
+/// Filled axis-aligned rectangle [x0, x1) x [y0, y1).
+void fill_rect(Image& img, int x0, int y0, int x1, int y1, const Color& color);
+
+/// 1px rectangle outline.
+void draw_rect_outline(Image& img, int x0, int y0, int x1, int y1, const Color& color);
+
+/// Line segment with the given thickness (>= 1), Bresenham core.
+void draw_line(Image& img, float x0, float y0, float x1, float y1, const Color& color,
+               int thickness = 1);
+
+/// Filled convex or concave polygon (even-odd scanline fill).
+void fill_polygon(Image& img, const std::vector<PointF>& points, const Color& color);
+
+/// Filled circle.
+void fill_circle(Image& img, float cx, float cy, float radius, const Color& color);
+
+/// Vertical linear gradient from `top` (y = y0) to `bottom` (y = y1).
+void fill_vertical_gradient(Image& img, int y0, int y1, const Color& top, const Color& bottom);
+
+/// Filled triangle.
+void fill_triangle(Image& img, PointF a, PointF b, PointF c, const Color& color);
+
+/// Speckle a region with random-looking dots deterministically derived from
+/// pixel coordinates (texture for grass/asphalt); density in [0, 1].
+void speckle_rect(Image& img, int x0, int y0, int x1, int y1, const Color& color, float density,
+                  unsigned salt);
+
+}  // namespace neuro::image

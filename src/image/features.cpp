@@ -1,0 +1,305 @@
+#include "image/features.hpp"
+
+#include <vector>
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace neuro::image {
+
+std::size_t hog_dimension(const HogConfig& config) {
+  return static_cast<std::size_t>(config.cells_per_side) *
+         static_cast<std::size_t>(config.cells_per_side) *
+         static_cast<std::size_t>(config.orientation_bins);
+}
+
+std::vector<float> hog_descriptor(const Gradients& grads, int x0, int y0,
+                                  const HogConfig& config) {
+  std::vector<float> descriptor(hog_dimension(config), 0.0F);
+  const float bin_width = std::numbers::pi_v<float> / static_cast<float>(config.orientation_bins);
+
+  for (int cy = 0; cy < config.cells_per_side; ++cy) {
+    for (int cx = 0; cx < config.cells_per_side; ++cx) {
+      float* cell = descriptor.data() +
+                    (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config.cells_per_side) +
+                     static_cast<std::size_t>(cx)) *
+                        static_cast<std::size_t>(config.orientation_bins);
+      for (int py = 0; py < config.cell_size; ++py) {
+        for (int px = 0; px < config.cell_size; ++px) {
+          const int x = x0 + cx * config.cell_size + px;
+          const int y = y0 + cy * config.cell_size + py;
+          const float mag = grads.magnitude.sample_clamped(x, y, 0);
+          if (mag <= 0.0F) continue;
+          const float theta = grads.orientation.sample_clamped(x, y, 0);
+          // Soft-assign to the two nearest bins.
+          const float pos = theta / bin_width - 0.5F;
+          int lower = static_cast<int>(std::floor(pos));
+          const float frac = pos - static_cast<float>(lower);
+          int upper = lower + 1;
+          if (lower < 0) lower += config.orientation_bins;
+          if (upper >= config.orientation_bins) upper -= config.orientation_bins;
+          cell[lower] += mag * (1.0F - frac);
+          cell[upper] += mag * frac;
+        }
+      }
+      // L2-hys per cell.
+      float norm = 0.0F;
+      for (int b = 0; b < config.orientation_bins; ++b) norm += cell[b] * cell[b];
+      norm = std::sqrt(norm) + 1e-6F;
+      for (int b = 0; b < config.orientation_bins; ++b) {
+        cell[b] = std::min(cell[b] / norm, 0.2F);
+      }
+      norm = 0.0F;
+      for (int b = 0; b < config.orientation_bins; ++b) norm += cell[b] * cell[b];
+      norm = std::sqrt(norm) + 1e-6F;
+      for (int b = 0; b < config.orientation_bins; ++b) cell[b] /= norm;
+    }
+  }
+  return descriptor;
+}
+
+std::vector<float> PatchStats::to_vector() const {
+  return {mean_r,        mean_g,          mean_b,           var_luma,
+          edge_density,  horizontal_energy, vertical_energy,  diagonal_energy,
+          center_y_norm, paint_density,   paint_columns,    aspect_ratio,
+          center_x_norm, pole_strength,   wire_rows,        facade_periodicity,
+          saturation};
+}
+
+PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0, int y0, int w,
+                               int h) {
+  PatchStats stats;
+  const int x1 = x0 + std::max(1, w);
+  const int y1 = y0 + std::max(1, h);
+
+  // Subsample large windows for the aggregate statistics (means, variance,
+  // orientation energies); the wire/pole scans below stay full-resolution
+  // because 1-px structures are exactly what they look for.
+  const int step = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<float>(w) * static_cast<float>(h) / 4096.0F)));
+  float count = 0.0F;
+
+  float sum_r = 0.0F;
+  float sum_g = 0.0F;
+  float sum_b = 0.0F;
+  float sum_luma = 0.0F;
+  float sum_luma2 = 0.0F;
+  float edge_total = 0.0F;
+  float horiz = 0.0F;
+  float vert = 0.0F;
+  float diag = 0.0F;
+  int strong_edges = 0;
+
+  constexpr float kPi = std::numbers::pi_v<float>;
+  for (int y = y0; y < y1; y += step) {
+    for (int x = x0; x < x1; x += step) {
+      count += 1.0F;
+      const int cx = std::clamp(x, 0, rgb.width() - 1);
+      const int cy = std::clamp(y, 0, rgb.height() - 1);
+      const Color c = rgb.pixel(cx, cy);
+      sum_r += c.r;
+      sum_g += c.g;
+      sum_b += c.b;
+      const float luma = 0.299F * c.r + 0.587F * c.g + 0.114F * c.b;
+      sum_luma += luma;
+      sum_luma2 += luma * luma;
+
+      const float mag = grads.magnitude.sample_clamped(x, y, 0);
+      if (mag > 0.15F) ++strong_edges;
+      if (mag <= 0.0F) continue;
+      edge_total += mag;
+      const float theta = grads.orientation.sample_clamped(x, y, 0);
+      // Orientation of the *gradient*; an edge that looks horizontal has a
+      // vertical gradient. Bucket by gradient direction: near pi/2 -> the
+      // underlying edge is horizontal.
+      const float d_horiz = std::fabs(theta - kPi / 2.0F);
+      const float d_vert = std::min(theta, kPi - theta);
+      if (d_horiz < kPi / 8.0F) horiz += mag;
+      else if (d_vert < kPi / 8.0F) vert += mag;
+      else diag += mag;
+    }
+  }
+
+  stats.mean_r = sum_r / count;
+  stats.mean_g = sum_g / count;
+  stats.mean_b = sum_b / count;
+  const float mean_luma = sum_luma / count;
+  stats.var_luma = std::max(0.0F, sum_luma2 / count - mean_luma * mean_luma);
+  stats.edge_density = static_cast<float>(strong_edges) / count;
+  const float energy = horiz + vert + diag + 1e-6F;
+  stats.horizontal_energy = horiz / energy;
+  stats.vertical_energy = vert / energy;
+  stats.diagonal_energy = diag / energy;
+  stats.center_y_norm =
+      (static_cast<float>(y0) + static_cast<float>(h) / 2.0F) / static_cast<float>(rgb.height());
+  stats.center_x_norm =
+      (static_cast<float>(x0) + static_cast<float>(w) / 2.0F) / static_cast<float>(rgb.width());
+  stats.aspect_ratio = static_cast<float>(w) / static_cast<float>(w + h);
+
+  // Lane-paint cues: bright pixels standing out against the window mean
+  // (lane markings are light strokes on dark asphalt). paint_columns counts
+  // distinct bright runs along scanlines in the lower part of the window —
+  // a proxy for the number of visible lane dividers.
+  const float surround = mean_luma;
+  int paint_pixels = 0;
+  int max_runs = 0;
+  for (float row_frac : {0.50F, 0.60F, 0.70F, 0.80F, 0.90F}) {
+    const int y = std::clamp(y0 + static_cast<int>(row_frac * static_cast<float>(h)), 0,
+                             rgb.height() - 1);
+    int runs = 0;
+    bool in_run = false;
+    for (int x = std::max(0, x0); x < std::min(rgb.width(), x1); ++x) {
+      const Color c = rgb.pixel(x, y);
+      const float luma = 0.299F * c.r + 0.587F * c.g + 0.114F * c.b;
+      const bool bright = luma > surround + 0.18F && luma > 0.45F;
+      if (bright) {
+        ++paint_pixels;
+        if (!in_run) {
+          ++runs;
+          in_run = true;
+        }
+      } else {
+        in_run = false;
+      }
+    }
+    max_runs = std::max(max_runs, runs);
+  }
+  const float scan_pixels = 5.0F * static_cast<float>(std::max(1, x1 - std::max(0, x0)));
+  stats.paint_density = static_cast<float>(paint_pixels) / scan_pixels;
+  stats.paint_columns = std::min(1.0F, static_cast<float>(max_runs) / 5.0F);
+
+  // Row/column structure cues. One clipped pass accumulating per-row and
+  // per-column darkness plus column mean luma and chroma.
+  const int cx0 = std::max(0, x0);
+  const int cy0 = std::max(0, y0);
+  const int cx1 = std::min(rgb.width(), x1);
+  const int cy1 = std::min(rgb.height(), y1);
+  const int cols = std::max(1, cx1 - cx0);
+  const int rows = std::max(1, cy1 - cy0);
+  std::vector<int> col_dark(static_cast<std::size_t>(cols), 0);
+  std::vector<int> row_dark(static_cast<std::size_t>(rows), 0);
+  std::vector<float> col_luma(static_cast<std::size_t>(cols), 0.0F);
+  float chroma_sum = 0.0F;
+  for (int y = cy0; y < cy1; ++y) {
+    for (int x = cx0; x < cx1; ++x) {
+      const Color c = rgb.pixel(x, y);
+      const float luma = 0.299F * c.r + 0.587F * c.g + 0.114F * c.b;
+      if (luma < 0.30F) {
+        ++col_dark[static_cast<std::size_t>(x - cx0)];
+        ++row_dark[static_cast<std::size_t>(y - cy0)];
+      }
+      col_luma[static_cast<std::size_t>(x - cx0)] += luma;
+      chroma_sum += 0.5F * (std::fabs(c.r - c.g) + std::fabs(c.g - c.b));
+    }
+  }
+  stats.saturation = chroma_sum / (static_cast<float>(cols) * static_cast<float>(rows));
+
+  // Pole cue: the best dark column (fraction of its rows that are dark).
+  int best_col_dark = 0;
+  for (int c = 0; c < cols; ++c) best_col_dark = std::max(best_col_dark, col_dark[static_cast<std::size_t>(c)]);
+  stats.pole_strength = static_cast<float>(best_col_dark) / static_cast<float>(rows);
+
+  // Wire cue: thin rows that are substantially dark while their vertical
+  // neighbours are not (a sagging wire crosses the full window width).
+  int wire_count = 0;
+  for (int r = 0; r < rows; ++r) {
+    const float here = static_cast<float>(row_dark[static_cast<std::size_t>(r)]) / cols;
+    const float above = r > 0 ? static_cast<float>(row_dark[static_cast<std::size_t>(r - 1)]) / cols : 0.0F;
+    const float below = r + 1 < rows ? static_cast<float>(row_dark[static_cast<std::size_t>(r + 1)]) / cols : 0.0F;
+    if (here > 0.45F && above < 0.25F && below < 0.25F) ++wire_count;
+  }
+  stats.wire_rows = std::min(1.0F, static_cast<float>(wire_count) / 4.0F);
+
+  // Facade cue: alternating column-mean luma (a periodic window grid).
+  int alternations = 0;
+  int prev_sign = 0;
+  for (int c = 0; c < cols; ++c) {
+    const float dev = col_luma[static_cast<std::size_t>(c)] / rows - mean_luma;
+    const int sign = dev > 0.04F ? 1 : (dev < -0.04F ? -1 : 0);
+    if (sign != 0 && prev_sign != 0 && sign != prev_sign) ++alternations;
+    if (sign != 0) prev_sign = sign;
+  }
+  stats.facade_periodicity = std::min(1.0F, static_cast<float>(alternations) / 10.0F);
+  return stats;
+}
+
+WindowFeatureExtractor::WindowFeatureExtractor(HogConfig config) : config_(config) {}
+
+WindowFeatureExtractor::Prepared WindowFeatureExtractor::prepare(const Image& rgb) const {
+  Prepared prep{rgb, sobel_gradients(rgb.to_grayscale())};
+  return prep;
+}
+
+std::size_t WindowFeatureExtractor::dimension() const {
+  return hog_dimension(config_) + PatchStats::kDimension;
+}
+
+std::vector<float> WindowFeatureExtractor::extract(const Prepared& prep, int x, int y, int w,
+                                                   int h) const {
+  // Sample HOG over a cell grid stretched to the window so that windows of
+  // any size produce a fixed-length descriptor.
+  std::vector<float> features;
+  features.reserve(dimension());
+
+  const int canonical = config_.cell_size * config_.cells_per_side;
+  if (w == canonical && h == canonical) {
+    features = hog_descriptor(prep.grads, x, y, config_);
+  } else {
+    // Build a scaled config by sampling gradient statistics per stretched
+    // cell directly.
+    std::vector<float> descriptor(hog_dimension(config_), 0.0F);
+    const float bin_width =
+        std::numbers::pi_v<float> / static_cast<float>(config_.orientation_bins);
+    const float cell_w = static_cast<float>(w) / static_cast<float>(config_.cells_per_side);
+    const float cell_h = static_cast<float>(h) / static_cast<float>(config_.cells_per_side);
+    // Subsample pixels in large cells: gradients are smooth at that scale
+    // and this cuts big-window extraction cost by an order of magnitude.
+    const int step = std::max(1, static_cast<int>(std::min(cell_w, cell_h)) / 10);
+    for (int cy = 0; cy < config_.cells_per_side; ++cy) {
+      for (int cx = 0; cx < config_.cells_per_side; ++cx) {
+        float* cell =
+            descriptor.data() +
+            (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config_.cells_per_side) +
+             static_cast<std::size_t>(cx)) *
+                static_cast<std::size_t>(config_.orientation_bins);
+        const int px0 = x + static_cast<int>(std::floor(static_cast<float>(cx) * cell_w));
+        const int px1 = x + static_cast<int>(std::floor(static_cast<float>(cx + 1) * cell_w));
+        const int py0 = y + static_cast<int>(std::floor(static_cast<float>(cy) * cell_h));
+        const int py1 = y + static_cast<int>(std::floor(static_cast<float>(cy + 1) * cell_h));
+        for (int py = py0; py < std::max(py1, py0 + 1); py += step) {
+          for (int px = px0; px < std::max(px1, px0 + 1); px += step) {
+            const float mag = prep.grads.magnitude.sample_clamped(px, py, 0);
+            if (mag <= 0.0F) continue;
+            const float theta = prep.grads.orientation.sample_clamped(px, py, 0);
+            const float pos = theta / bin_width - 0.5F;
+            int lower = static_cast<int>(std::floor(pos));
+            const float frac = pos - static_cast<float>(lower);
+            int upper = lower + 1;
+            if (lower < 0) lower += config_.orientation_bins;
+            if (upper >= config_.orientation_bins) upper -= config_.orientation_bins;
+            cell[lower] += mag * (1.0F - frac);
+            cell[upper] += mag * frac;
+          }
+        }
+        float norm = 0.0F;
+        for (int b = 0; b < config_.orientation_bins; ++b) norm += cell[b] * cell[b];
+        norm = std::sqrt(norm) + 1e-6F;
+        for (int b = 0; b < config_.orientation_bins; ++b) {
+          cell[b] = std::min(cell[b] / norm, 0.2F);
+        }
+        norm = 0.0F;
+        for (int b = 0; b < config_.orientation_bins; ++b) norm += cell[b] * cell[b];
+        norm = std::sqrt(norm) + 1e-6F;
+        for (int b = 0; b < config_.orientation_bins; ++b) cell[b] /= norm;
+      }
+    }
+    features = std::move(descriptor);
+  }
+
+  const PatchStats stats = compute_patch_stats(prep.rgb, prep.grads, x, y, w, h);
+  const std::vector<float> tail = stats.to_vector();
+  features.insert(features.end(), tail.begin(), tail.end());
+  return features;
+}
+
+}  // namespace neuro::image

@@ -1,0 +1,82 @@
+#pragma once
+// Feature extraction for the NanoDet detector heads and the simulated VLM
+// visual channel: HOG descriptors plus color/edge patch statistics.
+
+#include <vector>
+
+#include "image/filter.hpp"
+#include "image/image.hpp"
+
+namespace neuro::image {
+
+/// Histogram-of-oriented-gradients configuration.
+struct HogConfig {
+  int cell_size = 8;        // pixels per cell edge
+  int cells_per_side = 4;   // descriptor covers cells_per_side^2 cells
+  int orientation_bins = 9; // unsigned orientation bins over [0, pi)
+};
+
+/// Dimension of a HOG descriptor for a config.
+std::size_t hog_dimension(const HogConfig& config);
+
+/// HOG descriptor of the square window whose top-left corner is (x0, y0)
+/// and edge is cell_size * cells_per_side pixels. The window is clipped at
+/// the image border by edge-clamped sampling. L2-hys normalized per cell.
+std::vector<float> hog_descriptor(const Gradients& grads, int x0, int y0,
+                                  const HogConfig& config);
+
+/// Per-window color + structure statistics (appended to HOG by the
+/// detector): channel means/variances, edge density, dominant-orientation
+/// energies (horizontal/vertical/diagonal), and vertical position.
+struct PatchStats {
+  float mean_r = 0.0F, mean_g = 0.0F, mean_b = 0.0F;
+  float var_luma = 0.0F;
+  float edge_density = 0.0F;
+  float horizontal_energy = 0.0F;  // fraction of edge energy near 0 rad
+  float vertical_energy = 0.0F;    // fraction near pi/2
+  float diagonal_energy = 0.0F;    // remainder
+  float center_y_norm = 0.0F;      // window center / image height
+  // Lane-structure cues (discriminate single- vs multilane roads and
+  // sidewalks from asphalt): bright paint strokes on a dark surface.
+  float paint_density = 0.0F;      // fraction of bright-on-dark pixels
+  float paint_columns = 0.0F;      // distinct bright runs on a lower scanline / 5
+  float aspect_ratio = 0.0F;       // w / (w + h)
+  float center_x_norm = 0.0F;      // window center / image width
+  // Object-structure cues.
+  float pole_strength = 0.0F;      // best dark-vertical-line column (poles)
+  float wire_rows = 0.0F;          // thin full-width dark rows (powerlines) / 4
+  float facade_periodicity = 0.0F; // alternating column luma (window grids) / 10
+  float saturation = 0.0F;         // mean chroma (grass/facade vs. pavement)
+
+  std::vector<float> to_vector() const;
+  static constexpr std::size_t kDimension = 17;
+};
+
+PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0, int y0, int w,
+                               int h);
+
+/// Full feature vector for a window: HOG (resized to a canonical window)
+/// concatenated with PatchStats.
+class WindowFeatureExtractor {
+ public:
+  explicit WindowFeatureExtractor(HogConfig config = {});
+
+  /// Precompute gradients once per image, then extract per window.
+  struct Prepared {
+    Image rgb;        // original (shared copy)
+    Gradients grads;  // over grayscale
+  };
+  Prepared prepare(const Image& rgb) const;
+
+  /// Extract features for window (x, y, w, h). Non-canonical windows are
+  /// handled by sampling HOG over a scaled cell grid.
+  std::vector<float> extract(const Prepared& prep, int x, int y, int w, int h) const;
+
+  std::size_t dimension() const;
+  const HogConfig& config() const { return config_; }
+
+ private:
+  HogConfig config_;
+};
+
+}  // namespace neuro::image

@@ -1,0 +1,132 @@
+#include "image/filter.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace neuro::image {
+
+Image convolve(const Image& gray, const std::vector<float>& kernel, int kernel_size) {
+  if (gray.channels() != 1) throw std::invalid_argument("convolve expects grayscale");
+  if (kernel_size % 2 == 0 || kernel_size <= 0) throw std::invalid_argument("kernel size must be odd");
+  if (kernel.size() != static_cast<std::size_t>(kernel_size) * static_cast<std::size_t>(kernel_size)) {
+    throw std::invalid_argument("kernel size mismatch");
+  }
+  const int half = kernel_size / 2;
+  Image out(gray.width(), gray.height(), 1);
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      float accum = 0.0F;
+      for (int ky = -half; ky <= half; ++ky) {
+        for (int kx = -half; kx <= half; ++kx) {
+          const float k = kernel[static_cast<std::size_t>(ky + half) *
+                                     static_cast<std::size_t>(kernel_size) +
+                                 static_cast<std::size_t>(kx + half)];
+          accum += k * gray.sample_clamped(x + kx, y + ky, 0);
+        }
+      }
+      out.at(x, y, 0) = accum;
+    }
+  }
+  return out;
+}
+
+Image gaussian_blur(const Image& img, float sigma) {
+  if (sigma <= 0.0F) throw std::invalid_argument("sigma must be > 0");
+  const int radius = std::max(1, static_cast<int>(std::ceil(sigma * 3.0F)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float sum = 0.0F;
+  for (int i = -radius; i <= radius; ++i) {
+    const float v = std::exp(-static_cast<float>(i * i) / (2.0F * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (float& v : kernel) v /= sum;
+
+  // Horizontal pass.
+  Image tmp(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        float accum = 0.0F;
+        for (int i = -radius; i <= radius; ++i) {
+          accum += kernel[static_cast<std::size_t>(i + radius)] * img.sample_clamped(x + i, y, c);
+        }
+        tmp.at(x, y, c) = accum;
+      }
+    }
+  }
+  // Vertical pass.
+  Image out(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        float accum = 0.0F;
+        for (int i = -radius; i <= radius; ++i) {
+          accum += kernel[static_cast<std::size_t>(i + radius)] * tmp.sample_clamped(x, y + i, c);
+        }
+        out.at(x, y, c) = accum;
+      }
+    }
+  }
+  return out;
+}
+
+Gradients sobel_gradients(const Image& gray) {
+  if (gray.channels() != 1) throw std::invalid_argument("sobel expects grayscale");
+  Gradients g{Image(gray.width(), gray.height(), 1), Image(gray.width(), gray.height(), 1)};
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const float tl = gray.sample_clamped(x - 1, y - 1, 0);
+      const float tc = gray.sample_clamped(x, y - 1, 0);
+      const float tr = gray.sample_clamped(x + 1, y - 1, 0);
+      const float ml = gray.sample_clamped(x - 1, y, 0);
+      const float mr = gray.sample_clamped(x + 1, y, 0);
+      const float bl = gray.sample_clamped(x - 1, y + 1, 0);
+      const float bc = gray.sample_clamped(x, y + 1, 0);
+      const float br = gray.sample_clamped(x + 1, y + 1, 0);
+      const float gx = (tr + 2.0F * mr + br) - (tl + 2.0F * ml + bl);
+      const float gy = (bl + 2.0F * bc + br) - (tl + 2.0F * tc + tr);
+      g.magnitude.at(x, y, 0) = std::sqrt(gx * gx + gy * gy);
+      float theta = std::atan2(gy, gx);  // [-pi, pi]
+      if (theta < 0.0F) theta += std::numbers::pi_v<float>;
+      if (theta >= std::numbers::pi_v<float>) theta -= std::numbers::pi_v<float>;
+      g.orientation.at(x, y, 0) = theta;
+    }
+  }
+  return g;
+}
+
+Image box_blur(const Image& img, int window) {
+  if (window <= 0 || window % 2 == 0) throw std::invalid_argument("window must be odd positive");
+  const int half = window / 2;
+  Image out(img.width(), img.height(), img.channels());
+  const float norm = 1.0F / static_cast<float>(window * window);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        float accum = 0.0F;
+        for (int ky = -half; ky <= half; ++ky) {
+          for (int kx = -half; kx <= half; ++kx) {
+            accum += img.sample_clamped(x + kx, y + ky, c);
+          }
+        }
+        out.at(x, y, c) = accum * norm;
+      }
+    }
+  }
+  return out;
+}
+
+Image threshold(const Image& gray, float cutoff) {
+  if (gray.channels() != 1) throw std::invalid_argument("threshold expects grayscale");
+  Image out(gray.width(), gray.height(), 1);
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      out.at(x, y, 0) = gray.at(x, y, 0) >= cutoff ? 1.0F : 0.0F;
+    }
+  }
+  return out;
+}
+
+}  // namespace neuro::image

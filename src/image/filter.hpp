@@ -1,0 +1,30 @@
+#pragma once
+// Convolution and gradient filters; inputs are single-channel images
+// (convert with Image::to_grayscale first).
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace neuro::image {
+
+/// 2D correlation with an odd-sized square kernel (edge-clamped borders).
+Image convolve(const Image& gray, const std::vector<float>& kernel, int kernel_size);
+
+/// Separable Gaussian blur with the given sigma (> 0); any channel count.
+Image gaussian_blur(const Image& img, float sigma);
+
+/// Per-pixel gradient magnitude and orientation via Sobel operators.
+struct Gradients {
+  Image magnitude;    // 1 channel
+  Image orientation;  // 1 channel, radians in [0, pi) (unsigned orientation)
+};
+Gradients sobel_gradients(const Image& gray);
+
+/// Box blur with an odd window size.
+Image box_blur(const Image& img, int window);
+
+/// Global threshold to a binary {0,1} image.
+Image threshold(const Image& gray, float cutoff);
+
+}  // namespace neuro::image

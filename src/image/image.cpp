@@ -1,0 +1,79 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+
+namespace neuro::image {
+
+Image::Image(int width, int height, int channels, float fill_value)
+    : width_(width), height_(height), channels_(channels) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("image dimensions must be positive");
+  if (channels != 1 && channels != 3) throw std::invalid_argument("channels must be 1 or 3");
+  data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+                   static_cast<std::size_t>(channels),
+               fill_value);
+}
+
+float Image::sample_clamped(int x, int y, int c) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y, c);
+}
+
+void Image::set_pixel(int x, int y, const Color& color) {
+  if (channels_ == 1) {
+    at(x, y, 0) = (color.r + color.g + color.b) / 3.0F;
+  } else {
+    at(x, y, 0) = color.r;
+    at(x, y, 1) = color.g;
+    at(x, y, 2) = color.b;
+  }
+}
+
+Color Image::pixel(int x, int y) const {
+  if (channels_ == 1) {
+    const float v = at(x, y, 0);
+    return {v, v, v};
+  }
+  return {at(x, y, 0), at(x, y, 1), at(x, y, 2)};
+}
+
+void Image::set_pixel_safe(int x, int y, const Color& color) {
+  if (in_bounds(x, y)) set_pixel(x, y, color);
+}
+
+void Image::fill(const Color& color) {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) set_pixel(x, y, color);
+  }
+}
+
+void Image::clamp01() {
+  for (float& v : data_) v = std::clamp(v, 0.0F, 1.0F);
+}
+
+double Image::mean_intensity() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+double Image::power() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * static_cast<double>(v);
+  return sum / static_cast<double>(data_.size());
+}
+
+Image Image::to_grayscale() const {
+  if (channels_ == 1) return *this;
+  Image out(width_, height_, 1);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out.at(x, y, 0) = 0.299F * at(x, y, 0) + 0.587F * at(x, y, 1) + 0.114F * at(x, y, 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace neuro::image

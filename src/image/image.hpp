@@ -1,0 +1,99 @@
+#pragma once
+// Raster image type used everywhere: renderer output, augmentation input,
+// detector features, and the simulated VLM visual channel.
+//
+// Pixels are float32 in [0, 1], row-major, interleaved channels (1 =
+// grayscale, 3 = RGB). Float storage keeps the noise/filter pipeline exact;
+// PPM I/O quantizes at the boundary.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace neuro::image {
+
+/// RGB color with components in [0, 1].
+struct Color {
+  float r = 0.0F;
+  float g = 0.0F;
+  float b = 0.0F;
+
+  static Color gray(float v) { return {v, v, v}; }
+  Color scaled(float k) const { return {r * k, g * k, b * k}; }
+  /// Linear blend toward `other` by t in [0, 1].
+  Color mixed(const Color& other, float t) const {
+    return {r + (other.r - r) * t, g + (other.g - g) * t, b + (other.b - b) * t};
+  }
+  bool operator==(const Color&) const = default;
+};
+
+class Image {
+ public:
+  Image() = default;
+  /// Constructs a width x height image with `channels` in {1, 3}, filled
+  /// with `fill_value`.
+  Image(int width, int height, int channels = 3, float fill_value = 0.0F);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  /// Unchecked accessors (caller guarantees bounds; hot paths).
+  float& at(int x, int y, int c) {
+    return data_[(static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(x)) *
+                     static_cast<std::size_t>(channels_) +
+                 static_cast<std::size_t>(c)];
+  }
+  float at(int x, int y, int c) const {
+    return data_[(static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(x)) *
+                     static_cast<std::size_t>(channels_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  bool in_bounds(int x, int y) const { return x >= 0 && x < width_ && y >= 0 && y < height_; }
+
+  /// Clamped read: coordinates outside the image read the nearest edge.
+  float sample_clamped(int x, int y, int c) const;
+
+  /// Set/get an RGB pixel (grayscale images replicate/average channels).
+  void set_pixel(int x, int y, const Color& color);
+  Color pixel(int x, int y) const;
+
+  /// Set a pixel only when in bounds.
+  void set_pixel_safe(int x, int y, const Color& color);
+
+  void fill(const Color& color);
+
+  /// Clamp every component into [0, 1].
+  void clamp01();
+
+  /// Mean intensity over all channels.
+  double mean_intensity() const;
+  /// Mean of squared intensity (signal power) over all channels.
+  double power() const;
+
+  /// Convert to single-channel luminance (Rec.601 weights).
+  Image to_grayscale() const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  bool same_shape(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ && channels_ == other.channels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace neuro::image

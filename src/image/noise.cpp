@@ -1,0 +1,54 @@
+#include "image/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace neuro::image {
+
+double awgn_sigma_for_snr(double signal_power, double snr_db) {
+  if (signal_power <= 0.0) return 0.0;
+  const double noise_power = signal_power / std::pow(10.0, snr_db / 10.0);
+  return std::sqrt(noise_power);
+}
+
+void add_gaussian_noise_snr(Image& img, double snr_db, util::Rng& rng) {
+  add_gaussian_noise(img, awgn_sigma_for_snr(img.power(), snr_db), rng);
+}
+
+void add_gaussian_noise(Image& img, double sigma, util::Rng& rng) {
+  if (sigma < 0.0) throw std::invalid_argument("noise sigma must be >= 0");
+  if (sigma == 0.0) return;
+  for (float& v : img.data()) {
+    v = static_cast<float>(
+        std::clamp(static_cast<double>(v) + rng.normal(0.0, sigma), 0.0, 1.0));
+  }
+}
+
+void add_salt_pepper(Image& img, double fraction, util::Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) throw std::invalid_argument("fraction in [0,1]");
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (!rng.bernoulli(fraction)) continue;
+      img.set_pixel(x, y, rng.bernoulli(0.5) ? Color::gray(1.0F) : Color::gray(0.0F));
+    }
+  }
+}
+
+double measure_snr_db(const Image& clean, const Image& noisy) {
+  if (!clean.same_shape(noisy)) throw std::invalid_argument("snr: shape mismatch");
+  const auto& a = clean.data();
+  const auto& b = noisy.data();
+  double signal = 0.0;
+  double noise = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    signal += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    const double d = static_cast<double>(b[i]) - static_cast<double>(a[i]);
+    noise += d * d;
+  }
+  if (noise == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace neuro::image

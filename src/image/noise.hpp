@@ -1,0 +1,29 @@
+#pragma once
+// Noise injection for the robustness ablation (Fig. 3): additive white
+// Gaussian noise at a target signal-to-noise ratio, plus salt-and-pepper
+// for failure-injection tests.
+
+#include "image/image.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::image {
+
+/// Standard deviation of AWGN that yields the requested SNR (dB) for the
+/// given signal power (mean square pixel value).
+double awgn_sigma_for_snr(double signal_power, double snr_db);
+
+/// Add white Gaussian noise scaled so the result has the target SNR in dB
+/// relative to the image's own signal power; output clamped to [0, 1].
+void add_gaussian_noise_snr(Image& img, double snr_db, util::Rng& rng);
+
+/// Add white Gaussian noise with an explicit sigma; clamped to [0, 1].
+void add_gaussian_noise(Image& img, double sigma, util::Rng& rng);
+
+/// Flip a fraction of pixels to pure black/white.
+void add_salt_pepper(Image& img, double fraction, util::Rng& rng);
+
+/// Measured empirical SNR (dB) of `noisy` against the reference `clean`.
+/// Returns +inf for identical images.
+double measure_snr_db(const Image& clean, const Image& noisy);
+
+}  // namespace neuro::image

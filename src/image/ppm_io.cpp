@@ -1,0 +1,104 @@
+#include "image/ppm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace neuro::image {
+
+namespace {
+
+unsigned char quantize(float v) {
+  const float clamped = std::clamp(v, 0.0F, 1.0F);
+  return static_cast<unsigned char>(std::lround(clamped * 255.0F));
+}
+
+/// Reads the next whitespace/comment-delimited token from a PPM header.
+std::string next_token(const std::string& bytes, std::size_t& pos) {
+  while (pos < bytes.size()) {
+    const char c = bytes[pos];
+    if (c == '#') {
+      while (pos < bytes.size() && bytes[pos] != '\n') ++pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else {
+      break;
+    }
+  }
+  const std::size_t start = pos;
+  while (pos < bytes.size() && !std::isspace(static_cast<unsigned char>(bytes[pos]))) ++pos;
+  if (start == pos) throw std::runtime_error("ppm: truncated header");
+  return bytes.substr(start, pos - start);
+}
+
+}  // namespace
+
+std::string encode_ppm(const Image& img) {
+  if (img.empty()) throw std::invalid_argument("ppm: empty image");
+  const bool gray = img.channels() == 1;
+  std::ostringstream oss;
+  oss << (gray ? "P5" : "P6") << '\n' << img.width() << ' ' << img.height() << "\n255\n";
+  std::string out = oss.str();
+  out.reserve(out.size() + img.pixel_count() * static_cast<std::size_t>(img.channels()));
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out += static_cast<char>(quantize(img.at(x, y, c)));
+      }
+    }
+  }
+  return out;
+}
+
+Image decode_ppm(const std::string& bytes) {
+  std::size_t pos = 0;
+  const std::string magic = next_token(bytes, pos);
+  int channels = 0;
+  if (magic == "P6") channels = 3;
+  else if (magic == "P5") channels = 1;
+  else throw std::runtime_error("ppm: unsupported magic '" + magic + "'");
+
+  const int width = std::stoi(next_token(bytes, pos));
+  const int height = std::stoi(next_token(bytes, pos));
+  const int maxval = std::stoi(next_token(bytes, pos));
+  if (width <= 0 || height <= 0) throw std::runtime_error("ppm: bad dimensions");
+  if (maxval <= 0 || maxval > 255) throw std::runtime_error("ppm: unsupported maxval");
+  if (pos >= bytes.size()) throw std::runtime_error("ppm: missing pixel data");
+  ++pos;  // single whitespace after maxval
+
+  const std::size_t needed = static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+                             static_cast<std::size_t>(channels);
+  if (bytes.size() - pos < needed) throw std::runtime_error("ppm: truncated pixel data");
+
+  Image img(width, height, channels);
+  const float scale = 1.0F / static_cast<float>(maxval);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        img.at(x, y, c) = static_cast<float>(static_cast<unsigned char>(bytes[pos++])) * scale;
+      }
+    }
+  }
+  return img;
+}
+
+void save_ppm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  const std::string bytes = encode_ppm(img);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Image load_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return decode_ppm(buffer.str());
+}
+
+}  // namespace neuro::image

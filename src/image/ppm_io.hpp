@@ -1,0 +1,23 @@
+#pragma once
+// Binary PPM (P6) / PGM (P5) image I/O. Enough to inspect rendered scenes
+// and detector outputs with any image viewer; no external codec needed.
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace neuro::image {
+
+/// Save as P6 (RGB) or P5 (grayscale) depending on channel count.
+void save_ppm(const Image& img, const std::string& path);
+
+/// Load a binary P5/P6 file (maxval <= 255). Throws on malformed input.
+Image load_ppm(const std::string& path);
+
+/// Serialize to an in-memory PPM byte string (used by tests).
+std::string encode_ppm(const Image& img);
+
+/// Parse an in-memory PPM byte string.
+Image decode_ppm(const std::string& bytes);
+
+}  // namespace neuro::image

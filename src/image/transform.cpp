@@ -1,0 +1,150 @@
+#include "image/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuro::image {
+
+Image rotate90(const Image& img) {
+  // 90 degrees clockwise: (x, y) -> (H - 1 - y, x).
+  Image out(img.height(), img.width(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out.at(img.height() - 1 - y, x, c) = img.at(x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image rotate180(const Image& img) {
+  Image out(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out.at(img.width() - 1 - x, img.height() - 1 - y, c) = img.at(x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image rotate270(const Image& img) {
+  // 90 degrees counter-clockwise: (x, y) -> (y, W - 1 - x).
+  Image out(img.height(), img.width(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out.at(y, img.width() - 1 - x, c) = img.at(x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image flip_horizontal(const Image& img) {
+  Image out(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out.at(img.width() - 1 - x, y, c) = img.at(x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image flip_vertical(const Image& img) {
+  Image out(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out.at(x, img.height() - 1 - y, c) = img.at(x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image crop(const Image& img, int x, int y, int w, int h) {
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(img.width(), x + w);
+  const int y1 = std::min(img.height(), y + h);
+  if (x1 <= x0 || y1 <= y0) throw std::invalid_argument("crop rectangle outside image");
+  Image out(x1 - x0, y1 - y0, img.channels());
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      for (int c = 0; c < img.channels(); ++c) {
+        out.at(xx - x0, yy - y0, c) = img.at(xx, yy, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image resize_bilinear(const Image& img, int new_width, int new_height) {
+  if (new_width <= 0 || new_height <= 0) throw std::invalid_argument("resize to empty image");
+  Image out(new_width, new_height, img.channels());
+  const float sx = static_cast<float>(img.width()) / static_cast<float>(new_width);
+  const float sy = static_cast<float>(img.height()) / static_cast<float>(new_height);
+  for (int y = 0; y < new_height; ++y) {
+    const float src_y = (static_cast<float>(y) + 0.5F) * sy - 0.5F;
+    const int y0 = static_cast<int>(std::floor(src_y));
+    const float fy = src_y - static_cast<float>(y0);
+    for (int x = 0; x < new_width; ++x) {
+      const float src_x = (static_cast<float>(x) + 0.5F) * sx - 0.5F;
+      const int x0 = static_cast<int>(std::floor(src_x));
+      const float fx = src_x - static_cast<float>(x0);
+      for (int c = 0; c < img.channels(); ++c) {
+        const float v00 = img.sample_clamped(x0, y0, c);
+        const float v10 = img.sample_clamped(x0 + 1, y0, c);
+        const float v01 = img.sample_clamped(x0, y0 + 1, c);
+        const float v11 = img.sample_clamped(x0 + 1, y0 + 1, c);
+        const float top = v00 + (v10 - v00) * fx;
+        const float bottom = v01 + (v11 - v01) * fx;
+        out.at(x, y, c) = top + (bottom - top) * fy;
+      }
+    }
+  }
+  return out;
+}
+
+BoxF rotate90_box(const BoxF& box, int /*img_width*/, int img_height) {
+  // (x, y) -> (H - y - h, x); width/height swap.
+  return {static_cast<float>(img_height) - box.y - box.h, box.x, box.h, box.w};
+}
+
+BoxF rotate180_box(const BoxF& box, int img_width, int img_height) {
+  return {static_cast<float>(img_width) - box.x - box.w,
+          static_cast<float>(img_height) - box.y - box.h, box.w, box.h};
+}
+
+BoxF rotate270_box(const BoxF& box, int img_width, int /*img_height*/) {
+  return {box.y, static_cast<float>(img_width) - box.x - box.w, box.h, box.w};
+}
+
+BoxF flip_horizontal_box(const BoxF& box, int img_width) {
+  return {static_cast<float>(img_width) - box.x - box.w, box.y, box.w, box.h};
+}
+
+BoxF flip_vertical_box(const BoxF& box, int img_height) {
+  return {box.x, static_cast<float>(img_height) - box.y - box.h, box.w, box.h};
+}
+
+BoxF crop_box(const BoxF& box, int crop_x, int crop_y, int crop_w, int crop_h) {
+  const float x0 = std::max(box.x, static_cast<float>(crop_x));
+  const float y0 = std::max(box.y, static_cast<float>(crop_y));
+  const float x1 = std::min(box.x + box.w, static_cast<float>(crop_x + crop_w));
+  const float y1 = std::min(box.y + box.h, static_cast<float>(crop_y + crop_h));
+  if (x1 <= x0 || y1 <= y0) return {0.0F, 0.0F, 0.0F, 0.0F};
+  return {x0 - static_cast<float>(crop_x), y0 - static_cast<float>(crop_y), x1 - x0, y1 - y0};
+}
+
+BoxF scale_box(const BoxF& box, float sx, float sy) {
+  return {box.x * sx, box.y * sy, box.w * sx, box.h * sy};
+}
+
+}  // namespace neuro::image

@@ -1,0 +1,46 @@
+#pragma once
+// Geometric transforms used by the augmentation ablation (Fig. 2): exact
+// 90-degree rotations, flips, crops and bilinear resize.
+
+#include "image/image.hpp"
+
+namespace neuro::image {
+
+/// Exact rotations; 90 and 270 swap width/height.
+Image rotate90(const Image& img);
+Image rotate180(const Image& img);
+Image rotate270(const Image& img);
+
+Image flip_horizontal(const Image& img);
+Image flip_vertical(const Image& img);
+
+/// Crop the rectangle [x, x+w) x [y, y+h); clipped to the image, the result
+/// is at least 1x1. Throws if the rectangle misses the image entirely.
+Image crop(const Image& img, int x, int y, int w, int h);
+
+/// Bilinear resize to new_width x new_height (both > 0).
+Image resize_bilinear(const Image& img, int new_width, int new_height);
+
+/// Bounding-box transform companions so annotations stay aligned with the
+/// transformed pixels. Boxes are (x, y, w, h) in pixels.
+struct BoxF {
+  float x = 0.0F;
+  float y = 0.0F;
+  float w = 0.0F;
+  float h = 0.0F;
+};
+
+BoxF rotate90_box(const BoxF& box, int img_width, int img_height);
+BoxF rotate180_box(const BoxF& box, int img_width, int img_height);
+BoxF rotate270_box(const BoxF& box, int img_width, int img_height);
+BoxF flip_horizontal_box(const BoxF& box, int img_width);
+BoxF flip_vertical_box(const BoxF& box, int img_height);
+
+/// Intersect a box with a crop window; returns a zero-size box when the
+/// object falls fully outside the crop.
+BoxF crop_box(const BoxF& box, int crop_x, int crop_y, int crop_w, int crop_h);
+
+/// Scale a box by independent x/y factors.
+BoxF scale_box(const BoxF& box, float sx, float sy);
+
+}  // namespace neuro::image

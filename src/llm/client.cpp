@@ -1,0 +1,84 @@
+#include "llm/client.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuro::llm {
+
+LlmClient::LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed)
+    : model_(&model), config_(config), rng_(seed) {}
+
+ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
+                            const VisualObservation& observation,
+                            const SamplingParams& params) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ModelProfile& profile = model_->profile();
+
+  ChatOutcome outcome;
+  outcome.input_tokens = static_cast<int>(estimate_tokens(message.text));
+
+  // Token-bucket rate limiting in virtual time: each request reserves the
+  // next free slot.
+  const double slot_ms = 1000.0 / std::max(0.001, config_.requests_per_second);
+  outcome.total_wait_ms += bucket_next_free_ms_;
+  bucket_next_free_ms_ += slot_ms;
+
+  double backoff_ms = config_.initial_backoff_ms;
+  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+
+    // Lognormal service latency around the provider's median.
+    const double latency =
+        profile.median_latency_ms * std::exp(rng_.normal(0.0, profile.latency_log_sigma));
+    outcome.latency_ms = latency;
+    outcome.total_wait_ms += latency;
+
+    if (!rng_.bernoulli(profile.transient_failure_rate)) {
+      outcome.text = model_->answer_message(message, language, observation, params, rng_);
+      outcome.ok = true;
+      break;
+    }
+    outcome.ok = false;
+    if (attempt < config_.max_attempts) {
+      ++usage_.retries;
+      const double jitter = 1.0 + rng_.uniform(-config_.backoff_jitter, config_.backoff_jitter);
+      outcome.total_wait_ms += backoff_ms * jitter;
+      backoff_ms *= 2.0;
+    }
+  }
+
+  outcome.output_tokens = outcome.ok
+                              ? static_cast<int>(message.asks.size()) *
+                                    config_.output_tokens_per_answer
+                              : 0;
+  outcome.cost_usd =
+      outcome.input_tokens * profile.usd_per_1m_input_tokens / 1e6 +
+      outcome.output_tokens * profile.usd_per_1m_output_tokens / 1e6;
+
+  ++usage_.requests;
+  if (!outcome.ok) ++usage_.failures;
+  usage_.input_tokens += static_cast<std::uint64_t>(outcome.input_tokens);
+  usage_.output_tokens += static_cast<std::uint64_t>(outcome.output_tokens);
+  usage_.cost_usd += outcome.cost_usd;
+  usage_.busy_ms += outcome.total_wait_ms;
+  return outcome;
+}
+
+std::vector<ChatOutcome> LlmClient::run_plan(const PromptPlan& plan,
+                                             const VisualObservation& observation,
+                                             const SamplingParams& params) {
+  std::vector<ChatOutcome> outcomes;
+  outcomes.reserve(plan.messages.size());
+  for (const PromptMessage& message : plan.messages) {
+    outcomes.push_back(send(message, plan.language, observation, params));
+    if (!outcomes.back().ok) break;  // a dead turn aborts a sequential exchange
+  }
+  return outcomes;
+}
+
+UsageMeter LlmClient::usage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return usage_;
+}
+
+}  // namespace neuro::llm

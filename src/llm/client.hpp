@@ -1,0 +1,78 @@
+#pragma once
+// Simulated LLM API client: the serving-layer realism behind the paper's
+// discussion of "computational costs and API latency" as barriers to
+// majority voting. Requests pass through a token-bucket rate limiter, a
+// lognormal latency model, transient-failure injection with exponential
+// backoff retries, and token/cost accounting — all in *virtual time*, so
+// experiments measure what a deployment would pay and wait without
+// actually sleeping.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llm/vlm.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::llm {
+
+struct ClientConfig {
+  int max_attempts = 4;               // 1 initial + 3 retries
+  double initial_backoff_ms = 500.0;  // doubles per retry
+  double backoff_jitter = 0.25;       // +/- fraction
+  double requests_per_second = 5.0;   // provider rate limit
+  int output_tokens_per_answer = 2;   // "Yes," etc.
+};
+
+/// Result of one logical request (including its retries).
+struct ChatOutcome {
+  std::string text;
+  bool ok = true;
+  int attempts = 1;
+  double latency_ms = 0.0;       // service time of the final attempt
+  double total_wait_ms = 0.0;    // queueing + retries + service, virtual
+  int input_tokens = 0;
+  int output_tokens = 0;
+  double cost_usd = 0.0;
+};
+
+/// Accumulated usage across a client's lifetime.
+struct UsageMeter {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;       // requests that exhausted retries
+  std::uint64_t retries = 0;
+  std::uint64_t input_tokens = 0;
+  std::uint64_t output_tokens = 0;
+  double cost_usd = 0.0;
+  double busy_ms = 0.0;             // sum of total_wait_ms
+};
+
+class LlmClient {
+ public:
+  /// The client borrows the model; the model must outlive the client.
+  LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed);
+
+  /// Send one request message about an image. Thread-safe.
+  ChatOutcome send(const PromptMessage& message, Language language,
+                   const VisualObservation& observation, const SamplingParams& params);
+
+  /// Run a full prompt plan (sequential plans issue one request per
+  /// message and stop early if a message ultimately fails).
+  std::vector<ChatOutcome> run_plan(const PromptPlan& plan,
+                                    const VisualObservation& observation,
+                                    const SamplingParams& params);
+
+  UsageMeter usage() const;
+  const VisionLanguageModel& model() const { return *model_; }
+
+ private:
+  const VisionLanguageModel* model_;
+  ClientConfig config_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  UsageMeter usage_;
+  double bucket_next_free_ms_ = 0.0;  // virtual-time token bucket
+};
+
+}  // namespace neuro::llm

@@ -1,0 +1,74 @@
+#include "llm/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace neuro::llm {
+
+std::size_t TokenDecoder::sample_index(const std::vector<TokenCandidate>& candidates,
+                                       const SamplingParams& params, util::Rng& rng) {
+  if (candidates.empty()) throw std::invalid_argument("decoder: empty candidate set");
+  if (params.temperature <= 0.0) throw std::invalid_argument("decoder: temperature must be > 0");
+  if (params.top_p <= 0.0 || params.top_p > 1.0) {
+    throw std::invalid_argument("decoder: top_p in (0, 1]");
+  }
+
+  // Temperature-scaled probabilities.
+  std::vector<double> probs(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    probs[i] = candidates[i].logit / params.temperature;
+  }
+  util::softmax_inplace(probs);
+
+  // Nucleus: sort indices by probability, keep the smallest prefix with
+  // cumulative mass >= top_p.
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return probs[a] > probs[b]; });
+
+  double cumulative = 0.0;
+  std::size_t nucleus_size = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    cumulative += probs[order[i]];
+    nucleus_size = i + 1;
+    if (cumulative >= params.top_p) break;
+  }
+
+  double mass = 0.0;
+  for (std::size_t i = 0; i < nucleus_size; ++i) mass += probs[order[i]];
+  double target = rng.uniform() * mass;
+  for (std::size_t i = 0; i < nucleus_size; ++i) {
+    target -= probs[order[i]];
+    if (target <= 0.0) return order[i];
+  }
+  return order[nucleus_size - 1];
+}
+
+std::vector<TokenCandidate> TokenDecoder::answer_candidates(double yes_logit,
+                                                            Language language) const {
+  const Lexicon& lexicon = Lexicon::standard();
+  const std::string yes(lexicon.yes_token(language));
+  const std::string no(lexicon.no_token(language));
+  // Evidence splits symmetrically between the two contentful tokens; the
+  // hedge and format-break tokens sit far down the distribution so they
+  // surface only under aggressive sampling parameters.
+  return {
+      {yes, yes_logit * 0.5},
+      {no, -yes_logit * 0.5},
+      {"Unsure", -3.2},
+      {"I think " + (yes_logit >= 0.0 ? yes : no), -4.0},
+  };
+}
+
+std::string TokenDecoder::sample_answer(double yes_logit, const SamplingParams& params,
+                                        Language language, util::Rng& rng) const {
+  const std::vector<TokenCandidate> candidates = answer_candidates(yes_logit, language);
+  return candidates[sample_index(candidates, params, rng)].text;
+}
+
+}  // namespace neuro::llm

@@ -1,0 +1,48 @@
+#pragma once
+// Token decoder with temperature and nucleus (top-p) sampling — the
+// mechanism behind the paper's parameter-tuning experiment (§IV-C4).
+//
+// For a yes/no question the model holds an internal evidence logit; the
+// decoder turns it into a small token distribution (affirmative, negative,
+// a rare hedge token, a rare format break), applies temperature to the
+// logits, truncates to the top-p nucleus, and samples.
+
+#include <string>
+#include <vector>
+
+#include "llm/lexicon.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::llm {
+
+struct SamplingParams {
+  double temperature = 1.0;  // provider default
+  double top_p = 0.95;       // provider default
+};
+
+/// One candidate output token with its (pre-temperature) logit.
+struct TokenCandidate {
+  std::string text;
+  double logit = 0.0;
+};
+
+class TokenDecoder {
+ public:
+  /// Generic nucleus sampling: temperature-scale logits, keep the smallest
+  /// prefix of the sorted distribution whose mass reaches top_p, renormalize
+  /// and sample. Throws on empty candidates or non-positive temperature.
+  static std::size_t sample_index(const std::vector<TokenCandidate>& candidates,
+                                  const SamplingParams& params, util::Rng& rng);
+
+  /// Decode one yes/no answer. `yes_logit` is the model's internal evidence
+  /// for "yes" (log-odds); the emitted token uses the language's lexicon
+  /// tokens. Rare hedge ("Unsure") and format-break tokens become more
+  /// likely at high temperature.
+  std::string sample_answer(double yes_logit, const SamplingParams& params, Language language,
+                            util::Rng& rng) const;
+
+  /// Candidate set used by sample_answer (exposed for tests).
+  std::vector<TokenCandidate> answer_candidates(double yes_logit, Language language) const;
+};
+
+}  // namespace neuro::llm

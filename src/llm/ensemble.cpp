@@ -1,0 +1,37 @@
+#include "llm/ensemble.hpp"
+
+namespace neuro::llm {
+
+std::size_t majority_quorum(std::size_t voters) { return voters / 2 + 1; }
+
+scene::PresenceVector majority_vote(const std::vector<scene::PresenceVector>& votes,
+                                    std::size_t quorum) {
+  if (votes.empty()) throw std::invalid_argument("majority_vote: no votes");
+  if (quorum == 0) quorum = majority_quorum(votes.size());
+  if (quorum > votes.size()) throw std::invalid_argument("majority_vote: quorum > voters");
+
+  scene::PresenceVector result;
+  for (scene::Indicator ind : scene::all_indicators()) {
+    std::size_t ayes = 0;
+    for (const scene::PresenceVector& vote : votes) {
+      if (vote[ind]) ++ayes;
+    }
+    result.set(ind, ayes >= quorum);
+  }
+  return result;
+}
+
+scene::IndicatorMap<double> vote_agreement(const std::vector<scene::PresenceVector>& votes) {
+  scene::IndicatorMap<double> agreement;
+  if (votes.empty()) return agreement;
+  for (scene::Indicator ind : scene::all_indicators()) {
+    std::size_t ayes = 0;
+    for (const scene::PresenceVector& vote : votes) {
+      if (vote[ind]) ++ayes;
+    }
+    agreement[ind] = static_cast<double>(ayes) / static_cast<double>(votes.size());
+  }
+  return agreement;
+}
+
+}  // namespace neuro::llm

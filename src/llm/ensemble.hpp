@@ -1,0 +1,25 @@
+#pragma once
+// Majority-voting ensemble over model predictions (Fig. 5): an indicator
+// is declared present when at least `quorum` of the member predictions
+// agree. The paper votes the top-3 models (Gemini, Claude, Grok 2) with a
+// 2-of-3 quorum.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "scene/indicators.hpp"
+
+namespace neuro::llm {
+
+/// Simple-majority quorum for n voters: floor(n/2) + 1.
+std::size_t majority_quorum(std::size_t voters);
+
+/// Vote per indicator. `quorum` = 0 selects simple majority.
+scene::PresenceVector majority_vote(const std::vector<scene::PresenceVector>& votes,
+                                    std::size_t quorum = 0);
+
+/// Per-indicator agreement fraction (how many voters said "present").
+scene::IndicatorMap<double> vote_agreement(const std::vector<scene::PresenceVector>& votes);
+
+}  // namespace neuro::llm

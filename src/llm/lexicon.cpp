@@ -1,0 +1,119 @@
+#include "llm/lexicon.hpp"
+
+#include <stdexcept>
+
+namespace neuro::llm {
+
+using scene::Indicator;
+
+std::string_view language_name(Language language) {
+  switch (language) {
+    case Language::kEnglish: return "English";
+    case Language::kSpanish: return "Spanish";
+    case Language::kChinese: return "Chinese";
+    case Language::kBengali: return "Bengali";
+  }
+  return "?";
+}
+
+std::string_view language_code(Language language) {
+  switch (language) {
+    case Language::kEnglish: return "en";
+    case Language::kSpanish: return "es";
+    case Language::kChinese: return "zh";
+    case Language::kBengali: return "bn";
+  }
+  return "?";
+}
+
+namespace {
+std::size_t language_index(Language language) { return static_cast<std::size_t>(language); }
+}  // namespace
+
+Lexicon::Lexicon() {
+  auto set = [&](Language lang, Indicator ind, std::string term, std::string yes, std::string no,
+                 double grounding) {
+    entries_[language_index(lang)][ind] =
+        LexiconEntry{std::move(term), std::move(yes), std::move(no), grounding};
+  };
+
+  // English terms ground perfectly by construction (the reference).
+  set(Language::kEnglish, Indicator::kStreetlight, "streetlight", "Yes", "No", 1.0);
+  set(Language::kEnglish, Indicator::kSidewalk, "sidewalk", "Yes", "No", 1.0);
+  set(Language::kEnglish, Indicator::kSingleLaneRoad, "single-lane road (one lane per direction)",
+      "Yes", "No", 1.0);
+  set(Language::kEnglish, Indicator::kMultilaneRoad,
+      "multi-lane road (more than one lane per direction)", "Yes", "No", 1.0);
+  set(Language::kEnglish, Indicator::kPowerline, "powerline", "Yes", "No", 1.0);
+  set(Language::kEnglish, Indicator::kApartment, "apartment", "Yes", "No", 1.0);
+
+  // Spanish: good grounding except "carretera de un solo carril", whose
+  // phrasing is ambiguous ("one-lane" vs "one-way") -> 18% recall in the
+  // paper; modeled as negative grounding.
+  set(Language::kSpanish, Indicator::kStreetlight, "alumbrado publico", "Si", "No", 0.95);
+  set(Language::kSpanish, Indicator::kSidewalk, "acera", "Si", "No", 0.93);
+  set(Language::kSpanish, Indicator::kSingleLaneRoad,
+      "carretera de un solo carril (un carril por sentido)", "Si", "No", -0.29);
+  set(Language::kSpanish, Indicator::kMultilaneRoad,
+      "carretera de varios carriles (mas de un carril por sentido)", "Si", "No", 0.95);
+  set(Language::kSpanish, Indicator::kPowerline, "cable electrico", "Si", "No", 0.95);
+  set(Language::kSpanish, Indicator::kApartment, "apartamento", "Si", "No", 0.95);
+
+  // Simplified Chinese: severe failure on sidewalk (paper: 1% recall) —
+  // the chosen compound term fails to bind to the visual concept.
+  set(Language::kChinese, Indicator::kStreetlight, "路灯", "是", "否", 0.72);
+  set(Language::kChinese, Indicator::kSidewalk, "路边人行道", "是",
+      "否", -0.45);
+  set(Language::kChinese, Indicator::kSingleLaneRoad, "单车道公路", "是",
+      "否", 0.72);
+  set(Language::kChinese, Indicator::kMultilaneRoad, "多车道公路", "是",
+      "否", 0.72);
+  set(Language::kChinese, Indicator::kPowerline, "电线", "是", "否", 0.72);
+  set(Language::kChinese, Indicator::kApartment, "公寓", "是", "否", 0.72);
+
+  // Bengali: mild uniform degradation (paper: 86% vs 89.7% English).
+  set(Language::kBengali, Indicator::kStreetlight,
+      "রাস্তার আলো",
+      "হ্যা", "না", 0.92);
+  set(Language::kBengali, Indicator::kSidewalk, "ফুটপাত",
+      "হ্যা", "না", 0.92);
+  set(Language::kBengali, Indicator::kSingleLaneRoad,
+      "এক-লেনের রাস্তা",
+      "হ্যা", "না", 0.90);
+  set(Language::kBengali, Indicator::kMultilaneRoad,
+      "বহু-লেনের রাস্তা",
+      "হ্যা", "না", 0.92);
+  set(Language::kBengali, Indicator::kPowerline,
+      "বিদ্যুতের লাইন",
+      "হ্যা", "না", 0.92);
+  set(Language::kBengali, Indicator::kApartment,
+      "অ্যাপার্টমেন্ট",
+      "হ্যা", "না", 0.92);
+}
+
+const Lexicon& Lexicon::standard() {
+  static const Lexicon instance;
+  return instance;
+}
+
+const LexiconEntry& Lexicon::entry(Language language, Indicator indicator) const {
+  return entries_[language_index(language)][indicator];
+}
+
+std::string_view Lexicon::yes_token(Language language) const {
+  return entries_[language_index(language)][Indicator::kStreetlight].yes_token;
+}
+
+std::string_view Lexicon::no_token(Language language) const {
+  return entries_[language_index(language)][Indicator::kStreetlight].no_token;
+}
+
+double Lexicon::mean_grounding(Language language) const {
+  double sum = 0.0;
+  for (scene::Indicator ind : scene::all_indicators()) {
+    sum += entries_[language_index(language)][ind].grounding;
+  }
+  return sum / scene::kIndicatorCount;
+}
+
+}  // namespace neuro::llm

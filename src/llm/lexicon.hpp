@@ -1,0 +1,59 @@
+#pragma once
+// Multilingual concept lexicon for the prompt experiments (Fig. 6).
+//
+// Each (language, indicator) pair carries the surface term used in the
+// paper's prompts plus a "grounding" coefficient in [-1, 1]: how strongly
+// that lexeme is associated with the right visual concept inside a
+// vision-language model's embedding space. 1 = as good as English;
+// 0 = no association; negative = the term actively misleads the model
+// (the paper observed Chinese "sidewalk" at 1% recall and Spanish
+// "single-lane road" at 18% recall — both modeled as weak/negative
+// grounding from uneven multilingual training data).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scene/indicators.hpp"
+
+namespace neuro::llm {
+
+enum class Language { kEnglish, kSpanish, kChinese, kBengali };
+
+constexpr std::array<Language, 4> all_languages() {
+  return {Language::kEnglish, Language::kSpanish, Language::kChinese, Language::kBengali};
+}
+
+std::string_view language_name(Language language);
+std::string_view language_code(Language language);  // en / es / zh / bn
+
+/// Surface terms for one indicator in one language.
+struct LexiconEntry {
+  std::string term;          // noun phrase used inside the question
+  std::string yes_token;     // affirmative answer token
+  std::string no_token;      // negative answer token
+  double grounding = 1.0;    // visual-concept association strength
+};
+
+/// Lookup table covering the four studied languages and six indicators.
+class Lexicon {
+ public:
+  /// The default lexicon calibrated against the paper's Fig. 6 per-class
+  /// language results.
+  static const Lexicon& standard();
+
+  const LexiconEntry& entry(Language language, scene::Indicator indicator) const;
+
+  /// Yes/no tokens for a language (same across indicators).
+  std::string_view yes_token(Language language) const;
+  std::string_view no_token(Language language) const;
+
+  /// Mean grounding over the six indicators (coarse "language quality").
+  double mean_grounding(Language language) const;
+
+ private:
+  Lexicon();
+  std::array<scene::IndicatorMap<LexiconEntry>, 4> entries_{};
+};
+
+}  // namespace neuro::llm

@@ -1,0 +1,89 @@
+#include "llm/parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace neuro::llm {
+
+bool ParsedAnswers::complete() const {
+  for (const auto& a : answers) {
+    if (!a.has_value()) return false;
+  }
+  return true;
+}
+
+ResponseParser::ResponseParser(const Lexicon& lexicon) : lexicon_(&lexicon) {}
+
+std::optional<bool> ResponseParser::classify_token(std::string_view fragment,
+                                                   Language language) const {
+  const std::string_view trimmed = util::trim(fragment);
+  if (trimmed.empty()) return std::nullopt;
+
+  const std::string_view yes = lexicon_->yes_token(language);
+  const std::string_view no = lexicon_->no_token(language);
+
+  // Exact token (case-insensitive for Latin scripts).
+  if (util::iequals(trimmed, yes) || util::iequals(trimmed, "yes")) return true;
+  if (util::iequals(trimmed, no) || util::iequals(trimmed, "no")) return false;
+
+  // Hedges are explicit non-answers.
+  if (util::icontains(trimmed, "unsure") || util::icontains(trimmed, "unclear") ||
+      util::icontains(trimmed, "maybe")) {
+    return std::nullopt;
+  }
+
+  // Embedded polarity ("I think yes", "Si, claro"). Check negative first:
+  // "no" is a substring-safe token in all four languages here, while a
+  // bare "yes" check would also hit "eyes" — require word-ish match.
+  const std::string lowered = util::to_lower(trimmed);
+  auto contains_word = [&](std::string_view word) {
+    std::size_t pos = 0;
+    while ((pos = lowered.find(std::string(word), pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !std::isalpha(static_cast<unsigned char>(lowered[pos - 1]));
+      const std::size_t end = pos + word.size();
+      const bool right_ok =
+          end >= lowered.size() || !std::isalpha(static_cast<unsigned char>(lowered[end]));
+      if (left_ok && right_ok) return true;
+      ++pos;
+    }
+    return false;
+  };
+
+  if (contains_word("no") || util::contains(trimmed, "否") || util::contains(trimmed, "না")) {
+    return false;
+  }
+  if (contains_word("yes") || contains_word("si") || util::contains(trimmed, "是") ||
+      util::contains(trimmed, "হ্যা") || util::contains(trimmed, "sí")) {
+    return true;
+  }
+  return std::nullopt;
+}
+
+ParsedAnswers ResponseParser::parse(const std::string& response, std::size_t expected,
+                                    Language language) const {
+  ParsedAnswers out;
+  out.answers.assign(expected, std::nullopt);
+
+  // Split on commas, newlines, and the CJK comma.
+  std::string normalized = util::replace_all(response, "，", ",");
+  normalized = util::replace_all(normalized, "\n", ",");
+  normalized = util::replace_all(normalized, ";", ",");
+  const std::vector<std::string> fragments = util::split(normalized, ',');
+
+  std::size_t slot = 0;
+  for (const std::string& fragment : fragments) {
+    if (slot >= expected) break;
+    const std::string_view trimmed = util::trim(fragment);
+    if (trimmed.empty()) continue;
+    const std::optional<bool> polarity = classify_token(trimmed, language);
+    if (!polarity.has_value()) ++out.format_violations;
+    out.answers[slot] = polarity;
+    ++slot;
+  }
+  // Fewer fragments than questions is itself a violation.
+  if (slot < expected) {
+    out.format_violations += static_cast<int>(expected - slot);
+  }
+  return out;
+}
+
+}  // namespace neuro::llm

@@ -1,0 +1,42 @@
+#pragma once
+// Robust parsing of model answers back into presence predictions.
+// Real LLMs violate answer formats; the parser copes with comma/newline
+// separated lists, hedges, prefixed phrases ("I think yes"), multilingual
+// yes/no tokens, and missing answers.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "llm/lexicon.hpp"
+#include "scene/indicators.hpp"
+
+namespace neuro::llm {
+
+struct ParsedAnswers {
+  /// One entry per expected question, in asking order. nullopt = the
+  /// model's answer was missing or unintelligible.
+  std::vector<std::optional<bool>> answers;
+  int format_violations = 0;
+
+  bool complete() const;
+};
+
+class ResponseParser {
+ public:
+  explicit ResponseParser(const Lexicon& lexicon = Lexicon::standard());
+
+  /// Parse a response expected to contain `expected` yes/no answers in the
+  /// given language. English tokens are always accepted as fallback
+  /// (models frequently answer in English regardless of prompt language).
+  ParsedAnswers parse(const std::string& response, std::size_t expected,
+                      Language language) const;
+
+  /// Classify one answer fragment. nullopt when neither polarity matches.
+  std::optional<bool> classify_token(std::string_view fragment, Language language) const;
+
+ private:
+  const Lexicon* lexicon_;
+};
+
+}  // namespace neuro::llm

@@ -1,0 +1,213 @@
+#include "llm/prompt.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace neuro::llm {
+
+using scene::Indicator;
+
+std::string_view strategy_name(PromptStrategy strategy) {
+  switch (strategy) {
+    case PromptStrategy::kParallel: return "parallel";
+    case PromptStrategy::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+std::size_t PromptPlan::question_count() const {
+  std::size_t n = 0;
+  for (const PromptMessage& m : messages) n += m.asks.size();
+  return n;
+}
+
+std::size_t estimate_tokens(std::string_view text) {
+  std::size_t tokens = 0;
+  bool in_word = false;
+  for (std::size_t i = 0; i < text.size();) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x80) {
+      const bool space = c == ' ' || c == '\n' || c == '\t' || c == '\r';
+      if (!space && !in_word) {
+        ++tokens;
+        in_word = true;
+      } else if (space) {
+        in_word = false;
+      }
+      ++i;
+    } else {
+      // Multi-byte UTF-8 sequence. CJK code points (3-byte sequences in the
+      // 0xE3..0xE9 lead range) count one token per character; other scripts
+      // (accented Latin, Bengali) stay part of the current word.
+      const std::size_t len = (c >= 0xF0) ? 4U : (c >= 0xE0) ? 3U : 2U;
+      if (len == 3 && c >= 0xE3 && c <= 0xE9) {
+        ++tokens;
+        in_word = false;
+      } else if (!in_word) {
+        ++tokens;
+        in_word = true;
+      }
+      i += len;
+    }
+  }
+  return tokens;
+}
+
+PromptComplexity analyze_complexity(const PromptMessage& message) {
+  if (message.asks.empty()) throw std::invalid_argument("message asks no questions");
+  PromptComplexity cx;
+
+  const double questions = static_cast<double>(message.asks.size());
+  const double tokens = static_cast<double>(estimate_tokens(message.text));
+
+  // Split off carried context: everything before the last "===" marker the
+  // builder inserts between conversation history and the live question.
+  const std::size_t marker = message.text.rfind("===");
+  if (marker != std::string::npos) {
+    cx.context_tokens = static_cast<double>(estimate_tokens(message.text.substr(0, marker)));
+  }
+
+  cx.tokens_per_question = (tokens - cx.context_tokens) / questions;
+
+  // Connectives and subordinators across the four languages.
+  static const char* kConnectors[] = {"And ",          "and ",    "considering", "in addition",
+                                      "ademas",        "Y ",      "y ",          "并且",
+                                      "另外",          "এবং",     "furthermore", "same image"};
+  double connectors = 0.0;
+  for (const char* connector : kConnectors) {
+    connectors += static_cast<double>(util::count_occurrences(message.text, connector));
+  }
+  cx.connector_density = connectors / questions;
+
+  // Aggregate: normalized so a bare ~20-token single question scores ~1.
+  cx.score = 0.05 * cx.tokens_per_question + 0.45 * cx.connector_density +
+             0.002 * cx.context_tokens;
+  return cx;
+}
+
+PromptBuilder::PromptBuilder(const Lexicon& lexicon) : lexicon_(&lexicon) {}
+
+std::vector<Indicator> PromptBuilder::ask_order() {
+  return {Indicator::kMultilaneRoad, Indicator::kSingleLaneRoad, Indicator::kSidewalk,
+          Indicator::kStreetlight, Indicator::kPowerline, Indicator::kApartment};
+}
+
+std::string PromptBuilder::question_text(Indicator indicator, Language language) const {
+  const LexiconEntry& entry = lexicon_->entry(language, indicator);
+  const bool is_road =
+      indicator == Indicator::kSingleLaneRoad || indicator == Indicator::kMultilaneRoad;
+
+  switch (language) {
+    case Language::kEnglish:
+      if (is_road) {
+        return util::format(
+            "Is the road shown in the image a %s? Respond only with '%s' or '%s'.",
+            entry.term.c_str(), entry.yes_token.c_str(), entry.no_token.c_str());
+      }
+      return util::format("Is there a %s visible in the image? Respond only with '%s' or '%s'.",
+                          entry.term.c_str(), entry.yes_token.c_str(), entry.no_token.c_str());
+    case Language::kSpanish:
+      if (is_road) {
+        return util::format(
+            "La carretera que se muestra en la imagen es una %s? Responda solo con '%s' o '%s'.",
+            entry.term.c_str(), entry.yes_token.c_str(), entry.no_token.c_str());
+      }
+      return util::format("Se ve un %s en la imagen? Responda solo con '%s' o '%s'.",
+                          entry.term.c_str(), entry.yes_token.c_str(), entry.no_token.c_str());
+    case Language::kChinese:
+      return util::format("图片中是否有可见的%s？请仅回答\"%s\"或\"%s\"。", entry.term.c_str(),
+                          entry.yes_token.c_str(), entry.no_token.c_str());
+    case Language::kBengali:
+      return util::format("ছবিতে কি কোনও %s দেখা যাচ্ছে? কেবল '%s' বা '%s' দিয়ে উত্তর দিন।",
+                          entry.term.c_str(), entry.yes_token.c_str(), entry.no_token.c_str());
+  }
+  throw std::logic_error("unknown language");
+}
+
+std::string PromptBuilder::few_shot_block(Language language, int examples) const {
+  if (examples <= 0) return {};
+  examples = std::min(examples, 4);
+  const std::string yes(lexicon_->yes_token(language));
+  const std::string no(lexicon_->no_token(language));
+  // Deterministic demonstration answer patterns over the six questions.
+  static const char* kPatterns[4] = {"YNNYNN", "NYYNYN", "YYNNNY", "NNYYYN"};
+  std::string block = "Examples:\n";
+  for (int e = 0; e < examples; ++e) {
+    block += util::format("[example image %d] -> ", e + 1);
+    std::vector<std::string> answers;
+    for (int q = 0; q < 6; ++q) {
+      answers.push_back(kPatterns[e][q] == 'Y' ? yes : no);
+    }
+    block += util::join(answers, ", ");
+    block += '\n';
+  }
+  // The marker makes the analyzer treat demonstrations as carried context
+  // rather than per-question syntactic load.
+  block += "===\n";
+  return block;
+}
+
+PromptPlan PromptBuilder::build(PromptStrategy strategy, Language language,
+                                int few_shot_examples) const {
+  PromptPlan plan;
+  plan.strategy = strategy;
+  plan.language = language;
+  plan.few_shot_examples = std::max(0, std::min(few_shot_examples, 4));
+  const std::vector<Indicator> order = ask_order();
+  const std::string examples = few_shot_block(language, plan.few_shot_examples);
+
+  if (strategy == PromptStrategy::kParallel) {
+    // Single request: strict format header + the six short questions.
+    PromptMessage message;
+    std::string text = examples;
+    text += util::format(
+        "Respond in this format and nothing else: %s, %s, %s, %s, %s, %s.\n",
+        std::string(lexicon_->yes_token(language)).c_str(),
+        std::string(lexicon_->no_token(language)).c_str(),
+        std::string(lexicon_->no_token(language)).c_str(),
+        std::string(lexicon_->yes_token(language)).c_str(),
+        std::string(lexicon_->no_token(language)).c_str(),
+        std::string(lexicon_->no_token(language)).c_str());
+    for (Indicator ind : order) {
+      text += question_text(ind, language);
+      text += '\n';
+      message.asks.push_back(ind);
+    }
+    message.text = std::move(text);
+    message.few_shot_examples = plan.few_shot_examples;
+    plan.messages.push_back(std::move(message));
+    return plan;
+  }
+
+  // Sequential: one question per request; each request carries the prior
+  // turns as context and frames the new question with connective clauses.
+  std::string history;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    PromptMessage message;
+    std::string text;
+    if (!history.empty()) {
+      text += history;
+      text += "===\n";
+    }
+    if (i == 0) {
+      text += examples;
+      text += question_text(order[i], language);
+    } else {
+      text += util::format(
+          "And considering the same image as before, in addition to the previous questions: %s",
+          question_text(order[i], language).c_str());
+    }
+    message.asks.push_back(order[i]);
+    message.text = text;
+    // Demonstrations from the first turn persist in conversation context.
+    message.few_shot_examples = plan.few_shot_examples;
+    plan.messages.push_back(std::move(message));
+
+    history += util::format("[Q%zu] %s\n[A%zu] ...\n", i + 1,
+                            question_text(order[i], language).c_str(), i + 1);
+  }
+  return plan;
+}
+
+}  // namespace neuro::llm

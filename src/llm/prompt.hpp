@@ -1,0 +1,91 @@
+#pragma once
+// Prompt construction for the two strategies the paper compares (Fig. 4)
+// in the four studied languages, plus a syntactic-complexity analyzer.
+//
+// * Parallel prompting: one request containing a strict answer-format
+//   header and all six short questions.
+// * Sequential prompting: six requests, one question each, every request
+//   carrying the conversational context of the previous turns and framed
+//   with connective subordinate clauses ("And, considering the same
+//   image ..."), i.e. the "complex grammatical constructions" the paper
+//   blames for the accuracy drop.
+//
+// The complexity analyzer works on the actual generated text, so the
+// strategy penalty in the simulated models is text-driven rather than a
+// hardcoded per-strategy constant.
+
+#include <string>
+#include <vector>
+
+#include "llm/lexicon.hpp"
+#include "scene/indicators.hpp"
+
+namespace neuro::llm {
+
+enum class PromptStrategy { kParallel, kSequential };
+
+std::string_view strategy_name(PromptStrategy strategy);
+
+/// One request message: its full text and the indicators it asks about,
+/// in asking order.
+struct PromptMessage {
+  std::string text;
+  std::vector<scene::Indicator> asks;
+  /// Worked examples included in this request (0 = zero-shot).
+  int few_shot_examples = 0;
+};
+
+/// The full exchange plan for interrogating one image.
+struct PromptPlan {
+  PromptStrategy strategy = PromptStrategy::kParallel;
+  Language language = Language::kEnglish;
+  /// Worked examples included ahead of the questions (the paper's §V
+  /// suggestion that few-shot prompting could close the language gap).
+  int few_shot_examples = 0;
+  std::vector<PromptMessage> messages;
+
+  /// Total number of questions across messages (always 6 here).
+  std::size_t question_count() const;
+};
+
+/// Text statistics that proxy the prompt's syntactic load.
+struct PromptComplexity {
+  double tokens_per_question = 0.0;  // length burden per asked question
+  double connector_density = 0.0;    // conjunctions/subordinators per question
+  double context_tokens = 0.0;       // carried conversation context
+  /// Aggregate score; ~1.0 for a minimal single question, higher for
+  /// longer, more connective, more context-laden requests.
+  double score = 1.0;
+};
+
+/// Rough token count: whitespace-separated words plus CJK characters.
+std::size_t estimate_tokens(std::string_view text);
+
+/// Analyze one request message (asks must be non-empty).
+PromptComplexity analyze_complexity(const PromptMessage& message);
+
+class PromptBuilder {
+ public:
+  explicit PromptBuilder(const Lexicon& lexicon = Lexicon::standard());
+
+  /// The paper's per-indicator question in the given language.
+  std::string question_text(scene::Indicator indicator, Language language) const;
+
+  /// Build the exchange plan for a strategy/language pair. Question order
+  /// follows the paper: MR, SR, SW, SL, PL, AP. `few_shot_examples` > 0
+  /// prepends that many worked image->answers demonstrations (clamped to
+  /// 4), anchoring weakly grounded terms to their visual concepts.
+  PromptPlan build(PromptStrategy strategy, Language language,
+                   int few_shot_examples = 0) const;
+
+  /// The worked-example block prepended by few-shot plans.
+  std::string few_shot_block(Language language, int examples) const;
+
+  /// The paper's asking order.
+  static std::vector<scene::Indicator> ask_order();
+
+ private:
+  const Lexicon* lexicon_;
+};
+
+}  // namespace neuro::llm

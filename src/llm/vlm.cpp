@@ -1,0 +1,236 @@
+#include "llm/vlm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::llm {
+
+using scene::Indicator;
+
+VisualObservation observe(const data::LabeledImage& image) {
+  VisualObservation obs;
+  obs.truth = image.presence();
+  for (const data::Annotation& ann : image.annotations) {
+    if (ann.box.w <= 0.0F || ann.box.h <= 0.0F) continue;
+    obs.visibility[ann.indicator] = std::max(obs.visibility[ann.indicator], ann.visibility);
+  }
+  return obs;
+}
+
+CalibrationStats CalibrationStats::from_dataset(const data::Dataset& dataset) {
+  CalibrationStats stats;
+  scene::IndicatorMap<int> present_count;
+  scene::IndicatorMap<double> visibility_sum;
+  for (const data::LabeledImage& image : dataset) {
+    const VisualObservation obs = observe(image);
+    for (Indicator ind : scene::all_indicators()) {
+      if (!obs.truth[ind]) continue;
+      ++present_count[ind];
+      visibility_sum[ind] += obs.visibility[ind];
+    }
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(dataset.size()));
+  for (Indicator ind : scene::all_indicators()) {
+    stats.prevalence[ind] = present_count[ind] / n;
+    stats.mean_visibility[ind] =
+        present_count[ind] > 0 ? visibility_sum[ind] / present_count[ind] : 0.6;
+  }
+  return stats;
+}
+
+CalibrationStats CalibrationStats::paper_nominal() {
+  CalibrationStats stats;
+  stats.prevalence[Indicator::kStreetlight] = 206.0 / 1200.0;
+  stats.prevalence[Indicator::kSidewalk] = 444.0 / 1200.0;
+  stats.prevalence[Indicator::kSingleLaneRoad] = 346.0 / 1200.0;
+  stats.prevalence[Indicator::kMultilaneRoad] = 505.0 / 1200.0;
+  stats.prevalence[Indicator::kPowerline] = 301.0 / 1200.0;
+  stats.prevalence[Indicator::kApartment] = 125.0 / 1200.0;
+  for (Indicator ind : scene::all_indicators()) stats.mean_visibility[ind] = 0.6;
+  return stats;
+}
+
+namespace {
+
+ModelProfile make_profile(std::string name, std::string vendor,
+                          std::array<ClassTargets, scene::kIndicatorCount> targets) {
+  ModelProfile profile;
+  profile.name = std::move(name);
+  profile.vendor = std::move(vendor);
+  for (Indicator ind : scene::all_indicators()) {
+    profile.targets[ind] = targets[scene::indicator_index(ind)];
+  }
+  return profile;
+}
+
+}  // namespace
+
+// Per-class {recall, accuracy} from the paper's Tables III-VI, order:
+// SL, SW, SR, MR, PL, AP.
+ModelProfile chatgpt_4o_mini_profile() {
+  ModelProfile p = make_profile("ChatGPT 4o mini", "OpenAI",
+                                {ClassTargets{0.84, 0.85}, ClassTargets{0.82, 0.82},
+                                 ClassTargets{0.98, 0.67}, ClassTargets{0.87, 0.94},
+                                 ClassTargets{0.94, 0.91}, ClassTargets{1.00, 0.84}});
+  p.complexity_sensitivity = 0.05;  // Fig. 4: small parallel->sequential drop
+  p.median_latency_ms = 750.0;
+  p.usd_per_1m_input_tokens = 0.15;
+  p.usd_per_1m_output_tokens = 0.60;
+  p.transient_failure_rate = 0.008;
+  return p;
+}
+
+ModelProfile gemini_1_5_pro_profile() {
+  ModelProfile p = make_profile("Gemini 1.5 Pro", "Google",
+                                {ClassTargets{0.96, 0.92}, ClassTargets{0.59, 0.81},
+                                 ClassTargets{0.89, 0.73}, ClassTargets{0.98, 0.94},
+                                 ClassTargets{0.96, 0.97}, ClassTargets{1.00, 0.94}});
+  p.complexity_sensitivity = 0.11;  // Fig. 4: 92% -> 80% recall
+  p.median_latency_ms = 1100.0;
+  p.usd_per_1m_input_tokens = 1.25;
+  p.usd_per_1m_output_tokens = 5.00;
+  p.transient_failure_rate = 0.012;
+  return p;
+}
+
+ModelProfile claude_3_7_profile() {
+  ModelProfile p = make_profile("Claude 3.7", "Anthropic",
+                                {ClassTargets{0.76, 0.91}, ClassTargets{0.80, 0.80},
+                                 ClassTargets{0.99, 0.70}, ClassTargets{0.85, 0.93},
+                                 ClassTargets{0.99, 0.89}, ClassTargets{1.00, 0.93}});
+  p.complexity_sensitivity = 0.08;
+  p.median_latency_ms = 1300.0;
+  p.usd_per_1m_input_tokens = 3.00;
+  p.usd_per_1m_output_tokens = 15.00;
+  p.transient_failure_rate = 0.010;
+  return p;
+}
+
+ModelProfile grok_2_profile() {
+  ModelProfile p = make_profile("Grok 2", "xAI",
+                                {ClassTargets{0.91, 0.91}, ClassTargets{0.92, 0.87},
+                                 ClassTargets{0.99, 0.55}, ClassTargets{0.56, 0.82},
+                                 ClassTargets{1.00, 0.94}, ClassTargets{1.00, 0.96}});
+  p.complexity_sensitivity = 0.09;
+  p.median_latency_ms = 1500.0;
+  p.usd_per_1m_input_tokens = 2.00;
+  p.usd_per_1m_output_tokens = 10.00;
+  p.transient_failure_rate = 0.02;
+  return p;
+}
+
+std::vector<ModelProfile> paper_model_profiles() {
+  return {chatgpt_4o_mini_profile(), gemini_1_5_pro_profile(), claude_3_7_profile(),
+          grok_2_profile()};
+}
+
+VisionLanguageModel::VisionLanguageModel(ModelProfile profile, const CalibrationStats& stats)
+    : profile_(std::move(profile)) {
+  for (Indicator ind : scene::all_indicators()) {
+    const ClassTargets& t = profile_.targets[ind];
+    const double pi = util::clamp(stats.prevalence[ind], 0.01, 0.99);
+    const double recall = util::clamp(t.recall, 0.01, 0.995);
+    // Accuracy = R*pi + (1 - FPR)*(1 - pi)  =>  FPR.
+    double fpr = 1.0 - (t.accuracy - recall * pi) / (1.0 - pi);
+    fpr = util::clamp(fpr, 0.005, 0.95);
+
+    ChannelParams channel;
+    channel.threshold = -util::normal_quantile(fpr);
+    channel.d_prime = util::normal_quantile(recall) + channel.threshold;
+    channel.fpr = fpr;
+    channels_[ind] = channel;
+    mean_visibility_[ind] = std::max(0.05, stats.mean_visibility[ind]);
+  }
+
+  // Reference complexity: the per-question load of the canonical parallel
+  // English prompt. Requests at or below this load incur no penalty.
+  const PromptPlan reference = builder_.build(PromptStrategy::kParallel, Language::kEnglish);
+  reference_complexity_ = analyze_complexity(reference.messages.front()).score;
+}
+
+double VisionLanguageModel::complexity_scale(const PromptMessage& message) const {
+  const double score = analyze_complexity(message).score;
+  const double excess = std::max(0.0, score - reference_complexity_);
+  return 1.0 / (1.0 + profile_.complexity_sensitivity * excess);
+}
+
+double VisionLanguageModel::draw_evidence(Indicator indicator,
+                                          const VisualObservation& observation,
+                                          double grounding, double complexity_scale,
+                                          util::Rng& rng) const {
+  const ChannelParams& channel = channels_[indicator];
+  double mean = 0.0;
+  if (observation.truth[indicator]) {
+    // Visibility modulation: hard-to-see instances push evidence down,
+    // salient ones up, centered so the average stays at d'.
+    const double vis_ratio =
+        observation.visibility[indicator] / mean_visibility_[indicator];
+    const double vis_factor = util::clamp(
+        1.0 + profile_.visibility_weight * (vis_ratio - 1.0), 0.55, 1.45);
+    mean = channel.d_prime * grounding * complexity_scale * vis_factor;
+  }
+  return rng.normal(mean, 1.0);
+}
+
+std::string VisionLanguageModel::answer_message(const PromptMessage& message, Language language,
+                                                const VisualObservation& observation,
+                                                const SamplingParams& params,
+                                                util::Rng& rng) const {
+  const double scale = complexity_scale(message);
+  const Lexicon& lexicon = Lexicon::standard();
+
+  // Few-shot demonstrations pull every term toward perfect grounding.
+  const double shot_frac =
+      util::clamp(static_cast<double>(message.few_shot_examples) / 4.0, 0.0, 1.0);
+
+  std::vector<std::string> answers;
+  answers.reserve(message.asks.size());
+  for (Indicator ind : message.asks) {
+    double grounding = lexicon.entry(language, ind).grounding;
+    grounding += (1.0 - grounding) * profile_.few_shot_gain * shot_frac;
+    const double evidence = draw_evidence(ind, observation, grounding, scale, rng);
+    const double yes_logit =
+        profile_.decoder_gain * (evidence - channels_[ind].threshold);
+    answers.push_back(decoder_.sample_answer(yes_logit, params, language, rng));
+  }
+  return util::join(answers, ", ");
+}
+
+std::vector<std::string> VisionLanguageModel::chat(const PromptPlan& plan,
+                                                   const VisualObservation& observation,
+                                                   const SamplingParams& params,
+                                                   util::Rng& rng) const {
+  std::vector<std::string> responses;
+  responses.reserve(plan.messages.size());
+  for (const PromptMessage& message : plan.messages) {
+    responses.push_back(answer_message(message, plan.language, observation, params, rng));
+  }
+  return responses;
+}
+
+scene::PresenceVector VisionLanguageModel::predict_presence(const VisualObservation& observation,
+                                                            PromptStrategy strategy,
+                                                            Language language,
+                                                            const SamplingParams& params,
+                                                            util::Rng& rng,
+                                                            int few_shot_examples) const {
+  const PromptPlan plan = builder_.build(strategy, language, few_shot_examples);
+  const std::vector<std::string> responses = chat(plan, observation, params, rng);
+
+  scene::PresenceVector prediction;
+  for (std::size_t m = 0; m < plan.messages.size(); ++m) {
+    const PromptMessage& message = plan.messages[m];
+    const ParsedAnswers parsed = parser_.parse(responses[m], message.asks.size(), language);
+    for (std::size_t q = 0; q < message.asks.size(); ++q) {
+      const bool yes = parsed.answers[q].value_or(false);
+      if (yes) prediction.set(message.asks[q], true);
+    }
+  }
+  return prediction;
+}
+
+}  // namespace neuro::llm

@@ -1,0 +1,214 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuro::nn {
+
+namespace {
+
+float activate(float x, Activation activation) {
+  switch (activation) {
+    case Activation::kReLU: return x > 0.0F ? x : 0.0F;
+    case Activation::kSigmoid: {
+      if (x >= 0.0F) return 1.0F / (1.0F + std::exp(-x));
+      const float z = std::exp(x);
+      return z / (1.0F + z);
+    }
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kIdentity: return x;
+  }
+  return x;
+}
+
+/// Derivative in terms of pre-activation x and post-activation y.
+float activate_grad(float x, float y, Activation activation) {
+  switch (activation) {
+    case Activation::kReLU: return x > 0.0F ? 1.0F : 0.0F;
+    case Activation::kSigmoid: return y * (1.0F - y);
+    case Activation::kTanh: return 1.0F - y * y;
+    case Activation::kIdentity: return 1.0F;
+  }
+  return 1.0F;
+}
+
+}  // namespace
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation activation,
+                       util::Rng& rng)
+    : weights_(in_dim, out_dim),
+      bias_(out_dim, 0.0F),
+      activation_(activation),
+      grad_weights_(in_dim, out_dim),
+      grad_bias_(out_dim, 0.0F),
+      m_weights_(in_dim, out_dim),
+      v_weights_(in_dim, out_dim),
+      m_bias_(out_dim, 0.0F),
+      v_bias_(out_dim, 0.0F) {
+  if (activation == Activation::kReLU) weights_.init_he(rng);
+  else weights_.init_xavier(rng);
+}
+
+const Matrix& DenseLayer::forward(const Matrix& input) {
+  input_ = input;
+  matmul(input, weights_, pre_activation_);
+  add_row_vector(pre_activation_, bias_);
+  output_ = pre_activation_;
+  for (std::size_t i = 0; i < output_.data().size(); ++i) {
+    output_.data()[i] = activate(pre_activation_.data()[i], activation_);
+  }
+  return output_;
+}
+
+Matrix DenseLayer::apply(const Matrix& input) const {
+  Matrix pre;
+  matmul(input, weights_, pre);
+  add_row_vector(pre, bias_);
+  for (float& v : pre.data()) v = activate(v, activation_);
+  return pre;
+}
+
+Matrix DenseLayer::backward(const Matrix& grad_output) {
+  // dL/dz = dL/dy * act'(z)
+  Matrix grad_pre = grad_output;
+  for (std::size_t i = 0; i < grad_pre.data().size(); ++i) {
+    grad_pre.data()[i] *=
+        activate_grad(pre_activation_.data()[i], output_.data()[i], activation_);
+  }
+  // dL/dW += X^T * dL/dz ; dL/db += column sums of dL/dz.
+  Matrix grad_w;
+  matmul_at_b(input_, grad_pre, grad_w);
+  add_inplace(grad_weights_, grad_w);
+  for (std::size_t r = 0; r < grad_pre.rows(); ++r) {
+    const auto row = grad_pre.row(r);
+    for (std::size_t c = 0; c < grad_pre.cols(); ++c) grad_bias_[c] += row[c];
+  }
+  // dL/dX = dL/dz * W^T.
+  Matrix grad_input;
+  matmul_a_bt(grad_pre, weights_, grad_input);
+  return grad_input;
+}
+
+void DenseLayer::step(const AdamConfig& config, std::size_t batch_size) {
+  ++adam_t_;
+  const float scale = 1.0F / static_cast<float>(std::max<std::size_t>(1, batch_size));
+  const float bc1 = 1.0F - std::pow(config.beta1, static_cast<float>(adam_t_));
+  const float bc2 = 1.0F - std::pow(config.beta2, static_cast<float>(adam_t_));
+
+  auto update = [&](float& param, float& m, float& v, float grad) {
+    grad *= scale;
+    m = config.beta1 * m + (1.0F - config.beta1) * grad;
+    v = config.beta2 * v + (1.0F - config.beta2) * grad * grad;
+    const float m_hat = m / bc1;
+    const float v_hat = v / bc2;
+    param -= config.learning_rate * (m_hat / (std::sqrt(v_hat) + config.epsilon) +
+                                     config.weight_decay * param);
+  };
+
+  for (std::size_t i = 0; i < weights_.data().size(); ++i) {
+    update(weights_.data()[i], m_weights_.data()[i], v_weights_.data()[i],
+           grad_weights_.data()[i]);
+  }
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    update(bias_[i], m_bias_[i], v_bias_[i], grad_bias_[i]);
+  }
+  grad_weights_.fill(0.0F);
+  for (float& g : grad_bias_) g = 0.0F;
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& layer_sizes, Activation hidden, Activation output,
+         std::uint64_t seed) {
+  if (layer_sizes.size() < 2) throw std::invalid_argument("mlp needs >= 2 layer sizes");
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    const bool last = i + 2 == layer_sizes.size();
+    layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1], last ? output : hidden, rng);
+  }
+}
+
+Matrix Mlp::forward(const Matrix& input) {
+  const Matrix* current = &input;
+  for (DenseLayer& layer : layers_) current = &layer.forward(*current);
+  return *current;
+}
+
+Matrix Mlp::predict(const Matrix& input) const {
+  Matrix current = input;
+  for (const DenseLayer& layer : layers_) current = layer.apply(current);
+  return current;
+}
+
+float Mlp::train_batch(const Matrix& input, const Matrix& targets, const AdamConfig& config,
+                       bool bce) {
+  if (input.rows() != targets.rows()) throw std::invalid_argument("batch size mismatch");
+  const Matrix output = forward(input);
+  if (output.cols() != targets.cols()) throw std::invalid_argument("target width mismatch");
+
+  // Loss gradient wrt output. For sigmoid+BCE the combined gradient through
+  // the sigmoid is (y_hat - y); dividing out the sigmoid derivative here
+  // lets backward() multiply it back in, keeping layers uniform.
+  Matrix grad(output.rows(), output.cols());
+  float loss = 0.0F;
+  const float n = static_cast<float>(output.rows());
+  for (std::size_t i = 0; i < output.data().size(); ++i) {
+    const float y_hat = output.data()[i];
+    const float y = targets.data()[i];
+    if (bce) {
+      const float clamped = std::min(std::max(y_hat, 1e-6F), 1.0F - 1e-6F);
+      loss += -(y * std::log(clamped) + (1.0F - y) * std::log(1.0F - clamped));
+      const float sig_grad = clamped * (1.0F - clamped);
+      grad.data()[i] = (clamped - y) / sig_grad;
+    } else {
+      const float diff = y_hat - y;
+      loss += 0.5F * diff * diff;
+      grad.data()[i] = diff;
+    }
+  }
+  loss /= n;
+
+  Matrix grad_current = std::move(grad);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad_current = layers_[i].backward(grad_current);
+  }
+  for (DenseLayer& layer : layers_) layer.step(config, input.rows());
+  return loss;
+}
+
+float Mlp::train_batch_bce(const Matrix& input, const Matrix& targets, const AdamConfig& config) {
+  return train_batch(input, targets, config, true);
+}
+
+float Mlp::train_batch_mse(const Matrix& input, const Matrix& targets, const AdamConfig& config) {
+  return train_batch(input, targets, config, false);
+}
+
+std::vector<float> Mlp::parameters() const {
+  std::vector<float> params;
+  for (const DenseLayer& layer : layers_) {
+    const Matrix& w = layer.weights();
+    params.insert(params.end(), w.data().begin(), w.data().end());
+    const auto& bias = const_cast<DenseLayer&>(layer).bias();
+    params.insert(params.end(), bias.begin(), bias.end());
+  }
+  return params;
+}
+
+void Mlp::set_parameters(const std::vector<float>& params) {
+  std::size_t offset = 0;
+  for (DenseLayer& layer : layers_) {
+    Matrix& w = layer.weights();
+    if (offset + w.data().size() > params.size()) throw std::invalid_argument("param underflow");
+    std::copy(params.begin() + static_cast<std::ptrdiff_t>(offset),
+              params.begin() + static_cast<std::ptrdiff_t>(offset + w.data().size()),
+              w.data().begin());
+    offset += w.data().size();
+    auto& bias = layer.bias();
+    if (offset + bias.size() > params.size()) throw std::invalid_argument("param underflow");
+    std::copy(params.begin() + static_cast<std::ptrdiff_t>(offset),
+              params.begin() + static_cast<std::ptrdiff_t>(offset + bias.size()), bias.begin());
+    offset += bias.size();
+  }
+  if (offset != params.size()) throw std::invalid_argument("param size mismatch");
+}
+
+}  // namespace neuro::nn

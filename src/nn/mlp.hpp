@@ -1,0 +1,102 @@
+#pragma once
+// Small fully-connected network with manual backprop and an Adam optimizer.
+// This is the trainable head of the NanoDet detector (one binary head per
+// indicator class) — the C++ stand-in for the YOLOv11 classification heads.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::nn {
+
+enum class Activation { kReLU, kSigmoid, kTanh, kIdentity };
+
+/// Adam hyperparameters.
+struct AdamConfig {
+  float learning_rate = 1e-3F;
+  float beta1 = 0.9F;
+  float beta2 = 0.999F;
+  float epsilon = 1e-8F;
+  float weight_decay = 0.0F;  // decoupled (AdamW-style)
+};
+
+/// One dense layer with activation and Adam state.
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation activation, util::Rng& rng);
+
+  /// Forward for a batch (rows = samples). Stores activations for backward.
+  const Matrix& forward(const Matrix& input);
+
+  /// Stateless forward (no caching) — safe to call concurrently.
+  Matrix apply(const Matrix& input) const;
+
+  /// Backward: takes dL/d(output), returns dL/d(input); accumulates grads.
+  Matrix backward(const Matrix& grad_output);
+
+  /// Apply one Adam step with the accumulated gradients, then zero them.
+  void step(const AdamConfig& config, std::size_t batch_size);
+
+  std::size_t in_dim() const { return weights_.rows(); }
+  std::size_t out_dim() const { return weights_.cols(); }
+  const Matrix& weights() const { return weights_; }
+  Matrix& weights() { return weights_; }
+  std::vector<float>& bias() { return bias_; }
+
+ private:
+  Matrix weights_;  // in x out
+  std::vector<float> bias_;
+  Activation activation_;
+
+  // Cached forward pass.
+  Matrix input_;
+  Matrix pre_activation_;
+  Matrix output_;
+
+  // Accumulated gradients + Adam moments.
+  Matrix grad_weights_;
+  std::vector<float> grad_bias_;
+  Matrix m_weights_, v_weights_;
+  std::vector<float> m_bias_, v_bias_;
+  std::size_t adam_t_ = 0;
+};
+
+/// Multi-layer perceptron for binary classification (sigmoid output) or
+/// regression. Layer sizes include input and output dims.
+class Mlp {
+ public:
+  Mlp(const std::vector<std::size_t>& layer_sizes, Activation hidden, Activation output,
+      std::uint64_t seed);
+
+  /// Forward a batch; returns the output matrix (batch x out_dim).
+  Matrix forward(const Matrix& input);
+
+  /// Stateless forward — does not touch training caches, safe to call from
+  /// multiple threads concurrently on a const Mlp.
+  Matrix predict(const Matrix& input) const;
+
+  /// One training step on a batch with binary cross-entropy loss against
+  /// targets in {0,1} (batch x out_dim). Returns mean loss.
+  float train_batch_bce(const Matrix& input, const Matrix& targets, const AdamConfig& config);
+
+  /// One training step with mean-squared-error loss. Returns mean loss.
+  float train_batch_mse(const Matrix& input, const Matrix& targets, const AdamConfig& config);
+
+  std::size_t input_dim() const { return layers_.front().in_dim(); }
+  std::size_t output_dim() const { return layers_.back().out_dim(); }
+  std::size_t layer_count() const { return layers_.size(); }
+
+  /// Flat read/write access to all parameters (for serialization tests).
+  std::vector<float> parameters() const;
+  void set_parameters(const std::vector<float>& params);
+
+ private:
+  float train_batch(const Matrix& input, const Matrix& targets, const AdamConfig& config,
+                    bool bce);
+
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace neuro::nn

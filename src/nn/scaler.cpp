@@ -1,0 +1,51 @@
+#include "nn/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuro::nn {
+
+void StandardScaler::fit(const Matrix& features) {
+  if (features.rows() == 0) throw std::invalid_argument("scaler: empty feature matrix");
+  const std::size_t dim = features.cols();
+  means_.assign(dim, 0.0F);
+  stddevs_.assign(dim, 0.0F);
+
+  const float n = static_cast<float>(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const auto row = features.row(r);
+    for (std::size_t c = 0; c < dim; ++c) means_[c] += row[c];
+  }
+  for (float& m : means_) m /= n;
+
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const auto row = features.row(r);
+    for (std::size_t c = 0; c < dim; ++c) {
+      const float d = row[c] - means_[c];
+      stddevs_[c] += d * d;
+    }
+  }
+  for (float& s : stddevs_) {
+    s = std::sqrt(s / n);
+    if (s < 1e-6F) s = 1.0F;  // constant feature
+  }
+}
+
+void StandardScaler::transform(Matrix& features) const {
+  if (!fitted()) throw std::logic_error("scaler not fitted");
+  if (features.cols() != means_.size()) throw std::invalid_argument("scaler width mismatch");
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] = (row[c] - means_[c]) / stddevs_[c];
+  }
+}
+
+void StandardScaler::transform(std::vector<float>& features) const {
+  if (!fitted()) throw std::logic_error("scaler not fitted");
+  if (features.size() != means_.size()) throw std::invalid_argument("scaler width mismatch");
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    features[c] = (features[c] - means_[c]) / stddevs_[c];
+  }
+}
+
+}  // namespace neuro::nn

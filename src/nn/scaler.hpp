@@ -1,0 +1,33 @@
+#pragma once
+// Per-feature standardization (z-score) fitted on training features; keeps
+// MLP training well-conditioned regardless of feature scales.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace neuro::nn {
+
+class StandardScaler {
+ public:
+  /// Fit means and standard deviations column-wise. Constant columns get
+  /// sigma = 1 so they pass through unchanged (minus mean).
+  void fit(const Matrix& features);
+
+  bool fitted() const { return !means_.empty(); }
+  std::size_t dimension() const { return means_.size(); }
+
+  /// Transform rows in place.
+  void transform(Matrix& features) const;
+  /// Transform one feature vector in place.
+  void transform(std::vector<float>& features) const;
+
+  const std::vector<float>& means() const { return means_; }
+  const std::vector<float>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<float> means_;
+  std::vector<float> stddevs_;
+};
+
+}  // namespace neuro::nn

@@ -1,0 +1,85 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuro::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Matrix::init_he(util::Rng& rng) {
+  const float bound = std::sqrt(6.0F / static_cast<float>(rows_));
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void Matrix::init_xavier(util::Rng& rng) {
+  const float bound = std::sqrt(6.0F / static_cast<float>(rows_ + cols_));
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul shape mismatch");
+  if (out.rows() != a.rows() || out.cols() != b.cols()) out = Matrix(a.rows(), b.cols());
+  out.fill(0.0F);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0F) continue;
+      const std::span<const float> brow = b.row(k);
+      const std::span<float> orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b shape mismatch");
+  if (out.rows() != a.cols() || out.cols() != b.cols()) out = Matrix(a.cols(), b.cols());
+  out.fill(0.0F);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const std::span<const float> arow = a.row(k);
+    const std::span<const float> brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0F) continue;
+      const std::span<float> orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt shape mismatch");
+  if (out.rows() != a.rows() || out.cols() != b.rows()) out = Matrix(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const std::span<const float> arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const std::span<const float> brow = b.row(j);
+      float sum = 0.0F;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      out.at(i, j) = sum;
+    }
+  }
+}
+
+void add_inplace(Matrix& y, const Matrix& x) {
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("add_inplace shape mismatch");
+  }
+  for (std::size_t i = 0; i < y.data().size(); ++i) y.data()[i] += x.data()[i];
+}
+
+void add_row_vector(Matrix& m, std::span<const float> bias) {
+  if (bias.size() != m.cols()) throw std::invalid_argument("bias width mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const std::span<float> row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+}  // namespace neuro::nn

@@ -1,0 +1,60 @@
+#pragma once
+// Minimal dense linear algebra for the NanoDet heads: row-major float
+// matrices with the handful of ops a small MLP needs. No BLAS; loops are
+// cache-friendly and fast enough for the feature dimensions involved.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace neuro::nn {
+
+/// Row-major matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void fill(float value);
+  /// He-uniform initialization (for ReLU nets).
+  void init_he(util::Rng& rng);
+  /// Xavier-uniform initialization.
+  void init_xavier(util::Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b  (a: m x k, b: k x n, out: m x n).
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b (a: k x m, b: k x n, out: m x n).
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T (a: m x k, b: n x k, out: m x n).
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y += x (same shape).
+void add_inplace(Matrix& y, const Matrix& x);
+
+/// Add a row vector to every row of m.
+void add_row_vector(Matrix& m, std::span<const float> bias);
+
+}  // namespace neuro::nn

@@ -1,0 +1,209 @@
+#include "scene/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace neuro::scene {
+
+SceneSampler::SceneSampler(GeneratorConfig config) : config_(config) {}
+
+double SceneSampler::shaped_probability(double target, double slope, double u) const {
+  const double shaped =
+      target + config_.urban_shaping * slope * (u - config_.mean_urbanization);
+  return util::clamp(shaped, 0.01, 0.99);
+}
+
+StreetScene SceneSampler::sample_at(double urbanization, std::uint64_t scene_id,
+                                    util::Rng& rng) const {
+  Capture capture;
+  capture.point.urbanization = urbanization;
+  capture.point.arterial = rng.bernoulli(0.3 + 0.3 * urbanization);
+  capture.heading = all_headings()[rng.index(4)];
+  capture.capture_id = scene_id;
+  return sample(capture, rng);
+}
+
+StreetScene SceneSampler::sample(const Capture& capture, util::Rng& rng) const {
+  const double u = capture.point.urbanization;
+  const PrevalenceTargets& t = config_.targets;
+
+  StreetScene scene;
+  scene.width = config_.image_width;
+  scene.height = config_.image_height;
+  scene.scene_id = capture.capture_id;
+  scene.texture_salt = static_cast<unsigned>(rng.next_u64() & 0xFFFFFFU) + 1U;
+  scene.urbanization = u;
+  scene.heading = capture.heading;
+  scene.county_index = capture.point.county_index;
+  scene.tract_id = capture.point.tract_id;
+
+  // Atmosphere varies mildly per capture.
+  scene.horizon_frac = static_cast<float>(rng.uniform(0.42, 0.50));
+  const float sky_warmth = static_cast<float>(rng.uniform(-0.05, 0.05));
+  scene.sky_top = {0.42F + sky_warmth, 0.62F, 0.90F - sky_warmth};
+  scene.sky_bottom = {0.74F + sky_warmth, 0.84F, 0.95F - sky_warmth};
+  scene.daylight = static_cast<float>(rng.uniform(0.85, 1.0));
+  // Rural ground greener, urban grayer.
+  const float urban_f = static_cast<float>(u);
+  scene.ground = image::Color{0.34F + 0.12F * urban_f, 0.46F - 0.10F * urban_f,
+                              0.25F + 0.14F * urban_f};
+
+  // --- Road -----------------------------------------------------------------
+  // Cross headings (east/west relative to a north-running road) see the
+  // road slightly less often; the sampler keeps the marginal at target by
+  // balancing the two cases around road_any().
+  const bool along_road =
+      capture.heading == Heading::kNorth || capture.heading == Heading::kSouth;
+  const double road_base = t.road_any();
+  const double road_p = util::clamp(road_base + (along_road ? 0.10 : -0.10), 0.02, 0.98);
+  if (rng.bernoulli(road_p)) {
+    RoadSpec road;
+    double multi_p = shaped_probability(t.multilane_given_road(), 0.35, u);
+    if (capture.point.arterial) multi_p = util::clamp(multi_p + 0.15, 0.01, 0.99);
+    if (rng.bernoulli(multi_p)) {
+      road.lanes_per_direction = rng.bernoulli(0.25 + 0.3 * u) ? 3 : 2;
+      road.bottom_width_frac =
+          static_cast<float>(rng.uniform(0.70, 0.92)) +
+          0.04F * static_cast<float>(road.lanes_per_direction - 2);
+    } else {
+      road.lanes_per_direction = 1;
+      road.bottom_width_frac = static_cast<float>(rng.uniform(0.40, 0.62));
+    }
+    road.bottom_width_frac = std::min(road.bottom_width_frac, 0.95F);
+    road.vanishing_x_frac = static_cast<float>(rng.uniform(0.40, 0.60));
+    road.dashed_center_line = rng.bernoulli(0.7);
+    road.asphalt_shade = static_cast<float>(rng.uniform(0.26, 0.38));
+    scene.road = road;
+  }
+
+  // --- Sidewalk (urban-leaning; requires a road) -----------------------------
+  if (scene.road.has_value()) {
+    // Condition on road presence so the *marginal* stays at target:
+    // P(SW) = P(SW | road) * P(road).
+    const double sw_given_road = util::clamp(t.sidewalk / road_p, 0.01, 0.99);
+    const double sw_p = shaped_probability(sw_given_road, 0.45, u);
+    if (rng.bernoulli(sw_p)) {
+      SidewalkSpec sw;
+      sw.side = rng.bernoulli(0.5) ? 1 : -1;
+      sw.width_frac = static_cast<float>(rng.uniform(0.07, 0.13));
+      sw.shade = static_cast<float>(rng.uniform(0.55, 0.70));
+      scene.sidewalks.push_back(sw);
+      if (rng.bernoulli(0.3 + 0.3 * u)) {  // both sides in denser areas
+        SidewalkSpec other = sw;
+        other.side = -sw.side;
+        other.width_frac = static_cast<float>(rng.uniform(0.07, 0.13));
+        scene.sidewalks.push_back(other);
+      }
+    }
+  }
+
+  // --- Streetlights (urban-leaning) ------------------------------------------
+  const double sl_p = shaped_probability(t.streetlight, 0.22, u);
+  if (rng.bernoulli(sl_p)) {
+    const int count = 1 + (rng.bernoulli(0.35) ? 1 : 0);
+    for (int i = 0; i < count; ++i) {
+      StreetlightSpec sl;
+      sl.side = rng.bernoulli(0.5) ? 1 : -1;
+      sl.depth = static_cast<float>(rng.uniform(0.08, 0.55));
+      sl.height_frac = static_cast<float>(rng.uniform(0.42, 0.62));
+      sl.lamp_on = scene.daylight < 0.9F && rng.bernoulli(0.5);
+      scene.streetlights.push_back(sl);
+    }
+  }
+
+  // --- Powerlines (rural/suburban-leaning) -----------------------------------
+  const double pl_p = shaped_probability(t.powerline, -0.18, u);
+  if (rng.bernoulli(pl_p)) {
+    PowerlineSpec pl;
+    pl.wire_count = rng.uniform_int(2, 4);
+    pl.height_frac = static_cast<float>(rng.uniform(0.12, 0.24));
+    pl.sag_frac = static_cast<float>(rng.uniform(0.02, 0.05));
+    pl.pole_count = rng.uniform_int(1, 3);
+    scene.powerline = pl;
+  }
+
+  // --- Apartments (urban-leaning) --------------------------------------------
+  const double ap_p = shaped_probability(t.apartment, 0.20, u);
+  if (rng.bernoulli(ap_p)) {
+    ApartmentSpec apt;
+    apt.floors = rng.uniform_int(3, 6);
+    apt.window_columns = rng.uniform_int(4, 8);
+    apt.width_frac = static_cast<float>(rng.uniform(0.24, 0.40));
+    // Keep the building visibly off the road corridor.
+    apt.center_x_frac = rng.bernoulli(0.5) ? static_cast<float>(rng.uniform(0.08, 0.25))
+                                           : static_cast<float>(rng.uniform(0.75, 0.92));
+    apt.facade_r = static_cast<float>(rng.uniform(0.5, 0.72));
+    apt.facade_g = static_cast<float>(rng.uniform(0.45, 0.62));
+    apt.facade_b = static_cast<float>(rng.uniform(0.40, 0.58));
+    scene.apartments.push_back(apt);
+  }
+
+  // --- Clutter ----------------------------------------------------------------
+  const double clutter = config_.clutter_level;
+  const int tree_count = rng.poisson((1.8 - 1.0 * u) * clutter);
+  for (int i = 0; i < tree_count; ++i) {
+    TreeSpec tree;
+    tree.center_x_frac = static_cast<float>(rng.bernoulli(0.5) ? rng.uniform(0.02, 0.30)
+                                                               : rng.uniform(0.70, 0.98));
+    tree.depth = static_cast<float>(rng.uniform(0.25, 0.8));
+    tree.canopy_g = static_cast<float>(rng.uniform(0.35, 0.55));
+    scene.trees.push_back(tree);
+  }
+  const int house_count = rng.poisson((0.4 + 0.5 * u) * clutter);
+  for (int i = 0; i < house_count; ++i) {
+    HouseSpec house;
+    house.center_x_frac = static_cast<float>(rng.bernoulli(0.5) ? rng.uniform(0.05, 0.3)
+                                                                : rng.uniform(0.7, 0.95));
+    house.width_frac = static_cast<float>(rng.uniform(0.10, 0.18));
+    house.wall_shade = static_cast<float>(rng.uniform(0.6, 0.82));
+    scene.houses.push_back(house);
+  }
+  if (scene.road.has_value()) {
+    const int car_count = rng.poisson((0.3 + 0.8 * u) * clutter);
+    for (int i = 0; i < car_count; ++i) {
+      CarSpec car;
+      car.depth = static_cast<float>(rng.uniform(0.15, 0.7));
+      car.lane_offset = static_cast<float>(rng.uniform(-0.9, 0.9));
+      car.body = {static_cast<float>(rng.uniform(0.1, 0.9)),
+                  static_cast<float>(rng.uniform(0.1, 0.9)),
+                  static_cast<float>(rng.uniform(0.1, 0.9))};
+      scene.cars.push_back(car);
+    }
+  }
+  const int cloud_count = rng.poisson(1.2 * clutter);
+  for (int i = 0; i < cloud_count; ++i) {
+    CloudSpec cloud;
+    cloud.center_x_frac = static_cast<float>(rng.uniform(0.05, 0.95));
+    cloud.center_y_frac = static_cast<float>(rng.uniform(0.04, 0.7)) *
+                          scene.horizon_frac * 0.5F;
+    cloud.radius_frac = static_cast<float>(rng.uniform(0.04, 0.10));
+    scene.clouds.push_back(cloud);
+  }
+
+  return scene;
+}
+
+std::vector<GeneratedCapture> generate_survey(const SamplingFrame& frame, std::size_t count,
+                                              const GeneratorConfig& config, util::Rng& rng) {
+  SceneSampler sampler(config);
+  // One point per capture keeps images independent, matching the paper's
+  // random selection of 1,200 images from many locations.
+  util::Rng point_rng = rng.fork("points");
+  const std::vector<SamplePoint> points = frame.sample_points(count, point_rng);
+  std::vector<Capture> captures = SamplingFrame::expand_captures(points, 1);
+  // Randomize headings (expand_captures assigns in order).
+  for (Capture& capture : captures) capture.heading = all_headings()[rng.index(4)];
+
+  std::vector<GeneratedCapture> out;
+  out.reserve(captures.size());
+  for (const Capture& capture : captures) {
+    util::Rng scene_rng =
+        rng.fork("scene-" + std::to_string(capture.capture_id));
+    out.push_back(GeneratedCapture{capture, sampler.sample(capture, scene_rng)});
+  }
+  return out;
+}
+
+}  // namespace neuro::scene

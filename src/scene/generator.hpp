@@ -1,0 +1,78 @@
+#pragma once
+// Scene sampler: turns geographic captures into parametric street scenes
+// whose indicator prevalences match the paper's labeled dataset (206 SL,
+// 444 SW, 346 SR, 505 MR, 301 PL, 125 AP over 1,200 images), with
+// urbanization shaping which indicators co-occur.
+
+#include <cstdint>
+#include <vector>
+
+#include "scene/geo.hpp"
+#include "scene/scene.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::scene {
+
+/// Marginal per-image presence probabilities for the six indicators.
+/// Single-lane and multilane road are mutually exclusive; their sum is the
+/// probability that any road is visible in the frame.
+struct PrevalenceTargets {
+  double streetlight = 206.0 / 1200.0;
+  double sidewalk = 444.0 / 1200.0;
+  double single_lane = 346.0 / 1200.0;
+  double multilane = 505.0 / 1200.0;
+  double powerline = 301.0 / 1200.0;
+  double apartment = 125.0 / 1200.0;
+
+  double road_any() const { return single_lane + multilane; }
+  /// P(multilane | road visible).
+  double multilane_given_road() const { return multilane / road_any(); }
+};
+
+/// Knobs controlling scene sampling.
+struct GeneratorConfig {
+  int image_width = 160;
+  int image_height = 160;
+  PrevalenceTargets targets;
+  /// Strength of urbanization shaping (0 = prevalences independent of
+  /// location; 1 = strong urban/rural contrast). Expected marginals stay at
+  /// the targets because shaping is centered on the mean urbanization.
+  double urban_shaping = 1.0;
+  /// Mean urbanization of the sampling frame (used to center shaping).
+  double mean_urbanization = 0.5;
+  /// Amount of background clutter (trees/houses/cars/clouds), >= 0.
+  double clutter_level = 1.0;
+};
+
+/// Samples StreetScenes for captures.
+class SceneSampler {
+ public:
+  explicit SceneSampler(GeneratorConfig config = {});
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Sample the scene visible at a capture. Deterministic given (capture,
+  /// seed baked into rng).
+  StreetScene sample(const Capture& capture, util::Rng& rng) const;
+
+  /// Convenience: sample a standalone scene at a given urbanization level.
+  StreetScene sample_at(double urbanization, std::uint64_t scene_id, util::Rng& rng) const;
+
+ private:
+  /// Presence probability for one indicator at urbanization u.
+  double shaped_probability(double target, double slope, double u) const;
+
+  GeneratorConfig config_;
+};
+
+/// A full synthetic survey: points -> captures -> scenes.
+struct GeneratedCapture {
+  Capture capture;
+  StreetScene scene;
+};
+
+/// Build `count` scenes over the paper's two-county frame.
+std::vector<GeneratedCapture> generate_survey(const SamplingFrame& frame, std::size_t count,
+                                              const GeneratorConfig& config, util::Rng& rng);
+
+}  // namespace neuro::scene

@@ -1,0 +1,112 @@
+#include "scene/geo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace neuro::scene {
+
+std::string_view heading_name(Heading heading) {
+  switch (heading) {
+    case Heading::kNorth: return "north";
+    case Heading::kEast: return "east";
+    case Heading::kSouth: return "south";
+    case Heading::kWest: return "west";
+  }
+  return "?";
+}
+
+SamplingFrame SamplingFrame::paper_default() {
+  return SamplingFrame({
+      County{"Robeson-like (rural)", 0.25, 949.0, 0x6F1A},
+      County{"Durham-like (urban)", 0.75, 298.0, 0xD0AB},
+  });
+}
+
+SamplingFrame::SamplingFrame(std::vector<County> counties) : counties_(std::move(counties)) {
+  if (counties_.empty()) throw std::invalid_argument("sampling frame needs >= 1 county");
+}
+
+std::vector<SamplePoint> SamplingFrame::sample_points(std::size_t count, util::Rng& rng) const {
+  std::vector<SamplePoint> points;
+  points.reserve(count);
+
+  // Split count across counties proportionally to area (at least 1 each).
+  double total_area = 0.0;
+  for (const County& c : counties_) total_area += c.area_sq_miles;
+
+  std::size_t assigned = 0;
+  std::vector<std::size_t> per_county(counties_.size());
+  for (std::size_t ci = 0; ci < counties_.size(); ++ci) {
+    per_county[ci] = (ci + 1 == counties_.size())
+                         ? count - assigned
+                         : static_cast<std::size_t>(
+                               std::floor(static_cast<double>(count) *
+                                          counties_[ci].area_sq_miles / total_area));
+    assigned += per_county[ci];
+  }
+
+  constexpr double kSegmentFeet = 50.0;  // the paper's roadway segmentation
+  for (std::size_t ci = 0; ci < counties_.size(); ++ci) {
+    const County& county = counties_[ci];
+    util::Rng county_rng = rng.fork(county.name);
+
+    std::size_t remaining = per_county[ci];
+    while (remaining > 0) {
+      // A synthetic road polyline: a starting point, a direction, and a
+      // length; consecutive samples are 50 ft apart along it.
+      const double road_len_feet = county_rng.uniform(500.0, 5000.0);
+      const std::size_t segments =
+          std::max<std::size_t>(1, static_cast<std::size_t>(road_len_feet / kSegmentFeet));
+      const double origin_x = county_rng.uniform(0.0, std::sqrt(county.area_sq_miles) * 5280.0);
+      const double origin_y = county_rng.uniform(0.0, std::sqrt(county.area_sq_miles) * 5280.0);
+      const double theta = county_rng.uniform(0.0, 2.0 * 3.14159265358979);
+
+      // Urbanization is smooth along a road: one base level plus jitter.
+      const double base_urbanization =
+          util::clamp(county_rng.normal(county.urban_fraction, 0.25), 0.0, 1.0);
+      const bool arterial = county_rng.bernoulli(0.25 + 0.35 * base_urbanization);
+
+      const std::size_t take = std::min(remaining, segments);
+      for (std::size_t s = 0; s < take; ++s) {
+        SamplePoint point;
+        point.county_index = static_cast<int>(ci);
+        point.x_feet = origin_x + std::cos(theta) * kSegmentFeet * static_cast<double>(s);
+        point.y_feet = origin_y + std::sin(theta) * kSegmentFeet * static_cast<double>(s);
+        point.urbanization =
+            util::clamp(base_urbanization + county_rng.normal(0.0, 0.05), 0.0, 1.0);
+        point.arterial = arterial;
+        // Tract: coarse spatial hash of the location.
+        const auto hx = static_cast<std::int64_t>(point.x_feet / 10000.0);
+        const auto hy = static_cast<std::int64_t>(point.y_feet / 10000.0);
+        point.tract_id = static_cast<int>(
+            (util::mix64(static_cast<std::uint64_t>(hx * 73856093LL ^ hy * 19349663LL) ^
+                         county.seed_salt)) %
+            kTractsPerCounty);
+        points.push_back(point);
+      }
+      remaining -= take;
+    }
+  }
+  return points;
+}
+
+std::vector<Capture> SamplingFrame::expand_captures(const std::vector<SamplePoint>& points,
+                                                    std::size_t headings_per_point) {
+  if (headings_per_point == 0 || headings_per_point > 4) {
+    throw std::invalid_argument("headings_per_point must be 1..4");
+  }
+  std::vector<Capture> captures;
+  captures.reserve(points.size() * headings_per_point);
+  std::uint64_t next_id = 1;
+  for (const SamplePoint& point : points) {
+    const auto headings = all_headings();
+    for (std::size_t h = 0; h < headings_per_point; ++h) {
+      captures.push_back(Capture{point, headings[h], next_id++});
+    }
+  }
+  return captures;
+}
+
+}  // namespace neuro::scene

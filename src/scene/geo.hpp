@@ -1,0 +1,76 @@
+#pragma once
+// Synthetic two-county geography standing in for the paper's sampling frame
+// (Robeson and Durham counties, NC): a road network segmented every 50 feet,
+// each sample point carrying an urbanization level that drives which
+// indicators are plausible at that location, captured from four compass
+// headings.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace neuro::scene {
+
+/// Compass heading of a street-view capture (paper: 0/90/180/270).
+enum class Heading : int { kNorth = 0, kEast = 90, kSouth = 180, kWest = 270 };
+
+constexpr std::array<Heading, 4> all_headings() {
+  return {Heading::kNorth, Heading::kEast, Heading::kSouth, Heading::kWest};
+}
+
+std::string_view heading_name(Heading heading);
+
+/// A county in the synthetic sampling frame.
+struct County {
+  std::string name;
+  double urban_fraction = 0.5;  // fraction of sample points that are urban
+  double area_sq_miles = 500.0;
+  std::uint64_t seed_salt = 0;
+};
+
+/// One road sample point (every 50 ft along a road).
+struct SamplePoint {
+  int county_index = 0;
+  int tract_id = 0;          // census-tract-like aggregation unit
+  double x_feet = 0.0;       // local planar coordinates
+  double y_feet = 0.0;
+  double urbanization = 0.0; // 0 = deep rural, 1 = dense urban
+  bool arterial = false;     // arterial roads tend to be multilane
+};
+
+/// A capture request: a sample point viewed from one heading.
+struct Capture {
+  SamplePoint point;
+  Heading heading = Heading::kNorth;
+  std::uint64_t capture_id = 0;
+};
+
+/// Synthetic sampling frame over a set of counties.
+class SamplingFrame {
+ public:
+  /// The paper's frame: one mostly-rural county ("Robeson-like") and one
+  /// mostly-urban county ("Durham-like").
+  static SamplingFrame paper_default();
+
+  explicit SamplingFrame(std::vector<County> counties);
+
+  const std::vector<County>& counties() const { return counties_; }
+
+  /// Sample `count` road points across counties (balanced by area),
+  /// spaced along synthetic road polylines at 50-ft intervals.
+  std::vector<SamplePoint> sample_points(std::size_t count, util::Rng& rng) const;
+
+  /// Expand points into captures, one per requested heading.
+  static std::vector<Capture> expand_captures(const std::vector<SamplePoint>& points,
+                                              std::size_t headings_per_point = 4);
+
+  /// Number of distinct tracts a county is divided into.
+  static constexpr int kTractsPerCounty = 12;
+
+ private:
+  std::vector<County> counties_;
+};
+
+}  // namespace neuro::scene

@@ -1,0 +1,63 @@
+#include "scene/indicators.hpp"
+
+#include "util/strings.hpp"
+
+namespace neuro::scene {
+
+std::string_view indicator_name(Indicator indicator) {
+  switch (indicator) {
+    case Indicator::kStreetlight: return "streetlight";
+    case Indicator::kSidewalk: return "sidewalk";
+    case Indicator::kSingleLaneRoad: return "single-lane road";
+    case Indicator::kMultilaneRoad: return "multilane road";
+    case Indicator::kPowerline: return "powerline";
+    case Indicator::kApartment: return "apartment";
+  }
+  return "?";
+}
+
+std::string_view indicator_abbrev(Indicator indicator) {
+  switch (indicator) {
+    case Indicator::kStreetlight: return "SL";
+    case Indicator::kSidewalk: return "SW";
+    case Indicator::kSingleLaneRoad: return "SR";
+    case Indicator::kMultilaneRoad: return "MR";
+    case Indicator::kPowerline: return "PL";
+    case Indicator::kApartment: return "AP";
+  }
+  return "?";
+}
+
+std::optional<Indicator> parse_indicator(std::string_view text) {
+  for (Indicator i : all_indicators()) {
+    if (util::iequals(text, indicator_name(i)) || util::iequals(text, indicator_abbrev(i))) {
+      return i;
+    }
+  }
+  // Common aliases.
+  if (util::iequals(text, "street light")) return Indicator::kStreetlight;
+  if (util::iequals(text, "single lane road")) return Indicator::kSingleLaneRoad;
+  if (util::iequals(text, "multi-lane road") || util::iequals(text, "multi lane road")) {
+    return Indicator::kMultilaneRoad;
+  }
+  if (util::iequals(text, "power line")) return Indicator::kPowerline;
+  return std::nullopt;
+}
+
+int PresenceVector::count() const {
+  int n = 0;
+  for (bool b : present) n += b ? 1 : 0;
+  return n;
+}
+
+std::string PresenceVector::to_string() const {
+  std::string out;
+  for (Indicator i : all_indicators()) {
+    if (!(*this)[i]) continue;
+    if (!out.empty()) out += ',';
+    out += indicator_abbrev(i);
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace neuro::scene

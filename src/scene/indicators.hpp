@@ -1,0 +1,84 @@
+#pragma once
+// The six neighborhood-environment indicators studied by the paper, plus
+// helpers shared by the dataset, detector, LLM and evaluation code.
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace neuro::scene {
+
+/// Environmental indicators, in the paper's reporting order.
+enum class Indicator : int {
+  kStreetlight = 0,
+  kSidewalk = 1,
+  kSingleLaneRoad = 2,
+  kMultilaneRoad = 3,
+  kPowerline = 4,
+  kApartment = 5,
+};
+
+inline constexpr int kIndicatorCount = 6;
+
+/// All indicators in reporting order.
+constexpr std::array<Indicator, kIndicatorCount> all_indicators() {
+  return {Indicator::kStreetlight,   Indicator::kSidewalk,  Indicator::kSingleLaneRoad,
+          Indicator::kMultilaneRoad, Indicator::kPowerline, Indicator::kApartment};
+}
+
+/// Long name, e.g. "streetlight", "single-lane road".
+std::string_view indicator_name(Indicator indicator);
+
+/// Paper abbreviation: SL, SW, SR, MR, PL, AP.
+std::string_view indicator_abbrev(Indicator indicator);
+
+/// Parse either the long name or the abbreviation (case-insensitive).
+std::optional<Indicator> parse_indicator(std::string_view text);
+
+constexpr std::size_t indicator_index(Indicator indicator) {
+  return static_cast<std::size_t>(indicator);
+}
+
+constexpr Indicator indicator_from_index(std::size_t index) {
+  return static_cast<Indicator>(index);
+}
+
+/// Fixed-size per-indicator array with enum indexing.
+template <typename T>
+class IndicatorMap {
+ public:
+  IndicatorMap() = default;
+  explicit IndicatorMap(const T& fill) { values_.fill(fill); }
+
+  T& operator[](Indicator i) { return values_[indicator_index(i)]; }
+  const T& operator[](Indicator i) const { return values_[indicator_index(i)]; }
+
+  auto begin() { return values_.begin(); }
+  auto end() { return values_.end(); }
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+  constexpr std::size_t size() const { return values_.size(); }
+
+ private:
+  std::array<T, kIndicatorCount> values_{};
+};
+
+/// Presence bitmap over the six indicators (the unit of evaluation for the
+/// LLM experiments: per-image yes/no per indicator).
+struct PresenceVector {
+  std::array<bool, kIndicatorCount> present{};
+
+  bool operator[](Indicator i) const { return present[indicator_index(i)]; }
+  void set(Indicator i, bool value) { present[indicator_index(i)] = value; }
+  bool operator==(const PresenceVector&) const = default;
+
+  /// Number of indicators marked present.
+  int count() const;
+
+  /// Compact debug string such as "SL,MR,PL".
+  std::string to_string() const;
+};
+
+}  // namespace neuro::scene

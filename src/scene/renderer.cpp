@@ -1,0 +1,363 @@
+#include "scene/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/draw.hpp"
+
+namespace neuro::scene {
+
+using image::Color;
+using image::Image;
+using image::PointF;
+
+namespace {
+
+Color lit(const Color& c, float daylight) { return c.scaled(daylight); }
+
+float clampf(float v, float lo, float hi) { return std::min(std::max(v, lo), hi); }
+
+/// Visibility heuristic: combines normalized box area with a per-type
+/// salience prior (thin wires are harder to spot than a building of the
+/// same bounding area).
+float visibility_for(Indicator indicator, const image::BoxF& box, int img_w, int img_h) {
+  const float area_frac =
+      (box.w * box.h) / (static_cast<float>(img_w) * static_cast<float>(img_h) + 1e-6F);
+  float base = std::sqrt(std::max(0.0F, area_frac));
+  switch (indicator) {
+    case Indicator::kStreetlight: base = 0.30F + 2.2F * base; break;   // thin but distinctive
+    case Indicator::kSidewalk: base = 0.25F + 1.6F * base; break;
+    case Indicator::kSingleLaneRoad: base = 0.55F + 0.8F * base; break;
+    case Indicator::kMultilaneRoad: base = 0.55F + 0.8F * base; break;
+    case Indicator::kPowerline: base = 0.28F + 0.9F * base; break;     // thin wires
+    case Indicator::kApartment: base = 0.35F + 1.4F * base; break;
+  }
+  return clampf(base, 0.05F, 1.0F);
+}
+
+}  // namespace
+
+float Renderer::ground_y(const StreetScene& scene, float depth) {
+  const float horizon = scene.horizon_frac * static_cast<float>(scene.height);
+  return static_cast<float>(scene.height) -
+         depth * (static_cast<float>(scene.height) - horizon - 2.0F);
+}
+
+float Renderer::depth_scale(float depth) { return 1.0F - 0.85F * clampf(depth, 0.0F, 1.0F); }
+
+void Renderer::road_edges_at(const StreetScene& scene, float y, float& left_x, float& right_x) {
+  const RoadSpec& road = scene.road.value();
+  const float w = static_cast<float>(scene.width);
+  const float h = static_cast<float>(scene.height);
+  const float horizon = scene.horizon_frac * h;
+  const float t = clampf((h - y) / std::max(1.0F, h - horizon), 0.0F, 1.0F);
+  const float cx = w * 0.5F;
+  const float half_bottom = road.bottom_width_frac * w * 0.5F;
+  const float vx = road.vanishing_x_frac * w;
+  left_x = (cx - half_bottom) + ((vx - 1.5F) - (cx - half_bottom)) * t;
+  right_x = (cx + half_bottom) + ((vx + 1.5F) - (cx + half_bottom)) * t;
+}
+
+RenderResult Renderer::render(const StreetScene& scene) const {
+  const int w = scene.width;
+  const int h = scene.height;
+  const float fw = static_cast<float>(w);
+  const float fh = static_cast<float>(h);
+  const float daylight = scene.daylight;
+  const int horizon_y = static_cast<int>(scene.horizon_frac * fh);
+
+  RenderResult result{Image(w, h, 3), {}};
+  Image& img = result.image;
+
+  // --- Sky and clouds -----------------------------------------------------
+  image::fill_vertical_gradient(img, 0, horizon_y, lit(scene.sky_top, daylight),
+                                lit(scene.sky_bottom, daylight));
+  for (const CloudSpec& cloud : scene.clouds) {
+    const float cx = cloud.center_x_frac * fw;
+    const float cy = cloud.center_y_frac * fh;
+    const float r = cloud.radius_frac * fw;
+    const Color cloud_color = lit(Color{0.97F, 0.97F, 0.98F}, daylight);
+    image::fill_circle(img, cx, cy, r, cloud_color);
+    image::fill_circle(img, cx - r * 0.9F, cy + r * 0.25F, r * 0.72F, cloud_color);
+    image::fill_circle(img, cx + r * 0.9F, cy + r * 0.25F, r * 0.72F, cloud_color);
+  }
+
+  // --- Ground -------------------------------------------------------------
+  image::fill_rect(img, 0, horizon_y, w, h, lit(scene.ground, daylight));
+  image::speckle_rect(img, 0, horizon_y, w, h, lit(scene.ground.scaled(0.8F), daylight), 0.12F,
+                      scene.texture_salt);
+
+  // --- Buildings (apartments labeled, houses clutter) ----------------------
+  const float floor_px = 0.065F * fh;
+  for (const ApartmentSpec& apt : scene.apartments) {
+    const float bw = apt.width_frac * fw;
+    const float x0 = apt.center_x_frac * fw - bw * 0.5F;
+    const float base_y = static_cast<float>(horizon_y) + 0.06F * fh;
+    const float top_y = base_y - static_cast<float>(apt.floors) * floor_px;
+    const Color facade = lit(Color{apt.facade_r, apt.facade_g, apt.facade_b}, daylight);
+    image::fill_rect(img, static_cast<int>(x0), static_cast<int>(top_y),
+                     static_cast<int>(x0 + bw), static_cast<int>(base_y), facade);
+    // Flat roof lip.
+    image::fill_rect(img, static_cast<int>(x0 - 1.0F), static_cast<int>(top_y - 2.0F),
+                     static_cast<int>(x0 + bw + 1.0F), static_cast<int>(top_y),
+                     lit(Color{0.30F, 0.28F, 0.26F}, daylight));
+    // Window grid: `floors` rows x `window_columns` columns.
+    const float win_w = bw / (static_cast<float>(apt.window_columns) * 1.6F);
+    const float margin_x =
+        (bw - static_cast<float>(apt.window_columns) * win_w * 1.6F) * 0.5F + win_w * 0.3F;
+    for (int f = 0; f < apt.floors; ++f) {
+      const float wy0 = top_y + (static_cast<float>(f) + 0.25F) * floor_px;
+      for (int c = 0; c < apt.window_columns; ++c) {
+        const float wx0 = x0 + margin_x + static_cast<float>(c) * win_w * 1.6F;
+        const bool litwin = ((f * 7 + c * 13 + static_cast<int>(scene.texture_salt)) % 5) == 0;
+        const Color win = litwin ? lit(Color{0.95F, 0.9F, 0.55F}, daylight)
+                                 : lit(Color{0.12F, 0.16F, 0.22F}, daylight);
+        image::fill_rect(img, static_cast<int>(wx0), static_cast<int>(wy0),
+                         static_cast<int>(wx0 + win_w), static_cast<int>(wy0 + floor_px * 0.5F),
+                         win);
+      }
+    }
+    image::BoxF box{x0 - 1.0F, top_y - 2.0F, bw + 2.0F, base_y - top_y + 2.0F};
+    result.boxes.push_back(
+        {Indicator::kApartment, box, visibility_for(Indicator::kApartment, box, w, h)});
+  }
+
+  for (const HouseSpec& house : scene.houses) {
+    const float bw = house.width_frac * fw;
+    const float x0 = house.center_x_frac * fw - bw * 0.5F;
+    const float base_y = static_cast<float>(horizon_y) + 0.05F * fh;
+    const float wall_top = base_y - 1.3F * floor_px;
+    const Color wall = lit(Color::gray(house.wall_shade), daylight);
+    image::fill_rect(img, static_cast<int>(x0), static_cast<int>(wall_top),
+                     static_cast<int>(x0 + bw), static_cast<int>(base_y), wall);
+    image::fill_triangle(img, {x0 - bw * 0.08F, wall_top}, {x0 + bw * 1.08F, wall_top},
+                         {x0 + bw * 0.5F, wall_top - 0.8F * floor_px},
+                         lit(Color{0.45F, 0.26F, 0.20F}, daylight));
+    // Door and one window.
+    image::fill_rect(img, static_cast<int>(x0 + bw * 0.42F), static_cast<int>(base_y - 0.55F * floor_px),
+                     static_cast<int>(x0 + bw * 0.58F), static_cast<int>(base_y),
+                     lit(Color{0.32F, 0.2F, 0.12F}, daylight));
+    image::fill_rect(img, static_cast<int>(x0 + bw * 0.12F), static_cast<int>(wall_top + 0.35F * floor_px),
+                     static_cast<int>(x0 + bw * 0.3F), static_cast<int>(wall_top + 0.8F * floor_px),
+                     lit(Color{0.15F, 0.2F, 0.28F}, daylight));
+  }
+
+  // --- Trees (behind road objects) -----------------------------------------
+  for (const TreeSpec& tree : scene.trees) {
+    const float scale = depth_scale(tree.depth);
+    const float base_y = ground_y(scene, tree.depth);
+    const float cx = tree.center_x_frac * fw;
+    const float trunk_h = 0.16F * fh * scale;
+    const float trunk_w = std::max(1.0F, 0.016F * fw * scale);
+    image::fill_rect(img, static_cast<int>(cx - trunk_w), static_cast<int>(base_y - trunk_h),
+                     static_cast<int>(cx + trunk_w), static_cast<int>(base_y),
+                     lit(Color{0.35F, 0.24F, 0.14F}, daylight));
+    const float canopy_r = 0.07F * fw * scale;
+    const Color canopy = lit(Color{0.13F, tree.canopy_g, 0.16F}, daylight);
+    image::fill_circle(img, cx, base_y - trunk_h - canopy_r * 0.6F, canopy_r, canopy);
+    image::fill_circle(img, cx - canopy_r * 0.7F, base_y - trunk_h, canopy_r * 0.8F, canopy);
+    image::fill_circle(img, cx + canopy_r * 0.7F, base_y - trunk_h, canopy_r * 0.8F, canopy);
+  }
+
+  // --- Road ----------------------------------------------------------------
+  if (scene.road.has_value()) {
+    const RoadSpec& road = *scene.road;
+    float left_bottom = 0.0F;
+    float right_bottom = 0.0F;
+    road_edges_at(scene, fh, left_bottom, right_bottom);
+    const float vx = road.vanishing_x_frac * fw;
+    const float horizon_f = static_cast<float>(horizon_y);
+
+    const Color asphalt = lit(Color::gray(road.asphalt_shade), daylight);
+    image::fill_polygon(img,
+                        {{left_bottom, fh}, {right_bottom, fh}, {vx + 1.5F, horizon_f},
+                         {vx - 1.5F, horizon_f}},
+                        asphalt);
+    image::speckle_rect(img, 0, horizon_y, w, h, lit(Color::gray(road.asphalt_shade * 0.8F), daylight),
+                        0.0F, scene.texture_salt);  // no-op placeholder keeps texture API exercised
+
+    // Lane markings. For n lanes per direction there are 2n lanes; draw the
+    // center divider (yellow) and the 2n-2 white dividers between them.
+    const int total_lanes = road.lanes_per_direction * 2;
+    for (int divider = 1; divider < total_lanes; ++divider) {
+      const float frac = static_cast<float>(divider) / static_cast<float>(total_lanes);
+      const bool is_center = divider == road.lanes_per_direction;
+      const Color paint = is_center ? lit(Color{0.85F, 0.75F, 0.2F}, daylight)
+                                    : lit(Color{0.88F, 0.88F, 0.88F}, daylight);
+      const bool dashed = is_center ? road.dashed_center_line : true;
+      // March from the bottom toward the horizon in t-space.
+      const int steps = 22;
+      for (int s = 0; s < steps; ++s) {
+        if (dashed && (s % 2 == 1)) continue;
+        const float t0 = static_cast<float>(s) / static_cast<float>(steps);
+        const float t1 = (static_cast<float>(s) + 0.75F) / static_cast<float>(steps);
+        const float y0 = fh - t0 * (fh - horizon_f);
+        const float y1 = fh - t1 * (fh - horizon_f);
+        float l0 = 0.0F, r0 = 0.0F, l1 = 0.0F, r1 = 0.0F;
+        road_edges_at(scene, y0, l0, r0);
+        road_edges_at(scene, y1, l1, r1);
+        const float x0 = l0 + (r0 - l0) * frac;
+        const float x1 = l1 + (r1 - l1) * frac;
+        const int thickness = t0 < 0.3F ? 2 : 1;
+        image::draw_line(img, x0, y0, x1, y1, paint, thickness);
+      }
+    }
+
+    // Road ground-truth box: the visible trapezoid's bounding box.
+    const float box_x0 = std::min(left_bottom, vx - 1.5F);
+    const float box_x1 = std::max(right_bottom, vx + 1.5F);
+    image::BoxF road_box{box_x0, horizon_f, box_x1 - box_x0, fh - horizon_f};
+    const Indicator road_kind =
+        road.is_multilane() ? Indicator::kMultilaneRoad : Indicator::kSingleLaneRoad;
+    result.boxes.push_back({road_kind, road_box, visibility_for(road_kind, road_box, w, h)});
+  }
+
+  // --- Sidewalks -----------------------------------------------------------
+  for (const SidewalkSpec& sw : scene.sidewalks) {
+    if (!scene.road.has_value()) break;  // sidewalks are sampled only beside roads
+    const float horizon_f = static_cast<float>(horizon_y);
+    float lb = 0.0F, rb = 0.0F;
+    road_edges_at(scene, fh, lb, rb);
+    float lt = 0.0F, rt = 0.0F;
+    road_edges_at(scene, horizon_f, lt, rt);
+    const float width_bottom = sw.width_frac * fw;
+    const float gap_bottom = 0.015F * fw;
+    const Color pavement = lit(Color::gray(sw.shade), daylight);
+    std::vector<PointF> quad;
+    if (sw.side > 0) {
+      quad = {{rb + gap_bottom, fh},
+              {rb + gap_bottom + width_bottom, fh},
+              {rt + 2.5F + width_bottom * 0.08F, horizon_f},
+              {rt + 1.0F, horizon_f}};
+    } else {
+      quad = {{lb - gap_bottom - width_bottom, fh},
+              {lb - gap_bottom, fh},
+              {lt - 1.0F, horizon_f},
+              {lt - 2.5F - width_bottom * 0.08F, horizon_f}};
+    }
+    image::fill_polygon(img, quad, pavement);
+    // Expansion joints.
+    for (int s = 1; s < 8; ++s) {
+      const float t = static_cast<float>(s) / 8.0F;
+      const float y = fh - t * (fh - horizon_f);
+      float l = 0.0F, r = 0.0F;
+      road_edges_at(scene, y, l, r);
+      const float wdt = width_bottom * (1.0F - t * 0.92F);
+      const float gap = gap_bottom * (1.0F - t * 0.92F);
+      const float x0 = sw.side > 0 ? r + gap : l - gap - wdt;
+      image::draw_line(img, x0, y, x0 + wdt, y, pavement.scaled(0.8F), 1);
+    }
+    float min_x = quad[0].x, max_x = quad[0].x;
+    for (const PointF& p : quad) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+    }
+    image::BoxF sw_box{min_x, horizon_f, max_x - min_x, fh - horizon_f};
+    result.boxes.push_back(
+        {Indicator::kSidewalk, sw_box, visibility_for(Indicator::kSidewalk, sw_box, w, h)});
+  }
+
+  // --- Powerlines ----------------------------------------------------------
+  if (scene.powerline.has_value()) {
+    const PowerlineSpec& pl = *scene.powerline;
+    const Color wire = lit(Color::gray(0.12F), daylight);
+    const Color pole = lit(Color{0.33F, 0.23F, 0.15F}, daylight);
+
+    float min_wire_y = fh;
+    float max_wire_y = 0.0F;
+    const float spacing = 0.02F * fh;
+    for (int i = 0; i < pl.wire_count; ++i) {
+      const float base_y = pl.height_frac * fh + static_cast<float>(i) * spacing;
+      // Sagging span across the full width; piecewise linear parabola.
+      const int segments = 16;
+      for (int s = 0; s < segments; ++s) {
+        const float fx0 = static_cast<float>(s) / segments * fw;
+        const float fx1 = static_cast<float>(s + 1) / segments * fw;
+        auto sag_at = [&](float x) {
+          const float u = x / fw;
+          return base_y + pl.sag_frac * fh * 4.0F * u * (1.0F - u);
+        };
+        image::draw_line(img, fx0, sag_at(fx0), fx1, sag_at(fx1), wire, 1);
+        min_wire_y = std::min(min_wire_y, std::min(sag_at(fx0), sag_at(fx1)));
+        max_wire_y = std::max(max_wire_y, std::max(sag_at(fx0), sag_at(fx1)));
+      }
+    }
+    for (int p = 0; p < pl.pole_count; ++p) {
+      const float px = fw * (0.18F + 0.64F * static_cast<float>(p) /
+                                         std::max(1, pl.pole_count - 1));
+      const float pole_top = pl.height_frac * fh - 0.02F * fh;
+      const float pole_base = static_cast<float>(horizon_y) + 0.22F * fh;
+      image::draw_line(img, px, pole_top, px, pole_base, pole, 2);
+      // Crossarm.
+      image::draw_line(img, px - 0.035F * fw, pole_top + 0.015F * fh, px + 0.035F * fw,
+                       pole_top + 0.015F * fh, pole, 2);
+    }
+    // The labeled object is the visible wire bundle (poles are unlabeled
+    // clutter, as in the paper's annotation scheme).
+    image::BoxF pl_box{0.0F, min_wire_y - 1.0F, fw,
+                       std::max(4.0F, max_wire_y - min_wire_y + 2.0F)};
+    result.boxes.push_back(
+        {Indicator::kPowerline, pl_box, visibility_for(Indicator::kPowerline, pl_box, w, h)});
+  }
+
+  // --- Streetlights ----------------------------------------------------------
+  for (const StreetlightSpec& sl : scene.streetlights) {
+    const float scale = depth_scale(sl.depth);
+    const float base_y = ground_y(scene, sl.depth);
+    float lx = 0.0F, rx = 0.0F;
+    if (scene.road.has_value()) {
+      road_edges_at(scene, base_y, lx, rx);
+    } else {
+      lx = 0.25F * fw;
+      rx = 0.75F * fw;
+    }
+    const float margin = 0.06F * fw * scale;
+    const float px = sl.side > 0 ? rx + margin : lx - margin;
+    const float pole_h = sl.height_frac * fh * scale;
+    const float top_y = base_y - pole_h;
+    const Color pole = lit(Color::gray(0.16F), daylight);
+    const int thickness = scale > 0.6F ? 2 : 1;
+    image::draw_line(img, px, base_y, px, top_y, pole, thickness);
+    // Arm extends over the road.
+    const float arm_len = 0.07F * fw * scale * (sl.side > 0 ? -1.0F : 1.0F);
+    image::draw_line(img, px, top_y, px + arm_len, top_y + 0.01F * fh, pole, thickness);
+    const float lamp_r = std::max(1.2F, 0.012F * fw * scale);
+    const Color lamp = sl.lamp_on ? Color{1.0F, 0.95F, 0.6F} : lit(Color::gray(0.78F), daylight);
+    image::fill_circle(img, px + arm_len, top_y + 0.012F * fh, lamp_r, lamp);
+
+    const float box_x0 = std::min(px, px + arm_len) - lamp_r;
+    const float box_x1 = std::max(px, px + arm_len) + lamp_r;
+    image::BoxF sl_box{box_x0, top_y - lamp_r, box_x1 - box_x0, base_y - top_y + lamp_r};
+    result.boxes.push_back(
+        {Indicator::kStreetlight, sl_box, visibility_for(Indicator::kStreetlight, sl_box, w, h)});
+  }
+
+  // --- Cars (clutter, drawn near-last so they occlude road paint) -----------
+  std::vector<CarSpec> cars = scene.cars;
+  std::sort(cars.begin(), cars.end(),
+            [](const CarSpec& a, const CarSpec& b) { return a.depth > b.depth; });
+  for (const CarSpec& car : cars) {
+    if (!scene.road.has_value()) break;
+    const float scale = depth_scale(car.depth);
+    const float base_y = ground_y(scene, car.depth);
+    float lx = 0.0F, rx = 0.0F;
+    road_edges_at(scene, base_y, lx, rx);
+    const float cx = (lx + rx) * 0.5F + car.lane_offset * (rx - lx) * 0.35F;
+    const float car_w = 0.10F * fw * scale;
+    const float car_h = 0.05F * fh * scale;
+    image::fill_rect(img, static_cast<int>(cx - car_w), static_cast<int>(base_y - car_h),
+                     static_cast<int>(cx + car_w), static_cast<int>(base_y),
+                     lit(car.body, daylight));
+    image::fill_rect(img, static_cast<int>(cx - car_w * 0.55F),
+                     static_cast<int>(base_y - car_h * 1.7F), static_cast<int>(cx + car_w * 0.55F),
+                     static_cast<int>(base_y - car_h), lit(car.body.scaled(0.8F), daylight));
+    const float wheel_r = std::max(1.0F, car_h * 0.35F);
+    image::fill_circle(img, cx - car_w * 0.6F, base_y, wheel_r, lit(Color::gray(0.08F), daylight));
+    image::fill_circle(img, cx + car_w * 0.6F, base_y, wheel_r, lit(Color::gray(0.08F), daylight));
+  }
+
+  img.clamp01();
+  return result;
+}
+
+}  // namespace neuro::scene

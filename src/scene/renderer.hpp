@@ -1,0 +1,40 @@
+#pragma once
+// Software rasterizer: StreetScene -> RGB image + exact ground-truth boxes.
+//
+// The renderer uses a one-point-perspective model: the road converges to a
+// vanishing point on the horizon; object screen size scales with depth.
+// Every labeled object also receives a heuristic `visibility` in [0, 1]
+// (area, thinness, contrast) consumed by the simulated VLM channel.
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "scene/scene.hpp"
+
+namespace neuro::scene {
+
+struct RenderResult {
+  image::Image image;
+  std::vector<GroundTruthBox> boxes;
+};
+
+class Renderer {
+ public:
+  Renderer() = default;
+
+  /// Render the scene. Deterministic: equal scenes produce equal pixels.
+  RenderResult render(const StreetScene& scene) const;
+
+  /// Screen-space helpers exposed for tests.
+  /// Interpolation parameter t in [0, 1]: 0 at the bottom edge, 1 at the
+  /// horizon, for an object at the given depth.
+  static float depth_to_t(float depth) { return depth; }
+  /// Ground line (y pixel) for an object at `depth`.
+  static float ground_y(const StreetScene& scene, float depth);
+  /// Perspective scale factor at `depth` (1 at depth 0).
+  static float depth_scale(float depth);
+  /// Road edge x positions at a given y (only valid when scene.road).
+  static void road_edges_at(const StreetScene& scene, float y, float& left_x, float& right_x);
+};
+
+}  // namespace neuro::scene

@@ -1,0 +1,18 @@
+#include "scene/scene.hpp"
+
+namespace neuro::scene {
+
+PresenceVector StreetScene::presence() const {
+  PresenceVector p;
+  p.set(Indicator::kStreetlight, !streetlights.empty());
+  p.set(Indicator::kSidewalk, !sidewalks.empty());
+  if (road.has_value()) {
+    p.set(Indicator::kSingleLaneRoad, !road->is_multilane());
+    p.set(Indicator::kMultilaneRoad, road->is_multilane());
+  }
+  p.set(Indicator::kPowerline, powerline.has_value());
+  p.set(Indicator::kApartment, !apartments.empty());
+  return p;
+}
+
+}  // namespace neuro::scene

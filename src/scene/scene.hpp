@@ -1,0 +1,130 @@
+#pragma once
+// Parametric street-scene model: the synthetic stand-in for a Google
+// Street View capture. A StreetScene fully describes what is visible; the
+// renderer (renderer.hpp) turns it into pixels plus exact ground-truth
+// boxes, and the sampler (generator.hpp) draws scenes whose indicator
+// prevalences match the paper's dataset.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/transform.hpp"
+#include "scene/geo.hpp"
+#include "scene/indicators.hpp"
+
+namespace neuro::scene {
+
+/// Roadway visible in the frame. `lanes_per_direction` >= 2 makes it a
+/// multilane road in the paper's taxonomy.
+struct RoadSpec {
+  int lanes_per_direction = 1;
+  float bottom_width_frac = 0.55F;   // of image width, at the bottom edge
+  float vanishing_x_frac = 0.5F;     // of image width, at the horizon
+  bool dashed_center_line = true;
+  float asphalt_shade = 0.32F;       // base gray level
+  bool is_multilane() const { return lanes_per_direction >= 2; }
+};
+
+/// Sidewalk band beside the road. side: -1 = left of road, +1 = right.
+struct SidewalkSpec {
+  int side = 1;
+  float width_frac = 0.10F;  // of image width at the bottom edge
+  float shade = 0.62F;
+};
+
+/// A streetlight at the roadside. depth in [0, 1): 0 = nearest.
+struct StreetlightSpec {
+  int side = 1;
+  float depth = 0.2F;
+  float height_frac = 0.55F;  // of image height when at depth 0
+  bool lamp_on = false;
+};
+
+/// Overhead powerlines: wires spanning the frame plus supporting poles.
+struct PowerlineSpec {
+  int wire_count = 3;
+  float height_frac = 0.18F;  // wire bundle center, fraction from top
+  float sag_frac = 0.035F;    // vertical sag at midspan
+  int pole_count = 2;
+};
+
+/// An apartment building (multi-storey, window grid).
+struct ApartmentSpec {
+  int floors = 4;
+  int window_columns = 6;
+  float center_x_frac = 0.75F;
+  float width_frac = 0.30F;
+  float facade_r = 0.62F, facade_g = 0.55F, facade_b = 0.48F;
+};
+
+/// Background clutter (never labeled; exists to make detection non-trivial).
+struct HouseSpec {
+  float center_x_frac = 0.2F;
+  float width_frac = 0.16F;
+  float wall_shade = 0.7F;
+};
+
+struct TreeSpec {
+  float center_x_frac = 0.1F;
+  float depth = 0.3F;       // 0 near (large) .. 1 far (small)
+  float canopy_g = 0.45F;   // canopy green level
+};
+
+struct CarSpec {
+  float depth = 0.35F;      // position along the road
+  float lane_offset = 0.0F; // -1 .. 1 across the road width
+  image::Color body{0.7F, 0.2F, 0.2F};
+};
+
+struct CloudSpec {
+  float center_x_frac = 0.3F;
+  float center_y_frac = 0.12F;
+  float radius_frac = 0.08F;
+};
+
+/// Complete description of one captured frame.
+struct StreetScene {
+  int width = 160;
+  int height = 160;
+  std::uint64_t scene_id = 0;
+  unsigned texture_salt = 1;
+
+  // Context the scene was sampled from (kept for analysis / surveys).
+  double urbanization = 0.5;
+  Heading heading = Heading::kNorth;
+  int county_index = 0;
+  int tract_id = 0;
+
+  float horizon_frac = 0.45F;
+  image::Color sky_top{0.45F, 0.65F, 0.90F};
+  image::Color sky_bottom{0.75F, 0.85F, 0.95F};
+  image::Color ground{0.36F, 0.48F, 0.27F};
+  float daylight = 1.0F;  // multiplies all colors; < 1 = dusk
+
+  std::optional<RoadSpec> road;
+  std::vector<SidewalkSpec> sidewalks;
+  std::vector<StreetlightSpec> streetlights;
+  std::optional<PowerlineSpec> powerline;
+  std::vector<ApartmentSpec> apartments;
+
+  std::vector<HouseSpec> houses;
+  std::vector<TreeSpec> trees;
+  std::vector<CarSpec> cars;
+  std::vector<CloudSpec> clouds;
+
+  /// Which of the six indicators are present in this scene (ground truth
+  /// for the presence-classification task the LLM experiments use).
+  PresenceVector presence() const;
+};
+
+/// One labeled object emitted by the renderer.
+struct GroundTruthBox {
+  Indicator indicator = Indicator::kStreetlight;
+  image::BoxF box;          // pixel-space (x, y, w, h)
+  float visibility = 1.0F;  // heuristic 0..1 visual salience (used by the
+                            // simulated VLM channel, not by the detector)
+};
+
+}  // namespace neuro::scene

@@ -1,0 +1,146 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace neuro::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", false, "print this usage text");
+}
+
+void CliParser::add_flag(const std::string& name, bool default_value, const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kFlag;
+  opt.help = help;
+  opt.flag_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kInt;
+  opt.help = help;
+  opt.int_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kDouble;
+  opt.help = help;
+  opt.double_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_string(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kString;
+  opt.help = help;
+  opt.string_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+
+    std::string value;
+    bool has_value = false;
+    if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+
+    bool negated = false;
+    auto it = options_.find(arg);
+    if (it == options_.end() && starts_with(arg, "no-")) {
+      it = options_.find(arg.substr(3));
+      negated = it != options_.end() && it->second.kind == Kind::kFlag;
+      if (!negated) it = options_.end();
+    }
+    if (it == options_.end()) throw std::invalid_argument("unknown flag --" + arg);
+    Option& opt = it->second;
+
+    if (opt.kind == Kind::kFlag) {
+      if (has_value) throw std::invalid_argument("flag --" + arg + " takes no value");
+      opt.flag_value = !negated;
+      continue;
+    }
+
+    if (!has_value) {
+      if (i + 1 >= argc) throw std::invalid_argument("flag --" + arg + " needs a value");
+      value = argv[++i];
+    }
+    try {
+      switch (opt.kind) {
+        case Kind::kInt: opt.int_value = std::stoll(value); break;
+        case Kind::kDouble: opt.double_value = std::stod(value); break;
+        case Kind::kString: opt.string_value = value; break;
+        case Kind::kFlag: break;  // handled above
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad value for --" + arg + ": '" + value + "'");
+    }
+  }
+
+  if (get_flag("help")) {
+    std::fputs(usage().c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) throw std::logic_error("undeclared flag --" + name);
+  if (it->second.kind != kind) throw std::logic_error("flag --" + name + " has another type");
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return lookup(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return lookup(name, Kind::kInt).int_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return lookup(name, Kind::kDouble).double_value;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).string_value;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream oss;
+  oss << program_ << " - " << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    oss << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kFlag: oss << (opt.flag_value ? " (default: on)" : " (default: off)"); break;
+      case Kind::kInt: oss << " <int> (default: " << opt.int_value << ")"; break;
+      case Kind::kDouble: oss << " <num> (default: " << opt.double_value << ")"; break;
+      case Kind::kString: oss << " <str> (default: '" << opt.string_value << "')"; break;
+    }
+    oss << "\n      " << opt.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace neuro::util

@@ -1,0 +1,56 @@
+#pragma once
+// Tiny declarative CLI flag parser shared by bench harnesses and examples.
+// Supports --name value, --name=value, and boolean --flag / --no-flag.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace neuro::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Declare flags before parse(). `help` appears in usage output.
+  void add_flag(const std::string& name, bool default_value, const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) when --help was given.
+  /// Throws std::invalid_argument on unknown flags or bad values.
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+
+  /// Positional arguments left over after flags.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Option& lookup(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace neuro::util

@@ -1,0 +1,96 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace neuro::util {
+
+namespace {
+std::string quote_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : columns_(headers.size()) {
+  if (headers.empty()) throw std::invalid_argument("csv needs at least one column");
+  append_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) throw std::invalid_argument("csv row width mismatch");
+  append_row(cells);
+}
+
+void CsvWriter::append_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) text_ += ',';
+    text_ += quote_cell(cells[i]);
+  }
+  text_ += '\n';
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << text_;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_quotes = true; row_has_content = true; break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        row_has_content = true;
+        break;
+      case '\r': break;
+      case '\n':
+        if (row_has_content || !cell.empty()) {
+          row.push_back(std::move(cell));
+          cell.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+        }
+        break;
+      default: cell += c; row_has_content = true;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted field");
+  if (row_has_content || !cell.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace neuro::util

@@ -1,0 +1,28 @@
+#pragma once
+// CSV writer/reader (RFC-4180 quoting) for experiment result dumps.
+
+#include <string>
+#include <vector>
+
+namespace neuro::util {
+
+/// Incremental CSV builder.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  const std::string& text() const { return text_; }
+  void save(const std::string& path) const;
+
+ private:
+  void append_row(const std::vector<std::string>& cells);
+  std::size_t columns_;
+  std::string text_;
+};
+
+/// Parse CSV text into rows of cells. Handles quoted fields with embedded
+/// commas, quotes and newlines. The header row is returned as row 0.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace neuro::util

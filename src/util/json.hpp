@@ -1,0 +1,95 @@
+#pragma once
+// Minimal JSON document model, parser and serializer.
+//
+// Used for LabelMe-style annotation files, experiment configs and report
+// dumps. Supports the full JSON grammar except for \u surrogate pairs
+// outside the BMP (sufficient for our ASCII data files; non-ASCII prompt
+// text is carried as raw UTF-8 bytes in strings, which round-trips).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace neuro::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic for serialization diffs.
+using JsonObject = std::map<std::string, Json, std::less<>>;
+
+/// A JSON value: null, bool, number (double), string, array or object.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  int as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field access. `at` throws on a missing key; `get` returns the
+  /// fallback; `find` returns nullptr when absent.
+  const Json& at(std::string_view key) const;
+  const Json* find(std::string_view key) const;
+  double get(std::string_view key, double fallback) const;
+  bool get(std::string_view key, bool fallback) const;
+  std::string get(std::string_view key, const std::string& fallback) const;
+
+  /// Object field assignment (creates the object if this is null).
+  Json& operator[](std::string_view key);
+  /// Array append (creates the array if this is null).
+  void push_back(Json value);
+
+  std::size_t size() const;
+
+  /// Serialize; indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws std::runtime_error with a
+  /// line/column message on malformed input.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+/// Read and parse a JSON file; throws on I/O or parse failure.
+Json load_json_file(const std::string& path);
+
+/// Serialize to a file (pretty, indent 2); throws on I/O failure.
+void save_json_file(const std::string& path, const Json& value);
+
+}  // namespace neuro::util

@@ -1,0 +1,44 @@
+#pragma once
+// Leveled stderr logging with a global threshold. Bench binaries default to
+// INFO; tests silence it.
+
+#include <sstream>
+#include <string>
+
+namespace neuro::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set / get the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" / "off"; throws on junk.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log line: LOG(kInfo) << "trained " << n << " epochs";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace neuro::util
+
+#define NEURO_LOG(level) ::neuro::util::LogLine(::neuro::util::LogLevel::level)

@@ -1,0 +1,112 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace neuro::util {
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double logit(double p) {
+  p = clamp(p, 1e-12, 1.0 - 1e-12);
+  return std::log(p / (1.0 - p));
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  p = clamp(p, 1e-12, 1.0 - 1e-12);
+
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double q = 0.0;
+  double r = 0.0;
+
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double clamp(double x, double lo, double hi) { return std::min(std::max(x, lo), hi); }
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - mu) * (v - mu);
+  return std::sqrt(accum / static_cast<double>(values.size() - 1));
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> copy(values.begin(), values.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid), copy.end());
+  if (copy.size() % 2 == 1) return copy[mid];
+  const double upper = copy[mid];
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid) - 1, copy.end());
+  return 0.5 * (copy[mid - 1] + upper);
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+double log_sum_exp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double max_value = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(max_value)) return max_value;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+void softmax_inplace(std::vector<double>& logits, double temperature) {
+  if (temperature <= 0.0) throw std::invalid_argument("temperature must be > 0");
+  if (logits.empty()) return;
+  for (double& l : logits) l /= temperature;
+  const double lse = log_sum_exp(logits);
+  for (double& l : logits) l = std::exp(l - lse);
+}
+
+bool approx_equal(double a, double b, double tol) { return std::fabs(a - b) <= tol; }
+
+}  // namespace neuro::util

@@ -1,0 +1,49 @@
+#pragma once
+// Small numeric helpers shared across modules: logistic/probit links used by
+// the LLM evidence-channel calibration, and summary statistics used by the
+// evaluation code.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace neuro::util {
+
+/// Numerically stable logistic sigmoid.
+double sigmoid(double x);
+
+/// Inverse of sigmoid; clamps p away from {0, 1}.
+double logit(double p);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (probit), Acklam's rational approximation,
+/// |relative error| < 1.15e-9 on (0, 1). Clamps p away from {0, 1}.
+double normal_quantile(double p);
+
+/// Clamp to [lo, hi].
+double clamp(double x, double lo, double hi);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Unbiased sample standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+/// Median (copies and partially sorts); 0 for an empty span.
+double median(std::span<const double> values);
+
+/// Linear interpolation.
+double lerp(double a, double b, double t);
+
+/// Logsumexp over a span (stable).
+double log_sum_exp(std::span<const double> values);
+
+/// In-place softmax with temperature; temperature must be > 0.
+void softmax_inplace(std::vector<double>& logits, double temperature = 1.0);
+
+/// True if |a - b| <= tol.
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+}  // namespace neuro::util

@@ -1,0 +1,160 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace neuro::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) { return splitmix64(value); }
+
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) {
+  // FNV-1a over the label, then mixed with the seed.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  std::uint64_t s = seed ^ h;
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  // Fold the full current state into a child seed; forking does not
+  // perturb the parent stream.
+  std::uint64_t folded = state_[0];
+  folded = mix64(folded ^ state_[1]);
+  folded = mix64(folded ^ state_[2]);
+  folded = mix64(folded ^ state_[3]);
+  return Rng(derive_seed(folded, label));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(next_u64() % n);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("exponential rate must be > 0");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+int Rng::poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 30.0) {
+    // Normal approximation with continuity correction.
+    const double draw = normal(lambda, std::sqrt(lambda));
+    return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  int count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("all weights zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace neuro::util

@@ -1,0 +1,42 @@
+#pragma once
+// String helpers used across the prompt builder, response parser and I/O.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neuro::util {
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Split on any run of whitespace; drops empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view haystack, std::string_view needle);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view separator);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string text, std::string_view from, std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Count non-overlapping occurrences of `needle` (non-empty).
+std::size_t count_occurrences(std::string_view haystack, std::string_view needle);
+
+}  // namespace neuro::util

@@ -1,0 +1,127 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace neuro::util {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument(
+        format("row has %zu cells, table has %zu columns", cells.size(), headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label, const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_separator = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    return line + "\n";
+  };
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+      line += '|';
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_separator();
+  out += render_cells(headers_);
+  out += render_separator();
+  for (const auto& row : rows_) out += render_cells(row);
+  out += render_separator();
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) oss << ',';
+    oss << quote(headers_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) oss << ',';
+      oss << quote(row[c]);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& series,
+                      double scale_max, int width) {
+  if (series.empty()) return {};
+  double max_value = scale_max;
+  if (max_value <= 0.0) {
+    for (const auto& [label, value] : series) max_value = std::max(max_value, value);
+    if (max_value <= 0.0) max_value = 1.0;
+  }
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : series) label_width = std::max(label_width, label.size());
+
+  std::string out;
+  for (const auto& [label, value] : series) {
+    const double clamped = std::clamp(value, 0.0, max_value);
+    const int bars = static_cast<int>(std::lround(clamped / max_value * width));
+    out += label;
+    out.append(label_width - label.size(), ' ');
+    out += " | ";
+    out.append(static_cast<std::size_t>(bars), '#');
+    out.append(static_cast<std::size_t>(width - bars), ' ');
+    out += format(" %8.3f\n", value);
+  }
+  return out;
+}
+
+std::string fmt_double(double value, int precision) {
+  return format("%.*f", precision, value);
+}
+
+std::string fmt_percent(double ratio, int precision) {
+  return format("%.*f%%", precision, ratio * 100.0);
+}
+
+}  // namespace neuro::util

@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table rendering for bench harness output: every reproduced paper
+// table/figure is printed as an aligned text table plus an optional CSV.
+
+#include <string>
+#include <vector>
+
+namespace neuro::util {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with box-drawing '-' / '|' separators.
+  std::string render() const;
+
+  /// Render as CSV (RFC-4180 quoting).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a labelled series as a horizontal ASCII bar chart (for "figure"
+/// benches). Values must be non-negative; `scale_max` <= 0 auto-scales.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& series,
+                      double scale_max = 0.0, int width = 50);
+
+/// Format a double with fixed precision.
+std::string fmt_double(double value, int precision = 3);
+
+/// Format a ratio as a percentage string like "92.9%".
+std::string fmt_percent(double ratio, int precision = 1);
+
+}  // namespace neuro::util

@@ -1,0 +1,110 @@
+#include "core/neighborhood_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace neuro::core {
+namespace {
+
+using scene::Indicator;
+
+TEST(Facade, GenerateSurveySizesAndMetadata) {
+  NeighborhoodDecoder decoder;
+  const data::Dataset dataset = decoder.generate_survey(40);
+  ASSERT_EQ(dataset.size(), 40U);
+  std::set<std::uint64_t> ids;
+  for (const data::LabeledImage& img : dataset) {
+    ids.insert(img.id);
+    EXPECT_GE(img.urbanization, 0.0);
+    EXPECT_LE(img.urbanization, 1.0);
+  }
+  EXPECT_EQ(ids.size(), 40U);
+}
+
+TEST(Facade, InterrogateTranscriptConsistent) {
+  NeighborhoodDecoder decoder;
+  const data::Dataset dataset = decoder.generate_survey(3);
+  const llm::VisionLanguageModel model(llm::gemini_1_5_pro_profile(),
+                                       llm::CalibrationStats::paper_nominal());
+  const Transcript transcript = decoder.interrogate(model, dataset[0]);
+  EXPECT_EQ(transcript.model_name, "Gemini 1.5 Pro");
+  ASSERT_EQ(transcript.entries.size(), 6U);
+  for (const QaEntry& entry : transcript.entries) {
+    EXPECT_FALSE(entry.question.empty());
+    EXPECT_FALSE(entry.answer.empty());
+    // Parsed polarity and prediction vector agree.
+    EXPECT_EQ(transcript.prediction[entry.indicator] || !entry.parsed_yes, true);
+  }
+  // Prediction contains exactly the parsed-yes indicators.
+  scene::PresenceVector rebuilt;
+  for (const QaEntry& entry : transcript.entries) {
+    if (entry.parsed_yes) rebuilt.set(entry.indicator, true);
+  }
+  EXPECT_EQ(rebuilt, transcript.prediction);
+}
+
+TEST(Facade, InterrogateDeterministicPerImage) {
+  NeighborhoodDecoder decoder;
+  const data::Dataset dataset = decoder.generate_survey(2);
+  const llm::VisionLanguageModel model(llm::claude_3_7_profile(),
+                                       llm::CalibrationStats::paper_nominal());
+  const Transcript a = decoder.interrogate(model, dataset[0]);
+  const Transcript b = decoder.interrogate(model, dataset[0]);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].answer, b.entries[i].answer);
+  }
+}
+
+TEST(Facade, DecodeWithEnsembleAppendsVote) {
+  NeighborhoodDecoder decoder;
+  const data::Dataset dataset = decoder.generate_survey(50);
+  const std::vector<llm::ModelProfile> members = {llm::gemini_1_5_pro_profile(),
+                                                  llm::claude_3_7_profile(),
+                                                  llm::grok_2_profile()};
+  const auto results = decoder.decode_with_ensemble(dataset, members);
+  ASSERT_EQ(results.size(), 4U);  // 3 models + vote
+  EXPECT_NE(results.back().model_name.find("vote("), std::string::npos);
+  EXPECT_EQ(results.back().predictions.size(), 50U);
+}
+
+TEST(Facade, TrainBaselineWorksOnSmallSet) {
+  NeighborhoodDecoder decoder;
+  const data::Dataset dataset = decoder.generate_survey(18);
+  const detect::NanoDetector detector = decoder.train_baseline(dataset, 2);
+  EXPECT_TRUE(detector.trained());
+  EXPECT_NO_THROW(detector.detect(dataset[0].image));
+}
+
+TEST(Facade, AggregateByTract) {
+  data::Dataset dataset;
+  std::vector<scene::PresenceVector> predictions;
+  for (int i = 0; i < 8; ++i) {
+    data::LabeledImage img;
+    img.id = static_cast<std::uint64_t>(i);
+    img.county_index = i < 4 ? 0 : 1;
+    img.tract_id = 3;
+    dataset.add(std::move(img));
+    scene::PresenceVector p;
+    if (i % 2 == 0) p.set(Indicator::kPowerline, true);
+    predictions.push_back(p);
+  }
+  const auto tracts = NeighborhoodDecoder::aggregate_by_tract(dataset, predictions);
+  ASSERT_EQ(tracts.size(), 2U);
+  for (const TractSummary& tract : tracts) {
+    EXPECT_EQ(tract.image_count, 4);
+    EXPECT_NEAR(tract.prevalence[Indicator::kPowerline], 0.5, 1e-12);
+    EXPECT_NEAR(tract.prevalence[Indicator::kSidewalk], 0.0, 1e-12);
+  }
+}
+
+TEST(Facade, AggregateSizeMismatchThrows) {
+  data::Dataset dataset;
+  data::LabeledImage img;
+  dataset.add(std::move(img));
+  EXPECT_THROW(NeighborhoodDecoder::aggregate_by_tract(dataset, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuro::core

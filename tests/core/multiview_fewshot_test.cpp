@@ -1,0 +1,191 @@
+// Tests for the SV extensions: multi-frame fusion and few-shot prompting.
+
+#include <gtest/gtest.h>
+
+#include "core/multiview.hpp"
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+
+namespace neuro::core {
+namespace {
+
+using scene::Indicator;
+
+scene::PresenceVector presence_of(std::initializer_list<Indicator> indicators) {
+  scene::PresenceVector v;
+  for (Indicator ind : indicators) v.set(ind, true);
+  return v;
+}
+
+TEST(FuseViews, Semantics) {
+  const std::vector<scene::PresenceVector> views = {
+      presence_of({Indicator::kSidewalk, Indicator::kPowerline}),
+      presence_of({Indicator::kSidewalk}),
+      presence_of({}),
+      presence_of({}),
+  };
+  const auto single = fuse_views(views, ViewFusion::kSingleFrame);
+  EXPECT_TRUE(single[Indicator::kSidewalk]);
+  EXPECT_TRUE(single[Indicator::kPowerline]);
+
+  const auto any = fuse_views(views, ViewFusion::kAnyView);
+  EXPECT_TRUE(any[Indicator::kSidewalk]);
+  EXPECT_TRUE(any[Indicator::kPowerline]);
+
+  const auto majority = fuse_views(views, ViewFusion::kMajorityOfViews);
+  EXPECT_TRUE(majority[Indicator::kSidewalk]);    // 2 of 4
+  EXPECT_FALSE(majority[Indicator::kPowerline]);  // 1 of 4
+}
+
+TEST(FuseViews, EmptyThrows) {
+  EXPECT_THROW(fuse_views({}, ViewFusion::kAnyView), std::invalid_argument);
+}
+
+TEST(FusionName, Values) {
+  EXPECT_EQ(fusion_name(ViewFusion::kSingleFrame), "single-frame");
+  EXPECT_EQ(fusion_name(ViewFusion::kAnyView), "any-view");
+  EXPECT_EQ(fusion_name(ViewFusion::kMajorityOfViews), "majority-of-views");
+}
+
+TEST(MultiViewSurvey, FourViewsPerLocation) {
+  data::BuildConfig config;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  const auto survey = data::build_multiview_survey(config, 12, 42);
+  ASSERT_EQ(survey.size(), 12U);
+  for (const data::MultiViewLocation& location : survey) {
+    ASSERT_EQ(location.views.size(), 4U);
+    EXPECT_EQ(location.views[0].heading, scene::Heading::kNorth);
+    EXPECT_EQ(location.views[3].heading, scene::Heading::kWest);
+    // Views share the location's context.
+    for (const data::LabeledImage& view : location.views) {
+      EXPECT_EQ(view.county_index, location.county_index);
+    }
+  }
+}
+
+TEST(MultiViewSurvey, LocationTruthIsUnionOfViews) {
+  data::BuildConfig config;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  const auto survey = data::build_multiview_survey(config, 20, 7);
+  for (const data::MultiViewLocation& location : survey) {
+    const scene::PresenceVector truth = location.location_truth();
+    for (Indicator ind : scene::all_indicators()) {
+      bool any = false;
+      for (const data::LabeledImage& view : location.views) {
+        any = any || view.presence()[ind];
+      }
+      EXPECT_EQ(truth[ind], any);
+    }
+  }
+}
+
+TEST(MultiViewExperiment, AnyViewRecallBeatsSingleFrame) {
+  data::BuildConfig config;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  const auto survey = data::build_multiview_survey(config, 150, 42);
+
+  data::Dataset flat;
+  for (const auto& location : survey) {
+    for (const auto& view : location.views) flat.add(view);
+  }
+  const llm::VisionLanguageModel gemini(llm::gemini_1_5_pro_profile(),
+                                        llm::CalibrationStats::from_dataset(flat));
+  SurveyConfig survey_config;
+  survey_config.threads = 4;
+  const MultiViewResult result = run_multiview_experiment(survey, gemini, survey_config);
+  ASSERT_EQ(result.cells.size(), 3U);
+  const double single_recall = result.cells[0].evaluator.macro_average().recall;
+  const double any_recall = result.cells[1].evaluator.macro_average().recall;
+  const double majority_precision = result.cells[2].evaluator.macro_average().precision;
+  const double any_precision = result.cells[1].evaluator.macro_average().precision;
+  EXPECT_GT(any_recall, single_recall + 0.05);       // fusion recovers occlusions
+  EXPECT_GE(majority_precision, any_precision);      // quorum trades recall for precision
+}
+
+TEST(MultiViewExperiment, EmptyLocationsThrow) {
+  const llm::VisionLanguageModel gemini(llm::gemini_1_5_pro_profile(),
+                                        llm::CalibrationStats::paper_nominal());
+  EXPECT_THROW(run_multiview_experiment({}, gemini, SurveyConfig{}), std::invalid_argument);
+}
+
+// --- Few-shot ------------------------------------------------------------------
+
+TEST(FewShot, PromptContainsExamples) {
+  llm::PromptBuilder builder;
+  const llm::PromptPlan plan =
+      builder.build(llm::PromptStrategy::kParallel, llm::Language::kChinese, 3);
+  EXPECT_EQ(plan.few_shot_examples, 3);
+  EXPECT_NE(plan.messages[0].text.find("Examples:"), std::string::npos);
+  EXPECT_NE(plan.messages[0].text.find("[example image 3]"), std::string::npos);
+  EXPECT_EQ(plan.messages[0].text.find("[example image 4]"), std::string::npos);
+  EXPECT_EQ(plan.messages[0].few_shot_examples, 3);
+}
+
+TEST(FewShot, CountClampedToFour) {
+  llm::PromptBuilder builder;
+  const llm::PromptPlan plan =
+      builder.build(llm::PromptStrategy::kParallel, llm::Language::kEnglish, 9);
+  EXPECT_EQ(plan.few_shot_examples, 4);
+  const llm::PromptPlan zero =
+      builder.build(llm::PromptStrategy::kParallel, llm::Language::kEnglish, -2);
+  EXPECT_EQ(zero.few_shot_examples, 0);
+  EXPECT_EQ(zero.messages[0].text.find("Examples:"), std::string::npos);
+}
+
+TEST(FewShot, ExamplesCountAsContextNotQuestionLoad) {
+  llm::PromptBuilder builder;
+  const auto zero = builder.build(llm::PromptStrategy::kParallel, llm::Language::kEnglish, 0);
+  const auto four = builder.build(llm::PromptStrategy::kParallel, llm::Language::kEnglish, 4);
+  const auto cx0 = llm::analyze_complexity(zero.messages[0]);
+  const auto cx4 = llm::analyze_complexity(four.messages[0]);
+  EXPECT_GT(cx4.context_tokens, cx0.context_tokens);
+  EXPECT_NEAR(cx4.tokens_per_question, cx0.tokens_per_question, 1.0);
+}
+
+TEST(FewShot, RecoversWeakLanguageRecall) {
+  data::BuildConfig build;
+  build.image_count = 300;
+  build.generator.image_width = 64;
+  build.generator.image_height = 64;
+  const data::Dataset dataset = data::build_synthetic_dataset(build, 42);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel gemini = runner.make_model(llm::gemini_1_5_pro_profile());
+
+  SurveyConfig zero;
+  zero.language = llm::Language::kChinese;
+  zero.threads = 4;
+  SurveyConfig four = zero;
+  four.few_shot_examples = 4;
+
+  const auto r0 = runner.run_model(gemini, zero);
+  const auto r4 = runner.run_model(gemini, four);
+  // The broken Chinese sidewalk term recovers substantially.
+  EXPECT_GT(r4.evaluator.metrics(Indicator::kSidewalk).recall,
+            r0.evaluator.metrics(Indicator::kSidewalk).recall + 0.05);
+  // Overall recall improves too.
+  EXPECT_GT(r4.evaluator.macro_average().recall, r0.evaluator.macro_average().recall);
+}
+
+TEST(FewShot, EnglishBarelyChanges) {
+  data::BuildConfig build;
+  build.image_count = 300;
+  build.generator.image_width = 64;
+  build.generator.image_height = 64;
+  const data::Dataset dataset = data::build_synthetic_dataset(build, 42);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel gemini = runner.make_model(llm::gemini_1_5_pro_profile());
+
+  SurveyConfig zero;
+  zero.threads = 4;
+  SurveyConfig four = zero;
+  four.few_shot_examples = 4;
+  const auto r0 = runner.run_model(gemini, zero);
+  const auto r4 = runner.run_model(gemini, four);
+  EXPECT_NEAR(r4.evaluator.macro_average().recall, r0.evaluator.macro_average().recall, 0.03);
+}
+
+}  // namespace
+}  // namespace neuro::core

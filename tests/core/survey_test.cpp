@@ -1,0 +1,135 @@
+#include "core/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/builder.hpp"
+
+namespace neuro::core {
+namespace {
+
+using scene::Indicator;
+
+data::Dataset small_dataset(std::size_t n = 150) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;  // LLM path never reads pixels
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+TEST(SurveyRunner, RejectsEmptyDataset) {
+  EXPECT_THROW(SurveyRunner(data::Dataset{}), std::invalid_argument);
+}
+
+TEST(SurveyRunner, TruthsMatchDataset) {
+  const data::Dataset dataset = small_dataset(30);
+  const SurveyRunner runner(dataset);
+  ASSERT_EQ(runner.truths().size(), 30U);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(runner.truths()[i], dataset[i].presence());
+  }
+}
+
+TEST(SurveyRunner, RunModelProducesPredictionPerImage) {
+  const data::Dataset dataset = small_dataset(60);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model = runner.make_model(llm::gemini_1_5_pro_profile());
+  SurveyConfig config;
+  const ModelSurveyResult result = runner.run_model(model, config);
+  EXPECT_EQ(result.predictions.size(), 60U);
+  EXPECT_EQ(result.evaluator.sample_count(), 60);
+  EXPECT_EQ(result.model_name, "Gemini 1.5 Pro");
+}
+
+TEST(SurveyRunner, DeterministicAcrossThreadCounts) {
+  const data::Dataset dataset = small_dataset(80);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model = runner.make_model(llm::grok_2_profile());
+
+  SurveyConfig one_thread;
+  one_thread.threads = 1;
+  SurveyConfig many_threads;
+  many_threads.threads = 8;
+
+  const ModelSurveyResult a = runner.run_model(model, one_thread);
+  const ModelSurveyResult b = runner.run_model(model, many_threads);
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  for (std::size_t i = 0; i < a.predictions.size(); ++i) {
+    EXPECT_EQ(a.predictions[i], b.predictions[i]) << "image " << i;
+  }
+}
+
+TEST(SurveyRunner, DifferentSeedsChangePredictions) {
+  const data::Dataset dataset = small_dataset(80);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model = runner.make_model(llm::gemini_1_5_pro_profile());
+  SurveyConfig a;
+  a.seed = 1;
+  SurveyConfig b;
+  b.seed = 2;
+  const auto ra = runner.run_model(model, a);
+  const auto rb = runner.run_model(model, b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ra.predictions.size() && !any_diff; ++i) {
+    any_diff = !(ra.predictions[i] == rb.predictions[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SurveyRunner, VoteCombinesMembers) {
+  const data::Dataset dataset = small_dataset(100);
+  const SurveyRunner runner(dataset);
+  SurveyConfig config;
+  std::vector<ModelSurveyResult> results;
+  for (const llm::ModelProfile& profile :
+       {llm::gemini_1_5_pro_profile(), llm::claude_3_7_profile(), llm::grok_2_profile()}) {
+    results.push_back(runner.run_model(runner.make_model(profile), config));
+  }
+  const ModelSurveyResult vote =
+      runner.vote({&results[0], &results[1], &results[2]});
+  EXPECT_EQ(vote.predictions.size(), 100U);
+  EXPECT_NE(vote.model_name.find("vote("), std::string::npos);
+  EXPECT_NE(vote.model_name.find("Gemini"), std::string::npos);
+
+  // Spot-check the voting arithmetic on a few images.
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (Indicator ind : scene::all_indicators()) {
+      int ayes = 0;
+      for (const ModelSurveyResult& r : results) ayes += r.predictions[i][ind] ? 1 : 0;
+      EXPECT_EQ(vote.predictions[i][ind], ayes >= 2);
+    }
+  }
+}
+
+TEST(SurveyRunner, VoteValidation) {
+  const data::Dataset dataset = small_dataset(10);
+  const SurveyRunner runner(dataset);
+  EXPECT_THROW(runner.vote({}), std::invalid_argument);
+  ModelSurveyResult wrong;
+  wrong.predictions.resize(3);
+  const ModelSurveyResult* members[] = {&wrong};
+  EXPECT_THROW(runner.vote({members[0]}), std::invalid_argument);
+}
+
+TEST(SurveyRunner, MeasureUsageCountsRequests) {
+  const data::Dataset dataset = small_dataset(20);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model = runner.make_model(llm::chatgpt_4o_mini_profile());
+
+  SurveyConfig parallel;
+  parallel.strategy = llm::PromptStrategy::kParallel;
+  const llm::UsageMeter parallel_usage =
+      runner.measure_usage(model, parallel, llm::ClientConfig{});
+  EXPECT_EQ(parallel_usage.requests, 20U);
+
+  SurveyConfig sequential;
+  sequential.strategy = llm::PromptStrategy::kSequential;
+  const llm::UsageMeter sequential_usage =
+      runner.measure_usage(model, sequential, llm::ClientConfig{});
+  // 6 requests per image (minus any aborted exchanges from failures).
+  EXPECT_GE(sequential_usage.requests, 20U * 5U);
+  EXPECT_GT(sequential_usage.input_tokens, parallel_usage.input_tokens);
+}
+
+}  // namespace
+}  // namespace neuro::core

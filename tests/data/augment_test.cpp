@@ -1,0 +1,159 @@
+#include "data/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/builder.hpp"
+
+namespace neuro::data {
+namespace {
+
+using scene::Indicator;
+
+Dataset small_dataset(std::size_t n = 8) {
+  BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  return build_synthetic_dataset(config, 42);
+}
+
+TEST(Augment, RotationsPreserveAnnotationCount) {
+  const Dataset dataset = small_dataset();
+  util::Rng rng(1);
+  for (const LabeledImage& img : dataset) {
+    for (AugmentOp op : {AugmentOp::kRotate90, AugmentOp::kRotate180, AugmentOp::kRotate270,
+                         AugmentOp::kFlipHorizontal, AugmentOp::kFlipVertical}) {
+      const LabeledImage out = apply_augmentation(img, op, rng);
+      EXPECT_EQ(out.annotations.size(), img.annotations.size());
+    }
+  }
+}
+
+TEST(Augment, RotatedBoxesStayInBounds) {
+  const Dataset dataset = small_dataset();
+  util::Rng rng(2);
+  for (const LabeledImage& img : dataset) {
+    const LabeledImage rotated = apply_augmentation(img, AugmentOp::kRotate90, rng);
+    EXPECT_EQ(rotated.image.width(), img.image.height());
+    for (const Annotation& ann : rotated.annotations) {
+      EXPECT_GE(ann.box.x, -1.0F);
+      EXPECT_LE(ann.box.x + ann.box.w, static_cast<float>(rotated.image.width()) + 1.0F);
+    }
+  }
+}
+
+TEST(Augment, Rotate90TwiceEqualsRotate180OnBoxes) {
+  const Dataset dataset = small_dataset(4);
+  util::Rng rng(3);
+  for (const LabeledImage& img : dataset) {
+    const LabeledImage twice =
+        apply_augmentation(apply_augmentation(img, AugmentOp::kRotate90, rng),
+                           AugmentOp::kRotate90, rng);
+    const LabeledImage once = apply_augmentation(img, AugmentOp::kRotate180, rng);
+    ASSERT_EQ(twice.annotations.size(), once.annotations.size());
+    for (std::size_t i = 0; i < once.annotations.size(); ++i) {
+      EXPECT_NEAR(twice.annotations[i].box.x, once.annotations[i].box.x, 0.01F);
+      EXPECT_NEAR(twice.annotations[i].box.y, once.annotations[i].box.y, 0.01F);
+    }
+  }
+}
+
+TEST(Augment, RotationMovesPixelsWithBoxes) {
+  // The rotated annotation must cover the same scene content: compare the
+  // mean color inside the box before and after rotation.
+  const Dataset dataset = small_dataset();
+  util::Rng rng(4);
+  for (const LabeledImage& img : dataset) {
+    if (img.annotations.empty()) continue;
+    const LabeledImage rotated = apply_augmentation(img, AugmentOp::kRotate180, rng);
+    for (std::size_t a = 0; a < img.annotations.size(); ++a) {
+      const auto mean_in_box = [](const LabeledImage& im, const image::BoxF& box) {
+        double sum = 0.0;
+        int count = 0;
+        for (int y = static_cast<int>(box.y); y < static_cast<int>(box.y + box.h); ++y) {
+          for (int x = static_cast<int>(box.x); x < static_cast<int>(box.x + box.w); ++x) {
+            if (!im.image.in_bounds(x, y)) continue;
+            sum += im.image.pixel(x, y).g;
+            ++count;
+          }
+        }
+        return count > 0 ? sum / count : 0.0;
+      };
+      // Small boxes shift by a pixel under integer rasterization; compare
+      // only regions large enough for the mean to be stable.
+      if (img.annotations[a].box.w * img.annotations[a].box.h < 400.0F) continue;
+      const double before = mean_in_box(img, img.annotations[a].box);
+      const double after = mean_in_box(rotated, rotated.annotations[a].box);
+      EXPECT_NEAR(before, after, 0.05);
+    }
+  }
+}
+
+TEST(Augment, CropKeepsImageSizeAndSomeAnnotations) {
+  const Dataset dataset = small_dataset();
+  util::Rng rng(5);
+  for (const LabeledImage& img : dataset) {
+    if (img.annotations.empty()) continue;
+    const LabeledImage cropped = apply_augmentation(img, AugmentOp::kRandomObjectCrop, rng);
+    EXPECT_EQ(cropped.image.width(), img.image.width());
+    EXPECT_EQ(cropped.image.height(), img.image.height());
+    // The crop centers on an object, so at least one annotation survives.
+    EXPECT_GE(cropped.annotations.size(), 1U);
+    EXPECT_LE(cropped.annotations.size(), img.annotations.size());
+  }
+}
+
+TEST(Augment, CropOnEmptyImageIsIdentityShape) {
+  LabeledImage img;
+  img.image = image::Image(32, 32);
+  util::Rng rng(6);
+  const LabeledImage out = apply_augmentation(img, AugmentOp::kRandomObjectCrop, rng);
+  EXPECT_EQ(out.image.width(), 32);
+  EXPECT_TRUE(out.annotations.empty());
+}
+
+TEST(AugmentDataset, RotationArmQuadruplesData) {
+  const Dataset dataset = small_dataset(6);
+  AugmentConfig config;
+  config.rotations = true;
+  util::Rng rng(7);
+  const Dataset augmented = augment_dataset(dataset, config, rng);
+  EXPECT_EQ(augmented.size(), 6U * 4U);
+}
+
+TEST(AugmentDataset, CropsArmAddsCropsPerImage) {
+  const Dataset dataset = small_dataset(6);
+  AugmentConfig config;
+  config.rotations = false;
+  config.object_crops = true;
+  config.crops_per_image = 2;
+  util::Rng rng(8);
+  const Dataset augmented = augment_dataset(dataset, config, rng);
+  EXPECT_EQ(augmented.size(), 6U * 3U);
+}
+
+TEST(AugmentDataset, FreshIdsForVariants) {
+  const Dataset dataset = small_dataset(5);
+  AugmentConfig config;
+  config.rotations = true;
+  util::Rng rng(9);
+  const Dataset augmented = augment_dataset(dataset, config, rng);
+  std::set<std::uint64_t> ids;
+  for (const LabeledImage& img : augmented) ids.insert(img.id);
+  EXPECT_EQ(ids.size(), augmented.size());
+}
+
+TEST(AugmentDataset, FlipsArm) {
+  const Dataset dataset = small_dataset(4);
+  AugmentConfig config;
+  config.rotations = false;
+  config.flips = true;
+  util::Rng rng(10);
+  const Dataset augmented = augment_dataset(dataset, config, rng);
+  EXPECT_EQ(augmented.size(), 4U * 3U);
+}
+
+}  // namespace
+}  // namespace neuro::data

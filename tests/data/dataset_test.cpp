@@ -1,0 +1,193 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/builder.hpp"
+
+namespace neuro::data {
+namespace {
+
+using scene::Indicator;
+
+LabeledImage make_image(std::uint64_t id, std::vector<Indicator> indicators) {
+  LabeledImage img;
+  img.id = id;
+  img.image = image::Image(16, 16, 3);
+  float offset = 1.0F;
+  for (Indicator ind : indicators) {
+    img.annotations.push_back(Annotation{ind, {offset, offset, 5.0F, 5.0F}, 1.0F});
+    offset += 2.0F;
+  }
+  return img;
+}
+
+TEST(LabeledImage, PresenceFromAnnotations) {
+  const LabeledImage img = make_image(1, {Indicator::kSidewalk, Indicator::kPowerline});
+  const scene::PresenceVector p = img.presence();
+  EXPECT_TRUE(p[Indicator::kSidewalk]);
+  EXPECT_TRUE(p[Indicator::kPowerline]);
+  EXPECT_FALSE(p[Indicator::kApartment]);
+}
+
+TEST(LabeledImage, DegenerateBoxesIgnored) {
+  LabeledImage img;
+  img.annotations.push_back(Annotation{Indicator::kSidewalk, {0, 0, 0, 5}, 1.0F});
+  EXPECT_FALSE(img.presence()[Indicator::kSidewalk]);
+}
+
+TEST(Dataset, StatsCountObjectsAndImages) {
+  Dataset dataset;
+  dataset.add(make_image(1, {Indicator::kSidewalk, Indicator::kSidewalk}));
+  dataset.add(make_image(2, {Indicator::kSidewalk, Indicator::kApartment}));
+  dataset.add(make_image(3, {}));
+  const DatasetStats stats = dataset.stats();
+  EXPECT_EQ(stats.total_images, 3);
+  EXPECT_EQ(stats.total_objects, 4);
+  EXPECT_EQ(stats.object_counts[Indicator::kSidewalk], 3);
+  EXPECT_EQ(stats.image_counts[Indicator::kSidewalk], 2);
+  EXPECT_NEAR(stats.prevalence(Indicator::kSidewalk), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.prevalence(Indicator::kPowerline), 0.0);
+}
+
+TEST(Dataset, SubsetAndAppend) {
+  Dataset dataset;
+  for (int i = 0; i < 5; ++i) dataset.add(make_image(static_cast<std::uint64_t>(i), {}));
+  const Dataset sub = dataset.subset({0, 2, 4});
+  ASSERT_EQ(sub.size(), 3U);
+  EXPECT_EQ(sub[1].id, 2U);
+  EXPECT_THROW(dataset.subset({99}), std::out_of_range);
+
+  Dataset other;
+  other.add(make_image(100, {}));
+  Dataset merged = dataset;
+  merged.append(other);
+  EXPECT_EQ(merged.size(), 6U);
+}
+
+TEST(StratifiedSplit, FractionsRespected) {
+  Dataset dataset;
+  for (int i = 0; i < 200; ++i) {
+    dataset.add(make_image(static_cast<std::uint64_t>(i),
+                           i % 2 == 0 ? std::vector<Indicator>{Indicator::kSidewalk}
+                                      : std::vector<Indicator>{Indicator::kPowerline}));
+  }
+  util::Rng rng(1);
+  const Split split = stratified_split(dataset, 0.7, 0.2, rng);
+  EXPECT_EQ(split.train.size() + split.val.size() + split.test.size(), 200U);
+  EXPECT_NEAR(static_cast<double>(split.train.size()), 140.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(split.val.size()), 40.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(split.test.size()), 20.0, 4.0);
+}
+
+TEST(StratifiedSplit, NoOverlapBetweenSplits) {
+  Dataset dataset;
+  for (int i = 0; i < 60; ++i) dataset.add(make_image(static_cast<std::uint64_t>(i), {}));
+  util::Rng rng(2);
+  const Split split = stratified_split(dataset, 0.7, 0.2, rng);
+  std::vector<bool> seen(60, false);
+  for (const auto& group : {split.train, split.val, split.test}) {
+    for (std::size_t idx : group) {
+      EXPECT_FALSE(seen[idx]) << "index " << idx << " appears twice";
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(StratifiedSplit, StrataSpreadAcrossSplits) {
+  // 40 sidewalk-only and 40 powerline-only images: each split should hold
+  // both presence patterns at roughly the global ratio.
+  Dataset dataset;
+  for (int i = 0; i < 80; ++i) {
+    dataset.add(make_image(static_cast<std::uint64_t>(i),
+                           i < 40 ? std::vector<Indicator>{Indicator::kSidewalk}
+                                  : std::vector<Indicator>{Indicator::kPowerline}));
+  }
+  util::Rng rng(3);
+  const Split split = stratified_split(dataset, 0.5, 0.25, rng);
+  auto count_sidewalk = [&](const std::vector<std::size_t>& indices) {
+    int n = 0;
+    for (std::size_t i : indices) n += dataset[i].presence()[Indicator::kSidewalk] ? 1 : 0;
+    return n;
+  };
+  EXPECT_NEAR(count_sidewalk(split.train), 20, 2);
+  EXPECT_NEAR(count_sidewalk(split.val), 10, 2);
+  EXPECT_NEAR(count_sidewalk(split.test), 10, 2);
+}
+
+TEST(StratifiedSplit, InvalidFractionsThrow) {
+  Dataset dataset;
+  dataset.add(make_image(1, {}));
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_split(dataset, 0.0, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(dataset, 0.9, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(dataset, 0.7, -0.1, rng), std::invalid_argument);
+}
+
+TEST(Builder, ProducesRequestedImages) {
+  BuildConfig config;
+  config.image_count = 30;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  const Dataset dataset = build_synthetic_dataset(config, 42);
+  ASSERT_EQ(dataset.size(), 30U);
+  for (const LabeledImage& img : dataset) {
+    EXPECT_EQ(img.image.width(), 64);
+    EXPECT_EQ(img.image.height(), 64);
+  }
+}
+
+TEST(Builder, DeterministicGivenSeed) {
+  BuildConfig config;
+  config.image_count = 10;
+  const Dataset a = build_synthetic_dataset(config, 7);
+  const Dataset b = build_synthetic_dataset(config, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].image.data(), b[i].image.data());
+    EXPECT_EQ(a[i].annotations.size(), b[i].annotations.size());
+  }
+}
+
+TEST(Builder, DifferentSeedsDiffer) {
+  BuildConfig config;
+  config.image_count = 10;
+  const Dataset a = build_synthetic_dataset(config, 7);
+  const Dataset b = build_synthetic_dataset(config, 8);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && !any_difference; ++i) {
+    any_difference = a[i].image.data() != b[i].image.data();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Builder, LabelNoiseDropsAnnotations) {
+  BuildConfig clean_config;
+  clean_config.image_count = 60;
+  const Dataset clean = build_synthetic_dataset(clean_config, 42);
+
+  BuildConfig noisy_config = clean_config;
+  noisy_config.label_miss_rate = 0.5;
+  const Dataset noisy = build_synthetic_dataset(noisy_config, 42);
+
+  EXPECT_LT(noisy.stats().total_objects, clean.stats().total_objects);
+  EXPECT_GT(noisy.stats().total_objects, 0);
+}
+
+TEST(Builder, LabelJitterPerturbsBoxes) {
+  BuildConfig config;
+  config.image_count = 20;
+  const Dataset clean = build_synthetic_dataset(config, 42);
+  config.label_jitter_px = 3.0;
+  const Dataset jittered = build_synthetic_dataset(config, 42);
+  bool moved = false;
+  for (std::size_t i = 0; i < clean.size() && !moved; ++i) {
+    if (clean[i].annotations.empty() || jittered[i].annotations.empty()) continue;
+    moved = std::fabs(clean[i].annotations[0].box.x - jittered[i].annotations[0].box.x) > 1e-3F;
+  }
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace neuro::data

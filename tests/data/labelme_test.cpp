@@ -1,0 +1,119 @@
+#include "data/labelme_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/builder.hpp"
+
+namespace neuro::data {
+namespace {
+
+using scene::Indicator;
+
+TEST(LabelMe, SerializeProducesLabelMeShape) {
+  LabeledImage img;
+  img.id = 5;
+  img.image = image::Image(32, 24, 3);
+  img.annotations.push_back(Annotation{Indicator::kSidewalk, {2, 3, 10, 8}, 1.0F});
+
+  const util::Json doc = to_labelme_json(img, "img_000005.ppm");
+  EXPECT_EQ(doc.get("imagePath", std::string()), "img_000005.ppm");
+  EXPECT_EQ(doc.at("imageWidth").as_int(), 32);
+  EXPECT_EQ(doc.at("imageHeight").as_int(), 24);
+  const util::Json& shape = doc.at("shapes").as_array()[0];
+  EXPECT_EQ(shape.get("label", std::string()), "sidewalk");
+  EXPECT_EQ(shape.get("shape_type", std::string()), "rectangle");
+  const auto& points = shape.at("points").as_array();
+  ASSERT_EQ(points.size(), 2U);
+  EXPECT_DOUBLE_EQ(points[0].as_array()[0].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(points[1].as_array()[1].as_number(), 11.0);
+}
+
+TEST(LabelMe, RoundTripPreservesBoxes) {
+  LabeledImage img;
+  img.annotations.push_back(Annotation{Indicator::kPowerline, {0, 10, 160, 14}, 0.5F});
+  img.annotations.push_back(Annotation{Indicator::kApartment, {40, 20, 30, 35}, 0.9F});
+  img.image = image::Image(160, 160);
+
+  const LabeledImage restored = from_labelme_json(to_labelme_json(img, "x.ppm"));
+  ASSERT_EQ(restored.annotations.size(), 2U);
+  EXPECT_EQ(restored.annotations[0].indicator, Indicator::kPowerline);
+  EXPECT_FLOAT_EQ(restored.annotations[1].box.w, 30.0F);
+  EXPECT_FLOAT_EQ(restored.annotations[1].box.h, 35.0F);
+}
+
+TEST(LabelMe, ParsesRealLabelMeDocument) {
+  // Hand-written document in the shape the LabelMe tool exports,
+  // including a polygon shape and an unknown class.
+  const std::string text = R"({
+    "version": "5.4.1",
+    "flags": {},
+    "shapes": [
+      {"label": "streetlight", "points": [[10.0, 20.0], [18.0, 70.0]],
+       "group_id": null, "shape_type": "rectangle", "flags": {}},
+      {"label": "powerline", "points": [[0.0, 12.0], [80.0, 9.0], [159.0, 14.0]],
+       "group_id": null, "shape_type": "polygon", "flags": {}},
+      {"label": "fire hydrant", "points": [[1, 1], [5, 5]],
+       "group_id": null, "shape_type": "rectangle", "flags": {}}
+    ],
+    "imagePath": "gsv_00012.png",
+    "imageData": null,
+    "imageHeight": 160,
+    "imageWidth": 160
+  })";
+  const LabeledImage img = from_labelme_json(util::Json::parse(text));
+  ASSERT_EQ(img.annotations.size(), 2U);  // unknown class skipped
+  EXPECT_EQ(img.annotations[0].indicator, Indicator::kStreetlight);
+  EXPECT_FLOAT_EQ(img.annotations[0].box.h, 50.0F);
+  // Polygon becomes its bounding box.
+  EXPECT_EQ(img.annotations[1].indicator, Indicator::kPowerline);
+  EXPECT_FLOAT_EQ(img.annotations[1].box.x, 0.0F);
+  EXPECT_FLOAT_EQ(img.annotations[1].box.w, 159.0F);
+  EXPECT_FLOAT_EQ(img.annotations[1].box.y, 9.0F);
+}
+
+TEST(LabelMe, DegenerateShapesSkipped) {
+  const std::string text = R"({"shapes": [
+    {"label": "sidewalk", "points": [[5, 5], [5, 5]], "shape_type": "rectangle"},
+    {"label": "sidewalk", "points": [[5, 5]], "shape_type": "rectangle"}
+  ]})";
+  EXPECT_TRUE(from_labelme_json(util::Json::parse(text)).annotations.empty());
+}
+
+TEST(LabelMe, MissingShapesYieldsEmpty) {
+  EXPECT_TRUE(from_labelme_json(util::Json::parse("{}")).annotations.empty());
+}
+
+TEST(LabelMe, DirectoryExportImportRoundTrip) {
+  BuildConfig config;
+  config.image_count = 6;
+  config.generator.image_width = 48;
+  config.generator.image_height = 48;
+  const Dataset dataset = build_synthetic_dataset(config, 42);
+
+  const std::string dir = testing::TempDir() + "/labelme_roundtrip";
+  std::filesystem::remove_all(dir);
+  export_labelme_dataset(dataset, dir);
+
+  const Dataset imported = import_labelme_dataset(dir);
+  ASSERT_EQ(imported.size(), dataset.size());
+  // Sorted by filename = sorted by id.
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    // Find the original with this id.
+    const LabeledImage* original = nullptr;
+    for (const LabeledImage& img : dataset) {
+      if (img.id == imported[i].id) original = &img;
+    }
+    ASSERT_NE(original, nullptr);
+    EXPECT_EQ(imported[i].annotations.size(), original->annotations.size());
+    EXPECT_EQ(imported[i].image.width(), 48);
+    if (!original->annotations.empty()) {
+      EXPECT_NEAR(imported[i].annotations[0].box.x, original->annotations[0].box.x, 0.01F);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace neuro::data

@@ -1,0 +1,112 @@
+#include "detect/box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neuro::detect {
+namespace {
+
+using scene::Indicator;
+
+TEST(Iou, IdenticalBoxes) {
+  const image::BoxF box{10, 10, 20, 20};
+  EXPECT_FLOAT_EQ(iou(box, box), 1.0F);
+}
+
+TEST(Iou, DisjointBoxes) {
+  EXPECT_FLOAT_EQ(iou({0, 0, 10, 10}, {20, 20, 10, 10}), 0.0F);
+  EXPECT_FLOAT_EQ(iou({0, 0, 10, 10}, {10, 0, 10, 10}), 0.0F);  // touching edges
+}
+
+TEST(Iou, HalfOverlap) {
+  // Two 10x10 boxes overlapping in a 5x10 strip: IoU = 50 / 150.
+  EXPECT_NEAR(iou({0, 0, 10, 10}, {5, 0, 10, 10}), 50.0F / 150.0F, 1e-6F);
+}
+
+TEST(Iou, ContainedBox) {
+  // 5x5 inside 10x10: IoU = 25/100.
+  EXPECT_NEAR(iou({0, 0, 10, 10}, {2, 2, 5, 5}), 0.25F, 1e-6F);
+}
+
+TEST(Iou, DegenerateBoxesAreZero) {
+  EXPECT_FLOAT_EQ(iou({0, 0, 0, 10}, {0, 0, 10, 10}), 0.0F);
+  EXPECT_FLOAT_EQ(iou({0, 0, 10, 10}, {0, 0, 10, 0}), 0.0F);
+}
+
+class IouSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(IouSweep, ShiftedOverlapMatchesFormula) {
+  const float shift = GetParam();
+  const image::BoxF a{0, 0, 10, 10};
+  const image::BoxF b{shift, 0, 10, 10};
+  const float inter = (10.0F - shift) * 10.0F;
+  const float expected = inter / (200.0F - inter);
+  EXPECT_NEAR(iou(a, b), expected, 1e-5F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, IouSweep, ::testing::Values(0.0F, 1.0F, 2.5F, 5.0F, 9.0F));
+
+TEST(IntersectionArea, Values) {
+  EXPECT_FLOAT_EQ(intersection_area({0, 0, 10, 10}, {5, 5, 10, 10}), 25.0F);
+  EXPECT_FLOAT_EQ(intersection_area({0, 0, 10, 10}, {50, 50, 10, 10}), 0.0F);
+}
+
+TEST(Nms, KeepsHighestAndSuppressesOverlaps) {
+  std::vector<Detection> detections = {
+      {Indicator::kSidewalk, {0, 0, 10, 10}, 0.9F},
+      {Indicator::kSidewalk, {1, 1, 10, 10}, 0.8F},   // overlaps first
+      {Indicator::kSidewalk, {50, 50, 10, 10}, 0.7F}, // far away
+  };
+  const auto kept = non_max_suppression(detections, 0.5F);
+  ASSERT_EQ(kept.size(), 2U);
+  EXPECT_FLOAT_EQ(kept[0].score, 0.9F);
+  EXPECT_FLOAT_EQ(kept[1].score, 0.7F);
+}
+
+TEST(Nms, DifferentClassesNotSuppressed) {
+  std::vector<Detection> detections = {
+      {Indicator::kSidewalk, {0, 0, 10, 10}, 0.9F},
+      {Indicator::kPowerline, {0, 0, 10, 10}, 0.8F},
+  };
+  EXPECT_EQ(non_max_suppression(detections, 0.5F).size(), 2U);
+}
+
+TEST(Nms, ThresholdControlsAggressiveness) {
+  std::vector<Detection> detections = {
+      {Indicator::kSidewalk, {0, 0, 10, 10}, 0.9F},
+      {Indicator::kSidewalk, {4, 0, 10, 10}, 0.8F},  // IoU = 60/140 ~ 0.43
+  };
+  EXPECT_EQ(non_max_suppression(detections, 0.5F).size(), 2U);
+  EXPECT_EQ(non_max_suppression(detections, 0.3F).size(), 1U);
+}
+
+TEST(Nms, EmptyAndSingle) {
+  EXPECT_TRUE(non_max_suppression({}, 0.5F).empty());
+  std::vector<Detection> one = {{Indicator::kApartment, {0, 0, 5, 5}, 0.5F}};
+  EXPECT_EQ(non_max_suppression(one, 0.5F).size(), 1U);
+}
+
+TEST(Nms, OutputSortedByScore) {
+  std::vector<Detection> detections = {
+      {Indicator::kSidewalk, {0, 0, 5, 5}, 0.3F},
+      {Indicator::kSidewalk, {20, 0, 5, 5}, 0.9F},
+      {Indicator::kSidewalk, {40, 0, 5, 5}, 0.6F},
+  };
+  const auto kept = non_max_suppression(detections, 0.5F);
+  ASSERT_EQ(kept.size(), 3U);
+  EXPECT_GE(kept[0].score, kept[1].score);
+  EXPECT_GE(kept[1].score, kept[2].score);
+}
+
+TEST(ClipBox, ClipsToImage) {
+  const image::BoxF clipped = clip_box({-5, -5, 20, 20}, 10, 10);
+  EXPECT_FLOAT_EQ(clipped.x, 0.0F);
+  EXPECT_FLOAT_EQ(clipped.y, 0.0F);
+  EXPECT_FLOAT_EQ(clipped.w, 10.0F);
+  EXPECT_FLOAT_EQ(clipped.h, 10.0F);
+
+  const image::BoxF outside = clip_box({50, 50, 10, 10}, 10, 10);
+  EXPECT_FLOAT_EQ(outside.w, 0.0F);
+}
+
+}  // namespace
+}  // namespace neuro::detect

@@ -1,0 +1,194 @@
+// Integration tests for the NanoDet training/inference pipeline. Uses a
+// reduced configuration (small dataset, few epochs, one mining round) so
+// the whole file runs in tens of seconds; the full-scale numbers live in
+// bench_table1_baseline.
+
+#include "detect/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/builder.hpp"
+#include "detect/metrics.hpp"
+
+namespace neuro::detect {
+namespace {
+
+using scene::Indicator;
+
+DetectorConfig fast_config() {
+  DetectorConfig config;
+  config.epochs = 6;
+  config.mining_rounds = 1;
+  config.mining_max_images = 60;
+  config.negatives_per_image = 60;
+  config.seed = 42;
+  return config;
+}
+
+data::Dataset build(std::size_t n, std::uint64_t seed = 42) {
+  data::BuildConfig config;
+  config.image_count = n;
+  return data::build_synthetic_dataset(config, seed);
+}
+
+class TrainedDetector : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(build(110));
+    util::Rng rng(7);
+    const data::Split split = data::stratified_split(*dataset_, 0.7, 0.15, rng);
+    train_ = new data::Dataset(dataset_->subset(split.train));
+    val_ = new data::Dataset(dataset_->subset(split.val));
+    test_ = new data::Dataset(dataset_->subset(split.test));
+    detector_ = new NanoDetector(fast_config());
+    detector_->train(*train_);
+    detector_->calibrate_thresholds(*val_);
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete test_;
+    delete val_;
+    delete train_;
+    delete dataset_;
+    detector_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static data::Dataset* train_;
+  static data::Dataset* val_;
+  static data::Dataset* test_;
+  static NanoDetector* detector_;
+};
+
+data::Dataset* TrainedDetector::dataset_ = nullptr;
+data::Dataset* TrainedDetector::train_ = nullptr;
+data::Dataset* TrainedDetector::val_ = nullptr;
+data::Dataset* TrainedDetector::test_ = nullptr;
+NanoDetector* TrainedDetector::detector_ = nullptr;
+
+TEST_F(TrainedDetector, TrainingReportsProgress) {
+  NanoDetector fresh(fast_config());
+  const TrainReport report = fresh.train(*train_);
+  EXPECT_TRUE(fresh.trained());
+  EXPECT_GT(report.positive_samples, 0U);
+  EXPECT_GT(report.negative_samples, report.positive_samples);
+  ASSERT_GE(report.epoch_mean_losses.size(), 2U);
+  // Loss should come down over training.
+  EXPECT_LT(report.epoch_mean_losses.back(), report.epoch_mean_losses.front());
+}
+
+TEST_F(TrainedDetector, DetectBeforeTrainThrows) {
+  NanoDetector fresh(fast_config());
+  image::Image img(160, 160);
+  EXPECT_THROW(fresh.detect(img), std::logic_error);
+  EXPECT_THROW(fresh.calibrate_thresholds(*val_), std::logic_error);
+}
+
+TEST_F(TrainedDetector, EmptyDatasetRejected) {
+  NanoDetector fresh(fast_config());
+  EXPECT_THROW(fresh.train(data::Dataset{}), std::invalid_argument);
+  EXPECT_THROW(detector_->calibrate_thresholds(data::Dataset{}), std::invalid_argument);
+}
+
+TEST_F(TrainedDetector, BetterThanChanceOnHeldOut) {
+  const DetectionEvalResult eval = evaluate_detector(*detector_, *test_, 0.5F, 2);
+  // With the fast config this is far from the bench numbers, but the
+  // pipeline must be meaningfully better than noise.
+  EXPECT_GT(eval.mean_f1, 0.35);
+  EXPECT_GT(eval.map50, 0.35);
+}
+
+TEST_F(TrainedDetector, DetectionsRespectPerImageCaps) {
+  const DetectorConfig& config = detector_->config();
+  for (std::size_t i = 0; i < test_->size(); ++i) {
+    scene::IndicatorMap<int> counts;
+    for (const Detection& det : detector_->detect((*test_)[i].image)) {
+      ++counts[det.indicator];
+    }
+    for (Indicator ind : scene::all_indicators()) {
+      EXPECT_LE(counts[ind], config.max_per_image[scene::indicator_index(ind)]);
+    }
+  }
+}
+
+TEST_F(TrainedDetector, DetectionScoresAboveThreshold) {
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, test_->size()); ++i) {
+    for (const Detection& det : detector_->detect((*test_)[i].image)) {
+      EXPECT_GE(det.score, detector_->threshold(det.indicator));
+    }
+  }
+}
+
+TEST_F(TrainedDetector, DetectAllReturnsSupersetOfDetect) {
+  const image::Image& img = (*test_)[0].image;
+  const auto strict = detector_->detect(img);
+  const auto loose = detector_->detect_all(img, 0.05F);
+  EXPECT_GE(loose.size(), strict.size());
+}
+
+TEST_F(TrainedDetector, CalibrationSetsPerClassThresholds) {
+  NanoDetector fresh(fast_config());
+  fresh.train(*train_);
+  const float before = fresh.threshold(Indicator::kSidewalk);
+  EXPECT_FLOAT_EQ(before, fresh.config().score_threshold);
+  fresh.calibrate_thresholds(*val_);
+  // At least one class should depart from the default threshold.
+  bool any_changed = false;
+  for (Indicator ind : scene::all_indicators()) {
+    if (std::fabs(fresh.threshold(ind) - fresh.config().score_threshold) > 1e-4F) {
+      any_changed = true;
+    }
+    EXPECT_GE(fresh.threshold(ind), 0.0F);
+    EXPECT_LE(fresh.threshold(ind), 1.0F);
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST_F(TrainedDetector, ClassifyPresenceRoadsExclusive) {
+  for (std::size_t i = 0; i < test_->size(); ++i) {
+    const scene::PresenceVector presence = detector_->classify_presence((*test_)[i].image);
+    EXPECT_FALSE(presence[Indicator::kSingleLaneRoad] && presence[Indicator::kMultilaneRoad]);
+  }
+}
+
+TEST_F(TrainedDetector, DeterministicTraining) {
+  NanoDetector a(fast_config());
+  NanoDetector b(fast_config());
+  data::Dataset tiny = build(25, 9);
+  a.train(tiny);
+  b.train(tiny);
+  const image::Image& img = (*test_)[0].image;
+  const auto da = a.detect_all(img, 0.2F);
+  const auto db = b.detect_all(img, 0.2F);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].indicator, db[i].indicator);
+    EXPECT_FLOAT_EQ(da[i].score, db[i].score);
+  }
+}
+
+TEST_F(TrainedDetector, EvaluateDetectorCountsConsistent) {
+  const DetectionEvalResult eval = evaluate_detector(*detector_, *test_, 0.5F, 2);
+  for (Indicator ind : scene::all_indicators()) {
+    const ClassDetectionMetrics& m = eval.per_class[ind];
+    EXPECT_EQ(m.tp + m.fn, m.gt_count);
+    EXPECT_GE(m.precision, 0.0);
+    EXPECT_LE(m.precision, 1.0);
+    EXPECT_GE(m.ap50, 0.0);
+    EXPECT_LE(m.ap50, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(TrainedDetector, MaxScoreBoundedAndConsistent) {
+  const image::Image& img = (*test_)[0].image;
+  for (Indicator ind : scene::all_indicators()) {
+    const float score = detector_->max_score(img, ind);
+    EXPECT_GE(score, 0.0F);
+    EXPECT_LE(score, 1.0F);
+  }
+}
+
+}  // namespace
+}  // namespace neuro::detect

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "data/builder.hpp"
+#include "detect/metrics.hpp"
+#include "detect/proposals.hpp"
+
+namespace neuro::detect {
+namespace {
+
+TEST(Proposals, AllWithinImageBounds) {
+  for (int size : {96, 160, 320}) {
+    const auto proposals = generate_proposals(size, size, default_templates());
+    EXPECT_GT(proposals.size(), 100U);
+    for (const image::BoxF& p : proposals) {
+      EXPECT_GE(p.x, -0.51F);
+      EXPECT_GE(p.y, -0.51F);
+      EXPECT_LE(p.x + p.w, static_cast<float>(size) + 1.0F);
+      EXPECT_LE(p.y + p.h, static_cast<float>(size) + 1.0F);
+      EXPECT_GT(p.w, 0.0F);
+      EXPECT_GT(p.h, 0.0F);
+    }
+  }
+}
+
+TEST(Proposals, CountScalesWithTemplates) {
+  const auto one = generate_proposals(160, 160, {ProposalTemplate{0.5F, 0.5F, 0.25F, 0.25F, 0.0F, 1.0F}});
+  EXPECT_GE(one.size(), 4U);
+  const auto full = generate_proposals(160, 160, default_templates());
+  EXPECT_GT(full.size(), one.size());
+}
+
+TEST(Proposals, CoverPaperBoxGeometries) {
+  // Every ground-truth box in a generated dataset must have a proposal
+  // with IoU >= 0.5 somewhere in the grid (otherwise that object is
+  // undetectable regardless of the classifier).
+  data::BuildConfig config;
+  config.image_count = 120;
+  const data::Dataset dataset = data::build_synthetic_dataset(config, 123);
+  const auto proposals = generate_proposals(160, 160, default_templates());
+
+  scene::IndicatorMap<int> total;
+  scene::IndicatorMap<int> covered;
+  for (const data::LabeledImage& img : dataset) {
+    for (const data::Annotation& ann : img.annotations) {
+      ++total[ann.indicator];
+      for (const image::BoxF& p : proposals) {
+        if (iou(p, ann.box) >= 0.5F) {
+          ++covered[ann.indicator];
+          break;
+        }
+      }
+    }
+  }
+  for (scene::Indicator ind : scene::all_indicators()) {
+    ASSERT_GT(total[ind], 0) << scene::indicator_name(ind);
+    const double coverage = static_cast<double>(covered[ind]) / total[ind];
+    EXPECT_GT(coverage, 0.9) << scene::indicator_name(ind);
+  }
+}
+
+TEST(AveragePrecision, PerfectDetectorIsOne) {
+  // 3 GT, 3 detections all TP.
+  std::vector<std::pair<float, bool>> hits = {{0.9F, true}, {0.8F, true}, {0.7F, true}};
+  EXPECT_DOUBLE_EQ(average_precision(hits, 3), 1.0);
+}
+
+TEST(AveragePrecision, AllFalsePositivesIsZero) {
+  std::vector<std::pair<float, bool>> hits = {{0.9F, false}, {0.8F, false}};
+  EXPECT_DOUBLE_EQ(average_precision(hits, 2), 0.0);
+}
+
+TEST(AveragePrecision, NoDetectionsIsZero) {
+  EXPECT_DOUBLE_EQ(average_precision({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(average_precision({{0.5F, true}}, 0), 0.0);
+}
+
+TEST(AveragePrecision, HandComputedCase) {
+  // GT = 2. Detections sorted: TP(0.9), FP(0.8), TP(0.7).
+  // PR points: (r=0.5, p=1.0), (r=0.5, p=0.5), (r=1.0, p=2/3).
+  // Monotone envelope: p(0)=1.0 until r=0.5 then 2/3.
+  // AP = 0.5*1.0 + 0.5*(2/3) = 0.8333.
+  std::vector<std::pair<float, bool>> hits = {{0.9F, true}, {0.8F, false}, {0.7F, true}};
+  EXPECT_NEAR(average_precision(hits, 2), 0.8333, 1e-3);
+}
+
+TEST(AveragePrecision, OrderIndependentInput) {
+  std::vector<std::pair<float, bool>> shuffled = {{0.7F, true}, {0.9F, true}, {0.8F, false}};
+  EXPECT_NEAR(average_precision(shuffled, 2), 0.8333, 1e-3);
+}
+
+TEST(AveragePrecision, MissedGtCapsRecall) {
+  // 1 TP but 4 GT: recall never exceeds 0.25, so AP <= 0.25.
+  std::vector<std::pair<float, bool>> hits = {{0.9F, true}};
+  EXPECT_NEAR(average_precision(hits, 4), 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace neuro::detect

@@ -1,0 +1,162 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/report.hpp"
+
+namespace neuro::eval {
+namespace {
+
+using scene::Indicator;
+
+TEST(BinaryCounts, Accumulation) {
+  BinaryCounts counts;
+  counts.add(true, true);    // tp
+  counts.add(true, false);   // fn
+  counts.add(false, true);   // fp
+  counts.add(false, false);  // tn
+  EXPECT_EQ(counts.tp, 1);
+  EXPECT_EQ(counts.fn, 1);
+  EXPECT_EQ(counts.fp, 1);
+  EXPECT_EQ(counts.tn, 1);
+  EXPECT_EQ(counts.total(), 4);
+
+  BinaryCounts other;
+  other.add(true, true);
+  counts += other;
+  EXPECT_EQ(counts.tp, 2);
+}
+
+TEST(BinaryMetrics, Formulas) {
+  BinaryCounts counts;
+  counts.tp = 8;
+  counts.fp = 2;
+  counts.fn = 4;
+  counts.tn = 6;
+  const BinaryMetrics m = BinaryMetrics::from(counts);
+  EXPECT_DOUBLE_EQ(m.precision, 0.8);
+  EXPECT_DOUBLE_EQ(m.recall, 8.0 / 12.0);
+  EXPECT_NEAR(m.f1, 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy, 14.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.specificity, 6.0 / 8.0);
+}
+
+TEST(BinaryMetrics, EmptyDenominatorsAreZero) {
+  const BinaryMetrics m = BinaryMetrics::from(BinaryCounts{});
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+  EXPECT_EQ(m.accuracy, 0.0);
+}
+
+scene::PresenceVector presence_of(std::initializer_list<Indicator> indicators) {
+  scene::PresenceVector v;
+  for (Indicator ind : indicators) v.set(ind, true);
+  return v;
+}
+
+TEST(MultiLabelEvaluator, PerClassCounts) {
+  MultiLabelEvaluator evaluator;
+  evaluator.add(presence_of({Indicator::kSidewalk}), presence_of({Indicator::kSidewalk}));
+  evaluator.add(presence_of({Indicator::kSidewalk}), presence_of({}));
+  evaluator.add(presence_of({}), presence_of({Indicator::kSidewalk}));
+  EXPECT_EQ(evaluator.sample_count(), 3);
+  const BinaryCounts& counts = evaluator.counts(Indicator::kSidewalk);
+  EXPECT_EQ(counts.tp, 1);
+  EXPECT_EQ(counts.fn, 1);
+  EXPECT_EQ(counts.fp, 1);
+  // Other classes: all true negatives.
+  EXPECT_EQ(evaluator.counts(Indicator::kPowerline).tn, 3);
+  EXPECT_DOUBLE_EQ(evaluator.metrics(Indicator::kPowerline).accuracy, 1.0);
+}
+
+TEST(MultiLabelEvaluator, MacroAverage) {
+  MultiLabelEvaluator evaluator;
+  // Perfect on everything.
+  evaluator.add(presence_of({Indicator::kSidewalk, Indicator::kApartment}),
+                presence_of({Indicator::kSidewalk, Indicator::kApartment}));
+  const BinaryMetrics avg = evaluator.macro_average();
+  EXPECT_DOUBLE_EQ(avg.accuracy, 1.0);
+}
+
+TEST(MultiLabelEvaluator, MergeOperator) {
+  MultiLabelEvaluator a;
+  MultiLabelEvaluator b;
+  a.add(presence_of({Indicator::kSidewalk}), presence_of({Indicator::kSidewalk}));
+  b.add(presence_of({Indicator::kSidewalk}), presence_of({}));
+  a += b;
+  EXPECT_EQ(a.sample_count(), 2);
+  EXPECT_EQ(a.counts(Indicator::kSidewalk).tp, 1);
+  EXPECT_EQ(a.counts(Indicator::kSidewalk).fn, 1);
+}
+
+TEST(BootstrapCi, PerfectPredictorIsDegenerate) {
+  std::vector<scene::PresenceVector> truths;
+  std::vector<scene::PresenceVector> predictions;
+  for (int i = 0; i < 50; ++i) {
+    const auto v = presence_of(i % 2 == 0 ? std::initializer_list<Indicator>{Indicator::kSidewalk}
+                                          : std::initializer_list<Indicator>{});
+    truths.push_back(v);
+    predictions.push_back(v);
+  }
+  util::Rng rng(1);
+  const ConfidenceInterval ci = bootstrap_ci(truths, predictions, Indicator::kSidewalk,
+                                             MetricKind::kAccuracy, 200, 0.95, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.low, 1.0);
+  EXPECT_DOUBLE_EQ(ci.high, 1.0);
+}
+
+TEST(BootstrapCi, CoversPointEstimate) {
+  std::vector<scene::PresenceVector> truths;
+  std::vector<scene::PresenceVector> predictions;
+  util::Rng data_rng(2);
+  for (int i = 0; i < 120; ++i) {
+    const bool present = data_rng.bernoulli(0.4);
+    const bool predicted = present ? data_rng.bernoulli(0.85) : data_rng.bernoulli(0.1);
+    truths.push_back(present ? presence_of({Indicator::kPowerline}) : presence_of({}));
+    predictions.push_back(predicted ? presence_of({Indicator::kPowerline}) : presence_of({}));
+  }
+  util::Rng rng(3);
+  const ConfidenceInterval ci = bootstrap_ci(truths, predictions, Indicator::kPowerline,
+                                             MetricKind::kF1, 400, 0.95, rng);
+  EXPECT_LE(ci.low, ci.point);
+  EXPECT_GE(ci.high, ci.point);
+  EXPECT_GT(ci.high - ci.low, 0.0);
+  EXPECT_LT(ci.high - ci.low, 0.5);
+}
+
+TEST(BootstrapCi, Validation) {
+  std::vector<scene::PresenceVector> truths(3);
+  std::vector<scene::PresenceVector> predictions(2);
+  util::Rng rng(1);
+  EXPECT_THROW(bootstrap_ci(truths, predictions, Indicator::kSidewalk, MetricKind::kRecall, 10,
+                            0.95, rng),
+               std::invalid_argument);
+  predictions.resize(3);
+  EXPECT_THROW(bootstrap_ci(truths, predictions, Indicator::kSidewalk, MetricKind::kRecall, 10,
+                            1.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci({}, {}, Indicator::kSidewalk, MetricKind::kRecall, 10, 0.95, rng),
+               std::invalid_argument);
+}
+
+TEST(Report, PerClassTableHasSevenRows) {
+  MultiLabelEvaluator evaluator;
+  evaluator.add(presence_of({Indicator::kSidewalk}), presence_of({Indicator::kSidewalk}));
+  const util::TextTable table = per_class_table(evaluator);
+  EXPECT_EQ(table.row_count(), 7U);  // 6 classes + average
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("sidewalk"), std::string::npos);
+  EXPECT_NE(rendered.find("Average"), std::string::npos);
+}
+
+TEST(Report, MacroSummaryFormatsMetrics) {
+  MultiLabelEvaluator evaluator;
+  evaluator.add(presence_of({Indicator::kSidewalk}), presence_of({Indicator::kSidewalk}));
+  const std::string summary = macro_summary(evaluator);
+  EXPECT_NE(summary.find("Acc=1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neuro::eval

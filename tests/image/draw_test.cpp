@@ -1,0 +1,156 @@
+#include "image/draw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace neuro::image {
+namespace {
+
+int count_pixels(const Image& img, const Color& color, float tol = 1e-4F) {
+  int count = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const Color c = img.pixel(x, y);
+      if (std::fabs(c.r - color.r) < tol && std::fabs(c.g - color.g) < tol &&
+          std::fabs(c.b - color.b) < tol) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+const Color kWhite{1, 1, 1};
+
+TEST(FillRect, ExactArea) {
+  Image img(10, 10);
+  fill_rect(img, 2, 3, 6, 8, kWhite);
+  EXPECT_EQ(count_pixels(img, kWhite), 4 * 5);
+  EXPECT_EQ(img.pixel(2, 3), kWhite);
+  EXPECT_NE(img.pixel(6, 3), kWhite);  // half-open
+}
+
+TEST(FillRect, ClipsToImage) {
+  Image img(4, 4);
+  fill_rect(img, -10, -10, 100, 100, kWhite);
+  EXPECT_EQ(count_pixels(img, kWhite), 16);
+}
+
+TEST(FillRect, SwapsInvertedCoordinates) {
+  Image img(10, 10);
+  fill_rect(img, 6, 8, 2, 3, kWhite);
+  EXPECT_EQ(count_pixels(img, kWhite), 4 * 5);
+}
+
+TEST(DrawRectOutline, PerimeterOnly) {
+  Image img(10, 10);
+  draw_rect_outline(img, 1, 1, 5, 5, kWhite);
+  EXPECT_EQ(img.pixel(1, 1), kWhite);
+  EXPECT_EQ(img.pixel(4, 4), kWhite);
+  EXPECT_NE(img.pixel(2, 2), kWhite);  // interior untouched
+}
+
+TEST(DrawLine, EndpointsAndStraightness) {
+  Image img(20, 20);
+  draw_line(img, 2, 2, 17, 2, kWhite);
+  EXPECT_EQ(img.pixel(2, 2), kWhite);
+  EXPECT_EQ(img.pixel(17, 2), kWhite);
+  EXPECT_EQ(count_pixels(img, kWhite), 16);
+}
+
+TEST(DrawLine, Diagonal) {
+  Image img(10, 10);
+  draw_line(img, 0, 0, 9, 9, kWhite);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(img.pixel(i, i), kWhite);
+}
+
+TEST(DrawLine, ThicknessWidens) {
+  Image thin(20, 20);
+  Image thick(20, 20);
+  draw_line(thin, 5, 10, 15, 10, kWhite, 1);
+  draw_line(thick, 5, 10, 15, 10, kWhite, 3);
+  EXPECT_GT(count_pixels(thick, kWhite), count_pixels(thin, kWhite));
+}
+
+TEST(DrawLine, ClipsOffscreenSafely) {
+  Image img(8, 8);
+  draw_line(img, -10, -10, 20, 20, kWhite, 2);  // must not crash
+  EXPECT_GT(count_pixels(img, kWhite), 0);
+}
+
+TEST(FillPolygon, TriangleAreaApproximation) {
+  Image img(100, 100);
+  fill_polygon(img, {{10, 10}, {90, 10}, {10, 90}}, kWhite);
+  const int painted = count_pixels(img, kWhite);
+  EXPECT_NEAR(painted, 80 * 80 / 2, 200);
+}
+
+TEST(FillPolygon, DegenerateIgnored) {
+  Image img(10, 10);
+  fill_polygon(img, {{1, 1}, {2, 2}}, kWhite);  // < 3 points
+  EXPECT_EQ(count_pixels(img, kWhite), 0);
+}
+
+TEST(FillPolygon, ConcaveShapeUsesEvenOdd) {
+  Image img(40, 40);
+  // A "U" shape: pixels inside the notch must remain unpainted.
+  fill_polygon(img,
+               {{5, 5}, {15, 5}, {15, 25}, {25, 25}, {25, 5}, {35, 5}, {35, 35}, {5, 35}},
+               kWhite);
+  EXPECT_NE(img.pixel(20, 10), kWhite);  // inside the notch
+  EXPECT_EQ(img.pixel(10, 20), kWhite);  // left arm
+  EXPECT_EQ(img.pixel(20, 30), kWhite);  // base
+}
+
+TEST(FillCircle, AreaAndBounds) {
+  Image img(50, 50);
+  fill_circle(img, 25, 25, 10, kWhite);
+  const int painted = count_pixels(img, kWhite);
+  EXPECT_NEAR(painted, 3.14159 * 100, 30);
+  EXPECT_NE(img.pixel(25, 10), kWhite);  // outside radius
+  EXPECT_EQ(img.pixel(25, 25), kWhite);
+}
+
+TEST(FillVerticalGradient, MonotoneLuma) {
+  Image img(4, 20);
+  fill_vertical_gradient(img, 0, 20, Color::gray(0.0F), Color::gray(1.0F));
+  float prev = -1.0F;
+  for (int y = 0; y < 20; ++y) {
+    const float v = img.pixel(0, y).g;
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(img.pixel(0, 19).g, 1.0F, 1e-4F);
+}
+
+TEST(SpeckleRect, DeterministicAndDensityBounded) {
+  Image a(50, 50);
+  Image b(50, 50);
+  speckle_rect(a, 0, 0, 50, 50, kWhite, 0.2F, 7);
+  speckle_rect(b, 0, 0, 50, 50, kWhite, 0.2F, 7);
+  EXPECT_EQ(count_pixels(a, kWhite), count_pixels(b, kWhite));
+  EXPECT_NEAR(count_pixels(a, kWhite), 0.2 * 2500, 120);
+
+  Image c(50, 50);
+  speckle_rect(c, 0, 0, 50, 50, kWhite, 0.2F, 8);  // different salt
+  bool identical = true;
+  for (int y = 0; y < 50 && identical; ++y) {
+    for (int x = 0; x < 50; ++x) {
+      if (!(a.pixel(x, y) == c.pixel(x, y))) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(FillTriangle, DelegatesToPolygon) {
+  Image img(30, 30);
+  fill_triangle(img, {5, 5}, {25, 5}, {15, 25}, kWhite);
+  EXPECT_GT(count_pixels(img, kWhite), 100);
+}
+
+}  // namespace
+}  // namespace neuro::image

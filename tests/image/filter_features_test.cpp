@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "image/draw.hpp"
+#include "image/features.hpp"
+#include "image/filter.hpp"
+
+namespace neuro::image {
+namespace {
+
+TEST(Convolve, IdentityKernel) {
+  Image img(5, 5, 1);
+  img.at(2, 2, 0) = 1.0F;
+  const std::vector<float> identity = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  const Image out = convolve(img, identity, 3);
+  EXPECT_FLOAT_EQ(out.at(2, 2, 0), 1.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0F);
+}
+
+TEST(Convolve, Validation) {
+  Image rgb(4, 4, 3);
+  Image gray(4, 4, 1);
+  EXPECT_THROW(convolve(rgb, {1}, 1), std::invalid_argument);
+  EXPECT_THROW(convolve(gray, {1, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(convolve(gray, {1, 0, 0}, 3), std::invalid_argument);
+}
+
+TEST(GaussianBlur, PreservesConstantImage) {
+  Image img(16, 16, 3, 0.7F);
+  const Image blurred = gaussian_blur(img, 2.0F);
+  for (float v : blurred.data()) EXPECT_NEAR(v, 0.7F, 1e-4F);
+}
+
+TEST(GaussianBlur, SmoothsImpulse) {
+  Image img(15, 15, 1);
+  img.at(7, 7, 0) = 1.0F;
+  const Image blurred = gaussian_blur(img, 1.5F);
+  EXPECT_LT(blurred.at(7, 7, 0), 1.0F);
+  EXPECT_GT(blurred.at(7, 7, 0), blurred.at(7, 5, 0));
+  EXPECT_GT(blurred.at(6, 7, 0), 0.0F);
+  EXPECT_THROW(gaussian_blur(img, 0.0F), std::invalid_argument);
+}
+
+TEST(Sobel, VerticalEdgeHasHorizontalGradient) {
+  Image img(10, 10, 1);
+  fill_rect(img, 5, 0, 10, 10, Color::gray(1.0F));  // bright right half
+  const Gradients g = sobel_gradients(img);
+  // At the edge column, strong magnitude with gradient pointing along x
+  // (theta near 0 for unsigned orientation).
+  EXPECT_GT(g.magnitude.at(5, 5, 0), 1.0F);
+  const float theta = g.orientation.at(5, 5, 0);
+  EXPECT_LT(std::min(theta, std::numbers::pi_v<float> - theta), 0.2F);
+  // Far from the edge: no gradient.
+  EXPECT_NEAR(g.magnitude.at(8, 5, 0), 0.0F, 1e-4F);
+}
+
+TEST(Sobel, HorizontalEdgeOrientation) {
+  Image img(10, 10, 1);
+  fill_rect(img, 0, 5, 10, 10, Color::gray(1.0F));  // bright bottom half
+  const Gradients g = sobel_gradients(img);
+  const float theta = g.orientation.at(5, 5, 0);
+  EXPECT_NEAR(theta, std::numbers::pi_v<float> / 2.0F, 0.2F);
+}
+
+TEST(BoxBlur, WindowValidation) {
+  Image img(8, 8, 1, 0.5F);
+  EXPECT_THROW(box_blur(img, 2), std::invalid_argument);
+  const Image out = box_blur(img, 3);
+  EXPECT_NEAR(out.at(4, 4, 0), 0.5F, 1e-5F);
+}
+
+TEST(Threshold, Binarizes) {
+  Image img(4, 1, 1);
+  img.at(0, 0, 0) = 0.2F;
+  img.at(1, 0, 0) = 0.6F;
+  const Image out = threshold(img, 0.5F);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 1.0F);
+}
+
+// --- HOG ---------------------------------------------------------------------
+
+TEST(Hog, DimensionFormula) {
+  HogConfig config{8, 4, 9};
+  EXPECT_EQ(hog_dimension(config), 4U * 4U * 9U);
+  HogConfig other{6, 3, 12};
+  EXPECT_EQ(hog_dimension(other), 3U * 3U * 12U);
+}
+
+TEST(Hog, DescriptorCellsAreUnitNorm) {
+  Image img(64, 64, 1);
+  // Structured content.
+  fill_rect(img, 10, 0, 20, 64, Color::gray(1.0F));
+  fill_rect(img, 0, 40, 64, 48, Color::gray(0.8F));
+  const Gradients g = sobel_gradients(img);
+  HogConfig config{8, 4, 9};
+  const auto desc = hog_descriptor(g, 0, 0, config);
+  ASSERT_EQ(desc.size(), hog_dimension(config));
+  for (int cell = 0; cell < 16; ++cell) {
+    float norm = 0.0F;
+    bool any = false;
+    for (int b = 0; b < 9; ++b) {
+      norm += desc[static_cast<std::size_t>(cell * 9 + b)] *
+              desc[static_cast<std::size_t>(cell * 9 + b)];
+      any = any || desc[static_cast<std::size_t>(cell * 9 + b)] > 0.0F;
+    }
+    if (any) EXPECT_NEAR(std::sqrt(norm), 1.0F, 0.05F);
+  }
+}
+
+TEST(Hog, VerticalStripeConcentratesOneBin) {
+  Image img(32, 32, 1);
+  fill_rect(img, 14, 0, 18, 32, Color::gray(1.0F));
+  const Gradients g = sobel_gradients(img);
+  HogConfig config{8, 4, 9};
+  const auto desc = hog_descriptor(g, 0, 0, config);
+  // The dominant bin across active cells should be bin 0 or 8 (gradient
+  // along x => unsigned orientation near 0 / pi).
+  float edge_bins = 0.0F;
+  float other_bins = 0.0F;
+  for (int cell = 0; cell < 16; ++cell) {
+    for (int b = 0; b < 9; ++b) {
+      const float v = desc[static_cast<std::size_t>(cell * 9 + b)];
+      if (b == 0 || b == 8) edge_bins += v;
+      else other_bins += v;
+    }
+  }
+  EXPECT_GT(edge_bins, other_bins);
+}
+
+// --- Patch statistics ----------------------------------------------------------
+
+TEST(PatchStats, ColorMeans) {
+  Image img(20, 20);
+  img.fill({0.2F, 0.4F, 0.6F});
+  const Gradients g = sobel_gradients(img.to_grayscale());
+  const PatchStats stats = compute_patch_stats(img, g, 0, 0, 20, 20);
+  EXPECT_NEAR(stats.mean_r, 0.2F, 0.01F);
+  EXPECT_NEAR(stats.mean_g, 0.4F, 0.01F);
+  EXPECT_NEAR(stats.mean_b, 0.6F, 0.01F);
+  EXPECT_NEAR(stats.var_luma, 0.0F, 1e-4F);
+  EXPECT_NEAR(stats.saturation, 0.2F, 0.01F);
+}
+
+TEST(PatchStats, WireRowsDetectThinDarkLines) {
+  Image img(60, 40);
+  img.fill({0.8F, 0.85F, 0.95F});  // sky
+  draw_line(img, 0, 10, 59, 10, Color::gray(0.1F), 1);
+  draw_line(img, 0, 18, 59, 18, Color::gray(0.1F), 1);
+  draw_line(img, 0, 26, 59, 26, Color::gray(0.1F), 1);
+  const Gradients g = sobel_gradients(img.to_grayscale());
+  const PatchStats stats = compute_patch_stats(img, g, 0, 0, 60, 40);
+  EXPECT_GE(stats.wire_rows, 0.7F);  // 3 of 4 normalized
+
+  Image plain(60, 40);
+  plain.fill({0.8F, 0.85F, 0.95F});
+  const Gradients g2 = sobel_gradients(plain.to_grayscale());
+  EXPECT_FLOAT_EQ(compute_patch_stats(plain, g2, 0, 0, 60, 40).wire_rows, 0.0F);
+}
+
+TEST(PatchStats, PoleStrengthDetectsDarkColumn) {
+  Image img(40, 40);
+  img.fill({0.8F, 0.85F, 0.95F});
+  draw_line(img, 20, 0, 20, 39, Color::gray(0.1F), 2);
+  const Gradients g = sobel_gradients(img.to_grayscale());
+  const PatchStats stats = compute_patch_stats(img, g, 0, 0, 40, 40);
+  EXPECT_GE(stats.pole_strength, 0.9F);
+}
+
+TEST(PatchStats, PaintColumnsCountLaneMarkings) {
+  Image img(80, 40);
+  img.fill(Color::gray(0.3F));  // asphalt
+  for (int lane = 0; lane < 3; ++lane) {
+    const int x = 20 + lane * 20;
+    fill_rect(img, x, 0, x + 2, 40, Color::gray(0.9F));
+  }
+  const Gradients g = sobel_gradients(img.to_grayscale());
+  const PatchStats stats = compute_patch_stats(img, g, 0, 0, 80, 40);
+  EXPECT_NEAR(stats.paint_columns, 3.0F / 5.0F, 0.01F);
+  EXPECT_GT(stats.paint_density, 0.02F);
+}
+
+TEST(PatchStats, FacadePeriodicityDetectsWindowGrid) {
+  Image img(80, 40);
+  img.fill({0.6F, 0.55F, 0.5F});
+  for (int col = 0; col < 6; ++col) {
+    fill_rect(img, 6 + col * 12, 8, 12 + col * 12, 32, {0.1F, 0.15F, 0.2F});
+  }
+  const Gradients g = sobel_gradients(img.to_grayscale());
+  const PatchStats grid = compute_patch_stats(img, g, 0, 0, 80, 40);
+
+  Image plain(80, 40);
+  plain.fill({0.6F, 0.55F, 0.5F});
+  const Gradients g2 = sobel_gradients(plain.to_grayscale());
+  const PatchStats flat = compute_patch_stats(plain, g2, 0, 0, 80, 40);
+  EXPECT_GT(grid.facade_periodicity, flat.facade_periodicity + 0.3F);
+}
+
+TEST(PatchStats, PositionalFeatures) {
+  Image img(100, 100);
+  const Gradients g = sobel_gradients(img.to_grayscale());
+  const PatchStats stats = compute_patch_stats(img, g, 10, 60, 20, 20);
+  EXPECT_NEAR(stats.center_y_norm, 0.70F, 1e-4F);
+  EXPECT_NEAR(stats.center_x_norm, 0.20F, 1e-4F);
+  EXPECT_NEAR(stats.aspect_ratio, 0.5F, 1e-4F);
+}
+
+TEST(WindowFeatureExtractor, DimensionStableAcrossWindowSizes) {
+  Image img(64, 64);
+  fill_rect(img, 10, 10, 50, 50, {0.5F, 0.2F, 0.8F});
+  const WindowFeatureExtractor extractor;
+  const auto prep = extractor.prepare(img);
+  const auto small = extractor.extract(prep, 5, 5, 16, 16);
+  const auto large = extractor.extract(prep, 0, 0, 64, 64);
+  const auto wide = extractor.extract(prep, 0, 20, 64, 10);
+  EXPECT_EQ(small.size(), extractor.dimension());
+  EXPECT_EQ(large.size(), extractor.dimension());
+  EXPECT_EQ(wide.size(), extractor.dimension());
+}
+
+TEST(WindowFeatureExtractor, StatsVectorMatchesDimension) {
+  EXPECT_EQ(PatchStats{}.to_vector().size(), PatchStats::kDimension);
+}
+
+}  // namespace
+}  // namespace neuro::image

@@ -1,0 +1,146 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/ppm_io.hpp"
+
+namespace neuro::image {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(4, 3, 3, 0.25F);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 3);
+  EXPECT_EQ(img.pixel_count(), 12U);
+  EXPECT_FLOAT_EQ(img.at(2, 1, 0), 0.25F);
+}
+
+TEST(Image, RejectsBadDimensions) {
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+  EXPECT_THROW(Image(5, -1), std::invalid_argument);
+  EXPECT_THROW(Image(5, 5, 2), std::invalid_argument);
+}
+
+TEST(Image, PixelRoundTripRgb) {
+  Image img(2, 2);
+  img.set_pixel(1, 0, {0.1F, 0.5F, 0.9F});
+  const Color c = img.pixel(1, 0);
+  EXPECT_FLOAT_EQ(c.r, 0.1F);
+  EXPECT_FLOAT_EQ(c.g, 0.5F);
+  EXPECT_FLOAT_EQ(c.b, 0.9F);
+}
+
+TEST(Image, GrayscalePixelAveragesChannels) {
+  Image img(2, 2, 1);
+  img.set_pixel(0, 0, {0.3F, 0.6F, 0.9F});
+  EXPECT_NEAR(img.at(0, 0, 0), 0.6F, 1e-6F);
+  const Color c = img.pixel(0, 0);
+  EXPECT_FLOAT_EQ(c.r, c.g);
+  EXPECT_FLOAT_EQ(c.g, c.b);
+}
+
+TEST(Image, SampleClampedAtBorders) {
+  Image img(3, 3, 1);
+  img.at(0, 0, 0) = 0.7F;
+  EXPECT_FLOAT_EQ(img.sample_clamped(-5, -5, 0), 0.7F);
+  img.at(2, 2, 0) = 0.2F;
+  EXPECT_FLOAT_EQ(img.sample_clamped(10, 10, 0), 0.2F);
+}
+
+TEST(Image, SetPixelSafeIgnoresOutOfBounds) {
+  Image img(2, 2);
+  img.set_pixel_safe(-1, 0, {1, 1, 1});
+  img.set_pixel_safe(2, 0, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(img.mean_intensity(), 0.0);
+}
+
+TEST(Image, Clamp01) {
+  Image img(1, 1);
+  img.set_pixel(0, 0, {-0.5F, 0.5F, 1.5F});
+  img.clamp01();
+  const Color c = img.pixel(0, 0);
+  EXPECT_FLOAT_EQ(c.r, 0.0F);
+  EXPECT_FLOAT_EQ(c.g, 0.5F);
+  EXPECT_FLOAT_EQ(c.b, 1.0F);
+}
+
+TEST(Image, MeanAndPower) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = 0.0F;
+  img.at(1, 0, 0) = 1.0F;
+  EXPECT_DOUBLE_EQ(img.mean_intensity(), 0.5);
+  EXPECT_DOUBLE_EQ(img.power(), 0.5);
+}
+
+TEST(Image, ToGrayscaleUsesRec601) {
+  Image img(1, 1);
+  img.set_pixel(0, 0, {1.0F, 0.0F, 0.0F});
+  const Image gray = img.to_grayscale();
+  EXPECT_EQ(gray.channels(), 1);
+  EXPECT_NEAR(gray.at(0, 0, 0), 0.299F, 1e-6F);
+}
+
+TEST(Color, MixAndScale) {
+  const Color a{0.0F, 0.5F, 1.0F};
+  const Color b{1.0F, 0.5F, 0.0F};
+  const Color mid = a.mixed(b, 0.5F);
+  EXPECT_FLOAT_EQ(mid.r, 0.5F);
+  EXPECT_FLOAT_EQ(mid.b, 0.5F);
+  const Color scaled = a.scaled(0.5F);
+  EXPECT_FLOAT_EQ(scaled.b, 0.5F);
+  EXPECT_EQ(Color::gray(0.3F), (Color{0.3F, 0.3F, 0.3F}));
+}
+
+TEST(PpmIo, RgbRoundTrip) {
+  Image img(5, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      img.set_pixel(x, y, {static_cast<float>(x) / 4.0F, static_cast<float>(y) / 3.0F, 0.5F});
+    }
+  }
+  const Image decoded = decode_ppm(encode_ppm(img));
+  ASSERT_EQ(decoded.width(), 5);
+  ASSERT_EQ(decoded.height(), 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      EXPECT_NEAR(decoded.at(x, y, 0), img.at(x, y, 0), 1.0F / 255.0F);
+    }
+  }
+}
+
+TEST(PpmIo, GrayscaleUsesP5) {
+  Image img(2, 2, 1, 0.5F);
+  const std::string bytes = encode_ppm(img);
+  EXPECT_EQ(bytes.substr(0, 2), "P5");
+  const Image decoded = decode_ppm(bytes);
+  EXPECT_EQ(decoded.channels(), 1);
+}
+
+TEST(PpmIo, HeaderCommentsHandled) {
+  const std::string bytes = "P5\n# a comment\n2 1\n255\n\x40\x80";
+  const Image img = decode_ppm(bytes);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_NEAR(img.at(1, 0, 0), 128.0F / 255.0F, 1e-6F);
+}
+
+TEST(PpmIo, MalformedInputsThrow) {
+  EXPECT_THROW(decode_ppm("P3\n1 1\n255\nxxx"), std::runtime_error);   // wrong magic
+  EXPECT_THROW(decode_ppm("P6\n2 2\n255\nab"), std::runtime_error);    // truncated
+  EXPECT_THROW(decode_ppm("P6\n-1 2\n255\n"), std::runtime_error);     // bad dims
+  EXPECT_THROW(decode_ppm("P6\n1 1\n70000\nab"), std::runtime_error);  // bad maxval
+  EXPECT_THROW(decode_ppm(""), std::runtime_error);
+}
+
+TEST(PpmIo, FileRoundTrip) {
+  Image img(3, 3);
+  img.set_pixel(1, 1, {0.2F, 0.4F, 0.6F});
+  const std::string path = testing::TempDir() + "/ppm_test.ppm";
+  save_ppm(img, path);
+  const Image loaded = load_ppm(path);
+  EXPECT_EQ(loaded.width(), 3);
+  EXPECT_NEAR(loaded.at(1, 1, 2), 0.6F, 1.0F / 255.0F);
+}
+
+}  // namespace
+}  // namespace neuro::image

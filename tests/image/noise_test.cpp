@@ -1,0 +1,112 @@
+#include "image/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace neuro::image {
+namespace {
+
+Image make_signal(int size = 64) {
+  Image img(size, size, 3);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      img.set_pixel(x, y, {0.3F + 0.3F * static_cast<float>(x) / size,
+                           0.5F, 0.4F + 0.2F * static_cast<float>(y) / size});
+    }
+  }
+  return img;
+}
+
+TEST(AwgnSigma, MatchesDefinition) {
+  // SNR = 10 log10(P_signal / P_noise); sigma = sqrt(P_noise).
+  const double sigma = awgn_sigma_for_snr(0.25, 10.0);
+  EXPECT_NEAR(sigma, std::sqrt(0.025), 1e-12);
+  EXPECT_EQ(awgn_sigma_for_snr(0.0, 10.0), 0.0);
+}
+
+TEST(AddGaussianNoise, ZeroSigmaIsNoop) {
+  Image img = make_signal(16);
+  const Image before = img;
+  util::Rng rng(1);
+  add_gaussian_noise(img, 0.0, rng);
+  EXPECT_EQ(img.data(), before.data());
+}
+
+TEST(AddGaussianNoise, NegativeSigmaThrows) {
+  Image img = make_signal(8);
+  util::Rng rng(1);
+  EXPECT_THROW(add_gaussian_noise(img, -0.1, rng), std::invalid_argument);
+}
+
+TEST(AddGaussianNoise, OutputStaysInRange) {
+  Image img = make_signal(32);
+  util::Rng rng(2);
+  add_gaussian_noise(img, 0.5, rng);
+  for (float v : img.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+class SnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnrSweep, MeasuredSnrNearTarget) {
+  const double target = GetParam();
+  const Image clean = make_signal(96);
+  Image noisy = clean;
+  util::Rng rng(42);
+  add_gaussian_noise_snr(noisy, target, rng);
+  // Clipping at [0,1] removes a little noise power, so the measured SNR
+  // can exceed the target slightly; it must never be materially below.
+  const double measured = measure_snr_db(clean, noisy);
+  EXPECT_GT(measured, target - 1.0);
+  EXPECT_LT(measured, target + 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SnrSweep, ::testing::Values(5.0, 10.0, 15.0, 20.0, 25.0, 30.0));
+
+TEST(MeasureSnr, IdenticalImagesAreInfinite) {
+  const Image img = make_signal(8);
+  EXPECT_TRUE(std::isinf(measure_snr_db(img, img)));
+}
+
+TEST(MeasureSnr, ShapeMismatchThrows) {
+  const Image a = make_signal(8);
+  const Image b = make_signal(16);
+  EXPECT_THROW(measure_snr_db(a, b), std::invalid_argument);
+}
+
+TEST(SaltPepper, FractionRespected) {
+  Image img(100, 100, 3, 0.5F);
+  util::Rng rng(3);
+  add_salt_pepper(img, 0.1, rng);
+  int flipped = 0;
+  for (int y = 0; y < 100; ++y) {
+    for (int x = 0; x < 100; ++x) {
+      const Color c = img.pixel(x, y);
+      if (c.r < 0.01F || c.r > 0.99F) ++flipped;
+    }
+  }
+  EXPECT_NEAR(flipped, 1000, 120);
+}
+
+TEST(SaltPepper, BadFractionThrows) {
+  Image img(4, 4);
+  util::Rng rng(1);
+  EXPECT_THROW(add_salt_pepper(img, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(add_salt_pepper(img, 1.1, rng), std::invalid_argument);
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  Image a = make_signal(16);
+  Image b = make_signal(16);
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  add_gaussian_noise_snr(a, 15.0, rng_a);
+  add_gaussian_noise_snr(b, 15.0, rng_b);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+}  // namespace
+}  // namespace neuro::image

@@ -1,0 +1,197 @@
+#include "image/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/draw.hpp"
+
+namespace neuro::image {
+namespace {
+
+Image make_test_image(int w = 8, int h = 6) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set_pixel(x, y, {static_cast<float>(x) / 10.0F, static_cast<float>(y) / 10.0F, 0.0F});
+    }
+  }
+  return img;
+}
+
+bool images_equal(const Image& a, const Image& b) {
+  if (!a.same_shape(b)) return false;
+  return a.data() == b.data();
+}
+
+TEST(Rotate, NinetySwapsDimensions) {
+  const Image img = make_test_image(8, 6);
+  const Image rotated = rotate90(img);
+  EXPECT_EQ(rotated.width(), 6);
+  EXPECT_EQ(rotated.height(), 8);
+  // Top-left goes to top-right under clockwise rotation.
+  EXPECT_EQ(rotated.pixel(5, 0), img.pixel(0, 0));
+}
+
+TEST(Rotate, FourQuarterTurnsAreIdentity) {
+  const Image img = make_test_image();
+  EXPECT_TRUE(images_equal(rotate90(rotate90(rotate90(rotate90(img)))), img));
+}
+
+TEST(Rotate, TwoQuarterTurnsEqualHalfTurn) {
+  const Image img = make_test_image();
+  EXPECT_TRUE(images_equal(rotate90(rotate90(img)), rotate180(img)));
+}
+
+TEST(Rotate, Rotate270IsInverseOf90) {
+  const Image img = make_test_image();
+  EXPECT_TRUE(images_equal(rotate270(rotate90(img)), img));
+}
+
+TEST(Flip, DoubleFlipIsIdentity) {
+  const Image img = make_test_image();
+  EXPECT_TRUE(images_equal(flip_horizontal(flip_horizontal(img)), img));
+  EXPECT_TRUE(images_equal(flip_vertical(flip_vertical(img)), img));
+}
+
+TEST(Flip, HorizontalMirrorsColumns) {
+  const Image img = make_test_image();
+  const Image flipped = flip_horizontal(img);
+  EXPECT_EQ(flipped.pixel(0, 2), img.pixel(7, 2));
+}
+
+TEST(Crop, ExtractsRegion) {
+  const Image img = make_test_image(10, 10);
+  const Image cropped = crop(img, 2, 3, 4, 5);
+  EXPECT_EQ(cropped.width(), 4);
+  EXPECT_EQ(cropped.height(), 5);
+  EXPECT_EQ(cropped.pixel(0, 0), img.pixel(2, 3));
+}
+
+TEST(Crop, ClipsToImage) {
+  const Image img = make_test_image(10, 10);
+  const Image cropped = crop(img, 8, 8, 10, 10);
+  EXPECT_EQ(cropped.width(), 2);
+  EXPECT_EQ(cropped.height(), 2);
+}
+
+TEST(Crop, FullyOutsideThrows) {
+  const Image img = make_test_image(10, 10);
+  EXPECT_THROW(crop(img, 20, 20, 5, 5), std::invalid_argument);
+  EXPECT_THROW(crop(img, 0, 0, 0, 5), std::invalid_argument);
+}
+
+TEST(Resize, DimensionsAndConstancy) {
+  Image img(6, 6, 3, 0.42F);
+  const Image resized = resize_bilinear(img, 13, 9);
+  EXPECT_EQ(resized.width(), 13);
+  EXPECT_EQ(resized.height(), 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 13; ++x) EXPECT_NEAR(resized.at(x, y, 1), 0.42F, 1e-5F);
+  }
+}
+
+TEST(Resize, RejectsEmptyTarget) {
+  const Image img = make_test_image();
+  EXPECT_THROW(resize_bilinear(img, 0, 5), std::invalid_argument);
+}
+
+TEST(Resize, IdentityPreservesPixels) {
+  const Image img = make_test_image();
+  const Image same = resize_bilinear(img, img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      EXPECT_NEAR(same.at(x, y, 0), img.at(x, y, 0), 1e-5F);
+    }
+  }
+}
+
+// --- Box transforms must track pixel transforms -----------------------------
+
+struct BoxCase {
+  BoxF box;
+};
+
+class BoxTransformSweep : public ::testing::TestWithParam<BoxCase> {
+ protected:
+  static constexpr int kW = 40;
+  static constexpr int kH = 30;
+
+  /// Paint the box region, transform pixels and box, verify the
+  /// transformed box exactly covers the painted region.
+  static void verify(Image (*pixel_op)(const Image&), BoxF (*box_op)(const BoxF&, int, int),
+                     const BoxF& box) {
+    Image img(kW, kH);
+    fill_rect(img, static_cast<int>(box.x), static_cast<int>(box.y),
+              static_cast<int>(box.x + box.w), static_cast<int>(box.y + box.h), {1, 1, 1});
+    const Image transformed = pixel_op(img);
+    const BoxF moved = box_op(box, kW, kH);
+
+    int painted = 0;
+    int inside = 0;
+    for (int y = 0; y < transformed.height(); ++y) {
+      for (int x = 0; x < transformed.width(); ++x) {
+        if (transformed.pixel(x, y).r < 0.5F) continue;
+        ++painted;
+        const float cx = static_cast<float>(x) + 0.5F;
+        const float cy = static_cast<float>(y) + 0.5F;
+        if (cx >= moved.x && cx <= moved.x + moved.w && cy >= moved.y &&
+            cy <= moved.y + moved.h) {
+          ++inside;
+        }
+      }
+    }
+    EXPECT_GT(painted, 0);
+    EXPECT_EQ(painted, inside);
+  }
+};
+
+TEST_P(BoxTransformSweep, Rotate90TracksPixels) {
+  verify(&rotate90, &rotate90_box, GetParam().box);
+}
+
+TEST_P(BoxTransformSweep, Rotate180TracksPixels) {
+  verify(&rotate180, &rotate180_box, GetParam().box);
+}
+
+TEST_P(BoxTransformSweep, Rotate270TracksPixels) {
+  verify(&rotate270, &rotate270_box, GetParam().box);
+}
+
+TEST_P(BoxTransformSweep, FlipHTracksPixels) {
+  verify(&flip_horizontal,
+         [](const BoxF& b, int w, int) { return flip_horizontal_box(b, w); }, GetParam().box);
+}
+
+TEST_P(BoxTransformSweep, FlipVTracksPixels) {
+  verify(&flip_vertical, [](const BoxF& b, int, int h) { return flip_vertical_box(b, h); },
+         GetParam().box);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boxes, BoxTransformSweep,
+                         ::testing::Values(BoxCase{{2, 3, 10, 8}}, BoxCase{{0, 0, 5, 5}},
+                                           BoxCase{{30, 20, 10, 10}}, BoxCase{{15, 1, 3, 25}}));
+
+TEST(CropBox, IntersectionSemantics) {
+  const BoxF box{10, 10, 20, 20};
+  const BoxF inside = crop_box(box, 5, 5, 40, 40);
+  EXPECT_FLOAT_EQ(inside.x, 5.0F);
+  EXPECT_FLOAT_EQ(inside.w, 20.0F);
+
+  const BoxF partial = crop_box(box, 15, 15, 40, 40);
+  EXPECT_FLOAT_EQ(partial.x, 0.0F);
+  EXPECT_FLOAT_EQ(partial.w, 15.0F);
+
+  const BoxF gone = crop_box(box, 35, 35, 10, 10);
+  EXPECT_FLOAT_EQ(gone.w, 0.0F);
+  EXPECT_FLOAT_EQ(gone.h, 0.0F);
+}
+
+TEST(ScaleBox, Scales) {
+  const BoxF scaled = scale_box({2, 4, 6, 8}, 2.0F, 0.5F);
+  EXPECT_FLOAT_EQ(scaled.x, 4.0F);
+  EXPECT_FLOAT_EQ(scaled.y, 2.0F);
+  EXPECT_FLOAT_EQ(scaled.w, 12.0F);
+  EXPECT_FLOAT_EQ(scaled.h, 4.0F);
+}
+
+}  // namespace
+}  // namespace neuro::image

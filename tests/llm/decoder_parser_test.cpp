@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "llm/decoder.hpp"
+#include "llm/parser.hpp"
+
+namespace neuro::llm {
+namespace {
+
+TEST(Decoder, ValidatesParameters) {
+  const std::vector<TokenCandidate> candidates = {{"a", 0.0}, {"b", 1.0}};
+  util::Rng rng(1);
+  SamplingParams params;
+  params.temperature = 0.0;
+  EXPECT_THROW(TokenDecoder::sample_index(candidates, params, rng), std::invalid_argument);
+  params.temperature = 1.0;
+  params.top_p = 0.0;
+  EXPECT_THROW(TokenDecoder::sample_index(candidates, params, rng), std::invalid_argument);
+  params.top_p = 1.5;
+  EXPECT_THROW(TokenDecoder::sample_index(candidates, params, rng), std::invalid_argument);
+  EXPECT_THROW(TokenDecoder::sample_index({}, SamplingParams{}, rng), std::invalid_argument);
+}
+
+TEST(Decoder, LowTemperatureIsNearArgmax) {
+  const std::vector<TokenCandidate> candidates = {{"best", 2.0}, {"worse", 0.0}, {"bad", -2.0}};
+  util::Rng rng(2);
+  SamplingParams params;
+  params.temperature = 0.05;
+  int best_count = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (TokenDecoder::sample_index(candidates, params, rng) == 0) ++best_count;
+  }
+  EXPECT_EQ(best_count, 500);
+}
+
+TEST(Decoder, HighTemperatureFlattens) {
+  const std::vector<TokenCandidate> candidates = {{"a", 2.0}, {"b", 0.0}};
+  util::Rng rng(3);
+  SamplingParams cold;
+  cold.temperature = 0.5;
+  cold.top_p = 1.0;
+  SamplingParams hot;
+  hot.temperature = 5.0;
+  hot.top_p = 1.0;
+  int cold_b = 0;
+  int hot_b = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (TokenDecoder::sample_index(candidates, cold, rng) == 1) ++cold_b;
+    if (TokenDecoder::sample_index(candidates, hot, rng) == 1) ++hot_b;
+  }
+  EXPECT_LT(cold_b, hot_b);
+}
+
+TEST(Decoder, TopPTruncatesTail) {
+  // Third candidate holds ~4% of mass; top_p = 0.9 keeps the top-2 only.
+  const std::vector<TokenCandidate> candidates = {{"a", 1.5}, {"b", 1.0}, {"tail", -2.0}};
+  util::Rng rng(4);
+  SamplingParams params;
+  params.top_p = 0.90;
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(TokenDecoder::sample_index(candidates, params, rng), 2U);
+  }
+}
+
+TEST(Decoder, TopPOneKeepsFullDistribution) {
+  const std::vector<TokenCandidate> candidates = {{"a", 1.0}, {"b", 0.5}, {"c", 0.0}};
+  util::Rng rng(5);
+  SamplingParams params;
+  params.top_p = 1.0;
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 5000; ++i) {
+    counts[TokenDecoder::sample_index(candidates, params, rng)]++;
+  }
+  EXPECT_GT(counts[2], 0);
+}
+
+TEST(Decoder, AnswerCandidatesUseLanguageTokens) {
+  TokenDecoder decoder;
+  const auto en = decoder.answer_candidates(3.0, Language::kEnglish);
+  EXPECT_EQ(en[0].text, "Yes");
+  EXPECT_EQ(en[1].text, "No");
+  const auto zh = decoder.answer_candidates(3.0, Language::kChinese);
+  EXPECT_EQ(zh[0].text, "是");
+  EXPECT_EQ(zh[1].text, "否");
+}
+
+TEST(Decoder, SampleAnswerFollowsEvidence) {
+  TokenDecoder decoder;
+  util::Rng rng(6);
+  SamplingParams params;
+  int yes = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (decoder.sample_answer(8.0, params, Language::kEnglish, rng) == "Yes") ++yes;
+  }
+  EXPECT_GT(yes, 290);
+  int no = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (decoder.sample_answer(-8.0, params, Language::kEnglish, rng) == "No") ++no;
+  }
+  EXPECT_GT(no, 290);
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(Parser, CleanCommaSeparatedList) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("Yes, No, No, Yes, No, Yes", 6, Language::kEnglish);
+  ASSERT_EQ(parsed.answers.size(), 6U);
+  EXPECT_TRUE(parsed.complete());
+  EXPECT_EQ(parsed.format_violations, 0);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(*parsed.answers[1]);
+  EXPECT_TRUE(*parsed.answers[5]);
+}
+
+TEST(Parser, NewlineSeparated) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("Yes\nNo\nYes", 3, Language::kEnglish);
+  EXPECT_TRUE(parsed.complete());
+  EXPECT_FALSE(*parsed.answers[1]);
+}
+
+TEST(Parser, CaseInsensitive) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("YES, no", 2, Language::kEnglish);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(*parsed.answers[1]);
+}
+
+TEST(Parser, EmbeddedPolarity) {
+  ResponseParser parser;
+  const ParsedAnswers parsed =
+      parser.parse("I think yes, definitely no", 2, Language::kEnglish);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(*parsed.answers[1]);
+  // Embedded answers are tolerated but still count as format deviations? No:
+  // they classify successfully, so no violation.
+  EXPECT_EQ(parsed.format_violations, 0);
+}
+
+TEST(Parser, HedgesAreNonAnswers) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("Unsure, Yes", 2, Language::kEnglish);
+  EXPECT_FALSE(parsed.answers[0].has_value());
+  EXPECT_TRUE(*parsed.answers[1]);
+  EXPECT_EQ(parsed.format_violations, 1);
+  EXPECT_FALSE(parsed.complete());
+}
+
+TEST(Parser, MissingAnswersAreViolations) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("Yes", 6, Language::kEnglish);
+  EXPECT_EQ(parsed.format_violations, 5);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(parsed.answers[3].has_value());
+}
+
+TEST(Parser, ExtraAnswersIgnored) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("Yes, No, Yes, No", 2, Language::kEnglish);
+  ASSERT_EQ(parsed.answers.size(), 2U);
+  EXPECT_TRUE(*parsed.answers[0]);
+}
+
+TEST(Parser, SpanishTokens) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("Si, No, Si", 3, Language::kSpanish);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(*parsed.answers[1]);
+  EXPECT_TRUE(*parsed.answers[2]);
+}
+
+TEST(Parser, ChineseTokensWithCjkComma) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("是，否，是", 3, Language::kChinese);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(*parsed.answers[1]);
+  EXPECT_TRUE(*parsed.answers[2]);
+}
+
+TEST(Parser, BengaliTokens) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("হ্যা, না", 2, Language::kBengali);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(*parsed.answers[1]);
+}
+
+TEST(Parser, EnglishFallbackInOtherLanguages) {
+  ResponseParser parser;
+  // Models often answer in English regardless of prompt language.
+  const ParsedAnswers parsed = parser.parse("Yes, No", 2, Language::kChinese);
+  EXPECT_TRUE(*parsed.answers[0]);
+  EXPECT_FALSE(*parsed.answers[1]);
+}
+
+TEST(Parser, GarbageIsViolation) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("banana, Yes", 2, Language::kEnglish);
+  EXPECT_FALSE(parsed.answers[0].has_value());
+  EXPECT_EQ(parsed.format_violations, 1);
+}
+
+TEST(Parser, EmptyResponse) {
+  ResponseParser parser;
+  const ParsedAnswers parsed = parser.parse("", 3, Language::kEnglish);
+  EXPECT_EQ(parsed.format_violations, 3);
+  EXPECT_FALSE(parsed.complete());
+}
+
+TEST(Parser, ClassifyTokenDirectly) {
+  ResponseParser parser;
+  EXPECT_TRUE(parser.classify_token("  Yes ", Language::kEnglish).value());
+  EXPECT_FALSE(parser.classify_token("no.", Language::kEnglish).value());
+  EXPECT_FALSE(parser.classify_token("maybe", Language::kEnglish).has_value());
+  EXPECT_FALSE(parser.classify_token("", Language::kEnglish).has_value());
+  // "eyes" must not match "yes" (word-boundary check).
+  EXPECT_FALSE(parser.classify_token("eyes", Language::kEnglish).has_value());
+}
+
+}  // namespace
+}  // namespace neuro::llm

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "llm/client.hpp"
+#include "llm/ensemble.hpp"
+
+namespace neuro::llm {
+namespace {
+
+using scene::Indicator;
+
+scene::PresenceVector vote_of(std::initializer_list<Indicator> indicators) {
+  scene::PresenceVector v;
+  for (Indicator ind : indicators) v.set(ind, true);
+  return v;
+}
+
+TEST(MajorityQuorum, Formula) {
+  EXPECT_EQ(majority_quorum(1), 1U);
+  EXPECT_EQ(majority_quorum(2), 2U);
+  EXPECT_EQ(majority_quorum(3), 2U);
+  EXPECT_EQ(majority_quorum(4), 3U);
+  EXPECT_EQ(majority_quorum(5), 3U);
+}
+
+TEST(MajorityVote, TwoOfThreeWins) {
+  const auto result = majority_vote({vote_of({Indicator::kSidewalk, Indicator::kPowerline}),
+                                     vote_of({Indicator::kSidewalk}),
+                                     vote_of({Indicator::kApartment})});
+  EXPECT_TRUE(result[Indicator::kSidewalk]);     // 2 of 3
+  EXPECT_FALSE(result[Indicator::kPowerline]);   // 1 of 3
+  EXPECT_FALSE(result[Indicator::kApartment]);   // 1 of 3
+}
+
+TEST(MajorityVote, UnanimousAndEmpty) {
+  const auto yes = majority_vote(
+      {vote_of({Indicator::kStreetlight}), vote_of({Indicator::kStreetlight}),
+       vote_of({Indicator::kStreetlight})});
+  EXPECT_TRUE(yes[Indicator::kStreetlight]);
+  const auto none = majority_vote({vote_of({}), vote_of({}), vote_of({})});
+  EXPECT_EQ(none.count(), 0);
+}
+
+TEST(MajorityVote, CustomQuorum) {
+  const std::vector<scene::PresenceVector> votes = {
+      vote_of({Indicator::kSidewalk}), vote_of({Indicator::kSidewalk}), vote_of({}), vote_of({})};
+  EXPECT_TRUE(majority_vote(votes, 1)[Indicator::kSidewalk]);
+  EXPECT_TRUE(majority_vote(votes, 2)[Indicator::kSidewalk]);
+  EXPECT_FALSE(majority_vote(votes, 3)[Indicator::kSidewalk]);
+}
+
+TEST(MajorityVote, Validation) {
+  EXPECT_THROW(majority_vote({}), std::invalid_argument);
+  EXPECT_THROW(majority_vote({vote_of({})}, 2), std::invalid_argument);
+}
+
+TEST(VoteAgreement, Fractions) {
+  const auto agreement = vote_agreement({vote_of({Indicator::kSidewalk}),
+                                         vote_of({Indicator::kSidewalk}), vote_of({})});
+  EXPECT_NEAR(agreement[Indicator::kSidewalk], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(agreement[Indicator::kApartment], 0.0, 1e-12);
+}
+
+// --- Client ------------------------------------------------------------------
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest()
+      : model_(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal()) {}
+
+  static PromptMessage simple_message() {
+    PromptBuilder builder;
+    return builder.build(PromptStrategy::kParallel, Language::kEnglish).messages[0];
+  }
+
+  VisionLanguageModel model_;
+};
+
+TEST_F(ClientTest, SuccessfulRequestAccountsUsage) {
+  LlmClient client(model_, ClientConfig{}, 1);
+  const ChatOutcome outcome =
+      client.send(simple_message(), Language::kEnglish, VisualObservation{}, SamplingParams{});
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_FALSE(outcome.text.empty());
+  EXPECT_GT(outcome.input_tokens, 20);
+  EXPECT_EQ(outcome.output_tokens, 12);  // 6 answers x 2 tokens
+  EXPECT_GT(outcome.cost_usd, 0.0);
+  EXPECT_GT(outcome.latency_ms, 0.0);
+
+  const UsageMeter usage = client.usage();
+  EXPECT_EQ(usage.requests, 1U);
+  EXPECT_EQ(usage.failures, 0U);
+  EXPECT_EQ(usage.input_tokens, static_cast<std::uint64_t>(outcome.input_tokens));
+}
+
+TEST_F(ClientTest, AlwaysFailingModelExhaustsRetries) {
+  ModelProfile flaky = gemini_1_5_pro_profile();
+  flaky.transient_failure_rate = 1.0;
+  const VisionLanguageModel broken(flaky, CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.max_attempts = 3;
+  LlmClient client(broken, config, 2);
+  const ChatOutcome outcome =
+      client.send(simple_message(), Language::kEnglish, VisualObservation{}, SamplingParams{});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.output_tokens, 0);
+  EXPECT_EQ(client.usage().failures, 1U);
+  EXPECT_EQ(client.usage().retries, 2U);
+}
+
+TEST_F(ClientTest, RetriesAddBackoffWait) {
+  ModelProfile flaky = gemini_1_5_pro_profile();
+  flaky.transient_failure_rate = 1.0;
+  const VisionLanguageModel broken(flaky, CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.max_attempts = 4;
+  config.initial_backoff_ms = 1000.0;
+  LlmClient client(broken, config, 3);
+  const ChatOutcome outcome =
+      client.send(simple_message(), Language::kEnglish, VisualObservation{}, SamplingParams{});
+  // 3 backoffs: ~1000 + 2000 + 4000 (jittered 25%) plus latencies.
+  EXPECT_GT(outcome.total_wait_ms, 5000.0);
+}
+
+TEST_F(ClientTest, RateLimiterQueuesVirtualTime) {
+  ClientConfig config;
+  config.requests_per_second = 2.0;  // 500 ms per slot
+  LlmClient client(model_, config, 4);
+  double first_wait = 0.0;
+  double last_wait = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const ChatOutcome outcome = client.send(simple_message(), Language::kEnglish,
+                                            VisualObservation{}, SamplingParams{});
+    if (i == 0) first_wait = outcome.total_wait_ms;
+    last_wait = outcome.total_wait_ms;
+  }
+  // Later requests queue behind earlier slots.
+  EXPECT_GT(last_wait, first_wait + 1500.0);
+}
+
+TEST_F(ClientTest, RunPlanSequentialIssuesSixRequests) {
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  LlmClient client(model_, ClientConfig{}, 5);
+  const auto outcomes = client.run_plan(plan, VisualObservation{}, SamplingParams{});
+  EXPECT_EQ(outcomes.size(), 6U);
+  EXPECT_EQ(client.usage().requests, 6U);
+}
+
+TEST_F(ClientTest, RunPlanParallelIssuesOneRequest) {
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kParallel, Language::kEnglish);
+  LlmClient client(model_, ClientConfig{}, 6);
+  const auto outcomes = client.run_plan(plan, VisualObservation{}, SamplingParams{});
+  EXPECT_EQ(outcomes.size(), 1U);
+}
+
+TEST_F(ClientTest, CostScalesWithTokenPrices) {
+  ModelProfile cheap = gemini_1_5_pro_profile();
+  cheap.usd_per_1m_input_tokens = 1.0;
+  cheap.usd_per_1m_output_tokens = 1.0;
+  cheap.transient_failure_rate = 0.0;
+  ModelProfile pricey = cheap;
+  pricey.usd_per_1m_input_tokens = 10.0;
+  pricey.usd_per_1m_output_tokens = 10.0;
+  const VisionLanguageModel cheap_model(cheap, CalibrationStats::paper_nominal());
+  const VisionLanguageModel pricey_model(pricey, CalibrationStats::paper_nominal());
+  LlmClient cheap_client(cheap_model, ClientConfig{}, 7);
+  LlmClient pricey_client(pricey_model, ClientConfig{}, 7);
+  const auto a = cheap_client.send(simple_message(), Language::kEnglish, VisualObservation{},
+                                   SamplingParams{});
+  const auto b = pricey_client.send(simple_message(), Language::kEnglish, VisualObservation{},
+                                    SamplingParams{});
+  EXPECT_NEAR(b.cost_usd / a.cost_usd, 10.0, 1e-6);
+}
+
+TEST_F(ClientTest, DeterministicGivenSeed) {
+  LlmClient a(model_, ClientConfig{}, 11);
+  LlmClient b(model_, ClientConfig{}, 11);
+  const auto ra = a.send(simple_message(), Language::kEnglish, VisualObservation{},
+                         SamplingParams{});
+  const auto rb = b.send(simple_message(), Language::kEnglish, VisualObservation{},
+                         SamplingParams{});
+  EXPECT_EQ(ra.text, rb.text);
+  EXPECT_DOUBLE_EQ(ra.latency_ms, rb.latency_ms);
+}
+
+}  // namespace
+}  // namespace neuro::llm

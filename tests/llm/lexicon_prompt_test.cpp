@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "llm/lexicon.hpp"
+#include "llm/prompt.hpp"
+
+namespace neuro::llm {
+namespace {
+
+using scene::Indicator;
+
+TEST(Lexicon, AllEntriesPopulated) {
+  const Lexicon& lexicon = Lexicon::standard();
+  for (Language language : all_languages()) {
+    for (Indicator ind : scene::all_indicators()) {
+      const LexiconEntry& entry = lexicon.entry(language, ind);
+      EXPECT_FALSE(entry.term.empty());
+      EXPECT_FALSE(entry.yes_token.empty());
+      EXPECT_FALSE(entry.no_token.empty());
+      EXPECT_GE(entry.grounding, -1.0);
+      EXPECT_LE(entry.grounding, 1.0);
+    }
+  }
+}
+
+TEST(Lexicon, EnglishIsReferenceGrounding) {
+  const Lexicon& lexicon = Lexicon::standard();
+  for (Indicator ind : scene::all_indicators()) {
+    EXPECT_DOUBLE_EQ(lexicon.entry(Language::kEnglish, ind).grounding, 1.0);
+  }
+}
+
+TEST(Lexicon, PaperFailureCasesEncoded) {
+  const Lexicon& lexicon = Lexicon::standard();
+  // Chinese sidewalk (~1% recall) and Spanish single-lane (~18% recall)
+  // must carry negative grounding.
+  EXPECT_LT(lexicon.entry(Language::kChinese, Indicator::kSidewalk).grounding, 0.0);
+  EXPECT_LT(lexicon.entry(Language::kSpanish, Indicator::kSingleLaneRoad).grounding, 0.0);
+}
+
+TEST(Lexicon, MeanGroundingOrderMatchesFig6) {
+  const Lexicon& lexicon = Lexicon::standard();
+  const double en = lexicon.mean_grounding(Language::kEnglish);
+  const double bn = lexicon.mean_grounding(Language::kBengali);
+  const double es = lexicon.mean_grounding(Language::kSpanish);
+  const double zh = lexicon.mean_grounding(Language::kChinese);
+  EXPECT_GT(en, bn);
+  EXPECT_GT(bn, es);
+  EXPECT_GT(es, zh);
+}
+
+TEST(Language, NamesAndCodes) {
+  EXPECT_EQ(language_name(Language::kBengali), "Bengali");
+  EXPECT_EQ(language_code(Language::kChinese), "zh");
+  EXPECT_EQ(all_languages().size(), 4U);
+}
+
+TEST(PromptBuilder, AskOrderMatchesPaper) {
+  const auto order = PromptBuilder::ask_order();
+  ASSERT_EQ(order.size(), 6U);
+  EXPECT_EQ(order[0], Indicator::kMultilaneRoad);
+  EXPECT_EQ(order[1], Indicator::kSingleLaneRoad);
+  EXPECT_EQ(order[5], Indicator::kApartment);
+}
+
+TEST(PromptBuilder, EnglishQuestionsMatchPaperPhrasing) {
+  PromptBuilder builder;
+  const std::string sidewalk = builder.question_text(Indicator::kSidewalk, Language::kEnglish);
+  EXPECT_EQ(sidewalk,
+            "Is there a sidewalk visible in the image? Respond only with 'Yes' or 'No'.");
+  const std::string road = builder.question_text(Indicator::kMultilaneRoad, Language::kEnglish);
+  EXPECT_NE(road.find("Is the road shown in the image"), std::string::npos);
+  EXPECT_NE(road.find("more than one lane per direction"), std::string::npos);
+}
+
+TEST(PromptBuilder, QuestionsUseLexiconTerms) {
+  PromptBuilder builder;
+  for (Language language : all_languages()) {
+    for (Indicator ind : scene::all_indicators()) {
+      const std::string question = builder.question_text(ind, language);
+      const std::string& term = Lexicon::standard().entry(language, ind).term;
+      EXPECT_NE(question.find(term), std::string::npos)
+          << language_name(language) << " / " << scene::indicator_name(ind);
+    }
+  }
+}
+
+TEST(PromptBuilder, ParallelPlanIsOneMessageSixAsks) {
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kParallel, Language::kEnglish);
+  ASSERT_EQ(plan.messages.size(), 1U);
+  EXPECT_EQ(plan.messages[0].asks.size(), 6U);
+  EXPECT_EQ(plan.question_count(), 6U);
+  // Format header present.
+  EXPECT_NE(plan.messages[0].text.find("Respond in this format"), std::string::npos);
+}
+
+TEST(PromptBuilder, SequentialPlanIsSixMessages) {
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  ASSERT_EQ(plan.messages.size(), 6U);
+  for (const PromptMessage& message : plan.messages) {
+    EXPECT_EQ(message.asks.size(), 1U);
+  }
+  EXPECT_EQ(plan.question_count(), 6U);
+  // Later turns carry conversation context.
+  EXPECT_EQ(plan.messages[0].text.find("==="), std::string::npos);
+  EXPECT_NE(plan.messages[3].text.find("==="), std::string::npos);
+  EXPECT_NE(plan.messages[3].text.find("And considering the same image"), std::string::npos);
+}
+
+TEST(EstimateTokens, WordsAndCjk) {
+  EXPECT_EQ(estimate_tokens("three simple words"), 3U);
+  EXPECT_EQ(estimate_tokens(""), 0U);
+  EXPECT_EQ(estimate_tokens("   spaced    out  "), 2U);
+  // CJK characters count individually.
+  EXPECT_EQ(estimate_tokens("路灯"), 2U);
+  // Mixed.
+  EXPECT_EQ(estimate_tokens("word 路灯 word"), 4U);
+}
+
+TEST(Complexity, SequentialLaterTurnsScoreHigher) {
+  PromptBuilder builder;
+  const PromptPlan sequential = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  const PromptComplexity first = analyze_complexity(sequential.messages.front());
+  const PromptComplexity last = analyze_complexity(sequential.messages.back());
+  EXPECT_GT(last.score, first.score);
+  EXPECT_GT(last.context_tokens, 0.0);
+  EXPECT_EQ(first.context_tokens, 0.0);
+}
+
+TEST(Complexity, SequentialExceedsParallelPerQuestion) {
+  PromptBuilder builder;
+  const PromptPlan parallel = builder.build(PromptStrategy::kParallel, Language::kEnglish);
+  const PromptPlan sequential = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  const double parallel_score = analyze_complexity(parallel.messages[0]).score;
+  double sequential_mean = 0.0;
+  for (const PromptMessage& message : sequential.messages) {
+    sequential_mean += analyze_complexity(message).score;
+  }
+  sequential_mean /= static_cast<double>(sequential.messages.size());
+  EXPECT_GT(sequential_mean, parallel_score);
+}
+
+TEST(Complexity, EmptyAsksRejected) {
+  PromptMessage message;
+  message.text = "no questions";
+  EXPECT_THROW(analyze_complexity(message), std::invalid_argument);
+}
+
+class LanguagePlanSweep : public ::testing::TestWithParam<Language> {};
+
+TEST_P(LanguagePlanSweep, BothStrategiesBuild) {
+  PromptBuilder builder;
+  for (PromptStrategy strategy : {PromptStrategy::kParallel, PromptStrategy::kSequential}) {
+    const PromptPlan plan = builder.build(strategy, GetParam());
+    EXPECT_EQ(plan.question_count(), 6U);
+    EXPECT_EQ(plan.language, GetParam());
+    for (const PromptMessage& message : plan.messages) EXPECT_FALSE(message.text.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Languages, LanguagePlanSweep, ::testing::ValuesIn(all_languages()));
+
+TEST(StrategyName, Values) {
+  EXPECT_EQ(strategy_name(PromptStrategy::kParallel), "parallel");
+  EXPECT_EQ(strategy_name(PromptStrategy::kSequential), "sequential");
+}
+
+}  // namespace
+}  // namespace neuro::llm

@@ -1,0 +1,187 @@
+// Property tests across the prompt -> model -> decoder -> parser loop:
+// whatever the configuration, the pieces must stay mutually intelligible.
+
+#include <gtest/gtest.h>
+
+#include "llm/client.hpp"
+#include "llm/vlm.hpp"
+
+namespace neuro::llm {
+namespace {
+
+using scene::Indicator;
+
+struct PipelineCase {
+  int model_index;
+  PromptStrategy strategy;
+  Language language;
+  double temperature;
+  double top_p;
+  int few_shot;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, ModelOutputAlwaysParseable) {
+  const PipelineCase& c = GetParam();
+  const ModelProfile profile =
+      paper_model_profiles()[static_cast<std::size_t>(c.model_index)];
+  const VisionLanguageModel model(profile, CalibrationStats::paper_nominal());
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(c.strategy, c.language, c.few_shot);
+  ResponseParser parser;
+
+  SamplingParams params;
+  params.temperature = c.temperature;
+  params.top_p = c.top_p;
+
+  VisualObservation obs;
+  obs.truth.set(Indicator::kMultilaneRoad, true);
+  obs.visibility[Indicator::kMultilaneRoad] = 0.7F;
+  obs.truth.set(Indicator::kPowerline, true);
+  obs.visibility[Indicator::kPowerline] = 0.4F;
+
+  util::Rng rng(1234);
+  for (int round = 0; round < 30; ++round) {
+    const std::vector<std::string> responses = model.chat(plan, obs, params, rng);
+    ASSERT_EQ(responses.size(), plan.messages.size());
+    int parsed_answers = 0;
+    for (std::size_t m = 0; m < responses.size(); ++m) {
+      const ParsedAnswers parsed =
+          parser.parse(responses[m], plan.messages[m].asks.size(), c.language);
+      ASSERT_EQ(parsed.answers.size(), plan.messages[m].asks.size());
+      for (const auto& answer : parsed.answers) {
+        if (answer.has_value()) ++parsed_answers;
+      }
+    }
+    // The decoder's hedge/format-break tokens are rare: across 6 answers,
+    // the overwhelming majority must parse to a polarity.
+    EXPECT_GE(parsed_answers, 4);
+  }
+}
+
+std::vector<PipelineCase> pipeline_cases() {
+  std::vector<PipelineCase> cases;
+  int model = 0;
+  for (Language language : all_languages()) {
+    for (PromptStrategy strategy : {PromptStrategy::kParallel, PromptStrategy::kSequential}) {
+      for (double temperature : {0.1, 1.0, 1.5}) {
+        cases.push_back({model % 4, strategy, language, temperature, 0.95, 0});
+        ++model;
+      }
+    }
+  }
+  cases.push_back({1, PromptStrategy::kParallel, Language::kChinese, 1.0, 0.5, 4});
+  cases.push_back({2, PromptStrategy::kSequential, Language::kSpanish, 1.5, 0.75, 2});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configurations, PipelineSweep, ::testing::ValuesIn(pipeline_cases()));
+
+TEST(PipelineProperties, HigherTemperatureNeverReducesHedgeRate) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kParallel, Language::kEnglish);
+  ResponseParser parser;
+
+  auto violation_rate = [&](double temperature) {
+    SamplingParams params;
+    params.temperature = temperature;
+    params.top_p = 1.0;
+    VisualObservation obs;  // all absent -> borderline evidence everywhere
+    util::Rng rng(77);
+    int violations = 0;
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+      const auto responses = model.chat(plan, obs, params, rng);
+      violations += parser.parse(responses[0], 6, Language::kEnglish).format_violations;
+    }
+    return static_cast<double>(violations) / (6.0 * n);
+  };
+
+  const double cold = violation_rate(0.2);
+  const double hot = violation_rate(2.5);
+  EXPECT_LE(cold, hot + 0.005);  // monotone up to sampling noise
+  EXPECT_LT(cold, 0.02);         // near-zero violations at low temperature
+}
+
+TEST(PipelineProperties, EvidenceMonotoneInGrounding) {
+  const VisionLanguageModel model(claude_3_7_profile(), CalibrationStats::paper_nominal());
+  VisualObservation obs;
+  obs.truth.set(Indicator::kSidewalk, true);
+  obs.visibility[Indicator::kSidewalk] = 0.6F;
+  double previous = -1e9;
+  for (double grounding : {-0.5, 0.0, 0.5, 1.0}) {
+    util::Rng rng(5);
+    double sum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      sum += model.draw_evidence(Indicator::kSidewalk, obs, grounding, 1.0, rng);
+    }
+    EXPECT_GT(sum / n, previous);
+    previous = sum / n;
+  }
+}
+
+TEST(PipelineProperties, ComplexityScaleMonotoneInSensitivity) {
+  // A more complexity-sensitive model must lose at least as much recall
+  // under the sequential prompt.
+  PromptBuilder builder;
+  const PromptPlan sequential = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  const PromptMessage& heavy = sequential.messages.back();
+
+  auto recall_under = [&](double sensitivity) {
+    ModelProfile profile = gemini_1_5_pro_profile();
+    profile.complexity_sensitivity = sensitivity;
+    const VisionLanguageModel model(profile, CalibrationStats::paper_nominal());
+    VisualObservation obs;
+    const Indicator ind = heavy.asks[0];
+    obs.truth.set(ind, true);
+    obs.visibility[ind] = 0.6F;
+    ResponseParser parser;
+    util::Rng rng(9);
+    int yes = 0;
+    const int n = 2500;
+    for (int i = 0; i < n; ++i) {
+      const std::string response =
+          model.answer_message(heavy, Language::kEnglish, obs, SamplingParams{}, rng);
+      yes += parser.parse(response, 1, Language::kEnglish).answers[0].value_or(false) ? 1 : 0;
+    }
+    return static_cast<double>(yes) / n;
+  };
+
+  const double relaxed = recall_under(0.0);
+  const double strained = recall_under(1.0);
+  EXPECT_GT(relaxed, strained + 0.05);
+}
+
+TEST(PipelineProperties, ClientNeverLosesRequests) {
+  // Usage accounting conservation: requests = successes + failures, and
+  // every retry is accounted.
+  ModelProfile profile = grok_2_profile();
+  profile.transient_failure_rate = 0.4;  // very flaky
+  const VisionLanguageModel model(profile, CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.max_attempts = 2;
+  LlmClient client(model, config, 31);
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kParallel, Language::kEnglish);
+
+  int ok = 0;
+  int failed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto outcomes = client.run_plan(plan, VisualObservation{}, SamplingParams{});
+    for (const ChatOutcome& outcome : outcomes) {
+      if (outcome.ok) ++ok;
+      else ++failed;
+    }
+  }
+  const UsageMeter usage = client.usage();
+  EXPECT_EQ(usage.requests, static_cast<std::uint64_t>(ok + failed));
+  EXPECT_EQ(usage.failures, static_cast<std::uint64_t>(failed));
+  EXPECT_GT(usage.retries, 0U);
+  EXPECT_GT(failed, 0);  // at 40% failure and 2 attempts, some must fail
+}
+
+}  // namespace
+}  // namespace neuro::llm

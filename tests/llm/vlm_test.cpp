@@ -1,0 +1,224 @@
+#include "llm/vlm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/mathx.hpp"
+
+namespace neuro::llm {
+namespace {
+
+using scene::Indicator;
+
+VisualObservation present_observation(Indicator indicator, float visibility = 0.6F) {
+  VisualObservation obs;
+  obs.truth.set(indicator, true);
+  obs.visibility[indicator] = visibility;
+  return obs;
+}
+
+TEST(Observe, ExtractsPresenceAndMaxVisibility) {
+  data::LabeledImage img;
+  img.annotations.push_back(
+      data::Annotation{Indicator::kSidewalk, {0, 0, 10, 10}, 0.4F});
+  img.annotations.push_back(
+      data::Annotation{Indicator::kSidewalk, {20, 0, 10, 10}, 0.7F});
+  img.annotations.push_back(
+      data::Annotation{Indicator::kPowerline, {0, 0, 160, 10}, 0.3F});
+  const VisualObservation obs = observe(img);
+  EXPECT_TRUE(obs.truth[Indicator::kSidewalk]);
+  EXPECT_FLOAT_EQ(obs.visibility[Indicator::kSidewalk], 0.7F);
+  EXPECT_FLOAT_EQ(obs.visibility[Indicator::kPowerline], 0.3F);
+  EXPECT_FALSE(obs.truth[Indicator::kApartment]);
+  EXPECT_FLOAT_EQ(obs.visibility[Indicator::kApartment], 0.0F);
+}
+
+TEST(CalibrationStats, PaperNominalPrevalences) {
+  const CalibrationStats stats = CalibrationStats::paper_nominal();
+  EXPECT_NEAR(stats.prevalence[Indicator::kStreetlight], 206.0 / 1200.0, 1e-12);
+  EXPECT_NEAR(stats.prevalence[Indicator::kMultilaneRoad], 505.0 / 1200.0, 1e-12);
+}
+
+TEST(Profiles, AllFourModelsDefined) {
+  const auto profiles = paper_model_profiles();
+  ASSERT_EQ(profiles.size(), 4U);
+  EXPECT_EQ(profiles[0].name, "ChatGPT 4o mini");
+  EXPECT_EQ(profiles[1].name, "Gemini 1.5 Pro");
+  EXPECT_EQ(profiles[2].name, "Claude 3.7");
+  EXPECT_EQ(profiles[3].name, "Grok 2");
+  for (const ModelProfile& p : profiles) {
+    EXPECT_GT(p.median_latency_ms, 0.0);
+    EXPECT_GT(p.usd_per_1m_input_tokens, 0.0);
+    for (Indicator ind : scene::all_indicators()) {
+      EXPECT_GT(p.targets[ind].recall, 0.0);
+      EXPECT_LE(p.targets[ind].recall, 1.0);
+    }
+  }
+}
+
+TEST(Channel, CalibrationMathIsConsistent) {
+  // The channel must satisfy recall = Phi(d' - tau) and fpr = Phi(-tau).
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  for (Indicator ind : scene::all_indicators()) {
+    const ChannelParams& ch = model.channel(ind);
+    const double target_recall =
+        util::clamp(model.profile().targets[ind].recall, 0.01, 0.995);
+    EXPECT_NEAR(util::normal_cdf(ch.d_prime - ch.threshold), target_recall, 1e-6);
+    EXPECT_NEAR(util::normal_cdf(-ch.threshold), ch.fpr, 1e-6);
+  }
+}
+
+// Property test: the full pipeline (evidence -> decoder -> text -> parser)
+// reproduces each model's published per-class recall and accuracy at the
+// nominal prevalence.
+struct ModelClassCase {
+  int model_index;
+  Indicator indicator;
+};
+
+class CalibrationSweep : public ::testing::TestWithParam<ModelClassCase> {};
+
+TEST_P(CalibrationSweep, RecallAndFprMatchTargets) {
+  const auto profiles = paper_model_profiles();
+  const ModelProfile& profile = profiles[static_cast<std::size_t>(GetParam().model_index)];
+  const Indicator ind = GetParam().indicator;
+  const CalibrationStats stats = CalibrationStats::paper_nominal();
+  const VisionLanguageModel model(profile, stats);
+
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kParallel, Language::kEnglish);
+  ResponseParser parser;
+  SamplingParams params;
+  util::Rng rng(99);
+
+  // Find this indicator's slot in the asking order.
+  std::size_t slot = 0;
+  for (std::size_t q = 0; q < plan.messages[0].asks.size(); ++q) {
+    if (plan.messages[0].asks[q] == ind) slot = q;
+  }
+
+  auto yes_rate = [&](bool present) {
+    VisualObservation obs;
+    if (present) obs = present_observation(ind, static_cast<float>(stats.mean_visibility[ind]));
+    int yes = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      const std::string response =
+          model.answer_message(plan.messages[0], Language::kEnglish, obs, params, rng);
+      const ParsedAnswers parsed = parser.parse(response, 6, Language::kEnglish);
+      yes += parsed.answers[slot].value_or(false) ? 1 : 0;
+    }
+    return static_cast<double>(yes) / n;
+  };
+
+  const double measured_recall = yes_rate(true);
+  const double measured_fpr = yes_rate(false);
+  const double target_recall = util::clamp(profile.targets[ind].recall, 0.01, 0.995);
+  // Decoder smoothing (finite gain) and hedge tokens blur the threshold a
+  // little; 4 points of tolerance is enough to catch real regressions.
+  EXPECT_NEAR(measured_recall, target_recall, 0.04)
+      << profile.name << " / " << scene::indicator_name(ind);
+  EXPECT_NEAR(measured_fpr, model.channel(ind).fpr, 0.04)
+      << profile.name << " / " << scene::indicator_name(ind);
+}
+
+std::vector<ModelClassCase> all_cases() {
+  std::vector<ModelClassCase> cases;
+  for (int m = 0; m < 4; ++m) {
+    for (Indicator ind : scene::all_indicators()) cases.push_back({m, ind});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModelsAllClasses, CalibrationSweep, ::testing::ValuesIn(all_cases()));
+
+TEST(Vlm, VisibilityModulatesRecall) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  util::Rng rng(7);
+  const Indicator ind = Indicator::kSidewalk;
+  auto mean_evidence = [&](float visibility) {
+    double sum = 0.0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+      sum += model.draw_evidence(ind, present_observation(ind, visibility), 1.0, 1.0, rng);
+    }
+    return sum / n;
+  };
+  EXPECT_GT(mean_evidence(0.9F), mean_evidence(0.2F));
+}
+
+TEST(Vlm, NegativeGroundingSuppressesEvidence) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  util::Rng rng(8);
+  const Indicator ind = Indicator::kSidewalk;
+  double positive = 0.0;
+  double negative = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    positive += model.draw_evidence(ind, present_observation(ind), 1.0, 1.0, rng);
+    negative += model.draw_evidence(ind, present_observation(ind), -0.45, 1.0, rng);
+  }
+  EXPECT_GT(positive / n, 0.5);
+  EXPECT_LT(negative / n, 0.0);
+}
+
+TEST(Vlm, AbsentIndicatorEvidenceIsZeroMean) {
+  const VisionLanguageModel model(grok_2_profile(), CalibrationStats::paper_nominal());
+  util::Rng rng(9);
+  VisualObservation empty;
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += model.draw_evidence(Indicator::kApartment, empty, 1.0, 1.0, rng);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(Vlm, PredictPresenceDeterministicGivenSeed) {
+  const VisionLanguageModel model(claude_3_7_profile(), CalibrationStats::paper_nominal());
+  const VisualObservation obs = present_observation(Indicator::kMultilaneRoad, 0.8F);
+  SamplingParams params;
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  const auto a = model.predict_presence(obs, PromptStrategy::kParallel, Language::kEnglish,
+                                        params, rng_a);
+  const auto b = model.predict_presence(obs, PromptStrategy::kParallel, Language::kEnglish,
+                                        params, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Vlm, ChatAnswersEveryMessage) {
+  const VisionLanguageModel model(chatgpt_4o_mini_profile(), CalibrationStats::paper_nominal());
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  SamplingParams params;
+  util::Rng rng(11);
+  const auto responses = model.chat(plan, VisualObservation{}, params, rng);
+  ASSERT_EQ(responses.size(), 6U);
+  for (const std::string& response : responses) EXPECT_FALSE(response.empty());
+}
+
+TEST(Vlm, ReferenceComplexityMatchesParallelPrompt) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kParallel, Language::kEnglish);
+  EXPECT_NEAR(model.reference_complexity(), analyze_complexity(plan.messages[0]).score, 1e-9);
+}
+
+TEST(Vlm, CalibrationFromDatasetTracksMeasuredPrevalence) {
+  data::Dataset dataset;
+  for (int i = 0; i < 10; ++i) {
+    data::LabeledImage img;
+    img.id = static_cast<std::uint64_t>(i);
+    if (i < 4) {
+      img.annotations.push_back(data::Annotation{Indicator::kSidewalk, {0, 0, 10, 10}, 0.5F});
+    }
+    dataset.add(std::move(img));
+  }
+  const CalibrationStats stats = CalibrationStats::from_dataset(dataset);
+  EXPECT_NEAR(stats.prevalence[Indicator::kSidewalk], 0.4, 1e-12);
+  EXPECT_NEAR(stats.mean_visibility[Indicator::kSidewalk], 0.5, 1e-6);
+  EXPECT_NEAR(stats.prevalence[Indicator::kApartment], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace neuro::llm

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "scene/generator.hpp"
+#include "scene/renderer.hpp"
+
+namespace neuro::scene {
+namespace {
+
+TEST(SceneSampler, DeterministicGivenRng) {
+  SceneSampler sampler;
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  const StreetScene a = sampler.sample_at(0.5, 1, rng_a);
+  const StreetScene b = sampler.sample_at(0.5, 1, rng_b);
+  EXPECT_EQ(a.presence(), b.presence());
+  EXPECT_EQ(a.trees.size(), b.trees.size());
+  EXPECT_EQ(a.texture_salt, b.texture_salt);
+}
+
+TEST(SceneSampler, PresenceLogic) {
+  SceneSampler sampler;
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const StreetScene scene = sampler.sample_at(0.5, static_cast<std::uint64_t>(i), rng);
+    const PresenceVector p = scene.presence();
+    // Road type presence must be mutually exclusive.
+    EXPECT_FALSE(p[Indicator::kSingleLaneRoad] && p[Indicator::kMultilaneRoad]);
+    if (scene.road.has_value()) {
+      EXPECT_TRUE(p[Indicator::kSingleLaneRoad] || p[Indicator::kMultilaneRoad]);
+    }
+    // Sidewalks only exist alongside roads in the sampler.
+    if (!scene.road.has_value()) EXPECT_TRUE(scene.sidewalks.empty());
+  }
+}
+
+TEST(SceneSampler, PrevalenceMatchesPaperTargets) {
+  GeneratorConfig config;
+  SceneSampler sampler(config);
+  util::Rng rng(42);
+  IndicatorMap<int> counts;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    util::Rng scene_rng = rng.fork("s" + std::to_string(i));
+    const StreetScene scene =
+        sampler.sample_at(scene_rng.uniform(), static_cast<std::uint64_t>(i), scene_rng);
+    const PresenceVector p = scene.presence();
+    for (Indicator ind : all_indicators()) counts[ind] += p[ind] ? 1 : 0;
+  }
+  const PrevalenceTargets& t = config.targets;
+  const double dn = n;
+  EXPECT_NEAR(counts[Indicator::kStreetlight] / dn, t.streetlight, 0.05);
+  EXPECT_NEAR(counts[Indicator::kSidewalk] / dn, t.sidewalk, 0.07);
+  EXPECT_NEAR(counts[Indicator::kSingleLaneRoad] / dn, t.single_lane, 0.07);
+  EXPECT_NEAR(counts[Indicator::kMultilaneRoad] / dn, t.multilane, 0.07);
+  EXPECT_NEAR(counts[Indicator::kPowerline] / dn, t.powerline, 0.05);
+  EXPECT_NEAR(counts[Indicator::kApartment] / dn, t.apartment, 0.04);
+}
+
+TEST(SceneSampler, UrbanShapingDirections) {
+  SceneSampler sampler;
+  util::Rng rng(7);
+  IndicatorMap<int> rural_counts;
+  IndicatorMap<int> urban_counts;
+  const int n = 1500;
+  for (int i = 0; i < n; ++i) {
+    util::Rng r1 = rng.fork("r" + std::to_string(i));
+    util::Rng r2 = rng.fork("u" + std::to_string(i));
+    const PresenceVector rural = sampler.sample_at(0.1, static_cast<std::uint64_t>(i), r1).presence();
+    const PresenceVector urban = sampler.sample_at(0.9, static_cast<std::uint64_t>(i), r2).presence();
+    for (Indicator ind : all_indicators()) {
+      rural_counts[ind] += rural[ind] ? 1 : 0;
+      urban_counts[ind] += urban[ind] ? 1 : 0;
+    }
+  }
+  // Urban-leaning classes.
+  EXPECT_GT(urban_counts[Indicator::kSidewalk], rural_counts[Indicator::kSidewalk]);
+  EXPECT_GT(urban_counts[Indicator::kApartment], rural_counts[Indicator::kApartment]);
+  EXPECT_GT(urban_counts[Indicator::kStreetlight], rural_counts[Indicator::kStreetlight]);
+  // Rural-leaning class.
+  EXPECT_GT(rural_counts[Indicator::kPowerline], urban_counts[Indicator::kPowerline]);
+}
+
+TEST(Renderer, DeterministicPixels) {
+  SceneSampler sampler;
+  util::Rng rng(9);
+  const StreetScene scene = sampler.sample_at(0.6, 4, rng);
+  Renderer renderer;
+  const RenderResult a = renderer.render(scene);
+  const RenderResult b = renderer.render(scene);
+  EXPECT_EQ(a.image.data(), b.image.data());
+  EXPECT_EQ(a.boxes.size(), b.boxes.size());
+}
+
+TEST(Renderer, BoxesMatchScenePresence) {
+  SceneSampler sampler;
+  Renderer renderer;
+  util::Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const StreetScene scene = sampler.sample_at(0.5, static_cast<std::uint64_t>(i), rng);
+    const RenderResult result = renderer.render(scene);
+    PresenceVector from_boxes;
+    for (const GroundTruthBox& box : result.boxes) from_boxes.set(box.indicator, true);
+    EXPECT_EQ(from_boxes, scene.presence()) << "scene " << i;
+  }
+}
+
+TEST(Renderer, BoxesHavePositiveSizeAndSaneBounds) {
+  SceneSampler sampler;
+  Renderer renderer;
+  util::Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    const StreetScene scene = sampler.sample_at(0.5, static_cast<std::uint64_t>(i), rng);
+    const RenderResult result = renderer.render(scene);
+    for (const GroundTruthBox& gt : result.boxes) {
+      EXPECT_GT(gt.box.w, 0.0F);
+      EXPECT_GT(gt.box.h, 0.0F);
+      // Boxes may poke slightly past borders (clipped objects), but not wildly.
+      EXPECT_GT(gt.box.x + gt.box.w, 0.0F);
+      EXPECT_LT(gt.box.x, static_cast<float>(scene.width));
+      EXPECT_GT(gt.visibility, 0.0F);
+      EXPECT_LE(gt.visibility, 1.0F);
+    }
+  }
+}
+
+TEST(Renderer, PixelsInUnitRange) {
+  SceneSampler sampler;
+  Renderer renderer;
+  util::Rng rng(15);
+  const StreetScene scene = sampler.sample_at(0.8, 2, rng);
+  const RenderResult result = renderer.render(scene);
+  for (float v : result.image.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+  EXPECT_EQ(result.image.width(), scene.width);
+  EXPECT_EQ(result.image.height(), scene.height);
+}
+
+TEST(Renderer, RoadEdgesConvergeTowardHorizon) {
+  StreetScene scene;
+  scene.road = RoadSpec{};
+  float lb = 0.0F, rb = 0.0F, lt = 0.0F, rt = 0.0F;
+  Renderer::road_edges_at(scene, static_cast<float>(scene.height), lb, rb);
+  Renderer::road_edges_at(scene, scene.horizon_frac * static_cast<float>(scene.height), lt, rt);
+  EXPECT_GT(rb - lb, rt - lt);  // wider at the bottom
+  EXPECT_NEAR(rt - lt, 3.0F, 0.5F);  // collapses at the vanishing point
+}
+
+TEST(Renderer, DepthScaleMonotone) {
+  EXPECT_GT(Renderer::depth_scale(0.0F), Renderer::depth_scale(0.5F));
+  EXPECT_GT(Renderer::depth_scale(0.5F), Renderer::depth_scale(1.0F));
+  EXPECT_GT(Renderer::depth_scale(1.0F), 0.0F);
+}
+
+TEST(Renderer, GroundYDecreasesWithDepth) {
+  StreetScene scene;
+  EXPECT_GT(Renderer::ground_y(scene, 0.0F), Renderer::ground_y(scene, 0.5F));
+  EXPECT_GT(Renderer::ground_y(scene, 0.5F), Renderer::ground_y(scene, 1.0F));
+}
+
+TEST(GenerateSurvey, ProducesRequestedScenes) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  GeneratorConfig config;
+  util::Rng rng(21);
+  const auto captures = generate_survey(frame, 40, config, rng);
+  ASSERT_EQ(captures.size(), 40U);
+  for (const GeneratedCapture& c : captures) {
+    EXPECT_EQ(c.scene.scene_id, c.capture.capture_id);
+    EXPECT_EQ(c.scene.width, config.image_width);
+  }
+}
+
+TEST(GenerateSurvey, MultilaneMoreLikelyOnArterials) {
+  SceneSampler sampler;
+  util::Rng rng(23);
+  int arterial_multi = 0;
+  int local_multi = 0;
+  const int n = 1200;
+  for (int i = 0; i < n; ++i) {
+    Capture capture;
+    capture.point.urbanization = 0.5;
+    capture.capture_id = static_cast<std::uint64_t>(i);
+    capture.heading = Heading::kNorth;
+    capture.point.arterial = i % 2 == 0;
+    util::Rng scene_rng = rng.fork("a" + std::to_string(i));
+    const StreetScene scene = sampler.sample(capture, scene_rng);
+    if (!scene.road.has_value()) continue;
+    if (capture.point.arterial && scene.road->is_multilane()) ++arterial_multi;
+    if (!capture.point.arterial && scene.road->is_multilane()) ++local_multi;
+  }
+  EXPECT_GT(arterial_multi, local_multi);
+}
+
+}  // namespace
+}  // namespace neuro::scene

@@ -1,0 +1,137 @@
+#include "scene/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace neuro::scene {
+namespace {
+
+TEST(Headings, NamesAndValues) {
+  EXPECT_EQ(heading_name(Heading::kNorth), "north");
+  EXPECT_EQ(heading_name(Heading::kWest), "west");
+  EXPECT_EQ(static_cast<int>(Heading::kEast), 90);
+  EXPECT_EQ(all_headings().size(), 4U);
+}
+
+TEST(SamplingFrame, PaperDefaultHasTwoCounties) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  ASSERT_EQ(frame.counties().size(), 2U);
+  // One rural-leaning, one urban-leaning.
+  EXPECT_LT(frame.counties()[0].urban_fraction, 0.5);
+  EXPECT_GT(frame.counties()[1].urban_fraction, 0.5);
+}
+
+TEST(SamplingFrame, EmptyCountyListRejected) {
+  EXPECT_THROW(SamplingFrame({}), std::invalid_argument);
+}
+
+TEST(SamplingFrame, SamplesRequestedCount) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  util::Rng rng(42);
+  const auto points = frame.sample_points(500, rng);
+  EXPECT_EQ(points.size(), 500U);
+}
+
+TEST(SamplingFrame, PointFieldsValid) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  util::Rng rng(42);
+  const auto points = frame.sample_points(400, rng);
+  std::set<int> counties;
+  for (const SamplePoint& p : points) {
+    EXPECT_GE(p.urbanization, 0.0);
+    EXPECT_LE(p.urbanization, 1.0);
+    EXPECT_GE(p.tract_id, 0);
+    EXPECT_LT(p.tract_id, SamplingFrame::kTractsPerCounty);
+    counties.insert(p.county_index);
+  }
+  EXPECT_EQ(counties.size(), 2U);  // both counties sampled
+}
+
+TEST(SamplingFrame, LargerCountyGetsMorePoints) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  util::Rng rng(42);
+  const auto points = frame.sample_points(1000, rng);
+  int county0 = 0;
+  for (const SamplePoint& p : points) county0 += p.county_index == 0 ? 1 : 0;
+  // County 0 (949 sq mi) vs county 1 (298 sq mi): roughly 76% of points.
+  EXPECT_NEAR(static_cast<double>(county0) / 1000.0, 949.0 / (949.0 + 298.0), 0.05);
+}
+
+TEST(SamplingFrame, ConsecutiveRoadPointsFiftyFeetApart) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  util::Rng rng(7);
+  const auto points = frame.sample_points(300, rng);
+  // Points come out grouped by synthetic road; consecutive points on the
+  // same road are exactly 50 ft apart.
+  int checked = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].county_index != points[i - 1].county_index) continue;
+    const double dx = points[i].x_feet - points[i - 1].x_feet;
+    const double dy = points[i].y_feet - points[i - 1].y_feet;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    if (dist < 51.0) {
+      EXPECT_NEAR(dist, 50.0, 0.5);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);  // most pairs are consecutive road samples
+}
+
+TEST(SamplingFrame, UrbanCountySkewsUrbanization) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  util::Rng rng(11);
+  const auto points = frame.sample_points(1500, rng);
+  double rural_sum = 0.0;
+  double urban_sum = 0.0;
+  int rural_n = 0;
+  int urban_n = 0;
+  for (const SamplePoint& p : points) {
+    if (p.county_index == 0) {
+      rural_sum += p.urbanization;
+      ++rural_n;
+    } else {
+      urban_sum += p.urbanization;
+      ++urban_n;
+    }
+  }
+  ASSERT_GT(rural_n, 0);
+  ASSERT_GT(urban_n, 0);
+  EXPECT_LT(rural_sum / rural_n, urban_sum / urban_n);
+}
+
+TEST(ExpandCaptures, OnePerHeading) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  util::Rng rng(3);
+  const auto points = frame.sample_points(10, rng);
+  const auto captures = SamplingFrame::expand_captures(points, 4);
+  ASSERT_EQ(captures.size(), 40U);
+  // Unique ids, headings cycle N/E/S/W.
+  std::set<std::uint64_t> ids;
+  for (const Capture& c : captures) ids.insert(c.capture_id);
+  EXPECT_EQ(ids.size(), 40U);
+  EXPECT_EQ(captures[0].heading, Heading::kNorth);
+  EXPECT_EQ(captures[3].heading, Heading::kWest);
+}
+
+TEST(ExpandCaptures, ValidatesHeadingCount) {
+  EXPECT_THROW(SamplingFrame::expand_captures({}, 0), std::invalid_argument);
+  EXPECT_THROW(SamplingFrame::expand_captures({}, 5), std::invalid_argument);
+}
+
+TEST(SamplingFrame, DeterministicGivenSeed) {
+  const SamplingFrame frame = SamplingFrame::paper_default();
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const auto a = frame.sample_points(50, rng_a);
+  const auto b = frame.sample_points(50, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x_feet, b[i].x_feet);
+    EXPECT_DOUBLE_EQ(a[i].urbanization, b[i].urbanization);
+  }
+}
+
+}  // namespace
+}  // namespace neuro::scene

@@ -1,0 +1,98 @@
+#include "scene/indicators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neuro::scene {
+namespace {
+
+TEST(Indicators, OrderMatchesPaper) {
+  const auto all = all_indicators();
+  EXPECT_EQ(all[0], Indicator::kStreetlight);
+  EXPECT_EQ(all[5], Indicator::kApartment);
+  EXPECT_EQ(kIndicatorCount, 6);
+}
+
+TEST(Indicators, NamesAndAbbrevs) {
+  EXPECT_EQ(indicator_name(Indicator::kSingleLaneRoad), "single-lane road");
+  EXPECT_EQ(indicator_abbrev(Indicator::kSingleLaneRoad), "SR");
+  EXPECT_EQ(indicator_abbrev(Indicator::kPowerline), "PL");
+  for (Indicator ind : all_indicators()) {
+    EXPECT_FALSE(indicator_name(ind).empty());
+    EXPECT_EQ(indicator_abbrev(ind).size(), 2U);
+  }
+}
+
+class ParseRoundTrip : public ::testing::TestWithParam<Indicator> {};
+
+TEST_P(ParseRoundTrip, NameParsesBack) {
+  EXPECT_EQ(parse_indicator(indicator_name(GetParam())), GetParam());
+}
+
+TEST_P(ParseRoundTrip, AbbrevParsesBack) {
+  EXPECT_EQ(parse_indicator(indicator_abbrev(GetParam())), GetParam());
+}
+
+TEST_P(ParseRoundTrip, CaseInsensitive) {
+  std::string upper(indicator_name(GetParam()));
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  EXPECT_EQ(parse_indicator(upper), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ParseRoundTrip, ::testing::ValuesIn(all_indicators()));
+
+TEST(ParseIndicator, Aliases) {
+  EXPECT_EQ(parse_indicator("street light"), Indicator::kStreetlight);
+  EXPECT_EQ(parse_indicator("multi-lane road"), Indicator::kMultilaneRoad);
+  EXPECT_EQ(parse_indicator("power line"), Indicator::kPowerline);
+  EXPECT_EQ(parse_indicator("single lane road"), Indicator::kSingleLaneRoad);
+  EXPECT_FALSE(parse_indicator("fire hydrant").has_value());
+  EXPECT_FALSE(parse_indicator("").has_value());
+}
+
+TEST(PresenceVector, SetGetCount) {
+  PresenceVector p;
+  EXPECT_EQ(p.count(), 0);
+  p.set(Indicator::kSidewalk, true);
+  p.set(Indicator::kPowerline, true);
+  EXPECT_TRUE(p[Indicator::kSidewalk]);
+  EXPECT_FALSE(p[Indicator::kApartment]);
+  EXPECT_EQ(p.count(), 2);
+}
+
+TEST(PresenceVector, ToString) {
+  PresenceVector p;
+  EXPECT_EQ(p.to_string(), "-");
+  p.set(Indicator::kStreetlight, true);
+  p.set(Indicator::kMultilaneRoad, true);
+  EXPECT_EQ(p.to_string(), "SL,MR");
+}
+
+TEST(PresenceVector, Equality) {
+  PresenceVector a;
+  PresenceVector b;
+  EXPECT_EQ(a, b);
+  a.set(Indicator::kApartment, true);
+  EXPECT_NE(a, b);
+}
+
+TEST(IndicatorMap, FillAndIndex) {
+  IndicatorMap<double> map(1.5);
+  EXPECT_DOUBLE_EQ(map[Indicator::kSidewalk], 1.5);
+  map[Indicator::kSidewalk] = 2.5;
+  EXPECT_DOUBLE_EQ(map[Indicator::kSidewalk], 2.5);
+  EXPECT_DOUBLE_EQ(map[Indicator::kStreetlight], 1.5);
+  EXPECT_EQ(map.size(), 6U);
+
+  double sum = 0.0;
+  for (double v : map) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.5 * 5 + 2.5);
+}
+
+TEST(IndicatorIndex, RoundTrip) {
+  for (Indicator ind : all_indicators()) {
+    EXPECT_EQ(indicator_from_index(indicator_index(ind)), ind);
+  }
+}
+
+}  // namespace
+}  // namespace neuro::scene

@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neuro::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test parser");
+  cli.add_flag("verbose", false, "chatty output");
+  cli.add_int("count", 10, "how many");
+  cli.add_double("rate", 0.5, "a rate");
+  cli.add_string("name", "default", "a name");
+  return cli;
+}
+
+int parse(CliParser& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()), args.data()) ? 1 : 0;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli = make_parser();
+  ASSERT_EQ(parse(cli, {}), 1);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  EXPECT_EQ(cli.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_EQ(cli.get_string("name"), "default");
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  ASSERT_EQ(parse(cli, {"--count", "42", "--name", "x y", "--rate", "1.25"}), 1);
+  EXPECT_EQ(cli.get_int("count"), 42);
+  EXPECT_EQ(cli.get_string("name"), "x y");
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.25);
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_EQ(parse(cli, {"--count=7", "--name=abc"}), 1);
+  EXPECT_EQ(cli.get_int("count"), 7);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+}
+
+TEST(Cli, BooleanFlagAndNegation) {
+  CliParser cli = make_parser();
+  ASSERT_EQ(parse(cli, {"--verbose"}), 1);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+
+  CliParser cli2("prog", "x");
+  cli2.add_flag("feature", true, "on by default");
+  std::vector<const char*> args = {"prog", "--no-feature"};
+  ASSERT_TRUE(cli2.parse(2, args.data()));
+  EXPECT_FALSE(cli2.get_flag("feature"));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  ASSERT_EQ(parse(cli, {"input.txt", "--count", "1", "more"}), 1);
+  ASSERT_EQ(cli.positional().size(), 2U);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli = make_parser();
+  std::vector<const char*> args = {"prog", "--bogus"};
+  EXPECT_THROW(cli.parse(2, args.data()), std::invalid_argument);
+}
+
+TEST(Cli, BadValueThrows) {
+  CliParser cli = make_parser();
+  std::vector<const char*> args = {"prog", "--count", "not-a-number"};
+  EXPECT_THROW(cli.parse(3, args.data()), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli = make_parser();
+  std::vector<const char*> args = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, args.data()), std::invalid_argument);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliParser cli = make_parser();
+  std::vector<const char*> args = {"prog", "--verbose=yes"};
+  EXPECT_THROW(cli.parse(2, args.data()), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  std::vector<const char*> args = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, args.data()));
+}
+
+TEST(Cli, UndeclaredLookupIsLogicError) {
+  CliParser cli = make_parser();
+  ASSERT_EQ(parse(cli, {}), 1);
+  EXPECT_THROW(cli.get_int("nope"), std::logic_error);
+  EXPECT_THROW(cli.get_flag("count"), std::logic_error);  // wrong type
+}
+
+TEST(Cli, UsageListsOptions) {
+  CliParser cli = make_parser();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neuro::util

@@ -1,0 +1,131 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neuro::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Json doc = Json::parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  EXPECT_EQ(doc.at("a").size(), 3U);
+  EXPECT_TRUE(doc.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_TRUE(doc.at("c").at("d").is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Json doc = Json::parse(R"("line\nbreak \"quoted\" \\ \t A")");
+  EXPECT_EQ(doc.as_string(), "line\nbreak \"quoted\" \\ \t A");
+}
+
+TEST(JsonParse, UnicodeEscapeToUtf8) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xC3\xA9");     // e-acute
+  EXPECT_EQ(Json::parse(R"("中")").as_string(), "\xE4\xB8\xAD");  // CJK
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": ]\n}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{} extra"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string source = R"({"arr":[1,2.5,"x"],"flag":false,"n":null})";
+  const Json doc = Json::parse(source);
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+}
+
+TEST(JsonDump, IntegersStayIntegers) {
+  Json doc = Json::object();
+  doc["count"] = 1200;
+  EXPECT_NE(doc.dump().find("1200"), std::string::npos);
+  EXPECT_EQ(doc.dump().find("1200.0"), std::string::npos);
+}
+
+TEST(JsonDump, PrettyIndentation) {
+  Json doc = Json::object();
+  doc["a"] = 1;
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Json doc(std::string("a\nb\x01"));
+  const std::string out = doc.dump();
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonAccess, TypeMismatchThrows) {
+  const Json doc = Json::parse("42");
+  EXPECT_THROW(doc.as_string(), std::runtime_error);
+  EXPECT_THROW(doc.as_array(), std::runtime_error);
+  EXPECT_THROW(doc.at("x"), std::runtime_error);
+}
+
+TEST(JsonAccess, FindAndGet) {
+  const Json doc = Json::parse(R"({"x": 3, "s": "v", "b": true})");
+  EXPECT_NE(doc.find("x"), nullptr);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.get("x", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(doc.get("missing", 9.0), 9.0);
+  EXPECT_EQ(doc.get("s", std::string("d")), "v");
+  EXPECT_TRUE(doc.get("b", false));
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+}
+
+TEST(JsonBuild, OperatorBracketCreatesObject) {
+  Json doc;  // starts null
+  doc["k"]["nested"] = 5;
+  EXPECT_EQ(doc.at("k").at("nested").as_int(), 5);
+}
+
+TEST(JsonBuild, PushBackCreatesArray) {
+  Json doc;
+  doc.push_back(1);
+  doc.push_back("two");
+  EXPECT_EQ(doc.size(), 2U);
+  EXPECT_EQ(doc.as_array()[1].as_string(), "two");
+}
+
+TEST(JsonFile, SaveLoadRoundTrip) {
+  Json doc = Json::object();
+  doc["name"] = "dataset";
+  doc["values"].push_back(1.5);
+  const std::string path = testing::TempDir() + "/json_test_roundtrip.json";
+  save_json_file(path, doc);
+  EXPECT_EQ(load_json_file(path), doc);
+}
+
+TEST(JsonFile, LoadMissingFileThrows) {
+  EXPECT_THROW(load_json_file("/nonexistent/path/x.json"), std::runtime_error);
+}
+
+TEST(JsonNumber, AsIntRounds) {
+  EXPECT_EQ(Json(2.6).as_int(), 3);
+  EXPECT_EQ(Json(-2.6).as_int(), -3);
+}
+
+}  // namespace
+}  // namespace neuro::util

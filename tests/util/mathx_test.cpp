@@ -1,0 +1,131 @@
+#include "util/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace neuro::util {
+namespace {
+
+TEST(Sigmoid, KnownValues) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(2.0), 0.880797, 1e-5);
+  EXPECT_NEAR(sigmoid(-2.0), 0.119203, 1e-5);
+}
+
+TEST(Sigmoid, StableAtExtremes) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(Logit, InvertsSigmoid) {
+  for (double x : {-5.0, -1.0, 0.0, 0.5, 3.0}) {
+    EXPECT_NEAR(logit(sigmoid(x)), x, 1e-9);
+  }
+}
+
+TEST(Logit, ClampsBoundaries) {
+  EXPECT_TRUE(std::isfinite(logit(0.0)));
+  EXPECT_TRUE(std::isfinite(logit(1.0)));
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.841345, 1e-5);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024998, 1e-5);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileRoundTrip,
+                         ::testing::Values(0.001, 0.01, 0.025, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.975, 0.99, 0.999));
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.841345), 1.0, 1e-4);
+}
+
+TEST(Clamp, Behaviour) {
+  EXPECT_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+TEST(Mean, EmptyAndValues) {
+  EXPECT_EQ(mean({}), 0.0);
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stddev, SampleFormula) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.138089935, 1e-8);
+  EXPECT_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(Lerp, Endpoints) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.5), 6.0);
+}
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  const std::vector<double> v = {0.5, 1.5, -0.5};
+  double direct = 0.0;
+  for (double x : v) direct += std::exp(x);
+  EXPECT_NEAR(log_sum_exp(v), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExp, StableForLargeValues) {
+  const std::vector<double> v = {1000.0, 1000.0};
+  EXPECT_NEAR(log_sum_exp(v), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_EQ(log_sum_exp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+  std::vector<double> logits = {1.0, 2.0, 3.0};
+  softmax_inplace(logits);
+  EXPECT_NEAR(logits[0] + logits[1] + logits[2], 1.0, 1e-12);
+  EXPECT_LT(logits[0], logits[1]);
+  EXPECT_LT(logits[1], logits[2]);
+}
+
+TEST(Softmax, TemperatureSharpens) {
+  std::vector<double> cold = {1.0, 2.0};
+  std::vector<double> hot = {1.0, 2.0};
+  softmax_inplace(cold, 0.1);
+  softmax_inplace(hot, 10.0);
+  EXPECT_GT(cold[1], hot[1]);
+  EXPECT_NEAR(hot[1], 0.5, 0.05);
+}
+
+TEST(Softmax, RejectsNonPositiveTemperature) {
+  std::vector<double> logits = {1.0};
+  EXPECT_THROW(softmax_inplace(logits, 0.0), std::invalid_argument);
+}
+
+TEST(ApproxEqual, Tolerance) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(approx_equal(1.0, 1.01));
+  EXPECT_TRUE(approx_equal(1.0, 1.01, 0.1));
+}
+
+}  // namespace
+}  // namespace neuro::util

@@ -1,0 +1,109 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neuro::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4U);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1U);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespace, DropsRuns) {
+  const auto parts = split_whitespace("  one\t two\n\nthree ");
+  ASSERT_EQ(parts.size(), 3U);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Trim, Behaviour) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+TEST(StartsEndsWith, Behaviour) {
+  EXPECT_TRUE(starts_with("prefix-rest", "prefix"));
+  EXPECT_FALSE(starts_with("pre", "prefix"));
+  EXPECT_TRUE(ends_with("file.json", ".json"));
+  EXPECT_FALSE(ends_with("json", ".json"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Yes", "yes"));
+  EXPECT_TRUE(iequals("NO", "no"));
+  EXPECT_FALSE(iequals("yes", "yess"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(IContains, FindsSubstringsCaseInsensitive) {
+  EXPECT_TRUE(icontains("The Answer Is YES.", "yes"));
+  EXPECT_FALSE(icontains("nope", "yes"));
+  EXPECT_TRUE(icontains("anything", ""));
+  EXPECT_FALSE(icontains("ab", "abc"));
+}
+
+TEST(Join, Behaviour) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"one"}, ","), "one");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ReplaceAll, NonOverlapping) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+  EXPECT_EQ(replace_all("abc", "b", "bb"), "abbc");
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(format("no args"), "no args");
+}
+
+TEST(CountOccurrences, NonOverlapping) {
+  EXPECT_EQ(count_occurrences("and and and", "and"), 3U);
+  EXPECT_EQ(count_occurrences("aaaa", "aa"), 2U);
+  EXPECT_EQ(count_occurrences("abc", "xyz"), 0U);
+  EXPECT_EQ(count_occurrences("abc", ""), 0U);
+}
+
+struct CaseParams {
+  const char* haystack;
+  const char* needle;
+  bool expected;
+};
+
+class IContainsSweep : public ::testing::TestWithParam<CaseParams> {};
+
+TEST_P(IContainsSweep, Matches) {
+  EXPECT_EQ(icontains(GetParam().haystack, GetParam().needle), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, IContainsSweep,
+                         ::testing::Values(CaseParams{"Yes, No, Yes", "NO", true},
+                                           CaseParams{"SIDEWALK", "sidewalk", true},
+                                           CaseParams{"side walk", "sidewalk", false},
+                                           CaseParams{"", "x", false},
+                                           CaseParams{"ünïcode", "code", true}));
+
+}  // namespace
+}  // namespace neuro::util

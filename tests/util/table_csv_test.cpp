@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace neuro::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"Label", "Value"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-label", "2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Label"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-label"), std::string::npos);
+  // Separator lines present exactly 3 times (top, below header, bottom).
+  EXPECT_EQ(count_occurrences(out, "+\n"), 3U);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, NumericRowFormatsPrecision) {
+  TextTable table({"Label", "x", "y"});
+  table.add_row_numeric("row", {0.12345, 0.9}, 3);
+  EXPECT_NE(table.render().find("0.123"), std::string::npos);
+  EXPECT_NE(table.render().find("0.900"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCells) {
+  TextTable table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+
+  // And it parses back to the same cells.
+  const auto rows = parse_csv(csv);
+  ASSERT_EQ(rows.size(), 3U);
+  EXPECT_EQ(rows[1][1], "with,comma");
+  EXPECT_EQ(rows[2][0], "quote\"inside");
+  EXPECT_EQ(rows[2][1], "line\nbreak");
+}
+
+TEST(CsvWriter, RoundTrip) {
+  CsvWriter writer({"x", "y"});
+  writer.add_row({"1", "two words"});
+  writer.add_row({"3", "a,b"});
+  const auto rows = parse_csv(writer.text());
+  ASSERT_EQ(rows.size(), 3U);
+  EXPECT_EQ(rows[0][0], "x");
+  EXPECT_EQ(rows[2][1], "a,b");
+}
+
+TEST(CsvWriter, WidthMismatchThrows) {
+  CsvWriter writer({"x", "y"});
+  EXPECT_THROW(writer.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(ParseCsv, HandlesCrLfAndTrailingNewline) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(ParseCsv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a,\"unterminated\n"), std::runtime_error);
+}
+
+TEST(BarChart, ScalesAndLabels) {
+  const std::string chart = bar_chart({{"alpha", 1.0}, {"beta", 0.5}}, 1.0, 10);
+  EXPECT_NE(chart.find("alpha | ##########"), std::string::npos);
+  EXPECT_NE(chart.find("beta  | #####"), std::string::npos);
+}
+
+TEST(BarChart, AutoScaleAndEmpty) {
+  EXPECT_TRUE(bar_chart({}).empty());
+  const std::string chart = bar_chart({{"x", 2.0}, {"y", 4.0}}, 0.0, 8);
+  EXPECT_NE(chart.find("y | ########"), std::string::npos);
+}
+
+TEST(FmtHelpers, Formats) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.925, 1), "92.5%");
+  EXPECT_EQ(fmt_percent(0.9286, 2), "92.86%");
+}
+
+}  // namespace
+}  // namespace neuro::util
