@@ -228,7 +228,8 @@ std::vector<TuningPoint> run_param_tuning(const ExperimentOptions& options) {
   return points;
 }
 
-std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& options) {
+std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& options,
+                                                  util::MetricsRegistry* metrics) {
   // Usage accounting is linear in image count; a subsample keeps it quick
   // while the totals are reported per-1k-images.
   ExperimentOptions sub = options;
@@ -243,10 +244,14 @@ std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& optio
       SurveyConfig config;
       config.strategy = strategy;
       config.seed = options.seed;
+      config.threads = options.threads;
       UsageComparison row;
       row.model_name = profile.name;
       row.strategy = strategy;
-      row.usage = runner.measure_usage(model, config, llm::ClientConfig{});
+      const llm::BatchReport report =
+          runner.run_client_batch(model, config, llm::SchedulerConfig{}, metrics);
+      row.usage = report.usage;
+      row.stats = report.stats;
       rows.push_back(std::move(row));
     }
   }

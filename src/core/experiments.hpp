@@ -89,9 +89,13 @@ struct UsageComparison {
   std::string model_name;
   llm::PromptStrategy strategy = llm::PromptStrategy::kParallel;
   llm::UsageMeter usage;
+  llm::BatchStats stats;  // virtual-time makespan + wait/service percentiles
 };
 /// API usage of parallel vs sequential prompting per model (the majority-
-/// voting cost barrier the discussion section raises).
-std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& options);
+/// voting cost barrier the discussion section raises), measured through
+/// the concurrent virtual-time scheduler. `metrics`, when given, collects
+/// the registry counters/histograms across every run.
+std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& options,
+                                                  util::MetricsRegistry* metrics = nullptr);
 
 }  // namespace neuro::core

@@ -72,16 +72,32 @@ ModelSurveyResult SurveyRunner::vote(const std::vector<const ModelSurveyResult*>
   return result;
 }
 
+llm::BatchReport SurveyRunner::run_client_batch(const llm::VisionLanguageModel& model,
+                                                const SurveyConfig& config,
+                                                const llm::SchedulerConfig& scheduler_config,
+                                                util::MetricsRegistry* metrics) const {
+  llm::SchedulerConfig scheduler_with_threads = scheduler_config;
+  if (scheduler_with_threads.threads == 0) scheduler_with_threads.threads = config.threads;
+  const llm::RequestScheduler scheduler(model, scheduler_with_threads, metrics);
+
+  llm::PromptBuilder builder;
+  const llm::PromptPlan plan =
+      builder.build(config.strategy, config.language, config.few_shot_examples);
+
+  std::vector<llm::SurveyRequest> batch;
+  batch.reserve(observations_.size());
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    batch.push_back({&observations_[i], image_ids_[i]});
+  }
+  return scheduler.run(plan, batch, config.sampling, config.seed);
+}
+
 llm::UsageMeter SurveyRunner::measure_usage(const llm::VisionLanguageModel& model,
                                             const SurveyConfig& config,
                                             const llm::ClientConfig& client_config) const {
-  llm::LlmClient client(model, client_config, util::derive_seed(config.seed, "client"));
-  llm::PromptBuilder builder;
-  const llm::PromptPlan plan = builder.build(config.strategy, config.language);
-  for (const llm::VisualObservation& observation : observations_) {
-    client.run_plan(plan, observation, config.sampling);
-  }
-  return client.usage();
+  llm::SchedulerConfig scheduler_config;
+  scheduler_config.client = client_config;
+  return run_client_batch(model, config, scheduler_config).usage;
 }
 
 }  // namespace neuro::core

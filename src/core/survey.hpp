@@ -13,7 +13,9 @@
 #include "eval/metrics.hpp"
 #include "llm/client.hpp"
 #include "llm/ensemble.hpp"
+#include "llm/scheduler.hpp"
 #include "llm/vlm.hpp"
+#include "util/metrics.hpp"
 
 namespace neuro::core {
 
@@ -53,9 +55,18 @@ class SurveyRunner {
   ModelSurveyResult vote(const std::vector<const ModelSurveyResult*>& members,
                          std::size_t quorum = 0) const;
 
-  /// Route every image through a simulated API client (single-threaded,
-  /// virtual-time) and report the accumulated usage. Predictions are
-  /// discarded; this measures cost/latency, the paper's §V concern.
+  /// Route every image through the virtual-time request scheduler: the
+  /// batch overlaps under the provider's rate limit and in-flight cap, and
+  /// the report carries predictions, per-request timings, queue-wait
+  /// percentiles and the batch makespan — the paper's §V concern made
+  /// measurable. Deterministic for a fixed seed at any thread count.
+  llm::BatchReport run_client_batch(const llm::VisionLanguageModel& model,
+                                    const SurveyConfig& config,
+                                    const llm::SchedulerConfig& scheduler_config,
+                                    util::MetricsRegistry* metrics = nullptr) const;
+
+  /// Convenience wrapper over run_client_batch that keeps the historical
+  /// shape: just the accumulated usage meter.
   llm::UsageMeter measure_usage(const llm::VisionLanguageModel& model,
                                 const SurveyConfig& config,
                                 const llm::ClientConfig& client_config) const;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "eval/metrics.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 
 namespace neuro::eval {
@@ -15,5 +16,12 @@ util::TextTable per_class_table(const MultiLabelEvaluator& evaluator,
 
 /// One-line macro summary like "P=0.77 R=0.90 F1=0.81 Acc=0.88".
 std::string macro_summary(const MultiLabelEvaluator& evaluator);
+
+/// Observability dump: counters then histogram quantiles, one metric per
+/// row (used by bench_usage and the examples to report serving behaviour).
+util::TextTable metrics_table(const util::MetricsRegistry& registry);
+
+/// JSON rendering of the registry ({"counters": ..., "histograms": ...}).
+std::string metrics_json(const util::MetricsRegistry& registry, int indent = 2);
 
 }  // namespace neuro::eval

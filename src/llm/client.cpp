@@ -5,43 +5,34 @@
 
 namespace neuro::llm {
 
-LlmClient::LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed)
-    : model_(&model), config_(config), rng_(seed) {}
-
-ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
-                            const VisualObservation& observation,
-                            const SamplingParams& params) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const ModelProfile& profile = model_->profile();
+ChatOutcome simulate_exchange(const VisionLanguageModel& model, const ClientConfig& config,
+                              const PromptMessage& message, Language language,
+                              const VisualObservation& observation,
+                              const SamplingParams& params, util::Rng& rng) {
+  const ModelProfile& profile = model.profile();
+  const int tokens_per_attempt = static_cast<int>(estimate_tokens(message.text));
 
   ChatOutcome outcome;
-  outcome.input_tokens = static_cast<int>(estimate_tokens(message.text));
-
-  // Token-bucket rate limiting in virtual time: each request reserves the
-  // next free slot.
-  const double slot_ms = 1000.0 / std::max(0.001, config_.requests_per_second);
-  outcome.total_wait_ms += bucket_next_free_ms_;
-  bucket_next_free_ms_ += slot_ms;
-
-  double backoff_ms = config_.initial_backoff_ms;
-  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+  double backoff_ms = config.initial_backoff_ms;
+  for (int attempt = 1; attempt <= config.max_attempts; ++attempt) {
     outcome.attempts = attempt;
+    outcome.input_tokens += tokens_per_attempt;  // every attempt resends the message
 
-    // Lognormal service latency around the provider's median.
+    // Lognormal service latency around the provider's median, summed over
+    // attempts (a retried request occupies the wire each time).
     const double latency =
-        profile.median_latency_ms * std::exp(rng_.normal(0.0, profile.latency_log_sigma));
-    outcome.latency_ms = latency;
+        profile.median_latency_ms * std::exp(rng.normal(0.0, profile.latency_log_sigma));
+    outcome.latency_ms += latency;
     outcome.total_wait_ms += latency;
 
-    if (!rng_.bernoulli(profile.transient_failure_rate)) {
-      outcome.text = model_->answer_message(message, language, observation, params, rng_);
+    if (!rng.bernoulli(profile.transient_failure_rate)) {
+      outcome.text = model.answer_message(message, language, observation, params, rng);
       outcome.ok = true;
       break;
     }
     outcome.ok = false;
-    if (attempt < config_.max_attempts) {
-      ++usage_.retries;
-      const double jitter = 1.0 + rng_.uniform(-config_.backoff_jitter, config_.backoff_jitter);
+    if (attempt < config.max_attempts) {
+      const double jitter = 1.0 + rng.uniform(-config.backoff_jitter, config.backoff_jitter);
       outcome.total_wait_ms += backoff_ms * jitter;
       backoff_ms *= 2.0;
     }
@@ -49,18 +40,57 @@ ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
 
   outcome.output_tokens = outcome.ok
                               ? static_cast<int>(message.asks.size()) *
-                                    config_.output_tokens_per_answer
+                                    config.output_tokens_per_answer
                               : 0;
   outcome.cost_usd =
       outcome.input_tokens * profile.usd_per_1m_input_tokens / 1e6 +
       outcome.output_tokens * profile.usd_per_1m_output_tokens / 1e6;
+  return outcome;
+}
+
+LlmClient::LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed,
+                     util::MetricsRegistry* metrics)
+    : model_(&model), config_(config), metrics_(metrics), rng_(seed) {}
+
+ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
+                            const VisualObservation& observation,
+                            const SamplingParams& params) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  ChatOutcome outcome = simulate_exchange(*model_, config_, message, language, observation,
+                                          params, rng_);
+  const double exchange_ms = outcome.total_wait_ms;
+
+  // Token-bucket rate limiting in virtual time: the request arrives at the
+  // caller's clock and waits only if the bucket's next slot is still in the
+  // future (an idle bucket charges nothing).
+  const double slot_ms = 1000.0 / std::max(0.001, config_.requests_per_second);
+  const double wait_ms = std::max(0.0, bucket_next_free_ms_ - virtual_now_ms_);
+  const double start_ms = virtual_now_ms_ + wait_ms;
+  bucket_next_free_ms_ = start_ms + slot_ms;
+  virtual_now_ms_ = start_ms + exchange_ms;
+
+  outcome.queue_wait_ms = wait_ms;
+  outcome.total_wait_ms = wait_ms + exchange_ms;
 
   ++usage_.requests;
   if (!outcome.ok) ++usage_.failures;
+  usage_.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
   usage_.input_tokens += static_cast<std::uint64_t>(outcome.input_tokens);
   usage_.output_tokens += static_cast<std::uint64_t>(outcome.output_tokens);
   usage_.cost_usd += outcome.cost_usd;
   usage_.busy_ms += outcome.total_wait_ms;
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("llm.requests").add(1);
+    if (!outcome.ok) metrics_->counter("llm.failures").add(1);
+    if (outcome.attempts > 1) {
+      metrics_->counter("llm.retries").add(static_cast<std::uint64_t>(outcome.attempts - 1));
+    }
+    metrics_->histogram("llm.queue_wait_ms").observe(outcome.queue_wait_ms);
+    metrics_->histogram("llm.service_ms").observe(outcome.latency_ms);
+    metrics_->histogram("llm.cost_usd").observe(outcome.cost_usd);
+  }
   return outcome;
 }
 
@@ -71,7 +101,9 @@ std::vector<ChatOutcome> LlmClient::run_plan(const PromptPlan& plan,
   outcomes.reserve(plan.messages.size());
   for (const PromptMessage& message : plan.messages) {
     outcomes.push_back(send(message, plan.language, observation, params));
-    if (!outcomes.back().ok) break;  // a dead turn aborts a sequential exchange
+    // Only turns that feed later turns kill the exchange; independent
+    // (parallel-strategy) messages proceed despite a dead sibling.
+    if (!outcomes.back().ok && plan.abort_on_failed_turn) break;
   }
   return outcomes;
 }

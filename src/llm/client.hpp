@@ -6,6 +6,12 @@
 // backoff retries, and token/cost accounting — all in *virtual time*, so
 // experiments measure what a deployment would pay and wait without
 // actually sleeping.
+//
+// LlmClient models ONE caller issuing requests back-to-back on a shared
+// virtual clock (each send() arrives when the previous one completed).
+// Concurrent batch traffic — many images in flight against one provider —
+// goes through llm::RequestScheduler (scheduler.hpp), which reuses the
+// same attempt-loop via simulate_exchange().
 
 #include <cstdint>
 #include <mutex>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "llm/vlm.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace neuro::llm {
@@ -30,9 +37,10 @@ struct ChatOutcome {
   std::string text;
   bool ok = true;
   int attempts = 1;
-  double latency_ms = 0.0;       // service time of the final attempt
+  double latency_ms = 0.0;       // service time summed over all attempts
+  double queue_wait_ms = 0.0;    // time spent queued on the rate limiter
   double total_wait_ms = 0.0;    // queueing + retries + service, virtual
-  int input_tokens = 0;
+  int input_tokens = 0;          // charged per attempt: retries resend the message
   int output_tokens = 0;
   double cost_usd = 0.0;
 };
@@ -48,17 +56,31 @@ struct UsageMeter {
   double busy_ms = 0.0;             // sum of total_wait_ms
 };
 
+/// Simulate the attempt loop for one message with no rate limiting: draws
+/// per-attempt lognormal service latency, injects transient failures with
+/// jittered exponential backoff, charges input tokens per attempt (every
+/// retry resends the message) and prices the exchange. On return,
+/// total_wait_ms covers service + backoffs; queue_wait_ms is 0 — the
+/// caller owns queueing. Shared by LlmClient and RequestScheduler.
+ChatOutcome simulate_exchange(const VisionLanguageModel& model, const ClientConfig& config,
+                              const PromptMessage& message, Language language,
+                              const VisualObservation& observation,
+                              const SamplingParams& params, util::Rng& rng);
+
 class LlmClient {
  public:
-  /// The client borrows the model; the model must outlive the client.
-  LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed);
+  /// The client borrows the model (and registry, when given); both must
+  /// outlive the client.
+  LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed,
+            util::MetricsRegistry* metrics = nullptr);
 
   /// Send one request message about an image. Thread-safe.
   ChatOutcome send(const PromptMessage& message, Language language,
                    const VisualObservation& observation, const SamplingParams& params);
 
-  /// Run a full prompt plan (sequential plans issue one request per
-  /// message and stop early if a message ultimately fails).
+  /// Run a full prompt plan. Plans whose turns depend on prior turns
+  /// (plan.abort_on_failed_turn, set for sequential exchanges) stop early
+  /// when a message ultimately fails; independent-message plans keep going.
   std::vector<ChatOutcome> run_plan(const PromptPlan& plan,
                                     const VisualObservation& observation,
                                     const SamplingParams& params);
@@ -69,9 +91,11 @@ class LlmClient {
  private:
   const VisionLanguageModel* model_;
   ClientConfig config_;
+  util::MetricsRegistry* metrics_;
   mutable std::mutex mutex_;
   util::Rng rng_;
   UsageMeter usage_;
+  double virtual_now_ms_ = 0.0;       // caller's clock: advances per send()
   double bucket_next_free_ms_ = 0.0;  // virtual-time token bucket
 };
 

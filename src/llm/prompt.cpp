@@ -154,6 +154,7 @@ PromptPlan PromptBuilder::build(PromptStrategy strategy, Language language,
   plan.strategy = strategy;
   plan.language = language;
   plan.few_shot_examples = std::max(0, std::min(few_shot_examples, 4));
+  plan.abort_on_failed_turn = (strategy == PromptStrategy::kSequential);
   const std::vector<Indicator> order = ask_order();
   const std::string examples = few_shot_block(language, plan.few_shot_examples);
 

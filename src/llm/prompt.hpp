@@ -42,6 +42,10 @@ struct PromptPlan {
   /// Worked examples included ahead of the questions (the paper's §V
   /// suggestion that few-shot prompting could close the language gap).
   int few_shot_examples = 0;
+  /// True when later turns depend on earlier ones (sequential exchanges):
+  /// a message that exhausts its retries then aborts the rest of the plan.
+  /// Independent-message plans (parallel strategy) keep issuing the rest.
+  bool abort_on_failed_turn = false;
   std::vector<PromptMessage> messages;
 
   /// Total number of questions across messages (always 6 here).

@@ -1,0 +1,170 @@
+#include "llm/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace neuro::llm {
+namespace {
+
+/// Exact quantile of a sorted sample (linear interpolation between ranks).
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double fraction = rank - static_cast<double>(lo);
+  return sorted[lo] + fraction * (sorted[hi] - sorted[lo]);
+}
+
+/// A request waiting for admission: ready time plus its (item, message)
+/// identity. Ordered FIFO by readiness with the identity as tiebreak, so
+/// the event simulation is fully deterministic.
+struct PendingRequest {
+  double ready_ms = 0.0;
+  std::size_t item = 0;
+  std::size_t message = 0;
+  bool operator>(const PendingRequest& other) const {
+    return std::tie(ready_ms, item, message) >
+           std::tie(other.ready_ms, other.item, other.message);
+  }
+};
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(const VisionLanguageModel& model, SchedulerConfig config,
+                                   util::MetricsRegistry* metrics)
+    : model_(&model), config_(config), metrics_(metrics) {}
+
+BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<SurveyRequest>& batch,
+                                  const SamplingParams& params, std::uint64_t seed) const {
+  BatchReport report;
+  report.items.resize(batch.size());
+  if (batch.empty() || plan.messages.empty()) return report;
+
+  // Phase 1 — SIMULATE: run every item's attempt loops in parallel. Each
+  // item only touches its own slot and its own RNG stream (same derivation
+  // as SurveyRunner::run_model), so the results are bit-identical at any
+  // thread count.
+  util::ThreadPool pool(config_.threads);
+  pool.parallel_for(batch.size(), [&](std::size_t i) {
+    const VisualObservation empty_observation{};
+    const VisualObservation& observation =
+        batch[i].observation != nullptr ? *batch[i].observation : empty_observation;
+    util::Rng rng(util::derive_seed(
+        seed, util::format("%s/%llu", model_->profile().name.c_str(),
+                           static_cast<unsigned long long>(batch[i].image_id))));
+    ItemOutcome& item = report.items[i];
+    item.outcomes.reserve(plan.messages.size());
+    for (const PromptMessage& message : plan.messages) {
+      item.outcomes.push_back(simulate_exchange(*model_, config_.client, message, plan.language,
+                                                observation, params, rng));
+      const ChatOutcome& outcome = item.outcomes.back();
+      if (outcome.ok) {
+        const ParsedAnswers parsed =
+            parser_.parse(outcome.text, message.asks.size(), plan.language);
+        for (std::size_t j = 0; j < message.asks.size(); ++j) {
+          if (j < parsed.answers.size() && parsed.answers[j].value_or(false)) {
+            item.prediction.set(message.asks[j], true);
+          }
+        }
+      } else if (plan.abort_on_failed_turn) {
+        break;  // a dead turn kills the rest of a sequential exchange
+      }
+    }
+  });
+
+  // Phase 2 — SCHEDULE: deterministic virtual-time event simulation.
+  // Requests are admitted FIFO by readiness through the shared token
+  // bucket and the in-flight cap; chained turns become ready when their
+  // predecessor finishes.
+  const double slot_ms = 1000.0 / std::max(0.001, config_.client.requests_per_second);
+  const std::size_t max_in_flight = std::max<std::size_t>(1, config_.max_in_flight);
+  double bucket_next_free_ms = 0.0;
+
+  std::priority_queue<PendingRequest, std::vector<PendingRequest>, std::greater<>> pending;
+  std::priority_queue<double, std::vector<double>, std::greater<>> in_flight;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!report.items[i].outcomes.empty()) pending.push({0.0, i, 0});
+  }
+
+  std::vector<double> queue_waits;
+  std::vector<double> service_times;
+  while (!pending.empty()) {
+    const PendingRequest request = pending.top();
+    pending.pop();
+    ChatOutcome& outcome = report.items[request.item].outcomes[request.message];
+    const double exchange_ms = outcome.total_wait_ms;  // service + backoffs
+
+    double start_ms = request.ready_ms;
+    while (!in_flight.empty() && in_flight.top() <= start_ms) in_flight.pop();
+    while (in_flight.size() >= max_in_flight) {
+      start_ms = std::max(start_ms, in_flight.top());
+      in_flight.pop();
+    }
+    start_ms = std::max(start_ms, bucket_next_free_ms);
+    bucket_next_free_ms = start_ms + slot_ms;
+    const double finish_ms = start_ms + exchange_ms;
+    in_flight.push(finish_ms);
+
+    outcome.queue_wait_ms = start_ms - request.ready_ms;
+    outcome.total_wait_ms = outcome.queue_wait_ms + exchange_ms;
+    report.timings.push_back({request.item, request.message, request.ready_ms, start_ms,
+                              finish_ms});
+    queue_waits.push_back(outcome.queue_wait_ms);
+    service_times.push_back(outcome.latency_ms);
+
+    ItemOutcome& item = report.items[request.item];
+    item.completion_ms = std::max(item.completion_ms, finish_ms);
+    const std::size_t next_message = request.message + 1;
+    if (next_message < item.outcomes.size()) pending.push({finish_ms, request.item, next_message});
+
+    report.usage.requests += 1;
+    if (!outcome.ok) report.usage.failures += 1;
+    report.usage.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+    report.usage.input_tokens += static_cast<std::uint64_t>(outcome.input_tokens);
+    report.usage.output_tokens += static_cast<std::uint64_t>(outcome.output_tokens);
+    report.usage.cost_usd += outcome.cost_usd;
+    report.usage.busy_ms += outcome.total_wait_ms;
+
+    report.stats.makespan_ms = std::max(report.stats.makespan_ms, finish_ms);
+    report.stats.serial_ms += exchange_ms;
+
+    if (metrics_ != nullptr) {
+      metrics_->counter("llm.requests").add(1);
+      if (!outcome.ok) metrics_->counter("llm.failures").add(1);
+      if (outcome.attempts > 1) {
+        metrics_->counter("llm.retries").add(static_cast<std::uint64_t>(outcome.attempts - 1));
+      }
+      metrics_->histogram("llm.queue_wait_ms").observe(outcome.queue_wait_ms);
+      metrics_->histogram("llm.service_ms").observe(outcome.latency_ms);
+      metrics_->histogram("llm.cost_usd").observe(outcome.cost_usd);
+    }
+  }
+
+  std::sort(queue_waits.begin(), queue_waits.end());
+  std::sort(service_times.begin(), service_times.end());
+  report.stats.queue_wait_p50_ms = sorted_quantile(queue_waits, 0.50);
+  report.stats.queue_wait_p95_ms = sorted_quantile(queue_waits, 0.95);
+  report.stats.queue_wait_p99_ms = sorted_quantile(queue_waits, 0.99);
+  report.stats.service_p50_ms = sorted_quantile(service_times, 0.50);
+  report.stats.service_p95_ms = sorted_quantile(service_times, 0.95);
+  report.stats.service_p99_ms = sorted_quantile(service_times, 0.99);
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("scheduler.batches").add(1);
+    metrics_->counter("scheduler.items").add(batch.size());
+    metrics_->histogram("scheduler.makespan_ms").observe(report.stats.makespan_ms);
+    for (const ItemOutcome& item : report.items) {
+      metrics_->histogram("scheduler.item_completion_ms").observe(item.completion_ms);
+    }
+  }
+  return report;
+}
+
+}  // namespace neuro::llm

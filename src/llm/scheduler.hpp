@@ -1,0 +1,105 @@
+#pragma once
+// Virtual-time concurrent request scheduler: the batch serving layer the
+// paper's cost/latency discussion (§V) implies. A provider is modeled as a
+// token bucket (requests/sec) plus a cap on concurrently in-flight
+// requests; a batch of (image, plan) survey items is executed against that
+// model so queue waits, retries and makespan come out of a real queueing
+// simulation instead of a serialized loop.
+//
+// Two-phase design, so wall-clock parallelism never perturbs virtual time:
+//
+//  1. SIMULATE (parallel over util::ThreadPool): every item gets its own
+//     RNG stream derived exactly like SurveyRunner::run_model —
+//     derive_seed(seed, "<model>/<image_id>") — and runs its attempt loops
+//     (service latency, retries, answers) independently. Bit-identical at
+//     any thread count because no cross-item state is touched.
+//  2. SCHEDULE (sequential, cheap): a deterministic event simulation admits
+//     requests FIFO by readiness through the token bucket and the
+//     in-flight cap, producing per-request start/finish times, queue-wait
+//     percentiles and the batch makespan in virtual milliseconds.
+//
+// Sequential plans chain turn readiness (message m+1 becomes ready when m
+// finishes) and abort after a message exhausts its retries; parallel plans
+// issue independent messages.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "llm/client.hpp"
+#include "llm/parser.hpp"
+#include "llm/prompt.hpp"
+#include "llm/vlm.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::llm {
+
+struct SchedulerConfig {
+  ClientConfig client;            // rate limit, retries, pricing
+  std::size_t max_in_flight = 8;  // provider-side concurrent request cap
+  std::size_t threads = 0;        // simulation workers (0 = hardware)
+};
+
+/// One unit of batch work: interrogate one image with the shared plan.
+struct SurveyRequest {
+  const VisualObservation* observation = nullptr;
+  std::uint64_t image_id = 0;
+};
+
+/// Virtual-time trace of one admitted request (one message of one item).
+struct RequestTiming {
+  std::size_t item = 0;
+  std::size_t message = 0;
+  double ready_ms = 0.0;   // earliest the request could be issued
+  double start_ms = 0.0;   // admission past the bucket + in-flight cap
+  double finish_ms = 0.0;  // start + attempts + backoffs
+  double queue_wait_ms() const { return start_ms - ready_ms; }
+};
+
+struct ItemOutcome {
+  std::vector<ChatOutcome> outcomes;  // one per issued message, plan order
+  scene::PresenceVector prediction;   // parsed answers; unparseable = absent
+  double completion_ms = 0.0;         // virtual finish of the item's last request
+};
+
+/// Batch-level latency/throughput summary (virtual time, exact — computed
+/// from the full timing trace, not a bucketed histogram).
+struct BatchStats {
+  double makespan_ms = 0.0;        // finish of the last request
+  double serial_ms = 0.0;          // sum of exchange durations: 1-wide baseline
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double service_p50_ms = 0.0;
+  double service_p95_ms = 0.0;
+  double service_p99_ms = 0.0;
+  /// Virtual-time concurrency speedup the provider limits admit.
+  double speedup() const { return makespan_ms > 0.0 ? serial_ms / makespan_ms : 0.0; }
+};
+
+struct BatchReport {
+  std::vector<ItemOutcome> items;     // batch order
+  std::vector<RequestTiming> timings; // admission order
+  UsageMeter usage;
+  BatchStats stats;
+};
+
+class RequestScheduler {
+ public:
+  /// Borrows the model (and registry, when given); both must outlive the
+  /// scheduler.
+  RequestScheduler(const VisionLanguageModel& model, SchedulerConfig config,
+                   util::MetricsRegistry* metrics = nullptr);
+
+  /// Execute a batch. Deterministic for a fixed seed at any thread count.
+  BatchReport run(const PromptPlan& plan, const std::vector<SurveyRequest>& batch,
+                  const SamplingParams& params, std::uint64_t seed) const;
+
+ private:
+  const VisionLanguageModel* model_;
+  SchedulerConfig config_;
+  util::MetricsRegistry* metrics_;
+  ResponseParser parser_;
+};
+
+}  // namespace neuro::llm

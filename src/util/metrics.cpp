@@ -1,0 +1,165 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace neuro::util {
+
+void Counter::add(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ += n;
+}
+
+std::uint64_t Counter::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > std::ldexp(1.0, kMinExp))) return 0;  // floor bucket (<=2^min, 0, NaN)
+  const double position = std::log2(value) - kMinExp;
+  const auto raw = static_cast<long>(position * kSubBuckets);
+  const long last = static_cast<long>(kBucketCount) - 1;
+  return static_cast<std::size_t>(std::clamp(raw + 1, 1L, last));
+}
+
+double Histogram::bucket_lower(std::size_t index) {
+  if (index == 0) return 0.0;
+  const double position = static_cast<double>(index - 1) / kSubBuckets + kMinExp;
+  return std::exp2(position);
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(value)];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_ - 1);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (rank < cumulative + in_bucket) {
+      // Interpolate inside the bucket, clamped to the observed range.
+      const double lower = bucket_lower(i);
+      const double upper = bucket_lower(i + 1);
+      const double fraction = in_bucket > 1.0 ? (rank - cumulative) / (in_bucket - 1.0) : 0.0;
+      return std::clamp(lower + fraction * (upper - lower), min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = min_;
+    snap.max = max_;
+  }
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counter_values() const {
+  std::vector<std::pair<std::string, std::uint64_t>> values;
+  std::lock_guard<std::mutex> lock(mutex_);
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) values.emplace_back(name, counter->value());
+  return values;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> MetricsRegistry::histogram_snapshots()
+    const {
+  std::vector<std::pair<std::string, HistogramSnapshot>> snaps;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snaps.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) snaps.emplace_back(name, histogram->snapshot());
+  return snaps;
+}
+
+Json MetricsRegistry::to_json() const {
+  Json counters = Json::object();
+  for (const auto& [name, value] : counter_values()) {
+    counters[name] = static_cast<std::int64_t>(value);
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, snap] : histogram_snapshots()) {
+    Json entry = Json::object();
+    entry["count"] = static_cast<std::int64_t>(snap.count);
+    entry["sum"] = snap.sum;
+    entry["min"] = snap.min;
+    entry["max"] = snap.max;
+    entry["p50"] = snap.p50;
+    entry["p95"] = snap.p95;
+    entry["p99"] = snap.p99;
+    histograms[name] = std::move(entry);
+  }
+  Json root = Json::object();
+  root["counters"] = std::move(counters);
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::string out;
+  for (const auto& [name, value] : counter_values()) {
+    out += format("%-28s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, snap] : histogram_snapshots()) {
+    out += format("%-28s count=%llu p50=%.2f p95=%.2f p99=%.2f max=%.2f sum=%.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(snap.count), snap.p50, snap.p95, snap.p99,
+                  snap.max, snap.sum);
+  }
+  return out;
+}
+
+}  // namespace neuro::util

@@ -1,0 +1,102 @@
+#pragma once
+// Observability primitives for the serving layer: named counters and
+// log-bucketed latency/cost histograms collected in a registry.
+//
+// Histograms use log2-spaced buckets (16 sub-buckets per octave, ~4.4%
+// relative resolution) like HdrHistogram, so quantile queries are O(buckets)
+// with bounded relative error and no per-sample allocation. Every primitive
+// is thread-safe; the registry hands out stable references that live as
+// long as the registry, so hot paths pay one lookup, not one per event.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace neuro::util {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  std::uint64_t value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time summary of a histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Log-bucketed histogram of non-negative doubles (ms, USD, ...).
+class Histogram {
+ public:
+  void observe(double value);
+  std::uint64_t count() const;
+  double sum() const;
+  /// Quantile in [0, 1]; linear interpolation inside the hit bucket.
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+  HistogramSnapshot snapshot() const;
+
+ private:
+  // Buckets span [2^kMinExp, 2^kMaxExp) plus a floor bucket for values
+  // <= 2^kMinExp (including 0) and a ceiling bucket for overflow.
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kMinExp = -20;  // ~1e-6
+  static constexpr int kMaxExp = 40;   // ~1e12
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  static std::size_t bucket_index(double value);
+  static double bucket_lower(std::size_t index);
+
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBucketCount, 0);
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metric store. Deterministic iteration order (sorted by name) keeps
+/// text/JSON dumps diffable across runs.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the reference stays valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histogram_snapshots() const;
+
+  /// {"counters": {name: value}, "histograms": {name: {count, sum, ...}}}
+  Json to_json() const;
+  /// Aligned one-metric-per-line dump for console reports.
+  std::string to_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace neuro::util

@@ -131,5 +131,40 @@ TEST(SurveyRunner, MeasureUsageCountsRequests) {
   EXPECT_GT(sequential_usage.input_tokens, parallel_usage.input_tokens);
 }
 
+TEST(SurveyRunner, ClientBatchDeterministicAcrossThreadCounts) {
+  const data::Dataset dataset = small_dataset(60);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model = runner.make_model(llm::gemini_1_5_pro_profile());
+
+  std::vector<llm::BatchReport> reports;
+  for (std::size_t threads : {1UL, 4UL, 16UL}) {
+    SurveyConfig config;
+    config.threads = threads;
+    reports.push_back(runner.run_client_batch(model, config, llm::SchedulerConfig{}));
+  }
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    ASSERT_EQ(reports[0].items.size(), reports[r].items.size());
+    for (std::size_t i = 0; i < reports[0].items.size(); ++i) {
+      EXPECT_EQ(reports[0].items[i].prediction, reports[r].items[i].prediction) << "image " << i;
+      EXPECT_DOUBLE_EQ(reports[0].items[i].completion_ms, reports[r].items[i].completion_ms);
+    }
+    EXPECT_DOUBLE_EQ(reports[0].usage.cost_usd, reports[r].usage.cost_usd);
+    EXPECT_DOUBLE_EQ(reports[0].stats.makespan_ms, reports[r].stats.makespan_ms);
+  }
+}
+
+TEST(SurveyRunner, ClientBatchOverlapsUnderProviderLimits) {
+  const data::Dataset dataset = small_dataset(40);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model = runner.make_model(llm::claude_3_7_profile());
+  const llm::BatchReport report =
+      runner.run_client_batch(model, SurveyConfig{}, llm::SchedulerConfig{});
+  EXPECT_EQ(report.usage.requests, 40U);
+  // With 8 requests in flight the batch must finish well before a serial
+  // client would, but can never beat the serial sum outright per request.
+  EXPECT_GT(report.stats.speedup(), 2.0);
+  EXPECT_LE(report.stats.makespan_ms, report.stats.serial_ms);
+}
+
 }  // namespace
 }  // namespace neuro::core

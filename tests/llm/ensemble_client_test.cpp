@@ -122,20 +122,64 @@ TEST_F(ClientTest, RetriesAddBackoffWait) {
   EXPECT_GT(outcome.total_wait_ms, 5000.0);
 }
 
-TEST_F(ClientTest, RateLimiterQueuesVirtualTime) {
+TEST_F(ClientTest, RateLimiterThrottlesFastCallersOnly) {
+  // A caller issuing faster than the bucket refills pays at most one slot
+  // per request — the wait must NOT accumulate across requests (the old
+  // accounting charged the Nth request ~N slots even when idle).
+  ModelProfile fast = gemini_1_5_pro_profile();
+  fast.median_latency_ms = 1.0;  // service far below the 500 ms slot
+  fast.latency_log_sigma = 0.0;
+  fast.transient_failure_rate = 0.0;
+  const VisionLanguageModel quick(fast, CalibrationStats::paper_nominal());
   ClientConfig config;
   config.requests_per_second = 2.0;  // 500 ms per slot
-  LlmClient client(model_, config, 4);
-  double first_wait = 0.0;
-  double last_wait = 0.0;
+  LlmClient client(quick, config, 4);
   for (int i = 0; i < 5; ++i) {
     const ChatOutcome outcome = client.send(simple_message(), Language::kEnglish,
                                             VisualObservation{}, SamplingParams{});
-    if (i == 0) first_wait = outcome.total_wait_ms;
-    last_wait = outcome.total_wait_ms;
+    if (i == 0) {
+      EXPECT_DOUBLE_EQ(outcome.queue_wait_ms, 0.0);  // idle bucket charges nothing
+    } else {
+      EXPECT_NEAR(outcome.queue_wait_ms, 499.0, 1.0);  // one slot minus service
+    }
   }
-  // Later requests queue behind earlier slots.
-  EXPECT_GT(last_wait, first_wait + 1500.0);
+}
+
+TEST_F(ClientTest, SlowCallerNeverQueues) {
+  // Service slower than the refill period: the bucket is always idle by
+  // the next send, so no request should report any queue wait.
+  ModelProfile slow = gemini_1_5_pro_profile();
+  slow.median_latency_ms = 2000.0;
+  slow.latency_log_sigma = 0.0;
+  slow.transient_failure_rate = 0.0;
+  const VisionLanguageModel leisurely(slow, CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.requests_per_second = 2.0;
+  LlmClient client(leisurely, config, 4);
+  for (int i = 0; i < 4; ++i) {
+    const ChatOutcome outcome = client.send(simple_message(), Language::kEnglish,
+                                            VisualObservation{}, SamplingParams{});
+    EXPECT_DOUBLE_EQ(outcome.queue_wait_ms, 0.0) << "request " << i;
+  }
+}
+
+TEST_F(ClientTest, RetriesChargeInputTokensPerAttempt) {
+  // Every retry resends the full message; cost accounting must reflect it.
+  ModelProfile flaky = gemini_1_5_pro_profile();
+  flaky.transient_failure_rate = 1.0;
+  flaky.latency_log_sigma = 0.0;  // deterministic per-attempt latency
+  const VisionLanguageModel broken(flaky, CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.max_attempts = 3;
+  LlmClient client(broken, config, 8);
+  const PromptMessage message = simple_message();
+  const ChatOutcome outcome =
+      client.send(message, Language::kEnglish, VisualObservation{}, SamplingParams{});
+  const int per_attempt = static_cast<int>(estimate_tokens(message.text));
+  EXPECT_EQ(outcome.input_tokens, 3 * per_attempt);
+  EXPECT_EQ(client.usage().input_tokens, static_cast<std::uint64_t>(3 * per_attempt));
+  // Per-attempt latency accumulates instead of keeping only the last try.
+  EXPECT_DOUBLE_EQ(outcome.latency_ms, 3.0 * flaky.median_latency_ms);
 }
 
 TEST_F(ClientTest, RunPlanSequentialIssuesSixRequests) {
@@ -155,6 +199,37 @@ TEST_F(ClientTest, RunPlanParallelIssuesOneRequest) {
   EXPECT_EQ(outcomes.size(), 1U);
 }
 
+TEST_F(ClientTest, BuilderMarksOnlySequentialPlansAsAborting) {
+  PromptBuilder builder;
+  EXPECT_TRUE(builder.build(PromptStrategy::kSequential, Language::kEnglish).abort_on_failed_turn);
+  EXPECT_FALSE(builder.build(PromptStrategy::kParallel, Language::kEnglish).abort_on_failed_turn);
+}
+
+TEST_F(ClientTest, RunPlanAbortsSequentialExchangeOnDeadTurn) {
+  ModelProfile flaky = gemini_1_5_pro_profile();
+  flaky.transient_failure_rate = 1.0;
+  const VisionLanguageModel broken(flaky, CalibrationStats::paper_nominal());
+  PromptBuilder builder;
+  const PromptPlan plan = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  LlmClient client(broken, ClientConfig{}, 13);
+  const auto outcomes = client.run_plan(plan, VisualObservation{}, SamplingParams{});
+  ASSERT_EQ(outcomes.size(), 1U);  // turn 1 exhausted its retries; rest aborted
+  EXPECT_FALSE(outcomes[0].ok);
+}
+
+TEST_F(ClientTest, RunPlanContinuesPastDeadIndependentMessages) {
+  ModelProfile flaky = gemini_1_5_pro_profile();
+  flaky.transient_failure_rate = 1.0;
+  const VisionLanguageModel broken(flaky, CalibrationStats::paper_nominal());
+  PromptBuilder builder;
+  PromptPlan plan = builder.build(PromptStrategy::kSequential, Language::kEnglish);
+  plan.abort_on_failed_turn = false;  // messages are independent
+  LlmClient client(broken, ClientConfig{}, 13);
+  const auto outcomes = client.run_plan(plan, VisualObservation{}, SamplingParams{});
+  ASSERT_EQ(outcomes.size(), 6U);  // every message still issued
+  for (const ChatOutcome& outcome : outcomes) EXPECT_FALSE(outcome.ok);
+}
+
 TEST_F(ClientTest, CostScalesWithTokenPrices) {
   ModelProfile cheap = gemini_1_5_pro_profile();
   cheap.usd_per_1m_input_tokens = 1.0;
@@ -172,6 +247,17 @@ TEST_F(ClientTest, CostScalesWithTokenPrices) {
   const auto b = pricey_client.send(simple_message(), Language::kEnglish, VisualObservation{},
                                     SamplingParams{});
   EXPECT_NEAR(b.cost_usd / a.cost_usd, 10.0, 1e-6);
+}
+
+TEST_F(ClientTest, MetricsRegistryObservesEverySend) {
+  util::MetricsRegistry metrics;
+  LlmClient client(model_, ClientConfig{}, 21, &metrics);
+  for (int i = 0; i < 4; ++i) {
+    client.send(simple_message(), Language::kEnglish, VisualObservation{}, SamplingParams{});
+  }
+  EXPECT_EQ(metrics.counter("llm.requests").value(), 4U);
+  EXPECT_EQ(metrics.histogram("llm.service_ms").count(), 4U);
+  EXPECT_NEAR(metrics.histogram("llm.cost_usd").sum(), client.usage().cost_usd, 1e-9);
 }
 
 TEST_F(ClientTest, DeterministicGivenSeed) {

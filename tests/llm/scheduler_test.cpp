@@ -1,0 +1,183 @@
+#include "llm/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace neuro::llm {
+namespace {
+
+std::vector<SurveyRequest> make_batch(std::size_t n) {
+  std::vector<SurveyRequest> batch(n);
+  for (std::size_t i = 0; i < n; ++i) batch[i].image_id = 1000 + i;
+  return batch;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : model_(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal()) {}
+
+  static PromptPlan parallel_plan() {
+    return PromptBuilder().build(PromptStrategy::kParallel, Language::kEnglish);
+  }
+  static PromptPlan sequential_plan() {
+    return PromptBuilder().build(PromptStrategy::kSequential, Language::kEnglish);
+  }
+
+  VisionLanguageModel model_;
+};
+
+TEST_F(SchedulerTest, DeterministicAcrossThreadCounts) {
+  const PromptPlan plan = sequential_plan();
+  const std::vector<SurveyRequest> batch = make_batch(40);
+
+  std::vector<BatchReport> reports;
+  for (std::size_t threads : {1UL, 4UL, 16UL}) {
+    SchedulerConfig config;
+    config.threads = threads;
+    const RequestScheduler scheduler(model_, config);
+    reports.push_back(scheduler.run(plan, batch, SamplingParams{}, 42));
+  }
+
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    const BatchReport& a = reports[0];
+    const BatchReport& b = reports[r];
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].prediction, b.items[i].prediction) << "item " << i;
+      ASSERT_EQ(a.items[i].outcomes.size(), b.items[i].outcomes.size());
+      for (std::size_t m = 0; m < a.items[i].outcomes.size(); ++m) {
+        EXPECT_EQ(a.items[i].outcomes[m].text, b.items[i].outcomes[m].text);
+        EXPECT_DOUBLE_EQ(a.items[i].outcomes[m].total_wait_ms, b.items[i].outcomes[m].total_wait_ms);
+      }
+      EXPECT_DOUBLE_EQ(a.items[i].completion_ms, b.items[i].completion_ms);
+    }
+    ASSERT_EQ(a.timings.size(), b.timings.size());
+    for (std::size_t t = 0; t < a.timings.size(); ++t) {
+      EXPECT_EQ(a.timings[t].item, b.timings[t].item);
+      EXPECT_EQ(a.timings[t].message, b.timings[t].message);
+      EXPECT_DOUBLE_EQ(a.timings[t].start_ms, b.timings[t].start_ms);
+      EXPECT_DOUBLE_EQ(a.timings[t].finish_ms, b.timings[t].finish_ms);
+    }
+    EXPECT_EQ(a.usage.requests, b.usage.requests);
+    EXPECT_EQ(a.usage.retries, b.usage.retries);
+    EXPECT_DOUBLE_EQ(a.usage.cost_usd, b.usage.cost_usd);
+    EXPECT_DOUBLE_EQ(a.stats.makespan_ms, b.stats.makespan_ms);
+  }
+}
+
+TEST_F(SchedulerTest, SaturationGrowsQueueWaitsLinearly) {
+  // 1 request/sec, in-flight cap far above the batch: the token bucket is
+  // the only constraint, so the k-th admitted request waits exactly
+  // k * 1000 ms in virtual time.
+  SchedulerConfig config;
+  config.client.requests_per_second = 1.0;
+  config.max_in_flight = 1000;
+  const RequestScheduler scheduler(model_, config);
+  const BatchReport report = scheduler.run(parallel_plan(), make_batch(40), SamplingParams{}, 7);
+
+  ASSERT_EQ(report.timings.size(), 40U);
+  for (std::size_t k = 0; k < report.timings.size(); ++k) {
+    EXPECT_NEAR(report.timings[k].queue_wait_ms(), 1000.0 * static_cast<double>(k), 1e-6)
+        << "request " << k;
+  }
+  EXPECT_GT(report.stats.queue_wait_p99_ms, report.stats.queue_wait_p50_ms);
+}
+
+TEST_F(SchedulerTest, InFlightCapBoundsOverlap) {
+  // Deterministic 100 ms service, no failures, effectively no rate limit:
+  // with 2 requests in flight, 10 items take 5 service slots.
+  ModelProfile fixed = gemini_1_5_pro_profile();
+  fixed.median_latency_ms = 100.0;
+  fixed.latency_log_sigma = 0.0;
+  fixed.transient_failure_rate = 0.0;
+  const VisionLanguageModel steady(fixed, CalibrationStats::paper_nominal());
+  SchedulerConfig config;
+  config.client.requests_per_second = 1e6;
+  config.max_in_flight = 2;
+  const RequestScheduler scheduler(steady, config);
+  const BatchReport report = scheduler.run(parallel_plan(), make_batch(10), SamplingParams{}, 3);
+
+  EXPECT_NEAR(report.stats.serial_ms, 1000.0, 1e-6);
+  EXPECT_NEAR(report.stats.makespan_ms, 500.0, 1.0);
+  EXPECT_NEAR(report.stats.speedup(), 2.0, 0.01);
+}
+
+TEST_F(SchedulerTest, SequentialPlanChainsTurnReadiness) {
+  SchedulerConfig config;
+  config.client.requests_per_second = 1e6;
+  config.max_in_flight = 64;
+  const RequestScheduler scheduler(model_, config);
+  const BatchReport report = scheduler.run(sequential_plan(), make_batch(1), SamplingParams{}, 9);
+
+  ASSERT_EQ(report.timings.size(), 6U);
+  for (std::size_t t = 1; t < report.timings.size(); ++t) {
+    EXPECT_EQ(report.timings[t].message, report.timings[t - 1].message + 1);
+    // Turn t can only start once turn t-1 finished.
+    EXPECT_GE(report.timings[t].start_ms, report.timings[t - 1].finish_ms);
+    EXPECT_DOUBLE_EQ(report.timings[t].ready_ms, report.timings[t - 1].finish_ms);
+  }
+}
+
+TEST_F(SchedulerTest, AbortOnFailedTurnStopsSequentialExchanges) {
+  ModelProfile broken_profile = gemini_1_5_pro_profile();
+  broken_profile.transient_failure_rate = 1.0;
+  const VisionLanguageModel broken(broken_profile, CalibrationStats::paper_nominal());
+  const RequestScheduler scheduler(broken, SchedulerConfig{});
+  const BatchReport report = scheduler.run(sequential_plan(), make_batch(3), SamplingParams{}, 5);
+
+  EXPECT_EQ(report.usage.requests, 3U);  // first turn exhausts, rest aborted
+  EXPECT_EQ(report.usage.failures, 3U);
+  for (const ItemOutcome& item : report.items) {
+    ASSERT_EQ(item.outcomes.size(), 1U);
+    EXPECT_FALSE(item.outcomes[0].ok);
+  }
+}
+
+TEST_F(SchedulerTest, IndependentMessagesSurviveFailedSiblings) {
+  ModelProfile broken_profile = gemini_1_5_pro_profile();
+  broken_profile.transient_failure_rate = 1.0;
+  const VisionLanguageModel broken(broken_profile, CalibrationStats::paper_nominal());
+  PromptPlan plan = sequential_plan();
+  plan.abort_on_failed_turn = false;  // independent messages
+  const RequestScheduler scheduler(broken, SchedulerConfig{});
+  const BatchReport report = scheduler.run(plan, make_batch(2), SamplingParams{}, 5);
+
+  EXPECT_EQ(report.usage.requests, 12U);  // all six messages still issued
+  for (const ItemOutcome& item : report.items) EXPECT_EQ(item.outcomes.size(), 6U);
+}
+
+TEST_F(SchedulerTest, MetricsRegistryMatchesUsage) {
+  util::MetricsRegistry metrics;
+  const RequestScheduler scheduler(model_, SchedulerConfig{}, &metrics);
+  const BatchReport report = scheduler.run(sequential_plan(), make_batch(15), SamplingParams{}, 1);
+
+  EXPECT_EQ(metrics.counter("llm.requests").value(), report.usage.requests);
+  EXPECT_EQ(metrics.counter("scheduler.items").value(), 15U);
+  EXPECT_EQ(metrics.counter("scheduler.batches").value(), 1U);
+  EXPECT_EQ(metrics.histogram("llm.queue_wait_ms").count(), report.usage.requests);
+  EXPECT_EQ(metrics.histogram("llm.service_ms").count(), report.usage.requests);
+  EXPECT_NEAR(metrics.histogram("llm.cost_usd").sum(), report.usage.cost_usd, 1e-9);
+}
+
+TEST_F(SchedulerTest, EmptyBatchAndEmptyPlanAreNoops) {
+  const RequestScheduler scheduler(model_, SchedulerConfig{});
+  const BatchReport empty_batch = scheduler.run(parallel_plan(), {}, SamplingParams{}, 1);
+  EXPECT_EQ(empty_batch.usage.requests, 0U);
+  EXPECT_TRUE(empty_batch.timings.empty());
+
+  const BatchReport empty_plan = scheduler.run(PromptPlan{}, make_batch(4), SamplingParams{}, 1);
+  EXPECT_EQ(empty_plan.usage.requests, 0U);
+  EXPECT_EQ(empty_plan.items.size(), 4U);
+}
+
+TEST_F(SchedulerTest, MakespanNeverExceedsSerialTime) {
+  const RequestScheduler scheduler(model_, SchedulerConfig{});
+  const BatchReport report = scheduler.run(parallel_plan(), make_batch(50), SamplingParams{}, 11);
+  EXPECT_GT(report.stats.speedup(), 1.0);  // some overlap must happen
+  EXPECT_LE(report.stats.makespan_ms, report.stats.serial_ms);
+  EXPECT_GT(report.stats.makespan_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace neuro::llm

@@ -1,0 +1,119 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace neuro::util {
+namespace {
+
+TEST(Counter, AccumulatesAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0U);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42U);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  Counter counter;
+  ThreadPool pool(8);
+  pool.parallel_for(10000, [&](std::size_t) { counter.add(); });
+  EXPECT_EQ(counter.value(), 10000U);
+}
+
+TEST(HistogramMetric, CountSumMinMaxExact) {
+  Histogram histogram;
+  histogram.observe(2.0);
+  histogram.observe(8.0);
+  histogram.observe(4.0);
+  EXPECT_EQ(histogram.count(), 3U);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 14.0);
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+}
+
+TEST(HistogramMetric, QuantilesWithinBucketResolution) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.observe(static_cast<double>(i));
+  // Log buckets have ~4.4% relative resolution; allow 10%.
+  EXPECT_NEAR(histogram.quantile(0.50), 500.0, 50.0);
+  EXPECT_NEAR(histogram.quantile(0.95), 950.0, 95.0);
+  EXPECT_NEAR(histogram.quantile(0.99), 990.0, 99.0);
+  EXPECT_LE(histogram.quantile(0.0), histogram.quantile(0.5));
+  EXPECT_LE(histogram.quantile(0.5), histogram.quantile(1.0));
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 1000.0);
+}
+
+TEST(HistogramMetric, EmptyQuantileIsZero) {
+  Histogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  EXPECT_EQ(histogram.count(), 0U);
+}
+
+TEST(HistogramMetric, ZeroAndNegativeLandInFloorBucket) {
+  Histogram histogram;
+  histogram.observe(0.0);
+  histogram.observe(-5.0);
+  EXPECT_EQ(histogram.count(), 2U);
+  const double median = histogram.quantile(0.5);
+  EXPECT_GE(median, -5.0);
+  EXPECT_LE(median, 0.0);
+}
+
+TEST(HistogramMetric, ConcurrentObserveIsLossless) {
+  Histogram histogram;
+  ThreadPool pool(8);
+  pool.parallel_for(5000, [&](std::size_t i) { histogram.observe(static_cast<double>(i % 97)); });
+  EXPECT_EQ(histogram.count(), 5000U);
+}
+
+TEST(Registry, FindOrCreateReturnsStableInstances) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("llm.requests");
+  Counter& b = registry.counter("llm.requests");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("llm.wait_ms");
+  Histogram& h2 = registry.histogram("llm.wait_ms");
+  EXPECT_EQ(&h1, &h2);
+  a.add(3);
+  EXPECT_EQ(registry.counter("llm.requests").value(), 3U);
+}
+
+TEST(Registry, JsonDumpRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("requests").add(7);
+  registry.histogram("wait_ms").observe(125.0);
+  registry.histogram("wait_ms").observe(250.0);
+  const Json parsed = Json::parse(registry.to_json().dump());
+  EXPECT_EQ(parsed.at("counters").at("requests").as_int(), 7);
+  EXPECT_EQ(parsed.at("histograms").at("wait_ms").at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(parsed.at("histograms").at("wait_ms").at("sum").as_number(), 375.0);
+}
+
+TEST(Registry, TextDumpNamesEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("scheduler.items").add(5);
+  registry.histogram("service_ms").observe(900.0);
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("scheduler.items"), std::string::npos);
+  EXPECT_NE(text.find("service_ms"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(Registry, ConcurrentMixedAccess) {
+  MetricsRegistry registry;
+  ThreadPool pool(8);
+  pool.parallel_for(2000, [&](std::size_t i) {
+    registry.counter(i % 2 == 0 ? "even" : "odd").add();
+    registry.histogram("values").observe(static_cast<double>(i));
+  });
+  EXPECT_EQ(registry.counter("even").value(), 1000U);
+  EXPECT_EQ(registry.counter("odd").value(), 1000U);
+  EXPECT_EQ(registry.histogram("values").count(), 2000U);
+}
+
+}  // namespace
+}  // namespace neuro::util

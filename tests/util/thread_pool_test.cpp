@@ -63,6 +63,48 @@ TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
   EXPECT_GE(pool.thread_count(), 1U);
 }
 
+TEST(ThreadPool, StressExceptionPropagationUnderContention) {
+  // Many workers racing over a shared counter while a scattered subset of
+  // tasks throw: exactly one exception must surface per parallel_for, no
+  // index may be lost, and the pool must stay fully usable afterwards.
+  ThreadPool pool(8);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> executed{0};
+    EXPECT_THROW(pool.parallel_for(500,
+                                   [&](std::size_t i) {
+                                     executed.fetch_add(1, std::memory_order_relaxed);
+                                     if (i % 7 == 3) throw std::runtime_error("contended boom");
+                                   }),
+                 std::runtime_error);
+    EXPECT_EQ(executed.load(), 500);  // an exception must not skip work
+
+    // The pool recovers: a clean pass still covers every index.
+    std::atomic<long> total{0};
+    pool.parallel_for(256, [&](std::size_t i) { total.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(total.load(), 255L * 256L / 2L);
+  }
+}
+
+TEST(ThreadPool, SubmitFromManyExternalThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  std::vector<std::thread> producers;
+  std::vector<std::future<void>> futures;
+  std::mutex futures_mutex;
+  for (int t = 0; t < 6; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        auto future = pool.submit([&hits] { hits.fetch_add(1); });
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(future));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(hits.load(), 600);
+}
+
 TEST(ThreadPool, ManySmallTasks) {
   ThreadPool pool(4);
   std::atomic<long> total{0};
