@@ -1,8 +1,15 @@
 // Microbenchmarks (google-benchmark): throughput of the substrates —
-// scene rendering, feature extraction, detector inference, simulated LLM
-// queries, parsing and voting.
+// dataset builds, scene rendering, feature extraction (integral vs naive
+// backend), detector inference, simulated LLM queries, parsing and voting.
+//
+// `--json[=FILE]` dumps results as JSON (default FILE: BENCH_micro.json),
+// on top of the standard google-benchmark flags.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "core/survey.hpp"
 #include "data/builder.hpp"
@@ -58,6 +65,49 @@ void BM_FeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureExtraction);
 
+// Dataset build throughput at 1/2/4 worker threads (output is
+// thread-count invariant; only wall time changes).
+void BM_DatasetBuild(benchmark::State& state) {
+  data::BuildConfig config;
+  config.image_count = 16;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::build_synthetic_dataset(config, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(config.image_count));
+}
+BENCHMARK(BM_DatasetBuild)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Window feature extraction across window sizes, integral-histogram
+// backend (arg 1 = 1) vs the naive per-pixel oracle (arg 1 = 0).
+void BM_WindowExtract(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const bool integral = state.range(1) != 0;
+  const data::LabeledImage& image = shared_dataset()[0];
+  const image::WindowFeatureExtractor extractor({8, 4, 9}, integral);
+  const auto prep = extractor.prepare(image.image);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.extract(prep, 8, 8, side, side));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowExtract)
+    ->ArgsProduct({{32, 64, 96, 128}, {0, 1}})
+    ->ArgNames({"side", "integral"});
+
+// Per-image prepare cost: gradients only (naive) vs gradients + integral
+// plane construction — the one-off cost the 4-corner lookups amortize.
+void BM_PrepareFeatures(benchmark::State& state) {
+  const bool integral = state.range(0) != 0;
+  const data::LabeledImage& image = shared_dataset()[0];
+  const image::WindowFeatureExtractor extractor({8, 4, 9}, integral);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.prepare(image.image));
+  }
+}
+BENCHMARK(BM_PrepareFeatures)->Arg(0)->Arg(1)->ArgNames({"integral"});
+
 void BM_GaussianNoise(benchmark::State& state) {
   util::Rng rng(3);
   for (auto _ : state) {
@@ -110,4 +160,29 @@ BENCHMARK(BM_MajorityVote);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate `--json[=FILE]` into google-benchmark's out/out_format pair
+  // so CI can dump a machine-readable baseline with one stable flag.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  const auto it = std::find_if(args.begin(), args.end(), [](const char* arg) {
+    return std::string(arg).rfind("--json", 0) == 0;
+  });
+  if (it != args.end()) {
+    const std::string arg(*it);
+    const std::string path =
+        arg.size() > 7 && arg[6] == '=' ? arg.substr(7) : std::string("BENCH_micro.json");
+    args.erase(it);
+    out_flag = "--benchmark_out=" + path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,6 +17,7 @@ data::Dataset build_dataset(const ExperimentOptions& options) {
   config.image_count = options.image_count;
   config.generator.image_width = options.image_size;
   config.generator.image_height = options.image_size;
+  config.threads = options.threads;
   return data::build_synthetic_dataset(config, options.seed);
 }
 
@@ -26,6 +27,7 @@ detect::DetectorConfig detector_config(const ExperimentOptions& options) {
   detect::DetectorConfig config;
   config.epochs = options.detector_epochs;
   config.seed = util::derive_seed(options.seed, "detector");
+  config.threads = options.threads;
   return config;
 }
 

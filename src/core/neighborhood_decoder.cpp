@@ -14,6 +14,7 @@ data::Dataset NeighborhoodDecoder::generate_survey(std::size_t image_count) cons
   config.image_count = image_count;
   config.generator.image_width = options_.image_size;
   config.generator.image_height = options_.image_size;
+  config.threads = options_.threads;
   return data::build_synthetic_dataset(config, options_.seed);
 }
 
@@ -22,6 +23,7 @@ detect::NanoDetector NeighborhoodDecoder::train_baseline(const data::Dataset& tr
   detect::DetectorConfig config;
   config.epochs = epochs;
   config.seed = util::derive_seed(options_.seed, "baseline");
+  config.threads = options_.threads;
   detect::NanoDetector detector(config);
   detector.train(train_set);
   return detector;

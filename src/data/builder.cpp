@@ -1,11 +1,57 @@
 #include "data/builder.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 
 #include "util/mathx.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace neuro::data {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double total_of(const std::vector<double>& per_image_seconds) {
+  return std::accumulate(per_image_seconds.begin(), per_image_seconds.end(), 0.0);
+}
+
+void observe_all(util::MetricsRegistry* metrics, const char* name,
+                 const std::vector<double>& per_image_seconds) {
+  if (metrics == nullptr) return;
+  util::Histogram& hist = metrics->histogram(name);
+  for (double s : per_image_seconds) hist.observe(s * 1000.0);
+}
+
+/// Drop/jitter annotations in place, drawing from `noise_rng`.
+void apply_label_noise(std::vector<Annotation>& annotations, const BuildConfig& config,
+                       util::Rng& noise_rng) {
+  std::vector<Annotation> noisy;
+  noisy.reserve(annotations.size());
+  for (Annotation ann : annotations) {
+    if (noise_rng.bernoulli(config.label_miss_rate)) continue;  // labeler missed it
+    if (config.label_jitter_px > 0.0) {
+      const auto jitter = [&] {
+        return static_cast<float>(noise_rng.normal(0.0, config.label_jitter_px));
+      };
+      ann.box.x += jitter();
+      ann.box.y += jitter();
+      ann.box.w = std::max(2.0F, ann.box.w + jitter());
+      ann.box.h = std::max(2.0F, ann.box.h + jitter());
+    }
+    noisy.push_back(ann);
+  }
+  annotations = std::move(noisy);
+}
+
+}  // namespace
 
 LabeledImage render_to_labeled(const scene::StreetScene& scene,
                                const scene::Renderer& renderer) {
@@ -37,7 +83,8 @@ scene::PresenceVector MultiViewLocation::location_truth() const {
 
 std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
                                                       std::size_t location_count,
-                                                      std::uint64_t seed) {
+                                                      std::uint64_t seed, BuildStats* stats) {
+  const Clock::time_point t_start = Clock::now();
   util::Rng rng(seed);
   const scene::SamplingFrame frame = scene::SamplingFrame::paper_default();
   util::Rng point_rng = rng.fork("points");
@@ -49,9 +96,14 @@ std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
   scene::SceneSampler sampler(config.generator);
   scene::Renderer renderer;
 
-  std::vector<MultiViewLocation> locations;
-  locations.reserve(location_count);
-  for (std::size_t p = 0; p < points.size(); ++p) {
+  // Each location draws only from RNG streams forked off the base state
+  // (fork is const), so the partition across workers cannot change the
+  // output: every thread count renders byte-identical views.
+  std::vector<MultiViewLocation> locations(points.size());
+  std::vector<double> render_seconds(points.size(), 0.0);
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(points.size(), [&](std::size_t p) {
+    const Clock::time_point t0 = Clock::now();
     MultiViewLocation location;
     location.location_id = static_cast<std::uint64_t>(p) + 1;
     location.urbanization = points[p].urbanization;
@@ -59,49 +111,81 @@ std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
     location.tract_id = points[p].tract_id;
     for (std::size_t h = 0; h < 4; ++h) {
       const scene::Capture& capture = captures[p * 4 + h];
-      util::Rng scene_rng =
-          rng.fork(util::format("mv-%zu-%zu", p, h));
+      util::Rng scene_rng = rng.fork(util::format("mv-%zu-%zu", p, h));
       location.views.push_back(
           render_to_labeled(sampler.sample(capture, scene_rng), renderer));
     }
-    locations.push_back(std::move(location));
+    locations[p] = std::move(location);
+    render_seconds[p] = seconds_since(t0);
+  });
+
+  observe_all(config.metrics, "dataset.multiview_location_ms", render_seconds);
+  if (config.metrics != nullptr) {
+    config.metrics->counter("dataset.multiview_views_built").add(points.size() * 4);
+  }
+  if (stats != nullptr) {
+    stats->images = points.size() * 4;
+    stats->render_seconds = total_of(render_seconds);
+    stats->total_seconds = seconds_since(t_start);
+    stats->images_per_second =
+        stats->total_seconds > 0.0 ? static_cast<double>(stats->images) / stats->total_seconds
+                                   : 0.0;
   }
   return locations;
 }
 
-Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed) {
+Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed,
+                                BuildStats* stats) {
+  const Clock::time_point t_start = Clock::now();
   util::Rng rng(seed);
   const scene::SamplingFrame frame = scene::SamplingFrame::paper_default();
+  const Clock::time_point t_scene = Clock::now();
   const std::vector<scene::GeneratedCapture> captures =
-      scene::generate_survey(frame, config.image_count, config.generator, rng);
+      scene::generate_survey(frame, config.image_count, config.generator, rng, config.threads);
+  const double scene_seconds = seconds_since(t_scene);
 
   scene::Renderer renderer;
-  util::Rng noise_rng = rng.fork("label-noise");
+  const bool noisy_labels = config.label_miss_rate > 0.0 || config.label_jitter_px > 0.0;
+
+  // Rendering and label noise run per image on forked RNG streams keyed by
+  // the image index, so N-thread and serial builds are byte-identical.
+  std::vector<LabeledImage> images(captures.size());
+  std::vector<double> render_seconds(captures.size(), 0.0);
+  std::vector<double> noise_seconds(captures.size(), 0.0);
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(captures.size(), [&](std::size_t i) {
+    Clock::time_point t0 = Clock::now();
+    LabeledImage labeled = render_to_labeled(captures[i].scene, renderer);
+    render_seconds[i] = seconds_since(t0);
+    if (noisy_labels) {
+      t0 = Clock::now();
+      util::Rng noise_rng = rng.fork(util::format("img-%zu", i)).fork("label-noise");
+      apply_label_noise(labeled.annotations, config, noise_rng);
+      noise_seconds[i] = seconds_since(t0);
+    }
+    images[i] = std::move(labeled);
+  });
 
   Dataset dataset;
-  dataset.reserve(captures.size());
-  for (const scene::GeneratedCapture& generated : captures) {
-    LabeledImage labeled = render_to_labeled(generated.scene, renderer);
+  dataset.reserve(images.size());
+  for (LabeledImage& labeled : images) dataset.add(std::move(labeled));
 
-    if (config.label_miss_rate > 0.0 || config.label_jitter_px > 0.0) {
-      std::vector<Annotation> noisy;
-      noisy.reserve(labeled.annotations.size());
-      for (Annotation ann : labeled.annotations) {
-        if (noise_rng.bernoulli(config.label_miss_rate)) continue;  // labeler missed it
-        if (config.label_jitter_px > 0.0) {
-          const auto jitter = [&] {
-            return static_cast<float>(noise_rng.normal(0.0, config.label_jitter_px));
-          };
-          ann.box.x += jitter();
-          ann.box.y += jitter();
-          ann.box.w = std::max(2.0F, ann.box.w + jitter());
-          ann.box.h = std::max(2.0F, ann.box.h + jitter());
-        }
-        noisy.push_back(ann);
-      }
-      labeled.annotations = std::move(noisy);
-    }
-    dataset.add(std::move(labeled));
+  if (config.metrics != nullptr) {
+    config.metrics->histogram("dataset.scene_ms").observe(scene_seconds * 1000.0);
+    config.metrics->counter("dataset.images_built").add(images.size());
+  }
+  observe_all(config.metrics, "dataset.render_ms", render_seconds);
+  if (noisy_labels) observe_all(config.metrics, "dataset.label_noise_ms", noise_seconds);
+
+  if (stats != nullptr) {
+    stats->images = dataset.size();
+    stats->scene_seconds = scene_seconds;
+    stats->render_seconds = total_of(render_seconds);
+    stats->noise_seconds = total_of(noise_seconds);
+    stats->total_seconds = seconds_since(t_start);
+    stats->images_per_second =
+        stats->total_seconds > 0.0 ? static_cast<double>(stats->images) / stats->total_seconds
+                                   : 0.0;
   }
   return dataset;
 }

@@ -7,6 +7,10 @@
 #include "scene/generator.hpp"
 #include "scene/renderer.hpp"
 
+namespace neuro::util {
+class MetricsRegistry;
+}
+
 namespace neuro::data {
 
 struct BuildConfig {
@@ -17,11 +21,31 @@ struct BuildConfig {
   double label_miss_rate = 0.0;
   /// Std-dev (pixels) of corner jitter on annotation boxes.
   double label_jitter_px = 0.0;
+  /// Worker threads for scene sampling + rendering (0 = hardware
+  /// concurrency). Every image draws from its own forked RNG stream, so
+  /// the built dataset is bit-identical at any thread count.
+  std::size_t threads = 1;
+  /// Optional sink for per-stage timing histograms (dataset.scene_ms,
+  /// dataset.render_ms, dataset.label_noise_ms) and image counters.
+  util::MetricsRegistry* metrics = nullptr;
+};
+
+/// Per-build stage timings (seconds, summed across images; wall time for
+/// total). Populated when a BuildStats* is passed to the builders.
+struct BuildStats {
+  std::size_t images = 0;
+  double scene_seconds = 0.0;   // sampling scenes from captures
+  double render_seconds = 0.0;  // rasterizing scenes + labeling
+  double noise_seconds = 0.0;   // label miss/jitter injection
+  double total_seconds = 0.0;   // wall clock for the whole build
+  double images_per_second = 0.0;
 };
 
 /// Generate, render and label `image_count` synthetic street scenes over
-/// the paper's two-county sampling frame. Deterministic given seed.
-Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed);
+/// the paper's two-county sampling frame. Deterministic given seed and
+/// invariant to config.threads.
+Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed,
+                                BuildStats* stats = nullptr);
 
 /// Render one scene into a LabeledImage (no label noise).
 LabeledImage render_to_labeled(const scene::StreetScene& scene, const scene::Renderer& renderer);
@@ -41,9 +65,11 @@ struct MultiViewLocation {
   scene::PresenceVector location_truth() const;
 };
 
-/// Build `location_count` locations x 4 headings. Deterministic given seed.
+/// Build `location_count` locations x 4 headings. Deterministic given seed
+/// and invariant to config.threads.
 std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
                                                       std::size_t location_count,
-                                                      std::uint64_t seed);
+                                                      std::uint64_t seed,
+                                                      BuildStats* stats = nullptr);
 
 }  // namespace neuro::data

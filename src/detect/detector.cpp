@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -20,13 +22,19 @@ struct NanoDetector::Heads {
 };
 
 NanoDetector::NanoDetector(DetectorConfig config)
-    : config_(std::move(config)), extractor_(config_.hog) {}
+    : config_(std::move(config)), extractor_(config_.hog, config_.integral_features) {}
 
 NanoDetector::~NanoDetector() = default;
 NanoDetector::NanoDetector(NanoDetector&&) noexcept = default;
 NanoDetector& NanoDetector::operator=(NanoDetector&&) noexcept = default;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// Jitter a ground-truth box slightly (positive-sample augmentation).
 image::BoxF jitter_box(const image::BoxF& box, util::Rng& rng) {
@@ -37,28 +45,44 @@ image::BoxF jitter_box(const image::BoxF& box, util::Rng& rng) {
   return {box.x + dx, box.y + dy, std::max(3.0F, box.w * dw), std::max(3.0F, box.h * dh)};
 }
 
-float best_iou_for_class(const image::BoxF& window,
-                         const std::vector<data::Annotation>& annotations,
-                         Indicator indicator) {
-  float best = 0.0F;
+/// Best IoU against the annotations for every class in one pass.
+std::array<float, scene::kIndicatorCount> best_iou_all_classes(
+    const image::BoxF& window, const std::vector<data::Annotation>& annotations) {
+  std::array<float, scene::kIndicatorCount> best{};
   for (const data::Annotation& ann : annotations) {
-    if (ann.indicator != indicator) continue;
-    best = std::max(best, iou(window, ann.box));
+    float& slot = best[scene::indicator_index(ann.indicator)];
+    slot = std::max(slot, iou(window, ann.box));
   }
   return best;
+}
+
+/// Per-class training labels from per-class IoU: 1 positive, 0 negative,
+/// -1 ignore (dead zone).
+std::array<int, scene::kIndicatorCount> labels_from_iou(
+    const std::array<float, scene::kIndicatorCount>& overlap, float positive_iou,
+    float negative_iou) {
+  std::array<int, scene::kIndicatorCount> row{};
+  for (std::size_t c = 0; c < scene::kIndicatorCount; ++c) {
+    row[c] = overlap[c] >= positive_iou ? 1 : (overlap[c] <= negative_iou ? 0 : -1);
+  }
+  return row;
 }
 
 }  // namespace
 
 TrainReport NanoDetector::train(const data::Dataset& train_set) {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
   util::Rng rng(config_.seed);
   TrainReport report;
+  util::ThreadPool pool(config_.threads);
 
   // ---- Stage 1: build the shared feature table -----------------------------
   // Rows: GT boxes (+ jitters) from every image, plus sampled negative
   // proposal windows. Each row carries a per-class label: 1 positive,
-  // 0 negative, -1 ignore (IoU in the dead zone).
+  // 0 negative, -1 ignore (IoU in the dead zone). Images are processed in
+  // parallel into per-image blocks that only draw from index-keyed RNG
+  // forks, then concatenated in index order — the table is bit-identical
+  // at any thread count.
   std::vector<std::vector<float>> features;
   std::vector<std::array<int, scene::kIndicatorCount>> labels;
 
@@ -67,8 +91,7 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
                         : generate_proposals(train_set[0].image.width(),
                                              train_set[0].image.height(), config_.templates);
 
-  util::Rng noise_rng = rng.fork("train-noise");
-  auto noisy_copy = [&](const image::Image& img) {
+  auto noisy_copy = [&](const image::Image& img, util::Rng& noise_rng) {
     image::Image copy = img;
     // A third of the images stay clean so the pristine regime remains
     // in-distribution; the rest get a random noise level.
@@ -80,49 +103,75 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
     return copy;
   };
 
-  for (const data::LabeledImage& labeled : train_set) {
-    const image::Image train_image = noisy_copy(labeled.image);
-    const auto prep = extractor_.prepare(train_image);
+  struct Block {
+    std::vector<std::vector<float>> features;
+    std::vector<std::array<int, scene::kIndicatorCount>> labels;
+    double prepare_seconds = 0.0;
+    double extract_seconds = 0.0;
+  };
+  const auto t_stage1 = Clock::now();
+  std::vector<Block> blocks(train_set.size());
+  pool.parallel_for(train_set.size(), [&](std::size_t i) {
+    const data::LabeledImage& labeled = train_set[i];
+    Block& block = blocks[i];
+    util::Rng img_rng = rng.fork(util::format("img-%zu", i));
+    util::Rng noise_rng = img_rng.fork("noise");
+    util::Rng jitter_rng = img_rng.fork("jitter");
+    util::Rng negative_rng = img_rng.fork("negatives");
 
+    Clock::time_point t0 = Clock::now();
+    const image::Image train_image = noisy_copy(labeled.image, noise_rng);
+    const auto prep = extractor_.prepare(train_image);
+    block.prepare_seconds = seconds_since(t0);
+
+    t0 = Clock::now();
     auto add_window = [&](const image::BoxF& raw) {
       const image::BoxF box = clip_box(raw, labeled.image.width(), labeled.image.height());
       if (box.w < 3.0F || box.h < 3.0F) return;
-      std::array<int, scene::kIndicatorCount> row_labels{};
-      for (Indicator ind : scene::all_indicators()) {
-        const float overlap = best_iou_for_class(box, labeled.annotations, ind);
-        int label = -1;
-        if (overlap >= config_.positive_iou) label = 1;
-        else if (overlap <= config_.negative_iou) label = 0;
-        row_labels[scene::indicator_index(ind)] = label;
-      }
-      features.push_back(extractor_.extract(prep, static_cast<int>(box.x),
-                                            static_cast<int>(box.y), static_cast<int>(box.w),
-                                            static_cast<int>(box.h)));
-      labels.push_back(row_labels);
+      block.features.push_back(extractor_.extract(prep, static_cast<int>(box.x),
+                                                  static_cast<int>(box.y),
+                                                  static_cast<int>(box.w),
+                                                  static_cast<int>(box.h)));
+      block.labels.push_back(labels_from_iou(best_iou_all_classes(box, labeled.annotations),
+                                             config_.positive_iou, config_.negative_iou));
     };
 
     // Positives: the GT boxes and a few jittered copies.
     for (const data::Annotation& ann : labeled.annotations) {
       add_window(ann.box);
       for (int j = 0; j < config_.jittered_positives; ++j) {
-        add_window(jitter_box(ann.box, rng));
+        add_window(jitter_box(ann.box, jitter_rng));
       }
     }
     // Grid proposals that overlap a GT become positives too, so training
     // sees the same window geometry inference scores.
     for (const image::BoxF& proposal : proposal_cache) {
-      for (Indicator ind : scene::all_indicators()) {
-        if (best_iou_for_class(proposal, labeled.annotations, ind) >= config_.positive_iou) {
-          add_window(proposal);
-          break;
-        }
+      const auto overlaps = best_iou_all_classes(proposal, labeled.annotations);
+      if (std::any_of(overlaps.begin(), overlaps.end(),
+                      [&](float o) { return o >= config_.positive_iou; })) {
+        add_window(proposal);
       }
     }
     // Negatives / additional context: random proposal windows.
     for (int n = 0; n < config_.negatives_per_image && !proposal_cache.empty(); ++n) {
-      add_window(proposal_cache[rng.index(proposal_cache.size())]);
+      add_window(proposal_cache[negative_rng.index(proposal_cache.size())]);
     }
+    block.extract_seconds = seconds_since(t0);
+  });
+
+  for (Block& block : blocks) {
+    report.prepare_seconds += block.prepare_seconds;
+    report.extract_seconds += block.extract_seconds;
+    if (config_.metrics != nullptr) {
+      config_.metrics->histogram("detector.prepare_ms").observe(block.prepare_seconds * 1000.0);
+      config_.metrics->histogram("detector.extract_ms").observe(block.extract_seconds * 1000.0);
+    }
+    std::move(block.features.begin(), block.features.end(), std::back_inserter(features));
+    std::move(block.labels.begin(), block.labels.end(), std::back_inserter(labels));
   }
+  blocks.clear();
+  blocks.shrink_to_fit();
+  report.feature_seconds = seconds_since(t_stage1);
   if (features.empty()) throw std::invalid_argument("train: empty dataset");
 
   // ---- Stage 2: standardize --------------------------------------------------
@@ -140,28 +189,34 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
   adam.learning_rate = config_.learning_rate;
   adam.weight_decay = config_.weight_decay;
 
+  // Heads train independently (one worker each); results land in indexed
+  // slots and are reduced in fixed class order, so the fitted heads and the
+  // reported losses do not depend on the thread count.
   auto train_all_heads = [&](int round) {
+    const auto t_fit = Clock::now();
     nn::Matrix feature_matrix(features.size(), dim);
     for (std::size_t r = 0; r < features.size(); ++r) {
       std::copy(features[r].begin(), features[r].end(), feature_matrix.row(r).begin());
     }
     scaler_.transform(feature_matrix);
 
-    std::vector<std::vector<float>> per_epoch_losses(static_cast<std::size_t>(config_.epochs));
-    heads_ = std::make_unique<Heads>();
-    report.positive_samples = 0;
-    report.negative_samples = 0;
+    constexpr std::size_t kHeads = scene::kIndicatorCount;
+    std::vector<std::optional<nn::Mlp>> trained_heads(kHeads);
+    std::array<std::size_t, kHeads> head_positives{};
+    std::array<std::size_t, kHeads> head_negatives{};
+    std::vector<std::vector<float>> head_epoch_losses(
+        kHeads, std::vector<float>(static_cast<std::size_t>(config_.epochs), 0.0F));
 
-    for (Indicator ind : scene::all_indicators()) {
-      const std::size_t class_idx = scene::indicator_index(ind);
+    pool.parallel_for(kHeads, [&](std::size_t class_idx) {
+      const Indicator ind = scene::all_indicators()[class_idx];
       std::vector<std::size_t> positives;
       std::vector<std::size_t> negatives;
       for (std::size_t r = 0; r < labels.size(); ++r) {
         if (labels[r][class_idx] == 1) positives.push_back(r);
         else if (labels[r][class_idx] == 0) negatives.push_back(r);
       }
-      report.positive_samples += positives.size();
-      report.negative_samples += negatives.size();
+      head_positives[class_idx] = positives.size();
+      head_negatives[class_idx] = negatives.size();
 
       nn::Mlp head({dim, static_cast<std::size_t>(config_.hidden_units), 1},
                    nn::Activation::kReLU, nn::Activation::kSigmoid,
@@ -202,18 +257,32 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
           epoch_loss += head.train_batch_bce(x, y, adam);
           ++batches;
         }
-        per_epoch_losses[static_cast<std::size_t>(epoch)].push_back(
-            batches > 0 ? epoch_loss / static_cast<float>(batches) : 0.0F);
+        head_epoch_losses[class_idx][static_cast<std::size_t>(epoch)] =
+            batches > 0 ? epoch_loss / static_cast<float>(batches) : 0.0F;
       }
-      heads_->models.push_back(std::move(head));
-    }
+      trained_heads[class_idx] = std::move(head);
+    });
 
+    heads_ = std::make_unique<Heads>();
+    report.positive_samples = 0;
+    report.negative_samples = 0;
+    for (std::size_t class_idx = 0; class_idx < kHeads; ++class_idx) {
+      heads_->models.push_back(std::move(*trained_heads[class_idx]));
+      report.positive_samples += head_positives[class_idx];
+      report.negative_samples += head_negatives[class_idx];
+    }
     report.epoch_mean_losses.clear();
-    for (const auto& losses : per_epoch_losses) {
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
       float sum = 0.0F;
-      for (float l : losses) sum += l;
-      report.epoch_mean_losses.push_back(
-          losses.empty() ? 0.0F : sum / static_cast<float>(losses.size()));
+      for (std::size_t class_idx = 0; class_idx < kHeads; ++class_idx) {
+        sum += head_epoch_losses[class_idx][static_cast<std::size_t>(epoch)];
+      }
+      report.epoch_mean_losses.push_back(sum / static_cast<float>(kHeads));
+    }
+    const double fit_seconds = seconds_since(t_fit);
+    report.fit_seconds += fit_seconds;
+    if (config_.metrics != nullptr) {
+      config_.metrics->histogram("detector.fit_ms").observe(fit_seconds * 1000.0);
     }
   };
 
@@ -222,8 +291,16 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
   // ---- Stage 4: hard-negative mining ------------------------------------------
   // Random negatives cover a sliver of the proposal space; mining feeds the
   // heads their own confident mistakes so overconfidence is unlearned.
+  //
+  // Two phases per chunk of images: a parallel feature/scoring pass that
+  // records each image's candidate windows (ascending proposal order, so
+  // candidates are independent of scheduling), then a serial selection pass
+  // that applies the per-class caps in image order — exactly the rows the
+  // serial implementation would append. Chunking bounds the candidate
+  // buffers to O(chunk x proposals x dim).
   util::Rng mining_rng = rng.fork("mining");
   for (int round = 1; round <= config_.mining_rounds; ++round) {
+    const auto t_mine = Clock::now();
     std::vector<std::size_t> image_order(train_set.size());
     for (std::size_t i = 0; i < image_order.size(); ++i) image_order[i] = i;
     mining_rng.shuffle(image_order);
@@ -231,50 +308,95 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
         std::min<std::size_t>(image_order.size(),
                               static_cast<std::size_t>(config_.mining_max_images));
 
+    struct MinedImage {
+      // Windows that are a confident clean negative for >= 1 class, pooled
+      // so a window candidate for several classes is stored once.
+      std::vector<std::vector<float>> features;
+      std::vector<std::array<int, scene::kIndicatorCount>> labels;
+      std::array<std::vector<std::size_t>, scene::kIndicatorCount> per_class;  // pool indices
+    };
+
     scene::IndicatorMap<int> added_per_class;
     std::size_t added_total = 0;
-    for (std::size_t oi = 0; oi < image_take; ++oi) {
-      const data::LabeledImage& labeled = train_set[image_order[oi]];
-      const image::Image mining_image = noisy_copy(labeled.image);
-      const auto prep = extractor_.prepare(mining_image);
-
-      // Batch features for every proposal in this image.
-      nn::Matrix x(proposal_cache.size(), dim);
-      std::vector<std::vector<float>> raw(proposal_cache.size());
-      for (std::size_t p = 0; p < proposal_cache.size(); ++p) {
-        const image::BoxF& box = proposal_cache[p];
-        raw[p] = extractor_.extract(prep, static_cast<int>(box.x), static_cast<int>(box.y),
-                                    static_cast<int>(box.w), static_cast<int>(box.h));
-        std::vector<float> scaled = raw[p];
-        scaler_.transform(scaled);
-        std::copy(scaled.begin(), scaled.end(), x.row(p).begin());
-      }
-
+    const auto all_capped = [&] {
       for (Indicator ind : scene::all_indicators()) {
-        if (added_per_class[ind] >= config_.mining_max_per_class) continue;
-        const nn::Matrix scores = heads_->models[scene::indicator_index(ind)].predict(x);
+        if (added_per_class[ind] < config_.mining_max_per_class) return false;
+      }
+      return true;
+    };
+
+    const std::size_t chunk = std::max<std::size_t>(pool.thread_count() * 4, 8);
+    for (std::size_t base = 0; base < image_take && !all_capped(); base += chunk) {
+      const std::size_t count = std::min(chunk, image_take - base);
+      std::vector<MinedImage> mined(count);
+      pool.parallel_for(count, [&](std::size_t k) {
+        const std::size_t oi = base + k;
+        const data::LabeledImage& labeled = train_set[image_order[oi]];
+        util::Rng noise_rng = rng.fork(util::format("mine-%d-%zu", round, oi));
+        const image::Image mining_image = noisy_copy(labeled.image, noise_rng);
+        const auto prep = extractor_.prepare(mining_image);
+
+        // Batch features for every proposal in this image.
+        nn::Matrix x(proposal_cache.size(), dim);
+        std::vector<std::vector<float>> raw(proposal_cache.size());
         for (std::size_t p = 0; p < proposal_cache.size(); ++p) {
-          if (scores.at(p, 0) < config_.mining_score) continue;
-          const float overlap =
-              best_iou_for_class(proposal_cache[p], labeled.annotations, ind);
-          if (overlap > config_.negative_iou) continue;  // not a clean negative
-          // Full label row so the window also trains the other heads.
-          std::array<int, scene::kIndicatorCount> row_labels{};
-          for (Indicator other : scene::all_indicators()) {
-            const float o = best_iou_for_class(proposal_cache[p], labeled.annotations, other);
-            row_labels[scene::indicator_index(other)] =
-                o >= config_.positive_iou ? 1 : (o <= config_.negative_iou ? 0 : -1);
+          const image::BoxF& box = proposal_cache[p];
+          raw[p] = extractor_.extract(prep, static_cast<int>(box.x), static_cast<int>(box.y),
+                                      static_cast<int>(box.w), static_cast<int>(box.h));
+          std::vector<float> scaled = raw[p];
+          scaler_.transform(scaled);
+          std::copy(scaled.begin(), scaled.end(), x.row(p).begin());
+        }
+
+        std::array<nn::Matrix, scene::kIndicatorCount> scores;
+        for (Indicator ind : scene::all_indicators()) {
+          scores[scene::indicator_index(ind)] =
+              heads_->models[scene::indicator_index(ind)].predict(x);
+        }
+
+        MinedImage& m = mined[k];
+        for (std::size_t p = 0; p < proposal_cache.size(); ++p) {
+          // One pass over the annotations labels the window for every head.
+          const auto overlaps = best_iou_all_classes(proposal_cache[p], labeled.annotations);
+          std::size_t pooled = std::size_t(-1);
+          for (std::size_t c = 0; c < scene::kIndicatorCount; ++c) {
+            if (scores[c].at(p, 0) < config_.mining_score) continue;
+            if (overlaps[c] > config_.negative_iou) continue;  // not a clean negative
+            if (pooled == std::size_t(-1)) {
+              pooled = m.features.size();
+              m.features.push_back(std::move(raw[p]));
+              // Full label row so the window also trains the other heads.
+              m.labels.push_back(
+                  labels_from_iou(overlaps, config_.positive_iou, config_.negative_iou));
+            }
+            m.per_class[c].push_back(pooled);
           }
-          features.push_back(raw[p]);
-          labels.push_back(row_labels);
-          ++added_per_class[ind];
-          ++added_total;
-          if (added_per_class[ind] >= config_.mining_max_per_class) break;
+        }
+      });
+
+      // Serial selection: image order, class order, ascending proposals,
+      // respecting per-class caps — the same rows the serial loop appends.
+      for (std::size_t k = 0; k < count; ++k) {
+        MinedImage& m = mined[k];
+        for (Indicator ind : scene::all_indicators()) {
+          if (added_per_class[ind] >= config_.mining_max_per_class) continue;
+          for (std::size_t pooled : m.per_class[scene::indicator_index(ind)]) {
+            features.push_back(m.features[pooled]);
+            labels.push_back(m.labels[pooled]);
+            ++added_per_class[ind];
+            ++added_total;
+            if (added_per_class[ind] >= config_.mining_max_per_class) break;
+          }
         }
       }
     }
     NEURO_LOG(kDebug) << "mining round " << round << " added " << added_total
                       << " hard negatives";
+    const double mine_seconds = seconds_since(t_mine);
+    report.mining_seconds += mine_seconds;
+    if (config_.metrics != nullptr) {
+      config_.metrics->histogram("detector.mine_ms").observe(mine_seconds * 1000.0);
+    }
     if (added_total == 0) break;
     train_all_heads(round);
   }

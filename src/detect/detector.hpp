@@ -19,6 +19,10 @@
 #include "nn/scaler.hpp"
 #include "util/thread_pool.hpp"
 
+namespace neuro::util {
+class MetricsRegistry;
+}
+
 namespace neuro::detect {
 
 struct DetectorConfig {
@@ -63,6 +67,18 @@ struct DetectorConfig {
   float negative_ratio = 6.0F;  // negatives per positive per epoch
 
   std::uint64_t seed = 42;
+
+  /// Worker threads for the Stage-1 feature table, per-head fits, and the
+  /// mining feature pass (0 = hardware concurrency). Training draws all
+  /// randomness from index-keyed RNG forks, so the trained detector is
+  /// bit-identical at any thread count.
+  std::size_t threads = 1;
+  /// Use the integral-histogram feature backend (O(cells) per window);
+  /// false falls back to the naive per-pixel oracle.
+  bool integral_features = true;
+  /// Optional sink for per-stage timing histograms (detector.prepare_ms,
+  /// detector.extract_ms, detector.fit_ms, detector.mine_ms).
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrainReport {
@@ -70,6 +86,14 @@ struct TrainReport {
   std::size_t positive_samples = 0;
   std::size_t negative_samples = 0;
   double train_seconds = 0.0;
+  // Stage timings. feature/fit/mining are wall-clock phase times;
+  // prepare/extract are summed across images (CPU time, > wall when
+  // threaded).
+  double feature_seconds = 0.0;  // Stage-1 feature table wall time
+  double prepare_seconds = 0.0;  // gradient/integral-plane builds, summed
+  double extract_seconds = 0.0;  // window extraction + labeling, summed
+  double fit_seconds = 0.0;      // head fits, all rounds
+  double mining_seconds = 0.0;   // hard-negative mining passes, all rounds
 };
 
 class NanoDetector {

@@ -12,19 +12,19 @@ void fill_rect(Image& img, int x0, int y0, int x1, int y1, const Color& color) {
   y0 = std::max(y0, 0);
   x1 = std::min(x1, img.width());
   y1 = std::min(y1, img.height());
-  for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) img.set_pixel(x, y, color);
-  }
+  for (int y = y0; y < y1; ++y) img.fill_row(x0, x1, y, color);
 }
 
 void draw_rect_outline(Image& img, int x0, int y0, int x1, int y1, const Color& color) {
   if (x0 > x1) std::swap(x0, x1);
   if (y0 > y1) std::swap(y0, y1);
-  for (int x = x0; x < x1; ++x) {
-    img.set_pixel_safe(x, y0, color);
-    img.set_pixel_safe(x, y1 - 1, color);
-  }
-  for (int y = y0; y < y1; ++y) {
+  // Top and bottom edges as row spans (fill_row clamps x and drops
+  // off-screen rows), vertical edges over the clamped y range only.
+  img.fill_row(x0, x1, y0, color);
+  img.fill_row(x0, x1, y1 - 1, color);
+  const int y_begin = std::max(y0, 0);
+  const int y_end = std::min(y1, img.height());
+  for (int y = y_begin; y < y_end; ++y) {
     img.set_pixel_safe(x0, y, color);
     img.set_pixel_safe(x1 - 1, y, color);
   }
@@ -100,7 +100,7 @@ void fill_polygon(Image& img, const std::vector<PointF>& points, const Color& co
     for (std::size_t i = 0; i + 1 < crossings.size(); i += 2) {
       const int x_begin = std::max(0, static_cast<int>(std::ceil(crossings[i] - 0.5F)));
       const int x_end = std::min(img.width() - 1, static_cast<int>(std::floor(crossings[i + 1] - 0.5F)));
-      for (int x = x_begin; x <= x_end; ++x) img.set_pixel(x, y, color);
+      img.fill_row(x_begin, x_end + 1, y, color);
     }
   }
 }
@@ -112,11 +112,22 @@ void fill_circle(Image& img, float cx, float cy, float radius, const Color& colo
   const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + radius)));
   const float r2 = radius * radius;
   for (int y = y0; y <= y1; ++y) {
-    for (int x = x0; x <= x1; ++x) {
+    const float dy = static_cast<float>(y) + 0.5F - cy;
+    const float rem = r2 - dy * dy;
+    if (rem < 0.0F) continue;
+    // Seed the span from sqrt with one pixel of margin, then tighten with
+    // the exact per-pixel predicate so the painted set matches the
+    // per-pixel rasterizer bit-for-bit despite float rounding.
+    const float half = std::sqrt(rem);
+    const auto inside = [&](int x) {
       const float dx = static_cast<float>(x) + 0.5F - cx;
-      const float dy = static_cast<float>(y) + 0.5F - cy;
-      if (dx * dx + dy * dy <= r2) img.set_pixel(x, y, color);
-    }
+      return dx * dx + dy * dy <= r2;
+    };
+    int xs = std::max(x0, static_cast<int>(std::floor(cx - 0.5F - half)) - 1);
+    int xe = std::min(x1, static_cast<int>(std::ceil(cx - 0.5F + half)) + 1);
+    while (xs <= xe && !inside(xs)) ++xs;
+    while (xe >= xs && !inside(xe)) --xe;
+    if (xe >= xs) img.fill_row(xs, xe + 1, y, color);
   }
 }
 
@@ -127,8 +138,7 @@ void fill_vertical_gradient(Image& img, int y0, int y1, const Color& top, const 
   const float span = static_cast<float>(std::max(1, y1 - y0 - 1));
   for (int y = y0; y < y1; ++y) {
     const float t = static_cast<float>(y - y0) / span;
-    const Color c = top.mixed(bottom, t);
-    for (int x = 0; x < img.width(); ++x) img.set_pixel(x, y, c);
+    img.fill_row(0, img.width(), y, top.mixed(bottom, t));
   }
 }
 
@@ -143,6 +153,7 @@ void speckle_rect(Image& img, int x0, int y0, int x1, int y1, const Color& color
   x1 = std::min(x1, img.width());
   y1 = std::min(y1, img.height());
   const unsigned threshold = static_cast<unsigned>(density * 4294967295.0F);
+  if (threshold == 0) return;  // zero density writes nothing; skip the hashing
   for (int y = y0; y < y1; ++y) {
     for (int x = x0; x < x1; ++x) {
       // Cheap coordinate hash (Wang-style) for deterministic texture.

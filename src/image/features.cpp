@@ -1,135 +1,203 @@
 #include "image/features.hpp"
 
-#include <vector>
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
+#include <vector>
 
 namespace neuro::image {
 
-std::size_t hog_dimension(const HogConfig& config) {
-  return static_cast<std::size_t>(config.cells_per_side) *
-         static_cast<std::size_t>(config.cells_per_side) *
-         static_cast<std::size_t>(config.orientation_bins);
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+// Plane layout for the integral backend. Scalar cue planes first, then
+// `orientation_bins` HOG mass planes starting at kPlaneBins.
+constexpr int kPlaneLuma = 0;
+constexpr int kPlaneLuma2 = 1;
+constexpr int kPlaneR = 2;
+constexpr int kPlaneG = 3;
+constexpr int kPlaneB = 4;
+constexpr int kPlaneChroma = 5;
+constexpr int kPlaneDark = 6;    // luma < 0.30
+constexpr int kPlaneStrong = 7;  // gradient magnitude > 0.15
+constexpr int kPlaneHoriz = 8;
+constexpr int kPlaneVert = 9;
+constexpr int kPlaneDiag = 10;
+constexpr int kPlaneBins = 11;
+
+inline float luma_of(const Color& c) { return 0.299F * c.r + 0.587F * c.g + 0.114F * c.b; }
+
+inline float chroma_of(const Color& c) {
+  return 0.5F * (std::fabs(c.r - c.g) + std::fabs(c.g - c.b));
 }
 
-std::vector<float> hog_descriptor(const Gradients& grads, int x0, int y0,
-                                  const HogConfig& config) {
-  std::vector<float> descriptor(hog_dimension(config), 0.0F);
-  const float bin_width = std::numbers::pi_v<float> / static_cast<float>(config.orientation_bins);
+/// Soft assignment of an orientation to its two nearest circular bins.
+struct BinSplit {
+  int lower;
+  int upper;
+  float w_lower;
+  float w_upper;
+};
 
-  for (int cy = 0; cy < config.cells_per_side; ++cy) {
-    for (int cx = 0; cx < config.cells_per_side; ++cx) {
-      float* cell = descriptor.data() +
-                    (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config.cells_per_side) +
-                     static_cast<std::size_t>(cx)) *
-                        static_cast<std::size_t>(config.orientation_bins);
-      for (int py = 0; py < config.cell_size; ++py) {
-        for (int px = 0; px < config.cell_size; ++px) {
-          const int x = x0 + cx * config.cell_size + px;
-          const int y = y0 + cy * config.cell_size + py;
-          const float mag = grads.magnitude.sample_clamped(x, y, 0);
-          if (mag <= 0.0F) continue;
-          const float theta = grads.orientation.sample_clamped(x, y, 0);
-          // Soft-assign to the two nearest bins.
-          const float pos = theta / bin_width - 0.5F;
-          int lower = static_cast<int>(std::floor(pos));
-          const float frac = pos - static_cast<float>(lower);
-          int upper = lower + 1;
-          if (lower < 0) lower += config.orientation_bins;
-          if (upper >= config.orientation_bins) upper -= config.orientation_bins;
-          cell[lower] += mag * (1.0F - frac);
-          cell[upper] += mag * frac;
-        }
-      }
-      // L2-hys per cell.
-      float norm = 0.0F;
-      for (int b = 0; b < config.orientation_bins; ++b) norm += cell[b] * cell[b];
-      norm = std::sqrt(norm) + 1e-6F;
-      for (int b = 0; b < config.orientation_bins; ++b) {
-        cell[b] = std::min(cell[b] / norm, 0.2F);
-      }
-      norm = 0.0F;
-      for (int b = 0; b < config.orientation_bins; ++b) norm += cell[b] * cell[b];
-      norm = std::sqrt(norm) + 1e-6F;
-      for (int b = 0; b < config.orientation_bins; ++b) cell[b] /= norm;
-    }
-  }
-  return descriptor;
+inline BinSplit split_orientation(float theta, float bin_width, int bins) {
+  const float pos = theta / bin_width - 0.5F;
+  int lower = static_cast<int>(std::floor(pos));
+  const float frac = pos - static_cast<float>(lower);
+  int upper = lower + 1;
+  if (lower < 0) lower += bins;
+  if (upper >= bins) upper -= bins;
+  return {lower, upper, 1.0F - frac, frac};
 }
 
-std::vector<float> PatchStats::to_vector() const {
-  return {mean_r,        mean_g,          mean_b,           var_luma,
-          edge_density,  horizontal_energy, vertical_energy,  diagonal_energy,
-          center_y_norm, paint_density,   paint_columns,    aspect_ratio,
-          center_x_norm, pole_strength,   wire_rows,        facade_periodicity,
-          saturation};
+/// L2-hys: L2-normalize, clip at 0.2, renormalize.
+void l2hys_normalize(float* cell, int bins) {
+  float norm = 0.0F;
+  for (int b = 0; b < bins; ++b) norm += cell[b] * cell[b];
+  norm = std::sqrt(norm) + 1e-6F;
+  for (int b = 0; b < bins; ++b) cell[b] = std::min(cell[b] / norm, 0.2F);
+  norm = 0.0F;
+  for (int b = 0; b < bins; ++b) norm += cell[b] * cell[b];
+  norm = std::sqrt(norm) + 1e-6F;
+  for (int b = 0; b < bins; ++b) cell[b] /= norm;
 }
 
-PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0, int y0, int w,
-                               int h) {
-  PatchStats stats;
+/// Pixel range [first, second) of stretched cell `c` along one axis of a
+/// window starting at `origin` with `cell_extent = extent / cells_per_side`.
+/// Always at least one pixel wide. For canonical windows this reduces to
+/// exact cell_size-aligned cells.
+inline std::pair<int, int> cell_range(int origin, float cell_extent, int c) {
+  const int a = origin + static_cast<int>(std::floor(static_cast<float>(c) * cell_extent));
+  int b = origin + static_cast<int>(std::floor(static_cast<float>(c + 1) * cell_extent));
+  b = std::max(b, a + 1);
+  return {a, b};
+}
+
+/// Window-level sums that PatchStats derives from. Both backends fill the
+/// same aggregates (naive: per-pixel loops; integral: box sums), then share
+/// one finishing pass, so any backend disagreement is pure accumulation
+/// rounding. Dark/strong counts are integers summed exactly in double.
+struct WindowAggregates {
+  double count = 0.0;
+  double sum_r = 0.0, sum_g = 0.0, sum_b = 0.0;
+  double sum_luma = 0.0, sum_luma2 = 0.0;
+  double strong_edges = 0.0;
+  double horiz = 0.0, vert = 0.0, diag = 0.0;
+  // Clipped-rect structure cues.
+  double chroma_sum = 0.0;
+  std::vector<double> col_dark, row_dark, col_luma;
+};
+
+WindowAggregates naive_window_aggregates(const Image& rgb, const Gradients& grads, int x0, int y0,
+                                         int w, int h) {
+  WindowAggregates agg;
   const int x1 = x0 + std::max(1, w);
   const int y1 = y0 + std::max(1, h);
+  agg.count = static_cast<double>(x1 - x0) * static_cast<double>(y1 - y0);
 
-  // Subsample large windows for the aggregate statistics (means, variance,
-  // orientation energies); the wire/pole scans below stay full-resolution
-  // because 1-px structures are exactly what they look for.
-  const int step = std::max(
-      1, static_cast<int>(std::sqrt(static_cast<float>(w) * static_cast<float>(h) / 4096.0F)));
-  float count = 0.0F;
-
-  float sum_r = 0.0F;
-  float sum_g = 0.0F;
-  float sum_b = 0.0F;
-  float sum_luma = 0.0F;
-  float sum_luma2 = 0.0F;
-  float edge_total = 0.0F;
-  float horiz = 0.0F;
-  float vert = 0.0F;
-  float diag = 0.0F;
-  int strong_edges = 0;
-
-  constexpr float kPi = std::numbers::pi_v<float>;
-  for (int y = y0; y < y1; y += step) {
-    for (int x = x0; x < x1; x += step) {
-      count += 1.0F;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
       const int cx = std::clamp(x, 0, rgb.width() - 1);
       const int cy = std::clamp(y, 0, rgb.height() - 1);
       const Color c = rgb.pixel(cx, cy);
-      sum_r += c.r;
-      sum_g += c.g;
-      sum_b += c.b;
-      const float luma = 0.299F * c.r + 0.587F * c.g + 0.114F * c.b;
-      sum_luma += luma;
-      sum_luma2 += luma * luma;
+      agg.sum_r += c.r;
+      agg.sum_g += c.g;
+      agg.sum_b += c.b;
+      const float luma = luma_of(c);
+      agg.sum_luma += luma;
+      agg.sum_luma2 += static_cast<double>(luma) * static_cast<double>(luma);
 
       const float mag = grads.magnitude.sample_clamped(x, y, 0);
-      if (mag > 0.15F) ++strong_edges;
+      if (mag > 0.15F) agg.strong_edges += 1.0;
       if (mag <= 0.0F) continue;
-      edge_total += mag;
       const float theta = grads.orientation.sample_clamped(x, y, 0);
       // Orientation of the *gradient*; an edge that looks horizontal has a
       // vertical gradient. Bucket by gradient direction: near pi/2 -> the
       // underlying edge is horizontal.
       const float d_horiz = std::fabs(theta - kPi / 2.0F);
       const float d_vert = std::min(theta, kPi - theta);
-      if (d_horiz < kPi / 8.0F) horiz += mag;
-      else if (d_vert < kPi / 8.0F) vert += mag;
-      else diag += mag;
+      if (d_horiz < kPi / 8.0F) agg.horiz += mag;
+      else if (d_vert < kPi / 8.0F) agg.vert += mag;
+      else agg.diag += mag;
     }
   }
 
-  stats.mean_r = sum_r / count;
-  stats.mean_g = sum_g / count;
-  stats.mean_b = sum_b / count;
-  const float mean_luma = sum_luma / count;
-  stats.var_luma = std::max(0.0F, sum_luma2 / count - mean_luma * mean_luma);
-  stats.edge_density = static_cast<float>(strong_edges) / count;
-  const float energy = horiz + vert + diag + 1e-6F;
-  stats.horizontal_energy = horiz / energy;
-  stats.vertical_energy = vert / energy;
-  stats.diagonal_energy = diag / energy;
+  const int cx0 = std::max(0, x0);
+  const int cy0 = std::max(0, y0);
+  const int cx1 = std::min(rgb.width(), x1);
+  const int cy1 = std::min(rgb.height(), y1);
+  agg.col_dark.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  agg.row_dark.assign(static_cast<std::size_t>(std::max(1, cy1 - cy0)), 0.0);
+  agg.col_luma.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  for (int y = cy0; y < cy1; ++y) {
+    for (int x = cx0; x < cx1; ++x) {
+      const Color c = rgb.pixel(x, y);
+      const float luma = luma_of(c);
+      if (luma < 0.30F) {
+        agg.col_dark[static_cast<std::size_t>(x - cx0)] += 1.0;
+        agg.row_dark[static_cast<std::size_t>(y - cy0)] += 1.0;
+      }
+      agg.col_luma[static_cast<std::size_t>(x - cx0)] += luma;
+      agg.chroma_sum += chroma_of(c);
+    }
+  }
+  return agg;
+}
+
+WindowAggregates integral_window_aggregates(const IntegralPlanes& pl, int x0, int y0, int w,
+                                            int h) {
+  WindowAggregates agg;
+  const int x1 = x0 + std::max(1, w);
+  const int y1 = y0 + std::max(1, h);
+  agg.count = static_cast<double>(x1 - x0) * static_cast<double>(y1 - y0);
+  agg.sum_r = pl.clamped_sum(kPlaneR, x0, y0, x1, y1);
+  agg.sum_g = pl.clamped_sum(kPlaneG, x0, y0, x1, y1);
+  agg.sum_b = pl.clamped_sum(kPlaneB, x0, y0, x1, y1);
+  agg.sum_luma = pl.clamped_sum(kPlaneLuma, x0, y0, x1, y1);
+  agg.sum_luma2 = pl.clamped_sum(kPlaneLuma2, x0, y0, x1, y1);
+  agg.strong_edges = pl.clamped_sum(kPlaneStrong, x0, y0, x1, y1);
+  agg.horiz = pl.clamped_sum(kPlaneHoriz, x0, y0, x1, y1);
+  agg.vert = pl.clamped_sum(kPlaneVert, x0, y0, x1, y1);
+  agg.diag = pl.clamped_sum(kPlaneDiag, x0, y0, x1, y1);
+
+  const int cx0 = std::max(0, x0);
+  const int cy0 = std::max(0, y0);
+  const int cx1 = std::min(pl.width(), x1);
+  const int cy1 = std::min(pl.height(), y1);
+  agg.col_dark.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  agg.row_dark.assign(static_cast<std::size_t>(std::max(1, cy1 - cy0)), 0.0);
+  agg.col_luma.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  if (cx1 > cx0 && cy1 > cy0) {
+    for (int c = 0; c < cx1 - cx0; ++c) {
+      agg.col_dark[static_cast<std::size_t>(c)] = pl.sum(kPlaneDark, cx0 + c, cy0, cx0 + c + 1, cy1);
+      agg.col_luma[static_cast<std::size_t>(c)] = pl.sum(kPlaneLuma, cx0 + c, cy0, cx0 + c + 1, cy1);
+    }
+    for (int r = 0; r < cy1 - cy0; ++r) {
+      agg.row_dark[static_cast<std::size_t>(r)] = pl.sum(kPlaneDark, cx0, cy0 + r, cx1, cy0 + r + 1);
+    }
+    agg.chroma_sum = pl.sum(kPlaneChroma, cx0, cy0, cx1, cy1);
+  }
+  return agg;
+}
+
+PatchStats finish_patch_stats(const Image& rgb, const WindowAggregates& agg, int x0, int y0, int w,
+                              int h) {
+  PatchStats stats;
+  const int x1 = x0 + std::max(1, w);
+  const double count = agg.count;
+
+  stats.mean_r = static_cast<float>(agg.sum_r / count);
+  stats.mean_g = static_cast<float>(agg.sum_g / count);
+  stats.mean_b = static_cast<float>(agg.sum_b / count);
+  const double mean_luma = agg.sum_luma / count;
+  stats.var_luma =
+      static_cast<float>(std::max(0.0, agg.sum_luma2 / count - mean_luma * mean_luma));
+  stats.edge_density = static_cast<float>(agg.strong_edges / count);
+  const double energy = agg.horiz + agg.vert + agg.diag + 1e-6;
+  stats.horizontal_energy = static_cast<float>(agg.horiz / energy);
+  stats.vertical_energy = static_cast<float>(agg.vert / energy);
+  stats.diagonal_energy = static_cast<float>(agg.diag / energy);
   stats.center_y_norm =
       (static_cast<float>(y0) + static_cast<float>(h) / 2.0F) / static_cast<float>(rgb.height());
   stats.center_x_norm =
@@ -139,8 +207,10 @@ PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0,
   // Lane-paint cues: bright pixels standing out against the window mean
   // (lane markings are light strokes on dark asphalt). paint_columns counts
   // distinct bright runs along scanlines in the lower part of the window —
-  // a proxy for the number of visible lane dividers.
-  const float surround = mean_luma;
+  // a proxy for the number of visible lane dividers. The threshold depends
+  // on the window mean, so this stays a per-pixel pass on both backends:
+  // O(5w) per window.
+  const float surround = static_cast<float>(mean_luma);
   int paint_pixels = 0;
   int max_runs = 0;
   for (float row_frac : {0.50F, 0.60F, 0.70F, 0.80F, 0.90F}) {
@@ -149,8 +219,7 @@ PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0,
     int runs = 0;
     bool in_run = false;
     for (int x = std::max(0, x0); x < std::min(rgb.width(), x1); ++x) {
-      const Color c = rgb.pixel(x, y);
-      const float luma = 0.299F * c.r + 0.587F * c.g + 0.114F * c.b;
+      const float luma = luma_of(rgb.pixel(x, y));
       const bool bright = luma > surround + 0.18F && luma > 0.45F;
       if (bright) {
         ++paint_pixels;
@@ -168,45 +237,24 @@ PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0,
   stats.paint_density = static_cast<float>(paint_pixels) / scan_pixels;
   stats.paint_columns = std::min(1.0F, static_cast<float>(max_runs) / 5.0F);
 
-  // Row/column structure cues. One clipped pass accumulating per-row and
-  // per-column darkness plus column mean luma and chroma.
-  const int cx0 = std::max(0, x0);
-  const int cy0 = std::max(0, y0);
-  const int cx1 = std::min(rgb.width(), x1);
-  const int cy1 = std::min(rgb.height(), y1);
-  const int cols = std::max(1, cx1 - cx0);
-  const int rows = std::max(1, cy1 - cy0);
-  std::vector<int> col_dark(static_cast<std::size_t>(cols), 0);
-  std::vector<int> row_dark(static_cast<std::size_t>(rows), 0);
-  std::vector<float> col_luma(static_cast<std::size_t>(cols), 0.0F);
-  float chroma_sum = 0.0F;
-  for (int y = cy0; y < cy1; ++y) {
-    for (int x = cx0; x < cx1; ++x) {
-      const Color c = rgb.pixel(x, y);
-      const float luma = 0.299F * c.r + 0.587F * c.g + 0.114F * c.b;
-      if (luma < 0.30F) {
-        ++col_dark[static_cast<std::size_t>(x - cx0)];
-        ++row_dark[static_cast<std::size_t>(y - cy0)];
-      }
-      col_luma[static_cast<std::size_t>(x - cx0)] += luma;
-      chroma_sum += 0.5F * (std::fabs(c.r - c.g) + std::fabs(c.g - c.b));
-    }
-  }
-  stats.saturation = chroma_sum / (static_cast<float>(cols) * static_cast<float>(rows));
+  const int cols = static_cast<int>(agg.col_dark.size());
+  const int rows = static_cast<int>(agg.row_dark.size());
+  stats.saturation =
+      static_cast<float>(agg.chroma_sum / (static_cast<double>(cols) * static_cast<double>(rows)));
 
   // Pole cue: the best dark column (fraction of its rows that are dark).
-  int best_col_dark = 0;
-  for (int c = 0; c < cols; ++c) best_col_dark = std::max(best_col_dark, col_dark[static_cast<std::size_t>(c)]);
-  stats.pole_strength = static_cast<float>(best_col_dark) / static_cast<float>(rows);
+  double best_col_dark = 0.0;
+  for (double v : agg.col_dark) best_col_dark = std::max(best_col_dark, v);
+  stats.pole_strength = static_cast<float>(best_col_dark / rows);
 
   // Wire cue: thin rows that are substantially dark while their vertical
   // neighbours are not (a sagging wire crosses the full window width).
   int wire_count = 0;
   for (int r = 0; r < rows; ++r) {
-    const float here = static_cast<float>(row_dark[static_cast<std::size_t>(r)]) / cols;
-    const float above = r > 0 ? static_cast<float>(row_dark[static_cast<std::size_t>(r - 1)]) / cols : 0.0F;
-    const float below = r + 1 < rows ? static_cast<float>(row_dark[static_cast<std::size_t>(r + 1)]) / cols : 0.0F;
-    if (here > 0.45F && above < 0.25F && below < 0.25F) ++wire_count;
+    const double here = agg.row_dark[static_cast<std::size_t>(r)] / cols;
+    const double above = r > 0 ? agg.row_dark[static_cast<std::size_t>(r - 1)] / cols : 0.0;
+    const double below = r + 1 < rows ? agg.row_dark[static_cast<std::size_t>(r + 1)] / cols : 0.0;
+    if (here > 0.45 && above < 0.25 && below < 0.25) ++wire_count;
   }
   stats.wire_rows = std::min(1.0F, static_cast<float>(wire_count) / 4.0F);
 
@@ -214,8 +262,8 @@ PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0,
   int alternations = 0;
   int prev_sign = 0;
   for (int c = 0; c < cols; ++c) {
-    const float dev = col_luma[static_cast<std::size_t>(c)] / rows - mean_luma;
-    const int sign = dev > 0.04F ? 1 : (dev < -0.04F ? -1 : 0);
+    const double dev = agg.col_luma[static_cast<std::size_t>(c)] / rows - mean_luma;
+    const int sign = dev > 0.04 ? 1 : (dev < -0.04 ? -1 : 0);
     if (sign != 0 && prev_sign != 0 && sign != prev_sign) ++alternations;
     if (sign != 0) prev_sign = sign;
   }
@@ -223,10 +271,95 @@ PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0,
   return stats;
 }
 
-WindowFeatureExtractor::WindowFeatureExtractor(HogConfig config) : config_(config) {}
+}  // namespace
+
+std::size_t hog_dimension(const HogConfig& config) {
+  return static_cast<std::size_t>(config.cells_per_side) *
+         static_cast<std::size_t>(config.cells_per_side) *
+         static_cast<std::size_t>(config.orientation_bins);
+}
+
+std::vector<float> hog_descriptor(const Gradients& grads, int x0, int y0,
+                                  const HogConfig& config) {
+  std::vector<float> descriptor(hog_dimension(config), 0.0F);
+  const float bin_width = kPi / static_cast<float>(config.orientation_bins);
+
+  for (int cy = 0; cy < config.cells_per_side; ++cy) {
+    for (int cx = 0; cx < config.cells_per_side; ++cx) {
+      float* cell = descriptor.data() +
+                    (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config.cells_per_side) +
+                     static_cast<std::size_t>(cx)) *
+                        static_cast<std::size_t>(config.orientation_bins);
+      for (int py = 0; py < config.cell_size; ++py) {
+        for (int px = 0; px < config.cell_size; ++px) {
+          const int x = x0 + cx * config.cell_size + px;
+          const int y = y0 + cy * config.cell_size + py;
+          const float mag = grads.magnitude.sample_clamped(x, y, 0);
+          if (mag <= 0.0F) continue;
+          const float theta = grads.orientation.sample_clamped(x, y, 0);
+          const BinSplit s = split_orientation(theta, bin_width, config.orientation_bins);
+          cell[s.lower] += mag * s.w_lower;
+          cell[s.upper] += mag * s.w_upper;
+        }
+      }
+      l2hys_normalize(cell, config.orientation_bins);
+    }
+  }
+  return descriptor;
+}
+
+std::vector<float> PatchStats::to_vector() const {
+  return {mean_r,        mean_g,          mean_b,           var_luma,
+          edge_density,  horizontal_energy, vertical_energy,  diagonal_energy,
+          center_y_norm, paint_density,   paint_columns,    aspect_ratio,
+          center_x_norm, pole_strength,   wire_rows,        facade_periodicity,
+          saturation};
+}
+
+PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0, int y0, int w,
+                               int h) {
+  return finish_patch_stats(rgb, naive_window_aggregates(rgb, grads, x0, y0, w, h), x0, y0, w, h);
+}
+
+WindowFeatureExtractor::WindowFeatureExtractor(HogConfig config, bool use_integral)
+    : config_(config), use_integral_(use_integral) {}
 
 WindowFeatureExtractor::Prepared WindowFeatureExtractor::prepare(const Image& rgb) const {
-  Prepared prep{rgb, sobel_gradients(rgb.to_grayscale())};
+  Prepared prep{rgb, sobel_gradients(rgb.to_grayscale()), nullptr};
+  if (!use_integral_) return prep;
+
+  const int w = rgb.width();
+  const int h = rgb.height();
+  auto planes = std::make_shared<IntegralPlanes>(w, h, kPlaneBins + config_.orientation_bins);
+  const float bin_width = kPi / static_cast<float>(config_.orientation_bins);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Color c = rgb.pixel(x, y);
+      const float luma = luma_of(c);
+      planes->add(kPlaneR, x, y, c.r);
+      planes->add(kPlaneG, x, y, c.g);
+      planes->add(kPlaneB, x, y, c.b);
+      planes->add(kPlaneLuma, x, y, luma);
+      planes->add(kPlaneLuma2, x, y, static_cast<double>(luma) * static_cast<double>(luma));
+      planes->add(kPlaneChroma, x, y, chroma_of(c));
+      if (luma < 0.30F) planes->add(kPlaneDark, x, y, 1.0);
+
+      const float mag = prep.grads.magnitude.at(x, y, 0);
+      if (mag > 0.15F) planes->add(kPlaneStrong, x, y, 1.0);
+      if (mag <= 0.0F) continue;
+      const float theta = prep.grads.orientation.at(x, y, 0);
+      const float d_horiz = std::fabs(theta - kPi / 2.0F);
+      const float d_vert = std::min(theta, kPi - theta);
+      if (d_horiz < kPi / 8.0F) planes->add(kPlaneHoriz, x, y, mag);
+      else if (d_vert < kPi / 8.0F) planes->add(kPlaneVert, x, y, mag);
+      else planes->add(kPlaneDiag, x, y, mag);
+      const BinSplit s = split_orientation(theta, bin_width, config_.orientation_bins);
+      planes->add(kPlaneBins + s.lower, x, y, mag * s.w_lower);
+      planes->add(kPlaneBins + s.upper, x, y, mag * s.w_upper);
+    }
+  }
+  planes->finalize();
+  prep.planes = std::move(planes);
   return prep;
 }
 
@@ -241,20 +374,15 @@ std::vector<float> WindowFeatureExtractor::extract(const Prepared& prep, int x, 
   std::vector<float> features;
   features.reserve(dimension());
 
+  std::vector<float> descriptor(hog_dimension(config_), 0.0F);
+  const float cell_w = static_cast<float>(w) / static_cast<float>(config_.cells_per_side);
+  const float cell_h = static_cast<float>(h) / static_cast<float>(config_.cells_per_side);
+  const float bin_width = kPi / static_cast<float>(config_.orientation_bins);
   const int canonical = config_.cell_size * config_.cells_per_side;
-  if (w == canonical && h == canonical) {
-    features = hog_descriptor(prep.grads, x, y, config_);
-  } else {
-    // Build a scaled config by sampling gradient statistics per stretched
-    // cell directly.
-    std::vector<float> descriptor(hog_dimension(config_), 0.0F);
-    const float bin_width =
-        std::numbers::pi_v<float> / static_cast<float>(config_.orientation_bins);
-    const float cell_w = static_cast<float>(w) / static_cast<float>(config_.cells_per_side);
-    const float cell_h = static_cast<float>(h) / static_cast<float>(config_.cells_per_side);
-    // Subsample pixels in large cells: gradients are smooth at that scale
-    // and this cuts big-window extraction cost by an order of magnitude.
-    const int step = std::max(1, static_cast<int>(std::min(cell_w, cell_h)) / 10);
+
+  if (prep.planes) {
+    // Integral backend: every HOG cell is orientation_bins box sums over
+    // the per-bin mass planes, regardless of window size — O(cells).
     for (int cy = 0; cy < config_.cells_per_side; ++cy) {
       for (int cx = 0; cx < config_.cells_per_side; ++cx) {
         float* cell =
@@ -262,41 +390,48 @@ std::vector<float> WindowFeatureExtractor::extract(const Prepared& prep, int x, 
             (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config_.cells_per_side) +
              static_cast<std::size_t>(cx)) *
                 static_cast<std::size_t>(config_.orientation_bins);
-        const int px0 = x + static_cast<int>(std::floor(static_cast<float>(cx) * cell_w));
-        const int px1 = x + static_cast<int>(std::floor(static_cast<float>(cx + 1) * cell_w));
-        const int py0 = y + static_cast<int>(std::floor(static_cast<float>(cy) * cell_h));
-        const int py1 = y + static_cast<int>(std::floor(static_cast<float>(cy + 1) * cell_h));
-        for (int py = py0; py < std::max(py1, py0 + 1); py += step) {
-          for (int px = px0; px < std::max(px1, px0 + 1); px += step) {
+        const auto [px0, px1] = cell_range(x, cell_w, cx);
+        const auto [py0, py1] = cell_range(y, cell_h, cy);
+        for (int b = 0; b < config_.orientation_bins; ++b) {
+          cell[b] = static_cast<float>(prep.planes->clamped_sum(kPlaneBins + b, px0, py0, px1, py1));
+        }
+        l2hys_normalize(cell, config_.orientation_bins);
+      }
+    }
+  } else if (w == canonical && h == canonical) {
+    descriptor = hog_descriptor(prep.grads, x, y, config_);
+  } else {
+    // Naive backend, stretched grid: per-pixel accumulation over each cell.
+    for (int cy = 0; cy < config_.cells_per_side; ++cy) {
+      for (int cx = 0; cx < config_.cells_per_side; ++cx) {
+        float* cell =
+            descriptor.data() +
+            (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config_.cells_per_side) +
+             static_cast<std::size_t>(cx)) *
+                static_cast<std::size_t>(config_.orientation_bins);
+        const auto [px0, px1] = cell_range(x, cell_w, cx);
+        const auto [py0, py1] = cell_range(y, cell_h, cy);
+        for (int py = py0; py < py1; ++py) {
+          for (int px = px0; px < px1; ++px) {
             const float mag = prep.grads.magnitude.sample_clamped(px, py, 0);
             if (mag <= 0.0F) continue;
             const float theta = prep.grads.orientation.sample_clamped(px, py, 0);
-            const float pos = theta / bin_width - 0.5F;
-            int lower = static_cast<int>(std::floor(pos));
-            const float frac = pos - static_cast<float>(lower);
-            int upper = lower + 1;
-            if (lower < 0) lower += config_.orientation_bins;
-            if (upper >= config_.orientation_bins) upper -= config_.orientation_bins;
-            cell[lower] += mag * (1.0F - frac);
-            cell[upper] += mag * frac;
+            const BinSplit s = split_orientation(theta, bin_width, config_.orientation_bins);
+            cell[s.lower] += mag * s.w_lower;
+            cell[s.upper] += mag * s.w_upper;
           }
         }
-        float norm = 0.0F;
-        for (int b = 0; b < config_.orientation_bins; ++b) norm += cell[b] * cell[b];
-        norm = std::sqrt(norm) + 1e-6F;
-        for (int b = 0; b < config_.orientation_bins; ++b) {
-          cell[b] = std::min(cell[b] / norm, 0.2F);
-        }
-        norm = 0.0F;
-        for (int b = 0; b < config_.orientation_bins; ++b) norm += cell[b] * cell[b];
-        norm = std::sqrt(norm) + 1e-6F;
-        for (int b = 0; b < config_.orientation_bins; ++b) cell[b] /= norm;
+        l2hys_normalize(cell, config_.orientation_bins);
       }
     }
-    features = std::move(descriptor);
   }
+  features = std::move(descriptor);
 
-  const PatchStats stats = compute_patch_stats(prep.rgb, prep.grads, x, y, w, h);
+  const PatchStats stats =
+      prep.planes
+          ? finish_patch_stats(prep.rgb, integral_window_aggregates(*prep.planes, x, y, w, h), x,
+                               y, w, h)
+          : compute_patch_stats(prep.rgb, prep.grads, x, y, w, h);
   const std::vector<float> tail = stats.to_vector();
   features.insert(features.end(), tail.begin(), tail.end());
   return features;

@@ -2,10 +2,12 @@
 // Feature extraction for the NanoDet detector heads and the simulated VLM
 // visual channel: HOG descriptors plus color/edge patch statistics.
 
+#include <memory>
 #include <vector>
 
 #include "image/filter.hpp"
 #include "image/image.hpp"
+#include "image/integral.hpp"
 
 namespace neuro::image {
 
@@ -57,14 +59,25 @@ PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0,
 
 /// Full feature vector for a window: HOG (resized to a canonical window)
 /// concatenated with PatchStats.
+///
+/// Two extraction backends share one definition of the features:
+///  - integral (default): prepare() additionally builds per-orientation-bin
+///    integral histograms plus integral luma/luma^2/chroma/dark-count
+///    planes, so each HOG cell and most patch statistics are 4-corner
+///    lookups — O(cells) per window instead of O(pixels), with no
+///    subsampling approximation.
+///  - naive (use_integral = false): the original per-pixel loops, kept as
+///    the test oracle. Both backends agree within float rounding (~1e-6).
 class WindowFeatureExtractor {
  public:
-  explicit WindowFeatureExtractor(HogConfig config = {});
+  explicit WindowFeatureExtractor(HogConfig config = {}, bool use_integral = true);
 
-  /// Precompute gradients once per image, then extract per window.
+  /// Precompute gradients (and, on the integral backend, the summed-area
+  /// planes) once per image, then extract per window.
   struct Prepared {
     Image rgb;        // original (shared copy)
     Gradients grads;  // over grayscale
+    std::shared_ptr<const IntegralPlanes> planes;  // null on the naive backend
   };
   Prepared prepare(const Image& rgb) const;
 
@@ -74,9 +87,11 @@ class WindowFeatureExtractor {
 
   std::size_t dimension() const;
   const HogConfig& config() const { return config_; }
+  bool use_integral() const { return use_integral_; }
 
  private:
   HogConfig config_;
+  bool use_integral_ = true;
 };
 
 }  // namespace neuro::image

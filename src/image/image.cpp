@@ -41,10 +41,28 @@ void Image::set_pixel_safe(int x, int y, const Color& color) {
   if (in_bounds(x, y)) set_pixel(x, y, color);
 }
 
-void Image::fill(const Color& color) {
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) set_pixel(x, y, color);
+void Image::fill_row(int x0, int x1, int y, const Color& color) {
+  if (y < 0 || y >= height_) return;
+  x0 = std::max(x0, 0);
+  x1 = std::min(x1, width_);
+  if (x1 <= x0) return;
+  const std::size_t base = (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                            static_cast<std::size_t>(x0)) *
+                           static_cast<std::size_t>(channels_);
+  float* p = data_.data() + base;
+  if (channels_ == 1) {
+    std::fill(p, p + static_cast<std::size_t>(x1 - x0), (color.r + color.g + color.b) / 3.0F);
+  } else {
+    for (int x = x0; x < x1; ++x) {
+      *p++ = color.r;
+      *p++ = color.g;
+      *p++ = color.b;
+    }
   }
+}
+
+void Image::fill(const Color& color) {
+  for (int y = 0; y < height_; ++y) fill_row(0, width_, y, color);
 }
 
 void Image::clamp01() {

@@ -69,6 +69,12 @@ class Image {
   /// Set a pixel only when in bounds.
   void set_pixel_safe(int x, int y, const Color& color);
 
+  /// Fill the contiguous row segment [x0, x1) on scanline y with one color.
+  /// Coordinates are clamped to the image; out-of-range rows are ignored.
+  /// Semantically identical to set_pixel over the clamped range, but writes
+  /// the row storage directly (the rasterizer hot path).
+  void fill_row(int x0, int x1, int y, const Color& color);
+
   void fill(const Color& color);
 
   /// Clamp every component into [0, 1].

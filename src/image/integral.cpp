@@ -1,0 +1,81 @@
+#include "image/integral.hpp"
+
+#include <algorithm>
+
+namespace neuro::image {
+
+IntegralPlanes::IntegralPlanes(int width, int height, int planes)
+    : width_(width),
+      height_(height),
+      planes_(planes),
+      stride_(static_cast<std::size_t>(width) + 1),
+      plane_size_(stride_ * (static_cast<std::size_t>(height) + 1)) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("integral plane dimensions must be positive");
+  }
+  if (planes <= 0) throw std::invalid_argument("plane count must be positive");
+  data_.assign(plane_size_ * static_cast<std::size_t>(planes), 0.0);
+}
+
+void IntegralPlanes::finalize() {
+  // Padded top row / left column stay zero, so sum() needs no edge special
+  // cases: prefix(x, y) covers the pixel rect [0, x) x [0, y).
+  for (int p = 0; p < planes_; ++p) {
+    double* plane = data_.data() + plane_size_ * static_cast<std::size_t>(p);
+    for (int y = 1; y <= height_; ++y) {
+      double* row = plane + static_cast<std::size_t>(y) * stride_;
+      const double* prev = row - stride_;
+      double run = 0.0;
+      for (int x = 1; x <= width_; ++x) {
+        run += row[x];
+        row[x] = run + prev[x];
+      }
+    }
+  }
+}
+
+double IntegralPlanes::sum(int plane, int x0, int y0, int x1, int y1) const {
+  x0 = std::clamp(x0, 0, width_);
+  x1 = std::clamp(x1, 0, width_);
+  y0 = std::clamp(y0, 0, height_);
+  y1 = std::clamp(y1, 0, height_);
+  if (x1 <= x0 || y1 <= y0) return 0.0;
+  const double* p = data_.data() + plane_size_ * static_cast<std::size_t>(plane);
+  const std::size_t r0 = static_cast<std::size_t>(y0) * stride_;
+  const std::size_t r1 = static_cast<std::size_t>(y1) * stride_;
+  return p[r1 + static_cast<std::size_t>(x1)] - p[r0 + static_cast<std::size_t>(x1)] -
+         p[r1 + static_cast<std::size_t>(x0)] + p[r0 + static_cast<std::size_t>(x0)];
+}
+
+double IntegralPlanes::clamped_sum(int plane, int x0, int y0, int x1, int y1) const {
+  if (x1 <= x0 || y1 <= y0) return 0.0;
+  if (x0 >= 0 && y0 >= 0 && x1 <= width_ && y1 <= height_) return sum(plane, x0, y0, x1, y1);
+
+  // Edge replication decomposes into nine regions: the in-grid core, four
+  // side strips that repeat an edge row/column, and four corner blocks that
+  // repeat a corner pixel. Each replicated region is (multiplicity x an
+  // in-grid sum). `row(y)` is the edge-replicated sum of one grid row over
+  // the query's x-range, which folds the corner blocks into the top/bottom
+  // terms.
+  const double l = static_cast<double>(std::max(0, std::min(x1, 0) - x0));
+  const double r = static_cast<double>(std::max(0, x1 - std::max(x0, width_)));
+  const double t = static_cast<double>(std::max(0, std::min(y1, 0) - y0));
+  const double b = static_cast<double>(std::max(0, y1 - std::max(y0, height_)));
+  const int cx0 = std::clamp(x0, 0, width_);
+  const int cx1 = std::clamp(x1, 0, width_);
+  const int cy0 = std::clamp(y0, 0, height_);
+  const int cy1 = std::clamp(y1, 0, height_);
+
+  const auto row = [&](int y) {
+    return sum(plane, cx0, y, cx1, y + 1) + l * sum(plane, 0, y, 1, y + 1) +
+           r * sum(plane, width_ - 1, y, width_, y + 1);
+  };
+
+  double total = sum(plane, cx0, cy0, cx1, cy1) + l * sum(plane, 0, cy0, 1, cy1) +
+                 r * sum(plane, width_ - 1, cy0, width_, cy1);
+  if (t > 0.0) total += t * row(0);
+  if (b > 0.0) total += b * row(height_ - 1);
+  return total;
+}
+
+}  // namespace neuro::image

@@ -1,0 +1,58 @@
+#pragma once
+// Multi-plane summed-area tables (integral images) for O(1) box sums.
+//
+// The feature extractor builds one plane per scalar cue (luma, luma^2,
+// chroma, dark-pixel count, per-orientation-bin HOG mass, ...) so any
+// axis-aligned window statistic collapses to a 4-corner lookup. Planes are
+// accumulated in double precision: per-pixel contributions are computed in
+// float (matching the naive per-pixel oracle bit-for-bit), then widened, so
+// box sums agree with sequential accumulation to ~1e-12 relative error.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace neuro::image {
+
+class IntegralPlanes {
+ public:
+  /// Allocates `planes` zero-filled planes over a width x height grid.
+  IntegralPlanes(int width, int height, int planes);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int planes() const { return planes_; }
+
+  /// Accumulate a per-pixel contribution. Only valid before finalize().
+  void add(int plane, int x, int y, double value) {
+    data_[offset(plane, x + 1, y + 1)] += value;
+  }
+
+  /// Convert per-pixel contributions to 2D prefix sums, in place.
+  void finalize();
+
+  /// Sum of plane values over [x0, x1) x [y0, y1), clipped to the grid.
+  /// Only valid after finalize().
+  double sum(int plane, int x0, int y0, int x1, int y1) const;
+
+  /// Sum over [x0, x1) x [y0, y1) with edge replication: coordinates
+  /// outside the grid read the nearest edge pixel, matching the semantics
+  /// of Image::sample_clamped applied per pixel. Only valid after
+  /// finalize().
+  double clamped_sum(int plane, int x0, int y0, int x1, int y1) const;
+
+ private:
+  std::size_t offset(int plane, int x, int y) const {
+    return plane_size_ * static_cast<std::size_t>(plane) +
+           static_cast<std::size_t>(y) * stride_ + static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int planes_ = 0;
+  std::size_t stride_ = 0;      // (width + 1) doubles per padded row
+  std::size_t plane_size_ = 0;  // (width + 1) * (height + 1)
+  std::vector<double> data_;
+};
+
+}  // namespace neuro::image

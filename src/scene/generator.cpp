@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/mathx.hpp"
+#include "util/thread_pool.hpp"
 
 namespace neuro::scene {
 
@@ -186,23 +187,27 @@ StreetScene SceneSampler::sample(const Capture& capture, util::Rng& rng) const {
 }
 
 std::vector<GeneratedCapture> generate_survey(const SamplingFrame& frame, std::size_t count,
-                                              const GeneratorConfig& config, util::Rng& rng) {
+                                              const GeneratorConfig& config, util::Rng& rng,
+                                              std::size_t threads) {
   SceneSampler sampler(config);
   // One point per capture keeps images independent, matching the paper's
   // random selection of 1,200 images from many locations.
   util::Rng point_rng = rng.fork("points");
   const std::vector<SamplePoint> points = frame.sample_points(count, point_rng);
   std::vector<Capture> captures = SamplingFrame::expand_captures(points, 1);
-  // Randomize headings (expand_captures assigns in order).
+  // Randomize headings (expand_captures assigns in order); this mutates
+  // `rng`, so it stays serial. Scene sampling below only *forks* per
+  // capture (fork is const), so any partition across workers produces the
+  // same scenes.
   for (Capture& capture : captures) capture.heading = all_headings()[rng.index(4)];
 
-  std::vector<GeneratedCapture> out;
-  out.reserve(captures.size());
-  for (const Capture& capture : captures) {
-    util::Rng scene_rng =
-        rng.fork("scene-" + std::to_string(capture.capture_id));
-    out.push_back(GeneratedCapture{capture, sampler.sample(capture, scene_rng)});
-  }
+  std::vector<GeneratedCapture> out(captures.size());
+  util::ThreadPool pool(threads);
+  pool.parallel_for(captures.size(), [&](std::size_t i) {
+    const Capture& capture = captures[i];
+    util::Rng scene_rng = rng.fork("scene-" + std::to_string(capture.capture_id));
+    out[i] = GeneratedCapture{capture, sampler.sample(capture, scene_rng)};
+  });
   return out;
 }
 

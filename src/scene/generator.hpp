@@ -71,8 +71,12 @@ struct GeneratedCapture {
   StreetScene scene;
 };
 
-/// Build `count` scenes over the paper's two-county frame.
+/// Build `count` scenes over the paper's two-county frame. Points and
+/// headings are drawn serially from `rng`; per-capture scenes then sample
+/// from forked streams, optionally across `threads` workers (0 = hardware
+/// concurrency). Output is bit-identical at any thread count.
 std::vector<GeneratedCapture> generate_survey(const SamplingFrame& frame, std::size_t count,
-                                              const GeneratorConfig& config, util::Rng& rng);
+                                              const GeneratorConfig& config, util::Rng& rng,
+                                              std::size_t threads = 1);
 
 }  // namespace neuro::scene

@@ -173,9 +173,6 @@ RenderResult Renderer::render(const StreetScene& scene) const {
                         {{left_bottom, fh}, {right_bottom, fh}, {vx + 1.5F, horizon_f},
                          {vx - 1.5F, horizon_f}},
                         asphalt);
-    image::speckle_rect(img, 0, horizon_y, w, h, lit(Color::gray(road.asphalt_shade * 0.8F), daylight),
-                        0.0F, scene.texture_salt);  // no-op placeholder keeps texture API exercised
-
     // Lane markings. For n lanes per direction there are 2n lanes; draw the
     // center divider (yellow) and the 2n-2 white dividers between them.
     const int total_lanes = road.lanes_per_direction * 2;

@@ -1,0 +1,133 @@
+// Thread-count invariance of the dataset builders: every image draws from
+// an index-keyed RNG fork, so serial and N-thread builds must be
+// byte-identical — including with label noise enabled, whose streams are
+// also per-image forks.
+
+#include "data/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/metrics.hpp"
+
+namespace neuro::data {
+namespace {
+
+BuildConfig small_config(std::size_t threads) {
+  BuildConfig config;
+  config.image_count = 12;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  config.threads = threads;
+  return config;
+}
+
+void expect_images_identical(const LabeledImage& a, const LabeledImage& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.id, b.id) << what;
+  EXPECT_EQ(a.county_index, b.county_index) << what;
+  EXPECT_EQ(a.tract_id, b.tract_id) << what;
+  EXPECT_EQ(a.heading, b.heading) << what;
+  EXPECT_EQ(a.image.data(), b.image.data()) << what << " pixel data";
+  ASSERT_EQ(a.annotations.size(), b.annotations.size()) << what;
+  for (std::size_t k = 0; k < a.annotations.size(); ++k) {
+    EXPECT_EQ(a.annotations[k].indicator, b.annotations[k].indicator) << what;
+    EXPECT_EQ(a.annotations[k].box.x, b.annotations[k].box.x) << what;
+    EXPECT_EQ(a.annotations[k].box.y, b.annotations[k].box.y) << what;
+    EXPECT_EQ(a.annotations[k].box.w, b.annotations[k].box.w) << what;
+    EXPECT_EQ(a.annotations[k].box.h, b.annotations[k].box.h) << what;
+    EXPECT_EQ(a.annotations[k].visibility, b.annotations[k].visibility) << what;
+  }
+}
+
+void expect_datasets_identical(const Dataset& a, const Dataset& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_images_identical(a[i], b[i], what + " image " + std::to_string(i));
+  }
+}
+
+TEST(ParallelBuild, DatasetIdenticalAcrossThreadCounts) {
+  const Dataset serial = build_synthetic_dataset(small_config(1), 99);
+  for (std::size_t threads : {std::size_t{4}, std::size_t{16}}) {
+    const Dataset parallel = build_synthetic_dataset(small_config(threads), 99);
+    expect_datasets_identical(serial, parallel, std::to_string(threads) + " threads");
+  }
+}
+
+TEST(ParallelBuild, DatasetWithLabelNoiseIdenticalAcrossThreadCounts) {
+  BuildConfig config = small_config(1);
+  config.label_miss_rate = 0.2;
+  config.label_jitter_px = 2.0;
+  const Dataset serial = build_synthetic_dataset(config, 123);
+
+  // Noise must actually fire for this to test anything.
+  const Dataset clean = build_synthetic_dataset(small_config(1), 123);
+  std::size_t serial_boxes = 0;
+  std::size_t clean_boxes = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) serial_boxes += serial[i].annotations.size();
+  for (std::size_t i = 0; i < clean.size(); ++i) clean_boxes += clean[i].annotations.size();
+  EXPECT_LT(serial_boxes, clean_boxes);
+
+  for (std::size_t threads : {std::size_t{4}, std::size_t{16}}) {
+    config.threads = threads;
+    const Dataset parallel = build_synthetic_dataset(config, 123);
+    expect_datasets_identical(serial, parallel,
+                              "noisy build, " + std::to_string(threads) + " threads");
+  }
+}
+
+TEST(ParallelBuild, MultiviewIdenticalAcrossThreadCounts) {
+  const auto serial = build_multiview_survey(small_config(1), 5, 77);
+  for (std::size_t threads : {std::size_t{4}, std::size_t{16}}) {
+    const auto parallel = build_multiview_survey(small_config(threads), 5, 77);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t p = 0; p < serial.size(); ++p) {
+      EXPECT_EQ(serial[p].location_id, parallel[p].location_id);
+      EXPECT_EQ(serial[p].county_index, parallel[p].county_index);
+      EXPECT_EQ(serial[p].tract_id, parallel[p].tract_id);
+      ASSERT_EQ(serial[p].views.size(), parallel[p].views.size());
+      for (std::size_t v = 0; v < serial[p].views.size(); ++v) {
+        expect_images_identical(serial[p].views[v], parallel[p].views[v],
+                                "location " + std::to_string(p) + " view " + std::to_string(v));
+      }
+    }
+  }
+}
+
+TEST(ParallelBuild, ReportsStageStatsAndMetrics) {
+  util::MetricsRegistry metrics;
+  BuildConfig config = small_config(2);
+  config.label_miss_rate = 0.1;
+  config.metrics = &metrics;
+  BuildStats stats;
+  const Dataset dataset = build_synthetic_dataset(config, 5, &stats);
+
+  EXPECT_EQ(stats.images, dataset.size());
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.render_seconds, 0.0);
+  EXPECT_GT(stats.images_per_second, 0.0);
+
+  EXPECT_EQ(metrics.counter("dataset.images_built").value(), dataset.size());
+  EXPECT_EQ(metrics.histogram("dataset.render_ms").count(), dataset.size());
+  EXPECT_EQ(metrics.histogram("dataset.label_noise_ms").count(), dataset.size());
+  EXPECT_EQ(metrics.histogram("dataset.scene_ms").count(), 1U);
+}
+
+TEST(ParallelBuild, MultiviewReportsStats) {
+  util::MetricsRegistry metrics;
+  BuildConfig config = small_config(2);
+  config.metrics = &metrics;
+  BuildStats stats;
+  const auto locations = build_multiview_survey(config, 4, 9, &stats);
+
+  EXPECT_EQ(stats.images, locations.size() * 4);
+  EXPECT_GT(stats.total_seconds, 0.0);
+
+  EXPECT_EQ(metrics.counter("dataset.multiview_views_built").value(), locations.size() * 4);
+  EXPECT_EQ(metrics.histogram("dataset.multiview_location_ms").count(), locations.size());
+}
+
+}  // namespace
+}  // namespace neuro::data

@@ -146,6 +146,13 @@ TEST(SpeckleRect, DeterministicAndDensityBounded) {
   EXPECT_FALSE(identical);
 }
 
+TEST(SpeckleRect, ZeroDensityWritesNothing) {
+  Image img(40, 40, 3, 0.5F);
+  const std::vector<float> before = img.data();
+  speckle_rect(img, 0, 0, 40, 40, kWhite, 0.0F, 7);
+  EXPECT_EQ(img.data(), before);
+}
+
 TEST(FillTriangle, DelegatesToPolygon) {
   Image img(30, 30);
   fill_triangle(img, {5, 5}, {25, 5}, {15, 25}, kWhite);

@@ -1,0 +1,198 @@
+// The integral-histogram feature backend must agree with the naive
+// per-pixel oracle: identical feature definitions, different summation
+// order. Differences are pure float-accumulation rounding, well inside
+// 1e-4.
+
+#include "image/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "image/draw.hpp"
+#include "image/integral.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::image {
+namespace {
+
+Image make_test_image(int width, int height, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Image img(width, height, 3);
+  fill_vertical_gradient(img, 0, height, {0.55F, 0.7F, 0.9F}, {0.35F, 0.4F, 0.3F});
+  fill_rect(img, width / 8, height / 3, width / 2, height - 4, {0.6F, 0.5F, 0.45F});
+  fill_circle(img, 0.7F * static_cast<float>(width), 0.3F * static_cast<float>(height),
+              0.18F * static_cast<float>(width), {0.15F, 0.45F, 0.18F});
+  fill_rect(img, 3 * width / 4, height / 4, 3 * width / 4 + 2, height, {0.2F, 0.18F, 0.15F});
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const Color c = img.pixel(x, y);
+      const float jitter = static_cast<float>(rng.uniform(-0.03, 0.03));
+      img.set_pixel(x, y, {c.r + jitter, c.g + jitter, c.b + jitter});
+    }
+  }
+  return img;
+}
+
+void expect_features_close(const std::vector<float>& integral, const std::vector<float>& naive,
+                           float tol, const std::string& what) {
+  ASSERT_EQ(integral.size(), naive.size()) << what;
+  for (std::size_t i = 0; i < integral.size(); ++i) {
+    EXPECT_NEAR(integral[i], naive[i], tol) << what << " feature " << i;
+  }
+}
+
+TEST(IntegralPlanes, SumMatchesBruteForce) {
+  util::Rng rng(7);
+  const int w = 13;
+  const int h = 9;
+  IntegralPlanes planes(w, h, 2);
+  std::vector<double> raw(static_cast<std::size_t>(2 * w * h));
+  for (int p = 0; p < 2; ++p) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const double v = rng.uniform(-1.0, 1.0);
+        raw[static_cast<std::size_t>((p * h + y) * w + x)] = v;
+        planes.add(p, x, y, v);
+      }
+    }
+  }
+  planes.finalize();
+
+  const auto brute = [&](int p, int x0, int y0, int x1, int y1) {
+    double total = 0.0;
+    for (int y = std::max(0, y0); y < std::min(h, y1); ++y) {
+      for (int x = std::max(0, x0); x < std::min(w, x1); ++x) {
+        total += raw[static_cast<std::size_t>((p * h + y) * w + x)];
+      }
+    }
+    return total;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const int p = rng.uniform_int(0, 1);
+    const int x0 = rng.uniform_int(-4, w + 4);
+    const int x1 = rng.uniform_int(-4, w + 4);
+    const int y0 = rng.uniform_int(-4, h + 4);
+    const int y1 = rng.uniform_int(-4, h + 4);
+    EXPECT_NEAR(planes.sum(p, x0, y0, x1, y1), brute(p, x0, y0, x1, y1), 1e-9)
+        << x0 << "," << y0 << " -> " << x1 << "," << y1;
+  }
+}
+
+TEST(IntegralPlanes, ClampedSumMatchesEdgeReplication) {
+  util::Rng rng(8);
+  const int w = 11;
+  const int h = 7;
+  IntegralPlanes planes(w, h, 1);
+  std::vector<double> raw(static_cast<std::size_t>(w * h));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v = rng.uniform(0.0, 2.0);
+      raw[static_cast<std::size_t>(y * w + x)] = v;
+      planes.add(0, x, y, v);
+    }
+  }
+  planes.finalize();
+
+  const auto clamped_at = [&](int x, int y) {
+    x = std::min(std::max(x, 0), w - 1);
+    y = std::min(std::max(y, 0), h - 1);
+    return raw[static_cast<std::size_t>(y * w + x)];
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    int x0 = rng.uniform_int(-6, w + 6);
+    int x1 = rng.uniform_int(-6, w + 6);
+    int y0 = rng.uniform_int(-6, h + 6);
+    int y1 = rng.uniform_int(-6, h + 6);
+    if (x1 < x0) std::swap(x0, x1);
+    if (y1 < y0) std::swap(y0, y1);
+    double expected = 0.0;
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) expected += clamped_at(x, y);
+    }
+    EXPECT_NEAR(planes.clamped_sum(0, x0, y0, x1, y1), expected, 1e-9)
+        << x0 << "," << y0 << " -> " << x1 << "," << y1;
+  }
+}
+
+TEST(IntegralFeatures, AgreesWithNaiveOnInteriorWindows) {
+  const Image img = make_test_image(128, 96, 21);
+  const WindowFeatureExtractor fast({8, 4, 9}, /*use_integral=*/true);
+  const WindowFeatureExtractor naive({8, 4, 9}, /*use_integral=*/false);
+  const auto fast_prep = fast.prepare(img);
+  const auto naive_prep = naive.prepare(img);
+  ASSERT_NE(fast_prep.planes, nullptr);
+  ASSERT_EQ(naive_prep.planes, nullptr);
+
+  util::Rng rng(22);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int w = rng.uniform_int(8, 80);
+    const int h = rng.uniform_int(8, 80);
+    const int x = rng.uniform_int(0, img.width() - w);
+    const int y = rng.uniform_int(0, img.height() - h);
+    expect_features_close(fast.extract(fast_prep, x, y, w, h),
+                          naive.extract(naive_prep, x, y, w, h), 1e-4F,
+                          "interior window " + std::to_string(trial));
+  }
+}
+
+TEST(IntegralFeatures, AgreesWithNaiveOnCanonicalWindows) {
+  // 32x32 windows with the default 8/4/9 HOG config hit the canonical
+  // fast path in both backends.
+  const Image img = make_test_image(96, 96, 31);
+  const WindowFeatureExtractor fast({8, 4, 9}, true);
+  const WindowFeatureExtractor naive({8, 4, 9}, false);
+  const auto fast_prep = fast.prepare(img);
+  const auto naive_prep = naive.prepare(img);
+
+  util::Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int x = rng.uniform_int(-8, img.width() - 16);
+    const int y = rng.uniform_int(-8, img.height() - 16);
+    expect_features_close(fast.extract(fast_prep, x, y, 32, 32),
+                          naive.extract(naive_prep, x, y, 32, 32), 1e-4F,
+                          "canonical window " + std::to_string(trial));
+  }
+}
+
+TEST(IntegralFeatures, AgreesWithNaiveOnClippedAndEdgeWindows) {
+  const Image img = make_test_image(80, 64, 41);
+  const WindowFeatureExtractor fast({8, 4, 9}, true);
+  const WindowFeatureExtractor naive({8, 4, 9}, false);
+  const auto fast_prep = fast.prepare(img);
+  const auto naive_prep = naive.prepare(img);
+
+  struct Win {
+    int x, y, w, h;
+  };
+  const Win cases[] = {
+      {-10, -10, 40, 40},   // clipped top-left
+      {60, 40, 48, 48},     // clipped bottom-right
+      {-20, 10, 120, 30},   // wider than the image
+      {10, -15, 30, 94},    // taller than the image
+      {0, 0, 80, 64},       // full image
+      {-5, 20, 8, 8},       // mostly off-screen small window
+      {76, 60, 16, 16},     // corner sliver
+      {20, 30, 1, 1},       // degenerate 1x1
+      {-40, -40, 30, 30},   // fully off-screen (clamped sampling only)
+  };
+  int idx = 0;
+  for (const Win& c : cases) {
+    expect_features_close(fast.extract(fast_prep, c.x, c.y, c.w, c.h),
+                          naive.extract(naive_prep, c.x, c.y, c.w, c.h), 1e-4F,
+                          "clipped window " + std::to_string(idx++));
+  }
+}
+
+TEST(IntegralFeatures, DimensionAndBackendFlag) {
+  const WindowFeatureExtractor fast({8, 4, 9}, true);
+  const WindowFeatureExtractor naive({8, 4, 9}, false);
+  EXPECT_TRUE(fast.use_integral());
+  EXPECT_FALSE(naive.use_integral());
+  EXPECT_EQ(fast.dimension(), naive.dimension());
+  EXPECT_EQ(fast.dimension(), hog_dimension({8, 4, 9}) + PatchStats::kDimension);
+}
+
+}  // namespace
+}  // namespace neuro::image

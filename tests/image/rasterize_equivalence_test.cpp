@@ -1,0 +1,244 @@
+// The span-based rasterizer must paint the exact pixel set the original
+// per-pixel rasterizer painted. Each reference_* function below is the
+// pre-span per-pixel implementation; every primitive is compared
+// byte-for-byte against it, including off-screen and degenerate shapes and
+// a composite scene.
+
+#include "image/draw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace neuro::image {
+namespace {
+
+void reference_fill_rect(Image& img, int x0, int y0, int x1, int y1, const Color& color) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, img.width());
+  y1 = std::min(y1, img.height());
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) img.set_pixel(x, y, color);
+  }
+}
+
+void reference_rect_outline(Image& img, int x0, int y0, int x1, int y1, const Color& color) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  for (int x = x0; x < x1; ++x) {
+    img.set_pixel_safe(x, y0, color);
+    img.set_pixel_safe(x, y1 - 1, color);
+  }
+  for (int y = y0; y < y1; ++y) {
+    img.set_pixel_safe(x0, y, color);
+    img.set_pixel_safe(x1 - 1, y, color);
+  }
+}
+
+void reference_fill_polygon(Image& img, const std::vector<PointF>& points, const Color& color) {
+  if (points.size() < 3) return;
+  float min_y = points[0].y;
+  float max_y = points[0].y;
+  for (const PointF& p : points) {
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const int y_begin = std::max(0, static_cast<int>(std::floor(min_y)));
+  const int y_end = std::min(img.height() - 1, static_cast<int>(std::ceil(max_y)));
+
+  std::vector<float> crossings;
+  for (int y = y_begin; y <= y_end; ++y) {
+    crossings.clear();
+    const float scan = static_cast<float>(y) + 0.5F;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PointF& a = points[i];
+      const PointF& b = points[(i + 1) % points.size()];
+      if ((a.y <= scan && b.y > scan) || (b.y <= scan && a.y > scan)) {
+        const float t = (scan - a.y) / (b.y - a.y);
+        crossings.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (std::size_t i = 0; i + 1 < crossings.size(); i += 2) {
+      const int x_begin = std::max(0, static_cast<int>(std::ceil(crossings[i] - 0.5F)));
+      const int x_end =
+          std::min(img.width() - 1, static_cast<int>(std::floor(crossings[i + 1] - 0.5F)));
+      for (int x = x_begin; x <= x_end; ++x) img.set_pixel(x, y, color);
+    }
+  }
+}
+
+void reference_fill_circle(Image& img, float cx, float cy, float radius, const Color& color) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - radius)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(cx + radius)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - radius)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + radius)));
+  const float r2 = radius * radius;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float dx = static_cast<float>(x) + 0.5F - cx;
+      const float dy = static_cast<float>(y) + 0.5F - cy;
+      if (dx * dx + dy * dy <= r2) img.set_pixel(x, y, color);
+    }
+  }
+}
+
+void reference_fill_vertical_gradient(Image& img, int y0, int y1, const Color& top,
+                                      const Color& bottom) {
+  y0 = std::max(y0, 0);
+  y1 = std::min(y1, img.height());
+  if (y1 <= y0) return;
+  const float span = static_cast<float>(std::max(1, y1 - y0 - 1));
+  for (int y = y0; y < y1; ++y) {
+    const float t = static_cast<float>(y - y0) / span;
+    const Color c = top.mixed(bottom, t);
+    for (int x = 0; x < img.width(); ++x) img.set_pixel(x, y, c);
+  }
+}
+
+void expect_identical(const Image& actual, const Image& expected, const char* what) {
+  ASSERT_EQ(actual.data().size(), expected.data().size()) << what;
+  EXPECT_EQ(actual.data(), expected.data()) << what;
+}
+
+const Color kInk{0.8F, 0.3F, 0.1F};
+
+TEST(RasterizeEquivalence, FillRectMatchesPerPixel) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Image span(37, 29, 3, 0.2F);
+    Image ref(37, 29, 3, 0.2F);
+    const int x0 = rng.uniform_int(-10, 45);
+    const int y0 = rng.uniform_int(-10, 40);
+    const int x1 = rng.uniform_int(-10, 45);
+    const int y1 = rng.uniform_int(-10, 40);
+    fill_rect(span, x0, y0, x1, y1, kInk);
+    reference_fill_rect(ref, x0, y0, x1, y1, kInk);
+    expect_identical(span, ref, "fill_rect");
+  }
+}
+
+TEST(RasterizeEquivalence, RectOutlineMatchesPerPixel) {
+  util::Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    Image span(33, 27, 3, 0.1F);
+    Image ref(33, 27, 3, 0.1F);
+    const int x0 = rng.uniform_int(-15, 45);
+    const int y0 = rng.uniform_int(-15, 40);
+    const int x1 = rng.uniform_int(-15, 45);
+    const int y1 = rng.uniform_int(-15, 40);
+    draw_rect_outline(span, x0, y0, x1, y1, kInk);
+    reference_rect_outline(ref, x0, y0, x1, y1, kInk);
+    expect_identical(span, ref, "draw_rect_outline");
+  }
+}
+
+TEST(RasterizeEquivalence, RectOutlineDegenerateBoxes) {
+  // Zero-width, zero-height, and 1x1 boxes (y1 - 1 == y0 double-paints in
+  // the reference; the span version must reproduce that pixel set).
+  const int cases[][4] = {{5, 5, 5, 9}, {3, 4, 9, 4}, {6, 6, 7, 7}, {-4, -4, 2, 2}, {30, 20, 60, 50}};
+  for (const auto& c : cases) {
+    Image span(32, 24, 3);
+    Image ref(32, 24, 3);
+    draw_rect_outline(span, c[0], c[1], c[2], c[3], kInk);
+    reference_rect_outline(ref, c[0], c[1], c[2], c[3], kInk);
+    expect_identical(span, ref, "draw_rect_outline degenerate");
+  }
+}
+
+TEST(RasterizeEquivalence, FillPolygonMatchesPerPixel) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    Image span(48, 40, 3);
+    Image ref(48, 40, 3);
+    std::vector<PointF> poly;
+    const int vertices = rng.uniform_int(3, 7);
+    for (int v = 0; v < vertices; ++v) {
+      poly.push_back({static_cast<float>(rng.uniform(-15.0, 60.0)),
+                      static_cast<float>(rng.uniform(-15.0, 55.0))});
+    }
+    fill_polygon(span, poly, kInk);
+    reference_fill_polygon(ref, poly, kInk);
+    expect_identical(span, ref, "fill_polygon");
+  }
+}
+
+TEST(RasterizeEquivalence, FillCircleMatchesPerPixel) {
+  util::Rng rng(14);
+  for (int trial = 0; trial < 80; ++trial) {
+    Image span(41, 35, 3);
+    Image ref(41, 35, 3);
+    const float cx = static_cast<float>(rng.uniform(-10.0, 50.0));
+    const float cy = static_cast<float>(rng.uniform(-10.0, 45.0));
+    const float radius = static_cast<float>(rng.uniform(0.0, 30.0));
+    fill_circle(span, cx, cy, radius, kInk);
+    reference_fill_circle(ref, cx, cy, radius, kInk);
+    expect_identical(span, ref, "fill_circle");
+  }
+}
+
+TEST(RasterizeEquivalence, FillVerticalGradientMatchesPerPixel) {
+  for (int y0 : {-5, 0, 3}) {
+    for (int y1 : {-1, 4, 24, 99}) {
+      Image span(20, 24, 3);
+      Image ref(20, 24, 3);
+      fill_vertical_gradient(span, y0, y1, {0.2F, 0.4F, 0.9F}, {0.9F, 0.6F, 0.3F});
+      reference_fill_vertical_gradient(ref, y0, y1, {0.2F, 0.4F, 0.9F}, {0.9F, 0.6F, 0.3F});
+      expect_identical(span, ref, "fill_vertical_gradient");
+    }
+  }
+}
+
+TEST(RasterizeEquivalence, GrayscaleTargetsMatch) {
+  // fill_row writes the channel-averaged value directly on 1-channel images.
+  Image span(24, 18, 1);
+  Image ref(24, 18, 1);
+  fill_rect(span, 2, 2, 20, 15, kInk);
+  reference_fill_rect(ref, 2, 2, 20, 15, kInk);
+  expect_identical(span, ref, "fill_rect grayscale");
+  fill_circle(span, 9.5F, 8.0F, 6.3F, {0.1F, 0.9F, 0.4F});
+  reference_fill_circle(ref, 9.5F, 8.0F, 6.3F, {0.1F, 0.9F, 0.4F});
+  expect_identical(span, ref, "fill_circle grayscale");
+}
+
+TEST(RasterizeEquivalence, CompositeGoldenScene) {
+  // Layered shapes exercising every primitive in one image, as the street
+  // renderer does: sky gradient, ground, road polygon, buildings, a pole,
+  // circles for canopy, and annotation outlines (partly off-screen).
+  Image span(96, 72, 3);
+  Image ref(96, 72, 3);
+  const auto draw_both = [&](auto&& span_fn, auto&& ref_fn) {
+    span_fn(span);
+    ref_fn(ref);
+  };
+  draw_both([](Image& i) { fill_vertical_gradient(i, 0, 40, {0.5F, 0.7F, 0.95F}, {0.8F, 0.85F, 0.9F}); },
+            [](Image& i) { reference_fill_vertical_gradient(i, 0, 40, {0.5F, 0.7F, 0.95F}, {0.8F, 0.85F, 0.9F}); });
+  draw_both([](Image& i) { fill_rect(i, 0, 40, 96, 72, {0.35F, 0.4F, 0.3F}); },
+            [](Image& i) { reference_fill_rect(i, 0, 40, 96, 72, {0.35F, 0.4F, 0.3F}); });
+  const std::vector<PointF> road{{10.0F, 72.0F}, {80.0F, 72.0F}, {49.5F, 40.0F}, {46.5F, 40.0F}};
+  draw_both([&](Image& i) { fill_polygon(i, road, {0.3F, 0.3F, 0.32F}); },
+            [&](Image& i) { reference_fill_polygon(i, road, {0.3F, 0.3F, 0.32F}); });
+  draw_both([](Image& i) { fill_rect(i, -8, 20, 18, 41, {0.6F, 0.5F, 0.45F}); },
+            [](Image& i) { reference_fill_rect(i, -8, 20, 18, 41, {0.6F, 0.5F, 0.45F}); });
+  draw_both([](Image& i) { fill_rect(i, 70, 12, 110, 41, {0.55F, 0.55F, 0.6F}); },
+            [](Image& i) { reference_fill_rect(i, 70, 12, 110, 41, {0.55F, 0.55F, 0.6F}); });
+  draw_both([](Image& i) { fill_rect(i, 30, 18, 32, 41, {0.2F, 0.18F, 0.15F}); },
+            [](Image& i) { reference_fill_rect(i, 30, 18, 32, 41, {0.2F, 0.18F, 0.15F}); });
+  draw_both([](Image& i) { fill_circle(i, 31.0F, 14.5F, 7.5F, {0.15F, 0.45F, 0.18F}); },
+            [](Image& i) { reference_fill_circle(i, 31.0F, 14.5F, 7.5F, {0.15F, 0.45F, 0.18F}); });
+  draw_both([](Image& i) { draw_rect_outline(i, 25, 10, 40, 42, {1.0F, 0.0F, 0.0F}); },
+            [](Image& i) { reference_rect_outline(i, 25, 10, 40, 42, {1.0F, 0.0F, 0.0F}); });
+  draw_both([](Image& i) { draw_rect_outline(i, 85, -6, 120, 30, {0.0F, 1.0F, 0.0F}); },
+            [](Image& i) { reference_rect_outline(i, 85, -6, 120, 30, {0.0F, 1.0F, 0.0F}); });
+  expect_identical(span, ref, "composite scene");
+}
+
+}  // namespace
+}  // namespace neuro::image
