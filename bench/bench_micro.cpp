@@ -147,6 +147,47 @@ void BM_LlmQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_LlmQuery);
 
+// Virtual-time scheduler under scripted chaos: the same 64-image batch
+// run healthy (arg 0), through a full provider outage (arg 1, breaker
+// fast-fails the tail), and through a 60 s 429 storm (arg 2, fast
+// rejections + backoff). The makespan counter shows the virtual cost of
+// each failure mode; wall time shows the scheduling overhead stays flat.
+void BM_SchedulerChaos(benchmark::State& state) {
+  const llm::VisionLanguageModel model(llm::gemini_1_5_pro_profile(),
+                                       llm::CalibrationStats::paper_nominal());
+  llm::SchedulerConfig config;
+  switch (state.range(0)) {
+    case 1:
+      config.faults = llm::FaultPlan::outage_window(0.0, 1e12);
+      break;
+    case 2:
+      config.faults = llm::FaultPlan::storm_window(0.0, 60000.0);
+      break;
+    default:
+      break;
+  }
+  const llm::PromptPlan plan =
+      llm::PromptBuilder().build(llm::PromptStrategy::kParallel, llm::Language::kEnglish);
+  std::vector<llm::SurveyRequest> batch(64);
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i].image_id = 1000 + i;
+
+  double makespan_ms = 0.0;
+  for (auto _ : state) {
+    const llm::RequestScheduler scheduler(model, config, nullptr);
+    const llm::BatchReport report = scheduler.run(plan, batch, llm::SamplingParams{}, 8);
+    makespan_ms = report.stats.makespan_ms;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["makespan_ms"] = makespan_ms;
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_SchedulerChaos)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("scenario")
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MajorityVote(benchmark::State& state) {
   std::vector<scene::PresenceVector> votes(3);
   votes[0].set(scene::Indicator::kSidewalk, true);

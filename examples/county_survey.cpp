@@ -4,22 +4,61 @@
 // style summary — the public-health use case that motivates the paper.
 //
 //   ./county_survey [--images N] [--seed N]
+//
+// Chaos / resilience knobs (all virtual-time milliseconds):
+//   --outage START:END    provider outage window for the usage run
+//   --storm START:END     429 rate-limit storm window
+//   --tail START:END:MULT tail-latency spike (median multiplied by MULT)
+//   --corrupt RATE        corrupt responses at RATE (split across modes)
+//   --deadline MS         per-request deadline budget (0 = off)
+//   --hedge MS            hedge a second attempt after MS (0 = off)
+//   --abort-after MS      abort the batch at virtual time MS (0 = off)
+//   --journal PATH        checkpoint/resume file: completed images are
+//                         restored without re-spending tokens
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/neighborhood_decoder.hpp"
 #include "core/survey.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace neuro;
+
+namespace {
+
+// Parse "start:end" / "start:end:mult" (virtual ms) into window pieces.
+// Returns false when the flag was left at its empty default.
+bool parse_window(const std::string& spec, double& start, double& end, double* mult = nullptr) {
+  if (spec.empty()) return false;
+  const std::vector<std::string> parts = util::split(spec, ':');
+  if (parts.size() < 2) throw std::invalid_argument("expected START:END, got: " + spec);
+  start = std::stod(parts[0]);
+  end = std::stod(parts[1]);
+  if (mult != nullptr && parts.size() > 2) *mult = std::stod(parts[2]);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::CliParser cli("county_survey", "ensemble survey with tract aggregation");
   cli.add_int("images", 400, "captures across the two counties");
   cli.add_int("seed", 42, "random seed");
+  cli.add_string("outage", "", "provider outage window, virtual ms START:END");
+  cli.add_string("storm", "", "429 rate-limit storm window, virtual ms START:END");
+  cli.add_string("tail", "", "tail-latency spike, virtual ms START:END[:MULT]");
+  cli.add_double("corrupt", 0.0, "response corruption rate in [0,1]");
+  cli.add_double("deadline", 0.0, "per-request deadline budget in virtual ms (0 = off)");
+  cli.add_double("hedge", 0.0, "hedge a second attempt after this many ms (0 = off)");
+  cli.add_double("abort-after", 0.0, "abort the usage batch at this virtual time (0 = off)");
+  cli.add_string("journal", "", "checkpoint/resume journal file for the usage batch");
   if (!cli.parse(argc, argv)) return 0;
 
   core::NeighborhoodDecoder::Options options;
@@ -85,15 +124,67 @@ int main(int argc, char** argv) {
   const llm::VisionLanguageModel gemini = runner.make_model(llm::gemini_1_5_pro_profile());
   core::SurveyConfig survey_config;
   survey_config.seed = options.seed;
+
+  // Assemble the scripted fault plan + resilience budget from the CLI.
+  llm::SchedulerConfig scheduler_config;
+  double start = 0.0, end = 0.0, mult = 8.0;
+  if (parse_window(cli.get_string("outage"), start, end)) {
+    scheduler_config.faults.outages.push_back({start, end});
+  }
+  if (parse_window(cli.get_string("storm"), start, end)) {
+    scheduler_config.faults.rate_limit_storms.push_back({start, end});
+  }
+  if (parse_window(cli.get_string("tail"), start, end, &mult)) {
+    scheduler_config.faults.tail_latency.push_back({{start, end}, mult, 0.25});
+  }
+  const double corrupt = cli.get_double("corrupt");
+  if (corrupt > 0.0) {
+    const double per_mode = corrupt / 4.0;
+    scheduler_config.faults.corruption = {per_mode, per_mode, per_mode, per_mode};
+  }
+  scheduler_config.resilience.deadline_ms = cli.get_double("deadline");
+  scheduler_config.resilience.hedge_after_ms = cli.get_double("hedge");
+  scheduler_config.abort_after_ms = cli.get_double("abort-after");
+
+  // Optional checkpoint/resume: completed images in the journal are
+  // restored for free; successes from this run are recorded back.
+  const std::string journal_path = cli.get_string("journal");
+  core::SurveyJournal journal;
+  if (!journal_path.empty()) {
+    try {
+      journal = core::SurveyJournal::load(journal_path);
+      std::printf("\nresuming from %s (%zu images already surveyed)\n", journal_path.c_str(),
+                  journal.size());
+    } catch (const std::exception&) {
+      std::printf("\nstarting a fresh journal at %s\n", journal_path.c_str());
+    }
+  }
+
   util::MetricsRegistry metrics;
-  const llm::BatchReport report =
-      runner.run_client_batch(gemini, survey_config, llm::SchedulerConfig{}, &metrics);
+  const llm::BatchReport report = runner.run_client_batch(
+      gemini, survey_config, scheduler_config, &metrics,
+      journal_path.empty() ? nullptr : &journal);
+  if (!journal_path.empty()) {
+    journal.save(journal_path);
+    std::printf("journal saved: %zu/%zu images surveyed\n", journal.size(), dataset.size());
+  }
+
   std::printf("\nSimulated API usage (Gemini, parallel prompt, 8 requests in flight):\n");
   std::printf("  %llu requests, %llu retries, %.2f USD, virtual makespan %.0f s "
               "(%.1fx over a serial client)\n",
               static_cast<unsigned long long>(report.usage.requests),
               static_cast<unsigned long long>(report.usage.retries), report.usage.cost_usd,
               report.stats.makespan_ms / 1000.0, report.stats.speedup());
+  if (report.usage.fast_failures > 0 || report.usage.hedges > 0 ||
+      report.usage.corrupted_responses > 0 || report.usage.deadline_misses > 0) {
+    std::printf("  resilience: %llu fast-fails, %llu hedges (%llu won), %llu corrupted, "
+                "%llu deadline misses\n",
+                static_cast<unsigned long long>(report.usage.fast_failures),
+                static_cast<unsigned long long>(report.usage.hedges),
+                static_cast<unsigned long long>(report.usage.hedge_wins),
+                static_cast<unsigned long long>(report.usage.corrupted_responses),
+                static_cast<unsigned long long>(report.usage.deadline_misses));
+  }
   std::printf("%s", eval::metrics_table(metrics).render().c_str());
   return 0;
 }

@@ -260,4 +260,80 @@ std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& optio
   return rows;
 }
 
+std::vector<ChaosCell> run_chaos_scenarios(const ExperimentOptions& options,
+                                           util::MetricsRegistry* metrics) {
+  // Chaos scenarios are about serving-layer behavior, not statistical
+  // power; a subsample keeps the catalog quick.
+  ExperimentOptions sub = options;
+  sub.image_count = std::min<std::size_t>(options.image_count, 150);
+  const data::Dataset dataset = build_dataset(sub);
+  const SurveyRunner runner(dataset);
+
+  // The paper's top-3 voting ensemble: Gemini, Claude, Grok 2.
+  const std::vector<llm::ModelProfile> profiles = {
+      llm::gemini_1_5_pro_profile(), llm::claude_3_7_profile(), llm::grok_2_profile()};
+  std::vector<llm::VisionLanguageModel> models;
+  models.reserve(profiles.size());
+  for (const llm::ModelProfile& profile : profiles) models.push_back(runner.make_model(profile));
+  const std::vector<const llm::VisionLanguageModel*> members = {&models[0], &models[1],
+                                                                &models[2]};
+
+  SurveyConfig config;
+  config.seed = options.seed;
+  config.threads = options.threads;
+
+  std::vector<ChaosCell> cells;
+  auto run_scenario = [&](const std::string& name,
+                          const std::vector<llm::FaultPlan>& member_faults,
+                          const llm::ResilienceConfig& resilience) {
+    llm::SchedulerConfig scheduler_config;
+    scheduler_config.resilience = resilience;
+    const EnsembleBatchResult result =
+        runner.run_ensemble_batch(members, config, scheduler_config, member_faults,
+                                  /*journals=*/nullptr, metrics);
+    ChaosCell cell;
+    cell.scenario = name;
+    cell.macro_f1 = result.evaluator.macro_average().f1;
+    for (const llm::BatchReport& report : result.member_reports) {
+      cell.makespan_ms = std::max(cell.makespan_ms, report.stats.makespan_ms);
+      cell.requests += report.usage.requests;
+      cell.failures += report.usage.failures;
+      cell.fast_failures += report.usage.fast_failures;
+      cell.hedges += report.usage.hedges;
+      cell.cost_usd += report.usage.cost_usd;
+    }
+    cell.abstentions = result.abstentions;
+    cell.degraded_images = result.degraded_images;
+    cell.undecidable_images = result.undecidable_images;
+    cells.push_back(std::move(cell));
+  };
+
+  const llm::ResilienceConfig plain;
+  run_scenario("healthy", {}, plain);
+  // One top-3 provider hard-down for the whole run: the breaker fast-fails
+  // it and the vote degrades to the surviving two members.
+  run_scenario("outage:gemini", {llm::FaultPlan::outage_window(0.0, 1e12)}, plain);
+  // Every provider sheds load with 429s for the first minute.
+  run_scenario("storm:all-60s",
+               {llm::FaultPlan::storm_window(0.0, 60000.0),
+                llm::FaultPlan::storm_window(0.0, 60000.0),
+                llm::FaultPlan::storm_window(0.0, 60000.0)},
+               plain);
+  // 8x tail-latency spike over the first two minutes, answered by hedging.
+  llm::ResilienceConfig hedged = plain;
+  hedged.hedge_after_ms = 4000.0;
+  run_scenario("tail-8x:hedged",
+               {llm::FaultPlan::tail_spike(0.0, 120000.0, 8.0, 0.25),
+                llm::FaultPlan::tail_spike(0.0, 120000.0, 8.0, 0.25),
+                llm::FaultPlan::tail_spike(0.0, 120000.0, 8.0, 0.25)},
+               hedged);
+  // One provider answers garbage (truncations, off-lexicon, wrong
+  // language, refusals): the parser abstains instead of inventing "No"s.
+  run_scenario("garbage:claude",
+               {llm::FaultPlan::healthy(), llm::FaultPlan::garbage(0.1, 0.1, 0.1, 0.1),
+                llm::FaultPlan::healthy()},
+               plain);
+  return cells;
+}
+
 }  // namespace neuro::core

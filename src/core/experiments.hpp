@@ -98,4 +98,27 @@ struct UsageComparison {
 std::vector<UsageComparison> run_usage_accounting(const ExperimentOptions& options,
                                                   util::MetricsRegistry* metrics = nullptr);
 
+// ------------------------------------------- chaos & degradation (§V)
+struct ChaosCell {
+  std::string scenario;
+  double macro_f1 = 0.0;        // ensemble accuracy under the scenario
+  double makespan_ms = 0.0;     // slowest member's batch makespan
+  std::uint64_t requests = 0;   // summed over members
+  std::uint64_t failures = 0;
+  std::uint64_t fast_failures = 0;  // breaker rejections (no retry storm)
+  std::uint64_t hedges = 0;
+  std::uint64_t abstentions = 0;
+  std::uint64_t degraded_images = 0;
+  std::uint64_t undecidable_images = 0;
+  double cost_usd = 0.0;
+};
+/// Run the top-3 voting ensemble through the scripted chaos catalog
+/// (healthy / one-provider outage / 429 storm / tail spike with hedging /
+/// garbage responses) and report how accuracy, makespan and cost degrade.
+/// Demonstrates the resilience layer end-to-end: breaker fast-failing a
+/// dead provider, quorum falling back to the survivors, hedges absorbing
+/// tail latency, the parser abstaining on corrupted text.
+std::vector<ChaosCell> run_chaos_scenarios(const ExperimentOptions& options,
+                                           util::MetricsRegistry* metrics = nullptr);
+
 }  // namespace neuro::core

@@ -1,0 +1,81 @@
+#include "core/journal.hpp"
+
+#include "util/strings.hpp"
+
+namespace neuro::core {
+namespace {
+
+/// PresenceVector <-> 6-bit mask in all_indicators() order.
+int to_mask(const scene::PresenceVector& prediction) {
+  int mask = 0;
+  for (scene::Indicator ind : scene::all_indicators()) {
+    if (prediction[ind]) mask |= 1 << scene::indicator_index(ind);
+  }
+  return mask;
+}
+
+scene::PresenceVector from_mask(int mask) {
+  scene::PresenceVector prediction;
+  for (scene::Indicator ind : scene::all_indicators()) {
+    prediction.set(ind, (mask >> scene::indicator_index(ind)) & 1);
+  }
+  return prediction;
+}
+
+}  // namespace
+
+std::string SurveyJournal::key(const std::string& model, std::uint64_t image_id) {
+  return util::format("%s/%llu", model.c_str(), static_cast<unsigned long long>(image_id));
+}
+
+void SurveyJournal::record(const std::string& model, std::uint64_t image_id,
+                           const JournalEntry& entry) {
+  entries_[key(model, image_id)] = entry;
+}
+
+bool SurveyJournal::contains(const std::string& model, std::uint64_t image_id) const {
+  return entries_.find(key(model, image_id)) != entries_.end();
+}
+
+const JournalEntry* SurveyJournal::lookup(const std::string& model,
+                                          std::uint64_t image_id) const {
+  const auto it = entries_.find(key(model, image_id));
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+util::Json SurveyJournal::to_json() const {
+  util::Json images = util::Json::object();
+  for (const auto& [k, entry] : entries_) {
+    util::Json record = util::Json::object();
+    record["mask"] = to_mask(entry.prediction);
+    record["answered"] = entry.answered_questions;
+    images[k] = std::move(record);
+  }
+  util::Json json = util::Json::object();
+  json["version"] = 1;
+  json["images"] = std::move(images);
+  return json;
+}
+
+SurveyJournal SurveyJournal::from_json(const util::Json& json) {
+  SurveyJournal journal;
+  const util::Json* images = json.find("images");
+  if (images == nullptr || !images->is_object()) return journal;
+  for (const auto& [k, record] : images->as_object()) {
+    JournalEntry entry;
+    entry.prediction = from_mask(static_cast<int>(record.get("mask", 0.0)));
+    entry.answered_questions = static_cast<int>(record.get("answered", 0.0));
+    journal.entries_[k] = entry;
+  }
+  return journal;
+}
+
+void SurveyJournal::save(const std::string& path) const {
+  util::save_json_file(path, to_json());
+}
+
+SurveyJournal SurveyJournal::load(const std::string& path) {
+  return from_json(util::load_json_file(path));
+}
+
+}  // namespace neuro::core

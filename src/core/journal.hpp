@@ -1,0 +1,46 @@
+#pragma once
+// Survey checkpoint journal: the resume mechanism that keeps an aborted
+// batch from re-spending tokens. Every image a model finishes successfully
+// is recorded as (model, image id) -> parsed prediction; a resumed
+// run_client_batch consults the journal first and only issues requests for
+// the images that are missing. Serializes to JSON so a long survey can be
+// checkpointed to disk between processes.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "scene/indicators.hpp"
+#include "util/json.hpp"
+
+namespace neuro::core {
+
+/// What resuming needs to reconstruct a completed item without replaying
+/// its requests.
+struct JournalEntry {
+  scene::PresenceVector prediction;
+  int answered_questions = 0;
+};
+
+class SurveyJournal {
+ public:
+  void record(const std::string& model, std::uint64_t image_id, const JournalEntry& entry);
+  bool contains(const std::string& model, std::uint64_t image_id) const;
+  /// Borrowed pointer into the journal; nullptr when absent.
+  const JournalEntry* lookup(const std::string& model, std::uint64_t image_id) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  util::Json to_json() const;
+  static SurveyJournal from_json(const util::Json& json);
+  void save(const std::string& path) const;
+  static SurveyJournal load(const std::string& path);
+
+ private:
+  static std::string key(const std::string& model, std::uint64_t image_id);
+
+  // std::map keeps serialization deterministic.
+  std::map<std::string, JournalEntry> entries_;
+};
+
+}  // namespace neuro::core

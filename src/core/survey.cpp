@@ -75,7 +75,8 @@ ModelSurveyResult SurveyRunner::vote(const std::vector<const ModelSurveyResult*>
 llm::BatchReport SurveyRunner::run_client_batch(const llm::VisionLanguageModel& model,
                                                 const SurveyConfig& config,
                                                 const llm::SchedulerConfig& scheduler_config,
-                                                util::MetricsRegistry* metrics) const {
+                                                util::MetricsRegistry* metrics,
+                                                SurveyJournal* journal) const {
   llm::SchedulerConfig scheduler_with_threads = scheduler_config;
   if (scheduler_with_threads.threads == 0) scheduler_with_threads.threads = config.threads;
   const llm::RequestScheduler scheduler(model, scheduler_with_threads, metrics);
@@ -83,13 +84,115 @@ llm::BatchReport SurveyRunner::run_client_batch(const llm::VisionLanguageModel& 
   llm::PromptBuilder builder;
   const llm::PromptPlan plan =
       builder.build(config.strategy, config.language, config.few_shot_examples);
+  const std::string& model_name = model.profile().name;
 
+  // Journaled images are restored, not re-surveyed: only the remainder
+  // enters the scheduler, so a resume spends zero tokens on completed work.
   std::vector<llm::SurveyRequest> batch;
+  std::vector<std::size_t> batch_to_full;  // sub-batch index -> dataset index
   batch.reserve(observations_.size());
+  batch_to_full.reserve(observations_.size());
   for (std::size_t i = 0; i < observations_.size(); ++i) {
+    if (journal != nullptr && journal->contains(model_name, image_ids_[i])) continue;
     batch.push_back({&observations_[i], image_ids_[i]});
+    batch_to_full.push_back(i);
   }
-  return scheduler.run(plan, batch, config.sampling, config.seed);
+
+  llm::BatchReport sub = scheduler.run(plan, batch, config.sampling, config.seed);
+  if (journal == nullptr) return sub;
+
+  // Re-assemble a dataset-shaped report: scheduled items land back at
+  // their dataset positions, journaled items are restored in place.
+  llm::BatchReport report;
+  report.usage = sub.usage;
+  report.stats = sub.stats;
+  report.timings = std::move(sub.timings);
+  for (llm::RequestTiming& timing : report.timings) timing.item = batch_to_full[timing.item];
+  report.items.resize(observations_.size());
+  for (std::size_t k = 0; k < batch_to_full.size(); ++k) {
+    report.items[batch_to_full[k]] = std::move(sub.items[k]);
+  }
+
+  std::uint64_t restored = 0;
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    const JournalEntry* entry = journal->lookup(model_name, image_ids_[i]);
+    if (entry == nullptr) continue;
+    llm::ItemOutcome& item = report.items[i];
+    item.prediction = entry->prediction;
+    item.answered_questions = entry->answered_questions;
+    ++restored;
+  }
+
+  // Checkpoint this run's successes. Failed or aborted items stay out of
+  // the journal so a resume retries them.
+  for (std::size_t k = 0; k < batch_to_full.size(); ++k) {
+    const llm::ItemOutcome& item = report.items[batch_to_full[k]];
+    if (item.aborted || item.failed || item.answered_questions == 0) continue;
+    journal->record(model_name, image_ids_[batch_to_full[k]],
+                    {item.prediction, item.answered_questions});
+  }
+
+  if (metrics != nullptr && restored > 0) {
+    metrics->counter("journal.images_resumed").add(restored);
+    metrics->counter("journal.requests_saved").add(restored * plan.messages.size());
+  }
+  return report;
+}
+
+EnsembleBatchResult SurveyRunner::run_ensemble_batch(
+    const std::vector<const llm::VisionLanguageModel*>& members, const SurveyConfig& config,
+    const llm::SchedulerConfig& scheduler_config,
+    const std::vector<llm::FaultPlan>& member_faults, std::vector<SurveyJournal>* journals,
+    util::MetricsRegistry* metrics) const {
+  if (members.empty()) throw std::invalid_argument("run_ensemble_batch: no members");
+  if (journals != nullptr && journals->size() != members.size()) {
+    throw std::invalid_argument("run_ensemble_batch: one journal per member required");
+  }
+
+  EnsembleBatchResult result;
+  result.member_names.reserve(members.size());
+  result.member_reports.reserve(members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    llm::SchedulerConfig member_config = scheduler_config;
+    if (m < member_faults.size()) member_config.faults = member_faults[m];
+    SurveyJournal* journal = journals != nullptr ? &(*journals)[m] : nullptr;
+    result.member_names.push_back(members[m]->profile().name);
+    result.member_reports.push_back(
+        run_client_batch(*members[m], config, member_config, metrics, journal));
+  }
+
+  result.decisions.reserve(truths_.size());
+  result.voters.reserve(truths_.size());
+  std::vector<llm::MemberVote> votes(members.size());
+  for (std::size_t i = 0; i < truths_.size(); ++i) {
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const llm::ItemOutcome& item = result.member_reports[m].items[i];
+      votes[m].prediction = item.prediction;
+      // No opinion when the member's requests died or nothing parsed.
+      votes[m].abstained = item.failed || item.answered_questions == 0;
+    }
+    const llm::DegradedVote vote = llm::degraded_majority_vote(votes);
+    result.decisions.push_back(vote.decision);
+    result.voters.push_back(vote.voters);
+    result.abstentions += members.size() - vote.voters;
+    if (vote.voters == 0) {
+      ++result.undecidable_images;
+    } else if (vote.voters < members.size()) {
+      ++result.degraded_images;
+    }
+    result.evaluator.add(truths_[i], vote.decision);
+  }
+
+  if (metrics != nullptr) {
+    if (result.abstentions > 0) metrics->counter("ensemble.abstentions").add(result.abstentions);
+    if (result.degraded_images > 0) {
+      metrics->counter("ensemble.degraded_images").add(result.degraded_images);
+    }
+    if (result.undecidable_images > 0) {
+      metrics->counter("ensemble.undecidable_images").add(result.undecidable_images);
+    }
+  }
+  return result;
 }
 
 llm::UsageMeter SurveyRunner::measure_usage(const llm::VisionLanguageModel& model,

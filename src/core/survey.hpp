@@ -9,10 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "data/dataset.hpp"
 #include "eval/metrics.hpp"
 #include "llm/client.hpp"
 #include "llm/ensemble.hpp"
+#include "llm/faults.hpp"
 #include "llm/scheduler.hpp"
 #include "llm/vlm.hpp"
 #include "util/metrics.hpp"
@@ -32,6 +34,20 @@ struct ModelSurveyResult {
   std::string model_name;
   std::vector<scene::PresenceVector> predictions;  // one per image, dataset order
   eval::MultiLabelEvaluator evaluator;
+};
+
+/// Outcome of an ensemble survey that survived member failures: per-image
+/// degraded-quorum decisions plus the abstention accounting that makes the
+/// degradation observable.
+struct EnsembleBatchResult {
+  std::vector<std::string> member_names;
+  std::vector<llm::BatchReport> member_reports;   // one per member, member order
+  std::vector<scene::PresenceVector> decisions;   // one per image, dataset order
+  std::vector<std::size_t> voters;                // members that voted, per image
+  eval::MultiLabelEvaluator evaluator;
+  std::uint64_t abstentions = 0;        // (member, image) pairs with no opinion
+  std::uint64_t degraded_images = 0;    // decided by fewer than all members
+  std::uint64_t undecidable_images = 0; // zero surviving voters (all-absent)
 };
 
 class SurveyRunner {
@@ -60,10 +76,32 @@ class SurveyRunner {
   /// the report carries predictions, per-request timings, queue-wait
   /// percentiles and the batch makespan — the paper's §V concern made
   /// measurable. Deterministic for a fixed seed at any thread count.
+  /// When `journal` is given, images it already holds for this model are
+  /// restored without issuing any requests (zero token spend), the
+  /// scheduler runs only over the remainder, and every image that finishes
+  /// successfully this run is recorded back — so an aborted batch
+  /// (SchedulerConfig::abort_after_ms, a crash, a rate-limit bail-out)
+  /// resumes where it left off. journal.{images_resumed,requests_saved}
+  /// land in the registry.
   llm::BatchReport run_client_batch(const llm::VisionLanguageModel& model,
                                     const SurveyConfig& config,
                                     const llm::SchedulerConfig& scheduler_config,
-                                    util::MetricsRegistry* metrics = nullptr) const;
+                                    util::MetricsRegistry* metrics = nullptr,
+                                    SurveyJournal* journal = nullptr) const;
+
+  /// Survey every image with several providers concurrently (each under
+  /// its own scheduler/fault plan) and majority-vote with graceful
+  /// degradation: members whose requests ultimately failed abstain
+  /// per-image and the quorum falls back to the survivors (top-3 -> top-2
+  /// -> single-model) instead of counting failures as "No".
+  /// `member_faults[i]` (when provided) scripts member i's chaos scenario;
+  /// `journals` (when provided, one per member) enables checkpoint/resume.
+  EnsembleBatchResult run_ensemble_batch(
+      const std::vector<const llm::VisionLanguageModel*>& members, const SurveyConfig& config,
+      const llm::SchedulerConfig& scheduler_config,
+      const std::vector<llm::FaultPlan>& member_faults = {},
+      std::vector<SurveyJournal>* journals = nullptr,
+      util::MetricsRegistry* metrics = nullptr) const;
 
   /// Convenience wrapper over run_client_batch that keeps the historical
   /// shape: just the accumulated usage meter.

@@ -23,12 +23,15 @@ std::string macro_summary(const MultiLabelEvaluator& evaluator) {
                       avg.accuracy);
 }
 
-util::TextTable metrics_table(const util::MetricsRegistry& registry) {
+util::TextTable metrics_table(const util::MetricsRegistry& registry,
+                              const std::string& prefix) {
   util::TextTable table({"Metric", "count", "sum", "p50", "p95", "p99", "max"});
   for (const auto& [name, value] : registry.counter_values()) {
+    if (!prefix.empty() && !util::starts_with(name, prefix)) continue;
     table.add_row({name, std::to_string(value), "", "", "", "", ""});
   }
   for (const auto& [name, snap] : registry.histogram_snapshots()) {
+    if (!prefix.empty() && !util::starts_with(name, prefix)) continue;
     table.add_row({name, std::to_string(snap.count), util::format("%.2f", snap.sum),
                    util::format("%.2f", snap.p50), util::format("%.2f", snap.p95),
                    util::format("%.2f", snap.p99), util::format("%.2f", snap.max)});

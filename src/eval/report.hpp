@@ -19,7 +19,10 @@ std::string macro_summary(const MultiLabelEvaluator& evaluator);
 
 /// Observability dump: counters then histogram quantiles, one metric per
 /// row (used by bench_usage and the examples to report serving behaviour).
-util::TextTable metrics_table(const util::MetricsRegistry& registry);
+/// A non-empty `prefix` keeps only metrics whose name starts with it
+/// (e.g. "resilience." to dump just the breaker/hedge/deadline counters).
+util::TextTable metrics_table(const util::MetricsRegistry& registry,
+                              const std::string& prefix = "");
 
 /// JSON rendering of the registry ({"counters": ..., "histograms": ...}).
 std::string metrics_json(const util::MetricsRegistry& registry, int indent = 2);

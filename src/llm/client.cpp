@@ -4,82 +4,209 @@
 #include <cmath>
 
 namespace neuro::llm {
+namespace {
+
+// A 429 rejection returns fast: the provider sheds load instead of serving.
+constexpr double kRateLimitRejectMs = 25.0;
+// Jittered backoff can never sleep a non-positive amount, no matter how
+// adversarial ClientConfig::backoff_jitter is.
+constexpr double kMinBackoffFactor = 0.05;
+
+}  // namespace
+
+ExchangeScript script_exchange(const VisionLanguageModel& model, const ClientConfig& config,
+                               const ResilienceConfig& resilience, const PromptMessage& message,
+                               Language language, const VisualObservation& observation,
+                               const SamplingParams& params, util::Rng& rng) {
+  ExchangeScript script;
+  script.input_tokens_per_attempt = static_cast<int>(estimate_tokens(message.text));
+  script.output_tokens =
+      static_cast<int>(message.asks.size()) * config.output_tokens_per_answer;
+
+  // The answer comes from a forked stream so it does not depend on how
+  // many attempts the transport ends up needing.
+  util::Rng answer_rng = rng.fork("answer");
+  script.answer_text = model.answer_message(message, language, observation, params, answer_rng);
+
+  const int legs_per_attempt = resilience.hedge_after_ms > 0.0 ? 2 : 1;
+  const int legs = std::max(1, config.max_attempts) * legs_per_attempt;
+  script.draws.reserve(static_cast<std::size_t>(legs));
+  for (int i = 0; i < legs; ++i) {
+    ExchangeScript::AttemptDraw draw;
+    draw.latency_normal = rng.normal();
+    draw.failure_u = rng.uniform();
+    draw.stuck_u = rng.uniform();
+    draw.tail_normal = rng.normal();
+    draw.corrupt_kind_u = rng.uniform();
+    draw.corrupt_aux_u = rng.uniform();
+    draw.jitter_u = rng.uniform(-1.0, 1.0);
+    script.draws.push_back(draw);
+  }
+  return script;
+}
+
+ChatOutcome fast_fail_outcome() {
+  ChatOutcome outcome;
+  outcome.ok = false;
+  outcome.attempts = 0;
+  outcome.fast_failed = true;
+  return outcome;
+}
+
+ChatOutcome play_exchange(const VisionLanguageModel& model, const ClientConfig& config,
+                          const FaultPlan& faults, const ResilienceConfig& resilience,
+                          const ExchangeScript& script, Language language, double start_ms) {
+  const ModelProfile& profile = model.profile();
+  const double deadline = resilience.deadline_ms;
+
+  ChatOutcome outcome;
+  outcome.ok = false;
+  outcome.attempts = 0;
+  double elapsed = 0.0;  // virtual time since start_ms (queueing excluded)
+  double backoff_ms = config.initial_backoff_ms;
+  std::size_t next = 0;
+  const auto take_draw = [&]() {
+    return next < script.draws.size() ? script.draws[next++] : ExchangeScript::AttemptDraw{};
+  };
+
+  // One transport leg (primary or hedge) starting at absolute virtual
+  // time `at_ms`: how long it runs and whether it succeeds.
+  struct Leg {
+    bool ok = false;
+    double duration_ms = 0.0;
+  };
+  const auto run_leg = [&](const ExchangeScript::AttemptDraw& draw, double at_ms) -> Leg {
+    if (draw.stuck_u < faults.stuck_rate) {
+      // Never returns; the socket-timeout backstop (or the deadline, via
+      // the clipping below) eventually abandons it.
+      return {false, resilience.stuck_timeout_ms};
+    }
+    if (faults.in_storm(at_ms)) return {false, kRateLimitRejectMs};
+    const double latency = profile.median_latency_ms *
+                           std::exp(profile.latency_log_sigma * draw.latency_normal) *
+                           faults.latency_scale(at_ms, draw.tail_normal);
+    const bool failed = faults.in_outage(at_ms) || draw.failure_u < profile.transient_failure_rate;
+    return {!failed, latency};
+  };
+
+  for (int attempt = 1; attempt <= std::max(1, config.max_attempts); ++attempt) {
+    if (deadline > 0.0 && elapsed >= deadline) {
+      outcome.deadline_hit = true;
+      break;
+    }
+    outcome.attempts = attempt;
+    outcome.input_tokens += script.input_tokens_per_attempt;
+
+    const double attempt_start = start_ms + elapsed;
+    const ExchangeScript::AttemptDraw primary = take_draw();
+    const Leg primary_leg = run_leg(primary, attempt_start);
+
+    bool attempt_ok = primary_leg.ok;
+    double attempt_ms = primary_leg.duration_ms;
+    ExchangeScript::AttemptDraw winner = primary;
+    if (resilience.hedge_after_ms > 0.0 && primary_leg.duration_ms > resilience.hedge_after_ms) {
+      const ExchangeScript::AttemptDraw hedge = take_draw();
+      const Leg hedge_leg = run_leg(hedge, attempt_start + resilience.hedge_after_ms);
+      const double hedge_ms = resilience.hedge_after_ms + hedge_leg.duration_ms;
+      outcome.hedges += 1;
+      outcome.input_tokens += script.input_tokens_per_attempt;  // hedge resends
+      if (hedge_leg.ok && (!primary_leg.ok || hedge_ms < primary_leg.duration_ms)) {
+        attempt_ok = true;
+        attempt_ms = hedge_ms;
+        winner = hedge;
+        outcome.hedge_won = true;
+      } else if (!primary_leg.ok && !hedge_leg.ok) {
+        // Failure is only known once the later leg gives up.
+        attempt_ms = std::max(primary_leg.duration_ms, hedge_ms);
+      }
+    }
+
+    if (deadline > 0.0 && elapsed + attempt_ms >= deadline) {
+      // Budget exhausted mid-attempt: abandon at the deadline.
+      const double cut = deadline - elapsed;
+      outcome.latency_ms += cut;
+      outcome.total_wait_ms += cut;
+      elapsed = deadline;
+      outcome.deadline_hit = true;
+      outcome.hedge_won = false;
+      break;
+    }
+    outcome.latency_ms += attempt_ms;
+    outcome.total_wait_ms += attempt_ms;
+    elapsed += attempt_ms;
+
+    if (attempt_ok) {
+      outcome.text = corrupt_response(script.answer_text, faults.corruption, language,
+                                      winner.corrupt_kind_u, winner.corrupt_aux_u);
+      // Count the injection firing, not a byte diff: some corruptions are
+      // textual no-ops (e.g. English "No" swapped to Spanish "No").
+      outcome.corrupted = winner.corrupt_kind_u < faults.corruption.total();
+      outcome.ok = true;
+      break;
+    }
+    if (attempt < config.max_attempts) {
+      const double factor =
+          std::max(kMinBackoffFactor, 1.0 + primary.jitter_u * config.backoff_jitter);
+      double sleep_ms = std::max(0.0, backoff_ms) * factor;
+      if (deadline > 0.0 && elapsed + sleep_ms >= deadline) {
+        // Sleeping past the deadline is pointless; give up now.
+        const double cut = deadline - elapsed;
+        outcome.total_wait_ms += cut;
+        elapsed = deadline;
+        outcome.deadline_hit = true;
+        break;
+      }
+      outcome.total_wait_ms += sleep_ms;
+      elapsed += sleep_ms;
+      backoff_ms *= 2.0;
+    }
+  }
+
+  outcome.output_tokens = outcome.ok ? script.output_tokens : 0;
+  outcome.cost_usd = outcome.input_tokens * profile.usd_per_1m_input_tokens / 1e6 +
+                     outcome.output_tokens * profile.usd_per_1m_output_tokens / 1e6;
+  return outcome;
+}
 
 ChatOutcome simulate_exchange(const VisionLanguageModel& model, const ClientConfig& config,
                               const PromptMessage& message, Language language,
                               const VisualObservation& observation,
                               const SamplingParams& params, util::Rng& rng) {
-  const ModelProfile& profile = model.profile();
-  const int tokens_per_attempt = static_cast<int>(estimate_tokens(message.text));
-
-  ChatOutcome outcome;
-  double backoff_ms = config.initial_backoff_ms;
-  for (int attempt = 1; attempt <= config.max_attempts; ++attempt) {
-    outcome.attempts = attempt;
-    outcome.input_tokens += tokens_per_attempt;  // every attempt resends the message
-
-    // Lognormal service latency around the provider's median, summed over
-    // attempts (a retried request occupies the wire each time).
-    const double latency =
-        profile.median_latency_ms * std::exp(rng.normal(0.0, profile.latency_log_sigma));
-    outcome.latency_ms += latency;
-    outcome.total_wait_ms += latency;
-
-    if (!rng.bernoulli(profile.transient_failure_rate)) {
-      outcome.text = model.answer_message(message, language, observation, params, rng);
-      outcome.ok = true;
-      break;
-    }
-    outcome.ok = false;
-    if (attempt < config.max_attempts) {
-      const double jitter = 1.0 + rng.uniform(-config.backoff_jitter, config.backoff_jitter);
-      outcome.total_wait_ms += backoff_ms * jitter;
-      backoff_ms *= 2.0;
-    }
-  }
-
-  outcome.output_tokens = outcome.ok
-                              ? static_cast<int>(message.asks.size()) *
-                                    config.output_tokens_per_answer
-                              : 0;
-  outcome.cost_usd =
-      outcome.input_tokens * profile.usd_per_1m_input_tokens / 1e6 +
-      outcome.output_tokens * profile.usd_per_1m_output_tokens / 1e6;
-  return outcome;
+  const ResilienceConfig none{};  // no deadline, no hedging
+  const ExchangeScript script =
+      script_exchange(model, config, none, message, language, observation, params, rng);
+  return play_exchange(model, config, FaultPlan::healthy(), none, script, language, 0.0);
 }
 
 LlmClient::LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed,
                      util::MetricsRegistry* metrics)
-    : model_(&model), config_(config), metrics_(metrics), rng_(seed) {}
+    : model_(&model), config_(config), metrics_(metrics), rng_(seed),
+      breaker_(std::make_unique<CircuitBreaker>(resilience_.breaker, metrics)) {}
 
-ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
-                            const VisualObservation& observation,
-                            const SamplingParams& params) {
+void LlmClient::set_fault_plan(FaultPlan faults) {
   std::lock_guard<std::mutex> lock(mutex_);
+  faults_ = std::move(faults);
+}
 
-  ChatOutcome outcome = simulate_exchange(*model_, config_, message, language, observation,
-                                          params, rng_);
-  const double exchange_ms = outcome.total_wait_ms;
+void LlmClient::set_resilience(const ResilienceConfig& resilience) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resilience_ = resilience;
+  breaker_ = std::make_unique<CircuitBreaker>(resilience_.breaker, metrics_);
+}
 
-  // Token-bucket rate limiting in virtual time: the request arrives at the
-  // caller's clock and waits only if the bucket's next slot is still in the
-  // future (an idle bucket charges nothing).
-  const double slot_ms = 1000.0 / std::max(0.001, config_.requests_per_second);
-  const double wait_ms = std::max(0.0, bucket_next_free_ms_ - virtual_now_ms_);
-  const double start_ms = virtual_now_ms_ + wait_ms;
-  bucket_next_free_ms_ = start_ms + slot_ms;
-  virtual_now_ms_ = start_ms + exchange_ms;
-
-  outcome.queue_wait_ms = wait_ms;
-  outcome.total_wait_ms = wait_ms + exchange_ms;
-
+void LlmClient::account(const ChatOutcome& outcome) {
   ++usage_.requests;
   if (!outcome.ok) ++usage_.failures;
-  usage_.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+  usage_.retries += static_cast<std::uint64_t>(std::max(0, outcome.attempts - 1));
   usage_.input_tokens += static_cast<std::uint64_t>(outcome.input_tokens);
   usage_.output_tokens += static_cast<std::uint64_t>(outcome.output_tokens);
   usage_.cost_usd += outcome.cost_usd;
   usage_.busy_ms += outcome.total_wait_ms;
+  if (outcome.fast_failed) ++usage_.fast_failures;
+  if (outcome.deadline_hit) ++usage_.deadline_misses;
+  usage_.hedges += static_cast<std::uint64_t>(outcome.hedges);
+  if (outcome.hedge_won) ++usage_.hedge_wins;
+  if (outcome.corrupted) ++usage_.corrupted_responses;
 
   if (metrics_ != nullptr) {
     metrics_->counter("llm.requests").add(1);
@@ -87,10 +214,49 @@ ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
     if (outcome.attempts > 1) {
       metrics_->counter("llm.retries").add(static_cast<std::uint64_t>(outcome.attempts - 1));
     }
+    if (outcome.fast_failed) metrics_->counter("resilience.breaker.fast_failures").add(1);
+    if (outcome.deadline_hit) metrics_->counter("resilience.deadline_misses").add(1);
+    if (outcome.hedges > 0) {
+      metrics_->counter("resilience.hedges").add(static_cast<std::uint64_t>(outcome.hedges));
+    }
+    if (outcome.hedge_won) metrics_->counter("resilience.hedge_wins").add(1);
+    if (outcome.corrupted) metrics_->counter("faults.corrupted_responses").add(1);
     metrics_->histogram("llm.queue_wait_ms").observe(outcome.queue_wait_ms);
     metrics_->histogram("llm.service_ms").observe(outcome.latency_ms);
     metrics_->histogram("llm.cost_usd").observe(outcome.cost_usd);
   }
+}
+
+ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
+                            const VisualObservation& observation,
+                            const SamplingParams& params) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  const ExchangeScript script = script_exchange(*model_, config_, resilience_, message,
+                                                language, observation, params, rng_);
+
+  // Token-bucket rate limiting in virtual time: the request arrives at the
+  // caller's clock and waits only if the bucket's next slot is still in the
+  // future (an idle bucket charges nothing).
+  const double slot_ms = 1000.0 / std::max(0.001, config_.requests_per_second);
+  const double wait_ms = std::max(0.0, bucket_next_free_ms_ - virtual_now_ms_);
+  const double start_ms = virtual_now_ms_ + wait_ms;
+
+  ChatOutcome outcome;
+  if (!breaker_->allow(start_ms)) {
+    // Fail fast before queueing: no bucket slot consumed, no time spent.
+    outcome = fast_fail_outcome();
+  } else {
+    outcome = play_exchange(*model_, config_, faults_, resilience_, script, language, start_ms);
+    breaker_->record(outcome.ok, start_ms + outcome.total_wait_ms);
+    const double exchange_ms = outcome.total_wait_ms;
+    bucket_next_free_ms_ = start_ms + slot_ms;
+    virtual_now_ms_ = start_ms + exchange_ms;
+    outcome.queue_wait_ms = wait_ms;
+    outcome.total_wait_ms = wait_ms + exchange_ms;
+  }
+
+  account(outcome);
   return outcome;
 }
 
@@ -99,11 +265,23 @@ std::vector<ChatOutcome> LlmClient::run_plan(const PromptPlan& plan,
                                              const SamplingParams& params) {
   std::vector<ChatOutcome> outcomes;
   outcomes.reserve(plan.messages.size());
+  bool chain_dead = false;
   for (const PromptMessage& message : plan.messages) {
+    if (chain_dead) {
+      // Plan-shaped output: callers still see one outcome per turn.
+      ChatOutcome skipped;
+      skipped.ok = false;
+      skipped.attempts = 0;
+      skipped.skipped = true;
+      outcomes.push_back(std::move(skipped));
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++usage_.skipped_turns;
+      continue;
+    }
     outcomes.push_back(send(message, plan.language, observation, params));
     // Only turns that feed later turns kill the exchange; independent
     // (parallel-strategy) messages proceed despite a dead sibling.
-    if (!outcomes.back().ok && plan.abort_on_failed_turn) break;
+    if (!outcomes.back().ok && plan.abort_on_failed_turn) chain_dead = true;
   }
   return outcomes;
 }

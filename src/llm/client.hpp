@@ -7,17 +7,31 @@
 // experiments measure what a deployment would pay and wait without
 // actually sleeping.
 //
-// LlmClient models ONE caller issuing requests back-to-back on a shared
-// virtual clock (each send() arrives when the previous one completed).
-// Concurrent batch traffic — many images in flight against one provider —
-// goes through llm::RequestScheduler (scheduler.hpp), which reuses the
-// same attempt-loop via simulate_exchange().
+// The exchange is split in two deterministic halves so chaos can be
+// injected at the correct point on the virtual clock:
+//
+//  * script_exchange (parallelizable): pre-draws every random quantity one
+//    logical request could consume — per-attempt latency/failure/stuck/
+//    corruption draws plus the answer text — from the caller's RNG stream.
+//  * play_exchange (pure): evaluates the attempt loop at a known virtual
+//    start time against a FaultPlan (outage windows, 429 storms, tail
+//    spikes, stuck requests, response corruption) under a ResilienceConfig
+//    (deadline budget, hedged attempts). Same script + same start time =>
+//    byte-identical outcome, at any thread count.
+//
+// simulate_exchange() is the healthy-path convenience wrapper (script +
+// play at t=0, no faults). LlmClient models ONE caller issuing requests
+// back-to-back on a shared virtual clock; concurrent batch traffic goes
+// through llm::RequestScheduler (scheduler.hpp), which replays the same
+// scripts inside its virtual-time event simulation.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "llm/faults.hpp"
 #include "llm/vlm.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -27,7 +41,7 @@ namespace neuro::llm {
 struct ClientConfig {
   int max_attempts = 4;               // 1 initial + 3 retries
   double initial_backoff_ms = 500.0;  // doubles per retry
-  double backoff_jitter = 0.25;       // +/- fraction
+  double backoff_jitter = 0.25;       // +/- fraction (clamped: sleep stays > 0)
   double requests_per_second = 5.0;   // provider rate limit
   int output_tokens_per_answer = 2;   // "Yes," etc.
 };
@@ -43,6 +57,13 @@ struct ChatOutcome {
   int input_tokens = 0;          // charged per attempt: retries resend the message
   int output_tokens = 0;
   double cost_usd = 0.0;
+  // Resilience-layer disposition flags.
+  bool skipped = false;      // never issued: an earlier turn of the plan died
+  bool fast_failed = false;  // rejected locally by an open circuit breaker
+  bool deadline_hit = false; // abandoned when the deadline budget ran out
+  int hedges = 0;            // duplicate attempts issued by hedging
+  bool hedge_won = false;    // a hedged attempt returned first
+  bool corrupted = false;    // response text was fault-injected before parsing
 };
 
 /// Accumulated usage across a client's lifetime.
@@ -54,14 +75,56 @@ struct UsageMeter {
   std::uint64_t output_tokens = 0;
   double cost_usd = 0.0;
   double busy_ms = 0.0;             // sum of total_wait_ms
+  // Resilience / fault accounting.
+  std::uint64_t fast_failures = 0;     // breaker rejections (counted in failures too)
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t corrupted_responses = 0;
+  std::uint64_t skipped_turns = 0;     // plan turns never issued after a dead turn
 };
 
-/// Simulate the attempt loop for one message with no rate limiting: draws
-/// per-attempt lognormal service latency, injects transient failures with
-/// jittered exponential backoff, charges input tokens per attempt (every
-/// retry resends the message) and prices the exchange. On return,
-/// total_wait_ms covers service + backoffs; queue_wait_ms is 0 — the
-/// caller owns queueing. Shared by LlmClient and RequestScheduler.
+/// Every random quantity one logical request can consume, pre-drawn from
+/// the caller's RNG stream in a fixed order. The draw count depends only
+/// on static config (attempts x hedging), never on outcomes, so scripting
+/// in parallel stays bit-identical at any thread count.
+struct ExchangeScript {
+  struct AttemptDraw {
+    double latency_normal = 0.0;  // z for the lognormal service latency
+    double failure_u = 0.0;       // transient-failure uniform
+    double stuck_u = 0.0;         // stuck-request uniform
+    double tail_normal = 0.0;     // z for tail-latency windows
+    double corrupt_kind_u = 0.0;  // corruption mode selector
+    double corrupt_aux_u = 0.0;   // corruption parameter
+    double jitter_u = 0.0;        // backoff jitter in [-1, 1)
+  };
+  std::string answer_text;  // drawn once; retries re-elicit the same answer
+  int input_tokens_per_attempt = 0;
+  int output_tokens = 0;
+  std::vector<AttemptDraw> draws;  // primary (+ hedge) legs, attempt-major
+};
+
+/// Pre-draw a request's random material. Consumes a deterministic amount
+/// of `rng` regardless of what later plays out.
+ExchangeScript script_exchange(const VisionLanguageModel& model, const ClientConfig& config,
+                               const ResilienceConfig& resilience, const PromptMessage& message,
+                               Language language, const VisualObservation& observation,
+                               const SamplingParams& params, util::Rng& rng);
+
+/// Evaluate the attempt loop of a scripted request starting at virtual
+/// time `start_ms` against a fault plan and resilience budgets. Pure:
+/// touches no shared state (circuit-breaker interaction is the caller's
+/// job via CircuitBreaker::allow/record). On return total_wait_ms covers
+/// service + backoffs; queue_wait_ms is 0 — the caller owns queueing.
+ChatOutcome play_exchange(const VisionLanguageModel& model, const ClientConfig& config,
+                          const FaultPlan& faults, const ResilienceConfig& resilience,
+                          const ExchangeScript& script, Language language, double start_ms);
+
+/// A breaker rejection: failed outcome with zero attempts/tokens/latency.
+ChatOutcome fast_fail_outcome();
+
+/// Healthy-path convenience: script + play at t=0 with no faults and no
+/// deadline/hedging. Shared by LlmClient and RequestScheduler defaults.
 ChatOutcome simulate_exchange(const VisionLanguageModel& model, const ClientConfig& config,
                               const PromptMessage& message, Language language,
                               const VisualObservation& observation,
@@ -74,13 +137,19 @@ class LlmClient {
   LlmClient(const VisionLanguageModel& model, ClientConfig config, std::uint64_t seed,
             util::MetricsRegistry* metrics = nullptr);
 
+  /// Script a chaos scenario / resilience policy for subsequent sends.
+  void set_fault_plan(FaultPlan faults);
+  void set_resilience(const ResilienceConfig& resilience);
+
   /// Send one request message about an image. Thread-safe.
   ChatOutcome send(const PromptMessage& message, Language language,
                    const VisualObservation& observation, const SamplingParams& params);
 
-  /// Run a full prompt plan. Plans whose turns depend on prior turns
-  /// (plan.abort_on_failed_turn, set for sequential exchanges) stop early
-  /// when a message ultimately fails; independent-message plans keep going.
+  /// Run a full prompt plan. Always returns one outcome per plan message
+  /// (plan-shaped). Plans whose turns depend on prior turns
+  /// (plan.abort_on_failed_turn, set for sequential exchanges) stop
+  /// issuing after a message ultimately fails; the remaining turns come
+  /// back as explicit failed outcomes with `skipped` set.
   std::vector<ChatOutcome> run_plan(const PromptPlan& plan,
                                     const VisualObservation& observation,
                                     const SamplingParams& params);
@@ -89,12 +158,17 @@ class LlmClient {
   const VisionLanguageModel& model() const { return *model_; }
 
  private:
+  void account(const ChatOutcome& outcome);  // usage_ + metrics; callers hold mutex_
+
   const VisionLanguageModel* model_;
   ClientConfig config_;
   util::MetricsRegistry* metrics_;
   mutable std::mutex mutex_;
   util::Rng rng_;
   UsageMeter usage_;
+  FaultPlan faults_;                  // healthy by default
+  ResilienceConfig resilience_;       // deadline/hedging off by default
+  std::unique_ptr<CircuitBreaker> breaker_;
   double virtual_now_ms_ = 0.0;       // caller's clock: advances per send()
   double bucket_next_free_ms_ = 0.0;  // virtual-time token bucket
 };

@@ -21,6 +21,20 @@ scene::PresenceVector majority_vote(const std::vector<scene::PresenceVector>& vo
   return result;
 }
 
+DegradedVote degraded_majority_vote(const std::vector<MemberVote>& votes) {
+  DegradedVote result;
+  std::vector<scene::PresenceVector> surviving;
+  surviving.reserve(votes.size());
+  for (const MemberVote& vote : votes) {
+    if (!vote.abstained) surviving.push_back(vote.prediction);
+  }
+  result.voters = surviving.size();
+  if (surviving.empty()) return result;  // undecidable: all-absent, no throw
+  result.quorum = majority_quorum(surviving.size());
+  result.decision = majority_vote(surviving, result.quorum);
+  return result;
+}
+
 scene::IndicatorMap<double> vote_agreement(const std::vector<scene::PresenceVector>& votes) {
   scene::IndicatorMap<double> agreement;
   if (votes.empty()) return agreement;

@@ -22,4 +22,27 @@ scene::PresenceVector majority_vote(const std::vector<scene::PresenceVector>& vo
 /// Per-indicator agreement fraction (how many voters said "present").
 scene::IndicatorMap<double> vote_agreement(const std::vector<scene::PresenceVector>& votes);
 
+/// One ensemble member's contribution for one image. A member abstains
+/// when its requests ultimately failed (outage, breaker rejection, abort)
+/// or when every answer came back unparseable — an abstention is "no
+/// opinion", never a blanket "No".
+struct MemberVote {
+  scene::PresenceVector prediction;
+  bool abstained = false;
+};
+
+/// Outcome of a vote that survived member failures.
+struct DegradedVote {
+  scene::PresenceVector decision;
+  std::size_t voters = 0;  // members that actually voted
+  std::size_t quorum = 0;  // quorum applied to the surviving voters
+};
+
+/// Majority vote with graceful degradation: abstaining members are dropped
+/// and the quorum is recomputed over the survivors (top-3 -> top-2 ->
+/// single-model). Zero survivors yields an all-absent decision with
+/// voters == 0 — never a throw, so one dead provider cannot take down a
+/// batch run.
+DegradedVote degraded_majority_vote(const std::vector<MemberVote>& votes);
+
 }  // namespace neuro::llm

@@ -1,0 +1,193 @@
+#include "llm/faults.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::llm {
+namespace {
+
+// Off-lexicon vocabulary: plausible model output that matches no yes/no
+// token in any supported language (the "hallucinated token" failure mode).
+constexpr std::array<std::string_view, 8> kGarbageTokens = {
+    "affirmative-ish", "42",      "perhaps later", "banana",
+    "n/a",             "[blank]", "image unclear", "depends",
+};
+
+constexpr std::array<std::string_view, 4> kRefusals = {
+    "I'm sorry, but I can't assist with identifying elements in this image.",
+    "I cannot help with that request.",
+    "As an AI language model, I am unable to analyze this image.",
+    "Lo siento, no puedo ayudar con esa solicitud.",
+};
+
+/// Stateless sub-draw: expand one uniform into a sequence of decorrelated
+/// uniforms so a single pre-drawn aux value can parameterize multi-part
+/// corruption without consuming more RNG stream.
+double sub_uniform(double aux_u, std::uint64_t salt) {
+  const auto bits = static_cast<std::uint64_t>(aux_u * 9007199254740992.0);  // 2^53
+  const std::uint64_t mixed = util::mix64(bits ^ (salt * 0x9E3779B97F4A7C15ULL));
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string corrupt_response(const std::string& text, const ResponseCorruption& corruption,
+                             Language language, double kind_u, double aux_u) {
+  double edge = corruption.truncate_rate;
+  if (kind_u < edge) {
+    // Truncate mid-token at a byte offset — may split a multi-byte UTF-8
+    // sequence, exactly the malformed tail a dropped connection produces.
+    const std::size_t keep =
+        static_cast<std::size_t>(aux_u * static_cast<double>(text.size()));
+    return text.substr(0, keep);
+  }
+  edge += corruption.off_lexicon_rate;
+  if (kind_u < edge) {
+    // Replace every answer fragment with an off-lexicon token.
+    const std::vector<std::string> fragments = util::split(text, ',');
+    std::vector<std::string> garbled;
+    garbled.reserve(fragments.size());
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+      const double pick = sub_uniform(aux_u, i + 1);
+      garbled.push_back(std::string(
+          kGarbageTokens[static_cast<std::size_t>(pick * kGarbageTokens.size()) %
+                         kGarbageTokens.size()]));
+    }
+    return util::join(garbled, ", ");
+  }
+  edge += corruption.wrong_language_rate;
+  if (kind_u < edge) {
+    // Answer with another language's tokens (models frequently ignore the
+    // prompt language; the parser is expected to cope).
+    const auto languages = all_languages();
+    const std::size_t shift =
+        1 + static_cast<std::size_t>(sub_uniform(aux_u, 17) * (languages.size() - 1)) %
+                (languages.size() - 1);
+    const Language other =
+        languages[(static_cast<std::size_t>(language) + shift) % languages.size()];
+    const Lexicon& lexicon = Lexicon::standard();
+    std::string swapped = text;
+    swapped = util::replace_all(swapped, std::string(lexicon.yes_token(language)),
+                                std::string(lexicon.yes_token(other)));
+    swapped = util::replace_all(swapped, std::string(lexicon.no_token(language)),
+                                std::string(lexicon.no_token(other)));
+    return swapped;
+  }
+  edge += corruption.refusal_rate;
+  if (kind_u < edge) {
+    return std::string(
+        kRefusals[static_cast<std::size_t>(aux_u * kRefusals.size()) % kRefusals.size()]);
+  }
+  return text;
+}
+
+bool FaultPlan::any() const {
+  return !outages.empty() || !rate_limit_storms.empty() || !tail_latency.empty() ||
+         stuck_rate > 0.0 || corruption.any();
+}
+
+bool FaultPlan::in_outage(double at_ms) const {
+  return std::any_of(outages.begin(), outages.end(),
+                     [at_ms](const FaultWindow& w) { return w.contains(at_ms); });
+}
+
+bool FaultPlan::in_storm(double at_ms) const {
+  return std::any_of(rate_limit_storms.begin(), rate_limit_storms.end(),
+                     [at_ms](const FaultWindow& w) { return w.contains(at_ms); });
+}
+
+double FaultPlan::latency_scale(double at_ms, double tail_normal) const {
+  double scale = 1.0;
+  for (const TailLatencyWindow& tail : tail_latency) {
+    if (tail.window.contains(at_ms)) {
+      scale *= tail.multiplier * std::exp(tail.log_sigma * tail_normal);
+    }
+  }
+  return scale;
+}
+
+FaultPlan FaultPlan::outage_window(double start_ms, double end_ms) {
+  FaultPlan plan;
+  plan.outages.push_back({start_ms, end_ms});
+  return plan;
+}
+
+FaultPlan FaultPlan::storm_window(double start_ms, double end_ms) {
+  FaultPlan plan;
+  plan.rate_limit_storms.push_back({start_ms, end_ms});
+  return plan;
+}
+
+FaultPlan FaultPlan::tail_spike(double start_ms, double end_ms, double multiplier,
+                                double log_sigma) {
+  FaultPlan plan;
+  plan.tail_latency.push_back({{start_ms, end_ms}, multiplier, log_sigma});
+  return plan;
+}
+
+FaultPlan FaultPlan::garbage(double truncate, double off_lexicon, double wrong_language,
+                             double refusal) {
+  FaultPlan plan;
+  plan.corruption = {truncate, off_lexicon, wrong_language, refusal};
+  return plan;
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, util::MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {}
+
+CircuitBreaker::State CircuitBreaker::state(double now_ms) const {
+  if (state_ == State::kOpen && now_ms - opened_at_ms_ >= config_.open_ms) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::allow(double now_ms) {
+  if (!config_.enabled) return true;
+  if (state_ == State::kOpen) {
+    if (now_ms - opened_at_ms_ < config_.open_ms) return false;
+    state_ = State::kHalfOpen;
+    half_open_successes_ = 0;
+    ++half_opened_;
+    if (metrics_ != nullptr) metrics_->counter("resilience.breaker.half_opened").add(1);
+  }
+  return true;
+}
+
+void CircuitBreaker::record(bool ok, double now_ms) {
+  if (!config_.enabled) return;
+  if (ok) {
+    if (state_ == State::kHalfOpen) {
+      if (++half_open_successes_ >= config_.half_open_probes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        ++closed_;
+        if (metrics_ != nullptr) metrics_->counter("resilience.breaker.closed").add(1);
+      }
+    } else {
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ == State::kHalfOpen) {
+    trip(now_ms);  // a failed probe re-opens immediately
+  } else if (state_ == State::kClosed &&
+             ++consecutive_failures_ >= config_.failure_threshold) {
+    trip(now_ms);
+  }
+}
+
+void CircuitBreaker::trip(double now_ms) {
+  state_ = State::kOpen;
+  opened_at_ms_ = now_ms;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  ++opened_;
+  if (metrics_ != nullptr) metrics_->counter("resilience.breaker.opened").add(1);
+}
+
+}  // namespace neuro::llm

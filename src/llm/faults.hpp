@@ -1,0 +1,153 @@
+#pragma once
+// Deterministic fault injection + resilience primitives for the serving
+// layer. The paper's §V names API latency, rate limits and cost as the
+// practical barriers to majority-voting LLM surveys; related street-view
+// work reports malformed responses and provider flakiness as the dominant
+// failure modes. A FaultPlan scripts those failure modes — correlated
+// outage windows, 429 rate-limit storms, tail-latency spikes, stuck
+// requests and response corruption — on the virtual clock, so chaos
+// scenarios replay bit-for-bit in CI at any thread count.
+//
+// The resilience side lives next to the faults it answers: a per-provider
+// circuit breaker (closed → open → half-open on the virtual clock) and the
+// deadline/hedging budgets consumed by play_exchange (client.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/lexicon.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::llm {
+
+/// Half-open virtual-time interval [start_ms, end_ms).
+struct FaultWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  bool contains(double at_ms) const { return at_ms >= start_ms && at_ms < end_ms; }
+};
+
+/// Latency inflation over a window: service time is multiplied by
+/// `multiplier * exp(log_sigma * z)` with z a pre-drawn standard normal,
+/// i.e. a lognormal tail on top of the provider's own latency model.
+struct TailLatencyWindow {
+  FaultWindow window;
+  double multiplier = 1.0;
+  double log_sigma = 0.0;
+};
+
+/// Rates of the malformed-response modes observed with real VLM APIs
+/// (truncated output, off-lexicon tokens, answers in the wrong language,
+/// refusal boilerplate). Applied to otherwise-successful responses just
+/// before the parser sees them.
+struct ResponseCorruption {
+  double truncate_rate = 0.0;
+  double off_lexicon_rate = 0.0;
+  double wrong_language_rate = 0.0;
+  double refusal_rate = 0.0;
+
+  double total() const {
+    return truncate_rate + off_lexicon_rate + wrong_language_rate + refusal_rate;
+  }
+  bool any() const { return total() > 0.0; }
+};
+
+/// Corrupt a response text. `kind_u` selects the corruption mode by
+/// scanning the cumulative rates (kind_u >= total() leaves the text
+/// intact); `aux_u` parameterizes the chosen mode (truncation point,
+/// garbage vocabulary, replacement language). Pure function of its inputs
+/// so corruption stays deterministic when replayed at schedule time.
+std::string corrupt_response(const std::string& text, const ResponseCorruption& corruption,
+                             Language language, double kind_u, double aux_u);
+
+/// A scripted chaos scenario against one provider, on the virtual clock.
+struct FaultPlan {
+  std::vector<FaultWindow> outages;            // hard outage: every attempt fails
+  std::vector<FaultWindow> rate_limit_storms;  // 429s: fast rejection, backoff retried
+  std::vector<TailLatencyWindow> tail_latency;
+  double stuck_rate = 0.0;  // P(an attempt never returns; bounded by timeouts)
+  ResponseCorruption corruption;
+
+  bool any() const;
+  bool in_outage(double at_ms) const;
+  bool in_storm(double at_ms) const;
+  /// Combined latency multiplier of every tail window covering `at_ms`;
+  /// `tail_normal` is the attempt's pre-drawn standard normal draw.
+  double latency_scale(double at_ms, double tail_normal) const;
+
+  // Scenario builders used by tests, benches and the chaos catalog.
+  static FaultPlan healthy() { return FaultPlan{}; }
+  static FaultPlan outage_window(double start_ms, double end_ms);
+  static FaultPlan storm_window(double start_ms, double end_ms);
+  static FaultPlan tail_spike(double start_ms, double end_ms, double multiplier,
+                              double log_sigma = 0.0);
+  static FaultPlan garbage(double truncate, double off_lexicon, double wrong_language,
+                           double refusal);
+};
+
+/// Circuit breaker policy: `failure_threshold` consecutive logical
+/// failures trip the breaker open; after `open_ms` of cool-down a
+/// half-open probe phase admits requests again, closing after
+/// `half_open_probes` consecutive successes (any probe failure re-opens).
+struct CircuitBreakerConfig {
+  bool enabled = true;
+  int failure_threshold = 5;
+  double open_ms = 30000.0;
+  int half_open_probes = 2;
+};
+
+/// Per-provider circuit breaker on the virtual clock. Driven from a
+/// single-threaded event loop (the scheduler's phase 2, or LlmClient under
+/// its lock), observing outcomes in admission order; not itself
+/// thread-safe. Transitions land in the registry as
+/// resilience.breaker.{opened,half_opened,closed} when one is given.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config, util::MetricsRegistry* metrics = nullptr);
+
+  /// May the request at `now_ms` be issued? Applies the open -> half-open
+  /// cool-down transition. False means fail fast without an attempt.
+  bool allow(double now_ms);
+  /// Report the outcome of an admitted request.
+  void record(bool ok, double now_ms);
+
+  /// Current state with the cool-down timeout applied (does not commit the
+  /// open -> half-open transition; exposed for tests/reports).
+  State state(double now_ms) const;
+  std::uint64_t opened_count() const { return opened_; }
+  std::uint64_t closed_count() const { return closed_; }
+  std::uint64_t half_opened_count() const { return half_opened_; }
+
+ private:
+  void trip(double now_ms);
+
+  CircuitBreakerConfig config_;
+  util::MetricsRegistry* metrics_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  double opened_at_ms_ = 0.0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t half_opened_ = 0;
+};
+
+/// Client-side survival budgets for one logical request.
+struct ResilienceConfig {
+  CircuitBreakerConfig breaker;
+  /// Total virtual-time budget for a logical request including retries and
+  /// backoffs; exceeding it abandons the request (0 = unlimited).
+  double deadline_ms = 0.0;
+  /// Issue a duplicate (hedged) attempt when the primary has not returned
+  /// after this long; the earlier success wins (0 = hedging off).
+  double hedge_after_ms = 0.0;
+  /// How long a stuck (never-returning) attempt occupies the client before
+  /// it is abandoned — the socket-timeout backstop when no deadline cuts
+  /// it off sooner.
+  double stuck_timeout_ms = 120000.0;
+};
+
+}  // namespace neuro::llm

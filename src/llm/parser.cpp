@@ -58,10 +58,34 @@ std::optional<bool> ResponseParser::classify_token(std::string_view fragment,
   return std::nullopt;
 }
 
+namespace {
+
+/// Refusal boilerplate ("I'm sorry, but I can't assist...", "Lo siento, no
+/// puedo ayudar...") must abstain wholesale. Checked before any polarity
+/// scan: the Spanish refusal literally contains the word "no" and would
+/// otherwise read as a confident negative answer.
+bool is_refusal(const std::string& lowered) {
+  static constexpr std::string_view kMarkers[] = {
+      "sorry",  "apolog",   "as an ai",  "cannot assist", "can't assist",
+      "unable", "lo siento", "no puedo", "cannot help",   "can't help",
+  };
+  for (std::string_view marker : kMarkers) {
+    if (util::contains(lowered, marker)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 ParsedAnswers ResponseParser::parse(const std::string& response, std::size_t expected,
                                     Language language) const {
   ParsedAnswers out;
   out.answers.assign(expected, std::nullopt);
+
+  if (is_refusal(util::to_lower(response))) {
+    out.format_violations = static_cast<int>(expected);
+    return out;  // every slot abstains
+  }
 
   // Split on commas, newlines, and the CJK comma.
   std::string normalized = util::replace_all(response, "，", ",");

@@ -47,10 +47,13 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
   report.items.resize(batch.size());
   if (batch.empty() || plan.messages.empty()) return report;
 
-  // Phase 1 — SIMULATE: run every item's attempt loops in parallel. Each
-  // item only touches its own slot and its own RNG stream (same derivation
-  // as SurveyRunner::run_model), so the results are bit-identical at any
-  // thread count.
+  // Phase 1 — SCRIPT: pre-draw every item's random material in parallel.
+  // Each item only touches its own slot and its own RNG stream (same
+  // derivation as SurveyRunner::run_model), and every script consumes a
+  // fixed number of draws, so the results are bit-identical at any thread
+  // count. Nothing is *played* yet: faults depend on virtual start times
+  // only the sequential event loop below knows.
+  std::vector<std::vector<ExchangeScript>> scripts(batch.size());
   util::ThreadPool pool(config_.threads);
   pool.parallel_for(batch.size(), [&](std::size_t i) {
     const VisualObservation empty_observation{};
@@ -59,38 +62,30 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
     util::Rng rng(util::derive_seed(
         seed, util::format("%s/%llu", model_->profile().name.c_str(),
                            static_cast<unsigned long long>(batch[i].image_id))));
-    ItemOutcome& item = report.items[i];
-    item.outcomes.reserve(plan.messages.size());
+    scripts[i].reserve(plan.messages.size());
     for (const PromptMessage& message : plan.messages) {
-      item.outcomes.push_back(simulate_exchange(*model_, config_.client, message, plan.language,
-                                                observation, params, rng));
-      const ChatOutcome& outcome = item.outcomes.back();
-      if (outcome.ok) {
-        const ParsedAnswers parsed =
-            parser_.parse(outcome.text, message.asks.size(), plan.language);
-        for (std::size_t j = 0; j < message.asks.size(); ++j) {
-          if (j < parsed.answers.size() && parsed.answers[j].value_or(false)) {
-            item.prediction.set(message.asks[j], true);
-          }
-        }
-      } else if (plan.abort_on_failed_turn) {
-        break;  // a dead turn kills the rest of a sequential exchange
-      }
+      scripts[i].push_back(script_exchange(*model_, config_.client, config_.resilience, message,
+                                           plan.language, observation, params, rng));
     }
   });
 
   // Phase 2 — SCHEDULE: deterministic virtual-time event simulation.
-  // Requests are admitted FIFO by readiness through the shared token
-  // bucket and the in-flight cap; chained turns become ready when their
-  // predecessor finishes.
+  // Requests are admitted FIFO by readiness through the circuit breaker,
+  // the shared token bucket and the in-flight cap; chained turns become
+  // ready when their predecessor finishes. The breaker sees each admitted
+  // request's outcome at its virtual finish time, in admission order.
   const double slot_ms = 1000.0 / std::max(0.001, config_.client.requests_per_second);
   const std::size_t max_in_flight = std::max<std::size_t>(1, config_.max_in_flight);
+  const double abort_cut_ms = config_.abort_after_ms;
   double bucket_next_free_ms = 0.0;
+  CircuitBreaker breaker(config_.resilience.breaker, metrics_);
 
   std::priority_queue<PendingRequest, std::vector<PendingRequest>, std::greater<>> pending;
   std::priority_queue<double, std::vector<double>, std::greater<>> in_flight;
+  std::vector<std::size_t> issued(batch.size(), 0);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!report.items[i].outcomes.empty()) pending.push({0.0, i, 0});
+    report.items[i].outcomes.resize(plan.messages.size());
+    pending.push({0.0, i, 0});
   }
 
   std::vector<double> queue_waits;
@@ -98,42 +93,85 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
   while (!pending.empty()) {
     const PendingRequest request = pending.top();
     pending.pop();
-    ChatOutcome& outcome = report.items[request.item].outcomes[request.message];
-    const double exchange_ms = outcome.total_wait_ms;  // service + backoffs
+    ItemOutcome& item = report.items[request.item];
+    const PromptMessage& message = plan.messages[request.message];
+    ChatOutcome& outcome = item.outcomes[request.message];
 
     double start_ms = request.ready_ms;
-    while (!in_flight.empty() && in_flight.top() <= start_ms) in_flight.pop();
-    while (in_flight.size() >= max_in_flight) {
-      start_ms = std::max(start_ms, in_flight.top());
-      in_flight.pop();
+    double finish_ms = request.ready_ms;
+    if (!breaker.allow(request.ready_ms)) {
+      // Open breaker: reject locally before queueing — no bucket slot, no
+      // in-flight occupancy, no virtual time spent.
+      if (abort_cut_ms > 0.0 && request.ready_ms >= abort_cut_ms) {
+        item.aborted = true;
+        continue;
+      }
+      outcome = fast_fail_outcome();
+    } else {
+      while (!in_flight.empty() && in_flight.top() <= start_ms) in_flight.pop();
+      while (in_flight.size() >= max_in_flight) {
+        start_ms = std::max(start_ms, in_flight.top());
+        in_flight.pop();
+      }
+      start_ms = std::max(start_ms, bucket_next_free_ms);
+      if (abort_cut_ms > 0.0 && start_ms >= abort_cut_ms) {
+        // Admission starts are monotone, so every remaining request is
+        // also past the cut; each will land here and mark its item.
+        item.aborted = true;
+        continue;
+      }
+      bucket_next_free_ms = start_ms + slot_ms;
+      const ExchangeScript& script = scripts[request.item][request.message];
+      outcome = play_exchange(*model_, config_.client, config_.faults, config_.resilience,
+                              script, plan.language, start_ms);
+      const double exchange_ms = outcome.total_wait_ms;  // service + backoffs
+      finish_ms = start_ms + exchange_ms;
+      breaker.record(outcome.ok, finish_ms);
+      in_flight.push(finish_ms);
+      outcome.queue_wait_ms = start_ms - request.ready_ms;
+      outcome.total_wait_ms = outcome.queue_wait_ms + exchange_ms;
+      report.stats.serial_ms += exchange_ms;
     }
-    start_ms = std::max(start_ms, bucket_next_free_ms);
-    bucket_next_free_ms = start_ms + slot_ms;
-    const double finish_ms = start_ms + exchange_ms;
-    in_flight.push(finish_ms);
+    issued[request.item] = request.message + 1;
 
-    outcome.queue_wait_ms = start_ms - request.ready_ms;
-    outcome.total_wait_ms = outcome.queue_wait_ms + exchange_ms;
     report.timings.push_back({request.item, request.message, request.ready_ms, start_ms,
                               finish_ms});
     queue_waits.push_back(outcome.queue_wait_ms);
     service_times.push_back(outcome.latency_ms);
 
-    ItemOutcome& item = report.items[request.item];
+    if (outcome.ok) {
+      const ParsedAnswers parsed =
+          parser_.parse(outcome.text, message.asks.size(), plan.language);
+      for (std::size_t j = 0; j < message.asks.size(); ++j) {
+        if (j < parsed.answers.size() && parsed.answers[j].has_value()) {
+          ++item.answered_questions;
+          if (*parsed.answers[j]) item.prediction.set(message.asks[j], true);
+        }
+      }
+    }
+
     item.completion_ms = std::max(item.completion_ms, finish_ms);
     const std::size_t next_message = request.message + 1;
-    if (next_message < item.outcomes.size()) pending.push({finish_ms, request.item, next_message});
+    if (!outcome.ok && plan.abort_on_failed_turn) {
+      // A dead turn kills the rest of a sequential exchange.
+    } else if (next_message < plan.messages.size()) {
+      pending.push({finish_ms, request.item, next_message});
+    }
 
     report.usage.requests += 1;
     if (!outcome.ok) report.usage.failures += 1;
-    report.usage.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+    report.usage.retries += static_cast<std::uint64_t>(std::max(0, outcome.attempts - 1));
     report.usage.input_tokens += static_cast<std::uint64_t>(outcome.input_tokens);
     report.usage.output_tokens += static_cast<std::uint64_t>(outcome.output_tokens);
     report.usage.cost_usd += outcome.cost_usd;
     report.usage.busy_ms += outcome.total_wait_ms;
+    if (outcome.fast_failed) report.usage.fast_failures += 1;
+    if (outcome.deadline_hit) report.usage.deadline_misses += 1;
+    report.usage.hedges += static_cast<std::uint64_t>(outcome.hedges);
+    if (outcome.hedge_won) report.usage.hedge_wins += 1;
+    if (outcome.corrupted) report.usage.corrupted_responses += 1;
 
     report.stats.makespan_ms = std::max(report.stats.makespan_ms, finish_ms);
-    report.stats.serial_ms += exchange_ms;
 
     if (metrics_ != nullptr) {
       metrics_->counter("llm.requests").add(1);
@@ -141,10 +179,29 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
       if (outcome.attempts > 1) {
         metrics_->counter("llm.retries").add(static_cast<std::uint64_t>(outcome.attempts - 1));
       }
+      if (outcome.fast_failed) metrics_->counter("resilience.breaker.fast_failures").add(1);
+      if (outcome.deadline_hit) metrics_->counter("resilience.deadline_misses").add(1);
+      if (outcome.hedges > 0) {
+        metrics_->counter("resilience.hedges").add(static_cast<std::uint64_t>(outcome.hedges));
+      }
+      if (outcome.hedge_won) metrics_->counter("resilience.hedge_wins").add(1);
+      if (outcome.corrupted) metrics_->counter("faults.corrupted_responses").add(1);
       metrics_->histogram("llm.queue_wait_ms").observe(outcome.queue_wait_ms);
       metrics_->histogram("llm.service_ms").observe(outcome.latency_ms);
       metrics_->histogram("llm.cost_usd").observe(outcome.cost_usd);
     }
+  }
+
+  // Finalize items: drop never-issued outcome slots (chain death / abort
+  // cut) and derive the per-item disposition the ensemble vote consumes.
+  std::uint64_t aborted_items = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ItemOutcome& item = report.items[i];
+    item.outcomes.resize(issued[i]);
+    const bool any_failed = std::any_of(item.outcomes.begin(), item.outcomes.end(),
+                                        [](const ChatOutcome& o) { return !o.ok; });
+    item.failed = item.aborted || any_failed || item.outcomes.size() < plan.messages.size();
+    if (item.aborted) ++aborted_items;
   }
 
   std::sort(queue_waits.begin(), queue_waits.end());
@@ -159,6 +216,7 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
   if (metrics_ != nullptr) {
     metrics_->counter("scheduler.batches").add(1);
     metrics_->counter("scheduler.items").add(batch.size());
+    if (aborted_items > 0) metrics_->counter("scheduler.aborted_items").add(aborted_items);
     metrics_->histogram("scheduler.makespan_ms").observe(report.stats.makespan_ms);
     for (const ItemOutcome& item : report.items) {
       metrics_->histogram("scheduler.item_completion_ms").observe(item.completion_ms);

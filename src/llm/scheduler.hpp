@@ -8,19 +8,25 @@
 //
 // Two-phase design, so wall-clock parallelism never perturbs virtual time:
 //
-//  1. SIMULATE (parallel over util::ThreadPool): every item gets its own
+//  1. SCRIPT (parallel over util::ThreadPool): every item gets its own
 //     RNG stream derived exactly like SurveyRunner::run_model —
-//     derive_seed(seed, "<model>/<image_id>") — and runs its attempt loops
-//     (service latency, retries, answers) independently. Bit-identical at
-//     any thread count because no cross-item state is touched.
+//     derive_seed(seed, "<model>/<image_id>") — and pre-draws its
+//     exchange scripts (answer text + per-attempt random material)
+//     independently. Bit-identical at any thread count because no
+//     cross-item state is touched and the draw count is outcome-free.
 //  2. SCHEDULE (sequential, cheap): a deterministic event simulation admits
-//     requests FIFO by readiness through the token bucket and the
-//     in-flight cap, producing per-request start/finish times, queue-wait
-//     percentiles and the batch makespan in virtual milliseconds.
+//     requests FIFO by readiness through the circuit breaker, the token
+//     bucket and the in-flight cap, *plays* each script at its admitted
+//     virtual start time against the configured FaultPlan (so outage /
+//     storm / tail windows hit the requests that are actually in them),
+//     parses responses, and produces per-request start/finish times,
+//     queue-wait percentiles and the batch makespan in virtual ms.
 //
 // Sequential plans chain turn readiness (message m+1 becomes ready when m
 // finishes) and abort after a message exhausts its retries; parallel plans
-// issue independent messages.
+// issue independent messages. The breaker observes outcomes in admission
+// order (a request's result is recorded at its virtual finish time when it
+// is admitted), which lets later admissions fail fast deterministically.
 
 #include <cstddef>
 #include <cstdint>
@@ -38,6 +44,12 @@ struct SchedulerConfig {
   ClientConfig client;            // rate limit, retries, pricing
   std::size_t max_in_flight = 8;  // provider-side concurrent request cap
   std::size_t threads = 0;        // simulation workers (0 = hardware)
+  FaultPlan faults;               // scripted chaos scenario (healthy by default)
+  ResilienceConfig resilience;    // breaker / deadline / hedging policy
+  /// Kill switch for checkpoint/resume tests and interrupted surveys:
+  /// requests that would start at or after this virtual time are dropped
+  /// and their items marked aborted (0 = run to completion).
+  double abort_after_ms = 0.0;
 };
 
 /// One unit of batch work: interrogate one image with the shared plan.
@@ -60,6 +72,9 @@ struct ItemOutcome {
   std::vector<ChatOutcome> outcomes;  // one per issued message, plan order
   scene::PresenceVector prediction;   // parsed answers; unparseable = absent
   double completion_ms = 0.0;         // virtual finish of the item's last request
+  bool failed = false;     // some request ultimately failed or never ran
+  bool aborted = false;    // cut off by SchedulerConfig::abort_after_ms
+  int answered_questions = 0;  // parsed answers with a definite yes/no
 };
 
 /// Batch-level latency/throughput summary (virtual time, exact — computed

@@ -1,0 +1,188 @@
+// End-to-end resilience: a scripted full outage of one top-3 provider
+// completes the survey through breaker + degraded-quorum voting, a
+// mid-batch abort resumes from the journal without re-spending tokens, and
+// the whole chaos pipeline stays byte-identical across thread counts.
+
+#include <gtest/gtest.h>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+
+namespace neuro::core {
+namespace {
+
+using scene::Indicator;
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;  // LLM path never reads pixels
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+llm::ModelProfile reliable(llm::ModelProfile profile) {
+  profile.transient_failure_rate = 0.0;  // isolate scripted faults
+  return profile;
+}
+
+TEST(ResilientSurvey, OutageDegradesToSurvivingQuorum) {
+  const data::Dataset dataset = small_dataset(60);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel gemini =
+      runner.make_model(reliable(llm::gemini_1_5_pro_profile()));
+  const llm::VisionLanguageModel claude = runner.make_model(reliable(llm::claude_3_7_profile()));
+  const llm::VisionLanguageModel grok = runner.make_model(reliable(llm::grok_2_profile()));
+
+  SurveyConfig config;
+  util::MetricsRegistry metrics;
+  // Gemini is hard-down for the entire run; the other two are healthy.
+  const std::vector<llm::FaultPlan> faults = {llm::FaultPlan::outage_window(0.0, 1e12),
+                                              llm::FaultPlan::healthy(),
+                                              llm::FaultPlan::healthy()};
+  const EnsembleBatchResult result = runner.run_ensemble_batch(
+      {&gemini, &claude, &grok}, config, llm::SchedulerConfig{}, faults, nullptr, &metrics);
+
+  ASSERT_EQ(result.decisions.size(), 60U);
+  const llm::BatchReport& gemini_report = result.member_reports[0];
+
+  // The survey completed and every image was decided by the two survivors.
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    EXPECT_EQ(result.voters[i], 2U) << "image " << i;
+    // The degraded decision is exactly the top-2 quorum-2 vote.
+    const auto top2 = llm::majority_vote({result.member_reports[1].items[i].prediction,
+                                          result.member_reports[2].items[i].prediction},
+                                         2);
+    EXPECT_EQ(result.decisions[i], top2) << "image " << i;
+  }
+  EXPECT_EQ(result.abstentions, 60U);
+  EXPECT_EQ(result.degraded_images, 60U);
+  EXPECT_EQ(result.undecidable_images, 0U);
+
+  // Breaker + fast-fail kept the dead provider from a retry storm: only
+  // the requests before the trip burned real attempts.
+  EXPECT_GE(metrics.counter("resilience.breaker.opened").value(), 1U);
+  EXPECT_GT(gemini_report.usage.fast_failures, 0U);
+  std::uint64_t gemini_attempts = 0;
+  for (const llm::ItemOutcome& item : gemini_report.items) {
+    EXPECT_TRUE(item.failed);
+    for (const llm::ChatOutcome& outcome : item.outcomes) {
+      gemini_attempts += static_cast<std::uint64_t>(outcome.attempts);
+    }
+  }
+  EXPECT_LT(gemini_attempts, 60U * 4U / 2U);
+  EXPECT_EQ(metrics.counter("ensemble.abstentions").value(), 60U);
+  EXPECT_EQ(metrics.counter("ensemble.degraded_images").value(), 60U);
+
+  // Accuracy degrades toward top-2 voting instead of collapsing: the
+  // degraded ensemble cannot be worse than abstentions-as-"No" would be,
+  // and must stay in a sane band.
+  const double degraded_f1 = result.evaluator.macro_average().f1;
+  EXPECT_GT(degraded_f1, 0.5);
+}
+
+TEST(ResilientSurvey, JournalResumeReissuesZeroRequestsForCompletedImages) {
+  const data::Dataset dataset = small_dataset(50);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model =
+      runner.make_model(reliable(llm::gemini_1_5_pro_profile()));
+  SurveyConfig config;
+
+  // Ground truth: one uninterrupted run.
+  const llm::BatchReport baseline =
+      runner.run_client_batch(model, config, llm::SchedulerConfig{});
+  ASSERT_GT(baseline.stats.makespan_ms, 0.0);
+
+  // First attempt dies mid-batch; completed images land in the journal.
+  SurveyJournal journal;
+  llm::SchedulerConfig aborting;
+  aborting.abort_after_ms = baseline.stats.makespan_ms / 2.0;
+  const llm::BatchReport partial =
+      runner.run_client_batch(model, config, aborting, nullptr, &journal);
+  const std::size_t checkpointed = journal.size();
+  ASSERT_GT(checkpointed, 0U);
+  ASSERT_LT(checkpointed, 50U);
+
+  // Resume: only the missing images are issued, the journaled ones are
+  // restored for free, and the merged predictions match the uninterrupted
+  // run exactly.
+  util::MetricsRegistry metrics;
+  const llm::BatchReport resumed =
+      runner.run_client_batch(model, config, llm::SchedulerConfig{}, &metrics, &journal);
+  EXPECT_EQ(resumed.usage.requests, 50U - checkpointed);
+  EXPECT_EQ(metrics.counter("journal.images_resumed").value(), checkpointed);
+  EXPECT_GE(metrics.counter("journal.requests_saved").value(), checkpointed);
+  ASSERT_EQ(resumed.items.size(), 50U);
+  for (std::size_t i = 0; i < resumed.items.size(); ++i) {
+    EXPECT_EQ(resumed.items[i].prediction, baseline.items[i].prediction) << "image " << i;
+    EXPECT_FALSE(resumed.items[i].failed) << "image " << i;
+  }
+
+  // Everything is journaled now: a third run issues zero requests.
+  EXPECT_EQ(journal.size(), 50U);
+  const llm::BatchReport replay =
+      runner.run_client_batch(model, config, llm::SchedulerConfig{}, nullptr, &journal);
+  EXPECT_EQ(replay.usage.requests, 0U);
+  for (std::size_t i = 0; i < replay.items.size(); ++i) {
+    EXPECT_EQ(replay.items[i].prediction, baseline.items[i].prediction);
+  }
+
+  // The journal survives serialization (checkpoint files between runs).
+  const SurveyJournal reloaded = SurveyJournal::from_json(
+      util::Json::parse(journal.to_json().dump()));
+  EXPECT_EQ(reloaded.size(), journal.size());
+  const llm::BatchReport from_disk =
+      runner.run_client_batch(model, config, llm::SchedulerConfig{}, nullptr,
+                              const_cast<SurveyJournal*>(&reloaded));
+  EXPECT_EQ(from_disk.usage.requests, 0U);
+}
+
+TEST(ResilientSurvey, EnsembleChaosDeterministicAcrossThreadCounts) {
+  const data::Dataset dataset = small_dataset(40);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel gemini = runner.make_model(llm::gemini_1_5_pro_profile());
+  const llm::VisionLanguageModel claude = runner.make_model(llm::claude_3_7_profile());
+  const llm::VisionLanguageModel grok = runner.make_model(llm::grok_2_profile());
+
+  const std::vector<llm::FaultPlan> faults = {
+      llm::FaultPlan::outage_window(10000.0, 1e12),
+      llm::FaultPlan::garbage(0.1, 0.1, 0.1, 0.1),
+      llm::FaultPlan::tail_spike(0.0, 60000.0, 4.0, 0.3),
+  };
+
+  std::vector<EnsembleBatchResult> results;
+  for (std::size_t threads : {1UL, 4UL, 16UL}) {
+    SurveyConfig config;
+    config.threads = threads;
+    llm::SchedulerConfig scheduler_config;
+    scheduler_config.resilience.deadline_ms = 90000.0;
+    scheduler_config.resilience.hedge_after_ms = 6000.0;
+    results.push_back(runner.run_ensemble_batch({&gemini, &claude, &grok}, config,
+                                                scheduler_config, faults));
+  }
+
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    const EnsembleBatchResult& a = results[0];
+    const EnsembleBatchResult& b = results[r];
+    ASSERT_EQ(a.decisions.size(), b.decisions.size());
+    for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+      EXPECT_EQ(a.decisions[i], b.decisions[i]) << "image " << i;
+      EXPECT_EQ(a.voters[i], b.voters[i]) << "image " << i;
+    }
+    EXPECT_EQ(a.abstentions, b.abstentions);
+    EXPECT_EQ(a.degraded_images, b.degraded_images);
+    EXPECT_EQ(a.undecidable_images, b.undecidable_images);
+    for (std::size_t m = 0; m < a.member_reports.size(); ++m) {
+      EXPECT_EQ(a.member_reports[m].usage.requests, b.member_reports[m].usage.requests);
+      EXPECT_EQ(a.member_reports[m].usage.fast_failures,
+                b.member_reports[m].usage.fast_failures);
+      EXPECT_EQ(a.member_reports[m].usage.hedges, b.member_reports[m].usage.hedges);
+      EXPECT_DOUBLE_EQ(a.member_reports[m].usage.cost_usd, b.member_reports[m].usage.cost_usd);
+      EXPECT_DOUBLE_EQ(a.member_reports[m].stats.makespan_ms,
+                       b.member_reports[m].stats.makespan_ms);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuro::core

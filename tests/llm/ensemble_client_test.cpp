@@ -53,6 +53,60 @@ TEST(MajorityVote, Validation) {
   EXPECT_THROW(majority_vote({vote_of({})}, 2), std::invalid_argument);
 }
 
+TEST(DegradedVote, DropsAbstainersAndShrinksTheQuorum) {
+  // Top-3 with one member down: the vote degrades to 2-of-2 over the
+  // survivors instead of treating the dead member as all-"No".
+  const std::vector<MemberVote> votes = {
+      {vote_of({Indicator::kSidewalk}), /*abstained=*/true},  // dead provider
+      {vote_of({Indicator::kSidewalk, Indicator::kPowerline}), false},
+      {vote_of({Indicator::kSidewalk}), false},
+  };
+  const DegradedVote result = degraded_majority_vote(votes);
+  EXPECT_EQ(result.voters, 2U);
+  EXPECT_EQ(result.quorum, 2U);
+  EXPECT_TRUE(result.decision[Indicator::kSidewalk]);    // 2 of 2 survivors
+  EXPECT_FALSE(result.decision[Indicator::kPowerline]);  // 1 of 2 survivors
+}
+
+TEST(DegradedVote, SingleSurvivorDecidesAlone) {
+  const std::vector<MemberVote> votes = {
+      {vote_of({Indicator::kApartment}), true},
+      {vote_of({Indicator::kStreetlight}), false},
+      {vote_of({Indicator::kMultilaneRoad}), true},
+  };
+  const DegradedVote result = degraded_majority_vote(votes);
+  EXPECT_EQ(result.voters, 1U);
+  EXPECT_EQ(result.quorum, 1U);
+  EXPECT_TRUE(result.decision[Indicator::kStreetlight]);
+  EXPECT_EQ(result.decision.count(), 1);
+}
+
+TEST(DegradedVote, ZeroSurvivorsIsAllAbsentNotAThrow) {
+  const std::vector<MemberVote> votes = {
+      {vote_of({Indicator::kSidewalk}), true},
+      {vote_of({Indicator::kSidewalk}), true},
+  };
+  DegradedVote result;
+  EXPECT_NO_THROW(result = degraded_majority_vote(votes));
+  EXPECT_EQ(result.voters, 0U);
+  EXPECT_EQ(result.decision.count(), 0);
+  EXPECT_NO_THROW(degraded_majority_vote({}));  // no members at all
+}
+
+TEST(DegradedVote, NoAbstentionsMatchesPlainMajority) {
+  const std::vector<MemberVote> votes = {
+      {vote_of({Indicator::kSidewalk, Indicator::kPowerline}), false},
+      {vote_of({Indicator::kSidewalk}), false},
+      {vote_of({Indicator::kApartment}), false},
+  };
+  const DegradedVote result = degraded_majority_vote(votes);
+  EXPECT_EQ(result.voters, 3U);
+  EXPECT_EQ(result.quorum, 2U);
+  const auto plain = majority_vote(
+      {votes[0].prediction, votes[1].prediction, votes[2].prediction});
+  EXPECT_EQ(result.decision, plain);
+}
+
 TEST(VoteAgreement, Fractions) {
   const auto agreement = vote_agreement({vote_of({Indicator::kSidewalk}),
                                          vote_of({Indicator::kSidewalk}), vote_of({})});
@@ -213,8 +267,20 @@ TEST_F(ClientTest, RunPlanAbortsSequentialExchangeOnDeadTurn) {
   const PromptPlan plan = builder.build(PromptStrategy::kSequential, Language::kEnglish);
   LlmClient client(broken, ClientConfig{}, 13);
   const auto outcomes = client.run_plan(plan, VisualObservation{}, SamplingParams{});
-  ASSERT_EQ(outcomes.size(), 1U);  // turn 1 exhausted its retries; rest aborted
+  ASSERT_EQ(outcomes.size(), plan.messages.size());  // plan-shaped even when aborted
   EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[0].skipped);  // turn 1 really ran and exhausted its retries
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].ok);
+    EXPECT_TRUE(outcomes[i].skipped) << "turn " << i << " should be skipped, not issued";
+    EXPECT_EQ(outcomes[i].attempts, 0);
+    EXPECT_EQ(outcomes[i].input_tokens, 0);
+    EXPECT_DOUBLE_EQ(outcomes[i].cost_usd, 0.0);
+  }
+  // Skipped turns are never sent: only turn 1 hits the usage meter.
+  const UsageMeter usage = client.usage();
+  EXPECT_EQ(usage.requests, 1U);
+  EXPECT_EQ(usage.skipped_turns, plan.messages.size() - 1);
 }
 
 TEST_F(ClientTest, RunPlanContinuesPastDeadIndependentMessages) {

@@ -1,0 +1,259 @@
+// FaultPlan semantics, response corruption, and the scheduler surviving
+// scripted chaos — including the headline determinism guarantee: a fixed
+// (seed, FaultPlan) produces byte-identical batch reports at any thread
+// count, even with breaker, deadlines and hedging all active.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "llm/parser.hpp"
+#include "llm/scheduler.hpp"
+
+namespace neuro::llm {
+namespace {
+
+std::vector<SurveyRequest> make_batch(std::size_t n) {
+  std::vector<SurveyRequest> batch(n);
+  for (std::size_t i = 0; i < n; ++i) batch[i].image_id = 1000 + i;
+  return batch;
+}
+
+PromptPlan parallel_plan() {
+  return PromptBuilder().build(PromptStrategy::kParallel, Language::kEnglish);
+}
+
+TEST(FaultWindow, IsHalfOpen) {
+  const FaultWindow window{100.0, 200.0};
+  EXPECT_FALSE(window.contains(99.9));
+  EXPECT_TRUE(window.contains(100.0));
+  EXPECT_TRUE(window.contains(199.9));
+  EXPECT_FALSE(window.contains(200.0));
+}
+
+TEST(FaultPlan, WindowQueriesAndLatencyScale) {
+  FaultPlan plan = FaultPlan::outage_window(1000.0, 2000.0);
+  plan.rate_limit_storms.push_back({3000.0, 4000.0});
+  plan.tail_latency.push_back({{0.0, 500.0}, 10.0, 0.0});
+
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.in_outage(1500.0));
+  EXPECT_FALSE(plan.in_outage(2500.0));
+  EXPECT_TRUE(plan.in_storm(3500.0));
+  EXPECT_FALSE(plan.in_storm(1500.0));
+  EXPECT_DOUBLE_EQ(plan.latency_scale(100.0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(plan.latency_scale(600.0, 0.0), 1.0);  // outside the window
+
+  EXPECT_FALSE(FaultPlan::healthy().any());
+}
+
+TEST(CorruptResponse, SelectsModesByCumulativeRate) {
+  const ResponseCorruption corruption{0.25, 0.25, 0.25, 0.25};
+  const std::string text = "Yes, No, Yes, No, Yes, No";
+
+  // kind_u walks the cumulative ladder: truncate / off-lexicon / wrong
+  // language / refusal.
+  const std::string truncated = corrupt_response(text, corruption, Language::kEnglish, 0.1, 0.4);
+  EXPECT_LT(truncated.size(), text.size());
+  EXPECT_EQ(text.substr(0, truncated.size()), truncated);  // a strict prefix
+
+  const std::string off = corrupt_response(text, corruption, Language::kEnglish, 0.3, 0.4);
+  EXPECT_NE(off, text);
+
+  const std::string wrong = corrupt_response(text, corruption, Language::kEnglish, 0.6, 0.4);
+  EXPECT_NE(wrong, text);
+  EXPECT_EQ(wrong.find("Yes"), std::string::npos);  // tokens swapped out
+
+  const std::string refusal = corrupt_response(text, corruption, Language::kEnglish, 0.8, 0.4);
+  const ParsedAnswers parsed = ResponseParser().parse(refusal, 6, Language::kEnglish);
+  for (const auto& answer : parsed.answers) EXPECT_FALSE(answer.has_value());
+}
+
+TEST(CorruptResponse, IntactPastTheTotalRateAndDeterministic) {
+  const ResponseCorruption corruption{0.1, 0.1, 0.1, 0.1};
+  const std::string text = "Yes, No";
+  EXPECT_EQ(corrupt_response(text, corruption, Language::kEnglish, 0.5, 0.3), text);
+
+  // Same (kind_u, aux_u) => byte-identical corruption: replay-safe.
+  for (double kind : {0.05, 0.15, 0.25, 0.35}) {
+    EXPECT_EQ(corrupt_response(text, corruption, Language::kEnglish, kind, 0.77),
+              corrupt_response(text, corruption, Language::kEnglish, kind, 0.77));
+  }
+}
+
+TEST(SchedulerChaos, FullOutageFastFailsInsteadOfRetryStorm) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  SchedulerConfig config;
+  config.faults = FaultPlan::outage_window(0.0, 1e12);
+  util::MetricsRegistry metrics;
+  const RequestScheduler scheduler(model, config, &metrics);
+  const BatchReport report = scheduler.run(parallel_plan(), make_batch(30), SamplingParams{}, 42);
+
+  EXPECT_EQ(report.usage.requests, 30U);
+  EXPECT_EQ(report.usage.failures, 30U);
+  // The breaker opens after the failure threshold and sheds the rest
+  // locally: far fewer provider attempts than 30 items x 4 retries.
+  EXPECT_GT(report.usage.fast_failures, 0U);
+  std::uint64_t attempts = 0;
+  for (const ItemOutcome& item : report.items) {
+    EXPECT_TRUE(item.failed);
+    for (const ChatOutcome& outcome : item.outcomes) {
+      attempts += static_cast<std::uint64_t>(outcome.attempts);
+    }
+  }
+  EXPECT_LT(attempts, 30U * 4U / 2U);
+  EXPECT_GE(metrics.counter("resilience.breaker.opened").value(), 1U);
+  EXPECT_EQ(metrics.counter("resilience.breaker.fast_failures").value(),
+            report.usage.fast_failures);
+}
+
+TEST(SchedulerChaos, RateLimitStormRejectsFastAndRetries) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  SchedulerConfig config;
+  config.resilience.breaker.enabled = false;  // isolate the storm behavior
+  config.faults = FaultPlan::storm_window(0.0, 1e12);
+  const RequestScheduler scheduler(model, config, nullptr);
+  const BatchReport report = scheduler.run(parallel_plan(), make_batch(10), SamplingParams{}, 42);
+
+  EXPECT_EQ(report.usage.failures, 10U);
+  EXPECT_EQ(report.usage.retries, 30U);  // every request burns all 4 attempts
+  for (const ItemOutcome& item : report.items) {
+    ASSERT_EQ(item.outcomes.size(), 1U);
+    // 429s come back in ~25 ms, not a full service time: the whole
+    // exchange is dominated by backoff, not latency.
+    EXPECT_NEAR(item.outcomes[0].latency_ms, 4 * 25.0, 1e-9);
+  }
+}
+
+TEST(SchedulerChaos, OutageWindowOnlyHitsRequestsInsideIt) {
+  // Deterministic service, outage long past the batch: nothing fails.
+  ModelProfile steady = gemini_1_5_pro_profile();
+  steady.latency_log_sigma = 0.0;
+  steady.transient_failure_rate = 0.0;
+  const VisionLanguageModel model(steady, CalibrationStats::paper_nominal());
+  SchedulerConfig config;
+  config.faults = FaultPlan::outage_window(1e9, 2e9);
+  const RequestScheduler scheduler(model, config, nullptr);
+  const BatchReport report = scheduler.run(parallel_plan(), make_batch(20), SamplingParams{}, 4);
+  EXPECT_EQ(report.usage.failures, 0U);
+  for (const ItemOutcome& item : report.items) EXPECT_FALSE(item.failed);
+}
+
+TEST(SchedulerChaos, GarbageResponsesAreCountedAndReduceAnswers) {
+  ModelProfile steady = gemini_1_5_pro_profile();
+  steady.transient_failure_rate = 0.0;
+  const VisionLanguageModel model(steady, CalibrationStats::paper_nominal());
+  SchedulerConfig config;
+  config.faults = FaultPlan::garbage(0.25, 0.25, 0.25, 0.25);  // every response corrupted
+  util::MetricsRegistry metrics;
+  const RequestScheduler scheduler(model, config, &metrics);
+  const BatchReport report = scheduler.run(parallel_plan(), make_batch(40), SamplingParams{}, 8);
+
+  EXPECT_EQ(report.usage.corrupted_responses, report.usage.requests);
+  EXPECT_EQ(metrics.counter("faults.corrupted_responses").value(), report.usage.requests);
+  // Corruption strips parseable answers; a healthy run answers all 6
+  // questions for every image.
+  std::uint64_t answered = 0;
+  for (const ItemOutcome& item : report.items) {
+    answered += static_cast<std::uint64_t>(item.answered_questions);
+  }
+  EXPECT_LT(answered, 40U * 6U);
+}
+
+TEST(SchedulerChaos, DeterministicAcrossThreadCountsUnderFullChaos) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  const PromptPlan plan = PromptBuilder().build(PromptStrategy::kSequential, Language::kEnglish);
+  const std::vector<SurveyRequest> batch = make_batch(40);
+
+  FaultPlan chaos;
+  chaos.outages.push_back({20000.0, 60000.0});
+  chaos.rate_limit_storms.push_back({90000.0, 120000.0});
+  chaos.tail_latency.push_back({{0.0, 30000.0}, 3.0, 0.2});
+  chaos.stuck_rate = 0.05;
+  chaos.corruption = {0.05, 0.05, 0.05, 0.05};
+
+  std::vector<BatchReport> reports;
+  for (std::size_t threads : {1UL, 4UL, 16UL}) {
+    SchedulerConfig config;
+    config.threads = threads;
+    config.faults = chaos;
+    config.resilience.deadline_ms = 60000.0;
+    config.resilience.hedge_after_ms = 8000.0;
+    config.resilience.stuck_timeout_ms = 15000.0;
+    const RequestScheduler scheduler(model, config);
+    reports.push_back(scheduler.run(plan, batch, SamplingParams{}, 42));
+  }
+
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    const BatchReport& a = reports[0];
+    const BatchReport& b = reports[r];
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].prediction, b.items[i].prediction) << "item " << i;
+      EXPECT_EQ(a.items[i].failed, b.items[i].failed);
+      EXPECT_EQ(a.items[i].answered_questions, b.items[i].answered_questions);
+      ASSERT_EQ(a.items[i].outcomes.size(), b.items[i].outcomes.size());
+      for (std::size_t m = 0; m < a.items[i].outcomes.size(); ++m) {
+        EXPECT_EQ(a.items[i].outcomes[m].text, b.items[i].outcomes[m].text);
+        EXPECT_EQ(a.items[i].outcomes[m].fast_failed, b.items[i].outcomes[m].fast_failed);
+        EXPECT_EQ(a.items[i].outcomes[m].hedges, b.items[i].outcomes[m].hedges);
+        EXPECT_DOUBLE_EQ(a.items[i].outcomes[m].total_wait_ms,
+                         b.items[i].outcomes[m].total_wait_ms);
+      }
+    }
+    ASSERT_EQ(a.timings.size(), b.timings.size());
+    for (std::size_t t = 0; t < a.timings.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a.timings[t].start_ms, b.timings[t].start_ms);
+      EXPECT_DOUBLE_EQ(a.timings[t].finish_ms, b.timings[t].finish_ms);
+    }
+    EXPECT_EQ(a.usage.requests, b.usage.requests);
+    EXPECT_EQ(a.usage.failures, b.usage.failures);
+    EXPECT_EQ(a.usage.fast_failures, b.usage.fast_failures);
+    EXPECT_EQ(a.usage.hedges, b.usage.hedges);
+    EXPECT_EQ(a.usage.deadline_misses, b.usage.deadline_misses);
+    EXPECT_EQ(a.usage.corrupted_responses, b.usage.corrupted_responses);
+    EXPECT_DOUBLE_EQ(a.usage.cost_usd, b.usage.cost_usd);
+    EXPECT_DOUBLE_EQ(a.stats.makespan_ms, b.stats.makespan_ms);
+  }
+}
+
+TEST(SchedulerChaos, AbortAfterCutsACleanPrefix) {
+  ModelProfile steady = gemini_1_5_pro_profile();
+  steady.latency_log_sigma = 0.0;
+  steady.transient_failure_rate = 0.0;
+  const VisionLanguageModel model(steady, CalibrationStats::paper_nominal());
+
+  SchedulerConfig full_config;
+  const RequestScheduler full_scheduler(model, full_config);
+  const BatchReport full =
+      full_scheduler.run(parallel_plan(), make_batch(25), SamplingParams{}, 6);
+
+  SchedulerConfig cut_config;
+  cut_config.abort_after_ms = full.stats.makespan_ms / 2.0;
+  const RequestScheduler cut_scheduler(model, cut_config);
+  const BatchReport cut = cut_scheduler.run(parallel_plan(), make_batch(25), SamplingParams{}, 6);
+
+  EXPECT_LT(cut.usage.requests, full.usage.requests);
+  EXPECT_GT(cut.usage.requests, 0U);
+  std::size_t aborted = 0;
+  for (std::size_t i = 0; i < cut.items.size(); ++i) {
+    if (cut.items[i].aborted) {
+      ++aborted;
+      EXPECT_TRUE(cut.items[i].failed);
+    } else {
+      // Completed items match the uninterrupted run exactly: the cut only
+      // drops admissions, it never perturbs what ran before it.
+      EXPECT_EQ(cut.items[i].prediction, full.items[i].prediction) << "item " << i;
+      EXPECT_EQ(cut.items[i].answered_questions, full.items[i].answered_questions);
+    }
+  }
+  EXPECT_GT(aborted, 0U);
+  // No admission starts past the cut (requests already in flight may
+  // still finish after it).
+  for (const RequestTiming& timing : cut.timings) {
+    EXPECT_LT(timing.start_ms, cut_config.abort_after_ms);
+  }
+}
+
+}  // namespace
+}  // namespace neuro::llm

@@ -1,0 +1,127 @@
+// Fuzz-ish robustness coverage for llm::parser over the malformed
+// responses real VLM APIs produce: truncated mid-token (including split
+// UTF-8 sequences), off-lexicon tokens, mixed/wrong language, refusal
+// boilerplate, empty strings, repeated answers. The contract: parse()
+// never throws and always yields a definite per-question presence/abstain
+// decision (answers.size() == expected, each slot Yes/No/abstain).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "llm/faults.hpp"
+#include "llm/parser.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::llm {
+namespace {
+
+constexpr std::size_t kQuestions = 6;
+
+void expect_parses_definitely(const ResponseParser& parser, const std::string& text,
+                              Language language) {
+  ParsedAnswers parsed;
+  ASSERT_NO_THROW(parsed = parser.parse(text, kQuestions, language)) << "input: " << text;
+  ASSERT_EQ(parsed.answers.size(), kQuestions) << "input: " << text;
+  // Every slot is a definite tri-state: true, false, or abstain.
+  for (const auto& answer : parsed.answers) {
+    (void)answer.has_value();  // merely reading must be safe
+  }
+}
+
+TEST(ParserCorruption, GarbageTableNeverThrows) {
+  const ResponseParser parser;
+  const std::vector<std::string> garbage = {
+      "",
+      "   ",
+      ",,,,,,",
+      "Yes",
+      "Yes, No, Yes, No, Yes, No",
+      "yes yes yes yes yes yes yes yes yes",
+      "no no no",
+      "banana, 42, [blank], n/a, depends, perhaps later",
+      "Ye",                      // truncated mid-token
+      "Yes, No, Y",              // truncated at a fragment boundary
+      "\xE6\x98",                // split UTF-8 lead byte (truncated 是)
+      "是，否，是，否，是，否",   // full-width commas, Chinese tokens
+      "Sí, No, Sí, No, Sí, No",
+      "Yes, 否, maybe, Sí, unclear, No",
+      "I'm sorry, but I can't assist with identifying elements in this image.",
+      "Lo siento, no puedo ayudar con esa solicitud.",
+      "As an AI language model, I am unable to analyze this image.",
+      "Yes\nNo\nYes\nNo\nYes\nNo",
+      ";;;;;;",
+      std::string(5000, 'y'),    // pathological length
+  };
+  for (const std::string& text : garbage) {
+    for (Language language : all_languages()) {
+      expect_parses_definitely(parser, text, language);
+    }
+  }
+}
+
+TEST(ParserCorruption, RefusalBoilerplateAbstainsInsteadOfAnsweringNo) {
+  const ResponseParser parser;
+  // The Spanish refusal contains the literal word "no": without the
+  // refusal check it would parse as a confident negative answer.
+  const std::vector<std::pair<std::string, Language>> refusals = {
+      {"I'm sorry, but I can't assist with identifying elements in this image.",
+       Language::kEnglish},
+      {"Lo siento, no puedo ayudar con esa solicitud.", Language::kSpanish},
+      {"As an AI language model, I am unable to analyze this image.", Language::kEnglish},
+      {"I cannot help with that request.", Language::kEnglish},
+  };
+  for (const auto& [text, language] : refusals) {
+    const ParsedAnswers parsed = parser.parse(text, kQuestions, language);
+    for (std::size_t i = 0; i < parsed.answers.size(); ++i) {
+      EXPECT_FALSE(parsed.answers[i].has_value())
+          << "refusal answered question " << i << ": " << text;
+    }
+    EXPECT_EQ(parsed.format_violations, static_cast<int>(kQuestions));
+  }
+}
+
+TEST(ParserCorruption, FuzzedCorruptionsAlwaysYieldDecisions) {
+  const ResponseParser parser;
+  const ResponseCorruption corruption{0.25, 0.25, 0.25, 0.25};  // always corrupt
+  const Lexicon& lexicon = Lexicon::standard();
+
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    util::Rng rng(seed);
+    for (Language language : all_languages()) {
+      // Build a well-formed answer, then corrupt it like the fault layer
+      // would just before parsing.
+      std::string valid;
+      for (std::size_t q = 0; q < kQuestions; ++q) {
+        if (q > 0) valid += ", ";
+        valid += rng.bernoulli(0.5) ? std::string(lexicon.yes_token(language))
+                                    : std::string(lexicon.no_token(language));
+      }
+      const std::string corrupted =
+          corrupt_response(valid, corruption, language, rng.uniform(), rng.uniform());
+      expect_parses_definitely(parser, corrupted, language);
+    }
+  }
+}
+
+TEST(ParserCorruption, TruncationNeverInventsExtraAnswers) {
+  const ResponseParser parser;
+  const std::string full = "Yes, No, Yes, No, Yes, No";
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    const ParsedAnswers parsed = parser.parse(full.substr(0, cut), kQuestions,
+                                              Language::kEnglish);
+    ASSERT_EQ(parsed.answers.size(), kQuestions);
+    // A truncated response can only answer a prefix of the questions.
+    bool seen_abstain = false;
+    for (const auto& answer : parsed.answers) {
+      if (!answer.has_value()) seen_abstain = true;
+    }
+    if (cut < full.size()) {
+      EXPECT_TRUE(seen_abstain) << "cut " << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuro::llm

@@ -1,0 +1,289 @@
+// Unit coverage of the resilience layer: circuit-breaker state machine,
+// deadline budgets, stuck-request timeouts, hedged attempts, and the
+// jittered-backoff clamp regression (backoff_jitter >= 1.0 used to be able
+// to produce a negative sleep).
+
+#include <gtest/gtest.h>
+
+#include "llm/client.hpp"
+#include "llm/faults.hpp"
+#include "llm/prompt.hpp"
+
+namespace neuro::llm {
+namespace {
+
+ModelProfile fixed_profile(double median_ms = 1000.0, double failure_rate = 0.0) {
+  ModelProfile profile = gemini_1_5_pro_profile();
+  profile.median_latency_ms = median_ms;
+  profile.latency_log_sigma = 0.0;  // deterministic service time
+  profile.transient_failure_rate = failure_rate;
+  return profile;
+}
+
+PromptMessage simple_message() {
+  PromptBuilder builder;
+  return builder.build(PromptStrategy::kParallel, Language::kEnglish).messages.front();
+}
+
+/// Script + play at a fixed virtual start, the way the scheduler does it.
+ChatOutcome play_at(const VisionLanguageModel& model, const ClientConfig& config,
+                    const FaultPlan& faults, const ResilienceConfig& resilience,
+                    double start_ms, std::uint64_t seed = 99) {
+  util::Rng rng(seed);
+  const ExchangeScript script =
+      script_exchange(model, config, resilience, simple_message(), Language::kEnglish,
+                      VisualObservation{}, SamplingParams{}, rng);
+  return play_exchange(model, config, faults, resilience, script, Language::kEnglish, start_ms);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailuresAndCoolsDown) {
+  util::MetricsRegistry metrics;
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_ms = 1000.0;
+  config.half_open_probes = 2;
+  CircuitBreaker breaker(config, &metrics);
+
+  EXPECT_TRUE(breaker.allow(0.0));
+  breaker.record(false, 10.0);
+  breaker.record(false, 20.0);
+  EXPECT_EQ(breaker.state(25.0), CircuitBreaker::State::kClosed);
+  breaker.record(false, 30.0);  // third consecutive failure trips it
+  EXPECT_EQ(breaker.state(35.0), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(500.0));
+  EXPECT_FALSE(breaker.allow(1029.0));  // cool-down measured from the trip
+
+  // Past the cool-down the breaker half-opens and admits probes.
+  EXPECT_TRUE(breaker.allow(1030.0));
+  EXPECT_EQ(breaker.state(1030.0), CircuitBreaker::State::kHalfOpen);
+  breaker.record(true, 1040.0);
+  EXPECT_EQ(breaker.state(1045.0), CircuitBreaker::State::kHalfOpen);  // 1 of 2 probes
+  breaker.record(true, 1050.0);
+  EXPECT_EQ(breaker.state(1055.0), CircuitBreaker::State::kClosed);
+
+  EXPECT_EQ(breaker.opened_count(), 1U);
+  EXPECT_EQ(breaker.half_opened_count(), 1U);
+  EXPECT_EQ(breaker.closed_count(), 1U);
+  EXPECT_EQ(metrics.counter("resilience.breaker.opened").value(), 1U);
+  EXPECT_EQ(metrics.counter("resilience.breaker.half_opened").value(), 1U);
+  EXPECT_EQ(metrics.counter("resilience.breaker.closed").value(), 1U);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_ms = 100.0;
+  CircuitBreaker breaker(config);
+
+  breaker.record(false, 0.0);
+  breaker.record(false, 1.0);
+  ASSERT_EQ(breaker.state(2.0), CircuitBreaker::State::kOpen);
+  ASSERT_TRUE(breaker.allow(200.0));  // half-open probe
+  breaker.record(false, 210.0);       // probe fails: straight back to open
+  EXPECT_EQ(breaker.state(215.0), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(250.0));  // new cool-down from the re-trip
+  EXPECT_EQ(breaker.opened_count(), 2U);
+  EXPECT_EQ(breaker.closed_count(), 0U);
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveFailureCount) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  CircuitBreaker breaker(config);
+  for (int round = 0; round < 10; ++round) {
+    breaker.record(false, round * 10.0);
+    breaker.record(false, round * 10.0 + 1.0);
+    breaker.record(true, round * 10.0 + 2.0);  // never 3 in a row
+  }
+  EXPECT_EQ(breaker.state(1000.0), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.opened_count(), 0U);
+}
+
+TEST(CircuitBreaker, DisabledBreakerNeverTrips) {
+  CircuitBreakerConfig config;
+  config.enabled = false;
+  config.failure_threshold = 1;
+  CircuitBreaker breaker(config);
+  for (int i = 0; i < 20; ++i) breaker.record(false, i * 1.0);
+  EXPECT_TRUE(breaker.allow(25.0));
+  EXPECT_EQ(breaker.opened_count(), 0U);
+}
+
+// --------------------------------------------------------------- backoff
+
+TEST(BackoffClamp, ZeroJitterPinsTheVirtualTimeMath) {
+  // All four attempts fail deterministically: total busy time is exactly
+  // 4 service times plus the 500/1000/2000 backoff ladder.
+  const VisionLanguageModel model(fixed_profile(100.0, 1.0), CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.backoff_jitter = 0.0;
+  util::Rng rng(7);
+  const ChatOutcome outcome = simulate_exchange(model, config, simple_message(),
+                                                Language::kEnglish, VisualObservation{},
+                                                SamplingParams{}, rng);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 4);
+  EXPECT_NEAR(outcome.latency_ms, 400.0, 1e-9);
+  EXPECT_NEAR(outcome.total_wait_ms, 400.0 + 500.0 + 1000.0 + 2000.0, 1e-9);
+}
+
+TEST(BackoffClamp, AdversarialJitterNeverSleepsNonPositive) {
+  // Regression: backoff_jitter >= 1.0 could draw a factor <= 0 and pull
+  // virtual time backwards. The clamp keeps every sleep at >= 5% of the
+  // nominal backoff.
+  const VisionLanguageModel model(fixed_profile(100.0, 1.0), CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.backoff_jitter = 4.0;  // draws factors in [-3, 5) before clamping
+  const double min_backoff_total = 0.05 * (500.0 + 1000.0 + 2000.0);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    const ChatOutcome outcome = simulate_exchange(model, config, simple_message(),
+                                                  Language::kEnglish, VisualObservation{},
+                                                  SamplingParams{}, rng);
+    ASSERT_FALSE(outcome.ok);
+    // Backoff portion = total - service; must stay positive and above the
+    // clamped floor for every seed.
+    const double backoff_ms = outcome.total_wait_ms - outcome.latency_ms;
+    ASSERT_GE(backoff_ms, min_backoff_total - 1e-9) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------------- deadline
+
+TEST(Deadline, ClipsARequestAtItsBudget) {
+  const VisionLanguageModel model(fixed_profile(1000.0, 1.0), CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.backoff_jitter = 0.0;
+  ResilienceConfig resilience;
+  resilience.deadline_ms = 2400.0;  // attempt(1000) + backoff(500) + partial attempt
+
+  const ChatOutcome outcome = play_at(model, config, FaultPlan::healthy(), resilience, 0.0);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.deadline_hit);
+  EXPECT_NEAR(outcome.total_wait_ms, 2400.0, 1e-9);  // never exceeds the budget
+}
+
+TEST(Deadline, StuckRequestIsCutByTheDeadline) {
+  const VisionLanguageModel model(fixed_profile(1000.0, 0.0), CalibrationStats::paper_nominal());
+  FaultPlan faults;
+  faults.stuck_rate = 1.0;  // every attempt hangs
+  ResilienceConfig resilience;
+  resilience.deadline_ms = 5000.0;
+  resilience.stuck_timeout_ms = 120000.0;
+
+  const ChatOutcome outcome = play_at(model, ClientConfig{}, faults, resilience, 0.0);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.deadline_hit);
+  EXPECT_NEAR(outcome.total_wait_ms, 5000.0, 1e-9);
+  EXPECT_EQ(outcome.attempts, 1);  // never got past the first hung attempt
+}
+
+TEST(Deadline, StuckTimeoutBoundsAttemptsWithoutADeadline) {
+  const VisionLanguageModel model(fixed_profile(1000.0, 0.0), CalibrationStats::paper_nominal());
+  FaultPlan faults;
+  faults.stuck_rate = 1.0;
+  ResilienceConfig resilience;
+  resilience.stuck_timeout_ms = 2000.0;  // aggressive socket timeout
+  ClientConfig config;
+  config.backoff_jitter = 0.0;
+
+  const ChatOutcome outcome = play_at(model, config, faults, resilience, 0.0);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 4);
+  EXPECT_NEAR(outcome.latency_ms, 4 * 2000.0, 1e-9);
+}
+
+// --------------------------------------------------------------- hedging
+
+TEST(Hedging, HedgeEscapesATailWindow) {
+  // Tail window covers only the primary's start: the primary is inflated
+  // 20x (20 000 ms) while the hedge, launched at +500 ms, runs at the
+  // normal 1000 ms and wins.
+  const VisionLanguageModel model(fixed_profile(1000.0, 0.0), CalibrationStats::paper_nominal());
+  const FaultPlan faults = FaultPlan::tail_spike(0.0, 400.0, 20.0);
+  ResilienceConfig resilience;
+  resilience.hedge_after_ms = 500.0;
+
+  const ChatOutcome outcome = play_at(model, ClientConfig{}, faults, resilience, 0.0);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.hedges, 1);
+  EXPECT_TRUE(outcome.hedge_won);
+  EXPECT_NEAR(outcome.latency_ms, 1500.0, 1e-9);  // hedge_after + normal service
+  // The duplicate attempt re-sends the prompt: input tokens are doubled.
+  const ChatOutcome plain = play_at(model, ClientConfig{}, FaultPlan::healthy(),
+                                    ResilienceConfig{}, 0.0);
+  EXPECT_EQ(outcome.input_tokens, 2 * plain.input_tokens);
+}
+
+TEST(Hedging, LosingHedgeStillCountsItsTokens) {
+  // No faults: the primary (1000 ms) beats hedge_after (600) + service, so
+  // no hedge fires at all when the primary would finish first... unless
+  // the primary exceeds the hedge trigger. With service exactly 1000 and
+  // trigger 600, the hedge fires and loses (600 + 1000 > 1000).
+  const VisionLanguageModel model(fixed_profile(1000.0, 0.0), CalibrationStats::paper_nominal());
+  ResilienceConfig resilience;
+  resilience.hedge_after_ms = 600.0;
+  const ChatOutcome outcome = play_at(model, ClientConfig{}, FaultPlan::healthy(), resilience,
+                                      0.0);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.hedges, 1);
+  EXPECT_FALSE(outcome.hedge_won);
+  EXPECT_NEAR(outcome.latency_ms, 1000.0, 1e-9);  // primary's time, not the hedge's
+}
+
+TEST(Hedging, BothLegsFailingTakesTheLaterFinish) {
+  const VisionLanguageModel model(fixed_profile(1000.0, 1.0), CalibrationStats::paper_nominal());
+  ClientConfig config;
+  config.max_attempts = 1;
+  config.backoff_jitter = 0.0;
+  ResilienceConfig resilience;
+  resilience.hedge_after_ms = 500.0;
+  const ChatOutcome outcome = play_at(model, config, FaultPlan::healthy(), resilience, 0.0);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.hedges, 1);
+  EXPECT_FALSE(outcome.hedge_won);
+  // Failure is only known when the later (hedge) leg gives up.
+  EXPECT_NEAR(outcome.latency_ms, 1500.0, 1e-9);
+}
+
+// ------------------------------------------------------------- fast fail
+
+TEST(FastFail, OutcomeIsZeroCostAndZeroTime) {
+  const ChatOutcome outcome = fast_fail_outcome();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.fast_failed);
+  EXPECT_EQ(outcome.attempts, 0);
+  EXPECT_EQ(outcome.input_tokens, 0);
+  EXPECT_EQ(outcome.output_tokens, 0);
+  EXPECT_DOUBLE_EQ(outcome.cost_usd, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.total_wait_ms, 0.0);
+}
+
+TEST(PlayExchange, IsAPureFunctionOfScriptAndStartTime) {
+  const VisionLanguageModel model(gemini_1_5_pro_profile(), CalibrationStats::paper_nominal());
+  FaultPlan faults = FaultPlan::outage_window(5000.0, 20000.0);
+  faults.corruption = {0.1, 0.1, 0.1, 0.1};
+  ResilienceConfig resilience;
+  resilience.deadline_ms = 30000.0;
+  resilience.hedge_after_ms = 2500.0;
+
+  util::Rng rng(123);
+  const ExchangeScript script =
+      script_exchange(model, ClientConfig{}, resilience, simple_message(), Language::kEnglish,
+                      VisualObservation{}, SamplingParams{}, rng);
+  for (double start : {0.0, 4000.0, 6000.0, 25000.0}) {
+    const ChatOutcome a = play_exchange(model, ClientConfig{}, faults, resilience, script,
+                                        Language::kEnglish, start);
+    const ChatOutcome b = play_exchange(model, ClientConfig{}, faults, resilience, script,
+                                        Language::kEnglish, start);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_DOUBLE_EQ(a.total_wait_ms, b.total_wait_ms);
+    EXPECT_DOUBLE_EQ(a.cost_usd, b.cost_usd);
+  }
+}
+
+}  // namespace
+}  // namespace neuro::llm
