@@ -1,0 +1,56 @@
+// bench_diff: compare two google-benchmark JSON dumps and gate on p50
+// regressions.
+//
+//   bench_diff [--threshold=0.15] [--filter=SUBSTR] baseline.json current.json
+//
+// Exit codes: 0 = no regression past the threshold, 1 = at least one
+// matched benchmark regressed, 2 = usage or I/O error. CI runs this twice:
+// once non-blocking against the checked-in BENCH_micro.json for the
+// human-readable report, once blocking as a self-comparison sanity gate.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "eval/benchdiff.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  neuro::util::CliParser cli("bench_diff",
+                             "Compare two google-benchmark JSON files and fail on p50 "
+                             "regressions past the threshold");
+  cli.add_double("threshold", 0.15, "fractional slowdown that counts as a regression");
+  cli.add_string("filter", "",
+                 "only compare benchmarks matching one of these '|'-separated substrings");
+  if (!cli.parse(argc, argv)) return 2;
+  if (cli.positional().size() != 2) {
+    std::fprintf(stderr, "usage: bench_diff [--threshold=0.15] [--filter=SUBSTR] "
+                         "baseline.json current.json\n");
+    return 2;
+  }
+  const double threshold = cli.get_double("threshold");
+  try {
+    const neuro::util::Json baseline = neuro::util::load_json_file(cli.positional()[0]);
+    const neuro::util::Json current = neuro::util::load_json_file(cli.positional()[1]);
+    const neuro::eval::BenchDiffReport report =
+        neuro::eval::diff_benchmarks(baseline, current, cli.get_string("filter"));
+    if (report.deltas.empty() && report.only_baseline.empty() && report.only_current.empty()) {
+      std::fprintf(stderr, "bench_diff: no benchmarks matched\n");
+      return 2;
+    }
+    std::printf("%s\n", neuro::eval::bench_diff_table(report, threshold).render().c_str());
+    const auto regressions = report.regressions(threshold);
+    if (!regressions.empty()) {
+      std::printf("FAIL: %zu benchmark(s) regressed past +%.0f%% (worst %+.1f%%)\n",
+                  regressions.size(), threshold * 100.0, report.worst_delta() * 100.0);
+      return 1;
+    }
+    std::printf("OK: %zu benchmark(s) within +%.0f%% (worst %+.1f%%)\n", report.deltas.size(),
+                threshold * 100.0, report.worst_delta() * 100.0);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.what());
+    return 2;
+  }
+}

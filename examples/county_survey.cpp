@@ -15,19 +15,33 @@
 //   --abort-after MS      abort the batch at virtual time MS (0 = off)
 //   --journal PATH        checkpoint/resume file: completed images are
 //                         restored without re-spending tokens
+//
+// Observability:
+//   --trace PATH          write a Chrome trace-event JSON (Perfetto /
+//                         chrome://tracing loadable) covering the whole run:
+//                         wall-clock dataset/render spans plus the ensemble's
+//                         virtual-time request lifecycles. Deterministic —
+//                         byte-identical at any thread count.
+//   --manifest PATH       write a RunManifest (seed, config digest, git
+//                         describe, stage durations, metrics snapshot)
 
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/neighborhood_decoder.hpp"
 #include "core/survey.hpp"
+#include "eval/manifest.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 using namespace neuro;
 
@@ -51,6 +65,7 @@ int main(int argc, char** argv) {
   util::CliParser cli("county_survey", "ensemble survey with tract aggregation");
   cli.add_int("images", 400, "captures across the two counties");
   cli.add_int("seed", 42, "random seed");
+  cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
   cli.add_string("outage", "", "provider outage window, virtual ms START:END");
   cli.add_string("storm", "", "429 rate-limit storm window, virtual ms START:END");
   cli.add_string("tail", "", "tail-latency spike, virtual ms START:END[:MULT]");
@@ -59,10 +74,25 @@ int main(int argc, char** argv) {
   cli.add_double("hedge", 0.0, "hedge a second attempt after this many ms (0 = off)");
   cli.add_double("abort-after", 0.0, "abort the usage batch at this virtual time (0 = off)");
   cli.add_string("journal", "", "checkpoint/resume journal file for the usage batch");
+  cli.add_string("trace", "", "write a Perfetto-loadable Chrome trace to this file");
+  cli.add_string("manifest", "", "write a run-provenance manifest to this file");
   if (!cli.parse(argc, argv)) return 0;
+
+  // Tracing covers the whole run (dataset build through ensemble vote);
+  // the deterministic flag makes the export byte-identical across thread
+  // counts, so traces can be diffed between runs.
+  const std::string trace_path = cli.get_string("trace");
+  const std::string manifest_path = cli.get_string("manifest");
+  const bool tracing = !trace_path.empty() || !manifest_path.empty();
+  util::TraceConfig trace_config;
+  trace_config.deterministic = true;
+  util::TraceRecorder trace(trace_config);
+  if (tracing) util::set_active_trace(&trace);
+  const auto run_start = std::chrono::steady_clock::now();
 
   core::NeighborhoodDecoder::Options options;
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
   core::NeighborhoodDecoder decoder(options);
 
   const auto image_count = static_cast<std::size_t>(cli.get_int("images"));
@@ -118,12 +148,20 @@ int main(int argc, char** argv) {
   }
 
   // What would this survey cost against a real API? Route the batch
-  // through the virtual-time scheduler for one ensemble member and report
-  // the Table VII-style usage numbers.
+  // through the virtual-time scheduler for the full top-3 ensemble and
+  // report the Table VII-style usage numbers. Chaos (when scripted) hits
+  // the first member only, so the degraded-quorum vote stays observable.
   const core::SurveyRunner runner(dataset);
-  const llm::VisionLanguageModel gemini = runner.make_model(llm::gemini_1_5_pro_profile());
+  std::vector<llm::VisionLanguageModel> batch_models;
+  batch_models.reserve(members.size());
+  for (const llm::ModelProfile& profile : members) {
+    batch_models.push_back(runner.make_model(profile));
+  }
+  std::vector<const llm::VisionLanguageModel*> batch_members;
+  for (const llm::VisionLanguageModel& model : batch_models) batch_members.push_back(&model);
   core::SurveyConfig survey_config;
   survey_config.seed = options.seed;
+  survey_config.threads = options.threads;
 
   // Assemble the scripted fault plan + resilience budget from the CLI.
   llm::SchedulerConfig scheduler_config;
@@ -145,46 +183,107 @@ int main(int argc, char** argv) {
   scheduler_config.resilience.deadline_ms = cli.get_double("deadline");
   scheduler_config.resilience.hedge_after_ms = cli.get_double("hedge");
   scheduler_config.abort_after_ms = cli.get_double("abort-after");
+  if (tracing) scheduler_config.trace = &trace;
+
+  // The scripted chaos hits the first member only; the clean members keep
+  // the quorum honest instead of the whole batch sinking together.
+  std::vector<llm::FaultPlan> member_faults(members.size());
+  member_faults[0] = scheduler_config.faults;
+  scheduler_config.faults = llm::FaultPlan{};
 
   // Optional checkpoint/resume: completed images in the journal are
-  // restored for free; successes from this run are recorded back.
+  // restored for free; successes from this run are recorded back. Keys
+  // carry the model name, so one file checkpoints all three members —
+  // each member works on a copy and the copies merge back on save.
   const std::string journal_path = cli.get_string("journal");
-  core::SurveyJournal journal;
+  std::vector<core::SurveyJournal> journals;
   if (!journal_path.empty()) {
+    core::SurveyJournal loaded;
     try {
-      journal = core::SurveyJournal::load(journal_path);
-      std::printf("\nresuming from %s (%zu images already surveyed)\n", journal_path.c_str(),
-                  journal.size());
+      loaded = core::SurveyJournal::load(journal_path);
+      std::printf("\nresuming from %s (%zu model-image entries)\n", journal_path.c_str(),
+                  loaded.size());
     } catch (const std::exception&) {
       std::printf("\nstarting a fresh journal at %s\n", journal_path.c_str());
     }
+    journals.assign(members.size(), loaded);
   }
 
   util::MetricsRegistry metrics;
-  const llm::BatchReport report = runner.run_client_batch(
-      gemini, survey_config, scheduler_config, &metrics,
-      journal_path.empty() ? nullptr : &journal);
+  const core::EnsembleBatchResult batch = runner.run_ensemble_batch(
+      batch_members, survey_config, scheduler_config, member_faults,
+      journal_path.empty() ? nullptr : &journals, &metrics);
   if (!journal_path.empty()) {
-    journal.save(journal_path);
-    std::printf("journal saved: %zu/%zu images surveyed\n", journal.size(), dataset.size());
+    core::SurveyJournal merged = journals.front();
+    for (std::size_t m = 1; m < journals.size(); ++m) merged.merge(journals[m]);
+    merged.save(journal_path);
+    std::printf("journal saved: %zu model-image entries\n", merged.size());
   }
 
-  std::printf("\nSimulated API usage (Gemini, parallel prompt, 8 requests in flight):\n");
-  std::printf("  %llu requests, %llu retries, %.2f USD, virtual makespan %.0f s "
-              "(%.1fx over a serial client)\n",
-              static_cast<unsigned long long>(report.usage.requests),
-              static_cast<unsigned long long>(report.usage.retries), report.usage.cost_usd,
-              report.stats.makespan_ms / 1000.0, report.stats.speedup());
-  if (report.usage.fast_failures > 0 || report.usage.hedges > 0 ||
-      report.usage.corrupted_responses > 0 || report.usage.deadline_misses > 0) {
-    std::printf("  resilience: %llu fast-fails, %llu hedges (%llu won), %llu corrupted, "
+  std::printf("\nSimulated API usage (top-3 ensemble, parallel prompt, 8 requests in flight):\n");
+  for (std::size_t m = 0; m < batch.member_reports.size(); ++m) {
+    const llm::BatchReport& report = batch.member_reports[m];
+    std::printf("  %-34s %llu requests, %llu retries, %.2f USD, makespan %.0f s (%.1fx)\n",
+                batch.member_names[m].c_str(),
+                static_cast<unsigned long long>(report.usage.requests),
+                static_cast<unsigned long long>(report.usage.retries), report.usage.cost_usd,
+                report.stats.makespan_ms / 1000.0, report.stats.speedup());
+  }
+  const llm::UsageMeter& chaotic = batch.member_reports.front().usage;
+  if (chaotic.fast_failures > 0 || chaotic.hedges > 0 || chaotic.corrupted_responses > 0 ||
+      chaotic.deadline_misses > 0) {
+    std::printf("  resilience (%s): %llu fast-fails, %llu hedges (%llu won), %llu corrupted, "
                 "%llu deadline misses\n",
-                static_cast<unsigned long long>(report.usage.fast_failures),
-                static_cast<unsigned long long>(report.usage.hedges),
-                static_cast<unsigned long long>(report.usage.hedge_wins),
-                static_cast<unsigned long long>(report.usage.corrupted_responses),
-                static_cast<unsigned long long>(report.usage.deadline_misses));
+                batch.member_names.front().c_str(),
+                static_cast<unsigned long long>(chaotic.fast_failures),
+                static_cast<unsigned long long>(chaotic.hedges),
+                static_cast<unsigned long long>(chaotic.hedge_wins),
+                static_cast<unsigned long long>(chaotic.corrupted_responses),
+                static_cast<unsigned long long>(chaotic.deadline_misses));
+  }
+  if (batch.abstentions > 0 || batch.degraded_images > 0 || batch.undecidable_images > 0) {
+    std::printf("  degradation: %llu abstentions, %llu degraded images, %llu undecidable\n",
+                static_cast<unsigned long long>(batch.abstentions),
+                static_cast<unsigned long long>(batch.degraded_images),
+                static_cast<unsigned long long>(batch.undecidable_images));
   }
   std::printf("%s", eval::metrics_table(metrics).render().c_str());
+
+  if (tracing) {
+    util::set_active_trace(nullptr);
+    std::printf("\nTop spans (wall + virtual clocks):\n%s",
+                eval::trace_span_table(trace).render().c_str());
+    std::printf("\nVirtual-time critical path:\n%s",
+                eval::critical_path_table(trace).render().c_str());
+    if (!trace_path.empty()) {
+      trace.write(trace_path);
+      std::printf("trace written: %s (load in https://ui.perfetto.dev)\n", trace_path.c_str());
+    }
+    if (!manifest_path.empty()) {
+      eval::RunManifest manifest;
+      manifest.tool = "county_survey";
+      manifest.seed = options.seed;
+      manifest.threads = survey_config.threads != 0 ? survey_config.threads
+                                                    : std::thread::hardware_concurrency();
+      manifest.total_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+      util::Json config_json = util::Json::object();
+      config_json["images"] = static_cast<std::int64_t>(image_count);
+      config_json["seed"] = static_cast<std::int64_t>(options.seed);
+      config_json["outage"] = cli.get_string("outage");
+      config_json["storm"] = cli.get_string("storm");
+      config_json["tail"] = cli.get_string("tail");
+      config_json["corrupt"] = cli.get_double("corrupt");
+      config_json["deadline"] = cli.get_double("deadline");
+      config_json["hedge"] = cli.get_double("hedge");
+      config_json["abort_after"] = cli.get_double("abort-after");
+      manifest.set_config(std::move(config_json));
+      manifest.add_metrics(metrics);
+      manifest.add_stages(trace);
+      manifest.write(manifest_path);
+      std::printf("manifest written: %s (config digest %s)\n", manifest_path.c_str(),
+                  manifest.digest.c_str());
+    }
+  }
   return 0;
 }

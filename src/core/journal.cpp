@@ -1,6 +1,7 @@
 #include "core/journal.hpp"
 
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace neuro::core {
 namespace {
@@ -70,12 +71,21 @@ SurveyJournal SurveyJournal::from_json(const util::Json& json) {
   return journal;
 }
 
+void SurveyJournal::merge(const SurveyJournal& other) {
+  for (const auto& [k, entry] : other.entries_) entries_[k] = entry;
+}
+
 void SurveyJournal::save(const std::string& path) const {
+  util::ScopedSpan span(util::active_trace(), "journal.save");
+  span.arg("entries", util::Json(entries_.size()));
   util::save_json_file(path, to_json());
 }
 
 SurveyJournal SurveyJournal::load(const std::string& path) {
-  return from_json(util::load_json_file(path));
+  util::ScopedSpan span(util::active_trace(), "journal.load");
+  SurveyJournal journal = from_json(util::load_json_file(path));
+  span.arg("entries", util::Json(journal.size()));
+  return journal;
 }
 
 }  // namespace neuro::core

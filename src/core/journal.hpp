@@ -30,6 +30,10 @@ class SurveyJournal {
   const JournalEntry* lookup(const std::string& model, std::uint64_t image_id) const;
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+  /// Copy every entry of `other` into this journal (`other` wins on key
+  /// collisions). Keys carry the model name, so an ensemble's per-member
+  /// journals can merge into — and reload from — one checkpoint file.
+  void merge(const SurveyJournal& other);
 
   util::Json to_json() const;
   static SurveyJournal from_json(const util::Json& json);

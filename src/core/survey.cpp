@@ -1,9 +1,11 @@
 #include "core/survey.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace neuro::core {
 
@@ -81,6 +83,10 @@ llm::BatchReport SurveyRunner::run_client_batch(const llm::VisionLanguageModel& 
   if (scheduler_with_threads.threads == 0) scheduler_with_threads.threads = config.threads;
   const llm::RequestScheduler scheduler(model, scheduler_with_threads, metrics);
 
+  util::TraceRecorder* trace = util::resolve_trace(scheduler_config.trace);
+  util::ScopedSpan batch_span(trace, "survey.run_client_batch");
+  batch_span.arg("model", util::Json(model.profile().name));
+
   llm::PromptBuilder builder;
   const llm::PromptPlan plan =
       builder.build(config.strategy, config.language, config.few_shot_examples);
@@ -98,6 +104,8 @@ llm::BatchReport SurveyRunner::run_client_batch(const llm::VisionLanguageModel& 
     batch_to_full.push_back(i);
   }
 
+  batch_span.arg("scheduled_images", util::Json(batch.size()));
+  batch_span.arg("journaled_images", util::Json(observations_.size() - batch.size()));
   llm::BatchReport sub = scheduler.run(plan, batch, config.sampling, config.seed);
   if (journal == nullptr) return sub;
 
@@ -136,6 +144,12 @@ llm::BatchReport SurveyRunner::run_client_batch(const llm::VisionLanguageModel& 
     metrics->counter("journal.images_resumed").add(restored);
     metrics->counter("journal.requests_saved").add(restored * plan.messages.size());
   }
+  if (trace != nullptr && restored > 0) {
+    trace->wall_instant("journal.restored",
+                        {{"model", util::Json(model.profile().name)},
+                         {"images", util::Json(restored)},
+                         {"requests_saved", util::Json(restored * plan.messages.size())}});
+  }
   return report;
 }
 
@@ -149,17 +163,47 @@ EnsembleBatchResult SurveyRunner::run_ensemble_batch(
     throw std::invalid_argument("run_ensemble_batch: one journal per member required");
   }
 
+  util::TraceRecorder* trace = util::resolve_trace(scheduler_config.trace);
+  util::ScopedSpan ensemble_span(trace, "survey.run_ensemble_batch");
+  ensemble_span.arg("members", util::Json(members.size()));
+
+  // Each member's request spans render on a disjoint block of lanes: one
+  // lane per in-flight slot plus one for the batch root / breaker track.
+  const std::uint64_t lane_stride = scheduler_config.max_in_flight + 2;
+
   EnsembleBatchResult result;
   result.member_names.reserve(members.size());
   result.member_reports.reserve(members.size());
   for (std::size_t m = 0; m < members.size(); ++m) {
     llm::SchedulerConfig member_config = scheduler_config;
     if (m < member_faults.size()) member_config.faults = member_faults[m];
+    member_config.trace_lane_base = scheduler_config.trace_lane_base + m * lane_stride;
     SurveyJournal* journal = journals != nullptr ? &(*journals)[m] : nullptr;
     result.member_names.push_back(members[m]->profile().name);
     result.member_reports.push_back(
         run_client_batch(*members[m], config, member_config, metrics, journal));
   }
+
+  // Per-image [first ready, last finish] window across every member, for
+  // the degradation-annotated ensemble spans below. Journal-restored
+  // images never entered a scheduler and collapse to a zero-width span.
+  std::vector<double> first_ready_ms(truths_.size(), 0.0);
+  std::vector<double> last_finish_ms(truths_.size(), 0.0);
+  std::vector<bool> has_timing(truths_.size(), false);
+  if (trace != nullptr) {
+    for (const llm::BatchReport& member_report : result.member_reports) {
+      for (const llm::RequestTiming& timing : member_report.timings) {
+        if (timing.item >= truths_.size()) continue;
+        if (!has_timing[timing.item] || timing.ready_ms < first_ready_ms[timing.item]) {
+          first_ready_ms[timing.item] = timing.ready_ms;
+        }
+        last_finish_ms[timing.item] = std::max(last_finish_ms[timing.item], timing.finish_ms);
+        has_timing[timing.item] = true;
+      }
+    }
+  }
+  const std::uint64_t ensemble_lane =
+      scheduler_config.trace_lane_base + members.size() * lane_stride;
 
   result.decisions.reserve(truths_.size());
   result.voters.reserve(truths_.size());
@@ -181,6 +225,20 @@ EnsembleBatchResult SurveyRunner::run_ensemble_batch(
       ++result.degraded_images;
     }
     result.evaluator.add(truths_[i], vote.decision);
+
+    if (trace != nullptr) {
+      // One virtual-clock span per image covering every member's requests,
+      // annotated with how degraded its vote ended up.
+      trace->virtual_span(
+          "ensemble.image", first_ready_ms[i],
+          std::max(0.0, last_finish_ms[i] - first_ready_ms[i]), 0, i, ensemble_lane,
+          {{"image_id", util::Json(image_ids_[i])},
+           {"voters", util::Json(vote.voters)},
+           {"abstained", util::Json(members.size() - vote.voters)},
+           {"degraded", util::Json(vote.voters < members.size())},
+           {"undecidable", util::Json(vote.voters == 0)},
+           {"restored", util::Json(!has_timing[i])}});
+    }
   }
 
   if (metrics != nullptr) {

@@ -8,6 +8,7 @@
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace neuro::data {
 
@@ -85,6 +86,8 @@ std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
                                                       std::size_t location_count,
                                                       std::uint64_t seed, BuildStats* stats) {
   const Clock::time_point t_start = Clock::now();
+  util::ScopedSpan build_span(util::active_trace(), "dataset.multiview_build");
+  build_span.arg("locations", util::Json(location_count));
   util::Rng rng(seed);
   const scene::SamplingFrame frame = scene::SamplingFrame::paper_default();
   util::Rng point_rng = rng.fork("points");
@@ -137,11 +140,17 @@ std::vector<MultiViewLocation> build_multiview_survey(const BuildConfig& config,
 Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed,
                                 BuildStats* stats) {
   const Clock::time_point t_start = Clock::now();
+  util::ScopedSpan build_span(util::active_trace(), "dataset.build");
+  build_span.arg("images", util::Json(config.image_count));
   util::Rng rng(seed);
   const scene::SamplingFrame frame = scene::SamplingFrame::paper_default();
   const Clock::time_point t_scene = Clock::now();
-  const std::vector<scene::GeneratedCapture> captures =
-      scene::generate_survey(frame, config.image_count, config.generator, rng, config.threads);
+  std::vector<scene::GeneratedCapture> captures;
+  {
+    util::ScopedSpan scene_span(util::active_trace(), "dataset.scenes");
+    captures = scene::generate_survey(frame, config.image_count, config.generator, rng,
+                                      config.threads);
+  }
   const double scene_seconds = seconds_since(t_scene);
 
   scene::Renderer renderer;
@@ -152,19 +161,24 @@ Dataset build_synthetic_dataset(const BuildConfig& config, std::uint64_t seed,
   std::vector<LabeledImage> images(captures.size());
   std::vector<double> render_seconds(captures.size(), 0.0);
   std::vector<double> noise_seconds(captures.size(), 0.0);
-  util::ThreadPool pool(config.threads);
-  pool.parallel_for(captures.size(), [&](std::size_t i) {
-    Clock::time_point t0 = Clock::now();
-    LabeledImage labeled = render_to_labeled(captures[i].scene, renderer);
-    render_seconds[i] = seconds_since(t0);
-    if (noisy_labels) {
-      t0 = Clock::now();
-      util::Rng noise_rng = rng.fork(util::format("img-%zu", i)).fork("label-noise");
-      apply_label_noise(labeled.annotations, config, noise_rng);
-      noise_seconds[i] = seconds_since(t0);
-    }
-    images[i] = std::move(labeled);
-  });
+  {
+    util::ScopedSpan render_span(util::active_trace(), "dataset.render");
+    render_span.arg("images", util::Json(captures.size()));
+    render_span.arg("label_noise", util::Json(noisy_labels));
+    util::ThreadPool pool(config.threads);
+    pool.parallel_for(captures.size(), [&](std::size_t i) {
+      Clock::time_point t0 = Clock::now();
+      LabeledImage labeled = render_to_labeled(captures[i].scene, renderer);
+      render_seconds[i] = seconds_since(t0);
+      if (noisy_labels) {
+        t0 = Clock::now();
+        util::Rng noise_rng = rng.fork(util::format("img-%zu", i)).fork("label-noise");
+        apply_label_noise(labeled.annotations, config, noise_rng);
+        noise_seconds[i] = seconds_since(t0);
+      }
+      images[i] = std::move(labeled);
+    });
+  }
 
   Dataset dataset;
   dataset.reserve(images.size());

@@ -12,6 +12,7 @@
 #include "util/strings.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace neuro::detect {
 
@@ -72,6 +73,8 @@ std::array<int, scene::kIndicatorCount> labels_from_iou(
 
 TrainReport NanoDetector::train(const data::Dataset& train_set) {
   const auto start = Clock::now();
+  util::ScopedSpan train_span(util::active_trace(), "detector.train");
+  train_span.arg("images", util::Json(train_set.size()));
   util::Rng rng(config_.seed);
   TrainReport report;
   util::ThreadPool pool(config_.threads);
@@ -110,6 +113,8 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
     double extract_seconds = 0.0;
   };
   const auto t_stage1 = Clock::now();
+  std::optional<util::ScopedSpan> stage1_span;
+  stage1_span.emplace(util::active_trace(), "detector.stage1_features");
   std::vector<Block> blocks(train_set.size());
   pool.parallel_for(train_set.size(), [&](std::size_t i) {
     const data::LabeledImage& labeled = train_set[i];
@@ -172,6 +177,8 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
   blocks.clear();
   blocks.shrink_to_fit();
   report.feature_seconds = seconds_since(t_stage1);
+  stage1_span->arg("rows", util::Json(features.size()));
+  stage1_span.reset();
   if (features.empty()) throw std::invalid_argument("train: empty dataset");
 
   // ---- Stage 2: standardize --------------------------------------------------
@@ -194,6 +201,8 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
   // reported losses do not depend on the thread count.
   auto train_all_heads = [&](int round) {
     const auto t_fit = Clock::now();
+    util::ScopedSpan fit_span(util::active_trace(), "detector.head_fit");
+    fit_span.arg("round", util::Json(round));
     nn::Matrix feature_matrix(features.size(), dim);
     for (std::size_t r = 0; r < features.size(); ++r) {
       std::copy(features[r].begin(), features[r].end(), feature_matrix.row(r).begin());
@@ -301,6 +310,8 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
   util::Rng mining_rng = rng.fork("mining");
   for (int round = 1; round <= config_.mining_rounds; ++round) {
     const auto t_mine = Clock::now();
+    util::ScopedSpan mine_span(util::active_trace(), "detector.mining_round");
+    mine_span.arg("round", util::Json(round));
     std::vector<std::size_t> image_order(train_set.size());
     for (std::size_t i = 0; i < image_order.size(); ++i) image_order[i] = i;
     mining_rng.shuffle(image_order);

@@ -1,0 +1,139 @@
+#include "eval/benchdiff.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace neuro::eval {
+namespace {
+
+// "A|B|C" matches names containing any of the alternatives.
+bool name_matches(const std::string& name, const std::string& filter) {
+  if (filter.empty()) return true;
+  for (const std::string& part : util::split(filter, '|')) {
+    if (!part.empty() && name.find(part) != std::string::npos) return true;
+  }
+  return false;
+}
+
+double to_ms(double value, const std::string& unit) {
+  if (unit == "ns") return value * 1e-6;
+  if (unit == "us") return value * 1e-3;
+  if (unit == "ms") return value;
+  if (unit == "s") return value * 1e3;
+  return value;  // google-benchmark defaults to ns, but don't guess here
+}
+
+}  // namespace
+
+std::vector<BenchDelta> extract_benchmarks(const util::Json& doc) {
+  const util::Json* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    throw std::runtime_error("bench_diff: document has no \"benchmarks\" array");
+  }
+  // Pass 1: plain iteration runs, keyed by full name. Pass 2: median
+  // aggregates override under their run_name, so repeated runs gate on the
+  // p50 rather than whichever repetition happened to be listed.
+  std::vector<std::string> order;
+  std::unordered_map<std::string, double> times;
+  auto record = [&](const std::string& name, double ms) {
+    if (times.emplace(name, ms).second) {
+      order.push_back(name);
+    } else {
+      times[name] = ms;
+    }
+  };
+  for (const util::Json& entry : benchmarks->as_array()) {
+    const std::string run_type = entry.get("run_type", std::string("iteration"));
+    if (run_type != "iteration") continue;
+    record(entry.get("name", std::string()),
+           to_ms(entry.get("real_time", 0.0), entry.get("time_unit", std::string("ns"))));
+  }
+  for (const util::Json& entry : benchmarks->as_array()) {
+    if (entry.get("run_type", std::string()) != "aggregate") continue;
+    if (entry.get("aggregate_name", std::string()) != "median") continue;
+    record(entry.get("run_name", std::string()),
+           to_ms(entry.get("real_time", 0.0), entry.get("time_unit", std::string("ns"))));
+  }
+  std::vector<BenchDelta> result;
+  result.reserve(order.size());
+  for (const std::string& name : order) {
+    if (name.empty()) continue;
+    BenchDelta delta;
+    delta.name = name;
+    delta.baseline_ms = times.at(name);
+    result.push_back(std::move(delta));
+  }
+  return result;
+}
+
+BenchDiffReport diff_benchmarks(const util::Json& baseline, const util::Json& current,
+                                const std::string& filter) {
+  const std::vector<BenchDelta> base = extract_benchmarks(baseline);
+  const std::vector<BenchDelta> cur = extract_benchmarks(current);
+  auto matches = [&](const std::string& name) { return name_matches(name, filter); };
+  std::unordered_map<std::string, double> current_times;
+  for (const BenchDelta& entry : cur) current_times[entry.name] = entry.baseline_ms;
+
+  BenchDiffReport report;
+  for (const BenchDelta& entry : base) {
+    if (!matches(entry.name)) continue;
+    const auto it = current_times.find(entry.name);
+    if (it == current_times.end()) {
+      report.only_baseline.push_back(entry.name);
+      continue;
+    }
+    BenchDelta delta;
+    delta.name = entry.name;
+    delta.baseline_ms = entry.baseline_ms;
+    delta.current_ms = it->second;
+    report.deltas.push_back(std::move(delta));
+    current_times.erase(it);
+  }
+  for (const BenchDelta& entry : cur) {
+    if (!matches(entry.name)) continue;
+    if (current_times.count(entry.name)) report.only_current.push_back(entry.name);
+  }
+  return report;
+}
+
+std::vector<BenchDelta> BenchDiffReport::regressions(double threshold) const {
+  std::vector<BenchDelta> out;
+  for (const BenchDelta& delta : deltas) {
+    if (delta.delta() > threshold) out.push_back(delta);
+  }
+  return out;
+}
+
+double BenchDiffReport::worst_delta() const {
+  double worst = 0.0;
+  bool first = true;
+  for (const BenchDelta& delta : deltas) {
+    if (first || delta.delta() > worst) worst = delta.delta();
+    first = false;
+  }
+  return worst;
+}
+
+util::TextTable bench_diff_table(const BenchDiffReport& report, double threshold) {
+  util::TextTable table({"Benchmark", "baseline ms", "current ms", "delta", "status"});
+  for (const BenchDelta& delta : report.deltas) {
+    const char* status = delta.delta() > threshold          ? "REGRESSION"
+                         : delta.delta() < -threshold       ? "improved"
+                                                            : "ok";
+    table.add_row({delta.name, util::format("%.3f", delta.baseline_ms),
+                   util::format("%.3f", delta.current_ms),
+                   util::format("%+.1f%%", delta.delta() * 100.0), status});
+  }
+  for (const std::string& name : report.only_baseline) {
+    table.add_row({name, "-", "", "", "missing in current"});
+  }
+  for (const std::string& name : report.only_current) {
+    table.add_row({name, "", "-", "", "new benchmark"});
+  }
+  return table;
+}
+
+}  // namespace neuro::eval

@@ -1,0 +1,55 @@
+#pragma once
+// Benchmark regression gating: compare two google-benchmark JSON dumps
+// (the checked-in BENCH_micro.json baseline vs a fresh run) and fail when
+// any matched benchmark's p50 real time regressed past a threshold. When
+// a dump carries repetition aggregates the "median" entry is the p50;
+// single-run dumps fall back to the run's real_time. This is the library
+// behind the `bench_diff` CLI tool and its CI gate.
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace neuro::eval {
+
+/// One benchmark present in both documents.
+struct BenchDelta {
+  std::string name;
+  double baseline_ms = 0.0;
+  double current_ms = 0.0;
+  /// current / baseline; 1.0 when the baseline time is 0.
+  double ratio() const { return baseline_ms > 0.0 ? current_ms / baseline_ms : 1.0; }
+  /// Fractional change: +0.20 = 20% slower, -0.10 = 10% faster.
+  double delta() const { return ratio() - 1.0; }
+};
+
+struct BenchDiffReport {
+  std::vector<BenchDelta> deltas;           // matched, baseline order
+  std::vector<std::string> only_baseline;   // disappeared benchmarks
+  std::vector<std::string> only_current;    // new benchmarks
+  /// Deltas slower than `threshold` (fractional, e.g. 0.15 = +15%).
+  std::vector<BenchDelta> regressions(double threshold) const;
+  bool has_regression(double threshold) const { return !regressions(threshold).empty(); }
+  /// Largest fractional slowdown across matched benchmarks (can be < 0).
+  double worst_delta() const;
+};
+
+/// Extract (name, p50 real ms) pairs from a google-benchmark JSON
+/// document: median aggregates when present (keyed by run_name), plain
+/// iteration runs otherwise. Throws std::runtime_error when the document
+/// has no "benchmarks" array.
+std::vector<BenchDelta> extract_benchmarks(const util::Json& doc);
+
+/// Match baseline and current by name. `filter` (when non-empty) keeps
+/// only benchmarks whose name contains one of its '|'-separated
+/// alternatives (substring match, e.g. "BM_DatasetBuild|BM_WindowExtract").
+BenchDiffReport diff_benchmarks(const util::Json& baseline, const util::Json& current,
+                                const std::string& filter = "");
+
+/// Per-benchmark comparison table: baseline / current / delta, regressions
+/// (past `threshold`) marked in the last column.
+util::TextTable bench_diff_table(const BenchDiffReport& report, double threshold);
+
+}  // namespace neuro::eval

@@ -1,0 +1,103 @@
+#include "eval/manifest.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+#ifndef NEURO_GIT_DESCRIBE
+#define NEURO_GIT_DESCRIBE "unknown"
+#endif
+
+namespace neuro::eval {
+
+std::string config_digest(const util::Json& config) {
+  const std::string text = config.dump(-1);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return util::format("%016llx", static_cast<unsigned long long>(h));
+}
+
+std::string build_version() { return NEURO_GIT_DESCRIBE; }
+
+void RunManifest::set_config(util::Json config_json) {
+  config = std::move(config_json);
+  digest = config_digest(config);
+}
+
+void RunManifest::add_stages(const util::TraceRecorder& trace) {
+  for (const util::SpanStats& stats : trace.span_stats()) {
+    StageDuration stage;
+    stage.name = stats.name;
+    stage.clock = stats.clock == util::TraceClock::kWall ? "wall" : "virtual";
+    stage.count = stats.count;
+    stage.total_ms = stats.total_ms;
+    stage.self_ms = stats.self_ms;
+    stage.max_ms = stats.max_ms;
+    stages.push_back(std::move(stage));
+  }
+}
+
+void RunManifest::add_metrics(const util::MetricsRegistry& registry) {
+  metrics = registry.to_json();
+}
+
+util::Json RunManifest::to_json() const {
+  util::Json json = util::Json::object();
+  json["tool"] = tool;
+  json["git_describe"] = git_describe;
+  json["seed"] = static_cast<std::int64_t>(seed);
+  json["threads"] = threads;
+  json["total_seconds"] = total_seconds;
+  json["config_digest"] = digest;
+  json["config"] = config;
+  json["metrics"] = metrics;
+  util::Json stage_array = util::Json::array();
+  for (const StageDuration& stage : stages) {
+    util::Json entry = util::Json::object();
+    entry["name"] = stage.name;
+    entry["clock"] = stage.clock;
+    entry["count"] = static_cast<std::int64_t>(stage.count);
+    entry["total_ms"] = stage.total_ms;
+    entry["self_ms"] = stage.self_ms;
+    entry["max_ms"] = stage.max_ms;
+    stage_array.push_back(std::move(entry));
+  }
+  json["stages"] = std::move(stage_array);
+  return json;
+}
+
+RunManifest RunManifest::from_json(const util::Json& json) {
+  RunManifest manifest;
+  manifest.tool = json.get("tool", std::string());
+  manifest.git_describe = json.get("git_describe", std::string("unknown"));
+  manifest.seed = static_cast<std::uint64_t>(json.get("seed", 0.0));
+  manifest.threads = static_cast<std::size_t>(json.get("threads", 0.0));
+  manifest.total_seconds = json.get("total_seconds", 0.0);
+  manifest.digest = json.get("config_digest", std::string());
+  if (const util::Json* config = json.find("config")) manifest.config = *config;
+  if (const util::Json* metrics = json.find("metrics")) manifest.metrics = *metrics;
+  if (const util::Json* stage_array = json.find("stages")) {
+    for (const util::Json& entry : stage_array->as_array()) {
+      StageDuration stage;
+      stage.name = entry.get("name", std::string());
+      stage.clock = entry.get("clock", std::string("wall"));
+      stage.count = static_cast<std::uint64_t>(entry.get("count", 0.0));
+      stage.total_ms = entry.get("total_ms", 0.0);
+      stage.self_ms = entry.get("self_ms", 0.0);
+      stage.max_ms = entry.get("max_ms", 0.0);
+      manifest.stages.push_back(std::move(stage));
+    }
+  }
+  return manifest;
+}
+
+void RunManifest::write(const std::string& path) const {
+  util::save_json_file(path, to_json());
+}
+
+}  // namespace neuro::eval

@@ -1,0 +1,64 @@
+#pragma once
+// Run provenance: a RunManifest records everything needed to attribute a
+// survey or bench output to the run that produced it — seed, config
+// digest, thread count, the binary's `git describe` stamp, per-stage
+// durations pulled from the trace recorder, and a full MetricsRegistry
+// snapshot. Written as JSON next to the output it describes
+// (conventionally `<output>.manifest.json`), so BENCH_micro.json and
+// survey dumps stop being write-only: any number in them can be traced
+// back to an exact configuration and code version.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace neuro::eval {
+
+/// Stable FNV-1a-64 hex digest of a configuration document (serialized
+/// compactly, keys sorted by util::Json's map). Two manifests with equal
+/// digests describe runs of the same configuration.
+std::string config_digest(const util::Json& config);
+
+/// Compile-time `git describe --always --dirty` stamp of the binary
+/// ("unknown" when the build tree had no git metadata).
+std::string build_version();
+
+/// One instrumented stage, aggregated over the run.
+struct StageDuration {
+  std::string name;
+  std::string clock;  // "wall" or "virtual"
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;  // total minus time covered by child spans
+  double max_ms = 0.0;
+};
+
+struct RunManifest {
+  std::string tool;                          // producing binary
+  std::string git_describe = build_version();
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;                   // worker threads configured
+  double total_seconds = 0.0;                // wall time of the run
+  std::string digest;                        // config_digest(config)
+  util::Json config = util::Json::object();  // the run's configuration
+  util::Json metrics = util::Json::object(); // MetricsRegistry::to_json()
+  std::vector<StageDuration> stages;         // trace span aggregates
+
+  /// Set `config` and recompute `digest` in one step.
+  void set_config(util::Json config_json);
+  /// Aggregate the recorder's spans into `stages` (sorted by total time).
+  void add_stages(const util::TraceRecorder& trace);
+  /// Snapshot a metrics registry into `metrics`.
+  void add_metrics(const util::MetricsRegistry& registry);
+
+  util::Json to_json() const;
+  static RunManifest from_json(const util::Json& json);
+  /// Write as pretty JSON; throws on I/O failure.
+  void write(const std::string& path) const;
+};
+
+}  // namespace neuro::eval

@@ -43,4 +43,26 @@ std::string metrics_json(const util::MetricsRegistry& registry, int indent) {
   return registry.to_json().dump(indent);
 }
 
+util::TextTable trace_span_table(const util::TraceRecorder& trace, std::size_t top_n) {
+  util::TextTable table({"Span", "clock", "count", "total ms", "self ms", "max ms"});
+  std::size_t rows = 0;
+  for (const util::SpanStats& stats : trace.span_stats()) {
+    if (rows++ >= top_n) break;
+    table.add_row({stats.name, stats.clock == util::TraceClock::kWall ? "wall" : "virtual",
+                   std::to_string(stats.count), util::format("%.2f", stats.total_ms),
+                   util::format("%.2f", stats.self_ms), util::format("%.2f", stats.max_ms)});
+  }
+  return table;
+}
+
+util::TextTable critical_path_table(const util::TraceRecorder& trace) {
+  util::TextTable table({"Span", "start ms", "end ms", "dur ms"});
+  for (const util::TraceEvent& event : trace.critical_path()) {
+    table.add_row({event.name, util::format("%.1f", event.ts_ms),
+                   util::format("%.1f", event.ts_ms + event.dur_ms),
+                   util::format("%.1f", event.dur_ms)});
+  }
+  return table;
+}
+
 }  // namespace neuro::eval

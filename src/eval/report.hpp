@@ -6,6 +6,7 @@
 #include "eval/metrics.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace neuro::eval {
 
@@ -26,5 +27,14 @@ util::TextTable metrics_table(const util::MetricsRegistry& registry,
 
 /// JSON rendering of the registry ({"counters": ..., "histograms": ...}).
 std::string metrics_json(const util::MetricsRegistry& registry, int indent = 2);
+
+/// "Top spans" table from a trace recorder: per-name count, total, self
+/// (total minus child-covered time) and max, the `top_n` biggest first.
+/// Wall and virtual spans are tagged by clock domain.
+util::TextTable trace_span_table(const util::TraceRecorder& trace, std::size_t top_n = 12);
+
+/// The virtual-time critical path: the chronological chain of spans that
+/// bounds the batch makespan (TraceRecorder::critical_path).
+util::TextTable critical_path_table(const util::TraceRecorder& trace);
 
 }  // namespace neuro::eval

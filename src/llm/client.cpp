@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/trace.hpp"
+
 namespace neuro::llm {
 namespace {
 
@@ -53,9 +55,22 @@ ChatOutcome fast_fail_outcome() {
   return outcome;
 }
 
+const char* attempt_event_name(AttemptEvent::Kind kind) {
+  switch (kind) {
+    case AttemptEvent::Kind::kAttempt: return "attempt";
+    case AttemptEvent::Kind::kRateLimited: return "rate_limited";
+    case AttemptEvent::Kind::kStuck: return "stuck";
+    case AttemptEvent::Kind::kHedge: return "hedge";
+    case AttemptEvent::Kind::kBackoff: return "backoff";
+    case AttemptEvent::Kind::kDeadlineCut: return "deadline_cut";
+  }
+  return "?";
+}
+
 ChatOutcome play_exchange(const VisionLanguageModel& model, const ClientConfig& config,
                           const FaultPlan& faults, const ResilienceConfig& resilience,
-                          const ExchangeScript& script, Language language, double start_ms) {
+                          const ExchangeScript& script, Language language, double start_ms,
+                          std::vector<AttemptEvent>* timeline) {
   const ModelProfile& profile = model.profile();
   const double deadline = resilience.deadline_ms;
 
@@ -104,10 +119,13 @@ ChatOutcome play_exchange(const VisionLanguageModel& model, const ClientConfig& 
     bool attempt_ok = primary_leg.ok;
     double attempt_ms = primary_leg.duration_ms;
     ExchangeScript::AttemptDraw winner = primary;
+    bool hedged = false;
+    Leg hedge_leg;
     if (resilience.hedge_after_ms > 0.0 && primary_leg.duration_ms > resilience.hedge_after_ms) {
       const ExchangeScript::AttemptDraw hedge = take_draw();
-      const Leg hedge_leg = run_leg(hedge, attempt_start + resilience.hedge_after_ms);
+      hedge_leg = run_leg(hedge, attempt_start + resilience.hedge_after_ms);
       const double hedge_ms = resilience.hedge_after_ms + hedge_leg.duration_ms;
+      hedged = true;
       outcome.hedges += 1;
       outcome.input_tokens += script.input_tokens_per_attempt;  // hedge resends
       if (hedge_leg.ok && (!primary_leg.ok || hedge_ms < primary_leg.duration_ms)) {
@@ -121,9 +139,40 @@ ChatOutcome play_exchange(const VisionLanguageModel& model, const ClientConfig& 
       }
     }
 
+    // Timeline: legs are reported over the virtual time they actually
+    // occupied — a leg abandoned early (hedge won, deadline cut) is
+    // clipped to the attempt's accounted window.
+    const double cut_ms =
+        deadline > 0.0 && elapsed + attempt_ms >= deadline ? deadline - elapsed : attempt_ms;
+    if (timeline != nullptr) {
+      AttemptEvent primary_event;
+      primary_event.kind = primary.stuck_u < faults.stuck_rate ? AttemptEvent::Kind::kStuck
+                           : faults.in_storm(attempt_start)    ? AttemptEvent::Kind::kRateLimited
+                                                               : AttemptEvent::Kind::kAttempt;
+      primary_event.attempt = attempt;
+      primary_event.start_ms = attempt_start;
+      primary_event.dur_ms = std::min(primary_leg.duration_ms, cut_ms);
+      primary_event.ok = primary_leg.ok;
+      timeline->push_back(primary_event);
+      if (hedged && cut_ms > resilience.hedge_after_ms) {
+        AttemptEvent hedge_event;
+        hedge_event.kind = AttemptEvent::Kind::kHedge;
+        hedge_event.attempt = attempt;
+        hedge_event.start_ms = attempt_start + resilience.hedge_after_ms;
+        hedge_event.dur_ms =
+            std::min(hedge_leg.duration_ms, cut_ms - resilience.hedge_after_ms);
+        hedge_event.ok = hedge_leg.ok;
+        timeline->push_back(hedge_event);
+      }
+    }
+
     if (deadline > 0.0 && elapsed + attempt_ms >= deadline) {
       // Budget exhausted mid-attempt: abandon at the deadline.
       const double cut = deadline - elapsed;
+      if (timeline != nullptr) {
+        timeline->push_back({AttemptEvent::Kind::kDeadlineCut, attempt, attempt_start + cut,
+                             0.0, false});
+      }
       outcome.latency_ms += cut;
       outcome.total_wait_ms += cut;
       elapsed = deadline;
@@ -151,10 +200,20 @@ ChatOutcome play_exchange(const VisionLanguageModel& model, const ClientConfig& 
       if (deadline > 0.0 && elapsed + sleep_ms >= deadline) {
         // Sleeping past the deadline is pointless; give up now.
         const double cut = deadline - elapsed;
+        if (timeline != nullptr) {
+          timeline->push_back({AttemptEvent::Kind::kBackoff, attempt, start_ms + elapsed, cut,
+                               false});
+          timeline->push_back({AttemptEvent::Kind::kDeadlineCut, attempt, start_ms + deadline,
+                               0.0, false});
+        }
         outcome.total_wait_ms += cut;
         elapsed = deadline;
         outcome.deadline_hit = true;
         break;
+      }
+      if (timeline != nullptr) {
+        timeline->push_back({AttemptEvent::Kind::kBackoff, attempt, start_ms + elapsed,
+                             sleep_ms, false});
       }
       outcome.total_wait_ms += sleep_ms;
       elapsed += sleep_ms;
@@ -242,18 +301,41 @@ ChatOutcome LlmClient::send(const PromptMessage& message, Language language,
   const double wait_ms = std::max(0.0, bucket_next_free_ms_ - virtual_now_ms_);
   const double start_ms = virtual_now_ms_ + wait_ms;
 
+  util::TraceRecorder* trace = util::active_trace();
+  std::vector<AttemptEvent> timeline;
   ChatOutcome outcome;
   if (!breaker_->allow(start_ms)) {
     // Fail fast before queueing: no bucket slot consumed, no time spent.
     outcome = fast_fail_outcome();
+    if (trace != nullptr) {
+      trace->virtual_instant("breaker.fast_fail", start_ms);
+    }
   } else {
-    outcome = play_exchange(*model_, config_, faults_, resilience_, script, language, start_ms);
+    outcome = play_exchange(*model_, config_, faults_, resilience_, script, language, start_ms,
+                            trace != nullptr ? &timeline : nullptr);
     breaker_->record(outcome.ok, start_ms + outcome.total_wait_ms);
     const double exchange_ms = outcome.total_wait_ms;
     bucket_next_free_ms_ = start_ms + slot_ms;
     virtual_now_ms_ = start_ms + exchange_ms;
     outcome.queue_wait_ms = wait_ms;
     outcome.total_wait_ms = wait_ms + exchange_ms;
+
+    if (trace != nullptr) {
+      // The client is one serial caller: requests are keyed by issue order
+      // (usage_.requests is read under mutex_) and rendered on lane 0.
+      const std::uint64_t key = usage_.requests;
+      const std::uint64_t span = trace->virtual_span(
+          "llm.request", virtual_now_ms_ - exchange_ms - wait_ms, wait_ms + exchange_ms, 0, key,
+          0,
+          {{"attempts", util::Json(outcome.attempts)},
+           {"ok", util::Json(outcome.ok)},
+           {"queue_wait_ms", util::Json(outcome.queue_wait_ms)}});
+      std::uint64_t child = 0;
+      for (const AttemptEvent& event : timeline) {
+        trace->virtual_span(attempt_event_name(event.kind), event.start_ms, event.dur_ms, span,
+                            ++child, 0, {{"ok", util::Json(event.ok)}});
+      }
+    }
   }
 
   account(outcome);

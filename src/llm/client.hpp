@@ -111,14 +111,40 @@ ExchangeScript script_exchange(const VisionLanguageModel& model, const ClientCon
                                Language language, const VisualObservation& observation,
                                const SamplingParams& params, util::Rng& rng);
 
+/// One step of a played exchange's virtual-time attempt timeline: where
+/// the wait went, in absolute virtual ms. Collected when a timeline sink
+/// is passed to play_exchange, so traces can render the retry/backoff/
+/// hedge/fault structure of a request as nested spans.
+struct AttemptEvent {
+  enum class Kind {
+    kAttempt,      // a transport attempt (service time, success or failure)
+    kRateLimited,  // attempt rejected fast by a 429 storm window
+    kStuck,        // attempt never returned; abandoned at the stuck timeout
+    kHedge,        // duplicate attempt issued by hedging
+    kBackoff,      // exponential-backoff sleep between attempts
+    kDeadlineCut,  // remainder abandoned when the deadline budget ran out
+  };
+  Kind kind = Kind::kAttempt;
+  int attempt = 1;        // 1-based attempt number
+  double start_ms = 0.0;  // absolute virtual time
+  double dur_ms = 0.0;
+  bool ok = false;
+};
+
+/// Stable display name for an attempt-event kind ("attempt", "backoff", ...).
+const char* attempt_event_name(AttemptEvent::Kind kind);
+
 /// Evaluate the attempt loop of a scripted request starting at virtual
 /// time `start_ms` against a fault plan and resilience budgets. Pure:
 /// touches no shared state (circuit-breaker interaction is the caller's
 /// job via CircuitBreaker::allow/record). On return total_wait_ms covers
 /// service + backoffs; queue_wait_ms is 0 — the caller owns queueing.
+/// When `timeline` is given it receives the attempt/backoff/hedge events
+/// that make up [start_ms, start_ms + total_wait_ms].
 ChatOutcome play_exchange(const VisionLanguageModel& model, const ClientConfig& config,
                           const FaultPlan& faults, const ResilienceConfig& resilience,
-                          const ExchangeScript& script, Language language, double start_ms);
+                          const ExchangeScript& script, Language language, double start_ms,
+                          std::vector<AttemptEvent>* timeline = nullptr);
 
 /// A breaker rejection: failed outcome with zero attempts/tokens/latency.
 ChatOutcome fast_fail_outcome();

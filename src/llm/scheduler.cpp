@@ -35,6 +35,15 @@ struct PendingRequest {
   }
 };
 
+const char* breaker_state_name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "breaker.closed";
+    case CircuitBreaker::State::kOpen: return "breaker.open";
+    case CircuitBreaker::State::kHalfOpen: return "breaker.half_open";
+  }
+  return "breaker.?";
+}
+
 }  // namespace
 
 RequestScheduler::RequestScheduler(const VisionLanguageModel& model, SchedulerConfig config,
@@ -47,6 +56,14 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
   report.items.resize(batch.size());
   if (batch.empty() || plan.messages.empty()) return report;
 
+  // Tracing: explicit config wins, else the process-wide recorder. The
+  // batch root span id is derivable up front (parent 0, name, lane base as
+  // key), so request spans can parent to it before it is emitted.
+  util::TraceRecorder* trace = util::resolve_trace(config_.trace);
+  const std::uint64_t lane_base = config_.trace_lane_base;
+  const std::uint64_t batch_span_id =
+      util::TraceRecorder::derive_id(0, "scheduler.batch", lane_base);
+
   // Phase 1 — SCRIPT: pre-draw every item's random material in parallel.
   // Each item only touches its own slot and its own RNG stream (same
   // derivation as SurveyRunner::run_model), and every script consumes a
@@ -54,20 +71,26 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
   // count. Nothing is *played* yet: faults depend on virtual start times
   // only the sequential event loop below knows.
   std::vector<std::vector<ExchangeScript>> scripts(batch.size());
-  util::ThreadPool pool(config_.threads);
-  pool.parallel_for(batch.size(), [&](std::size_t i) {
-    const VisualObservation empty_observation{};
-    const VisualObservation& observation =
-        batch[i].observation != nullptr ? *batch[i].observation : empty_observation;
-    util::Rng rng(util::derive_seed(
-        seed, util::format("%s/%llu", model_->profile().name.c_str(),
-                           static_cast<unsigned long long>(batch[i].image_id))));
-    scripts[i].reserve(plan.messages.size());
-    for (const PromptMessage& message : plan.messages) {
-      scripts[i].push_back(script_exchange(*model_, config_.client, config_.resilience, message,
-                                           plan.language, observation, params, rng));
-    }
-  });
+  {
+    util::ScopedSpan script_span(trace, "scheduler.script");
+    script_span.arg("items", util::Json(batch.size()));
+    script_span.arg("model", util::Json(model_->profile().name));
+    util::ThreadPool pool(config_.threads);
+    pool.parallel_for(batch.size(), [&](std::size_t i) {
+      const VisualObservation empty_observation{};
+      const VisualObservation& observation =
+          batch[i].observation != nullptr ? *batch[i].observation : empty_observation;
+      util::Rng rng(util::derive_seed(
+          seed, util::format("%s/%llu", model_->profile().name.c_str(),
+                             static_cast<unsigned long long>(batch[i].image_id))));
+      scripts[i].reserve(plan.messages.size());
+      for (const PromptMessage& message : plan.messages) {
+        scripts[i].push_back(script_exchange(*model_, config_.client, config_.resilience,
+                                             message, plan.language, observation, params, rng));
+      }
+    });
+  }
+  util::ScopedSpan schedule_span(trace, "scheduler.schedule");
 
   // Phase 2 — SCHEDULE: deterministic virtual-time event simulation.
   // Requests are admitted FIFO by readiness through the circuit breaker,
@@ -79,6 +102,22 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
   const double abort_cut_ms = config_.abort_after_ms;
   double bucket_next_free_ms = 0.0;
   CircuitBreaker breaker(config_.resilience.breaker, metrics_);
+
+  // Trace bookkeeping: a greedy lane packer puts concurrent requests on
+  // stable per-slot tracks, occupancy deltas feed the in-flight counter,
+  // and breaker state changes become instants the moment the (sequential)
+  // event loop observes them — all pure functions of the deterministic
+  // event sequence, so the trace replays bit-for-bit at any thread count.
+  util::LaneAssigner lanes(lane_base);
+  std::vector<std::pair<double, int>> occupancy_deltas;
+  CircuitBreaker::State last_breaker_state = CircuitBreaker::State::kClosed;
+  const auto note_breaker = [&](double at_ms) {
+    if (trace == nullptr) return;
+    const CircuitBreaker::State state = breaker.state(at_ms);
+    if (state == last_breaker_state) return;
+    last_breaker_state = state;
+    trace->virtual_instant(breaker_state_name(state), at_ms, batch_span_id, lane_base);
+  };
 
   std::priority_queue<PendingRequest, std::vector<PendingRequest>, std::greater<>> pending;
   std::priority_queue<double, std::vector<double>, std::greater<>> in_flight;
@@ -97,9 +136,13 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
     const PromptMessage& message = plan.messages[request.message];
     ChatOutcome& outcome = item.outcomes[request.message];
 
+    const std::uint64_t request_key =
+        request.item * plan.messages.size() + request.message;
+    std::vector<AttemptEvent> timeline;
     double start_ms = request.ready_ms;
     double finish_ms = request.ready_ms;
     if (!breaker.allow(request.ready_ms)) {
+      note_breaker(request.ready_ms);
       // Open breaker: reject locally before queueing — no bucket slot, no
       // in-flight occupancy, no virtual time spent.
       if (abort_cut_ms > 0.0 && request.ready_ms >= abort_cut_ms) {
@@ -107,7 +150,16 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
         continue;
       }
       outcome = fast_fail_outcome();
+      if (trace != nullptr) {
+        trace->virtual_span("llm.request", request.ready_ms, 0.0, batch_span_id, request_key,
+                            lane_base,
+                            {{"image_id", util::Json(batch[request.item].image_id)},
+                             {"message", util::Json(request.message)},
+                             {"fast_failed", util::Json(true)},
+                             {"ok", util::Json(false)}});
+      }
     } else {
+      note_breaker(request.ready_ms);
       while (!in_flight.empty() && in_flight.top() <= start_ms) in_flight.pop();
       while (in_flight.size() >= max_in_flight) {
         start_ms = std::max(start_ms, in_flight.top());
@@ -123,14 +175,39 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
       bucket_next_free_ms = start_ms + slot_ms;
       const ExchangeScript& script = scripts[request.item][request.message];
       outcome = play_exchange(*model_, config_.client, config_.faults, config_.resilience,
-                              script, plan.language, start_ms);
+                              script, plan.language, start_ms,
+                              trace != nullptr ? &timeline : nullptr);
       const double exchange_ms = outcome.total_wait_ms;  // service + backoffs
       finish_ms = start_ms + exchange_ms;
       breaker.record(outcome.ok, finish_ms);
+      note_breaker(finish_ms);
       in_flight.push(finish_ms);
       outcome.queue_wait_ms = start_ms - request.ready_ms;
       outcome.total_wait_ms = outcome.queue_wait_ms + exchange_ms;
       report.stats.serial_ms += exchange_ms;
+
+      if (trace != nullptr) {
+        const std::uint64_t lane = lanes.assign(start_ms, finish_ms);
+        const std::uint64_t span = trace->virtual_span(
+            "llm.request", request.ready_ms, finish_ms - request.ready_ms, batch_span_id,
+            request_key, lane,
+            {{"image_id", util::Json(batch[request.item].image_id)},
+             {"message", util::Json(request.message)},
+             {"attempts", util::Json(outcome.attempts)},
+             {"ok", util::Json(outcome.ok)},
+             {"queue_wait_ms", util::Json(start_ms - request.ready_ms)}});
+        if (start_ms > request.ready_ms) {
+          trace->virtual_span("queued", request.ready_ms, start_ms - request.ready_ms, span, 0,
+                              lane);
+        }
+        std::uint64_t child = 0;
+        for (const AttemptEvent& event : timeline) {
+          trace->virtual_span(attempt_event_name(event.kind), event.start_ms, event.dur_ms,
+                              span, ++child, lane, {{"ok", util::Json(event.ok)}});
+        }
+        occupancy_deltas.emplace_back(start_ms, +1);
+        occupancy_deltas.emplace_back(finish_ms, -1);
+      }
     }
     issued[request.item] = request.message + 1;
 
@@ -202,6 +279,29 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
                                         [](const ChatOutcome& o) { return !o.ok; });
     item.failed = item.aborted || any_failed || item.outcomes.size() < plan.messages.size();
     if (item.aborted) ++aborted_items;
+  }
+
+  if (trace != nullptr) {
+    trace->virtual_span("scheduler.batch", 0.0, report.stats.makespan_ms, 0, lane_base,
+                        lane_base,
+                        {{"model", util::Json(model_->profile().name)},
+                         {"items", util::Json(batch.size())},
+                         {"requests", util::Json(report.usage.requests)},
+                         {"aborted_items", util::Json(aborted_items)},
+                         {"lanes", util::Json(lanes.lanes_used())}});
+    // In-flight occupancy track: fold the admission/finish deltas into a
+    // step function, one sample per distinct virtual timestamp.
+    std::sort(occupancy_deltas.begin(), occupancy_deltas.end());
+    const std::string counter_name = "scheduler.in_flight/" + model_->profile().name;
+    int occupancy = 0;
+    for (std::size_t i = 0; i < occupancy_deltas.size();) {
+      const double at_ms = occupancy_deltas[i].first;
+      while (i < occupancy_deltas.size() && occupancy_deltas[i].first == at_ms) {
+        occupancy += occupancy_deltas[i].second;
+        ++i;
+      }
+      trace->virtual_counter(counter_name, at_ms, occupancy);
+    }
   }
 
   std::sort(queue_waits.begin(), queue_waits.end());

@@ -37,6 +37,7 @@
 #include "llm/prompt.hpp"
 #include "llm/vlm.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace neuro::llm {
 
@@ -50,6 +51,15 @@ struct SchedulerConfig {
   /// requests that would start at or after this virtual time are dropped
   /// and their items marked aborted (0 = run to completion).
   double abort_after_ms = 0.0;
+  /// When set (or a process-wide trace is active), the batch records
+  /// virtual-clock spans: one root span per batch, one span per admitted
+  /// request with queue-wait / attempt / backoff children, breaker state
+  /// transitions, and an in-flight occupancy counter. Not owned.
+  util::TraceRecorder* trace = nullptr;
+  /// First lane (exported tid) used for this batch's request spans; one
+  /// lane per in-flight slot. Ensemble members pick disjoint bases so
+  /// their requests render on separate tracks.
+  std::uint64_t trace_lane_base = 0;
 };
 
 /// One unit of batch work: interrogate one image with the shared plan.

@@ -5,6 +5,7 @@
 
 #include "util/mathx.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace neuro::scene {
 
@@ -189,6 +190,8 @@ StreetScene SceneSampler::sample(const Capture& capture, util::Rng& rng) const {
 std::vector<GeneratedCapture> generate_survey(const SamplingFrame& frame, std::size_t count,
                                               const GeneratorConfig& config, util::Rng& rng,
                                               std::size_t threads) {
+  util::ScopedSpan span(util::active_trace(), "scene.generate_survey");
+  span.arg("captures", util::Json(count));
   SceneSampler sampler(config);
   // One point per capture keeps images independent, matching the paper's
   // random selection of 1,200 images from many locations.

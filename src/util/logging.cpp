@@ -1,15 +1,28 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <stdexcept>
+
+#include "util/trace.hpp"
 
 namespace neuro::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_emit_mutex;
+
+using Clock = std::chrono::steady_clock;
+const Clock::time_point g_log_start = Clock::now();
+
+/// Small dense per-thread id (assignment order, not std::thread::id).
+int thread_index() {
+  static std::atomic<int> next{0};
+  thread_local const int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -38,9 +51,18 @@ LogLevel parse_log_level(const std::string& name) {
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (!log_enabled(level)) return;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - g_log_start).count();
+  const std::uint64_t span = current_span_id();
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (span != 0) {
+    std::fprintf(stderr, "[%s +%.3fms t%d s%016llx] %s\n", level_name(level), elapsed_ms,
+                 thread_index(), static_cast<unsigned long long>(span), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s +%.3fms t%d] %s\n", level_name(level), elapsed_ms, thread_index(),
+                 message.c_str());
+  }
 }
 }  // namespace detail
 

@@ -1,6 +1,13 @@
 #pragma once
 // Leveled stderr logging with a global threshold. Bench binaries default to
 // INFO; tests silence it.
+//
+// NEURO_LOG(level) is statement-shaped and guards on the threshold BEFORE
+// its stream arguments are evaluated, so silenced call sites pay one
+// atomic load, not string formatting. Emitted lines carry a monotonic
+// timestamp (ms since process start), a small per-thread id, and — when a
+// trace span is open on the calling thread — the current span id:
+//   [INFO +123.456ms t3 s1f2e99aa] trained 12 epochs
 
 #include <sstream>
 #include <string>
@@ -12,6 +19,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Set / get the process-wide minimum level that is emitted.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// True when `level` clears the current threshold (the NEURO_LOG guard).
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
 
 /// Parse "debug" / "info" / "warn" / "error" / "off"; throws on junk.
 LogLevel parse_log_level(const std::string& name);
@@ -41,4 +53,9 @@ class LogLine {
 
 }  // namespace neuro::util
 
-#define NEURO_LOG(level) ::neuro::util::LogLine(::neuro::util::LogLevel::level)
+// Statement-shaped so the else binds to our if: below-threshold levels
+// skip argument evaluation entirely.
+#define NEURO_LOG(level)                                                     \
+  if (!::neuro::util::log_enabled(::neuro::util::LogLevel::level)) { /* */   \
+  } else                                                                     \
+    ::neuro::util::LogLine(::neuro::util::LogLevel::level)

@@ -7,16 +7,6 @@
 
 namespace neuro::util {
 
-void Counter::add(std::uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  value_ += n;
-}
-
-std::uint64_t Counter::value() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return value_;
-}
-
 std::size_t Histogram::bucket_index(double value) {
   if (!(value > std::ldexp(1.0, kMinExp))) return 0;  // floor bucket (<=2^min, 0, NaN)
   const double position = std::log2(value) - kMinExp;
@@ -57,6 +47,10 @@ double Histogram::sum() const {
 
 double Histogram::quantile(double q) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(count_ - 1);
@@ -78,16 +72,15 @@ double Histogram::quantile(double q) const {
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    snap.count = count_;
-    snap.sum = sum_;
-    snap.min = min_;
-    snap.max = max_;
-  }
-  snap.p50 = quantile(0.50);
-  snap.p95 = quantile(0.95);
-  snap.p99 = quantile(0.99);
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.count = count_;
+  snap.has_samples = count_ > 0;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.p50 = quantile_locked(0.50);
+  snap.p95 = quantile_locked(0.95);
+  snap.p99 = quantile_locked(0.99);
   return snap;
 }
 
@@ -135,6 +128,7 @@ Json MetricsRegistry::to_json() const {
   for (const auto& [name, snap] : histogram_snapshots()) {
     Json entry = Json::object();
     entry["count"] = static_cast<std::int64_t>(snap.count);
+    entry["has_samples"] = snap.has_samples;
     entry["sum"] = snap.sum;
     entry["min"] = snap.min;
     entry["max"] = snap.max;

@@ -8,6 +8,7 @@
 // is thread-safe; the registry hands out stable references that live as
 // long as the registry, so hot paths pay one lookup, not one per event.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -20,20 +21,23 @@
 
 namespace neuro::util {
 
-/// Monotonic event counter.
+/// Monotonic event counter. Lock-free: the scheduler's hot path bumps
+/// counters per request, so adds are a single relaxed atomic RMW.
 class Counter {
  public:
-  void add(std::uint64_t n = 1);
-  std::uint64_t value() const;
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_acquire); }
 
  private:
-  mutable std::mutex mutex_;
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Point-in-time summary of a histogram.
+/// Point-in-time summary of a histogram. `min`/`max` are 0.0 when the
+/// histogram is empty; check `has_samples` to tell that apart from a
+/// genuine 0.0 observation.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
+  bool has_samples = false;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
@@ -51,6 +55,8 @@ class Histogram {
   /// Quantile in [0, 1]; linear interpolation inside the hit bucket.
   /// Returns 0 when empty.
   double quantile(double q) const;
+  /// Whole summary under a single lock acquisition (count, sum, min/max
+  /// and the three report quantiles are mutually consistent).
   HistogramSnapshot snapshot() const;
 
  private:
@@ -64,6 +70,7 @@ class Histogram {
 
   static std::size_t bucket_index(double value);
   static double bucket_lower(std::size_t index);
+  double quantile_locked(double q) const;  // callers hold mutex_
 
   mutable std::mutex mutex_;
   std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBucketCount, 0);

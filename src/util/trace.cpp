@@ -1,0 +1,508 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace neuro::util {
+
+namespace {
+
+// Recorder epochs distinguish instances that reuse one address, so the
+// thread-local buffer cache can never write into a dead recorder's slot.
+std::atomic<std::uint64_t> g_recorder_epoch{1};
+std::atomic<TraceRecorder*> g_active_trace{nullptr};
+
+struct ThreadCacheEntry {
+  const TraceRecorder* recorder = nullptr;
+  std::uint64_t epoch = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadCacheEntry t_buffer_cache;
+
+// The calling thread's stack of open wall spans (across recorders; spans
+// of different recorders simply do not parent each other).
+struct OpenSpanFrame {
+  const TraceRecorder* recorder = nullptr;
+  const ScopedSpan* span = nullptr;
+};
+thread_local std::vector<OpenSpanFrame> t_span_stack;
+
+std::uint64_t fold_name(std::string_view name) {
+  // FNV-1a over the bytes, then one mix round for avalanche.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h);
+}
+
+int pid_of(TraceClock clock) { return clock == TraceClock::kWall ? 1 : 2; }
+
+Json args_to_json(const std::vector<std::pair<std::string, Json>>& args) {
+  Json out = Json::object();
+  for (const auto& [key, value] : args) out[key] = value;
+  return out;
+}
+
+/// Span-tree node used for export ordering / structural re-timing.
+struct TreeNode {
+  const TraceEvent* event = nullptr;
+  std::vector<std::size_t> children;  // indices into the node vector
+};
+
+bool child_order(const TraceEvent* a, const TraceEvent* b) {
+  if (a->key != b->key) return a->key < b->key;
+  if (a->name != b->name) return a->name < b->name;
+  return a->id < b->id;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceConfig config)
+    : config_(config),
+      epoch_(g_recorder_epoch.fetch_add(1)),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (g_active_trace.load(std::memory_order_relaxed) == this) {
+    g_active_trace.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t TraceRecorder::derive_id(std::uint64_t parent, std::string_view name,
+                                       std::uint64_t key) {
+  std::uint64_t h = mix64(parent ^ 0x9E3779B97F4A7C15ULL);
+  h = mix64(h ^ fold_name(name));
+  h = mix64(h ^ key);
+  return h == 0 ? 1 : h;  // 0 is reserved for "no span"
+}
+
+double TraceRecorder::now_wall_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start_time_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  ThreadCacheEntry& cache = t_buffer_cache;
+  if (cache.recorder == this && cache.epoch == epoch_) {
+    return *static_cast<ThreadBuffer*>(cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = buffers_.back().get();
+  cache = {this, epoch_, buffer};
+  return *buffer;
+}
+
+void TraceRecorder::append(TraceEvent event) { local_buffer().events.push_back(std::move(event)); }
+
+std::uint64_t TraceRecorder::virtual_span(std::string name, double start_ms, double dur_ms,
+                                          std::uint64_t parent, std::uint64_t key,
+                                          std::uint64_t lane,
+                                          std::vector<std::pair<std::string, Json>> args) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSpan;
+  event.clock = TraceClock::kVirtual;
+  event.parent = parent;
+  event.key = key;
+  event.id = derive_id(parent, name, key);
+  event.lane = lane;
+  event.name = std::move(name);
+  event.ts_ms = start_ms;
+  event.dur_ms = dur_ms;
+  event.args = std::move(args);
+  const std::uint64_t id = event.id;
+  append(std::move(event));
+  return id;
+}
+
+void TraceRecorder::virtual_instant(std::string name, double at_ms, std::uint64_t parent,
+                                    std::uint64_t lane,
+                                    std::vector<std::pair<std::string, Json>> args) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kInstant;
+  event.clock = TraceClock::kVirtual;
+  event.parent = parent;
+  event.id = derive_id(parent, name, 0);
+  event.lane = lane;
+  event.name = std::move(name);
+  event.ts_ms = at_ms;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+void TraceRecorder::virtual_counter(std::string name, double at_ms, double value) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.clock = TraceClock::kVirtual;
+  event.name = std::move(name);
+  event.ts_ms = at_ms;
+  event.value = value;
+  append(std::move(event));
+}
+
+void TraceRecorder::wall_instant(std::string name,
+                                 std::vector<std::pair<std::string, Json>> args) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kInstant;
+  event.clock = TraceClock::kWall;
+  event.name = std::move(name);
+  event.ts_ms = now_wall_ms();
+  event.args = std::move(args);
+  // Attach to the innermost open span of this recorder, if any, so the
+  // instant sorts deterministically inside its parent.
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (it->recorder == this) {
+      event.parent = it->span->id();
+      event.key = it->span->next_child_key();
+      break;
+    }
+  }
+  event.id = derive_id(event.parent, event.name, event.key);
+  append(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::merged_events() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  merged.reserve(total);
+  for (const auto& buffer : buffers_) {
+    merged.insert(merged.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return merged;
+}
+
+Json TraceRecorder::to_json() const {
+  const std::vector<TraceEvent> events = merged_events();
+
+  // Split by clock domain; wall spans get tree-ordered (and, in
+  // deterministic mode, structurally re-timed).
+  std::vector<const TraceEvent*> wall;
+  std::vector<const TraceEvent*> virtual_events;
+  std::vector<const TraceEvent*> counters;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEvent::Kind::kCounter) {
+      counters.push_back(&event);
+    } else if (event.clock == TraceClock::kWall) {
+      wall.push_back(&event);
+    } else {
+      virtual_events.push_back(&event);
+    }
+  }
+
+  // Wall span forest: node per event, children ordered by (key, name, id).
+  std::map<std::uint64_t, std::size_t> index_of;  // span id -> node index
+  std::vector<TreeNode> nodes(wall.size());
+  for (std::size_t i = 0; i < wall.size(); ++i) {
+    nodes[i].event = wall[i];
+    if (wall[i]->kind == TraceEvent::Kind::kSpan) index_of.emplace(wall[i]->id, i);
+  }
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < wall.size(); ++i) {
+    const auto parent = index_of.find(wall[i]->parent);
+    if (wall[i]->parent != 0 && parent != index_of.end() && parent->second != i) {
+      nodes[parent->second].children.push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  const auto order = [&](std::vector<std::size_t>& ids) {
+    std::sort(ids.begin(), ids.end(),
+              [&](std::size_t a, std::size_t b) { return child_order(nodes[a].event, nodes[b].event); });
+  };
+  order(roots);
+  for (TreeNode& node : nodes) order(node.children);
+
+  Json trace_events = Json::array();
+  const auto meta = [&](int pid, const std::string& name, int sort_index) {
+    Json event = Json::object();
+    event["ph"] = "M";
+    event["pid"] = pid;
+    event["tid"] = 0;
+    event["name"] = "process_name";
+    Json args = Json::object();
+    args["name"] = name;
+    event["args"] = std::move(args);
+    trace_events.push_back(std::move(event));
+    Json sort = Json::object();
+    sort["ph"] = "M";
+    sort["pid"] = pid;
+    sort["tid"] = 0;
+    sort["name"] = "process_sort_index";
+    Json sort_args = Json::object();
+    sort_args["sort_index"] = sort_index;
+    sort["args"] = std::move(sort_args);
+    trace_events.push_back(std::move(sort));
+  };
+  meta(1, "wall clock", 1);
+  meta(2, "virtual time", 2);
+
+  const auto emit = [&](const TraceEvent& event, double ts_us, double dur_us) {
+    Json out = Json::object();
+    out["pid"] = pid_of(event.clock);
+    out["tid"] = static_cast<std::int64_t>(event.lane);
+    out["name"] = event.name;
+    out["cat"] = event.clock == TraceClock::kWall ? "wall" : "virtual";
+    out["ts"] = ts_us;
+    switch (event.kind) {
+      case TraceEvent::Kind::kSpan:
+        out["ph"] = "X";
+        out["dur"] = dur_us;
+        break;
+      case TraceEvent::Kind::kInstant:
+        out["ph"] = "i";
+        out["s"] = "t";
+        break;
+      case TraceEvent::Kind::kCounter: {
+        out["ph"] = "C";
+        Json args = Json::object();
+        args["value"] = event.value;
+        out["args"] = std::move(args);
+        trace_events.push_back(std::move(out));
+        return;
+      }
+    }
+    if (!event.args.empty()) out["args"] = args_to_json(event.args);
+    trace_events.push_back(std::move(out));
+  };
+
+  // Wall domain, depth-first. Deterministic mode swaps real timestamps
+  // for a structural clock (1 µs per tree edge) so the bytes cannot
+  // depend on scheduling; real durations remain in span_stats().
+  double tick = 0.0;
+  const std::function<void(std::size_t)> emit_wall = [&](std::size_t index) {
+    const TraceEvent& event = *nodes[index].event;
+    if (event.kind == TraceEvent::Kind::kInstant) {
+      emit(event, config_.deterministic ? tick++ : event.ts_ms * 1000.0, 0.0);
+      return;
+    }
+    if (!config_.deterministic) {
+      emit(event, event.ts_ms * 1000.0, event.dur_ms * 1000.0);
+      for (const std::size_t child : nodes[index].children) emit_wall(child);
+      return;
+    }
+    // Reserve the slot, recurse, then patch the duration in place.
+    const double ts = tick++;
+    const std::size_t slot = trace_events.as_array().size();
+    emit(event, ts, 0.0);
+    for (const std::size_t child : nodes[index].children) emit_wall(child);
+    trace_events.as_array()[slot]["dur"] = tick++ - ts;
+  };
+  for (const std::size_t root : roots) emit_wall(root);
+
+  // Virtual domain: timestamps are already deterministic; a total order
+  // keeps the serialization stable.
+  std::sort(virtual_events.begin(), virtual_events.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              if (a->ts_ms != b->ts_ms) return a->ts_ms < b->ts_ms;
+              if (a->dur_ms != b->dur_ms) return a->dur_ms > b->dur_ms;
+              if (a->lane != b->lane) return a->lane < b->lane;
+              if (a->name != b->name) return a->name < b->name;
+              return a->id < b->id;
+            });
+  for (const TraceEvent* event : virtual_events) {
+    emit(*event, event->ts_ms * 1000.0, event->dur_ms * 1000.0);
+  }
+
+  std::sort(counters.begin(), counters.end(), [](const TraceEvent* a, const TraceEvent* b) {
+    if (a->ts_ms != b->ts_ms) return a->ts_ms < b->ts_ms;
+    if (a->name != b->name) return a->name < b->name;
+    return a->value < b->value;
+  });
+  for (const TraceEvent* event : counters) emit(*event, event->ts_ms * 1000.0, 0.0);
+
+  Json root = Json::object();
+  root["displayTimeUnit"] = "ms";
+  root["traceEvents"] = std::move(trace_events);
+  return root;
+}
+
+std::string TraceRecorder::to_json_string() const { return to_json().dump(-1); }
+
+void TraceRecorder::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  const std::string text = to_json_string();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw std::runtime_error("trace: write failed: " + path);
+}
+
+std::vector<SpanStats> TraceRecorder::span_stats() const {
+  const std::vector<TraceEvent> events = merged_events();
+  // Child durations are subtracted from their parent's self time.
+  std::map<std::uint64_t, double> child_ms;  // parent id -> covered ms
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEvent::Kind::kSpan && event.parent != 0) {
+      child_ms[event.parent] += event.dur_ms;
+    }
+  }
+  std::map<std::pair<int, std::string>, SpanStats> by_name;
+  for (const TraceEvent& event : events) {
+    if (event.kind != TraceEvent::Kind::kSpan) continue;
+    SpanStats& stats = by_name[{pid_of(event.clock), event.name}];
+    stats.name = event.name;
+    stats.clock = event.clock;
+    stats.count += 1;
+    stats.total_ms += event.dur_ms;
+    stats.max_ms = std::max(stats.max_ms, event.dur_ms);
+    const auto covered = child_ms.find(event.id);
+    // Clamped at zero per span: concurrent children (parallel requests
+    // under a batch, a hedge overlapping its primary attempt) can cover
+    // more time than their parent's duration.
+    stats.self_ms +=
+        std::max(0.0, event.dur_ms - (covered != child_ms.end() ? covered->second : 0.0));
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [key, stats] : by_name) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::critical_path() const {
+  const std::vector<TraceEvent> events = merged_events();
+  std::vector<const TraceEvent*> spans;
+  for (const TraceEvent& event : events) {
+    // Zero-width spans (fast-fails, restored images) carry no schedulable
+    // work and would chain into a degenerate path.
+    if (event.kind == TraceEvent::Kind::kSpan && event.clock == TraceClock::kVirtual &&
+        event.dur_ms > 0.0) {
+      spans.push_back(&event);
+    }
+  }
+  std::vector<TraceEvent> path;
+  if (spans.empty()) return path;
+
+  const auto end_of = [](const TraceEvent* e) { return e->ts_ms + e->dur_ms; };
+  const TraceEvent* current = *std::max_element(
+      spans.begin(), spans.end(),
+      [&](const TraceEvent* a, const TraceEvent* b) { return end_of(a) < end_of(b); });
+  constexpr double kEps = 1e-9;
+  while (current != nullptr && path.size() < 64) {
+    path.push_back(*current);
+    const TraceEvent* predecessor = nullptr;
+    for (const TraceEvent* candidate : spans) {
+      if (candidate == current) continue;
+      if (end_of(candidate) > current->ts_ms + kEps) continue;  // still running
+      if (predecessor == nullptr || end_of(candidate) > end_of(predecessor) ||
+          (end_of(candidate) == end_of(predecessor) && candidate->id < predecessor->id)) {
+        predecessor = candidate;
+      }
+    }
+    current = predecessor;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// --- ScopedSpan ---
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, std::string name, std::uint64_t key) {
+  if (recorder == nullptr) return;
+  // Innermost open span of the same recorder on this thread is the parent.
+  std::uint64_t parent_id = 0;
+  const ScopedSpan* parent = nullptr;
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (it->recorder == recorder) {
+      parent = it->span;
+      parent_id = parent->id();
+      break;
+    }
+  }
+  const std::uint64_t resolved_key =
+      key != kAutoKey ? key
+                      : (parent != nullptr ? parent->next_child_key()
+                                           : recorder->root_sequence_.fetch_add(1));
+  open(recorder, std::move(name), parent_id, 0, resolved_key);
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, std::string name, const ScopedSpan& parent,
+                       std::uint64_t key) {
+  if (recorder == nullptr) return;
+  const std::uint64_t parent_id = parent.active() ? parent.id() : 0;
+  const std::uint64_t resolved_key =
+      key != kAutoKey ? key
+                      : (parent.active() ? parent.next_child_key()
+                                         : recorder->root_sequence_.fetch_add(1));
+  open(recorder, std::move(name), parent_id, 0, resolved_key);
+}
+
+void ScopedSpan::open(TraceRecorder* recorder, std::string name, std::uint64_t parent_id,
+                      std::uint64_t /*parent_key_source*/, std::uint64_t key) {
+  recorder_ = recorder;
+  name_ = std::move(name);
+  parent_ = parent_id;
+  key_ = key;
+  id_ = TraceRecorder::derive_id(parent_, name_, key_);
+  start_ms_ = recorder_->now_wall_ms();
+  t_span_stack.push_back({recorder_, this});
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  // Pop this span's frame (it is the innermost frame of this recorder on
+  // this thread; intervening frames of other recorders are preserved).
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (it->span == this) {
+      t_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSpan;
+  event.clock = TraceClock::kWall;
+  event.id = id_;
+  event.parent = parent_;
+  event.key = key_;
+  event.name = std::move(name_);
+  event.ts_ms = start_ms_;
+  event.dur_ms = recorder_->now_wall_ms() - start_ms_;
+  event.args = std::move(args_);
+  recorder_->append(std::move(event));
+}
+
+void ScopedSpan::arg(std::string key, Json value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(std::move(key), std::move(value));
+}
+
+// --- globals ---
+
+void set_active_trace(TraceRecorder* recorder) {
+  g_active_trace.store(recorder, std::memory_order_relaxed);
+}
+
+TraceRecorder* active_trace() { return g_active_trace.load(std::memory_order_relaxed); }
+
+TraceRecorder* resolve_trace(TraceRecorder* preferred) {
+  return preferred != nullptr ? preferred : active_trace();
+}
+
+std::uint64_t current_span_id() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back().span->id();
+}
+
+std::uint64_t LaneAssigner::assign(double start_ms, double end_ms) {
+  for (std::size_t i = 0; i < busy_until_.size(); ++i) {
+    if (busy_until_[i] <= start_ms) {
+      busy_until_[i] = end_ms;
+      return base_ + i;
+    }
+  }
+  busy_until_.push_back(end_ms);
+  return base_ + busy_until_.size() - 1;
+}
+
+}  // namespace neuro::util

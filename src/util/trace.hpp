@@ -1,0 +1,211 @@
+#pragma once
+// End-to-end tracing for the survey stack: per-thread lock-free span
+// buffers merged on flush, exported as Chrome trace-event JSON (loadable
+// in Perfetto / chrome://tracing) plus aggregated "top spans" statistics
+// for console reports.
+//
+// Two clock domains, exported as two Perfetto "processes":
+//  * kWall (pid 1)    — steady_clock time for the image / dataset /
+//    detector pipelines (RAII ScopedSpan).
+//  * kVirtual (pid 2) — the scheduler's virtual-time request lifecycle;
+//    callers pass explicit virtual-ms timestamps, so these spans replay
+//    bit-for-bit at any thread count.
+//
+// Span ids are deterministic: id = hash(parent id, name, key). Sequential
+// code gets an automatic per-parent sequence key; parallel regions MUST
+// pass a stable explicit key (the item index) so the id — and therefore
+// the exported trace — does not depend on scheduling order. With
+// TraceConfig::deterministic set, wall timestamps are additionally
+// replaced at flush time by a structural (tree-order) clock, making the
+// whole export byte-identical across runs and thread counts while the
+// console summary keeps the real wall durations.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace neuro::util {
+
+enum class TraceClock { kWall = 0, kVirtual = 1 };
+
+/// One recorded event. Spans carry [ts_ms, ts_ms + dur_ms]; instants a
+/// point; counters a sampled value.
+struct TraceEvent {
+  enum class Kind { kSpan, kInstant, kCounter };
+  Kind kind = Kind::kSpan;
+  TraceClock clock = TraceClock::kWall;
+  std::uint64_t id = 0;      // deterministic span id (0 for counters)
+  std::uint64_t parent = 0;  // enclosing span id (0 = root)
+  std::uint64_t key = 0;     // stable ordering key under the parent
+  std::uint64_t lane = 0;    // exported as tid
+  std::string name;
+  double ts_ms = 0.0;
+  double dur_ms = 0.0;
+  double value = 0.0;  // counters only
+  std::vector<std::pair<std::string, Json>> args;
+};
+
+struct TraceConfig {
+  /// Replace wall-clock timestamps with a structural clock at flush so
+  /// the exported JSON is byte-identical across runs and thread counts.
+  /// Virtual-clock spans are deterministic either way; console summaries
+  /// always report the real recorded wall durations.
+  bool deterministic = false;
+};
+
+/// Aggregated per-name span statistics (for the "top spans" table).
+struct SpanStats {
+  std::string name;
+  TraceClock clock = TraceClock::kWall;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;  // total minus time covered by child spans
+  double max_ms = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig config = {});
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  const TraceConfig& config() const { return config_; }
+
+  /// Deterministic span id derivation: hash of parent id, name and key.
+  static std::uint64_t derive_id(std::uint64_t parent, std::string_view name, std::uint64_t key);
+
+  // --- virtual-clock events (explicit timestamps, virtual ms) ---
+
+  /// Record a closed virtual-time span; returns its id for parenting.
+  std::uint64_t virtual_span(std::string name, double start_ms, double dur_ms,
+                             std::uint64_t parent = 0, std::uint64_t key = 0,
+                             std::uint64_t lane = 0,
+                             std::vector<std::pair<std::string, Json>> args = {});
+  void virtual_instant(std::string name, double at_ms, std::uint64_t parent = 0,
+                       std::uint64_t lane = 0,
+                       std::vector<std::pair<std::string, Json>> args = {});
+  /// Sampled counter track (e.g. scheduler in-flight occupancy).
+  void virtual_counter(std::string name, double at_ms, double value);
+
+  // --- wall-clock events (timestamps taken from steady_clock) ---
+
+  void wall_instant(std::string name, std::vector<std::pair<std::string, Json>> args = {});
+
+  /// Milliseconds since the recorder was created (wall clock).
+  double now_wall_ms() const;
+
+  // --- flush / export (quiescent-point operations: no concurrent
+  //     recording may be in flight) ---
+
+  /// Merged copy of every thread's events (recorded order per thread).
+  std::vector<TraceEvent> merged_events() const;
+  /// Chrome trace-event JSON document ({"traceEvents": [...], ...}).
+  Json to_json() const;
+  /// Compact serialization of to_json(); byte-identical across thread
+  /// counts when TraceConfig::deterministic is set and parallel spans use
+  /// explicit keys.
+  std::string to_json_string() const;
+  /// Write to_json_string() to a file; throws on I/O failure.
+  void write(const std::string& path) const;
+
+  /// Per-name aggregates sorted by total time, descending.
+  std::vector<SpanStats> span_stats() const;
+  /// Heuristic virtual-time critical path: walk back from the span with
+  /// the latest finish, at each step choosing the latest-finishing span
+  /// that ends at (or before) the current span's start. Returned in
+  /// chronological order.
+  std::vector<TraceEvent> critical_path() const;
+
+ private:
+  friend class ScopedSpan;
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer (lock-free after first touch).
+  ThreadBuffer& local_buffer();
+  void append(TraceEvent event);
+
+  TraceConfig config_;
+  std::uint64_t epoch_ = 0;  // distinguishes recorder instances at one address
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<std::uint64_t> root_sequence_{0};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII wall-clock span. Inert when the recorder is null. Parents to the
+/// calling thread's innermost open span unless an explicit parent is
+/// given (required when the parent was opened on another thread).
+/// `key` orders/identifies siblings: pass a stable value (item index)
+/// from parallel loops; kAutoKey assigns the parent's next sequence
+/// number (deterministic only for single-threaded creation).
+class ScopedSpan {
+ public:
+  static constexpr std::uint64_t kAutoKey = ~0ULL;
+
+  ScopedSpan() = default;  // inert
+  ScopedSpan(TraceRecorder* recorder, std::string name, std::uint64_t key = kAutoKey);
+  ScopedSpan(TraceRecorder* recorder, std::string name, const ScopedSpan& parent,
+             std::uint64_t key = kAutoKey);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a key/value annotation to the span.
+  void arg(std::string key, Json value);
+  std::uint64_t id() const { return id_; }
+  bool active() const { return recorder_ != nullptr; }
+  /// Next auto-assigned child key (used for instants inside the span).
+  std::uint64_t next_child_key() const { return child_sequence_.fetch_add(1); }
+
+ private:
+  void open(TraceRecorder* recorder, std::string name, std::uint64_t parent_id,
+            std::uint64_t parent_key_source, std::uint64_t key);
+
+  TraceRecorder* recorder_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t key_ = 0;
+  std::string name_;
+  double start_ms_ = 0.0;
+  mutable std::atomic<std::uint64_t> child_sequence_{0};
+  std::vector<std::pair<std::string, Json>> args_;
+};
+
+/// Process-wide active recorder: instrumented subsystems that have no
+/// natural config plumbing (journal I/O, scene generation) record here.
+/// Not owned; callers keep the recorder alive while it is active.
+void set_active_trace(TraceRecorder* recorder);
+TraceRecorder* active_trace();
+/// `preferred` when non-null, else the active recorder (may be null).
+TraceRecorder* resolve_trace(TraceRecorder* preferred);
+
+/// Id of the calling thread's innermost open wall span (0 when none).
+/// Stamped onto log lines by NEURO_LOG.
+std::uint64_t current_span_id();
+
+/// Greedy lane packer for virtual-time spans: assigns each [start, end)
+/// interval the lowest lane that is free at `start`, creating a new lane
+/// otherwise. Deterministic for a deterministic call sequence.
+class LaneAssigner {
+ public:
+  explicit LaneAssigner(std::uint64_t base = 0) : base_(base) {}
+  std::uint64_t assign(double start_ms, double end_ms);
+  std::size_t lanes_used() const { return busy_until_.size(); }
+
+ private:
+  std::uint64_t base_;
+  std::vector<double> busy_until_;
+};
+
+}  // namespace neuro::util

@@ -1,0 +1,135 @@
+// Trace determinism under chaos: an ensemble survey with scripted faults
+// exports the same Chrome-trace JSON byte-for-byte at any thread count,
+// the document is valid JSON with strictly nested request lifecycles, and
+// the per-image ensemble spans carry their degradation annotations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
+
+namespace neuro::core {
+namespace {
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+// One chaos ensemble run with tracing: outage on one member, corruption on
+// another, tail latency on the third, hedging + deadlines on top.
+std::string traced_chaos_run(const SurveyRunner& runner,
+                             const std::vector<const llm::VisionLanguageModel*>& members,
+                             std::size_t threads, util::TraceRecorder& trace) {
+  SurveyConfig config;
+  config.threads = threads;
+  llm::SchedulerConfig scheduler_config;
+  scheduler_config.trace = &trace;
+  scheduler_config.resilience.deadline_ms = 90000.0;
+  scheduler_config.resilience.hedge_after_ms = 6000.0;
+  const std::vector<llm::FaultPlan> faults = {
+      llm::FaultPlan::outage_window(5000.0, 1e12),
+      llm::FaultPlan::garbage(0.1, 0.1, 0.1, 0.1),
+      llm::FaultPlan::tail_spike(0.0, 60000.0, 4.0, 0.3),
+  };
+  runner.run_ensemble_batch(members, config, scheduler_config, faults);
+  return trace.to_json_string();
+}
+
+TEST(TraceChaos, ByteIdenticalValidAndStrictlyNestedAcrossThreadCounts) {
+  const data::Dataset dataset = small_dataset(24);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel gemini = runner.make_model(llm::gemini_1_5_pro_profile());
+  const llm::VisionLanguageModel claude = runner.make_model(llm::claude_3_7_profile());
+  const llm::VisionLanguageModel grok = runner.make_model(llm::grok_2_profile());
+  const std::vector<const llm::VisionLanguageModel*> members = {&gemini, &claude, &grok};
+
+  std::vector<std::string> exports;
+  util::TraceConfig trace_config;
+  trace_config.deterministic = true;
+  for (std::size_t threads : {1UL, 4UL, 16UL}) {
+    util::TraceRecorder trace(trace_config);
+    exports.push_back(traced_chaos_run(runner, members, threads, trace));
+
+    // Strict nesting: every virtual-clock child span lies inside its
+    // parent's [start, end] interval (fast-fails are zero-width points).
+    std::map<std::uint64_t, const util::TraceEvent*> by_id;
+    std::vector<util::TraceEvent> events = trace.merged_events();
+    for (const util::TraceEvent& event : events) {
+      if (event.kind == util::TraceEvent::Kind::kSpan &&
+          event.clock == util::TraceClock::kVirtual) {
+        by_id[event.id] = &event;
+      }
+    }
+    std::size_t nested = 0;
+    for (const util::TraceEvent& event : events) {
+      if (event.kind != util::TraceEvent::Kind::kSpan || event.parent == 0) continue;
+      if (event.clock != util::TraceClock::kVirtual) continue;
+      const auto parent = by_id.find(event.parent);
+      ASSERT_NE(parent, by_id.end()) << event.name << " orphaned";
+      EXPECT_GE(event.ts_ms, parent->second->ts_ms - 1e-6) << event.name;
+      EXPECT_LE(event.ts_ms + event.dur_ms,
+                parent->second->ts_ms + parent->second->dur_ms + 1e-6)
+          << event.name << " escapes " << parent->second->name;
+      ++nested;
+    }
+    EXPECT_GT(nested, 24U);  // at least the queued span of every request
+
+    // The chaos run exercised the interesting lifecycles.
+    std::map<std::string, std::size_t> span_count;
+    std::size_t degradation_annotated = 0;
+    for (const util::TraceEvent& event : events) {
+      if (event.kind == util::TraceEvent::Kind::kSpan) span_count[event.name]++;
+      if (event.name == "ensemble.image") {
+        bool has_voters = false, has_degraded = false;
+        for (const auto& [key, value] : event.args) {
+          if (key == "voters") has_voters = true;
+          if (key == "degraded") has_degraded = true;
+        }
+        if (has_voters && has_degraded) ++degradation_annotated;
+      }
+    }
+    EXPECT_EQ(span_count["scheduler.batch"], 3U);       // one per member
+    EXPECT_EQ(span_count["ensemble.image"], 24U);       // one per image
+    EXPECT_EQ(degradation_annotated, 24U);
+    EXPECT_GE(span_count["llm.request"], 3U * 24U);
+    EXPECT_GT(span_count["attempt"], 0U);
+  }
+
+  // Byte-identical exports at every thread count.
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+
+  // And a well-formed Chrome trace document: both clock-domain processes
+  // present, every event carrying the required fields.
+  const util::Json doc = util::Json::parse(exports[0]);
+  const util::Json* trace_events = doc.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  bool wall_process = false, virtual_process = false;
+  for (const util::Json& event : trace_events->as_array()) {
+    const std::string ph = event.get("ph", std::string());
+    ASSERT_FALSE(ph.empty());
+    if (ph == "M") {
+      if (event.get("pid", 0.0) == 1.0) wall_process = true;
+      if (event.get("pid", 0.0) == 2.0) virtual_process = true;
+      continue;
+    }
+    EXPECT_NE(event.find("ts"), nullptr);
+    EXPECT_FALSE(event.get("name", std::string()).empty());
+  }
+  EXPECT_TRUE(wall_process);
+  EXPECT_TRUE(virtual_process);
+}
+
+}  // namespace
+}  // namespace neuro::core

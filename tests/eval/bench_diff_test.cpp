@@ -1,0 +1,136 @@
+#include "eval/benchdiff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace neuro::eval {
+namespace {
+
+// Minimal google-benchmark document: iteration runs plus optional
+// aggregates, times in nanoseconds unless stated otherwise.
+util::Json bench_doc(std::initializer_list<std::pair<std::string, double>> runs) {
+  util::Json doc = util::Json::object();
+  util::Json benchmarks = util::Json::array();
+  for (const auto& [name, ns] : runs) {
+    util::Json entry = util::Json::object();
+    entry["name"] = name;
+    entry["run_name"] = name;
+    entry["run_type"] = "iteration";
+    entry["real_time"] = ns;
+    entry["time_unit"] = "ns";
+    benchmarks.push_back(std::move(entry));
+  }
+  doc["benchmarks"] = std::move(benchmarks);
+  return doc;
+}
+
+TEST(BenchDiff, IdenticalDocumentsHaveNoRegression) {
+  const util::Json doc = bench_doc({{"BM_A", 1e6}, {"BM_B", 5e5}});
+  const BenchDiffReport report = diff_benchmarks(doc, doc);
+  ASSERT_EQ(report.deltas.size(), 2U);
+  EXPECT_TRUE(report.only_baseline.empty());
+  EXPECT_TRUE(report.only_current.empty());
+  EXPECT_FALSE(report.has_regression(0.15));
+  EXPECT_DOUBLE_EQ(report.worst_delta(), 0.0);
+  EXPECT_DOUBLE_EQ(report.deltas[0].baseline_ms, 1.0);  // ns -> ms
+}
+
+TEST(BenchDiff, DetectsRegressionPastThresholdOnly) {
+  const util::Json baseline = bench_doc({{"BM_Slow", 1e6}, {"BM_Same", 1e6}, {"BM_Fast", 1e6}});
+  const util::Json current = bench_doc({{"BM_Slow", 1.3e6}, {"BM_Same", 1.1e6}, {"BM_Fast", 0.5e6}});
+  const BenchDiffReport report = diff_benchmarks(baseline, current);
+  ASSERT_EQ(report.deltas.size(), 3U);
+  const auto regressions = report.regressions(0.15);
+  ASSERT_EQ(regressions.size(), 1U);
+  EXPECT_EQ(regressions[0].name, "BM_Slow");
+  EXPECT_NEAR(regressions[0].delta(), 0.3, 1e-9);
+  EXPECT_NEAR(report.worst_delta(), 0.3, 1e-9);
+  // A tighter threshold also catches the +10%.
+  EXPECT_EQ(report.regressions(0.05).size(), 2U);
+}
+
+TEST(BenchDiff, ReportsDisappearedAndNewBenchmarks) {
+  const util::Json baseline = bench_doc({{"BM_Kept", 1e6}, {"BM_Removed", 1e6}});
+  const util::Json current = bench_doc({{"BM_Kept", 1e6}, {"BM_Added", 1e6}});
+  const BenchDiffReport report = diff_benchmarks(baseline, current);
+  ASSERT_EQ(report.deltas.size(), 1U);
+  EXPECT_EQ(report.deltas[0].name, "BM_Kept");
+  ASSERT_EQ(report.only_baseline.size(), 1U);
+  EXPECT_EQ(report.only_baseline[0], "BM_Removed");
+  ASSERT_EQ(report.only_current.size(), 1U);
+  EXPECT_EQ(report.only_current[0], "BM_Added");
+}
+
+TEST(BenchDiff, FilterRestrictsComparison) {
+  const util::Json baseline = bench_doc({{"BM_Dataset/1", 1e6}, {"BM_Window", 1e6}});
+  const util::Json current = bench_doc({{"BM_Dataset/1", 2e6}, {"BM_Window", 2e6}});
+  const BenchDiffReport report = diff_benchmarks(baseline, current, "Dataset");
+  ASSERT_EQ(report.deltas.size(), 1U);
+  EXPECT_EQ(report.deltas[0].name, "BM_Dataset/1");
+}
+
+TEST(BenchDiff, FilterSupportsAlternation) {
+  const util::Json doc =
+      bench_doc({{"BM_Dataset/1", 1e6}, {"BM_Window", 1e6}, {"BM_Other", 1e6}});
+  const BenchDiffReport report = diff_benchmarks(doc, doc, "Dataset|Window");
+  ASSERT_EQ(report.deltas.size(), 2U);
+  EXPECT_EQ(report.deltas[0].name, "BM_Dataset/1");
+  EXPECT_EQ(report.deltas[1].name, "BM_Window");
+}
+
+TEST(BenchDiff, MedianAggregateOverridesIterationRuns) {
+  // Repetition dumps list every repetition plus aggregates; the p50 gate
+  // must use the median aggregate, not whichever repetition came first.
+  util::Json doc = bench_doc({{"BM_Noisy", 9e6}});  // outlier repetition
+  util::Json median = util::Json::object();
+  median["name"] = "BM_Noisy_median";
+  median["run_name"] = "BM_Noisy";
+  median["run_type"] = "aggregate";
+  median["aggregate_name"] = "median";
+  median["real_time"] = 1e6;
+  median["time_unit"] = "ns";
+  doc["benchmarks"].push_back(std::move(median));
+
+  const auto entries = extract_benchmarks(doc);
+  ASSERT_EQ(entries.size(), 1U);
+  EXPECT_EQ(entries[0].name, "BM_Noisy");
+  EXPECT_DOUBLE_EQ(entries[0].baseline_ms, 1.0);
+}
+
+TEST(BenchDiff, ConvertsTimeUnits) {
+  util::Json doc = util::Json::object();
+  util::Json benchmarks = util::Json::array();
+  const std::pair<const char*, double> units[] = {
+      {"ns", 1e6}, {"us", 1e3}, {"ms", 1.0}, {"s", 1e-3}};
+  for (const auto& [unit, value] : units) {
+    util::Json entry = util::Json::object();
+    entry["name"] = std::string("BM_") + unit;
+    entry["run_type"] = "iteration";
+    entry["real_time"] = value;
+    entry["time_unit"] = unit;
+    benchmarks.push_back(std::move(entry));
+  }
+  doc["benchmarks"] = std::move(benchmarks);
+  for (const BenchDelta& entry : extract_benchmarks(doc)) {
+    EXPECT_DOUBLE_EQ(entry.baseline_ms, 1.0) << entry.name;
+  }
+}
+
+TEST(BenchDiff, ThrowsOnDocumentWithoutBenchmarks) {
+  EXPECT_THROW(extract_benchmarks(util::Json::object()), std::runtime_error);
+}
+
+TEST(BenchDiff, TableMarksRegressions) {
+  const util::Json baseline = bench_doc({{"BM_Slow", 1e6}, {"BM_Ok", 1e6}});
+  const util::Json current = bench_doc({{"BM_Slow", 2e6}, {"BM_Ok", 1e6}});
+  const BenchDiffReport report = diff_benchmarks(baseline, current);
+  const std::string table = bench_diff_table(report, 0.15).render();
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("+100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neuro::eval

@@ -1,0 +1,78 @@
+#include "eval/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace neuro::eval {
+namespace {
+
+TEST(ConfigDigest, StableAndOrderInsensitive) {
+  util::Json a = util::Json::object();
+  a["seed"] = 42.0;
+  a["images"] = 400.0;
+  util::Json b = util::Json::object();
+  b["images"] = 400.0;  // insertion order differs; map keys sort
+  b["seed"] = 42.0;
+  EXPECT_EQ(config_digest(a), config_digest(b));
+  EXPECT_EQ(config_digest(a).size(), 16U);
+
+  b["seed"] = 43.0;
+  EXPECT_NE(config_digest(a), config_digest(b));
+}
+
+TEST(RunManifestTest, RoundTripsThroughJson) {
+  RunManifest manifest;
+  manifest.tool = "county_survey";
+  manifest.seed = 42;
+  manifest.threads = 8;
+  manifest.total_seconds = 1.25;
+
+  util::Json config = util::Json::object();
+  config["images"] = 400.0;
+  manifest.set_config(config);
+  EXPECT_FALSE(manifest.digest.empty());
+  EXPECT_EQ(manifest.digest, config_digest(config));
+
+  util::MetricsRegistry metrics;
+  metrics.counter("llm.requests").add(7);
+  manifest.add_metrics(metrics);
+
+  util::TraceRecorder trace;
+  trace.virtual_span("scheduler.batch", 0.0, 100.0);
+  { util::ScopedSpan span(&trace, "dataset.build"); }
+  manifest.add_stages(trace);
+  ASSERT_EQ(manifest.stages.size(), 2U);
+
+  const RunManifest reloaded =
+      RunManifest::from_json(util::Json::parse(manifest.to_json().dump(2)));
+  EXPECT_EQ(reloaded.tool, "county_survey");
+  EXPECT_EQ(reloaded.git_describe, manifest.git_describe);
+  EXPECT_EQ(reloaded.seed, 42U);
+  EXPECT_EQ(reloaded.threads, 8U);
+  EXPECT_DOUBLE_EQ(reloaded.total_seconds, 1.25);
+  EXPECT_EQ(reloaded.digest, manifest.digest);
+  EXPECT_DOUBLE_EQ(reloaded.config.get("images", 0.0), 400.0);
+  ASSERT_EQ(reloaded.stages.size(), 2U);
+  // Sorted by total time, descending: the 100 ms virtual span leads.
+  EXPECT_EQ(reloaded.stages[0].name, "scheduler.batch");
+  EXPECT_EQ(reloaded.stages[0].clock, "virtual");
+  EXPECT_DOUBLE_EQ(reloaded.stages[0].total_ms, 100.0);
+  EXPECT_EQ(reloaded.stages[1].name, "dataset.build");
+  EXPECT_EQ(reloaded.stages[1].clock, "wall");
+
+  const util::Json* counters = reloaded.metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->get("llm.requests", 0.0), 7.0);
+}
+
+TEST(RunManifestTest, BuildVersionIsStamped) {
+  EXPECT_FALSE(build_version().empty());
+  RunManifest manifest;
+  EXPECT_EQ(manifest.git_describe, build_version());
+}
+
+}  // namespace
+}  // namespace neuro::eval

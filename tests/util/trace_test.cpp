@@ -1,0 +1,194 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace neuro::util {
+namespace {
+
+TEST(DeriveId, DeterministicAndKeySensitive) {
+  const std::uint64_t a = TraceRecorder::derive_id(0, "span", 0);
+  EXPECT_EQ(a, TraceRecorder::derive_id(0, "span", 0));
+  EXPECT_NE(a, TraceRecorder::derive_id(0, "span", 1));
+  EXPECT_NE(a, TraceRecorder::derive_id(0, "other", 0));
+  EXPECT_NE(a, TraceRecorder::derive_id(a, "span", 0));
+  EXPECT_NE(a, 0U);
+}
+
+TEST(ScopedSpanTrace, NestsUnderInnermostOpenSpan) {
+  TraceRecorder trace;
+  {
+    ScopedSpan outer(&trace, "outer");
+    ScopedSpan inner(&trace, "inner");
+    EXPECT_NE(outer.id(), inner.id());
+    EXPECT_EQ(current_span_id(), inner.id());
+  }
+  EXPECT_EQ(current_span_id(), 0U);
+
+  const std::vector<TraceEvent> events = trace.merged_events();
+  ASSERT_EQ(events.size(), 2U);
+  // Spans close inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].parent, events[1].id);
+  EXPECT_EQ(events[1].parent, 0U);
+}
+
+TEST(ScopedSpanTrace, InertWithoutRecorder) {
+  ScopedSpan span(nullptr, "ignored");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0U);
+  EXPECT_EQ(current_span_id(), 0U);
+}
+
+TEST(ScopedSpanTrace, ExplicitKeysGiveThreadCountIndependentIds) {
+  const auto run = [](std::size_t threads) {
+    TraceRecorder trace;
+    {
+      ThreadPool pool(threads);
+      pool.parallel_for(16, [&](std::size_t i) { ScopedSpan span(&trace, "item", i); });
+    }
+    std::vector<std::uint64_t> ids;
+    for (const TraceEvent& event : trace.merged_events()) ids.push_back(event.id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(LaneAssignerTest, PacksLowestFreeLane) {
+  LaneAssigner lanes(10);
+  EXPECT_EQ(lanes.assign(0.0, 5.0), 10U);   // first lane
+  EXPECT_EQ(lanes.assign(1.0, 3.0), 11U);   // overlaps -> new lane
+  EXPECT_EQ(lanes.assign(3.0, 4.0), 11U);   // lane 11 free at t=3
+  EXPECT_EQ(lanes.assign(4.0, 6.0), 11U);
+  EXPECT_EQ(lanes.assign(5.0, 7.0), 10U);   // lane 10 free again
+  EXPECT_EQ(lanes.lanes_used(), 2U);
+}
+
+TEST(SpanStatsTest, SelfTimeSubtractsChildrenAndClampsAtZero) {
+  TraceRecorder trace;
+  const std::uint64_t parent = trace.virtual_span("parent", 0.0, 10.0);
+  trace.virtual_span("child", 0.0, 4.0, parent, 0);
+  trace.virtual_span("child", 4.0, 2.0, parent, 1);
+  // Overlapping children can cover more than their parent's duration; the
+  // parent's self time clamps at zero instead of going negative.
+  const std::uint64_t busy = trace.virtual_span("busy", 20.0, 5.0);
+  trace.virtual_span("child", 20.0, 5.0, busy, 2);
+  trace.virtual_span("child", 20.0, 5.0, busy, 3);
+
+  double parent_self = -1.0, busy_self = -1.0, child_total = 0.0;
+  for (const SpanStats& stats : trace.span_stats()) {
+    if (stats.name == "parent") parent_self = stats.self_ms;
+    if (stats.name == "busy") busy_self = stats.self_ms;
+    if (stats.name == "child") child_total = stats.total_ms;
+  }
+  EXPECT_DOUBLE_EQ(parent_self, 4.0);
+  EXPECT_DOUBLE_EQ(busy_self, 0.0);
+  EXPECT_DOUBLE_EQ(child_total, 16.0);
+}
+
+TEST(CriticalPathTest, WalksBackFromLatestFinish) {
+  TraceRecorder trace;
+  trace.virtual_span("a", 0.0, 4.0);
+  trace.virtual_span("parallel", 0.0, 2.0);
+  trace.virtual_span("b", 4.0, 6.0);
+  trace.virtual_span("c", 10.0, 5.0);
+
+  const std::vector<TraceEvent> path = trace.critical_path();
+  ASSERT_EQ(path.size(), 3U);
+  EXPECT_EQ(path[0].name, "a");
+  EXPECT_EQ(path[1].name, "b");
+  EXPECT_EQ(path[2].name, "c");
+}
+
+TEST(TraceExport, ChromeFormatWithDualClockProcesses) {
+  TraceRecorder trace;
+  {
+    ScopedSpan wall(&trace, "wall.stage");
+    wall.arg("items", Json(3.0));
+  }
+  const std::uint64_t request = trace.virtual_span("llm.request", 0.0, 12.5, 0, 0, 7);
+  trace.virtual_instant("retry", 6.0, request, 7);
+  trace.virtual_counter("in_flight", 0.0, 1.0);
+  trace.virtual_counter("in_flight", 12.5, 0.0);
+
+  const Json doc = Json::parse(trace.to_json_string());
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  bool saw_wall = false, saw_virtual = false, saw_instant = false, saw_counter = false;
+  for (const Json& event : events->as_array()) {
+    const std::string ph = event.get("ph", std::string());
+    if (ph == "M") continue;  // process metadata
+    if (ph == "X" && event.get("pid", 0.0) == 1.0) saw_wall = true;
+    if (ph == "X" && event.get("pid", 0.0) == 2.0) {
+      saw_virtual = true;
+      EXPECT_EQ(event.get("tid", 0.0), 7.0);
+      EXPECT_DOUBLE_EQ(event.get("dur", 0.0), 12500.0);  // us
+    }
+    if (ph == "i") saw_instant = true;
+    if (ph == "C") saw_counter = true;
+  }
+  EXPECT_TRUE(saw_wall);
+  EXPECT_TRUE(saw_virtual);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(TraceExport, DeterministicModeIsByteIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    TraceConfig config;
+    config.deterministic = true;
+    TraceRecorder trace(config);
+    {
+      ScopedSpan root(&trace, "root");
+      ThreadPool pool(threads);
+      pool.parallel_for(12, [&](std::size_t i) {
+        ScopedSpan span(&trace, "item", root, i);
+        span.arg("index", Json(static_cast<double>(i)));
+      });
+    }
+    trace.virtual_span("virtual.request", 1.0, 2.0, 0, 0, 1);
+    return trace.to_json_string();
+  };
+  const std::string single = run(1);
+  EXPECT_EQ(single, run(4));
+  EXPECT_EQ(single, run(16));
+}
+
+TEST(ActiveTrace, ResolvePrefersExplicitRecorder) {
+  TraceRecorder preferred;
+  TraceRecorder active;
+  EXPECT_EQ(resolve_trace(nullptr), nullptr);
+  set_active_trace(&active);
+  EXPECT_EQ(resolve_trace(nullptr), &active);
+  EXPECT_EQ(resolve_trace(&preferred), &preferred);
+  set_active_trace(nullptr);
+  EXPECT_EQ(resolve_trace(nullptr), nullptr);
+}
+
+TEST(LoggingGuard, SilencedLevelsSkipArgumentEvaluation) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  NEURO_LOG(kInfo) << "side effect " << evaluations++;
+  EXPECT_EQ(evaluations, 0);
+  // Dangling-else safety: the macro must bind cleanly inside bare if/else.
+  if (evaluations == 0)
+    NEURO_LOG(kDebug) << "still silenced " << evaluations++;
+  else
+    NEURO_LOG(kError) << "wrong branch " << evaluations++;
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace neuro::util
