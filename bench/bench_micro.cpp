@@ -7,15 +7,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "core/survey.hpp"
 #include "data/builder.hpp"
 #include "detect/detector.hpp"
 #include "image/noise.hpp"
 #include "llm/ensemble.hpp"
+#include "util/recordlog.hpp"
 
 using namespace neuro;
 
@@ -187,6 +192,61 @@ BENCHMARK(BM_SchedulerChaos)
     ->Arg(2)
     ->ArgName("scenario")
     ->Unit(benchmark::kMillisecond);
+
+// Durable checkpointing: the per-image cost of framing one journal entry
+// and appending its CRC32 frame to the on-disk record log — what a
+// `--journal` survey pays per answered image.
+void BM_JournalAppend(benchmark::State& state) {
+  namespace stdfs = std::filesystem;
+  const stdfs::path dir =
+      stdfs::temp_directory_path() / ("neuro_bench_journal_" + std::to_string(::getpid()));
+  stdfs::create_directories(dir);
+  const std::string path = (dir / "journal.nrlg").string();
+  util::Fsx& fs = util::Fsx::real();
+
+  core::JournalEntry entry;
+  entry.prediction.set(scene::Indicator::kSidewalk, true);
+  entry.answered_questions = 6;
+  util::recordlog_create(fs, path);
+  std::size_t appended = 0;
+  std::uint64_t image_id = 0;
+  for (auto _ : state) {
+    util::recordlog_append(
+        fs, path,
+        core::SurveyJournal::encode_entry("gemini-1.5-pro/" + std::to_string(++image_id), entry));
+    // Reset periodically so the log (and the filesystem cache footprint)
+    // stays bounded no matter how many iterations the harness picks.
+    if (++appended == 8192) {
+      state.PauseTiming();
+      util::recordlog_create(fs, path);
+      appended = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  stdfs::remove_all(dir);
+}
+BENCHMARK(BM_JournalAppend);
+
+// Crash-recovery cost: replaying an N-entry checkpoint log (CRC check per
+// frame + entry decode) — what a resumed survey pays at startup.
+void BM_RecordLogReplay(benchmark::State& state) {
+  const std::size_t entries = static_cast<std::size_t>(state.range(0));
+  core::SurveyJournal journal;
+  core::JournalEntry entry;
+  entry.prediction.set(scene::Indicator::kPowerline, true);
+  entry.answered_questions = 6;
+  for (std::size_t i = 0; i < entries; ++i) journal.record("gemini-1.5-pro", i, entry);
+  const std::string bytes = journal.serialize_log();
+
+  for (auto _ : state) {
+    const util::RecordLogReplay replay = util::recordlog_replay(bytes);
+    benchmark::DoNotOptimize(replay.records);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(entries));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_RecordLogReplay)->Arg(64)->Arg(1024)->ArgName("entries");
 
 void BM_MajorityVote(benchmark::State& state) {
   std::vector<scene::PresenceVector> votes(3);

@@ -14,7 +14,10 @@
 //   --hedge MS            hedge a second attempt after MS (0 = off)
 //   --abort-after MS      abort the batch at virtual time MS (0 = off)
 //   --journal PATH        checkpoint/resume file: completed images are
-//                         restored without re-spending tokens
+//                         restored without re-spending tokens. Written as a
+//                         CRC32-framed record log via atomic temp+rename; a
+//                         corrupt/torn checkpoint recovers its valid prefix
+//                         and only the dropped tail is re-surveyed
 //
 // Observability:
 //   --trace PATH          write a Chrome trace-event JSON (Perfetto /
@@ -37,6 +40,7 @@
 #include "eval/manifest.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
+#include "util/fsx.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -73,7 +77,9 @@ int main(int argc, char** argv) {
   cli.add_double("deadline", 0.0, "per-request deadline budget in virtual ms (0 = off)");
   cli.add_double("hedge", 0.0, "hedge a second attempt after this many ms (0 = off)");
   cli.add_double("abort-after", 0.0, "abort the usage batch at this virtual time (0 = off)");
-  cli.add_string("journal", "", "checkpoint/resume journal file for the usage batch");
+  cli.add_string("journal", "",
+                 "checkpoint/resume journal file for the usage batch (CRC32 record log, "
+                 "atomic save; a torn/corrupt checkpoint recovers its valid prefix)");
   cli.add_string("trace", "", "write a Perfetto-loadable Chrome trace to this file");
   cli.add_string("manifest", "", "write a run-provenance manifest to this file");
   if (!cli.parse(argc, argv)) return 0;
@@ -195,14 +201,24 @@ int main(int argc, char** argv) {
   // restored for free; successes from this run are recorded back. Keys
   // carry the model name, so one file checkpoints all three members —
   // each member works on a copy and the copies merge back on save.
+  // Recovery semantics: the checkpoint is a CRC32-framed record log, so a
+  // crash mid-save (or bit rot) costs at most the torn tail — every frame
+  // with a valid CRC is restored and only the truncated remainder is
+  // re-surveyed. Unreadable/legacy-garbage files start fresh.
   const std::string journal_path = cli.get_string("journal");
   std::vector<core::SurveyJournal> journals;
   if (!journal_path.empty()) {
     core::SurveyJournal loaded;
     try {
-      loaded = core::SurveyJournal::load(journal_path);
-      std::printf("\nresuming from %s (%zu model-image entries)\n", journal_path.c_str(),
-                  loaded.size());
+      core::JournalRecovery recovery;
+      loaded = core::SurveyJournal::load(journal_path, util::Fsx::real(), &recovery);
+      std::printf("\nresuming from %s (%zu model-image entries%s)\n", journal_path.c_str(),
+                  loaded.size(), recovery.legacy_json ? ", legacy JSON checkpoint" : "");
+      if (!recovery.clean) {
+        std::printf("  recovered from corrupt checkpoint: dropped %zu tail bytes (%s); "
+                    "the affected images will be re-surveyed\n",
+                    recovery.dropped_bytes, recovery.detail.c_str());
+      }
     } catch (const std::exception&) {
       std::printf("\nstarting a fresh journal at %s\n", journal_path.c_str());
     }

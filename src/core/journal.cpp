@@ -1,5 +1,6 @@
 #include "core/journal.hpp"
 
+#include "util/recordlog.hpp"
 #include "util/strings.hpp"
 #include "util/trace.hpp"
 
@@ -75,16 +76,100 @@ void SurveyJournal::merge(const SurveyJournal& other) {
   for (const auto& [k, entry] : other.entries_) entries_[k] = entry;
 }
 
-void SurveyJournal::save(const std::string& path) const {
-  util::ScopedSpan span(util::active_trace(), "journal.save");
-  span.arg("entries", util::Json(entries_.size()));
-  util::save_json_file(path, to_json());
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
 }
 
-SurveyJournal SurveyJournal::load(const std::string& path) {
+std::uint32_t get_u32(std::string_view bytes, std::size_t pos) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 3])) << 24;
+}
+
+}  // namespace
+
+std::string SurveyJournal::encode_entry(const std::string& key, const JournalEntry& entry) {
+  std::string payload;
+  payload.reserve(12 + key.size());
+  put_u32(payload, static_cast<std::uint32_t>(key.size()));
+  payload.append(key);
+  put_u32(payload, static_cast<std::uint32_t>(to_mask(entry.prediction)));
+  put_u32(payload, static_cast<std::uint32_t>(entry.answered_questions));
+  return payload;
+}
+
+bool SurveyJournal::decode_entry(std::string_view payload, std::string& key,
+                                 JournalEntry& entry) {
+  if (payload.size() < 12) return false;
+  const std::uint32_t key_len = get_u32(payload, 0);
+  if (payload.size() != 12 + static_cast<std::size_t>(key_len)) return false;
+  key.assign(payload.substr(4, key_len));
+  entry.prediction = from_mask(static_cast<int>(get_u32(payload, 4 + key_len)));
+  entry.answered_questions = static_cast<int>(get_u32(payload, 8 + key_len));
+  return true;
+}
+
+std::string SurveyJournal::serialize_log() const {
+  std::string out = util::recordlog_header();
+  for (const auto& [k, entry] : entries_) out += util::recordlog_frame(encode_entry(k, entry));
+  return out;
+}
+
+void SurveyJournal::save(const std::string& path, util::Fsx& fs) const {
+  util::ScopedSpan span(util::active_trace(), "journal.save");
+  span.arg("entries", util::Json(entries_.size()));
+  util::atomic_write_file(fs, path, serialize_log());
+}
+
+SurveyJournal SurveyJournal::load(const std::string& path, util::Fsx& fs,
+                                  JournalRecovery* recovery) {
   util::ScopedSpan span(util::active_trace(), "journal.load");
-  SurveyJournal journal = from_json(util::load_json_file(path));
+  const std::string bytes = fs.read_file(path);
+  JournalRecovery local;
+  SurveyJournal journal;
+  if (util::recordlog_has_magic(bytes)) {
+    const util::RecordLogReplay replay = util::recordlog_replay(bytes);
+    for (const std::string& payload : replay.records) {
+      std::string k;
+      JournalEntry entry;
+      if (decode_entry(payload, k, entry)) {
+        journal.entries_[std::move(k)] = entry;
+      } else {
+        ++local.dropped_records;  // valid CRC, alien payload: do not trust
+      }
+    }
+    local.clean = replay.clean && local.dropped_records == 0;
+    local.dropped_bytes = replay.dropped_bytes;
+    local.detail = replay.error;
+  } else if (const std::string header = util::recordlog_header();
+             bytes.size() < header.size() &&
+             bytes == std::string_view(header).substr(0, bytes.size())) {
+    // Torn mid-header: the crash landed before the magic was durable
+    // (this includes an empty file). Nothing to recover, nothing to trust.
+    local.clean = false;
+    local.dropped_bytes = bytes.size();
+    local.detail = "torn record-log header";
+  } else {
+    // Pre-record-log checkpoint: parse as JSON (throws on garbage — a
+    // legacy file has no frame structure to recover a prefix from).
+    journal = from_json(util::Json::parse(bytes));
+    local.legacy_json = true;
+  }
+  local.entries = journal.size();
   span.arg("entries", util::Json(journal.size()));
+  if (!local.clean && util::active_trace() != nullptr) {
+    util::active_trace()->wall_instant(
+        "journal.recovery_truncated",
+        {{"dropped_bytes", util::Json(local.dropped_bytes)},
+         {"detail", util::Json(local.detail)}});
+  }
+  if (recovery != nullptr) *recovery = local;
   return journal;
 }
 

@@ -3,14 +3,16 @@
 // batch from re-spending tokens. Every image a model finishes successfully
 // is recorded as (model, image id) -> parsed prediction; a resumed
 // run_client_batch consults the journal first and only issues requests for
-// the images that are missing. Serializes to JSON so a long survey can be
-// checkpointed to disk between processes.
+// the images that are missing. Checkpoints to disk as a CRC32-framed
+// record log (atomic temp + rename; legacy JSON checkpoints still load) so
+// a long survey survives crashes between processes.
 
 #include <cstdint>
 #include <map>
 #include <string>
 
 #include "scene/indicators.hpp"
+#include "util/fsx.hpp"
 #include "util/json.hpp"
 
 namespace neuro::core {
@@ -20,6 +22,19 @@ namespace neuro::core {
 struct JournalEntry {
   scene::PresenceVector prediction;
   int answered_questions = 0;
+};
+
+/// How a checkpoint load went: entries restored from CRC-valid frames,
+/// plus whatever had to be dropped. A non-clean recovery is not an error —
+/// the valid prefix is trusted (its CRCs proved integrity) and the torn /
+/// corrupt tail is truncated so the resume retries exactly those images.
+struct JournalRecovery {
+  std::size_t entries = 0;          // restored from valid frames
+  std::size_t dropped_records = 0;  // CRC-valid frames with undecodable payload
+  std::size_t dropped_bytes = 0;    // torn/corrupt tail bytes truncated
+  bool clean = true;                // false when any tail was dropped
+  bool legacy_json = false;         // checkpoint predates the record log
+  std::string detail;               // why the frame scan stopped, when !clean
 };
 
 class SurveyJournal {
@@ -37,8 +52,32 @@ class SurveyJournal {
 
   util::Json to_json() const;
   static SurveyJournal from_json(const util::Json& json);
-  void save(const std::string& path) const;
-  static SurveyJournal load(const std::string& path);
+
+  /// Checkpoint to disk as a CRC32-framed record log (one frame per
+  /// entry), written atomically via temp + rename: a crash mid-save leaves
+  /// either the previous checkpoint or the complete new one, never a torn
+  /// mix. `fs` is the injection seam for crash-point sweeps.
+  void save(const std::string& path, util::Fsx& fs = util::Fsx::real()) const;
+
+  /// Load a checkpoint. Record logs replay with truncate-at-first-bad-
+  /// frame semantics (every CRC-valid frame is restored, a torn or
+  /// bit-flipped tail is dropped); files that don't carry the log magic
+  /// fall back to the legacy JSON format. `recovery`, when given, reports
+  /// what was restored vs dropped. Throws only when the file cannot be
+  /// read or a legacy file fails to parse.
+  static SurveyJournal load(const std::string& path, util::Fsx& fs = util::Fsx::real(),
+                            JournalRecovery* recovery = nullptr);
+
+  /// The serialized record-log image `save` writes — exposed so tests can
+  /// assert byte-identity between recovered-and-resumed and uninterrupted
+  /// checkpoints.
+  std::string serialize_log() const;
+
+  /// Incremental checkpointing: frame one entry for recordlog_append, and
+  /// decode it back. decode returns false (never throws) on a payload that
+  /// is not a valid entry frame.
+  static std::string encode_entry(const std::string& key, const JournalEntry& entry);
+  static bool decode_entry(std::string_view payload, std::string& key, JournalEntry& entry);
 
  private:
   static std::string key(const std::string& model, std::uint64_t image_id);

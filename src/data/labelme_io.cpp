@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "image/ppm_io.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace neuro::data {
@@ -42,6 +43,40 @@ util::Json to_labelme_json(const LabeledImage& image, const std::string& image_p
   return doc;
 }
 
+std::string validate_labelme_json(const util::Json& doc) {
+  if (!doc.is_object()) return "root is not an object";
+  const util::Json* shapes = doc.find("shapes");
+  if (shapes == nullptr) return "missing 'shapes'";
+  if (!shapes->is_array()) return "'shapes' is not an array";
+  if (const util::Json* image_path = doc.find("imagePath");
+      image_path != nullptr && !image_path->is_string() && !image_path->is_null()) {
+    return "'imagePath' is not a string";
+  }
+  for (const char* field : {"imageWidth", "imageHeight"}) {
+    if (const util::Json* dim = doc.find(field); dim != nullptr && !dim->is_number()) {
+      return std::string("'") + field + "' is not a number";
+    }
+  }
+  std::size_t index = 0;
+  for (const util::Json& shape : shapes->as_array()) {
+    const std::string at = "shapes[" + std::to_string(index++) + "]";
+    if (!shape.is_object()) return at + " is not an object";
+    if (const util::Json* label = shape.find("label"); label != nullptr && !label->is_string()) {
+      return at + ".label is not a string";
+    }
+    const util::Json* points = shape.find("points");
+    if (points == nullptr) return at + " missing 'points'";
+    if (!points->is_array()) return at + ".points is not an array";
+    for (const util::Json& point : points->as_array()) {
+      if (!point.is_array() || point.size() < 2) return at + " has a malformed point";
+      for (std::size_t c = 0; c < 2; ++c) {
+        if (!point.as_array()[c].is_number()) return at + " has a non-numeric coordinate";
+      }
+    }
+  }
+  return std::string();
+}
+
 LabeledImage from_labelme_json(const util::Json& doc) {
   LabeledImage image;
   const util::Json* shapes = doc.find("shapes");
@@ -61,8 +96,10 @@ LabeledImage from_labelme_json(const util::Json& doc) {
     float max_y = std::numeric_limits<float>::lowest();
     for (const util::Json& point : points->as_array()) {
       if (!point.is_array() || point.size() < 2) continue;
-      const auto x = static_cast<float>(point.as_array()[0].as_number());
-      const auto y = static_cast<float>(point.as_array()[1].as_number());
+      const util::JsonArray& coords = point.as_array();
+      if (!coords[0].is_number() || !coords[1].is_number()) continue;
+      const auto x = static_cast<float>(coords[0].as_number());
+      const auto y = static_cast<float>(coords[1].as_number());
       min_x = std::min(min_x, x);
       min_y = std::min(min_y, y);
       max_x = std::max(max_x, x);
@@ -75,19 +112,48 @@ LabeledImage from_labelme_json(const util::Json& doc) {
   return image;
 }
 
-void export_labelme_dataset(const Dataset& dataset, const std::string& directory) {
-  fs::create_directories(directory);
+void export_labelme_dataset(const Dataset& dataset, const std::string& directory,
+                            util::Fsx& fsx) {
+  fsx.create_directories(directory);
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     const LabeledImage& image = dataset[i];
     const std::string stem = util::format("img_%06llu", static_cast<unsigned long long>(image.id));
     const std::string ppm_name = stem + ".ppm";
-    image::save_ppm(image.image, (fs::path(directory) / ppm_name).string());
-    util::save_json_file((fs::path(directory) / (stem + ".json")).string(),
+    image::save_ppm(image.image, (fs::path(directory) / ppm_name).string(), fsx);
+    util::save_json_file(fsx, (fs::path(directory) / (stem + ".json")).string(),
                          to_labelme_json(image, ppm_name));
   }
 }
 
-Dataset import_labelme_dataset(const std::string& directory) {
+namespace {
+
+/// Move a bad record out of the dataset directory so reruns don't trip
+/// over it again, and account for it. Deleting would destroy the evidence;
+/// quarantine keeps it inspectable.
+void quarantine_file(const fs::path& path, const std::string& why,
+                     const ImportOptions& options, util::Fsx& fsx, ImportReport& report) {
+  report.quarantined += 1;
+  report.quarantined_files.push_back(path.string());
+  report.errors.push_back(why);
+  if (options.metrics != nullptr) options.metrics->counter("data.quarantined").add();
+  NEURO_LOG(kWarn) << "labelme: quarantining " << path.string() << ": " << why;
+  if (!options.quarantine) return;
+  const fs::path quarantine_dir = path.parent_path() / "quarantine";
+  fsx.create_directories(quarantine_dir.string());
+  try {
+    fsx.rename_file(path.string(), (quarantine_dir / path.filename()).string());
+  } catch (const util::FsxError&) {
+    // Quarantine is best-effort bookkeeping: failing to move the file must
+    // not fail the import that already survived the bad record.
+  }
+}
+
+}  // namespace
+
+Dataset import_labelme_dataset(const std::string& directory, const ImportOptions& options,
+                               ImportReport* report) {
+  util::Fsx& fsx = options.fs != nullptr ? *options.fs : util::Fsx::real();
+  ImportReport local;
   Dataset dataset;
   std::vector<fs::path> json_files;
   for (const auto& entry : fs::directory_iterator(directory)) {
@@ -96,12 +162,32 @@ Dataset import_labelme_dataset(const std::string& directory) {
   std::sort(json_files.begin(), json_files.end());
 
   for (const fs::path& json_path : json_files) {
-    const util::Json doc = util::load_json_file(json_path.string());
+    util::Json doc;
+    try {
+      doc = util::load_json_file(fsx, json_path.string());
+    } catch (const std::exception& e) {
+      // Unreadable or unparseable (truncated write, bit rot, not JSON).
+      quarantine_file(json_path, e.what(), options, fsx, local);
+      continue;
+    }
+    if (const std::string defect = validate_labelme_json(doc); !defect.empty()) {
+      quarantine_file(json_path, defect, options, fsx, local);
+      continue;
+    }
+
     LabeledImage image = from_labelme_json(doc);
     const std::string image_rel = doc.get("imagePath", std::string());
     if (!image_rel.empty()) {
       const fs::path image_path = json_path.parent_path() / image_rel;
-      if (fs::exists(image_path)) image.image = image::load_ppm(image_path.string());
+      if (fsx.exists(image_path.string())) {
+        try {
+          image.image = image::load_ppm(image_path.string(), fsx);
+        } catch (const std::exception& e) {
+          // Corrupt pixels: quarantine the ppm, keep the annotations (the
+          // LLM path reads annotations, not pixels).
+          quarantine_file(image_path, e.what(), options, fsx, local);
+        }
+      }
     }
     // Recover the numeric id from the filename when it matches our scheme.
     const std::string stem = json_path.stem().string();
@@ -114,9 +200,18 @@ Dataset import_labelme_dataset(const std::string& directory) {
     } else {
       image.id = dataset.size();
     }
+    local.parsed += 1;
     dataset.add(std::move(image));
   }
+  if (options.metrics != nullptr && local.parsed > 0) {
+    options.metrics->counter("data.imported").add(local.parsed);
+  }
+  if (report != nullptr) *report = local;
   return dataset;
+}
+
+Dataset import_labelme_dataset(const std::string& directory) {
+  return import_labelme_dataset(directory, ImportOptions{});
 }
 
 }  // namespace neuro::data

@@ -3,11 +3,21 @@
 // annotated with the LabelMe tool; we read and write the same JSON shape
 // (version / shapes / label / points / imagePath / imageWidth / imageHeight)
 // so real LabelMe exports drop straight into this pipeline.
+//
+// Imports are hardened for batch runs over real-world exports: a
+// truncated, garbage or structurally-invalid record no longer aborts the
+// whole import — the bad file is moved to `<dir>/quarantine/`, counted in
+// the `data.quarantined` metric, and the batch continues. Exports are
+// written atomically (temp + rename) so a crash mid-export never leaves a
+// torn annotation file next to good ones.
 
 #include <string>
+#include <vector>
 
 #include "data/dataset.hpp"
+#include "util/fsx.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 
 namespace neuro::data {
 
@@ -22,12 +32,38 @@ util::Json to_labelme_json(const LabeledImage& image, const std::string& image_p
 /// The returned LabeledImage has no pixels (image stays empty).
 LabeledImage from_labelme_json(const util::Json& doc);
 
+/// Structural validation of a parsed document: returns an empty string
+/// when the document is a well-formed LabelMe export, else a description
+/// of the first defect (root not an object, shapes missing/mistyped,
+/// non-numeric points, ...). Unknown labels are NOT defects — real
+/// exports carry extra classes — but type-level garbage is.
+std::string validate_labelme_json(const util::Json& doc);
+
 /// Write a dataset directory: <dir>/img_<id>.ppm + <dir>/img_<id>.json.
-/// Creates the directory if needed.
-void export_labelme_dataset(const Dataset& dataset, const std::string& directory);
+/// Creates the directory if needed. All files are written atomically.
+void export_labelme_dataset(const Dataset& dataset, const std::string& directory,
+                            util::Fsx& fs = util::Fsx::real());
+
+struct ImportOptions {
+  util::Fsx* fs = nullptr;                  // nullptr = the real filesystem
+  util::MetricsRegistry* metrics = nullptr; // data.{imported,quarantined} land here
+  bool quarantine = true;                   // move bad records to <dir>/quarantine/
+};
+
+/// What an import did with every record it touched.
+struct ImportReport {
+  std::size_t parsed = 0;       // annotation files imported
+  std::size_t quarantined = 0;  // files moved to quarantine (json or ppm)
+  std::vector<std::string> quarantined_files;  // original paths, same order
+  std::vector<std::string> errors;             // defect per quarantined file
+};
 
 /// Load annotations (and pixels, when the referenced .ppm exists) from a
-/// directory written by export_labelme_dataset.
+/// directory written by export_labelme_dataset. Corrupt records are
+/// quarantined per `options` and the import continues; the returned
+/// dataset holds every record that parsed clean.
+Dataset import_labelme_dataset(const std::string& directory, const ImportOptions& options,
+                               ImportReport* report = nullptr);
 Dataset import_labelme_dataset(const std::string& directory);
 
 }  // namespace neuro::data

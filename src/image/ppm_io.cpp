@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,6 +33,26 @@ std::string next_token(const std::string& bytes, std::size_t& pos) {
   return bytes.substr(start, pos - start);
 }
 
+/// Parse a header integer field with explicit digit/overflow validation:
+/// std::stoi would accept "+12x", throw bare std::out_of_range on
+/// overflow, or crash the caller with std::invalid_argument on garbage.
+int parse_field(const std::string& bytes, std::size_t& pos, const char* field, int max_value) {
+  const std::string token = next_token(bytes, pos);
+  long long value = 0;
+  if (token.empty()) throw std::runtime_error(std::string("ppm: missing ") + field);
+  for (const char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw std::runtime_error(std::string("ppm: non-numeric ") + field + " '" + token + "'");
+    }
+    value = value * 10 + (c - '0');
+    if (value > max_value) {
+      throw std::runtime_error(std::string("ppm: ") + field + " " + token + " exceeds cap " +
+                               std::to_string(max_value));
+    }
+  }
+  return static_cast<int>(value);
+}
+
 }  // namespace
 
 std::string encode_ppm(const Image& img) {
@@ -61,17 +80,23 @@ Image decode_ppm(const std::string& bytes) {
   else if (magic == "P5") channels = 1;
   else throw std::runtime_error("ppm: unsupported magic '" + magic + "'");
 
-  const int width = std::stoi(next_token(bytes, pos));
-  const int height = std::stoi(next_token(bytes, pos));
-  const int maxval = std::stoi(next_token(bytes, pos));
+  const int width = parse_field(bytes, pos, "width", kMaxPpmDimension);
+  const int height = parse_field(bytes, pos, "height", kMaxPpmDimension);
+  const int maxval = parse_field(bytes, pos, "maxval", 255);
   if (width <= 0 || height <= 0) throw std::runtime_error("ppm: bad dimensions");
-  if (maxval <= 0 || maxval > 255) throw std::runtime_error("ppm: unsupported maxval");
+  if (maxval <= 0) throw std::runtime_error("ppm: unsupported maxval");
   if (pos >= bytes.size()) throw std::runtime_error("ppm: missing pixel data");
   ++pos;  // single whitespace after maxval
 
+  // Dimensions are capped at 2^15 each, so the product fits far inside
+  // 64 bits; validate the payload length before any allocation.
   const std::size_t needed = static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
                              static_cast<std::size_t>(channels);
-  if (bytes.size() - pos < needed) throw std::runtime_error("ppm: truncated pixel data");
+  if (bytes.size() - pos < needed) {
+    throw std::runtime_error("ppm: truncated pixel data (" +
+                             std::to_string(bytes.size() - pos) + " of " +
+                             std::to_string(needed) + " bytes)");
+  }
 
   Image img(width, height, channels);
   const float scale = 1.0F / static_cast<float>(maxval);
@@ -85,20 +110,12 @@ Image decode_ppm(const std::string& bytes) {
   return img;
 }
 
-void save_ppm(const Image& img, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  const std::string bytes = encode_ppm(img);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("write failed: " + path);
+void save_ppm(const Image& img, const std::string& path, util::Fsx& fs) {
+  util::atomic_write_file(fs, path, encode_ppm(img));
 }
 
-Image load_ppm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return decode_ppm(buffer.str());
+Image load_ppm(const std::string& path, util::Fsx& fs) {
+  return decode_ppm(fs.read_file(path));
 }
 
 }  // namespace neuro::image

@@ -1,18 +1,34 @@
 #pragma once
 // Binary PPM (P6) / PGM (P5) image I/O. Enough to inspect rendered scenes
 // and detector outputs with any image viewer; no external codec needed.
+//
+// The decoder is hardened against hostile/corrupt input: header fields
+// are parsed digit-by-digit with overflow checks, dimensions are capped
+// (kMaxDimension per side) before any allocation, and the payload length
+// is validated against the actual byte count — truncated, oversized or
+// garbage files fail with a clear "ppm: ..." error instead of UB or a
+// partial image. Saves go through the atomic temp + rename writer so a
+// crash mid-save never leaves a torn file.
 
 #include <string>
 
 #include "image/image.hpp"
+#include "util/fsx.hpp"
 
 namespace neuro::image {
 
-/// Save as P6 (RGB) or P5 (grayscale) depending on channel count.
-void save_ppm(const Image& img, const std::string& path);
+/// Per-side dimension cap: generous for street-view frames, small enough
+/// that a corrupt header can't trigger a multi-gigabyte allocation.
+inline constexpr int kMaxPpmDimension = 1 << 15;  // 32768
 
-/// Load a binary P5/P6 file (maxval <= 255). Throws on malformed input.
-Image load_ppm(const std::string& path);
+/// Save as P6 (RGB) or P5 (grayscale) depending on channel count,
+/// atomically (temp + flush + rename).
+void save_ppm(const Image& img, const std::string& path,
+              util::Fsx& fs = util::Fsx::real());
+
+/// Load a binary P5/P6 file (maxval <= 255). Throws std::runtime_error
+/// with a "ppm: ..." message on malformed input.
+Image load_ppm(const std::string& path, util::Fsx& fs = util::Fsx::real());
 
 /// Serialize to an in-memory PPM byte string (used by tests).
 std::string encode_ppm(const Image& img);

@@ -1,0 +1,220 @@
+#include "util/fsx.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace neuro::util {
+
+namespace fs = std::filesystem;
+
+std::string_view fsx_op_name(FsxOp op) {
+  switch (op) {
+    case FsxOp::kRead: return "read";
+    case FsxOp::kWrite: return "write";
+    case FsxOp::kAppend: return "append";
+    case FsxOp::kRename: return "rename";
+    case FsxOp::kRemove: return "remove";
+    case FsxOp::kMkdir: return "mkdir";
+  }
+  return "?";
+}
+
+FsxError::FsxError(FsxOp op, std::string path, const std::string& detail)
+    : std::runtime_error("fsx " + std::string(fsx_op_name(op)) + " " + path + ": " + detail),
+      op_(op),
+      path_(std::move(path)) {}
+
+namespace {
+
+class RealFsx : public Fsx {};
+
+}  // namespace
+
+Fsx& Fsx::real() {
+  static RealFsx instance;
+  return instance;
+}
+
+std::string Fsx::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FsxError(FsxOp::kRead, path, "cannot open");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw FsxError(FsxOp::kRead, path, "read failed");
+  return std::move(buffer).str();
+}
+
+bool Fsx::exists(const std::string& path) const {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+void Fsx::write_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw FsxError(FsxOp::kWrite, path, "cannot open");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw FsxError(FsxOp::kWrite, path, "write failed");
+}
+
+void Fsx::append_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw FsxError(FsxOp::kAppend, path, "cannot open");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw FsxError(FsxOp::kAppend, path, "append failed");
+}
+
+void Fsx::rename_file(const std::string& from, const std::string& to) {
+  // std::rename gives POSIX atomic-replace semantics; fs::rename would
+  // too, but the C call keeps the error path simple.
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    throw FsxError(FsxOp::kRename, from, "rename to " + to + " failed");
+  }
+}
+
+void Fsx::remove_file(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // missing file: not an error
+}
+
+void Fsx::create_directories(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw FsxError(FsxOp::kMkdir, path, ec.message());
+}
+
+std::string temp_path_for(const std::string& path) { return path + ".tmp"; }
+
+void atomic_write_file(Fsx& fs, const std::string& path, std::string_view bytes) {
+  const std::string tmp = temp_path_for(path);
+  try {
+    fs.write_file(tmp, bytes);
+    fs.rename_file(tmp, path);
+  } catch (const FsxCrash&) {
+    throw;  // simulated process death: nobody left to clean up
+  } catch (...) {
+    fs.remove_file(tmp);
+    throw;
+  }
+}
+
+FsFaultPlan FsFaultPlan::torn_write(long long op, double fraction) {
+  FsFaultPlan plan;
+  plan.crash_at_op = op;
+  plan.torn_fraction = fraction;
+  return plan;
+}
+
+FsFaultPlan FsFaultPlan::no_space(long long op) {
+  FsFaultPlan plan;
+  plan.enospc_at_op = op;
+  return plan;
+}
+
+FsFaultPlan FsFaultPlan::rename_failure(long long rename_index) {
+  FsFaultPlan plan;
+  plan.rename_fail_at = rename_index;
+  return plan;
+}
+
+FsFaultPlan FsFaultPlan::bit_flip(long long read_index, std::uint64_t byte, int bit) {
+  FsFaultPlan plan;
+  plan.flip_at_read = read_index;
+  plan.flip_byte = byte;
+  plan.flip_bit = bit;
+  return plan;
+}
+
+FsFaultPlan FsFaultPlan::short_read(long long read_index, double fraction) {
+  FsFaultPlan plan;
+  plan.short_read_at = read_index;
+  plan.short_read_fraction = fraction;
+  return plan;
+}
+
+FaultFs::FaultFs(Fsx& base, FsFaultPlan plan, MetricsRegistry* metrics)
+    : base_(base), plan_(plan), metrics_(metrics) {}
+
+bool FaultFs::claim_mutating_op(FsxOp op, const std::string& path) {
+  const auto index = static_cast<long long>(mutating_ops_.fetch_add(1));
+  if (index == plan_.enospc_at_op) {
+    if (metrics_ != nullptr) metrics_->counter("fsx.injected.enospc").add();
+    throw FsxError(op, path, "no space left on device (injected)");
+  }
+  if (index == plan_.crash_at_op) {
+    if (metrics_ != nullptr) metrics_->counter("fsx.injected.crashes").add();
+    return true;
+  }
+  return false;
+}
+
+std::string FaultFs::read_file(const std::string& path) {
+  const auto index = static_cast<long long>(reads_.fetch_add(1));
+  std::string bytes = base_.read_file(path);
+  if (index == plan_.short_read_at) {
+    if (metrics_ != nullptr) metrics_->counter("fsx.injected.short_reads").add();
+    bytes.resize(static_cast<std::size_t>(static_cast<double>(bytes.size()) *
+                                          plan_.short_read_fraction));
+  }
+  if (index == plan_.flip_at_read && !bytes.empty()) {
+    if (metrics_ != nullptr) metrics_->counter("fsx.injected.bit_flips").add();
+    bytes[plan_.flip_byte % bytes.size()] ^= static_cast<char>(1U << (plan_.flip_bit & 7));
+  }
+  return bytes;
+}
+
+bool FaultFs::exists(const std::string& path) const { return base_.exists(path); }
+
+void FaultFs::write_file(const std::string& path, std::string_view bytes) {
+  if (claim_mutating_op(FsxOp::kWrite, path)) {
+    // Torn write: the leading fraction reaches disk, then the process
+    // "dies". The partial content is written durably through the base so
+    // a recovery pass sees exactly what a real crash would leave.
+    const auto torn = static_cast<std::size_t>(static_cast<double>(bytes.size()) *
+                                               plan_.torn_fraction);
+    base_.write_file(path, bytes.substr(0, torn));
+    throw FsxCrash("crash during write of " + path);
+  }
+  base_.write_file(path, bytes);
+}
+
+void FaultFs::append_file(const std::string& path, std::string_view bytes) {
+  if (claim_mutating_op(FsxOp::kAppend, path)) {
+    const auto torn = static_cast<std::size_t>(static_cast<double>(bytes.size()) *
+                                               plan_.torn_fraction);
+    base_.append_file(path, bytes.substr(0, torn));
+    throw FsxCrash("crash during append to " + path);
+  }
+  base_.append_file(path, bytes);
+}
+
+void FaultFs::rename_file(const std::string& from, const std::string& to) {
+  const auto rename_index = static_cast<long long>(renames_.fetch_add(1));
+  if (rename_index == plan_.rename_fail_at) {
+    if (metrics_ != nullptr) metrics_->counter("fsx.injected.rename_failures").add();
+    throw FsxError(FsxOp::kRename, from, "rename to " + to + " failed (injected)");
+  }
+  if (claim_mutating_op(FsxOp::kRename, from)) {
+    // Crash at the rename boundary: rename is atomic, so model the two
+    // real outcomes — die just before (nothing happened) or just after
+    // (replace completed). torn_fraction picks the side.
+    if (plan_.torn_fraction >= 0.5) base_.rename_file(from, to);
+    throw FsxCrash("crash at rename of " + from);
+  }
+  base_.rename_file(from, to);
+}
+
+void FaultFs::remove_file(const std::string& path) {
+  if (claim_mutating_op(FsxOp::kRemove, path)) {
+    if (plan_.torn_fraction >= 0.5) base_.remove_file(path);
+    throw FsxCrash("crash at remove of " + path);
+  }
+  base_.remove_file(path);
+}
+
+void FaultFs::create_directories(const std::string& path) { base_.create_directories(path); }
+
+}  // namespace neuro::util

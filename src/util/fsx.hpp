@@ -1,0 +1,162 @@
+#pragma once
+// Crash-safe filesystem layer. Every durable artifact in the pipeline
+// (survey journals, LabelMe exports, manifests, traces, bench JSON) funnels
+// through the small set of primitives in `Fsx`, so one seam provides both
+// the production guarantee and its test: `atomic_write_file` gives
+// temp + flush + rename semantics (the destination either keeps its old
+// content or holds the complete new content, never a torn mix), while
+// `FaultFs` wraps any Fsx and — from an enumerable plan in the style of
+// llm/faults.hpp — injects torn writes (crash after a fraction of the
+// bytes), bit flips and short reads on load, ENOSPC, and rename failures
+// at every mutating-op index. The crash-point sweep tests iterate those
+// indices exhaustively and prove recovery from each one.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/metrics.hpp"
+
+namespace neuro::util {
+
+/// Which primitive failed (carried on FsxError for structured handling).
+enum class FsxOp { kRead, kWrite, kAppend, kRename, kRemove, kMkdir };
+
+std::string_view fsx_op_name(FsxOp op);
+
+/// A filesystem operation failed (I/O error, ENOSPC, injected fault).
+class FsxError : public std::runtime_error {
+ public:
+  FsxError(FsxOp op, std::string path, const std::string& detail);
+  FsxOp op() const { return op_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FsxOp op_;
+  std::string path_;
+};
+
+/// Simulated process death at an injected crash point: whatever the torn
+/// op durably wrote stays on disk; everything after the throw is the
+/// "post-restart" world. Distinct from FsxError so recovery tests can tell
+/// a crash (nothing to handle, the process is gone) from an error the
+/// running process may observe and react to.
+class FsxCrash : public std::runtime_error {
+ public:
+  explicit FsxCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Injectable filesystem: the primitives durable writers need. All
+/// writes/appends flush before returning, so a completed call is durable
+/// against the simulated crashes FaultFs injects.
+class Fsx {
+ public:
+  virtual ~Fsx() = default;
+
+  /// Whole-file read; throws FsxError when missing/unreadable.
+  virtual std::string read_file(const std::string& path);
+  virtual bool exists(const std::string& path) const;
+  /// Truncate + write + flush.
+  virtual void write_file(const std::string& path, std::string_view bytes);
+  /// Append + flush (creates the file when missing).
+  virtual void append_file(const std::string& path, std::string_view bytes);
+  /// Atomic replace (POSIX rename semantics; destination overwritten).
+  virtual void rename_file(const std::string& from, const std::string& to);
+  /// Best-effort delete; missing files are not an error.
+  virtual void remove_file(const std::string& path);
+  virtual void create_directories(const std::string& path);
+
+  /// The process-wide real filesystem.
+  static Fsx& real();
+};
+
+/// The temp-file sibling `atomic_write_file` stages into before renaming.
+std::string temp_path_for(const std::string& path);
+
+/// Durable whole-file replace: write `path + ".tmp"`, flush, rename over
+/// `path`. A crash at any point leaves either the previous content or the
+/// complete new content at `path`; the stale temp file (if any) is
+/// harmless and removed by the next successful write. On failure the temp
+/// file is cleaned up best-effort and the error rethrown.
+void atomic_write_file(Fsx& fs, const std::string& path, std::string_view bytes);
+
+/// Deterministic fault plan over filesystem ops. Indices count per
+/// category from 0 as the wrapped Fsx is used, so a sweep enumerates every
+/// crash point: run once with an empty plan to learn the op counts, then
+/// replay with each index targeted in turn. -1 disables a fault.
+struct FsFaultPlan {
+  /// Crash (throw FsxCrash) at the Nth mutating op (write/append/rename/
+  /// remove, one shared counter). Writes and appends tear first: the
+  /// leading `torn_fraction` of the op's bytes land on disk before the
+  /// crash, simulating a page-aligned partial flush.
+  long long crash_at_op = -1;
+  double torn_fraction = 0.5;
+
+  /// Fail the Nth mutating op with ENOSPC (no bytes written, process
+  /// survives and sees the FsxError).
+  long long enospc_at_op = -1;
+
+  /// Fail the Nth rename (counter over renames only) with an FsxError.
+  long long rename_fail_at = -1;
+
+  /// Corrupt the Nth read: flip bit `flip_bit` of byte
+  /// `flip_byte % size` of the returned content.
+  long long flip_at_read = -1;
+  std::uint64_t flip_byte = 0;
+  int flip_bit = 0;
+
+  /// Truncate the Nth read to `short_read_fraction` of its bytes.
+  long long short_read_at = -1;
+  double short_read_fraction = 0.5;
+
+  bool any() const {
+    return crash_at_op >= 0 || enospc_at_op >= 0 || rename_fail_at >= 0 || flip_at_read >= 0 ||
+           short_read_at >= 0;
+  }
+
+  // Sweep builders, FaultPlan-style.
+  static FsFaultPlan torn_write(long long op, double fraction);
+  static FsFaultPlan no_space(long long op);
+  static FsFaultPlan rename_failure(long long rename_index);
+  static FsFaultPlan bit_flip(long long read_index, std::uint64_t byte, int bit);
+  static FsFaultPlan short_read(long long read_index, double fraction);
+};
+
+/// Fault-injecting decorator over another Fsx. Counters are atomic so the
+/// same instance can sit under a multi-threaded run; injected faults land
+/// in the registry as fsx.injected.{crashes,enospc,rename_failures,
+/// bit_flips,short_reads} when one is given.
+class FaultFs : public Fsx {
+ public:
+  explicit FaultFs(Fsx& base, FsFaultPlan plan = {}, MetricsRegistry* metrics = nullptr);
+
+  std::string read_file(const std::string& path) override;
+  bool exists(const std::string& path) const override;
+  void write_file(const std::string& path, std::string_view bytes) override;
+  void append_file(const std::string& path, std::string_view bytes) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  void create_directories(const std::string& path) override;
+
+  /// Op counts so far — the sweep bounds for a crash-point enumeration.
+  std::uint64_t mutating_ops() const { return mutating_ops_.load(); }
+  std::uint64_t reads() const { return reads_.load(); }
+  std::uint64_t renames() const { return renames_.load(); }
+
+ private:
+  /// Claims the next mutating-op index; throws for an injected ENOSPC and
+  /// returns whether this op is the crash point (caller tears, then
+  /// throws FsxCrash after any partial bytes are durable).
+  bool claim_mutating_op(FsxOp op, const std::string& path);
+
+  Fsx& base_;
+  FsFaultPlan plan_;
+  MetricsRegistry* metrics_;
+  std::atomic<std::uint64_t> mutating_ops_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> renames_{0};
+};
+
+}  // namespace neuro::util

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fsx.hpp"
+
 namespace neuro::util {
 
 namespace {
@@ -417,19 +419,18 @@ std::string Json::dump(int indent) const {
 
 Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 
-Json load_json_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return Json::parse(buffer.str());
+Json load_json_file(const std::string& path) { return load_json_file(Fsx::real(), path); }
+
+Json load_json_file(Fsx& fs, const std::string& path) {
+  return Json::parse(fs.read_file(path));
 }
 
 void save_json_file(const std::string& path, const Json& value) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  out << value.dump(2) << '\n';
-  if (!out) throw std::runtime_error("write failed: " + path);
+  save_json_file(Fsx::real(), path, value);
+}
+
+void save_json_file(Fsx& fs, const std::string& path, const Json& value) {
+  atomic_write_file(fs, path, value.dump(2) + '\n');
 }
 
 }  // namespace neuro::util

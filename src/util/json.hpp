@@ -86,10 +86,16 @@ class Json {
   std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
 };
 
+class Fsx;  // util/fsx.hpp
+
 /// Read and parse a JSON file; throws on I/O or parse failure.
 Json load_json_file(const std::string& path);
+Json load_json_file(Fsx& fs, const std::string& path);
 
-/// Serialize to a file (pretty, indent 2); throws on I/O failure.
+/// Serialize to a file (pretty, indent 2) via atomic temp + rename — a
+/// crash mid-save leaves the previous file intact, never a torn JSON
+/// document. Throws on I/O failure.
 void save_json_file(const std::string& path, const Json& value);
+void save_json_file(Fsx& fs, const std::string& path, const Json& value);
 
 }  // namespace neuro::util

@@ -1,0 +1,124 @@
+#include "util/recordlog.hpp"
+
+#include <array>
+
+namespace neuro::util {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'R', 'L', 'G'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 8;
+constexpr std::size_t kFrameHeaderSize = 8;  // u32 len + u32 crc
+// A length field above this is garbage, not a real record: refuse to
+// allocate for it (a flipped high bit must not turn into a 2 GiB reserve).
+constexpr std::uint32_t kMaxPayload = 1U << 28;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t pos) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 3])) << 24;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  crc ^= 0xFFFFFFFFU;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::string recordlog_header() {
+  std::string header(kMagic, sizeof(kMagic));
+  header.push_back(static_cast<char>(kVersion & 0xFF));
+  header.push_back(static_cast<char>(kVersion >> 8));
+  header.push_back(0);  // flags
+  header.push_back(0);
+  return header;
+}
+
+std::string recordlog_frame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+std::string recordlog_serialize(const std::vector<std::string>& payloads) {
+  std::string out = recordlog_header();
+  for (const std::string& payload : payloads) out += recordlog_frame(payload);
+  return out;
+}
+
+void recordlog_create(Fsx& fs, const std::string& path) {
+  fs.write_file(path, recordlog_header());
+}
+
+void recordlog_append(Fsx& fs, const std::string& path, std::string_view payload) {
+  fs.append_file(path, recordlog_frame(payload));
+}
+
+bool recordlog_has_magic(std::string_view bytes) {
+  return bytes.size() >= sizeof(kMagic) &&
+         bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) == 0;
+}
+
+RecordLogReplay recordlog_replay(std::string_view bytes) {
+  RecordLogReplay replay;
+  const auto stop = [&](std::size_t good_end, std::string why) {
+    replay.clean = false;
+    replay.dropped_bytes = bytes.size() - good_end;
+    replay.error = std::move(why);
+    return replay;
+  };
+
+  if (!recordlog_has_magic(bytes)) return stop(0, "bad magic");
+  if (bytes.size() < kHeaderSize) return stop(0, "short header");
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(static_cast<unsigned char>(bytes[4])) |
+      static_cast<std::uint16_t>(static_cast<unsigned char>(bytes[5])) << 8;
+  if (version != kVersion) return stop(0, "unsupported version");
+
+  std::size_t pos = kHeaderSize;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderSize) return stop(pos, "torn frame header");
+    const std::uint32_t len = get_u32(bytes, pos);
+    const std::uint32_t want_crc = get_u32(bytes, pos + 4);
+    if (len > kMaxPayload) return stop(pos, "absurd frame length");
+    if (bytes.size() - pos - kFrameHeaderSize < len) return stop(pos, "torn frame payload");
+    const std::string_view payload = bytes.substr(pos + kFrameHeaderSize, len);
+    if (crc32(payload) != want_crc) return stop(pos, "crc mismatch");
+    replay.records.emplace_back(payload);
+    pos += kFrameHeaderSize + len;
+  }
+  return replay;
+}
+
+RecordLogReplay recordlog_load(Fsx& fs, const std::string& path) {
+  return recordlog_replay(fs.read_file(path));
+}
+
+}  // namespace neuro::util

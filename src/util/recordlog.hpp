@@ -1,0 +1,65 @@
+#pragma once
+// CRC32-framed append-only record log: the durable format under
+// SurveyJournal checkpoints. Layout (all integers little-endian):
+//
+//   header  : magic "NRLG" | u16 version (1) | u16 flags (0)
+//   frame*  : u32 payload_len | u32 crc32(payload) | payload bytes
+//
+// Appends are frame-granular, so a crash mid-append leaves a torn tail
+// frame that replay detects (short frame or CRC mismatch) and truncates:
+// every frame before the tear is trusted — its CRC proved integrity — and
+// everything from the first bad byte on is dropped instead of crashing the
+// loader or re-trusting garbage. A bit flip anywhere in a frame likewise
+// kills exactly that frame's CRC, so replay keeps the valid prefix.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/fsx.hpp"
+
+namespace neuro::util {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the zlib polynomial.
+std::uint32_t crc32(std::string_view bytes, std::uint32_t crc = 0);
+
+/// The 8-byte versioned header every log starts with.
+std::string recordlog_header();
+
+/// One framed record: length + CRC + payload.
+std::string recordlog_frame(std::string_view payload);
+
+/// Header + a frame per payload — the whole-log serialization used for
+/// atomic checkpoint rewrites.
+std::string recordlog_serialize(const std::vector<std::string>& payloads);
+
+/// Create/truncate `path` holding just the header.
+void recordlog_create(Fsx& fs, const std::string& path);
+
+/// Append one framed record (the file must exist; append+flush makes the
+/// frame durable once the call returns).
+void recordlog_append(Fsx& fs, const std::string& path, std::string_view payload);
+
+/// Replay outcome: the valid prefix plus how the scan ended.
+struct RecordLogReplay {
+  std::vector<std::string> records;  // frames with matching CRC, in order
+  bool clean = true;                 // false: tail truncated at a bad frame
+  std::size_t dropped_bytes = 0;     // bytes discarded after the last good frame
+  std::string error;                 // why the scan stopped, when !clean
+};
+
+/// Scan serialized log bytes, stopping at the first bad frame (short
+/// header, short frame, CRC mismatch, absurd length). Never throws on
+/// corrupt input — corruption is data, not an exception.
+RecordLogReplay recordlog_replay(std::string_view bytes);
+
+/// Read + replay; throws FsxError only when the file cannot be read at
+/// all (corrupt content still returns the valid prefix).
+RecordLogReplay recordlog_load(Fsx& fs, const std::string& path);
+
+/// True when `bytes` starts with the record-log magic (used to
+/// auto-detect log vs legacy-JSON checkpoint files).
+bool recordlog_has_magic(std::string_view bytes);
+
+}  // namespace neuro::util

@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/fsx.hpp"
 #include "util/rng.hpp"
 
 namespace neuro::util {
@@ -329,11 +330,9 @@ Json TraceRecorder::to_json() const {
 std::string TraceRecorder::to_json_string() const { return to_json().dump(-1); }
 
 void TraceRecorder::write(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("trace: cannot open " + path);
-  const std::string text = to_json_string();
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!out) throw std::runtime_error("trace: write failed: " + path);
+  // Atomic temp + rename: a crash mid-export can't leave a torn trace
+  // that Perfetto half-loads.
+  atomic_write_file(Fsx::real(), path, to_json_string());
 }
 
 std::vector<SpanStats> TraceRecorder::span_stats() const {

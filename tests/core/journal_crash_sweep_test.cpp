@@ -1,0 +1,377 @@
+// The headline crash-safety guarantee, proven by exhaustive sweep: for
+// EVERY injected crash point during checkpoint I/O — torn writes at
+// several fractions, crash on either side of the rename, ENOSPC, rename
+// failure, torn appended tails, and bit flips across the checkpoint bytes
+// — restart + journal recovery + resume produces survey output identical
+// to an uninterrupted run, at {1,4,16} threads, issuing zero duplicate LLM
+// requests for frames whose CRC validated.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/survey.hpp"
+#include "data/builder.hpp"
+#include "util/fsx.hpp"
+#include "util/recordlog.hpp"
+
+namespace neuro::core {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+// CI's crash-matrix step sets NEURO_ARTIFACT_DIR so a failing sweep leaves
+// its journal/quarantine files somewhere the workflow can upload.
+stdfs::path artifact_base() {
+  if (const char* dir = std::getenv("NEURO_ARTIFACT_DIR"); dir != nullptr && *dir != '\0') {
+    return stdfs::path(dir);
+  }
+  return stdfs::temp_directory_path();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = artifact_base() / (std::string("neuro_sweep_") + tag + "_" +
+                              std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() {
+    // Keep the evidence when a test in this suite already failed and an
+    // artifact dir was requested; scrub otherwise.
+    if (std::getenv("NEURO_ARTIFACT_DIR") == nullptr || !::testing::Test::HasFailure()) {
+      stdfs::remove_all(dir_);
+    }
+  }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;  // LLM path never reads pixels
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+llm::ModelProfile reliable(llm::ModelProfile profile) {
+  profile.transient_failure_rate = 0.0;  // isolate scripted faults
+  return profile;
+}
+
+/// Canonical byte-level digest of a batch outcome: prediction masks +
+/// failure flags in dataset order. Two runs are "byte-identical" for the
+/// sweep when these strings match exactly.
+std::string outcome_bytes(const llm::BatchReport& report) {
+  std::string out;
+  for (const llm::ItemOutcome& item : report.items) {
+    for (scene::Indicator ind : scene::all_indicators()) {
+      out.push_back(item.prediction[ind] ? '1' : '0');
+    }
+    out.push_back(item.failed ? 'F' : '.');
+    out.push_back(',');
+  }
+  return out;
+}
+
+std::string outcome_bytes(const EnsembleBatchResult& result) {
+  std::string out;
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    for (scene::Indicator ind : scene::all_indicators()) {
+      out.push_back(result.decisions[i][ind] ? '1' : '0');
+    }
+    out += std::to_string(result.voters[i]);
+    out.push_back(',');
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: every crash point of the atomic checkpoint save. A previous
+// good checkpoint exists; the improved checkpoint's save crashes at op k.
+// Recovery must find either the old or the new complete checkpoint (never
+// a torn mix), and the resumed survey must equal the uninterrupted run
+// with zero requests re-issued for whatever checkpoint survived.
+// ---------------------------------------------------------------------------
+TEST(JournalCrashSweep, EveryAtomicSaveCrashPointRecoversExactly) {
+  constexpr std::size_t kImages = 40;
+  const data::Dataset dataset = small_dataset(kImages);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model =
+      runner.make_model(reliable(llm::gemini_1_5_pro_profile()));
+  SurveyConfig config;
+
+  const llm::BatchReport baseline =
+      runner.run_client_batch(model, config, llm::SchedulerConfig{});
+  const std::string baseline_bytes = outcome_bytes(baseline);
+
+  // Two checkpoints: an early partial one (the "previous good" file) and a
+  // later, larger one whose save we crash.
+  SurveyJournal early;
+  llm::SchedulerConfig abort_early;
+  abort_early.abort_after_ms = baseline.stats.makespan_ms / 4.0;
+  runner.run_client_batch(model, config, abort_early, nullptr, &early);
+  SurveyJournal late = early;
+  llm::SchedulerConfig abort_late;
+  abort_late.abort_after_ms = baseline.stats.makespan_ms / 2.0;
+  runner.run_client_batch(model, config, abort_late, nullptr, &late);
+  ASSERT_GT(early.size(), 0U);
+  ASSERT_GT(late.size(), early.size());
+  ASSERT_LT(late.size(), kImages);
+
+  // Learn the op count of one save with a fault-free counting pass.
+  TempDir dir("atomic");
+  util::Fsx& real = util::Fsx::real();
+  const std::string ckpt = dir.path("journal.nrlg");
+  util::FaultFs counting(real);
+  late.save(ckpt, counting);
+  const auto total_ops = static_cast<long long>(counting.mutating_ops());
+  ASSERT_GE(total_ops, 2);  // at least write(tmp) + rename
+
+  for (long long k = 0; k < total_ops; ++k) {
+    for (const double fraction : {0.0, 0.37, 1.0}) {
+      // Restore the pre-crash world: previous good checkpoint on disk.
+      early.save(ckpt, real);
+
+      util::FaultFs faulty(real, util::FsFaultPlan::torn_write(k, fraction));
+      bool crashed = false;
+      try {
+        late.save(ckpt, faulty);
+      } catch (const util::FsxCrash&) {
+        crashed = true;
+      }
+      ASSERT_TRUE(crashed) << "crash point " << k << " never fired";
+
+      // "Restart": recover whatever checkpoint the crash left behind.
+      JournalRecovery recovery;
+      SurveyJournal recovered = SurveyJournal::load(ckpt, real, &recovery);
+      EXPECT_TRUE(recovery.clean) << "atomic save must never yield a torn file";
+      EXPECT_TRUE(recovered.size() == early.size() || recovered.size() == late.size())
+          << "crash " << k << "@" << fraction << ": torn checkpoint with "
+          << recovered.size() << " entries";
+
+      // Resume: zero duplicate requests for recovered (CRC-valid) frames,
+      // and the final output matches the uninterrupted run exactly.
+      util::MetricsRegistry metrics;
+      const llm::BatchReport resumed =
+          runner.run_client_batch(model, config, llm::SchedulerConfig{}, &metrics, &recovered);
+      EXPECT_EQ(resumed.usage.requests, kImages - recovery.entries)
+          << "crash " << k << "@" << fraction;
+      EXPECT_EQ(metrics.counter("journal.images_resumed").value(), recovery.entries);
+      EXPECT_EQ(outcome_bytes(resumed), baseline_bytes) << "crash " << k << "@" << fraction;
+
+      // And the post-resume checkpoint converges to the uninterrupted
+      // run's checkpoint, byte for byte.
+      EXPECT_EQ(recovered.size(), kImages);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 2: incremental append-mode checkpointing with a torn tail. Every
+// truncation point of the log must recover exactly the complete frames,
+// and the resume must re-issue only the images whose frames were lost.
+// ---------------------------------------------------------------------------
+TEST(JournalCrashSweep, TornAppendTailRecoversValidPrefixAtEveryCut) {
+  constexpr std::size_t kImages = 24;
+  const data::Dataset dataset = small_dataset(kImages);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model =
+      runner.make_model(reliable(llm::gemini_1_5_pro_profile()));
+  SurveyConfig config;
+
+  const llm::BatchReport baseline =
+      runner.run_client_batch(model, config, llm::SchedulerConfig{});
+  const std::string baseline_bytes = outcome_bytes(baseline);
+
+  // Full checkpoint, serialized as the append-only log it would have
+  // become had every entry been appended incrementally.
+  SurveyJournal full;
+  runner.run_client_batch(model, config, llm::SchedulerConfig{}, nullptr, &full);
+  ASSERT_EQ(full.size(), kImages);
+  const std::string log_bytes = full.serialize_log();
+
+  TempDir dir("tornappend");
+  util::Fsx& real = util::Fsx::real();
+  const std::string ckpt = dir.path("journal.nrlg");
+
+  for (std::size_t cut = 0; cut <= log_bytes.size(); ++cut) {
+    real.write_file(ckpt, log_bytes.substr(0, cut));
+    JournalRecovery recovery;
+    SurveyJournal recovered = SurveyJournal::load(ckpt, real, &recovery);
+    ASSERT_LE(recovery.entries, kImages);
+    // Each complete frame before the cut is restored; clean only at
+    // boundaries. A cut inside the 8-byte header leaves dropped_bytes at
+    // the partial-header length (possibly 0) but is still torn, not clean.
+    if (cut < log_bytes.size()) {
+      EXPECT_EQ(recovery.clean, cut >= 8 && recovery.dropped_bytes == 0) << "cut " << cut;
+    }
+
+    // Resume costs exactly the lost frames — never a request for a frame
+    // whose CRC validated.
+    util::MetricsRegistry metrics;
+    const llm::BatchReport resumed =
+        runner.run_client_batch(model, config, llm::SchedulerConfig{}, &metrics, &recovered);
+    EXPECT_EQ(resumed.usage.requests, kImages - recovery.entries) << "cut " << cut;
+    EXPECT_EQ(outcome_bytes(resumed), baseline_bytes) << "cut " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 3: bit flips across the checkpoint file. Load must never crash;
+// frames before the flip stay trusted; resume converges to baseline.
+// Flips are injected through FaultFs's read path (the "disk rot" model).
+// ---------------------------------------------------------------------------
+TEST(JournalCrashSweep, BitFlipAnywhereInCheckpointNeverPoisonsResume) {
+  constexpr std::size_t kImages = 16;
+  const data::Dataset dataset = small_dataset(kImages);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel model =
+      runner.make_model(reliable(llm::gemini_1_5_pro_profile()));
+  SurveyConfig config;
+
+  const llm::BatchReport baseline =
+      runner.run_client_batch(model, config, llm::SchedulerConfig{});
+  const std::string baseline_bytes = outcome_bytes(baseline);
+
+  SurveyJournal full;
+  runner.run_client_batch(model, config, llm::SchedulerConfig{}, nullptr, &full);
+  const std::string log_bytes = full.serialize_log();
+
+  TempDir dir("bitflip");
+  util::Fsx& real = util::Fsx::real();
+  const std::string ckpt = dir.path("journal.nrlg");
+  real.write_file(ckpt, log_bytes);
+
+  for (std::size_t byte = 0; byte < log_bytes.size(); ++byte) {
+    util::FaultFs rot(real, util::FsFaultPlan::bit_flip(0, byte, static_cast<int>(byte % 8)));
+    JournalRecovery recovery;
+    SurveyJournal recovered;
+    try {
+      recovered = SurveyJournal::load(ckpt, rot, &recovery);
+    } catch (const std::exception&) {
+      // A flip in the magic can demote the file to "legacy JSON", which
+      // then fails to parse — an acceptable outcome (fresh start), but it
+      // must be an exception, not a crash or garbage entries.
+      continue;
+    }
+    ASSERT_LE(recovery.entries, kImages) << "byte " << byte;
+
+    // Resume from whatever survived; every flip position must still
+    // converge to the baseline with no duplicate requests for the
+    // CRC-valid prefix. (Run the full resume on a stride to keep the
+    // sweep fast; every position still validates recovery itself.)
+    if (byte % 7 == 0) {
+      util::MetricsRegistry metrics;
+      const llm::BatchReport resumed =
+          runner.run_client_batch(model, config, llm::SchedulerConfig{}, &metrics, &recovered);
+      EXPECT_EQ(resumed.usage.requests, kImages - recovery.entries) << "byte " << byte;
+      EXPECT_EQ(outcome_bytes(resumed), baseline_bytes) << "byte " << byte;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 4: the acceptance scenario end to end — a chaos-enabled ensemble
+// survey is aborted mid-batch, its merged checkpoint save crashes at every
+// op, and the restarted ensemble must reproduce the uninterrupted
+// ensemble's decisions byte-identically at 1, 4 and 16 threads.
+// ---------------------------------------------------------------------------
+TEST(JournalCrashSweep, ChaosEnsembleCrashRestartMatchesUninterruptedAtAllThreadCounts) {
+  constexpr std::size_t kImages = 30;
+  const data::Dataset dataset = small_dataset(kImages);
+  const SurveyRunner runner(dataset);
+  const llm::VisionLanguageModel gemini =
+      runner.make_model(reliable(llm::gemini_1_5_pro_profile()));
+  const llm::VisionLanguageModel claude = runner.make_model(reliable(llm::claude_3_7_profile()));
+  const llm::VisionLanguageModel grok = runner.make_model(reliable(llm::grok_2_profile()));
+  const std::vector<const llm::VisionLanguageModel*> members = {&gemini, &claude, &grok};
+  // Member 0 rides through a storm + corruption; the quorum stays honest.
+  const std::vector<llm::FaultPlan> faults = {llm::FaultPlan::storm_window(0.0, 20000.0),
+                                              llm::FaultPlan::healthy(),
+                                              llm::FaultPlan::healthy()};
+
+  SurveyConfig config;
+  const EnsembleBatchResult uninterrupted =
+      runner.run_ensemble_batch(members, config, llm::SchedulerConfig{}, faults);
+  const std::string uninterrupted_bytes = outcome_bytes(uninterrupted);
+  const double makespan = uninterrupted.member_reports[1].stats.makespan_ms;
+  ASSERT_GT(makespan, 0.0);
+
+  // Aborted first attempt, journals merged into one checkpoint (the
+  // county_survey flow).
+  std::vector<SurveyJournal> journals(members.size());
+  llm::SchedulerConfig aborting;
+  aborting.abort_after_ms = makespan / 2.0;
+  runner.run_ensemble_batch(members, config, aborting, faults, &journals);
+  SurveyJournal merged = journals.front();
+  for (std::size_t m = 1; m < journals.size(); ++m) merged.merge(journals[m]);
+  ASSERT_GT(merged.size(), 0U);
+  ASSERT_LT(merged.size(), kImages * members.size());
+
+  TempDir dir("ensemble");
+  util::Fsx& real = util::Fsx::real();
+  const std::string ckpt = dir.path("ensemble.nrlg");
+  util::FaultFs counting(real);
+  merged.save(ckpt, counting);
+  const auto total_ops = static_cast<long long>(counting.mutating_ops());
+
+  for (long long k = 0; k <= total_ops; ++k) {
+    real.remove_file(ckpt);
+    const bool crash_this_time = k < total_ops;
+    if (crash_this_time) {
+      util::FaultFs faulty(real, util::FsFaultPlan::torn_write(k, 0.5));
+      EXPECT_THROW(merged.save(ckpt, faulty), util::FsxCrash);
+    } else {
+      merged.save(ckpt, real);  // control: clean save
+    }
+
+    // Restart: the checkpoint either vanished with the crash (fresh run)
+    // or survived complete; either way recovery is clean and the resumed
+    // ensemble matches the uninterrupted one exactly.
+    JournalRecovery recovery;
+    SurveyJournal recovered;
+    if (real.exists(ckpt)) {
+      recovered = SurveyJournal::load(ckpt, real, &recovery);
+      EXPECT_TRUE(recovery.clean) << "crash " << k;
+      EXPECT_TRUE(recovered.size() == 0 || recovered.size() == merged.size()) << "crash " << k;
+    }
+
+    for (const std::size_t threads : {1UL, 4UL, 16UL}) {
+      SurveyConfig threaded = config;
+      threaded.threads = threads;
+      std::vector<SurveyJournal> resumed_journals(members.size(), recovered);
+      util::MetricsRegistry metrics;
+      const EnsembleBatchResult resumed = runner.run_ensemble_batch(
+          members, threaded, llm::SchedulerConfig{}, faults, &resumed_journals, &metrics);
+      EXPECT_EQ(outcome_bytes(resumed), uninterrupted_bytes)
+          << "crash " << k << " threads " << threads;
+      // Zero duplicate requests for CRC-valid frames: each member issued
+      // exactly (total - journaled-for-that-member) requests.
+      std::size_t journaled_total = 0;
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        std::size_t journaled = 0;
+        for (std::size_t i = 0; i < kImages; ++i) {
+          if (recovered.contains(members[m]->profile().name, dataset[i].id)) ++journaled;
+        }
+        journaled_total += journaled;
+        // One scheduled message per image under the parallel strategy;
+        // journaled images never re-enter the scheduler.
+        EXPECT_EQ(resumed.member_reports[m].usage.requests, kImages - journaled)
+            << "crash " << k << " member " << m << " threads " << threads;
+      }
+      EXPECT_EQ(metrics.counter("journal.images_resumed").value(), journaled_total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuro::core

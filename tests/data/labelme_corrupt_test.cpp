@@ -1,0 +1,248 @@
+// Fuzz-style corpus over the LabelMe import path: ~30 mutated inputs
+// (truncation at every structural boundary, bit flips, duplicate keys,
+// wrong types, empty files, binary garbage) must never crash or leak, and
+// each must be classified as parsed or quarantined — with quarantined
+// records moved aside, counted in data.quarantined, and the batch
+// continuing over the survivors.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/builder.hpp"
+#include "data/labelme_io.hpp"
+#include "image/ppm_io.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::data {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("neuro_labelme_") + tag + "_" + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string root() const { return dir_.string(); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+const std::string kValidDoc = R"({
+  "version": "5.4.1",
+  "flags": {},
+  "shapes": [
+    {"label": "sidewalk", "points": [[2.0, 3.0], [12.0, 11.0]],
+     "group_id": null, "shape_type": "rectangle", "flags": {}}
+  ],
+  "imagePath": "",
+  "imageWidth": 64,
+  "imageHeight": 64
+})";
+
+struct CorpusCase {
+  const char* name;
+  std::string content;
+  int expect_parsed;  // 1 = must parse, 0 = must quarantine, -1 = either (crash-free only)
+};
+
+std::string flip_bit(std::string text, std::size_t byte, int bit) {
+  text[byte % text.size()] ^= static_cast<char>(1 << bit);
+  return text;
+}
+
+std::vector<CorpusCase> corpus() {
+  std::vector<CorpusCase> cases = {
+      {"valid", kValidDoc, 1},
+      {"empty_file", "", 0},
+      {"whitespace_only", "  \n\t ", 0},
+      {"binary_garbage", std::string("\x89PNG\r\n\x1a\n\x00\x00\xff\xfe", 12), 0},
+      {"lone_brace", "{", 0},
+      {"null_root", "null", 0},
+      {"number_root", "42", 0},
+      {"string_root", "\"not a labelme doc\"", 0},
+      {"array_root", "[1, 2, 3]", 0},
+      {"missing_shapes", R"({"version": "5.4.1", "imagePath": ""})", 0},
+      {"shapes_is_object", R"({"shapes": {"label": "sidewalk"}})", 0},
+      {"shapes_is_string", R"({"shapes": "sidewalk"})", 0},
+      {"shapes_is_number", R"({"shapes": 6})", 0},
+      {"shape_not_object", R"({"shapes": ["sidewalk"]})", 0},
+      {"shape_label_number", R"({"shapes": [{"label": 3, "points": [[0,0],[1,1]]}]})", 0},
+      {"shape_missing_points", R"({"shapes": [{"label": "sidewalk"}]})", 0},
+      {"points_not_array", R"({"shapes": [{"label": "sidewalk", "points": "0,0"}]})", 0},
+      {"point_not_array", R"({"shapes": [{"label": "sidewalk", "points": [5, 6]}]})", 0},
+      {"point_too_short", R"({"shapes": [{"label": "sidewalk", "points": [[1], [2]]}]})", 0},
+      {"coord_is_string",
+       R"({"shapes": [{"label": "sidewalk", "points": [["a", "b"], [1, 2]]}]})", 0},
+      {"coord_is_null",
+       R"({"shapes": [{"label": "sidewalk", "points": [[null, 0], [1, 2]]}]})", 0},
+      {"width_is_string", R"({"shapes": [], "imageWidth": "sixty-four"})", 0},
+      {"image_path_is_array", R"({"shapes": [], "imagePath": [1]})", 0},
+      {"trailing_garbage", kValidDoc + "garbage after the document", 0},
+      {"unterminated_string", R"({"shapes": [], "imagePath": "unterminated)", 0},
+      // Valid-but-odd documents that must parse (tolerated, not crashes):
+      {"unknown_label_only",
+       R"({"shapes": [{"label": "fire hydrant", "points": [[0,0],[5,5]]}]})", 1},
+      {"empty_shapes", R"({"shapes": []})", 1},
+      {"duplicate_keys",
+       R"({"shapes": [], "imagePath": "a.ppm", "imagePath": "", "shapes": []})", 1},
+      {"degenerate_box",
+       R"({"shapes": [{"label": "sidewalk", "points": [[5,5],[5,5]]}]})", 1},
+      {"extra_fields", R"({"shapes": [], "futureField": {"nested": [1, {"deep": true}]}})", 1},
+  };
+  // Truncate the valid document at every structural boundary ('{', '[',
+  // ',', ':') — a document cut right after a structural byte is never
+  // complete, so every cut must quarantine, never crash.
+  std::size_t boundary = 0;
+  for (std::size_t i = 0; i + 1 < kValidDoc.size(); ++i) {
+    const char c = kValidDoc[i];
+    if (c == '{' || c == '[' || c == ',' || c == ':') {
+      cases.push_back({"truncated_at_boundary", kValidDoc.substr(0, i + 1), 0});
+      if (++boundary >= 12) break;  // a dozen cuts covers every field kind
+    }
+  }
+  // Bit flips across the document: a flipped structural byte breaks
+  // parsing, a flip inside a string literal may survive — either outcome
+  // is legitimate; what matters is a consistent, crash-free classification.
+  cases.push_back({"bit_flip_first_byte", flip_bit(kValidDoc, 0, 2), 0});  // '{' -> DEL
+  for (const std::size_t byte : {20UL, 60UL, 120UL, 200UL}) {
+    cases.push_back({"bit_flip", flip_bit(kValidDoc, byte, 2), -1});
+  }
+  return cases;
+}
+
+TEST(LabelmeCorruptCorpus, EveryMutationClassifiedNeverCrashes) {
+  const std::vector<CorpusCase> cases = corpus();
+  ASSERT_GE(cases.size(), 30U);
+
+  // One directory per case, each with the mutated file plus one valid
+  // companion that must survive the bad neighbor.
+  TempDir dir("corpus");
+  std::size_t case_index = 0;
+  for (const CorpusCase& c : cases) {
+    const std::string case_dir = dir.path("case_" + std::to_string(case_index++));
+    stdfs::create_directories(case_dir);
+    util::Fsx::real().write_file(case_dir + "/img_000000.json", c.content);
+    util::Fsx::real().write_file(case_dir + "/img_000001.json", kValidDoc);
+
+    util::MetricsRegistry metrics;
+    ImportOptions options;
+    options.metrics = &metrics;
+    ImportReport report;
+    Dataset dataset;
+    ASSERT_NO_THROW(dataset = import_labelme_dataset(case_dir, options, &report))
+        << c.name << ": " << c.content;
+
+    // Classification is always consistent: every file either parsed or
+    // quarantined, the metric agrees with the report, and the valid
+    // companion always survives.
+    EXPECT_EQ(report.parsed + report.quarantined, 2U) << c.name;
+    EXPECT_EQ(dataset.size(), report.parsed) << c.name;
+    EXPECT_GE(report.parsed, 1U) << c.name;
+    EXPECT_EQ(metrics.counter("data.quarantined").value(), report.quarantined) << c.name;
+    if (c.expect_parsed >= 0) {
+      const std::size_t expect_parsed = c.expect_parsed == 1 ? 2U : 1U;
+      EXPECT_EQ(report.parsed, expect_parsed) << c.name;
+    }
+
+    if (report.quarantined == 1U) {
+      // The bad record moved to quarantine/ with its reason on file.
+      ASSERT_EQ(report.quarantined_files.size(), 1U) << c.name;
+      ASSERT_EQ(report.errors.size(), 1U) << c.name;
+      EXPECT_FALSE(report.errors[0].empty()) << c.name;
+      EXPECT_FALSE(stdfs::exists(case_dir + "/img_000000.json")) << c.name;
+      EXPECT_TRUE(stdfs::exists(case_dir + "/quarantine/img_000000.json")) << c.name;
+      // Re-running the import over the healed directory is clean.
+      util::MetricsRegistry rerun_metrics;
+      ImportOptions rerun;
+      rerun.metrics = &rerun_metrics;
+      const Dataset again = import_labelme_dataset(case_dir, rerun, nullptr);
+      EXPECT_EQ(again.size(), 1U) << c.name;
+      EXPECT_EQ(rerun_metrics.counter("data.quarantined").value(), 0U) << c.name;
+    }
+  }
+}
+
+TEST(LabelmeCorruptCorpus, CorruptPpmQuarantinesPixelsKeepsAnnotations) {
+  TempDir dir("badppm");
+  util::Json doc = util::Json::parse(kValidDoc);
+  doc["imagePath"] = "img_000000.ppm";
+  util::save_json_file(dir.path("img_000000.json"), doc);
+  // A ppm whose header promises more pixels than the file holds.
+  util::Fsx::real().write_file(dir.path("img_000000.ppm"), "P6\n64 64\n255\nshort");
+
+  util::MetricsRegistry metrics;
+  ImportOptions options;
+  options.metrics = &metrics;
+  ImportReport report;
+  const Dataset dataset = import_labelme_dataset(dir.root(), options, &report);
+
+  // Annotations import; the corrupt pixels are quarantined.
+  ASSERT_EQ(dataset.size(), 1U);
+  EXPECT_EQ(dataset[0].annotations.size(), 1U);
+  EXPECT_TRUE(dataset[0].image.empty());
+  EXPECT_EQ(report.quarantined, 1U);
+  EXPECT_EQ(metrics.counter("data.quarantined").value(), 1U);
+  EXPECT_TRUE(stdfs::exists(dir.path("quarantine/img_000000.ppm")));
+  EXPECT_NE(report.errors[0].find("ppm"), std::string::npos);
+}
+
+TEST(LabelmeCorruptCorpus, QuarantineDisabledStillCountsAndContinues) {
+  TempDir dir("noquarantine");
+  util::Fsx::real().write_file(dir.path("img_000000.json"), "{broken");
+  util::Fsx::real().write_file(dir.path("img_000001.json"), kValidDoc);
+
+  util::MetricsRegistry metrics;
+  ImportOptions options;
+  options.metrics = &metrics;
+  options.quarantine = false;
+  ImportReport report;
+  const Dataset dataset = import_labelme_dataset(dir.root(), options, &report);
+  EXPECT_EQ(dataset.size(), 1U);
+  EXPECT_EQ(report.quarantined, 1U);
+  EXPECT_EQ(metrics.counter("data.quarantined").value(), 1U);
+  // File left in place for inspection.
+  EXPECT_TRUE(stdfs::exists(dir.path("img_000000.json")));
+  EXPECT_FALSE(stdfs::exists(dir.path("quarantine")));
+}
+
+TEST(LabelmeCorruptCorpus, RoundTripThroughExportSurvivesAtomically) {
+  // An exported dataset imports back whole, and the export directory holds
+  // no stale .tmp staging files (every write went through temp + rename).
+  TempDir dir("roundtrip");
+  data::BuildConfig config;
+  config.image_count = 4;
+  config.generator.image_width = 32;
+  config.generator.image_height = 32;
+  const Dataset original = build_synthetic_dataset(config, 7);
+  export_labelme_dataset(original, dir.root());
+
+  std::size_t tmp_files = 0;
+  for (const auto& entry : stdfs::directory_iterator(dir.root())) {
+    if (entry.path().extension() == ".tmp") ++tmp_files;
+  }
+  EXPECT_EQ(tmp_files, 0U);
+
+  util::MetricsRegistry metrics;
+  ImportOptions options;
+  options.metrics = &metrics;
+  ImportReport report;
+  const Dataset reloaded = import_labelme_dataset(dir.root(), options, &report);
+  EXPECT_EQ(reloaded.size(), original.size());
+  EXPECT_EQ(report.quarantined, 0U);
+  EXPECT_EQ(metrics.counter("data.imported").value(), original.size());
+}
+
+}  // namespace
+}  // namespace neuro::data

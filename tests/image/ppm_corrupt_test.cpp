@@ -1,0 +1,140 @@
+// Hostile-input corpus for the PPM loader: every malformed header or
+// payload must be rejected with a structured "ppm:" error before any
+// pixel allocation happens — never an overflow, OOM, or crash.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "image/ppm_io.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::image {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("neuro_ppm_") + tag + "_" + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+std::string valid_ppm(int w, int h) {
+  std::string bytes = "P6\n" + std::to_string(w) + " " + std::to_string(h) + "\n255\n";
+  bytes.append(static_cast<std::size_t>(w) * h * 3, '\x7f');
+  return bytes;
+}
+
+struct HostileCase {
+  const char* name;
+  std::string content;
+  const char* expect_in_error;  // substring the error must carry
+};
+
+TEST(PpmCorrupt, HostileHeadersRejectedWithStructuredErrors) {
+  const std::vector<HostileCase> cases = {
+      {"empty", "", "ppm"},
+      {"magic_only", "P6", "ppm"},
+      {"wrong_magic", "P4\n2 2\n255\n" + std::string(12, 'x'), "ppm"},
+      {"binary_garbage", std::string("\x00\xff\x00\xff\x42", 5), "ppm"},
+      {"missing_dims", "P6\n", "ppm"},
+      {"width_only", "P6\n4\n", "ppm"},
+      {"non_numeric_width", "P6\nabc 4\n255\n", "non-numeric"},
+      {"non_numeric_height", "P6\n4 xyz\n255\n", "non-numeric"},
+      {"negative_width", "P6\n-4 4\n255\n", "non-numeric"},
+      {"zero_width", "P6\n0 4\n255\n", "ppm"},
+      {"oversized_width", "P6\n99999 4\n255\n", "exceeds"},
+      {"oversized_height", "P6\n4 99999\n255\n", "exceeds"},
+      // Would overflow 32-bit w*h*3 if parsed naively; must die at the cap.
+      {"overflow_dims", "P6\n2000000000 2000000000\n255\n", "exceeds"},
+      {"huge_digit_string", "P6\n" + std::string(40, '9') + " 4\n255\n", "exceeds"},
+      {"maxval_zero", "P6\n2 2\n0\n" + std::string(12, 'x'), "ppm"},
+      {"maxval_huge", "P6\n2 2\n70000\n" + std::string(12, 'x'), "exceeds"},
+      {"non_numeric_maxval", "P6\n2 2\nmax\n" + std::string(12, 'x'), "non-numeric"},
+      {"missing_payload", "P6\n2 2\n255\n", "bytes"},
+      {"short_payload", "P6\n4 4\n255\n" + std::string(10, 'x'), "bytes"},
+      {"header_truncated_mid_number", "P6\n12", "ppm"},
+  };
+
+  TempDir dir("hostile");
+  std::size_t index = 0;
+  for (const HostileCase& c : cases) {
+    const std::string path = dir.path("case_" + std::to_string(index++) + ".ppm");
+    util::Fsx::real().write_file(path, c.content);
+    try {
+      load_ppm(path);
+      FAIL() << c.name << ": loader accepted hostile input";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("ppm"), std::string::npos) << c.name << ": " << what;
+      EXPECT_NE(what.find(c.expect_in_error), std::string::npos) << c.name << ": " << what;
+    }
+  }
+}
+
+TEST(PpmCorrupt, TruncationAtEveryHeaderByteNeverCrashes) {
+  const std::string bytes = valid_ppm(4, 4);
+  const std::size_t header_end = bytes.find('\x7f');
+  TempDir dir("truncate");
+  for (std::size_t cut = 0; cut < header_end; ++cut) {
+    const std::string path = dir.path("cut_" + std::to_string(cut) + ".ppm");
+    util::Fsx::real().write_file(path, bytes.substr(0, cut));
+    EXPECT_THROW(load_ppm(path), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+TEST(PpmCorrupt, DimensionCapBoundaryIsExact) {
+  TempDir dir("cap");
+  // Width exactly at the cap parses (with matching payload)…
+  const int cap = kMaxPpmDimension;
+  std::string at_cap = "P6\n" + std::to_string(cap) + " 1\n255\n";
+  at_cap.append(static_cast<std::size_t>(cap) * 3, '\x01');
+  util::Fsx::real().write_file(dir.path("at_cap.ppm"), at_cap);
+  const Image ok = load_ppm(dir.path("at_cap.ppm"));
+  EXPECT_EQ(ok.width(), cap);
+  EXPECT_EQ(ok.height(), 1);
+
+  // …one past the cap is refused before allocating a payload buffer.
+  const std::string over = "P6\n" + std::to_string(cap + 1) + " 1\n255\n";
+  util::Fsx::real().write_file(dir.path("over_cap.ppm"), over);
+  try {
+    load_ppm(dir.path("over_cap.ppm"));
+    FAIL() << "accepted width past kMaxPpmDimension";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos) << e.what();
+  }
+}
+
+TEST(PpmCorrupt, ExcessPayloadToleratedRoundTripExact) {
+  // Trailing junk after the pixel payload is ignored (some writers pad),
+  // and a clean save/load round trip is byte-exact.
+  TempDir dir("roundtrip");
+  util::Fsx::real().write_file(dir.path("padded.ppm"), valid_ppm(3, 2) + "\n# trailer");
+  const Image padded = load_ppm(dir.path("padded.ppm"));
+  EXPECT_EQ(padded.width(), 3);
+  EXPECT_EQ(padded.height(), 2);
+
+  save_ppm(padded, dir.path("resaved.ppm"));
+  const Image again = load_ppm(dir.path("resaved.ppm"));
+  ASSERT_EQ(again.width(), padded.width());
+  ASSERT_EQ(again.height(), padded.height());
+  EXPECT_EQ(util::Fsx::real().read_file(dir.path("resaved.ppm")), valid_ppm(3, 2));
+}
+
+}  // namespace
+}  // namespace neuro::image

@@ -1,0 +1,248 @@
+// The crash-safe I/O substrate: atomic write semantics under every
+// injected fault, and record-log replay that truncates at the first bad
+// frame instead of crashing or trusting garbage.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "util/fsx.hpp"
+#include "util/recordlog.hpp"
+
+namespace neuro::util {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("neuro_fsx_") + tag + "_" + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+TEST(FsxAtomic, WriteThenReadRoundTrips) {
+  TempDir dir("roundtrip");
+  Fsx& fs = Fsx::real();
+  atomic_write_file(fs, dir.path("a.txt"), "hello");
+  EXPECT_EQ(fs.read_file(dir.path("a.txt")), "hello");
+  // No stale temp file after a successful write.
+  EXPECT_FALSE(fs.exists(temp_path_for(dir.path("a.txt"))));
+}
+
+TEST(FsxAtomic, CrashDuringWriteKeepsPreviousContent) {
+  TempDir dir("crashwrite");
+  Fsx& real = Fsx::real();
+  const std::string target = dir.path("state.bin");
+  atomic_write_file(real, target, "previous good content");
+
+  // Sweep the torn fraction: whatever lands in the temp file, the
+  // destination is untouched because the rename never happened.
+  for (const double fraction : {0.0, 0.25, 0.5, 0.99}) {
+    FaultFs faulty(real, FsFaultPlan::torn_write(0, fraction));
+    EXPECT_THROW(atomic_write_file(faulty, target, "NEW CONTENT MUST NOT APPEAR"),
+                 FsxCrash);
+    EXPECT_EQ(real.read_file(target), "previous good content");
+  }
+}
+
+TEST(FsxAtomic, CrashAtRenameLeavesOldOrCompleteNew) {
+  TempDir dir("crashrename");
+  Fsx& real = Fsx::real();
+  const std::string target = dir.path("state.bin");
+  for (const double side : {0.0, 1.0}) {  // die just before vs just after
+    atomic_write_file(real, target, "old");
+    FsFaultPlan plan = FsFaultPlan::torn_write(1, side);  // op 0 = write, op 1 = rename
+    FaultFs faulty(real, plan);
+    EXPECT_THROW(atomic_write_file(faulty, target, "new"), FsxCrash);
+    const std::string after = real.read_file(target);
+    // Never a torn mix: exactly one of the two complete states.
+    EXPECT_TRUE(after == "old" || after == "new") << "got: " << after;
+    EXPECT_EQ(after == "new", side >= 0.5);
+  }
+}
+
+TEST(FsxAtomic, EnospcFailsCleanlyAndCleansTempFile) {
+  TempDir dir("enospc");
+  Fsx& real = Fsx::real();
+  const std::string target = dir.path("state.bin");
+  atomic_write_file(real, target, "survives");
+  util::MetricsRegistry metrics;
+  FaultFs faulty(real, FsFaultPlan::no_space(0), &metrics);
+  EXPECT_THROW(atomic_write_file(faulty, target, "doomed"), FsxError);
+  EXPECT_EQ(real.read_file(target), "survives");
+  EXPECT_FALSE(real.exists(temp_path_for(target)));
+  EXPECT_EQ(metrics.counter("fsx.injected.enospc").value(), 1U);
+}
+
+TEST(FsxAtomic, RenameFailureKeepsPreviousContent) {
+  TempDir dir("renamefail");
+  Fsx& real = Fsx::real();
+  const std::string target = dir.path("state.bin");
+  atomic_write_file(real, target, "survives");
+  FaultFs faulty(real, FsFaultPlan::rename_failure(0));
+  EXPECT_THROW(atomic_write_file(faulty, target, "doomed"), FsxError);
+  EXPECT_EQ(real.read_file(target), "survives");
+  EXPECT_FALSE(real.exists(temp_path_for(target)));
+}
+
+TEST(FsxAtomic, FaultReadsInjectFlipsAndShortReads) {
+  TempDir dir("reads");
+  Fsx& real = Fsx::real();
+  const std::string target = dir.path("data.bin");
+  real.write_file(target, "abcdefgh");
+
+  FaultFs flipper(real, FsFaultPlan::bit_flip(0, 2, 0));
+  const std::string flipped = flipper.read_file(target);
+  EXPECT_EQ(flipped.size(), 8U);
+  EXPECT_EQ(flipped[2], 'c' ^ 1);
+  EXPECT_EQ(flipper.read_file(target), "abcdefgh");  // only read 0 is hit
+
+  FaultFs shorter(real, FsFaultPlan::short_read(0, 0.5));
+  EXPECT_EQ(shorter.read_file(target), "abcd");
+}
+
+TEST(FsxAtomic, ReadOfMissingFileIsStructuredError) {
+  TempDir dir("missing");
+  try {
+    Fsx::real().read_file(dir.path("nope.bin"));
+    FAIL() << "expected FsxError";
+  } catch (const FsxError& e) {
+    EXPECT_EQ(e.op(), FsxOp::kRead);
+    EXPECT_NE(std::string(e.what()).find("nope.bin"), std::string::npos);
+  }
+}
+
+TEST(RecordLogCorrupt, Crc32MatchesKnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(crc32(""), 0x00000000U);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926U);
+  EXPECT_EQ(crc32("hello"), 0x3610A686U);
+}
+
+TEST(RecordLogCorrupt, RoundTripReplaysEveryRecord) {
+  const std::vector<std::string> payloads = {"alpha", "", std::string("some\0bin\xFF", 9),
+                                             std::string(1000, 'x')};
+  const RecordLogReplay replay = recordlog_replay(recordlog_serialize(payloads));
+  EXPECT_TRUE(replay.clean);
+  EXPECT_EQ(replay.dropped_bytes, 0U);
+  ASSERT_EQ(replay.records.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) EXPECT_EQ(replay.records[i], payloads[i]);
+}
+
+TEST(RecordLogCorrupt, TruncationAtEveryByteYieldsValidPrefix) {
+  const std::vector<std::string> payloads = {"one", "twotwo", "three-three"};
+  const std::string bytes = recordlog_serialize(payloads);
+  // Frame boundaries: header is 8 bytes, each frame 8 + len.
+  std::vector<std::size_t> boundaries = {8};
+  for (const std::string& p : payloads) boundaries.push_back(boundaries.back() + 8 + p.size());
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const RecordLogReplay replay = recordlog_replay(bytes.substr(0, cut));
+    // Complete frames before the cut survive; nothing after is invented.
+    std::size_t expect = 0;
+    while (expect < payloads.size() && boundaries[expect + 1] <= cut) ++expect;
+    ASSERT_EQ(replay.records.size(), expect) << "cut at " << cut;
+    EXPECT_EQ(replay.clean, cut == bytes.size() || cut == boundaries[expect])
+        << "cut at " << cut;
+    for (std::size_t i = 0; i < expect; ++i) EXPECT_EQ(replay.records[i], payloads[i]);
+  }
+}
+
+TEST(RecordLogCorrupt, BitFlipAnywhereKillsAtMostTheTail) {
+  const std::vector<std::string> payloads = {"aaaa", "bbbb", "cccc", "dddd"};
+  const std::string bytes = recordlog_serialize(payloads);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (const int bit : {0, 3, 7}) {
+      std::string mutated = bytes;
+      mutated[byte] ^= static_cast<char>(1 << bit);
+      const RecordLogReplay replay = recordlog_replay(mutated);  // must not throw
+      // A flip in the header kills everything; a flip in frame k kills
+      // frames >= k at most — frames before the flipped byte must survive
+      // intact (their CRCs were already validated over clean bytes).
+      if (byte >= 8) {
+        std::size_t clean_before = 0;
+        std::size_t pos = 8;
+        while (clean_before < payloads.size() &&
+               pos + 8 + payloads[clean_before].size() <= byte) {
+          pos += 8 + payloads[clean_before].size();
+          ++clean_before;
+        }
+        ASSERT_GE(replay.records.size(), clean_before) << "byte " << byte << " bit " << bit;
+        for (std::size_t i = 0; i < clean_before; ++i) {
+          EXPECT_EQ(replay.records[i], payloads[i]);
+        }
+        // And never trusts the flipped frame itself as-is.
+        if (replay.records.size() > clean_before) {
+          // Flip landed in a length field such that a shifted parse still
+          // CRC-validated — impossible for CRC32 over these sizes, but
+          // assert the strong property anyway.
+          for (std::size_t i = clean_before; i < replay.records.size(); ++i) {
+            EXPECT_EQ(replay.records[i], payloads[i]) << "byte " << byte << " bit " << bit;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RecordLogCorrupt, GarbageHeadersRejectedWithoutAllocation) {
+  EXPECT_FALSE(recordlog_replay("").clean);
+  EXPECT_FALSE(recordlog_replay("NRL").clean);       // short magic
+  EXPECT_FALSE(recordlog_replay("XXXXYYYY").clean);  // wrong magic
+  EXPECT_FALSE(recordlog_replay("NRLG\x02\x00\x00\x00").clean);  // future version
+  EXPECT_TRUE(recordlog_replay(recordlog_header()).clean);       // empty log is fine
+
+  // An absurd length field (bit-flipped high bit) must not allocate 2 GiB.
+  std::string bytes = recordlog_header();
+  bytes += std::string("\xFF\xFF\xFF\x7F", 4);  // len = 0x7FFFFFFF
+  bytes += std::string("\x00\x00\x00\x00", 4);
+  bytes += "tiny";
+  const RecordLogReplay replay = recordlog_replay(bytes);
+  EXPECT_FALSE(replay.clean);
+  EXPECT_EQ(replay.records.size(), 0U);
+  EXPECT_EQ(replay.error, "absurd frame length");
+}
+
+TEST(RecordLogCorrupt, AppendedFramesSurviveTornTail) {
+  TempDir dir("applog");
+  Fsx& real = Fsx::real();
+  const std::string path = dir.path("log.nrlg");
+  recordlog_create(real, path);
+  recordlog_append(real, path, "first");
+  recordlog_append(real, path, "second");
+
+  // Third append tears partway through its frame (crash at mutating op 0
+  // of this FaultFs = the append itself).
+  FaultFs faulty(real, FsFaultPlan::torn_write(0, 0.5));
+  EXPECT_THROW(recordlog_append(faulty, path, "third-never-lands"), FsxCrash);
+
+  const RecordLogReplay replay = recordlog_load(real, path);
+  EXPECT_FALSE(replay.clean);
+  ASSERT_EQ(replay.records.size(), 2U);
+  EXPECT_EQ(replay.records[0], "first");
+  EXPECT_EQ(replay.records[1], "second");
+  EXPECT_GT(replay.dropped_bytes, 0U);
+
+  // Recovery: truncate the torn tail and keep appending — the log heals.
+  const std::string bytes = real.read_file(path);
+  real.write_file(path, bytes.substr(0, bytes.size() - replay.dropped_bytes));
+  recordlog_append(real, path, "third");
+  const RecordLogReplay healed = recordlog_load(real, path);
+  EXPECT_TRUE(healed.clean);
+  ASSERT_EQ(healed.records.size(), 3U);
+  EXPECT_EQ(healed.records[2], "third");
+}
+
+}  // namespace
+}  // namespace neuro::util
