@@ -20,6 +20,7 @@
 #include "detect/detector.hpp"
 #include "image/noise.hpp"
 #include "llm/ensemble.hpp"
+#include "serve/loadgen.hpp"
 #include "util/recordlog.hpp"
 
 using namespace neuro;
@@ -247,6 +248,59 @@ void BM_RecordLogReplay(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes.size()));
 }
 BENCHMARK(BM_RecordLogReplay)->Arg(64)->Arg(1024)->ArgName("entries");
+
+// Multi-tenant admission throughput: a fresh SurveyService absorbing a
+// pre-materialized open-loop arrival schedule where tight per-tenant
+// quotas shed most jobs — token-bucket refills, queue checks and shed
+// accounting dominate, with the admitted residue exercising dispatch and
+// the virtual-time LLM sub-batches end to end.
+void BM_ServeAdmission(benchmark::State& state) {
+  static const core::SurveyRunner runner(shared_dataset());
+  static const llm::VisionLanguageModel model = runner.make_model(llm::gemini_1_5_pro_profile());
+
+  serve::LoadGenConfig load;
+  load.tenants = 64;
+  load.horizon_ms = 10'000.0;
+  load.jobs_per_tenant_per_s = 2.0;
+  load.images_per_job = 1;
+  load.quota_jobs_per_s = 0.05;  // sheds most of the offered load
+  load.quota_burst = 1.0;
+  load.seed = 9;
+  const serve::LoadGen loadgen(load, shared_dataset().size());
+  const std::vector<serve::TenantConfig> tenants = loadgen.tenants();
+  const std::vector<serve::SurveyJob> arrivals = loadgen.arrivals();
+
+  for (auto _ : state) {
+    serve::ServiceConfig config;
+    config.survey.seed = 11;
+    config.survey.threads = 1;
+    serve::SurveyService service(runner, model, config);
+    for (const serve::TenantConfig& tenant : tenants) service.register_tenant(tenant);
+    benchmark::DoNotOptimize(service.run(arrivals));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(arrivals.size()));
+}
+BENCHMARK(BM_ServeAdmission)->Unit(benchmark::kMillisecond);
+
+// Load-generator synthesis cost: materializing the full open-loop
+// multi-tenant arrival schedule (per-tenant Poisson thinning under the
+// diurnal + burst envelope) from scratch, at two population sizes.
+void BM_LoadGenStep(benchmark::State& state) {
+  serve::LoadGenConfig load;
+  load.tenants = static_cast<std::size_t>(state.range(0));
+  load.horizon_ms = 20'000.0;
+  load.bursts.push_back({8'000.0, 12'000.0, 4.0});
+  load.seed = 77;
+  const serve::LoadGen loadgen(load, 64);
+  std::size_t arrivals = 0;
+  for (auto _ : state) {
+    const std::vector<serve::SurveyJob> schedule = loadgen.arrivals();
+    arrivals = schedule.size();
+    benchmark::DoNotOptimize(schedule);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_LoadGenStep)->Arg(100)->Arg(1000)->ArgName("tenants")->Unit(benchmark::kMillisecond);
 
 void BM_MajorityVote(benchmark::State& state) {
   std::vector<scene::PresenceVector> votes(3);

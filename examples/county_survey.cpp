@@ -12,7 +12,7 @@
 //   --corrupt RATE        corrupt responses at RATE (split across modes)
 //   --deadline MS         per-request deadline budget (0 = off)
 //   --hedge MS            hedge a second attempt after MS (0 = off)
-//   --abort-after MS      abort the batch at virtual time MS (0 = off)
+//   --abort-after MS      abort the batch at virtual time MS (negative = off)
 //   --journal PATH        checkpoint/resume file: completed images are
 //                         restored without re-spending tokens. Written as a
 //                         CRC32-framed record log via atomic temp+rename; a
@@ -27,6 +27,16 @@
 //                         byte-identical at any thread count.
 //   --manifest PATH       write a RunManifest (seed, config digest, git
 //                         describe, stage durations, metrics snapshot)
+//
+// Service mode (ROADMAP item 1 — the survey as a multi-tenant service):
+//   --serve               run the admission/queue core under the load
+//                         generator instead of the one-shot batch survey
+//   --tenants N           serve: tenant population size
+//   --serve-horizon MS    serve: arrival horizon on the virtual clock
+//   --drain-at MS         serve: graceful-drain point (negative = never);
+//                         pair with --journal to resume the drained work
+//   --closed-loop         serve: one outstanding job per tenant (latency
+//                         regime) instead of open-loop pressure
 
 #include <chrono>
 #include <cstdio>
@@ -37,6 +47,8 @@
 
 #include "core/neighborhood_decoder.hpp"
 #include "core/survey.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
 #include "eval/manifest.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
@@ -76,12 +88,19 @@ int main(int argc, char** argv) {
   cli.add_double("corrupt", 0.0, "response corruption rate in [0,1]");
   cli.add_double("deadline", 0.0, "per-request deadline budget in virtual ms (0 = off)");
   cli.add_double("hedge", 0.0, "hedge a second attempt after this many ms (0 = off)");
-  cli.add_double("abort-after", 0.0, "abort the usage batch at this virtual time (0 = off)");
+  cli.add_double("abort-after", llm::kNoAbortCut,
+                 "abort the usage batch at this virtual time (negative = run to completion; "
+                 "0 aborts everything)");
   cli.add_string("journal", "",
                  "checkpoint/resume journal file for the usage batch (CRC32 record log, "
                  "atomic save; a torn/corrupt checkpoint recovers its valid prefix)");
   cli.add_string("trace", "", "write a Perfetto-loadable Chrome trace to this file");
   cli.add_string("manifest", "", "write a run-provenance manifest to this file");
+  cli.add_flag("serve", false, "run the multi-tenant service core under the load generator");
+  cli.add_int("tenants", 200, "serve: tenant population size");
+  cli.add_double("serve-horizon", 30'000.0, "serve: arrival horizon in virtual ms");
+  cli.add_double("drain-at", -1.0, "serve: graceful-drain point in virtual ms (negative = never)");
+  cli.add_flag("closed-loop", false, "serve: closed-loop driving (one job in flight per tenant)");
   if (!cli.parse(argc, argv)) return 0;
 
   // Tracing covers the whole run (dataset build through ensemble vote);
@@ -100,8 +119,113 @@ int main(int argc, char** argv) {
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   options.threads = static_cast<std::size_t>(cli.get_int("threads"));
   core::NeighborhoodDecoder decoder(options);
-
   const auto image_count = static_cast<std::size_t>(cli.get_int("images"));
+
+  // Assemble the scripted fault plan + resilience budget from the CLI.
+  // Both the batch path and the service path run the same provider model.
+  llm::SchedulerConfig scheduler_config;
+  {
+    double start = 0.0, end = 0.0, mult = 8.0;
+    if (parse_window(cli.get_string("outage"), start, end)) {
+      scheduler_config.faults.outages.push_back({start, end});
+    }
+    if (parse_window(cli.get_string("storm"), start, end)) {
+      scheduler_config.faults.rate_limit_storms.push_back({start, end});
+    }
+    if (parse_window(cli.get_string("tail"), start, end, &mult)) {
+      scheduler_config.faults.tail_latency.push_back({{start, end}, mult, 0.25});
+    }
+    const double corrupt = cli.get_double("corrupt");
+    if (corrupt > 0.0) {
+      const double per_mode = corrupt / 4.0;
+      scheduler_config.faults.corruption = {per_mode, per_mode, per_mode, per_mode};
+    }
+    scheduler_config.resilience.deadline_ms = cli.get_double("deadline");
+    scheduler_config.resilience.hedge_after_ms = cli.get_double("hedge");
+    scheduler_config.abort_after_ms = cli.get_double("abort-after");
+    if (tracing) scheduler_config.trace = &trace;
+  }
+
+  // --- Service mode: the same survey substrate behind a multi-tenant
+  // admission/queue front door, driven by the deterministic load
+  // generator. Quotas, priority classes, bounded queues, streaming
+  // delivery, and (with --journal + --drain-at) graceful drain/resume.
+  if (cli.get_flag("serve")) {
+    data::Dataset dataset = decoder.generate_survey(image_count);
+    const core::SurveyRunner runner(dataset);
+    const llm::VisionLanguageModel model = runner.make_model(llm::gemini_1_5_pro_profile());
+
+    util::MetricsRegistry metrics;
+    serve::ServiceConfig service_config;
+    service_config.survey.seed = options.seed;
+    service_config.survey.threads = options.threads;
+    service_config.scheduler = scheduler_config;
+    service_config.drain_at_ms = cli.get_double("drain-at");
+    service_config.journal_path = cli.get_string("journal");
+    service_config.metrics = &metrics;
+    if (tracing) service_config.trace = &trace;
+
+    serve::LoadGenConfig load;
+    load.tenants = static_cast<std::size_t>(cli.get_int("tenants"));
+    load.horizon_ms = cli.get_double("serve-horizon");
+    load.closed_loop = cli.get_flag("closed-loop");
+    // A mid-horizon kickoff burst so the shed/backpressure regime shows up.
+    load.bursts.push_back({load.horizon_ms * 0.4, load.horizon_ms * 0.55, 4.0});
+    load.seed = options.seed;
+    const serve::LoadGen loadgen(load, dataset.size());
+
+    serve::SurveyService service(runner, model, service_config);
+    for (const serve::TenantConfig& tenant : loadgen.tenants()) service.register_tenant(tenant);
+    const core::JournalRecovery recovery = service.open();
+    if (recovery.entries > 0) {
+      std::printf("resumed from %s: %zu journaled images restore without re-spending tokens\n",
+                  service_config.journal_path.c_str(), recovery.entries);
+    }
+
+    std::printf("serving %zu tenants over %.0f virtual seconds (%s loop)...\n", load.tenants,
+                load.horizon_ms / 1000.0, load.closed_loop ? "closed" : "open");
+    const serve::ServiceReport report = loadgen.drive(service);
+
+    util::TextTable table({"Class", "Submitted", "Admitted", "Shed", "p50 ms", "p95 ms",
+                           "p99 ms", "Goodput/s", "Shed rate"});
+    for (std::size_t c = 0; c < serve::kPriorityClasses; ++c) {
+      const serve::ClassStats& stats = report.classes[c];
+      table.add_row({std::string(serve::priority_name(static_cast<serve::Priority>(c))),
+                     std::to_string(stats.submitted), std::to_string(stats.admitted),
+                     std::to_string(stats.shed_quota + stats.shed_queue_full +
+                                    stats.shed_draining),
+                     util::format("%.1f", stats.admission_p50_ms),
+                     util::format("%.1f", stats.admission_p95_ms),
+                     util::format("%.1f", stats.admission_p99_ms),
+                     util::format("%.2f", stats.goodput_images_per_s),
+                     util::fmt_percent(stats.shed_rate, 1)});
+    }
+    std::printf("\nPer-class admission latency / goodput / shed rate:\n%s",
+                table.render().c_str());
+    std::printf("\ntotals: %llu LLM requests, %llu images streamed (%llu restored from "
+                "journal), %.2f USD, horizon %.1f s\n",
+                static_cast<unsigned long long>(report.requests),
+                static_cast<unsigned long long>(report.images_streamed),
+                static_cast<unsigned long long>(report.images_restored), report.cost_usd,
+                report.horizon_ms / 1000.0);
+    std::uint64_t drained_jobs = 0;
+    for (const serve::JobRecord& record : report.jobs) drained_jobs += record.drained ? 1 : 0;
+    if (drained_jobs > 0) {
+      std::printf("drained %llu in-flight jobs at the drain point; re-run with the same "
+                  "--journal to resume them with zero duplicate requests\n",
+                  static_cast<unsigned long long>(drained_jobs));
+    }
+    std::printf("%s", eval::metrics_table(metrics).render().c_str());
+    if (tracing) {
+      util::set_active_trace(nullptr);
+      if (!trace_path.empty()) {
+        trace.write(trace_path);
+        std::printf("trace written: %s (load in https://ui.perfetto.dev)\n", trace_path.c_str());
+      }
+    }
+    return 0;
+  }
+
   std::printf("surveying %zu captures across two counties...\n", image_count);
   data::Dataset dataset = decoder.generate_survey(image_count);
 
@@ -168,28 +292,6 @@ int main(int argc, char** argv) {
   core::SurveyConfig survey_config;
   survey_config.seed = options.seed;
   survey_config.threads = options.threads;
-
-  // Assemble the scripted fault plan + resilience budget from the CLI.
-  llm::SchedulerConfig scheduler_config;
-  double start = 0.0, end = 0.0, mult = 8.0;
-  if (parse_window(cli.get_string("outage"), start, end)) {
-    scheduler_config.faults.outages.push_back({start, end});
-  }
-  if (parse_window(cli.get_string("storm"), start, end)) {
-    scheduler_config.faults.rate_limit_storms.push_back({start, end});
-  }
-  if (parse_window(cli.get_string("tail"), start, end, &mult)) {
-    scheduler_config.faults.tail_latency.push_back({{start, end}, mult, 0.25});
-  }
-  const double corrupt = cli.get_double("corrupt");
-  if (corrupt > 0.0) {
-    const double per_mode = corrupt / 4.0;
-    scheduler_config.faults.corruption = {per_mode, per_mode, per_mode, per_mode};
-  }
-  scheduler_config.resilience.deadline_ms = cli.get_double("deadline");
-  scheduler_config.resilience.hedge_after_ms = cli.get_double("hedge");
-  scheduler_config.abort_after_ms = cli.get_double("abort-after");
-  if (tracing) scheduler_config.trace = &trace;
 
   // The scripted chaos hits the first member only; the clean members keep
   // the quorum honest instead of the whole batch sinking together.

@@ -1,5 +1,7 @@
 #include "core/journal.hpp"
 
+#include <tuple>
+
 #include "util/recordlog.hpp"
 #include "util/strings.hpp"
 #include "util/trace.hpp"
@@ -24,6 +26,14 @@ scene::PresenceVector from_mask(int mask) {
   return prediction;
 }
 
+/// Last-writer-wins conflict order: higher revision wins; equal revisions
+/// tie-break on content so the winner is a pure function of the two
+/// entries, never of merge order.
+bool entry_wins(const JournalEntry& incoming, const JournalEntry& existing) {
+  return std::tuple(incoming.revision, incoming.answered_questions, to_mask(incoming.prediction)) >
+         std::tuple(existing.revision, existing.answered_questions, to_mask(existing.prediction));
+}
+
 }  // namespace
 
 std::string SurveyJournal::key(const std::string& model, std::uint64_t image_id) {
@@ -32,7 +42,9 @@ std::string SurveyJournal::key(const std::string& model, std::uint64_t image_id)
 
 void SurveyJournal::record(const std::string& model, std::uint64_t image_id,
                            const JournalEntry& entry) {
-  entries_[key(model, image_id)] = entry;
+  JournalEntry stamped = entry;
+  stamped.revision = ++clock_;
+  entries_[key(model, image_id)] = stamped;
 }
 
 bool SurveyJournal::contains(const std::string& model, std::uint64_t image_id) const {
@@ -45,12 +57,44 @@ const JournalEntry* SurveyJournal::lookup(const std::string& model,
   return it != entries_.end() ? &it->second : nullptr;
 }
 
+void SurveyJournal::record(const std::string& tenant, const std::string& model,
+                           std::uint64_t image_id, const JournalEntry& entry) {
+  JournalEntry stamped = entry;
+  stamped.revision = ++clock_;
+  entries_[tenant + ":" + key(model, image_id)] = stamped;
+}
+
+bool SurveyJournal::contains(const std::string& tenant, const std::string& model,
+                             std::uint64_t image_id) const {
+  return entries_.find(tenant + ":" + key(model, image_id)) != entries_.end();
+}
+
+const JournalEntry* SurveyJournal::lookup(const std::string& tenant, const std::string& model,
+                                          std::uint64_t image_id) const {
+  const auto it = entries_.find(tenant + ":" + key(model, image_id));
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+SurveyJournal SurveyJournal::tenant_shard(const std::string& tenant) const {
+  const std::string prefix = tenant + ":";
+  SurveyJournal shard;
+  for (const auto& [k, entry] : entries_) {
+    if (k.rfind(prefix, 0) == 0) shard.insert_with_revision(k.substr(prefix.size()), entry);
+  }
+  return shard;
+}
+
+void SurveyJournal::merge_tenant(const std::string& tenant, const SurveyJournal& shard) {
+  for (const auto& [k, entry] : shard.entries_) insert_with_revision(tenant + ":" + k, entry);
+}
+
 util::Json SurveyJournal::to_json() const {
   util::Json images = util::Json::object();
   for (const auto& [k, entry] : entries_) {
     util::Json record = util::Json::object();
     record["mask"] = to_mask(entry.prediction);
     record["answered"] = entry.answered_questions;
+    record["rev"] = static_cast<std::int64_t>(entry.revision);
     images[k] = std::move(record);
   }
   util::Json json = util::Json::object();
@@ -67,13 +111,24 @@ SurveyJournal SurveyJournal::from_json(const util::Json& json) {
     JournalEntry entry;
     entry.prediction = from_mask(static_cast<int>(record.get("mask", 0.0)));
     entry.answered_questions = static_cast<int>(record.get("answered", 0.0));
-    journal.entries_[k] = entry;
+    entry.revision = static_cast<std::uint64_t>(record.get("rev", 0.0));
+    journal.insert_with_revision(k, entry);
   }
   return journal;
 }
 
 void SurveyJournal::merge(const SurveyJournal& other) {
-  for (const auto& [k, entry] : other.entries_) entries_[k] = entry;
+  for (const auto& [k, entry] : other.entries_) insert_with_revision(k, entry);
+}
+
+void SurveyJournal::insert_with_revision(std::string key, const JournalEntry& entry) {
+  if (entry.revision > clock_) clock_ = entry.revision;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(std::move(key), entry);
+  } else if (entry_wins(entry, it->second)) {
+    it->second = entry;
+  }
 }
 
 namespace {
@@ -92,15 +147,26 @@ std::uint32_t get_u32(std::string_view bytes, std::size_t pos) {
          static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + 3])) << 24;
 }
 
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t pos) {
+  return static_cast<std::uint64_t>(get_u32(bytes, pos)) |
+         static_cast<std::uint64_t>(get_u32(bytes, pos + 4)) << 32;
+}
+
 }  // namespace
 
 std::string SurveyJournal::encode_entry(const std::string& key, const JournalEntry& entry) {
   std::string payload;
-  payload.reserve(12 + key.size());
+  payload.reserve(20 + key.size());
   put_u32(payload, static_cast<std::uint32_t>(key.size()));
   payload.append(key);
   put_u32(payload, static_cast<std::uint32_t>(to_mask(entry.prediction)));
   put_u32(payload, static_cast<std::uint32_t>(entry.answered_questions));
+  put_u64(payload, entry.revision);
   return payload;
 }
 
@@ -108,10 +174,16 @@ bool SurveyJournal::decode_entry(std::string_view payload, std::string& key,
                                  JournalEntry& entry) {
   if (payload.size() < 12) return false;
   const std::uint32_t key_len = get_u32(payload, 0);
-  if (payload.size() != 12 + static_cast<std::size_t>(key_len)) return false;
+  // Two accepted frame layouts: the pre-revision 12-byte form (legacy
+  // checkpoints, revision 0) and the current 20-byte form with the LWW
+  // write clock appended.
+  const std::size_t legacy_size = 12 + static_cast<std::size_t>(key_len);
+  const std::size_t current_size = 20 + static_cast<std::size_t>(key_len);
+  if (payload.size() != legacy_size && payload.size() != current_size) return false;
   key.assign(payload.substr(4, key_len));
   entry.prediction = from_mask(static_cast<int>(get_u32(payload, 4 + key_len)));
   entry.answered_questions = static_cast<int>(get_u32(payload, 8 + key_len));
+  entry.revision = payload.size() == current_size ? get_u64(payload, 12 + key_len) : 0;
   return true;
 }
 
@@ -139,7 +211,7 @@ SurveyJournal SurveyJournal::load(const std::string& path, util::Fsx& fs,
       std::string k;
       JournalEntry entry;
       if (decode_entry(payload, k, entry)) {
-        journal.entries_[std::move(k)] = entry;
+        journal.insert_with_revision(std::move(k), entry);
       } else {
         ++local.dropped_records;  // valid CRC, alien payload: do not trust
       }

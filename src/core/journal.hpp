@@ -22,6 +22,11 @@ namespace neuro::core {
 struct JournalEntry {
   scene::PresenceVector prediction;
   int answered_questions = 0;
+  /// Logical write clock stamped by record(): later writes into the same
+  /// journal carry strictly larger revisions, and merge() resolves
+  /// conflicting entries for one key by revision (last writer wins) so
+  /// shard merges commute instead of depending on merge order.
+  std::uint64_t revision = 0;
 };
 
 /// How a checkpoint load went: entries restored from CRC-valid frames,
@@ -39,15 +44,40 @@ struct JournalRecovery {
 
 class SurveyJournal {
  public:
+  /// Record a completed image. The entry's revision is stamped from this
+  /// journal's write clock (any caller-supplied revision is overwritten).
   void record(const std::string& model, std::uint64_t image_id, const JournalEntry& entry);
   bool contains(const std::string& model, std::uint64_t image_id) const;
   /// Borrowed pointer into the journal; nullptr when absent.
   const JournalEntry* lookup(const std::string& model, std::uint64_t image_id) const;
+
+  /// Tenant-namespaced variants: the multi-tenant service checkpoints
+  /// every tenant's in-flight surveys in one journal, with keys prefixed
+  /// "<tenant>:" so identical (model, image) work for different tenants
+  /// stays distinct. Tenant ids must not contain ':'.
+  void record(const std::string& tenant, const std::string& model, std::uint64_t image_id,
+              const JournalEntry& entry);
+  bool contains(const std::string& tenant, const std::string& model,
+                std::uint64_t image_id) const;
+  const JournalEntry* lookup(const std::string& tenant, const std::string& model,
+                             std::uint64_t image_id) const;
+
+  /// Extract one tenant's entries as a standalone journal (prefix
+  /// stripped), e.g. to hand a per-tenant shard to a worker.
+  SurveyJournal tenant_shard(const std::string& tenant) const;
+  /// Fold a standalone shard back in under the tenant's namespace.
+  void merge_tenant(const std::string& tenant, const SurveyJournal& shard);
+
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
-  /// Copy every entry of `other` into this journal (`other` wins on key
-  /// collisions). Keys carry the model name, so an ensemble's per-member
-  /// journals can merge into — and reload from — one checkpoint file.
+  /// Fold every entry of `other` into this journal. Conflicting entries
+  /// for the same key resolve deterministically last-writer-wins: the
+  /// higher revision wins; equal revisions tie-break on content
+  /// (answered_questions, then the prediction mask) so the outcome is
+  /// independent of merge order — a.merge(b) and b.merge(a) agree. Keys
+  /// carry the model name (and the tenant namespace when present), so an
+  /// ensemble's per-member journals and a service's per-tenant shards can
+  /// merge into — and reload from — one checkpoint file.
   void merge(const SurveyJournal& other);
 
   util::Json to_json() const;
@@ -82,8 +112,13 @@ class SurveyJournal {
  private:
   static std::string key(const std::string& model, std::uint64_t image_id);
 
+  /// Insert an entry carrying its own revision (load/merge paths), keeping
+  /// the write clock ahead of everything stored.
+  void insert_with_revision(std::string key, const JournalEntry& entry);
+
   // std::map keeps serialization deterministic.
   std::map<std::string, JournalEntry> entries_;
+  std::uint64_t clock_ = 0;  // last revision handed out by record()
 };
 
 }  // namespace neuro::core

@@ -58,6 +58,10 @@ class SurveyRunner {
   const llm::CalibrationStats& calibration() const { return calibration_; }
   const std::vector<scene::PresenceVector>& truths() const { return truths_; }
   std::size_t image_count() const { return observations_.size(); }
+  /// Per-image access for callers that schedule sub-batches themselves
+  /// (the serve layer surveys per-tenant slices of the dataset).
+  const llm::VisualObservation& observation(std::size_t i) const { return observations_[i]; }
+  std::uint64_t image_id(std::size_t i) const { return image_ids_[i]; }
 
   /// Build a calibrated model from a profile using this dataset's stats.
   llm::VisionLanguageModel make_model(const llm::ModelProfile& profile) const;

@@ -5,22 +5,13 @@
 #include <queue>
 #include <tuple>
 
+#include "util/mathx.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 namespace neuro::llm {
 namespace {
-
-/// Exact quantile of a sorted sample (linear interpolation between ranks).
-double sorted_quantile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double fraction = rank - static_cast<double>(lo);
-  return sorted[lo] + fraction * (sorted[hi] - sorted[lo]);
-}
 
 /// A request waiting for admission: ready time plus its (item, message)
 /// identity. Ordered FIFO by readiness with the identity as tiebreak, so
@@ -99,7 +90,10 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
   // request's outcome at its virtual finish time, in admission order.
   const double slot_ms = 1000.0 / std::max(0.001, config_.client.requests_per_second);
   const std::size_t max_in_flight = std::max<std::size_t>(1, config_.max_in_flight);
+  // Negative = run to completion; any non-negative value (including 0.0,
+  // "abort everything") is a real cut.
   const double abort_cut_ms = config_.abort_after_ms;
+  const bool abort_enabled = abort_cut_ms >= 0.0;
   double bucket_next_free_ms = 0.0;
   CircuitBreaker breaker(config_.resilience.breaker, metrics_);
 
@@ -145,7 +139,7 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
       note_breaker(request.ready_ms);
       // Open breaker: reject locally before queueing — no bucket slot, no
       // in-flight occupancy, no virtual time spent.
-      if (abort_cut_ms > 0.0 && request.ready_ms >= abort_cut_ms) {
+      if (abort_enabled && request.ready_ms >= abort_cut_ms) {
         item.aborted = true;
         continue;
       }
@@ -166,7 +160,7 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
         in_flight.pop();
       }
       start_ms = std::max(start_ms, bucket_next_free_ms);
-      if (abort_cut_ms > 0.0 && start_ms >= abort_cut_ms) {
+      if (abort_enabled && start_ms >= abort_cut_ms) {
         // Admission starts are monotone, so every remaining request is
         // also past the cut; each will land here and mark its item.
         item.aborted = true;
@@ -306,12 +300,12 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
 
   std::sort(queue_waits.begin(), queue_waits.end());
   std::sort(service_times.begin(), service_times.end());
-  report.stats.queue_wait_p50_ms = sorted_quantile(queue_waits, 0.50);
-  report.stats.queue_wait_p95_ms = sorted_quantile(queue_waits, 0.95);
-  report.stats.queue_wait_p99_ms = sorted_quantile(queue_waits, 0.99);
-  report.stats.service_p50_ms = sorted_quantile(service_times, 0.50);
-  report.stats.service_p95_ms = sorted_quantile(service_times, 0.95);
-  report.stats.service_p99_ms = sorted_quantile(service_times, 0.99);
+  report.stats.queue_wait_p50_ms = util::sorted_quantile(queue_waits, 0.50);
+  report.stats.queue_wait_p95_ms = util::sorted_quantile(queue_waits, 0.95);
+  report.stats.queue_wait_p99_ms = util::sorted_quantile(queue_waits, 0.99);
+  report.stats.service_p50_ms = util::sorted_quantile(service_times, 0.50);
+  report.stats.service_p95_ms = util::sorted_quantile(service_times, 0.95);
+  report.stats.service_p99_ms = util::sorted_quantile(service_times, 0.99);
 
   if (metrics_ != nullptr) {
     metrics_->counter("scheduler.batches").add(1);

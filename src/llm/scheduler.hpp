@@ -41,6 +41,10 @@
 
 namespace neuro::llm {
 
+/// "Run to completion" sentinel for SchedulerConfig::abort_after_ms. Any
+/// non-negative value — including 0.0 — is an actual virtual-time cut.
+inline constexpr double kNoAbortCut = -1.0;
+
 struct SchedulerConfig {
   ClientConfig client;            // rate limit, retries, pricing
   std::size_t max_in_flight = 8;  // provider-side concurrent request cap
@@ -49,8 +53,11 @@ struct SchedulerConfig {
   ResilienceConfig resilience;    // breaker / deadline / hedging policy
   /// Kill switch for checkpoint/resume tests and interrupted surveys:
   /// requests that would start at or after this virtual time are dropped
-  /// and their items marked aborted (0 = run to completion).
-  double abort_after_ms = 0.0;
+  /// and their items marked aborted. Negative (kNoAbortCut, the default)
+  /// runs to completion; 0.0 is a real cut that aborts the whole batch —
+  /// the drain path needs that for a job starting exactly at the drain
+  /// point, which the old "0 = disabled" sentinel could not express.
+  double abort_after_ms = kNoAbortCut;
   /// When set (or a process-wide trace is active), the batch records
   /// virtual-clock spans: one root span per batch, one span per admitted
   /// request with queue-wait / attempt / backoff children, breaker state
@@ -75,7 +82,10 @@ struct RequestTiming {
   double ready_ms = 0.0;   // earliest the request could be issued
   double start_ms = 0.0;   // admission past the bucket + in-flight cap
   double finish_ms = 0.0;  // start + attempts + backoffs
-  double queue_wait_ms() const { return start_ms - ready_ms; }
+  /// Time spent waiting for admission, clamped at zero: hedged/aborted
+  /// paths can leave start_ms below ready_ms (a request that never truly
+  /// started), and a negative wait must not poison queue-wait percentiles.
+  double queue_wait_ms() const { return start_ms > ready_ms ? start_ms - ready_ms : 0.0; }
 };
 
 struct ItemOutcome {

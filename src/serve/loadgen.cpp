@@ -1,0 +1,199 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+LoadGen::LoadGen(LoadGenConfig config, std::size_t image_count)
+    : config_(std::move(config)), image_count_(image_count) {
+  if (config_.tenants == 0) throw std::invalid_argument("loadgen: tenants must be > 0");
+  if (image_count_ == 0) throw std::invalid_argument("loadgen: image_count must be > 0");
+  if (config_.diurnal_amplitude < 0.0 || config_.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("loadgen: diurnal_amplitude must be in [0, 1)");
+  }
+  if (config_.images_per_job == 0) config_.images_per_job = 1;
+}
+
+std::string LoadGen::tenant_id(std::size_t tenant_index) const {
+  return util::format("tenant-%04zu", tenant_index);
+}
+
+std::vector<TenantConfig> LoadGen::tenants() const {
+  double mix_total = 0.0;
+  for (double w : config_.priority_mix) mix_total += w;
+  if (mix_total <= 0.0) mix_total = 1.0;
+
+  std::vector<TenantConfig> out;
+  out.reserve(config_.tenants);
+  for (std::size_t i = 0; i < config_.tenants; ++i) {
+    // One forked stream per tenant: the population is identical however
+    // many tenants are later added or drives are re-run.
+    util::Rng rng(util::derive_seed(config_.seed, util::format("loadgen/%s/priority",
+                                                               tenant_id(i).c_str())));
+    const double u = rng.uniform() * mix_total;
+    Priority priority = Priority::kBatch;
+    if (u < config_.priority_mix[0]) {
+      priority = Priority::kInteractive;
+    } else if (u < config_.priority_mix[0] + config_.priority_mix[1]) {
+      priority = Priority::kStandard;
+    }
+    out.push_back({tenant_id(i), priority, config_.quota_jobs_per_s, config_.quota_burst});
+  }
+  return out;
+}
+
+double LoadGen::rate_factor(double t_ms) const {
+  double factor = 1.0;
+  if (config_.diurnal_period_ms > 0.0) {
+    factor *= 1.0 + config_.diurnal_amplitude * std::sin(2.0 * kPi * t_ms /
+                                                         config_.diurnal_period_ms);
+  }
+  for (const BurstWindow& burst : config_.bursts) {
+    if (t_ms >= burst.start_ms && t_ms < burst.end_ms) factor *= burst.multiplier;
+  }
+  return factor;
+}
+
+SurveyJob LoadGen::make_job(std::size_t tenant_index, std::uint64_t job_id, double submit_ms,
+                            util::Rng& rng) const {
+  SurveyJob job;
+  job.tenant = tenant_id(tenant_index);
+  job.job_id = job_id;
+  job.submit_ms = submit_ms;
+  job.image_count = std::min(config_.images_per_job, image_count_);
+  const int max_begin = static_cast<int>(image_count_ - job.image_count);
+  job.image_begin = max_begin > 0 ? static_cast<std::size_t>(rng.uniform_int(0, max_begin)) : 0;
+  return job;
+}
+
+std::vector<SurveyJob> LoadGen::tenant_arrivals(std::size_t tenant_index) const {
+  // Poisson thinning: draw a homogeneous stream at the peak rate, keep
+  // each arrival with probability rate_factor(t)/peak. Exact for any
+  // bounded modulation, and every draw comes from this tenant's stream.
+  double peak = 1.0 + config_.diurnal_amplitude;
+  for (const BurstWindow& burst : config_.bursts) peak *= std::max(1.0, burst.multiplier);
+  const double peak_per_ms = config_.jobs_per_tenant_per_s * peak / 1000.0;
+
+  util::Rng rng(util::derive_seed(
+      config_.seed, util::format("loadgen/%s/arrivals", tenant_id(tenant_index).c_str())));
+  std::vector<SurveyJob> jobs;
+  std::uint64_t job_id = 0;
+  double t = 0.0;
+  if (peak_per_ms <= 0.0) return jobs;
+  while (true) {
+    t += rng.exponential(peak_per_ms);
+    if (t >= config_.horizon_ms) break;
+    const bool keep = rng.uniform() * peak <= rate_factor(t);
+    if (!keep) continue;
+    jobs.push_back(make_job(tenant_index, job_id++, t, rng));
+  }
+  return jobs;
+}
+
+std::vector<SurveyJob> LoadGen::arrivals() const {
+  std::vector<SurveyJob> all;
+  for (std::size_t i = 0; i < config_.tenants; ++i) {
+    std::vector<SurveyJob> jobs = tenant_arrivals(i);
+    all.insert(all.end(), jobs.begin(), jobs.end());
+  }
+  std::stable_sort(all.begin(), all.end(), [](const SurveyJob& a, const SurveyJob& b) {
+    if (a.submit_ms != b.submit_ms) return a.submit_ms < b.submit_ms;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    return a.job_id < b.job_id;
+  });
+  return all;
+}
+
+ServiceReport LoadGen::drive(SurveyService& service) const {
+  if (config_.closed_loop) return drive_closed_loop(service);
+  for (const SurveyJob& job : arrivals()) service.submit(job);
+  service.finish();
+  return service.report();
+}
+
+ServiceReport LoadGen::drive_closed_loop(SurveyService& service) const {
+  // One outstanding job per tenant. next_submit[i] is the virtual time of
+  // tenant i's next submission (infinity while its job is outstanding or
+  // the horizon is spent); job resolution re-arms the tenant a think-time
+  // later. Dispatches are interleaved via next_dispatch_ms() so the
+  // service clock only moves forward.
+  struct TenantDrive {
+    util::Rng rng{0};
+    double next_submit_ms = 0.0;
+    std::uint64_t next_job_id = 0;
+  };
+  std::vector<TenantDrive> drives(config_.tenants);
+  std::vector<std::size_t> record_tenant;  // record index -> tenant index
+  for (std::size_t i = 0; i < config_.tenants; ++i) {
+    drives[i].rng = util::Rng(util::derive_seed(
+        config_.seed, util::format("loadgen/%s/closed", tenant_id(i).c_str())));
+    // Stagger first submissions so thousands of tenants don't arrive at
+    // one virtual instant.
+    drives[i].next_submit_ms =
+        drives[i].rng.exponential(std::max(config_.jobs_per_tenant_per_s, 1e-9) / 1000.0);
+  }
+
+  const auto rearm = [&](std::size_t record_index, double now_ms) {
+    const JobRecord& record = service.records()[record_index];
+    const std::size_t tenant = record_tenant[record_index];
+    TenantDrive& drive = drives[tenant];
+    const double resolved_ms =
+        record.admission == Admission::kAdmitted ? record.finish_ms : record.admit_ms;
+    // Diurnal/burst pressure shortens the think gap (clients come back
+    // faster at peak), mirroring the open-loop modulation.
+    const double factor = std::max(rate_factor(resolved_ms), 1e-3);
+    const double gap = drive.rng.exponential(factor / std::max(config_.think_time_ms, 1e-9));
+    const double next = std::max(resolved_ms + gap, now_ms);
+    drive.next_submit_ms = next < config_.horizon_ms ? next : kInf;
+  };
+
+  while (true) {
+    std::size_t best = config_.tenants;
+    double submit_ms = kInf;
+    for (std::size_t i = 0; i < config_.tenants; ++i) {
+      if (drives[i].next_submit_ms < submit_ms) {
+        submit_ms = drives[i].next_submit_ms;
+        best = i;
+      }
+    }
+    const double dispatch_ms = service.next_dispatch_ms();
+    if (best == config_.tenants && dispatch_ms == kInf) break;
+    if (dispatch_ms <= submit_ms) {
+      // A queued job starts before the next arrival: let it run so its
+      // resolution can re-arm its tenant without moving the clock back.
+      service.step();
+      for (std::size_t record_index : service.take_resolved()) {
+        rearm(record_index, service.now_ms());
+      }
+      continue;
+    }
+    TenantDrive& drive = drives[best];
+    const SurveyJob job = make_job(best, drive.next_job_id++, submit_ms, drive.rng);
+    drive.next_submit_ms = kInf;  // outstanding until resolved
+    record_tenant.resize(service.records().size() + 1, config_.tenants);
+    record_tenant[service.records().size()] = best;
+    service.submit(job);
+    for (std::size_t record_index : service.take_resolved()) {
+      rearm(record_index, service.now_ms());
+    }
+  }
+  service.finish();
+  for (std::size_t record_index : service.take_resolved()) {
+    (void)record_index;  // horizon spent: nothing left to re-arm
+  }
+  return service.report();
+}
+
+}  // namespace neuro::serve

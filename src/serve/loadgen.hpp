@@ -1,0 +1,85 @@
+#pragma once
+// Deterministic virtual-time load generator for SurveyService: synthesizes
+// a multi-tenant arrival process — per-tenant Poisson streams modulated by
+// a diurnal sinusoid and scripted burst windows — entirely from seeded
+// forked RNG streams (util::Rng::fork per tenant), so a config + seed
+// reproduces the exact same tenant population, priorities, arrival times
+// and dataset slices on every run at any thread count.
+//
+// Two driving modes:
+//  * open loop  — arrivals() materializes the full schedule up front
+//    (submission pressure independent of service state: the shed-rate /
+//    backpressure regime);
+//  * closed loop — drive() holds at most one outstanding job per tenant
+//    and schedules the next submission a think-time after the previous
+//    one resolves (completes or is shed), using the service's
+//    next_dispatch_ms() to keep the virtual clock monotonic.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace neuro::serve {
+
+/// One scripted traffic burst: arrival rates inside [start_ms, end_ms)
+/// are multiplied by `multiplier` (e.g. a county-wide survey kickoff).
+struct BurstWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double multiplier = 3.0;
+};
+
+struct LoadGenConfig {
+  std::size_t tenants = 100;
+  double horizon_ms = 60'000.0;  // arrivals generated in [0, horizon)
+  double jobs_per_tenant_per_s = 0.2;  // baseline Poisson rate per tenant
+  /// Diurnal modulation: rate *= 1 + amplitude * sin(2*pi*t/period).
+  double diurnal_amplitude = 0.5;  // in [0, 1)
+  double diurnal_period_ms = 20'000.0;
+  std::vector<BurstWindow> bursts;
+  std::size_t images_per_job = 2;  // dataset slice length per job
+  /// Tenant priority mix (interactive, standard, batch); normalized.
+  std::array<double, kPriorityClasses> priority_mix = {0.2, 0.5, 0.3};
+  double quota_jobs_per_s = 0.5;  // per-tenant admission quota
+  double quota_burst = 2.0;
+  bool closed_loop = false;
+  double think_time_ms = 2'000.0;  // closed loop: mean resolve->resubmit gap
+  std::uint64_t seed = 1234;
+};
+
+class LoadGen {
+ public:
+  /// `image_count` bounds the dataset slices jobs may request.
+  LoadGen(LoadGenConfig config, std::size_t image_count);
+
+  /// Deterministic tenant population: ids, priorities (drawn from the
+  /// mix), and the shared quota. Register these with the service.
+  std::vector<TenantConfig> tenants() const;
+
+  /// Instantaneous rate multiplier at virtual time t (diurnal x burst).
+  double rate_factor(double t_ms) const;
+
+  /// Open-loop arrival schedule over [0, horizon), sorted by
+  /// (submit_ms, tenant, job_id). Per-tenant Poisson thinning against the
+  /// peak rate, so each tenant's stream is independent and reproducible.
+  std::vector<SurveyJob> arrivals() const;
+
+  /// Drive a service to completion in the configured mode and return its
+  /// report. The service should have this generator's tenants registered.
+  ServiceReport drive(SurveyService& service) const;
+
+ private:
+  std::vector<SurveyJob> tenant_arrivals(std::size_t tenant_index) const;
+  ServiceReport drive_closed_loop(SurveyService& service) const;
+  std::string tenant_id(std::size_t tenant_index) const;
+  SurveyJob make_job(std::size_t tenant_index, std::uint64_t job_id, double submit_ms,
+                     util::Rng& rng) const;
+
+  LoadGenConfig config_;
+  std::size_t image_count_;
+};
+
+}  // namespace neuro::serve

@@ -1,0 +1,431 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t class_index(Priority priority) { return static_cast<std::size_t>(priority); }
+
+void require_tenant_id(const std::string& id) {
+  if (id.empty()) throw std::invalid_argument("serve: tenant id must be non-empty");
+  if (id.find(':') != std::string::npos) {
+    throw std::invalid_argument("serve: tenant id must not contain ':' (journal namespace separator)");
+  }
+}
+
+}  // namespace
+
+std::string_view priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kStandard: return "standard";
+    case Priority::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+std::string_view admission_name(Admission admission) {
+  switch (admission) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kShedQuota: return "shed_quota";
+    case Admission::kShedQueueFull: return "shed_queue_full";
+    case Admission::kShedDraining: return "shed_draining";
+  }
+  return "unknown";
+}
+
+std::string report_digest(const ServiceReport& report) {
+  std::string out;
+  for (const JobRecord& record : report.jobs) {
+    out += util::format(
+        "%s/%llu %s %s admit=%.6f start=%.6f finish=%.6f req=%llu str=%llu res=%llu "
+        "cost=%.9f completed=%d drained=%d\n",
+        record.job.tenant.c_str(), static_cast<unsigned long long>(record.job.job_id),
+        std::string(priority_name(record.priority)).c_str(),
+        std::string(admission_name(record.admission)).c_str(), record.admit_ms, record.start_ms,
+        record.finish_ms, static_cast<unsigned long long>(record.requests),
+        static_cast<unsigned long long>(record.images_streamed),
+        static_cast<unsigned long long>(record.images_restored), record.cost_usd,
+        record.completed ? 1 : 0, record.drained ? 1 : 0);
+  }
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const ClassStats& stats = report.classes[c];
+    out += util::format(
+        "[%s] sub=%llu adm=%llu shed=%llu/%llu/%llu done=%llu drained=%llu "
+        "p50=%.6f p95=%.6f p99=%.6f goodput=%.6f shed_rate=%.6f\n",
+        std::string(priority_name(static_cast<Priority>(c))).c_str(),
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.admitted),
+        static_cast<unsigned long long>(stats.shed_quota),
+        static_cast<unsigned long long>(stats.shed_queue_full),
+        static_cast<unsigned long long>(stats.shed_draining),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.drained), stats.admission_p50_ms,
+        stats.admission_p95_ms, stats.admission_p99_ms, stats.goodput_images_per_s,
+        stats.shed_rate);
+  }
+  out += util::format("horizon=%.6f req=%llu str=%llu res=%llu cost=%.9f\n", report.horizon_ms,
+                      static_cast<unsigned long long>(report.requests),
+                      static_cast<unsigned long long>(report.images_streamed),
+                      static_cast<unsigned long long>(report.images_restored), report.cost_usd);
+  return out;
+}
+
+SurveyService::SurveyService(const core::SurveyRunner& runner,
+                             const llm::VisionLanguageModel& model, ServiceConfig config)
+    : runner_(&runner),
+      model_(&model),
+      config_(std::move(config)),
+      fs_(config_.fs != nullptr ? config_.fs : &util::Fsx::real()),
+      metrics_(config_.metrics),
+      trace_(util::resolve_trace(config_.trace)) {
+  if (config_.worker_slots == 0) throw std::invalid_argument("serve: worker_slots must be > 0");
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("serve: queue_capacity must be > 0");
+  }
+  llm::PromptBuilder builder;
+  plan_ = builder.build(config_.survey.strategy, config_.survey.language,
+                        config_.survey.few_shot_examples);
+  slot_free_ms_.assign(config_.worker_slots, 0.0);
+  if (trace_ != nullptr) {
+    root_span_ = util::TraceRecorder::derive_id(0, "serve.service", 0);
+  }
+}
+
+void SurveyService::register_tenant(TenantConfig tenant) {
+  require_tenant_id(tenant.id);
+  TenantState state;
+  state.config = tenant;
+  state.tokens = tenant.quota_burst;
+  state.refilled_ms = clock_ms_;
+  tenants_[tenant.id] = std::move(state);
+}
+
+void SurveyService::set_sink(ResultSink sink) { sink_ = std::move(sink); }
+
+core::JournalRecovery SurveyService::open() {
+  core::JournalRecovery recovery;
+  if (config_.journal_path.empty() || !fs_->exists(config_.journal_path)) return recovery;
+  journal_ = core::SurveyJournal::load(config_.journal_path, *fs_, &recovery);
+  if (metrics_ != nullptr && recovery.entries > 0) {
+    metrics_->counter("serve.journal_entries_recovered").add(recovery.entries);
+  }
+  return recovery;
+}
+
+SurveyService::TenantState& SurveyService::tenant_state(const std::string& id) {
+  const auto it = tenants_.find(id);
+  if (it != tenants_.end()) return it->second;
+  TenantState state;
+  state.config = config_.default_tenant;
+  state.config.id = id;
+  state.tokens = state.config.quota_burst;
+  state.refilled_ms = clock_ms_;
+  return tenants_.emplace(id, std::move(state)).first->second;
+}
+
+Admission SurveyService::submit(const SurveyJob& job) {
+  require_tenant_id(job.tenant);
+  if (job.submit_ms < clock_ms_) {
+    throw std::invalid_argument("serve: submit times must be non-decreasing");
+  }
+  // Catch up the workers before deciding: jobs that would start before this
+  // arrival occupy slots and queue space as of this virtual instant.
+  advance_to(job.submit_ms);
+  clock_ms_ = job.submit_ms;
+
+  TenantState& tenant = tenant_state(job.tenant);
+  JobRecord record;
+  record.job = job;
+  record.priority = tenant.config.priority;
+  record.admit_ms = job.submit_ms;
+  const std::size_t index = records_.size();
+  const std::size_t cls = class_index(record.priority);
+
+  Admission admission = Admission::kAdmitted;
+  if (config_.drain_at_ms >= 0.0 && job.submit_ms >= config_.drain_at_ms) {
+    admission = Admission::kShedDraining;
+  } else {
+    // Refill the tenant's bucket up to now, then demand one whole token.
+    tenant.tokens = std::min(
+        tenant.config.quota_burst,
+        tenant.tokens + (job.submit_ms - tenant.refilled_ms) / 1000.0 * tenant.config.quota_jobs_per_s);
+    tenant.refilled_ms = job.submit_ms;
+    if (tenant.tokens < 1.0) {
+      admission = Admission::kShedQuota;
+    } else if (queued_[cls].size() >= config_.queue_capacity) {
+      admission = Admission::kShedQueueFull;
+    } else {
+      tenant.tokens -= 1.0;
+    }
+  }
+
+  record.admission = admission;
+  records_.push_back(std::move(record));
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.submitted").add();
+    metrics_->counter(util::format("serve.%s", std::string(admission_name(admission)).c_str()))
+        .add();
+  }
+  if (admission == Admission::kAdmitted) {
+    queued_[cls].push_back(index);
+    if (trace_ != nullptr) {
+      trace_->virtual_counter("serve.queue_depth", job.submit_ms,
+                              static_cast<double>(queued_[0].size() + queued_[1].size() +
+                                                  queued_[2].size()));
+    }
+  } else {
+    resolve(index);
+    if (trace_ != nullptr) {
+      trace_->virtual_instant(
+          "serve.shed", job.submit_ms, root_span_, 0,
+          {{"tenant", util::Json(job.tenant)},
+           {"job", util::Json(job.job_id)},
+           {"reason", util::Json(std::string(admission_name(admission)))}});
+    }
+  }
+  return admission;
+}
+
+double SurveyService::next_dispatch_ms() const {
+  double min_admit = kInf;
+  for (const auto& queue : queued_) {
+    if (!queue.empty()) min_admit = std::min(min_admit, records_[queue.front()].admit_ms);
+  }
+  if (min_admit == kInf) return kInf;
+  const double slot_free = *std::min_element(slot_free_ms_.begin(), slot_free_ms_.end());
+  return std::max(slot_free, min_admit);
+}
+
+bool SurveyService::dispatch_one(double limit_ms) {
+  // Earliest-free worker slot, lowest index on ties (deterministic).
+  std::size_t slot = 0;
+  for (std::size_t s = 1; s < slot_free_ms_.size(); ++s) {
+    if (slot_free_ms_[s] < slot_free_ms_[slot]) slot = s;
+  }
+  double min_admit = kInf;
+  for (const auto& queue : queued_) {
+    if (!queue.empty()) min_admit = std::min(min_admit, records_[queue.front()].admit_ms);
+  }
+  if (min_admit == kInf) return false;
+  const double start_ms = std::max(slot_free_ms_[slot], min_admit);
+  if (start_ms > limit_ms) return false;
+  // Every queue front already waiting by start_ms competes; best class
+  // wins (fronts are earliest-admitted within their class).
+  std::size_t chosen = kPriorityClasses;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    if (!queued_[c].empty() && records_[queued_[c].front()].admit_ms <= start_ms) {
+      chosen = c;
+      break;
+    }
+  }
+  const std::size_t job_index = queued_[chosen].front();
+  queued_[chosen].pop_front();
+  execute(job_index, slot, start_ms);
+  return true;
+}
+
+void SurveyService::advance_to(double now_ms) {
+  while (dispatch_one(now_ms)) {
+  }
+}
+
+bool SurveyService::step() { return dispatch_one(kInf); }
+
+double SurveyService::finish() {
+  while (step()) {
+  }
+  double horizon = clock_ms_;
+  for (const JobRecord& record : records_) horizon = std::max(horizon, record.finish_ms);
+  return horizon;
+}
+
+void SurveyService::execute(std::size_t job_index, std::size_t slot, double start_ms) {
+  JobRecord& record = records_[job_index];
+  record.start_ms = start_ms;
+  const std::string& model_name = model_->profile().name;
+  const std::size_t total = runner_->image_count();
+  const std::size_t begin = std::min(record.job.image_begin, total);
+  const std::size_t end = std::min(begin + record.job.image_count, total);
+
+  // Journal hits are restored without issuing requests; only the remainder
+  // enters the scheduler. This is what makes resume duplicate-free.
+  std::vector<llm::SurveyRequest> batch;
+  std::vector<std::size_t> batch_to_image;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (journal_.contains(record.job.tenant, model_name, runner_->image_id(i))) {
+      const core::JournalEntry* entry =
+          journal_.lookup(record.job.tenant, model_name, runner_->image_id(i));
+      ++record.images_restored;
+      if (sink_) {
+        sink_({record.job.tenant, record.job.job_id, runner_->image_id(i), entry->prediction,
+               entry->answered_questions, false, true, start_ms});
+      }
+      continue;
+    }
+    batch.push_back({&runner_->observation(i), runner_->image_id(i)});
+    batch_to_image.push_back(i);
+  }
+
+  llm::BatchReport report;
+  if (!batch.empty()) {
+    llm::SchedulerConfig sched = config_.scheduler;
+    if (sched.threads == 0) sched.threads = config_.survey.threads;
+    sched.trace = trace_;
+    sched.trace_lane_base =
+        config_.scheduler.trace_lane_base + slot * (config_.scheduler.max_in_flight + 2);
+    if (config_.drain_at_ms >= 0.0) {
+      // The scheduler's clock starts at this job's dispatch: a job in
+      // flight across the drain point gets the remaining budget; a job
+      // starting at or past it gets 0.0 — abort everything, which the old
+      // "0 = disabled" sentinel could not express.
+      sched.abort_after_ms = std::max(0.0, config_.drain_at_ms - start_ms);
+    }
+    const llm::RequestScheduler scheduler(*model_, sched, metrics_);
+    const std::uint64_t seed = util::derive_seed(
+        config_.survey.seed,
+        util::format("serve/%s/%llu", record.job.tenant.c_str(),
+                     static_cast<unsigned long long>(record.job.job_id)));
+    report = scheduler.run(plan_, batch, config_.survey.sampling, seed);
+  }
+
+  const std::size_t journal_before = journal_.size();
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const llm::ItemOutcome& item = report.items[k];
+    if (item.aborted) {
+      record.drained = true;
+      continue;  // not journaled: the resumed service retries it
+    }
+    if (item.failed || item.answered_questions == 0) continue;  // ditto
+    journal_.record(record.job.tenant, model_name, runner_->image_id(batch_to_image[k]),
+                    {item.prediction, item.answered_questions});
+    if (sink_) {
+      sink_({record.job.tenant, record.job.job_id, runner_->image_id(batch_to_image[k]),
+             item.prediction, item.answered_questions, false, false,
+             start_ms + item.completion_ms});
+    }
+    ++record.images_streamed;
+  }
+  record.images_streamed += record.images_restored;
+  record.requests = report.timings.size();
+  record.cost_usd = report.usage.cost_usd;
+  record.finish_ms = start_ms + report.stats.makespan_ms;
+  record.completed = !record.drained;
+  slot_free_ms_[slot] = record.finish_ms;
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.jobs_dispatched").add();
+    if (record.drained) metrics_->counter("serve.jobs_drained").add();
+    metrics_->histogram("serve.queue_wait_ms").observe(record.queue_wait_ms());
+    metrics_
+        ->histogram(util::format("serve.admission_wait_ms.%s",
+                                 std::string(priority_name(record.priority)).c_str()))
+        .observe(record.queue_wait_ms());
+    if (record.requests > 0) metrics_->counter("serve.requests").add(record.requests);
+    if (record.images_restored > 0) {
+      metrics_->counter("serve.images_restored").add(record.images_restored);
+      metrics_->counter("serve.requests_saved").add(record.images_restored *
+                                                    plan_.messages.size());
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->virtual_span("serve.job", start_ms, record.finish_ms - start_ms, root_span_,
+                         job_index, slot,
+                         {{"tenant", util::Json(record.job.tenant)},
+                          {"job", util::Json(record.job.job_id)},
+                          {"priority", util::Json(std::string(priority_name(record.priority)))},
+                          {"requests", util::Json(record.requests)},
+                          {"restored", util::Json(record.images_restored)},
+                          {"drained", util::Json(record.drained)}});
+  }
+
+  // Checkpoint after every job that journaled new work: the atomic save is
+  // the crash seam the drain/resume sweep enumerates.
+  if (!config_.journal_path.empty() && journal_.size() > journal_before) checkpoint();
+  resolve(job_index);
+}
+
+void SurveyService::checkpoint() {
+  journal_.save(config_.journal_path, *fs_);
+  if (metrics_ != nullptr) metrics_->counter("serve.checkpoints").add();
+}
+
+void SurveyService::resolve(std::size_t job_index) { resolved_.push_back(job_index); }
+
+std::vector<std::size_t> SurveyService::take_resolved() {
+  std::vector<std::size_t> out;
+  out.swap(resolved_);
+  return out;
+}
+
+ServiceReport SurveyService::run(std::vector<SurveyJob> jobs) {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const SurveyJob& a, const SurveyJob& b) {
+    if (a.submit_ms != b.submit_ms) return a.submit_ms < b.submit_ms;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    return a.job_id < b.job_id;
+  });
+  for (const SurveyJob& job : jobs) submit(job);
+  finish();
+  return report();
+}
+
+ServiceReport SurveyService::report() const {
+  ServiceReport out;
+  out.jobs = records_;
+  std::array<std::vector<double>, kPriorityClasses> waits;
+  double horizon = clock_ms_;
+  for (const JobRecord& record : records_) {
+    ClassStats& stats = out.classes[class_index(record.priority)];
+    ++stats.submitted;
+    switch (record.admission) {
+      case Admission::kAdmitted: ++stats.admitted; break;
+      case Admission::kShedQuota: ++stats.shed_quota; break;
+      case Admission::kShedQueueFull: ++stats.shed_queue_full; break;
+      case Admission::kShedDraining: ++stats.shed_draining; break;
+    }
+    if (record.admission != Admission::kAdmitted) continue;
+    waits[class_index(record.priority)].push_back(record.queue_wait_ms());
+    if (record.completed) ++stats.completed;
+    if (record.drained) ++stats.drained;
+    out.requests += record.requests;
+    out.images_streamed += record.images_streamed;
+    out.images_restored += record.images_restored;
+    out.cost_usd += record.cost_usd;
+    horizon = std::max(horizon, record.finish_ms);
+  }
+  out.horizon_ms = horizon;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    ClassStats& stats = out.classes[c];
+    std::vector<double>& wait = waits[c];
+    std::sort(wait.begin(), wait.end());
+    stats.admission_p50_ms = util::sorted_quantile(wait, 0.50);
+    stats.admission_p95_ms = util::sorted_quantile(wait, 0.95);
+    stats.admission_p99_ms = util::sorted_quantile(wait, 0.99);
+    if (stats.submitted > 0) {
+      stats.shed_rate = static_cast<double>(stats.submitted - stats.admitted) /
+                        static_cast<double>(stats.submitted);
+    }
+  }
+  if (horizon > 0.0) {
+    std::uint64_t streamed_by_class[kPriorityClasses] = {0, 0, 0};
+    for (const JobRecord& record : records_) {
+      streamed_by_class[class_index(record.priority)] += record.images_streamed;
+    }
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+      out.classes[c].goodput_images_per_s =
+          static_cast<double>(streamed_by_class[c]) / (horizon / 1000.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace neuro::serve

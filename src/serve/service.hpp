@@ -1,0 +1,237 @@
+#pragma once
+// Survey-as-a-service core: the multi-tenant admission/queue layer that
+// promotes the one-shot county survey into a long-running service
+// (ROADMAP item 1). A SurveyService sits in front of SurveyRunner +
+// RequestScheduler and adds the service-shaped concerns the batch CLI
+// never had:
+//
+//  * admission control — per-tenant token-bucket quotas (the same
+//    bucket arithmetic the scheduler uses for provider rate limits, now
+//    pointed at tenants), three priority classes, and bounded per-class
+//    queues with explicit backpressure: a job is either admitted or shed
+//    with a recorded reason (quota, queue full, draining), never silently
+//    dropped;
+//  * worker slots — admitted jobs run on a fixed number of slots; each
+//    job's service time is the real virtual-time makespan of its LLM
+//    sub-batch under the configured provider model (rate limit, in-flight
+//    cap, FaultPlan chaos, resilience budgets);
+//  * streaming delivery — every finished image is pushed to a result sink
+//    as it completes, tagged with its tenant/job/virtual completion time;
+//  * graceful drain + restart — at the drain point in-flight jobs are cut
+//    via SchedulerConfig::abort_after_ms (0.0 — "abort everything" — is a
+//    real value here, which is why the old 0 = disabled sentinel had to
+//    go), finished images are checkpointed to the PR 5 record-log journal
+//    under per-tenant namespaces, and a restarted service resumes every
+//    in-flight tenant survey with zero duplicate LLM requests.
+//
+// The whole simulation runs on the deterministic virtual clock: identical
+// arrival schedules produce byte-identical reports, sheds, and traces at
+// any thread count, including under chaos — wall-clock parallelism only
+// ever touches the scheduler's script phase.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "core/survey.hpp"
+#include "llm/scheduler.hpp"
+#include "util/fsx.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace neuro::serve {
+
+/// Service classes, best first. Dispatch picks the highest class with a
+/// waiting job; admission latency / shed rate are reported per class.
+enum class Priority : int { kInteractive = 0, kStandard = 1, kBatch = 2 };
+inline constexpr std::size_t kPriorityClasses = 3;
+std::string_view priority_name(Priority priority);
+
+/// Per-tenant admission policy: a token bucket over job submissions
+/// (`quota_jobs_per_s` refill, `quota_burst` capacity) plus the tenant's
+/// priority class. Tenant ids must not contain ':' (the journal's
+/// namespace separator).
+struct TenantConfig {
+  std::string id;
+  Priority priority = Priority::kStandard;
+  double quota_jobs_per_s = 0.5;
+  double quota_burst = 2.0;
+};
+
+/// One unit of tenant work: survey a slice of the dataset's images.
+struct SurveyJob {
+  std::string tenant;
+  std::uint64_t job_id = 0;
+  double submit_ms = 0.0;       // arrival on the service's virtual clock
+  std::size_t image_begin = 0;  // dataset slice [begin, begin + count)
+  std::size_t image_count = 1;
+};
+
+/// Admission outcome. Everything but kAdmitted is an explicit shed — the
+/// backpressure signal a client reacts to.
+enum class Admission { kAdmitted, kShedQuota, kShedQueueFull, kShedDraining };
+std::string_view admission_name(Admission admission);
+
+/// One streamed per-image result: delivered to the sink the moment the
+/// image's requests finish (or instantly, when restored from the journal).
+struct ImageResult {
+  std::string tenant;
+  std::uint64_t job_id = 0;
+  std::uint64_t image_id = 0;
+  scene::PresenceVector prediction;
+  int answered_questions = 0;
+  bool failed = false;
+  bool from_journal = false;  // restored: zero LLM requests spent
+  double completion_ms = 0.0;  // service virtual clock
+};
+using ResultSink = std::function<void(const ImageResult&)>;
+
+/// Full lifecycle of one submitted job.
+struct JobRecord {
+  SurveyJob job;
+  Priority priority = Priority::kStandard;
+  Admission admission = Admission::kAdmitted;
+  double admit_ms = 0.0;   // arrival time
+  double start_ms = 0.0;   // dispatched onto a worker slot
+  double finish_ms = 0.0;  // virtual completion of its last request
+  bool completed = false;  // every image finished (none cut by the drain)
+  bool drained = false;    // cut by the drain point; a resume finishes it
+  std::uint64_t requests = 0;         // LLM requests actually issued
+  std::uint64_t images_streamed = 0;  // results delivered to the sink
+  std::uint64_t images_restored = 0;  // journal hits (no tokens spent)
+  double cost_usd = 0.0;
+  double queue_wait_ms() const { return start_ms > admit_ms ? start_ms - admit_ms : 0.0; }
+};
+
+/// Per-priority-class accounting: admission decisions, exact admission
+/// latency percentiles, goodput and shed rate.
+struct ClassStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_quota = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_draining = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t drained = 0;
+  double admission_p50_ms = 0.0;
+  double admission_p95_ms = 0.0;
+  double admission_p99_ms = 0.0;
+  double goodput_images_per_s = 0.0;  // streamed results per virtual second
+  double shed_rate = 0.0;             // shed / submitted
+};
+
+struct ServiceReport {
+  std::vector<JobRecord> jobs;  // submission order
+  std::array<ClassStats, kPriorityClasses> classes;
+  double horizon_ms = 0.0;  // virtual finish of the last job
+  std::uint64_t requests = 0;
+  std::uint64_t images_streamed = 0;
+  std::uint64_t images_restored = 0;
+  double cost_usd = 0.0;
+};
+
+/// Canonical byte digest of a report (every job's decision/timing/usage
+/// plus the per-class stats) — the unit of the {1,4,16}-thread and
+/// drain/resume byte-identity assertions.
+std::string report_digest(const ServiceReport& report);
+
+struct ServiceConfig {
+  core::SurveyConfig survey;       // seed / threads / prompt strategy per job
+  llm::SchedulerConfig scheduler;  // provider model: rate limit, chaos, resilience
+  std::size_t worker_slots = 4;    // concurrently running survey jobs
+  std::size_t queue_capacity = 32; // waiting jobs per priority class
+  /// Graceful-drain point on the service virtual clock: arrivals at or
+  /// past it are shed, jobs in flight across it are cut (their completed
+  /// images stay journaled), queued jobs start-and-abort with a 0.0 cut.
+  /// Negative = never drain.
+  double drain_at_ms = -1.0;
+  std::string journal_path;      // checkpoint file ("" = no durability)
+  TenantConfig default_tenant;   // policy for unregistered tenants
+  util::Fsx* fs = nullptr;       // checkpoint I/O seam (null = real fs)
+  util::MetricsRegistry* metrics = nullptr;
+  util::TraceRecorder* trace = nullptr;  // else the process-wide recorder
+};
+
+class SurveyService {
+ public:
+  /// Borrows the runner and model; both must outlive the service.
+  SurveyService(const core::SurveyRunner& runner, const llm::VisionLanguageModel& model,
+                ServiceConfig config);
+
+  void register_tenant(TenantConfig tenant);
+  void set_sink(ResultSink sink);
+
+  /// Load the checkpoint journal when one is configured and present.
+  /// Returns what was recovered; safe to call on a fresh path.
+  core::JournalRecovery open();
+
+  // --- event-loop API (submit times must be non-decreasing) ---
+
+  /// Process one arrival: dispatch any queued work that starts by then,
+  /// refill the tenant's bucket, and admit or shed.
+  Admission submit(const SurveyJob& job);
+  /// Virtual time the next queued job would start (infinity when idle) —
+  /// lets a closed-loop driver order dispatches against future arrivals.
+  double next_dispatch_ms() const;
+  /// The service's virtual clock (time of the latest submission).
+  double now_ms() const { return clock_ms_; }
+  /// Dispatch exactly one queued job regardless of clock. False when the
+  /// queues are empty.
+  bool step();
+  /// Dispatch everything still queued; returns the final virtual horizon.
+  double finish();
+  /// Indices into records() resolved since the last call: shed at submit,
+  /// or dispatched (finish time known).
+  std::vector<std::size_t> take_resolved();
+  const std::vector<JobRecord>& records() const { return records_; }
+
+  /// One-call mode: sort by arrival, submit everything, run to idle.
+  ServiceReport run(std::vector<SurveyJob> jobs);
+  /// Summarize the records seen so far.
+  ServiceReport report() const;
+
+  const core::SurveyJournal& journal() const { return journal_; }
+
+ private:
+  struct TenantState {
+    TenantConfig config;
+    double tokens = 0.0;
+    double refilled_ms = 0.0;
+  };
+
+  TenantState& tenant_state(const std::string& id);
+  /// Dispatch queued jobs whose start time lands at or before `now_ms`.
+  void advance_to(double now_ms);
+  /// Start the best queued job if it can start by `limit_ms`.
+  bool dispatch_one(double limit_ms);
+  /// Run one job's LLM sub-batch on a slot at `start_ms`.
+  void execute(std::size_t job_index, std::size_t slot, double start_ms);
+  void checkpoint();
+  void resolve(std::size_t job_index);
+
+  const core::SurveyRunner* runner_;
+  const llm::VisionLanguageModel* model_;
+  ServiceConfig config_;
+  util::Fsx* fs_;
+  util::MetricsRegistry* metrics_;
+  util::TraceRecorder* trace_;
+  llm::PromptPlan plan_;
+  core::SurveyJournal journal_;
+  std::map<std::string, TenantState> tenants_;
+  std::vector<double> slot_free_ms_;
+  std::array<std::deque<std::size_t>, kPriorityClasses> queued_;
+  std::vector<JobRecord> records_;
+  std::vector<std::size_t> resolved_;
+  ResultSink sink_;
+  double clock_ms_ = 0.0;
+  std::uint64_t root_span_ = 0;
+};
+
+}  // namespace neuro::serve

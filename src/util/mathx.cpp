@@ -88,6 +88,15 @@ double median(std::span<const double> values) {
   return 0.5 * (copy[mid - 1] + upper);
 }
 
+double sorted_quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double fraction = rank - static_cast<double>(lo);
+  return sorted[lo] + fraction * (sorted[hi] - sorted[lo]);
+}
+
 double lerp(double a, double b, double t) { return a + (b - a) * t; }
 
 double log_sum_exp(std::span<const double> values) {

@@ -34,6 +34,11 @@ double stddev(std::span<const double> values);
 /// Median (copies and partially sorts); 0 for an empty span.
 double median(std::span<const double> values);
 
+/// Exact quantile of an already-sorted sample (linear interpolation
+/// between ranks, q in [0, 1]); 0 for an empty span. Shared by the
+/// scheduler's batch stats and the serving layer's admission percentiles.
+double sorted_quantile(std::span<const double> sorted, double q);
+
 /// Linear interpolation.
 double lerp(double a, double b, double t);
 

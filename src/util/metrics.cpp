@@ -59,6 +59,13 @@ double Histogram::quantile_locked(double q) const {
     if (buckets_[i] == 0) continue;
     const double in_bucket = static_cast<double>(buckets_[i]);
     if (rank < cumulative + in_bucket) {
+      // The ceiling bucket has no meaningful upper edge: values beyond
+      // 2^kMaxExp all land there, and interpolating against its nominal
+      // bounds reports a "quantile" unrelated to anything recorded (it can
+      // sit far below — or past — the true tail). The only honest answer
+      // for a tail quantile that overflows the bucketed range is the exact
+      // recorded maximum.
+      if (i == buckets_.size() - 1) return max_;
       // Interpolate inside the bucket, clamped to the observed range.
       const double lower = bucket_lower(i);
       const double upper = bucket_lower(i + 1);

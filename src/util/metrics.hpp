@@ -52,8 +52,10 @@ class Histogram {
   void observe(double value);
   std::uint64_t count() const;
   double sum() const;
-  /// Quantile in [0, 1]; linear interpolation inside the hit bucket.
-  /// Returns 0 when empty.
+  /// Quantile in [0, 1]; linear interpolation inside the hit bucket,
+  /// clamped to the observed range. A quantile landing in the overflow
+  /// (ceiling) bucket returns the exact recorded max — the bucket has no
+  /// real upper edge to interpolate against. Returns 0 when empty.
   double quantile(double q) const;
   /// Whole summary under a single lock acquisition (count, sum, min/max
   /// and the three report quantiles are mutually consistent).

@@ -1,0 +1,165 @@
+// Regression tests for deterministic SurveyJournal merges: conflicting
+// entries for one key must resolve last-writer-wins by revision, with a
+// content tie-break at equal revisions, so a.merge(b) and b.merge(a)
+// agree byte-for-byte. Pre-fix, merge kept whichever entry arrived first
+// ("insert if absent"), making the outcome depend on merge order. Also
+// covers the tenant-namespacing surface the serve checkpoint relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/journal.hpp"
+#include "scene/indicators.hpp"
+
+namespace neuro::core {
+namespace {
+
+scene::PresenceVector presence(std::initializer_list<scene::Indicator> indicators) {
+  scene::PresenceVector out;
+  for (scene::Indicator ind : indicators) out.set(ind, true);
+  return out;
+}
+
+TEST(JournalMergeConflict, HigherRevisionWinsRegardlessOfMergeOrder) {
+  // Shared lineage: `stale` saw the entry once; `fresh` re-recorded the
+  // same key later (larger revision) with a different prediction.
+  SurveyJournal stale;
+  stale.record("gemini", 7, {presence({scene::Indicator::kSidewalk}), 3});
+
+  SurveyJournal fresh = stale;
+  fresh.record("gemini", 7, {presence({scene::Indicator::kStreetlight}), 6});
+
+  SurveyJournal forward = stale;
+  forward.merge(fresh);
+  SurveyJournal backward = fresh;
+  backward.merge(stale);
+
+  const JournalEntry* winner = forward.lookup("gemini", 7);
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->answered_questions, 6);
+  EXPECT_TRUE(winner->prediction[scene::Indicator::kStreetlight]);
+  EXPECT_FALSE(winner->prediction[scene::Indicator::kSidewalk]);
+  // Deterministic: both merge orders serialize to identical bytes.
+  EXPECT_EQ(forward.serialize_log(), backward.serialize_log());
+}
+
+TEST(JournalMergeConflict, EqualRevisionsTieBreakOnContentNotMergeOrder) {
+  // Independent journals: both stamped revision 1 for the same key with
+  // different content. The winner must be a pure function of the entries.
+  SurveyJournal a;
+  a.record("gemini", 7, {presence({scene::Indicator::kSidewalk}), 2});
+  SurveyJournal b;
+  b.record("gemini", 7, {presence({scene::Indicator::kSidewalk,
+                                   scene::Indicator::kStreetlight}), 5});
+
+  SurveyJournal ab = a;
+  ab.merge(b);
+  SurveyJournal ba = b;
+  ba.merge(a);
+
+  EXPECT_EQ(ab.serialize_log(), ba.serialize_log());
+  const JournalEntry* winner = ab.lookup("gemini", 7);
+  ASSERT_NE(winner, nullptr);
+  // Content order: more answered questions wins the tie.
+  EXPECT_EQ(winner->answered_questions, 5);
+}
+
+TEST(JournalMergeConflict, MergeCommutesAcrossManyKeys) {
+  SurveyJournal a;
+  SurveyJournal b;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    a.record("gemini", i, {presence({scene::Indicator::kSidewalk}), static_cast<int>(i % 4)});
+    if (i % 2 == 0) {
+      b.record("gemini", i,
+               {presence({scene::Indicator::kStreetlight}), static_cast<int>(3 - i % 4)});
+    }
+    b.record("claude", i, {presence({scene::Indicator::kPowerline}), 1});
+  }
+  SurveyJournal ab = a;
+  ab.merge(b);
+  SurveyJournal ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.size(), ba.size());
+  EXPECT_EQ(ab.serialize_log(), ba.serialize_log());
+}
+
+TEST(JournalMergeConflict, MergedJournalKeepsWritingFreshRevisions) {
+  // The write clock must advance past every merged-in revision: a record()
+  // after merge must beat entries it conflicts with, not lose to them.
+  SurveyJournal donor;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    donor.record("gemini", i, {presence({scene::Indicator::kSidewalk}), 1});
+  }
+  SurveyJournal merged;
+  merged.merge(donor);
+  merged.record("gemini", 2, {presence({scene::Indicator::kStreetlight}), 4});
+
+  SurveyJournal check = donor;
+  check.merge(merged);
+  const JournalEntry* winner = check.lookup("gemini", 2);
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->answered_questions, 4);
+  EXPECT_TRUE(winner->prediction[scene::Indicator::kStreetlight]);
+}
+
+TEST(JournalMergeConflict, RevisionsSurviveSerializationRoundTrips) {
+  SurveyJournal stale;
+  stale.record("gemini", 7, {presence({scene::Indicator::kSidewalk}), 3});
+  SurveyJournal fresh = stale;
+  fresh.record("gemini", 7, {presence({scene::Indicator::kStreetlight}), 6});
+
+  // Round-trip `stale` through JSON and `fresh` through the record log;
+  // the rehydrated journals must still resolve the conflict identically.
+  SurveyJournal stale_rt = SurveyJournal::from_json(stale.to_json());
+  SurveyJournal merged = stale_rt;
+  merged.merge(fresh);
+  const JournalEntry* winner = merged.lookup("gemini", 7);
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->answered_questions, 6);
+}
+
+TEST(JournalMergeConflict, LegacyFramesWithoutRevisionsStillMerge) {
+  // A payload in the pre-revision 12-byte layout decodes with revision 0
+  // and loses to any stamped entry.
+  SurveyJournal modern;
+  modern.record("gemini", 7, {presence({scene::Indicator::kStreetlight}), 6});
+
+  const std::string framed =
+      SurveyJournal::encode_entry("gemini/7", {presence({scene::Indicator::kSidewalk}), 3});
+  std::string key;
+  JournalEntry legacy;
+  // Strip the trailing 8 revision bytes to reconstruct the legacy layout.
+  ASSERT_TRUE(
+      SurveyJournal::decode_entry(std::string_view(framed).substr(0, framed.size() - 8), key,
+                                  legacy));
+  EXPECT_EQ(key, "gemini/7");
+  EXPECT_EQ(legacy.revision, 0U);
+  EXPECT_EQ(legacy.answered_questions, 3);
+}
+
+TEST(JournalMergeConflict, TenantNamespacesIsolateIdenticalWork) {
+  SurveyJournal journal;
+  journal.record("acme", "gemini", 7, {presence({scene::Indicator::kSidewalk}), 2});
+  journal.record("globex", "gemini", 7, {presence({scene::Indicator::kStreetlight}), 5});
+  journal.record("gemini", 7, {presence({scene::Indicator::kPowerline}), 1});
+
+  EXPECT_EQ(journal.size(), 3U);
+  ASSERT_TRUE(journal.contains("acme", "gemini", 7));
+  ASSERT_TRUE(journal.contains("globex", "gemini", 7));
+  ASSERT_TRUE(journal.contains("gemini", 7));
+  EXPECT_EQ(journal.lookup("acme", "gemini", 7)->answered_questions, 2);
+  EXPECT_EQ(journal.lookup("globex", "gemini", 7)->answered_questions, 5);
+  EXPECT_EQ(journal.lookup("gemini", 7)->answered_questions, 1);
+
+  const SurveyJournal shard = journal.tenant_shard("acme");
+  EXPECT_EQ(shard.size(), 1U);
+  EXPECT_TRUE(shard.contains("gemini", 7));
+  EXPECT_EQ(shard.lookup("gemini", 7)->answered_questions, 2);
+
+  SurveyJournal rebuilt;
+  rebuilt.merge_tenant("acme", shard);
+  EXPECT_TRUE(rebuilt.contains("acme", "gemini", 7));
+  EXPECT_EQ(rebuilt.lookup("acme", "gemini", 7)->answered_questions, 2);
+}
+
+}  // namespace
+}  // namespace neuro::core

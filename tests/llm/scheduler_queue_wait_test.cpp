@@ -1,0 +1,140 @@
+// Regression tests for two scheduler substrate fixes that the serve layer
+// leans on:
+//  * RequestTiming::queue_wait_ms() clamps at zero — hedged/aborted paths
+//    can leave start_ms below ready_ms, and that negative "wait" used to
+//    drag queue-wait percentiles below zero;
+//  * SchedulerConfig::abort_after_ms uses a negative run-to-completion
+//    sentinel (kNoAbortCut) so 0.0 is a REAL cut that aborts the whole
+//    batch — the service drain path needs exactly that for a job starting
+//    at the drain point. Under the old "0 = disabled" sentinel these tests
+//    fail: the zero cut ran to completion.
+
+#include <gtest/gtest.h>
+
+#include "data/builder.hpp"
+#include "llm/scheduler.hpp"
+#include "llm/vlm.hpp"
+
+namespace neuro::llm {
+namespace {
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+struct BatchFixture {
+  explicit BatchFixture(std::size_t images = 8) : dataset(small_dataset(images)) {
+    for (const data::LabeledImage& image : dataset) observations.push_back(observe(image));
+    ModelProfile profile = gemini_1_5_pro_profile();
+    profile.transient_failure_rate = 0.0;
+    CalibrationStats calibration = CalibrationStats::from_dataset(dataset);
+    model = std::make_unique<VisionLanguageModel>(profile, calibration);
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      batch.push_back({&observations[i], dataset[i].id});
+    }
+    PromptBuilder builder;
+    plan = builder.build(PromptStrategy::kParallel, Language::kEnglish, 0);
+  }
+
+  BatchReport run(const SchedulerConfig& config) const {
+    const RequestScheduler scheduler(*model, config);
+    return scheduler.run(plan, batch, SamplingParams{}, 42);
+  }
+
+  data::Dataset dataset;
+  std::vector<VisualObservation> observations;
+  std::unique_ptr<VisionLanguageModel> model;
+  std::vector<SurveyRequest> batch;
+  PromptPlan plan;
+};
+
+TEST(SchedulerQueueWait, ClampsNegativeWaitsAtZero) {
+  // The raw subtraction goes negative when admission lands before the
+  // recorded readiness (hedge/abort bookkeeping); the accessor must clamp.
+  RequestTiming timing;
+  timing.ready_ms = 100.0;
+  timing.start_ms = 40.0;
+  EXPECT_EQ(timing.queue_wait_ms(), 0.0);
+  timing.start_ms = 140.0;
+  EXPECT_EQ(timing.queue_wait_ms(), 40.0);
+  timing.start_ms = timing.ready_ms;
+  EXPECT_EQ(timing.queue_wait_ms(), 0.0);
+}
+
+TEST(SchedulerQueueWait, BatchPercentilesAndTimingsNeverGoNegative) {
+  BatchFixture fx;
+  SchedulerConfig config;
+  config.threads = 1;
+  // Hedging + tail latency: the paths that historically produced
+  // start_ms < ready_ms bookkeeping.
+  config.resilience.hedge_after_ms = 50.0;
+  config.faults = FaultPlan::tail_spike(0.0, 60'000.0, 8.0, 0.5);
+  const BatchReport report = fx.run(config);
+  ASSERT_FALSE(report.timings.empty());
+  for (const RequestTiming& timing : report.timings) {
+    EXPECT_GE(timing.queue_wait_ms(), 0.0);
+  }
+  EXPECT_GE(report.stats.queue_wait_p50_ms, 0.0);
+  EXPECT_GE(report.stats.queue_wait_p95_ms, 0.0);
+  EXPECT_GE(report.stats.queue_wait_p99_ms, 0.0);
+}
+
+TEST(SchedulerAbortSentinel, ZeroCutAbortsTheEntireBatch) {
+  BatchFixture fx;
+  SchedulerConfig config;
+  config.threads = 1;
+  config.abort_after_ms = 0.0;  // a real cut under the new sentinel
+  const BatchReport report = fx.run(config);
+  EXPECT_EQ(report.usage.requests, 0U) << "a 0.0 cut must issue nothing";
+  EXPECT_TRUE(report.timings.empty());
+  for (const ItemOutcome& item : report.items) {
+    EXPECT_TRUE(item.aborted);
+    EXPECT_EQ(item.answered_questions, 0);
+  }
+}
+
+TEST(SchedulerAbortSentinel, NegativeSentinelRunsToCompletion) {
+  BatchFixture fx;
+  SchedulerConfig config;
+  config.threads = 1;
+  config.abort_after_ms = kNoAbortCut;
+  const BatchReport report = fx.run(config);
+  EXPECT_EQ(report.usage.requests, fx.batch.size());
+  for (const ItemOutcome& item : report.items) {
+    EXPECT_FALSE(item.aborted);
+    EXPECT_GT(item.answered_questions, 0);
+  }
+}
+
+TEST(SchedulerAbortSentinel, MidBatchCutSplitsCompletedFromAborted) {
+  BatchFixture fx;
+  SchedulerConfig config;
+  config.threads = 1;
+  // Throttle concurrency so request starts spread across the makespan;
+  // with all eight in flight at t=0 a midpoint cut would abort nothing.
+  config.max_in_flight = 2;
+  const BatchReport full = fx.run(config);
+  ASSERT_GT(full.stats.makespan_ms, 0.0);
+
+  config.abort_after_ms = full.stats.makespan_ms / 2.0;
+  const BatchReport cut = fx.run(config);
+  std::size_t aborted = 0;
+  std::size_t completed = 0;
+  for (const ItemOutcome& item : cut.items) {
+    if (item.aborted) {
+      ++aborted;
+    } else {
+      ++completed;
+    }
+  }
+  EXPECT_GT(aborted, 0U);
+  EXPECT_GT(completed, 0U);
+  EXPECT_LT(cut.usage.requests, full.usage.requests);
+}
+
+}  // namespace
+}  // namespace neuro::llm

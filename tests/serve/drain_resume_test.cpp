@@ -1,0 +1,372 @@
+// The serve-layer headline guarantee: a SurveyService killed at ANY point
+// — a graceful drain cut, or a simulated process death at every mutating
+// filesystem op of the checkpoint save — restarts, recovers its journal,
+// and resumes every in-flight tenant survey with ZERO duplicate LLM
+// requests, converging to the uninterrupted run's results. Verified at
+// {1, 4, 16} threads, healthy and under tail-latency chaos, reusing the
+// JournalCrashSweep fixture pattern (TempDir + FaultFs crash enumeration).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/builder.hpp"
+#include "serve/service.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::serve {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+stdfs::path artifact_base() {
+  if (const char* dir = std::getenv("NEURO_ARTIFACT_DIR"); dir != nullptr && *dir != '\0') {
+    return stdfs::path(dir);
+  }
+  return stdfs::temp_directory_path();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = artifact_base() /
+           (std::string("neuro_serve_") + tag + "_" + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() {
+    if (std::getenv("NEURO_ARTIFACT_DIR") == nullptr || !::testing::Test::HasFailure()) {
+      stdfs::remove_all(dir_);
+    }
+  }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+llm::ModelProfile reliable(llm::ModelProfile profile) {
+  profile.transient_failure_rate = 0.0;
+  return profile;
+}
+
+/// Journal content modulo revisions: key -> (prediction mask, answered).
+/// Resume convergence is asserted on content — the LWW revision stamps
+/// legitimately depend on record order, which a drain reshuffles.
+std::map<std::string, std::pair<int, int>> journal_content(const core::SurveyJournal& journal) {
+  std::map<std::string, std::pair<int, int>> out;
+  const util::Json json = journal.to_json();
+  const util::Json* images = json.find("images");
+  if (images == nullptr) return out;
+  for (const auto& [key, record] : images->as_object()) {
+    out[key] = {static_cast<int>(record.get("mask", -1.0)),
+                static_cast<int>(record.get("answered", -1.0))};
+  }
+  return out;
+}
+
+struct Fixture {
+  explicit Fixture(std::size_t images = 12)
+      : dataset(small_dataset(images)),
+        runner(dataset),
+        model(runner.make_model(reliable(llm::gemini_1_5_pro_profile()))) {}
+
+  data::Dataset dataset;
+  core::SurveyRunner runner;
+  llm::VisionLanguageModel model;
+};
+
+/// The workload every scenario replays: three tenants across all priority
+/// classes, overlapping dataset slices (so in-run journal restores happen
+/// too), arrivals spread over virtual time.
+std::vector<SurveyJob> workload() {
+  return {
+      {"alpha", 0, 0.0, 0, 3},    {"bravo", 0, 10.0, 3, 3},  {"alpha", 1, 400.0, 2, 3},
+      {"charlie", 0, 800.0, 6, 3}, {"bravo", 1, 1200.0, 0, 4}, {"charlie", 1, 1600.0, 8, 4},
+  };
+}
+
+ServiceConfig base_config(std::size_t threads, const llm::FaultPlan& faults,
+                          const std::string& journal_path, util::Fsx* fs) {
+  ServiceConfig config;
+  config.survey.threads = threads;
+  config.scheduler.faults = faults;
+  config.worker_slots = 2;
+  config.queue_capacity = 16;          // queue pressure out of the picture:
+  config.default_tenant.quota_jobs_per_s = 100.0;  // admissions must match
+  config.default_tenant.quota_burst = 100.0;       // between runs exactly
+  config.journal_path = journal_path;
+  config.fs = fs;
+  return config;
+}
+
+void register_tenants(SurveyService& service) {
+  service.register_tenant({"alpha", Priority::kInteractive, 100.0, 100.0});
+  service.register_tenant({"bravo", Priority::kStandard, 100.0, 100.0});
+  service.register_tenant({"charlie", Priority::kBatch, 100.0, 100.0});
+}
+
+struct RunOutcome {
+  ServiceReport report;
+  std::map<std::string, std::pair<int, int>> content;
+  std::string journal_bytes;
+};
+
+RunOutcome run_service(const Fixture& fx, ServiceConfig config) {
+  SurveyService service(fx.runner, fx.model, config);
+  register_tenants(service);
+  service.open();
+  RunOutcome out;
+  out.report = service.run(workload());
+  out.content = journal_content(service.journal());
+  out.journal_bytes = service.journal().serialize_log();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain: run with a drain point, restart against the checkpoint,
+// and converge to the uninterrupted run's journal with zero duplicates.
+// ---------------------------------------------------------------------------
+TEST(ServeDrainResume, DrainThenRestartConvergesWithZeroDuplicateRequests) {
+  Fixture fx;
+  TempDir dir("drain");
+  util::Fsx& real = util::Fsx::real();
+
+  // Uninterrupted control run (its own journal file).
+  const RunOutcome control =
+      run_service(fx, base_config(1, llm::FaultPlan::healthy(), dir.path("control.nrlg"), &real));
+  ASSERT_GT(control.report.requests, 0U);
+  ASSERT_GT(control.content.size(), 0U);
+
+  // Pick a drain point mid-service so some jobs completed (checkpointed),
+  // at least one was cut in flight, and at least one arrival was shed.
+  const double drain_at = 1000.0;
+  const std::string ckpt = dir.path("drained.nrlg");
+  ServiceConfig drain_config = base_config(1, llm::FaultPlan::healthy(), ckpt, &real);
+  drain_config.drain_at_ms = drain_at;
+  const RunOutcome drained = run_service(fx, drain_config);
+  std::uint64_t shed_draining = 0;
+  std::uint64_t jobs_drained = 0;
+  for (const ClassStats& stats : drained.report.classes) {
+    shed_draining += stats.shed_draining;
+    jobs_drained += stats.drained;
+  }
+  ASSERT_GT(shed_draining, 0U) << "drain point must shed at least one arrival";
+  ASSERT_GT(drained.content.size(), 0U) << "drain must leave checkpointed work behind";
+  ASSERT_LT(drained.content.size(), control.content.size())
+      << "drain point cut nothing: the scenario lost its teeth";
+
+  // Restart: the resumed service (no drain) must converge to the control
+  // content, restore every checkpointed image without re-requesting it,
+  // and do so byte-identically at every thread count.
+  std::string first_digest;
+  std::string first_bytes;
+  for (const std::size_t threads : {1UL, 4UL, 16UL}) {
+    // Each restart resumes from the drained checkpoint, not from whatever
+    // the previous thread-count's resumed run checkpointed over it.
+    real.write_file(ckpt, drained.journal_bytes);
+    SurveyService resumed(fx.runner, fx.model,
+                          base_config(threads, llm::FaultPlan::healthy(), ckpt, &real));
+    register_tenants(resumed);
+    const core::JournalRecovery recovery = resumed.open();
+    EXPECT_TRUE(recovery.clean);
+    ASSERT_EQ(recovery.entries, drained.content.size());
+
+    const ServiceReport report = resumed.run(workload());
+    EXPECT_EQ(journal_content(resumed.journal()), control.content) << "threads " << threads;
+    // Restores = the checkpointed entries plus the same overlapping-slice
+    // in-run restores the control run performs.
+    EXPECT_EQ(report.images_restored, control.report.images_restored + recovery.entries)
+        << "threads " << threads;
+    // Healthy + reliable profile: exactly one request per un-journaled
+    // image, so zero duplicates shows up as an exact count.
+    EXPECT_EQ(report.requests, control.report.requests - recovery.entries)
+        << "threads " << threads;
+
+    const std::string digest = report_digest(report);
+    const std::string bytes = resumed.journal().serialize_log();
+    if (first_digest.empty()) {
+      first_digest = digest;
+      first_bytes = bytes;
+    } else {
+      EXPECT_EQ(digest, first_digest) << "threads " << threads;
+      EXPECT_EQ(bytes, first_bytes) << "threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill the service at EVERY mutating filesystem op of its checkpoint
+// saves. Each crash leaves either the previous or the new complete
+// checkpoint (atomic save invariant); the restarted service must recover
+// cleanly and converge with zero duplicate requests at every thread count.
+// ---------------------------------------------------------------------------
+TEST(ServeDrainResume, CrashAtEveryCheckpointOpResumesWithZeroDuplicates) {
+  Fixture fx;
+  TempDir dir("crash");
+  util::Fsx& real = util::Fsx::real();
+
+  const RunOutcome control =
+      run_service(fx, base_config(1, llm::FaultPlan::healthy(), dir.path("control.nrlg"), &real));
+
+  // Fault-free counting pass to learn the sweep bound.
+  const std::string ckpt = dir.path("service.nrlg");
+  util::FaultFs counting(real);
+  run_service(fx, base_config(1, llm::FaultPlan::healthy(), ckpt, &counting));
+  const auto total_ops = static_cast<long long>(counting.mutating_ops());
+  ASSERT_GE(total_ops, 4) << "expected several checkpoint saves to sweep";
+
+  for (long long k = 0; k < total_ops; ++k) {
+    for (const double fraction : {0.0, 0.5}) {
+      real.remove_file(ckpt);
+      real.remove_file(util::temp_path_for(ckpt));
+
+      util::FaultFs faulty(real, util::FsFaultPlan::torn_write(k, fraction));
+      SurveyService victim(fx.runner, fx.model,
+                           base_config(1, llm::FaultPlan::healthy(), ckpt, &faulty));
+      register_tenants(victim);
+      victim.open();
+      bool crashed = false;
+      try {
+        victim.run(workload());
+      } catch (const util::FsxCrash&) {
+        crashed = true;  // the process is gone; whatever was durable stays
+      }
+      ASSERT_TRUE(crashed) << "crash point " << k << " never fired";
+
+      // Snapshot the post-crash disk state so every thread count restarts
+      // from the exact same world (a resumed run re-checkpoints the file).
+      const bool had_checkpoint = real.exists(ckpt);
+      const std::string post_crash_bytes = had_checkpoint ? real.read_file(ckpt) : "";
+
+      for (const std::size_t threads : {1UL, 4UL, 16UL}) {
+        if (had_checkpoint) {
+          real.write_file(ckpt, post_crash_bytes);
+        } else {
+          real.remove_file(ckpt);
+        }
+        SurveyService resumed(fx.runner, fx.model,
+                              base_config(threads, llm::FaultPlan::healthy(), ckpt, &real));
+        register_tenants(resumed);
+        core::JournalRecovery recovery;
+        if (had_checkpoint) {
+          recovery = resumed.open();
+          EXPECT_TRUE(recovery.clean)
+              << "crash " << k << "@" << fraction << ": atomic save left a torn checkpoint";
+        }
+        const ServiceReport report = resumed.run(workload());
+        EXPECT_EQ(journal_content(resumed.journal()), control.content)
+            << "crash " << k << "@" << fraction << " threads " << threads;
+        EXPECT_EQ(report.images_restored, control.report.images_restored + recovery.entries)
+            << "crash " << k << "@" << fraction << " threads " << threads;
+        EXPECT_EQ(report.requests, control.report.requests - recovery.entries)
+            << "crash " << k << "@" << fraction << " threads " << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos drain/resume: tail-latency windows stretch the timeline (different
+// jobs get cut than in the healthy run) but never change parsed results —
+// the resumed service still converges to its own uninterrupted control,
+// byte-identically across thread counts.
+// ---------------------------------------------------------------------------
+TEST(ServeDrainResume, DrainResumeUnderTailLatencyChaosConverges) {
+  Fixture fx;
+  TempDir dir("chaos");
+  util::Fsx& real = util::Fsx::real();
+  // Latency-only chaos: retries/timing shift, parsed text does not, so
+  // content convergence is well-defined under faults.
+  const llm::FaultPlan chaos = llm::FaultPlan::tail_spike(0.0, 5'000.0, 6.0);
+
+  const RunOutcome control =
+      run_service(fx, base_config(1, chaos, dir.path("control.nrlg"), &real));
+
+  const std::string ckpt = dir.path("chaos.nrlg");
+  ServiceConfig drain_config = base_config(1, chaos, ckpt, &real);
+  drain_config.drain_at_ms = 2'000.0;
+  const RunOutcome drained = run_service(fx, drain_config);
+  ASSERT_GT(drained.content.size(), 0U);
+  ASSERT_LT(drained.content.size(), control.content.size());
+
+  std::string first_digest;
+  std::string first_bytes;
+  for (const std::size_t threads : {1UL, 4UL, 16UL}) {
+    real.write_file(ckpt, drained.journal_bytes);
+    SurveyService resumed(fx.runner, fx.model, base_config(threads, chaos, ckpt, &real));
+    register_tenants(resumed);
+    const core::JournalRecovery recovery = resumed.open();
+    ASSERT_EQ(recovery.entries, drained.content.size());
+    const ServiceReport report = resumed.run(workload());
+    EXPECT_EQ(journal_content(resumed.journal()), control.content) << "threads " << threads;
+    EXPECT_EQ(report.images_restored, control.report.images_restored + recovery.entries)
+        << "threads " << threads;
+
+    const std::string digest = report_digest(report);
+    const std::string bytes = resumed.journal().serialize_log();
+    if (first_digest.empty()) {
+      first_digest = digest;
+      first_bytes = bytes;
+    } else {
+      EXPECT_EQ(digest, first_digest) << "threads " << threads;
+      EXPECT_EQ(bytes, first_bytes) << "threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The journal a drained service leaves behind is tenant-namespaced: each
+// tenant's shard round-trips through tenant_shard / merge_tenant without
+// crosstalk.
+// ---------------------------------------------------------------------------
+TEST(ServeDrainResume, CheckpointIsTenantNamespacedAndShardsRoundTrip) {
+  Fixture fx;
+  TempDir dir("shards");
+  util::Fsx& real = util::Fsx::real();
+  const RunOutcome control =
+      run_service(fx, base_config(1, llm::FaultPlan::healthy(), dir.path("c.nrlg"), &real));
+
+  core::JournalRecovery recovery;
+  const core::SurveyJournal journal =
+      core::SurveyJournal::load(dir.path("c.nrlg"), real, &recovery);
+  ASSERT_GT(journal.size(), 0U);
+
+  // Every key carries a known tenant prefix.
+  const util::Json journal_json = journal.to_json();
+  for (const auto& [key, record] : journal_json.find("images")->as_object()) {
+    (void)record;
+    const std::size_t colon = key.find(':');
+    ASSERT_NE(colon, std::string::npos) << key;
+    const std::string tenant = key.substr(0, colon);
+    EXPECT_TRUE(tenant == "alpha" || tenant == "bravo" || tenant == "charlie") << key;
+  }
+
+  // Shard extraction + re-merge reconstructs the exact journal bytes.
+  core::SurveyJournal rebuilt;
+  for (const std::string tenant : {"alpha", "bravo", "charlie"}) {
+    const core::SurveyJournal shard = journal.tenant_shard(tenant);
+    EXPECT_GT(shard.size(), 0U) << tenant;
+    rebuilt.merge_tenant(tenant, shard);
+  }
+  EXPECT_EQ(rebuilt.serialize_log(), journal.serialize_log());
+  EXPECT_EQ(rebuilt.size(), journal.size());
+  EXPECT_EQ(journal_content(rebuilt), control.content);
+}
+
+}  // namespace
+}  // namespace neuro::serve

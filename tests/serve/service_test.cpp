@@ -1,0 +1,316 @@
+// Admission-control behavior of the multi-tenant SurveyService: token-
+// bucket quotas shed deterministically, bounded queues apply backpressure,
+// priority classes jump the line, drains shed new arrivals, results stream
+// to the sink with virtual completion times, and the whole report is
+// byte-identical at 1, 4 and 16 threads — including under FaultPlan chaos
+// and a thousands-of-tenants LoadGen storm.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/builder.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
+
+namespace neuro::serve {
+namespace {
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;  // LLM path never reads pixels
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+llm::ModelProfile reliable(llm::ModelProfile profile) {
+  profile.transient_failure_rate = 0.0;  // isolate scripted faults
+  return profile;
+}
+
+struct Fixture {
+  explicit Fixture(std::size_t images = 12)
+      : dataset(small_dataset(images)),
+        runner(dataset),
+        model(runner.make_model(reliable(llm::gemini_1_5_pro_profile()))) {}
+
+  ServiceConfig config() const {
+    ServiceConfig out;
+    out.survey.threads = 1;
+    return out;
+  }
+
+  data::Dataset dataset;
+  core::SurveyRunner runner;
+  llm::VisionLanguageModel model;
+};
+
+SurveyJob job_at(const std::string& tenant, std::uint64_t id, double t,
+                 std::size_t begin = 0, std::size_t count = 2) {
+  return {tenant, id, t, begin, count};
+}
+
+TEST(ServeAdmission, TokenBucketQuotaShedsBurstsAndRefills) {
+  Fixture fx;
+  ServiceConfig config = fx.config();
+  SurveyService service(fx.runner, fx.model, config);
+  // 1 job/s, burst of 2: two immediate admits, the third sheds on quota,
+  // and one token is back 1000 virtual ms later.
+  service.register_tenant({"acme", Priority::kStandard, 1.0, 2.0});
+
+  EXPECT_EQ(service.submit(job_at("acme", 0, 0.0)), Admission::kAdmitted);
+  EXPECT_EQ(service.submit(job_at("acme", 1, 0.0)), Admission::kAdmitted);
+  EXPECT_EQ(service.submit(job_at("acme", 2, 0.0)), Admission::kShedQuota);
+  EXPECT_EQ(service.submit(job_at("acme", 3, 500.0)), Admission::kShedQuota);
+  EXPECT_EQ(service.submit(job_at("acme", 4, 1500.0)), Admission::kAdmitted);
+  service.finish();
+
+  const ServiceReport report = service.report();
+  const ClassStats& stats = report.classes[static_cast<std::size_t>(Priority::kStandard)];
+  EXPECT_EQ(stats.submitted, 5U);
+  EXPECT_EQ(stats.admitted, 3U);
+  EXPECT_EQ(stats.shed_quota, 2U);
+  EXPECT_DOUBLE_EQ(stats.shed_rate, 2.0 / 5.0);
+}
+
+TEST(ServeAdmission, BoundedQueueShedsWhenFull) {
+  Fixture fx;
+  ServiceConfig config = fx.config();
+  config.worker_slots = 1;
+  config.queue_capacity = 2;
+  config.default_tenant.quota_jobs_per_s = 100.0;  // quota never the limiter
+  config.default_tenant.quota_burst = 100.0;
+  SurveyService service(fx.runner, fx.model, config);
+
+  // Distinct tenants so quota can't shed; one slot means everything after
+  // the first job queues, and the queue holds only two.
+  EXPECT_EQ(service.submit(job_at("t0", 0, 0.0)), Admission::kAdmitted);  // runs
+  EXPECT_EQ(service.submit(job_at("t1", 0, 0.0)), Admission::kAdmitted);  // queued
+  EXPECT_EQ(service.submit(job_at("t2", 0, 0.0)), Admission::kAdmitted);  // queued
+  EXPECT_EQ(service.submit(job_at("t3", 0, 0.0)), Admission::kShedQueueFull);
+  service.finish();
+
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.classes[1].shed_queue_full, 1U);
+  EXPECT_EQ(report.classes[1].completed, 3U);
+}
+
+TEST(ServeAdmission, InteractiveClassJumpsTheQueue) {
+  Fixture fx;
+  ServiceConfig config = fx.config();
+  config.worker_slots = 1;
+  config.default_tenant.quota_jobs_per_s = 100.0;
+  config.default_tenant.quota_burst = 100.0;
+  SurveyService service(fx.runner, fx.model, config);
+  service.register_tenant({"bulk", Priority::kBatch, 100.0, 100.0});
+  service.register_tenant({"ui", Priority::kInteractive, 100.0, 100.0});
+
+  // The slot is busy with the first batch job; a batch job queues first
+  // (earlier admit), then an interactive one. The interactive job must
+  // dispatch ahead of the earlier-admitted batch job.
+  service.submit(job_at("bulk", 0, 0.0));
+  service.submit(job_at("bulk", 1, 1.0));
+  service.submit(job_at("ui", 0, 2.0));
+  service.finish();
+
+  const std::vector<JobRecord>& records = service.records();
+  ASSERT_EQ(records.size(), 3U);
+  const JobRecord& batch_waiting = records[1];
+  const JobRecord& interactive = records[2];
+  EXPECT_LT(interactive.start_ms, batch_waiting.start_ms);
+  EXPECT_GT(interactive.queue_wait_ms(), 0.0);
+}
+
+TEST(ServeAdmission, DrainShedsArrivalsAtAndPastTheDrainPoint) {
+  Fixture fx;
+  ServiceConfig config = fx.config();
+  config.drain_at_ms = 1000.0;
+  config.default_tenant.quota_jobs_per_s = 100.0;
+  config.default_tenant.quota_burst = 100.0;
+  SurveyService service(fx.runner, fx.model, config);
+
+  EXPECT_EQ(service.submit(job_at("t0", 0, 999.0)), Admission::kAdmitted);
+  EXPECT_EQ(service.submit(job_at("t0", 1, 1000.0)), Admission::kShedDraining);
+  EXPECT_EQ(service.submit(job_at("t0", 2, 2000.0)), Admission::kShedDraining);
+  service.finish();
+  EXPECT_EQ(service.report().classes[1].shed_draining, 2U);
+}
+
+TEST(ServeAdmission, StreamsEveryFinishedImageWithVirtualCompletionTimes) {
+  Fixture fx;
+  ServiceConfig config = fx.config();
+  config.default_tenant.quota_jobs_per_s = 100.0;
+  config.default_tenant.quota_burst = 100.0;
+  SurveyService service(fx.runner, fx.model, config);
+  std::vector<ImageResult> streamed;
+  service.set_sink([&](const ImageResult& result) { streamed.push_back(result); });
+
+  service.submit(job_at("t0", 0, 0.0, 0, 3));
+  service.submit(job_at("t1", 0, 5.0, 3, 3));
+  service.finish();
+
+  ASSERT_EQ(streamed.size(), 6U);
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.images_streamed, 6U);
+  for (const ImageResult& result : streamed) {
+    EXPECT_FALSE(result.failed);
+    EXPECT_FALSE(result.from_journal);
+    EXPECT_GT(result.answered_questions, 0);
+    // Completion happens after the owning job started.
+    const JobRecord& owner =
+        service.records()[result.tenant == "t0" ? 0 : 1];
+    EXPECT_GE(result.completion_ms, owner.start_ms);
+    EXPECT_LE(result.completion_ms, owner.finish_ms);
+  }
+}
+
+TEST(ServeAdmission, UnregisteredTenantsInheritTheDefaultPolicy) {
+  Fixture fx;
+  ServiceConfig config = fx.config();
+  config.default_tenant.priority = Priority::kBatch;
+  config.default_tenant.quota_jobs_per_s = 0.001;
+  config.default_tenant.quota_burst = 1.0;
+  SurveyService service(fx.runner, fx.model, config);
+
+  EXPECT_EQ(service.submit(job_at("walkin", 0, 0.0)), Admission::kAdmitted);
+  EXPECT_EQ(service.submit(job_at("walkin", 1, 1.0)), Admission::kShedQuota);
+  service.finish();
+  EXPECT_EQ(service.records()[0].priority, Priority::kBatch);
+}
+
+TEST(ServeAdmission, RejectsTenantIdsWithNamespaceSeparator) {
+  Fixture fx;
+  SurveyService service(fx.runner, fx.model, fx.config());
+  EXPECT_THROW(service.submit(job_at("a:b", 0, 0.0)), std::invalid_argument);
+  EXPECT_THROW(service.register_tenant({"x:y"}), std::invalid_argument);
+  EXPECT_THROW(service.submit(job_at("", 0, 0.0)), std::invalid_argument);
+}
+
+TEST(ServeAdmission, SubmitTimesMustBeNonDecreasing) {
+  Fixture fx;
+  SurveyService service(fx.runner, fx.model, fx.config());
+  service.submit(job_at("t0", 0, 100.0));
+  EXPECT_THROW(service.submit(job_at("t0", 1, 99.0)), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Determinism: the LoadGen-driven service — open loop with diurnal + burst
+// arrivals over many tenants, and closed loop — reports byte-identically
+// at 1, 4 and 16 threads, healthy and under chaos.
+// --------------------------------------------------------------------------
+
+std::string digest_at_threads(const Fixture& fx, std::size_t threads, bool closed_loop,
+                              const llm::FaultPlan& faults) {
+  ServiceConfig config;
+  config.survey.threads = threads;
+  config.scheduler.faults = faults;
+  config.worker_slots = 3;
+  config.queue_capacity = 8;
+
+  LoadGenConfig load;
+  load.tenants = 40;
+  load.horizon_ms = 8'000.0;
+  load.jobs_per_tenant_per_s = 0.4;
+  load.diurnal_amplitude = 0.6;
+  load.diurnal_period_ms = 4'000.0;
+  load.bursts = {{2'000.0, 3'000.0, 4.0}};
+  load.images_per_job = 2;
+  load.quota_jobs_per_s = 0.5;
+  load.quota_burst = 2.0;
+  load.closed_loop = closed_loop;
+  load.think_time_ms = 500.0;
+  load.seed = 7;
+
+  LoadGen generator(load, fx.runner.image_count());
+  SurveyService service(fx.runner, fx.model, config);
+  for (const TenantConfig& tenant : generator.tenants()) service.register_tenant(tenant);
+  const ServiceReport report = generator.drive(service);
+  EXPECT_GT(report.jobs.size(), 0U);
+  return report_digest(report);
+}
+
+TEST(ServeAdmission, OpenLoopReportByteIdenticalAcrossThreadCounts) {
+  Fixture fx(16);
+  const std::string baseline = digest_at_threads(fx, 1, false, llm::FaultPlan::healthy());
+  EXPECT_EQ(digest_at_threads(fx, 4, false, llm::FaultPlan::healthy()), baseline);
+  EXPECT_EQ(digest_at_threads(fx, 16, false, llm::FaultPlan::healthy()), baseline);
+}
+
+TEST(ServeAdmission, OpenLoopReportByteIdenticalUnderChaos) {
+  Fixture fx(16);
+  const llm::FaultPlan storm = llm::FaultPlan::storm_window(0.0, 3'000.0);
+  const std::string baseline = digest_at_threads(fx, 1, false, storm);
+  EXPECT_EQ(digest_at_threads(fx, 4, false, storm), baseline);
+  EXPECT_EQ(digest_at_threads(fx, 16, false, storm), baseline);
+}
+
+TEST(ServeAdmission, ClosedLoopReportByteIdenticalAcrossThreadCounts) {
+  Fixture fx(16);
+  const std::string baseline = digest_at_threads(fx, 1, true, llm::FaultPlan::healthy());
+  EXPECT_EQ(digest_at_threads(fx, 4, true, llm::FaultPlan::healthy()), baseline);
+  EXPECT_EQ(digest_at_threads(fx, 16, true, llm::FaultPlan::healthy()), baseline);
+}
+
+TEST(ServeAdmission, LoadGenPopulationAndArrivalsAreReproducible) {
+  LoadGenConfig load;
+  load.tenants = 1000;  // thousands-of-tenants population stays cheap: no service
+  load.horizon_ms = 2'000.0;
+  load.jobs_per_tenant_per_s = 0.2;
+  LoadGen a(load, 16);
+  LoadGen b(load, 16);
+  const std::vector<TenantConfig> ta = a.tenants();
+  const std::vector<TenantConfig> tb = b.tenants();
+  ASSERT_EQ(ta.size(), 1000U);
+  std::size_t mix[kPriorityClasses] = {0, 0, 0};
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].id, tb[i].id);
+    EXPECT_EQ(ta[i].priority, tb[i].priority);
+    ++mix[static_cast<std::size_t>(ta[i].priority)];
+  }
+  // Every class is represented under the default 20/50/30 mix.
+  EXPECT_GT(mix[0], 0U);
+  EXPECT_GT(mix[1], 0U);
+  EXPECT_GT(mix[2], 0U);
+
+  const std::vector<SurveyJob> ja = a.arrivals();
+  const std::vector<SurveyJob> jb = b.arrivals();
+  ASSERT_EQ(ja.size(), jb.size());
+  ASSERT_GT(ja.size(), 0U);
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].tenant, jb[i].tenant);
+    EXPECT_EQ(ja[i].job_id, jb[i].job_id);
+    EXPECT_DOUBLE_EQ(ja[i].submit_ms, jb[i].submit_ms);
+    if (i > 0) {
+      EXPECT_GE(ja[i].submit_ms, ja[i - 1].submit_ms);
+    }
+  }
+}
+
+TEST(ServeAdmission, BurstWindowRaisesArrivalRate) {
+  LoadGenConfig load;
+  load.tenants = 200;
+  load.horizon_ms = 6'000.0;
+  load.jobs_per_tenant_per_s = 0.2;
+  load.diurnal_amplitude = 0.0;
+  load.bursts = {{2'000.0, 4'000.0, 5.0}};
+  LoadGen generator(load, 16);
+  std::size_t inside = 0;
+  std::size_t outside = 0;
+  for (const SurveyJob& job : generator.arrivals()) {
+    if (job.submit_ms >= 2'000.0 && job.submit_ms < 4'000.0) {
+      ++inside;
+    } else {
+      ++outside;
+    }
+  }
+  // The 2s burst window at 5x should out-arrive the 4s of baseline.
+  EXPECT_GT(inside, outside);
+  EXPECT_NEAR(generator.rate_factor(3'000.0), 5.0, 1e-9);
+  EXPECT_NEAR(generator.rate_factor(100.0), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace neuro::serve

@@ -1,0 +1,59 @@
+// Regression tests for the Histogram overflow-bucket quantile fix: a
+// quantile landing in the ceiling bucket used to interpolate against a
+// bucket with no meaningful upper edge and collapse (after range
+// clamping) to the bottom of the observed range. It must return the exact
+// recorded maximum instead.
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.hpp"
+
+namespace neuro::util {
+namespace {
+
+TEST(HistogramTailQuantile, OverflowBucketQuantileReturnsRecordedMax) {
+  Histogram histogram;
+  // Both samples land past the top bucket edge (~1e12) in the ceiling
+  // bucket. Pre-fix, interpolation clamped p99 to the observed MINIMUM.
+  histogram.observe(2.0e12);
+  histogram.observe(5.0e12);
+  EXPECT_EQ(histogram.quantile(0.99), 5.0e12);
+  EXPECT_EQ(histogram.quantile(1.0), 5.0e12);
+  const HistogramSnapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.p99, 5.0e12);
+  EXPECT_EQ(snapshot.max, 5.0e12);
+}
+
+TEST(HistogramTailQuantile, MixedInRangeAndOverflowSamples) {
+  Histogram histogram;
+  for (int i = 0; i < 98; ++i) histogram.observe(100.0);
+  histogram.observe(3.0e12);
+  histogram.observe(7.0e12);
+  // p50 stays in the populated finite bucket (~4.4% relative resolution).
+  EXPECT_NEAR(histogram.quantile(0.50), 100.0, 100.0 * 0.05);
+  // The tail quantile lands in the ceiling bucket -> the exact max.
+  EXPECT_EQ(histogram.quantile(0.995), 7.0e12);
+}
+
+TEST(HistogramTailQuantile, FiniteBucketsStillInterpolate) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.observe(static_cast<double>(i));
+  const double p50 = histogram.quantile(0.50);
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.06);
+  const double p99 = histogram.quantile(0.99);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.06);
+  EXPECT_LE(histogram.quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTailQuantile, EmptyAndSingleSampleEdges) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.99), 0.0);
+
+  Histogram one;
+  one.observe(4.0e12);  // single overflow sample
+  EXPECT_EQ(one.quantile(0.5), 4.0e12);
+  EXPECT_EQ(one.quantile(0.99), 4.0e12);
+}
+
+}  // namespace
+}  // namespace neuro::util
