@@ -108,8 +108,13 @@ void BM_PrepareFeatures(benchmark::State& state) {
   const bool integral = state.range(0) != 0;
   const data::LabeledImage& image = shared_dataset()[0];
   const image::WindowFeatureExtractor extractor({8, 4, 9}, integral);
+  // Steady state: prepare_into reuses the Prepared buffers across images,
+  // so the integral arm measures the fused plane build, not allocation.
+  image::WindowFeatureExtractor::Prepared prep;
+  extractor.prepare_into(image.image, prep);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(extractor.prepare(image.image));
+    extractor.prepare_into(image.image, prep);
+    benchmark::DoNotOptimize(prep);
   }
 }
 BENCHMARK(BM_PrepareFeatures)->Arg(0)->Arg(1)->ArgNames({"integral"});
@@ -124,8 +129,8 @@ void BM_GaussianNoise(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussianNoise);
 
-void BM_DetectorInference(benchmark::State& state) {
-  static const detect::NanoDetector detector = [] {
+detect::NanoDetector& shared_detector() {
+  static detect::NanoDetector detector = [] {
     detect::DetectorConfig config;
     config.epochs = 6;
     config.mining_rounds = 1;
@@ -133,12 +138,47 @@ void BM_DetectorInference(benchmark::State& state) {
     d.train(shared_dataset());
     return d;
   }();
+  return detector;
+}
+
+// End-to-end detect() per backend: the per-window loop baseline vs the
+// planned compute-graph forward (f32 bit-identical, int8 weight-quantized).
+void BM_DetectorInference(benchmark::State& state, detect::InferenceBackend backend) {
+  detect::NanoDetector& detector = shared_detector();
+  detector.set_backend(backend);
   const image::Image& img = shared_dataset()[1].image;
   for (auto _ : state) {
     benchmark::DoNotOptimize(detector.detect(img));
   }
+  detector.set_backend(detect::InferenceBackend::kGraphF32);
 }
-BENCHMARK(BM_DetectorInference);
+BENCHMARK_CAPTURE(BM_DetectorInference, backend:loop, detect::InferenceBackend::kLoop)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DetectorInference, backend:graph_f32, detect::InferenceBackend::kGraphF32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DetectorInference, backend:graph_int8, detect::InferenceBackend::kGraphInt8)
+    ->Unit(benchmark::kMillisecond);
+
+// The batched whole-image forward alone (all windows x all heads through
+// the planned arena), without NMS/refinement — the graph engine's core.
+void BM_GraphForward(benchmark::State& state, detect::InferenceBackend backend) {
+  detect::NanoDetector& detector = shared_detector();
+  detector.set_backend(backend);
+  const image::Image& img = shared_dataset()[1].image;
+  std::vector<float> scores;
+  std::size_t windows = detector.window_scores(img, scores);  // warm the pool
+  for (auto _ : state) {
+    windows = detector.window_scores(img, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  detector.set_backend(detect::InferenceBackend::kGraphF32);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(windows));
+}
+BENCHMARK_CAPTURE(BM_GraphForward, backend:graph_f32, detect::InferenceBackend::kGraphF32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GraphForward, backend:graph_int8, detect::InferenceBackend::kGraphInt8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LlmQuery(benchmark::State& state) {
   const llm::VisionLanguageModel model(llm::gemini_1_5_pro_profile(),

@@ -5,6 +5,15 @@
 //
 //   ./county_survey [--images N] [--seed N]
 //
+// Supervised comparison:
+//   --baseline            train the NanoDet baseline on a split of the same
+//                         survey and print its held-out presence row beside
+//                         the LLM ensemble
+//   --detector-backend B  baseline inference backend: loop (per-window MLP
+//                         sweep), graph_f32 (planned batched forward,
+//                         bit-identical to loop), graph_int8 (weight+
+//                         activation quantized)
+//
 // Chaos / resilience knobs (all virtual-time milliseconds):
 //   --outage START:END    provider outage window for the usage run
 //   --storm START:END     429 rate-limit storm window
@@ -55,6 +64,7 @@
 #include "util/fsx.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
@@ -96,6 +106,10 @@ int main(int argc, char** argv) {
                  "atomic save; a torn/corrupt checkpoint recovers its valid prefix)");
   cli.add_string("trace", "", "write a Perfetto-loadable Chrome trace to this file");
   cli.add_string("manifest", "", "write a run-provenance manifest to this file");
+  cli.add_flag("baseline", false,
+               "train the supervised NanoDet baseline and score it beside the ensemble");
+  cli.add_string("detector-backend", "graph_f32",
+                 "baseline inference backend: loop | graph_f32 | graph_int8");
   cli.add_flag("serve", false, "run the multi-tenant service core under the load generator");
   cli.add_int("tenants", 200, "serve: tenant population size");
   cli.add_double("serve-horizon", 30'000.0, "serve: arrival horizon in virtual ms");
@@ -238,6 +252,30 @@ int main(int argc, char** argv) {
   for (const core::ModelSurveyResult& result : results) {
     std::printf("%-42s %s\n", result.model_name.c_str(),
                 eval::macro_summary(result.evaluator).c_str());
+  }
+
+  // Optional supervised comparison row: train the NanoDet baseline on a
+  // 70/15 split of the same survey and score whole-image presence on the
+  // held-out 15% through the chosen inference backend (the graph backends
+  // run the planned batched forward; classify_presence is allocation-free
+  // once the plan is built).
+  if (cli.get_flag("baseline")) {
+    const detect::InferenceBackend backend =
+        detect::parse_backend(cli.get_string("detector-backend"));
+    util::Rng split_rng(util::derive_seed(options.seed, "baseline-split"));
+    const data::Split split = data::stratified_split(dataset, 0.7, 0.15, split_rng);
+    core::NeighborhoodDecoder::Options baseline_options = options;
+    baseline_options.detector_backend = backend;
+    detect::NanoDetector detector = core::NeighborhoodDecoder(baseline_options)
+                                        .train_baseline(dataset.subset(split.train), 12);
+    detector.calibrate_thresholds(dataset.subset(split.val));
+    eval::MultiLabelEvaluator baseline_eval;
+    for (std::size_t idx : split.test) {
+      baseline_eval.add(dataset[idx].presence(), detector.classify_presence(dataset[idx].image));
+    }
+    std::printf("%-42s %s  [%zu held-out images, backend %s]\n", "supervised NanoDet baseline",
+                eval::macro_summary(baseline_eval).c_str(), split.test.size(),
+                detect::backend_name(backend));
   }
 
   // Tract-level prevalence from the ensemble vote (last result).

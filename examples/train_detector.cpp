@@ -22,15 +22,19 @@ int main(int argc, char** argv) {
   cli.add_int("epochs", 20, "training epochs (paper: 20)");
   cli.add_int("seed", 42, "random seed");
   cli.add_string("out", "", "optional dir for a sample detection rendering");
+  cli.add_string("detector-backend", "graph_f32",
+                 "inference backend: loop | graph_f32 | graph_int8");
   if (!cli.parse(argc, argv)) return 0;
 
   core::ExperimentOptions options;
   options.image_count = static_cast<std::size_t>(cli.get_int("images"));
   options.detector_epochs = static_cast<int>(cli.get_int("epochs"));
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.detector_backend = detect::parse_backend(cli.get_string("detector-backend"));
 
-  std::printf("building %zu synthetic captures and training %d epochs...\n",
-              options.image_count, options.detector_epochs);
+  std::printf("building %zu synthetic captures and training %d epochs (backend: %s)...\n",
+              options.image_count, options.detector_epochs,
+              detect::backend_name(options.detector_backend));
   const core::BaselineResult result = core::run_table1_baseline(options);
 
   util::TextTable table({"Label", "Precision", "Recall", "F1", "mAP50"});
@@ -49,7 +53,9 @@ int main(int argc, char** argv) {
   if (const std::string out = cli.get_string("out"); !out.empty()) {
     std::filesystem::create_directories(out);
     // Retrain quickly on a small set just to draw a detection example.
-    core::NeighborhoodDecoder decoder;
+    core::NeighborhoodDecoder::Options decoder_options;
+    decoder_options.detector_backend = options.detector_backend;
+    core::NeighborhoodDecoder decoder(decoder_options);
     data::Dataset sample = decoder.generate_survey(80);
     detect::NanoDetector detector = decoder.train_baseline(sample, options.detector_epochs);
     data::LabeledImage demo = sample[3];

@@ -28,6 +28,7 @@ detect::DetectorConfig detector_config(const ExperimentOptions& options) {
   config.epochs = options.detector_epochs;
   config.seed = util::derive_seed(options.seed, "detector");
   config.threads = options.threads;
+  config.backend = options.detector_backend;
   return config;
 }
 

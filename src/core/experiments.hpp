@@ -20,6 +20,8 @@ struct ExperimentOptions {
   int detector_epochs = 20;        // paper: 20
   double train_frac = 0.7;         // paper: 70/20/10
   double val_frac = 0.2;
+  // Detector inference backend for every experiment that trains NanoDet.
+  detect::InferenceBackend detector_backend = detect::InferenceBackend::kGraphF32;
 };
 
 /// Build the shared synthetic dataset for an options set.

@@ -24,6 +24,7 @@ detect::NanoDetector NeighborhoodDecoder::train_baseline(const data::Dataset& tr
   config.epochs = epochs;
   config.seed = util::derive_seed(options_.seed, "baseline");
   config.threads = options_.threads;
+  config.backend = options_.detector_backend;
   detect::NanoDetector detector(config);
   detector.train(train_set);
   return detector;

@@ -48,6 +48,9 @@ class NeighborhoodDecoder {
     llm::PromptStrategy strategy = llm::PromptStrategy::kParallel;
     llm::Language language = llm::Language::kEnglish;
     llm::SamplingParams sampling;
+    /// Inference backend for the supervised baseline (loop / graph_f32 /
+    /// graph_int8); graph_f32 is the planned batched forward.
+    detect::InferenceBackend detector_backend = detect::InferenceBackend::kGraphF32;
   };
 
   NeighborhoodDecoder() : NeighborhoodDecoder(Options()) {}

@@ -5,7 +5,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <tuple>
 
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -18,8 +21,56 @@ namespace neuro::detect {
 
 using scene::Indicator;
 
+/// Per-executor state for the graph backends, pooled so steady-state
+/// detection allocates nothing: the prepared-image buffers, the plan's
+/// arena Context, the refine scorer, and every intermediate Detection
+/// buffer are reused across calls.
+struct NanoDetector::DetectSession {
+  int width = 0;
+  int height = 0;
+  InferenceBackend backend = InferenceBackend::kGraphF32;
+  image::WindowFeatureExtractor::Prepared prep;
+  std::unique_ptr<GraphInference::Session> graph;
+  std::unique_ptr<WindowScorer> scorer;
+  std::vector<Detection> raw, kept, capped;
+  std::vector<std::uint8_t> suppressed;
+  std::array<image::BoxF, 8> candidates;
+  std::array<float, 8> candidate_scores;
+};
+
 struct NanoDetector::Heads {
   std::vector<nn::Mlp> models;  // one binary head per indicator
+
+  // Graph-backend state, built once at the end of train().
+  std::shared_ptr<const PackedHeads> packed;
+  QuantCalibration calib;
+  // Compiled plans keyed by (width, height, backend) + idle session pool,
+  // both behind one mutex so concurrent detect() calls stay safe.
+  std::mutex mu;
+  std::map<std::tuple<int, int, int>, std::shared_ptr<const GraphInference>> plans;
+  std::vector<std::unique_ptr<DetectSession>> pool;
+};
+
+/// Returns a pooled session to the detector on destruction.
+class NanoDetector::SessionLease {
+ public:
+  SessionLease(Heads* heads, std::unique_ptr<DetectSession> session)
+      : heads_(heads), session_(std::move(session)) {}
+  SessionLease(SessionLease&&) noexcept = default;
+  SessionLease& operator=(SessionLease&&) = delete;
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+  ~SessionLease() {
+    if (session_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(heads_->mu);
+      heads_->pool.push_back(std::move(session_));
+    }
+  }
+  DetectSession& operator*() const { return *session_; }
+
+ private:
+  Heads* heads_;
+  std::unique_ptr<DetectSession> session_;
 };
 
 NanoDetector::NanoDetector(DetectorConfig config)
@@ -67,6 +118,26 @@ std::array<int, scene::kIndicatorCount> labels_from_iou(
     row[c] = overlap[c] >= positive_iou ? 1 : (overlap[c] <= negative_iou ? 0 : -1);
   }
   return row;
+}
+
+/// non_max_suppression with caller-owned buffers: same sort + greedy
+/// suppression, but `dets` is consumed in place and the survivors land in
+/// `kept` — no allocation once the buffers are warm.
+void nms_into(std::vector<Detection>& dets, float iou_threshold,
+              std::vector<std::uint8_t>& suppressed, std::vector<Detection>& kept) {
+  std::sort(dets.begin(), dets.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  suppressed.assign(dets.size(), 0);
+  kept.clear();
+  for (std::size_t i = 0; i < dets.size(); ++i) {
+    if (suppressed[i] != 0) continue;
+    kept.push_back(dets[i]);
+    for (std::size_t j = i + 1; j < dets.size(); ++j) {
+      if (suppressed[j] != 0) continue;
+      if (dets[j].indicator != dets[i].indicator) continue;
+      if (iou(dets[i].box, dets[j].box) > iou_threshold) suppressed[j] = 1;
+    }
+  }
 }
 
 }  // namespace
@@ -412,6 +483,31 @@ TrainReport NanoDetector::train(const data::Dataset& train_set) {
     train_all_heads(round);
   }
 
+  // ---- Stage 5: pack heads for the graph backends + int8 calibration ------
+  // The fused weight tensors are cheap to build; the int8 activation scales
+  // come from the training feature table itself (a strided sample keeps the
+  // pass bounded): absmax of the standardized features and of the post-ReLU
+  // hidden activations, per-tensor symmetric.
+  heads_->packed = std::make_shared<const PackedHeads>(PackedHeads::pack(heads_->models));
+  {
+    const std::size_t stride = std::max<std::size_t>(1, features.size() / 1024);
+    const std::size_t take = (features.size() + stride - 1) / stride;
+    nn::Matrix sample(take, dim);
+    for (std::size_t r = 0, s = 0; r < features.size(); r += stride, ++s) {
+      std::copy(features[r].begin(), features[r].end(), sample.row(s).begin());
+    }
+    scaler_.transform(sample);
+    float feature_absmax = 0.0F;
+    for (float v : sample.data()) feature_absmax = std::max(feature_absmax, std::fabs(v));
+    float hidden_absmax = 0.0F;
+    for (const nn::Mlp& head : heads_->models) {
+      const nn::Matrix hidden = head.layer(0).apply(sample);
+      for (float v : hidden.data()) hidden_absmax = std::max(hidden_absmax, std::fabs(v));
+    }
+    heads_->calib.feature_absmax = feature_absmax > 0.0F ? feature_absmax : 1.0F;
+    heads_->calib.hidden_absmax = hidden_absmax > 0.0F ? hidden_absmax : 1.0F;
+  }
+
   trained_ = true;
   report.train_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -437,8 +533,8 @@ image::BoxF NanoDetector::refine(const image::WindowFeatureExtractor::Prepared& 
                                  float& score) const {
   image::BoxF best = seed;
   float best_score = score;
-  const int width = prep.rgb.width();
-  const int height = prep.rgb.height();
+  const int width = prep.width();
+  const int height = prep.height();
 
   for (int iteration = 0; iteration < 2; ++iteration) {
     const float step_x = std::max(2.0F, best.w * 0.12F);
@@ -470,9 +566,156 @@ image::BoxF NanoDetector::refine(const image::WindowFeatureExtractor::Prepared& 
   return best;
 }
 
+NanoDetector::SessionLease NanoDetector::acquire_session(int width, int height,
+                                                         InferenceBackend backend) const {
+  const InferenceBackend graph_backend =
+      backend == InferenceBackend::kLoop ? InferenceBackend::kGraphF32 : backend;
+  const std::lock_guard<std::mutex> lock(heads_->mu);
+  for (std::size_t i = 0; i < heads_->pool.size(); ++i) {
+    DetectSession& s = *heads_->pool[i];
+    if (s.width == width && s.height == height && s.backend == graph_backend) {
+      std::unique_ptr<DetectSession> session = std::move(heads_->pool[i]);
+      heads_->pool[i] = std::move(heads_->pool.back());
+      heads_->pool.pop_back();
+      return {heads_.get(), std::move(session)};
+    }
+  }
+  const std::tuple<int, int, int> key{width, height, static_cast<int>(graph_backend)};
+  std::shared_ptr<const GraphInference>& plan = heads_->plans[key];
+  if (plan == nullptr) {
+    plan = std::make_shared<GraphInference>(
+        extractor_, scaler_, heads_->packed, width, height,
+        generate_proposals(width, height, config_.templates), graph_backend, heads_->calib);
+  }
+  auto session = std::make_unique<DetectSession>();
+  session->width = width;
+  session->height = height;
+  session->backend = graph_backend;
+  session->graph = std::make_unique<GraphInference::Session>(plan);
+  session->scorer = std::make_unique<WindowScorer>(extractor_, scaler_, heads_->packed,
+                                                   graph_backend, heads_->calib);
+  const std::size_t cap = plan->window_count() * plan->head_count() + 64;
+  session->raw.reserve(cap);
+  session->kept.reserve(cap);
+  session->capped.reserve(cap);
+  session->suppressed.reserve(cap);
+  return {heads_.get(), std::move(session)};
+}
+
+image::BoxF NanoDetector::refine_graph(DetectSession& session, Indicator indicator,
+                                       const image::BoxF& seed, float& score) const {
+  image::BoxF best = seed;
+  float best_score = score;
+  const int width = session.prep.width();
+  const int height = session.prep.height();
+  const int head = static_cast<int>(scene::indicator_index(indicator));
+
+  for (int iteration = 0; iteration < 2; ++iteration) {
+    const float step_x = std::max(2.0F, best.w * 0.12F);
+    const float step_y = std::max(2.0F, best.h * 0.12F);
+    const image::BoxF candidates[] = {
+        {best.x - step_x, best.y, best.w, best.h},
+        {best.x + step_x, best.y, best.w, best.h},
+        {best.x, best.y - step_y, best.w, best.h},
+        {best.x, best.y + step_y, best.w, best.h},
+        {best.x, best.y, best.w * 1.15F, best.h},
+        {best.x, best.y, best.w * 0.87F, best.h},
+        {best.x, best.y, best.w, best.h * 1.15F},
+        {best.x, best.y, best.w, best.h * 0.87F},
+    };
+    // Batch the surviving candidates but keep their sequential order: the
+    // `>` comparisons below must see scores in the same order as refine()
+    // so ties resolve identically.
+    std::size_t count = 0;
+    for (const image::BoxF& candidate : candidates) {
+      const image::BoxF clipped = clip_box(candidate, width, height);
+      if (clipped.w < 4.0F || clipped.h < 4.0F) continue;
+      session.candidates[count++] = clipped;
+    }
+    session.scorer->score_batch(session.prep, head, session.candidates.data(), count,
+                                session.candidate_scores.data());
+    bool improved = false;
+    for (std::size_t c = 0; c < count; ++c) {
+      if (session.candidate_scores[c] > best_score) {
+        best_score = session.candidate_scores[c];
+        best = session.candidates[c];
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  score = best_score;
+  return best;
+}
+
+const std::vector<Detection>& NanoDetector::detect_graph(DetectSession& session,
+                                                         const image::Image& img,
+                                                         float score_floor) const {
+  extractor_.prepare_into(img, session.prep);
+  const float* scores = session.graph->run(session.prep);
+  const GraphInference& plan = session.graph->inference();
+  const std::vector<image::BoxF>& proposals = plan.proposals();
+  const std::size_t heads = plan.head_count();
+
+  session.raw.clear();
+  for (Indicator ind : scene::all_indicators()) {
+    const std::size_t c = scene::indicator_index(ind);
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+      const float s = scores[i * heads + c];
+      if (s >= score_floor) session.raw.push_back(Detection{ind, proposals[i], s});
+    }
+  }
+
+  nms_into(session.raw, config_.nms_iou, session.suppressed, session.kept);
+  std::vector<Detection>* survivors = &session.kept;
+  if (config_.refine_boxes) {
+    for (Detection& det : session.kept) {
+      det.box = refine_graph(session, det.indicator, det.box, det.score);
+    }
+    nms_into(session.kept, config_.nms_iou, session.suppressed, session.raw);
+    survivors = &session.raw;
+  }
+
+  std::sort(survivors->begin(), survivors->end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  scene::IndicatorMap<int> taken;
+  session.capped.clear();
+  for (const Detection& det : *survivors) {
+    const int cap = config_.max_per_image[scene::indicator_index(det.indicator)];
+    if (taken[det.indicator] >= cap) continue;
+    ++taken[det.indicator];
+    session.capped.push_back(det);
+  }
+  return session.capped;
+}
+
+std::size_t NanoDetector::window_scores(const image::Image& img,
+                                        std::vector<float>& scores) const {
+  if (!trained_) throw std::logic_error("NanoDetector::window_scores before train");
+  SessionLease lease = acquire_session(img.width(), img.height(), config_.backend);
+  DetectSession& session = *lease;
+  extractor_.prepare_into(img, session.prep);
+  const float* out = session.graph->run(session.prep);
+  const GraphInference& plan = session.graph->inference();
+  const std::size_t total = plan.window_count() * plan.head_count();
+  scores.resize(total);
+  std::copy(out, out + total, scores.begin());
+  return plan.window_count();
+}
+
+std::string NanoDetector::describe_plan(int width, int height, InferenceBackend backend) const {
+  if (!trained_) throw std::logic_error("NanoDetector::describe_plan before train");
+  SessionLease lease = acquire_session(width, height, backend);
+  return (*lease).graph->inference().plan().describe();
+}
+
 std::vector<Detection> NanoDetector::detect_impl(const image::Image& img,
                                                  float score_floor) const {
   if (!trained_) throw std::logic_error("NanoDetector::detect before train");
+  if (config_.backend != InferenceBackend::kLoop) {
+    SessionLease lease = acquire_session(img.width(), img.height(), config_.backend);
+    return detect_graph(*lease, img, score_floor);
+  }
   const auto prep = extractor_.prepare(img);
   const std::vector<image::BoxF> proposals =
       generate_proposals(img.width(), img.height(), config_.templates);
@@ -521,14 +764,18 @@ std::vector<Detection> NanoDetector::detect_impl(const image::Image& img,
   return capped;
 }
 
-std::vector<Detection> NanoDetector::detect(const image::Image& img) const {
+float NanoDetector::min_operating_threshold() const {
   float min_threshold = config_.score_threshold;
   if (thresholds_calibrated_) {
     for (Indicator ind : scene::all_indicators()) {
       min_threshold = std::min(min_threshold, calibrated_thresholds_[ind]);
     }
   }
-  std::vector<Detection> all = detect_impl(img, min_threshold);
+  return min_threshold;
+}
+
+std::vector<Detection> NanoDetector::detect(const image::Image& img) const {
+  std::vector<Detection> all = detect_impl(img, min_operating_threshold());
   std::vector<Detection> kept;
   kept.reserve(all.size());
   for (const Detection& det : all) {
@@ -625,17 +872,33 @@ void NanoDetector::calibrate_thresholds(const data::Dataset& val_set, std::size_
 }
 
 scene::PresenceVector NanoDetector::classify_presence(const image::Image& img) const {
-  const std::vector<Detection> detections = detect(img);
   scene::PresenceVector presence;
   float best_single = 0.0F;
   float best_multi = 0.0F;
-  for (const Detection& det : detections) {
-    if (det.indicator == Indicator::kSingleLaneRoad) {
-      best_single = std::max(best_single, det.score);
-    } else if (det.indicator == Indicator::kMultilaneRoad) {
-      best_multi = std::max(best_multi, det.score);
-    } else {
-      presence.set(det.indicator, true);
+  if (config_.backend == InferenceBackend::kLoop) {
+    for (const Detection& det : detect(img)) {
+      if (det.indicator == Indicator::kSingleLaneRoad) {
+        best_single = std::max(best_single, det.score);
+      } else if (det.indicator == Indicator::kMultilaneRoad) {
+        best_multi = std::max(best_multi, det.score);
+      } else {
+        presence.set(det.indicator, true);
+      }
+    }
+  } else {
+    // Graph path: fold the operating-threshold filter inline over the pooled
+    // detection buffer so the steady state allocates nothing at all.
+    if (!trained_) throw std::logic_error("NanoDetector::detect before train");
+    SessionLease lease = acquire_session(img.width(), img.height(), config_.backend);
+    for (const Detection& det : detect_graph(*lease, img, min_operating_threshold())) {
+      if (det.score < threshold(det.indicator)) continue;
+      if (det.indicator == Indicator::kSingleLaneRoad) {
+        best_single = std::max(best_single, det.score);
+      } else if (det.indicator == Indicator::kMultilaneRoad) {
+        best_multi = std::max(best_multi, det.score);
+      } else {
+        presence.set(det.indicator, true);
+      }
     }
   }
   // A frame shows one roadway: resolve the road type to the stronger head.

@@ -13,6 +13,7 @@
 
 #include "data/dataset.hpp"
 #include "detect/box.hpp"
+#include "detect/graph_infer.hpp"
 #include "detect/proposals.hpp"
 #include "image/features.hpp"
 #include "nn/mlp.hpp"
@@ -76,6 +77,10 @@ struct DetectorConfig {
   /// Use the integral-histogram feature backend (O(cells) per window);
   /// false falls back to the naive per-pixel oracle.
   bool integral_features = true;
+  /// Inference backend: the planned compute-graph forward (default, f32
+  /// scores bit-identical to the loop), its int8-quantized variant, or the
+  /// original per-window loop kept as the reference baseline.
+  InferenceBackend backend = InferenceBackend::kGraphF32;
   /// Optional sink for per-stage timing histograms (detector.prepare_ms,
   /// detector.extract_ms, detector.fit_ms, detector.mine_ms).
   util::MetricsRegistry* metrics = nullptr;
@@ -108,6 +113,11 @@ class NanoDetector {
   const DetectorConfig& config() const { return config_; }
   bool trained() const { return trained_; }
 
+  InferenceBackend backend() const { return config_.backend; }
+  /// Switch inference backends after training; compiled plans and pooled
+  /// sessions for every backend are cached per image size.
+  void set_backend(InferenceBackend backend) { config_.backend = backend; }
+
   /// Train all six heads on the dataset. Deterministic given config.seed.
   TrainReport train(const data::Dataset& train_set);
 
@@ -135,12 +145,31 @@ class NanoDetector {
   /// exposed for threshold sweeps in the evaluation harness.
   float max_score(const image::Image& img, scene::Indicator indicator) const;
 
+  /// Raw pre-NMS head scores for every proposal window via the batched
+  /// graph forward (row-major [window][head], resized to fit). Returns the
+  /// window count. The loop backend delegates to the f32 graph, which is
+  /// bit-identical.
+  std::size_t window_scores(const image::Image& img, std::vector<float>& scores) const;
+
+  /// Human-readable compiled-plan report for an image size: topological
+  /// schedule, arena size, and the per-tensor offset/liveness table
+  /// (graph::Plan::describe()). Compiles and caches the plan on first use.
+  std::string describe_plan(int width, int height, InferenceBackend backend) const;
+
  private:
-  struct Heads;  // hides nn types from the public header
+  struct Heads;          // hides nn types from the public header
+  struct DetectSession;  // pooled per-executor graph state
+  class SessionLease;
 
   std::vector<Detection> detect_impl(const image::Image& img, float score_floor) const;
+  const std::vector<Detection>& detect_graph(DetectSession& session, const image::Image& img,
+                                             float score_floor) const;
+  SessionLease acquire_session(int width, int height, InferenceBackend backend) const;
+  float min_operating_threshold() const;
   image::BoxF refine(const image::WindowFeatureExtractor::Prepared& prep,
                      scene::Indicator indicator, const image::BoxF& seed, float& score) const;
+  image::BoxF refine_graph(DetectSession& session, scene::Indicator indicator,
+                           const image::BoxF& seed, float& score) const;
   float score_window(const image::WindowFeatureExtractor::Prepared& prep,
                      scene::Indicator indicator, const image::BoxF& box) const;
 

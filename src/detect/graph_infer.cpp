@@ -1,0 +1,383 @@
+#include "detect/graph_infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace neuro::detect {
+
+namespace {
+
+/// Must match nn::mlp's activate(kSigmoid) bit-for-bit.
+float sigmoid_exact(float x) {
+  if (x >= 0.0F) return 1.0F / (1.0F + std::exp(-x));
+  const float z = std::exp(x);
+  return z / (1.0F + z);
+}
+
+/// Same rounding as the graph quantize op (clamp on the float side, then
+/// round half away from zero) with inv = 1 / scale precomputed, so scorer
+/// and plan agree exactly.
+std::int8_t quantize_value(float x, float inv) {
+  const float v = std::clamp(x * inv, -127.0F, 127.0F);
+  const float r = v >= 0.0F ? v + 0.5F : v - 0.5F;
+  return static_cast<std::int8_t>(static_cast<int>(r));
+}
+
+std::vector<std::int8_t> quantize_tensor(const std::vector<float>& w, float scale) {
+  std::vector<std::int8_t> q(w.size());
+  const float inv = 1.0F / scale;
+  for (std::size_t i = 0; i < w.size(); ++i) q[i] = quantize_value(w[i], inv);
+  return q;
+}
+
+float absmax(const std::vector<float>& v) {
+  float m = 0.0F;
+  for (float x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+const char* backend_name(InferenceBackend backend) {
+  switch (backend) {
+    case InferenceBackend::kLoop: return "loop";
+    case InferenceBackend::kGraphF32: return "graph_f32";
+    case InferenceBackend::kGraphInt8: return "graph_int8";
+  }
+  return "?";
+}
+
+InferenceBackend parse_backend(const std::string& name) {
+  if (name == "loop") return InferenceBackend::kLoop;
+  if (name == "graph_f32") return InferenceBackend::kGraphF32;
+  if (name == "graph_int8") return InferenceBackend::kGraphInt8;
+  throw std::invalid_argument("unknown detector backend: " + name);
+}
+
+PackedHeads PackedHeads::pack(const std::vector<nn::Mlp>& heads) {
+  if (heads.empty()) throw std::invalid_argument("PackedHeads::pack: no heads");
+  PackedHeads packed;
+  packed.head_count = static_cast<int>(heads.size());
+  packed.input_dim = static_cast<int>(heads[0].input_dim());
+  packed.hidden = static_cast<int>(heads[0].layer(0).out_dim());
+
+  const std::size_t dim = static_cast<std::size_t>(packed.input_dim);
+  const std::size_t hid = static_cast<std::size_t>(packed.hidden);
+  const std::size_t count = heads.size();
+  const std::size_t wide = count * hid;  // fused hidden width
+
+  for (const nn::Mlp& head : heads) {
+    if (head.layer_count() != 2 || head.input_dim() != dim || head.layer(0).out_dim() != hid ||
+        head.output_dim() != 1) {
+      throw std::invalid_argument("PackedHeads::pack: heads disagree on shape");
+    }
+  }
+
+  packed.w1.assign(dim * wide, 0.0F);
+  packed.b1.assign(wide, 0.0F);
+  packed.w2.assign(wide * count, 0.0F);
+  packed.b2.assign(count, 0.0F);
+  for (std::size_t h = 0; h < count; ++h) {
+    const nn::DenseLayer& l1 = heads[h].layer(0);
+    const nn::DenseLayer& l2 = heads[h].layer(1);
+    for (std::size_t k = 0; k < dim; ++k) {
+      const auto row = l1.weights().row(k);
+      std::copy(row.begin(), row.end(), packed.w1.begin() + static_cast<std::ptrdiff_t>(k * wide + h * hid));
+    }
+    std::copy(l1.bias().begin(), l1.bias().end(),
+              packed.b1.begin() + static_cast<std::ptrdiff_t>(h * hid));
+    // Block-diagonal layer 2: column h reads only head h's hidden block.
+    for (std::size_t j = 0; j < hid; ++j) {
+      packed.w2[(h * hid + j) * count + h] = l2.weights().at(j, 0);
+    }
+    packed.b2[h] = l2.bias()[0];
+  }
+
+  const float m1 = absmax(packed.w1);
+  const float m2 = absmax(packed.w2);
+  packed.w1_scale = (m1 > 0.0F ? m1 : 1.0F) / 127.0F;
+  packed.w2_scale = (m2 > 0.0F ? m2 : 1.0F) / 127.0F;
+  packed.q1 = quantize_tensor(packed.w1, packed.w1_scale);
+  packed.q2 = quantize_tensor(packed.w2, packed.w2_scale);
+  return packed;
+}
+
+// ---------------------------------------------------------------------------
+// GraphInference
+
+GraphInference::GraphInference(const image::WindowFeatureExtractor& extractor,
+                               const nn::StandardScaler& scaler,
+                               std::shared_ptr<const PackedHeads> packed, int width, int height,
+                               std::vector<image::BoxF> proposals, InferenceBackend backend,
+                               QuantCalibration calib)
+    : extractor_(&extractor),
+      packed_(std::move(packed)),
+      proposals_(std::move(proposals)),
+      width_(width),
+      height_(height),
+      backend_(backend) {
+  if (backend_ == InferenceBackend::kLoop) {
+    throw std::invalid_argument("GraphInference: the loop backend has no plan");
+  }
+  if (proposals_.empty()) throw std::invalid_argument("GraphInference: no proposal windows");
+  const std::int64_t dim = packed_->input_dim;
+  if (scaler.means().size() != static_cast<std::size_t>(dim) ||
+      extractor.dimension() != static_cast<std::size_t>(dim)) {
+    throw std::invalid_argument("GraphInference: feature dimension mismatch");
+  }
+  if (backend_ == InferenceBackend::kGraphInt8 && !calib.calibrated()) {
+    throw std::invalid_argument("GraphInference: int8 backend needs calibrated scales");
+  }
+
+  window_ints_.reserve(proposals_.size());
+  for (const image::BoxF& box : proposals_) {
+    window_ints_.push_back({static_cast<int>(box.x), static_cast<int>(box.y),
+                            static_cast<int>(box.w), static_cast<int>(box.h)});
+  }
+
+  const std::int64_t n = static_cast<std::int64_t>(proposals_.size());
+  const std::int64_t wide = static_cast<std::int64_t>(packed_->head_count) * packed_->hidden;
+  const std::int64_t count = packed_->head_count;
+
+  graph::GraphBuilder g;
+  auto features_fn = [this](const graph::CustomArgs& args) {
+    const auto* state = static_cast<const ExecState*>(args.ctx->user);
+    if (state == nullptr || state->prep == nullptr) {
+      throw std::logic_error("window_features: no prepared image bound (Context::user)");
+    }
+    float* out = args.ctx->typed<float>(args.node->output);
+    const std::size_t dims = static_cast<std::size_t>(packed_->input_dim);
+    for (std::size_t i = 0; i < window_ints_.size(); ++i) {
+      const std::array<int, 4>& w = window_ints_[i];
+      extractor_->extract_into(*state->prep, w[0], w[1], w[2], w[3], out + i * dims,
+                               *state->scratch);
+    }
+  };
+  const graph::TensorId feats =
+      g.custom("window_features", features_fn, {},
+               graph::make_desc("features", graph::DType::kF32, {n, dim}));
+  const graph::TensorId mean = g.constant_f32("scaler.mean", scaler.means(), {dim});
+  const graph::TensorId stddev = g.constant_f32("scaler.stddev", scaler.stddevs(), {dim});
+  const graph::TensorId standardized = g.standardize(feats, mean, stddev);
+  const graph::TensorId b1 = g.constant_f32("heads.b1", packed_->b1, {wide});
+  const graph::TensorId b2 = g.constant_f32("heads.b2", packed_->b2, {count});
+
+  // Layer 2 never goes through the generic matmul: with W2 block-diagonal
+  // the (wide x count) product is 1/count useful work and lands in the
+  // kernels' scalar column tail (count << the 32-wide blocking). A custom
+  // node does the per-head 48-long block dots instead — same ascending-j
+  // accumulation and zero-skip as nn::matmul restricted to the block, which
+  // is bit-identical (off-block terms are exact +-0 products; see header).
+  if (backend_ == InferenceBackend::kGraphF32) {
+    const graph::TensorId w1 = g.constant_f32("heads.w1", packed_->w1, {dim, wide});
+    const graph::TensorId hidden = g.relu(g.bias_add(g.matmul(standardized, w1), b1));
+    auto heads_fn = [this](const graph::CustomArgs& args) {
+      const float* h = args.ctx->ctyped<float>(args.node->inputs[0]);
+      float* out = args.ctx->typed<float>(args.node->output);
+      const std::size_t heads = static_cast<std::size_t>(packed_->head_count);
+      const std::size_t hid = static_cast<std::size_t>(packed_->hidden);
+      const std::size_t stride = heads * hid;
+      const float* w2 = packed_->w2.data();
+      const float* b2v = packed_->b2.data();
+      for (std::size_t i = 0; i < window_ints_.size(); ++i) {
+        const float* hrow = h + i * stride;
+        float* orow = out + i * heads;
+        for (std::size_t c = 0; c < heads; ++c) {
+          const float* block = hrow + c * hid;
+          float acc = 0.0F;
+          // Branchless on purpose: post-ReLU zeros are ~half the lanes with
+          // random placement, so nn::matmul's skip branch mispredicts its
+          // way to ~10x this loop's cost. Accumulating the +-0 products
+          // instead can only flip the accumulator's zero sign, which
+          // sigmoid collapses — the final scores stay bit-identical.
+          for (std::size_t j = 0; j < hid; ++j) {
+            acc += block[j] * w2[(c * hid + j) * heads + c];
+          }
+          orow[c] = sigmoid_exact(acc + b2v[c]);
+        }
+      }
+    };
+    scores_ = g.custom("head_scores", heads_fn, {hidden},
+                       graph::make_desc("scores", graph::DType::kF32, {n, count}));
+  } else {
+    const float sx = calib.feature_scale();
+    const float sh = calib.hidden_scale();
+    const graph::TensorId q1 = g.constant_i8("heads.q1", packed_->q1, {dim, wide});
+    const graph::TensorId qx = g.quantize(standardized, sx);
+    const graph::TensorId acc1 = g.dequantize(g.matmul(qx, q1), sx * packed_->w1_scale);
+    const graph::TensorId hidden = g.relu(g.bias_add(acc1, b1));
+    const graph::TensorId qh = g.quantize(hidden, sh);
+    const float s2 = sh * packed_->w2_scale;
+    auto heads_fn = [this, s2](const graph::CustomArgs& args) {
+      const std::int8_t* h = args.ctx->ctyped<std::int8_t>(args.node->inputs[0]);
+      float* out = args.ctx->typed<float>(args.node->output);
+      const std::size_t heads = static_cast<std::size_t>(packed_->head_count);
+      const std::size_t hid = static_cast<std::size_t>(packed_->hidden);
+      const std::size_t stride = heads * hid;
+      const std::int8_t* q2 = packed_->q2.data();
+      const float* b2v = packed_->b2.data();
+      for (std::size_t i = 0; i < window_ints_.size(); ++i) {
+        const std::int8_t* hrow = h + i * stride;
+        float* orow = out + i * heads;
+        for (std::size_t c = 0; c < heads; ++c) {
+          const std::int8_t* block = hrow + c * hid;
+          std::int32_t acc = 0;
+          for (std::size_t j = 0; j < hid; ++j) {
+            acc += static_cast<std::int32_t>(block[j]) *
+                   static_cast<std::int32_t>(q2[(c * hid + j) * heads + c]);
+          }
+          orow[c] = sigmoid_exact(static_cast<float>(acc) * s2 + b2v[c]);
+        }
+      }
+    };
+    scores_ = g.custom("head_scores", heads_fn, {qh},
+                       graph::make_desc("scores", graph::DType::kF32, {n, count}));
+  }
+  plan_ = g.compile({scores_});
+}
+
+GraphInference::Session::Session(std::shared_ptr<const GraphInference> inference)
+    : inference_(std::move(inference)), ctx_(inference_->plan()) {
+  scratch_.reserve(inference_->width(), inference_->height());
+}
+
+const float* GraphInference::Session::run(const image::WindowFeatureExtractor::Prepared& prep) {
+  if (prep.width() != inference_->width() || prep.height() != inference_->height()) {
+    throw std::invalid_argument("GraphInference::Session::run: image size mismatch");
+  }
+  ExecState state;
+  state.prep = &prep;
+  state.scratch = &scratch_;
+  ctx_.user = &state;
+  graph::execute(inference_->plan(), ctx_);
+  ctx_.user = nullptr;
+  return ctx_.ctyped<float>(inference_->scores_);
+}
+
+// ---------------------------------------------------------------------------
+// WindowScorer
+
+namespace {
+constexpr std::size_t kScorerBatch = 8;  // refine probes 8 candidates per step
+}
+
+WindowScorer::WindowScorer(const image::WindowFeatureExtractor& extractor,
+                           const nn::StandardScaler& scaler,
+                           std::shared_ptr<const PackedHeads> packed, InferenceBackend backend,
+                           QuantCalibration calib)
+    : extractor_(&extractor),
+      scaler_(&scaler),
+      packed_(std::move(packed)),
+      backend_(backend),
+      calib_(calib) {
+  const std::size_t dim = static_cast<std::size_t>(packed_->input_dim);
+  const std::size_t hid = static_cast<std::size_t>(packed_->hidden);
+  feats_.resize(kScorerBatch * dim);
+  hidden_.resize(kScorerBatch * hid);
+  if (backend_ == InferenceBackend::kGraphInt8) {
+    if (!calib_.calibrated()) {
+      throw std::invalid_argument("WindowScorer: int8 backend needs calibrated scales");
+    }
+    qfeats_.resize(kScorerBatch * dim);
+    iacc_.resize(kScorerBatch * hid);
+  }
+}
+
+void WindowScorer::score_batch(const image::WindowFeatureExtractor::Prepared& prep, int head,
+                               const image::BoxF* boxes, std::size_t count, float* out) {
+  const std::size_t dim = static_cast<std::size_t>(packed_->input_dim);
+  const std::size_t hid = static_cast<std::size_t>(packed_->hidden);
+  const std::size_t wide = static_cast<std::size_t>(packed_->head_count) * hid;
+  const std::size_t heads = static_cast<std::size_t>(packed_->head_count);
+  const std::size_t col = static_cast<std::size_t>(head) * hid;
+  if (count == 0) return;
+  if (count * dim > feats_.size()) {  // refine never exceeds kScorerBatch
+    feats_.resize(count * dim);
+    hidden_.resize(count * hid);
+    if (backend_ == InferenceBackend::kGraphInt8) {
+      qfeats_.resize(count * dim);
+      iacc_.resize(count * hid);
+    }
+  }
+
+  const float* mean = scaler_->means().data();
+  const float* stddev = scaler_->stddevs().data();
+  for (std::size_t c = 0; c < count; ++c) {
+    float* f = feats_.data() + c * dim;
+    const image::BoxF& box = boxes[c];
+    extractor_->extract_into(prep, static_cast<int>(box.x), static_cast<int>(box.y),
+                             static_cast<int>(box.w), static_cast<int>(box.h), f, scratch_);
+    for (std::size_t k = 0; k < dim; ++k) f[k] = (f[k] - mean[k]) / stddev[k];
+  }
+
+  if (backend_ != InferenceBackend::kGraphInt8) {
+    // f32: exactly nn::matmul's order per output lane (zero-init, ascending
+    // k, skip-if-zero lhs, j inner) over head `head`'s weight slices — bit-
+    // identical to extract + scale + Mlp::predict on each window.
+    const float* w1 = packed_->w1.data() + col;
+    const float* b1 = packed_->b1.data() + col;
+    std::fill(hidden_.begin(), hidden_.begin() + static_cast<std::ptrdiff_t>(count * hid), 0.0F);
+    for (std::size_t c = 0; c < count; ++c) {
+      const float* f = feats_.data() + c * dim;
+      float* h = hidden_.data() + c * hid;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const float aik = f[k];
+        if (aik == 0.0F) continue;
+        const float* brow = w1 + k * wide;
+        for (std::size_t j = 0; j < hid; ++j) h[j] += aik * brow[j];
+      }
+      for (std::size_t j = 0; j < hid; ++j) {
+        const float v = h[j] + b1[j];
+        h[j] = v > 0.0F ? v : 0.0F;
+      }
+      float acc = 0.0F;
+      for (std::size_t j = 0; j < hid; ++j) {
+        const float hj = h[j];
+        if (hj == 0.0F) continue;
+        acc += hj * packed_->w2[(col + j) * heads + static_cast<std::size_t>(head)];
+      }
+      out[c] = sigmoid_exact(acc + packed_->b2[static_cast<std::size_t>(head)]);
+    }
+    return;
+  }
+
+  // int8: the same quantized tensors and scale products the batched plan
+  // uses, accumulated exactly in int32.
+  const float inv_x = 1.0F / calib_.feature_scale();
+  const float inv_h = 1.0F / calib_.hidden_scale();
+  const float s1 = calib_.feature_scale() * packed_->w1_scale;
+  const float s2 = calib_.hidden_scale() * packed_->w2_scale;
+  const std::int8_t* q1 = packed_->q1.data() + col;
+  const float* b1 = packed_->b1.data() + col;
+  for (std::size_t c = 0; c < count; ++c) {
+    const float* f = feats_.data() + c * dim;
+    std::int8_t* qf = qfeats_.data() + c * dim;
+    for (std::size_t k = 0; k < dim; ++k) qf[k] = quantize_value(f[k], inv_x);
+
+    std::int32_t* acc = iacc_.data() + c * hid;
+    std::fill(acc, acc + hid, 0);
+    for (std::size_t k = 0; k < dim; ++k) {
+      const std::int32_t a = qf[k];
+      if (a == 0) continue;
+      const std::int8_t* brow = q1 + k * wide;
+      for (std::size_t j = 0; j < hid; ++j) acc[j] += a * static_cast<std::int32_t>(brow[j]);
+    }
+    float* h = hidden_.data() + c * hid;
+    for (std::size_t j = 0; j < hid; ++j) {
+      const float v = static_cast<float>(acc[j]) * s1 + b1[j];
+      h[j] = v > 0.0F ? v : 0.0F;
+    }
+    std::int32_t acc2 = 0;
+    for (std::size_t j = 0; j < hid; ++j) {
+      const std::int32_t qh = quantize_value(h[j], inv_h);
+      acc2 += qh * static_cast<std::int32_t>(
+                       packed_->q2[(col + j) * heads + static_cast<std::size_t>(head)]);
+    }
+    out[c] = sigmoid_exact(static_cast<float>(acc2) * s2 +
+                           packed_->b2[static_cast<std::size_t>(head)]);
+  }
+}
+
+}  // namespace neuro::detect

@@ -1,0 +1,164 @@
+#pragma once
+// Whole-image detector inference as a planned compute graph.
+//
+// The window loop in NanoDetector::detect_impl re-derives the same work per
+// window: extract features, standardize, run six separate Mlp heads. Here
+// the six heads are re-packed into two fused weight tensors (layer-1
+// columns concatenated, layer-2 block-diagonal) and the whole image becomes
+// ONE graph execution: a custom "window_features" node streams every
+// proposal window through WindowFeatureExtractor::extract_into, then
+// standardize -> matmul -> bias -> relu -> matmul -> bias -> sigmoid
+// produce all windows x heads scores in a single planned arena.
+//
+// Two graph backends share the plan shape:
+//  - kGraphF32 reproduces the window loop bit-for-bit (the matmul kernels
+//    keep nn::matmul's accumulation order; see graph/kernels.hpp), so
+//    detections are byte-identical to the loop backend.
+//  - kGraphInt8 quantizes the packed weights per-tensor to int8 and the
+//    activations with scales calibrated on training-set windows; matmuls
+//    accumulate exactly in int32.
+//
+// After construction no steady-state heap allocation happens: Session owns
+// the arena Context and extraction scratch, and run() is allocation-free.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "image/features.hpp"
+#include "image/transform.hpp"
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+
+namespace neuro::detect {
+
+enum class InferenceBackend : std::uint8_t { kLoop, kGraphF32, kGraphInt8 };
+
+const char* backend_name(InferenceBackend backend);
+/// Parses "loop" / "graph_f32" / "graph_int8"; throws on anything else.
+InferenceBackend parse_backend(const std::string& name);
+
+/// Activation ranges observed on training-set windows; they fix the int8
+/// activation scales (per-tensor symmetric, 127 = absmax).
+struct QuantCalibration {
+  float feature_absmax = 0.0F;  // standardized features entering layer 1
+  float hidden_absmax = 0.0F;   // post-ReLU hidden activations
+  bool calibrated() const { return feature_absmax > 0.0F && hidden_absmax > 0.0F; }
+  float feature_scale() const { return feature_absmax / 127.0F; }
+  float hidden_scale() const { return hidden_absmax / 127.0F; }
+};
+
+/// The six binary heads re-packed for batched inference. Layer 1 keeps every
+/// head's hidden columns side by side (in x heads*hidden); layer 2 is the
+/// block-diagonal matrix (heads*hidden x heads) whose column h reads only
+/// head h's hidden block. Off-block zeros are skipped or contribute exact
+/// +-0 products, so one fused matmul pair scores all heads with the same
+/// per-lane arithmetic as the per-head Mlp::predict calls.
+struct PackedHeads {
+  int input_dim = 0;
+  int hidden = 0;
+  int head_count = 0;
+  std::vector<float> w1;  // input_dim x (head_count * hidden), row-major
+  std::vector<float> b1;  // head_count * hidden
+  std::vector<float> w2;  // (head_count * hidden) x head_count, block-diagonal
+  std::vector<float> b2;  // head_count
+  // Per-tensor symmetric int8 copies: q = clamp(w / scale, +-127), rounded
+  // half away from zero.
+  std::vector<std::int8_t> q1;
+  std::vector<std::int8_t> q2;
+  float w1_scale = 0.0F;
+  float w2_scale = 0.0F;
+
+  /// Packs trained heads (each an Mlp with one hidden layer and one output
+  /// unit). Throws if the heads disagree on shape.
+  static PackedHeads pack(const std::vector<nn::Mlp>& heads);
+};
+
+/// A compiled whole-image inference plan for one image size + backend.
+/// Immutable after construction; share it across threads and create one
+/// Session per concurrent executor.
+class GraphInference {
+ public:
+  GraphInference(const image::WindowFeatureExtractor& extractor, const nn::StandardScaler& scaler,
+                 std::shared_ptr<const PackedHeads> packed, int width, int height,
+                 std::vector<image::BoxF> proposals, InferenceBackend backend,
+                 QuantCalibration calib);
+
+  GraphInference(const GraphInference&) = delete;
+  GraphInference& operator=(const GraphInference&) = delete;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  InferenceBackend backend() const { return backend_; }
+  std::size_t window_count() const { return proposals_.size(); }
+  std::size_t head_count() const { return static_cast<std::size_t>(packed_->head_count); }
+  const std::vector<image::BoxF>& proposals() const { return proposals_; }
+  const graph::Plan& plan() const { return plan_; }
+
+  /// Per-executor state: one arena Context plus extraction scratch.
+  /// Construction is the only allocation; run() is allocation-free.
+  class Session {
+   public:
+    explicit Session(std::shared_ptr<const GraphInference> inference);
+
+    /// Runs the plan against a prepared image (same size the plan was built
+    /// for) and returns all scores, row-major [window][head]. The pointer
+    /// stays valid until the next run() on this session.
+    const float* run(const image::WindowFeatureExtractor::Prepared& prep);
+
+    const GraphInference& inference() const { return *inference_; }
+
+   private:
+    std::shared_ptr<const GraphInference> inference_;
+    graph::Context ctx_;
+    image::WindowFeatureExtractor::Scratch scratch_;
+  };
+
+ private:
+  struct ExecState {
+    const image::WindowFeatureExtractor::Prepared* prep = nullptr;
+    image::WindowFeatureExtractor::Scratch* scratch = nullptr;
+  };
+
+  const image::WindowFeatureExtractor* extractor_;
+  std::shared_ptr<const PackedHeads> packed_;
+  std::vector<image::BoxF> proposals_;
+  std::vector<std::array<int, 4>> window_ints_;  // proposals cast once, not per run
+  int width_ = 0;
+  int height_ = 0;
+  InferenceBackend backend_;
+  graph::Plan plan_;
+  graph::TensorId scores_ = graph::kInvalidTensor;
+};
+
+/// Arbitrary-window scorer for box refinement: the hill climb probes
+/// windows that are not proposal-grid members, so they run outside the
+/// batched plan through the same packed weights. f32 scores are
+/// bit-identical to the loop backend's extract + scale + Mlp::predict
+/// chain; int8 uses the same quantized tensors and scales as the graph.
+/// One scorer per executor; score_batch() is allocation-free.
+class WindowScorer {
+ public:
+  WindowScorer(const image::WindowFeatureExtractor& extractor, const nn::StandardScaler& scaler,
+               std::shared_ptr<const PackedHeads> packed, InferenceBackend backend,
+               QuantCalibration calib);
+
+  /// Scores `count` boxes (already clipped to the image) for one head.
+  void score_batch(const image::WindowFeatureExtractor::Prepared& prep, int head,
+                   const image::BoxF* boxes, std::size_t count, float* out);
+
+ private:
+  const image::WindowFeatureExtractor* extractor_;
+  const nn::StandardScaler* scaler_;
+  std::shared_ptr<const PackedHeads> packed_;
+  InferenceBackend backend_;
+  QuantCalibration calib_;
+  image::WindowFeatureExtractor::Scratch scratch_;
+  std::vector<float> feats_;    // count x input_dim, standardized
+  std::vector<float> hidden_;   // count x hidden
+  std::vector<std::int8_t> qfeats_;
+  std::vector<std::int32_t> iacc_;
+};
+
+}  // namespace neuro::detect

@@ -1,0 +1,786 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/kernels.hpp"
+
+namespace neuro::graph {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+std::size_t round_up(std::size_t v, std::size_t align) { return (v + align - 1) / align * align; }
+
+float sigmoid_exact(float x) {
+  // Must match nn::mlp's activate() bit-for-bit.
+  if (x >= 0.0F) return 1.0F / (1.0F + std::exp(-x));
+  const float z = std::exp(x);
+  return z / (1.0F + z);
+}
+
+bool alias_eligible(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBiasAdd:
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kStandardize:
+    case OpKind::kQuantize:
+    case OpKind::kDequantize:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string shape_string(const TensorDesc& d) {
+  std::string s = "(";
+  for (int i = 0; i < d.rank; ++i) {
+    if (i) s += "x";
+    s += std::to_string(d.shape[static_cast<std::size_t>(i)]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
+const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::kF32: return "f32";
+    case DType::kI8: return "i8";
+    case DType::kI32: return "i32";
+    case DType::kF64: return "f64";
+  }
+  return "?";
+}
+
+const char* role_name(TensorRole role) {
+  switch (role) {
+    case TensorRole::kInput: return "input";
+    case TensorRole::kConstant: return "const";
+    case TensorRole::kWork: return "work";
+    case TensorRole::kNode: return "node";
+  }
+  return "?";
+}
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatmul: return "matmul";
+    case OpKind::kBiasAdd: return "bias_add";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kSigmoid: return "sigmoid";
+    case OpKind::kStandardize: return "standardize";
+    case OpKind::kQuantize: return "quantize";
+    case OpKind::kDequantize: return "dequantize";
+    case OpKind::kConv2d: return "conv2d";
+    case OpKind::kMaxPool: return "maxpool";
+    case OpKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+TensorDesc make_desc(std::string name, DType dtype, std::initializer_list<std::int64_t> shape) {
+  if (shape.size() == 0 || shape.size() > 4) throw std::invalid_argument("tensor rank must be 1..4");
+  TensorDesc d;
+  d.name = std::move(name);
+  d.dtype = dtype;
+  d.rank = static_cast<int>(shape.size());
+  int i = 0;
+  for (std::int64_t s : shape) {
+    if (s <= 0) throw std::invalid_argument("tensor dims must be positive: " + d.name);
+    d.shape[static_cast<std::size_t>(i++)] = s;
+  }
+  std::int64_t stride = 1;
+  for (int dd = d.rank; dd-- > 0;) {
+    d.strides[static_cast<std::size_t>(dd)] = stride;
+    stride *= d.shape[static_cast<std::size_t>(dd)];
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// GraphBuilder
+
+TensorId GraphBuilder::add_tensor(TensorDesc desc, TensorRole role) {
+  descs_.push_back(std::move(desc));
+  roles_.push_back(role);
+  const_data_.emplace_back();
+  return static_cast<TensorId>(descs_.size() - 1);
+}
+
+const TensorDesc& GraphBuilder::check(TensorId id, const char* what) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= descs_.size()) {
+    throw std::invalid_argument(std::string("invalid tensor id for ") + what);
+  }
+  return descs_[static_cast<std::size_t>(id)];
+}
+
+TensorId GraphBuilder::add_node(Node node, TensorDesc out_desc) {
+  const TensorId out = add_tensor(std::move(out_desc), TensorRole::kNode);
+  node.output = out;
+  nodes_.push_back(std::move(node));
+  return out;
+}
+
+TensorId GraphBuilder::input(std::string name, DType dtype,
+                             std::initializer_list<std::int64_t> shape) {
+  return add_tensor(make_desc(std::move(name), dtype, shape), TensorRole::kInput);
+}
+
+TensorId GraphBuilder::work(std::string name, DType dtype,
+                            std::initializer_list<std::int64_t> shape) {
+  return add_tensor(make_desc(std::move(name), dtype, shape), TensorRole::kWork);
+}
+
+TensorId GraphBuilder::constant_f32(std::string name, std::vector<float> data,
+                                    std::initializer_list<std::int64_t> shape) {
+  TensorDesc d = make_desc(std::move(name), DType::kF32, shape);
+  if (static_cast<std::int64_t>(data.size()) != d.elements()) {
+    throw std::invalid_argument("constant size mismatch: " + d.name);
+  }
+  const TensorId id = add_tensor(std::move(d), TensorRole::kConstant);
+  auto& bytes = const_data_[static_cast<std::size_t>(id)];
+  bytes.resize(data.size() * sizeof(float));
+  std::memcpy(bytes.data(), data.data(), bytes.size());
+  return id;
+}
+
+TensorId GraphBuilder::constant_i8(std::string name, std::vector<std::int8_t> data,
+                                   std::initializer_list<std::int64_t> shape) {
+  TensorDesc d = make_desc(std::move(name), DType::kI8, shape);
+  if (static_cast<std::int64_t>(data.size()) != d.elements()) {
+    throw std::invalid_argument("constant size mismatch: " + d.name);
+  }
+  const TensorId id = add_tensor(std::move(d), TensorRole::kConstant);
+  auto& bytes = const_data_[static_cast<std::size_t>(id)];
+  bytes.resize(data.size());
+  std::memcpy(bytes.data(), data.data(), bytes.size());
+  return id;
+}
+
+TensorId GraphBuilder::matmul(TensorId a, TensorId b) {
+  const TensorDesc& da = check(a, "matmul lhs");
+  const TensorDesc& db = check(b, "matmul rhs");
+  if (da.rank != 2 || db.rank != 2) throw std::invalid_argument("matmul needs rank-2 tensors");
+  if (da.shape[1] != db.shape[0]) {
+    throw std::invalid_argument("matmul inner dim mismatch: " + da.name + " x " + db.name);
+  }
+  DType out_t;
+  if (da.dtype == DType::kF32 && db.dtype == DType::kF32) out_t = DType::kF32;
+  else if (da.dtype == DType::kI8 && db.dtype == DType::kI8) out_t = DType::kI32;
+  else throw std::invalid_argument("matmul dtype combination unsupported");
+  Node n;
+  n.kind = OpKind::kMatmul;
+  n.inputs = {a, b};
+  return add_node(std::move(n),
+                  make_desc(da.name + "*" + db.name, out_t, {da.shape[0], db.shape[1]}));
+}
+
+TensorId GraphBuilder::bias_add(TensorId a, TensorId bias) {
+  const TensorDesc& da = check(a, "bias_add value");
+  const TensorDesc& db = check(bias, "bias_add bias");
+  if (db.rank != 1) throw std::invalid_argument("bias must be rank-1");
+  if (da.dtype != DType::kF32 || db.dtype != DType::kF32) {
+    throw std::invalid_argument("bias_add is f32-only");
+  }
+  const std::int64_t per = da.rank == 3 ? da.shape[0] : da.cols();
+  if (db.shape[0] != per) throw std::invalid_argument("bias length mismatch: " + da.name);
+  Node n;
+  n.kind = OpKind::kBiasAdd;
+  n.inputs = {a, bias};
+  TensorDesc out = da;
+  out.name = da.name + "+b";
+  return add_node(std::move(n), std::move(out));
+}
+
+TensorId GraphBuilder::relu(TensorId a) {
+  const TensorDesc& da = check(a, "relu");
+  if (da.dtype != DType::kF32) throw std::invalid_argument("relu is f32-only");
+  Node n;
+  n.kind = OpKind::kRelu;
+  n.inputs = {a};
+  TensorDesc out = da;
+  out.name = "relu(" + da.name + ")";
+  return add_node(std::move(n), std::move(out));
+}
+
+TensorId GraphBuilder::sigmoid(TensorId a) {
+  const TensorDesc& da = check(a, "sigmoid");
+  if (da.dtype != DType::kF32) throw std::invalid_argument("sigmoid is f32-only");
+  Node n;
+  n.kind = OpKind::kSigmoid;
+  n.inputs = {a};
+  TensorDesc out = da;
+  out.name = "sigmoid(" + da.name + ")";
+  return add_node(std::move(n), std::move(out));
+}
+
+TensorId GraphBuilder::standardize(TensorId a, TensorId mean, TensorId stddev) {
+  const TensorDesc& da = check(a, "standardize value");
+  const TensorDesc& dm = check(mean, "standardize mean");
+  const TensorDesc& ds = check(stddev, "standardize stddev");
+  if (da.rank != 2) throw std::invalid_argument("standardize needs rank-2 value");
+  if (dm.rank != 1 || ds.rank != 1 || dm.shape[0] != da.shape[1] || ds.shape[0] != da.shape[1]) {
+    throw std::invalid_argument("standardize stats shape mismatch: " + da.name);
+  }
+  Node n;
+  n.kind = OpKind::kStandardize;
+  n.inputs = {a, mean, stddev};
+  TensorDesc out = da;
+  out.name = "std(" + da.name + ")";
+  return add_node(std::move(n), std::move(out));
+}
+
+TensorId GraphBuilder::quantize(TensorId a, float scale) {
+  const TensorDesc& da = check(a, "quantize");
+  if (da.dtype != DType::kF32) throw std::invalid_argument("quantize takes f32");
+  if (!(scale > 0.0F)) throw std::invalid_argument("quantize scale must be positive");
+  Node n;
+  n.kind = OpKind::kQuantize;
+  n.inputs = {a};
+  n.params.scale = scale;
+  TensorDesc out = da;
+  out.dtype = DType::kI8;
+  out.name = "q8(" + da.name + ")";
+  return add_node(std::move(n), std::move(out));
+}
+
+TensorId GraphBuilder::dequantize(TensorId a, float scale) {
+  const TensorDesc& da = check(a, "dequantize");
+  if (da.dtype != DType::kI8 && da.dtype != DType::kI32) {
+    throw std::invalid_argument("dequantize takes i8 or i32");
+  }
+  Node n;
+  n.kind = OpKind::kDequantize;
+  n.inputs = {a};
+  n.params.scale = scale;
+  TensorDesc out = da;
+  out.dtype = DType::kF32;
+  out.name = "dq(" + da.name + ")";
+  return add_node(std::move(n), std::move(out));
+}
+
+TensorId GraphBuilder::conv2d(TensorId x, TensorId w, TensorId bias, int stride, int pad) {
+  const TensorDesc& dx = check(x, "conv2d input");
+  const TensorDesc& dw = check(w, "conv2d weight");
+  if (dx.rank != 3 || dw.rank != 4) throw std::invalid_argument("conv2d wants (C,H,W) x (O,C,K,K)");
+  if (dx.dtype != DType::kF32 || dw.dtype != DType::kF32) {
+    throw std::invalid_argument("conv2d is f32-only");
+  }
+  if (dw.shape[1] != dx.shape[0]) throw std::invalid_argument("conv2d channel mismatch");
+  if (dw.shape[2] != dw.shape[3]) throw std::invalid_argument("conv2d kernel must be square");
+  if (stride < 1) throw std::invalid_argument("conv2d stride must be >= 1");
+  const std::int64_t kk = dw.shape[2];
+  const std::int64_t ho = (dx.shape[1] + 2 * pad - kk) / stride + 1;
+  const std::int64_t wo = (dx.shape[2] + 2 * pad - kk) / stride + 1;
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("conv2d output collapses to zero");
+  if (bias != kInvalidTensor) {
+    const TensorDesc& db = check(bias, "conv2d bias");
+    if (db.rank != 1 || db.shape[0] != dw.shape[0]) {
+      throw std::invalid_argument("conv2d bias length mismatch");
+    }
+  }
+  Node n;
+  n.kind = OpKind::kConv2d;
+  n.inputs = {x, w};
+  if (bias != kInvalidTensor) n.inputs.push_back(bias);
+  n.params.stride = stride;
+  n.params.pad = pad;
+  return add_node(std::move(n),
+                  make_desc("conv(" + dx.name + ")", DType::kF32, {dw.shape[0], ho, wo}));
+}
+
+TensorId GraphBuilder::maxpool(TensorId x, int kernel, int stride) {
+  const TensorDesc& dx = check(x, "maxpool input");
+  if (dx.rank != 3 || dx.dtype != DType::kF32) throw std::invalid_argument("maxpool wants f32 (C,H,W)");
+  if (kernel < 1 || stride < 1) throw std::invalid_argument("maxpool kernel/stride must be >= 1");
+  const std::int64_t ho = (dx.shape[1] - kernel) / stride + 1;
+  const std::int64_t wo = (dx.shape[2] - kernel) / stride + 1;
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("maxpool output collapses to zero");
+  Node n;
+  n.kind = OpKind::kMaxPool;
+  n.inputs = {x};
+  n.params.kernel = kernel;
+  n.params.stride = stride;
+  return add_node(std::move(n), make_desc("pool(" + dx.name + ")", DType::kF32, {dx.shape[0], ho, wo}));
+}
+
+TensorId GraphBuilder::custom(std::string label, std::function<void(const CustomArgs&)> fn,
+                              std::vector<TensorId> inputs, TensorDesc out_desc) {
+  for (TensorId id : inputs) check(id, label.c_str());
+  Node n;
+  n.kind = OpKind::kCustom;
+  n.label = std::move(label);
+  n.inputs = std::move(inputs);
+  n.custom = std::move(fn);
+  return add_node(std::move(n), std::move(out_desc));
+}
+
+Plan GraphBuilder::compile(std::vector<TensorId> outputs) {
+  const std::size_t tensor_count = descs_.size();
+  const std::size_t node_count = nodes_.size();
+  for (TensorId id : outputs) {
+    check(id, "graph output");
+    if (roles_[static_cast<std::size_t>(id)] != TensorRole::kNode) {
+      throw std::invalid_argument("graph outputs must be node-produced tensors");
+    }
+  }
+
+  // Producing node per tensor.
+  std::vector<int> producer(tensor_count, -1);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    producer[static_cast<std::size_t>(nodes_[i].output)] = static_cast<int>(i);
+  }
+
+  // Topological schedule, lowest node index first (Kahn via repeated sweeps;
+  // insertion order is already valid for graphs built through this builder,
+  // so the first sweep schedules everything — the loop guards against
+  // hand-constructed cycles).
+  std::vector<char> scheduled(node_count, 0);
+  std::vector<int> order;
+  order.reserve(node_count);
+  while (order.size() < node_count) {
+    bool progress = false;
+    for (std::size_t idx = 0; idx < node_count; ++idx) {
+      if (scheduled[idx]) continue;
+      bool ready = true;
+      for (TensorId in : nodes_[idx].inputs) {
+        const int p = producer[static_cast<std::size_t>(in)];
+        if (p >= 0 && !scheduled[static_cast<std::size_t>(p)]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(static_cast<int>(idx));
+        scheduled[idx] = 1;
+        progress = true;
+      }
+    }
+    if (!progress) throw std::invalid_argument("compute graph contains a cycle");
+  }
+
+  Plan plan;
+  plan.descs_ = std::move(descs_);
+  plan.roles_ = std::move(roles_);
+  plan.const_data_ = std::move(const_data_);
+  plan.outputs_ = outputs;
+  plan.nodes_.reserve(node_count);
+  for (int idx : order) plan.nodes_.push_back(std::move(nodes_[static_cast<std::size_t>(idx)]));
+  nodes_.clear();
+
+  // Liveness in schedule order. Birth = producing node (kNode) or first
+  // reference (kWork); death = last reading node; graph outputs never die.
+  constexpr int kInf = std::numeric_limits<int>::max();
+  plan.first_use_.assign(tensor_count, -1);
+  plan.last_use_.assign(tensor_count, -1);
+  plan.aliased_.assign(tensor_count, false);
+  for (std::size_t pos = 0; pos < plan.nodes_.size(); ++pos) {
+    const Node& node = plan.nodes_[pos];
+    const int p = static_cast<int>(pos);
+    for (TensorId in : node.inputs) {
+      const std::size_t t = static_cast<std::size_t>(in);
+      if (plan.roles_[t] == TensorRole::kWork && plan.first_use_[t] < 0) plan.first_use_[t] = p;
+      plan.last_use_[t] = std::max(plan.last_use_[t], p);
+    }
+    const std::size_t out = static_cast<std::size_t>(node.output);
+    plan.first_use_[out] = p;
+    plan.last_use_[out] = std::max(plan.last_use_[out], p);
+  }
+  for (TensorId id : outputs) plan.last_use_[static_cast<std::size_t>(id)] = kInf;
+
+  // In-place aliasing: an elementwise node whose first input dies at the
+  // node itself (and fits) writes straight over it.
+  std::vector<TensorId> alias_root(tensor_count);
+  for (std::size_t t = 0; t < tensor_count; ++t) alias_root[t] = static_cast<TensorId>(t);
+  for (std::size_t pos = 0; pos < plan.nodes_.size(); ++pos) {
+    const Node& node = plan.nodes_[pos];
+    if (!alias_eligible(node.kind) || node.inputs.empty()) continue;
+    const TensorId in0 = node.inputs[0];
+    const std::size_t ti = static_cast<std::size_t>(in0);
+    const TensorRole r = plan.roles_[ti];
+    if (r != TensorRole::kNode && r != TensorRole::kWork) continue;
+    if (plan.last_use_[ti] != static_cast<int>(pos)) continue;
+    const std::size_t to = static_cast<std::size_t>(node.output);
+    if (plan.descs_[to].bytes() > plan.descs_[ti].bytes()) continue;
+    alias_root[to] = alias_root[ti];
+    plan.aliased_[to] = true;
+  }
+
+  // Storage lifetime per alias root = union of its aliases' lifetimes.
+  std::vector<int> storage_death(tensor_count, -1);
+  for (std::size_t t = 0; t < tensor_count; ++t) {
+    const std::size_t root = static_cast<std::size_t>(alias_root[t]);
+    storage_death[root] = std::max(storage_death[root], plan.last_use_[t]);
+  }
+
+  // Greedy first-fit arena allocation over the schedule, free list with
+  // coalescing, 64-byte aligned slots.
+  struct FreeBlock {
+    std::size_t offset;
+    std::size_t size;
+  };
+  std::vector<FreeBlock> free_list;
+  std::size_t high_water = 0;
+  std::vector<std::size_t> padded(tensor_count, 0);
+  plan.offsets_.assign(tensor_count, Plan::kNoOffset);
+
+  auto arena_alloc = [&](std::size_t bytes) {
+    const std::size_t need = round_up(std::max<std::size_t>(bytes, 1), kAlign);
+    for (std::size_t b = 0; b < free_list.size(); ++b) {
+      if (free_list[b].size >= need) {
+        const std::size_t off = free_list[b].offset;
+        if (free_list[b].size == need) {
+          free_list.erase(free_list.begin() + static_cast<std::ptrdiff_t>(b));
+        } else {
+          free_list[b].offset += need;
+          free_list[b].size -= need;
+        }
+        return off;
+      }
+    }
+    const std::size_t off = high_water;
+    high_water += need;
+    return off;
+  };
+  auto arena_free = [&](std::size_t offset, std::size_t size) {
+    FreeBlock blk{offset, size};
+    auto it = std::lower_bound(free_list.begin(), free_list.end(), blk,
+                               [](const FreeBlock& a, const FreeBlock& b) { return a.offset < b.offset; });
+    it = free_list.insert(it, blk);
+    // Coalesce with the next, then the previous block.
+    const std::size_t at = static_cast<std::size_t>(it - free_list.begin());
+    if (at + 1 < free_list.size() &&
+        free_list[at].offset + free_list[at].size == free_list[at + 1].offset) {
+      free_list[at].size += free_list[at + 1].size;
+      free_list.erase(free_list.begin() + static_cast<std::ptrdiff_t>(at + 1));
+    }
+    if (at > 0 && free_list[at - 1].offset + free_list[at - 1].size == free_list[at].offset) {
+      free_list[at - 1].size += free_list[at].size;
+      free_list.erase(free_list.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+  };
+
+  std::map<int, std::vector<std::size_t>> deaths;  // node pos -> alias roots released
+  for (std::size_t t = 0; t < tensor_count; ++t) {
+    if (alias_root[t] != static_cast<TensorId>(t)) continue;
+    const TensorRole r = plan.roles_[t];
+    if (r != TensorRole::kNode && r != TensorRole::kWork) continue;
+    if (plan.first_use_[t] < 0) continue;  // never referenced
+    if (storage_death[t] != kInf) deaths[storage_death[t]].push_back(t);
+  }
+
+  auto place = [&](std::size_t t) {
+    if (plan.offsets_[t] != Plan::kNoOffset) return;
+    const std::size_t root = static_cast<std::size_t>(alias_root[t]);
+    if (root != t) {
+      plan.offsets_[t] = plan.offsets_[root];
+      return;
+    }
+    padded[t] = round_up(std::max<std::size_t>(plan.descs_[t].bytes(), 1), kAlign);
+    plan.offsets_[t] = arena_alloc(plan.descs_[t].bytes());
+  };
+
+  for (std::size_t pos = 0; pos < plan.nodes_.size(); ++pos) {
+    const Node& node = plan.nodes_[pos];
+    for (TensorId in : node.inputs) {
+      const std::size_t t = static_cast<std::size_t>(in);
+      if (plan.roles_[t] == TensorRole::kWork && plan.first_use_[t] == static_cast<int>(pos)) {
+        place(t);
+      }
+    }
+    place(static_cast<std::size_t>(node.output));
+    auto it = deaths.find(static_cast<int>(pos));
+    if (it != deaths.end()) {
+      for (std::size_t root : it->second) arena_free(plan.offsets_[root], padded[root]);
+    }
+  }
+  plan.arena_bytes_ = high_water;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+
+const void* Plan::constant_data(TensorId id) const {
+  const auto& bytes = const_data_.at(static_cast<std::size_t>(id));
+  if (bytes.empty()) throw std::invalid_argument("tensor is not a constant: " + desc(id).name);
+  return bytes.data();
+}
+
+std::vector<MemoryRow> Plan::memory_table() const {
+  std::vector<MemoryRow> rows;
+  for (std::size_t t = 0; t < descs_.size(); ++t) {
+    const TensorRole r = roles_[t];
+    if (r != TensorRole::kNode && r != TensorRole::kWork) continue;
+    if (offsets_[t] == kNoOffset) continue;
+    MemoryRow row;
+    row.id = static_cast<TensorId>(t);
+    row.name = descs_[t].name;
+    row.role = r;
+    row.bytes = descs_[t].bytes();
+    row.offset = offsets_[t];
+    row.first_node = first_use_[t];
+    row.last_node = last_use_[t];
+    row.aliased = aliased_[t];
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const MemoryRow& a, const MemoryRow& b) {
+    return a.first_node != b.first_node ? a.first_node < b.first_node : a.id < b.id;
+  });
+  return rows;
+}
+
+std::string Plan::describe() const {
+  std::ostringstream out;
+  out << "compute-graph plan: " << nodes_.size() << " nodes, " << descs_.size() << " tensors, arena "
+      << arena_bytes_ << " bytes\n";
+  out << "schedule:\n";
+  for (std::size_t pos = 0; pos < nodes_.size(); ++pos) {
+    const Node& node = nodes_[pos];
+    const TensorDesc& od = desc(node.output);
+    out << "  [" << pos << "] " << op_name(node.kind);
+    if (!node.label.empty()) out << ":" << node.label;
+    out << " -> " << od.name << " " << shape_string(od) << " " << dtype_name(od.dtype);
+    if (!node.inputs.empty()) {
+      out << "  reads:";
+      for (TensorId in : node.inputs) out << " " << desc(in).name;
+    }
+    out << "\n";
+  }
+  std::size_t live_sum = 0;
+  out << "arena (liveness -> first-fit offsets, 64-byte aligned):\n";
+  for (const MemoryRow& row : memory_table()) {
+    live_sum += row.bytes;
+    out << "  " << row.name << "  " << row.bytes << "B @" << row.offset << "  live [" << row.first_node
+        << ", ";
+    if (row.last_node == std::numeric_limits<int>::max()) out << "out";
+    else out << row.last_node;
+    out << "]" << (row.aliased ? "  (in-place alias)" : "") << "\n";
+  }
+  if (live_sum > 0) {
+    out << "reuse: " << live_sum << "B of tensors planned into " << arena_bytes_ << "B arena ("
+        << (100.0 * (1.0 - static_cast<double>(arena_bytes_) / static_cast<double>(live_sum)))
+        << "% saved)\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Context
+
+Context::Context(const Plan& plan)
+    : plan_(&plan), storage_(plan.arena_bytes() + kAlign), bindings_(plan.tensor_count(), nullptr) {
+  const auto base = reinterpret_cast<std::uintptr_t>(storage_.data());
+  arena_ = storage_.data() + (round_up(base, kAlign) - base);
+}
+
+void Context::bind(TensorId id, const void* data) {
+  if (plan_->role(id) != TensorRole::kInput) {
+    throw std::invalid_argument("bind() target is not an input: " + plan_->desc(id).name);
+  }
+  bindings_.at(static_cast<std::size_t>(id)) = data;
+}
+
+void* Context::data(TensorId id) {
+  const std::size_t t = static_cast<std::size_t>(id);
+  switch (plan_->role(id)) {
+    case TensorRole::kInput: {
+      const void* bound = bindings_.at(t);
+      if (bound == nullptr) throw std::invalid_argument("unbound input: " + plan_->desc(id).name);
+      return const_cast<void*>(bound);
+    }
+    case TensorRole::kConstant:
+      return const_cast<void*>(plan_->constant_data(id));
+    case TensorRole::kWork:
+    case TensorRole::kNode: {
+      const std::size_t off = plan_->arena_offset(id);
+      if (off == Plan::kNoOffset) {
+        throw std::invalid_argument("tensor has no arena slot: " + plan_->desc(id).name);
+      }
+      return arena_ + off;
+    }
+  }
+  throw std::invalid_argument("unknown tensor role");
+}
+
+const void* Context::cdata(TensorId id) const { return const_cast<Context*>(this)->data(id); }
+
+// ---------------------------------------------------------------------------
+// execute
+
+void execute(const Plan& plan, Context& ctx) {
+  const KernelOps& kernels = active_kernels();
+  for (const Node& node : plan.schedule()) {
+    const TensorDesc& od = plan.desc(node.output);
+    switch (node.kind) {
+      case OpKind::kMatmul: {
+        const TensorDesc& da = plan.desc(node.inputs[0]);
+        const TensorDesc& db = plan.desc(node.inputs[1]);
+        if (da.dtype == DType::kF32) {
+          kernels.matmul_f32(da.shape[0], da.shape[1], db.shape[1],
+                             ctx.ctyped<float>(node.inputs[0]), ctx.ctyped<float>(node.inputs[1]),
+                             ctx.typed<float>(node.output));
+        } else {
+          kernels.matmul_i8(da.shape[0], da.shape[1], db.shape[1],
+                            ctx.ctyped<std::int8_t>(node.inputs[0]),
+                            ctx.ctyped<std::int8_t>(node.inputs[1]),
+                            ctx.typed<std::int32_t>(node.output));
+        }
+        break;
+      }
+      case OpKind::kBiasAdd: {
+        const TensorDesc& da = plan.desc(node.inputs[0]);
+        const float* in = ctx.ctyped<float>(node.inputs[0]);
+        const float* bias = ctx.ctyped<float>(node.inputs[1]);
+        float* out = ctx.typed<float>(node.output);
+        if (da.rank == 3) {
+          const std::int64_t hw = da.shape[1] * da.shape[2];
+          for (std::int64_t c = 0; c < da.shape[0]; ++c) {
+            const float bc = bias[c];
+            for (std::int64_t i = 0; i < hw; ++i) out[c * hw + i] = in[c * hw + i] + bc;
+          }
+        } else {
+          const std::int64_t rows = da.rows(), cols = da.cols();
+          for (std::int64_t r = 0; r < rows; ++r) {
+            for (std::int64_t c = 0; c < cols; ++c) out[r * cols + c] = in[r * cols + c] + bias[c];
+          }
+        }
+        break;
+      }
+      case OpKind::kRelu: {
+        const float* in = ctx.ctyped<float>(node.inputs[0]);
+        float* out = ctx.typed<float>(node.output);
+        const std::int64_t count = od.elements();
+        for (std::int64_t i = 0; i < count; ++i) {
+          const float v = in[i];
+          out[i] = v > 0.0F ? v : 0.0F;
+        }
+        break;
+      }
+      case OpKind::kSigmoid: {
+        const float* in = ctx.ctyped<float>(node.inputs[0]);
+        float* out = ctx.typed<float>(node.output);
+        const std::int64_t count = od.elements();
+        for (std::int64_t i = 0; i < count; ++i) out[i] = sigmoid_exact(in[i]);
+        break;
+      }
+      case OpKind::kStandardize: {
+        const TensorDesc& da = plan.desc(node.inputs[0]);
+        const float* in = ctx.ctyped<float>(node.inputs[0]);
+        const float* mean = ctx.ctyped<float>(node.inputs[1]);
+        const float* stddev = ctx.ctyped<float>(node.inputs[2]);
+        float* out = ctx.typed<float>(node.output);
+        const std::int64_t rows = da.rows(), cols = da.cols();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            out[r * cols + c] = (in[r * cols + c] - mean[c]) / stddev[c];
+          }
+        }
+        break;
+      }
+      case OpKind::kQuantize: {
+        const float* in = ctx.ctyped<float>(node.inputs[0]);
+        std::int8_t* out = ctx.typed<std::int8_t>(node.output);
+        const float inv = 1.0F / node.params.scale;
+        const std::int64_t count = od.elements();
+        // Clamp on the float side first so the int conversion is always in
+        // range, then round half away from zero without the std::lround
+        // libm call — it is opaque to the vectorizer and dominates the int8
+        // forward when applied to every activation.
+        for (std::int64_t i = 0; i < count; ++i) {
+          const float v = std::clamp(in[i] * inv, -127.0F, 127.0F);
+          const float r = v >= 0.0F ? v + 0.5F : v - 0.5F;
+          out[i] = static_cast<std::int8_t>(static_cast<int>(r));
+        }
+        break;
+      }
+      case OpKind::kDequantize: {
+        const TensorDesc& da = plan.desc(node.inputs[0]);
+        float* out = ctx.typed<float>(node.output);
+        const float scale = node.params.scale;
+        const std::int64_t count = od.elements();
+        if (da.dtype == DType::kI8) {
+          const std::int8_t* in = ctx.ctyped<std::int8_t>(node.inputs[0]);
+          for (std::int64_t i = 0; i < count; ++i) out[i] = static_cast<float>(in[i]) * scale;
+        } else {
+          const std::int32_t* in = ctx.ctyped<std::int32_t>(node.inputs[0]);
+          for (std::int64_t i = 0; i < count; ++i) out[i] = static_cast<float>(in[i]) * scale;
+        }
+        break;
+      }
+      case OpKind::kConv2d: {
+        const TensorDesc& dx = plan.desc(node.inputs[0]);
+        const TensorDesc& dw = plan.desc(node.inputs[1]);
+        const float* x = ctx.ctyped<float>(node.inputs[0]);
+        const float* w = ctx.ctyped<float>(node.inputs[1]);
+        const float* bias = node.inputs.size() > 2 ? ctx.ctyped<float>(node.inputs[2]) : nullptr;
+        float* out = ctx.typed<float>(node.output);
+        const std::int64_t cin = dx.shape[0], h = dx.shape[1], wdt = dx.shape[2];
+        const std::int64_t cout = dw.shape[0], kk = dw.shape[2];
+        const std::int64_t ho = od.shape[1], wo = od.shape[2];
+        const int stride = node.params.stride, pad = node.params.pad;
+        for (std::int64_t o = 0; o < cout; ++o) {
+          for (std::int64_t oy = 0; oy < ho; ++oy) {
+            for (std::int64_t ox = 0; ox < wo; ++ox) {
+              float acc = bias != nullptr ? bias[o] : 0.0F;
+              for (std::int64_t c = 0; c < cin; ++c) {
+                for (std::int64_t ky = 0; ky < kk; ++ky) {
+                  const std::int64_t iy = oy * stride + ky - pad;
+                  if (iy < 0 || iy >= h) continue;
+                  for (std::int64_t kx = 0; kx < kk; ++kx) {
+                    const std::int64_t ix = ox * stride + kx - pad;
+                    if (ix < 0 || ix >= wdt) continue;
+                    acc += x[(c * h + iy) * wdt + ix] * w[((o * cin + c) * kk + ky) * kk + kx];
+                  }
+                }
+              }
+              out[(o * ho + oy) * wo + ox] = acc;
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kMaxPool: {
+        const TensorDesc& dx = plan.desc(node.inputs[0]);
+        const float* x = ctx.ctyped<float>(node.inputs[0]);
+        float* out = ctx.typed<float>(node.output);
+        const std::int64_t c = dx.shape[0], h = dx.shape[1], wdt = dx.shape[2];
+        const std::int64_t ho = od.shape[1], wo = od.shape[2];
+        const int kernel = node.params.kernel, stride = node.params.stride;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          for (std::int64_t oy = 0; oy < ho; ++oy) {
+            for (std::int64_t ox = 0; ox < wo; ++ox) {
+              float best = -std::numeric_limits<float>::infinity();
+              for (int ky = 0; ky < kernel; ++ky) {
+                for (int kx = 0; kx < kernel; ++kx) {
+                  best = std::max(best, x[(ch * h + oy * stride + ky) * wdt + ox * stride + kx]);
+                }
+              }
+              out[(ch * ho + oy) * wo + ox] = best;
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kCustom: {
+        CustomArgs args;
+        args.plan = &plan;
+        args.ctx = &ctx;
+        args.node = &node;
+        node.custom(args);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace neuro::graph

@@ -1,0 +1,210 @@
+#pragma once
+// Static compute-graph engine in the ggml build/alloc/compute style:
+//
+//   1. build   — GraphBuilder records tensors (inputs, constants, work
+//                scratch) and op nodes (matmul/bias/relu/sigmoid/conv2d/
+//                pool/quantize-dequantize/custom) into a flat list.
+//   2. alloc   — Plan::compile topologically schedules the nodes, runs a
+//                liveness pass over every arena tensor and packs them into
+//                ONE arena with a greedy first-fit free-list allocator
+//                (in-place aliasing for dying elementwise inputs), so the
+//                whole forward pass owns a single allocation.
+//   3. compute — execute(plan, ctx) walks the schedule against a Context
+//                that holds the arena + caller-bound input pointers. No
+//                heap allocation happens inside execute().
+//
+// The f32 matmul kernel contract matches nn::matmul bit-for-bit (ascending
+// k accumulation per output lane, skip-if-zero lhs, no FMA contraction), so
+// graphs re-expressing Mlp heads reproduce the window loop exactly.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "graph/tensor.hpp"
+
+namespace neuro::graph {
+
+class Context;
+class Plan;
+
+enum class OpKind : std::uint8_t {
+  kMatmul,
+  kBiasAdd,
+  kRelu,
+  kSigmoid,
+  kStandardize,
+  kQuantize,
+  kDequantize,
+  kConv2d,
+  kMaxPool,
+  kCustom,
+};
+
+const char* op_name(OpKind kind);
+
+struct OpParams {
+  int stride = 1;      // conv2d / maxpool
+  int pad = 0;         // conv2d
+  int kernel = 0;      // maxpool window
+  float scale = 1.0F;  // quantize / dequantize per-tensor scale
+};
+
+/// Arguments handed to a custom node's body at execution time.
+struct CustomArgs {
+  const Plan* plan = nullptr;
+  Context* ctx = nullptr;
+  const struct Node* node = nullptr;
+};
+
+struct Node {
+  OpKind kind = OpKind::kCustom;
+  std::string label;
+  std::vector<TensorId> inputs;  // may include kWork scratch tensors
+  TensorId output = kInvalidTensor;
+  OpParams params;
+  std::function<void(const CustomArgs&)> custom;
+};
+
+/// One row of the memory plan, for tests and the EXPERIMENTS.md walkthrough.
+struct MemoryRow {
+  TensorId id = kInvalidTensor;
+  std::string name;
+  TensorRole role = TensorRole::kNode;
+  std::size_t bytes = 0;
+  std::size_t offset = 0;  // arena offset; only meaningful for arena roles
+  int first_node = -1;     // birth (node index in schedule)
+  int last_node = -1;      // death; last schedule index that reads it
+  bool aliased = false;    // shares its offset with the input it replaced
+};
+
+class Plan {
+ public:
+  Plan() = default;
+
+  std::size_t arena_bytes() const { return arena_bytes_; }
+  std::size_t tensor_count() const { return descs_.size(); }
+  const TensorDesc& desc(TensorId id) const { return descs_.at(static_cast<std::size_t>(id)); }
+  TensorRole role(TensorId id) const { return roles_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Node>& schedule() const { return nodes_; }
+  const std::vector<TensorId>& outputs() const { return outputs_; }
+
+  bool in_arena(TensorId id) const { return offsets_.at(static_cast<std::size_t>(id)) != kNoOffset; }
+  std::size_t arena_offset(TensorId id) const { return offsets_.at(static_cast<std::size_t>(id)); }
+  const void* constant_data(TensorId id) const;
+
+  /// Liveness + placement table in schedule order (arena tensors only).
+  std::vector<MemoryRow> memory_table() const;
+  /// Human-readable plan dump: schedule, arena size, buffer-reuse table.
+  std::string describe() const;
+
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+ private:
+  friend class GraphBuilder;
+  friend class Context;
+  friend void execute(const Plan& plan, Context& ctx);
+
+  std::vector<TensorDesc> descs_;
+  std::vector<TensorRole> roles_;
+  std::vector<std::size_t> offsets_;           // kNoOffset for input/constant
+  std::vector<int> first_use_;                 // per tensor, schedule index
+  std::vector<int> last_use_;                  // per tensor, schedule index
+  std::vector<bool> aliased_;                  // output reused its input slot
+  std::vector<std::vector<std::byte>> const_data_;  // indexed per tensor (empty if not constant)
+  std::vector<Node> nodes_;                    // topological schedule
+  std::vector<TensorId> outputs_;
+  std::size_t arena_bytes_ = 0;
+};
+
+class GraphBuilder {
+ public:
+  /// Caller-bound external input (bound per execution via Context::bind).
+  TensorId input(std::string name, DType dtype, std::initializer_list<std::int64_t> shape);
+  /// Arena scratch with no producing node; list it among a custom node's
+  /// inputs so the planner knows its lifetime.
+  TensorId work(std::string name, DType dtype, std::initializer_list<std::int64_t> shape);
+  TensorId constant_f32(std::string name, std::vector<float> data,
+                        std::initializer_list<std::int64_t> shape);
+  TensorId constant_i8(std::string name, std::vector<std::int8_t> data,
+                       std::initializer_list<std::int64_t> shape);
+
+  /// (M,K) x (K,N) -> (M,N). f32 x f32 -> f32; i8 x i8 -> i32.
+  TensorId matmul(TensorId a, TensorId b);
+  /// Rank-2: bias per column. Rank-3 (C,H,W): bias per channel.
+  TensorId bias_add(TensorId a, TensorId bias);
+  TensorId relu(TensorId a);
+  TensorId sigmoid(TensorId a);
+  /// Per-column (x - mean) / stddev with rank-1 f32 statistics tensors.
+  TensorId standardize(TensorId a, TensorId mean, TensorId stddev);
+  /// f32 -> i8: clamp(x / scale, -127, 127) rounded half away from zero.
+  TensorId quantize(TensorId a, float scale);
+  /// i8 | i32 -> f32: x * scale.
+  TensorId dequantize(TensorId a, float scale);
+  /// x (C,H,W) conv w (O,C,K,K) stride/pad -> (O,Ho,Wo); bias may be
+  /// kInvalidTensor.
+  TensorId conv2d(TensorId x, TensorId w, TensorId bias, int stride, int pad);
+  TensorId maxpool(TensorId x, int kernel, int stride);
+  /// Opaque node; fn runs at execute() time with arena-resident in/out.
+  TensorId custom(std::string label, std::function<void(const CustomArgs&)> fn,
+                  std::vector<TensorId> inputs, TensorDesc out_desc);
+
+  const TensorDesc& desc(TensorId id) const { return descs_.at(static_cast<std::size_t>(id)); }
+
+  /// Schedules, plans the arena, and moves everything into a Plan.
+  /// The builder is consumed.
+  Plan compile(std::vector<TensorId> outputs);
+
+ private:
+  TensorId add_tensor(TensorDesc desc, TensorRole role);
+  TensorId add_node(Node node, TensorDesc out_desc);
+  const TensorDesc& check(TensorId id, const char* what) const;
+
+  std::vector<TensorDesc> descs_;
+  std::vector<TensorRole> roles_;
+  std::vector<std::vector<std::byte>> const_data_;
+  std::vector<Node> nodes_;
+};
+
+/// Execution state: one arena allocation sized by the plan + input bindings.
+/// Reusable across executions; construction is the only allocation.
+class Context {
+ public:
+  explicit Context(const Plan& plan);
+
+  const Plan& plan() const { return *plan_; }
+  /// Bind an external input tensor to caller-owned bytes (must outlive
+  /// execute()). Size is the descriptor's byte size.
+  void bind(TensorId id, const void* data);
+
+  /// Raw pointer for an arena or bound-input tensor (const for constants).
+  void* data(TensorId id);
+  const void* cdata(TensorId id) const;
+
+  template <typename T>
+  T* typed(TensorId id) {
+    return static_cast<T*>(data(id));
+  }
+  template <typename T>
+  const T* ctyped(TensorId id) const {
+    return static_cast<const T*>(cdata(id));
+  }
+
+  /// Opaque per-execution payload for custom nodes (e.g. the prepared
+  /// image the window-features op reads).
+  void* user = nullptr;
+
+ private:
+  const Plan* plan_;
+  std::vector<std::byte> storage_;
+  std::byte* arena_ = nullptr;
+  std::vector<const void*> bindings_;
+};
+
+/// Runs the schedule. Allocation-free; throws if an input is unbound.
+void execute(const Plan& plan, Context& ctx);
+
+}  // namespace neuro::graph

@@ -1,0 +1,54 @@
+#include "graph/kernels.hpp"
+
+#include <algorithm>
+
+namespace neuro::graph {
+
+namespace detail {
+
+// Mirrors nn::matmul exactly: zero the output, then for each (i, k) with a
+// non-zero lhs element, stream across the j row. Each output lane therefore
+// accumulates in ascending-k order with separate mul and add.
+void scalar_matmul_f32(std::int64_t m, std::int64_t k, std::int64_t n, const float* a,
+                       const float* b, float* c) {
+  std::fill(c, c + m * n, 0.0F);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0F) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void scalar_matmul_i8(std::int64_t m, std::int64_t k, std::int64_t n, const std::int8_t* a,
+                      const std::int8_t* b, std::int32_t* c) {
+  std::fill(c, c + m * n, 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    std::int32_t* crow = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int32_t aik = arow[kk];
+      if (aik == 0) continue;
+      const std::int8_t* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * static_cast<std::int32_t>(brow[j]);
+    }
+  }
+}
+
+}  // namespace detail
+
+const KernelOps& scalar_kernels() {
+  static const KernelOps kOps{"scalar", &detail::scalar_matmul_f32, &detail::scalar_matmul_i8};
+  return kOps;
+}
+
+const KernelOps& active_kernels() {
+  static const KernelOps& ops = avx2_available() ? avx2_kernels() : scalar_kernels();
+  return ops;
+}
+
+}  // namespace neuro::graph

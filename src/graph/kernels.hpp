@@ -1,0 +1,43 @@
+#pragma once
+// Matmul kernels behind a runtime-dispatched table. The f32 kernel contract
+// is bit-compatibility with nn::matmul: the output is zeroed, every output
+// lane accumulates a[i][k] * b[k][j] in ascending k with separate multiply
+// and add (no FMA contraction), and rows of `a` equal to +-0.0f are skipped
+// exactly like nn::matmul's `if (aik == 0.0F) continue;`. The AVX2 variant
+// vectorizes across j only, so each lane sees the same scalar reduction
+// order — results are byte-identical to the scalar kernel and to nn::matmul.
+//
+// The i8 kernel accumulates exactly in int32 (order-independent), so scalar
+// and AVX2 agree trivially.
+
+#include <cstdint>
+
+namespace neuro::graph {
+
+struct KernelOps {
+  const char* name;
+  // c (MxN, f32) = a (MxK, f32) * b (KxN, f32); all row-major contiguous.
+  void (*matmul_f32)(std::int64_t m, std::int64_t k, std::int64_t n, const float* a,
+                     const float* b, float* c);
+  // c (MxN, i32) = a (MxK, i8) * b (KxN, i8), exact int32 accumulation.
+  void (*matmul_i8)(std::int64_t m, std::int64_t k, std::int64_t n, const std::int8_t* a,
+                    const std::int8_t* b, std::int32_t* c);
+};
+
+/// Scalar reference kernels (always available; the bitwise oracle).
+const KernelOps& scalar_kernels();
+/// AVX2 kernels when compiled in, otherwise aliases of the scalar table.
+const KernelOps& avx2_kernels();
+/// True when the CPU supports AVX2 and the AVX2 TU was compiled with it.
+bool avx2_available();
+/// Best kernel table for this machine, resolved once.
+const KernelOps& active_kernels();
+
+namespace detail {
+void scalar_matmul_f32(std::int64_t m, std::int64_t k, std::int64_t n, const float* a,
+                       const float* b, float* c);
+void scalar_matmul_i8(std::int64_t m, std::int64_t k, std::int64_t n, const std::int8_t* a,
+                      const std::int8_t* b, std::int32_t* c);
+}  // namespace detail
+
+}  // namespace neuro::graph

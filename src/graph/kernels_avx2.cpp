@@ -1,0 +1,157 @@
+// AVX2 kernel TU. Compiled with -mavx2 -O3 -ffp-contract=off when the
+// compiler supports it (see src/graph/CMakeLists.txt); otherwise the #else
+// branches alias the scalar table. Runtime dispatch in active_kernels()
+// keeps the binary safe on CPUs without AVX2.
+
+#include "graph/kernels.hpp"
+
+#include <algorithm>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace neuro::graph {
+
+bool avx2_available() {
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX2__)
+
+namespace {
+
+// Scalar cleanup for row/column tails; identical reduction order per lane.
+void scalar_block_f32(std::int64_t i0, std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                      std::int64_t k, std::int64_t n, const float* a, const float* b, float* c) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0F) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// 4-row x 32-column register tile, j-vectorized only: each output lane keeps
+// the scalar kernel's ascending-k accumulation with separate mul and add
+// (explicit _mm256_mul_ps / _mm256_add_ps, never FMA), and the per-row
+// zero-skip mirrors nn::matmul's `if (aik == 0.0F) continue;`.
+void avx2_matmul_f32(std::int64_t m, std::int64_t k, std::int64_t n, const float* a,
+                     const float* b, float* c) {
+  std::fill(c, c + m * n, 0.0F);
+  const std::int64_t jblocks = n - (n % 32);
+  std::int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    float* c0 = c + (i + 0) * n;
+    float* c1 = c + (i + 1) * n;
+    float* c2 = c + (i + 2) * n;
+    float* c3 = c + (i + 3) * n;
+    for (std::int64_t j = 0; j < jblocks; j += 32) {
+      __m256 r00 = _mm256_setzero_ps(), r01 = r00, r02 = r00, r03 = r00;
+      __m256 r10 = r00, r11 = r00, r12 = r00, r13 = r00;
+      __m256 r20 = r00, r21 = r00, r22 = r00, r23 = r00;
+      __m256 r30 = r00, r31 = r00, r32 = r00, r33 = r00;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * n + j;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        const __m256 b2 = _mm256_loadu_ps(brow + 16);
+        const __m256 b3 = _mm256_loadu_ps(brow + 24);
+        float v = a0[kk];
+        if (v != 0.0F) {
+          const __m256 s = _mm256_set1_ps(v);
+          r00 = _mm256_add_ps(r00, _mm256_mul_ps(s, b0));
+          r01 = _mm256_add_ps(r01, _mm256_mul_ps(s, b1));
+          r02 = _mm256_add_ps(r02, _mm256_mul_ps(s, b2));
+          r03 = _mm256_add_ps(r03, _mm256_mul_ps(s, b3));
+        }
+        v = a1[kk];
+        if (v != 0.0F) {
+          const __m256 s = _mm256_set1_ps(v);
+          r10 = _mm256_add_ps(r10, _mm256_mul_ps(s, b0));
+          r11 = _mm256_add_ps(r11, _mm256_mul_ps(s, b1));
+          r12 = _mm256_add_ps(r12, _mm256_mul_ps(s, b2));
+          r13 = _mm256_add_ps(r13, _mm256_mul_ps(s, b3));
+        }
+        v = a2[kk];
+        if (v != 0.0F) {
+          const __m256 s = _mm256_set1_ps(v);
+          r20 = _mm256_add_ps(r20, _mm256_mul_ps(s, b0));
+          r21 = _mm256_add_ps(r21, _mm256_mul_ps(s, b1));
+          r22 = _mm256_add_ps(r22, _mm256_mul_ps(s, b2));
+          r23 = _mm256_add_ps(r23, _mm256_mul_ps(s, b3));
+        }
+        v = a3[kk];
+        if (v != 0.0F) {
+          const __m256 s = _mm256_set1_ps(v);
+          r30 = _mm256_add_ps(r30, _mm256_mul_ps(s, b0));
+          r31 = _mm256_add_ps(r31, _mm256_mul_ps(s, b1));
+          r32 = _mm256_add_ps(r32, _mm256_mul_ps(s, b2));
+          r33 = _mm256_add_ps(r33, _mm256_mul_ps(s, b3));
+        }
+      }
+      _mm256_storeu_ps(c0 + j, r00);
+      _mm256_storeu_ps(c0 + j + 8, r01);
+      _mm256_storeu_ps(c0 + j + 16, r02);
+      _mm256_storeu_ps(c0 + j + 24, r03);
+      _mm256_storeu_ps(c1 + j, r10);
+      _mm256_storeu_ps(c1 + j + 8, r11);
+      _mm256_storeu_ps(c1 + j + 16, r12);
+      _mm256_storeu_ps(c1 + j + 24, r13);
+      _mm256_storeu_ps(c2 + j, r20);
+      _mm256_storeu_ps(c2 + j + 8, r21);
+      _mm256_storeu_ps(c2 + j + 16, r22);
+      _mm256_storeu_ps(c2 + j + 24, r23);
+      _mm256_storeu_ps(c3 + j, r30);
+      _mm256_storeu_ps(c3 + j + 8, r31);
+      _mm256_storeu_ps(c3 + j + 16, r32);
+      _mm256_storeu_ps(c3 + j + 24, r33);
+    }
+    if (jblocks < n) scalar_block_f32(i, i + 4, jblocks, n, k, n, a, b, c);
+  }
+  if (i < m) scalar_block_f32(i, m, 0, n, k, n, a, b, c);
+}
+
+// Integer accumulation is exact, so plain loops are fine; -O3 -mavx2
+// autovectorizes the j stream (sign-extended i8 loads, i32 adds).
+void avx2_matmul_i8(std::int64_t m, std::int64_t k, std::int64_t n, const std::int8_t* a,
+                    const std::int8_t* b, std::int32_t* c) {
+  std::fill(c, c + m * n, 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    std::int32_t* crow = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int32_t aik = arow[kk];
+      if (aik == 0) continue;
+      const std::int8_t* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * static_cast<std::int32_t>(brow[j]);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelOps& avx2_kernels() {
+  static const KernelOps kOps{"avx2", &avx2_matmul_f32, &avx2_matmul_i8};
+  return kOps;
+}
+
+#else  // !__AVX2__
+
+const KernelOps& avx2_kernels() { return scalar_kernels(); }
+
+#endif
+
+}  // namespace neuro::graph

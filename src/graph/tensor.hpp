@@ -1,0 +1,68 @@
+#pragma once
+// Tensor descriptors for the static compute-graph engine: shape, row-major
+// strides and dtype, plus the storage role that decides where the bytes
+// live at execution time (caller-bound input, plan-owned constant, or a
+// planned slice of the single arena).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace neuro::graph {
+
+enum class DType : std::uint8_t { kF32, kI8, kI32, kF64 };
+
+constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF32: return 4;
+    case DType::kI8: return 1;
+    case DType::kI32: return 4;
+    case DType::kF64: return 8;
+  }
+  return 0;
+}
+
+const char* dtype_name(DType t);
+
+/// Dense tensors carry an integer handle into the graph's descriptor table.
+using TensorId = int;
+constexpr TensorId kInvalidTensor = -1;
+
+/// Where a tensor's storage comes from at execute() time.
+enum class TensorRole : std::uint8_t {
+  kInput,     // bound by the caller per execution (Context::bind)
+  kConstant,  // owned by the Plan (weights, scaler statistics)
+  kWork,      // arena scratch for custom ops; no producing node
+  kNode,      // produced by an op node; lives in the arena
+};
+
+const char* role_name(TensorRole role);
+
+/// Shape/stride/dtype descriptor. Rank <= 4, row-major contiguous strides
+/// (in elements); shape dims beyond `rank` are 1.
+struct TensorDesc {
+  std::string name;
+  DType dtype = DType::kF32;
+  int rank = 0;
+  std::array<std::int64_t, 4> shape{1, 1, 1, 1};
+  std::array<std::int64_t, 4> strides{0, 0, 0, 0};
+
+  std::int64_t elements() const {
+    std::int64_t n = 1;
+    for (int d = 0; d < rank; ++d) n *= shape[d];
+    return n;
+  }
+  std::size_t bytes() const {
+    return static_cast<std::size_t>(elements()) * dtype_size(dtype);
+  }
+  /// Leading two logical dims for matrix ops (rank-1 tensors are 1 x N).
+  std::int64_t rows() const { return rank >= 2 ? shape[rank - 2] : 1; }
+  std::int64_t cols() const { return rank >= 1 ? shape[rank - 1] : 1; }
+};
+
+/// Builds a descriptor with contiguous row-major strides.
+TensorDesc make_desc(std::string name, DType dtype, std::initializer_list<std::int64_t> shape);
+
+}  // namespace neuro::graph

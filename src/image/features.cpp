@@ -1,7 +1,9 @@
 #include "image/features.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <utility>
 #include <vector>
@@ -74,42 +76,42 @@ inline std::pair<int, int> cell_range(int origin, float cell_extent, int c) {
   return {a, b};
 }
 
-/// Window-level sums that PatchStats derives from. Both backends fill the
-/// same aggregates (naive: per-pixel loops; integral: box sums), then share
-/// one finishing pass, so any backend disagreement is pure accumulation
+/// Scalar window sums that PatchStats derives from. Both backends fill the
+/// same aggregates (naive: per-pixel loops; integral: box sums) and the
+/// column/row profiles in a caller-provided Scratch, then share one
+/// finishing pass, so any backend disagreement is pure accumulation
 /// rounding. Dark/strong counts are integers summed exactly in double.
-struct WindowAggregates {
+struct AggregateSums {
   double count = 0.0;
   double sum_r = 0.0, sum_g = 0.0, sum_b = 0.0;
   double sum_luma = 0.0, sum_luma2 = 0.0;
   double strong_edges = 0.0;
   double horiz = 0.0, vert = 0.0, diag = 0.0;
-  // Clipped-rect structure cues.
   double chroma_sum = 0.0;
-  std::vector<double> col_dark, row_dark, col_luma;
 };
 
-WindowAggregates naive_window_aggregates(const Image& rgb, const Gradients& grads, int x0, int y0,
-                                         int w, int h) {
-  WindowAggregates agg;
+void naive_window_aggregates_into(const Image& rgb, const Gradients& grads, int x0, int y0, int w,
+                                  int h, AggregateSums& sums,
+                                  WindowFeatureExtractor::Scratch& scratch) {
+  sums = AggregateSums{};
   const int x1 = x0 + std::max(1, w);
   const int y1 = y0 + std::max(1, h);
-  agg.count = static_cast<double>(x1 - x0) * static_cast<double>(y1 - y0);
+  sums.count = static_cast<double>(x1 - x0) * static_cast<double>(y1 - y0);
 
   for (int y = y0; y < y1; ++y) {
     for (int x = x0; x < x1; ++x) {
       const int cx = std::clamp(x, 0, rgb.width() - 1);
       const int cy = std::clamp(y, 0, rgb.height() - 1);
       const Color c = rgb.pixel(cx, cy);
-      agg.sum_r += c.r;
-      agg.sum_g += c.g;
-      agg.sum_b += c.b;
+      sums.sum_r += c.r;
+      sums.sum_g += c.g;
+      sums.sum_b += c.b;
       const float luma = luma_of(c);
-      agg.sum_luma += luma;
-      agg.sum_luma2 += static_cast<double>(luma) * static_cast<double>(luma);
+      sums.sum_luma += luma;
+      sums.sum_luma2 += static_cast<double>(luma) * static_cast<double>(luma);
 
       const float mag = grads.magnitude.sample_clamped(x, y, 0);
-      if (mag > 0.15F) agg.strong_edges += 1.0;
+      if (mag > 0.15F) sums.strong_edges += 1.0;
       if (mag <= 0.0F) continue;
       const float theta = grads.orientation.sample_clamped(x, y, 0);
       // Orientation of the *gradient*; an edge that looks horizontal has a
@@ -117,9 +119,9 @@ WindowAggregates naive_window_aggregates(const Image& rgb, const Gradients& grad
       // underlying edge is horizontal.
       const float d_horiz = std::fabs(theta - kPi / 2.0F);
       const float d_vert = std::min(theta, kPi - theta);
-      if (d_horiz < kPi / 8.0F) agg.horiz += mag;
-      else if (d_vert < kPi / 8.0F) agg.vert += mag;
-      else agg.diag += mag;
+      if (d_horiz < kPi / 8.0F) sums.horiz += mag;
+      else if (d_vert < kPi / 8.0F) sums.vert += mag;
+      else sums.diag += mag;
     }
   }
 
@@ -127,81 +129,104 @@ WindowAggregates naive_window_aggregates(const Image& rgb, const Gradients& grad
   const int cy0 = std::max(0, y0);
   const int cx1 = std::min(rgb.width(), x1);
   const int cy1 = std::min(rgb.height(), y1);
-  agg.col_dark.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
-  agg.row_dark.assign(static_cast<std::size_t>(std::max(1, cy1 - cy0)), 0.0);
-  agg.col_luma.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  scratch.col_dark.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  scratch.row_dark.assign(static_cast<std::size_t>(std::max(1, cy1 - cy0)), 0.0);
+  scratch.col_luma.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
   for (int y = cy0; y < cy1; ++y) {
     for (int x = cx0; x < cx1; ++x) {
       const Color c = rgb.pixel(x, y);
       const float luma = luma_of(c);
       if (luma < 0.30F) {
-        agg.col_dark[static_cast<std::size_t>(x - cx0)] += 1.0;
-        agg.row_dark[static_cast<std::size_t>(y - cy0)] += 1.0;
+        scratch.col_dark[static_cast<std::size_t>(x - cx0)] += 1.0;
+        scratch.row_dark[static_cast<std::size_t>(y - cy0)] += 1.0;
       }
-      agg.col_luma[static_cast<std::size_t>(x - cx0)] += luma;
-      agg.chroma_sum += chroma_of(c);
+      scratch.col_luma[static_cast<std::size_t>(x - cx0)] += luma;
+      sums.chroma_sum += chroma_of(c);
     }
   }
-  return agg;
 }
 
-WindowAggregates integral_window_aggregates(const IntegralPlanes& pl, int x0, int y0, int w,
-                                            int h) {
-  WindowAggregates agg;
+void integral_window_aggregates_into(const IntegralPlanes& pl, int x0, int y0, int w, int h,
+                                     AggregateSums& sums,
+                                     WindowFeatureExtractor::Scratch& scratch) {
+  sums = AggregateSums{};
   const int x1 = x0 + std::max(1, w);
   const int y1 = y0 + std::max(1, h);
-  agg.count = static_cast<double>(x1 - x0) * static_cast<double>(y1 - y0);
-  agg.sum_r = pl.clamped_sum(kPlaneR, x0, y0, x1, y1);
-  agg.sum_g = pl.clamped_sum(kPlaneG, x0, y0, x1, y1);
-  agg.sum_b = pl.clamped_sum(kPlaneB, x0, y0, x1, y1);
-  agg.sum_luma = pl.clamped_sum(kPlaneLuma, x0, y0, x1, y1);
-  agg.sum_luma2 = pl.clamped_sum(kPlaneLuma2, x0, y0, x1, y1);
-  agg.strong_edges = pl.clamped_sum(kPlaneStrong, x0, y0, x1, y1);
-  agg.horiz = pl.clamped_sum(kPlaneHoriz, x0, y0, x1, y1);
-  agg.vert = pl.clamped_sum(kPlaneVert, x0, y0, x1, y1);
-  agg.diag = pl.clamped_sum(kPlaneDiag, x0, y0, x1, y1);
+  sums.count = static_cast<double>(x1 - x0) * static_cast<double>(y1 - y0);
+  sums.sum_r = pl.clamped_sum(kPlaneR, x0, y0, x1, y1);
+  sums.sum_g = pl.clamped_sum(kPlaneG, x0, y0, x1, y1);
+  sums.sum_b = pl.clamped_sum(kPlaneB, x0, y0, x1, y1);
+  sums.sum_luma = pl.clamped_sum(kPlaneLuma, x0, y0, x1, y1);
+  sums.sum_luma2 = pl.clamped_sum(kPlaneLuma2, x0, y0, x1, y1);
+  sums.strong_edges = pl.clamped_sum(kPlaneStrong, x0, y0, x1, y1);
+  sums.horiz = pl.clamped_sum(kPlaneHoriz, x0, y0, x1, y1);
+  sums.vert = pl.clamped_sum(kPlaneVert, x0, y0, x1, y1);
+  sums.diag = pl.clamped_sum(kPlaneDiag, x0, y0, x1, y1);
 
   const int cx0 = std::max(0, x0);
   const int cy0 = std::max(0, y0);
   const int cx1 = std::min(pl.width(), x1);
   const int cy1 = std::min(pl.height(), y1);
-  agg.col_dark.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
-  agg.row_dark.assign(static_cast<std::size_t>(std::max(1, cy1 - cy0)), 0.0);
-  agg.col_luma.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  scratch.col_dark.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
+  scratch.row_dark.assign(static_cast<std::size_t>(std::max(1, cy1 - cy0)), 0.0);
+  scratch.col_luma.assign(static_cast<std::size_t>(std::max(1, cx1 - cx0)), 0.0);
   if (cx1 > cx0 && cy1 > cy0) {
+    // Streamed differences of the prefix rows: each column/row profile
+    // entry reuses its neighbour's corner lookups instead of paying four
+    // loads per pl.sum call. Luma and dark planes of a cell sit a few
+    // doubles apart in the interleaved layout, so both streams share lines.
+    const std::size_t vp = static_cast<std::size_t>(pl.planes());
+    const double* top = pl.cell_ptr(cy0);
+    const double* bot = pl.cell_ptr(cy1);
+    const std::size_t c_first = static_cast<std::size_t>(cx0) * vp;
+    double dark_left = bot[c_first + kPlaneDark] - top[c_first + kPlaneDark];
+    double luma_left = bot[c_first + kPlaneLuma] - top[c_first + kPlaneLuma];
     for (int c = 0; c < cx1 - cx0; ++c) {
-      agg.col_dark[static_cast<std::size_t>(c)] = pl.sum(kPlaneDark, cx0 + c, cy0, cx0 + c + 1, cy1);
-      agg.col_luma[static_cast<std::size_t>(c)] = pl.sum(kPlaneLuma, cx0 + c, cy0, cx0 + c + 1, cy1);
+      const std::size_t cc = static_cast<std::size_t>(cx0 + c + 1) * vp;
+      const double dark_right = bot[cc + kPlaneDark] - top[cc + kPlaneDark];
+      const double luma_right = bot[cc + kPlaneLuma] - top[cc + kPlaneLuma];
+      scratch.col_dark[static_cast<std::size_t>(c)] = dark_right - dark_left;
+      scratch.col_luma[static_cast<std::size_t>(c)] = luma_right - luma_left;
+      dark_left = dark_right;
+      luma_left = luma_right;
     }
+    const std::size_t d0 = static_cast<std::size_t>(cx0) * vp + kPlaneDark;
+    const std::size_t d1 = static_cast<std::size_t>(cx1) * vp + kPlaneDark;
+    double row_prev = top[d1] - top[d0];
     for (int r = 0; r < cy1 - cy0; ++r) {
-      agg.row_dark[static_cast<std::size_t>(r)] = pl.sum(kPlaneDark, cx0, cy0 + r, cx1, cy0 + r + 1);
+      const double* row = pl.cell_ptr(cy0 + r + 1);
+      const double row_next = row[d1] - row[d0];
+      scratch.row_dark[static_cast<std::size_t>(r)] = row_next - row_prev;
+      row_prev = row_next;
     }
-    agg.chroma_sum = pl.sum(kPlaneChroma, cx0, cy0, cx1, cy1);
+    sums.chroma_sum = pl.sum(kPlaneChroma, cx0, cy0, cx1, cy1);
   }
-  return agg;
 }
 
-PatchStats finish_patch_stats(const Image& rgb, const WindowAggregates& agg, int x0, int y0, int w,
-                              int h) {
+template <typename LumaAt>
+PatchStats finish_patch_stats(const LumaAt& luma_at, int img_w, int img_h,
+                              const AggregateSums& sums,
+                              const WindowFeatureExtractor::Scratch& scratch, int x0, int y0,
+                              int w, int h) {
   PatchStats stats;
   const int x1 = x0 + std::max(1, w);
-  const double count = agg.count;
+  const double count = sums.count;
 
-  stats.mean_r = static_cast<float>(agg.sum_r / count);
-  stats.mean_g = static_cast<float>(agg.sum_g / count);
-  stats.mean_b = static_cast<float>(agg.sum_b / count);
-  const double mean_luma = agg.sum_luma / count;
+  stats.mean_r = static_cast<float>(sums.sum_r / count);
+  stats.mean_g = static_cast<float>(sums.sum_g / count);
+  stats.mean_b = static_cast<float>(sums.sum_b / count);
+  const double mean_luma = sums.sum_luma / count;
   stats.var_luma =
-      static_cast<float>(std::max(0.0, agg.sum_luma2 / count - mean_luma * mean_luma));
-  stats.edge_density = static_cast<float>(agg.strong_edges / count);
-  const double energy = agg.horiz + agg.vert + agg.diag + 1e-6;
-  stats.horizontal_energy = static_cast<float>(agg.horiz / energy);
-  stats.vertical_energy = static_cast<float>(agg.vert / energy);
-  stats.diagonal_energy = static_cast<float>(agg.diag / energy);
+      static_cast<float>(std::max(0.0, sums.sum_luma2 / count - mean_luma * mean_luma));
+  stats.edge_density = static_cast<float>(sums.strong_edges / count);
+  const double energy = sums.horiz + sums.vert + sums.diag + 1e-6;
+  stats.horizontal_energy = static_cast<float>(sums.horiz / energy);
+  stats.vertical_energy = static_cast<float>(sums.vert / energy);
+  stats.diagonal_energy = static_cast<float>(sums.diag / energy);
   stats.center_y_norm =
-      (static_cast<float>(y0) + static_cast<float>(h) / 2.0F) / static_cast<float>(rgb.height());
+      (static_cast<float>(y0) + static_cast<float>(h) / 2.0F) / static_cast<float>(img_h);
   stats.center_x_norm =
-      (static_cast<float>(x0) + static_cast<float>(w) / 2.0F) / static_cast<float>(rgb.width());
+      (static_cast<float>(x0) + static_cast<float>(w) / 2.0F) / static_cast<float>(img_w);
   stats.aspect_ratio = static_cast<float>(w) / static_cast<float>(w + h);
 
   // Lane-paint cues: bright pixels standing out against the window mean
@@ -214,12 +239,11 @@ PatchStats finish_patch_stats(const Image& rgb, const WindowAggregates& agg, int
   int paint_pixels = 0;
   int max_runs = 0;
   for (float row_frac : {0.50F, 0.60F, 0.70F, 0.80F, 0.90F}) {
-    const int y = std::clamp(y0 + static_cast<int>(row_frac * static_cast<float>(h)), 0,
-                             rgb.height() - 1);
+    const int y = std::clamp(y0 + static_cast<int>(row_frac * static_cast<float>(h)), 0, img_h - 1);
     int runs = 0;
     bool in_run = false;
-    for (int x = std::max(0, x0); x < std::min(rgb.width(), x1); ++x) {
-      const float luma = luma_of(rgb.pixel(x, y));
+    for (int x = std::max(0, x0); x < std::min(img_w, x1); ++x) {
+      const float luma = luma_at(x, y);
       const bool bright = luma > surround + 0.18F && luma > 0.45F;
       if (bright) {
         ++paint_pixels;
@@ -237,23 +261,24 @@ PatchStats finish_patch_stats(const Image& rgb, const WindowAggregates& agg, int
   stats.paint_density = static_cast<float>(paint_pixels) / scan_pixels;
   stats.paint_columns = std::min(1.0F, static_cast<float>(max_runs) / 5.0F);
 
-  const int cols = static_cast<int>(agg.col_dark.size());
-  const int rows = static_cast<int>(agg.row_dark.size());
-  stats.saturation =
-      static_cast<float>(agg.chroma_sum / (static_cast<double>(cols) * static_cast<double>(rows)));
+  const int cols = static_cast<int>(scratch.col_dark.size());
+  const int rows = static_cast<int>(scratch.row_dark.size());
+  stats.saturation = static_cast<float>(sums.chroma_sum /
+                                        (static_cast<double>(cols) * static_cast<double>(rows)));
 
   // Pole cue: the best dark column (fraction of its rows that are dark).
   double best_col_dark = 0.0;
-  for (double v : agg.col_dark) best_col_dark = std::max(best_col_dark, v);
+  for (double v : scratch.col_dark) best_col_dark = std::max(best_col_dark, v);
   stats.pole_strength = static_cast<float>(best_col_dark / rows);
 
   // Wire cue: thin rows that are substantially dark while their vertical
   // neighbours are not (a sagging wire crosses the full window width).
   int wire_count = 0;
   for (int r = 0; r < rows; ++r) {
-    const double here = agg.row_dark[static_cast<std::size_t>(r)] / cols;
-    const double above = r > 0 ? agg.row_dark[static_cast<std::size_t>(r - 1)] / cols : 0.0;
-    const double below = r + 1 < rows ? agg.row_dark[static_cast<std::size_t>(r + 1)] / cols : 0.0;
+    const double here = scratch.row_dark[static_cast<std::size_t>(r)] / cols;
+    const double above = r > 0 ? scratch.row_dark[static_cast<std::size_t>(r - 1)] / cols : 0.0;
+    const double below =
+        r + 1 < rows ? scratch.row_dark[static_cast<std::size_t>(r + 1)] / cols : 0.0;
     if (here > 0.45 && above < 0.25 && below < 0.25) ++wire_count;
   }
   stats.wire_rows = std::min(1.0F, static_cast<float>(wire_count) / 4.0F);
@@ -262,13 +287,184 @@ PatchStats finish_patch_stats(const Image& rgb, const WindowAggregates& agg, int
   int alternations = 0;
   int prev_sign = 0;
   for (int c = 0; c < cols; ++c) {
-    const double dev = agg.col_luma[static_cast<std::size_t>(c)] / rows - mean_luma;
+    const double dev = scratch.col_luma[static_cast<std::size_t>(c)] / rows - mean_luma;
     const int sign = dev > 0.04 ? 1 : (dev < -0.04 ? -1 : 0);
     if (sign != 0 && prev_sign != 0 && sign != prev_sign) ++alternations;
     if (sign != 0) prev_sign = sign;
   }
   stats.facade_periodicity = std::min(1.0F, static_cast<float>(alternations) / 10.0F);
   return stats;
+}
+
+/// Per-row staging for the fused plane builder: clamp-padded grayscale rows
+/// for the sliding Sobel window, its column/row partial sums, and the
+/// per-pixel gradient arrays. thread_local so prepare_into stays
+/// allocation-free at steady state without widening the public API.
+struct FusedStage {
+  std::array<std::vector<float>, 3> rows;  // padded (w + 2) clamped gray rows
+  std::vector<float> colsum;               // (top + 2*mid) + bot, padded columns
+  std::vector<float> top_sum, bot_sum;     // 1-3-1 row sums for gy, padded idx
+  std::vector<float> mag, theta;
+  std::vector<double> run;
+};
+
+/// Builds every plane AND its prefix sums in one pass over the image: each
+/// interior integral cell is written exactly once (run + previous row), so
+/// there is no zero-fill, no second finalize sweep, and no materialized
+/// Gradients images. All per-pixel contributions reproduce the add()-based
+/// builder bit-for-bit: the inlined sliding Sobel keeps sobel_gradients'
+/// exact operand groupings and each (plane, pixel) cell receives at most
+/// one contribution so run-accumulation order matches finalize()'s row
+/// scan. The one deliberate deviation is the orientation: a vectorized
+/// cephes-style arctangent polynomial (~3e-7 rad peak error after octant
+/// reduction at tan(pi/8)) replaces libm atan2f, which alone costs more
+/// than the rest of the pass; soft bin weights move ~1e-6 against the
+/// naive oracle — invisible at its 1e-4 tolerance.
+#if defined(__x86_64__) && !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+// Runtime-dispatched AVX2 clone: wider blends/divides for the orientation
+// pass and 4-wide double adds for the prefix writes. AVX2 alone brings no
+// FMA contraction, so every clone produces bit-identical planes.
+__attribute__((target_clones("avx2", "default")))
+#endif
+void build_planes_fused(const Image& rgb, const Image& gray, int bins, IntegralPlanes& pl) {
+  const int w = gray.width();
+  const int h = gray.height();
+  const float bin_width = kPi / static_cast<float>(bins);
+  const int total_planes = kPlaneBins + bins;
+  const bool has_color = rgb.channels() == 3;
+
+  thread_local FusedStage stage;
+  const std::size_t padded = static_cast<std::size_t>(w) + 2;
+  for (auto& row : stage.rows) row.resize(padded);
+  stage.colsum.resize(padded);
+  stage.top_sum.resize(padded);
+  stage.bot_sum.resize(padded);
+  stage.mag.resize(static_cast<std::size_t>(w));
+  stage.theta.resize(static_cast<std::size_t>(w));
+  stage.run.resize(static_cast<std::size_t>(total_planes));
+
+  const float* gray_data = gray.data().data();
+  const float* rgb_data = has_color ? rgb.data().data() : nullptr;
+  auto load_row = [&](std::vector<float>& dst, int y) {
+    const float* src =
+        gray_data + static_cast<std::size_t>(std::clamp(y, 0, h - 1)) * static_cast<std::size_t>(w);
+    dst[0] = src[0];
+    std::memcpy(dst.data() + 1, src, static_cast<std::size_t>(w) * sizeof(float));
+    dst[static_cast<std::size_t>(w) + 1] = src[w - 1];
+  };
+  int ia = 0, ib = 1, ic = 2;
+  load_row(stage.rows[static_cast<std::size_t>(ia)], -1);
+  load_row(stage.rows[static_cast<std::size_t>(ib)], 0);
+  load_row(stage.rows[static_cast<std::size_t>(ic)], 1);
+
+  for (int y = 0; y < h; ++y) {
+    const float* top = stage.rows[static_cast<std::size_t>(ia)].data();
+    const float* mid = stage.rows[static_cast<std::size_t>(ib)].data();
+    const float* bot = stage.rows[static_cast<std::size_t>(ic)].data();
+
+    // Sliding Sobel: colsum(x) = (top + 2*mid) + bot reproduces the naive
+    // kernel's left-to-right operand grouping, so gx/gy/mag match
+    // sobel_gradients bit-for-bit.
+    float* colsum = stage.colsum.data();
+    for (std::size_t px = 0; px < padded; ++px) {
+      colsum[px] = (top[px] + 2.0F * mid[px]) + bot[px];
+    }
+    float* top_sum = stage.top_sum.data();
+    float* bot_sum = stage.bot_sum.data();
+    for (int px = 1; px <= w; ++px) {
+      const std::size_t p = static_cast<std::size_t>(px);
+      top_sum[p] = (top[p - 1] + 2.0F * top[p]) + top[p + 1];
+      bot_sum[p] = (bot[p - 1] + 2.0F * bot[p]) + bot[p + 1];
+    }
+    // Gradient + orientation pass, written branch-free (ternaries become
+    // blends) so the whole row vectorizes — including the arctangent
+    // polynomial. Pixels with mag == 0 produce a NaN theta (0/0) that the
+    // contribution loop never reads.
+    float* mags = stage.mag.data();
+    float* thetas = stage.theta.data();
+    for (int x = 0; x < w; ++x) {
+      const std::size_t px = static_cast<std::size_t>(x) + 1;
+      const float gx = colsum[px + 1] - colsum[px - 1];
+      const float gy = bot_sum[px] - top_sum[px];
+      mags[x] = std::sqrt(gx * gx + gy * gy);
+      const float ax = std::fabs(gx);
+      const float ay = std::fabs(gy);
+      const float q = std::min(ax, ay) / std::max(ax, ay);  // [0, 1]
+      const bool reduce = q > 0.41421356F;                  // tan(pi/8)
+      const float z = reduce ? (q - 1.0F) / (q + 1.0F) : q;
+      const float s = z * z;
+      float r = ((((8.05374449538e-2F * s - 1.38776856032e-1F) * s + 1.99777106478e-1F) * s -
+                  3.33329491539e-1F) *
+                     s * z +
+                 z) +
+                (reduce ? 0.78539816F : 0.0F);
+      r = ay > ax ? 1.57079633F - r : r;  // fold back to the [0, pi/2] octant
+      float theta = (gx >= 0.0F) == (gy >= 0.0F) ? r : kPi - r;
+      theta = theta >= kPi ? theta - kPi : theta;
+      thetas[x] = theta;
+    }
+
+    double* __restrict run = stage.run.data();
+    for (int p = 0; p < total_planes; ++p) run[p] = 0.0;
+    // The interleaved layout keeps all planes of a cell contiguous, so the
+    // prefix-write below is one straight-line vectorizable run per pixel.
+    double* __restrict out_row = pl.cell_ptr(y + 1);
+    const double* __restrict prev_row = pl.cell_ptr(y);
+    const float* gray_row = gray_data + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    const float* rgb_row =
+        has_color ? rgb_data + static_cast<std::size_t>(y) * static_cast<std::size_t>(w) * 3
+                  : nullptr;
+    for (int x = 0; x < w; ++x) {
+      float r, g, b;
+      if (has_color) {
+        const std::size_t i = static_cast<std::size_t>(x) * 3;
+        r = rgb_row[i];
+        g = rgb_row[i + 1];
+        b = rgb_row[i + 2];
+      } else {
+        r = g = b = gray_row[x];
+      }
+      const float luma = 0.299F * r + 0.587F * g + 0.114F * b;
+      const float chroma = 0.5F * (std::fabs(r - g) + std::fabs(g - b));
+      const float mag = mags[x];
+
+      run[kPlaneR] += r;
+      run[kPlaneG] += g;
+      run[kPlaneB] += b;
+      run[kPlaneLuma] += luma;
+      run[kPlaneLuma2] += static_cast<double>(luma) * static_cast<double>(luma);
+      run[kPlaneChroma] += chroma;
+      // Branch-free contributions: conditions become selects adding +0.0,
+      // which leaves every accumulation bit-identical to the guarded form
+      // while sidestepping data-dependent branch mispredictions. mag == 0
+      // pixels route a zero add through theta = 0 (their theta is NaN).
+      run[kPlaneDark] += luma < 0.30F ? 1.0 : 0.0;
+      run[kPlaneStrong] += mag > 0.15F ? 1.0 : 0.0;
+      const float theta = mag > 0.0F ? thetas[x] : 0.0F;
+      const float d_horiz = std::fabs(theta - kPi / 2.0F);
+      const float d_vert = std::min(theta, kPi - theta);
+      const bool is_horiz = d_horiz < kPi / 8.0F;
+      const bool is_vert = !is_horiz && d_vert < kPi / 8.0F;
+      run[kPlaneHoriz] += is_horiz ? static_cast<double>(mag) : 0.0;
+      run[kPlaneVert] += is_vert ? static_cast<double>(mag) : 0.0;
+      run[kPlaneDiag] += is_horiz || is_vert ? 0.0 : static_cast<double>(mag);
+      const BinSplit s = split_orientation(theta, bin_width, bins);
+      run[kPlaneBins + s.lower] += mag * s.w_lower;
+      run[kPlaneBins + s.upper] += mag * s.w_upper;
+
+      const std::size_t cell =
+          (static_cast<std::size_t>(x) + 1) * static_cast<std::size_t>(total_planes);
+      double* __restrict out = out_row + cell;
+      const double* __restrict prev = prev_row + cell;
+      for (int p = 0; p < total_planes; ++p) out[p] = run[p] + prev[p];
+    }
+
+    const int rotate = ia;
+    ia = ib;
+    ib = ic;
+    ic = rotate;
+    load_row(stage.rows[static_cast<std::size_t>(ic)], y + 2);
+  }
 }
 
 }  // namespace
@@ -309,58 +505,95 @@ std::vector<float> hog_descriptor(const Gradients& grads, int x0, int y0,
 }
 
 std::vector<float> PatchStats::to_vector() const {
-  return {mean_r,        mean_g,          mean_b,           var_luma,
-          edge_density,  horizontal_energy, vertical_energy,  diagonal_energy,
-          center_y_norm, paint_density,   paint_columns,    aspect_ratio,
-          center_x_norm, pole_strength,   wire_rows,        facade_periodicity,
-          saturation};
+  std::vector<float> out(kDimension);
+  write_to(out.data());
+  return out;
+}
+
+void PatchStats::write_to(float* out) const {
+  out[0] = mean_r;
+  out[1] = mean_g;
+  out[2] = mean_b;
+  out[3] = var_luma;
+  out[4] = edge_density;
+  out[5] = horizontal_energy;
+  out[6] = vertical_energy;
+  out[7] = diagonal_energy;
+  out[8] = center_y_norm;
+  out[9] = paint_density;
+  out[10] = paint_columns;
+  out[11] = aspect_ratio;
+  out[12] = center_x_norm;
+  out[13] = pole_strength;
+  out[14] = wire_rows;
+  out[15] = facade_periodicity;
+  out[16] = saturation;
 }
 
 PatchStats compute_patch_stats(const Image& rgb, const Gradients& grads, int x0, int y0, int w,
                                int h) {
-  return finish_patch_stats(rgb, naive_window_aggregates(rgb, grads, x0, y0, w, h), x0, y0, w, h);
+  WindowFeatureExtractor::Scratch scratch;
+  AggregateSums sums;
+  naive_window_aggregates_into(rgb, grads, x0, y0, w, h, sums, scratch);
+  return finish_patch_stats([&rgb](int x, int y) { return luma_of(rgb.pixel(x, y)); }, rgb.width(),
+                            rgb.height(), sums, scratch, x0, y0, w, h);
 }
 
 WindowFeatureExtractor::WindowFeatureExtractor(HogConfig config, bool use_integral)
     : config_(config), use_integral_(use_integral) {}
 
-WindowFeatureExtractor::Prepared WindowFeatureExtractor::prepare(const Image& rgb) const {
-  Prepared prep{rgb, sobel_gradients(rgb.to_grayscale()), nullptr};
-  if (!use_integral_) return prep;
+void WindowFeatureExtractor::Scratch::reserve(int width, int height) {
+  col_dark.reserve(static_cast<std::size_t>(std::max(1, width)));
+  col_luma.reserve(static_cast<std::size_t>(std::max(1, width)));
+  row_dark.reserve(static_cast<std::size_t>(std::max(1, height)));
+}
 
+WindowFeatureExtractor::Prepared WindowFeatureExtractor::prepare(const Image& rgb) const {
+  Prepared prep;
+  prepare_into(rgb, prep);
+  if (prep.rgb.empty()) prep.rgb = rgb;  // prepare() always carries the original
+  return prep;
+}
+
+void WindowFeatureExtractor::prepare_into(const Image& rgb, Prepared& prep) const {
   const int w = rgb.width();
   const int h = rgb.height();
-  auto planes = std::make_shared<IntegralPlanes>(w, h, kPlaneBins + config_.orientation_bins);
-  const float bin_width = kPi / static_cast<float>(config_.orientation_bins);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const Color c = rgb.pixel(x, y);
-      const float luma = luma_of(c);
-      planes->add(kPlaneR, x, y, c.r);
-      planes->add(kPlaneG, x, y, c.g);
-      planes->add(kPlaneB, x, y, c.b);
-      planes->add(kPlaneLuma, x, y, luma);
-      planes->add(kPlaneLuma2, x, y, static_cast<double>(luma) * static_cast<double>(luma));
-      planes->add(kPlaneChroma, x, y, chroma_of(c));
-      if (luma < 0.30F) planes->add(kPlaneDark, x, y, 1.0);
+  if (w <= 0 || h <= 0) throw std::invalid_argument("prepare needs a non-empty image");
 
-      const float mag = prep.grads.magnitude.at(x, y, 0);
-      if (mag > 0.15F) planes->add(kPlaneStrong, x, y, 1.0);
-      if (mag <= 0.0F) continue;
-      const float theta = prep.grads.orientation.at(x, y, 0);
-      const float d_horiz = std::fabs(theta - kPi / 2.0F);
-      const float d_vert = std::min(theta, kPi - theta);
-      if (d_horiz < kPi / 8.0F) planes->add(kPlaneHoriz, x, y, mag);
-      else if (d_vert < kPi / 8.0F) planes->add(kPlaneVert, x, y, mag);
-      else planes->add(kPlaneDiag, x, y, mag);
-      const BinSplit s = split_orientation(theta, bin_width, config_.orientation_bins);
-      planes->add(kPlaneBins + s.lower, x, y, mag * s.w_lower);
-      planes->add(kPlaneBins + s.upper, x, y, mag * s.w_upper);
+  // Grayscale plane, reusing prep's buffer when the shape matches. Matches
+  // Image::to_grayscale bit-for-bit.
+  if (prep.gray.width() != w || prep.gray.height() != h || prep.gray.channels() != 1) {
+    prep.gray = Image(w, h, 1);
+  }
+  if (rgb.channels() == 1) {
+    prep.gray.data() = rgb.data();
+  } else {
+    const float* src = rgb.data().data();
+    float* dst = prep.gray.data().data();
+    const std::size_t n = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = 0.299F * src[3 * i] + 0.587F * src[3 * i + 1] + 0.114F * src[3 * i + 2];
     }
   }
-  planes->finalize();
-  prep.planes = std::move(planes);
-  return prep;
+
+  if (!use_integral_) {
+    prep.rgb = rgb;
+    prep.planes.reset();
+    prep.grads = sobel_gradients(prep.gray);
+    return;
+  }
+
+  // Integral backend: the fused builder consumes gray + rgb directly; no
+  // Gradients images and no rgb copy are needed per image.
+  prep.rgb = Image();
+  prep.grads = Gradients{};
+  const int total_planes = kPlaneBins + config_.orientation_bins;
+  if (!prep.planes || prep.planes.use_count() != 1) {
+    prep.planes = std::make_shared<IntegralPlanes>(w, h, total_planes);
+  } else {
+    prep.planes->reset_for_overwrite(w, h, total_planes);
+  }
+  build_planes_fused(rgb, prep.gray, config_.orientation_bins, *prep.planes);
 }
 
 std::size_t WindowFeatureExtractor::dimension() const {
@@ -369,46 +602,85 @@ std::size_t WindowFeatureExtractor::dimension() const {
 
 std::vector<float> WindowFeatureExtractor::extract(const Prepared& prep, int x, int y, int w,
                                                    int h) const {
+  std::vector<float> features(dimension());
+  Scratch scratch;
+  extract_into(prep, x, y, w, h, features.data(), scratch);
+  return features;
+}
+
+void WindowFeatureExtractor::extract_into(const Prepared& prep, int x, int y, int w, int h,
+                                          float* out, Scratch& scratch) const {
   // Sample HOG over a cell grid stretched to the window so that windows of
   // any size produce a fixed-length descriptor.
-  std::vector<float> features;
-  features.reserve(dimension());
-
-  std::vector<float> descriptor(hog_dimension(config_), 0.0F);
+  const std::size_t hog_dim = hog_dimension(config_);
   const float cell_w = static_cast<float>(w) / static_cast<float>(config_.cells_per_side);
   const float cell_h = static_cast<float>(h) / static_cast<float>(config_.cells_per_side);
   const float bin_width = kPi / static_cast<float>(config_.orientation_bins);
   const int canonical = config_.cell_size * config_.cells_per_side;
+  const int bins = config_.orientation_bins;
+
+  const bool have_gray = !prep.gray.empty();
+  const auto luma_at = [&](int sx, int sy) {
+    return have_gray ? prep.gray.at(sx, sy, 0) : luma_of(prep.rgb.pixel(sx, sy));
+  };
 
   if (prep.planes) {
     // Integral backend: every HOG cell is orientation_bins box sums over
     // the per-bin mass planes, regardless of window size — O(cells).
+    const IntegralPlanes& pl = *prep.planes;
+    const std::size_t vp = static_cast<std::size_t>(pl.planes());
     for (int cy = 0; cy < config_.cells_per_side; ++cy) {
       for (int cx = 0; cx < config_.cells_per_side; ++cx) {
         float* cell =
-            descriptor.data() +
-            (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config_.cells_per_side) +
-             static_cast<std::size_t>(cx)) *
-                static_cast<std::size_t>(config_.orientation_bins);
+            out + (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config_.cells_per_side) +
+                   static_cast<std::size_t>(cx)) *
+                      static_cast<std::size_t>(bins);
         const auto [px0, px1] = cell_range(x, cell_w, cx);
         const auto [py0, py1] = cell_range(y, cell_h, cy);
-        for (int b = 0; b < config_.orientation_bins; ++b) {
-          cell[b] = static_cast<float>(prep.planes->clamped_sum(kPlaneBins + b, px0, py0, px1, py1));
+        if (px0 >= 0 && py0 >= 0 && px1 <= pl.width() && py1 <= pl.height()) {
+          // Interior cell: the bin planes of each corner are contiguous, so
+          // all orientation_bins lookups are four short vectorizable runs,
+          // in clamped_sum's exact operand order.
+          const std::size_t c0 = static_cast<std::size_t>(px0) * vp + kPlaneBins;
+          const std::size_t c1 = static_cast<std::size_t>(px1) * vp + kPlaneBins;
+          const double* top_row = pl.cell_ptr(py0);
+          const double* bot_row = pl.cell_ptr(py1);
+          const double* __restrict tl = top_row + c0;
+          const double* __restrict tr = top_row + c1;
+          const double* __restrict bl = bot_row + c0;
+          const double* __restrict br = bot_row + c1;
+          for (int b = 0; b < bins; ++b) {
+            cell[b] = static_cast<float>(br[b] - tr[b] - bl[b] + tl[b]);
+          }
+        } else {
+          for (int b = 0; b < bins; ++b) {
+            cell[b] = static_cast<float>(pl.clamped_sum(kPlaneBins + b, px0, py0, px1, py1));
+          }
         }
-        l2hys_normalize(cell, config_.orientation_bins);
+        l2hys_normalize(cell, bins);
       }
     }
-  } else if (w == canonical && h == canonical) {
-    descriptor = hog_descriptor(prep.grads, x, y, config_);
+    AggregateSums sums;
+    integral_window_aggregates_into(pl, x, y, w, h, sums, scratch);
+    const PatchStats stats =
+        finish_patch_stats(luma_at, pl.width(), pl.height(), sums, scratch, x, y, w, h);
+    stats.write_to(out + hog_dim);
+    return;
+  }
+
+  // Naive oracle backend.
+  std::fill(out, out + hog_dim, 0.0F);
+  if (w == canonical && h == canonical) {
+    const std::vector<float> descriptor = hog_descriptor(prep.grads, x, y, config_);
+    std::copy(descriptor.begin(), descriptor.end(), out);
   } else {
-    // Naive backend, stretched grid: per-pixel accumulation over each cell.
+    // Stretched grid: per-pixel accumulation over each cell.
     for (int cy = 0; cy < config_.cells_per_side; ++cy) {
       for (int cx = 0; cx < config_.cells_per_side; ++cx) {
         float* cell =
-            descriptor.data() +
-            (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config_.cells_per_side) +
-             static_cast<std::size_t>(cx)) *
-                static_cast<std::size_t>(config_.orientation_bins);
+            out + (static_cast<std::size_t>(cy) * static_cast<std::size_t>(config_.cells_per_side) +
+                   static_cast<std::size_t>(cx)) *
+                      static_cast<std::size_t>(bins);
         const auto [px0, px1] = cell_range(x, cell_w, cx);
         const auto [py0, py1] = cell_range(y, cell_h, cy);
         for (int py = py0; py < py1; ++py) {
@@ -416,25 +688,20 @@ std::vector<float> WindowFeatureExtractor::extract(const Prepared& prep, int x, 
             const float mag = prep.grads.magnitude.sample_clamped(px, py, 0);
             if (mag <= 0.0F) continue;
             const float theta = prep.grads.orientation.sample_clamped(px, py, 0);
-            const BinSplit s = split_orientation(theta, bin_width, config_.orientation_bins);
+            const BinSplit s = split_orientation(theta, bin_width, bins);
             cell[s.lower] += mag * s.w_lower;
             cell[s.upper] += mag * s.w_upper;
           }
         }
-        l2hys_normalize(cell, config_.orientation_bins);
+        l2hys_normalize(cell, bins);
       }
     }
   }
-  features = std::move(descriptor);
-
+  AggregateSums sums;
+  naive_window_aggregates_into(prep.rgb, prep.grads, x, y, w, h, sums, scratch);
   const PatchStats stats =
-      prep.planes
-          ? finish_patch_stats(prep.rgb, integral_window_aggregates(*prep.planes, x, y, w, h), x,
-                               y, w, h)
-          : compute_patch_stats(prep.rgb, prep.grads, x, y, w, h);
-  const std::vector<float> tail = stats.to_vector();
-  features.insert(features.end(), tail.begin(), tail.end());
-  return features;
+      finish_patch_stats(luma_at, prep.rgb.width(), prep.rgb.height(), sums, scratch, x, y, w, h);
+  stats.write_to(out + hog_dim);
 }
 
 }  // namespace neuro::image

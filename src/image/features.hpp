@@ -51,6 +51,8 @@ struct PatchStats {
   float saturation = 0.0F;         // mean chroma (grass/facade vs. pavement)
 
   std::vector<float> to_vector() const;
+  /// Writes the kDimension stats into `out` in to_vector() order.
+  void write_to(float* out) const;
   static constexpr std::size_t kDimension = 17;
 };
 
@@ -72,18 +74,41 @@ class WindowFeatureExtractor {
  public:
   explicit WindowFeatureExtractor(HogConfig config = {}, bool use_integral = true);
 
-  /// Precompute gradients (and, on the integral backend, the summed-area
-  /// planes) once per image, then extract per window.
+  /// Precompute the grayscale plane, gradients (naive backend) or the
+  /// summed-area planes (integral backend) once per image, then extract per
+  /// window.
   struct Prepared {
-    Image rgb;        // original (shared copy)
-    Gradients grads;  // over grayscale
-    std::shared_ptr<const IntegralPlanes> planes;  // null on the naive backend
+    Image rgb;        // original; empty on the integral prepare_into() hot path
+    Image gray;       // Rec.601 luminance, shared by both backends
+    Gradients grads;  // naive backend only; empty images on the integral backend
+    std::shared_ptr<IntegralPlanes> planes;  // null on the naive backend
+
+    int width() const { return planes ? planes->width() : rgb.width(); }
+    int height() const { return planes ? planes->height() : rgb.height(); }
   };
   Prepared prepare(const Image& rgb) const;
+
+  /// Like prepare(), but reuses `prep`'s buffers: zero steady-state heap
+  /// allocation across same-sized images on the integral backend (the
+  /// fused builder writes gray + all consumed planes in one pass and skips
+  /// materializing Gradients; `prep.rgb` is left empty).
+  void prepare_into(const Image& rgb, Prepared& prep) const;
+
+  /// Reusable per-window scratch for extract_into (column/row aggregates).
+  struct Scratch {
+    std::vector<double> col_dark, row_dark, col_luma;
+    /// Pre-grow for windows clipped to a width x height image.
+    void reserve(int width, int height);
+  };
 
   /// Extract features for window (x, y, w, h). Non-canonical windows are
   /// handled by sampling HOG over a scaled cell grid.
   std::vector<float> extract(const Prepared& prep, int x, int y, int w, int h) const;
+
+  /// Allocation-free extract: writes dimension() floats to `out`. Both
+  /// backends produce bit-identical values to extract().
+  void extract_into(const Prepared& prep, int x, int y, int w, int h, float* out,
+                    Scratch& scratch) const;
 
   std::size_t dimension() const;
   const HogConfig& config() const { return config_; }

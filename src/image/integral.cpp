@@ -8,27 +8,45 @@ IntegralPlanes::IntegralPlanes(int width, int height, int planes)
     : width_(width),
       height_(height),
       planes_(planes),
-      stride_(static_cast<std::size_t>(width) + 1),
-      plane_size_(stride_ * (static_cast<std::size_t>(height) + 1)) {
+      stride_(static_cast<std::size_t>(width) + 1) {
   if (width <= 0 || height <= 0) {
     throw std::invalid_argument("integral plane dimensions must be positive");
   }
   if (planes <= 0) throw std::invalid_argument("plane count must be positive");
-  data_.assign(plane_size_ * static_cast<std::size_t>(planes), 0.0);
+  data_.assign(stride_ * (static_cast<std::size_t>(height) + 1) * static_cast<std::size_t>(planes),
+               0.0);
+}
+
+void IntegralPlanes::reset_for_overwrite(int width, int height, int planes) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("integral plane dimensions must be positive");
+  }
+  if (planes <= 0) throw std::invalid_argument("plane count must be positive");
+  if (width == width_ && height == height_ && planes == planes_) return;
+  width_ = width;
+  height_ = height;
+  planes_ = planes;
+  stride_ = static_cast<std::size_t>(width) + 1;
+  data_.assign(stride_ * (static_cast<std::size_t>(height) + 1) * static_cast<std::size_t>(planes),
+               0.0);
 }
 
 void IntegralPlanes::finalize() {
   // Padded top row / left column stay zero, so sum() needs no edge special
-  // cases: prefix(x, y) covers the pixel rect [0, x) x [0, y).
-  for (int p = 0; p < planes_; ++p) {
-    double* plane = data_.data() + plane_size_ * static_cast<std::size_t>(p);
-    for (int y = 1; y <= height_; ++y) {
-      double* row = plane + static_cast<std::size_t>(y) * stride_;
-      const double* prev = row - stride_;
-      double run = 0.0;
-      for (int x = 1; x <= width_; ++x) {
-        run += row[x];
-        row[x] = run + prev[x];
+  // cases: prefix(x, y) covers the pixel rect [0, x) x [0, y). With the
+  // interleaved layout, one row pass carries every plane's running sum at
+  // once over contiguous cells.
+  const std::size_t vp = static_cast<std::size_t>(planes_);
+  std::vector<double> run(vp);
+  for (int y = 1; y <= height_; ++y) {
+    double* row = cell_ptr(y);
+    const double* prev = cell_ptr(y - 1);
+    std::fill(run.begin(), run.end(), 0.0);
+    for (int x = 1; x <= width_; ++x) {
+      const std::size_t cell = static_cast<std::size_t>(x) * vp;
+      for (std::size_t p = 0; p < vp; ++p) {
+        run[p] += row[cell + p];
+        row[cell + p] = run[p] + prev[cell + p];
       }
     }
   }
@@ -40,11 +58,13 @@ double IntegralPlanes::sum(int plane, int x0, int y0, int x1, int y1) const {
   y0 = std::clamp(y0, 0, height_);
   y1 = std::clamp(y1, 0, height_);
   if (x1 <= x0 || y1 <= y0) return 0.0;
-  const double* p = data_.data() + plane_size_ * static_cast<std::size_t>(plane);
-  const std::size_t r0 = static_cast<std::size_t>(y0) * stride_;
-  const std::size_t r1 = static_cast<std::size_t>(y1) * stride_;
-  return p[r1 + static_cast<std::size_t>(x1)] - p[r0 + static_cast<std::size_t>(x1)] -
-         p[r1 + static_cast<std::size_t>(x0)] + p[r0 + static_cast<std::size_t>(x0)];
+  const std::size_t vp = static_cast<std::size_t>(planes_);
+  const double* p = data_.data() + static_cast<std::size_t>(plane);
+  const std::size_t r0 = static_cast<std::size_t>(y0) * stride_ * vp;
+  const std::size_t r1 = static_cast<std::size_t>(y1) * stride_ * vp;
+  const std::size_t c0 = static_cast<std::size_t>(x0) * vp;
+  const std::size_t c1 = static_cast<std::size_t>(x1) * vp;
+  return p[r1 + c1] - p[r0 + c1] - p[r1 + c0] + p[r0 + c0];
 }
 
 double IntegralPlanes::clamped_sum(int plane, int x0, int y0, int x1, int y1) const {

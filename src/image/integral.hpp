@@ -7,6 +7,12 @@
 // accumulated in double precision: per-pixel contributions are computed in
 // float (matching the naive per-pixel oracle bit-for-bit), then widened, so
 // box sums agree with sequential accumulation to ~1e-12 relative error.
+//
+// Storage is plane-INTERLEAVED: the value at padded cell (x, y) for plane p
+// lives at data()[(y * stride() + x) * planes() + p]. All planes of one
+// cell are contiguous, which turns the fused prefix builder's per-pixel
+// writes and the extractor's per-bin corner lookups into single contiguous
+// (vectorizable) runs instead of `planes()` scattered accesses.
 
 #include <cstddef>
 #include <stdexcept>
@@ -31,6 +37,28 @@ class IntegralPlanes {
   /// Convert per-pixel contributions to 2D prefix sums, in place.
   void finalize();
 
+  /// Prepare for a writer that overwrites every interior cell of every
+  /// plane (e.g. the fused prefix builder in features.cpp). When the
+  /// dimensions already match, this is a no-op: the padded top row / left
+  /// column are never written by builders or finalize(), so they stay zero
+  /// and the interior needs no clearing before being overwritten.
+  void reset_for_overwrite(int width, int height, int planes);
+
+  /// Pointer to the interleaved values of padded row `y` (row 0 is the zero
+  /// padding row; pixel row y lives at padded row y + 1). The plane-p value
+  /// of padded cell x within the row is at [x * planes() + p].
+  double* cell_ptr(int y) {
+    return data_.data() + static_cast<std::size_t>(y) * stride_ * static_cast<std::size_t>(planes_);
+  }
+  const double* cell_ptr(int y) const {
+    return data_.data() + static_cast<std::size_t>(y) * stride_ * static_cast<std::size_t>(planes_);
+  }
+  /// Padded cells per row: width + 1. Adjacent cells are planes() doubles
+  /// apart; adjacent padded rows are stride() * planes() doubles apart.
+  std::size_t stride() const { return stride_; }
+  const double* data() const { return data_.data(); }
+  std::size_t value_count() const { return data_.size(); }
+
   /// Sum of plane values over [x0, x1) x [y0, y1), clipped to the grid.
   /// Only valid after finalize().
   double sum(int plane, int x0, int y0, int x1, int y1) const;
@@ -43,15 +71,15 @@ class IntegralPlanes {
 
  private:
   std::size_t offset(int plane, int x, int y) const {
-    return plane_size_ * static_cast<std::size_t>(plane) +
-           static_cast<std::size_t>(y) * stride_ + static_cast<std::size_t>(x);
+    return (static_cast<std::size_t>(y) * stride_ + static_cast<std::size_t>(x)) *
+               static_cast<std::size_t>(planes_) +
+           static_cast<std::size_t>(plane);
   }
 
   int width_ = 0;
   int height_ = 0;
   int planes_ = 0;
-  std::size_t stride_ = 0;      // (width + 1) doubles per padded row
-  std::size_t plane_size_ = 0;  // (width + 1) * (height + 1)
+  std::size_t stride_ = 0;  // (width + 1) padded cells per row
   std::vector<double> data_;
 };
 

@@ -187,7 +187,7 @@ std::vector<float> Mlp::parameters() const {
   for (const DenseLayer& layer : layers_) {
     const Matrix& w = layer.weights();
     params.insert(params.end(), w.data().begin(), w.data().end());
-    const auto& bias = const_cast<DenseLayer&>(layer).bias();
+    const auto& bias = layer.bias();
     params.insert(params.end(), bias.begin(), bias.end());
   }
   return params;

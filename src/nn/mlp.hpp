@@ -44,6 +44,8 @@ class DenseLayer {
   const Matrix& weights() const { return weights_; }
   Matrix& weights() { return weights_; }
   std::vector<float>& bias() { return bias_; }
+  const std::vector<float>& bias() const { return bias_; }
+  Activation activation() const { return activation_; }
 
  private:
   Matrix weights_;  // in x out
@@ -87,6 +89,7 @@ class Mlp {
   std::size_t input_dim() const { return layers_.front().in_dim(); }
   std::size_t output_dim() const { return layers_.back().out_dim(); }
   std::size_t layer_count() const { return layers_.size(); }
+  const DenseLayer& layer(std::size_t i) const { return layers_.at(i); }
 
   /// Flat read/write access to all parameters (for serialization tests).
   std::vector<float> parameters() const;

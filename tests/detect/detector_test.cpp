@@ -181,6 +181,18 @@ TEST_F(TrainedDetector, EvaluateDetectorCountsConsistent) {
   }
 }
 
+TEST_F(TrainedDetector, Int8BackendHoldsF1WithinOnePoint) {
+  // The int8 graph backend quantizes weights and activations per-tensor; on
+  // the held-out split its detection F1 must stay within one point of f32.
+  detector_->set_backend(InferenceBackend::kGraphF32);
+  const DetectionEvalResult f32 = evaluate_detector(*detector_, *test_, 0.5F, 2);
+  detector_->set_backend(InferenceBackend::kGraphInt8);
+  const DetectionEvalResult i8 = evaluate_detector(*detector_, *test_, 0.5F, 2);
+  detector_->set_backend(InferenceBackend::kGraphF32);
+  EXPECT_GE(i8.mean_f1, f32.mean_f1 - 0.01)
+      << "int8 f1=" << i8.mean_f1 << " vs f32 f1=" << f32.mean_f1;
+}
+
 TEST_F(TrainedDetector, MaxScoreBoundedAndConsistent) {
   const image::Image& img = (*test_)[0].image;
   for (Indicator ind : scene::all_indicators()) {

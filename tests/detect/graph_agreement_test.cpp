@@ -1,0 +1,292 @@
+// Agreement oracle for the compute-graph inference backends.
+//
+// The f32 graph re-expresses the per-window loop as one planned forward
+// over fused head weights; its kernels keep nn::matmul's accumulation
+// order, so the contract is BYTE-IDENTICAL detections — same boxes, same
+// scores, same order — on clean and noisy images, from any number of
+// threads. The int8 backend trades bit-equality for speed; its scores must
+// stay close enough that detections still land on the same objects.
+//
+// Also holds the steady-state allocation test: after a warm-up call, the
+// graph detect path must not touch the heap at all.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "data/builder.hpp"
+#include "detect/detector.hpp"
+#include "image/noise.hpp"
+#include "util/rng.hpp"
+
+// -- Global allocation counter ----------------------------------------------
+// Counts every operator-new since the last reset. Kept unconditional (the
+// overridden operators just bump an atomic), but the zero-allocation
+// assertions are skipped under sanitizers, whose interceptors allocate on
+// their own schedule.
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace neuro::detect {
+namespace {
+
+using scene::Indicator;
+
+bool sanitizers_active() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+DetectorConfig tiny_config(InferenceBackend backend) {
+  DetectorConfig config;
+  config.epochs = 3;
+  config.mining_rounds = 0;
+  config.negatives_per_image = 40;
+  config.seed = 11;
+  config.backend = backend;
+  return config;
+}
+
+bool identical(const std::vector<Detection>& a, const std::vector<Detection>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].indicator != b[i].indicator) return false;
+    if (std::memcmp(&a[i].box, &b[i].box, sizeof(image::BoxF)) != 0) return false;
+    if (std::memcmp(&a[i].score, &b[i].score, sizeof(float)) != 0) return false;
+  }
+  return true;
+}
+
+/// One small trained detector shared by every agreement test.
+class GraphAgreement : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::BuildConfig build;
+    build.image_count = 10;
+    dataset_ = new data::Dataset(data::build_synthetic_dataset(build, 5));
+    detector_ = new NanoDetector(tiny_config(InferenceBackend::kLoop));
+    detector_->train(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete dataset_;
+    detector_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static NanoDetector* detector_;
+};
+
+data::Dataset* GraphAgreement::dataset_ = nullptr;
+NanoDetector* GraphAgreement::detector_ = nullptr;
+
+TEST_F(GraphAgreement, F32GraphByteIdenticalToLoop) {
+  for (std::size_t i = 0; i < dataset_->size(); ++i) {
+    const image::Image& img = (*dataset_)[i].image;
+    detector_->set_backend(InferenceBackend::kLoop);
+    const std::vector<Detection> loop = detector_->detect_all(img, 0.05F);
+    detector_->set_backend(InferenceBackend::kGraphF32);
+    const std::vector<Detection> graph = detector_->detect_all(img, 0.05F);
+    EXPECT_TRUE(identical(loop, graph)) << "image " << i << ": loop=" << loop.size()
+                                        << " graph=" << graph.size();
+  }
+}
+
+TEST_F(GraphAgreement, F32GraphByteIdenticalOnNoisyImages) {
+  // The robustness sweep's operating regime: heavy sensor noise produces
+  // dense borderline scores, the adversarial case for tie-breaking.
+  for (float sigma : {0.05F, 0.15F}) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      image::Image noisy = (*dataset_)[i].image;
+      util::Rng rng(97 + i);
+      image::add_gaussian_noise(noisy, sigma, rng);
+      detector_->set_backend(InferenceBackend::kLoop);
+      const std::vector<Detection> loop = detector_->detect_all(noisy, 0.05F);
+      detector_->set_backend(InferenceBackend::kGraphF32);
+      const std::vector<Detection> graph = detector_->detect_all(noisy, 0.05F);
+      EXPECT_TRUE(identical(loop, graph)) << "sigma=" << sigma << " image " << i;
+    }
+  }
+}
+
+TEST_F(GraphAgreement, WindowScoresMatchLoopScoring) {
+  // window_scores exposes the raw batched forward; spot-check it against
+  // max_score consistency: every reported max must appear among the raw
+  // window scores for that head (before NMS the max over windows bounds it).
+  const image::Image& img = (*dataset_)[0].image;
+  detector_->set_backend(InferenceBackend::kGraphF32);
+  std::vector<float> scores;
+  const std::size_t windows = detector_->window_scores(img, scores);
+  ASSERT_GT(windows, 0U);
+  ASSERT_EQ(scores.size(), windows * scene::kIndicatorCount);
+  for (float s : scores) {
+    EXPECT_GE(s, 0.0F);
+    EXPECT_LE(s, 1.0F);
+  }
+  // The loop backend delegates to the same graph — identical bytes.
+  detector_->set_backend(InferenceBackend::kLoop);
+  std::vector<float> via_loop;
+  EXPECT_EQ(detector_->window_scores(img, via_loop), windows);
+  EXPECT_EQ(std::memcmp(scores.data(), via_loop.data(), scores.size() * sizeof(float)), 0);
+}
+
+TEST_F(GraphAgreement, ConcurrentDetectMatchesSerial) {
+  detector_->set_backend(InferenceBackend::kGraphF32);
+  const std::size_t images = std::min<std::size_t>(4, dataset_->size());
+  std::vector<std::vector<Detection>> serial(images);
+  for (std::size_t i = 0; i < images; ++i) {
+    serial[i] = detector_->detect_all((*dataset_)[i].image, 0.05F);
+  }
+  for (int thread_count : {1, 4, 16}) {
+    std::vector<std::vector<Detection>> parallel(images);
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(thread_count));
+    std::atomic<std::size_t> next{0};
+    for (int t = 0; t < thread_count; ++t) {
+      workers.emplace_back([&]() {
+        for (std::size_t i = next.fetch_add(1); i < images; i = next.fetch_add(1)) {
+          parallel[i] = detector_->detect_all((*dataset_)[i].image, 0.05F);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (std::size_t i = 0; i < images; ++i) {
+      EXPECT_TRUE(identical(serial[i], parallel[i]))
+          << thread_count << " threads, image " << i;
+    }
+  }
+}
+
+TEST_F(GraphAgreement, Int8ScoresTrackF32) {
+  // int8 is lossy by design; it must stay close on the raw window scores
+  // (quantization noise well under the NMS/threshold decision margins).
+  const image::Image& img = (*dataset_)[0].image;
+  detector_->set_backend(InferenceBackend::kGraphF32);
+  std::vector<float> f32;
+  const std::size_t windows = detector_->window_scores(img, f32);
+  detector_->set_backend(InferenceBackend::kGraphInt8);
+  std::vector<float> i8;
+  ASSERT_EQ(detector_->window_scores(img, i8), windows);
+  double total = 0.0;
+  float worst = 0.0F;
+  for (std::size_t i = 0; i < f32.size(); ++i) {
+    const float d = std::abs(f32[i] - i8[i]);
+    total += d;
+    worst = std::max(worst, d);
+  }
+  EXPECT_LT(total / static_cast<double>(f32.size()), 0.02) << "mean |f32 - int8| drift";
+  EXPECT_LT(worst, 0.25F) << "worst-case |f32 - int8| drift";
+  detector_->set_backend(InferenceBackend::kLoop);
+}
+
+TEST_F(GraphAgreement, BackendNamesRoundTrip) {
+  for (InferenceBackend backend : {InferenceBackend::kLoop, InferenceBackend::kGraphF32,
+                                   InferenceBackend::kGraphInt8}) {
+    EXPECT_EQ(parse_backend(backend_name(backend)), backend);
+  }
+  EXPECT_THROW(parse_backend("tpu"), std::invalid_argument);
+}
+
+TEST_F(GraphAgreement, SteadyStateDetectionIsAllocationFree) {
+  if (sanitizers_active()) GTEST_SKIP() << "sanitizer runtimes allocate internally";
+  detector_->set_backend(InferenceBackend::kGraphF32);
+  const image::Image& img = (*dataset_)[0].image;
+
+  // Warm-up: compiles the plan, creates the pooled session, sizes every
+  // reusable buffer.
+  (void)detector_->classify_presence(img);
+  (void)detector_->classify_presence(img);
+
+  g_allocations.store(0, std::memory_order_relaxed);
+  const scene::PresenceVector presence = detector_->classify_presence(img);
+  const long during = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(during, 0) << "classify_presence must not allocate once warm";
+
+  // detect() returns a fresh vector (caller-owned); that is the only
+  // allocation allowed on the warm path.
+  (void)detector_->detect(img);
+  g_allocations.store(0, std::memory_order_relaxed);
+  const std::vector<Detection> dets = detector_->detect(img);
+  EXPECT_LE(g_allocations.load(std::memory_order_relaxed), 2)
+      << "warm detect() should only allocate its return vector";
+  (void)presence;
+  (void)dets;
+}
+
+TEST_F(GraphAgreement, Int8DetectionsLandOnSameObjects) {
+  // Every int8 detection should overlap an f32 detection of the same class
+  // (or vice versa be explainable by a borderline threshold); assert IoU
+  // matching on the confident ones.
+  detector_->set_backend(InferenceBackend::kGraphF32);
+  const std::vector<Detection> f32 = detector_->detect_all((*dataset_)[1].image, 0.5F);
+  detector_->set_backend(InferenceBackend::kGraphInt8);
+  const std::vector<Detection> i8 = detector_->detect_all((*dataset_)[1].image, 0.5F);
+  detector_->set_backend(InferenceBackend::kLoop);
+  for (const Detection& det : i8) {
+    if (det.score < 0.7F) continue;  // borderline scores may flip either way
+    bool matched = false;
+    for (const Detection& ref : f32) {
+      if (ref.indicator == det.indicator && iou(ref.box, det.box) > 0.5F) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "confident int8 detection without an f32 counterpart";
+  }
+}
+
+}  // namespace
+}  // namespace neuro::detect

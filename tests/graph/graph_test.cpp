@@ -1,0 +1,342 @@
+// Unit tests for the static compute-graph engine: scheduling, the arena
+// planner (liveness, first-fit reuse, in-place aliasing), op kernels
+// against hand oracles, and the bitwise f32 matmul contract shared with
+// nn::matmul (the property the graph detector backend rests on).
+
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "graph/kernels.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::graph {
+namespace {
+
+std::vector<float> random_floats(std::size_t n, util::Rng& rng, float zero_fraction = 0.0F) {
+  std::vector<float> out(n);
+  for (float& v : out) {
+    v = zero_fraction > 0.0F && rng.uniform() < zero_fraction
+            ? 0.0F
+            : static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return out;
+}
+
+TEST(GraphEngine, ScheduleRespectsDependencies) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {2, 3});
+  const TensorId w = g.constant_f32("w", std::vector<float>(12, 0.5F), {3, 4});
+  const TensorId b = g.constant_f32("b", {1.0F, 2.0F, 3.0F, 4.0F}, {4});
+  const TensorId h = g.relu(g.bias_add(g.matmul(x, w), b));
+  const Plan plan = g.compile({h});
+
+  // Every node's arena/node inputs must be produced earlier in the schedule.
+  std::vector<int> produced_at(plan.tensor_count(), -1);
+  for (std::size_t n = 0; n < plan.schedule().size(); ++n) {
+    produced_at[static_cast<std::size_t>(plan.schedule()[n].output)] = static_cast<int>(n);
+  }
+  for (std::size_t n = 0; n < plan.schedule().size(); ++n) {
+    for (TensorId in : plan.schedule()[n].inputs) {
+      if (plan.role(in) != TensorRole::kNode) continue;
+      ASSERT_GE(produced_at[static_cast<std::size_t>(in)], 0);
+      EXPECT_LT(produced_at[static_cast<std::size_t>(in)], static_cast<int>(n));
+    }
+  }
+}
+
+TEST(GraphEngine, ForwardChainMatchesHandComputation) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {1, 2});
+  const TensorId w = g.constant_f32("w", {1.0F, -2.0F, 0.5F, 3.0F}, {2, 2});
+  const TensorId b = g.constant_f32("b", {0.25F, -0.25F}, {2});
+  const TensorId out = g.sigmoid(g.bias_add(g.matmul(x, w), b));
+  const Plan plan = g.compile({out});
+
+  Context ctx(plan);
+  const float input[] = {2.0F, -1.0F};
+  ctx.bind(x, input);
+  execute(plan, ctx);
+
+  // y = sigmoid(x*w + b): lane0 = 2*1 + -1*0.5 + 0.25, lane1 = 2*-2 + -1*3 - 0.25.
+  const float* y = ctx.ctyped<float>(out);
+  EXPECT_FLOAT_EQ(y[0], 1.0F / (1.0F + std::exp(-1.75F)));
+  EXPECT_FLOAT_EQ(y[1], 1.0F / (1.0F + std::exp(7.25F)));
+}
+
+TEST(GraphEngine, ExecuteThrowsOnUnboundInput) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {1, 4});
+  const TensorId out = g.relu(x);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+  EXPECT_THROW(execute(plan, ctx), std::invalid_argument);
+}
+
+TEST(GraphEngine, ArenaReusesDeadBuffers) {
+  // A deep chain of same-sized matmuls: liveness should let later nodes
+  // reuse the slots of dead earlier ones, so the arena stays far below the
+  // sum of all intermediate tensor sizes.
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {8, 8});
+  const TensorId w = g.constant_f32("w", std::vector<float>(64, 0.1F), {8, 8});
+  TensorId cur = x;
+  for (int i = 0; i < 10; ++i) cur = g.matmul(cur, w);
+  const Plan plan = g.compile({cur});
+
+  std::size_t total_bytes = 0;
+  for (const MemoryRow& row : plan.memory_table()) total_bytes += row.bytes;
+  EXPECT_GT(total_bytes, plan.arena_bytes() * 2)
+      << "10 chained matmuls should share a couple of ping-pong slots";
+
+  // The planner must never overlap two tensors that are alive at once.
+  const std::vector<MemoryRow> rows = plan.memory_table();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = i + 1; j < rows.size(); ++j) {
+      const MemoryRow& a = rows[i];
+      const MemoryRow& b = rows[j];
+      const bool lifetimes_overlap = a.first_node <= b.last_node && b.first_node <= a.last_node;
+      const bool bytes_overlap =
+          a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+      if (lifetimes_overlap && bytes_overlap) {
+        // Only legal when one aliases the other in place.
+        EXPECT_TRUE(a.aliased || b.aliased)
+            << a.name << " and " << b.name << " overlap without aliasing";
+      }
+    }
+  }
+}
+
+TEST(GraphEngine, ElementwiseAliasesDyingInput) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {4, 4});
+  const TensorId w = g.constant_f32("w", std::vector<float>(16, 1.0F), {4, 4});
+  const TensorId mm = g.matmul(x, w);
+  const TensorId act = g.relu(mm);  // mm dies here; relu can run in place
+  const Plan plan = g.compile({act});
+
+  EXPECT_TRUE(plan.in_arena(act));
+  EXPECT_EQ(plan.arena_offset(act), plan.arena_offset(mm));
+  bool saw_alias = false;
+  for (const MemoryRow& row : plan.memory_table()) saw_alias |= row.aliased;
+  EXPECT_TRUE(saw_alias);
+}
+
+TEST(GraphEngine, DescribeListsScheduleAndArena) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {2, 2});
+  const TensorId w = g.constant_f32("w", std::vector<float>(4, 1.0F), {2, 2});
+  const TensorId out = g.sigmoid(g.matmul(x, w));
+  const Plan plan = g.compile({out});
+
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("matmul"), std::string::npos);
+  EXPECT_NE(text.find("sigmoid"), std::string::npos);
+  EXPECT_NE(text.find("arena"), std::string::npos);
+  EXPECT_FALSE(plan.memory_table().empty());
+}
+
+TEST(GraphEngine, ContextIsReusableAcrossExecutions) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {1, 3});
+  const TensorId out = g.relu(x);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+
+  const float first[] = {-1.0F, 2.0F, -3.0F};
+  ctx.bind(x, first);
+  execute(plan, ctx);
+  EXPECT_FLOAT_EQ(ctx.ctyped<float>(out)[1], 2.0F);
+
+  const float second[] = {5.0F, -6.0F, 7.0F};
+  ctx.bind(x, second);
+  execute(plan, ctx);
+  EXPECT_FLOAT_EQ(ctx.ctyped<float>(out)[0], 5.0F);
+  EXPECT_FLOAT_EQ(ctx.ctyped<float>(out)[1], 0.0F);
+}
+
+TEST(GraphKernels, Avx2MatchesScalarBitwise) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this machine";
+  util::Rng rng(123);
+  // Sizes straddle the 32-wide column blocking and the 4-row tiling,
+  // including ragged tails; zero_fraction exercises the skip-row branch.
+  const struct { std::int64_t m, k, n; } cases[] = {
+      {1, 1, 1}, {3, 5, 7}, {4, 32, 32}, {5, 33, 65}, {17, 161, 288}, {8, 64, 6},
+  };
+  for (const auto& c : cases) {
+    const std::vector<float> a =
+        random_floats(static_cast<std::size_t>(c.m * c.k), rng, 0.3F);
+    const std::vector<float> b = random_floats(static_cast<std::size_t>(c.k * c.n), rng);
+    std::vector<float> scalar(static_cast<std::size_t>(c.m * c.n), -1.0F);
+    std::vector<float> avx2(static_cast<std::size_t>(c.m * c.n), -2.0F);
+    scalar_kernels().matmul_f32(c.m, c.k, c.n, a.data(), b.data(), scalar.data());
+    avx2_kernels().matmul_f32(c.m, c.k, c.n, a.data(), b.data(), avx2.data());
+    ASSERT_EQ(std::memcmp(scalar.data(), avx2.data(), scalar.size() * sizeof(float)), 0)
+        << "f32 kernels diverge at m=" << c.m << " k=" << c.k << " n=" << c.n;
+
+    std::vector<std::int8_t> qa(a.size());
+    std::vector<std::int8_t> qb(b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) qa[i] = static_cast<std::int8_t>(i % 255 - 127);
+    for (std::size_t i = 0; i < b.size(); ++i) qb[i] = static_cast<std::int8_t>((i * 7) % 255 - 127);
+    std::vector<std::int32_t> is(static_cast<std::size_t>(c.m * c.n), -1);
+    std::vector<std::int32_t> iv(static_cast<std::size_t>(c.m * c.n), -2);
+    scalar_kernels().matmul_i8(c.m, c.k, c.n, qa.data(), qb.data(), is.data());
+    avx2_kernels().matmul_i8(c.m, c.k, c.n, qa.data(), qb.data(), iv.data());
+    EXPECT_EQ(is, iv) << "i8 kernels diverge at m=" << c.m << " k=" << c.k << " n=" << c.n;
+  }
+}
+
+TEST(GraphKernels, MatmulMatchesNnMatmulBitwise) {
+  util::Rng rng(7);
+  const std::int64_t m = 11;
+  const std::int64_t k = 161;
+  const std::int64_t n = 48;
+  nn::Matrix a(static_cast<std::size_t>(m), static_cast<std::size_t>(k));
+  nn::Matrix b(static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  a.data() = random_floats(static_cast<std::size_t>(m * k), rng, 0.2F);
+  b.data() = random_floats(static_cast<std::size_t>(k * n), rng);
+  nn::Matrix expected(static_cast<std::size_t>(m), static_cast<std::size_t>(n));
+  nn::matmul(a, b, expected);
+
+  GraphBuilder g;
+  const TensorId xa = g.input("a", DType::kF32, {m, k});
+  const TensorId xb = g.constant_f32("b", b.data(), {k, n});
+  const TensorId out = g.matmul(xa, xb);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+  ctx.bind(xa, a.data().data());
+  execute(plan, ctx);
+
+  ASSERT_EQ(std::memcmp(ctx.cdata(out), expected.data().data(),
+                        expected.data().size() * sizeof(float)),
+            0)
+      << "graph matmul must reproduce nn::matmul bit-for-bit";
+}
+
+TEST(GraphOps, StandardizeMatchesScalerFormula) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {2, 3});
+  const TensorId mean = g.constant_f32("mean", {1.0F, -2.0F, 0.5F}, {3});
+  const TensorId stddev = g.constant_f32("stddev", {2.0F, 4.0F, 1.0F}, {3});
+  const TensorId out = g.standardize(x, mean, stddev);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+  const float input[] = {3.0F, 2.0F, 0.5F, -1.0F, -2.0F, 2.5F};
+  ctx.bind(x, input);
+  execute(plan, ctx);
+  const float* y = ctx.ctyped<float>(out);
+  EXPECT_FLOAT_EQ(y[0], 1.0F);
+  EXPECT_FLOAT_EQ(y[1], 1.0F);
+  EXPECT_FLOAT_EQ(y[2], 0.0F);
+  EXPECT_FLOAT_EQ(y[3], -1.0F);
+  EXPECT_FLOAT_EQ(y[4], 0.0F);
+  EXPECT_FLOAT_EQ(y[5], 2.0F);
+}
+
+TEST(GraphOps, QuantizeClampsAndRounds) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {1, 5});
+  const TensorId q = g.quantize(x, 0.5F);
+  const TensorId back = g.dequantize(q, 0.5F);
+  const Plan plan = g.compile({q, back});
+  Context ctx(plan);
+  const float input[] = {0.0F, 0.26F, -0.24F, 1000.0F, -1000.0F};
+  ctx.bind(x, input);
+  execute(plan, ctx);
+  const std::int8_t* qv = ctx.ctyped<std::int8_t>(q);
+  EXPECT_EQ(qv[0], 0);
+  EXPECT_EQ(qv[1], 1);    // lround(0.52) = 1
+  EXPECT_EQ(qv[2], 0);    // lround(-0.48) = 0
+  EXPECT_EQ(qv[3], 127);  // clamped
+  EXPECT_EQ(qv[4], -127);
+  const float* d = ctx.ctyped<float>(back);
+  EXPECT_FLOAT_EQ(d[1], 0.5F);
+  EXPECT_FLOAT_EQ(d[3], 63.5F);
+}
+
+TEST(GraphOps, Int8MatmulAccumulatesExactly) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kI8, {1, 3});
+  const TensorId w = g.constant_i8("w", {10, -20, 30, 40, -50, 60}, {3, 2});
+  const TensorId out = g.matmul(x, w);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+  const std::int8_t input[] = {127, -128, 100};
+  ctx.bind(x, input);
+  execute(plan, ctx);
+  const std::int32_t* y = ctx.ctyped<std::int32_t>(out);
+  EXPECT_EQ(y[0], 127 * 10 + (-128) * 30 + 100 * (-50));
+  EXPECT_EQ(y[1], 127 * (-20) + (-128) * 40 + 100 * 60);
+}
+
+TEST(GraphOps, Conv2dMatchesHandOracle) {
+  // 1x3x3 input, one 1x1x2x2 kernel, stride 1, no pad.
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {1, 3, 3});
+  const TensorId w = g.constant_f32("w", {1.0F, 2.0F, 3.0F, 4.0F}, {1, 1, 2, 2});
+  const TensorId b = g.constant_f32("b", {0.5F}, {1});
+  const TensorId out = g.conv2d(x, w, b, 1, 0);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+  const float input[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ctx.bind(x, input);
+  execute(plan, ctx);
+  const float* y = ctx.ctyped<float>(out);
+  // Window at (0,0): 1*1 + 2*2 + 4*3 + 5*4 + 0.5 = 37.5, etc.
+  EXPECT_FLOAT_EQ(y[0], 37.5F);
+  EXPECT_FLOAT_EQ(y[1], 47.5F);
+  EXPECT_FLOAT_EQ(y[2], 67.5F);
+  EXPECT_FLOAT_EQ(y[3], 77.5F);
+}
+
+TEST(GraphOps, MaxPoolMatchesHandOracle) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {1, 4, 4});
+  const TensorId out = g.maxpool(x, 2, 2);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+  const float input[] = {1, 2, 5, 6, 3, 4, 7, 8, -1, -2, 0, 1, -3, -4, 2, 3};
+  ctx.bind(x, input);
+  execute(plan, ctx);
+  const float* y = ctx.ctyped<float>(out);
+  EXPECT_FLOAT_EQ(y[0], 4.0F);
+  EXPECT_FLOAT_EQ(y[1], 8.0F);
+  EXPECT_FLOAT_EQ(y[2], -1.0F);
+  EXPECT_FLOAT_EQ(y[3], 3.0F);
+}
+
+TEST(GraphOps, CustomNodeSeesArenaAndUserPayload) {
+  GraphBuilder g;
+  const TensorId x = g.input("x", DType::kF32, {1, 4});
+  int payload = 0;
+  const TensorId doubled = g.custom(
+      "double",
+      [](const CustomArgs& args) {
+        const float* in = args.ctx->ctyped<float>(args.node->inputs[0]);
+        float* out = args.ctx->typed<float>(args.node->output);
+        for (int i = 0; i < 4; ++i) out[i] = 2.0F * in[i];
+        *static_cast<int*>(args.ctx->user) += 1;
+      },
+      {x}, make_desc("doubled", DType::kF32, {1, 4}));
+  const TensorId out = g.relu(doubled);
+  const Plan plan = g.compile({out});
+  Context ctx(plan);
+  const float input[] = {1.0F, -2.0F, 3.0F, -4.0F};
+  ctx.bind(x, input);
+  ctx.user = &payload;
+  execute(plan, ctx);
+  EXPECT_EQ(payload, 1);
+  const float* y = ctx.ctyped<float>(out);
+  EXPECT_FLOAT_EQ(y[0], 2.0F);
+  EXPECT_FLOAT_EQ(y[1], 0.0F);
+  EXPECT_FLOAT_EQ(y[2], 6.0F);
+  EXPECT_FLOAT_EQ(y[3], 0.0F);
+}
+
+}  // namespace
+}  // namespace neuro::graph
