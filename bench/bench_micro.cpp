@@ -21,6 +21,7 @@
 #include "image/noise.hpp"
 #include "llm/ensemble.hpp"
 #include "serve/loadgen.hpp"
+#include "shard/supervisor.hpp"
 #include "util/recordlog.hpp"
 
 using namespace neuro;
@@ -341,6 +342,87 @@ void BM_LoadGenStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(arrivals));
 }
 BENCHMARK(BM_LoadGenStep)->Arg(100)->Arg(1000)->ArgName("tenants")->Unit(benchmark::kMillisecond);
+
+// Lease-table throughput: drain an N-shard work manifest (claim + complete
+// per shard) through the CRC-framed record log on a real filesystem. Every
+// transition is an append + the claim-path refresh/replay, so this prices
+// the manifest as the fleet's coordination bottleneck.
+void BM_ManifestClaim(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("neuro_bench_manifest_" + std::to_string(::getpid())))
+                              .string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/manifest.nrlg";
+  util::Fsx& real = util::Fsx::real();
+  for (auto _ : state) {
+    real.remove_file(path);
+    shard::WorkManifest manifest(real, path, shards, 1'000.0);
+    double now = 0.0;
+    while (!manifest.all_done()) {
+      const auto lease = manifest.claim("bench", now);
+      manifest.complete(*lease, now + 1.0);
+      now += 2.0;
+    }
+    benchmark::DoNotOptimize(manifest.done_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(shards));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ManifestClaim)->Arg(16)->Arg(64)->ArgName("shards")->Unit(benchmark::kMillisecond);
+
+// Deterministic national reduction: LWW-merge every per-(shard, generation)
+// journal file — two generations per shard, as after a reclaim wave — into
+// the tenant-namespaced national journal.
+void BM_ShardMerge(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kImagesPerShard = 24;
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("neuro_bench_merge_" + std::to_string(::getpid())))
+                              .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  util::Fsx& real = util::Fsx::real();
+
+  shard::WorkerConfig config;
+  config.frame.shards = shards;
+  config.frame.images_per_shard = kImagesPerShard;
+  config.dir = dir;
+
+  // Two generations per shard: g1 checkpointed half its images before its
+  // lease aged out, g2 re-journaled everything above the revision floor.
+  shard::WorkManifest manifest(real, dir + "/manifest.nrlg", shards, 10.0);
+  double now = 0.0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto g1 = manifest.claim("w0", now);
+    for (std::uint64_t g = 1; g <= 2; ++g) {
+      core::SurveyJournal journal;
+      journal.set_revision_floor(core::SurveyJournal::generation_revision_floor(g));
+      const std::size_t count = g == 1 ? kImagesPerShard / 2 : kImagesPerShard;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        scene::PresenceVector presence;
+        presence.set(scene::Indicator::kSidewalk, (i + s) % 2 == 0);
+        journal.record(config.profile.name, shard::shard_image_base(config.frame, s) + i + 1,
+                       {presence, 6});
+      }
+      journal.save(shard::shard_journal_path(dir, s, g), real);
+    }
+    now += 100.0;  // past the 10ms lease: the next claim is the reclaim
+    const auto g2 = manifest.claim("w1", now);
+    manifest.complete(*g2, now + 1.0);
+    now += 100.0;
+  }
+
+  for (auto _ : state) {
+    const core::SurveyJournal national =
+        shard::Supervisor::merge_journals(real, config, manifest);
+    benchmark::DoNotOptimize(national.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shards * kImagesPerShard * 3 / 2));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ShardMerge)->Arg(16)->Arg(64)->ArgName("shards")->Unit(benchmark::kMillisecond);
 
 void BM_MajorityVote(benchmark::State& state) {
   std::vector<scene::PresenceVector> votes(3);

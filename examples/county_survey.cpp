@@ -46,9 +46,25 @@
 //                         pair with --journal to resume the drained work
 //   --closed-loop         serve: one outstanding job per tenant (latency
 //                         regime) instead of open-loop pressure
+//
+// Nation-scale sharded mode (lease-based manifest, crash-tolerant workers):
+//   --shards N            survey N seeded counties through the shard
+//                         supervisor instead of the two-county batch
+//   --workers K           fleet size (default 4)
+//   --shard-images M      images per county shard (default 24)
+//   --shard-dir PATH      manifest + journal directory (default: a fresh
+//                         ./shard-run; rerun on the same dir to resume)
+//   --lease-ms MS         lease duration on the virtual clock
+//   --kill-worker-at IDX  crash-test: kill a worker at its IDX-th
+//                         filesystem op (torn write included), then watch
+//                         the fleet reclaim the orphaned lease
+//   --kill-worker W       which worker the kill plan targets (default 0)
+//   --fork-workers        real child processes + flock instead of the
+//                         deterministic in-process virtual clock
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -58,6 +74,7 @@
 #include "core/survey.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/service.hpp"
+#include "shard/supervisor.hpp"
 #include "eval/manifest.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
@@ -115,6 +132,17 @@ int main(int argc, char** argv) {
   cli.add_double("serve-horizon", 30'000.0, "serve: arrival horizon in virtual ms");
   cli.add_double("drain-at", -1.0, "serve: graceful-drain point in virtual ms (negative = never)");
   cli.add_flag("closed-loop", false, "serve: closed-loop driving (one job in flight per tenant)");
+  cli.add_int("shards", 0, "sharded mode: survey this many seeded counties (0 = off)");
+  cli.add_int("workers", 4, "sharded mode: fleet size");
+  cli.add_int("shard-images", 24, "sharded mode: images per county shard");
+  cli.add_string("shard-dir", "", "sharded mode: manifest/journal dir (empty = ./shard-run)");
+  cli.add_double("lease-ms", 20'000.0, "sharded mode: lease duration, virtual ms");
+  cli.add_int("kill-worker-at", -1,
+              "sharded mode: kill a worker at this filesystem op index (-1 = nobody dies)");
+  cli.add_int("kill-worker", 0, "sharded mode: which worker the kill plan targets");
+  cli.add_flag("fork-workers", false,
+               "sharded mode: fork real child processes (flock-serialized) instead of the "
+               "deterministic in-process virtual clock");
   if (!cli.parse(argc, argv)) return 0;
 
   // Tracing covers the whole run (dataset build through ensemble vote);
@@ -158,6 +186,71 @@ int main(int argc, char** argv) {
     scheduler_config.resilience.hedge_after_ms = cli.get_double("hedge");
     scheduler_config.abort_after_ms = cli.get_double("abort-after");
     if (tracing) scheduler_config.trace = &trace;
+  }
+
+  // --- Sharded mode: N seeded counties drained by a crash-tolerant worker
+  // fleet over a lease-based work manifest. The national report is a pure
+  // function of the journal files, so any worker count — and any kill
+  // schedule — reduces to byte-identical output.
+  if (cli.get_int("shards") > 0) {
+    shard::SupervisorConfig config;
+    config.workers = static_cast<std::size_t>(cli.get_int("workers"));
+    config.worker.frame.shards = static_cast<std::size_t>(cli.get_int("shards"));
+    config.worker.frame.images_per_shard = static_cast<std::size_t>(cli.get_int("shard-images"));
+    config.worker.frame.seed = options.seed;
+    config.worker.frame.threads = options.threads;
+    config.worker.survey.seed = options.seed;
+    config.worker.survey.threads = options.threads;
+    config.worker.scheduler = scheduler_config;
+    config.worker.scheduler.trace = nullptr;  // per-shard batches; no single trace
+    config.worker.lease_ms = cli.get_double("lease-ms");
+    config.fork_workers = cli.get_flag("fork-workers");
+    if (cli.get_int("kill-worker-at") >= 0) {
+      config.kill.worker = cli.get_int("kill-worker");
+      config.kill.at_op = cli.get_int("kill-worker-at");
+    }
+    std::string dir = cli.get_string("shard-dir");
+    if (dir.empty()) {
+      dir = "shard-run";
+      std::filesystem::remove_all(dir);  // default dir is always a fresh run
+    }
+    std::filesystem::create_directories(dir);
+    config.worker.dir = dir;
+
+    std::printf("sharded survey: %zu counties x %zu images, %zu workers%s (dir %s)\n",
+                config.worker.frame.shards, config.worker.frame.images_per_shard, config.workers,
+                config.fork_workers ? " [forked]" : "", dir.c_str());
+    if (config.kill.at_op >= 0) {
+      std::printf("kill plan: w%d dies at filesystem op %lld; its lease ages out and the "
+                  "fleet reclaims the shard from the journaled checkpoint\n",
+                  config.kill.worker, config.kill.at_op);
+    }
+    const shard::SupervisorReport report = shard::Supervisor(config).run();
+
+    std::printf("\nFleet timeline (virtual clock):\n");
+    for (const shard::SupervisorEvent& event : report.events) {
+      std::printf("  [%8.0f ms] %-4s %s\n", event.at_ms, event.worker.c_str(),
+                  event.what.c_str());
+    }
+    if (!report.runs.empty()) {
+      std::printf("\nPer-attempt accounting (reclaims + stragglers):\n%s",
+                  shard::Supervisor::runs_table(report.runs).render().c_str());
+    }
+    std::printf("\nNational indicator prevalence (merged from %zu/%zu shards):\n%s",
+                report.shards_done, config.worker.frame.shards, report.national_table.c_str());
+    std::printf("\ntotals: %llu LLM requests, %llu reclaims, %llu hedges, %llu workers died, "
+                "horizon %.1f s\n",
+                static_cast<unsigned long long>(report.total_requests),
+                static_cast<unsigned long long>(report.reclaims),
+                static_cast<unsigned long long>(report.hedges),
+                static_cast<unsigned long long>(report.workers_died),
+                report.horizon_ms / 1000.0);
+    if (report.shards_done < config.worker.frame.shards) {
+      std::printf("incomplete: rerun with the same --shard-dir %s to resume (leases age out, "
+                  "journals restore for free)\n",
+                  dir.c_str());
+    }
+    return 0;
   }
 
   // --- Service mode: the same survey substrate behind a multi-tenant

@@ -44,6 +44,25 @@ struct JournalRecovery {
 
 class SurveyJournal {
  public:
+  /// Revision floor for a lease generation: entries recorded by the holder
+  /// of generation g carry revisions strictly above g's floor, so a
+  /// reclaimed lease's re-executed entries deterministically beat anything
+  /// a dead or straggling generation-(g-1) holder wrote for the same key —
+  /// including the equal-revision divergent-chaos case the content
+  /// tie-break alone resolves arbitrarily. 2^24 generations with 2^40
+  /// records each before overflow.
+  static constexpr std::uint64_t kGenerationRevisionBits = 40;
+  static constexpr std::uint64_t generation_revision_floor(std::uint64_t generation) {
+    return generation << kGenerationRevisionBits;
+  }
+
+  /// Lift the write clock to at least `floor`: every subsequent record()
+  /// stamps a revision above it. Called by shard workers with their lease
+  /// generation's floor before resuming a reclaimed shard.
+  void set_revision_floor(std::uint64_t floor) {
+    if (floor > clock_) clock_ = floor;
+  }
+
   /// Record a completed image. The entry's revision is stamped from this
   /// journal's write clock (any caller-supplied revision is overwritten).
   void record(const std::string& model, std::uint64_t image_id, const JournalEntry& entry);

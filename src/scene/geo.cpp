@@ -1,6 +1,7 @@
 #include "scene/geo.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "util/mathx.hpp"
@@ -15,6 +16,19 @@ std::string_view heading_name(Heading heading) {
     case Heading::kWest: return "west";
   }
   return "?";
+}
+
+County derived_county(std::uint64_t seed, std::uint64_t index) {
+  util::Rng rng(util::derive_seed(seed, "county/" + std::to_string(index)));
+  County county;
+  char name[32];
+  std::snprintf(name, sizeof(name), "county-%05llu", static_cast<unsigned long long>(index));
+  county.name = name;
+  // Span the rural-deep-urban range the two-county frame brackets.
+  county.urban_fraction = rng.uniform(0.15, 0.85);
+  county.area_sq_miles = rng.uniform(120.0, 1000.0);
+  county.seed_salt = rng.next_u64();
+  return county;
 }
 
 SamplingFrame SamplingFrame::paper_default() {

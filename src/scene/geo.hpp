@@ -30,6 +30,12 @@ struct County {
   std::uint64_t seed_salt = 0;
 };
 
+/// County `index` of a seeded national frame, derived in O(1) from
+/// derive_seed(seed, "county/<index>"): any worker regenerates county i —
+/// and from it the shard's whole dataset — without enumerating or storing
+/// the others, so a nation-scale frame costs constant memory.
+County derived_county(std::uint64_t seed, std::uint64_t index);
+
 /// One road sample point (every 50 ft along a road).
 struct SamplePoint {
   int county_index = 0;

@@ -1,0 +1,275 @@
+#include "shard/manifest.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/recordlog.hpp"
+
+namespace neuro::shard {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(std::string_view bytes, std::size_t pos) {
+  const std::uint64_t bits = get_u64(bytes, pos);
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string_view shard_state_name(ShardState state) {
+  switch (state) {
+    case ShardState::kPending: return "pending";
+    case ShardState::kLeased: return "leased";
+    case ShardState::kDone: return "done";
+  }
+  return "?";
+}
+
+/// One log record. kInit carries the table shape; the rest are lease
+/// transitions keyed by (shard, generation).
+struct WorkManifest::Op {
+  enum Kind : std::uint8_t { kInit = 0, kClaim = 1, kRenew = 2, kComplete = 3 };
+  enum Steal : std::uint8_t { kFresh = 0, kExpired = 1, kLive = 2 };
+
+  std::uint8_t kind = kInit;
+  std::uint8_t steal = kFresh;   // kClaim only
+  std::uint64_t shard = 0;       // kInit: shard count
+  std::uint64_t generation = 0;
+  double now_ms = 0.0;           // kInit: lease_ms
+  double expires_ms = 0.0;
+  std::string worker;
+};
+
+std::string WorkManifest::encode(const Op& op) {
+  std::string payload;
+  payload.reserve(32 + op.worker.size());
+  payload.push_back(static_cast<char>(op.kind));
+  payload.push_back(static_cast<char>(op.steal));
+  put_u64(payload, op.shard);
+  put_u64(payload, op.generation);
+  put_f64(payload, op.now_ms);
+  put_f64(payload, op.expires_ms);
+  put_u32(payload, static_cast<std::uint32_t>(op.worker.size()));
+  payload.append(op.worker);
+  return payload;
+}
+
+bool WorkManifest::decode(std::string_view payload, Op& op) {
+  constexpr std::size_t kFixed = 2 + 8 + 8 + 8 + 8 + 4;
+  if (payload.size() < kFixed) return false;
+  op.kind = static_cast<std::uint8_t>(payload[0]);
+  op.steal = static_cast<std::uint8_t>(payload[1]);
+  op.shard = get_u64(payload, 2);
+  op.generation = get_u64(payload, 10);
+  op.now_ms = get_f64(payload, 18);
+  op.expires_ms = get_f64(payload, 26);
+  const std::uint32_t worker_len = get_u32(payload, 34);
+  if (payload.size() != kFixed + worker_len) return false;
+  op.worker.assign(payload.substr(kFixed, worker_len));
+  return true;
+}
+
+WorkManifest::WorkManifest(util::Fsx& fs, std::string path, std::size_t shards,
+                           double lease_ms)
+    : fs_(fs), path_(std::move(path)), lease_ms_(lease_ms) {
+  slots_.assign(shards, ShardSlot{});
+  if (!fs_.exists(path_)) {
+    Op init;
+    init.kind = Op::kInit;
+    init.shard = shards;
+    init.now_ms = lease_ms;
+    // Atomic create: a crash mid-create leaves no file; the next open
+    // recreates it from scratch.
+    util::atomic_write_file(fs_, path_,
+                            util::recordlog_header() + util::recordlog_frame(encode(init)));
+  }
+  refresh();
+}
+
+void WorkManifest::refresh() {
+  const util::RecordLogReplay replay = util::recordlog_load(fs_, path_);
+  if (!replay.clean) {
+    // A holder died mid-append: truncate back to the valid prefix so our
+    // next frame lands on a clean boundary instead of inside the tear.
+    util::atomic_write_file(fs_, path_, util::recordlog_serialize(replay.records));
+  }
+  // Rebuild the table from the (possibly repaired) log.
+  std::vector<ShardSlot> slots(slots_.size());
+  for (const std::string& payload : replay.records) {
+    Op op;
+    if (!decode(payload, op)) continue;  // alien frame: every replica skips it alike
+    if (op.kind == Op::kInit) {
+      if (op.shard != slots.size()) slots.assign(static_cast<std::size_t>(op.shard), ShardSlot{});
+      lease_ms_ = op.now_ms;
+      continue;
+    }
+    slots_ = std::move(slots);
+    apply(op);
+    slots = std::move(slots_);
+  }
+  slots_ = std::move(slots);
+}
+
+void WorkManifest::apply(const Op& op) {
+  if (op.shard >= slots_.size()) return;
+  ShardSlot& slot = slots_[op.shard];
+  switch (op.kind) {
+    case Op::kClaim:
+      slot.state = ShardState::kLeased;
+      slot.lease = Lease{static_cast<std::size_t>(op.shard), op.worker, op.generation,
+                         op.now_ms, op.expires_ms};
+      slot.generation = std::max(slot.generation, op.generation);
+      if (op.steal == Op::kExpired) ++slot.reclaims;
+      if (op.steal == Op::kLive) ++slot.hedges;
+      break;
+    case Op::kRenew:
+      if (slot.lease.generation == op.generation) slot.lease.expires_ms = op.expires_ms;
+      break;
+    case Op::kComplete:
+      slot.state = ShardState::kDone;
+      slot.completed_ms = op.now_ms;
+      ++slot.completions;
+      break;
+    default:
+      break;
+  }
+}
+
+void WorkManifest::append(const Op& op) {
+  util::recordlog_append(fs_, path_, encode(op));
+  ++ops_appended_;
+  apply(op);
+}
+
+std::optional<Lease> WorkManifest::grant(std::size_t shard, const std::string& worker,
+                                         double now_ms, bool steal_live) {
+  const ShardSlot& slot = slots_[shard];
+  Op op;
+  op.kind = Op::kClaim;
+  op.steal = slot.state == ShardState::kPending ? Op::kFresh
+             : steal_live                       ? Op::kLive
+                                                : Op::kExpired;
+  op.shard = shard;
+  op.generation = slot.generation + 1;
+  op.now_ms = now_ms;
+  op.expires_ms = now_ms + lease_ms_;
+  op.worker = worker;
+  append(op);
+  return slots_[shard].lease;
+}
+
+std::optional<Lease> WorkManifest::claim(const std::string& worker, double now_ms) {
+  refresh();
+  // Pending shards first, in index order (the deterministic tie-break for
+  // simultaneous claimers is the log append order itself).
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].state == ShardState::kPending) return grant(i, worker, now_ms, false);
+  }
+  // Then the lowest-index expired lease: work stealing from the dead.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].state == ShardState::kLeased && slots_[i].lease.expires_ms <= now_ms) {
+      return grant(i, worker, now_ms, false);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Lease> WorkManifest::claim_straggler(std::size_t shard,
+                                                   const std::string& worker,
+                                                   double now_ms) {
+  refresh();
+  if (shard >= slots_.size()) return std::nullopt;
+  const ShardSlot& slot = slots_[shard];
+  if (slot.state != ShardState::kLeased) return std::nullopt;
+  if (slot.lease.worker == worker) return std::nullopt;  // can't hedge ourselves
+  return grant(shard, worker, now_ms, /*steal_live=*/true);
+}
+
+bool WorkManifest::renew(const Lease& lease, double now_ms) {
+  refresh();
+  if (lease.shard >= slots_.size()) return false;
+  const ShardSlot& slot = slots_[lease.shard];
+  // Superseded (newer generation granted) or expired leases cannot renew:
+  // the holder must treat the shard as lost.
+  if (slot.state != ShardState::kLeased) return false;
+  if (slot.lease.generation != lease.generation || slot.lease.worker != lease.worker) {
+    return false;
+  }
+  if (now_ms >= slot.lease.expires_ms) return false;
+  Op op;
+  op.kind = Op::kRenew;
+  op.shard = lease.shard;
+  op.generation = lease.generation;
+  op.now_ms = now_ms;
+  op.expires_ms = now_ms + lease_ms_;
+  op.worker = lease.worker;
+  append(op);
+  return true;
+}
+
+CompleteOutcome WorkManifest::complete(const Lease& lease, double now_ms) {
+  refresh();
+  if (lease.shard >= slots_.size()) return CompleteOutcome::kAlreadyDone;
+  ShardSlot& slot = slots_[lease.shard];
+  if (slot.state == ShardState::kDone) return CompleteOutcome::kAlreadyDone;
+  const bool superseded = slot.lease.generation != lease.generation;
+  Op op;
+  op.kind = Op::kComplete;
+  op.shard = lease.shard;
+  op.generation = lease.generation;
+  op.now_ms = now_ms;
+  op.worker = lease.worker;
+  append(op);
+  return superseded ? CompleteOutcome::kSuperseded : CompleteOutcome::kCompleted;
+}
+
+std::size_t WorkManifest::done_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const ShardSlot& s) { return s.state == ShardState::kDone; }));
+}
+
+double WorkManifest::next_expiry_after(double now_ms) const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const ShardSlot& slot : slots_) {
+    if (slot.state == ShardState::kLeased && slot.lease.expires_ms > now_ms) {
+      next = std::min(next, slot.lease.expires_ms);
+    }
+  }
+  return next;
+}
+
+}  // namespace neuro::shard

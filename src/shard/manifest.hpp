@@ -1,0 +1,123 @@
+#pragma once
+// Lease-based work manifest: the durable shard-assignment table a fleet of
+// survey workers coordinates through. The manifest is a CRC32-framed
+// record log of lease transitions (init / claim / renew / complete) shared
+// via the filesystem; every worker holds its own WorkManifest handle over
+// the same file and replays the log before each decision, so the append
+// order of ops IS the serialization order — a claim race at identical
+// virtual time resolves to whoever appended first, deterministically.
+//
+// Crash tolerance: a worker that dies mid-append leaves a torn tail frame;
+// the next worker's refresh() detects it, truncates the file back to the
+// valid prefix (atomic rewrite), and continues — the dead worker's op
+// simply never happened. Its lease then ages out on the virtual clock and
+// claim() hands the shard to someone else at a higher generation (work
+// stealing). Completions are idempotent, and a superseded holder that
+// finishes anyway still counts: its journal is durable, and the lease
+// generation embedded in journal revisions makes the newest generation's
+// entries win the merge deterministically.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/fsx.hpp"
+
+namespace neuro::shard {
+
+enum class ShardState { kPending, kLeased, kDone };
+std::string_view shard_state_name(ShardState state);
+
+/// A granted lease: the claim ticket a worker renews and completes with.
+struct Lease {
+  std::size_t shard = 0;
+  std::string worker;
+  std::uint64_t generation = 0;  // bumps on every (re)claim of the shard
+  double acquired_ms = 0.0;      // virtual clock at claim
+  double expires_ms = 0.0;       // claim/renew time + lease_ms
+};
+
+/// Durable per-shard state reconstructed from the log.
+struct ShardSlot {
+  ShardState state = ShardState::kPending;
+  Lease lease;                   // current holder (last holder once done)
+  std::uint64_t generation = 0;  // latest generation ever granted
+  std::uint64_t reclaims = 0;    // grants that stole an expired lease
+  std::uint64_t hedges = 0;      // grants that stole a live (straggler) lease
+  std::uint64_t completions = 0; // kComplete ops observed (idempotence count)
+  double completed_ms = 0.0;
+};
+
+/// How a complete() landed.
+enum class CompleteOutcome {
+  kCompleted,   // this lease finished the shard
+  kAlreadyDone, // idempotent no-op: someone (maybe us) already completed it
+  kSuperseded,  // our lease was stolen; the work still counts, shard done
+};
+
+class WorkManifest {
+ public:
+  /// Open a handle over `path`, creating the log (init record: shard
+  /// count + lease duration) when absent. Every worker/process opens its
+  /// own handle through its own Fsx so fault injection stays per-worker.
+  WorkManifest(util::Fsx& fs, std::string path, std::size_t shards, double lease_ms);
+
+  /// Re-replay the log from disk, repairing a torn tail first (atomic
+  /// truncate-to-valid-prefix) so our next append lands on clean frames.
+  void refresh();
+
+  /// Claim the lowest-index available shard at virtual time `now_ms`:
+  /// pending shards first, then the lowest-index shard whose lease has
+  /// expired (stealing from a dead or stalled holder). Returns nullopt
+  /// when nothing is claimable.
+  std::optional<Lease> claim(const std::string& worker, double now_ms);
+
+  /// Hedge: claim `shard` even though its lease is still live (straggler
+  /// re-execution). The holder keeps running; LWW journal merge resolves
+  /// the duplicates. Fails on done shards or our own lease.
+  std::optional<Lease> claim_straggler(std::size_t shard, const std::string& worker,
+                                       double now_ms);
+
+  /// Heartbeat: extend the lease to now + lease_ms. Rejected (false) when
+  /// the lease already expired or was superseded by a newer generation —
+  /// the holder must stop claiming ownership of the shard's future.
+  bool renew(const Lease& lease, double now_ms);
+
+  /// Mark the shard done. Idempotent; superseded holders are accepted
+  /// (their journal is durable and merge resolves content).
+  CompleteOutcome complete(const Lease& lease, double now_ms);
+
+  // --- state as of the last refresh/op ---
+  std::size_t shards() const { return slots_.size(); }
+  double lease_ms() const { return lease_ms_; }
+  const ShardSlot& slot(std::size_t shard) const { return slots_[shard]; }
+  std::size_t done_count() const;
+  bool all_done() const { return done_count() == slots_.size(); }
+  /// Earliest expiry among live leases strictly after `now_ms` (an idle
+  /// worker advances its clock here to retry claims); +inf when none.
+  double next_expiry_after(double now_ms) const;
+  /// Ops appended through this handle (kill sweeps bound their index on
+  /// the owning worker's FaultFs op counter, this is for reporting).
+  std::uint64_t ops_appended() const { return ops_appended_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Op;  // one decoded log record
+
+  std::optional<Lease> grant(std::size_t shard, const std::string& worker, double now_ms,
+                             bool steal_live);
+  void append(const Op& op);
+  void apply(const Op& op);
+  static std::string encode(const Op& op);
+  static bool decode(std::string_view payload, Op& op);
+
+  util::Fsx& fs_;
+  std::string path_;
+  double lease_ms_;
+  std::vector<ShardSlot> slots_;
+  std::uint64_t ops_appended_ = 0;
+};
+
+}  // namespace neuro::shard

@@ -1,0 +1,48 @@
+#include "shard/national.hpp"
+
+#include "data/dataset.hpp"
+#include "scene/generator.hpp"
+#include "scene/renderer.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::shard {
+
+std::string shard_name(std::size_t shard) {
+  return util::format("county-%05zu", shard);
+}
+
+scene::County shard_county(const NationalFrameConfig& config, std::size_t shard) {
+  return scene::derived_county(config.seed, shard);
+}
+
+std::uint64_t shard_image_base(const NationalFrameConfig& config, std::size_t shard) {
+  return static_cast<std::uint64_t>(shard) * config.images_per_shard;
+}
+
+data::Dataset build_shard_dataset(const NationalFrameConfig& config, std::size_t shard) {
+  const scene::County county = shard_county(config, shard);
+  const scene::SamplingFrame frame({county});
+
+  // Same pipeline as the two-county build: points -> captures -> scenes ->
+  // rendered labeled images, all drawn from streams forked off a shard-
+  // local root so no shard's output depends on any other's.
+  util::Rng rng(util::derive_seed(config.seed, "shard-survey/" + std::to_string(shard)));
+  const std::vector<scene::GeneratedCapture> captures = scene::generate_survey(
+      frame, config.images_per_shard, config.generator, rng, config.threads);
+
+  const scene::Renderer renderer;
+  const std::uint64_t id_base = shard_image_base(config, shard);
+  data::Dataset dataset;
+  dataset.reserve(captures.size());
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    data::LabeledImage labeled = data::render_to_labeled(captures[i].scene, renderer);
+    // Globalize: ids unique across the nation, county index = shard.
+    labeled.id = id_base + i + 1;
+    labeled.county_index = static_cast<int>(shard);
+    dataset.add(std::move(labeled));
+  }
+  return dataset;
+}
+
+}  // namespace neuro::shard

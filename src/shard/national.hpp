@@ -1,0 +1,42 @@
+#pragma once
+// Streaming national sampling frame: generalizes the paper's two-county
+// geography into arbitrarily many seeded counties, one county per shard.
+// Nothing about a shard is ever stored — county parameters, sample points,
+// scenes and image ids are all pure functions of (seed, shard index), so a
+// worker that claims shard i regenerates its dataset from scratch in
+// constant memory, on any machine, byte-identical to every other worker.
+
+#include <cstdint>
+#include <string>
+
+#include "data/builder.hpp"
+#include "scene/geo.hpp"
+
+namespace neuro::shard {
+
+struct NationalFrameConfig {
+  std::size_t shards = 8;            // counties in the national frame
+  std::size_t images_per_shard = 24; // captures surveyed per county
+  std::uint64_t seed = 42;
+  scene::GeneratorConfig generator;  // scene knobs shared by every shard
+  std::size_t threads = 1;           // render workers inside one shard build
+};
+
+/// Stable shard display / namespace id ("county-00017"). Doubles as the
+/// journal tenant namespace, so it must not contain ':'.
+std::string shard_name(std::size_t shard);
+
+/// County parameters for shard `shard` (constant memory, regenerable).
+scene::County shard_county(const NationalFrameConfig& config, std::size_t shard);
+
+/// First global image id of shard `shard`: ids are globally unique across
+/// the nation (shard * images_per_shard + local), so per-item RNG streams
+/// — and journal keys — never collide between shards.
+std::uint64_t shard_image_base(const NationalFrameConfig& config, std::size_t shard);
+
+/// Regenerate shard `shard`'s dataset: a single-county sampling frame over
+/// the derived county, rendered exactly like the two-county survey.
+/// Deterministic given (config, shard) and invariant to config.threads.
+data::Dataset build_shard_dataset(const NationalFrameConfig& config, std::size_t shard);
+
+}  // namespace neuro::shard

@@ -1,0 +1,341 @@
+#include "shard/supervisor.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/strings.hpp"
+
+namespace neuro::shard {
+
+namespace {
+
+std::string worker_name(std::size_t index) { return util::format("w%zu", index); }
+
+/// p95 of completed shard durations (virtual ms); 0 until any completed.
+double p95_duration(const std::vector<double>& durations) {
+  if (durations.empty()) return 0.0;
+  std::vector<double> sorted = durations;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t rank =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(sorted.size())) - 1));
+  return sorted[rank];
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(std::move(config)) {}
+
+SupervisorReport Supervisor::run() {
+  return config_.fork_workers ? run_forked() : run_in_process();
+}
+
+SupervisorReport Supervisor::run_in_process() {
+  SupervisorReport report;
+  util::Fsx& real = util::Fsx::real();
+
+  // Each worker gets its own Fsx handle; the kill target's is a FaultFs so
+  // every manifest append and journal save it performs counts toward one
+  // per-worker crash-op index.
+  std::unique_ptr<util::FaultFs> kill_fs;
+  if (config_.kill.worker >= 0 && config_.kill.at_op >= 0) {
+    kill_fs = std::make_unique<util::FaultFs>(
+        real, util::FsFaultPlan::torn_write(config_.kill.at_op, config_.kill.torn_fraction));
+  }
+
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<double> clocks(config_.workers, 0.0);
+  std::vector<bool> alive(config_.workers, true);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    util::Fsx& fs =
+        (kill_fs && w == static_cast<std::size_t>(config_.kill.worker)) ? *kill_fs : real;
+    try {
+      workers.push_back(std::make_unique<ShardWorker>(fs, worker_name(w), config_.worker));
+    } catch (const util::FsxCrash&) {
+      // Killed while opening the manifest (possibly mid-create): the torn
+      // file, if any, is repaired by the next handle to open it.
+      workers.push_back(nullptr);
+      alive[w] = false;
+      ++report.workers_died;
+      report.events.push_back({0.0, worker_name(w), "killed opening the manifest"});
+    }
+  }
+
+  // Supervisor's own read-only view of the manifest for termination and
+  // straggler decisions (opened through the real fs: observing must never
+  // burn the kill target's op budget).
+  WorkManifest manifest(real, config_.worker.dir + "/manifest.nrlg", config_.worker.frame.shards,
+                        config_.worker.lease_ms);
+
+  std::vector<double> completed_durations;
+
+  while (true) {
+    manifest.refresh();
+    if (manifest.all_done()) break;
+
+    // Discrete-event turn: smallest virtual clock steps next, ties to the
+    // lowest index — the deterministic serialization of the fleet.
+    std::size_t pick = config_.workers;
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      if (alive[w] && (pick == config_.workers || clocks[w] < clocks[pick])) pick = w;
+    }
+    if (pick == config_.workers) break;  // everyone dead: restart-level recovery
+
+    ShardWorker& worker = *workers[pick];
+    const bool was_busy = worker.busy();
+    ShardWorker::Step outcome;
+    try {
+      outcome = worker.step(clocks[pick]);
+    } catch (const util::FsxCrash&) {
+      alive[pick] = false;
+      ++report.workers_died;
+      report.events.push_back(
+          {clocks[pick], worker.name(), "killed by injected crash (lease will age out)"});
+      continue;
+    }
+
+    switch (outcome) {
+      case ShardWorker::Step::kIdle: {
+        // Straggler defense: hedge the oldest lease that has fallen
+        // straggler_factor past the p95 completed-shard duration.
+        bool hedged = false;
+        const double p95 = p95_duration(completed_durations);
+        if (completed_durations.size() >= config_.straggler_min_samples && p95 > 0.0) {
+          for (std::size_t s = 0; s < manifest.shards() && !hedged; ++s) {
+            const ShardSlot& slot = manifest.slot(s);
+            if (slot.state != ShardState::kLeased) continue;
+            const double age = clocks[pick] - slot.lease.acquired_ms;
+            if (age <= config_.straggler_factor * p95) continue;
+            if (worker.try_hedge(s, clocks[pick])) {
+              hedged = true;
+              report.events.push_back(
+                  {clocks[pick], worker.name(),
+                   util::format("hedged straggler shard %zu (age %.0fms > %.1fx p95 %.0fms)", s,
+                                age, config_.straggler_factor, p95)});
+            }
+          }
+        }
+        if (hedged) break;
+        // Nothing claimable: advance this worker to the next decision
+        // point — a lease expiry (dead holder's shard becomes stealable)
+        // or, sooner, the moment a live lease crosses the straggler
+        // threshold and becomes hedgeable.
+        manifest.refresh();
+        double next = manifest.next_expiry_after(clocks[pick]);
+        if (completed_durations.size() >= config_.straggler_min_samples && p95 > 0.0) {
+          for (std::size_t s = 0; s < manifest.shards(); ++s) {
+            const ShardSlot& slot = manifest.slot(s);
+            if (slot.state != ShardState::kLeased) continue;
+            const double hedge_at = slot.lease.acquired_ms + config_.straggler_factor * p95;
+            if (hedge_at > clocks[pick]) next = std::min(next, hedge_at);
+          }
+        }
+        if (next == std::numeric_limits<double>::infinity()) {
+          // No live leases and nothing pending: the fleet is done (or only
+          // this worker remains with nothing to do).
+          if (manifest.all_done()) break;
+          alive[pick] = false;  // park: nothing will ever become claimable for it
+          break;
+        }
+        clocks[pick] = next + 1.0;
+        break;
+      }
+      case ShardWorker::Step::kWorked:
+        if (!was_busy) {
+          const ShardRun& run = worker.runs().back();
+          report.events.push_back(
+              {run.started_ms, worker.name(),
+               util::format("claimed shard %zu g%llu%s (%zu images restored)", run.shard,
+                            static_cast<unsigned long long>(run.generation),
+                            run.reclaim ? " [reclaim]" : "", run.images_restored)});
+        }
+        break;
+      case ShardWorker::Step::kCompleted: {
+        const ShardRun& run = worker.runs().back();
+        if (!was_busy) {
+          report.events.push_back(
+              {run.started_ms, worker.name(),
+               util::format("claimed shard %zu g%llu%s (%zu images restored)", run.shard,
+                            static_cast<unsigned long long>(run.generation),
+                            run.reclaim ? " [reclaim]" : "", run.images_restored)});
+        }
+        report.events.push_back(
+            {clocks[pick], worker.name(),
+             util::format("completed shard %zu g%llu%s", run.shard,
+                          static_cast<unsigned long long>(run.generation),
+                          run.superseded ? " [superseded]" : "")});
+        completed_durations.push_back(run.finished_ms - run.started_ms);
+        break;
+      }
+      case ShardWorker::Step::kLost: {
+        const ShardRun& run = worker.runs().back();
+        if (!was_busy) {
+          report.events.push_back(
+              {run.started_ms, worker.name(),
+               util::format("claimed shard %zu g%llu%s (%zu images restored)", run.shard,
+                            static_cast<unsigned long long>(run.generation),
+                            run.reclaim ? " [reclaim]" : "", run.images_restored)});
+        }
+        report.events.push_back(
+            {clocks[pick], worker.name(),
+             util::format("lost lease on shard %zu g%llu (expired or hedged away)", run.shard,
+                          static_cast<unsigned long long>(run.generation))});
+        break;
+      }
+    }
+  }
+
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    if (workers[w] == nullptr) continue;  // died before construction finished
+    for (const ShardRun& run : workers[w]->runs()) report.runs.push_back(run);
+    report.horizon_ms = std::max(report.horizon_ms, clocks[w]);
+  }
+  finalize(report, manifest);
+  return report;
+}
+
+SupervisorReport Supervisor::run_forked() {
+  SupervisorReport report;
+  util::Fsx& real = util::Fsx::real();
+
+  // Parent creates the manifest before forking so children never race the
+  // init record; children serialize transitions through the flock sidecar.
+  WorkManifest manifest(real, config_.worker.dir + "/manifest.nrlg", config_.worker.frame.shards,
+                        config_.worker.lease_ms);
+
+  std::vector<pid_t> children;
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) break;  // fork pressure: run with the children we have
+    if (pid == 0) {
+      WorkerConfig wc = config_.worker;
+      wc.lock_path = wc.dir + "/manifest.lock";
+      ShardWorker worker(util::Fsx::real(), worker_name(w), wc);
+      double now = 0.0;
+      for (;;) {
+        const ShardWorker::Step outcome = worker.step(now);
+        // kIdle means no shard is pending and every lease is live — with
+        // no kill injection in fork mode, holders will finish their own
+        // shards, so this child is done.
+        if (outcome == ShardWorker::Step::kIdle) break;
+      }
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  report.events.push_back(
+      {0.0, "supervisor", util::format("forked %zu workers (per-attempt accounting stays "
+                                       "in the children; manifest totals below)",
+                                       children.size())});
+  manifest.refresh();
+  finalize(report, manifest);
+  return report;
+}
+
+void Supervisor::finalize(SupervisorReport& report, const WorkManifest& manifest) {
+  for (std::size_t s = 0; s < manifest.shards(); ++s) {
+    report.reclaims += manifest.slot(s).reclaims;
+    report.hedges += manifest.slot(s).hedges;
+  }
+  report.shards_done = manifest.done_count();
+  for (const ShardRun& run : report.runs) report.total_requests += run.requests;
+  report.national = merge_journals(util::Fsx::real(), config_.worker, manifest);
+  report.national_table = national_table(config_.worker, report.national);
+}
+
+core::SurveyJournal Supervisor::merge_journals(util::Fsx& fs, const WorkerConfig& config,
+                                               const WorkManifest& manifest) {
+  core::SurveyJournal national;
+  for (std::size_t s = 0; s < manifest.shards(); ++s) {
+    core::SurveyJournal shard_journal;
+    // Every durable generation participates; LWW + the generation revision
+    // floor makes the newest generation's entries win deterministically,
+    // in any merge order.
+    for (std::uint64_t g = 1; g <= manifest.slot(s).generation; ++g) {
+      const std::string path = shard_journal_path(config.dir, s, g);
+      if (!fs.exists(path)) continue;
+      try {
+        shard_journal.merge(core::SurveyJournal::load(path, fs));
+      } catch (const std::exception&) {
+        // Unreadable beyond recovery (magic torn away): contributes nothing.
+      }
+    }
+    national.merge_tenant(shard_name(s), shard_journal);
+  }
+  return national;
+}
+
+std::string Supervisor::national_table(const WorkerConfig& config,
+                                       const core::SurveyJournal& national) {
+  std::vector<std::string> headers = {"County", "Images", "Done"};
+  for (const scene::Indicator ind : scene::all_indicators()) {
+    headers.emplace_back(scene::indicator_abbrev(ind));
+  }
+  util::TextTable table(std::move(headers));
+
+  scene::IndicatorMap<std::uint64_t> national_present(0);
+  std::size_t national_done = 0;
+  for (std::size_t s = 0; s < config.frame.shards; ++s) {
+    const core::SurveyJournal shard_journal = national.tenant_shard(shard_name(s));
+    scene::IndicatorMap<std::uint64_t> present(0);
+    std::size_t done = 0;
+    for (std::uint64_t i = 0; i < config.frame.images_per_shard; ++i) {
+      const std::uint64_t image_id = shard_image_base(config.frame, s) + i + 1;
+      const core::JournalEntry* entry = shard_journal.lookup(config.profile.name, image_id);
+      if (entry == nullptr) continue;
+      ++done;
+      for (const scene::Indicator ind : scene::all_indicators()) {
+        if (entry->prediction[ind]) ++present[ind];
+      }
+    }
+    std::vector<std::string> row = {shard_name(s), std::to_string(config.frame.images_per_shard),
+                                    std::to_string(done)};
+    for (const scene::Indicator ind : scene::all_indicators()) {
+      row.push_back(done > 0 ? util::fmt_percent(static_cast<double>(present[ind]) /
+                                                 static_cast<double>(done))
+                             : "-");
+      national_present[ind] += present[ind];
+    }
+    table.add_row(std::move(row));
+    national_done += done;
+  }
+  std::vector<std::string> footer = {
+      "NATIONAL", std::to_string(config.frame.shards * config.frame.images_per_shard),
+      std::to_string(national_done)};
+  for (const scene::Indicator ind : scene::all_indicators()) {
+    footer.push_back(national_done > 0
+                         ? util::fmt_percent(static_cast<double>(national_present[ind]) /
+                                             static_cast<double>(national_done))
+                         : "-");
+  }
+  table.add_row(std::move(footer));
+  return table.render();
+}
+
+util::TextTable Supervisor::runs_table(const std::vector<ShardRun>& runs) {
+  util::TextTable table(
+      {"Worker", "Shard", "Gen", "Kind", "Restored", "Requests", "Start(ms)", "End(ms)", "Outcome"});
+  for (const ShardRun& run : runs) {
+    const char* kind = run.hedge ? "hedge" : run.reclaim ? "reclaim" : "fresh";
+    const char* outcome = run.completed     ? "completed"
+                          : run.superseded  ? "superseded"
+                          : run.lost_lease  ? "lost lease"
+                                            : "died";
+    table.add_row({run.worker, std::to_string(run.shard), std::to_string(run.generation), kind,
+                   std::to_string(run.images_restored), std::to_string(run.requests),
+                   util::fmt_double(run.started_ms, 0), util::fmt_double(run.finished_ms, 0),
+                   outcome});
+  }
+  return table;
+}
+
+}  // namespace neuro::shard

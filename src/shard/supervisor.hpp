@@ -1,0 +1,104 @@
+#pragma once
+// Shard fleet supervisor: drives N crash-tolerant workers over one
+// WorkManifest and reduces their journals into a national survey report.
+//
+// Two execution modes share all of the worker/manifest machinery:
+//
+//  * In-process (default): workers take turns on a deterministic discrete-
+//    event loop — the worker with the smallest virtual clock steps next
+//    (ties to the lowest index), idle workers advance to the next lease
+//    expiry, and a scripted KillPlan hands one worker a FaultFs so it dies
+//    at an exact filesystem op. Fully reproducible: same config, same
+//    event sequence, byte-identical national report at any worker count.
+//
+//  * Forked (fork_workers): real child processes share the manifest
+//    directory, serializing lease transitions through a flock sidecar.
+//    Content-deterministic (the merged report matches the in-process one)
+//    though the interleaving itself is up to the OS.
+//
+// Straggler defense: once enough shards have completed, a lease whose age
+// exceeds straggler_factor × p95(completed shard duration) is hedged —
+// re-claimed live at a higher generation — and the lease-generation
+// revision floor makes the hedger's journal win the merge deterministically.
+
+#include <string>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "shard/worker.hpp"
+#include "util/table.hpp"
+
+namespace neuro::shard {
+
+/// Scripted worker death: worker `worker` runs behind a FaultFs that
+/// crashes (FsxCrash) at its `at_op`-th mutating filesystem op, tearing
+/// whatever it was writing at `torn_fraction` of the bytes.
+struct KillPlan {
+  int worker = -1;  // -1 = nobody dies
+  long long at_op = -1;
+  double torn_fraction = 0.5;
+};
+
+struct SupervisorConfig {
+  WorkerConfig worker;        // template; name/lock_path are filled per worker
+  std::size_t workers = 4;
+  KillPlan kill;
+  double straggler_factor = 3.0;       // hedge when age > factor * p95 duration
+  std::size_t straggler_min_samples = 5;  // completed shards before hedging arms
+  bool fork_workers = false;
+};
+
+struct SupervisorEvent {
+  double at_ms = 0.0;
+  std::string worker;
+  std::string what;
+};
+
+struct SupervisorReport {
+  std::vector<ShardRun> runs;          // every (shard, generation) attempt
+  std::vector<SupervisorEvent> events; // claims/kills/reclaims/hedges timeline
+  std::uint64_t reclaims = 0;          // expired-lease steals (manifest truth)
+  std::uint64_t hedges = 0;            // live-lease steals
+  std::uint64_t workers_died = 0;
+  std::uint64_t total_requests = 0;    // LLM requests across all attempts
+  std::size_t shards_done = 0;
+  double horizon_ms = 0.0;             // max worker virtual clock at the end
+  core::SurveyJournal national;        // all shards merged, tenant-namespaced
+  std::string national_table;          // rendered per-county prevalence table
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorConfig config);
+
+  /// Run the fleet until every shard is done or every worker is dead
+  /// (rerun on the same directory to model a restart — leases age out and
+  /// survivors drain the remainder). Merges journals either way.
+  SupervisorReport run();
+
+  /// Deterministic reduction: for each shard, load every durable
+  /// generation journal and LWW-merge (newest generation wins via the
+  /// revision floor), then fold into one tenant-namespaced national
+  /// journal. Pure function of the journal files' content.
+  static core::SurveyJournal merge_journals(util::Fsx& fs, const WorkerConfig& config,
+                                            const WorkManifest& manifest);
+
+  /// Per-county indicator-prevalence table + national footer, computed
+  /// from journal content only (revision stamps excluded), so two runs
+  /// that journaled the same predictions render byte-identical tables.
+  static std::string national_table(const WorkerConfig& config,
+                                    const core::SurveyJournal& national);
+
+  /// Per-attempt accounting table (worker, shard, generation, restored,
+  /// requests, outcome) — the reclaim/straggler evidence the CLI prints.
+  static util::TextTable runs_table(const std::vector<ShardRun>& runs);
+
+ private:
+  SupervisorReport run_in_process();
+  SupervisorReport run_forked();
+  void finalize(SupervisorReport& report, const WorkManifest& manifest);
+
+  SupervisorConfig config_;
+};
+
+}  // namespace neuro::shard

@@ -1,0 +1,191 @@
+#include "shard/worker.hpp"
+
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <fcntl.h>
+
+#include "util/strings.hpp"
+
+namespace neuro::shard {
+
+namespace {
+
+/// flock-scoped critical section for multi-process manifest access. A
+/// no-op when `path` is empty (single-process mode: the supervisor's
+/// turn-taking already serializes manifest transitions).
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    if (path.empty()) return;
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+std::string shard_journal_path(const std::string& dir, std::size_t shard,
+                               std::uint64_t generation) {
+  return util::format("%s/shard-%05zu.g%llu.nrlg", dir.c_str(), shard,
+                      static_cast<unsigned long long>(generation));
+}
+
+/// Everything needed to run slices of one claimed shard. Rebuilt from the
+/// seed + journals on every claim — nothing here is durable state.
+struct ShardWorker::Active {
+  data::Dataset dataset;
+  std::unique_ptr<core::SurveyRunner> runner;
+  std::unique_ptr<llm::VisionLanguageModel> model;
+  core::SurveyJournal journal;
+  std::string journal_path;   // this generation's file
+  std::size_t run_index = 0;  // into runs_
+  bool widen = false;         // last slice made no progress: run unbounded
+};
+
+ShardWorker::ShardWorker(util::Fsx& fs, std::string name, WorkerConfig config)
+    : fs_(fs),
+      name_(std::move(name)),
+      config_(std::move(config)),
+      manifest_(fs, config_.dir + "/manifest.nrlg", config_.frame.shards, config_.lease_ms) {}
+
+ShardWorker::~ShardWorker() = default;
+
+ShardWorker::Step ShardWorker::step(double& now_ms) {
+  if (!lease_) {
+    std::optional<Lease> lease;
+    {
+      FileLock lock(config_.lock_path);
+      lease = manifest_.claim(name_, now_ms);
+    }
+    if (!lease) return Step::kIdle;
+    open_shard(*lease, now_ms, /*hedge=*/false);
+  }
+  return work_slice(now_ms);
+}
+
+bool ShardWorker::try_hedge(std::size_t shard, double now_ms) {
+  if (lease_) return false;
+  std::optional<Lease> lease;
+  {
+    FileLock lock(config_.lock_path);
+    lease = manifest_.claim_straggler(shard, name_, now_ms);
+  }
+  if (!lease) return false;
+  open_shard(*lease, now_ms, /*hedge=*/true);
+  return true;
+}
+
+void ShardWorker::open_shard(const Lease& lease, double now_ms, bool hedge) {
+  lease_ = lease;
+  auto active = std::make_unique<Active>();
+  // Regenerate the shard from the seed: the dataset is a pure function of
+  // (frame config, shard index) — nothing was shipped, nothing is lost.
+  active->dataset = build_shard_dataset(config_.frame, lease.shard);
+  active->runner = std::make_unique<core::SurveyRunner>(active->dataset);
+  active->model =
+      std::make_unique<llm::VisionLanguageModel>(active->runner->make_model(config_.profile));
+
+  // Resume from every durable generation before ours: CRC-valid frames are
+  // finished images we will never re-request. Torn tails truncate away.
+  for (std::uint64_t g = 1; g < lease.generation; ++g) {
+    const std::string path = shard_journal_path(config_.dir, lease.shard, g);
+    if (!fs_.exists(path)) continue;  // that generation died before checkpointing
+    try {
+      active->journal.merge(core::SurveyJournal::load(path, fs_));
+    } catch (const std::exception&) {
+      // Torn so badly even the log magic is gone (demoted to legacy JSON
+      // that fails to parse): a fresh start for that generation's images.
+    }
+  }
+  // Our generation's records must outrank everything we just merged, even
+  // under equal-revision divergent-chaos conflicts.
+  active->journal.set_revision_floor(
+      core::SurveyJournal::generation_revision_floor(lease.generation));
+  active->journal_path = shard_journal_path(config_.dir, lease.shard, lease.generation);
+
+  ShardRun run;
+  run.shard = lease.shard;
+  run.worker = name_;
+  run.generation = lease.generation;
+  run.started_ms = now_ms;
+  run.images_restored = active->journal.size();
+  // claim() only grants pending (generation 1) or expired leases; a live
+  // steal can come only through try_hedge.
+  run.hedge = hedge;
+  run.reclaim = !hedge && lease.generation > 1;
+  active->run_index = runs_.size();
+  runs_.push_back(std::move(run));
+  active_ = std::move(active);
+}
+
+ShardWorker::Step ShardWorker::work_slice(double& now_ms) {
+  Active& active = *active_;
+  ShardRun& run = runs_[active.run_index];
+
+  llm::SchedulerConfig sched = config_.scheduler;
+  sched.abort_after_ms = active.widen ? llm::kNoAbortCut : config_.checkpoint_interval_ms;
+
+  const std::size_t before = active.journal.size();
+  const llm::BatchReport report = active.runner->run_client_batch(
+      *active.model, config_.survey, sched, nullptr, &active.journal);
+  run.requests += report.usage.requests;
+  now_ms += std::max(report.stats.makespan_ms, 1.0);
+
+  // Durable checkpoint: atomic save of everything finished so far. This is
+  // the op a kill sweep tears; the valid prefix is exactly what we earned.
+  active.journal.save(active.journal_path, fs_);
+
+  bool aborted_any = false;
+  for (const llm::ItemOutcome& item : report.items) aborted_any |= item.aborted;
+
+  if (!aborted_any) {
+    CompleteOutcome outcome;
+    {
+      FileLock lock(config_.lock_path);
+      outcome = manifest_.complete(*lease_, now_ms);
+    }
+    run.completed = outcome == CompleteOutcome::kCompleted;
+    run.superseded = outcome == CompleteOutcome::kSuperseded;
+    close_run(now_ms);
+    return Step::kCompleted;
+  }
+
+  // No new journal entries while items remain: the checkpoint window is
+  // shorter than any remaining item can finish in. Run the next slice to
+  // completion instead of spinning forever.
+  active.widen = active.journal.size() == before;
+
+  bool renewed;
+  {
+    FileLock lock(config_.lock_path);
+    renewed = manifest_.renew(*lease_, now_ms);
+  }
+  if (!renewed) {
+    // Expired or hedged away: stop claiming the shard's future. Our
+    // journal stays durable; the merge still counts every image we did.
+    run.lost_lease = true;
+    close_run(now_ms);
+    return Step::kLost;
+  }
+  return Step::kWorked;
+}
+
+void ShardWorker::close_run(double now_ms) {
+  runs_[active_->run_index].finished_ms = now_ms;
+  lease_.reset();
+  active_.reset();
+}
+
+}  // namespace neuro::shard

@@ -1,0 +1,110 @@
+#pragma once
+// Crash-tolerant shard worker: claims a county shard from the WorkManifest,
+// regenerates its dataset from the seed, surveys it in checkpoint-sized
+// virtual-time slices through the request scheduler, and journals every
+// completed image to a durable per-(shard, generation) record log between
+// slices. A worker killed at ANY filesystem op leaves (a) a manifest the
+// next refresh repairs and (b) journal files whose valid prefix is exactly
+// the images it finished — so the reclaimer resumes with zero duplicate
+// LLM requests. The lease is renewed after every slice; a renew rejection
+// (lease expired or stolen by a hedger) makes the worker abandon the shard
+// immediately, its partial journal left durable for the merge.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/survey.hpp"
+#include "llm/scheduler.hpp"
+#include "llm/vlm.hpp"
+#include "shard/manifest.hpp"
+#include "shard/national.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::shard {
+
+struct WorkerConfig {
+  NationalFrameConfig frame;
+  core::SurveyConfig survey;
+  llm::SchedulerConfig scheduler;            // faults = per-worker chaos plan
+  llm::ModelProfile profile = llm::gemini_1_5_pro_profile();
+  std::string dir;                           // manifest + journals live here
+  double lease_ms = 20000.0;
+  /// Virtual-time slice between durable checkpoints; must sit well under
+  /// lease_ms or a healthy worker's own lease expires mid-slice.
+  double checkpoint_interval_ms = 5000.0;
+  /// Serialize manifest transitions through a flock on this file (set in
+  /// multi-process mode; empty for the single-process virtual-clock mode,
+  /// where the supervisor's turn-taking is the serialization).
+  std::string lock_path;
+};
+
+/// Accounting for one (shard, generation) execution attempt.
+struct ShardRun {
+  std::size_t shard = 0;
+  std::string worker;
+  std::uint64_t generation = 0;
+  double started_ms = 0.0;
+  double finished_ms = 0.0;
+  std::uint64_t requests = 0;        // LLM requests issued by this attempt
+  std::size_t images_restored = 0;   // journaled images resumed at claim
+  bool reclaim = false;              // grant stole an expired (dead) lease
+  bool hedge = false;                // grant stole a live (straggler) lease
+  bool completed = false;            // our complete() finished the shard
+  bool superseded = false;           // finished, but a newer lease owned it
+  bool lost_lease = false;           // renew rejected; shard abandoned
+};
+
+/// Per-generation journal file for a shard ("shard-00003.g2.nrlg"):
+/// generations never share a file, so a straggler and its hedger can both
+/// checkpoint without racing; the merge reads every generation.
+std::string shard_journal_path(const std::string& dir, std::size_t shard,
+                               std::uint64_t generation);
+
+class ShardWorker {
+ public:
+  enum class Step {
+    kIdle,       // nothing claimable right now
+    kWorked,     // ran one slice, checkpointed, lease renewed
+    kCompleted,  // finished its shard (possibly superseded)
+    kLost,       // lease expired/stolen; shard abandoned mid-flight
+  };
+
+  /// `fs` is this worker's private injection seam: give the kill target a
+  /// FaultFs and every manifest append and journal save it performs counts
+  /// toward one per-worker crash-op index.
+  ShardWorker(util::Fsx& fs, std::string name, WorkerConfig config);
+  ~ShardWorker();  // out-of-line: Active is incomplete here
+
+  /// One scheduling turn at virtual time `now_ms` (advanced in place by
+  /// the slice makespan). Claims a shard when idle, otherwise runs the
+  /// next checkpoint slice of the shard it holds.
+  Step step(double& now_ms);
+
+  /// Hedge a straggling shard (supervisor-directed): claim it at a fresh
+  /// generation even though the current lease is live. Only when idle.
+  bool try_hedge(std::size_t shard, double now_ms);
+
+  bool busy() const { return lease_.has_value(); }
+  const std::string& name() const { return name_; }
+  const std::vector<ShardRun>& runs() const { return runs_; }
+  WorkManifest& manifest() { return manifest_; }
+
+ private:
+  struct Active;  // in-flight shard state (dataset, runner, journal)
+
+  void open_shard(const Lease& lease, double now_ms, bool hedge);
+  Step work_slice(double& now_ms);
+  void close_run(double now_ms);
+
+  util::Fsx& fs_;
+  std::string name_;
+  WorkerConfig config_;
+  WorkManifest manifest_;
+  std::optional<Lease> lease_;
+  std::unique_ptr<Active> active_;
+  std::vector<ShardRun> runs_;
+};
+
+}  // namespace neuro::shard

@@ -1,5 +1,8 @@
 #include "util/fsx.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +20,7 @@ std::string_view fsx_op_name(FsxOp op) {
     case FsxOp::kRename: return "rename";
     case FsxOp::kRemove: return "remove";
     case FsxOp::kMkdir: return "mkdir";
+    case FsxOp::kSyncDir: return "syncdir";
   }
   return "?";
 }
@@ -86,13 +90,31 @@ void Fsx::create_directories(const std::string& path) {
   if (ec) throw FsxError(FsxOp::kMkdir, path, ec.message());
 }
 
+void Fsx::sync_dir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw FsxError(FsxOp::kSyncDir, path, "cannot open directory");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw FsxError(FsxOp::kSyncDir, path, "fsync failed");
+}
+
 std::string temp_path_for(const std::string& path) { return path + ".tmp"; }
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
 
 void atomic_write_file(Fsx& fs, const std::string& path, std::string_view bytes) {
   const std::string tmp = temp_path_for(path);
   try {
     fs.write_file(tmp, bytes);
     fs.rename_file(tmp, path);
+    // The rename only survives power loss once the parent directory's
+    // entry table is flushed; without this a crash can resurrect the old
+    // file even though rename_file returned.
+    fs.sync_dir(parent_dir(path));
   } catch (const FsxCrash&) {
     throw;  // simulated process death: nobody left to clean up
   } catch (...) {
@@ -151,6 +173,22 @@ bool FaultFs::claim_mutating_op(FsxOp op, const std::string& path) {
   return false;
 }
 
+void FaultFs::crash(const std::string& what) {
+  // Under the volatile-rename model the page cache dies with the process:
+  // every rename since the last sync_dir is rolled back to its pre-rename
+  // state, so writers that skipped the directory sync lose the rename.
+  for (auto it = unsynced_renames_.rbegin(); it != unsynced_renames_.rend(); ++it) {
+    base_.write_file(it->from, it->from_content);
+    if (it->to_existed) {
+      base_.write_file(it->to, it->to_content);
+    } else {
+      base_.remove_file(it->to);
+    }
+  }
+  unsynced_renames_.clear();
+  throw FsxCrash(what);
+}
+
 std::string FaultFs::read_file(const std::string& path) {
   const auto index = static_cast<long long>(reads_.fetch_add(1));
   std::string bytes = base_.read_file(path);
@@ -176,7 +214,7 @@ void FaultFs::write_file(const std::string& path, std::string_view bytes) {
     const auto torn = static_cast<std::size_t>(static_cast<double>(bytes.size()) *
                                                plan_.torn_fraction);
     base_.write_file(path, bytes.substr(0, torn));
-    throw FsxCrash("crash during write of " + path);
+    crash("crash during write of " + path);
   }
   base_.write_file(path, bytes);
 }
@@ -186,7 +224,7 @@ void FaultFs::append_file(const std::string& path, std::string_view bytes) {
     const auto torn = static_cast<std::size_t>(static_cast<double>(bytes.size()) *
                                                plan_.torn_fraction);
     base_.append_file(path, bytes.substr(0, torn));
-    throw FsxCrash("crash during append to " + path);
+    crash("crash during append to " + path);
   }
   base_.append_file(path, bytes);
 }
@@ -197,12 +235,27 @@ void FaultFs::rename_file(const std::string& from, const std::string& to) {
     if (metrics_ != nullptr) metrics_->counter("fsx.injected.rename_failures").add();
     throw FsxError(FsxOp::kRename, from, "rename to " + to + " failed (injected)");
   }
-  if (claim_mutating_op(FsxOp::kRename, from)) {
+  const bool crash_here = claim_mutating_op(FsxOp::kRename, from);
+  if (crash_here && !plan_.volatile_renames) {
     // Crash at the rename boundary: rename is atomic, so model the two
     // real outcomes — die just before (nothing happened) or just after
     // (replace completed). torn_fraction picks the side.
     if (plan_.torn_fraction >= 0.5) base_.rename_file(from, to);
-    throw FsxCrash("crash at rename of " + from);
+    crash("crash at rename of " + from);
+  }
+  if (plan_.volatile_renames) {
+    // Snapshot enough to undo: the rename lands in the page cache only,
+    // and dies with the process unless a sync_dir flushes it first.
+    VolatileRename undo;
+    undo.from = from;
+    undo.to = to;
+    undo.from_content = base_.read_file(from);
+    undo.to_existed = base_.exists(to);
+    if (undo.to_existed) undo.to_content = base_.read_file(to);
+    base_.rename_file(from, to);
+    unsynced_renames_.push_back(std::move(undo));
+    if (crash_here) crash("crash at rename of " + from);
+    return;
   }
   base_.rename_file(from, to);
 }
@@ -210,11 +263,21 @@ void FaultFs::rename_file(const std::string& from, const std::string& to) {
 void FaultFs::remove_file(const std::string& path) {
   if (claim_mutating_op(FsxOp::kRemove, path)) {
     if (plan_.torn_fraction >= 0.5) base_.remove_file(path);
-    throw FsxCrash("crash at remove of " + path);
+    crash("crash at remove of " + path);
   }
   base_.remove_file(path);
 }
 
 void FaultFs::create_directories(const std::string& path) { base_.create_directories(path); }
+
+void FaultFs::sync_dir(const std::string& path) {
+  if (claim_mutating_op(FsxOp::kSyncDir, path)) {
+    // Died before the flush completed: nothing since the last successful
+    // sync is durable.
+    crash("crash at sync of " + path);
+  }
+  base_.sync_dir(path);
+  unsynced_renames_.clear();
+}
 
 }  // namespace neuro::util

@@ -16,13 +16,14 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/metrics.hpp"
 
 namespace neuro::util {
 
 /// Which primitive failed (carried on FsxError for structured handling).
-enum class FsxOp { kRead, kWrite, kAppend, kRename, kRemove, kMkdir };
+enum class FsxOp { kRead, kWrite, kAppend, kRename, kRemove, kMkdir, kSyncDir };
 
 std::string_view fsx_op_name(FsxOp op);
 
@@ -67,6 +68,10 @@ class Fsx {
   /// Best-effort delete; missing files are not an error.
   virtual void remove_file(const std::string& path);
   virtual void create_directories(const std::string& path);
+  /// Flush a directory's entry table: a rename is only durable against
+  /// power loss once its parent directory has been fsynced. Writers call
+  /// this after every rename they need to survive a crash.
+  virtual void sync_dir(const std::string& path);
 
   /// The process-wide real filesystem.
   static Fsx& real();
@@ -75,8 +80,13 @@ class Fsx {
 /// The temp-file sibling `atomic_write_file` stages into before renaming.
 std::string temp_path_for(const std::string& path);
 
+/// The directory holding `path` ("." when the path has no separator) —
+/// the argument `sync_dir` needs after renaming into that directory.
+std::string parent_dir(const std::string& path);
+
 /// Durable whole-file replace: write `path + ".tmp"`, flush, rename over
-/// `path`. A crash at any point leaves either the previous content or the
+/// `path`, then fsync the parent directory so the rename itself survives
+/// a crash. A crash at any point leaves either the previous content or the
 /// complete new content at `path`; the stale temp file (if any) is
 /// harmless and removed by the next successful write. On failure the temp
 /// file is cleaned up best-effort and the error rethrown.
@@ -111,6 +121,14 @@ struct FsFaultPlan {
   long long short_read_at = -1;
   double short_read_fraction = 0.5;
 
+  /// Model the page cache losing un-fsynced renames: every rename is
+  /// applied but tracked as volatile until the next sync_dir; an injected
+  /// crash first rolls back all still-volatile renames (restoring the
+  /// pre-rename files) before throwing. A writer that renames without
+  /// syncing the parent directory loses the rename under this model —
+  /// the failure mode the sync_dir op exists to close.
+  bool volatile_renames = false;
+
   bool any() const {
     return crash_at_op >= 0 || enospc_at_op >= 0 || rename_fail_at >= 0 || flip_at_read >= 0 ||
            short_read_at >= 0;
@@ -139,6 +157,7 @@ class FaultFs : public Fsx {
   void rename_file(const std::string& from, const std::string& to) override;
   void remove_file(const std::string& path) override;
   void create_directories(const std::string& path) override;
+  void sync_dir(const std::string& path) override;
 
   /// Op counts so far — the sweep bounds for a crash-point enumeration.
   std::uint64_t mutating_ops() const { return mutating_ops_.load(); }
@@ -150,6 +169,17 @@ class FaultFs : public Fsx {
   /// returns whether this op is the crash point (caller tears, then
   /// throws FsxCrash after any partial bytes are durable).
   bool claim_mutating_op(FsxOp op, const std::string& path);
+  /// Roll back volatile renames (when modeled), then die.
+  [[noreturn]] void crash(const std::string& what);
+
+  /// Undo data for one applied-but-unsynced rename.
+  struct VolatileRename {
+    std::string from;
+    std::string to;
+    std::string from_content;
+    std::string to_content;
+    bool to_existed = false;
+  };
 
   Fsx& base_;
   FsFaultPlan plan_;
@@ -157,6 +187,7 @@ class FaultFs : public Fsx {
   std::atomic<std::uint64_t> mutating_ops_{0};
   std::atomic<std::uint64_t> reads_{0};
   std::atomic<std::uint64_t> renames_{0};
+  std::vector<VolatileRename> unsynced_renames_;
 };
 
 }  // namespace neuro::util

@@ -161,5 +161,51 @@ TEST(JournalMergeConflict, TenantNamespacesIsolateIdenticalWork) {
   EXPECT_EQ(rebuilt.lookup("acme", "gemini", 7)->answered_questions, 2);
 }
 
+TEST(JournalMergeConflict, LeaseGenerationFloorMakesReclaimEntriesWin) {
+  // A dead generation-1 holder journaled an entry for image 7; the shard
+  // was reclaimed and generation 2 re-executed it under divergent chaos,
+  // landing different content. Without the generation revision floor both
+  // entries carry revision 1 and the equal-revision content tie-break
+  // picks generation 1's entry (more answered questions) — the dead
+  // worker's stale answer would overwrite the reclaimer's. The floor lifts
+  // every generation-2 revision above generation 1's whole range, so the
+  // reclaim deterministically wins in either merge order.
+  SurveyJournal gen1;
+  gen1.record("gemini", 7,
+              {presence({scene::Indicator::kSidewalk, scene::Indicator::kStreetlight}), 6});
+
+  SurveyJournal gen2;
+  gen2.set_revision_floor(SurveyJournal::generation_revision_floor(2));
+  gen2.record("gemini", 7, {presence({scene::Indicator::kPowerline}), 4});
+
+  const JournalEntry* stale = gen1.lookup("gemini", 7);
+  const JournalEntry* fresh = gen2.lookup("gemini", 7);
+  ASSERT_NE(stale, nullptr);
+  ASSERT_NE(fresh, nullptr);
+  // Sanity: without the floor this conflict would be an equal-revision tie
+  // that the content tuple resolves toward generation 1's entry.
+  EXPECT_GT(stale->answered_questions, fresh->answered_questions);
+  EXPECT_GT(fresh->revision, stale->revision);
+
+  SurveyJournal forward = gen1;
+  forward.merge(gen2);
+  SurveyJournal backward = gen2;
+  backward.merge(gen1);
+
+  const JournalEntry* winner = forward.lookup("gemini", 7);
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->answered_questions, 4);
+  EXPECT_TRUE(winner->prediction[scene::Indicator::kPowerline]);
+  EXPECT_FALSE(winner->prediction[scene::Indicator::kSidewalk]);
+  EXPECT_EQ(forward.serialize_log(), backward.serialize_log());
+
+  // The floor survives a checkpoint round trip: a journal resumed from
+  // generation 2's log keeps stamping above the floor.
+  SurveyJournal reloaded = SurveyJournal::from_json(forward.to_json());
+  reloaded.record("gemini", 9, {presence({scene::Indicator::kApartment}), 3});
+  EXPECT_GT(reloaded.lookup("gemini", 9)->revision,
+            SurveyJournal::generation_revision_floor(2));
+}
+
 }  // namespace
 }  // namespace neuro::core

@@ -1,0 +1,300 @@
+// Nation-scale sharding acceptance sweeps: the merged national report must
+// be byte-identical across worker counts, with and without scripted chaos,
+// and across a kill-the-worker-at-every-filesystem-op sweep followed by a
+// restart that drains leftovers — with zero duplicate LLM requests for
+// journal frames whose CRC validated.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/journal.hpp"
+#include "llm/faults.hpp"
+#include "shard/supervisor.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::shard {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+stdfs::path artifact_base() {
+  if (const char* dir = std::getenv("NEURO_ARTIFACT_DIR"); dir != nullptr && *dir != '\0') {
+    return stdfs::path(dir);
+  }
+  return stdfs::temp_directory_path();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = artifact_base() /
+           (std::string("neuro_shardsweep_") + tag + "_" + std::to_string(::getpid()));
+    reset();
+  }
+  ~TempDir() {
+    if (std::getenv("NEURO_ARTIFACT_DIR") == nullptr || !::testing::Test::HasFailure()) {
+      stdfs::remove_all(dir_);
+    }
+  }
+  void reset() {
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  std::string str() const { return dir_.string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+llm::ModelProfile reliable(llm::ModelProfile profile) {
+  profile.transient_failure_rate = 0.0;  // isolate scripted faults
+  return profile;
+}
+
+SupervisorConfig fleet_config(const std::string& dir, std::size_t workers) {
+  SupervisorConfig config;
+  config.workers = workers;
+  config.worker.dir = dir;
+  config.worker.frame.shards = 4;
+  config.worker.frame.images_per_shard = 5;
+  config.worker.frame.generator.image_width = 64;  // LLM path never reads pixels
+  config.worker.frame.generator.image_height = 64;
+  config.worker.profile = reliable(llm::gemini_1_5_pro_profile());
+  config.worker.survey.threads = 1;
+  config.worker.scheduler.threads = 1;
+  config.worker.checkpoint_interval_ms = 2000.0;
+  config.worker.lease_ms = 20000.0;
+  return config;
+}
+
+std::size_t total_images(const SupervisorConfig& config) {
+  return config.worker.frame.shards * config.worker.frame.images_per_shard;
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity across worker counts, healthy: 1, 4 and 16 workers over the
+// same seeded national frame must reduce to the same report, and a healthy
+// fleet must issue exactly one request per image nationwide.
+// ---------------------------------------------------------------------------
+TEST(ShardKillSweep, ReportByteIdenticalAcrossWorkerCountsHealthy) {
+  TempDir dir("wc_healthy");
+  std::string baseline;
+  for (const std::size_t workers : {1UL, 4UL, 16UL}) {
+    dir.reset();
+    const SupervisorConfig config = fleet_config(dir.str(), workers);
+    SupervisorReport report = Supervisor(config).run();
+    EXPECT_EQ(report.shards_done, config.worker.frame.shards) << workers << " workers";
+    EXPECT_EQ(report.workers_died, 0U);
+    EXPECT_EQ(report.reclaims, 0U);
+    EXPECT_EQ(report.total_requests, total_images(config)) << workers << " workers";
+    for (const ShardRun& run : report.runs) {
+      EXPECT_TRUE(run.completed);
+      EXPECT_EQ(run.images_restored, 0U);
+    }
+    if (baseline.empty()) {
+      baseline = report.national_table;
+      ASSERT_NE(baseline.find("NATIONAL"), std::string::npos);
+    } else {
+      EXPECT_EQ(report.national_table, baseline) << workers << " workers diverged";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Same, under scripted chaos: a provider storm across the early batch. The
+// chaos runs compare against each other (not the healthy baseline).
+// ---------------------------------------------------------------------------
+TEST(ShardKillSweep, ReportByteIdenticalAcrossWorkerCountsUnderChaos) {
+  TempDir dir("wc_chaos");
+  std::string baseline;
+  for (const std::size_t workers : {1UL, 4UL, 16UL}) {
+    dir.reset();
+    SupervisorConfig config = fleet_config(dir.str(), workers);
+    config.worker.scheduler.faults = llm::FaultPlan::storm_window(0.0, 3000.0);
+    SupervisorReport report = Supervisor(config).run();
+    EXPECT_EQ(report.shards_done, config.worker.frame.shards) << workers << " workers";
+    if (baseline.empty()) {
+      baseline = report.national_table;
+    } else {
+      EXPECT_EQ(report.national_table, baseline) << workers << " chaos workers diverged";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole sweep: kill worker 0 at EVERY mutating filesystem op index
+// (manifest appends, journal checkpoint saves, repairs — one shared
+// per-worker counter), then model a restart by running a second fleet over
+// the same directory. The drained national report must equal the never-
+// killed baseline at every kill point, and the completing generation of
+// each shard must issue exactly (images - journal-restored) requests —
+// zero duplicates for any frame whose CRC validated.
+// ---------------------------------------------------------------------------
+void run_kill_sweep(const char* tag, std::size_t workers, bool chaos, long long stride) {
+  TempDir dir(tag);
+  auto configure = [&](std::size_t n_workers) {
+    SupervisorConfig config = fleet_config(dir.str(), n_workers);
+    if (chaos) config.worker.scheduler.faults = llm::FaultPlan::storm_window(0.0, 3000.0);
+    return config;
+  };
+
+  dir.reset();
+  const SupervisorConfig baseline_config = configure(workers);
+  const SupervisorReport baseline = Supervisor(baseline_config).run();
+  ASSERT_EQ(baseline.shards_done, baseline_config.worker.frame.shards);
+  const std::string baseline_table = baseline.national_table;
+
+  bool exhausted = false;
+  for (long long k = 0; k < 400 && !exhausted; k += stride) {
+    dir.reset();
+    SupervisorConfig killed = configure(workers);
+    killed.kill.worker = 0;
+    killed.kill.at_op = k;
+    const SupervisorReport first = Supervisor(killed).run();
+    // Past the last op the worker ever performs, the crash stops firing:
+    // the sweep has covered every reachable kill point.
+    exhausted = first.workers_died == 0;
+
+    // Restart: a fresh fleet over the same directory ages the dead lease
+    // out and drains whatever is left.
+    const SupervisorReport drained = Supervisor(configure(workers)).run();
+    ASSERT_EQ(drained.shards_done, killed.worker.frame.shards) << "kill op " << k;
+    EXPECT_EQ(drained.national_table, baseline_table)
+        << "kill op " << k << ": national report diverged after reclaim";
+
+    if (!chaos) {
+      // Zero-duplicate accounting: whichever generation completed a shard
+      // paid only for the images its inherited journals were missing.
+      for (const SupervisorReport* report : {&first, &drained}) {
+        for (const ShardRun& run : report->runs) {
+          if (!run.completed && !run.superseded) continue;
+          EXPECT_EQ(run.requests,
+                    killed.worker.frame.images_per_shard - run.images_restored)
+              << "kill op " << k << " shard " << run.shard << " g" << run.generation;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(exhausted) << "sweep never reached the worker's last op";
+}
+
+TEST(ShardKillSweep, KillWorkerAtEveryOpFourWorkers) {
+  run_kill_sweep("kill_w4", 4, /*chaos=*/false, /*stride=*/1);
+}
+
+TEST(ShardKillSweep, KillWorkerAtEveryOpSingleWorker) {
+  run_kill_sweep("kill_w1", 1, /*chaos=*/false, /*stride=*/1);
+}
+
+TEST(ShardKillSweep, KillWorkerSweepSixteenWorkers) {
+  run_kill_sweep("kill_w16", 16, /*chaos=*/false, /*stride=*/3);
+}
+
+TEST(ShardKillSweep, KillWorkerSweepUnderChaos) {
+  run_kill_sweep("kill_chaos", 4, /*chaos=*/true, /*stride=*/3);
+}
+
+// ---------------------------------------------------------------------------
+// Reclaim from a torn journal tail: the dead holder's per-generation
+// checkpoint is truncated at arbitrary byte cuts; the reclaimer must
+// restore exactly the CRC-valid prefix, re-request only the rest, and
+// reduce to the baseline report.
+// ---------------------------------------------------------------------------
+TEST(ShardKillSweep, ReclaimFromTornJournalTailAtManyCuts) {
+  TempDir dir("torn_journal");
+  util::Fsx& real = util::Fsx::real();
+
+  // Baseline: one worker, one shard, run to completion; keep its journal.
+  dir.reset();
+  SupervisorConfig config = fleet_config(dir.str(), 1);
+  config.worker.frame.shards = 1;
+  const SupervisorReport baseline = Supervisor(config).run();
+  ASSERT_EQ(baseline.shards_done, 1U);
+  const std::string baseline_table = baseline.national_table;
+  const std::string journal_bytes =
+      real.read_file(shard_journal_path(dir.str(), 0, 1));
+
+  for (std::size_t cut = 0; cut <= journal_bytes.size(); cut += 11) {
+    dir.reset();
+    // Rebuild the pre-crash world: a generation-1 lease that died leaving
+    // a torn checkpoint behind.
+    WorkManifest manifest(real, dir.str() + "/manifest.nrlg", 1, config.worker.lease_ms);
+    ASSERT_TRUE(manifest.claim("dead", 0.0).has_value());
+    real.write_file(shard_journal_path(dir.str(), 0, 1), journal_bytes.substr(0, cut));
+    core::JournalRecovery recovery;
+    core::SurveyJournal::load(shard_journal_path(dir.str(), 0, 1), real, &recovery);
+
+    // The reclaiming fleet starts after the lease aged out.
+    const SupervisorReport drained = Supervisor(config).run();
+    ASSERT_EQ(drained.shards_done, 1U) << "cut " << cut;
+    EXPECT_EQ(drained.national_table, baseline_table) << "cut " << cut;
+    ASSERT_EQ(drained.runs.size(), 1U);
+    const ShardRun& run = drained.runs.front();
+    EXPECT_TRUE(run.reclaim) << "cut " << cut;
+    EXPECT_EQ(run.generation, 2U);
+    EXPECT_EQ(run.images_restored, recovery.entries) << "cut " << cut;
+    EXPECT_EQ(run.requests, config.worker.frame.images_per_shard - recovery.entries)
+        << "cut " << cut << ": duplicate request for a CRC-valid frame";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Straggler hedging: with an aggressive straggler policy, idle workers
+// re-execute live leases at a higher generation. The holder loses its
+// lease at the next heartbeat, and the generation revision floor resolves
+// the duplicated work deterministically — the report still matches an
+// unhedged fleet byte for byte.
+// ---------------------------------------------------------------------------
+TEST(ShardKillSweep, HedgedStragglersResolveDeterministically) {
+  // Multi-slice geometry: a 2 rps admission throttle against a 500ms
+  // checkpoint cut splits every shard into single-image slices, so idle
+  // workers interleave with mid-shard holders and the straggler scan gets
+  // turns where a live lease has aged past the hedge threshold.
+  const auto stretched = [](SupervisorConfig config) {
+    config.worker.frame.shards = 6;
+    config.worker.checkpoint_interval_ms = 500.0;
+    config.worker.scheduler.client.requests_per_second = 2.0;
+    return config;
+  };
+  TempDir dir("hedge");
+  dir.reset();
+  const SupervisorConfig calm = stretched(fleet_config(dir.str(), 1));
+  const std::string baseline = Supervisor(calm).run().national_table;
+
+  dir.reset();
+  SupervisorConfig eager = stretched(fleet_config(dir.str(), 2));
+  eager.straggler_min_samples = 2;
+  eager.straggler_factor = 0.25;  // hedge anything slower than a quarter of p95
+  const SupervisorReport report = Supervisor(eager).run();
+  EXPECT_EQ(report.shards_done, eager.worker.frame.shards);
+  EXPECT_GE(report.hedges, 1U) << "aggressive policy never hedged";
+  bool lost = false;
+  for (const ShardRun& run : report.runs) lost |= run.lost_lease;
+  EXPECT_TRUE(lost) << "no straggler was evicted by its hedger";
+  EXPECT_EQ(report.national_table, baseline) << "hedged duplicates leaked into the report";
+}
+
+// ---------------------------------------------------------------------------
+// Forked multi-process mode: real child processes over the shared manifest
+// directory reduce to the same national report as the in-process fleet.
+// ---------------------------------------------------------------------------
+TEST(ShardKillSweep, ForkedWorkersMatchInProcessReport) {
+  TempDir dir("forked");
+  dir.reset();
+  const SupervisorConfig in_process = fleet_config(dir.str(), 4);
+  const std::string baseline = Supervisor(in_process).run().national_table;
+
+  dir.reset();
+  SupervisorConfig forked = fleet_config(dir.str(), 4);
+  forked.fork_workers = true;
+  const SupervisorReport report = Supervisor(forked).run();
+  EXPECT_EQ(report.shards_done, forked.worker.frame.shards);
+  EXPECT_EQ(report.national_table, baseline);
+}
+
+}  // namespace
+}  // namespace neuro::shard

@@ -1,0 +1,219 @@
+// WorkManifest lease semantics: deterministic claim races, renew-after-
+// expiry rejection, idempotent completion, and torn-tail repair at every
+// truncation point of the shared manifest log.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "shard/manifest.hpp"
+#include "util/fsx.hpp"
+#include "util/recordlog.hpp"
+
+namespace neuro::shard {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("neuro_manifest_") + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+TEST(ShardManifest, ClaimRaceAtIdenticalVirtualTimeHasDeterministicWinner) {
+  TempDir dir;
+  util::Fsx& real = util::Fsx::real();
+  const std::string path = dir.path("manifest.nrlg");
+
+  // Two workers, two handles over the same log, both claiming at t=0: the
+  // append order serializes the race — w0 gets shard 0, w1 gets shard 1 —
+  // and a third observer replays the same assignment from the file.
+  WorkManifest m0(real, path, 3, 100.0);
+  WorkManifest m1(real, path, 3, 100.0);
+
+  const auto l0 = m0.claim("w0", 0.0);
+  const auto l1 = m1.claim("w1", 0.0);
+  ASSERT_TRUE(l0.has_value());
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l0->shard, 0U);
+  EXPECT_EQ(l1->shard, 1U);
+  EXPECT_EQ(l0->generation, 1U);
+  EXPECT_EQ(l1->generation, 1U);
+
+  WorkManifest observer(real, path, 3, 100.0);
+  EXPECT_EQ(observer.slot(0).lease.worker, "w0");
+  EXPECT_EQ(observer.slot(1).lease.worker, "w1");
+  EXPECT_EQ(observer.slot(2).state, ShardState::kPending);
+  EXPECT_EQ(observer.lease_ms(), 100.0);
+}
+
+TEST(ShardManifest, RenewAfterExpiryRejectedAndShardReclaimable) {
+  TempDir dir;
+  util::Fsx& real = util::Fsx::real();
+  WorkManifest manifest(real, dir.path("manifest.nrlg"), 1, 100.0);
+
+  const auto lease = manifest.claim("w0", 0.0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->expires_ms, 100.0);
+
+  // Heartbeats inside the window extend it; at/after expiry they bounce.
+  EXPECT_TRUE(manifest.renew(*lease, 50.0));
+  EXPECT_EQ(manifest.slot(0).lease.expires_ms, 150.0);
+  EXPECT_FALSE(manifest.renew(*lease, 150.0));
+  EXPECT_FALSE(manifest.renew(*lease, 500.0));
+
+  // The aged-out shard is stealable at a bumped generation; the zombie
+  // holder can no longer renew or meaningfully complete.
+  const auto stolen = manifest.claim("w1", 200.0);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->shard, 0U);
+  EXPECT_EQ(stolen->generation, 2U);
+  EXPECT_EQ(manifest.slot(0).reclaims, 1U);
+  EXPECT_FALSE(manifest.renew(*lease, 210.0));
+  EXPECT_EQ(manifest.complete(*lease, 220.0), CompleteOutcome::kSuperseded);
+  // Superseded completion still finishes the shard (the work is durable).
+  EXPECT_EQ(manifest.slot(0).state, ShardState::kDone);
+  EXPECT_EQ(manifest.complete(*stolen, 230.0), CompleteOutcome::kAlreadyDone);
+}
+
+TEST(ShardManifest, DoubleCompleteIsIdempotent) {
+  TempDir dir;
+  util::Fsx& real = util::Fsx::real();
+  WorkManifest manifest(real, dir.path("manifest.nrlg"), 2, 100.0);
+
+  const auto lease = manifest.claim("w0", 0.0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(manifest.complete(*lease, 10.0), CompleteOutcome::kCompleted);
+  EXPECT_EQ(manifest.complete(*lease, 11.0), CompleteOutcome::kAlreadyDone);
+  EXPECT_EQ(manifest.complete(*lease, 12.0), CompleteOutcome::kAlreadyDone);
+  EXPECT_EQ(manifest.done_count(), 1U);
+  EXPECT_EQ(manifest.slot(0).completions, 1U);  // repeats appended no ops
+  EXPECT_EQ(manifest.slot(0).completed_ms, 10.0);
+
+  // A done shard is never re-claimable; the other shard still is.
+  const auto next = manifest.claim("w0", 20.0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->shard, 1U);
+  EXPECT_FALSE(manifest.claim_straggler(0, "w1", 21.0).has_value());
+}
+
+TEST(ShardManifest, StragglerHedgeBumpsGenerationAndEvictsHolder) {
+  TempDir dir;
+  util::Fsx& real = util::Fsx::real();
+  WorkManifest manifest(real, dir.path("manifest.nrlg"), 1, 1000.0);
+
+  const auto slow = manifest.claim("slow", 0.0);
+  ASSERT_TRUE(slow.has_value());
+  // Live lease: a plain claim refuses, a hedge steals.
+  EXPECT_FALSE(manifest.claim("fast", 10.0).has_value());
+  EXPECT_FALSE(manifest.claim_straggler(0, "slow", 10.0).has_value());  // not ourselves
+  const auto hedge = manifest.claim_straggler(0, "fast", 10.0);
+  ASSERT_TRUE(hedge.has_value());
+  EXPECT_EQ(hedge->generation, 2U);
+  EXPECT_EQ(manifest.slot(0).hedges, 1U);
+  EXPECT_EQ(manifest.slot(0).reclaims, 0U);
+
+  // The straggler's next heartbeat tells it the shard moved on.
+  EXPECT_FALSE(manifest.renew(*slow, 20.0));
+  EXPECT_TRUE(manifest.renew(*hedge, 20.0));
+}
+
+TEST(ShardManifest, TornManifestTailRepairedAtEveryTruncationPoint) {
+  TempDir dir;
+  util::Fsx& real = util::Fsx::real();
+  const std::string path = dir.path("manifest.nrlg");
+
+  // Build a log with a claim/renew/complete history across 3 shards.
+  {
+    WorkManifest manifest(real, path, 3, 100.0);
+    const auto a = manifest.claim("w0", 0.0);
+    const auto b = manifest.claim("w1", 0.0);
+    ASSERT_TRUE(a && b);
+    manifest.renew(*a, 50.0);
+    manifest.complete(*a, 90.0);
+    manifest.claim("w0", 95.0);
+  }
+  const std::string log_bytes = real.read_file(path);
+
+  for (std::size_t cut = 8; cut <= log_bytes.size(); ++cut) {
+    real.write_file(path, log_bytes.substr(0, cut));
+    // Opening a handle repairs the tear (atomic truncate to the valid
+    // prefix) and replays only CRC-valid transitions.
+    WorkManifest manifest(real, path, 3, 100.0);
+    const util::RecordLogReplay replay = util::recordlog_load(real, path);
+    EXPECT_TRUE(replay.clean) << "cut " << cut << " left a torn manifest";
+
+    // The repaired log must still be appendable and consistent: claim
+    // whatever the surviving prefix says is claimable.
+    const auto lease = manifest.claim("w9", 1000.0);
+    if (lease.has_value()) {
+      WorkManifest reread(real, path, 3, 100.0);
+      EXPECT_EQ(reread.slot(lease->shard).lease.worker, "w9") << "cut " << cut;
+    }
+  }
+}
+
+TEST(ShardManifest, CrashDuringAppendLeavesRepairableLogAtEveryOp) {
+  TempDir dir;
+  util::Fsx& real = util::Fsx::real();
+  const std::string path = dir.path("manifest.nrlg");
+
+  // Count the mutating ops of a fixed transition script.
+  const auto script = [](WorkManifest& m) {
+    const auto a = m.claim("w0", 0.0);
+    const auto b = m.claim("w1", 0.0);
+    if (a) m.renew(*a, 10.0);
+    if (b) m.complete(*b, 20.0);
+    if (a) m.complete(*a, 30.0);
+  };
+  util::FaultFs counting(real);
+  {
+    WorkManifest manifest(counting, path, 2, 100.0);
+    script(manifest);
+  }
+  const auto total_ops = static_cast<long long>(counting.mutating_ops());
+  ASSERT_GE(total_ops, 5);
+
+  for (long long k = 0; k < total_ops; ++k) {
+    real.remove_file(path);
+    util::FaultFs faulty(real, util::FsFaultPlan::torn_write(k, 0.61));
+    bool crashed = false;
+    try {
+      WorkManifest manifest(faulty, path, 2, 100.0);
+      script(manifest);
+    } catch (const util::FsxCrash&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "crash point " << k << " never fired";
+
+    // Survivor's view: opening repairs any tear; the table is some valid
+    // prefix of the script and fully operational (drain to done).
+    WorkManifest survivor(real, path, 2, 100.0);
+    const util::RecordLogReplay replay = util::recordlog_load(real, path);
+    EXPECT_TRUE(replay.clean) << "crash " << k << " left an unrepaired manifest";
+    double now = 1000.0;
+    while (!survivor.all_done()) {
+      const auto lease = survivor.claim("survivor", now);
+      ASSERT_TRUE(lease.has_value()) << "crash " << k << " wedged the manifest";
+      ASSERT_EQ(survivor.complete(*lease, now + 1.0), CompleteOutcome::kCompleted);
+      now += 10.0;
+    }
+    EXPECT_EQ(survivor.done_count(), 2U) << "crash " << k;
+  }
+}
+
+}  // namespace
+}  // namespace neuro::shard

@@ -1,0 +1,150 @@
+// Directory-sync durability: a rename is only crash-durable once its
+// parent directory's entry table has been fsynced. FaultFs models the gap
+// with volatile_renames — every rename applies immediately but is rolled
+// back by an injected crash unless a sync_dir intervened — and
+// atomic_write_file must close it by syncing the parent after its rename.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "util/fsx.hpp"
+
+namespace neuro::util {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("neuro_dirsync_") + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+// The hazard, demonstrated: write temp + rename WITHOUT a directory sync,
+// then crash on a later op. Under the page-cache-loss model the rename is
+// rolled back — the destination silently reverts to its old content even
+// though the writer "completed" the replace.
+TEST(FsxDirSync, UnsyncedRenameIsLostOnCrash) {
+  TempDir dir;
+  Fsx& real = Fsx::real();
+  const std::string dst = dir.path("state.bin");
+  const std::string tmp = temp_path_for(dst);
+  real.write_file(dst, "old");
+
+  FsFaultPlan plan = FsFaultPlan::torn_write(2, 1.0);  // ops: write, rename, crash
+  plan.volatile_renames = true;
+  FaultFs fs(real, plan);
+
+  fs.write_file(tmp, "new");
+  fs.rename_file(tmp, dst);
+  EXPECT_EQ(real.read_file(dst), "new");  // visible pre-crash (page cache)
+  EXPECT_THROW(fs.write_file(dir.path("unrelated.bin"), "x"), FsxCrash);
+
+  // Post-"restart": the un-fsynced rename never hit the disk.
+  EXPECT_EQ(real.read_file(dst), "old");
+  EXPECT_EQ(real.read_file(tmp), "new");
+}
+
+// A sync_dir after the rename pins it: the same crash now leaves the new
+// content in place. This is exactly the op atomic_write_file must issue.
+TEST(FsxDirSync, SyncDirMakesRenameDurable) {
+  TempDir dir;
+  Fsx& real = Fsx::real();
+  const std::string dst = dir.path("state.bin");
+  const std::string tmp = temp_path_for(dst);
+  real.write_file(dst, "old");
+
+  FsFaultPlan plan = FsFaultPlan::torn_write(3, 1.0);  // write, rename, sync, crash
+  plan.volatile_renames = true;
+  FaultFs fs(real, plan);
+
+  fs.write_file(tmp, "new");
+  fs.rename_file(tmp, dst);
+  fs.sync_dir(parent_dir(dst));
+  EXPECT_THROW(fs.write_file(dir.path("unrelated.bin"), "x"), FsxCrash);
+
+  EXPECT_EQ(real.read_file(dst), "new");
+}
+
+// atomic_write_file itself: under the volatile-rename model, a crash at
+// every one of its ops — and right after it returns — must leave either
+// the complete old or the complete new content, and once the call has
+// returned the new content must be durable (the parent-dir sync is part of
+// the contract, not an optional nicety).
+TEST(FsxDirSync, AtomicWriteSurvivesEveryCrashPointUnderVolatileRenames) {
+  TempDir dir;
+  Fsx& real = Fsx::real();
+  const std::string dst = dir.path("state.bin");
+
+  FaultFs counting(real);
+  real.write_file(dst, "old");
+  atomic_write_file(counting, dst, "new");
+  const auto total_ops = static_cast<long long>(counting.mutating_ops());
+  ASSERT_GE(total_ops, 3);  // write(tmp) + rename + sync_dir
+
+  for (long long k = 0; k <= total_ops; ++k) {
+    for (const double fraction : {0.0, 0.5, 1.0}) {
+      real.write_file(dst, "old");
+      real.remove_file(temp_path_for(dst));
+
+      FsFaultPlan plan = FsFaultPlan::torn_write(k, fraction);
+      plan.volatile_renames = true;
+      FaultFs fs(real, plan);
+
+      bool crashed = false;
+      try {
+        atomic_write_file(fs, dst, "new");
+        // Crash AFTER the call returned (k == total_ops): durability of
+        // the completed call is what the sync_dir guarantees.
+        fs.write_file(dir.path("unrelated.bin"), "x");
+      } catch (const FsxCrash&) {
+        crashed = true;
+      }
+      ASSERT_TRUE(crashed) << "crash point " << k << " never fired";
+
+      const std::string content = real.read_file(dst);
+      EXPECT_TRUE(content == "old" || content == "new")
+          << "crash " << k << "@" << fraction << ": torn content " << content;
+      if (k >= total_ops) {
+        EXPECT_EQ(content, "new") << "completed atomic_write_file lost to a later crash";
+      }
+    }
+  }
+}
+
+// sync_dir on a real directory works and a bogus path reports FsxError
+// with the structured op tag (not a crash, not a silent no-op).
+TEST(FsxDirSync, RealSyncDirAndErrorPath) {
+  TempDir dir;
+  Fsx& real = Fsx::real();
+  real.write_file(dir.path("f"), "x");
+  EXPECT_NO_THROW(real.sync_dir(parent_dir(dir.path("f"))));
+  try {
+    real.sync_dir(dir.path("missing-subdir"));
+    FAIL() << "expected FsxError";
+  } catch (const FsxError& e) {
+    EXPECT_EQ(e.op(), FsxOp::kSyncDir);
+  }
+}
+
+TEST(FsxDirSync, ParentDirHelper) {
+  EXPECT_EQ(parent_dir("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(parent_dir("/top.txt"), "/");
+  EXPECT_EQ(parent_dir("relative.txt"), ".");
+}
+
+}  // namespace
+}  // namespace neuro::util
