@@ -20,8 +20,11 @@
 #include "detect/detector.hpp"
 #include "image/noise.hpp"
 #include "llm/ensemble.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/wideevent.hpp"
 #include "serve/loadgen.hpp"
 #include "shard/supervisor.hpp"
+#include "util/metrics.hpp"
 #include "util/recordlog.hpp"
 
 using namespace neuro;
@@ -423,6 +426,81 @@ void BM_ShardMerge(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_ShardMerge)->Arg(16)->Arg(64)->ArgName("shards")->Unit(benchmark::kMillisecond);
+
+// Telemetry sampling cost: one fixed-interval boundary sweep over a
+// fleet-shaped registry (labeled per-tenant/per-worker counters plus
+// latency histograms with quantile tracks) — what the sequential event
+// loop pays per virtual second of survey time.
+void BM_TimeseriesSample(benchmark::State& state) {
+  util::MetricsRegistry registry;
+  obs::TimeseriesConfig config;
+  config.interval_ms = 1'000.0;
+  config.latency_tracks.push_back({"serve.queue_wait_ms", 2'000.0});
+  obs::TimeseriesStore store(config);
+
+  std::vector<util::Counter*> counters;
+  for (int tenant = 0; tenant < 16; ++tenant) {
+    const std::string id = "t" + std::to_string(tenant);
+    counters.push_back(&registry.counter(obs::labeled_name("serve.tenant.submitted", {{"tenant", id}})));
+    counters.push_back(&registry.counter(obs::labeled_name("serve.tenant.streamed", {{"tenant", id}})));
+  }
+  util::Histogram& wait = registry.histogram("serve.queue_wait_ms");
+  util::Histogram& latency = registry.histogram("llm.latency_ms");
+
+  double now_ms = 0.0;
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    // Move every series a little so no delta short-circuits.
+    for (util::Counter* counter : counters) counter->add(1 + (tick & 3));
+    wait.observe(static_cast<double>(100 + (tick % 1900)));
+    latency.observe(static_cast<double>(250 + (tick % 4000)));
+    ++tick;
+    now_ms += 1'000.0;
+    store.advance_to(registry, now_ms);
+    benchmark::DoNotOptimize(store.sample_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeseriesSample);
+
+// Wide-event emission cost: encoding one fleet-context request record and
+// appending its CRC32 frame to the durable event log — what every LLM
+// request pays when `--telemetry-dir` is on.
+void BM_WideEventAppend(benchmark::State& state) {
+  namespace stdfs = std::filesystem;
+  const stdfs::path dir =
+      stdfs::temp_directory_path() / ("neuro_bench_wideevent_" + std::to_string(::getpid()));
+  stdfs::create_directories(dir);
+  const std::string path = (dir / "events.nrlg").string();
+  util::Fsx& fs = util::Fsx::real();
+
+  obs::WideEventLog log;
+  log.open(fs, path);
+  std::size_t appended = 0;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    obs::WideEvent event(static_cast<double>(++id) * 2.5, "llm.request");
+    event.add("tenant", "alpha")
+        .add("job", id % 64)
+        .add("image", 1000 + id)
+        .add("outcome", "ok")
+        .add("latency_ms", 831.25)
+        .add("attempts", std::int64_t{1});
+    log.append(event);
+    // Reset periodically so the in-memory log and the backing file stay
+    // bounded no matter how many iterations the harness picks.
+    if (++appended == 8192) {
+      state.PauseTiming();
+      log = obs::WideEventLog();
+      log.open(fs, path);
+      appended = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  stdfs::remove_all(dir);
+}
+BENCHMARK(BM_WideEventAppend);
 
 void BM_MajorityVote(benchmark::State& state) {
   std::vector<scene::PresenceVector> votes(3);

@@ -36,6 +36,13 @@
 //                         byte-identical at any thread count.
 //   --manifest PATH       write a RunManifest (seed, config digest, git
 //                         describe, stage durations, metrics snapshot)
+//   --telemetry-dir DIR   serve/sharded: write prometheus.txt, health.json,
+//                         dashboard.txt and the crash-safe events.nrlg
+//                         wide-event log — all byte-identical at any
+//                         thread count
+//   --dashboard           print the ANSI fleet dashboard after the run
+//   --slo                 evaluate default availability + queue-latency
+//                         SLOs with multi-window burn-rate alerts
 //
 // Service mode (ROADMAP item 1 — the survey as a multi-tenant service):
 //   --serve               run the admission/queue core under the load
@@ -65,6 +72,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -72,6 +80,8 @@
 
 #include "core/neighborhood_decoder.hpp"
 #include "core/survey.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/service.hpp"
 #include "shard/supervisor.hpp"
@@ -100,6 +110,70 @@ bool parse_window(const std::string& spec, double& start, double& end, double* m
   end = std::stod(parts[1]);
   if (mult != nullptr && parts.size() > 2) *mult = std::stod(parts[2]);
   return true;
+}
+
+/// Default SLOs for the two fleet modes: an availability objective over
+/// admission/request success plus a latency objective over queue wait.
+/// Windows are sized to the scripted-burst demos so a kickoff burst both
+/// fires and resolves within one run.
+obs::TelemetryConfig make_telemetry_config(bool serve_mode, bool slo, const std::string& dir) {
+  obs::TelemetryConfig config;
+  config.sample_interval_ms = 1'000.0;
+  if (!dir.empty()) {
+    std::filesystem::create_directories(dir);
+    config.events_path = dir + "/events.nrlg";
+  }
+  const std::string latency_hist = serve_mode ? "serve.queue_wait_ms" : "llm.queue_wait_ms";
+  config.latency_tracks.push_back({latency_hist, 2'000.0});
+  if (!slo) return config;
+
+  obs::SloSpec availability;
+  availability.name = serve_mode ? "serve-availability" : "request-success";
+  availability.good_series = serve_mode ? "serve.admitted" : "llm.successes";
+  availability.total_series = serve_mode ? "serve.submitted" : "llm.requests";
+  availability.objective = serve_mode ? 0.9 : 0.95;
+  availability.windows = {{2'000.0, 10'000.0, 1.5}};
+  availability.resolve_after_ms = 2'000.0;
+  config.slos.push_back(availability);
+
+  obs::SloSpec latency;
+  latency.name = "queue-latency";
+  latency.good_series = latency_hist + "|le2000";
+  latency.total_series = latency_hist + "|count";
+  latency.objective = 0.9;
+  latency.windows = {{2'000.0, 10'000.0, 1.5}};
+  latency.resolve_after_ms = 2'000.0;
+  config.slos.push_back(latency);
+  return config;
+}
+
+void print_slo_summary(const obs::Telemetry& telemetry) {
+  std::printf("\nSLO burn-rate alerts:\n");
+  for (const obs::SloStatus& status : telemetry.slo().status()) {
+    std::printf("  %-20s objective %.2f  state %-8s  fired %llu  resolved %llu\n",
+                status.spec.name.c_str(), status.spec.objective,
+                obs::alert_state_name(status.state), static_cast<unsigned long long>(status.fired),
+                static_cast<unsigned long long>(status.resolved));
+  }
+  for (const obs::AlertTransition& edge : telemetry.slo().history()) {
+    std::printf("  [%8.0f ms] %-20s %s -> %s (burn fast %.1fx / slow %.1fx)\n", edge.at_ms,
+                edge.slo.c_str(), obs::alert_state_name(edge.from),
+                obs::alert_state_name(edge.to), edge.burn_fast, edge.burn_slow);
+  }
+}
+
+/// Dump the exporter suite into --telemetry-dir: Prometheus text, the
+/// health JSON, and a color-free dashboard frame (the byte-identity units
+/// the CI determinism gate compares across thread counts).
+void write_telemetry_outputs(const obs::Telemetry& telemetry, const std::string& dir,
+                             obs::DashboardOptions options) {
+  util::Fsx& fs = util::Fsx::real();
+  fs.write_file(dir + "/prometheus.txt", obs::prometheus_text(telemetry.registry()));
+  fs.write_file(dir + "/health.json", obs::health_json(telemetry).dump(2) + "\n");
+  options.ansi = false;
+  fs.write_file(dir + "/dashboard.txt", obs::render_dashboard(telemetry, options));
+  std::printf("telemetry written: %s/{prometheus.txt,health.json,dashboard.txt%s}\n", dir.c_str(),
+              telemetry.events().durable() ? ",events.nrlg" : "");
 }
 
 }  // namespace
@@ -143,6 +217,13 @@ int main(int argc, char** argv) {
   cli.add_flag("fork-workers", false,
                "sharded mode: fork real child processes (flock-serialized) instead of the "
                "deterministic in-process virtual clock");
+  cli.add_string("telemetry-dir", "",
+                 "write prometheus.txt / health.json / dashboard.txt / events.nrlg into this "
+                 "directory (serve + sharded modes)");
+  cli.add_flag("dashboard", false, "print the ANSI fleet dashboard after the run");
+  cli.add_flag("slo", false,
+               "evaluate default availability + queue-latency SLOs with multi-window "
+               "burn-rate alerts");
   if (!cli.parse(argc, argv)) return 0;
 
   // Tracing covers the whole run (dataset build through ensemble vote);
@@ -188,6 +269,11 @@ int main(int argc, char** argv) {
     if (tracing) scheduler_config.trace = &trace;
   }
 
+  const std::string telemetry_dir = cli.get_string("telemetry-dir");
+  const bool want_dashboard = cli.get_flag("dashboard");
+  const bool want_slo = cli.get_flag("slo");
+  const bool want_telemetry = !telemetry_dir.empty() || want_dashboard || want_slo;
+
   // --- Sharded mode: N seeded counties drained by a crash-tolerant worker
   // fleet over a lease-based work manifest. The national report is a pure
   // function of the journal files, so any worker count — and any kill
@@ -216,6 +302,17 @@ int main(int argc, char** argv) {
     }
     std::filesystem::create_directories(dir);
     config.worker.dir = dir;
+
+    util::MetricsRegistry shard_metrics;
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (want_telemetry && !config.fork_workers) {
+      telemetry = std::make_unique<obs::Telemetry>(
+          shard_metrics, make_telemetry_config(/*serve_mode=*/false, want_slo, telemetry_dir));
+      config.worker.telemetry = telemetry.get();
+    } else if (want_telemetry) {
+      std::printf("telemetry: unavailable with --fork-workers (the hub needs the in-process "
+                  "virtual clock)\n");
+    }
 
     std::printf("sharded survey: %zu counties x %zu images, %zu workers%s (dir %s)\n",
                 config.worker.frame.shards, config.worker.frame.images_per_shard, config.workers,
@@ -250,6 +347,15 @@ int main(int argc, char** argv) {
                   "journals restore for free)\n",
                   dir.c_str());
     }
+    if (telemetry != nullptr) {
+      if (want_slo) print_slo_summary(*telemetry);
+      obs::DashboardOptions dash;
+      dash.workers = report.worker_status;
+      if (want_dashboard) {
+        std::printf("\n%s", obs::render_dashboard(*telemetry, dash).c_str());
+      }
+      if (!telemetry_dir.empty()) write_telemetry_outputs(*telemetry, telemetry_dir, dash);
+    }
     return 0;
   }
 
@@ -271,6 +377,12 @@ int main(int argc, char** argv) {
     service_config.journal_path = cli.get_string("journal");
     service_config.metrics = &metrics;
     if (tracing) service_config.trace = &trace;
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (want_telemetry) {
+      telemetry = std::make_unique<obs::Telemetry>(
+          metrics, make_telemetry_config(/*serve_mode=*/true, want_slo, telemetry_dir));
+      service_config.telemetry = telemetry.get();
+    }
 
     serve::LoadGenConfig load;
     load.tenants = static_cast<std::size_t>(cli.get_int("tenants"));
@@ -323,6 +435,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(drained_jobs));
     }
     std::printf("%s", eval::metrics_table(metrics).render().c_str());
+    if (telemetry != nullptr) {
+      if (want_slo) print_slo_summary(*telemetry);
+      obs::DashboardOptions dash;
+      if (want_dashboard) {
+        std::printf("\n%s", obs::render_dashboard(*telemetry, dash).c_str());
+      }
+      if (!telemetry_dir.empty()) write_telemetry_outputs(*telemetry, telemetry_dir, dash);
+    }
     if (tracing) {
       util::set_active_trace(nullptr);
       if (!trace_path.empty()) {

@@ -1,0 +1,108 @@
+// Query the crash-safe wide-event log a fleet run leaves behind
+// (--telemetry-dir writes events.nrlg): filter by kind, virtual-time
+// range and exact field matches, and print the surviving events as a
+// table. Reads through the same torn-tail-tolerant replay path the
+// determinism tests use, so a log torn by a mid-append crash still
+// yields its valid prefix (with a note about the dropped tail).
+//
+//   ./telemetry_query --events shard-run/events.nrlg --kind shard.lease
+//   ./telemetry_query --events serve-run/events.nrlg \
+//       --kind serve.job --where outcome=shed_queue_full --since 12000
+//
+// Output columns: virtual time, kind, then every k=v field in emission
+// order — wide events are flat, so no joins, just grep with structure.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/wideevent.hpp"
+#include "util/cli.hpp"
+#include "util/fsx.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace neuro;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("telemetry_query", "filter + print a wide-event log");
+  cli.add_string("events", "", "path to an events.nrlg wide-event log (required)");
+  cli.add_string("kind", "", "keep only events of this kind (llm.request, serve.job, ...)");
+  cli.add_string("where", "",
+                 "comma-separated exact field matches, e.g. tenant=t07,outcome=admitted");
+  cli.add_double("since", -1.0, "keep events at or after this virtual ms (negative = no bound)");
+  cli.add_double("until", -1.0, "keep events at or before this virtual ms (negative = no bound)");
+  cli.add_int("limit", 0, "print at most this many events (0 = all)");
+  cli.add_flag("stats", false, "print per-kind counts instead of the event table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string path = cli.get_string("events");
+  if (path.empty()) {
+    std::fprintf(stderr, "telemetry_query: --events PATH is required\n");
+    return 1;
+  }
+
+  obs::WideEventReplay replay;
+  try {
+    replay = obs::load_wide_events(util::Fsx::real(), path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "telemetry_query: cannot read %s: %s\n", path.c_str(), error.what());
+    return 1;
+  }
+  if (!replay.clean) {
+    std::printf("note: torn tail truncated (%zu bytes dropped%s%s)\n", replay.dropped_bytes,
+                replay.error.empty() ? "" : "; ", replay.error.c_str());
+  }
+
+  obs::EventFilter filter;
+  filter.kind = cli.get_string("kind");
+  if (cli.get_double("since") >= 0.0) filter.from_ms = cli.get_double("since");
+  if (cli.get_double("until") >= 0.0) filter.to_ms = cli.get_double("until");
+  for (const std::string& clause : util::split(cli.get_string("where"), ',')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "telemetry_query: --where clause needs key=value, got: %s\n",
+                   clause.c_str());
+      return 1;
+    }
+    filter.equals.emplace_back(clause.substr(0, eq), clause.substr(eq + 1));
+  }
+
+  const std::vector<obs::WideEvent> matched = obs::filter_events(replay.events, filter);
+
+  if (cli.get_flag("stats")) {
+    std::map<std::string, std::size_t> by_kind;
+    for (const obs::WideEvent& event : matched) ++by_kind[event.kind];
+    util::TextTable table({"Kind", "Events"});
+    for (const auto& [kind, count] : by_kind) {
+      table.add_row({kind, std::to_string(count)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("%zu/%zu events matched\n", matched.size(), replay.events.size());
+    return 0;
+  }
+
+  std::size_t limit = matched.size();
+  if (cli.get_int("limit") > 0) {
+    limit = std::min(limit, static_cast<std::size_t>(cli.get_int("limit")));
+  }
+  util::TextTable table({"t (ms)", "Kind", "Fields"});
+  for (std::size_t i = 0; i < limit; ++i) {
+    const obs::WideEvent& event = matched[i];
+    std::string fields;
+    for (const auto& [key, value] : event.fields) {
+      if (!fields.empty()) fields += ' ';
+      fields += key;
+      fields += '=';
+      fields += value;
+    }
+    table.add_row({util::format("%.0f", event.t_ms), event.kind, fields});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("%zu/%zu events matched%s\n", matched.size(), replay.events.size(),
+              limit < matched.size() ? util::format(" (showing %zu)", limit).c_str() : "");
+  return 0;
+}

@@ -246,7 +246,9 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
 
     if (metrics_ != nullptr) {
       metrics_->counter("llm.requests").add(1);
-      if (!outcome.ok) metrics_->counter("llm.failures").add(1);
+      // Split success/failure counters so an availability SLO can point
+      // good=llm.successes at total=llm.requests directly.
+      metrics_->counter(outcome.ok ? "llm.successes" : "llm.failures").add(1);
       if (outcome.attempts > 1) {
         metrics_->counter("llm.retries").add(static_cast<std::uint64_t>(outcome.attempts - 1));
       }
@@ -260,6 +262,24 @@ BatchReport RequestScheduler::run(const PromptPlan& plan, const std::vector<Surv
       metrics_->histogram("llm.queue_wait_ms").observe(outcome.queue_wait_ms);
       metrics_->histogram("llm.service_ms").observe(outcome.latency_ms);
       metrics_->histogram("llm.cost_usd").observe(outcome.cost_usd);
+    }
+
+    if (config_.telemetry != nullptr) {
+      // One wide event per request, emitted from this sequential loop so
+      // the log bytes never depend on the script phase's thread count.
+      const double t0 = config_.telemetry_t0_ms;
+      obs::WideEvent event(t0 + finish_ms, "llm.request");
+      for (const auto& [key, value] : config_.event_context) event.add(key, value);
+      event.add("image_id", batch[request.item].image_id)
+          .add("message", static_cast<std::uint64_t>(request.message))
+          .add("ready_ms", t0 + request.ready_ms)
+          .add("start_ms", t0 + start_ms)
+          .add("finish_ms", t0 + finish_ms)
+          .add("attempts", static_cast<std::int64_t>(outcome.attempts))
+          .add("ok", outcome.ok)
+          .add("fast_failed", outcome.fast_failed)
+          .add("cost_usd", outcome.cost_usd);
+      config_.telemetry->emit(event);
     }
   }
 

@@ -36,6 +36,7 @@
 #include "llm/parser.hpp"
 #include "llm/prompt.hpp"
 #include "llm/vlm.hpp"
+#include "obs/telemetry.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -67,6 +68,15 @@ struct SchedulerConfig {
   /// lane per in-flight slot. Ensemble members pick disjoint bases so
   /// their requests render on separate tracks.
   std::uint64_t trace_lane_base = 0;
+  /// When set, the SCHEDULE loop emits one "llm.request" wide event per
+  /// admitted request — from the sequential phase only, so the event log
+  /// stays byte-identical at any thread count. Not owned.
+  obs::Telemetry* telemetry = nullptr;
+  /// Offset added to this batch's virtual times in emitted events: the
+  /// scheduler clock is batch-local, the fleet clock is not.
+  double telemetry_t0_ms = 0.0;
+  /// Fields prepended to every emitted event (tenant/job/shard identity).
+  std::vector<std::pair<std::string, std::string>> event_context;
 };
 
 /// One unit of batch work: interrogate one image with the shared plan.

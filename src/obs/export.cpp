@@ -1,0 +1,301 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace neuro::obs {
+
+std::string prometheus_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += (alpha || (digit && i != 0)) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+const std::vector<double>& default_le_bounds() {
+  static const std::vector<double> bounds = {1.0,    2.5,    5.0,    10.0,    25.0,
+                                             50.0,   100.0,  250.0,  500.0,   1000.0,
+                                             2500.0, 5000.0, 10000.0, 30000.0, 60000.0};
+  return bounds;
+}
+
+namespace {
+
+std::string render_labels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += prometheus_name(labels[i].first);
+    out += "=\"";
+    out += prometheus_escape(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string label_block(const LabelSet& labels, std::string_view extra_key,
+                        std::string_view extra_value) {
+  LabelSet all = labels;
+  all.emplace_back(std::string(extra_key), std::string(extra_value));
+  return render_labels(all);
+}
+
+std::string fmt_value(double value) { return util::format("%.9g", value); }
+
+}  // namespace
+
+std::string prometheus_text(const util::MetricsRegistry& registry,
+                            const std::vector<double>& le_bounds) {
+  // Group by base name so each family gets exactly one # TYPE line even
+  // when labeled and unlabeled series interleave in registry sort order.
+  std::map<std::string, std::vector<std::pair<LabelSet, std::uint64_t>>> counter_families;
+  for (const auto& [name, value] : registry.counter_values()) {
+    ParsedName parsed = parse_labeled_name(name);
+    counter_families[parsed.base].emplace_back(std::move(parsed.labels), value);
+  }
+  std::string out;
+  for (const auto& [base, series] : counter_families) {
+    const std::string prom = prometheus_name(base);
+    out += util::format("# TYPE %s counter\n", prom.c_str());
+    for (const auto& [labels, value] : series) {
+      out += util::format("%s%s %llu\n", prom.c_str(), render_labels(labels).c_str(),
+                          static_cast<unsigned long long>(value));
+    }
+  }
+  for (const auto& [name, snap] : registry.histogram_snapshots()) {
+    const ParsedName parsed = parse_labeled_name(name);
+    const std::string prom = prometheus_name(parsed.base);
+    const util::Histogram* histogram = registry.find_histogram(name);
+    out += util::format("# TYPE %s histogram\n", prom.c_str());
+    for (const double bound : le_bounds) {
+      const std::uint64_t cumulative = histogram == nullptr ? 0 : histogram->count_le(bound);
+      out += util::format(
+          "%s_bucket%s %llu\n", prom.c_str(),
+          label_block(parsed.labels, "le", fmt_value(bound)).c_str(),
+          static_cast<unsigned long long>(cumulative));
+    }
+    out += util::format("%s_bucket%s %llu\n", prom.c_str(),
+                        label_block(parsed.labels, "le", "+Inf").c_str(),
+                        static_cast<unsigned long long>(snap.count));
+    out += util::format("%s_sum%s %s\n", prom.c_str(), render_labels(parsed.labels).c_str(),
+                        fmt_value(snap.sum).c_str());
+    out += util::format("%s_count%s %llu\n", prom.c_str(), render_labels(parsed.labels).c_str(),
+                        static_cast<unsigned long long>(snap.count));
+  }
+  return out;
+}
+
+util::Json health_json(const Telemetry& telemetry) {
+  util::Json root = util::Json::object();
+  root["now_ms"] = telemetry.now_ms();
+  root["samples"] = static_cast<std::int64_t>(telemetry.store().sample_count());
+  root["events"] = static_cast<std::int64_t>(telemetry.events().appended());
+  root["slos_firing"] = static_cast<std::int64_t>(telemetry.slo().firing_count());
+
+  util::Json slos = util::Json::array();
+  for (const SloStatus& status : telemetry.slo().status()) {
+    util::Json entry = util::Json::object();
+    entry["name"] = status.spec.name;
+    entry["objective"] = status.spec.objective;
+    entry["state"] = std::string(alert_state_name(status.state));
+    entry["since_ms"] = status.since_ms;
+    entry["breaching"] = status.breaching;
+    entry["fired"] = static_cast<std::int64_t>(status.fired);
+    entry["resolved"] = static_cast<std::int64_t>(status.resolved);
+    util::Json burns = util::Json::array();
+    for (const auto& [fast, slow] : status.burn) {
+      util::Json pair = util::Json::object();
+      pair["fast"] = fast;
+      pair["slow"] = slow;
+      burns.push_back(std::move(pair));
+    }
+    entry["burn"] = std::move(burns);
+    slos.push_back(std::move(entry));
+  }
+  root["slos"] = std::move(slos);
+
+  util::Json alerts = util::Json::array();
+  for (const AlertTransition& edge : telemetry.slo().history()) {
+    util::Json entry = util::Json::object();
+    entry["at_ms"] = edge.at_ms;
+    entry["slo"] = edge.slo;
+    entry["from"] = std::string(alert_state_name(edge.from));
+    entry["to"] = std::string(alert_state_name(edge.to));
+    entry["burn_fast"] = edge.burn_fast;
+    entry["burn_slow"] = edge.burn_slow;
+    alerts.push_back(std::move(entry));
+  }
+  root["alerts"] = std::move(alerts);
+  root["metrics"] = telemetry.registry().to_json();
+  return root;
+}
+
+namespace {
+
+const char* kReset = "\x1b[0m";
+
+std::string paint(const std::string& text, const char* color, bool ansi) {
+  if (!ansi) return text;
+  return std::string(color) + text + kReset;
+}
+
+std::string state_cell(AlertState state, bool ansi) {
+  switch (state) {
+    case AlertState::kInactive: return paint("ok     ", "\x1b[32m", ansi);
+    case AlertState::kPending: return paint("pending", "\x1b[33m", ansi);
+    case AlertState::kFiring: return paint("FIRING ", "\x1b[31m", ansi);
+  }
+  return "?";
+}
+
+/// Fixed-width burn gauge: '#' per 0.5x burn, capped at 20 chars ( = 10x).
+std::string burn_gauge(double burn) {
+  const int cells = std::min(20, static_cast<int>(std::floor(burn * 2.0 + 1e-9)));
+  std::string out(static_cast<std::size_t>(std::max(0, cells)), '#');
+  out.resize(20, '.');
+  return out;
+}
+
+struct TenantRow {
+  std::uint64_t submitted = 0;
+  std::uint64_t streamed = 0;
+  std::uint64_t shed = 0;
+};
+
+struct ClassRow {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_quota = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_draining = 0;
+};
+
+}  // namespace
+
+std::string render_dashboard(const Telemetry& telemetry, const DashboardOptions& options) {
+  std::string out;
+  out += util::format(
+      "== FLEET TELEMETRY ==  t=%.1fs  samples=%llu  events=%llu  slos_firing=%llu\n",
+      telemetry.now_ms() / 1000.0,
+      static_cast<unsigned long long>(telemetry.store().sample_count()),
+      static_cast<unsigned long long>(telemetry.events().appended()),
+      static_cast<unsigned long long>(telemetry.slo().firing_count()));
+
+  if (!telemetry.slo().status().empty()) {
+    out += "\n-- SLO burn --\n";
+    for (const SloStatus& status : telemetry.slo().status()) {
+      const auto [fast, slow] = status.burn.empty() ? std::pair<double, double>{0.0, 0.0}
+                                                    : status.burn.front();
+      out += util::format("%-24s %s [%s] fast %5.2fx  slow %5.2fx  fired=%llu resolved=%llu\n",
+                          status.spec.name.c_str(), state_cell(status.state, options.ansi).c_str(),
+                          burn_gauge(fast).c_str(), fast, slow,
+                          static_cast<unsigned long long>(status.fired),
+                          static_cast<unsigned long long>(status.resolved));
+    }
+  }
+
+  // Panels are derived from labeled counters in the registry.
+  std::map<std::string, ClassRow> classes;
+  std::map<std::string, TenantRow> tenants;
+  for (const auto& [name, value] : telemetry.registry().counter_values()) {
+    const ParsedName parsed = parse_labeled_name(name);
+    if (parsed.base == "serve.admission") {
+      std::string klass;
+      std::string outcome;
+      for (const auto& [key, label] : parsed.labels) {
+        if (key == "class") klass = label;
+        if (key == "outcome") outcome = label;
+      }
+      ClassRow& row = classes[klass];
+      if (outcome == "admitted") row.admitted += value;
+      else if (outcome == "shed_quota") row.shed_quota += value;
+      else if (outcome == "shed_queue_full") row.shed_queue_full += value;
+      else if (outcome == "shed_draining") row.shed_draining += value;
+    } else if (parsed.base == "serve.tenant.submitted" || parsed.base == "serve.tenant.streamed" ||
+               parsed.base == "serve.tenant.shed") {
+      std::string tenant;
+      for (const auto& [key, label] : parsed.labels) {
+        if (key == "tenant") tenant = label;
+      }
+      TenantRow& row = tenants[tenant];
+      if (parsed.base == "serve.tenant.submitted") row.submitted += value;
+      else if (parsed.base == "serve.tenant.streamed") row.streamed += value;
+      else row.shed += value;
+    }
+  }
+
+  if (!classes.empty()) {
+    out += "\n-- serve admission by class --\n";
+    util::TextTable table({"class", "admitted", "shed_quota", "shed_queue", "shed_drain"});
+    for (const auto& [klass, row] : classes) {
+      table.add_row({klass, util::format("%llu", (unsigned long long)row.admitted),
+                     util::format("%llu", (unsigned long long)row.shed_quota),
+                     util::format("%llu", (unsigned long long)row.shed_queue_full),
+                     util::format("%llu", (unsigned long long)row.shed_draining)});
+    }
+    out += table.render();
+  }
+
+  if (!tenants.empty()) {
+    // Top tenants by submitted, ties broken by name for determinism.
+    std::vector<std::pair<std::string, TenantRow>> ranked(tenants.begin(), tenants.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second.submitted != b.second.submitted) return a.second.submitted > b.second.submitted;
+      return a.first < b.first;
+    });
+    if (ranked.size() > options.top_tenants) ranked.resize(options.top_tenants);
+    out += util::format("\n-- top tenants (of %llu) --\n",
+                        static_cast<unsigned long long>(tenants.size()));
+    util::TextTable table({"tenant", "submitted", "streamed", "shed", "goodput"});
+    for (const auto& [tenant, row] : ranked) {
+      const double goodput =
+          row.submitted == 0 ? 0.0 : static_cast<double>(row.streamed) / row.submitted;
+      table.add_row({tenant, util::format("%llu", (unsigned long long)row.submitted),
+                     util::format("%llu", (unsigned long long)row.streamed),
+                     util::format("%llu", (unsigned long long)row.shed),
+                     util::fmt_percent(goodput)});
+    }
+    out += table.render();
+  }
+
+  if (!options.workers.empty()) {
+    out += "\n-- shard workers --\n";
+    util::TextTable table({"worker", "state", "shard", "gen", "clock_s", "slices"});
+    for (const WorkerStatus& worker : options.workers) {
+      table.add_row({worker.worker, worker.state,
+                     worker.shard < 0 ? "-" : util::format("%lld", (long long)worker.shard),
+                     util::format("%llu", (unsigned long long)worker.generation),
+                     util::format("%.1f", worker.clock_ms / 1000.0),
+                     util::format("%llu", (unsigned long long)worker.slices)});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+}  // namespace neuro::obs

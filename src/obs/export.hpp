@@ -1,0 +1,62 @@
+#pragma once
+// Telemetry exporters: Prometheus text exposition, health-snapshot JSON,
+// and a deterministic ANSI terminal fleet dashboard. All three are pure
+// functions of telemetry state, so they inherit its byte-identity across
+// thread counts.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::obs {
+
+/// Escape a label value for Prometheus text exposition: backslash,
+/// double-quote and newline get backslash escapes.
+std::string prometheus_escape(std::string_view value);
+
+/// Mangle a metric name into the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (dots and other invalid bytes become '_').
+std::string prometheus_name(std::string_view name);
+
+const std::vector<double>& default_le_bounds();
+
+/// Full registry dump in text exposition format. Counters keep their
+/// labels (parsed from the canonical `name{k=v}` form); histograms render
+/// cumulative `_bucket{le="..."}` lines over `le_bounds` plus `+Inf`,
+/// `_sum` and `_count`. Bucket counts are bucket-granular per
+/// Histogram::count_le. Deterministic: sorted metric order, fixed number
+/// formatting.
+std::string prometheus_text(const util::MetricsRegistry& registry,
+                            const std::vector<double>& le_bounds = default_le_bounds());
+
+/// Machine-readable health snapshot: SLO states + burn rates, alert
+/// history, sample/event counts, and the full registry.
+util::Json health_json(const Telemetry& telemetry);
+
+/// One live fleet-fact for the dashboard's worker panel (shard mode).
+struct WorkerStatus {
+  std::string worker;
+  std::string state;  // "claiming", "surveying", "done", "crashed", ...
+  std::int64_t shard = -1;
+  std::uint64_t generation = 0;
+  double clock_ms = 0.0;
+  std::uint64_t slices = 0;
+};
+
+struct DashboardOptions {
+  bool ansi = true;               // color SLO states / shed columns
+  std::size_t top_tenants = 8;    // rows in the per-tenant panel
+  std::vector<WorkerStatus> workers;
+};
+
+/// Render one terminal dashboard frame: SLO burn gauges, per-class serve
+/// admission panel, top tenants by traffic (goodput / shed), and the
+/// per-shard worker table when `options.workers` is non-empty.
+std::string render_dashboard(const Telemetry& telemetry, const DashboardOptions& options = {});
+
+}  // namespace neuro::obs

@@ -1,0 +1,121 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+namespace neuro::obs {
+
+const char* alert_state_name(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "?";
+}
+
+SloEngine::SloEngine(std::vector<SloSpec> specs) {
+  status_.reserve(specs.size());
+  for (SloSpec& spec : specs) {
+    SloStatus status;
+    status.burn.assign(spec.windows.size(), {0.0, 0.0});
+    status.spec = std::move(spec);
+    status_.push_back(std::move(status));
+  }
+}
+
+namespace {
+
+double burn_rate(const TimeseriesStore& store, const SloSpec& spec, double now_ms,
+                 double window_ms) {
+  const double total = store.window_sum(spec.total_series, now_ms, window_ms);
+  if (total <= 0.0) return 0.0;  // no traffic: the budget is not burning
+  const double good = store.window_sum(spec.good_series, now_ms, window_ms);
+  const double bad_fraction = std::clamp(1.0 - good / total, 0.0, 1.0);
+  const double budget = 1.0 - spec.objective;
+  return budget <= 0.0 ? (bad_fraction > 0.0 ? 1e9 : 0.0) : bad_fraction / budget;
+}
+
+}  // namespace
+
+std::vector<AlertTransition> SloEngine::evaluate(const TimeseriesStore& store, double now_ms) {
+  std::vector<AlertTransition> transitions;
+  for (SloStatus& status : status_) {
+    const SloSpec& spec = status.spec;
+    bool breaching = false;
+    double hit_fast = 0.0;
+    double hit_slow = 0.0;
+    std::size_t hit_window = 0;
+    for (std::size_t w = 0; w < spec.windows.size(); ++w) {
+      const BurnWindow& window = spec.windows[w];
+      const double fast = burn_rate(store, spec, now_ms, window.fast_ms);
+      const double slow = burn_rate(store, spec, now_ms, window.slow_ms);
+      status.burn[w] = {fast, slow};
+      if (fast > window.burn_threshold && slow > window.burn_threshold && !breaching) {
+        breaching = true;
+        hit_fast = fast;
+        hit_slow = slow;
+        hit_window = w;
+      }
+    }
+    status.breaching = breaching;
+
+    auto transition = [&](AlertState to) {
+      AlertTransition edge;
+      edge.at_ms = now_ms;
+      edge.slo = spec.name;
+      edge.from = status.state;
+      edge.to = to;
+      edge.burn_fast = breaching ? hit_fast : status.burn[0].first;
+      edge.burn_slow = breaching ? hit_slow : status.burn[0].second;
+      edge.window = hit_window;
+      status.state = to;
+      status.since_ms = now_ms;
+      transitions.push_back(edge);
+      history_.push_back(edge);
+    };
+
+    switch (status.state) {
+      case AlertState::kInactive:
+        if (breaching) {
+          transition(AlertState::kPending);
+          // Zero pending grace collapses pending->firing in one step; the
+          // pending edge still lands in the history so the ladder is
+          // always visible.
+          if (spec.pending_for_ms <= 0.0) {
+            transition(AlertState::kFiring);
+            ++status.fired;
+            status.clean_since_ms = now_ms;
+          }
+        }
+        break;
+      case AlertState::kPending:
+        if (!breaching) {
+          transition(AlertState::kInactive);
+        } else if (now_ms - status.since_ms >= spec.pending_for_ms) {
+          transition(AlertState::kFiring);
+          ++status.fired;
+          status.clean_since_ms = now_ms;
+        }
+        break;
+      case AlertState::kFiring:
+        if (breaching) {
+          status.clean_since_ms = now_ms;
+        } else if (now_ms - status.clean_since_ms >= spec.resolve_after_ms) {
+          transition(AlertState::kInactive);
+          ++status.resolved;
+        }
+        break;
+    }
+  }
+  return transitions;
+}
+
+std::uint64_t SloEngine::firing_count() const {
+  std::uint64_t firing = 0;
+  for (const SloStatus& status : status_) {
+    if (status.state == AlertState::kFiring) ++firing;
+  }
+  return firing;
+}
+
+}  // namespace neuro::obs

@@ -1,0 +1,96 @@
+#pragma once
+// Declarative SLOs with multi-window burn-rate alerting over the
+// deterministic time-series store.
+//
+// An SloSpec names a good-event series and a total-event series (both
+// per-interval deltas in a TimeseriesStore). Availability objectives use
+// counter deltas (e.g. serve.admitted / serve.submitted); latency
+// objectives use a latency track (histogram count_le delta) as the good
+// series and the histogram's "|count" delta as the total.
+//
+// Burn rate over a window W at time t:
+//     burn = ((total - good) / total) / (1 - objective)
+// i.e. how many times faster than the error budget allows the window is
+// consuming budget (burn 1.0 = exactly on budget). Following the
+// multi-window pattern from the Google SRE workbook, an alert condition
+// requires BOTH a fast and a slow window to breach the same burn
+// threshold: the slow window proves the problem is material, the fast
+// window proves it is still happening — so alerts both fire quickly and
+// resolve quickly, without flapping on single-interval noise.
+//
+// The state machine is pending -> firing -> resolved: a breach must
+// persist `pending_for_ms` before firing, and a firing alert must stay
+// clean `resolve_after_ms` before resolving. Evaluations happen at
+// sample boundaries in virtual time, so every transition timestamp is
+// deterministic across thread counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace neuro::obs {
+
+struct BurnWindow {
+  double fast_ms = 5'000.0;
+  double slow_ms = 30'000.0;
+  double burn_threshold = 2.0;  // breach when both windows burn faster than this
+};
+
+struct SloSpec {
+  std::string name;
+  std::string good_series;   // TimeseriesStore key of per-interval good deltas
+  std::string total_series;  // TimeseriesStore key of per-interval total deltas
+  double objective = 0.99;   // target good/total ratio in [0, 1)
+  std::vector<BurnWindow> windows{BurnWindow{}};
+  double pending_for_ms = 0.0;    // breach must persist this long before firing
+  double resolve_after_ms = 0.0;  // clean this long before a firing alert resolves
+};
+
+enum class AlertState { kInactive, kPending, kFiring };
+const char* alert_state_name(AlertState state);
+
+/// One state-machine edge, stamped with the evaluation time and the burn
+/// rates of the window pair that (last) breached.
+struct AlertTransition {
+  double at_ms = 0.0;
+  std::string slo;
+  AlertState from = AlertState::kInactive;
+  AlertState to = AlertState::kInactive;
+  double burn_fast = 0.0;
+  double burn_slow = 0.0;
+  std::size_t window = 0;  // index into SloSpec::windows (breaching pair)
+};
+
+struct SloStatus {
+  SloSpec spec;
+  AlertState state = AlertState::kInactive;
+  double since_ms = 0.0;        // when the current state was entered
+  double clean_since_ms = 0.0;  // last time a firing alert saw no breach
+  std::uint64_t fired = 0;
+  std::uint64_t resolved = 0;
+  // Latest per-window burn rates, parallel to spec.windows ({fast, slow}).
+  std::vector<std::pair<double, double>> burn;
+  bool breaching = false;
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(std::vector<SloSpec> specs);
+
+  /// Evaluate every SLO at a sample boundary. Returns the transitions
+  /// taken this step, in spec order — deterministic for a deterministic
+  /// store. Callers must pass non-decreasing now_ms.
+  std::vector<AlertTransition> evaluate(const TimeseriesStore& store, double now_ms);
+
+  const std::vector<SloStatus>& status() const { return status_; }
+  const std::vector<AlertTransition>& history() const { return history_; }
+  std::uint64_t firing_count() const;
+
+ private:
+  std::vector<SloStatus> status_;
+  std::vector<AlertTransition> history_;
+};
+
+}  // namespace neuro::obs

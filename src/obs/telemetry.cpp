@@ -1,0 +1,73 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+
+namespace neuro::obs {
+
+namespace {
+
+TimeseriesConfig store_config(const TelemetryConfig& config) {
+  TimeseriesConfig out;
+  out.interval_ms = config.sample_interval_ms;
+  out.capacity = config.ring_capacity;
+  out.latency_tracks = config.latency_tracks;
+  return out;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(util::MetricsRegistry& registry, TelemetryConfig config)
+    : registry_(registry),
+      config_(std::move(config)),
+      store_(store_config(config_)),
+      slo_(config_.slos) {
+  if (!config_.events_path.empty()) {
+    util::Fsx& fs = config_.fs != nullptr ? *config_.fs : util::Fsx::real();
+    events_.open(fs, config_.events_path);
+  }
+}
+
+void Telemetry::evaluate_slos(double at_ms) {
+  for (const AlertTransition& edge : slo_.evaluate(store_, at_ms)) {
+    WideEvent event(at_ms, "slo.alert");
+    event.add("slo", edge.slo)
+        .add("from", alert_state_name(edge.from))
+        .add("to", alert_state_name(edge.to))
+        .add("burn_fast", edge.burn_fast)
+        .add("burn_slow", edge.burn_slow)
+        .add("window", static_cast<std::uint64_t>(edge.window));
+    emit(event);
+    registry_.counter(labeled_name("slo.transitions", {{"slo", edge.slo}})).add();
+    if (edge.to == AlertState::kFiring) {
+      registry_.counter(labeled_name("slo.fired", {{"slo", edge.slo}})).add();
+    }
+    if (edge.from == AlertState::kFiring && edge.to == AlertState::kInactive) {
+      registry_.counter(labeled_name("slo.resolved", {{"slo", edge.slo}})).add();
+    }
+  }
+}
+
+void Telemetry::advance_to(double now_ms) {
+  while (store_.next_boundary_ms() <= now_ms + 1e-9) {
+    const double at = store_.next_boundary_ms();
+    store_.advance_to(registry_, at);
+    evaluate_slos(at);
+  }
+  now_ms_ = std::max(now_ms_, now_ms);
+}
+
+void Telemetry::finish(double now_ms) {
+  advance_to(now_ms);
+  if (now_ms > store_.last_sample_ms() + 1e-9) {
+    store_.sample_now(registry_, now_ms);
+    evaluate_slos(now_ms);
+  }
+  now_ms_ = std::max(now_ms_, now_ms);
+}
+
+void Telemetry::emit(const WideEvent& event) {
+  registry_.counter("obs.events").add();
+  events_.append(event);
+}
+
+}  // namespace neuro::obs

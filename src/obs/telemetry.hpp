@@ -1,0 +1,70 @@
+#pragma once
+// The fleet telemetry hub: one object that owns the deterministic
+// time-series store, the SLO engine and the wide-event log, borrows the
+// run's MetricsRegistry, and is advanced along the virtual clock by the
+// sequential serving loops. Each boundary crossing takes one registry
+// sample and one SLO evaluation; alert transitions are themselves
+// appended to the wide-event log (kind "slo.alert") and counted in the
+// registry, so the alerting history is as durable and replayable as the
+// traffic it describes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/wideevent.hpp"
+#include "util/fsx.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::obs {
+
+struct TelemetryConfig {
+  double sample_interval_ms = 1000.0;
+  std::size_t ring_capacity = 512;
+  std::vector<LatencyTrack> latency_tracks;
+  std::vector<SloSpec> slos;
+  /// When non-empty, the wide-event log is made durable at this path
+  /// through `fs` (Fsx::real() when null).
+  std::string events_path;
+  util::Fsx* fs = nullptr;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(util::MetricsRegistry& registry, TelemetryConfig config = {});
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  util::MetricsRegistry& registry() { return registry_; }
+  const util::MetricsRegistry& registry() const { return registry_; }
+  const TimeseriesStore& store() const { return store_; }
+  const SloEngine& slo() const { return slo_; }
+  WideEventLog& events() { return events_; }
+  const WideEventLog& events() const { return events_; }
+  double now_ms() const { return now_ms_; }
+
+  /// Advance the virtual clock, taking every due boundary sample and
+  /// evaluating SLOs at each. Time never goes backwards; stale calls are
+  /// no-ops. Must only be called from sequential phases.
+  void advance_to(double now_ms);
+
+  /// Final partial-interval sample + SLO evaluation at shutdown.
+  void finish(double now_ms);
+
+  /// Append one wide event (the caller stamps t_ms with virtual time).
+  void emit(const WideEvent& event);
+
+ private:
+  void evaluate_slos(double at_ms);
+
+  util::MetricsRegistry& registry_;
+  TelemetryConfig config_;
+  TimeseriesStore store_;
+  SloEngine slo_;
+  WideEventLog events_;
+  double now_ms_ = 0.0;
+};
+
+}  // namespace neuro::obs

@@ -1,0 +1,177 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace neuro::obs {
+
+std::string labeled_name(std::string_view name, LabelSet labels) {
+  if (labels.empty()) return std::string(name);
+  std::sort(labels.begin(), labels.end());
+  std::string out(name);
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+ParsedName parse_labeled_name(std::string_view full) {
+  ParsedName parsed;
+  const std::size_t brace = full.find('{');
+  if (brace == std::string_view::npos || full.back() != '}') {
+    parsed.base = std::string(full);
+    return parsed;
+  }
+  std::string_view body = full.substr(brace + 1, full.size() - brace - 2);
+  LabelSet labels;
+  while (!body.empty()) {
+    const std::size_t comma = body.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? body : body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{} : body.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {  // malformed: keep the whole name opaque
+      parsed.base = std::string(full);
+      parsed.labels.clear();
+      return parsed;
+    }
+    labels.emplace_back(std::string(pair.substr(0, eq)), std::string(pair.substr(eq + 1)));
+  }
+  parsed.base = std::string(full.substr(0, brace));
+  parsed.labels = std::move(labels);
+  return parsed;
+}
+
+void Series::push(double t_ms, double value) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back({t_ms, value});
+  } else {
+    ring_[head_] = {t_ms, value};
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++pushed_;
+}
+
+SamplePoint Series::at(std::size_t i) const {
+  if (ring_.empty()) return {};
+  if (ring_.size() < capacity_) return ring_[std::min(i, ring_.size() - 1)];
+  return ring_[(head_ + std::min(i, capacity_ - 1)) % capacity_];
+}
+
+double Series::sum_between(double after_ms, double upto_ms) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const SamplePoint point = at(i);
+    if (point.t_ms > after_ms && point.t_ms <= upto_ms) total += point.value;
+  }
+  return total;
+}
+
+TimeseriesStore::TimeseriesStore(TimeseriesConfig config) : config_(std::move(config)) {
+  if (config_.interval_ms <= 0.0) config_.interval_ms = 1000.0;
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+std::string TimeseriesStore::latency_track_key(const LatencyTrack& track) {
+  return util::format("%s|le%g", track.histogram.c_str(), track.threshold_ms);
+}
+
+Series& TimeseriesStore::series_slot(const std::string& key) {
+  auto it = series_.find(key);
+  if (it == series_.end()) it = series_.emplace(key, Series(config_.capacity)).first;
+  return it->second;
+}
+
+void TimeseriesStore::take_sample(const util::MetricsRegistry& registry, double at_ms) {
+  for (const auto& [name, value] : registry.counter_values()) {
+    std::uint64_t& last = last_counter_[name];
+    series_slot(name).push(at_ms, static_cast<double>(value - last));
+    last = value;
+  }
+  for (const auto& [name, snap] : registry.histogram_snapshots()) {
+    std::uint64_t& last_count = last_hist_count_[name];
+    double& last_sum = last_hist_sum_[name];
+    series_slot(name + "|count").push(at_ms, static_cast<double>(snap.count - last_count));
+    series_slot(name + "|sum").push(at_ms, snap.sum - last_sum);
+    last_count = snap.count;
+    last_sum = snap.sum;
+    series_slot(name + "|p50").push(at_ms, snap.p50);
+    series_slot(name + "|p95").push(at_ms, snap.p95);
+    series_slot(name + "|p99").push(at_ms, snap.p99);
+  }
+  for (const LatencyTrack& track : config_.latency_tracks) {
+    const util::Histogram* histogram = registry.find_histogram(track.histogram);
+    const std::uint64_t good = histogram == nullptr ? 0 : histogram->count_le(track.threshold_ms);
+    const std::string key = latency_track_key(track);
+    std::uint64_t& last = last_le_[key];
+    series_slot(key).push(at_ms, static_cast<double>(good - last));
+    last = good;
+  }
+  ++samples_;
+  last_sample_ms_ = at_ms;
+}
+
+double TimeseriesStore::next_boundary_ms() const {
+  // Boundaries are exact multiples of the interval so runs agree
+  // bit-for-bit on sample times.
+  if (last_sample_ms_ < 0.0) return config_.interval_ms;
+  return (std::floor(last_sample_ms_ / config_.interval_ms + 1e-9) + 1.0) * config_.interval_ms;
+}
+
+void TimeseriesStore::advance_to(const util::MetricsRegistry& registry, double now_ms) {
+  double next = next_boundary_ms();
+  while (next <= now_ms + 1e-9) {
+    take_sample(registry, next);
+    next = next_boundary_ms();
+  }
+}
+
+void TimeseriesStore::sample_now(const util::MetricsRegistry& registry, double now_ms) {
+  if (now_ms <= last_sample_ms_) return;
+  take_sample(registry, now_ms);
+}
+
+const Series* TimeseriesStore::find(std::string_view key) const {
+  auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, const Series*>> TimeseriesStore::series() const {
+  std::vector<std::pair<std::string, const Series*>> out;
+  out.reserve(series_.size());
+  for (const auto& [key, series] : series_) out.emplace_back(key, &series);
+  return out;
+}
+
+double TimeseriesStore::window_sum(std::string_view key, double now_ms,
+                                   double window_ms) const {
+  const Series* series = find(key);
+  if (series == nullptr) return 0.0;
+  // Half-open (now - window, now]: the epsilons keep points exactly on
+  // the window edges on the intended side despite float boundary math.
+  return series->sum_between(now_ms - window_ms + 1e-9, now_ms + 1e-9);
+}
+
+std::string TimeseriesStore::to_text() const {
+  std::string out;
+  for (const auto& [key, series] : series_) {
+    out += util::format("%-48s n=%llu", key.c_str(),
+                        static_cast<unsigned long long>(series.total_pushed()));
+    const std::size_t show = std::min<std::size_t>(series.size(), 6);
+    for (std::size_t i = series.size() - show; i < series.size(); ++i) {
+      const SamplePoint point = series.at(i);
+      out += util::format(" %g@%g", point.value, point.t_ms);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace neuro::obs

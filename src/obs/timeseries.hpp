@@ -1,0 +1,139 @@
+#pragma once
+// Deterministic fleet time-series on the virtual clock.
+//
+// A TimeseriesStore samples a util::MetricsRegistry at fixed virtual-time
+// boundaries (k * interval_ms) into ring-buffered series:
+//  * counters      -> per-interval deltas (rate * interval)
+//  * histograms    -> per-interval count/sum deltas plus cumulative
+//                     p50/p95/p99 gauges
+//  * latency tracks-> per-interval deltas of Histogram::count_le(threshold),
+//                     the "good event" stream behind latency SLOs
+//
+// Metric names may carry labels in the canonical unquoted form
+// `name{key=value,key2=value2}` (see labeled_name()); the store keeps the
+// full labeled string as the series key and exporters re-parse it, so hot
+// paths that pre-resolve a labeled Counter& pay the formatting cost once
+// at construction, never per event.
+//
+// Everything here is driven from the sequential phases of the serving
+// loops (SurveyService event loop, shard Supervisor turn loop, scheduler
+// SCHEDULE phase), so sampling order — and therefore every series — is
+// byte-identical at any thread count.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace neuro::obs {
+
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical labeled metric name: `name{k=v,k2=v2}` with labels sorted by
+/// key. Values must not contain ',' '}' or '='; they may contain quotes,
+/// backslashes and newlines, which the Prometheus exporter escapes.
+std::string labeled_name(std::string_view name, LabelSet labels);
+
+/// Split a (possibly labeled) metric name back into base + labels.
+/// Malformed label blocks are kept verbatim in `base` rather than thrown:
+/// a metric name is operator input, not a protocol.
+struct ParsedName {
+  std::string base;
+  LabelSet labels;
+};
+ParsedName parse_labeled_name(std::string_view full);
+
+struct SamplePoint {
+  double t_ms = 0.0;
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring of (t, value) points; oldest points fall off.
+class Series {
+ public:
+  explicit Series(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(double t_ms, double value);
+  std::size_t size() const { return ring_.size() < capacity_ ? ring_.size() : capacity_; }
+  /// i = 0 is the oldest retained point.
+  SamplePoint at(std::size_t i) const;
+  SamplePoint last() const { return at(size() == 0 ? 0 : size() - 1); }
+  std::uint64_t total_pushed() const { return pushed_; }
+
+  /// Sum of values with t in (after_ms, upto_ms] over retained points.
+  double sum_between(double after_ms, double upto_ms) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot once the ring is full
+  std::vector<SamplePoint> ring_;
+  std::uint64_t pushed_ = 0;
+};
+
+/// Derived good-event stream for latency SLOs: per-interval delta of
+/// `count_le(threshold_ms)` on a registry histogram.
+struct LatencyTrack {
+  std::string histogram;  // registry histogram name (may be labeled)
+  double threshold_ms = 0.0;
+};
+
+struct TimeseriesConfig {
+  double interval_ms = 1000.0;   // virtual-time sampling period
+  std::size_t capacity = 512;    // retained points per series
+  std::vector<LatencyTrack> latency_tracks;
+};
+
+class TimeseriesStore {
+ public:
+  explicit TimeseriesStore(TimeseriesConfig config = {});
+
+  double interval_ms() const { return config_.interval_ms; }
+  std::uint64_t sample_count() const { return samples_; }
+  /// Virtual time of the most recent sample (-1 before the first).
+  double last_sample_ms() const { return last_sample_ms_; }
+  /// First boundary (k * interval) strictly after the last sample.
+  double next_boundary_ms() const;
+
+  /// Take every due boundary sample in (last_sample, now_ms]. Boundaries
+  /// are k * interval_ms, so the sample times — and the sampled values,
+  /// when callers advance at deterministic points — are independent of
+  /// thread count.
+  void advance_to(const util::MetricsRegistry& registry, double now_ms);
+  /// One forced sample exactly at now_ms (final partial interval at
+  /// shutdown). No-op if now_ms is not past the last sample.
+  void sample_now(const util::MetricsRegistry& registry, double now_ms);
+
+  /// Series keys: counters keep their labeled name; histogram-derived
+  /// series append "|count", "|sum", "|p50", "|p95", "|p99"; latency
+  /// tracks append "|le<threshold>" (threshold formatted %g).
+  const Series* find(std::string_view key) const;
+  std::vector<std::pair<std::string, const Series*>> series() const;
+
+  /// Windowed sum of a delta series over (now_ms - window_ms, now_ms].
+  /// Missing series sum to 0.
+  double window_sum(std::string_view key, double now_ms, double window_ms) const;
+
+  /// Deterministic debug dump: one line per series, newest few points.
+  std::string to_text() const;
+
+  static std::string latency_track_key(const LatencyTrack& track);
+
+ private:
+  void take_sample(const util::MetricsRegistry& registry, double at_ms);
+  Series& series_slot(const std::string& key);
+
+  TimeseriesConfig config_;
+  std::uint64_t samples_ = 0;
+  double last_sample_ms_ = -1.0;
+  std::map<std::string, Series, std::less<>> series_;
+  std::map<std::string, std::uint64_t, std::less<>> last_counter_;
+  std::map<std::string, std::uint64_t, std::less<>> last_hist_count_;
+  std::map<std::string, double, std::less<>> last_hist_sum_;
+  std::map<std::string, std::uint64_t, std::less<>> last_le_;
+};
+
+}  // namespace neuro::obs

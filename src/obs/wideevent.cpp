@@ -1,0 +1,182 @@
+#include "obs/wideevent.hpp"
+
+#include <stdexcept>
+
+#include "util/recordlog.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::obs {
+
+WideEvent& WideEvent::add(std::string key, std::string value) {
+  fields.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+WideEvent& WideEvent::add(std::string key, const char* value) {
+  return add(std::move(key), std::string(value));
+}
+
+WideEvent& WideEvent::add(std::string key, double value) {
+  return add(std::move(key), util::format("%.6g", value));
+}
+
+WideEvent& WideEvent::add(std::string key, std::int64_t value) {
+  return add(std::move(key), util::format("%lld", static_cast<long long>(value)));
+}
+
+WideEvent& WideEvent::add(std::string key, std::uint64_t value) {
+  return add(std::move(key), util::format("%llu", static_cast<unsigned long long>(value)));
+}
+
+WideEvent& WideEvent::add(std::string key, bool value) {
+  return add(std::move(key), std::string(value ? "true" : "false"));
+}
+
+const std::string* WideEvent::find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void escape_value(std::string_view value, std::string& out) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+std::string unescape_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 == value.size()) {
+      out += value[i];
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      default: out += '\\'; out += value[i]; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encode_wide_event(const WideEvent& event) {
+  std::string out = util::format("t=%.3f\tkind=", event.t_ms);
+  escape_value(event.kind, out);
+  for (const auto& [key, value] : event.fields) {
+    out += '\t';
+    out += key;
+    out += '=';
+    escape_value(value, out);
+  }
+  return out;
+}
+
+WideEvent decode_wide_event(std::string_view line) {
+  WideEvent event;
+  bool saw_t = false;
+  bool saw_kind = false;
+  std::size_t index = 0;
+  while (!line.empty()) {
+    const std::size_t tab = line.find('\t');
+    const std::string_view token = tab == std::string_view::npos ? line : line.substr(0, tab);
+    line = tab == std::string_view::npos ? std::string_view{} : line.substr(tab + 1);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("wide event: field without '='");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string value = unescape_value(token.substr(eq + 1));
+    if (index == 0 && key == "t") {
+      try {
+        event.t_ms = std::stod(value);
+      } catch (const std::exception&) {
+        throw std::runtime_error("wide event: unparseable timestamp: " + value);
+      }
+      saw_t = true;
+    } else if (index == 1 && key == "kind") {
+      event.kind = value;
+      saw_kind = true;
+    } else {
+      event.fields.emplace_back(std::string(key), value);
+    }
+    ++index;
+  }
+  if (!saw_t || !saw_kind) throw std::runtime_error("wide event: missing t/kind header");
+  return event;
+}
+
+void WideEventLog::open(util::Fsx& fs, std::string path) {
+  util::recordlog_create(fs, path);
+  fs_ = &fs;
+  path_ = std::move(path);
+}
+
+void WideEventLog::append(const WideEvent& event) {
+  if (fs_ != nullptr) util::recordlog_append(*fs_, path_, encode_wide_event(event));
+  events_.push_back(event);
+}
+
+std::string WideEventLog::canonical_bytes() const {
+  std::string out;
+  for (const WideEvent& event : events_) {
+    out += encode_wide_event(event);
+    out += '\n';
+  }
+  return out;
+}
+
+WideEventReplay load_wide_events(util::Fsx& fs, const std::string& path) {
+  const util::RecordLogReplay replay = util::recordlog_load(fs, path);
+  WideEventReplay out;
+  out.clean = replay.clean;
+  out.dropped_bytes = replay.dropped_bytes;
+  out.error = replay.error;
+  out.events.reserve(replay.records.size());
+  for (const std::string& record : replay.records) {
+    try {
+      out.events.push_back(decode_wide_event(record));
+    } catch (const std::runtime_error& e) {
+      // A CRC-valid frame that fails to decode is a writer bug, not
+      // corruption; keep the valid prefix and report, mirroring replay.
+      out.clean = false;
+      if (out.error.empty()) out.error = e.what();
+      break;
+    }
+  }
+  return out;
+}
+
+bool EventFilter::matches(const WideEvent& event) const {
+  if (!kind.empty() && event.kind != kind) return false;
+  if (event.t_ms < from_ms || event.t_ms > to_ms) return false;
+  for (const auto& [key, value] : equals) {
+    const std::string* found = event.find(key);
+    if (found == nullptr || *found != value) return false;
+  }
+  return true;
+}
+
+std::vector<WideEvent> filter_events(const std::vector<WideEvent>& events,
+                                     const EventFilter& filter) {
+  std::vector<WideEvent> out;
+  for (const WideEvent& event : events) {
+    if (filter.matches(event)) out.push_back(event);
+  }
+  return out;
+}
+
+}  // namespace neuro::obs

@@ -1,0 +1,101 @@
+#pragma once
+// Crash-safe wide-event log: one structured record per unit of fleet
+// work — an LLM request, a serve job, a shard lease transition, an SLO
+// alert edge — instead of scattered log lines. Each event is a flat
+// ordered list of key=value fields plus a virtual timestamp and a kind,
+// serialized to one canonical line and framed as one CRC32 recordlog
+// record through the Fsx seam, so a torn tail truncates to the last
+// whole event exactly like every other journal in the system.
+//
+// Events are only ever emitted from sequential phases, so the log bytes
+// are identical at any thread count.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/fsx.hpp"
+
+namespace neuro::obs {
+
+struct WideEvent {
+  double t_ms = 0.0;
+  std::string kind;  // "llm.request", "serve.job", "shard.lease", "slo.alert", ...
+  // Insertion order is preserved — it is part of the canonical bytes.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  WideEvent() = default;
+  WideEvent(double t, std::string k) : t_ms(t), kind(std::move(k)) {}
+
+  WideEvent& add(std::string key, std::string value);
+  WideEvent& add(std::string key, const char* value);
+  WideEvent& add(std::string key, double value);    // canonical %.6g
+  WideEvent& add(std::string key, std::int64_t value);
+  WideEvent& add(std::string key, std::uint64_t value);
+  WideEvent& add(std::string key, bool value);
+
+  /// First field with this key; nullptr when absent.
+  const std::string* find(std::string_view key) const;
+};
+
+/// Canonical line: `t=<%.3f>\tkind=<kind>\tk=v\tk=v...` with '\t' '\n'
+/// '\\' escaped inside values. Keys must not contain '=' or whitespace.
+std::string encode_wide_event(const WideEvent& event);
+/// Inverse of encode_wide_event. Throws std::runtime_error on malformed
+/// input (missing t/kind header).
+WideEvent decode_wide_event(std::string_view line);
+
+/// Append-only wide-event log. In-memory always; durable via recordlog
+/// frames when opened with a filesystem and path.
+class WideEventLog {
+ public:
+  WideEventLog() = default;  // in-memory only
+
+  /// Create/truncate the backing file (recordlog header) and mirror every
+  /// append to it. Throws FsxError/FsxCrash per the Fsx contract.
+  void open(util::Fsx& fs, std::string path);
+  bool durable() const { return fs_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void append(const WideEvent& event);
+  const std::vector<WideEvent>& events() const { return events_; }
+  std::uint64_t appended() const { return events_.size(); }
+
+  /// Concatenated canonical lines (newline-terminated) — the
+  /// byte-identity unit the determinism tests compare.
+  std::string canonical_bytes() const;
+
+ private:
+  util::Fsx* fs_ = nullptr;
+  std::string path_;
+  std::vector<WideEvent> events_;
+};
+
+/// Replay summary for a durable wide-event log.
+struct WideEventReplay {
+  std::vector<WideEvent> events;
+  bool clean = true;             // false when a torn tail was truncated
+  std::size_t dropped_bytes = 0; // bytes discarded at the tail
+  std::string error;             // first malformed-payload error, if any
+};
+
+/// Load a durable log, tolerating a torn tail (crash mid-append).
+WideEventReplay load_wide_events(util::Fsx& fs, const std::string& path);
+
+struct EventFilter {
+  std::string kind;  // empty = any
+  double from_ms = -std::numeric_limits<double>::infinity();
+  double to_ms = std::numeric_limits<double>::infinity();
+  // Every (key, value) must match an event field exactly.
+  std::vector<std::pair<std::string, std::string>> equals;
+
+  bool matches(const WideEvent& event) const;
+};
+
+std::vector<WideEvent> filter_events(const std::vector<WideEvent>& events,
+                                     const EventFilter& filter);
+
+}  // namespace neuro::obs

@@ -87,10 +87,36 @@ SurveyService::SurveyService(const core::SurveyRunner& runner,
       config_(std::move(config)),
       fs_(config_.fs != nullptr ? config_.fs : &util::Fsx::real()),
       metrics_(config_.metrics),
-      trace_(util::resolve_trace(config_.trace)) {
+      trace_(util::resolve_trace(config_.trace)),
+      telemetry_(config_.telemetry) {
   if (config_.worker_slots == 0) throw std::invalid_argument("serve: worker_slots must be > 0");
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument("serve: queue_capacity must be > 0");
+  }
+  if (metrics_ != nullptr) {
+    hot_.submitted = &metrics_->counter("serve.submitted");
+    for (std::size_t a = 0; a < hot_.outcome.size(); ++a) {
+      const auto outcome = admission_name(static_cast<Admission>(a));
+      hot_.outcome[a] = &metrics_->counter(util::format("serve.%s", std::string(outcome).c_str()));
+      for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        hot_.admission[c][a] = &metrics_->counter(obs::labeled_name(
+            "serve.admission",
+            {{"class", std::string(priority_name(static_cast<Priority>(c)))},
+             {"outcome", std::string(outcome)}}));
+      }
+    }
+    hot_.jobs_dispatched = &metrics_->counter("serve.jobs_dispatched");
+    hot_.jobs_drained = &metrics_->counter("serve.jobs_drained");
+    hot_.requests = &metrics_->counter("serve.requests");
+    hot_.images_restored = &metrics_->counter("serve.images_restored");
+    hot_.requests_saved = &metrics_->counter("serve.requests_saved");
+    hot_.checkpoints = &metrics_->counter("serve.checkpoints");
+    hot_.queue_wait = &metrics_->histogram("serve.queue_wait_ms");
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+      hot_.admission_wait[c] = &metrics_->histogram(
+          util::format("serve.admission_wait_ms.%s",
+                       std::string(priority_name(static_cast<Priority>(c))).c_str()));
+    }
   }
   llm::PromptBuilder builder;
   plan_ = builder.build(config_.survey.strategy, config_.survey.language,
@@ -101,12 +127,25 @@ SurveyService::SurveyService(const core::SurveyRunner& runner,
   }
 }
 
+void SurveyService::resolve_tenant_counters(TenantState& state) {
+  if (metrics_ == nullptr) return;
+  // Once per tenant lifetime, not per event: the labels are formatted
+  // here and never again.
+  state.submitted =
+      &metrics_->counter(obs::labeled_name("serve.tenant.submitted", {{"tenant", state.config.id}}));
+  state.streamed =
+      &metrics_->counter(obs::labeled_name("serve.tenant.streamed", {{"tenant", state.config.id}}));
+  state.shed =
+      &metrics_->counter(obs::labeled_name("serve.tenant.shed", {{"tenant", state.config.id}}));
+}
+
 void SurveyService::register_tenant(TenantConfig tenant) {
   require_tenant_id(tenant.id);
   TenantState state;
   state.config = tenant;
   state.tokens = tenant.quota_burst;
   state.refilled_ms = clock_ms_;
+  resolve_tenant_counters(state);
   tenants_[tenant.id] = std::move(state);
 }
 
@@ -130,6 +169,7 @@ SurveyService::TenantState& SurveyService::tenant_state(const std::string& id) {
   state.config.id = id;
   state.tokens = state.config.quota_burst;
   state.refilled_ms = clock_ms_;
+  resolve_tenant_counters(state);
   return tenants_.emplace(id, std::move(state)).first->second;
 }
 
@@ -142,6 +182,10 @@ Admission SurveyService::submit(const SurveyJob& job) {
   // arrival occupy slots and queue space as of this virtual instant.
   advance_to(job.submit_ms);
   clock_ms_ = job.submit_ms;
+  // Sample due telemetry boundaries after the catch-up so each sample
+  // sees every job dispatched before this arrival — a deterministic
+  // point of the sequential event loop at any thread count.
+  if (telemetry_ != nullptr) telemetry_->advance_to(job.submit_ms);
 
   TenantState& tenant = tenant_state(job.tenant);
   JobRecord record;
@@ -172,9 +216,19 @@ Admission SurveyService::submit(const SurveyJob& job) {
   record.admission = admission;
   records_.push_back(std::move(record));
   if (metrics_ != nullptr) {
-    metrics_->counter("serve.submitted").add();
-    metrics_->counter(util::format("serve.%s", std::string(admission_name(admission)).c_str()))
-        .add();
+    hot_.submitted->add();
+    hot_.outcome[static_cast<std::size_t>(admission)]->add();
+    hot_.admission[cls][static_cast<std::size_t>(admission)]->add();
+    tenant.submitted->add();
+    if (admission != Admission::kAdmitted) tenant.shed->add();
+  }
+  if (telemetry_ != nullptr && admission != Admission::kAdmitted) {
+    obs::WideEvent event(job.submit_ms, "serve.job");
+    event.add("tenant", job.tenant)
+        .add("job", job.job_id)
+        .add("class", std::string(priority_name(static_cast<Priority>(cls))))
+        .add("outcome", std::string(admission_name(admission)));
+    telemetry_->emit(event);
   }
   if (admission == Admission::kAdmitted) {
     queued_[cls].push_back(index);
@@ -246,6 +300,9 @@ double SurveyService::finish() {
   }
   double horizon = clock_ms_;
   for (const JobRecord& record : records_) horizon = std::max(horizon, record.finish_ms);
+  // Close out telemetry at the horizon: every remaining boundary sample
+  // plus one final partial-interval sample, so late alerts can resolve.
+  if (telemetry_ != nullptr) telemetry_->finish(horizon);
   return horizon;
 }
 
@@ -283,6 +340,13 @@ void SurveyService::execute(std::size_t job_index, std::size_t slot, double star
     sched.trace = trace_;
     sched.trace_lane_base =
         config_.scheduler.trace_lane_base + slot * (config_.scheduler.max_in_flight + 2);
+    sched.telemetry = telemetry_;
+    // The scheduler's clock is job-local; offset its wide events onto the
+    // service clock and tag them with the job's identity.
+    sched.telemetry_t0_ms = start_ms;
+    sched.event_context = {{"tenant", record.job.tenant},
+                           {"job", util::format("%llu", static_cast<unsigned long long>(
+                                                            record.job.job_id))}};
     if (config_.drain_at_ms >= 0.0) {
       // The scheduler's clock starts at this job's dispatch: a job in
       // flight across the drain point gets the remaining budget; a job
@@ -323,19 +387,34 @@ void SurveyService::execute(std::size_t job_index, std::size_t slot, double star
   slot_free_ms_[slot] = record.finish_ms;
 
   if (metrics_ != nullptr) {
-    metrics_->counter("serve.jobs_dispatched").add();
-    if (record.drained) metrics_->counter("serve.jobs_drained").add();
-    metrics_->histogram("serve.queue_wait_ms").observe(record.queue_wait_ms());
-    metrics_
-        ->histogram(util::format("serve.admission_wait_ms.%s",
-                                 std::string(priority_name(record.priority)).c_str()))
-        .observe(record.queue_wait_ms());
-    if (record.requests > 0) metrics_->counter("serve.requests").add(record.requests);
+    hot_.jobs_dispatched->add();
+    if (record.drained) hot_.jobs_drained->add();
+    hot_.queue_wait->observe(record.queue_wait_ms());
+    hot_.admission_wait[class_index(record.priority)]->observe(record.queue_wait_ms());
+    if (record.requests > 0) hot_.requests->add(record.requests);
     if (record.images_restored > 0) {
-      metrics_->counter("serve.images_restored").add(record.images_restored);
-      metrics_->counter("serve.requests_saved").add(record.images_restored *
-                                                    plan_.messages.size());
+      hot_.images_restored->add(record.images_restored);
+      hot_.requests_saved->add(record.images_restored * plan_.messages.size());
     }
+    if (record.images_streamed > 0) {
+      tenant_state(record.job.tenant).streamed->add(record.images_streamed);
+    }
+  }
+  if (telemetry_ != nullptr) {
+    obs::WideEvent event(record.finish_ms, "serve.job");
+    event.add("tenant", record.job.tenant)
+        .add("job", record.job.job_id)
+        .add("class", std::string(priority_name(record.priority)))
+        .add("outcome", "admitted")
+        .add("start_ms", record.start_ms)
+        .add("finish_ms", record.finish_ms)
+        .add("queue_wait_ms", record.queue_wait_ms())
+        .add("requests", record.requests)
+        .add("streamed", record.images_streamed)
+        .add("restored", record.images_restored)
+        .add("cost_usd", record.cost_usd)
+        .add("drained", record.drained);
+    telemetry_->emit(event);
   }
   if (trace_ != nullptr) {
     trace_->virtual_span("serve.job", start_ms, record.finish_ms - start_ms, root_span_,
@@ -356,7 +435,7 @@ void SurveyService::execute(std::size_t job_index, std::size_t slot, double star
 
 void SurveyService::checkpoint() {
   journal_.save(config_.journal_path, *fs_);
-  if (metrics_ != nullptr) metrics_->counter("serve.checkpoints").add();
+  if (metrics_ != nullptr) hot_.checkpoints->add();
 }
 
 void SurveyService::resolve(std::size_t job_index) { resolved_.push_back(job_index); }

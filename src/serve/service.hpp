@@ -42,6 +42,7 @@
 #include "core/journal.hpp"
 #include "core/survey.hpp"
 #include "llm/scheduler.hpp"
+#include "obs/telemetry.hpp"
 #include "util/fsx.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -157,6 +158,10 @@ struct ServiceConfig {
   util::Fsx* fs = nullptr;       // checkpoint I/O seam (null = real fs)
   util::MetricsRegistry* metrics = nullptr;
   util::TraceRecorder* trace = nullptr;  // else the process-wide recorder
+  /// Fleet telemetry hub: advanced along the service's virtual clock at
+  /// each arrival, fed one wide event per resolved job. Its registry
+  /// should be the same one `metrics` points at.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class SurveyService {
@@ -204,9 +209,34 @@ class SurveyService {
     TenantConfig config;
     double tokens = 0.0;
     double refilled_ms = 0.0;
+    // Labeled per-tenant counters, resolved once when the tenant first
+    // appears (null when the service has no registry).
+    util::Counter* submitted = nullptr;
+    util::Counter* streamed = nullptr;
+    util::Counter* shed = nullptr;
+  };
+
+  /// Hot-path metric handles, resolved once at construction: admission
+  /// runs per event, so it must not pay a format() allocation plus a
+  /// registry map lookup each time (see BM_ServeAdmission).
+  struct HotMetrics {
+    util::Counter* submitted = nullptr;
+    // Legacy aggregate names (serve.admitted, serve.shed_quota, ...).
+    std::array<util::Counter*, 4> outcome{};
+    // Labeled serve.admission{class=...,outcome=...} families.
+    std::array<std::array<util::Counter*, 4>, kPriorityClasses> admission{};
+    util::Counter* jobs_dispatched = nullptr;
+    util::Counter* jobs_drained = nullptr;
+    util::Counter* requests = nullptr;
+    util::Counter* images_restored = nullptr;
+    util::Counter* requests_saved = nullptr;
+    util::Counter* checkpoints = nullptr;
+    util::Histogram* queue_wait = nullptr;
+    std::array<util::Histogram*, kPriorityClasses> admission_wait{};
   };
 
   TenantState& tenant_state(const std::string& id);
+  void resolve_tenant_counters(TenantState& state);
   /// Dispatch queued jobs whose start time lands at or before `now_ms`.
   void advance_to(double now_ms);
   /// Start the best queued job if it can start by `limit_ms`.
@@ -222,6 +252,8 @@ class SurveyService {
   util::Fsx* fs_;
   util::MetricsRegistry* metrics_;
   util::TraceRecorder* trace_;
+  obs::Telemetry* telemetry_;
+  HotMetrics hot_;
   llm::PromptPlan plan_;
   core::SurveyJournal journal_;
   std::map<std::string, TenantState> tenants_;

@@ -48,9 +48,23 @@ SupervisorReport Supervisor::run_in_process() {
         real, util::FsFaultPlan::torn_write(config_.kill.at_op, config_.kill.torn_fraction));
   }
 
+  obs::Telemetry* telemetry = config_.worker.telemetry;
+  // The fleet's telemetry clock is the frontier every worker has passed —
+  // the min alive virtual clock. It is monotone across turns (the picked
+  // worker only moves forward; deaths only remove clocks from the min), so
+  // samples land on identical boundaries regardless of survey thread count.
+  const auto record_death = [&](std::size_t w, double at_ms) {
+    if (telemetry == nullptr) return;
+    telemetry->registry().counter("shard.worker_deaths").add();
+    telemetry->emit(obs::WideEvent(at_ms, "shard.worker")
+                        .add("action", "died")
+                        .add("worker", worker_name(w)));
+  };
+
   std::vector<std::unique_ptr<ShardWorker>> workers;
   std::vector<double> clocks(config_.workers, 0.0);
   std::vector<bool> alive(config_.workers, true);
+  std::vector<bool> died(config_.workers, false);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     util::Fsx& fs =
         (kill_fs && w == static_cast<std::size_t>(config_.kill.worker)) ? *kill_fs : real;
@@ -61,10 +75,21 @@ SupervisorReport Supervisor::run_in_process() {
       // file, if any, is repaired by the next handle to open it.
       workers.push_back(nullptr);
       alive[w] = false;
+      died[w] = true;
       ++report.workers_died;
       report.events.push_back({0.0, worker_name(w), "killed opening the manifest"});
+      record_death(w, 0.0);
     }
   }
+
+  const auto advance_fleet = [&] {
+    if (telemetry == nullptr) return;
+    double frontier = std::numeric_limits<double>::infinity();
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      if (alive[w]) frontier = std::min(frontier, clocks[w]);
+    }
+    if (frontier != std::numeric_limits<double>::infinity()) telemetry->advance_to(frontier);
+  };
 
   // Supervisor's own read-only view of the manifest for termination and
   // straggler decisions (opened through the real fs: observing must never
@@ -93,9 +118,12 @@ SupervisorReport Supervisor::run_in_process() {
       outcome = worker.step(clocks[pick]);
     } catch (const util::FsxCrash&) {
       alive[pick] = false;
+      died[pick] = true;
       ++report.workers_died;
       report.events.push_back(
           {clocks[pick], worker.name(), "killed by injected crash (lease will age out)"});
+      record_death(pick, clocks[pick]);
+      advance_fleet();
       continue;
     }
 
@@ -188,6 +216,7 @@ SupervisorReport Supervisor::run_in_process() {
         break;
       }
     }
+    advance_fleet();
   }
 
   for (std::size_t w = 0; w < config_.workers; ++w) {
@@ -195,6 +224,22 @@ SupervisorReport Supervisor::run_in_process() {
     for (const ShardRun& run : workers[w]->runs()) report.runs.push_back(run);
     report.horizon_ms = std::max(report.horizon_ms, clocks[w]);
   }
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    obs::WorkerStatus status;
+    status.worker = worker_name(w);
+    status.state = died[w] ? "crashed" : workers[w]->busy() ? "surveying" : "done";
+    status.clock_ms = clocks[w];
+    if (workers[w] != nullptr) {
+      status.slices = workers[w]->runs().size();
+      if (workers[w]->busy() && !workers[w]->runs().empty()) {
+        const ShardRun& last = workers[w]->runs().back();
+        status.shard = static_cast<std::int64_t>(last.shard);
+        status.generation = last.generation;
+      }
+    }
+    report.worker_status.push_back(std::move(status));
+  }
+  if (telemetry != nullptr) telemetry->finish(report.horizon_ms);
   finalize(report, manifest);
   return report;
 }
@@ -215,6 +260,7 @@ SupervisorReport Supervisor::run_forked() {
     if (pid == 0) {
       WorkerConfig wc = config_.worker;
       wc.lock_path = wc.dir + "/manifest.lock";
+      wc.telemetry = nullptr;  // the hub lives in the parent's address space
       ShardWorker worker(util::Fsx::real(), worker_name(w), wc);
       double now = 0.0;
       for (;;) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/journal.hpp"
+#include "obs/export.hpp"
 #include "shard/worker.hpp"
 #include "util/table.hpp"
 
@@ -65,6 +66,9 @@ struct SupervisorReport {
   double horizon_ms = 0.0;             // max worker virtual clock at the end
   core::SurveyJournal national;        // all shards merged, tenant-namespaced
   std::string national_table;          // rendered per-county prevalence table
+  /// End-of-run fleet roster for the telemetry dashboard (in-process mode
+  /// only; forked children keep their accounting to themselves).
+  std::vector<obs::WorkerStatus> worker_status;
 };
 
 class Supervisor {

@@ -5,6 +5,8 @@
 
 #include <fcntl.h>
 
+#include "obs/timeseries.hpp"
+#include "obs/wideevent.hpp"
 #include "util/strings.hpp"
 
 namespace neuro::shard {
@@ -33,6 +35,24 @@ class FileLock {
  private:
   int fd_ = -1;
 };
+
+/// One "shard.lease" wide event + labeled counter per lease transition.
+/// Transitions are rare (a handful per shard), so the labeled-name format
+/// on this path is fine — unlike serve admission, which pre-resolves.
+void record_lease_event(obs::Telemetry* telemetry, double now_ms, const char* action,
+                        const std::string& worker, std::size_t shard,
+                        std::uint64_t generation, std::uint64_t extra_value,
+                        const char* extra_key) {
+  if (telemetry == nullptr) return;
+  telemetry->registry().counter(obs::labeled_name("shard.lease", {{"action", action}})).add();
+  obs::WideEvent event(now_ms, "shard.lease");
+  event.add("action", action)
+      .add("worker", worker)
+      .add("shard", static_cast<std::uint64_t>(shard))
+      .add("generation", generation);
+  if (extra_key != nullptr) event.add(extra_key, extra_value);
+  telemetry->emit(event);
+}
 
 }  // namespace
 
@@ -125,6 +145,10 @@ void ShardWorker::open_shard(const Lease& lease, double now_ms, bool hedge) {
   // steal can come only through try_hedge.
   run.hedge = hedge;
   run.reclaim = !hedge && lease.generation > 1;
+  record_lease_event(config_.telemetry, now_ms,
+                     hedge ? "hedge" : (lease.generation > 1 ? "reclaim" : "claim"), name_,
+                     lease.shard, lease.generation,
+                     static_cast<std::uint64_t>(run.images_restored), "restored");
   active->run_index = runs_.size();
   runs_.push_back(std::move(run));
   active_ = std::move(active);
@@ -136,12 +160,30 @@ ShardWorker::Step ShardWorker::work_slice(double& now_ms) {
 
   llm::SchedulerConfig sched = config_.scheduler;
   sched.abort_after_ms = active.widen ? llm::kNoAbortCut : config_.checkpoint_interval_ms;
+  util::MetricsRegistry* metrics = nullptr;
+  if (config_.telemetry != nullptr) {
+    metrics = &config_.telemetry->registry();
+    sched.telemetry = config_.telemetry;
+    sched.telemetry_t0_ms = now_ms;
+    sched.event_context = {
+        {"worker", name_},
+        {"shard", util::format("%zu", run.shard)},
+        {"generation", util::format("%llu", static_cast<unsigned long long>(run.generation))}};
+  }
 
   const std::size_t before = active.journal.size();
   const llm::BatchReport report = active.runner->run_client_batch(
-      *active.model, config_.survey, sched, nullptr, &active.journal);
+      *active.model, config_.survey, sched, metrics, &active.journal);
   run.requests += report.usage.requests;
   now_ms += std::max(report.stats.makespan_ms, 1.0);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->registry()
+        .counter(obs::labeled_name("shard.slices", {{"worker", name_}}))
+        .add();
+    config_.telemetry->registry()
+        .counter(obs::labeled_name("shard.requests", {{"worker", name_}}))
+        .add(report.usage.requests);
+  }
 
   // Durable checkpoint: atomic save of everything finished so far. This is
   // the op a kill sweep tears; the valid prefix is exactly what we earned.
@@ -158,6 +200,8 @@ ShardWorker::Step ShardWorker::work_slice(double& now_ms) {
     }
     run.completed = outcome == CompleteOutcome::kCompleted;
     run.superseded = outcome == CompleteOutcome::kSuperseded;
+    record_lease_event(config_.telemetry, now_ms, run.completed ? "complete" : "superseded",
+                       name_, run.shard, run.generation, run.requests, "requests");
     close_run(now_ms);
     return Step::kCompleted;
   }
@@ -176,6 +220,8 @@ ShardWorker::Step ShardWorker::work_slice(double& now_ms) {
     // Expired or hedged away: stop claiming the shard's future. Our
     // journal stays durable; the merge still counts every image we did.
     run.lost_lease = true;
+    record_lease_event(config_.telemetry, now_ms, "lost", name_, run.shard, run.generation,
+                       run.requests, "requests");
     close_run(now_ms);
     return Step::kLost;
   }

@@ -17,6 +17,7 @@
 
 #include "core/survey.hpp"
 #include "llm/scheduler.hpp"
+#include "obs/telemetry.hpp"
 #include "llm/vlm.hpp"
 #include "shard/manifest.hpp"
 #include "shard/national.hpp"
@@ -38,6 +39,13 @@ struct WorkerConfig {
   /// multi-process mode; empty for the single-process virtual-clock mode,
   /// where the supervisor's turn-taking is the serialization).
   std::string lock_path;
+  /// Fleet telemetry (in-process mode only; forked children run without):
+  /// every lease transition becomes a "shard.lease" wide event plus
+  /// labeled counters, and the scheduler emits per-request events tagged
+  /// with (worker, shard, generation). Not owned. The telemetry writes
+  /// through its own filesystem, so its appends never consume a kill
+  /// sweep's per-worker FaultFs op budget.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Accounting for one (shard, generation) execution attempt.

@@ -77,6 +77,52 @@ double Histogram::quantile_locked(double q) const {
   return max_;
 }
 
+std::uint64_t Histogram::count_le(double value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0;
+  if (std::isinf(value) && value > 0.0) return count_;
+  std::uint64_t cumulative = 0;
+  // Bucket i spans [bucket_lower(i), bucket_lower(i+1)); it clears the
+  // threshold once its upper edge does. The ceiling bucket has no upper
+  // edge, so it only counts under +Inf (handled above).
+  for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+    if (bucket_lower(i + 1) > value) break;
+    cumulative += buckets_[i];
+  }
+  return cumulative;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  // Copy the source under its own lock first so the two locks are never
+  // held together (no ordering deadlock when two threads cross-merge),
+  // and so merge_from(*this) doubles instead of deadlocking.
+  std::vector<std::uint64_t> other_buckets;
+  std::uint64_t other_count = 0;
+  double other_sum = 0.0;
+  double other_min = 0.0;
+  double other_max = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
+    other_buckets = other.buckets_;
+  }
+  if (other_count == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = other_min;
+    max_ = other_max;
+  } else {
+    min_ = std::min(min_, other_min);
+    max_ = std::max(max_, other_max);
+  }
+  count_ += other_count;
+  sum_ += other_sum;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other_buckets[i];
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -107,6 +153,12 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
   }
   return *it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counter_values() const {

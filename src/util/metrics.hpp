@@ -60,6 +60,16 @@ class Histogram {
   /// Whole summary under a single lock acquisition (count, sum, min/max
   /// and the three report quantiles are mutually consistent).
   HistogramSnapshot snapshot() const;
+  /// Observations recorded in buckets that lie entirely at or below
+  /// `value` — the cumulative count behind a Prometheus `le` bound or a
+  /// latency-SLO good-event count. Bucket-granular (~4.4% relative
+  /// resolution): a sample counts only once its whole bucket clears the
+  /// threshold. `+Inf` returns count().
+  std::uint64_t count_le(double value) const;
+  /// Fold another histogram into this one: bucket-wise add, and
+  /// reconcile count/sum/min/max, so per-worker registries roll up into
+  /// a national one. Self-merge doubles the contents.
+  void merge_from(const Histogram& other);
 
  private:
   // Buckets span [2^kMinExp, 2^kMaxExp) plus a floor bucket for values
@@ -93,6 +103,10 @@ class MetricsRegistry {
   /// Find-or-create; the reference stays valid for the registry's lifetime.
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  /// Lookup without creating; nullptr when absent. Used by exporters that
+  /// need bucket-level access (count_le) beyond histogram_snapshots().
+  const Histogram* find_histogram(std::string_view name) const;
 
   std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
   std::vector<std::pair<std::string, HistogramSnapshot>> histogram_snapshots() const;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/fsx.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace neuro::util {
@@ -102,7 +103,16 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
   return *buffer;
 }
 
-void TraceRecorder::append(TraceEvent event) { local_buffer().events.push_back(std::move(event)); }
+void TraceRecorder::append(TraceEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  if (config_.max_events_per_thread != 0 &&
+      buffer.events.size() >= config_.max_events_per_thread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.metrics != nullptr) config_.metrics->counter("trace.dropped_spans").add();
+    return;
+  }
+  buffer.events.push_back(std::move(event));
+}
 
 std::uint64_t TraceRecorder::virtual_span(std::string name, double start_ms, double dur_ms,
                                           std::uint64_t parent, std::uint64_t key,

@@ -34,6 +34,8 @@
 
 namespace neuro::util {
 
+class MetricsRegistry;
+
 enum class TraceClock { kWall = 0, kVirtual = 1 };
 
 /// One recorded event. Spans carry [ts_ms, ts_ms + dur_ms]; instants a
@@ -59,6 +61,12 @@ struct TraceConfig {
   /// Virtual-clock spans are deterministic either way; console summaries
   /// always report the real recorded wall durations.
   bool deterministic = false;
+  /// Per-thread span buffer capacity; events past it are dropped and
+  /// counted (dropped_events(), plus the `trace.dropped_spans` counter
+  /// when `metrics` is set). 0 = unbounded.
+  std::size_t max_events_per_thread = 0;
+  /// Optional registry that receives `trace.dropped_spans`.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregated per-name span statistics (for the "top spans" table).
@@ -117,6 +125,11 @@ class TraceRecorder {
   /// Write to_json_string() to a file; throws on I/O failure.
   void write(const std::string& path) const;
 
+  /// Events discarded because a thread buffer hit
+  /// TraceConfig::max_events_per_thread. Silent loss turns a trace into a
+  /// lie; this makes the loss itself observable.
+  std::uint64_t dropped_events() const { return dropped_.load(std::memory_order_acquire); }
+
   /// Per-name aggregates sorted by total time, descending.
   std::vector<SpanStats> span_stats() const;
   /// Heuristic virtual-time critical path: walk back from the span with
@@ -139,6 +152,7 @@ class TraceRecorder {
   std::uint64_t epoch_ = 0;  // distinguishes recorder instances at one address
   std::chrono::steady_clock::time_point start_time_;
   std::atomic<std::uint64_t> root_sequence_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };

@@ -1,0 +1,163 @@
+// Exporters: Prometheus text exposition (label escaping golden, name
+// mangling, histogram bucket/+Inf/sum/count shape), the health JSON
+// snapshot, and the deterministic dashboard renderer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::obs {
+namespace {
+
+TEST(ObsPrometheus, EscapesQuotesBackslashesNewlines) {
+  EXPECT_EQ(prometheus_escape("plain"), "plain");
+  EXPECT_EQ(prometheus_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prometheus_escape("two\nlines"), "two\\nlines");
+  EXPECT_EQ(prometheus_escape("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(ObsPrometheus, ManglesNamesIntoTheGrammar) {
+  EXPECT_EQ(prometheus_name("serve.admission"), "serve_admission");
+  EXPECT_EQ(prometheus_name("llm.queue_wait_ms"), "llm_queue_wait_ms");
+  EXPECT_EQ(prometheus_name("9starts_with_digit"), "_starts_with_digit");
+  EXPECT_EQ(prometheus_name("mid9digit"), "mid9digit");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(ObsPrometheus, LabeledCounterGoldenOutput) {
+  util::MetricsRegistry registry;
+  registry.counter(labeled_name("serve.admission", {{"class", "batch"}, {"outcome", "admitted"}}))
+      .add(7);
+  registry
+      .counter(labeled_name("serve.admission", {{"class", "batch"}, {"outcome", "shed_quota"}}))
+      .add(2);
+  const std::string expected =
+      "# TYPE serve_admission counter\n"
+      "serve_admission{class=\"batch\",outcome=\"admitted\"} 7\n"
+      "serve_admission{class=\"batch\",outcome=\"shed_quota\"} 2\n";
+  EXPECT_EQ(prometheus_text(registry, {}), expected);
+}
+
+TEST(ObsPrometheus, HostileLabelValuesComeOutEscaped) {
+  util::MetricsRegistry registry;
+  registry.counter(labeled_name("evil", {{"tenant", "a\"b\\c\nd"}})).add(1);
+  const std::string expected =
+      "# TYPE evil counter\n"
+      "evil{tenant=\"a\\\"b\\\\c\\nd\"} 1\n";
+  EXPECT_EQ(prometheus_text(registry, {}), expected);
+}
+
+TEST(ObsPrometheus, OneTypeLinePerFamilyAcrossLabeledSeries) {
+  util::MetricsRegistry registry;
+  registry.counter("jobs").add(1);
+  registry.counter(labeled_name("jobs", {{"class", "a"}})).add(2);
+  registry.counter(labeled_name("jobs", {{"class", "b"}})).add(3);
+  const std::string text = prometheus_text(registry, {});
+  std::size_t type_lines = 0;
+  for (std::size_t pos = text.find("# TYPE"); pos != std::string::npos;
+       pos = text.find("# TYPE", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("jobs 1\n"), std::string::npos);
+  EXPECT_NE(text.find("jobs{class=\"a\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("jobs{class=\"b\"} 3\n"), std::string::npos);
+}
+
+TEST(ObsPrometheus, HistogramBucketsAreCumulativeWithInfEqualToCount) {
+  util::MetricsRegistry registry;
+  util::Histogram& hist = registry.histogram("lat_ms");
+  hist.observe(3.0);
+  hist.observe(40.0);
+  hist.observe(900.0);
+
+  const std::string text = prometheus_text(registry, {10.0, 100.0});
+  EXPECT_NE(text.find("# TYPE lat_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum "), std::string::npos);
+}
+
+TEST(ObsPrometheus, DefaultBoundsAreSortedAndNonEmpty) {
+  const std::vector<double>& bounds = default_le_bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(ObsPrometheus, HealthJsonCarriesSloStateAndMetrics) {
+  util::MetricsRegistry registry;
+  TelemetryConfig config;
+  SloSpec spec;
+  spec.name = "avail";
+  spec.good_series = "good";
+  spec.total_series = "total";
+  spec.objective = 0.9;
+  spec.windows = {{1'000.0, 2'000.0, 1.0}};
+  config.slos.push_back(spec);
+  Telemetry telemetry(registry, config);
+
+  for (int second = 1; second <= 3; ++second) {
+    registry.counter("good").add(10);
+    registry.counter("total").add(100);  // sustained 90% errors: fires and stays firing
+    telemetry.advance_to(second * 1'000.0);
+  }
+
+  const util::Json health = health_json(telemetry);
+  EXPECT_EQ(health.get("slos_firing", -1.0), 1.0);
+  EXPECT_GT(health.get("samples", 0.0), 0.0);
+  const util::Json* slos = health.find("slos");
+  ASSERT_NE(slos, nullptr);
+  ASSERT_EQ(slos->as_array().size(), 1u);
+  const util::Json* alerts = health.find("alerts");
+  ASSERT_NE(alerts, nullptr);
+  EXPECT_GE(alerts->as_array().size(), 2u);  // pending + firing edges
+  EXPECT_NE(health.find("metrics"), nullptr);
+}
+
+TEST(ObsDashboard, RendersPanelsFromLabeledCounters) {
+  util::MetricsRegistry registry;
+  TelemetryConfig config;
+  SloSpec spec;
+  spec.name = "avail";
+  spec.good_series = "good";
+  spec.total_series = "total";
+  config.slos.push_back(spec);
+  Telemetry telemetry(registry, config);
+
+  registry.counter(labeled_name("serve.admission", {{"class", "batch"}, {"outcome", "admitted"}}))
+      .add(5);
+  registry.counter(labeled_name("serve.tenant.submitted", {{"tenant", "alpha"}})).add(4);
+  registry.counter(labeled_name("serve.tenant.streamed", {{"tenant", "alpha"}})).add(3);
+  telemetry.advance_to(2'000.0);
+
+  DashboardOptions options;
+  options.ansi = false;
+  options.workers.push_back({"w0", "done", -1, 0, 2'000.0, 3});
+  const std::string frame = render_dashboard(telemetry, options);
+  EXPECT_NE(frame.find("== FLEET TELEMETRY =="), std::string::npos);
+  EXPECT_NE(frame.find("-- SLO burn --"), std::string::npos);
+  EXPECT_NE(frame.find("avail"), std::string::npos);
+  EXPECT_NE(frame.find("-- serve admission by class --"), std::string::npos);
+  EXPECT_NE(frame.find("batch"), std::string::npos);
+  EXPECT_NE(frame.find("-- top tenants"), std::string::npos);
+  EXPECT_NE(frame.find("alpha"), std::string::npos);
+  EXPECT_NE(frame.find("-- shard workers --"), std::string::npos);
+  EXPECT_NE(frame.find("w0"), std::string::npos);
+  // ansi=false must carry no escape codes (the byte-identity artifact).
+  EXPECT_EQ(frame.find('\x1b'), std::string::npos);
+
+  DashboardOptions colored = options;
+  colored.ansi = true;
+  EXPECT_NE(render_dashboard(telemetry, colored).find('\x1b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neuro::obs

@@ -1,0 +1,203 @@
+// SLO burn-rate alerting: the multi-window breach condition, the
+// pending -> firing -> resolved state machine with persistence/grace
+// periods, and a scripted burst that fires and resolves at exact
+// deterministic virtual times.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::obs {
+namespace {
+
+/// Drive a (good, total) counter pair through the store one 1s interval
+/// at a time, evaluating the engine at every boundary.
+struct Harness {
+  explicit Harness(SloSpec spec) : engine({std::move(spec)}) {}
+
+  void step(std::uint64_t good, std::uint64_t total) {
+    now += 1000.0;
+    registry.counter("good").add(good);
+    registry.counter("total").add(total);
+    store.advance_to(registry, now);
+    for (const AlertTransition& edge : engine.evaluate(store, now)) transitions.push_back(edge);
+  }
+
+  util::MetricsRegistry registry;
+  TimeseriesStore store;
+  SloEngine engine;
+  std::vector<AlertTransition> transitions;
+  double now = 0.0;
+};
+
+SloSpec availability_spec() {
+  SloSpec spec;
+  spec.name = "avail";
+  spec.good_series = "good";
+  spec.total_series = "total";
+  spec.objective = 0.9;  // error budget 10%
+  spec.windows = {{2'000.0, 5'000.0, 2.0}};
+  return spec;
+}
+
+TEST(Slo, HealthyTrafficNeverAlerts) {
+  Harness h(availability_spec());
+  for (int i = 0; i < 10; ++i) h.step(100, 100);
+  EXPECT_TRUE(h.transitions.empty());
+  EXPECT_EQ(h.engine.status()[0].state, AlertState::kInactive);
+  EXPECT_EQ(h.engine.firing_count(), 0u);
+}
+
+TEST(Slo, FiresOnlyWhenBothWindowsBreach) {
+  Harness h(availability_spec());
+  // One bad interval inside a healthy run: the fast window breaches
+  // (100% errors = burn 10x) but the 5s slow window stays diluted under
+  // the 2x threshold, so no alert.
+  h.step(100, 100);
+  h.step(100, 100);
+  h.step(100, 100);
+  h.step(90, 100);  // 10% errors for one interval: slow burn ~= 0.4x
+  h.step(100, 100);
+  EXPECT_TRUE(h.transitions.empty());
+
+  // A sustained error run breaches both windows and fires immediately
+  // (pending_for_ms = 0 takes both edges at the same evaluation).
+  for (int i = 0; i < 5; ++i) h.step(50, 100);
+  ASSERT_GE(h.transitions.size(), 2u);
+  EXPECT_EQ(h.transitions[0].from, AlertState::kInactive);
+  EXPECT_EQ(h.transitions[0].to, AlertState::kPending);
+  EXPECT_EQ(h.transitions[1].from, AlertState::kPending);
+  EXPECT_EQ(h.transitions[1].to, AlertState::kFiring);
+  EXPECT_EQ(h.transitions[1].at_ms, h.transitions[0].at_ms);
+  EXPECT_GT(h.transitions[1].burn_fast, 2.0);
+  EXPECT_GT(h.transitions[1].burn_slow, 2.0);
+  EXPECT_EQ(h.engine.firing_count(), 1u);
+}
+
+TEST(Slo, PendingGateHoldsUntilBreachPersists) {
+  SloSpec spec = availability_spec();
+  spec.pending_for_ms = 2'000.0;
+  Harness h(spec);
+  for (int i = 0; i < 2; ++i) h.step(100, 100);
+  h.step(0, 100);  // breach starts
+  ASSERT_EQ(h.transitions.size(), 1u);
+  EXPECT_EQ(h.transitions[0].to, AlertState::kPending);
+  h.step(0, 100);
+  h.step(0, 100);  // 2s of persistent breach: now it fires
+  ASSERT_EQ(h.transitions.size(), 2u);
+  EXPECT_EQ(h.transitions[1].to, AlertState::kFiring);
+  EXPECT_EQ(h.engine.status()[0].fired, 1u);
+}
+
+TEST(Slo, PendingClearsWithoutFiringWhenBreachStops) {
+  SloSpec spec = availability_spec();
+  spec.pending_for_ms = 3'000.0;
+  Harness h(spec);
+  h.step(100, 100);
+  h.step(0, 100);    // pending
+  h.step(100, 100);  // clean before the gate elapses
+  h.step(100, 100);
+  h.step(100, 100);
+  ASSERT_EQ(h.transitions.size(), 2u);
+  EXPECT_EQ(h.transitions[1].from, AlertState::kPending);
+  EXPECT_EQ(h.transitions[1].to, AlertState::kInactive);
+  EXPECT_EQ(h.engine.status()[0].fired, 0u);
+}
+
+TEST(Slo, ResolveWaitsOutTheGracePeriod) {
+  SloSpec spec = availability_spec();
+  spec.resolve_after_ms = 3'000.0;
+  Harness h(spec);
+  for (int i = 0; i < 4; ++i) h.step(0, 100);  // fire
+  ASSERT_EQ(h.engine.status()[0].state, AlertState::kFiring);
+  const std::size_t fired_edges = h.transitions.size();
+  h.step(100, 100);  // fast window still sees the bad tail: breach persists
+  h.step(100, 100);  // breach clears, grace clock starts
+  h.step(100, 100);  // clean, but inside the grace period
+  EXPECT_EQ(h.transitions.size(), fired_edges);
+  EXPECT_EQ(h.engine.status()[0].state, AlertState::kFiring);
+  h.step(100, 100);  // 3s clean: resolves
+  ASSERT_EQ(h.transitions.size(), fired_edges + 1);
+  EXPECT_EQ(h.transitions.back().from, AlertState::kFiring);
+  EXPECT_EQ(h.transitions.back().to, AlertState::kInactive);
+  EXPECT_EQ(h.engine.status()[0].resolved, 1u);
+}
+
+TEST(Slo, ZeroTrafficIntervalsDoNotBurn) {
+  Harness h(availability_spec());
+  for (int i = 0; i < 6; ++i) h.step(0, 0);
+  EXPECT_TRUE(h.transitions.empty());
+}
+
+TEST(Slo, ZeroBudgetObjectiveBurnsHardOnAnyError) {
+  SloSpec spec = availability_spec();
+  spec.objective = 1.0;  // no error budget at all
+  Harness h(spec);
+  for (int i = 0; i < 3; ++i) h.step(99, 100);
+  EXPECT_EQ(h.engine.status()[0].state, AlertState::kFiring);
+  EXPECT_GT(h.engine.status()[0].burn[0].first, 1e6);
+}
+
+TEST(Slo, ScriptedBurstFiresAndResolvesAtExactTimes) {
+  // 5s healthy, 5s of 60% errors, 8s healthy: the canonical demo burst.
+  const auto run = [] {
+    SloSpec spec = availability_spec();
+    spec.resolve_after_ms = 2'000.0;
+    Harness h(spec);
+    for (int i = 0; i < 5; ++i) h.step(100, 100);
+    for (int i = 0; i < 5; ++i) h.step(40, 100);
+    for (int i = 0; i < 8; ++i) h.step(100, 100);
+    return h.transitions;
+  };
+  const std::vector<AlertTransition> a = run();
+  const std::vector<AlertTransition> b = run();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[1].to, AlertState::kFiring);
+  EXPECT_EQ(a[2].to, AlertState::kInactive);
+  EXPECT_LT(a[1].at_ms, a[2].at_ms);
+  // Byte-for-byte repeatable: same edges, same times, same burn rates.
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_ms, b[i].at_ms);
+    EXPECT_EQ(a[i].to, b[i].to);
+    EXPECT_EQ(a[i].burn_fast, b[i].burn_fast);
+    EXPECT_EQ(a[i].burn_slow, b[i].burn_slow);
+  }
+}
+
+TEST(Slo, LatencyObjectiveRidesALatencyTrack) {
+  SloSpec spec;
+  spec.name = "latency";
+  spec.good_series = "lat|le100";
+  spec.total_series = "lat|count";
+  spec.objective = 0.5;
+  // 2 of 3 observations violate: burn = (2/3) / 0.5 = 1.33x.
+  spec.windows = {{2'000.0, 4'000.0, 1.2}};
+  SloEngine engine({spec});
+
+  util::MetricsRegistry registry;
+  TimeseriesConfig config;
+  config.latency_tracks.push_back({"lat", 100.0});
+  TimeseriesStore store(config);
+
+  double now = 0.0;
+  std::vector<AlertTransition> transitions;
+  for (int step = 0; step < 6; ++step) {
+    now += 1000.0;
+    registry.histogram("lat").observe(10.0);    // good
+    registry.histogram("lat").observe(5000.0);  // slow
+    registry.histogram("lat").observe(6000.0);  // slow: 67% violations
+    store.advance_to(registry, now);
+    for (const AlertTransition& edge : engine.evaluate(store, now)) transitions.push_back(edge);
+  }
+  EXPECT_EQ(engine.status()[0].state, AlertState::kFiring);
+  EXPECT_GE(transitions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace neuro::obs

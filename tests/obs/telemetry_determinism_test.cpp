@@ -1,0 +1,235 @@
+// The tentpole guarantee: every telemetry artifact — Prometheus text,
+// wide-event log bytes, health JSON, dashboard frame — is byte-identical
+// at {1, 4, 16} survey threads, healthy AND under scripted chaos, in both
+// fleet modes (multi-tenant serve, sharded supervisor with a kill plan).
+// Wall-clock parallelism only ever touches the scheduler's script phase;
+// sampling and emission happen on the sequential virtual-time loops.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/builder.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/service.hpp"
+#include "shard/supervisor.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::obs {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    dir_ = stdfs::temp_directory_path() /
+           ("neuro_obs_det_" + tag + "_" + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+/// Everything a run exports, concatenated — one string to compare.
+struct Artifacts {
+  std::string prometheus;
+  std::string events;
+  std::string health;
+  std::string dashboard;
+};
+
+void expect_identical(const Artifacts& a, const Artifacts& b, const std::string& what) {
+  EXPECT_EQ(a.prometheus, b.prometheus) << what << ": prometheus text diverged";
+  EXPECT_EQ(a.events, b.events) << what << ": wide-event log diverged";
+  EXPECT_EQ(a.health, b.health) << what << ": health json diverged";
+  EXPECT_EQ(a.dashboard, b.dashboard) << what << ": dashboard diverged";
+}
+
+TelemetryConfig telemetry_config(const std::string& good, const std::string& total,
+                                 const std::string& latency_hist) {
+  TelemetryConfig config;
+  config.sample_interval_ms = 1'000.0;
+  config.latency_tracks.push_back({latency_hist, 2'000.0});
+  SloSpec availability;
+  availability.name = "availability";
+  availability.good_series = good;
+  availability.total_series = total;
+  availability.objective = 0.9;
+  availability.windows = {{2'000.0, 10'000.0, 1.5}};
+  availability.resolve_after_ms = 2'000.0;
+  config.slos.push_back(availability);
+  SloSpec latency;
+  latency.name = "queue-latency";
+  latency.good_series = latency_hist + "|le2000";
+  latency.total_series = latency_hist + "|count";
+  latency.objective = 0.9;
+  latency.windows = {{2'000.0, 10'000.0, 1.5}};
+  config.slos.push_back(latency);
+  return config;
+}
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+/// A workload heavy enough to queue: two slots, arrivals in a burst so
+/// queue-wait and shed series move.
+std::vector<serve::SurveyJob> serve_workload() {
+  std::vector<serve::SurveyJob> jobs;
+  std::uint64_t id = 0;
+  for (int wave = 0; wave < 6; ++wave) {
+    jobs.push_back({"alpha", id++, wave * 700.0, static_cast<std::size_t>(wave) % 8, 3});
+    jobs.push_back({"bravo", id++, wave * 700.0 + 50.0, (wave + 3u) % 8, 3});
+    if (wave % 2 == 0) jobs.push_back({"charlie", id++, wave * 700.0 + 90.0, (wave + 5u) % 8, 2});
+  }
+  return jobs;
+}
+
+Artifacts run_serve(std::size_t threads, bool chaos, const std::string& events_path) {
+  const data::Dataset dataset = small_dataset(12);
+  const core::SurveyRunner runner(dataset);
+  llm::ModelProfile profile = llm::gemini_1_5_pro_profile();
+  profile.transient_failure_rate = 0.0;
+  const llm::VisionLanguageModel model = runner.make_model(profile);
+
+  util::MetricsRegistry metrics;
+  TelemetryConfig config =
+      telemetry_config("serve.admitted", "serve.submitted", "serve.queue_wait_ms");
+  util::Fsx& fs = util::Fsx::real();
+  if (!events_path.empty()) {
+    config.events_path = events_path;
+    config.fs = &fs;
+  }
+  Telemetry telemetry(metrics, config);
+
+  serve::ServiceConfig service_config;
+  service_config.survey.threads = threads;
+  service_config.worker_slots = 2;
+  service_config.queue_capacity = 3;  // small: queue-full sheds happen
+  service_config.metrics = &metrics;
+  service_config.telemetry = &telemetry;
+  if (chaos) {
+    service_config.scheduler.faults.outages.push_back({500.0, 1'500.0});
+    service_config.scheduler.faults.tail_latency.push_back({{2'000.0, 4'000.0}, 6.0, 0.25});
+  }
+
+  serve::SurveyService service(runner, model, service_config);
+  service.register_tenant({"alpha", serve::Priority::kInteractive, 100.0, 100.0});
+  service.register_tenant({"bravo", serve::Priority::kStandard, 100.0, 100.0});
+  service.register_tenant({"charlie", serve::Priority::kBatch, 100.0, 100.0});
+  service.run(serve_workload());
+
+  Artifacts artifacts;
+  artifacts.prometheus = prometheus_text(metrics);
+  artifacts.events = telemetry.events().canonical_bytes();
+  artifacts.health = health_json(telemetry).dump(2);
+  DashboardOptions options;
+  options.ansi = false;
+  artifacts.dashboard = render_dashboard(telemetry, options);
+  return artifacts;
+}
+
+TEST(ObsDeterminism, ServeTelemetryIdenticalAcrossThreadCounts) {
+  const Artifacts base = run_serve(1, /*chaos=*/false, "");
+  EXPECT_FALSE(base.events.empty());
+  EXPECT_NE(base.prometheus.find("serve_admission"), std::string::npos);
+  for (const std::size_t threads : {4u, 16u}) {
+    expect_identical(base, run_serve(threads, false, ""),
+                     "healthy threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ObsDeterminism, ServeTelemetryIdenticalUnderChaos) {
+  const Artifacts base = run_serve(1, /*chaos=*/true, "");
+  for (const std::size_t threads : {4u, 16u}) {
+    expect_identical(base, run_serve(threads, true, ""),
+                     "chaos threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ObsDeterminism, DurableEventLogMatchesInMemoryBytes) {
+  TempDir dir("serve_durable");
+  const std::string path = dir.path("events.nrlg");
+  const Artifacts run = run_serve(4, /*chaos=*/true, path);
+  const WideEventReplay replay = load_wide_events(util::Fsx::real(), path);
+  EXPECT_TRUE(replay.clean);
+  WideEventLog reloaded;
+  for (const WideEvent& event : replay.events) reloaded.append(event);
+  EXPECT_EQ(reloaded.canonical_bytes(), run.events);
+}
+
+Artifacts run_shard(std::size_t threads, const std::string& dir) {
+  stdfs::remove_all(dir);
+  stdfs::create_directories(dir);
+
+  util::MetricsRegistry metrics;
+  TelemetryConfig config = telemetry_config("llm.successes", "llm.requests", "llm.queue_wait_ms");
+  Telemetry telemetry(metrics, config);
+
+  shard::SupervisorConfig supervisor_config;
+  supervisor_config.workers = 3;
+  supervisor_config.worker.frame.shards = 5;
+  supervisor_config.worker.frame.images_per_shard = 6;
+  supervisor_config.worker.frame.seed = 42;
+  supervisor_config.worker.frame.threads = threads;
+  supervisor_config.worker.survey.seed = 42;
+  supervisor_config.worker.survey.threads = threads;
+  supervisor_config.worker.dir = dir;
+  supervisor_config.worker.lease_ms = 8'000.0;
+  supervisor_config.worker.telemetry = &telemetry;
+  // Kill one worker mid-flight: the reclaim shows up as lease events and
+  // the telemetry must stay deterministic through the crash.
+  supervisor_config.kill.worker = 0;
+  supervisor_config.kill.at_op = 6;
+
+  const shard::SupervisorReport report = shard::Supervisor(supervisor_config).run();
+
+  Artifacts artifacts;
+  artifacts.prometheus = prometheus_text(metrics);
+  artifacts.events = telemetry.events().canonical_bytes();
+  artifacts.health = health_json(telemetry).dump(2);
+  DashboardOptions options;
+  options.ansi = false;
+  options.workers = report.worker_status;
+  artifacts.dashboard = render_dashboard(telemetry, options);
+  return artifacts;
+}
+
+TEST(ObsDeterminism, ShardTelemetryIdenticalAcrossThreadCountsUnderKill) {
+  TempDir dir("shard");
+  const Artifacts base = run_shard(1, dir.path("t1"));
+  EXPECT_NE(base.events.find("shard.lease"), std::string::npos);
+  EXPECT_NE(base.events.find("action=reclaim"), std::string::npos);
+  EXPECT_NE(base.events.find("shard.worker"), std::string::npos);
+  EXPECT_NE(base.dashboard.find("-- shard workers --"), std::string::npos);
+  for (const std::size_t threads : {4u, 16u}) {
+    expect_identical(base, run_shard(threads, dir.path("t" + std::to_string(threads))),
+                     "shard threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ObsDeterminism, SchedulerEventsCarryFleetContext) {
+  const Artifacts run = run_serve(4, /*chaos=*/false, "");
+  // Per-request events are emitted from the sequential SCHEDULE phase
+  // with the submitting tenant/job stamped first.
+  EXPECT_NE(run.events.find("kind=llm.request\ttenant="), std::string::npos);
+  EXPECT_NE(run.events.find("kind=serve.job"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neuro::obs

@@ -1,0 +1,172 @@
+// Deterministic time-series store: labeled-name canonicalization, the
+// fixed-capacity ring, boundary sampling of counter deltas / histogram
+// snapshots / latency tracks, and the windowed sums the SLO burn math
+// reads.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/timeseries.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::obs {
+namespace {
+
+TEST(Timeseries, LabeledNameSortsKeysAndRoundTrips) {
+  const std::string name =
+      labeled_name("serve.admission", {{"outcome", "admitted"}, {"class", "batch"}});
+  EXPECT_EQ(name, "serve.admission{class=batch,outcome=admitted}");
+
+  const ParsedName parsed = parse_labeled_name(name);
+  EXPECT_EQ(parsed.base, "serve.admission");
+  ASSERT_EQ(parsed.labels.size(), 2u);
+  EXPECT_EQ(parsed.labels[0].first, "class");
+  EXPECT_EQ(parsed.labels[0].second, "batch");
+  EXPECT_EQ(parsed.labels[1].first, "outcome");
+  EXPECT_EQ(parsed.labels[1].second, "admitted");
+}
+
+TEST(Timeseries, PlainNameParsesWithNoLabels) {
+  const ParsedName parsed = parse_labeled_name("llm.requests");
+  EXPECT_EQ(parsed.base, "llm.requests");
+  EXPECT_TRUE(parsed.labels.empty());
+}
+
+TEST(Timeseries, MalformedLabelBlockStaysOpaqueInBase) {
+  // Operator input, not a protocol: garbage label syntax must not throw.
+  const ParsedName parsed = parse_labeled_name("weird{no-equals-here}");
+  EXPECT_EQ(parsed.base, "weird{no-equals-here}");
+  EXPECT_TRUE(parsed.labels.empty());
+}
+
+TEST(Timeseries, SeriesRingDropsOldestPastCapacity) {
+  Series series(3);
+  for (int i = 0; i < 5; ++i) series.push(i * 10.0, static_cast<double>(i));
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.total_pushed(), 5u);
+  EXPECT_DOUBLE_EQ(series.at(0).t_ms, 20.0);  // oldest retained
+  EXPECT_DOUBLE_EQ(series.at(0).value, 2.0);
+  EXPECT_DOUBLE_EQ(series.last().t_ms, 40.0);
+  EXPECT_DOUBLE_EQ(series.last().value, 4.0);
+}
+
+TEST(Timeseries, SumBetweenIsHalfOpenOnTheLeft) {
+  Series series(8);
+  series.push(1000.0, 1.0);
+  series.push(2000.0, 2.0);
+  series.push(3000.0, 4.0);
+  EXPECT_DOUBLE_EQ(series.sum_between(1000.0, 3000.0), 6.0);  // (1000, 3000]
+  EXPECT_DOUBLE_EQ(series.sum_between(0.0, 3000.0), 7.0);
+  EXPECT_DOUBLE_EQ(series.sum_between(3000.0, 9000.0), 0.0);
+}
+
+TEST(Timeseries, CounterDeltasLandOnIntervalBoundaries) {
+  util::MetricsRegistry registry;
+  TimeseriesConfig config;
+  config.interval_ms = 1000.0;
+  TimeseriesStore store(config);
+
+  registry.counter("jobs").add(3);
+  store.advance_to(registry, 1500.0);  // samples the 1000ms boundary only
+  registry.counter("jobs").add(2);
+  store.advance_to(registry, 3000.0);  // samples 2000 and 3000
+
+  const Series* jobs = store.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->size(), 3u);
+  EXPECT_DOUBLE_EQ(jobs->at(0).t_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(jobs->at(0).value, 3.0);  // delta since start
+  EXPECT_DOUBLE_EQ(jobs->at(1).t_ms, 2000.0);
+  EXPECT_DOUBLE_EQ(jobs->at(1).value, 2.0);  // delta since previous sample
+  EXPECT_DOUBLE_EQ(jobs->at(2).t_ms, 3000.0);
+  EXPECT_DOUBLE_EQ(jobs->at(2).value, 0.0);
+  EXPECT_EQ(store.sample_count(), 3u);
+}
+
+TEST(Timeseries, StaleAdvanceIsANoOp) {
+  util::MetricsRegistry registry;
+  TimeseriesStore store;
+  registry.counter("x").add(1);
+  store.advance_to(registry, 2000.0);
+  const std::uint64_t samples = store.sample_count();
+  store.advance_to(registry, 1000.0);  // time never goes backwards
+  store.advance_to(registry, 2000.0);
+  EXPECT_EQ(store.sample_count(), samples);
+}
+
+TEST(Timeseries, HistogramSeriesCarryDeltasAndQuantiles) {
+  util::MetricsRegistry registry;
+  TimeseriesStore store;
+
+  registry.histogram("lat").observe(10.0);
+  registry.histogram("lat").observe(20.0);
+  store.advance_to(registry, 1000.0);
+  registry.histogram("lat").observe(40.0);
+  store.advance_to(registry, 2000.0);
+
+  const Series* count = store.find("lat|count");
+  const Series* sum = store.find("lat|sum");
+  const Series* p50 = store.find("lat|p50");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(sum, nullptr);
+  ASSERT_NE(p50, nullptr);
+  EXPECT_DOUBLE_EQ(count->at(0).value, 2.0);
+  EXPECT_DOUBLE_EQ(count->at(1).value, 1.0);
+  EXPECT_NEAR(sum->at(0).value, 30.0, 30.0 * 0.05);  // log-bucket resolution
+  EXPECT_GT(p50->at(1).value, 0.0);                  // cumulative gauge
+}
+
+TEST(Timeseries, LatencyTrackCountsGoodEventsPerInterval) {
+  util::MetricsRegistry registry;
+  TimeseriesConfig config;
+  config.latency_tracks.push_back({"lat", 100.0});
+  TimeseriesStore store(config);
+  EXPECT_EQ(TimeseriesStore::latency_track_key(config.latency_tracks[0]), "lat|le100");
+
+  registry.histogram("lat").observe(50.0);   // good
+  registry.histogram("lat").observe(5000.0); // bad
+  store.advance_to(registry, 1000.0);
+  registry.histogram("lat").observe(60.0);   // good
+  store.advance_to(registry, 2000.0);
+
+  const Series* good = store.find("lat|le100");
+  ASSERT_NE(good, nullptr);
+  EXPECT_DOUBLE_EQ(good->at(0).value, 1.0);
+  EXPECT_DOUBLE_EQ(good->at(1).value, 1.0);
+  EXPECT_DOUBLE_EQ(store.window_sum("lat|le100", 2000.0, 2000.0), 2.0);
+  EXPECT_DOUBLE_EQ(store.window_sum("lat|le100", 2000.0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(store.window_sum("absent", 2000.0, 1000.0), 0.0);
+}
+
+TEST(Timeseries, SampleNowTakesAFinalPartialSample) {
+  util::MetricsRegistry registry;
+  TimeseriesStore store;
+  registry.counter("x").add(1);
+  store.advance_to(registry, 1000.0);
+  registry.counter("x").add(4);
+  store.sample_now(registry, 1250.0);  // shutdown: capture the tail
+  const Series* x = store.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_DOUBLE_EQ(x->last().t_ms, 1250.0);
+  EXPECT_DOUBLE_EQ(x->last().value, 4.0);
+}
+
+TEST(Timeseries, IdenticalBumpSequencesProduceIdenticalDumps) {
+  const auto run = [] {
+    util::MetricsRegistry registry;
+    TimeseriesConfig config;
+    config.latency_tracks.push_back({"lat", 100.0});
+    TimeseriesStore store(config);
+    for (int step = 1; step <= 20; ++step) {
+      registry.counter(labeled_name("jobs", {{"class", step % 2 ? "a" : "b"}})).add(step);
+      registry.histogram("lat").observe(step * 7.0);
+      store.advance_to(registry, step * 500.0);
+    }
+    return store.to_text();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace neuro::obs

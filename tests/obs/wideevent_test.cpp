@@ -1,0 +1,153 @@
+// Wide-event log: canonical encode/decode with escaping, durable
+// recordlog framing through the Fsx seam, torn-tail crash tolerance, and
+// the query-layer filters.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "obs/wideevent.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::obs {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("neuro_obs_") + tag + "_" + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+TEST(ObsWideEvent, EncodeDecodeRoundTripsTypedFields) {
+  WideEvent event(1234.5, "llm.request");
+  event.add("tenant", "alpha")
+      .add("cost", 0.125)
+      .add("attempts", std::int64_t{3})
+      .add("image", std::uint64_t{42})
+      .add("ok", true);
+  const std::string line = encode_wide_event(event);
+  const WideEvent back = decode_wide_event(line);
+  EXPECT_DOUBLE_EQ(back.t_ms, 1234.5);
+  EXPECT_EQ(back.kind, "llm.request");
+  ASSERT_EQ(back.fields.size(), event.fields.size());
+  EXPECT_EQ(*back.find("tenant"), "alpha");
+  EXPECT_EQ(*back.find("cost"), "0.125");
+  EXPECT_EQ(*back.find("attempts"), "3");
+  EXPECT_EQ(*back.find("image"), "42");
+  EXPECT_EQ(*back.find("ok"), "true");
+  EXPECT_EQ(back.find("absent"), nullptr);
+}
+
+TEST(ObsWideEvent, ValuesWithTabsNewlinesBackslashesSurvive) {
+  WideEvent event(1.0, "serve.job");
+  event.add("message", "line1\nline2\tcol\\end");
+  const std::string line = encode_wide_event(event);
+  // The canonical line itself must stay one line, one field per tab.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const WideEvent back = decode_wide_event(line);
+  EXPECT_EQ(*back.find("message"), "line1\nline2\tcol\\end");
+}
+
+TEST(ObsWideEvent, DecodeRejectsMalformedHeaders) {
+  EXPECT_THROW(decode_wide_event(""), std::runtime_error);
+  EXPECT_THROW(decode_wide_event("kind=x\tt=1.0"), std::runtime_error);   // wrong order
+  EXPECT_THROW(decode_wide_event("t=notanum\tkind=x"), std::runtime_error);
+  EXPECT_THROW(decode_wide_event("t=1.000\tnope=x"), std::runtime_error);
+}
+
+TEST(ObsWideEvent, DurableLogReloadsByteIdentical) {
+  TempDir dir("durable");
+  const std::string path = dir.path("events.nrlg");
+  util::Fsx& fs = util::Fsx::real();
+
+  WideEventLog log;
+  log.open(fs, path);
+  log.append(WideEvent(100.0, "a").add("k", "v"));
+  log.append(WideEvent(200.0, "b").add("n", std::uint64_t{7}));
+  ASSERT_EQ(log.appended(), 2u);
+
+  const WideEventReplay replay = load_wide_events(fs, path);
+  EXPECT_TRUE(replay.clean);
+  ASSERT_EQ(replay.events.size(), 2u);
+  EXPECT_EQ(replay.events[0].kind, "a");
+  EXPECT_EQ(replay.events[1].kind, "b");
+
+  WideEventLog reloaded;
+  for (const WideEvent& event : replay.events) reloaded.append(event);
+  EXPECT_EQ(reloaded.canonical_bytes(), log.canonical_bytes());
+}
+
+TEST(ObsWideEvent, TornTailTruncatesToLastWholeEvent) {
+  TempDir dir("torn");
+  const std::string path = dir.path("events.nrlg");
+  util::Fsx& fs = util::Fsx::real();
+
+  {
+    WideEventLog log;
+    log.open(fs, path);
+    for (int i = 0; i < 5; ++i) {
+      log.append(WideEvent(i * 100.0, "tick").add("i", std::int64_t{i}));
+    }
+  }
+  // Crash mid-append: the last frame loses its tail bytes.
+  const std::string bytes = fs.read_file(path);
+  fs.write_file(path, std::string_view(bytes).substr(0, bytes.size() - 3));
+
+  const WideEventReplay replay = load_wide_events(fs, path);
+  EXPECT_FALSE(replay.clean);
+  EXPECT_GT(replay.dropped_bytes, 0u);
+  ASSERT_EQ(replay.events.size(), 4u);  // the valid prefix, nothing else
+  EXPECT_EQ(*replay.events.back().find("i"), "3");
+}
+
+TEST(ObsWideEvent, InMemoryLogNeedsNoFilesystem) {
+  WideEventLog log;
+  EXPECT_FALSE(log.durable());
+  log.append(WideEvent(1.0, "x"));
+  EXPECT_EQ(log.events().size(), 1u);
+  EXPECT_NE(log.canonical_bytes().find("kind=x"), std::string::npos);
+}
+
+TEST(ObsWideEvent, FiltersComposeKindTimeAndFieldMatches) {
+  std::vector<WideEvent> events;
+  events.push_back(WideEvent(100.0, "serve.job").add("tenant", "alpha").add("outcome", "admitted"));
+  events.push_back(WideEvent(200.0, "serve.job").add("tenant", "bravo").add("outcome", "shed"));
+  events.push_back(WideEvent(300.0, "llm.request").add("tenant", "alpha"));
+  events.push_back(WideEvent(400.0, "serve.job").add("tenant", "alpha").add("outcome", "shed"));
+
+  EventFilter by_kind;
+  by_kind.kind = "serve.job";
+  EXPECT_EQ(filter_events(events, by_kind).size(), 3u);
+
+  EventFilter by_time;
+  by_time.from_ms = 200.0;
+  by_time.to_ms = 300.0;
+  EXPECT_EQ(filter_events(events, by_time).size(), 2u);
+
+  EventFilter by_fields;
+  by_fields.equals = {{"tenant", "alpha"}, {"outcome", "shed"}};
+  const auto matched = filter_events(events, by_fields);
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_DOUBLE_EQ(matched[0].t_ms, 400.0);
+
+  EventFilter everything;
+  EXPECT_EQ(filter_events(events, everything).size(), events.size());
+}
+
+}  // namespace
+}  // namespace neuro::obs

@@ -1,0 +1,80 @@
+// Histogram::merge_from: folding one histogram into another must be
+// exactly equivalent to a single histogram that observed the union of
+// both streams — bucket-wise, not approximately — so per-worker
+// registries roll up into fleet totals without drift.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::util {
+namespace {
+
+TEST(HistogramMerge, MergeEqualsUnionOfStreams) {
+  Rng rng(7);
+  std::vector<double> left, right;
+  for (int i = 0; i < 500; ++i) left.push_back(rng.uniform() * 1'000.0);
+  for (int i = 0; i < 300; ++i) right.push_back(rng.uniform() * 50'000.0);
+
+  Histogram a, b, expected;
+  for (const double v : left) {
+    a.observe(v);
+    expected.observe(v);
+  }
+  for (const double v : right) {
+    b.observe(v);
+    expected.observe(v);
+  }
+  a.merge_from(b);
+
+  EXPECT_EQ(a.count(), expected.count());
+  EXPECT_DOUBLE_EQ(a.sum(), expected.sum());
+  for (const double le : {0.5, 10.0, 100.0, 1'000.0, 10'000.0, 100'000.0}) {
+    EXPECT_EQ(a.count_le(le), expected.count_le(le)) << "le=" << le;
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), expected.quantile(q)) << "q=" << q;
+  }
+  const HistogramSnapshot merged = a.snapshot();
+  const HistogramSnapshot golden = expected.snapshot();
+  EXPECT_DOUBLE_EQ(merged.min, golden.min);
+  EXPECT_DOUBLE_EQ(merged.max, golden.max);
+}
+
+TEST(HistogramMerge, MergeIntoEmptyAdoptsMinMax) {
+  Histogram a, b;
+  b.observe(5.0);
+  b.observe(9.0);
+  a.merge_from(b);
+  const HistogramSnapshot snap = a.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.min, 5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+}
+
+TEST(HistogramMerge, MergeFromEmptyIsANoOp) {
+  Histogram a, empty;
+  a.observe(3.0);
+  const HistogramSnapshot before = a.snapshot();
+  a.merge_from(empty);
+  const HistogramSnapshot after = a.snapshot();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_DOUBLE_EQ(after.sum, before.sum);
+  EXPECT_DOUBLE_EQ(after.min, before.min);
+  EXPECT_DOUBLE_EQ(after.max, before.max);
+}
+
+TEST(HistogramMerge, SelfMergeDoublesWithoutDeadlock) {
+  Histogram a;
+  for (int i = 1; i <= 10; ++i) a.observe(i * 10.0);
+  a.merge_from(a);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_DOUBLE_EQ(a.sum(), 2.0 * 550.0);
+  EXPECT_EQ(a.count_le(1'000.0), 20u);
+}
+
+}  // namespace
+}  // namespace neuro::util

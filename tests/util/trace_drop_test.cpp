@@ -1,0 +1,48 @@
+// TraceRecorder drop accounting: a bounded per-thread span buffer drops
+// overflow events instead of growing without limit, and every drop is
+// visible — in dropped_events() and, when a registry is wired, in the
+// trace.dropped_spans counter.
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace neuro::util {
+namespace {
+
+TEST(TraceDrop, OverflowDropsAreCountedInRecorderAndRegistry) {
+  MetricsRegistry metrics;
+  TraceConfig config;
+  config.max_events_per_thread = 4;
+  config.metrics = &metrics;
+  TraceRecorder trace(config);
+
+  for (int i = 0; i < 10; ++i) {
+    trace.virtual_span("span", i * 10.0, 5.0, /*parent=*/0, /*key=*/static_cast<std::uint64_t>(i));
+  }
+
+  EXPECT_EQ(trace.merged_events().size(), 4u);  // the cap held
+  EXPECT_EQ(trace.dropped_events(), 6u);
+  EXPECT_EQ(metrics.counter("trace.dropped_spans").value(), 6u);
+}
+
+TEST(TraceDrop, UnboundedConfigNeverDrops) {
+  TraceRecorder trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.virtual_span("span", i * 1.0, 0.5, 0, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(trace.merged_events().size(), 100u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST(TraceDrop, DropsWorkWithoutARegistry) {
+  TraceConfig config;
+  config.max_events_per_thread = 2;
+  TraceRecorder trace(config);
+  for (int i = 0; i < 5; ++i) trace.virtual_span("s", i * 1.0, 0.1, 0, i);
+  EXPECT_EQ(trace.dropped_events(), 3u);
+}
+
+}  // namespace
+}  // namespace neuro::util
