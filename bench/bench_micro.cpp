@@ -20,6 +20,8 @@
 #include "detect/detector.hpp"
 #include "image/noise.hpp"
 #include "llm/ensemble.hpp"
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/wideevent.hpp"
 #include "serve/loadgen.hpp"
@@ -426,6 +428,79 @@ void BM_ShardMerge(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_ShardMerge)->Arg(16)->Arg(64)->ArgName("shards")->Unit(benchmark::kMillisecond);
+
+// One framed request/response over the simulated network: client encode,
+// deterministic fate draw + queued delivery, server dispatch through the
+// idempotency cache, response completion — the unit cost every manifest
+// RPC pays in net mode.
+void BM_NetRpcRoundtrip(benchmark::State& state) {
+  net::SimNet::Config config;
+  config.link.base_latency_ms = 5.0;
+  config.link.jitter_ms = 3.0;
+  struct Rig {
+    explicit Rig(const net::SimNet::Config& config)
+        : net(config), server(net, "sup"), client(net, "w0") {
+      server.on("echo", [](const net::RpcContext&, std::string_view payload) {
+        net::RpcReply reply;
+        reply.payload.assign(payload);
+        return reply;
+      });
+    }
+    net::SimNet net;
+    net::RpcServer server;
+    net::RpcClient client;
+    double now_ms = 0.0;
+  };
+  auto rig = std::make_unique<Rig>(config);
+  std::size_t calls = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig->client.call("sup", "echo", "payload", rig->now_ms).ok());
+    // Fresh rig periodically so the server's idempotency cache stays
+    // bounded no matter how many iterations the harness picks.
+    if (++calls == 8192) {
+      state.PauseTiming();
+      rig = std::make_unique<Rig>(config);
+      calls = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetRpcRoundtrip);
+
+// A full net-mode fleet drain where a partition cuts w0 off mid-run: its
+// lease ages out, the survivor reclaims from the journaled checkpoint, and
+// the stale complete bounces off the generation machinery. End-to-end cost
+// of the partition-tolerance path, survey included.
+void BM_PartitionReclaim(benchmark::State& state) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("neuro_bench_netreclaim_" + std::to_string(::getpid())))
+                              .string();
+  shard::SupervisorConfig config;
+  config.workers = 2;
+  config.worker.frame.shards = 2;
+  config.worker.frame.images_per_shard = 4;
+  config.worker.frame.generator.image_width = 48;
+  config.worker.frame.generator.image_height = 48;
+  config.worker.profile.transient_failure_rate = 0.0;
+  config.worker.survey.threads = 1;
+  config.worker.scheduler.threads = 1;
+  config.worker.checkpoint_interval_ms = 2'000.0;
+  config.worker.lease_ms = 20'000.0;
+  config.net.enabled = true;
+  config.net.rpc.timeout_ms = 800.0;
+  config.net.sim.faults.partitions.push_back(net::NetFaultPlan::isolate("w0", 3'000.0, 60'000.0));
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    config.worker.dir = dir;
+    const shard::SupervisorReport report = shard::Supervisor(config).run();
+    benchmark::DoNotOptimize(report.reclaims);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PartitionReclaim)->Unit(benchmark::kMillisecond);
 
 // Telemetry sampling cost: one fixed-interval boundary sweep over a
 // fleet-shaped registry (labeled per-tenant/per-worker counters plus

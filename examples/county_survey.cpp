@@ -68,6 +68,11 @@
 //   --kill-worker W       which worker the kill plan targets (default 0)
 //   --fork-workers        real child processes + flock instead of the
 //                         deterministic in-process virtual clock
+//   --net                 re-host the control plane on the deterministic
+//                         simulated network (manifest RPC over SimNet)
+//   --net-chaos           --net plus seeded chaos: 5% loss/dup/reorder and
+//                         a partition isolating w0 for [3s, 30s) virtual
+//   --net-seed N          fault-plan seed for --net-chaos
 
 #include <chrono>
 #include <cstdio>
@@ -80,6 +85,7 @@
 
 #include "core/neighborhood_decoder.hpp"
 #include "core/survey.hpp"
+#include "net/simnet.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/loadgen.hpp"
@@ -217,6 +223,13 @@ int main(int argc, char** argv) {
   cli.add_flag("fork-workers", false,
                "sharded mode: fork real child processes (flock-serialized) instead of the "
                "deterministic in-process virtual clock");
+  cli.add_flag("net", false,
+               "sharded mode: re-host the control plane on the simulated network (manifest "
+               "RPC over SimNet instead of sidecar files)");
+  cli.add_flag("net-chaos", false,
+               "sharded mode: --net plus seeded chaos — 5% loss/dup/reorder and a partition "
+               "that isolates w0 for the first half-minute of virtual time");
+  cli.add_int("net-seed", 0x5EEDC0DE, "sharded mode: fault-plan seed for --net-chaos");
   cli.add_string("telemetry-dir", "",
                  "write prometheus.txt / health.json / dashboard.txt / events.nrlg into this "
                  "directory (serve + sharded modes)");
@@ -295,6 +308,22 @@ int main(int argc, char** argv) {
       config.kill.worker = cli.get_int("kill-worker");
       config.kill.at_op = cli.get_int("kill-worker-at");
     }
+    const bool net_chaos = cli.get_flag("net-chaos");
+    if (cli.get_flag("net") || net_chaos) {
+      config.net.enabled = true;
+      config.net.rpc.timeout_ms = 800.0;
+      if (net_chaos) {
+        const auto net_seed = static_cast<std::uint64_t>(cli.get_int("net-seed"));
+        config.net.sim.faults = net::NetFaultPlan::chaos(net_seed, 0.05, 0.05, 0.05);
+        config.net.sim.faults.partitions.push_back(
+            net::NetFaultPlan::isolate("w0", 3'000.0, 30'000.0));
+      }
+      if (config.fork_workers) {
+        std::printf("--net replaces --fork-workers: the simulated network needs the "
+                    "in-process virtual clock\n");
+        config.fork_workers = false;
+      }
+    }
     std::string dir = cli.get_string("shard-dir");
     if (dir.empty()) {
       dir = "shard-run";
@@ -342,6 +371,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.hedges),
                 static_cast<unsigned long long>(report.workers_died),
                 report.horizon_ms / 1000.0);
+    if (config.net.enabled) {
+      const net::NetStats& ns = report.net_stats;
+      std::printf("network: %llu sent, %llu delivered, %llu lost, %llu blocked, %llu dup, "
+                  "%llu reordered, partitions %llu opened / %llu healed\n",
+                  static_cast<unsigned long long>(ns.sent),
+                  static_cast<unsigned long long>(ns.delivered),
+                  static_cast<unsigned long long>(ns.lost),
+                  static_cast<unsigned long long>(ns.blocked),
+                  static_cast<unsigned long long>(ns.duplicated),
+                  static_cast<unsigned long long>(ns.reordered),
+                  static_cast<unsigned long long>(ns.partitions_opened),
+                  static_cast<unsigned long long>(ns.partitions_healed));
+      std::printf("rpc: %llu retries, %llu idempotent replays (duplicate deliveries that "
+                  "did not re-execute)\n",
+                  static_cast<unsigned long long>(report.rpc_retries),
+                  static_cast<unsigned long long>(report.rpc_deduped));
+    }
     if (report.shards_done < config.worker.frame.shards) {
       std::printf("incomplete: rerun with the same --shard-dir %s to resume (leases age out, "
                   "journals restore for free)\n",

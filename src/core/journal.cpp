@@ -199,10 +199,7 @@ void SurveyJournal::save(const std::string& path, util::Fsx& fs) const {
   util::atomic_write_file(fs, path, serialize_log());
 }
 
-SurveyJournal SurveyJournal::load(const std::string& path, util::Fsx& fs,
-                                  JournalRecovery* recovery) {
-  util::ScopedSpan span(util::active_trace(), "journal.load");
-  const std::string bytes = fs.read_file(path);
+SurveyJournal SurveyJournal::from_log_bytes(std::string_view bytes, JournalRecovery* recovery) {
   JournalRecovery local;
   SurveyJournal journal;
   if (util::recordlog_has_magic(bytes)) {
@@ -219,6 +216,24 @@ SurveyJournal SurveyJournal::load(const std::string& path, util::Fsx& fs,
     local.clean = replay.clean && local.dropped_records == 0;
     local.dropped_bytes = replay.dropped_bytes;
     local.detail = replay.error;
+  } else {
+    local.clean = false;
+    local.dropped_bytes = bytes.size();
+    local.detail = "missing record-log magic";
+  }
+  local.entries = journal.size();
+  if (recovery != nullptr) *recovery = local;
+  return journal;
+}
+
+SurveyJournal SurveyJournal::load(const std::string& path, util::Fsx& fs,
+                                  JournalRecovery* recovery) {
+  util::ScopedSpan span(util::active_trace(), "journal.load");
+  const std::string bytes = fs.read_file(path);
+  JournalRecovery local;
+  SurveyJournal journal;
+  if (util::recordlog_has_magic(bytes)) {
+    journal = from_log_bytes(bytes, &local);
   } else if (const std::string header = util::recordlog_header();
              bytes.size() < header.size() &&
              bytes == std::string_view(header).substr(0, bytes.size())) {

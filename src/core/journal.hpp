@@ -122,6 +122,15 @@ class SurveyJournal {
   /// checkpoints.
   std::string serialize_log() const;
 
+  /// Parse a serialized record-log image back into a journal without
+  /// touching the filesystem — the inverse of serialize_log(), with the
+  /// same truncate-at-first-bad-frame recovery as load(). This is how
+  /// journal slices shipped over the RPC transport are reconstituted.
+  /// Bytes without the log magic recover nothing (recovery reports them
+  /// dropped); this path never falls back to legacy JSON.
+  static SurveyJournal from_log_bytes(std::string_view bytes,
+                                      JournalRecovery* recovery = nullptr);
+
   /// Incremental checkpointing: frame one entry for recordlog_append, and
   /// decode it back. decode returns false (never throws) on a payload that
   /// is not a valid entry frame.

@@ -1,0 +1,257 @@
+#include "net/rpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "net/wire.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/wideevent.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::net {
+
+const char* rpc_status_name(RpcStatus status) {
+  switch (status) {
+    case RpcStatus::kOk: return "ok";
+    case RpcStatus::kTimeout: return "timeout";
+    case RpcStatus::kBreakerOpen: return "breaker_open";
+    case RpcStatus::kAppError: return "app_error";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer
+
+RpcServer::RpcServer(SimNet& net, std::string endpoint, obs::Telemetry* telemetry,
+                     util::MetricsRegistry* metrics)
+    : net_(net),
+      endpoint_(std::move(endpoint)),
+      telemetry_(telemetry),
+      metrics_(metrics != nullptr     ? metrics
+               : telemetry != nullptr ? &telemetry->registry()
+                                      : nullptr) {
+  net_.bind(endpoint_, [this](const Message& message, double now_ms) { receive(message, now_ms); });
+}
+
+void RpcServer::on(const std::string& method, Handler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void RpcServer::count(const char* name) {
+  if (metrics_ != nullptr) metrics_->counter(name).add();
+}
+
+void RpcServer::respond(const Message& request, const std::string& body, double now_ms) {
+  Message response;
+  response.from = endpoint_;
+  response.to = request.from;
+  response.method = request.method;
+  response.payload = body;
+  response.request_id = request.request_id;
+  response.is_response = true;
+  net_.post(std::move(response), now_ms);
+}
+
+void RpcServer::receive(const Message& message, double now_ms) {
+  if (message.is_response) return;  // not ours to handle
+
+  if (!message.idempotency_key.empty()) {
+    const auto cached = idempotency_cache_.find(message.idempotency_key);
+    if (cached != idempotency_cache_.end()) {
+      // Redelivery (retry, duplicate, or reorder): replay the first
+      // answer without re-executing the handler.
+      ++deduped_;
+      count("rpc.deduped");
+      respond(message, cached->second, now_ms);
+      return;
+    }
+  }
+
+  RpcContext context;
+  context.from = message.from;
+  context.now_ms = now_ms;
+  context.idempotency_key = message.idempotency_key;
+
+  RpcReply reply;
+  const auto handler = handlers_.find(message.method);
+  if (handler == handlers_.end()) {
+    reply = RpcReply::error(util::format("unknown method '%s'", message.method.c_str()));
+  } else {
+    reply = handler->second(context, message.payload);
+  }
+  ++handled_;
+  count("rpc.handled");
+
+  std::string body;
+  put_u8(body, reply.ok ? 1 : 0);
+  body.append(reply.payload);
+  if (!message.idempotency_key.empty()) idempotency_cache_[message.idempotency_key] = body;
+  respond(message, body, now_ms);
+}
+
+// ---------------------------------------------------------------------------
+// RpcClient
+
+RpcClient::RpcClient(SimNet& net, std::string endpoint, RpcConfig config,
+                     obs::Telemetry* telemetry, util::MetricsRegistry* metrics)
+    : net_(net),
+      endpoint_(std::move(endpoint)),
+      config_(config),
+      telemetry_(telemetry),
+      metrics_(metrics != nullptr     ? metrics
+               : telemetry != nullptr ? &telemetry->registry()
+                                      : nullptr),
+      rng_(util::derive_seed(0xC0FFEEULL, endpoint_)) {
+  net_.bind(endpoint_, [this](const Message& message, double now_ms) { receive(message, now_ms); });
+}
+
+void RpcClient::count(const char* name) {
+  if (metrics_ != nullptr) metrics_->counter(name).add();
+}
+
+llm::CircuitBreaker& RpcClient::breaker(const std::string& peer) {
+  auto it = breakers_.find(peer);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(peer, std::make_unique<llm::CircuitBreaker>(config_.breaker, metrics_))
+             .first;
+  }
+  return *it->second;
+}
+
+llm::CircuitBreaker::State RpcClient::breaker_state(const std::string& peer, double now_ms) const {
+  const auto it = breakers_.find(peer);
+  if (it == breakers_.end()) return llm::CircuitBreaker::State::kClosed;
+  return it->second->state(now_ms);
+}
+
+void RpcClient::receive(const Message& message, double now_ms) {
+  if (message.is_response) {
+    const auto it = pending_ids_.find(message.request_id);
+    if (it != pending_ids_.end() && !response_.has_value()) {
+      response_ = message;
+    } else {
+      count("rpc.stale_response");
+    }
+    return;
+  }
+  if (notify_) notify_(message, now_ms);
+}
+
+void RpcClient::notify(const std::string& peer, const std::string& method, std::string payload,
+                       double now_ms) {
+  Message message;
+  message.from = endpoint_;
+  message.to = peer;
+  message.method = method;
+  message.payload = std::move(payload);
+  net_.post(std::move(message), now_ms);
+}
+
+RpcResult RpcClient::call(const std::string& peer, const std::string& method, std::string payload,
+                          double& now_ms) {
+  ++calls_;
+  count("rpc.calls");
+
+  const std::uint64_t call_seq = ++next_call_seq_;
+  const std::string idem_key =
+      util::format("%s/%s/%llu", endpoint_.c_str(), method.c_str(),
+                   static_cast<unsigned long long>(call_seq));
+  util::Rng backoff_rng = rng_.fork(idem_key);
+  llm::CircuitBreaker& peer_breaker = breaker(peer);
+
+  const double deadline =
+      config_.deadline_ms > 0.0 ? now_ms + config_.deadline_ms
+                                : std::numeric_limits<double>::infinity();
+
+  RpcResult result;
+  pending_ids_.clear();
+  response_.reset();
+
+  for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    if (now_ms >= deadline) break;
+    result.attempts = attempt;
+    if (attempt > 1) {
+      ++retries_;
+      count("rpc.retries");
+    }
+
+    if (!peer_breaker.allow(now_ms)) {
+      // Fast fail — but virtual time MUST advance or a discrete-event
+      // caller retrying against a dead peer would spin at one instant.
+      count("rpc.breaker_open");
+      now_ms += config_.timeout_ms;
+      net_.advance_to(now_ms);
+      result.status = RpcStatus::kBreakerOpen;
+      if (response_.has_value()) break;  // a late response overtook us
+      continue;
+    }
+
+    Message request;
+    request.from = endpoint_;
+    request.to = peer;
+    request.method = method;
+    request.payload = payload;
+    request.request_id = ++next_request_id_;
+    request.idempotency_key = idem_key;
+    pending_ids_[request.request_id] = true;
+    net_.post(std::move(request), now_ms);
+
+    const double attempt_deadline = std::min(now_ms + config_.timeout_ms, deadline);
+    while (!response_.has_value() && now_ms < attempt_deadline) {
+      const double next = net_.next_delivery_ms();
+      if (next > attempt_deadline) {
+        now_ms = attempt_deadline;
+        net_.advance_to(now_ms);
+        break;
+      }
+      net_.deliver_next();
+      now_ms = std::max(now_ms, next);
+    }
+    if (response_.has_value()) break;
+
+    result.status = RpcStatus::kTimeout;
+    count("rpc.timeouts");
+    peer_breaker.record(false, now_ms);
+
+    if (attempt < config_.max_attempts && now_ms < deadline) {
+      const double delay = config_.backoff_base_ms *
+                           std::pow(config_.backoff_factor, attempt - 1) *
+                           (1.0 + config_.backoff_jitter * backoff_rng.uniform());
+      now_ms = std::min(now_ms + delay, deadline);
+      net_.advance_to(now_ms);
+      if (response_.has_value()) break;  // response landed during backoff
+    }
+  }
+
+  if (response_.has_value()) {
+    WireReader reader(response_->payload);
+    const bool ok = reader.u8() != 0;
+    result.status = ok ? RpcStatus::kOk : RpcStatus::kAppError;
+    result.payload = response_->payload.substr(1);
+    peer_breaker.record(true, now_ms);  // the peer answered; app errors are not peer health
+    if (!ok) count("rpc.app_errors");
+  }
+
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(obs::WideEvent(now_ms, "rpc.call")
+                         .add("client", endpoint_)
+                         .add("peer", peer)
+                         .add("method", method)
+                         .add("status", rpc_status_name(result.status))
+                         .add("attempts", static_cast<std::int64_t>(result.attempts)));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter(obs::labeled_name("rpc.status", {{"status", rpc_status_name(result.status)}}))
+        .add();
+  }
+
+  pending_ids_.clear();
+  response_.reset();
+  return result;
+}
+
+}  // namespace neuro::net

@@ -1,0 +1,162 @@
+#pragma once
+// Framed request/response RPC over SimNet. RpcClient::call() is
+// synchronous on the virtual clock: it posts the request, steps network
+// deliveries until the response arrives or the attempt times out, and
+// advances the caller's `now_ms` through latencies, timeouts, and
+// jittered retry backoff — so a call across a partition costs the caller
+// exactly the virtual time the failure took, and the supervisor's
+// min-clock loop stays fair.
+//
+// Reliability semantics:
+//  - every logical call carries a stable idempotency key across retries;
+//    the server caches the first response per key and replays it for
+//    retried/duplicated/reordered deliveries without re-executing the
+//    handler (at-most-once effect);
+//  - a response to ANY attempt of the current call completes it (a "late"
+//    response overtaking a retry is success, not waste);
+//  - per-peer llm::CircuitBreaker fast-fails calls into a dead peer, and
+//    a breaker-open fast-fail still advances virtual time by one timeout
+//    so discrete-event callers cannot spin at a fixed instant.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "llm/faults.hpp"
+#include "net/simnet.hpp"
+#include "obs/telemetry.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::net {
+
+struct RpcConfig {
+  double timeout_ms = 1000.0;   // per-attempt response wait
+  int max_attempts = 4;         // 1 initial + (max_attempts-1) retries
+  double backoff_base_ms = 100.0;
+  double backoff_factor = 2.0;
+  double backoff_jitter = 0.2;  // +uniform[0, jitter) fraction per delay
+  double deadline_ms = 0.0;     // overall call budget; 0 = attempts only
+  llm::CircuitBreakerConfig breaker;
+};
+
+enum class RpcStatus {
+  kOk,
+  kTimeout,      // every attempt ran out (or the deadline did)
+  kBreakerOpen,  // fast-failed without sending
+  kAppError,     // server handler reported failure
+};
+
+const char* rpc_status_name(RpcStatus status);
+
+struct RpcResult {
+  RpcStatus status = RpcStatus::kTimeout;
+  std::string payload;  // response body on kOk / kAppError
+  int attempts = 0;
+
+  bool ok() const { return status == RpcStatus::kOk; }
+};
+
+/// What a server handler sees: who asked, and the virtual time the
+/// request was DELIVERED (not sent) — a renew delayed across a partition
+/// arrives with a late `now_ms` and meets an already-expired lease.
+struct RpcContext {
+  std::string from;
+  double now_ms = 0.0;
+  std::string idempotency_key;
+};
+
+/// Handler outcome: `ok == false` maps to RpcStatus::kAppError on the
+/// client, with the payload carried through either way.
+struct RpcReply {
+  bool ok = true;
+  std::string payload;
+
+  static RpcReply error(std::string message) { return RpcReply{false, std::move(message)}; }
+};
+
+/// Server side: a method table behind one SimNet endpoint, with an
+/// idempotency cache giving every cached method at-most-once effect.
+class RpcServer {
+ public:
+  using Handler = std::function<RpcReply(const RpcContext&, std::string_view payload)>;
+
+  RpcServer(SimNet& net, std::string endpoint, obs::Telemetry* telemetry = nullptr,
+            util::MetricsRegistry* metrics = nullptr);
+
+  void on(const std::string& method, Handler handler);
+
+  const std::string& endpoint() const { return endpoint_; }
+  std::uint64_t deduped() const { return deduped_; }
+  std::uint64_t handled() const { return handled_; }
+
+ private:
+  void receive(const Message& message, double now_ms);
+  void respond(const Message& request, const std::string& body, double now_ms);
+  void count(const char* name);
+
+  SimNet& net_;
+  std::string endpoint_;
+  obs::Telemetry* telemetry_;
+  util::MetricsRegistry* metrics_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, std::string> idempotency_cache_;  // key -> encoded reply
+  std::uint64_t deduped_ = 0;
+  std::uint64_t handled_ = 0;
+};
+
+/// Client side: one named endpoint issuing synchronous calls. Not
+/// thread-safe; in fleet simulations each worker owns one client and all
+/// calls happen on the sequential discrete-event loop.
+class RpcClient {
+ public:
+  using Notify = std::function<void(const Message&, double now_ms)>;
+
+  RpcClient(SimNet& net, std::string endpoint, RpcConfig config = {},
+            obs::Telemetry* telemetry = nullptr, util::MetricsRegistry* metrics = nullptr);
+
+  /// One logical call. Advances `now_ms` through every latency, timeout,
+  /// and backoff it experiences.
+  RpcResult call(const std::string& peer, const std::string& method, std::string payload,
+                 double& now_ms);
+
+  /// Fire-and-forget one-way message (no retries, no response).
+  void notify(const std::string& peer, const std::string& method, std::string payload,
+              double now_ms);
+
+  /// Receives one-way messages addressed to this endpoint (result
+  /// streams); responses are consumed internally by call().
+  void set_notify(Notify notify) { notify_ = std::move(notify); }
+
+  const std::string& endpoint() const { return endpoint_; }
+  llm::CircuitBreaker::State breaker_state(const std::string& peer, double now_ms) const;
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  void receive(const Message& message, double now_ms);
+  llm::CircuitBreaker& breaker(const std::string& peer);
+  void count(const char* name);
+
+  SimNet& net_;
+  std::string endpoint_;
+  RpcConfig config_;
+  obs::Telemetry* telemetry_;
+  util::MetricsRegistry* metrics_;
+  util::Rng rng_;
+  Notify notify_;
+  std::map<std::string, std::unique_ptr<llm::CircuitBreaker>> breakers_;
+  // Waiting state for the single in-flight logical call.
+  std::map<std::uint64_t, bool> pending_ids_;  // request ids of live attempts
+  std::optional<Message> response_;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t next_call_seq_ = 0;
+  std::uint64_t calls_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace neuro::net

@@ -1,0 +1,253 @@
+#include "net/simnet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/timeseries.hpp"
+#include "obs/wideevent.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::net {
+
+namespace {
+
+std::string link_name(std::string_view from, std::string_view to) {
+  std::string out;
+  out.reserve(from.size() + 2 + to.size());
+  out.append(from);
+  out.append("->");
+  out.append(to);
+  return out;
+}
+
+bool endpoint_matches(std::string_view pattern, std::string_view endpoint) {
+  return pattern == "*" || pattern == endpoint;
+}
+
+}  // namespace
+
+bool Partition::blocks(std::string_view a, std::string_view b, double at_ms) const {
+  if (!window.contains(at_ms)) return false;
+  if (endpoint_matches(from, a) && endpoint_matches(to, b)) return true;
+  if (symmetric && endpoint_matches(from, b) && endpoint_matches(to, a)) return true;
+  return false;
+}
+
+bool NetFaultPlan::any() const {
+  return loss_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 || !partitions.empty();
+}
+
+bool NetFaultPlan::blocked(std::string_view from, std::string_view to, double at_ms) const {
+  for (const Partition& partition : partitions) {
+    if (partition.blocks(from, to, at_ms)) return true;
+  }
+  return false;
+}
+
+NetFaultPlan NetFaultPlan::lossy(std::uint64_t seed, double loss_rate) {
+  NetFaultPlan plan;
+  plan.seed = seed;
+  plan.loss_rate = loss_rate;
+  return plan;
+}
+
+NetFaultPlan NetFaultPlan::chaos(std::uint64_t seed, double loss_rate, double duplicate_rate,
+                                 double reorder_rate) {
+  NetFaultPlan plan;
+  plan.seed = seed;
+  plan.loss_rate = loss_rate;
+  plan.duplicate_rate = duplicate_rate;
+  plan.reorder_rate = reorder_rate;
+  return plan;
+}
+
+Partition NetFaultPlan::isolate(std::string endpoint, double start_ms, double end_ms) {
+  Partition partition;  // to = "*" and symmetric are already the defaults
+  partition.window = {start_ms, end_ms};
+  partition.from = std::move(endpoint);
+  return partition;
+}
+
+SimNet::SimNet(Config config, obs::Telemetry* telemetry, util::MetricsRegistry* metrics)
+    : config_(std::move(config)),
+      telemetry_(telemetry),
+      metrics_(metrics != nullptr           ? metrics
+               : telemetry != nullptr       ? &telemetry->registry()
+                                            : nullptr),
+      partition_open_(config_.faults.partitions.size(), false) {}
+
+void SimNet::bind(const std::string& endpoint, Receiver receiver) {
+  receivers_[endpoint] = std::move(receiver);
+}
+
+util::Rng SimNet::fate_rng(const std::string& link, std::uint64_t seq) const {
+  const std::uint64_t seed = util::derive_seed(
+      config_.faults.seed, util::format("net/%s/%llu", link.c_str(),
+                                        static_cast<unsigned long long>(seq)));
+  return util::Rng(seed);
+}
+
+void SimNet::count(const char* name, std::uint64_t value) {
+  if (metrics_ != nullptr) metrics_->counter(name).add(value);
+}
+
+void SimNet::count_link(const char* name, const std::string& link) {
+  if (metrics_ != nullptr) {
+    metrics_->counter(obs::labeled_name(name, {{"link", link}})).add();
+  }
+}
+
+void SimNet::note_time(double now_ms) {
+  watermark_ms_ = std::max(watermark_ms_, now_ms);
+  for (std::size_t i = 0; i < config_.faults.partitions.size(); ++i) {
+    const Partition& partition = config_.faults.partitions[i];
+    if (!partition_open_[i] && watermark_ms_ >= partition.window.start_ms &&
+        watermark_ms_ < partition.window.end_ms) {
+      partition_open_[i] = true;
+      ++stats_.partitions_opened;
+      count("net.partition_open");
+      if (telemetry_ != nullptr) {
+        telemetry_->emit(obs::WideEvent(partition.window.start_ms, "net.partition")
+                             .add("action", "open")
+                             .add("from", partition.from)
+                             .add("to", partition.to)
+                             .add("symmetric", partition.symmetric)
+                             .add("heal_ms", partition.window.end_ms));
+      }
+    }
+    if (partition_open_[i] && watermark_ms_ >= partition.window.end_ms) {
+      partition_open_[i] = false;
+      ++stats_.partitions_healed;
+      count("net.partition_heal");
+      if (telemetry_ != nullptr) {
+        telemetry_->emit(obs::WideEvent(partition.window.end_ms, "net.partition")
+                             .add("action", "heal")
+                             .add("from", partition.from)
+                             .add("to", partition.to));
+      }
+    }
+  }
+}
+
+void SimNet::post(Message message, double now_ms) {
+  note_time(now_ms);
+  const std::string link = link_name(message.from, message.to);
+  LinkState& state = links_[link];
+  message.id = ++next_id_;
+  message.sent_ms = now_ms;
+  message.link_seq = ++state.sent;
+  ++stats_.sent;
+  count("net.sent");
+  count_link("net.link.sent", link);
+
+  // The fate draw: a pure function of (plan seed, link, link_seq), so the
+  // same configuration replays bit-for-bit at any thread count.
+  util::Rng rng = fate_rng(link, message.link_seq);
+  const double u_loss = rng.uniform();
+  const double u_dup = rng.uniform();
+  const double u_reorder = rng.uniform();
+  const double u_latency = rng.uniform();
+  const double u_dup_extra = rng.uniform();
+
+  obs::WideEvent event(now_ms, "net.msg");
+  event.add("link", link)
+      .add("seq", message.link_seq)
+      .add("method", message.method.empty() ? std::string("-") : message.method)
+      .add("response", message.is_response);
+
+  if (config_.faults.blocked(message.from, message.to, now_ms)) {
+    ++stats_.blocked;
+    count("net.dropped");
+    count_link("net.link.dropped", link);
+    event.add("fate", "partition");
+    if (telemetry_ != nullptr) telemetry_->emit(event);
+    return;
+  }
+  if (u_loss < config_.faults.loss_rate) {
+    ++stats_.lost;
+    count("net.dropped");
+    count_link("net.link.dropped", link);
+    event.add("fate", "loss");
+    if (telemetry_ != nullptr) telemetry_->emit(event);
+    return;
+  }
+
+  double latency = config_.link.base_latency_ms + u_latency * config_.link.jitter_ms;
+  const bool reordered_hold = u_reorder < config_.faults.reorder_rate;
+  if (reordered_hold) latency += config_.faults.reorder_delay_ms;
+  message.deliver_ms = now_ms + latency;
+  state.max_scheduled_ms = std::max(state.max_scheduled_ms, message.deliver_ms);
+
+  event.add("fate", "deliver").add("deliver_ms", message.deliver_ms).add("held", reordered_hold);
+
+  const bool duplicated = u_dup < config_.faults.duplicate_rate;
+  if (duplicated) {
+    Message copy = message;
+    copy.id = ++next_id_;
+    copy.duplicate = true;
+    copy.deliver_ms = message.deliver_ms + config_.faults.duplicate_delay_ms * (1.0 + u_dup_extra);
+    ++stats_.duplicated;
+    count("net.duplicated");
+    event.add("dup_deliver_ms", copy.deliver_ms);
+    queue_.emplace(std::make_pair(copy.deliver_ms, copy.id), std::move(copy));
+  }
+  if (telemetry_ != nullptr) telemetry_->emit(event);
+  const auto key = std::make_pair(message.deliver_ms, message.id);
+  queue_.emplace(key, std::move(message));
+}
+
+void SimNet::deliver(const Message& message) {
+  note_time(message.deliver_ms);
+  const std::string link = link_name(message.from, message.to);
+  LinkState& state = links_[link];
+  ++stats_.delivered;
+  count("net.delivered");
+  count_link("net.link.delivered", link);
+  // Reordering is detected at delivery: this message landed behind a
+  // later-sent one on its link.
+  if (state.any_delivered && message.link_seq < state.max_delivered_seq) {
+    ++stats_.reordered;
+    count("net.reordered");
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(obs::WideEvent(message.deliver_ms, "net.msg")
+                           .add("link", link)
+                           .add("seq", message.link_seq)
+                           .add("fate", "reordered")
+                           .add("behind_seq", state.max_delivered_seq));
+    }
+  }
+  state.any_delivered = true;
+  state.max_delivered_seq = std::max(state.max_delivered_seq, message.link_seq);
+
+  const auto it = receivers_.find(message.to);
+  if (it != receivers_.end()) it->second(message, message.deliver_ms);
+}
+
+void SimNet::advance_to(double now_ms) {
+  while (!queue_.empty() && queue_.begin()->first.first <= now_ms) {
+    Message message = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    deliver(message);  // may post more (a server answering)
+  }
+  note_time(now_ms);
+}
+
+double SimNet::deliver_next() {
+  if (queue_.empty()) return -1.0;
+  Message message = std::move(queue_.begin()->second);
+  queue_.erase(queue_.begin());
+  const double at_ms = message.deliver_ms;
+  deliver(message);
+  return at_ms;
+}
+
+double SimNet::next_delivery_ms() const {
+  if (queue_.empty()) return std::numeric_limits<double>::infinity();
+  return queue_.begin()->first.first;
+}
+
+void SimNet::drain_all() {
+  while (!queue_.empty()) deliver_next();
+}
+
+}  // namespace neuro::net

@@ -1,0 +1,173 @@
+#pragma once
+// Deterministic simulated network: the transport substrate under the RPC
+// control plane (rpc.hpp). Named endpoints exchange framed messages over
+// per-link latency distributions, and a scriptable + seeded NetFaultPlan
+// injects the distributed-systems failure modes the shard fleet must
+// survive — message loss, duplication, reordering, and directed or
+// symmetric partitions with heal times — in the spirit of the existing
+// llm::FaultPlan / util::FaultFs.
+//
+// Determinism contract: every message's fate (lost? duplicated? extra
+// reorder delay? latency draw) is a pure function of (plan seed, link,
+// per-link send sequence), so a fixed configuration replays bit-for-bit
+// regardless of survey thread count. All SimNet calls happen on the
+// sequential discrete-event loop (the supervisor's worker turn-taking or a
+// test driver); the network is not itself a thread-safe object, exactly
+// like WorkManifest.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "llm/faults.hpp"
+#include "obs/telemetry.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace neuro::net {
+
+/// One scripted connectivity hole between two endpoints. `from`/`to`
+/// accept "*" as a wildcard; symmetric partitions block both directions.
+/// The window end is the heal time: messages sent at or past it flow again.
+struct Partition {
+  llm::FaultWindow window;
+  std::string from = "*";
+  std::string to = "*";
+  bool symmetric = true;
+
+  bool blocks(std::string_view a, std::string_view b, double at_ms) const;
+};
+
+/// Per-link delivery model: latency is base + uniform[0, jitter) per
+/// message, drawn from the message's seeded fate stream.
+struct LinkProfile {
+  double base_latency_ms = 5.0;
+  double jitter_ms = 3.0;
+};
+
+/// Seeded, scriptable network chaos. Rates are per message; partitions are
+/// windows on the virtual clock.
+struct NetFaultPlan {
+  std::uint64_t seed = 0x5EEDC0DE;
+  double loss_rate = 0.0;       // P(message silently dropped)
+  double duplicate_rate = 0.0;  // P(a second copy is delivered later)
+  double duplicate_delay_ms = 40.0;
+  double reorder_rate = 0.0;    // P(message held back so later sends overtake)
+  double reorder_delay_ms = 25.0;
+  std::vector<Partition> partitions;
+
+  bool any() const;
+  bool blocked(std::string_view from, std::string_view to, double at_ms) const;
+
+  static NetFaultPlan healthy() { return NetFaultPlan{}; }
+  static NetFaultPlan lossy(std::uint64_t seed, double loss_rate);
+  static NetFaultPlan chaos(std::uint64_t seed, double loss_rate, double duplicate_rate,
+                            double reorder_rate);
+  /// Symmetric wildcard partition isolating `endpoint` from everyone.
+  static Partition isolate(std::string endpoint, double start_ms, double end_ms);
+};
+
+/// One framed message in flight. `request_id` correlates responses to the
+/// RPC attempt that asked; one-way notifications leave it 0.
+struct Message {
+  std::uint64_t id = 0;  // globally unique per SimNet, delivery tie-break
+  std::string from;
+  std::string to;
+  std::string method;
+  std::string payload;
+  std::uint64_t request_id = 0;
+  bool is_response = false;
+  std::string idempotency_key;
+  double sent_ms = 0.0;
+  double deliver_ms = 0.0;
+  std::uint64_t link_seq = 0;  // per-(from,to) send sequence
+  bool duplicate = false;      // this copy was injected by duplicate_rate
+};
+
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;        // loss_rate drops
+  std::uint64_t blocked = 0;     // partition drops
+  std::uint64_t duplicated = 0;  // extra copies injected
+  std::uint64_t reordered = 0;   // delivered behind a later-sent message
+  std::uint64_t partitions_opened = 0;
+  std::uint64_t partitions_healed = 0;
+};
+
+/// The simulated network. Endpoints bind receivers; post() stamps a
+/// deterministic fate; deliveries happen when the clock is advanced or
+/// stepped. Receivers may post further messages (a server answering).
+class SimNet {
+ public:
+  struct Config {
+    LinkProfile link;
+    NetFaultPlan faults;
+  };
+
+  using Receiver = std::function<void(const Message&, double now_ms)>;
+
+  explicit SimNet(Config config, obs::Telemetry* telemetry = nullptr,
+                  util::MetricsRegistry* metrics = nullptr);
+
+  void bind(const std::string& endpoint, Receiver receiver);
+
+  /// Send a message at virtual time `now_ms`. The fate draw may drop it
+  /// (loss or partition), duplicate it, or delay it past later sends.
+  void post(Message message, double now_ms);
+
+  /// Deliver every pending message due at or before `now_ms`, in
+  /// (deliver_ms, id) order, and fire partition open/heal edges the clock
+  /// crossed.
+  void advance_to(double now_ms);
+
+  /// Deliver the single earliest pending message; returns its delivery
+  /// time, or a negative value when nothing is pending. The caller's RPC
+  /// wait loops step deliveries one at a time so a client resumes at the
+  /// exact arrival of its response.
+  double deliver_next();
+
+  /// Earliest pending delivery time; +infinity when idle.
+  double next_delivery_ms() const;
+
+  /// Deliver everything still in flight (end-of-run flush: lingering
+  /// duplicates arrive and stale requests bounce off the server's
+  /// idempotency and generation machinery).
+  void drain_all();
+
+  std::size_t pending() const { return queue_.size(); }
+  const NetStats& stats() const { return stats_; }
+  double watermark_ms() const { return watermark_ms_; }
+
+ private:
+  struct LinkState {
+    std::uint64_t sent = 0;             // send sequence
+    std::uint64_t max_delivered_seq = 0;
+    bool any_delivered = false;
+    double max_scheduled_ms = 0.0;      // latest delivery scheduled so far
+  };
+
+  void note_time(double now_ms);  // partition edge events on the watermark
+  void deliver(const Message& message);
+  void count(const char* name, std::uint64_t value = 1);
+  void count_link(const char* name, const std::string& link);
+  util::Rng fate_rng(const std::string& link, std::uint64_t seq) const;
+
+  Config config_;
+  obs::Telemetry* telemetry_;
+  util::MetricsRegistry* metrics_;
+  std::map<std::string, Receiver> receivers_;
+  std::map<std::string, LinkState> links_;
+  // Pending deliveries keyed by (deliver_ms, id): a map gives the
+  // deterministic order and cheap pop-min.
+  std::map<std::pair<double, std::uint64_t>, Message> queue_;
+  std::vector<bool> partition_open_;  // parallel to config_.faults.partitions
+  NetStats stats_;
+  std::uint64_t next_id_ = 0;
+  double watermark_ms_ = 0.0;
+};
+
+}  // namespace neuro::net

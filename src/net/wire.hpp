@@ -1,0 +1,101 @@
+#pragma once
+// Little-endian wire encoding helpers for RPC payloads. The same
+// byte-level idiom as WorkManifest's record encoding, exposed so the
+// manifest/serve transports and tests can frame request and response
+// bodies without each reinventing bounds checks: a truncated or garbled
+// payload surfaces as WireReader::ok() == false, never as UB.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace neuro::net {
+
+inline void put_u8(std::string& out, std::uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+inline void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+inline void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+inline void put_f64(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(out, bits);
+}
+
+inline void put_string(std::string& out, std::string_view value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(value);
+}
+
+/// Sequential bounds-checked reader over a payload. After a failed read
+/// every subsequent read returns the zero value and ok() stays false.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && pos_ == bytes_.size(); }
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::uint64_t u64() {
+    if (!ensure(8)) return 0;
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  std::string str() {
+    const std::uint32_t size = u32();
+    if (!ensure(size)) return {};
+    std::string value(bytes_.substr(pos_, size));
+    pos_ += size;
+    return value;
+  }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace neuro::net

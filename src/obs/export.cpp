@@ -195,6 +195,12 @@ struct ClassRow {
   std::uint64_t shed_draining = 0;
 };
 
+struct LinkRow {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
 }  // namespace
 
 std::string render_dashboard(const Telemetry& telemetry, const DashboardOptions& options) {
@@ -222,9 +228,22 @@ std::string render_dashboard(const Telemetry& telemetry, const DashboardOptions&
   // Panels are derived from labeled counters in the registry.
   std::map<std::string, ClassRow> classes;
   std::map<std::string, TenantRow> tenants;
+  std::map<std::string, LinkRow> links;
+  std::map<std::string, std::uint64_t> net_totals;
   for (const auto& [name, value] : telemetry.registry().counter_values()) {
     const ParsedName parsed = parse_labeled_name(name);
-    if (parsed.base == "serve.admission") {
+    if (parsed.base.rfind("net.link.", 0) == 0) {
+      std::string link;
+      for (const auto& [key, label] : parsed.labels) {
+        if (key == "link") link = label;
+      }
+      LinkRow& row = links[link];
+      if (parsed.base == "net.link.sent") row.sent += value;
+      else if (parsed.base == "net.link.delivered") row.delivered += value;
+      else if (parsed.base == "net.link.dropped") row.dropped += value;
+    } else if (parsed.base.rfind("net.", 0) == 0 && parsed.labels.empty()) {
+      net_totals[parsed.base] += value;
+    } else if (parsed.base == "serve.admission") {
       std::string klass;
       std::string outcome;
       for (const auto& [key, label] : parsed.labels) {
@@ -294,6 +313,30 @@ std::string render_dashboard(const Telemetry& telemetry, const DashboardOptions&
                      util::format("%llu", (unsigned long long)worker.slices)});
     }
     out += table.render();
+  }
+
+  if (!links.empty() || !net_totals.empty()) {
+    const auto total = [&net_totals](const char* name) -> unsigned long long {
+      const auto it = net_totals.find(name);
+      return it == net_totals.end() ? 0ULL : static_cast<unsigned long long>(it->second);
+    };
+    out += util::format(
+        "\n-- simulated network --  sent=%llu delivered=%llu dropped=%llu dup=%llu "
+        "reordered=%llu partitions open=%llu heal=%llu\n",
+        total("net.sent"), total("net.delivered"), total("net.dropped"), total("net.duplicated"),
+        total("net.reordered"), total("net.partition_open"), total("net.partition_heal"));
+    if (!links.empty()) {
+      util::TextTable table({"link", "sent", "delivered", "dropped", "loss"});
+      for (const auto& [link, row] : links) {
+        const double loss =
+            row.sent == 0 ? 0.0 : static_cast<double>(row.dropped) / static_cast<double>(row.sent);
+        table.add_row({link, util::format("%llu", (unsigned long long)row.sent),
+                       util::format("%llu", (unsigned long long)row.delivered),
+                       util::format("%llu", (unsigned long long)row.dropped),
+                       util::fmt_percent(loss)});
+      }
+      out += table.render();
+    }
   }
   return out;
 }

@@ -1,0 +1,156 @@
+#include "serve/frontend.hpp"
+
+#include <algorithm>
+
+#include "net/wire.hpp"
+#include "scene/indicators.hpp"
+
+namespace neuro::serve {
+
+namespace {
+
+// PresenceVector <-> bit mask in all_indicators() order — the same 6-bit
+// layout the journal uses on disk, re-derived here because the journal's
+// codec is file-local by design.
+std::uint32_t presence_mask(const scene::PresenceVector& presence) {
+  std::uint32_t mask = 0;
+  for (scene::Indicator indicator : scene::all_indicators()) {
+    if (presence[indicator]) mask |= 1u << scene::indicator_index(indicator);
+  }
+  return mask;
+}
+
+scene::PresenceVector presence_from_mask(std::uint32_t mask) {
+  scene::PresenceVector presence;
+  for (scene::Indicator indicator : scene::all_indicators()) {
+    presence.set(indicator, (mask >> scene::indicator_index(indicator)) & 1u);
+  }
+  return presence;
+}
+
+void encode_result(std::string& out, const ImageResult& result) {
+  net::put_string(out, result.tenant);
+  net::put_u64(out, result.job_id);
+  net::put_u64(out, result.image_id);
+  net::put_u32(out, presence_mask(result.prediction));
+  net::put_u32(out, static_cast<std::uint32_t>(result.answered_questions));
+  net::put_u8(out, result.failed ? 1 : 0);
+  net::put_u8(out, result.from_journal ? 1 : 0);
+  net::put_f64(out, result.completion_ms);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ServeFrontend
+
+ServeFrontend::ServeFrontend(net::SimNet& net, SurveyService& service,
+                             obs::Telemetry* telemetry, std::string endpoint)
+    : net_(net), service_(service), server_(net, std::move(endpoint), telemetry) {
+  server_.on("submit", [this](const net::RpcContext& ctx, std::string_view payload) {
+    return handle_submit(ctx, payload);
+  });
+  service_.set_sink([this](const ImageResult& result) { stream(result); });
+}
+
+net::RpcReply ServeFrontend::handle_submit(const net::RpcContext& ctx,
+                                           std::string_view payload) {
+  net::WireReader reader(payload);
+  SurveyJob job;
+  job.tenant = reader.str();
+  job.job_id = reader.u64();
+  const double client_submit_ms = reader.f64();
+  job.image_begin = static_cast<std::size_t>(reader.u64());
+  job.image_count = static_cast<std::size_t>(reader.u64());
+  const std::string reply_to = reader.str();
+  if (!reader.ok()) return net::RpcReply::error("submit: malformed payload");
+
+  // The service's event loop requires non-decreasing submit times. A
+  // reordered delivery can arrive "before" an already-processed later
+  // submit, so the job lands at the latest of: the client's send time, the
+  // network delivery time, and wherever the service clock already is.
+  job.submit_ms = std::max({client_submit_ms, ctx.now_ms, service_.now_ms()});
+  handling_ms_ = job.submit_ms;
+  // Register the return path before submitting: journal-restored images
+  // stream synchronously from inside submit().
+  reply_to_[{job.tenant, job.job_id}] = reply_to;
+  const Admission admission = service_.submit(job);
+  ++submits_;
+
+  net::RpcReply reply;
+  net::put_u8(reply.payload, static_cast<std::uint8_t>(admission));
+  return reply;
+}
+
+void ServeFrontend::stream(const ImageResult& result) {
+  const auto it = reply_to_.find({result.tenant, result.job_id});
+  if (it == reply_to_.end()) return;  // no return path (direct-submitted job)
+  net::Message message;
+  message.from = server_.endpoint();
+  message.to = it->second;
+  message.method = "result";
+  encode_result(message.payload, result);
+  // Results complete on the service's virtual clock, which can run ahead
+  // of (job makespans) or behind (queued restores) the delivery moment of
+  // the submit being handled — send at whichever is later.
+  net_.post(std::move(message), std::max(result.completion_ms, handling_ms_));
+  ++results_streamed_;
+}
+
+double ServeFrontend::finish(double now_ms) {
+  handling_ms_ = std::max(handling_ms_, now_ms);
+  const double horizon = service_.finish();
+  handling_ms_ = std::max(handling_ms_, horizon);
+  return horizon;
+}
+
+// ---------------------------------------------------------------------------
+// ServeClient
+
+ServeClient::ServeClient(net::SimNet& net, std::string endpoint, net::RpcConfig rpc,
+                         std::string frontend, obs::Telemetry* telemetry)
+    : frontend_(std::move(frontend)), client_(net, std::move(endpoint), rpc, telemetry) {
+  client_.set_notify(
+      [this](const net::Message& message, double now_ms) { on_message(message, now_ms); });
+}
+
+std::optional<Admission> ServeClient::submit(const SurveyJob& job, double& now_ms) {
+  std::string payload;
+  net::put_string(payload, job.tenant);
+  net::put_u64(payload, job.job_id);
+  net::put_f64(payload, job.submit_ms);
+  net::put_u64(payload, static_cast<std::uint64_t>(job.image_begin));
+  net::put_u64(payload, static_cast<std::uint64_t>(job.image_count));
+  net::put_string(payload, client_.endpoint());
+  const net::RpcResult result = client_.call(frontend_, "submit", std::move(payload), now_ms);
+  if (!result.ok()) return std::nullopt;
+  net::WireReader reader(result.payload);
+  const std::uint8_t admission = reader.u8();
+  if (!reader.ok() || admission > 3) return std::nullopt;
+  return static_cast<Admission>(admission);
+}
+
+void ServeClient::on_message(const net::Message& message, double now_ms) {
+  (void)now_ms;
+  if (message.method != "result") return;
+  net::WireReader reader(message.payload);
+  ImageResult result;
+  result.tenant = reader.str();
+  result.job_id = reader.u64();
+  result.image_id = reader.u64();
+  result.prediction = presence_from_mask(reader.u32());
+  result.answered_questions = static_cast<int>(reader.u32());
+  result.failed = reader.u8() != 0;
+  result.from_journal = reader.u8() != 0;
+  result.completion_ms = reader.f64();
+  if (!reader.ok()) return;
+  // Duplicated deliveries of the same image are expected under chaos;
+  // keep the first copy only.
+  if (!seen_.emplace(result.tenant, result.job_id, result.image_id).second) {
+    ++duplicate_results_;
+    return;
+  }
+  results_.push_back(std::move(result));
+}
+
+}  // namespace neuro::serve

@@ -1,0 +1,87 @@
+#pragma once
+// The serve front door on the simulated network: ServeFrontend binds an
+// RpcServer endpoint over a SurveyService so tenants submit jobs — and
+// receive their streamed per-image results — through the same transport
+// the shard fleet uses, with the same failure modes. A duplicated or
+// retried "submit" admits exactly once (the RPC idempotency cache replays
+// the first admission verdict); results flow back as one-way "result"
+// messages to whatever endpoint the job named, so a client behind a
+// partition simply sees its stream pause until the heal.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/service.hpp"
+
+namespace neuro::serve {
+
+/// Default endpoint name the survey front-end binds.
+inline constexpr const char* kServeEndpoint = "svc";
+
+/// Server side: decodes "submit" RPCs into SurveyService::submit calls and
+/// forwards the service's result sink onto the network as one-way "result"
+/// messages addressed to each job's reply endpoint.
+class ServeFrontend {
+ public:
+  ServeFrontend(net::SimNet& net, SurveyService& service, obs::Telemetry* telemetry = nullptr,
+                std::string endpoint = kServeEndpoint);
+
+  /// Drain the service (dispatch everything still queued) and stream the
+  /// remaining results; returns the service's final virtual horizon.
+  double finish(double now_ms);
+
+  const net::RpcServer& server() const { return server_; }
+  std::uint64_t submits() const { return submits_; }
+  std::uint64_t results_streamed() const { return results_streamed_; }
+
+ private:
+  net::RpcReply handle_submit(const net::RpcContext& ctx, std::string_view payload);
+  void stream(const ImageResult& result);
+
+  net::SimNet& net_;
+  SurveyService& service_;
+  net::RpcServer server_;
+  // (tenant, job_id) -> endpoint its results stream back to.
+  std::map<std::pair<std::string, std::uint64_t>, std::string> reply_to_;
+  double handling_ms_ = 0.0;  // delivery time of the submit being handled
+  std::uint64_t submits_ = 0;
+  std::uint64_t results_streamed_ = 0;
+};
+
+/// Client side: submits jobs with idempotent retries and collects the
+/// result stream addressed to its endpoint, deduplicating redelivered
+/// copies by (tenant, job, image).
+class ServeClient {
+ public:
+  ServeClient(net::SimNet& net, std::string endpoint, net::RpcConfig rpc = {},
+              std::string frontend = kServeEndpoint, obs::Telemetry* telemetry = nullptr);
+
+  /// Submit one job; retries ride the RPC idempotency key, so at most one
+  /// admission happens server-side. nullopt = unreachable (timeout or
+  /// open breaker after every attempt).
+  std::optional<Admission> submit(const SurveyJob& job, double& now_ms);
+
+  const std::vector<ImageResult>& results() const { return results_; }
+  std::uint64_t duplicate_results() const { return duplicate_results_; }
+  net::RpcClient& client() { return client_; }
+
+ private:
+  void on_message(const net::Message& message, double now_ms);
+
+  std::string frontend_;
+  net::RpcClient client_;
+  std::vector<ImageResult> results_;
+  std::set<std::tuple<std::string, std::uint64_t, std::uint64_t>> seen_;
+  std::uint64_t duplicate_results_ = 0;
+};
+
+}  // namespace neuro::serve

@@ -1,0 +1,126 @@
+#include "shard/channel.hpp"
+
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace neuro::shard {
+
+std::string shard_journal_path(const std::string& dir, std::size_t shard,
+                               std::uint64_t generation) {
+  return util::format("%s/shard-%05zu.g%llu.nrlg", dir.c_str(), shard,
+                      static_cast<unsigned long long>(generation));
+}
+
+FileLock::FileLock(const std::string& path, util::MetricsRegistry* metrics) {
+  if (path.empty()) return;
+  do {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  } while (fd_ < 0 && errno == EINTR);
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  if (fd_ < 0) {
+    // Multi-process mode asked for serialization we cannot provide;
+    // proceeding unlocked would let two workers interleave manifest
+    // appends and corrupt the log. Fail loudly instead.
+    const int err = errno;
+    if (metrics != nullptr) metrics->counter("shard.lock_failed").add();
+    throw std::runtime_error(
+        util::format("FileLock: cannot lock '%s': %s", path.c_str(), std::strerror(err)));
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+core::SurveyJournal restore_prior_generations(util::Fsx& fs, const std::string& dir,
+                                              std::size_t shard, std::uint64_t generation) {
+  core::SurveyJournal restored;
+  // CRC-valid frames are finished images the new holder will never
+  // re-request. Torn tails truncate away inside load().
+  for (std::uint64_t g = 1; g < generation; ++g) {
+    const std::string path = shard_journal_path(dir, shard, g);
+    if (!fs.exists(path)) continue;  // that generation died before checkpointing
+    try {
+      restored.merge(core::SurveyJournal::load(path, fs));
+    } catch (const std::exception&) {
+      // Torn so badly even the log magic is gone (demoted to legacy JSON
+      // that fails to parse): a fresh start for that generation's images.
+    }
+  }
+  return restored;
+}
+
+LocalLeaseChannel::LocalLeaseChannel(util::Fsx& fs, std::string dir, std::string lock_path,
+                                     std::size_t shards, double lease_ms,
+                                     util::MetricsRegistry* metrics)
+    : fs_(fs),
+      dir_(std::move(dir)),
+      lock_path_(std::move(lock_path)),
+      manifest_(fs, dir_ + "/manifest.nrlg", shards, lease_ms),
+      metrics_(metrics) {}
+
+LeaseChannel::ClaimResult LocalLeaseChannel::granted(const std::optional<Lease>& lease) {
+  ClaimResult result;
+  if (!lease) return result;  // kNothing
+  result.reach = Reach::kGranted;
+  result.grant.lease = *lease;
+  result.grant.restored = restore_prior_generations(fs_, dir_, lease->shard, lease->generation);
+  return result;
+}
+
+LeaseChannel::ClaimResult LocalLeaseChannel::claim(const std::string& worker, double& now_ms) {
+  std::optional<Lease> lease;
+  {
+    FileLock lock(lock_path_, metrics_);
+    lease = manifest_.claim(worker, now_ms);
+  }
+  return granted(lease);
+}
+
+LeaseChannel::ClaimResult LocalLeaseChannel::hedge(std::size_t shard, const std::string& worker,
+                                                   double& now_ms) {
+  std::optional<Lease> lease;
+  {
+    FileLock lock(lock_path_, metrics_);
+    lease = manifest_.claim_straggler(shard, worker, now_ms);
+  }
+  return granted(lease);
+}
+
+std::optional<bool> LocalLeaseChannel::renew(const Lease& lease, double& now_ms) {
+  FileLock lock(lock_path_, metrics_);
+  return manifest_.renew(lease, now_ms);
+}
+
+std::optional<CompleteOutcome> LocalLeaseChannel::complete(const Lease& lease, double& now_ms) {
+  FileLock lock(lock_path_, metrics_);
+  return manifest_.complete(lease, now_ms);
+}
+
+bool LocalLeaseChannel::checkpoint(const Lease& lease, const core::SurveyJournal& journal,
+                                   double& now_ms) {
+  (void)now_ms;  // a local save is instantaneous on the virtual clock
+  journal.save(shard_journal_path(dir_, lease.shard, lease.generation), fs_);
+  return true;
+}
+
+}  // namespace neuro::shard

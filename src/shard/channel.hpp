@@ -1,0 +1,119 @@
+#pragma once
+// The lease-channel seam between a ShardWorker and the manifest: every
+// control-plane transition (claim / hedge / renew / complete) and every
+// durable checkpoint goes through a LeaseChannel, so the same worker code
+// runs against the shared-filesystem manifest (LocalLeaseChannel, the
+// flock-serialized mode forked fleets use) or against the supervisor's
+// single-writer ManifestService over the simulated network
+// (RpcLeaseChannel in transport.hpp) — where renewals can miss, grants
+// can be delayed across partitions, and checkpoints ship journal bytes
+// instead of touching a shared directory.
+//
+// Every op takes `double& now_ms`: a channel advances the caller's
+// virtual clock by whatever the op cost (nothing locally; latencies,
+// timeouts, and retry backoff over RPC). Tri-state results distinguish
+// "the manifest said no" from "the manifest was unreachable" — only the
+// manifest's own verdicts make a worker abandon a shard.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/journal.hpp"
+#include "shard/manifest.hpp"
+#include "util/fsx.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::shard {
+
+/// Per-generation journal file for a shard ("shard-00003.g2.nrlg"):
+/// generations never share a file, so a straggler and its hedger can both
+/// checkpoint without racing; the merge reads every generation.
+std::string shard_journal_path(const std::string& dir, std::size_t shard,
+                               std::uint64_t generation);
+
+/// flock-scoped critical section for multi-process manifest access. A
+/// no-op when `path` is empty (single-process mode: the supervisor's
+/// turn-taking is the serialization). In multi-process mode a lock that
+/// cannot be acquired is a hard error — proceeding unlocked would race
+/// the manifest log — surfaced via `shard.lock_failed` and a throw.
+/// EINTR on open/flock is retried, not treated as failure.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path, util::MetricsRegistry* metrics = nullptr);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A granted lease plus everything durable the fleet already finished for
+/// its shard: the LWW-merge of every prior generation's journal. The
+/// worker sets its own generation's revision floor on top.
+struct ClaimGrant {
+  Lease lease;
+  core::SurveyJournal restored;
+};
+
+class LeaseChannel {
+ public:
+  enum class Reach {
+    kGranted,      // lease in hand
+    kNothing,      // manifest answered: nothing claimable right now
+    kUnreachable,  // could not reach the manifest (partition/timeout)
+  };
+  struct ClaimResult {
+    Reach reach = Reach::kNothing;
+    ClaimGrant grant;  // valid when kGranted
+  };
+
+  virtual ~LeaseChannel() = default;
+
+  virtual ClaimResult claim(const std::string& worker, double& now_ms) = 0;
+  virtual ClaimResult hedge(std::size_t shard, const std::string& worker, double& now_ms) = 0;
+  /// nullopt = unreachable (the worker keeps its lease and decides by its
+  /// local expiry); otherwise the manifest's renew verdict.
+  virtual std::optional<bool> renew(const Lease& lease, double& now_ms) = 0;
+  /// nullopt = unreachable (the shard may or may not be marked done; the
+  /// worker abandons and the durable journals carry the work).
+  virtual std::optional<CompleteOutcome> complete(const Lease& lease, double& now_ms) = 0;
+  /// Make the journal snapshot durable (local file save, or shipped to the
+  /// supervisor). false = the checkpoint did not land anywhere durable.
+  virtual bool checkpoint(const Lease& lease, const core::SurveyJournal& journal,
+                          double& now_ms) = 0;
+};
+
+/// The shared-filesystem channel: a WorkManifest handle over the shared
+/// log, transitions serialized through the flock sidecar when lock_path is
+/// set, journals saved as local files. Always reachable.
+class LocalLeaseChannel : public LeaseChannel {
+ public:
+  LocalLeaseChannel(util::Fsx& fs, std::string dir, std::string lock_path, std::size_t shards,
+                    double lease_ms, util::MetricsRegistry* metrics = nullptr);
+
+  ClaimResult claim(const std::string& worker, double& now_ms) override;
+  ClaimResult hedge(std::size_t shard, const std::string& worker, double& now_ms) override;
+  std::optional<bool> renew(const Lease& lease, double& now_ms) override;
+  std::optional<CompleteOutcome> complete(const Lease& lease, double& now_ms) override;
+  bool checkpoint(const Lease& lease, const core::SurveyJournal& journal,
+                  double& now_ms) override;
+
+ private:
+  ClaimResult granted(const std::optional<Lease>& lease);
+
+  util::Fsx& fs_;
+  std::string dir_;
+  std::string lock_path_;
+  WorkManifest manifest_;
+  util::MetricsRegistry* metrics_;
+};
+
+/// Merge every durable generation journal below `generation` for `shard`
+/// (unreadable-beyond-recovery files contribute nothing). Shared by the
+/// local channel and the supervisor-side ManifestService.
+core::SurveyJournal restore_prior_generations(util::Fsx& fs, const std::string& dir,
+                                              std::size_t shard, std::uint64_t generation);
+
+}  // namespace neuro::shard

@@ -8,6 +8,7 @@
 #include <limits>
 #include <memory>
 
+#include "shard/transport.hpp"
 #include "util/strings.hpp"
 
 namespace neuro::shard {
@@ -38,14 +39,30 @@ SupervisorReport Supervisor::run() {
 SupervisorReport Supervisor::run_in_process() {
   SupervisorReport report;
   util::Fsx& real = util::Fsx::real();
+  const bool net_mode = config_.net.enabled;
 
   // Each worker gets its own Fsx handle; the kill target's is a FaultFs so
   // every manifest append and journal save it performs counts toward one
-  // per-worker crash-op index.
+  // per-worker crash-op index. In net mode workers perform no filesystem
+  // ops at all — the kill plan moves to the RPC channel instead.
   std::unique_ptr<util::FaultFs> kill_fs;
-  if (config_.kill.worker >= 0 && config_.kill.at_op >= 0) {
+  if (!net_mode && config_.kill.worker >= 0 && config_.kill.at_op >= 0) {
     kill_fs = std::make_unique<util::FaultFs>(
         real, util::FsFaultPlan::torn_write(config_.kill.at_op, config_.kill.torn_fraction));
+  }
+
+  // Net mode: one SimNet carries the whole control plane, the supervisor
+  // owns the manifest through its single-writer service, and each worker
+  // is wired through an RpcLeaseChannel endpoint named after it.
+  std::unique_ptr<net::SimNet> simnet;
+  std::unique_ptr<ManifestService> service;
+  std::vector<RpcLeaseChannel*> channels(config_.workers, nullptr);
+  if (net_mode) {
+    simnet = std::make_unique<net::SimNet>(config_.net.sim, config_.worker.telemetry);
+    service = std::make_unique<ManifestService>(real, *simnet, config_.worker.dir,
+                                                config_.worker.frame.shards,
+                                                config_.worker.lease_ms,
+                                                config_.worker.telemetry);
   }
 
   obs::Telemetry* telemetry = config_.worker.telemetry;
@@ -69,7 +86,21 @@ SupervisorReport Supervisor::run_in_process() {
     util::Fsx& fs =
         (kill_fs && w == static_cast<std::size_t>(config_.kill.worker)) ? *kill_fs : real;
     try {
-      workers.push_back(std::make_unique<ShardWorker>(fs, worker_name(w), config_.worker));
+      if (net_mode) {
+        RpcLeaseChannel::Options options;
+        options.rpc = config_.net.rpc;
+        if (config_.kill.worker >= 0 && w == static_cast<std::size_t>(config_.kill.worker)) {
+          options.crash_at_op = config_.kill.at_op;
+        }
+        auto channel = std::make_unique<RpcLeaseChannel>(*simnet, worker_name(w),
+                                                         std::move(options),
+                                                         config_.worker.telemetry);
+        channels[w] = channel.get();
+        workers.push_back(std::make_unique<ShardWorker>(real, worker_name(w), config_.worker,
+                                                        std::move(channel)));
+      } else {
+        workers.push_back(std::make_unique<ShardWorker>(fs, worker_name(w), config_.worker));
+      }
     } catch (const util::FsxCrash&) {
       // Killed while opening the manifest (possibly mid-create): the torn
       // file, if any, is repaired by the next handle to open it.
@@ -111,6 +142,16 @@ SupervisorReport Supervisor::run_in_process() {
     }
     if (pick == config_.workers) break;  // everyone dead: restart-level recovery
 
+    if (net_mode && clocks[pick] > config_.net.horizon_cap_ms) {
+      // Safety valve for unhealable partitions: this worker has burned
+      // past the cap without the fleet finishing. Park it; survivors (or
+      // a rerun on the same directory) drain the remainder.
+      alive[pick] = false;
+      report.events.push_back(
+          {clocks[pick], worker_name(pick), "parked at net horizon cap (manifest unreachable)"});
+      continue;
+    }
+
     ShardWorker& worker = *workers[pick];
     const bool was_busy = worker.busy();
     ShardWorker::Step outcome;
@@ -128,6 +169,15 @@ SupervisorReport Supervisor::run_in_process() {
     }
 
     switch (outcome) {
+      case ShardWorker::Step::kBlocked:
+        // The manifest was unreachable (partition / loss storm). The
+        // failed RPC already advanced this worker's clock through its
+        // timeouts and backoff, so the loop makes progress — no parking:
+        // the blockage heals on the virtual clock, unlike "nothing left
+        // to claim".
+        report.events.push_back(
+            {clocks[pick], worker.name(), "manifest unreachable (will retry)"});
+        break;
       case ShardWorker::Step::kIdle: {
         // Straggler defense: hedge the oldest lease that has fallen
         // straggler_factor past the p95 completed-shard duration.
@@ -238,6 +288,19 @@ SupervisorReport Supervisor::run_in_process() {
       }
     }
     report.worker_status.push_back(std::move(status));
+  }
+  if (net_mode) {
+    // End-of-run flush: lingering duplicates and held-back messages arrive
+    // now. Stale completes from reclaimed leases bounce off the generation
+    // machinery (kSuperseded / kAlreadyDone); dup'd checkpoints merge as
+    // subsets. Nothing after this point can change the national content.
+    simnet->drain_all();
+    manifest.refresh();
+    report.net_stats = simnet->stats();
+    report.rpc_deduped = service->server().deduped();
+    for (RpcLeaseChannel* channel : channels) {
+      if (channel != nullptr) report.rpc_retries += channel->client().retries();
+    }
   }
   if (telemetry != nullptr) telemetry->finish(report.horizon_ms);
   finalize(report, manifest);

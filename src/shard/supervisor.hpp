@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/journal.hpp"
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
 #include "obs/export.hpp"
 #include "shard/worker.hpp"
 #include "util/table.hpp"
@@ -33,11 +35,28 @@ namespace neuro::shard {
 
 /// Scripted worker death: worker `worker` runs behind a FaultFs that
 /// crashes (FsxCrash) at its `at_op`-th mutating filesystem op, tearing
-/// whatever it was writing at `torn_fraction` of the bytes.
+/// whatever it was writing at `torn_fraction` of the bytes. In net mode
+/// the same plan kills the worker immediately before its `at_op`-th
+/// manifest RPC instead — the control-plane moments replace the
+/// filesystem moments as the crash points worth sweeping.
 struct KillPlan {
   int worker = -1;  // -1 = nobody dies
   long long at_op = -1;
   double torn_fraction = 0.5;
+};
+
+/// Re-host the control plane on the simulated network: the supervisor
+/// runs a single-writer ManifestService and every worker talks to it
+/// through an RpcLeaseChannel, with `sim.faults` injecting partitions,
+/// loss, duplication, and reordering between them.
+struct NetOptions {
+  bool enabled = false;
+  net::SimNet::Config sim;
+  net::RpcConfig rpc;
+  /// Safety valve: a worker whose virtual clock passes this cap while the
+  /// fleet is unfinished is parked (an unhealable partition otherwise
+  /// blocks forever); survivors or a rerun drain the remainder.
+  double horizon_cap_ms = 600000.0;
 };
 
 struct SupervisorConfig {
@@ -47,6 +66,7 @@ struct SupervisorConfig {
   double straggler_factor = 3.0;       // hedge when age > factor * p95 duration
   std::size_t straggler_min_samples = 5;  // completed shards before hedging arms
   bool fork_workers = false;
+  NetOptions net;
 };
 
 struct SupervisorEvent {
@@ -69,6 +89,10 @@ struct SupervisorReport {
   /// End-of-run fleet roster for the telemetry dashboard (in-process mode
   /// only; forked children keep their accounting to themselves).
   std::vector<obs::WorkerStatus> worker_status;
+  /// Net-mode transport accounting (zeros when net is disabled).
+  net::NetStats net_stats;
+  std::uint64_t rpc_deduped = 0;   // server-side idempotency-cache replays
+  std::uint64_t rpc_retries = 0;   // client attempts beyond the first
 };
 
 class Supervisor {

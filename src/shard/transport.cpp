@@ -1,0 +1,263 @@
+#include "shard/transport.hpp"
+
+#include "net/wire.hpp"
+#include "util/strings.hpp"
+
+namespace neuro::shard {
+
+namespace {
+
+void encode_lease(std::string& out, const Lease& lease) {
+  net::put_u64(out, static_cast<std::uint64_t>(lease.shard));
+  net::put_string(out, lease.worker);
+  net::put_u64(out, lease.generation);
+  net::put_f64(out, lease.acquired_ms);
+  net::put_f64(out, lease.expires_ms);
+}
+
+Lease decode_lease(net::WireReader& reader) {
+  Lease lease;
+  lease.shard = static_cast<std::size_t>(reader.u64());
+  lease.worker = reader.str();
+  lease.generation = reader.u64();
+  lease.acquired_ms = reader.f64();
+  lease.expires_ms = reader.f64();
+  return lease;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ManifestService
+
+ManifestService::ManifestService(util::Fsx& fs, net::SimNet& net, std::string dir,
+                                 std::size_t shards, double lease_ms, obs::Telemetry* telemetry,
+                                 std::string endpoint)
+    : fs_(fs),
+      dir_(std::move(dir)),
+      manifest_(fs, dir_ + "/manifest.nrlg", shards, lease_ms),
+      server_(net, std::move(endpoint), telemetry) {
+  server_.on("claim", [this](const net::RpcContext& ctx, std::string_view payload) {
+    return handle_claim(ctx, payload);
+  });
+  server_.on("hedge", [this](const net::RpcContext& ctx, std::string_view payload) {
+    return handle_hedge(ctx, payload);
+  });
+  server_.on("renew", [this](const net::RpcContext& ctx, std::string_view payload) {
+    return handle_renew(ctx, payload);
+  });
+  server_.on("complete", [this](const net::RpcContext& ctx, std::string_view payload) {
+    return handle_complete(ctx, payload);
+  });
+  server_.on("heartbeat", [this](const net::RpcContext& ctx, std::string_view payload) {
+    return handle_heartbeat(ctx, payload);
+  });
+  server_.on("checkpoint", [this](const net::RpcContext& ctx, std::string_view payload) {
+    return handle_checkpoint(ctx, payload);
+  });
+}
+
+core::SurveyJournal& ManifestService::journal_for(std::size_t shard, std::uint64_t generation) {
+  const auto key = std::make_pair(shard, generation);
+  auto it = journals_.find(key);
+  if (it == journals_.end()) {
+    core::SurveyJournal journal;
+    // A service restart (rerun on the same directory) resumes from the
+    // durable file; checkpoints merge on top.
+    const std::string path = shard_journal_path(dir_, shard, generation);
+    if (fs_.exists(path)) {
+      try {
+        journal = core::SurveyJournal::load(path, fs_);
+      } catch (const std::exception&) {
+        // Unreadable beyond recovery: start that generation's store empty.
+      }
+    }
+    it = journals_.emplace(key, std::move(journal)).first;
+  }
+  return it->second;
+}
+
+net::RpcReply ManifestService::encode_grant(const std::optional<Lease>& lease) {
+  net::RpcReply reply;
+  net::put_u8(reply.payload, lease.has_value() ? 1 : 0);
+  if (lease.has_value()) {
+    encode_lease(reply.payload, *lease);
+    // Ship everything durable from prior generations so the worker resumes
+    // without re-requesting a single finished image. In-memory stores and
+    // durable files agree (every checkpoint saves through), so reading the
+    // files is the one code path for both restart and steady state.
+    const core::SurveyJournal restored =
+        restore_prior_generations(fs_, dir_, lease->shard, lease->generation);
+    net::put_string(reply.payload, restored.serialize_log());
+  }
+  return reply;
+}
+
+net::RpcReply ManifestService::handle_claim(const net::RpcContext& ctx,
+                                            std::string_view payload) {
+  net::WireReader reader(payload);
+  const std::string worker = reader.str();
+  if (!reader.ok()) return net::RpcReply::error("claim: malformed payload");
+  return encode_grant(manifest_.claim(worker, ctx.now_ms));
+}
+
+net::RpcReply ManifestService::handle_hedge(const net::RpcContext& ctx,
+                                            std::string_view payload) {
+  net::WireReader reader(payload);
+  const std::size_t shard = static_cast<std::size_t>(reader.u64());
+  const std::string worker = reader.str();
+  if (!reader.ok()) return net::RpcReply::error("hedge: malformed payload");
+  return encode_grant(manifest_.claim_straggler(shard, worker, ctx.now_ms));
+}
+
+net::RpcReply ManifestService::handle_renew(const net::RpcContext& ctx,
+                                            std::string_view payload) {
+  net::WireReader reader(payload);
+  const Lease lease = decode_lease(reader);
+  if (!reader.ok()) return net::RpcReply::error("renew: malformed payload");
+  // Evaluated at DELIVERY time: a renew that crawled across a partition
+  // meets the lease as it is now, not as it was when sent.
+  const bool renewed = manifest_.renew(lease, ctx.now_ms);
+  net::RpcReply reply;
+  net::put_u8(reply.payload, renewed ? 1 : 0);
+  net::put_f64(reply.payload, renewed ? ctx.now_ms + manifest_.lease_ms() : 0.0);
+  return reply;
+}
+
+net::RpcReply ManifestService::handle_complete(const net::RpcContext& ctx,
+                                               std::string_view payload) {
+  net::WireReader reader(payload);
+  const Lease lease = decode_lease(reader);
+  if (!reader.ok()) return net::RpcReply::error("complete: malformed payload");
+  const CompleteOutcome outcome = manifest_.complete(lease, ctx.now_ms);
+  net::RpcReply reply;
+  net::put_u8(reply.payload, static_cast<std::uint8_t>(outcome));
+  return reply;
+}
+
+net::RpcReply ManifestService::handle_heartbeat(const net::RpcContext& ctx,
+                                                std::string_view payload) {
+  net::WireReader reader(payload);
+  (void)reader.str();  // worker name; read-only status, any sender welcome
+  if (!reader.ok()) return net::RpcReply::error("heartbeat: malformed payload");
+  manifest_.refresh();
+  net::RpcReply reply;
+  net::put_u8(reply.payload, manifest_.all_done() ? 1 : 0);
+  net::put_u64(reply.payload, static_cast<std::uint64_t>(manifest_.done_count()));
+  net::put_f64(reply.payload, manifest_.next_expiry_after(ctx.now_ms));
+  return reply;
+}
+
+net::RpcReply ManifestService::handle_checkpoint(const net::RpcContext& ctx,
+                                                 std::string_view payload) {
+  (void)ctx;
+  net::WireReader reader(payload);
+  const std::size_t shard = static_cast<std::size_t>(reader.u64());
+  const std::uint64_t generation = reader.u64();
+  const std::string bytes = reader.str();
+  if (!reader.ok()) return net::RpcReply::error("checkpoint: malformed payload");
+  core::SurveyJournal& journal = journal_for(shard, generation);
+  // LWW merge: a duplicated or reordered (older) snapshot is a subset and
+  // changes nothing; a newer snapshot adds exactly the new images.
+  journal.merge(core::SurveyJournal::from_log_bytes(bytes));
+  journal.save(shard_journal_path(dir_, shard, generation), fs_);
+  ++checkpoints_;
+  checkpoint_entries_ = journal.size();
+  net::RpcReply reply;
+  net::put_u64(reply.payload, static_cast<std::uint64_t>(journal.size()));
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// RpcLeaseChannel
+
+RpcLeaseChannel::RpcLeaseChannel(net::SimNet& net, std::string endpoint, Options options,
+                                 obs::Telemetry* telemetry)
+    : options_(std::move(options)),
+      client_(net, std::move(endpoint), options_.rpc, telemetry) {}
+
+void RpcLeaseChannel::maybe_crash() {
+  if (options_.crash_at_op >= 0 &&
+      ops_ == static_cast<std::uint64_t>(options_.crash_at_op)) {
+    throw util::FsxCrash(util::format("net: injected worker crash at rpc op %llu",
+                                      static_cast<unsigned long long>(ops_)));
+  }
+  ++ops_;
+}
+
+LeaseChannel::ClaimResult RpcLeaseChannel::decode_grant(const net::RpcResult& result) {
+  ClaimResult out;
+  if (!result.ok()) {
+    out.reach = result.status == net::RpcStatus::kAppError ? Reach::kNothing : Reach::kUnreachable;
+    return out;
+  }
+  net::WireReader reader(result.payload);
+  if (reader.u8() == 0) return out;  // kNothing
+  Lease lease = decode_lease(reader);
+  const std::string restored_bytes = reader.str();
+  if (!reader.ok()) {
+    out.reach = Reach::kUnreachable;  // garbled grant: treat as not received
+    return out;
+  }
+  out.reach = Reach::kGranted;
+  out.grant.lease = std::move(lease);
+  if (!restored_bytes.empty()) {
+    out.grant.restored = core::SurveyJournal::from_log_bytes(restored_bytes);
+  }
+  return out;
+}
+
+LeaseChannel::ClaimResult RpcLeaseChannel::claim(const std::string& worker, double& now_ms) {
+  maybe_crash();
+  std::string payload;
+  net::put_string(payload, worker);
+  return decode_grant(client_.call(options_.supervisor, "claim", std::move(payload), now_ms));
+}
+
+LeaseChannel::ClaimResult RpcLeaseChannel::hedge(std::size_t shard, const std::string& worker,
+                                                 double& now_ms) {
+  maybe_crash();
+  std::string payload;
+  net::put_u64(payload, static_cast<std::uint64_t>(shard));
+  net::put_string(payload, worker);
+  return decode_grant(client_.call(options_.supervisor, "hedge", std::move(payload), now_ms));
+}
+
+std::optional<bool> RpcLeaseChannel::renew(const Lease& lease, double& now_ms) {
+  maybe_crash();
+  std::string payload;
+  encode_lease(payload, lease);
+  const net::RpcResult result =
+      client_.call(options_.supervisor, "renew", std::move(payload), now_ms);
+  if (!result.ok()) return std::nullopt;
+  net::WireReader reader(result.payload);
+  const bool renewed = reader.u8() != 0;
+  (void)reader.f64();  // server-side expiry; the worker mirrors it locally
+  if (!reader.ok()) return std::nullopt;
+  return renewed;
+}
+
+std::optional<CompleteOutcome> RpcLeaseChannel::complete(const Lease& lease, double& now_ms) {
+  maybe_crash();
+  std::string payload;
+  encode_lease(payload, lease);
+  const net::RpcResult result =
+      client_.call(options_.supervisor, "complete", std::move(payload), now_ms);
+  if (!result.ok()) return std::nullopt;
+  net::WireReader reader(result.payload);
+  const std::uint8_t outcome = reader.u8();
+  if (!reader.ok() || outcome > 2) return std::nullopt;
+  return static_cast<CompleteOutcome>(outcome);
+}
+
+bool RpcLeaseChannel::checkpoint(const Lease& lease, const core::SurveyJournal& journal,
+                                 double& now_ms) {
+  maybe_crash();
+  std::string payload;
+  net::put_u64(payload, static_cast<std::uint64_t>(lease.shard));
+  net::put_u64(payload, lease.generation);
+  net::put_string(payload, journal.serialize_log());
+  return client_.call(options_.supervisor, "checkpoint", std::move(payload), now_ms).ok();
+}
+
+}  // namespace neuro::shard

@@ -1,0 +1,110 @@
+#pragma once
+// The shard control plane over the simulated network: the supervisor-side
+// ManifestService is the single writer of the WorkManifest (workers never
+// touch the shared file), and RpcLeaseChannel is the worker-side
+// LeaseChannel that claims/renews/completes leases and ships journal
+// snapshots as checkpoint RPCs.
+//
+// Reliability comes from three interlocking layers:
+//  * the RPC idempotency cache replays the FIRST verdict for a retried /
+//    duplicated / reordered delivery of the same logical op, so "claim"
+//    cannot double-grant and "complete" cannot double-count;
+//  * manifest ops evaluate at their DELIVERY time, so a renew delayed
+//    across a partition meets an already-expired lease and is rejected —
+//    the existing generation machinery, now exercised over a lossy
+//    channel instead of a lock;
+//  * checkpoints are LWW journal merges server-side, so a stale snapshot
+//    arriving late (or twice) is a harmless subset.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/journal.hpp"
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
+#include "obs/telemetry.hpp"
+#include "shard/channel.hpp"
+#include "shard/manifest.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::shard {
+
+/// Default endpoint name the supervisor's manifest service binds.
+inline constexpr const char* kManifestEndpoint = "sup";
+
+/// Supervisor-side single-writer owner of the WorkManifest plus the
+/// durable per-(shard, generation) journal store. Methods: claim, hedge,
+/// renew, complete, heartbeat (read-only fleet status), checkpoint.
+class ManifestService {
+ public:
+  ManifestService(util::Fsx& fs, net::SimNet& net, std::string dir, std::size_t shards,
+                  double lease_ms, obs::Telemetry* telemetry = nullptr,
+                  std::string endpoint = kManifestEndpoint);
+
+  WorkManifest& manifest() { return manifest_; }
+  const WorkManifest& manifest() const { return manifest_; }
+  const net::RpcServer& server() const { return server_; }
+  std::uint64_t checkpoints() const { return checkpoints_; }
+  std::uint64_t checkpoint_entries() const { return checkpoint_entries_; }
+
+ private:
+  net::RpcReply handle_claim(const net::RpcContext& ctx, std::string_view payload);
+  net::RpcReply handle_hedge(const net::RpcContext& ctx, std::string_view payload);
+  net::RpcReply handle_renew(const net::RpcContext& ctx, std::string_view payload);
+  net::RpcReply handle_complete(const net::RpcContext& ctx, std::string_view payload);
+  net::RpcReply handle_heartbeat(const net::RpcContext& ctx, std::string_view payload);
+  net::RpcReply handle_checkpoint(const net::RpcContext& ctx, std::string_view payload);
+  net::RpcReply encode_grant(const std::optional<Lease>& lease);
+  core::SurveyJournal& journal_for(std::size_t shard, std::uint64_t generation);
+
+  util::Fsx& fs_;
+  std::string dir_;
+  WorkManifest manifest_;
+  net::RpcServer server_;
+  // Server-side journal store, keyed (shard, generation); mirrored to the
+  // same shard_journal_path files the local mode writes, so the national
+  // merge is one code path.
+  std::map<std::pair<std::size_t, std::uint64_t>, core::SurveyJournal> journals_;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t checkpoint_entries_ = 0;
+};
+
+/// Worker-side channel over RPC. Unreachability (timeout after retries,
+/// open breaker) maps to the tri-state results the worker interprets;
+/// `crash_at_op` reuses the KillPlan machinery — the channel throws
+/// util::FsxCrash immediately before issuing its N-th manifest op, so
+/// kill sweeps enumerate every control-plane moment a worker can die at.
+class RpcLeaseChannel : public LeaseChannel {
+ public:
+  struct Options {
+    std::string supervisor = kManifestEndpoint;
+    net::RpcConfig rpc;
+    long long crash_at_op = -1;  // -1 = never
+  };
+
+  RpcLeaseChannel(net::SimNet& net, std::string endpoint, Options options,
+                  obs::Telemetry* telemetry = nullptr);
+
+  ClaimResult claim(const std::string& worker, double& now_ms) override;
+  ClaimResult hedge(std::size_t shard, const std::string& worker, double& now_ms) override;
+  std::optional<bool> renew(const Lease& lease, double& now_ms) override;
+  std::optional<CompleteOutcome> complete(const Lease& lease, double& now_ms) override;
+  bool checkpoint(const Lease& lease, const core::SurveyJournal& journal,
+                  double& now_ms) override;
+
+  net::RpcClient& client() { return client_; }
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  void maybe_crash();
+  ClaimResult decode_grant(const net::RpcResult& result);
+
+  Options options_;
+  net::RpcClient client_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace neuro::shard

@@ -1,10 +1,5 @@
 #include "shard/worker.hpp"
 
-#include <sys/file.h>
-#include <unistd.h>
-
-#include <fcntl.h>
-
 #include "obs/timeseries.hpp"
 #include "obs/wideevent.hpp"
 #include "util/strings.hpp"
@@ -12,29 +7,6 @@
 namespace neuro::shard {
 
 namespace {
-
-/// flock-scoped critical section for multi-process manifest access. A
-/// no-op when `path` is empty (single-process mode: the supervisor's
-/// turn-taking already serializes manifest transitions).
-class FileLock {
- public:
-  explicit FileLock(const std::string& path) {
-    if (path.empty()) return;
-    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
-    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
-  }
-  ~FileLock() {
-    if (fd_ >= 0) {
-      ::flock(fd_, LOCK_UN);
-      ::close(fd_);
-    }
-  }
-  FileLock(const FileLock&) = delete;
-  FileLock& operator=(const FileLock&) = delete;
-
- private:
-  int fd_ = -1;
-};
 
 /// One "shard.lease" wide event + labeled counter per lease transition.
 /// Transitions are rare (a handful per shard), so the labeled-name format
@@ -54,60 +26,57 @@ void record_lease_event(obs::Telemetry* telemetry, double now_ms, const char* ac
   telemetry->emit(event);
 }
 
-}  // namespace
-
-std::string shard_journal_path(const std::string& dir, std::size_t shard,
-                               std::uint64_t generation) {
-  return util::format("%s/shard-%05zu.g%llu.nrlg", dir.c_str(), shard,
-                      static_cast<unsigned long long>(generation));
+std::unique_ptr<LeaseChannel> make_local_channel(util::Fsx& fs, const WorkerConfig& config) {
+  return std::make_unique<LocalLeaseChannel>(
+      fs, config.dir, config.lock_path, config.frame.shards, config.lease_ms,
+      config.telemetry != nullptr ? &config.telemetry->registry() : nullptr);
 }
 
+}  // namespace
+
 /// Everything needed to run slices of one claimed shard. Rebuilt from the
-/// seed + journals on every claim — nothing here is durable state.
+/// seed + the channel's restored journal on every claim — nothing here is
+/// durable state.
 struct ShardWorker::Active {
   data::Dataset dataset;
   std::unique_ptr<core::SurveyRunner> runner;
   std::unique_ptr<llm::VisionLanguageModel> model;
   core::SurveyJournal journal;
-  std::string journal_path;   // this generation's file
   std::size_t run_index = 0;  // into runs_
   bool widen = false;         // last slice made no progress: run unbounded
 };
 
 ShardWorker::ShardWorker(util::Fsx& fs, std::string name, WorkerConfig config)
-    : fs_(fs),
-      name_(std::move(name)),
-      config_(std::move(config)),
-      manifest_(fs, config_.dir + "/manifest.nrlg", config_.frame.shards, config_.lease_ms) {}
+    : fs_(fs), name_(std::move(name)), config_(std::move(config)) {
+  channel_ = make_local_channel(fs_, config_);
+}
+
+ShardWorker::ShardWorker(util::Fsx& fs, std::string name, WorkerConfig config,
+                         std::unique_ptr<LeaseChannel> channel)
+    : fs_(fs), name_(std::move(name)), config_(std::move(config)), channel_(std::move(channel)) {}
 
 ShardWorker::~ShardWorker() = default;
 
 ShardWorker::Step ShardWorker::step(double& now_ms) {
   if (!lease_) {
-    std::optional<Lease> lease;
-    {
-      FileLock lock(config_.lock_path);
-      lease = manifest_.claim(name_, now_ms);
-    }
-    if (!lease) return Step::kIdle;
-    open_shard(*lease, now_ms, /*hedge=*/false);
+    LeaseChannel::ClaimResult result = channel_->claim(name_, now_ms);
+    if (result.reach == LeaseChannel::Reach::kUnreachable) return Step::kBlocked;
+    if (result.reach == LeaseChannel::Reach::kNothing) return Step::kIdle;
+    open_shard(std::move(result.grant), now_ms, /*hedge=*/false);
   }
   return work_slice(now_ms);
 }
 
 bool ShardWorker::try_hedge(std::size_t shard, double now_ms) {
   if (lease_) return false;
-  std::optional<Lease> lease;
-  {
-    FileLock lock(config_.lock_path);
-    lease = manifest_.claim_straggler(shard, name_, now_ms);
-  }
-  if (!lease) return false;
-  open_shard(*lease, now_ms, /*hedge=*/true);
+  LeaseChannel::ClaimResult result = channel_->hedge(shard, name_, now_ms);
+  if (result.reach != LeaseChannel::Reach::kGranted) return false;
+  open_shard(std::move(result.grant), now_ms, /*hedge=*/true);
   return true;
 }
 
-void ShardWorker::open_shard(const Lease& lease, double now_ms, bool hedge) {
+void ShardWorker::open_shard(ClaimGrant grant, double now_ms, bool hedge) {
+  const Lease& lease = grant.lease;
   lease_ = lease;
   auto active = std::make_unique<Active>();
   // Regenerate the shard from the seed: the dataset is a pure function of
@@ -117,23 +86,13 @@ void ShardWorker::open_shard(const Lease& lease, double now_ms, bool hedge) {
   active->model =
       std::make_unique<llm::VisionLanguageModel>(active->runner->make_model(config_.profile));
 
-  // Resume from every durable generation before ours: CRC-valid frames are
-  // finished images we will never re-request. Torn tails truncate away.
-  for (std::uint64_t g = 1; g < lease.generation; ++g) {
-    const std::string path = shard_journal_path(config_.dir, lease.shard, g);
-    if (!fs_.exists(path)) continue;  // that generation died before checkpointing
-    try {
-      active->journal.merge(core::SurveyJournal::load(path, fs_));
-    } catch (const std::exception&) {
-      // Torn so badly even the log magic is gone (demoted to legacy JSON
-      // that fails to parse): a fresh start for that generation's images.
-    }
-  }
+  // The channel already merged every durable generation before ours:
+  // CRC-valid frames are finished images we will never re-request.
+  active->journal = std::move(grant.restored);
   // Our generation's records must outrank everything we just merged, even
   // under equal-revision divergent-chaos conflicts.
   active->journal.set_revision_floor(
       core::SurveyJournal::generation_revision_floor(lease.generation));
-  active->journal_path = shard_journal_path(config_.dir, lease.shard, lease.generation);
 
   ShardRun run;
   run.shard = lease.shard;
@@ -185,21 +144,35 @@ ShardWorker::Step ShardWorker::work_slice(double& now_ms) {
         .add(report.usage.requests);
   }
 
-  // Durable checkpoint: atomic save of everything finished so far. This is
-  // the op a kill sweep tears; the valid prefix is exactly what we earned.
-  active.journal.save(active.journal_path, fs_);
+  // Durable checkpoint of everything finished so far — a local atomic
+  // save, or journal bytes shipped to the supervisor. This is the op a
+  // kill sweep tears; the valid prefix is exactly what we earned. An
+  // unreachable checkpoint (partition) leaves this slice's images only in
+  // our memory; a later checkpoint or the reclaimer's re-execution covers
+  // them either way.
+  const bool checkpointed = channel_->checkpoint(*lease_, active.journal, now_ms);
+  if (!checkpointed && config_.telemetry != nullptr) {
+    config_.telemetry->registry().counter("shard.checkpoint_unreachable").add();
+  }
 
   bool aborted_any = false;
   for (const llm::ItemOutcome& item : report.items) aborted_any |= item.aborted;
 
   if (!aborted_any) {
-    CompleteOutcome outcome;
-    {
-      FileLock lock(config_.lock_path);
-      outcome = manifest_.complete(*lease_, now_ms);
+    const std::optional<CompleteOutcome> outcome = channel_->complete(*lease_, now_ms);
+    if (!outcome.has_value()) {
+      // Partitioned at the finish line: every image is surveyed but we
+      // cannot prove the complete landed. Abandon; the durable checkpoints
+      // (and the server's idempotency cache, if an attempt did land) carry
+      // the work, and a reclaimer restores instead of re-requesting.
+      run.lost_lease = true;
+      record_lease_event(config_.telemetry, now_ms, "unconfirmed", name_, run.shard,
+                         run.generation, run.requests, "requests");
+      close_run(now_ms);
+      return Step::kLost;
     }
-    run.completed = outcome == CompleteOutcome::kCompleted;
-    run.superseded = outcome == CompleteOutcome::kSuperseded;
+    run.completed = *outcome == CompleteOutcome::kCompleted;
+    run.superseded = *outcome == CompleteOutcome::kSuperseded;
     record_lease_event(config_.telemetry, now_ms, run.completed ? "complete" : "superseded",
                        name_, run.shard, run.generation, run.requests, "requests");
     close_run(now_ms);
@@ -211,12 +184,23 @@ ShardWorker::Step ShardWorker::work_slice(double& now_ms) {
   // completion instead of spinning forever.
   active.widen = active.journal.size() == before;
 
-  bool renewed;
-  {
-    FileLock lock(config_.lock_path);
-    renewed = manifest_.renew(*lease_, now_ms);
+  const std::optional<bool> renewed = channel_->renew(*lease_, now_ms);
+  if (!renewed.has_value()) {
+    // The manifest is unreachable. Within our granted expiry we keep
+    // working optimistically; past it we self-fence — we can no longer
+    // prove we own the shard's future, and the supervisor will reclaim it.
+    if (now_ms < lease_->expires_ms) {
+      record_lease_event(config_.telemetry, now_ms, "renew_unreachable", name_, run.shard,
+                         run.generation, run.requests, "requests");
+      return Step::kWorked;
+    }
+    run.lost_lease = true;
+    record_lease_event(config_.telemetry, now_ms, "self_fenced", name_, run.shard,
+                       run.generation, run.requests, "requests");
+    close_run(now_ms);
+    return Step::kLost;
   }
-  if (!renewed) {
+  if (!*renewed) {
     // Expired or hedged away: stop claiming the shard's future. Our
     // journal stays durable; the merge still counts every image we did.
     run.lost_lease = true;
@@ -225,6 +209,7 @@ ShardWorker::Step ShardWorker::work_slice(double& now_ms) {
     close_run(now_ms);
     return Step::kLost;
   }
+  lease_->expires_ms = now_ms + config_.lease_ms;  // mirror the manifest's extension
   return Step::kWorked;
 }
 

@@ -1,14 +1,18 @@
 #pragma once
-// Crash-tolerant shard worker: claims a county shard from the WorkManifest,
-// regenerates its dataset from the seed, surveys it in checkpoint-sized
-// virtual-time slices through the request scheduler, and journals every
-// completed image to a durable per-(shard, generation) record log between
-// slices. A worker killed at ANY filesystem op leaves (a) a manifest the
-// next refresh repairs and (b) journal files whose valid prefix is exactly
-// the images it finished — so the reclaimer resumes with zero duplicate
-// LLM requests. The lease is renewed after every slice; a renew rejection
-// (lease expired or stolen by a hedger) makes the worker abandon the shard
-// immediately, its partial journal left durable for the merge.
+// Crash-tolerant shard worker: claims a county shard through its
+// LeaseChannel, regenerates its dataset from the seed, surveys it in
+// checkpoint-sized virtual-time slices through the request scheduler, and
+// checkpoints every completed image durably between slices — as a local
+// per-(shard, generation) record log over the shared-filesystem channel,
+// or as journal bytes shipped to the supervisor over the RPC channel. A
+// worker killed at ANY filesystem op (or RPC op, in net mode) leaves
+// durable state whose valid prefix is exactly the images it finished — so
+// the reclaimer resumes with zero duplicate LLM requests. The lease is
+// renewed after every slice; a renew REJECTION (expired or stolen) makes
+// the worker abandon the shard immediately, while an UNREACHABLE renew
+// (partition) lets it keep working optimistically until its own lease
+// expiry passes — then it self-fences, because it can no longer prove it
+// owns the shard's future.
 
 #include <memory>
 #include <optional>
@@ -19,6 +23,7 @@
 #include "llm/scheduler.hpp"
 #include "obs/telemetry.hpp"
 #include "llm/vlm.hpp"
+#include "shard/channel.hpp"
 #include "shard/manifest.hpp"
 #include "shard/national.hpp"
 #include "util/fsx.hpp"
@@ -61,33 +66,31 @@ struct ShardRun {
   bool hedge = false;                // grant stole a live (straggler) lease
   bool completed = false;            // our complete() finished the shard
   bool superseded = false;           // finished, but a newer lease owned it
-  bool lost_lease = false;           // renew rejected; shard abandoned
+  bool lost_lease = false;           // renew rejected / self-fenced / unconfirmed
 };
-
-/// Per-generation journal file for a shard ("shard-00003.g2.nrlg"):
-/// generations never share a file, so a straggler and its hedger can both
-/// checkpoint without racing; the merge reads every generation.
-std::string shard_journal_path(const std::string& dir, std::size_t shard,
-                               std::uint64_t generation);
 
 class ShardWorker {
  public:
   enum class Step {
     kIdle,       // nothing claimable right now
-    kWorked,     // ran one slice, checkpointed, lease renewed
+    kBlocked,    // manifest unreachable (the failed RPC advanced our clock)
+    kWorked,     // ran one slice, checkpointed, lease renewed (or optimistic)
     kCompleted,  // finished its shard (possibly superseded)
-    kLost,       // lease expired/stolen; shard abandoned mid-flight
+    kLost,       // lease expired/stolen/unprovable; shard abandoned
   };
 
-  /// `fs` is this worker's private injection seam: give the kill target a
-  /// FaultFs and every manifest append and journal save it performs counts
-  /// toward one per-worker crash-op index.
+  /// Shared-filesystem worker: `fs` is this worker's private injection
+  /// seam — give the kill target a FaultFs and every manifest append and
+  /// journal save it performs counts toward one per-worker crash-op index.
   ShardWorker(util::Fsx& fs, std::string name, WorkerConfig config);
+  /// Worker over an explicit channel (the RPC transport in net mode).
+  ShardWorker(util::Fsx& fs, std::string name, WorkerConfig config,
+              std::unique_ptr<LeaseChannel> channel);
   ~ShardWorker();  // out-of-line: Active is incomplete here
 
   /// One scheduling turn at virtual time `now_ms` (advanced in place by
-  /// the slice makespan). Claims a shard when idle, otherwise runs the
-  /// next checkpoint slice of the shard it holds.
+  /// the slice makespan and any channel latency). Claims a shard when
+  /// idle, otherwise runs the next checkpoint slice of the shard it holds.
   Step step(double& now_ms);
 
   /// Hedge a straggling shard (supervisor-directed): claim it at a fresh
@@ -97,19 +100,18 @@ class ShardWorker {
   bool busy() const { return lease_.has_value(); }
   const std::string& name() const { return name_; }
   const std::vector<ShardRun>& runs() const { return runs_; }
-  WorkManifest& manifest() { return manifest_; }
 
  private:
   struct Active;  // in-flight shard state (dataset, runner, journal)
 
-  void open_shard(const Lease& lease, double now_ms, bool hedge);
+  void open_shard(ClaimGrant grant, double now_ms, bool hedge);
   Step work_slice(double& now_ms);
   void close_run(double now_ms);
 
   util::Fsx& fs_;
   std::string name_;
   WorkerConfig config_;
-  WorkManifest manifest_;
+  std::unique_ptr<LeaseChannel> channel_;
   std::optional<Lease> lease_;
   std::unique_ptr<Active> active_;
   std::vector<ShardRun> runs_;

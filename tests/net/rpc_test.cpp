@@ -1,0 +1,211 @@
+// RPC reliability semantics over SimNet: retries with idempotent
+// at-most-once handler effect, late responses completing earlier attempts,
+// circuit-breaker fast-fail that still advances virtual time, deadlines.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
+#include "net/wire.hpp"
+
+namespace neuro::net {
+namespace {
+
+SimNet::Config healthy_config() {
+  SimNet::Config config;
+  config.link.base_latency_ms = 5.0;
+  config.link.jitter_ms = 3.0;
+  return config;
+}
+
+RpcConfig fast_rpc() {
+  RpcConfig config;
+  config.timeout_ms = 300.0;
+  config.max_attempts = 4;
+  config.backoff_base_ms = 100.0;
+  return config;
+}
+
+struct CountingServer {
+  CountingServer(SimNet& net, const std::string& endpoint)
+      : server(net, endpoint) {
+    server.on("incr", [this](const RpcContext&, std::string_view payload) {
+      ++executions;
+      RpcReply reply;
+      reply.payload.assign(payload);
+      put_u64(reply.payload, static_cast<std::uint64_t>(executions));
+      return reply;
+    });
+  }
+
+  RpcServer server;
+  int executions = 0;
+};
+
+TEST(NetRpc, RoundtripEchoesAndAdvancesTheClock) {
+  SimNet net(healthy_config());
+  CountingServer srv(net, "sup");
+  RpcClient client(net, "w0", fast_rpc());
+  double now_ms = 0.0;
+  const RpcResult result = client.call("sup", "incr", "hello", now_ms);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(srv.executions, 1);
+  // Two one-way latencies in [5, 8) each.
+  EXPECT_GE(now_ms, 10.0);
+  EXPECT_LT(now_ms, 16.0);
+  EXPECT_EQ(result.payload.substr(0, 5), "hello");
+}
+
+TEST(NetRpc, UnknownMethodIsAnAppError) {
+  SimNet net(healthy_config());
+  RpcServer server(net, "sup");
+  RpcClient client(net, "w0", fast_rpc());
+  double now_ms = 0.0;
+  const RpcResult result = client.call("sup", "nope", "", now_ms);
+  EXPECT_EQ(result.status, RpcStatus::kAppError);
+  EXPECT_NE(result.payload.find("unknown method"), std::string::npos);
+}
+
+TEST(NetRpc, LostRequestIsRetriedAndExecutesOnce) {
+  // A one-way partition eats the first attempt's request; the retry lands
+  // after the heal. Exactly one handler execution.
+  SimNet::Config config = healthy_config();
+  Partition partition;
+  partition.window = {0.0, 350.0};
+  partition.from = "w0";
+  partition.to = "sup";
+  partition.symmetric = false;
+  config.faults.partitions.push_back(partition);
+  SimNet net(config);
+  CountingServer srv(net, "sup");
+  RpcClient client(net, "w0", fast_rpc());
+  double now_ms = 0.0;
+  const RpcResult result = client.call("sup", "incr", "x", now_ms);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(client.retries(), 1U);
+  EXPECT_EQ(srv.executions, 1);
+  EXPECT_GE(now_ms, 350.0);  // paid the timeout + backoff across the hole
+}
+
+TEST(NetRpc, LostResponseIsDedupedNotReexecuted) {
+  // The request arrives and executes, but the response dies in a reverse
+  // partition. The retried request hits the idempotency cache: the first
+  // verdict is replayed, the handler does NOT run again.
+  SimNet::Config config = healthy_config();
+  Partition partition;
+  partition.window = {0.0, 350.0};
+  partition.from = "sup";
+  partition.to = "w0";
+  partition.symmetric = false;
+  config.faults.partitions.push_back(partition);
+  SimNet net(config);
+  CountingServer srv(net, "sup");
+  RpcClient client(net, "w0", fast_rpc());
+  double now_ms = 0.0;
+  const RpcResult result = client.call("sup", "incr", "x", now_ms);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(srv.executions, 1);
+  EXPECT_EQ(srv.server.deduped(), 1U);
+  // The replayed body is the FIRST execution's answer: echoed 'x' + count 1.
+  EXPECT_EQ(result.payload.substr(1), std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8));
+}
+
+TEST(NetRpc, DuplicatedRequestHitsTheIdempotencyCache) {
+  SimNet::Config config = healthy_config();
+  config.faults.duplicate_rate = 1.0;
+  SimNet net(config);
+  CountingServer srv(net, "sup");
+  RpcClient client(net, "w0", fast_rpc());
+  double now_ms = 0.0;
+  const RpcResult result = client.call("sup", "incr", "x", now_ms);
+  ASSERT_TRUE(result.ok());
+  net.drain_all();  // the duplicate copy lands after the call completed
+  EXPECT_EQ(srv.executions, 1);
+  EXPECT_GE(srv.server.deduped(), 1U);
+}
+
+TEST(NetRpc, TimeoutAfterAllAttemptsAgainstASilentPeer) {
+  SimNet net(healthy_config());  // nobody bound at "sup"
+  RpcConfig config = fast_rpc();
+  config.breaker.enabled = false;
+  RpcClient client(net, "w0", config);
+  double now_ms = 0.0;
+  const RpcResult result = client.call("sup", "incr", "x", now_ms);
+  EXPECT_EQ(result.status, RpcStatus::kTimeout);
+  EXPECT_EQ(result.attempts, 4);
+  // 4 timeouts plus 3 backoffs.
+  EXPECT_GE(now_ms, 4 * 300.0 + 100.0 + 200.0 + 400.0);
+}
+
+TEST(NetRpc, BreakerOpensAndFastFailsWhileAdvancingTime) {
+  SimNet net(healthy_config());
+  RpcConfig config = fast_rpc();
+  config.breaker.failure_threshold = 4;  // trips exactly as the first call exhausts
+  RpcClient client(net, "w0", config);
+  double now_ms = 0.0;
+  const RpcResult first = client.call("sup", "incr", "x", now_ms);
+  EXPECT_EQ(first.status, RpcStatus::kTimeout);
+  EXPECT_EQ(client.breaker_state("sup", now_ms), llm::CircuitBreaker::State::kOpen);
+
+  const double before = now_ms;
+  const RpcResult second = client.call("sup", "incr", "x", now_ms);
+  EXPECT_EQ(second.status, RpcStatus::kBreakerOpen);
+  // Fast-fail still advances one timeout per attempt: no virtual-time spin.
+  EXPECT_GE(now_ms, before + 4 * 300.0);
+}
+
+TEST(NetRpc, DeadlineCapsTheWholeCall) {
+  SimNet net(healthy_config());
+  RpcConfig config = fast_rpc();
+  config.breaker.enabled = false;
+  config.deadline_ms = 500.0;
+  RpcClient client(net, "w0", config);
+  double now_ms = 100.0;
+  const RpcResult result = client.call("sup", "incr", "x", now_ms);
+  EXPECT_EQ(result.status, RpcStatus::kTimeout);
+  EXPECT_LE(now_ms, 600.0 + 1e-9);
+  EXPECT_LT(result.attempts, 4);
+}
+
+TEST(NetRpc, NotifyDeliversOneWayMessages) {
+  SimNet net(healthy_config());
+  RpcClient sender(net, "a");
+  RpcClient receiver(net, "b");
+  std::string got;
+  receiver.set_notify([&got](const Message& message, double) { got = message.payload; });
+  sender.notify("b", "event", "ping", 0.0);
+  net.drain_all();
+  EXPECT_EQ(got, "ping");
+}
+
+TEST(NetRpc, CallsAreDeterministicAcrossIdenticalRuns) {
+  auto run = [](double& out_now) {
+    SimNet::Config config = healthy_config();
+    config.faults = NetFaultPlan::chaos(0xBEEF, 0.15, 0.15, 0.15);
+    SimNet net(config);
+    CountingServer srv(net, "sup");
+    RpcConfig rpc = fast_rpc();
+    rpc.breaker.enabled = false;
+    RpcClient client(net, "w0", rpc);
+    double now_ms = 0.0;
+    int ok = 0;
+    for (int i = 0; i < 20; ++i) {
+      if (client.call("sup", "incr", "x", now_ms).ok()) ++ok;
+    }
+    out_now = now_ms;
+    return ok;
+  };
+  double now_a = 0.0;
+  double now_b = 0.0;
+  const int ok_a = run(now_a);
+  const int ok_b = run(now_b);
+  EXPECT_EQ(ok_a, ok_b);
+  EXPECT_DOUBLE_EQ(now_a, now_b);
+}
+
+}  // namespace
+}  // namespace neuro::net

@@ -1,0 +1,228 @@
+// SimNet determinism and fault semantics: seeded fates replay exactly,
+// partitions open and heal on the watermark, duplicates and reorders are
+// injected (and observed) deterministically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "net/simnet.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::net {
+namespace {
+
+struct Delivery {
+  std::string method;
+  std::uint64_t link_seq = 0;
+  bool duplicate = false;
+  double at_ms = 0.0;
+};
+
+struct Harness {
+  explicit Harness(SimNet::Config config) : net(std::move(config)) {
+    net.bind("b", [this](const Message& message, double now_ms) {
+      deliveries.push_back({message.method, message.link_seq, message.duplicate, now_ms});
+    });
+  }
+
+  void send(const std::string& method, double at_ms) {
+    Message message;
+    message.from = "a";
+    message.to = "b";
+    message.method = method;
+    net.post(std::move(message), at_ms);
+  }
+
+  SimNet net;
+  std::vector<Delivery> deliveries;
+};
+
+SimNet::Config healthy_config() {
+  SimNet::Config config;
+  config.link.base_latency_ms = 5.0;
+  config.link.jitter_ms = 3.0;
+  return config;
+}
+
+TEST(NetSim, DeliversInOrderWithBoundedLatency) {
+  Harness h(healthy_config());
+  h.send("m1", 0.0);
+  h.send("m2", 10.0);
+  h.net.advance_to(100.0);
+  ASSERT_EQ(h.deliveries.size(), 2U);
+  EXPECT_EQ(h.deliveries[0].method, "m1");
+  EXPECT_EQ(h.deliveries[1].method, "m2");
+  EXPECT_GE(h.deliveries[0].at_ms, 5.0);
+  EXPECT_LT(h.deliveries[0].at_ms, 8.0);
+  EXPECT_GE(h.deliveries[1].at_ms, 15.0);
+  EXPECT_LT(h.deliveries[1].at_ms, 18.0);
+  EXPECT_EQ(h.net.stats().delivered, 2U);
+  EXPECT_EQ(h.net.stats().reordered, 0U);
+}
+
+TEST(NetSim, FatesAreAPureFunctionOfSeedLinkAndSequence) {
+  SimNet::Config config = healthy_config();
+  config.faults = NetFaultPlan::chaos(0xFEED, 0.2, 0.2, 0.2);
+  auto run = [&config]() {
+    Harness h(config);
+    for (int i = 0; i < 50; ++i) h.send("m", i * 10.0);
+    h.net.drain_all();
+    return h;
+  };
+  const Harness first = run();
+  const Harness second = run();
+  ASSERT_EQ(first.deliveries.size(), second.deliveries.size());
+  for (std::size_t i = 0; i < first.deliveries.size(); ++i) {
+    EXPECT_EQ(first.deliveries[i].link_seq, second.deliveries[i].link_seq) << i;
+    EXPECT_EQ(first.deliveries[i].duplicate, second.deliveries[i].duplicate) << i;
+    EXPECT_DOUBLE_EQ(first.deliveries[i].at_ms, second.deliveries[i].at_ms) << i;
+  }
+  EXPECT_EQ(first.net.stats().lost, second.net.stats().lost);
+  EXPECT_EQ(first.net.stats().duplicated, second.net.stats().duplicated);
+  EXPECT_EQ(first.net.stats().reordered, second.net.stats().reordered);
+  EXPECT_GT(first.net.stats().lost, 0U);
+  EXPECT_GT(first.net.stats().duplicated, 0U);
+  EXPECT_GT(first.net.stats().reordered, 0U);
+}
+
+TEST(NetSim, TotalLossDropsEverything) {
+  SimNet::Config config = healthy_config();
+  config.faults = NetFaultPlan::lossy(7, 1.0);
+  Harness h(config);
+  for (int i = 0; i < 10; ++i) h.send("m", i * 1.0);
+  h.net.drain_all();
+  EXPECT_TRUE(h.deliveries.empty());
+  EXPECT_EQ(h.net.stats().lost, 10U);
+  EXPECT_EQ(h.net.stats().delivered, 0U);
+}
+
+TEST(NetSim, DuplicatesDeliverTheSameSequenceTwice) {
+  SimNet::Config config = healthy_config();
+  config.faults.duplicate_rate = 1.0;
+  Harness h(config);
+  h.send("m", 0.0);
+  h.net.drain_all();
+  ASSERT_EQ(h.deliveries.size(), 2U);
+  EXPECT_FALSE(h.deliveries[0].duplicate);
+  EXPECT_TRUE(h.deliveries[1].duplicate);
+  EXPECT_EQ(h.deliveries[0].link_seq, h.deliveries[1].link_seq);
+  EXPECT_GT(h.deliveries[1].at_ms, h.deliveries[0].at_ms);
+  EXPECT_EQ(h.net.stats().duplicated, 1U);
+  EXPECT_EQ(h.net.stats().delivered, 2U);
+}
+
+TEST(NetSim, ReorderedDeliveryIsDetectedAtTheReceiver) {
+  SimNet::Config config = healthy_config();
+  config.link.jitter_ms = 0.0;  // only the reorder hold separates messages
+  config.faults.reorder_rate = 0.5;
+  config.faults.reorder_delay_ms = 100.0;
+  Harness h(config);
+  for (int i = 0; i < 40; ++i) h.send("m", i * 1.0);
+  h.net.drain_all();
+  // With a 100ms hold against 1ms send spacing, any held message lands
+  // behind dozens of later sends.
+  EXPECT_GT(h.net.stats().reordered, 0U);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < h.deliveries.size(); ++i) {
+    out_of_order |= h.deliveries[i].link_seq < h.deliveries[i - 1].link_seq;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(NetSim, SymmetricPartitionBlocksBothDirectionsUntilHeal) {
+  SimNet::Config config = healthy_config();
+  config.faults.partitions.push_back(NetFaultPlan::isolate("b", 10.0, 50.0));
+  Harness h(config);
+  SimNet& net = h.net;
+  net.bind("a", [](const Message&, double) {});
+
+  h.send("before", 0.0);   // flows: the window has not opened
+  h.send("blocked", 20.0); // inside the window
+  Message reverse;
+  reverse.from = "b";
+  reverse.to = "a";
+  reverse.method = "blocked_reverse";
+  net.post(std::move(reverse), 30.0);  // symmetric: blocked too
+  h.send("after", 50.0);   // the heal instant: flows again
+  net.advance_to(100.0);
+
+  ASSERT_EQ(h.deliveries.size(), 2U);
+  EXPECT_EQ(h.deliveries[0].method, "before");
+  EXPECT_EQ(h.deliveries[1].method, "after");
+  EXPECT_EQ(net.stats().blocked, 2U);
+  EXPECT_EQ(net.stats().partitions_opened, 1U);
+  EXPECT_EQ(net.stats().partitions_healed, 1U);
+}
+
+TEST(NetSim, DirectedPartitionBlocksOneDirectionOnly) {
+  SimNet::Config config = healthy_config();
+  Partition partition;
+  partition.window = {0.0, 100.0};
+  partition.from = "a";
+  partition.to = "b";
+  partition.symmetric = false;
+  config.faults.partitions.push_back(partition);
+  SimNet net(config);
+  int to_b = 0;
+  int to_a = 0;
+  net.bind("a", [&to_a](const Message&, double) { ++to_a; });
+  net.bind("b", [&to_b](const Message&, double) { ++to_b; });
+  Message fwd;
+  fwd.from = "a";
+  fwd.to = "b";
+  net.post(std::move(fwd), 10.0);
+  Message rev;
+  rev.from = "b";
+  rev.to = "a";
+  net.post(std::move(rev), 10.0);
+  net.drain_all();
+  EXPECT_EQ(to_b, 0);
+  EXPECT_EQ(to_a, 1);
+  EXPECT_EQ(net.stats().blocked, 1U);
+}
+
+TEST(NetSim, CountersMirrorStats) {
+  util::MetricsRegistry registry;
+  SimNet::Config config = healthy_config();
+  config.faults = NetFaultPlan::chaos(0xFEED, 0.2, 0.2, 0.2);
+  config.faults.partitions.push_back(NetFaultPlan::isolate("b", 100.0, 200.0));
+  SimNet net(config, nullptr, &registry);
+  net.bind("b", [](const Message&, double) {});
+  for (int i = 0; i < 60; ++i) {
+    Message message;
+    message.from = "a";
+    message.to = "b";
+    message.method = "m";
+    net.post(std::move(message), i * 5.0);
+  }
+  net.drain_all();
+  const NetStats& stats = net.stats();
+  EXPECT_EQ(registry.counter("net.sent").value(), static_cast<double>(stats.sent));
+  EXPECT_EQ(registry.counter("net.delivered").value(), static_cast<double>(stats.delivered));
+  EXPECT_EQ(registry.counter("net.dropped").value(),
+            static_cast<double>(stats.lost + stats.blocked));
+  EXPECT_EQ(registry.counter("net.duplicated").value(), static_cast<double>(stats.duplicated));
+  EXPECT_EQ(registry.counter("net.reordered").value(), static_cast<double>(stats.reordered));
+  EXPECT_EQ(registry.counter("net.partition_open").value(), 1.0);
+  EXPECT_EQ(registry.counter("net.partition_heal").value(), 1.0);
+  EXPECT_GT(stats.blocked, 0U);
+}
+
+TEST(NetSim, NextDeliveryAndPendingTrackTheQueue) {
+  Harness h(healthy_config());
+  EXPECT_EQ(h.net.pending(), 0U);
+  EXPECT_TRUE(std::isinf(h.net.next_delivery_ms()));
+  h.send("m", 0.0);
+  EXPECT_EQ(h.net.pending(), 1U);
+  const double due = h.net.next_delivery_ms();
+  EXPECT_GE(due, 5.0);
+  EXPECT_LT(due, 8.0);
+  EXPECT_DOUBLE_EQ(h.net.deliver_next(), due);
+  EXPECT_LT(h.net.deliver_next(), 0.0);  // empty queue sentinel
+}
+
+}  // namespace
+}  // namespace neuro::net

@@ -159,5 +159,39 @@ TEST(ObsDashboard, RendersPanelsFromLabeledCounters) {
   EXPECT_NE(render_dashboard(telemetry, colored).find('\x1b'), std::string::npos);
 }
 
+TEST(ObsDashboard, RendersSimulatedNetworkPanel) {
+  util::MetricsRegistry registry;
+  TelemetryConfig config;
+  Telemetry telemetry(registry, config);
+
+  registry.counter("net.sent").add(40);
+  registry.counter("net.delivered").add(36);
+  registry.counter("net.dropped").add(4);
+  registry.counter("net.duplicated").add(2);
+  registry.counter("net.reordered").add(1);
+  registry.counter("net.partition_open").add(1);
+  registry.counter("net.partition_heal").add(1);
+  registry.counter(labeled_name("net.link.sent", {{"link", "w0->sup"}})).add(25);
+  registry.counter(labeled_name("net.link.delivered", {{"link", "w0->sup"}})).add(21);
+  registry.counter(labeled_name("net.link.dropped", {{"link", "w0->sup"}})).add(4);
+  registry.counter(labeled_name("net.link.sent", {{"link", "sup->w0"}})).add(15);
+  registry.counter(labeled_name("net.link.delivered", {{"link", "sup->w0"}})).add(15);
+  telemetry.advance_to(1'000.0);
+
+  DashboardOptions options;
+  options.ansi = false;
+  const std::string frame = render_dashboard(telemetry, options);
+  EXPECT_NE(frame.find("-- simulated network --"), std::string::npos);
+  EXPECT_NE(frame.find("sent=40"), std::string::npos);
+  EXPECT_NE(frame.find("w0->sup"), std::string::npos);
+  EXPECT_NE(frame.find("sup->w0"), std::string::npos);
+  EXPECT_NE(frame.find("16.0%"), std::string::npos);  // 4/25 loss on w0->sup
+  // Without any net.* counters the panel stays out of the frame entirely.
+  util::MetricsRegistry quiet_registry;
+  Telemetry quiet(quiet_registry, config);
+  quiet.advance_to(1'000.0);
+  EXPECT_EQ(render_dashboard(quiet, options).find("-- simulated network --"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace neuro::obs

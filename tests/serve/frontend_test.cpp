@@ -1,0 +1,220 @@
+// The serve front door over the simulated network: submissions and result
+// streams cross SimNet with the same reliability machinery as the shard
+// control plane. A zero-latency network is invisible (digest parity with
+// direct submission), duplicated submits admit once, lossy links retry
+// idempotently, and a partitioned client is simply unreachable until heal.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/builder.hpp"
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
+#include "serve/frontend.hpp"
+#include "serve/service.hpp"
+
+namespace neuro::serve {
+namespace {
+
+data::Dataset small_dataset(std::size_t n) {
+  data::BuildConfig config;
+  config.image_count = n;
+  config.generator.image_width = 64;
+  config.generator.image_height = 64;
+  return data::build_synthetic_dataset(config, 42);
+}
+
+llm::ModelProfile reliable(llm::ModelProfile profile) {
+  profile.transient_failure_rate = 0.0;
+  return profile;
+}
+
+struct Fixture {
+  explicit Fixture(std::size_t images = 12)
+      : dataset(small_dataset(images)),
+        runner(dataset),
+        model(runner.make_model(reliable(llm::gemini_1_5_pro_profile()))) {}
+
+  ServiceConfig config() const {
+    ServiceConfig out;
+    out.survey.threads = 1;
+    return out;
+  }
+
+  data::Dataset dataset;
+  core::SurveyRunner runner;
+  llm::VisionLanguageModel model;
+};
+
+std::vector<SurveyJob> workload() {
+  std::vector<SurveyJob> jobs;
+  std::uint64_t id = 0;
+  for (int wave = 0; wave < 4; ++wave) {
+    jobs.push_back({"alpha", id++, wave * 500.0, static_cast<std::size_t>(wave) % 8, 3});
+    jobs.push_back({"bravo", id++, wave * 500.0 + 100.0, (wave + 3u) % 8, 2});
+  }
+  return jobs;
+}
+
+net::SimNet::Config zero_latency() {
+  net::SimNet::Config config;
+  config.link.base_latency_ms = 0.0;
+  config.link.jitter_ms = 0.0;
+  return config;
+}
+
+net::SimNet::Config default_net(net::NetFaultPlan faults = {}) {
+  net::SimNet::Config config;
+  config.link.base_latency_ms = 5.0;
+  config.link.jitter_ms = 3.0;
+  config.faults = std::move(faults);
+  return config;
+}
+
+void register_tenants(SurveyService& service) {
+  service.register_tenant({"alpha", Priority::kInteractive, 100.0, 100.0});
+  service.register_tenant({"bravo", Priority::kStandard, 100.0, 100.0});
+}
+
+// ---------------------------------------------------------------------------
+// Over a zero-latency fault-free network the front door is transparent:
+// the service report digests byte-identically to direct submission, and
+// the client's collected result stream covers every streamed image.
+// ---------------------------------------------------------------------------
+TEST(ServeNetFrontend, ZeroLatencyNetworkMatchesDirectSubmissionDigest) {
+  Fixture fx;
+
+  SurveyService direct(fx.runner, fx.model, fx.config());
+  register_tenants(direct);
+  std::uint64_t direct_streamed = 0;
+  direct.set_sink([&direct_streamed](const ImageResult&) { ++direct_streamed; });
+  for (const SurveyJob& job : workload()) direct.submit(job);
+  direct.finish();
+  const std::string direct_digest = report_digest(direct.report());
+
+  net::SimNet net(zero_latency());
+  SurveyService served(fx.runner, fx.model, fx.config());
+  register_tenants(served);
+  ServeFrontend frontend(net, served);
+  ServeClient client(net, "tenant0");
+  double now_ms = 0.0;
+  for (const SurveyJob& job : workload()) {
+    now_ms = job.submit_ms;  // the driver's clock tracks the arrival plan
+    const auto admission = client.submit(job, now_ms);
+    ASSERT_TRUE(admission.has_value());
+    EXPECT_EQ(*admission, Admission::kAdmitted);
+  }
+  frontend.finish(now_ms);
+  net.drain_all();
+
+  EXPECT_EQ(report_digest(served.report()), direct_digest)
+      << "a transparent network changed the service's behavior";
+  EXPECT_EQ(frontend.results_streamed(), direct_streamed);
+  EXPECT_EQ(client.results().size(), direct_streamed);
+  EXPECT_EQ(client.duplicate_results(), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Duplicated submits admit once: the idempotency cache replays the first
+// admission verdict, so a tenant's quota is charged a single time per
+// logical job even when the network delivers the request twice.
+// ---------------------------------------------------------------------------
+TEST(ServeNetFrontend, DuplicatedSubmitAdmitsExactlyOnce) {
+  Fixture fx;
+  net::NetFaultPlan faults;
+  faults.duplicate_rate = 1.0;
+  net::SimNet net(default_net(faults));
+  SurveyService service(fx.runner, fx.model, fx.config());
+  // Tight quota: a double-charged submit would shed the second job.
+  service.register_tenant({"alpha", Priority::kStandard, 0.001, 2.0});
+  ServeFrontend frontend(net, service);
+  ServeClient client(net, "tenant0");
+  double now_ms = 0.0;
+  const auto first = client.submit({"alpha", 0, 0.0, 0, 2}, now_ms);
+  const auto second = client.submit({"alpha", 1, 0.0, 2, 2}, now_ms);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, Admission::kAdmitted);
+  EXPECT_EQ(*second, Admission::kAdmitted) << "a duplicated delivery double-charged the quota";
+  frontend.finish(now_ms);
+  net.drain_all();
+  EXPECT_EQ(frontend.submits(), 2U) << "the duplicate re-executed the submit handler";
+  EXPECT_GE(frontend.server().deduped(), 2U);
+  // Duplicated result deliveries collapse client-side.
+  EXPECT_EQ(client.results().size(), 4U);
+  EXPECT_GE(client.duplicate_results(), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// Lossy links: submits retry under the idempotency key and the runs are
+// deterministic — two identical lossy runs agree on every outcome.
+// ---------------------------------------------------------------------------
+TEST(ServeNetFrontend, LossySubmitsRetryDeterministically) {
+  Fixture fx;
+  auto run = [&fx]() {
+    net::SimNet net(default_net(net::NetFaultPlan::lossy(0x10E5, 0.25)));
+    SurveyService service(fx.runner, fx.model, fx.config());
+    register_tenants(service);
+    ServeFrontend frontend(net, service);
+    net::RpcConfig rpc;
+    rpc.timeout_ms = 400.0;
+    rpc.max_attempts = 6;
+    ServeClient client(net, "tenant0", rpc);
+    double now_ms = 0.0;
+    std::vector<int> outcomes;
+    for (const SurveyJob& job : workload()) {
+      now_ms = std::max(now_ms, job.submit_ms);
+      const auto admission = client.submit(job, now_ms);
+      outcomes.push_back(admission.has_value() ? static_cast<int>(*admission) : -1);
+    }
+    frontend.finish(now_ms);
+    net.drain_all();
+    outcomes.push_back(static_cast<int>(client.results().size()));
+    outcomes.push_back(static_cast<int>(client.client().retries()));
+    outcomes.push_back(static_cast<int>(service.records().size()));
+    return outcomes;
+  };
+  const std::vector<int> first = run();
+  const std::vector<int> second = run();
+  EXPECT_EQ(first, second) << "lossy frontend runs diverged";
+  EXPECT_GT(first[first.size() - 2], 0) << "25% loss never forced a submit retry";
+}
+
+// ---------------------------------------------------------------------------
+// A partitioned client cannot reach the front door (submit() reports
+// unreachable, no job admitted); after the heal the same client submits
+// normally and its results flow.
+// ---------------------------------------------------------------------------
+TEST(ServeNetFrontend, PartitionedClientIsUnreachableUntilHeal) {
+  Fixture fx;
+  net::NetFaultPlan faults;
+  faults.partitions.push_back(net::NetFaultPlan::isolate("tenant0", 0.0, 10000.0));
+  net::SimNet net(default_net(faults));
+  SurveyService service(fx.runner, fx.model, fx.config());
+  register_tenants(service);
+  ServeFrontend frontend(net, service);
+  net::RpcConfig rpc;
+  rpc.timeout_ms = 400.0;
+  rpc.max_attempts = 2;
+  rpc.breaker.enabled = false;
+  ServeClient client(net, "tenant0", rpc);
+
+  double now_ms = 0.0;
+  const auto blocked = client.submit({"alpha", 0, 0.0, 0, 2}, now_ms);
+  EXPECT_FALSE(blocked.has_value()) << "a partitioned submit reached the service";
+  EXPECT_TRUE(service.records().empty());
+
+  now_ms = 10000.0;  // past the heal
+  const auto healed = client.submit({"alpha", 1, now_ms, 0, 2}, now_ms);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(*healed, Admission::kAdmitted);
+  frontend.finish(now_ms);
+  net.drain_all();
+  EXPECT_EQ(service.records().size(), 1U);
+  EXPECT_GT(client.results().size(), 0U);
+}
+
+}  // namespace
+}  // namespace neuro::serve

@@ -1,0 +1,49 @@
+// FileLock hard-error semantics: in multi-process mode an unacquirable
+// lock must never silently degrade to unlocked manifest access — it
+// throws, and the failure is visible as shard.lock_failed.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "shard/channel.hpp"
+#include "util/metrics.hpp"
+
+namespace neuro::shard {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+TEST(ShardFileLock, EmptyPathIsANoOp) {
+  util::MetricsRegistry metrics;
+  EXPECT_NO_THROW({ FileLock lock("", &metrics); });
+  EXPECT_EQ(metrics.counter("shard.lock_failed").value(), 0.0);
+}
+
+TEST(ShardFileLock, AcquiresAndReleasesARealLock) {
+  const stdfs::path path = stdfs::temp_directory_path() /
+                           ("neuro_filelock_" + std::to_string(::getpid()) + ".lock");
+  stdfs::remove(path);
+  util::MetricsRegistry metrics;
+  // Sequential acquisition must succeed twice: the destructor releases.
+  { FileLock lock(path.string(), &metrics); }
+  { FileLock lock(path.string(), &metrics); }
+  EXPECT_EQ(metrics.counter("shard.lock_failed").value(), 0.0);
+  stdfs::remove(path);
+}
+
+TEST(ShardFileLock, UnopenablePathThrowsAndCountsInsteadOfProceedingUnlocked) {
+  util::MetricsRegistry metrics;
+  const std::string bad = "/nonexistent_neuro_dir_for_locks/sidecar.lock";
+  EXPECT_THROW({ FileLock lock(bad, &metrics); }, std::runtime_error);
+  EXPECT_EQ(metrics.counter("shard.lock_failed").value(), 1.0);
+  // A null registry still refuses to proceed unlocked.
+  EXPECT_THROW({ FileLock lock(bad, nullptr); }, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace neuro::shard

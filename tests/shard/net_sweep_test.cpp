@@ -1,0 +1,323 @@
+// The headline proof for the simulated-network control plane: a fleet
+// whose supervisor/worker traffic crosses SimNet — with partitions, loss,
+// duplication and reordering, composed with worker kills at every RPC op —
+// drains to a national report byte-identical to the healthy local-mode
+// baseline, with zero duplicate LLM requests for anything a durable
+// checkpoint already covered.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "net/simnet.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "shard/supervisor.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::shard {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+stdfs::path artifact_base() {
+  if (const char* dir = std::getenv("NEURO_ARTIFACT_DIR"); dir != nullptr && *dir != '\0') {
+    return stdfs::path(dir);
+  }
+  return stdfs::temp_directory_path();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = artifact_base() /
+           (std::string("neuro_netsweep_") + tag + "_" + std::to_string(::getpid()));
+    reset();
+  }
+  ~TempDir() {
+    if (std::getenv("NEURO_ARTIFACT_DIR") == nullptr || !::testing::Test::HasFailure()) {
+      stdfs::remove_all(dir_);
+    }
+  }
+  void reset() {
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  std::string str() const { return dir_.string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+llm::ModelProfile reliable(llm::ModelProfile profile) {
+  profile.transient_failure_rate = 0.0;  // isolate the network's faults
+  return profile;
+}
+
+SupervisorConfig fleet_config(const std::string& dir, std::size_t workers) {
+  SupervisorConfig config;
+  config.workers = workers;
+  config.worker.dir = dir;
+  config.worker.frame.shards = 4;
+  config.worker.frame.images_per_shard = 5;
+  config.worker.frame.generator.image_width = 64;
+  config.worker.frame.generator.image_height = 64;
+  config.worker.profile = reliable(llm::gemini_1_5_pro_profile());
+  config.worker.survey.threads = 1;
+  config.worker.scheduler.threads = 1;
+  config.worker.checkpoint_interval_ms = 2000.0;
+  config.worker.lease_ms = 20000.0;
+  return config;
+}
+
+SupervisorConfig net_config(const std::string& dir, std::size_t workers,
+                            net::NetFaultPlan faults = {}) {
+  SupervisorConfig config = fleet_config(dir, workers);
+  config.net.enabled = true;
+  config.net.sim.faults = std::move(faults);
+  config.net.rpc.timeout_ms = 800.0;
+  return config;
+}
+
+net::NetFaultPlan chaos_plan() {
+  return net::NetFaultPlan::chaos(0x5EEDC0DE, 0.05, 0.05, 0.05);
+}
+
+/// The composed worst case: background loss/dup/reorder chaos plus a
+/// window that cuts worker 0 off from the supervisor entirely.
+net::NetFaultPlan chaos_with_partition() {
+  net::NetFaultPlan plan = chaos_plan();
+  plan.partitions.push_back(net::NetFaultPlan::isolate("w0", 3000.0, 30000.0));
+  return plan;
+}
+
+std::size_t total_images(const SupervisorConfig& config) {
+  return config.worker.frame.shards * config.worker.frame.images_per_shard;
+}
+
+/// Zero-duplicate invariant: every completing (or superseded-but-finished)
+/// run paid requests for exactly the images its restored journal was
+/// missing — nothing a durable checkpoint covered was re-requested.
+void expect_zero_duplicates(const SupervisorReport& report, const SupervisorConfig& config,
+                            const char* what) {
+  for (const ShardRun& run : report.runs) {
+    if (!run.completed && !run.superseded) continue;
+    EXPECT_EQ(run.requests, config.worker.frame.images_per_shard - run.images_restored)
+        << what << ": shard " << run.shard << " g" << run.generation
+        << " re-requested a checkpointed image";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A healthy simulated network is invisible: the RPC-hosted control plane
+// reduces to the exact local-mode report at every worker count, with one
+// request per image nationwide.
+// ---------------------------------------------------------------------------
+TEST(NetPartitionSweep, HealthyNetModeMatchesLocalModeAtEveryWorkerCount) {
+  TempDir dir("healthy");
+  dir.reset();
+  const SupervisorConfig local = fleet_config(dir.str(), 4);
+  const std::string baseline = Supervisor(local).run().national_table;
+  ASSERT_NE(baseline.find("NATIONAL"), std::string::npos);
+
+  for (const std::size_t workers : {1UL, 4UL, 16UL}) {
+    dir.reset();
+    const SupervisorConfig config = net_config(dir.str(), workers);
+    const SupervisorReport report = Supervisor(config).run();
+    EXPECT_EQ(report.shards_done, config.worker.frame.shards) << workers << " workers";
+    EXPECT_EQ(report.workers_died, 0U);
+    EXPECT_EQ(report.total_requests, total_images(config)) << workers << " workers";
+    EXPECT_EQ(report.national_table, baseline) << workers << " net workers diverged from local";
+    EXPECT_GT(report.net_stats.sent, 0U);
+    EXPECT_EQ(report.net_stats.lost, 0U);
+    expect_zero_duplicates(report, config, "healthy net");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loss + duplication + reordering: the report still matches the healthy
+// local baseline byte for byte at {1, 4, 16} workers (the LLM answers are
+// pure functions of the images; the chaotic control plane must not change
+// WHAT was surveyed), and no completing run re-requests checkpointed work.
+// ---------------------------------------------------------------------------
+TEST(NetPartitionSweep, ChaosReportMatchesBaselineAtEveryWorkerCount) {
+  TempDir dir("chaos");
+  dir.reset();
+  const std::string baseline = Supervisor(fleet_config(dir.str(), 4)).run().national_table;
+
+  for (const std::size_t workers : {1UL, 4UL, 16UL}) {
+    dir.reset();
+    const SupervisorConfig config = net_config(dir.str(), workers, chaos_plan());
+    const SupervisorReport report = Supervisor(config).run();
+    EXPECT_EQ(report.shards_done, config.worker.frame.shards) << workers << " workers";
+    EXPECT_EQ(report.national_table, baseline) << workers << " chaos workers diverged";
+    expect_zero_duplicates(report, config, "net chaos");
+    const net::NetStats& stats = report.net_stats;
+    EXPECT_GT(stats.lost + stats.duplicated + stats.reordered, 0U)
+        << "chaos plan injected nothing at " << workers << " workers";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos is seeded: the same configuration replays to identical reports,
+// events and transport accounting.
+// ---------------------------------------------------------------------------
+TEST(NetPartitionSweep, ChaosRunsAreDeterministic) {
+  TempDir dir("det");
+  auto run = [&dir]() {
+    dir.reset();
+    return Supervisor(net_config(dir.str(), 4, chaos_with_partition())).run();
+  };
+  const SupervisorReport first = run();
+  const SupervisorReport second = run();
+  EXPECT_EQ(first.national_table, second.national_table);
+  EXPECT_EQ(first.total_requests, second.total_requests);
+  EXPECT_EQ(first.reclaims, second.reclaims);
+  EXPECT_EQ(first.rpc_retries, second.rpc_retries);
+  EXPECT_EQ(first.rpc_deduped, second.rpc_deduped);
+  EXPECT_EQ(first.net_stats.sent, second.net_stats.sent);
+  EXPECT_EQ(first.net_stats.lost, second.net_stats.lost);
+  EXPECT_EQ(first.net_stats.duplicated, second.net_stats.duplicated);
+  EXPECT_EQ(first.net_stats.reordered, second.net_stats.reordered);
+  ASSERT_EQ(first.events.size(), second.events.size());
+  for (std::size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_EQ(first.events[i].what, second.events[i].what) << i;
+    EXPECT_DOUBLE_EQ(first.events[i].at_ms, second.events[i].at_ms) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The partitioned-worker walkthrough: worker 0 is cut off mid-lease. It
+// misses renewals, works optimistically to its local expiry, self-fences;
+// the survivors reclaim its shard at a higher generation and restore its
+// shipped checkpoints. The drained report matches the baseline and the
+// reclaimer pays only for what no checkpoint covered.
+// ---------------------------------------------------------------------------
+TEST(NetPartitionSweep, PartitionedWorkerIsReclaimedAndReportConverges) {
+  TempDir dir("partition");
+  dir.reset();
+  const std::string baseline = Supervisor(fleet_config(dir.str(), 2)).run().national_table;
+
+  dir.reset();
+  net::NetFaultPlan plan;
+  plan.partitions.push_back(net::NetFaultPlan::isolate("w0", 3000.0, 60000.0));
+  const SupervisorConfig config = net_config(dir.str(), 2, plan);
+  const SupervisorReport report = Supervisor(config).run();
+
+  EXPECT_EQ(report.shards_done, config.worker.frame.shards);
+  EXPECT_EQ(report.national_table, baseline) << "partition changed the surveyed content";
+  EXPECT_GE(report.net_stats.partitions_opened, 1U);
+  EXPECT_GT(report.net_stats.blocked, 0U);
+  EXPECT_GE(report.reclaims, 1U) << "nobody reclaimed the partitioned worker's lease";
+  bool fenced = false;
+  for (const SupervisorEvent& event : report.events) {
+    fenced |= event.what.find("self_fenced") != std::string::npos ||
+              event.what.find("unreachable") != std::string::npos;
+  }
+  EXPECT_TRUE(fenced) << "no unreachable/self-fence evidence in supervisor events";
+  bool lost = false;
+  for (const ShardRun& run : report.runs) lost |= run.lost_lease;
+  EXPECT_TRUE(lost) << "the partitioned holder never lost its lease";
+  expect_zero_duplicates(report, config, "partition");
+}
+
+// ---------------------------------------------------------------------------
+// Kill sweep over the RPC control plane: worker 0 dies immediately before
+// its k-th manifest RPC, for every reachable k, under composed chaos
+// (loss + dup + reorder + a partition window). A restart fleet over the
+// same directory drains the remainder; every drained report matches the
+// healthy local baseline and the zero-duplicate invariant holds.
+// ---------------------------------------------------------------------------
+TEST(NetPartitionSweep, KillAtEveryRpcOpUnderComposedChaosThenRestartDrains) {
+  TempDir dir("rpc_kill");
+  dir.reset();
+  const std::string baseline = Supervisor(fleet_config(dir.str(), 4)).run().national_table;
+
+  bool exhausted = false;
+  for (long long k = 0; k < 200 && !exhausted; k += 2) {
+    dir.reset();
+    SupervisorConfig killed = net_config(dir.str(), 4, chaos_with_partition());
+    killed.kill.worker = 0;
+    killed.kill.at_op = k;
+    const SupervisorReport first = Supervisor(killed).run();
+    exhausted = first.workers_died == 0;
+
+    const SupervisorReport drained =
+        Supervisor(net_config(dir.str(), 4, chaos_with_partition())).run();
+    ASSERT_EQ(drained.shards_done, killed.worker.frame.shards) << "rpc kill op " << k;
+    EXPECT_EQ(drained.national_table, baseline)
+        << "rpc kill op " << k << ": national report diverged after drain";
+    expect_zero_duplicates(first, killed, "killed run");
+    expect_zero_duplicates(drained, killed, "drained run");
+  }
+  EXPECT_TRUE(exhausted) << "sweep never reached the worker's last rpc op";
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry determinism rides through the network layer: net.* counters,
+// wide events, health JSON and the dashboard (with its simulated-network
+// panel) are byte-identical at survey threads {1, 16} under chaos.
+// ---------------------------------------------------------------------------
+TEST(NetPartitionSweep, NetTelemetryArtifactsByteIdenticalAcrossSurveyThreads) {
+  TempDir dir("telemetry");
+  auto run = [&dir](std::size_t threads) {
+    dir.reset();
+    util::MetricsRegistry metrics;
+    obs::TelemetryConfig tconfig;
+    tconfig.sample_interval_ms = 1000.0;
+    obs::Telemetry telemetry(metrics, tconfig);
+
+    SupervisorConfig config = net_config(dir.str(), 4, chaos_with_partition());
+    config.worker.frame.threads = threads;
+    config.worker.survey.threads = threads;
+    config.worker.scheduler.threads = threads;
+    config.worker.telemetry = &telemetry;
+    const SupervisorReport report = Supervisor(config).run();
+
+    struct Artifacts {
+      std::string prometheus;
+      std::string events;
+      std::string health;
+      std::string dashboard;
+    } artifacts;
+    artifacts.prometheus = obs::prometheus_text(metrics);
+    artifacts.events = telemetry.events().canonical_bytes();
+    artifacts.health = obs::health_json(telemetry).dump(2);
+    obs::DashboardOptions options;
+    options.ansi = false;
+    options.workers = report.worker_status;
+    artifacts.dashboard = obs::render_dashboard(telemetry, options);
+    return artifacts.prometheus + "\n===\n" + artifacts.events + "\n===\n" + artifacts.health +
+           "\n===\n" + artifacts.dashboard;
+  };
+
+  const std::string base = run(1);
+  EXPECT_NE(base.find("net_sent"), std::string::npos);
+  EXPECT_NE(base.find("net.msg"), std::string::npos);
+  EXPECT_NE(base.find("-- simulated network --"), std::string::npos);
+  EXPECT_NE(base.find("net.partition"), std::string::npos);
+  EXPECT_EQ(base, run(16)) << "net telemetry diverged across survey thread counts";
+}
+
+// ---------------------------------------------------------------------------
+// rpc/dedup accounting is surfaced on the report: chaos produces retries,
+// and every redelivered manifest op is absorbed by the idempotency cache
+// rather than re-executed.
+// ---------------------------------------------------------------------------
+TEST(NetPartitionSweep, RetriesAndDedupsAreAccountedUnderChaos) {
+  TempDir dir("acct");
+  dir.reset();
+  net::NetFaultPlan plan = net::NetFaultPlan::chaos(0xACC7, 0.15, 0.15, 0.0);
+  const SupervisorConfig config = net_config(dir.str(), 4, plan);
+  const SupervisorReport report = Supervisor(config).run();
+  EXPECT_EQ(report.shards_done, config.worker.frame.shards);
+  EXPECT_GT(report.rpc_retries, 0U) << "15% loss never forced a retry";
+  EXPECT_GT(report.rpc_deduped, 0U) << "duplicates/retries never hit the idempotency cache";
+  expect_zero_duplicates(report, config, "accounting chaos");
+}
+
+}  // namespace
+}  // namespace neuro::shard

@@ -1,0 +1,276 @@
+// Manifest control plane over RPC: duplicated and reordered deliveries of
+// every manifest op (claim / renew / complete / heartbeat / checkpoint)
+// must be no-ops — the idempotency cache replays first verdicts, and the
+// lease-generation machinery bounces anything genuinely stale, including a
+// complete that arrives after its lease was reclaimed.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/journal.hpp"
+#include "net/rpc.hpp"
+#include "net/simnet.hpp"
+#include "net/wire.hpp"
+#include "shard/channel.hpp"
+#include "shard/transport.hpp"
+#include "util/fsx.hpp"
+
+namespace neuro::shard {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("neuro_nettransport_") + tag + "_" + std::to_string(::getpid()));
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  ~TempDir() { stdfs::remove_all(dir_); }
+  std::string str() const { return dir_.string(); }
+
+ private:
+  stdfs::path dir_;
+};
+
+constexpr double kLeaseMs = 20000.0;
+
+struct Rig {
+  Rig(const std::string& dir, net::NetFaultPlan faults, std::size_t shards = 2)
+      : net(make_config(std::move(faults))),
+        service(util::Fsx::real(), net, dir, shards, kLeaseMs) {}
+
+  static net::SimNet::Config make_config(net::NetFaultPlan faults) {
+    net::SimNet::Config config;
+    config.link.base_latency_ms = 5.0;
+    config.link.jitter_ms = 3.0;
+    config.faults = std::move(faults);
+    return config;
+  }
+
+  std::unique_ptr<RpcLeaseChannel> channel(const std::string& endpoint) {
+    RpcLeaseChannel::Options options;
+    options.rpc.timeout_ms = 500.0;
+    return std::make_unique<RpcLeaseChannel>(net, endpoint, options);
+  }
+
+  net::SimNet net;
+  ManifestService service;
+};
+
+net::NetFaultPlan duplicate_everything() {
+  net::NetFaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  return plan;
+}
+
+net::NetFaultPlan reorder_heavily() {
+  net::NetFaultPlan plan;
+  plan.reorder_rate = 0.5;
+  plan.reorder_delay_ms = 60.0;
+  return plan;
+}
+
+TEST(NetManifestRpc, DuplicatedClaimGrantsExactlyOneLease) {
+  TempDir dir("dup_claim");
+  Rig rig(dir.str(), duplicate_everything());
+  auto channel = rig.channel("w0");
+  double now_ms = 0.0;
+  const LeaseChannel::ClaimResult result = channel->claim("w0", now_ms);
+  ASSERT_EQ(result.reach, LeaseChannel::Reach::kGranted);
+  EXPECT_EQ(result.grant.lease.shard, 0U);
+  rig.net.drain_all();  // duplicate copies of the claim land late
+  // The duplicate hit the idempotency cache: no second grant happened.
+  EXPECT_GE(rig.service.server().deduped(), 1U);
+  rig.service.manifest().refresh();
+  EXPECT_EQ(rig.service.manifest().slot(0).generation, 1U);
+  EXPECT_EQ(rig.service.manifest().slot(1).state, ShardState::kPending);
+}
+
+TEST(NetManifestRpc, DuplicatedRenewIsANoOp) {
+  TempDir dir("dup_renew");
+  Rig rig(dir.str(), duplicate_everything());
+  auto channel = rig.channel("w0");
+  double now_ms = 0.0;
+  const LeaseChannel::ClaimResult claim = channel->claim("w0", now_ms);
+  ASSERT_EQ(claim.reach, LeaseChannel::Reach::kGranted);
+
+  const std::optional<bool> renewed = channel->renew(claim.grant.lease, now_ms);
+  ASSERT_TRUE(renewed.has_value());
+  EXPECT_TRUE(*renewed);
+  rig.net.drain_all();
+  rig.service.manifest().refresh();
+  const std::uint64_t handled = rig.service.server().handled();
+  EXPECT_EQ(handled, 2U);  // claim + renew executed once each
+  EXPECT_GE(rig.service.server().deduped(), 2U);
+  EXPECT_EQ(rig.service.manifest().slot(0).state, ShardState::kLeased);
+  EXPECT_EQ(rig.service.manifest().slot(0).generation, 1U);
+}
+
+TEST(NetManifestRpc, DuplicatedHeartbeatIsReadOnlyAndDeduped) {
+  TempDir dir("dup_heartbeat");
+  Rig rig(dir.str(), duplicate_everything());
+  net::RpcClient client(rig.net, "w0");
+  double now_ms = 0.0;
+  std::string payload;
+  net::put_string(payload, "w0");
+  const net::RpcResult result = client.call(kManifestEndpoint, "heartbeat", payload, now_ms);
+  ASSERT_TRUE(result.ok());
+  net::WireReader reader(result.payload);
+  EXPECT_EQ(reader.u8(), 0U);   // all_done: nothing claimed yet
+  EXPECT_EQ(reader.u64(), 0U);  // done_count
+  EXPECT_TRUE(std::isinf(reader.f64()));  // no live lease to expire
+  ASSERT_TRUE(reader.ok());
+  rig.net.drain_all();
+  EXPECT_EQ(rig.service.server().handled(), 1U);
+  EXPECT_GE(rig.service.server().deduped(), 1U);
+}
+
+TEST(NetManifestRpc, DuplicatedCompleteCountsOnce) {
+  TempDir dir("dup_complete");
+  Rig rig(dir.str(), duplicate_everything());
+  auto channel = rig.channel("w0");
+  double now_ms = 0.0;
+  const LeaseChannel::ClaimResult claim = channel->claim("w0", now_ms);
+  ASSERT_EQ(claim.reach, LeaseChannel::Reach::kGranted);
+  const std::optional<CompleteOutcome> outcome = channel->complete(claim.grant.lease, now_ms);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, CompleteOutcome::kCompleted);
+  rig.net.drain_all();
+  rig.service.manifest().refresh();
+  EXPECT_EQ(rig.service.manifest().slot(0).state, ShardState::kDone);
+  EXPECT_EQ(rig.service.manifest().slot(0).completions, 1U)
+      << "a duplicated complete delivery re-executed the handler";
+}
+
+TEST(NetManifestRpc, ReorderedOpsConvergeToTheSameManifestState) {
+  TempDir dir("reorder");
+  Rig rig(dir.str(), reorder_heavily());
+  auto w0 = rig.channel("w0");
+  auto w1 = rig.channel("w1");
+  double t0 = 0.0;
+  double t1 = 0.0;
+  const LeaseChannel::ClaimResult c0 = w0->claim("w0", t0);
+  const LeaseChannel::ClaimResult c1 = w1->claim("w1", t1);
+  ASSERT_EQ(c0.reach, LeaseChannel::Reach::kGranted);
+  ASSERT_EQ(c1.reach, LeaseChannel::Reach::kGranted);
+  EXPECT_NE(c0.grant.lease.shard, c1.grant.lease.shard);
+  ASSERT_TRUE(w0->renew(c0.grant.lease, t0).value_or(false));
+  ASSERT_TRUE(w1->renew(c1.grant.lease, t1).value_or(false));
+  EXPECT_EQ(w0->complete(c0.grant.lease, t0).value_or(CompleteOutcome::kSuperseded),
+            CompleteOutcome::kCompleted);
+  EXPECT_EQ(w1->complete(c1.grant.lease, t1).value_or(CompleteOutcome::kSuperseded),
+            CompleteOutcome::kCompleted);
+  rig.net.drain_all();
+  rig.service.manifest().refresh();
+  EXPECT_TRUE(rig.service.manifest().all_done());
+  EXPECT_EQ(rig.service.manifest().slot(0).completions, 1U);
+  EXPECT_EQ(rig.service.manifest().slot(1).completions, 1U);
+}
+
+TEST(NetManifestRpc, CompleteAfterReclaimIsSuperseded) {
+  TempDir dir("stale_complete");
+  Rig rig(dir.str(), net::NetFaultPlan::healthy(), /*shards=*/1);
+  auto w0 = rig.channel("w0");
+  auto w1 = rig.channel("w1");
+  double t0 = 0.0;
+  const LeaseChannel::ClaimResult old_claim = w0->claim("w0", t0);
+  ASSERT_EQ(old_claim.reach, LeaseChannel::Reach::kGranted);
+
+  // The lease ages out (the holder was partitioned / stalled); a second
+  // worker reclaims at generation 2.
+  double t1 = kLeaseMs + 1000.0;
+  const LeaseChannel::ClaimResult reclaim = w1->claim("w1", t1);
+  ASSERT_EQ(reclaim.reach, LeaseChannel::Reach::kGranted);
+  EXPECT_EQ(reclaim.grant.lease.generation, 2U);
+
+  // The original holder's complete arrives after the reclaim: the
+  // generation machinery marks it superseded, not a fresh completion.
+  double t0_late = t1 + 100.0;
+  const std::optional<CompleteOutcome> stale = w0->complete(old_claim.grant.lease, t0_late);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(*stale, CompleteOutcome::kSuperseded);
+
+  // The reclaimer's own complete is the real one.
+  double t1_done = t0_late + 100.0;
+  const std::optional<CompleteOutcome> fresh = w1->complete(reclaim.grant.lease, t1_done);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(*fresh, CompleteOutcome::kAlreadyDone);  // stale one already closed the shard
+  rig.service.manifest().refresh();
+  EXPECT_TRUE(rig.service.manifest().all_done());
+}
+
+TEST(NetManifestRpc, ExpiredRenewIsRejectedAtDeliveryTime) {
+  TempDir dir("late_renew");
+  Rig rig(dir.str(), net::NetFaultPlan::healthy(), /*shards=*/1);
+  auto w0 = rig.channel("w0");
+  double t0 = 0.0;
+  const LeaseChannel::ClaimResult claim = w0->claim("w0", t0);
+  ASSERT_EQ(claim.reach, LeaseChannel::Reach::kGranted);
+  // The renew is issued long after expiry (the worker was partitioned and
+  // its clock crawled forward): evaluated at delivery, it must bounce.
+  double late = kLeaseMs + 5000.0;
+  const std::optional<bool> renewed = w0->renew(claim.grant.lease, late);
+  ASSERT_TRUE(renewed.has_value());
+  EXPECT_FALSE(*renewed);
+}
+
+TEST(NetManifestRpc, CheckpointsMergeServerSideAndDuplicatesAreSubsets) {
+  TempDir dir("checkpoint");
+  Rig rig(dir.str(), duplicate_everything(), /*shards=*/1);
+  auto w0 = rig.channel("w0");
+  double t0 = 0.0;
+  const LeaseChannel::ClaimResult claim = w0->claim("w0", t0);
+  ASSERT_EQ(claim.reach, LeaseChannel::Reach::kGranted);
+
+  core::SurveyJournal journal;
+  journal.set_revision_floor(core::SurveyJournal::generation_revision_floor(1));
+  core::JournalEntry entry;
+  entry.answered_questions = 6;
+  journal.record("model", 7, entry);
+  ASSERT_TRUE(w0->checkpoint(claim.grant.lease, journal, t0));
+  rig.net.drain_all();  // the duplicated checkpoint redelivers the snapshot
+  EXPECT_EQ(rig.service.checkpoints(), 1U) << "duplicate checkpoint re-executed";
+  EXPECT_EQ(rig.service.checkpoint_entries(), 1U);
+
+  // The durable per-generation journal holds exactly the snapshot.
+  const core::SurveyJournal loaded =
+      core::SurveyJournal::load(shard_journal_path(dir.str(), 0, 1), util::Fsx::real());
+  EXPECT_EQ(loaded.size(), 1U);
+}
+
+TEST(NetManifestRpc, ClaimShipsPriorGenerationJournals) {
+  TempDir dir("restore");
+  Rig rig(dir.str(), net::NetFaultPlan::healthy(), /*shards=*/1);
+  auto w0 = rig.channel("w0");
+  double t0 = 0.0;
+  const LeaseChannel::ClaimResult claim = w0->claim("w0", t0);
+  ASSERT_EQ(claim.reach, LeaseChannel::Reach::kGranted);
+  core::SurveyJournal journal;
+  journal.set_revision_floor(core::SurveyJournal::generation_revision_floor(1));
+  core::JournalEntry entry;
+  entry.answered_questions = 6;
+  journal.record("model", 3, entry);
+  ASSERT_TRUE(w0->checkpoint(claim.grant.lease, journal, t0));
+
+  // Generation 2 claim (after expiry) restores the generation-1 entry
+  // inside the grant itself — no separate fetch, no re-request.
+  auto w1 = rig.channel("w1");
+  double t1 = kLeaseMs + 1000.0;
+  const LeaseChannel::ClaimResult reclaim = w1->claim("w1", t1);
+  ASSERT_EQ(reclaim.reach, LeaseChannel::Reach::kGranted);
+  EXPECT_EQ(reclaim.grant.lease.generation, 2U);
+  EXPECT_EQ(reclaim.grant.restored.size(), 1U);
+  EXPECT_TRUE(reclaim.grant.restored.contains("model", 3));
+}
+
+}  // namespace
+}  // namespace neuro::shard
